@@ -1,0 +1,62 @@
+//===- bench/BenchCommon.h - Shared bench-harness helpers ------*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the table/figure reproduction binaries: suite
+/// execution with progress output, percent formatting, and the banner
+/// convention (each bench prints which paper artifact it regenerates).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_BENCH_BENCHCOMMON_H
+#define BPFREE_BENCH_BENCHCOMMON_H
+
+#include "support/TablePrinter.h"
+#include "workloads/Driver.h"
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace bpfree {
+namespace bench {
+
+/// Prints the standard banner naming the regenerated artifact.
+inline void banner(const std::string &Artifact, const std::string &Note) {
+  std::cout << "=====================================================\n"
+            << "bpfree reproduction: " << Artifact << "\n"
+            << "(Ball & Larus, \"Branch Prediction for Free\", PLDI 1993)\n"
+            << Note << "\n"
+            << "=====================================================\n\n";
+}
+
+/// Runs the whole suite on reference datasets, echoing progress to
+/// stderr so long benches show life.
+inline std::vector<std::unique_ptr<WorkloadRun>>
+runSuiteVerbose(const HeuristicConfig &Config = {}) {
+  std::vector<std::unique_ptr<WorkloadRun>> Runs;
+  for (const Workload &W : workloadSuite()) {
+    std::fprintf(stderr, "  [suite] %s...\n", W.Name.c_str());
+    Runs.push_back(runWorkload(W, 0, Config));
+  }
+  return Runs;
+}
+
+/// "26" / "3.1" style percentage of a [0,1] fraction.
+inline std::string pct(double Fraction) {
+  return TablePrinter::formatPercent(Fraction);
+}
+
+/// The paper's "C/D" miss-pair cell.
+inline std::string missPair(const Ratio &Miss, const Ratio &Perfect) {
+  return TablePrinter::formatMissPair(Miss.rate(), Perfect.rate());
+}
+
+} // namespace bench
+} // namespace bpfree
+
+#endif // BPFREE_BENCH_BENCHCOMMON_H

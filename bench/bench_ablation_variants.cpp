@@ -1,0 +1,152 @@
+//===- bench/bench_ablation_variants.cpp - Design-choice ablations --------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablations of the design choices DESIGN.md §6 calls out, all scored
+/// as all-branch miss rate averaged over the suite:
+///
+///  * Loop classification: natural-loop analysis (paper) vs the
+///    "common technique of simply identifying backwards branches".
+///  * Default prediction for uncovered non-loop branches: random
+///    (paper) vs always-taken vs always-fallthru.
+///  * Guard generalization (paper §4.4): search depth 1 (paper) / 2 / 3.
+///  * Pointer heuristic variants: GP filter on/off, type-annotated.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "support/Statistics.h"
+
+using namespace bpfree;
+using namespace bpfree::bench;
+
+namespace {
+
+/// Average all-branch and non-loop miss over the suite for stats
+/// collected under some config, using the standard order and a chosen
+/// default policy.
+struct SuiteScore {
+  RunningStat AllMiss, NonLoopMiss, Coverage;
+};
+
+SuiteScore
+scoreSuite(const std::vector<std::unique_ptr<WorkloadRun>> &Runs,
+           const HeuristicConfig &Config,
+           DefaultPolicy Policy = DefaultPolicy::Random) {
+  SuiteScore Score;
+  for (const auto &Run : Runs) {
+    std::vector<BranchStats> Stats =
+        collectBranchStats(*Run->Ctx, *Run->Profile, Config);
+    // Apply the default policy by rewriting the per-branch random
+    // direction (the CombinedResult default slot uses RandomDir).
+    if (Policy != DefaultPolicy::Random)
+      for (BranchStats &S : Stats)
+        S.RandomDir =
+            Policy == DefaultPolicy::Taken ? DirTaken : DirFallthru;
+    CombinedResult C = computeCombined(Stats);
+    Score.AllMiss.add(C.AllMiss.rate());
+    Score.NonLoopMiss.add(C.NonLoopMiss.rate());
+    Score.Coverage.add(C.coverage());
+  }
+  return Score;
+}
+
+/// Backwards-branch-only loop handling: loop branches predicted by the
+/// loop predictor only when the prediction is a backedge; everything
+/// else treated like a non-loop branch (heuristics + default).
+double backwardOnlyAllMiss(
+    const std::vector<std::unique_ptr<WorkloadRun>> &Runs) {
+  RunningStat All;
+  for (const auto &Run : Runs) {
+    uint64_t Misses = 0, Total = 0;
+    for (const BranchStats &S : Run->Stats) {
+      uint64_t T = S.total();
+      if (T == 0)
+        continue;
+      Total += T;
+      if (S.IsLoopBranch && S.IsBackwardBranch) {
+        Misses += S.missesFor(S.LoopDir);
+        continue;
+      }
+      // Fall back to the combined heuristics (loop branches without a
+      // predicted backedge included, as a backwards-only scheme cannot
+      // classify them).
+      Direction D = S.RandomDir;
+      for (HeuristicKind K : paperOrder()) {
+        if (S.heuristicApplies(K)) {
+          D = S.heuristicDir(K);
+          break;
+        }
+      }
+      Misses += S.missesFor(D);
+    }
+    All.add(Total ? static_cast<double>(Misses) / static_cast<double>(Total)
+                  : 0.0);
+  }
+  return All.mean();
+}
+
+} // namespace
+
+int main() {
+  banner("Ablations — natural loops, default policy, guard depth, "
+         "pointer variants",
+         "All numbers are suite-average miss rates under the paper "
+         "order.");
+
+  auto Runs = runSuiteVerbose();
+
+  HeuristicConfig Paper;
+  SuiteScore Base = scoreSuite(Runs, Paper);
+
+  TablePrinter T({"Variant", "All-branch Miss%", "Non-loop Miss%",
+                  "NL Coverage%"});
+  auto addScore = [&](const std::string &Name, const SuiteScore &S) {
+    T.addRow({Name, pct(S.AllMiss.mean()), pct(S.NonLoopMiss.mean()),
+              pct(S.Coverage.mean())});
+  };
+
+  addScore("paper baseline", Base);
+
+  // Loop classification ablation.
+  T.addRow({"backwards-branches-only loops",
+            pct(backwardOnlyAllMiss(Runs)), "-", "-"});
+
+  // Default policy.
+  addScore("default = always taken",
+           scoreSuite(Runs, Paper, DefaultPolicy::Taken));
+  addScore("default = always fallthru",
+           scoreSuite(Runs, Paper, DefaultPolicy::Fallthru));
+
+  // Guard search depth (paper's "Generalizations" future work).
+  for (unsigned Depth : {2u, 3u}) {
+    HeuristicConfig C;
+    C.GuardSearchDepth = Depth;
+    addScore("guard depth = " + std::to_string(Depth),
+             scoreSuite(Runs, C));
+  }
+
+  // Pointer variants.
+  {
+    HeuristicConfig C;
+    C.PointerGpFilter = false;
+    addScore("pointer: no GP filter", scoreSuite(Runs, C));
+  }
+  {
+    HeuristicConfig C;
+    C.PointerUseTypeInfo = true;
+    addScore("pointer: type-annotated", scoreSuite(Runs, C));
+  }
+  T.print(std::cout);
+
+  std::cout << "\nExpected shape: natural-loop classification beats "
+               "backwards-only; default policy barely matters (small "
+               "coverage gap); deeper guard search shifts coverage but "
+               "not dramatically; the typed pointer heuristic "
+               "matches or beats the opcode-pattern version (paper "
+               "§4.3's suggested improvement).\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+//===- bench/bench_frequency.cpp - Static program profiles ----------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Extension experiment completing the Wu-Larus sequel: propagate
+/// branch probabilities to *static block-frequency profiles* and score
+/// them against measured profiles. Per workload and per probability
+/// oracle (uniform 50/50, Wu-Larus heuristic probabilities, true
+/// per-branch probabilities):
+///
+///   * Spearman rank correlation of estimated vs measured block
+///     frequencies (intra-function shape, scaled by measured function
+///     entry counts),
+///   * hot-block overlap: of the measured top-decile blocks, how many
+///     the estimate also puts in its top decile — the number that
+///     matters for "identify frequently executed regions".
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "predict/Frequency.h"
+#include "support/Statistics.h"
+
+using namespace bpfree;
+using namespace bpfree::bench;
+
+int main() {
+  banner("Static program profiles from branch probabilities",
+         "Wu-Larus MICRO 1994, part 2: block-frequency estimation.");
+
+  TablePrinter T({"Program", "rho uniform", "rho WuLarus", "rho perfect",
+                  "hot uniform", "hot WuLarus", "hot perfect"});
+  RunningStat RU, RW, RP, HU, HW, HP;
+
+  for (const Workload &W : workloadSuite()) {
+    std::fprintf(stderr, "  [frequency] %s...\n", W.Name.c_str());
+    auto Run = runWorkload(W, 0);
+    WuLarusPredictor WL(*Run->Ctx,
+                        HeuristicPriors::measured(Run->Stats));
+
+    FrequencyQuality U =
+        scoreFrequencies(*Run->M, uniformOracle(), *Run->Profile);
+    FrequencyQuality H =
+        scoreFrequencies(*Run->M, wuLarusOracle(WL), *Run->Profile);
+    FrequencyQuality P = scoreFrequencies(
+        *Run->M, perfectOracle(*Run->Profile), *Run->Profile);
+
+    T.addRow({W.Name, TablePrinter::formatDouble(U.SpearmanRho, 2),
+              TablePrinter::formatDouble(H.SpearmanRho, 2),
+              TablePrinter::formatDouble(P.SpearmanRho, 2),
+              pct(U.HotOverlap), pct(H.HotOverlap), pct(P.HotOverlap)});
+    RU.add(U.SpearmanRho);
+    RW.add(H.SpearmanRho);
+    RP.add(P.SpearmanRho);
+    HU.add(U.HotOverlap);
+    HW.add(H.HotOverlap);
+    HP.add(P.HotOverlap);
+  }
+  T.addSeparator();
+  T.addRow({"MEAN", TablePrinter::formatDouble(RU.mean(), 2),
+            TablePrinter::formatDouble(RW.mean(), 2),
+            TablePrinter::formatDouble(RP.mean(), 2), pct(HU.mean()),
+            pct(HW.mean()), pct(HP.mean())});
+  T.print(std::cout);
+
+  std::cout << "\nExpected shape (Wu & Larus 1994): heuristic-derived "
+               "static profiles rank blocks far better than the uniform "
+               "baseline and identify most of the truly hot blocks; the "
+               "perfect-probability column bounds what frequency "
+               "propagation alone can achieve.\n";
+  return 0;
+}

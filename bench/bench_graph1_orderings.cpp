@@ -1,0 +1,88 @@
+//===- bench/bench_graph1_orderings.cpp - Reproduce Graph 1 ---------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Graph 1: average non-loop miss rate of every one of the 7! = 5040
+/// heuristic priority orders, sorted by miss rate. As in the paper,
+/// matmul300 (matrix300) is excluded — "the least interesting of the
+/// benchmarks in terms of non-loop branch prediction". Prints the
+/// sorted curve sampled at regular intervals, the best/worst orders,
+/// and where the paper's published order lands.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "predict/Ordering.h"
+
+#include <algorithm>
+
+using namespace bpfree;
+using namespace bpfree::bench;
+
+int main() {
+  banner("Graph 1 — miss rate of all 5040 heuristic orders",
+         "Average non-loop miss rate per order (matmul300 excluded), "
+         "sorted ascending.");
+
+  auto Runs = runSuiteVerbose();
+
+  std::vector<std::vector<double>> PerBench;
+  for (const auto &Run : Runs) {
+    if (Run->W->Name == "matmul300")
+      continue;
+    OrderEvaluator Eval(Run->Stats);
+    PerBench.push_back(Eval.allMissRates());
+  }
+
+  std::vector<double> Avg(NumOrders, 0.0);
+  for (const auto &V : PerBench)
+    for (size_t O = 0; O < NumOrders; ++O)
+      Avg[O] += V[O];
+  for (double &A : Avg)
+    A /= static_cast<double>(PerBench.size());
+
+  std::vector<size_t> Sorted(NumOrders);
+  for (size_t I = 0; I < NumOrders; ++I)
+    Sorted[I] = I;
+  std::sort(Sorted.begin(), Sorted.end(),
+            [&](size_t A, size_t B) { return Avg[A] < Avg[B]; });
+
+  // The sorted curve, sampled every 252 orders (20 samples) with a
+  // crude ASCII profile.
+  double Best = Avg[Sorted.front()], Worst = Avg[Sorted.back()];
+  TablePrinter T({"Rank", "Miss%", "Profile"});
+  for (size_t I = 0; I < NumOrders; I += 252) {
+    double V = Avg[Sorted[I]];
+    size_t Bar =
+        Worst > Best
+            ? static_cast<size_t>((V - Best) / (Worst - Best) * 40.0)
+            : 0;
+    T.addRow({std::to_string(I), pct(V), std::string(Bar, '#')});
+  }
+  T.addRow({std::to_string(NumOrders - 1), pct(Worst),
+            std::string(40, '#')});
+  T.print(std::cout);
+
+  const auto &Orders = allOrders();
+  std::cout << "\nBest order:  " << orderToString(Orders[Sorted.front()])
+            << "  (" << pct(Best) << "%)\n";
+  std::cout << "Worst order: " << orderToString(Orders[Sorted.back()])
+            << "  (" << pct(Worst) << "%)\n";
+
+  // Where does the paper's published order land?
+  std::string Paper = orderToString(paperOrder());
+  for (size_t Rank = 0; Rank < NumOrders; ++Rank) {
+    if (orderToString(Orders[Sorted[Rank]]) == Paper) {
+      std::cout << "Paper order " << Paper << ": rank " << Rank << " of "
+                << NumOrders << " (" << pct(Avg[Sorted[Rank]]) << "%)\n";
+      break;
+    }
+  }
+  std::cout << "\nPaper reference: the sorted curve spans roughly 25% to "
+               "36% with a long flat region — the best orders cluster "
+               "tightly.\n";
+  return 0;
+}

@@ -1,0 +1,141 @@
+//===- bench/bench_ipbc_graphs.cpp - Reproduce Graphs 4-11 ----------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 6: instructions per break in control, measured from traces.
+/// For each of the branchy benchmarks (the paper used gcc, lcc, qpt,
+/// xlisp, doduc, fpppp, spice2g6; we use their suite analogs) and for
+/// the three predictors Perfect / Heuristic / Loop+Rand:
+///
+///  * miss rate (all branches) and the profile-based IPBC average,
+///  * the dividing length (sequence length at which 50% of executed
+///    instructions are covered),
+///  * the cumulative distribution of sequence lengths (Graphs 4, 6-11),
+///  * for the circuit benchmark also the cumulative distribution of
+///    breaks (Graph 5), showing why the IPBC average misleads.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "ipbc/SequenceAnalysis.h"
+#include "support/Error.h"
+#include "vm/Interpreter.h"
+
+using namespace bpfree;
+using namespace bpfree::bench;
+
+namespace {
+
+/// Sample points of the cumulative curves.
+const uint64_t SampleLengths[] = {10,  20,  40,  70,  100, 150, 210,
+                                  280, 360, 450, 550, 800, 1200, 2000,
+                                  4000, 8000};
+
+double curveAt(const std::vector<std::pair<uint64_t, double>> &Curve,
+               uint64_t X) {
+  double Last = 0.0;
+  for (auto [Len, Frac] : Curve) {
+    if (Len > X)
+      return Last;
+    Last = Frac;
+  }
+  return Last;
+}
+
+void analyzeWorkload(const Workload &W) {
+  std::fprintf(stderr, "  [ipbc] %s...\n", W.Name.c_str());
+  auto Run = runWorkload(W, 0);
+
+  PerfectPredictor Perfect(*Run->Profile);
+  BallLarusPredictor Heuristic(*Run->Ctx);
+  LoopRandPredictor LoopRand(*Run->Ctx);
+  SequenceCollector Collector(
+      *Run->M, {&LoopRand, &Heuristic, &Perfect});
+  Interpreter Interp(*Run->M);
+  RunResult R = Interp.run(Run->dataset(), {&Collector});
+  if (!R.ok())
+    reportFatalError("trace run failed for " + W.Name);
+  Collector.finalize(R.InstrCount);
+
+  std::cout << "== " << W.Name << " (" << R.InstrCount
+            << " instructions) ==\n";
+  TablePrinter Summary({"Predictor", "Miss%", "IPBC avg", "Dividing len"});
+  for (size_t P = 0; P < Collector.numPredictors(); ++P) {
+    const SequenceHistogram &H = Collector.histograms()[P];
+    Summary.addRow({Collector.predictor(P).name(), pct(H.missRate()),
+                    TablePrinter::formatDouble(H.ipbcAverage(), 0),
+                    TablePrinter::formatDouble(H.dividingLength(), 0)});
+  }
+  Summary.print(std::cout);
+
+  std::cout << "Cumulative % of executed instructions in sequences of "
+               "length < x:\n";
+  TablePrinter Curve({"x", "Loop+Rand", "Heuristic", "Perfect"});
+  std::vector<std::vector<std::pair<uint64_t, double>>> Curves;
+  for (size_t P = 0; P < 3; ++P)
+    Curves.push_back(Collector.histograms()[P].instrCurve());
+  for (uint64_t X : SampleLengths) {
+    Curve.addRow({std::to_string(X),
+                  pct(curveAt(Curves[0], X)),
+                  pct(curveAt(Curves[1], X)),
+                  pct(curveAt(Curves[2], X))});
+  }
+  Curve.print(std::cout);
+
+  // Graph 5 analog: for circuit (the spice2g6 stand-in), also the
+  // cumulative distribution of *breaks*, demonstrating the skew that
+  // makes the IPBC average underestimate sequence lengths.
+  if (W.Name == "circuit") {
+    std::cout << "Graph 5 analog — cumulative % of breaks in sequences "
+                 "of length < x:\n";
+    TablePrinter BCurve({"x", "Loop+Rand", "Heuristic", "Perfect"});
+    std::vector<std::vector<std::pair<uint64_t, double>>> BCurves;
+    for (size_t P = 0; P < 3; ++P)
+      BCurves.push_back(Collector.histograms()[P].breakCurve());
+    for (uint64_t X : SampleLengths) {
+      BCurve.addRow({std::to_string(X),
+                     pct(curveAt(BCurves[0], X)),
+                     pct(curveAt(BCurves[1], X)),
+                     pct(curveAt(BCurves[2], X))});
+    }
+    BCurve.print(std::cout);
+    const SequenceHistogram &H = Collector.histograms()[2];
+    std::cout << "Perfect predictor: IPBC average "
+              << TablePrinter::formatDouble(H.ipbcAverage(), 0)
+              << " vs dividing length "
+              << TablePrinter::formatDouble(H.dividingLength(), 0)
+              << " — the average underestimates available sequence "
+                 "length when the break distribution is skewed.\n";
+  }
+  std::cout << "\n";
+}
+
+} // namespace
+
+int main() {
+  banner("Graphs 4-11 — instructions per break in control",
+         "Trace-based run-length distributions for Loop+Rand / "
+         "Heuristic / Perfect on the branchy benchmarks.");
+
+  // Analogs of the paper's gcc, lcc, qpt, xlisp, doduc, fpppp,
+  // spice2g6 trace set.
+  const char *TraceSet[] = {"treesort", "lisp",      "qsortbench",
+                            "basicinterp", "nbody",  "fpkernels",
+                            "circuit"};
+  for (const char *Name : TraceSet) {
+    const Workload *W = findWorkload(Name);
+    if (!W)
+      reportFatalError(std::string("missing workload ") + Name);
+    analyzeWorkload(*W);
+  }
+
+  std::cout << "Paper reference shape: Heuristic sits between Loop+Rand "
+               "and Perfect but closer to Loop+Rand on branchy codes — "
+               "\"very high accuracy is necessary to obtain long "
+               "sequences\"; the payoff comes from pushing the miss "
+               "rate below ~15%.\n";
+  return 0;
+}

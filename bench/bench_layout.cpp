@@ -1,0 +1,75 @@
+//===- bench/bench_layout.cpp - Code-positioning consumer -----------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's introduction motivates program-based prediction with
+/// the compilers that consume it — Pettis & Hanson's profile-guided
+/// code positioning above all. This bench closes that loop: lay out
+/// each workload's blocks three ways and measure the dynamic
+/// fall-through rate (fraction of control transfers that reach the
+/// next block in the layout — on a machine predicting forward branches
+/// not-taken, higher is directly cheaper):
+///
+///   * original   — codegen emission order,
+///   * heuristic  — chains grown along Ball-Larus predictions
+///                  (profile-free!),
+///   * profile    — chains grown along the perfect predictor
+///                  (the Pettis-Hanson upper bound).
+///
+/// The claim to check: profile-free layout recovers most of the gap
+/// between the original order and profile-guided positioning.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "predict/Layout.h"
+#include "support/Statistics.h"
+
+using namespace bpfree;
+using namespace bpfree::bench;
+
+int main() {
+  banner("Code positioning with program-based predictions",
+         "Dynamic fall-through rate per layout; higher is better.");
+
+  TablePrinter T({"Program", "Original", "Heuristic layout",
+                  "Profile layout", "Gap recovered"});
+  RunningStat OrigStat, HeurStat, PerfStat, Recovered;
+
+  for (const Workload &W : workloadSuite()) {
+    std::fprintf(stderr, "  [layout] %s...\n", W.Name.c_str());
+    auto Run = runWorkload(W, 0);
+    PerfectPredictor Perfect(*Run->Profile);
+    BallLarusPredictor Heuristic(*Run->Ctx);
+
+    double Orig =
+        evaluateOriginalLayout(*Run->M, *Run->Profile).fallthroughRate();
+    double Heur = evaluateModuleLayout(*Run->M, Heuristic, *Run->Profile)
+                      .fallthroughRate();
+    double Perf = evaluateModuleLayout(*Run->M, Perfect, *Run->Profile)
+                      .fallthroughRate();
+    double Gap = Perf - Orig;
+    double Rec = Gap > 1e-9 ? (Heur - Orig) / Gap : 1.0;
+
+    T.addRow({W.Name, pct(Orig), pct(Heur), pct(Perf),
+              pct(std::max(0.0, Rec))});
+    OrigStat.add(Orig);
+    HeurStat.add(Heur);
+    PerfStat.add(Perf);
+    Recovered.add(std::max(0.0, Rec));
+  }
+  T.addSeparator();
+  T.addRow({"MEAN", pct(OrigStat.mean()), pct(HeurStat.mean()),
+            pct(PerfStat.mean()), pct(Recovered.mean())});
+  T.print(std::cout);
+
+  std::cout << "\nInterpretation: 'Gap recovered' is how much of the "
+               "profile-guided improvement the profile-free layout "
+               "achieves — the paper's thesis (program-based prediction "
+               "is a usable substitute for profiles) applied to its "
+               "flagship consumer.\n";
+  return 0;
+}

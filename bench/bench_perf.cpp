@@ -1,0 +1,157 @@
+//===- bench/bench_perf.cpp - Throughput microbenchmarks ------------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark microbenchmarks for the library itself: MiniC
+/// compilation, CFG analyses, heuristic application, prediction,
+/// interpretation, and order evaluation. These back the paper's
+/// "inexpensive to employ" claim with numbers: program-based
+/// prediction costs one pass of local analysis per function.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+#include "ipbc/SequenceAnalysis.h"
+#include "predict/Ordering.h"
+#include "vm/Interpreter.h"
+#include "workloads/Driver.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace bpfree;
+
+namespace {
+
+const Workload &benchWorkload() { return *findWorkload("treesort"); }
+
+void BM_CompileMiniC(benchmark::State &State) {
+  const Workload &W = benchWorkload();
+  for (auto _ : State) {
+    auto M = minic::compile(W.Source);
+    benchmark::DoNotOptimize(M.hasValue());
+  }
+}
+BENCHMARK(BM_CompileMiniC)->Unit(benchmark::kMillisecond);
+
+void BM_AnalyzeCfg(benchmark::State &State) {
+  auto M = minic::compileOrDie(benchWorkload().Source);
+  for (auto _ : State) {
+    PredictionContext Ctx(*M);
+    benchmark::DoNotOptimize(&Ctx);
+  }
+}
+BENCHMARK(BM_AnalyzeCfg)->Unit(benchmark::kMillisecond);
+
+void BM_ApplyAllHeuristics(benchmark::State &State) {
+  auto M = minic::compileOrDie(benchWorkload().Source);
+  PredictionContext Ctx(*M);
+  size_t Branches = 0;
+  for (auto _ : State) {
+    for (const auto &F : *M) {
+      const FunctionContext &FC = Ctx.get(*F);
+      for (const auto &BB : *F) {
+        if (!BB->isCondBranch())
+          continue;
+        auto Masks = applyAllHeuristics(*BB, FC);
+        benchmark::DoNotOptimize(Masks);
+        ++Branches;
+      }
+    }
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Branches));
+}
+BENCHMARK(BM_ApplyAllHeuristics);
+
+void BM_PredictWholeModule(benchmark::State &State) {
+  auto M = minic::compileOrDie(benchWorkload().Source);
+  PredictionContext Ctx(*M);
+  BallLarusPredictor BL(Ctx);
+  size_t Branches = 0;
+  for (auto _ : State) {
+    for (const auto &F : *M)
+      for (const auto &BB : *F) {
+        if (!BB->isCondBranch())
+          continue;
+        benchmark::DoNotOptimize(BL.predict(*BB));
+        ++Branches;
+      }
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Branches));
+}
+BENCHMARK(BM_PredictWholeModule);
+
+void BM_InterpretSmallRun(benchmark::State &State) {
+  auto M = minic::compileOrDie(benchWorkload().Source);
+  Interpreter Interp(*M);
+  Dataset Small("bench", {500, 500, 2000, 3});
+  uint64_t Instrs = 0;
+  for (auto _ : State) {
+    RunResult R = Interp.run(Small);
+    Instrs += R.InstrCount;
+    benchmark::DoNotOptimize(R.ExitValue);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Instrs));
+}
+BENCHMARK(BM_InterpretSmallRun)->Unit(benchmark::kMillisecond);
+
+void BM_InterpretWithProfile(benchmark::State &State) {
+  auto M = minic::compileOrDie(benchWorkload().Source);
+  Interpreter Interp(*M);
+  Dataset Small("bench", {500, 500, 2000, 3});
+  uint64_t Instrs = 0;
+  for (auto _ : State) {
+    EdgeProfile Profile(*M);
+    RunResult R = Interp.run(Small, {&Profile});
+    Instrs += R.InstrCount;
+    benchmark::DoNotOptimize(Profile.totalBranchExecutions());
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Instrs));
+}
+BENCHMARK(BM_InterpretWithProfile)->Unit(benchmark::kMillisecond);
+
+void BM_InterpretWithTraceCollector(benchmark::State &State) {
+  auto M = minic::compileOrDie(benchWorkload().Source);
+  PredictionContext Ctx(*M);
+  BallLarusPredictor BL(Ctx);
+  Interpreter Interp(*M);
+  Dataset Small("bench", {500, 500, 2000, 3});
+  uint64_t Instrs = 0;
+  for (auto _ : State) {
+    SequenceCollector Collector(*M, {&BL});
+    RunResult R = Interp.run(Small, {&Collector});
+    Collector.finalize(R.InstrCount);
+    Instrs += R.InstrCount;
+    benchmark::DoNotOptimize(Collector.histograms()[0].Breaks);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Instrs));
+}
+BENCHMARK(BM_InterpretWithTraceCollector)->Unit(benchmark::kMillisecond);
+
+void BM_OrderEvaluation(benchmark::State &State) {
+  auto Run = runWorkload(benchWorkload(), 0);
+  OrderEvaluator Eval(Run->Stats);
+  const auto &Orders = allOrders();
+  size_t I = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Eval.missRate(Orders[I]));
+    I = (I + 1) % Orders.size();
+  }
+}
+BENCHMARK(BM_OrderEvaluation);
+
+void BM_AllOrdersSweep(benchmark::State &State) {
+  auto Run = runWorkload(benchWorkload(), 0);
+  OrderEvaluator Eval(Run->Stats);
+  for (auto _ : State) {
+    std::vector<double> Rates = Eval.allMissRates();
+    benchmark::DoNotOptimize(Rates.data());
+  }
+}
+BENCHMARK(BM_AllOrdersSweep)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+//===- bench/bench_probability.cpp - Wu-Larus evidence combination --------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Extension experiment: the sequel paper (Wu & Larus, MICRO 1994)
+/// replaced the first-match priority order with Dempster-Shafer
+/// evidence combination, producing branch *probabilities*. This bench
+/// compares, over the suite:
+///
+///   * miss rates: Ball-Larus first-match vs Wu-Larus combination
+///     (with paper priors and with priors calibrated on each program),
+///   * probability quality: execution-weighted Brier scores for the
+///     coin baseline, Wu-Larus, and the per-branch empirical oracle,
+///   * a reliability table (predicted taken-probability deciles vs
+///     empirical taken fraction).
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "predict/Probability.h"
+#include "support/Statistics.h"
+
+using namespace bpfree;
+using namespace bpfree::bench;
+
+int main() {
+  banner("Wu-Larus evidence combination (MICRO 1994 sequel)",
+         "First-match priority vs Dempster-Shafer probabilities.");
+
+  auto Runs = runSuiteVerbose();
+
+  TablePrinter T({"Program", "BallLarus", "WuLarus(paper)",
+                  "WuLarus(calib)", "Brier WL", "Brier coin=0.25"});
+  RunningStat BLStat, WLPaperStat, WLCalStat, BrierStat;
+
+  // Global reliability accumulation (suite-wide).
+  std::array<long double, 10> PredSum{};
+  std::array<uint64_t, 10> TakenSum{}, ExecSum{};
+
+  for (const auto &Run : Runs) {
+    BallLarusPredictor BL(*Run->Ctx);
+    WuLarusPredictor WLPaper(*Run->Ctx);
+    HeuristicPriors Calibrated = HeuristicPriors::measured(Run->Stats);
+    WuLarusPredictor WLCal(*Run->Ctx, Calibrated);
+
+    double BLMiss = evaluatePredictor(BL, Run->Stats).rate();
+    double WLPaperMiss = evaluatePredictor(WLPaper, Run->Stats).rate();
+    double WLCalMiss = evaluatePredictor(WLCal, Run->Stats).rate();
+    CalibrationReport Rep =
+        calibrate(Run->Stats, [&](const BranchStats &S) {
+          return takenProbability(S, Calibrated);
+        });
+
+    T.addRow({Run->W->Name, pct(BLMiss), pct(WLPaperMiss), pct(WLCalMiss),
+              TablePrinter::formatDouble(Rep.Brier, 3), ""});
+    BLStat.add(BLMiss);
+    WLPaperStat.add(WLPaperMiss);
+    WLCalStat.add(WLCalMiss);
+    BrierStat.add(Rep.Brier);
+
+    for (const BranchStats &S : Run->Stats) {
+      uint64_t Execs = S.total();
+      if (Execs == 0)
+        continue;
+      double P = takenProbability(S, Calibrated);
+      size_t B = P >= 1.0 ? 9 : static_cast<size_t>(P * 10.0);
+      PredSum[B] += static_cast<long double>(P) * Execs;
+      TakenSum[B] += S.Taken;
+      ExecSum[B] += Execs;
+    }
+  }
+  T.addSeparator();
+  T.addRow({"MEAN", pct(BLStat.mean()), pct(WLPaperStat.mean()),
+            pct(WLCalStat.mean()),
+            TablePrinter::formatDouble(BrierStat.mean(), 3), "0.250"});
+  T.print(std::cout);
+
+  std::cout << "\nSuite-wide reliability of the calibrated Wu-Larus "
+               "probabilities (perfect calibration: predicted == "
+               "empirical):\n";
+  TablePrinter R({"P(taken) decile", "Executions", "Mean predicted",
+                  "Empirical taken"});
+  for (size_t B = 0; B < 10; ++B) {
+    if (ExecSum[B] == 0)
+      continue;
+    double MeanP = static_cast<double>(
+        PredSum[B] / static_cast<long double>(ExecSum[B]));
+    double Emp = static_cast<double>(TakenSum[B]) /
+                 static_cast<double>(ExecSum[B]);
+    R.addRow({TablePrinter::formatDouble(B * 0.1, 1) + "-" +
+                  TablePrinter::formatDouble(B * 0.1 + 0.1, 1),
+              std::to_string(ExecSum[B]), pct(MeanP) + "%",
+              pct(Emp) + "%"});
+  }
+  R.print(std::cout);
+
+  std::cout << "\nExpected shape (Wu & Larus 1994): evidence combination "
+               "matches or slightly beats the fixed priority order, and "
+               "the probabilities are informative (Brier well below the "
+               "0.25 coin) and roughly calibrated — extreme deciles "
+               "less so, since D-S combination overstates confidence "
+               "when heuristics correlate.\n";
+  return 0;
+}

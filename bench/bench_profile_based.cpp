@@ -1,0 +1,97 @@
+//===- bench/bench_profile_based.cpp - Program- vs profile-based ----------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's framing claim (Sections 1-2, citing Fisher &
+/// Freudenberger): profile-based static prediction transfers across
+/// datasets because branches keep their dominant direction, and
+/// "program-based prediction is a factor of two worse, on the average,
+/// than profile-based prediction". This bench measures exactly that on
+/// our suite: for each workload, evaluate on the reference dataset
+///
+///   * Perfect      — profile from the same run (upper bound),
+///   * Cross-profile — perfect predictor derived from a *different*
+///     dataset's profile (realistic profile-based prediction),
+///   * Heuristic    — the program-based Ball-Larus predictor,
+///   * Loop+Rand    — the baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "support/Error.h"
+#include "support/Statistics.h"
+#include "vm/Interpreter.h"
+
+using namespace bpfree;
+using namespace bpfree::bench;
+
+int main() {
+  banner("Program-based vs profile-based prediction (Sections 1-2)",
+         "Cross = perfect predictor trained on dataset 1, scored on "
+         "dataset 0.");
+
+  TablePrinter T({"Program", "Perfect", "Cross-profile", "Heuristic",
+                  "Loop+Rand"});
+  RunningStat SelfStat, CrossStat, HeurStat, LoopRandStat;
+
+  for (const Workload &W : workloadSuite()) {
+    std::fprintf(stderr, "  [profiles] %s...\n", W.Name.c_str());
+    if (W.Datasets.size() < 2)
+      continue;
+    // Reference run (scored) and training run (dataset 1).
+    auto Ref = runWorkload(W, 0);
+    EdgeProfile TrainProfile(*Ref->M);
+    Interpreter Interp(*Ref->M);
+    RunResult TrainResult = Interp.run(W.Datasets[1], {&TrainProfile});
+    if (!TrainResult.ok())
+      reportFatalError("training run failed for " + W.Name);
+
+    PerfectPredictor Self(*Ref->Profile);
+    PerfectPredictor Cross(TrainProfile);
+    BallLarusPredictor Heuristic(*Ref->Ctx);
+    LoopRandPredictor LoopRand(*Ref->Ctx);
+
+    Ratio SelfMiss = evaluatePredictor(Self, Ref->Stats);
+    Ratio CrossMiss = evaluatePredictor(Cross, Ref->Stats);
+    Ratio HeurMiss = evaluatePredictor(Heuristic, Ref->Stats);
+    Ratio LoopRandMiss = evaluatePredictor(LoopRand, Ref->Stats);
+
+    T.addRow({W.Name, pct(SelfMiss.rate()), pct(CrossMiss.rate()),
+              pct(HeurMiss.rate()), pct(LoopRandMiss.rate())});
+    SelfStat.add(SelfMiss.rate());
+    CrossStat.add(CrossMiss.rate());
+    HeurStat.add(HeurMiss.rate());
+    LoopRandStat.add(LoopRandMiss.rate());
+  }
+  T.addSeparator();
+  T.addRow({"MEAN", pct(SelfStat.mean()), pct(CrossStat.mean()),
+            pct(HeurStat.mean()), pct(LoopRandStat.mean())});
+  T.addRow({"Std.Dev.", pct(SelfStat.stddev()), pct(CrossStat.stddev()),
+            pct(HeurStat.stddev()), pct(LoopRandStat.stddev())});
+  T.print(std::cout);
+
+  std::cout << "\nClaims to check:\n"
+               "  1. Cross-profile sits close to Perfect (Fisher & "
+               "Freudenberger: dominant directions transfer across "
+               "inputs).\n"
+               "  2. Heuristic is roughly a factor of two above "
+               "profile-based (the paper's Section 1 assessment), yet "
+               "far below Loop+Rand.\n"
+            << "Measured ratios: heuristic/cross = "
+            << TablePrinter::formatDouble(
+                   CrossStat.mean() > 0
+                       ? HeurStat.mean() / CrossStat.mean()
+                       : 0,
+                   2)
+            << ", cross/perfect = "
+            << TablePrinter::formatDouble(
+                   SelfStat.mean() > 0
+                       ? CrossStat.mean() / SelfStat.mean()
+                       : 0,
+                   2)
+            << "\n";
+  return 0;
+}

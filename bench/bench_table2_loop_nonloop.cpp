@@ -1,0 +1,85 @@
+//===- bench/bench_table2_loop_nonloop.cpp - Reproduce Table 2 ------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Table 2: dynamic breakdown of loop vs non-loop branches. Columns
+/// (as in the paper): the loop predictor vs perfect on loop branches,
+/// the fraction of all dynamic branches that are non-loop, the perfect
+/// predictor / always-target / random miss rates on non-loop branches,
+/// and the "big branch" statistics. Also prints the paper's Section 3
+/// observation data (loop branches whose predicted edge is not a
+/// backwards branch) and the backwards-branch-only ablation.
+///
+/// Expected shape vs the paper: loop predictor ~12%, perfect non-loop
+/// ~10%, target/random ~50%, and a wide spread of non-loop fractions.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "support/Statistics.h"
+
+using namespace bpfree;
+using namespace bpfree::bench;
+
+int main() {
+  banner("Table 2 — loop vs non-loop branches",
+         "Prd = loop predictor, Prf = perfect; %All = share of dynamic "
+         "branches that are non-loop; Tgt/Rnd = naive strategies; "
+         "BwOnly = backwards-branch-only ablation.");
+
+  auto Runs = runSuiteVerbose();
+
+  TablePrinter T({"Program", "Loop Prd/Prf", "BwOnly", "%NonBw", "%All",
+                  "NL Prf", "NL Tgt/Prf", "NL Rnd/Prf", "Big", "Big%"});
+
+  RunningStat LoopPrd, LoopPrf, All, NlPrf, NlTgt, NlRnd;
+  bool PrintedFpSeparator = false;
+  for (const auto &Run : Runs) {
+    LoopNonLoopBreakdown B = computeLoopNonLoopBreakdown(Run->Stats);
+    if (Run->W->FloatingPoint && !PrintedFpSeparator) {
+      T.addSeparator();
+      PrintedFpSeparator = true;
+    }
+    T.addRow({Run->W->Name,
+              missPair(B.LoopPredictorMiss, B.LoopPerfectMiss),
+              pct(B.BackwardOnlyMiss.rate()),
+              pct(B.NonBackwardLoopFraction), pct(B.nonLoopFraction()),
+              pct(B.NonLoopPerfectMiss.rate()),
+              missPair(B.NonLoopTakenMiss, B.NonLoopPerfectMiss),
+              missPair(B.NonLoopRandomMiss, B.NonLoopPerfectMiss),
+              std::to_string(B.BigBranchCount),
+              pct(B.BigBranchFraction)});
+    LoopPrd.add(B.LoopPredictorMiss.rate());
+    LoopPrf.add(B.LoopPerfectMiss.rate());
+    All.add(B.nonLoopFraction());
+    NlPrf.add(B.NonLoopPerfectMiss.rate());
+    NlTgt.add(B.NonLoopTakenMiss.rate());
+    NlRnd.add(B.NonLoopRandomMiss.rate());
+  }
+  T.addSeparator();
+  T.addRow({"MEAN",
+            TablePrinter::formatMissPair(LoopPrd.mean(), LoopPrf.mean()),
+            "", "", pct(All.mean()), pct(NlPrf.mean()),
+            TablePrinter::formatMissPair(NlTgt.mean(), NlPrf.mean()),
+            TablePrinter::formatMissPair(NlRnd.mean(), NlPrf.mean()), "",
+            ""});
+  T.addRow({"Std.Dev.",
+            TablePrinter::formatMissPair(LoopPrd.stddev(), LoopPrf.stddev()),
+            "", "", pct(All.stddev()), pct(NlPrf.stddev()),
+            TablePrinter::formatMissPair(NlTgt.stddev(), NlPrf.stddev()),
+            TablePrinter::formatMissPair(NlRnd.stddev(), NlRnd.stddev()),
+            "", ""});
+  T.print(std::cout);
+
+  std::cout
+      << "\nPaper reference points (means): loop predictor 12/8, "
+         "non-loop share 43%, NL perfect 10, NL target 51/10, NL "
+         "random 49/10.\n"
+         "Section 3 observation: many loop branches' predicted edges "
+         "are not backwards branches (paper: 40% in xlisp, 45% in "
+         "doduc) — see %NonBw.\n";
+  return 0;
+}

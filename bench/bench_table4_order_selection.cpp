@@ -1,0 +1,114 @@
+//===- bench/bench_table4_order_selection.cpp - Table 4, Graphs 2-3 -------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Section 5 order-selection experiment. The paper removes
+/// matrix300 (leaving 22 benchmarks), then for each of the C(22,11)
+/// half-size subsets finds the order minimizing that subset's average
+/// non-loop miss rate, and asks how the chosen orders perform on the
+/// full set. We do the same over our suite (minus matmul300).
+///
+///  * Table 4  — the 10 most frequently chosen orders, the % of trials
+///    choosing them, and their full-suite average miss rate.
+///  * Graph 2  — cumulative share of trials covered by the most common
+///    orders.
+///  * Graph 3  — full-suite miss rate of the most common orders.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "predict/Ordering.h"
+
+using namespace bpfree;
+using namespace bpfree::bench;
+
+int main() {
+  banner("Table 4 + Graphs 2-3 — order selection over benchmark subsets",
+         "Exhaustive half-size subset enumeration, matmul300 excluded.");
+
+  auto Runs = runSuiteVerbose();
+
+  std::vector<std::vector<double>> PerBench;
+  size_t N = 0;
+  for (const auto &Run : Runs) {
+    if (Run->W->Name == "matmul300")
+      continue;
+    OrderEvaluator Eval(Run->Stats);
+    PerBench.push_back(Eval.allMissRates());
+    ++N;
+  }
+  size_t SubsetSize = N / 2;
+  std::fprintf(stderr, "  [order-selection] %zu benchmarks, subsets of %zu"
+                       " ...\n",
+               N, SubsetSize);
+
+  OrderSelectionResult R = runOrderSelection(PerBench, SubsetSize);
+  std::cout << "Benchmarks: " << N << ", subset size: " << SubsetSize
+            << ", trials: " << R.NumTrials
+            << ", distinct winning orders: " << R.DistinctOrders << "\n\n";
+
+  const auto &Orders = allOrders();
+  auto ByFreq = R.byFrequency();
+
+  std::cout << "Table 4 — the 10 most common orders:\n";
+  TablePrinter T({"% of Trials", "Full-suite Miss%", "Order"});
+  for (size_t I = 0; I < ByFreq.size() && I < 10; ++I) {
+    size_t O = ByFreq[I];
+    double Share = static_cast<double>(R.Frequency[O]) /
+                   static_cast<double>(R.NumTrials);
+    T.addRow({TablePrinter::formatDouble(Share * 100.0, 2),
+              pct(R.FullSuiteMiss[O]), orderToString(Orders[O])});
+  }
+  T.print(std::cout);
+
+  // Graph 2: cumulative trial share of the most common orders.
+  std::cout << "\nGraph 2 — cumulative % of trials vs most-common orders "
+               "(first 101):\n";
+  TablePrinter G2({"Top-k orders", "Cumulative % of trials"});
+  uint64_t Cum = 0;
+  for (size_t I = 0; I < ByFreq.size() && I < 101; ++I) {
+    Cum += R.Frequency[ByFreq[I]];
+    if (I < 10 || (I + 1) % 10 == 0 || I + 1 == ByFreq.size()) {
+      G2.addRow({std::to_string(I + 1),
+                 TablePrinter::formatDouble(
+                     100.0 * static_cast<double>(Cum) /
+                         static_cast<double>(R.NumTrials),
+                     1)});
+    }
+  }
+  G2.print(std::cout);
+
+  // Graph 3: full-suite miss rate per common order.
+  std::cout << "\nGraph 3 — full-suite miss of the most common orders "
+               "(every 10th):\n";
+  TablePrinter G3({"Order rank", "Full-suite Miss%"});
+  for (size_t I = 0; I < ByFreq.size() && I < 101; I += 10)
+    G3.addRow({std::to_string(I + 1), pct(R.FullSuiteMiss[ByFreq[I]])});
+  G3.print(std::cout);
+
+  // The paper's checks: how often do the top-3 heuristics include
+  // Opcode, Call, Return? And does a frequently chosen order coincide
+  // with the global optimum?
+  size_t GlobalBest = 0;
+  for (size_t O = 1; O < NumOrders; ++O)
+    if (R.FullSuiteMiss[O] < R.FullSuiteMiss[GlobalBest])
+      GlobalBest = O;
+  std::cout << "\nGlobally optimal order: " << orderToString(Orders[GlobalBest])
+            << " (" << pct(R.FullSuiteMiss[GlobalBest]) << "%)";
+  for (size_t I = 0; I < ByFreq.size(); ++I) {
+    if (ByFreq[I] == GlobalBest) {
+      std::cout << " — chosen " << I + 1
+                << (I == 0 ? "st" : I == 1 ? "nd" : I == 2 ? "rd" : "th")
+                << " most frequently";
+      break;
+    }
+  }
+  std::cout << "\n\nPaper reference: 705,432 trials chose only 622 distinct "
+               "orders; the 40 most common covered ~90% of trials; the "
+               "3rd most frequent order was the global optimum; Opcode, "
+               "Call, Return consistently in the top 3 slots.\n";
+  return 0;
+}

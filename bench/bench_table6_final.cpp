@@ -1,0 +1,109 @@
+//===- bench/bench_table6_final.cpp - Reproduce Tables 6 and 7 ------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Table 6: final results of the combined predictor. Columns:
+/// Heuristics (coverage% + miss/perfect on covered non-loop branches),
+/// +Default (all non-loop), All (loop predictor added, all branches),
+/// Loop+Rand (baseline). Table 7: means over all benchmarks and over
+/// "most" (excluding the few-big-branch programs eqn, grep, relax,
+/// matmul300 — the analogs of eqntott, grep, tomcatv, matrix300).
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "support/Statistics.h"
+
+#include <set>
+
+using namespace bpfree;
+using namespace bpfree::bench;
+
+int main() {
+  banner("Tables 6-7 — final results of the combined predictor",
+         "Heuristics = covered non-loop branches; +Default = all "
+         "non-loop; All = loop + non-loop; Loop+Rand = baseline.");
+
+  auto Runs = runSuiteVerbose();
+
+  TablePrinter T({"Program", "Heuristics", "+Default", "All",
+                  "Loop+Rand"});
+
+  // The analogs of the paper's "eqntott, grep, tomcatv, matrix300":
+  // programs where a handful of non-loop branches dominate.
+  const std::set<std::string> BigBranchPrograms = {"eqn", "grep", "relax",
+                                                   "matmul300"};
+
+  struct Acc {
+    RunningStat Cov, HeurMiss, HeurPrf, NlMiss, NlPrf, AllMiss, AllPrf,
+        LoopRand, NlTgt, NlRnd;
+  } AccAll, AccMost;
+
+  bool PrintedFpSeparator = false;
+  for (const auto &Run : Runs) {
+    CombinedResult C = computeCombined(Run->Stats);
+    LoopNonLoopBreakdown B = computeLoopNonLoopBreakdown(Run->Stats);
+    if (Run->W->FloatingPoint && !PrintedFpSeparator) {
+      T.addSeparator();
+      PrintedFpSeparator = true;
+    }
+    T.addRow({Run->W->Name,
+              pct(C.coverage()) + "% " +
+                  pct(C.HeuristicOnlyMiss.rate()),
+              missPair(C.NonLoopMiss, C.NonLoopPerfectMiss),
+              missPair(C.AllMiss, C.AllPerfectMiss),
+              missPair(C.LoopRandMiss, C.AllPerfectMiss)});
+
+    for (Acc *A : {&AccAll, BigBranchPrograms.count(Run->W->Name)
+                                ? nullptr
+                                : &AccMost}) {
+      if (!A)
+        continue;
+      A->Cov.add(C.coverage());
+      A->HeurMiss.add(C.HeuristicOnlyMiss.rate());
+      A->NlMiss.add(C.NonLoopMiss.rate());
+      A->NlPrf.add(C.NonLoopPerfectMiss.rate());
+      A->AllMiss.add(C.AllMiss.rate());
+      A->AllPrf.add(C.AllPerfectMiss.rate());
+      A->LoopRand.add(C.LoopRandMiss.rate());
+      A->NlTgt.add(B.NonLoopTakenMiss.rate());
+      A->NlRnd.add(B.NonLoopRandomMiss.rate());
+    }
+  }
+  T.print(std::cout);
+
+  std::cout << "\nTable 7 — means (and std devs):\n";
+  TablePrinter S({"Set", "Metric", "Heuristics", "+Default", "All",
+                  "Loop+Rand", "NL Target", "NL Random"});
+  auto addAccRows = [&](const char *Name, Acc &A) {
+    S.addRow({Name, "mean",
+              pct(A.Cov.mean()) + "% " + pct(A.HeurMiss.mean()),
+              TablePrinter::formatMissPair(A.NlMiss.mean(), A.NlPrf.mean()),
+              TablePrinter::formatMissPair(A.AllMiss.mean(),
+                                           A.AllPrf.mean()),
+              pct(A.LoopRand.mean()), pct(A.NlTgt.mean()),
+              pct(A.NlRnd.mean())});
+    S.addRow({Name, "stddev", pct(A.HeurMiss.stddev()),
+              TablePrinter::formatMissPair(A.NlMiss.stddev(),
+                                           A.NlPrf.stddev()),
+              TablePrinter::formatMissPair(A.AllMiss.stddev(),
+                                           A.AllPrf.stddev()),
+              pct(A.LoopRand.stddev()), pct(A.NlTgt.stddev()),
+              pct(A.NlRnd.stddev())});
+  };
+  addAccRows("all", AccAll);
+  addAccRows("most", AccMost);
+  S.print(std::cout);
+
+  std::cout << "\nPaper reference (Table 7, all): non-loop heuristics "
+               "~26%, +Default ~29/10, All ~20/8, Loop+Rand ~30/8, NL "
+               "target 51%, NL random 49%.\n"
+               "Headline claims to verify: (1) combined heuristic is "
+               "roughly 2x the perfect miss rate; (2) it clearly beats "
+               "target/random on non-loop branches; (3) 'All' lands "
+               "near 20%.\n";
+  return 0;
+}

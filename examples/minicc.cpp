@@ -1,0 +1,117 @@
+//===- examples/minicc.cpp - MiniC compiler / interpreter driver ----------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A standalone MiniC driver: compile a source file and run it, with
+/// optional IR dumping and dataset parameters. Useful for writing new
+/// workloads and poking at the code generator.
+///
+///   $ minicc prog.mc                 compile + run
+///   $ minicc --dump-ir prog.mc       also print the IR
+///   $ minicc prog.mc 10 20 30        arg(0)=10, arg(1)=20, arg(2)=30
+///   $ minicc --input data.bin prog.mc   input_byte() reads data.bin
+///   $ minicc --emit-ir out.bpir prog.mc  save the IR as text
+///   $ minicc --run-ir out.bpir 10        run serialized IR directly
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+#include "ir/Printer.h"
+#include "ir/TextParser.h"
+#include "ir/Verifier.h"
+#include "vm/Interpreter.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace bpfree;
+
+int main(int argc, char **argv) {
+  bool DumpIr = false, RunIr = false;
+  std::string File, InputFile, EmitIrFile;
+  std::vector<int64_t> Args;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--dump-ir") {
+      DumpIr = true;
+    } else if (Arg == "--run-ir") {
+      RunIr = true;
+    } else if (Arg == "--emit-ir" && I + 1 < argc) {
+      EmitIrFile = argv[++I];
+    } else if (Arg == "--input" && I + 1 < argc) {
+      InputFile = argv[++I];
+    } else if (File.empty()) {
+      File = Arg;
+    } else {
+      Args.push_back(std::strtoll(Arg.c_str(), nullptr, 10));
+    }
+  }
+  if (File.empty()) {
+    std::cerr << "usage: minicc [--dump-ir] [--emit-ir FILE] [--run-ir] "
+                 "[--input FILE] FILE [ARG...]\n";
+    return 2;
+  }
+
+  std::ifstream In(File);
+  if (!In) {
+    std::cerr << "cannot open '" << File << "'\n";
+    return 2;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+
+  Expected<std::unique_ptr<ir::Module>> M =
+      RunIr ? ir::parseModuleText(SS.str()) : minic::compile(SS.str());
+  if (!M) {
+    std::cerr << File << ":" << M.error().render() << "\n";
+    return 1;
+  }
+  if (RunIr) {
+    std::vector<std::string> Errors = ir::verifyModule(**M);
+    if (!Errors.empty()) {
+      std::cerr << File << ": invalid IR: " << Errors.front() << "\n";
+      return 1;
+    }
+  }
+  if (DumpIr)
+    std::cout << ir::printModule(**M);
+  if (!EmitIrFile.empty()) {
+    std::ofstream Out(EmitIrFile);
+    if (!Out) {
+      std::cerr << "cannot write '" << EmitIrFile << "'\n";
+      return 2;
+    }
+    Out << ir::printModule(**M);
+    std::cerr << "[wrote IR to " << EmitIrFile << "]\n";
+  }
+
+  Dataset Data("cmdline", Args);
+  if (!InputFile.empty()) {
+    std::ifstream Bin(InputFile, std::ios::binary);
+    if (!Bin) {
+      std::cerr << "cannot open input '" << InputFile << "'\n";
+      return 2;
+    }
+    Data.Bytes.assign(std::istreambuf_iterator<char>(Bin),
+                      std::istreambuf_iterator<char>());
+  }
+
+  Interpreter Interp(**M);
+  RunResult R = Interp.run(Data);
+  std::cout << R.Output;
+  if (!R.ok()) {
+    std::cerr << "runtime error: "
+              << (R.Status == RunStatus::Trap ? R.TrapMessage
+                                              : "instruction budget "
+                                                "exceeded")
+              << "\n";
+    return 1;
+  }
+  std::cerr << "[exit " << R.ExitValue << ", " << R.InstrCount
+            << " instructions]\n";
+  return static_cast<int>(R.ExitValue & 0xff);
+}

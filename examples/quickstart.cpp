@@ -1,0 +1,138 @@
+//===- examples/quickstart.cpp - Five-minute tour of the library ----------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quickstart: compile a tiny MiniC program, run it under an edge
+/// profiler, predict every conditional branch with the Ball-Larus
+/// heuristics, and compare against the perfect static predictor.
+///
+///   $ quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+#include "ir/Printer.h"
+#include "predict/Evaluation.h"
+#include "vm/Interpreter.h"
+
+#include <iostream>
+
+using namespace bpfree;
+
+int main() {
+  // 1. A program with the branch idioms the paper's heuristics target:
+  //    a null-guarded pointer walk, an error-code check, and loops.
+  const std::string Source = R"MC(
+struct node { int value; struct node *next; };
+
+int sum_list(struct node *head) {
+  int total = 0;
+  while (head != 0) {       /* pointer null test: predicted not-null */
+    total = total + head->value;
+    head = head->next;
+  }
+  return total;
+}
+
+int checked_div(int a, int b) {
+  if (b == 0) { return -1; }  /* error path: predicted not taken */
+  return a / b;
+}
+
+int main() {
+  struct node *head = 0;
+  int i;
+  int acc = 0;
+  for (i = 1; i <= 100; i = i + 1) {
+    struct node *n = malloc(sizeof(struct node));
+    n->value = i;
+    n->next = head;
+    head = n;
+  }
+  acc = sum_list(head);
+  for (i = 0; i < 50; i = i + 1) {
+    int d = checked_div(acc, i);
+    if (d < 0) { acc = acc + 1; } else { acc = acc + d % 7; }
+  }
+  print_str("acc=");
+  print_int(acc);
+  print_char(10);
+  return 0;
+}
+)MC";
+
+  // 2. Compile to the MIPS-flavoured IR.
+  auto Module = minic::compile(Source);
+  if (!Module) {
+    std::cerr << "compile error: " << Module.error().render() << "\n";
+    return 1;
+  }
+  std::cout << "Compiled " << (*Module)->numFunctions() << " functions, "
+            << (*Module)->countCondBranches()
+            << " static conditional branches.\n\n";
+
+  // 3. Execute under an edge profiler (what QPT did for the paper).
+  EdgeProfile Profile(**Module);
+  Interpreter Interp(**Module);
+  RunResult Result = Interp.run(Dataset(), {&Profile});
+  if (!Result.ok()) {
+    std::cerr << "run failed: " << Result.TrapMessage << "\n";
+    return 1;
+  }
+  std::cout << "Program output: " << Result.Output
+            << "Executed " << Result.InstrCount << " instructions, "
+            << Profile.totalBranchExecutions()
+            << " conditional branches.\n\n";
+
+  // 4. Predict every branch, program-based (no profile needed!), and
+  //    score against the profile.
+  PredictionContext Ctx(**Module);
+  BallLarusPredictor Heuristic(Ctx);
+  PerfectPredictor Perfect(Profile);
+
+  std::cout << "Per-branch predictions in main/sum_list/checked_div:\n";
+  for (const auto &F : **Module) {
+    if (F->getName().rfind("rt_", 0) == 0 ||
+        F->getName().rfind("str_", 0) == 0)
+      continue; // skip the runtime library for brevity
+    for (const auto &BB : *F) {
+      if (!BB->isCondBranch())
+        continue;
+      const EdgeProfile::Counts &C = Profile.get(*BB);
+      if (C.total() == 0)
+        continue;
+      const FunctionContext &FC = Ctx.get(*F);
+      bool IsLoop = FC.Loops.isLoopBranch(BB.get());
+      auto Responsible = Heuristic.responsibleHeuristic(*BB);
+      Direction D = Heuristic.predict(*BB);
+      std::cout << "  " << F->getName() << "/" << BB->getName() << "."
+                << BB->getId() << ": "
+                << ir::branchOpName(BB->terminator().BOp) << "  taken "
+                << C.Taken << ", fall-thru " << C.Fallthru << "  -> "
+                << (IsLoop ? "loop predictor"
+                           : Responsible ? heuristicName(*Responsible)
+                                         : "default")
+                << " predicts "
+                << (D == DirTaken ? "taken" : "fall-thru") << " ("
+                << (C.total() == 0
+                        ? 0
+                        : 100 * (D == DirTaken ? C.Taken : C.Fallthru) /
+                              C.total())
+                << "% right)\n";
+    }
+  }
+
+  // 5. Whole-program miss rates.
+  std::vector<BranchStats> Stats = collectBranchStats(Ctx, Profile);
+  Ratio HeuristicMiss = evaluatePredictor(Heuristic, Stats);
+  Ratio PerfectMiss = evaluatePredictor(Perfect, Stats);
+  std::cout << "\nOverall miss rates: heuristic "
+            << 100.0 * HeuristicMiss.rate() << "%, perfect "
+            << 100.0 * PerfectMiss.rate()
+            << "% (the paper expects program-based prediction to land "
+               "within ~2x of perfect).\n";
+  return 0;
+}

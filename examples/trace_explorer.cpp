@@ -1,0 +1,119 @@
+//===- examples/trace_explorer.cpp - IPBC / run-length explorer -----------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Explores the Section 6 measurement interactively: runs a suite
+/// workload under the trace collector with three predictors and prints
+/// miss rates, IPBC averages, dividing lengths, and a textual
+/// cumulative run-length plot — a per-program Graph 4.
+///
+///   $ trace_explorer treesort
+///   $ trace_explorer circuit 1      (dataset index 1)
+///
+//===----------------------------------------------------------------------===//
+
+#include "ipbc/SequenceAnalysis.h"
+#include "support/TablePrinter.h"
+#include "vm/Interpreter.h"
+#include "workloads/Driver.h"
+
+#include <cstdlib>
+#include <iostream>
+
+using namespace bpfree;
+
+int main(int argc, char **argv) {
+  if (argc < 2) {
+    std::cerr << "usage: trace_explorer WORKLOAD [DATASET_INDEX]\n"
+                 "workloads:";
+    for (const Workload &W : workloadSuite())
+      std::cerr << " " << W.Name;
+    std::cerr << "\n";
+    return 2;
+  }
+  const Workload *W = findWorkload(argv[1]);
+  if (!W) {
+    std::cerr << "unknown workload '" << argv[1] << "'\n";
+    return 2;
+  }
+  size_t DatasetIdx = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 0;
+  if (DatasetIdx >= W->Datasets.size()) {
+    std::cerr << "dataset index out of range (have "
+              << W->Datasets.size() << ")\n";
+    return 2;
+  }
+
+  std::cout << "Profiling " << W->Name << " on dataset '"
+            << W->Datasets[DatasetIdx].Name << "'...\n";
+  auto Run = runWorkload(*W, DatasetIdx);
+
+  PerfectPredictor Perfect(*Run->Profile);
+  BallLarusPredictor Heuristic(*Run->Ctx);
+  LoopRandPredictor LoopRand(*Run->Ctx);
+  SequenceCollector Collector(*Run->M,
+                              {&LoopRand, &Heuristic, &Perfect});
+  Interpreter Interp(*Run->M);
+  RunResult R = Interp.run(Run->dataset(), {&Collector});
+  if (!R.ok()) {
+    std::cerr << "trace run failed: " << R.TrapMessage << "\n";
+    return 1;
+  }
+  Collector.finalize(R.InstrCount);
+
+  std::cout << "Executed " << R.InstrCount << " instructions; program "
+            << "output:\n  " << R.Output << "\n";
+
+  TablePrinter Summary(
+      {"Predictor", "Miss%", "Breaks", "IPBC avg", "Dividing len"});
+  for (size_t P = 0; P < Collector.numPredictors(); ++P) {
+    const SequenceHistogram &H = Collector.histograms()[P];
+    Summary.addRow({Collector.predictor(P).name(),
+                    TablePrinter::formatPercent(H.missRate()),
+                    std::to_string(H.Breaks),
+                    TablePrinter::formatDouble(H.ipbcAverage(), 1),
+                    TablePrinter::formatDouble(H.dividingLength(), 0)});
+  }
+  Summary.print(std::cout);
+
+  // Textual cumulative plot: one row per length decade, one column of
+  // 50 chars per predictor.
+  std::cout << "\nCumulative % of executed instructions in sequences of "
+               "length < x\n"
+               "(L = Loop+Rand, H = Heuristic, P = Perfect):\n";
+  auto CurveL = Collector.histograms()[0].instrCurve();
+  auto CurveH = Collector.histograms()[1].instrCurve();
+  auto CurveP = Collector.histograms()[2].instrCurve();
+  auto At = [](const std::vector<std::pair<uint64_t, double>> &Curve,
+               uint64_t X) {
+    double Last = 0;
+    for (auto [Len, Frac] : Curve) {
+      if (Len > X)
+        break;
+      Last = Frac;
+    }
+    return Last;
+  };
+  for (uint64_t X : {10u, 20u, 30u, 50u, 80u, 120u, 180u, 270u, 400u,
+                     600u, 900u, 1400u, 2000u, 3000u, 5000u, 9000u}) {
+    std::string Bar(51, ' ');
+    auto Mark = [&](double Frac, char C) {
+      size_t Pos = static_cast<size_t>(Frac * 50.0);
+      if (Bar[Pos] == ' ')
+        Bar[Pos] = C;
+      else
+        Bar[Pos] = '*'; // overlapping curves
+    };
+    Mark(At(CurveL, X), 'L');
+    Mark(At(CurveH, X), 'H');
+    Mark(At(CurveP, X), 'P');
+    std::printf("%6lu |%s|\n", static_cast<unsigned long>(X), Bar.c_str());
+  }
+  std::cout << "        0%        25%       50%       75%       100%\n";
+  std::cout << "\nReading the plot: the further right a predictor's mark "
+               "sits at small x, the shorter its unbroken instruction "
+               "sequences — Perfect should trail Loop+Rand.\n";
+  return 0;
+}

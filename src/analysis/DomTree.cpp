@@ -1,0 +1,191 @@
+//===- analysis/DomTree.cpp - Dominator and postdominator trees -----------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DomTree.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace bpfree;
+using namespace bpfree::ir;
+
+namespace {
+
+/// Iterative postorder over \p Succs from \p Root; returns node ids in
+/// postorder (reachable nodes only).
+std::vector<unsigned>
+postorder(unsigned NumNodes, unsigned Root,
+          const std::vector<std::vector<unsigned>> &Succs) {
+  std::vector<unsigned> Order;
+  std::vector<uint8_t> Visited(NumNodes, 0);
+  // Stack of (node, next successor index).
+  std::vector<std::pair<unsigned, size_t>> Stack;
+  Visited[Root] = 1;
+  Stack.emplace_back(Root, 0);
+  while (!Stack.empty()) {
+    auto &[Node, NextIdx] = Stack.back();
+    if (NextIdx < Succs[Node].size()) {
+      unsigned Succ = Succs[Node][NextIdx++];
+      if (!Visited[Succ]) {
+        Visited[Succ] = 1;
+        Stack.emplace_back(Succ, 0);
+      }
+    } else {
+      Order.push_back(Node);
+      Stack.pop_back();
+    }
+  }
+  return Order;
+}
+
+} // namespace
+
+void DomTree::build(unsigned NumNodes, unsigned Root,
+                    const std::vector<std::vector<unsigned>> &Preds,
+                    const std::vector<unsigned> &Order) {
+  // Order is reverse postorder; map node -> its RPO position.
+  std::vector<int> RpoPos(NumNodes, -1);
+  for (unsigned I = 0; I < Order.size(); ++I)
+    RpoPos[Order[I]] = static_cast<int>(I);
+
+  Idom.assign(NumNodes, -1);
+  Idom[Root] = static_cast<int>(Root);
+
+  // Cooper-Harvey-Kennedy intersection on RPO positions.
+  auto intersect = [&](unsigned A, unsigned B) {
+    while (A != B) {
+      while (RpoPos[A] > RpoPos[B])
+        A = static_cast<unsigned>(Idom[A]);
+      while (RpoPos[B] > RpoPos[A])
+        B = static_cast<unsigned>(Idom[B]);
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned Node : Order) {
+      if (Node == Root)
+        continue;
+      unsigned NewIdom = ~0u;
+      for (unsigned P : Preds[Node]) {
+        if (Idom[P] < 0)
+          continue; // predecessor not yet processed / unreachable
+        NewIdom = NewIdom == ~0u ? P : intersect(NewIdom, P);
+      }
+      if (NewIdom == ~0u)
+        continue;
+      if (Idom[Node] != static_cast<int>(NewIdom)) {
+        Idom[Node] = static_cast<int>(NewIdom);
+        Changed = true;
+      }
+    }
+  }
+
+  // Euler tour of the dominator tree for O(1) dominance queries.
+  std::vector<std::vector<unsigned>> Children(NumNodes);
+  for (unsigned Node = 0; Node < NumNodes; ++Node)
+    if (Idom[Node] >= 0 && Node != Root)
+      Children[Idom[Node]].push_back(Node);
+
+  TourIn.assign(NumNodes, 0);
+  TourOut.assign(NumNodes, 0);
+  Depth.assign(NumNodes, 0);
+  unsigned Clock = 1;
+  std::vector<std::pair<unsigned, size_t>> Stack;
+  TourIn[Root] = Clock++;
+  Stack.emplace_back(Root, 0);
+  while (!Stack.empty()) {
+    auto &[Node, NextIdx] = Stack.back();
+    if (NextIdx < Children[Node].size()) {
+      unsigned Child = Children[Node][NextIdx++];
+      Depth[Child] = Depth[Node] + 1;
+      TourIn[Child] = Clock++;
+      Stack.emplace_back(Child, 0);
+    } else {
+      TourOut[Node] = Clock++;
+      Stack.pop_back();
+    }
+  }
+}
+
+DomTree DomTree::computeDominators(const Function &F) {
+  unsigned N = static_cast<unsigned>(F.numBlocks());
+  std::vector<std::vector<unsigned>> Succs(N), Preds(N);
+  for (const auto &BB : F) {
+    for (unsigned I = 0, E = BB->numSuccessors(); I != E; ++I) {
+      unsigned S = BB->getSuccessor(I)->getId();
+      Succs[BB->getId()].push_back(S);
+      Preds[S].push_back(BB->getId());
+    }
+  }
+  unsigned Root = F.getEntry()->getId();
+  std::vector<unsigned> Order = postorder(N, Root, Succs);
+  std::reverse(Order.begin(), Order.end());
+
+  DomTree DT;
+  DT.F = &F;
+  DT.build(N, Root, Preds, Order);
+  return DT;
+}
+
+DomTree DomTree::computePostDominators(const Function &F) {
+  unsigned N = static_cast<unsigned>(F.numBlocks());
+  unsigned Exit = N; // virtual exit node
+  // Reverse graph: edge v->u for each CFG edge u->v, plus Exit->r for
+  // each return block r.
+  std::vector<std::vector<unsigned>> RSuccs(N + 1), RPreds(N + 1);
+  for (const auto &BB : F) {
+    unsigned U = BB->getId();
+    for (unsigned I = 0, E = BB->numSuccessors(); I != E; ++I) {
+      unsigned V = BB->getSuccessor(I)->getId();
+      RSuccs[V].push_back(U);
+      RPreds[U].push_back(V);
+    }
+    if (BB->isReturnBlock()) {
+      RSuccs[Exit].push_back(U);
+      RPreds[U].push_back(Exit);
+    }
+  }
+  std::vector<unsigned> Order = postorder(N + 1, Exit, RSuccs);
+  std::reverse(Order.begin(), Order.end());
+
+  DomTree DT;
+  DT.F = &F;
+  DT.VirtualRoot = Exit;
+  DT.build(N + 1, Exit, RPreds, Order);
+  return DT;
+}
+
+bool DomTree::dominates(const BasicBlock *A, const BasicBlock *B) const {
+  assert(A && B && "null block in dominance query");
+  unsigned IA = A->getId(), IB = B->getId();
+  if (Idom[IA] < 0 || Idom[IB] < 0)
+    return A == B; // unreachable blocks trivially self-dominate only
+  return TourIn[IA] <= TourIn[IB] && TourOut[IB] <= TourOut[IA];
+}
+
+const BasicBlock *DomTree::getIdom(const BasicBlock *B) const {
+  assert(B && "null block in idom query");
+  unsigned IB = B->getId();
+  if (Idom[IB] < 0 || Idom[IB] == static_cast<int>(IB))
+    return nullptr;
+  unsigned Parent = static_cast<unsigned>(Idom[IB]);
+  if (Parent == VirtualRoot)
+    return nullptr;
+  return F->getBlock(Parent);
+}
+
+bool DomTree::isReachable(const BasicBlock *B) const {
+  assert(B && "null block in reachability query");
+  return Idom[B->getId()] >= 0;
+}
+
+unsigned DomTree::getDepth(const BasicBlock *B) const {
+  assert(B && "null block in depth query");
+  return Idom[B->getId()] < 0 ? 0 : Depth[B->getId()];
+}

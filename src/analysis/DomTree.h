@@ -1,0 +1,77 @@
+//===- analysis/DomTree.h - Dominator and postdominator trees --*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator and postdominator trees over a Function's CFG, built with
+/// the Cooper-Harvey-Kennedy iterative algorithm. The paper's heuristics
+/// consume exactly the two relations defined in its Section 2: "a vertex
+/// v dominates w if every path from the entry point to w includes v" and
+/// "w postdominates v if every path from v to any exit vertex includes w".
+///
+/// Postdominance is computed on the reverse CFG rooted at a virtual exit
+/// that every return block reaches. Blocks from which no exit is
+/// reachable (infinite loops) have no postdominator information; they
+/// postdominate nothing and nothing postdominates them except themselves.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_ANALYSIS_DOMTREE_H
+#define BPFREE_ANALYSIS_DOMTREE_H
+
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace bpfree {
+
+/// A (post)dominator tree with O(1) dominance queries via Euler-tour
+/// intervals.
+class DomTree {
+public:
+  /// Builds the forward dominator tree of \p F rooted at the entry block.
+  static DomTree computeDominators(const ir::Function &F);
+
+  /// Builds the postdominator tree of \p F rooted at a virtual exit.
+  static DomTree computePostDominators(const ir::Function &F);
+
+  /// \returns true if \p A (post)dominates \p B. Reflexive: a block
+  /// (post)dominates itself. Returns false if either block is not
+  /// reachable in the underlying (reverse) CFG.
+  bool dominates(const ir::BasicBlock *A, const ir::BasicBlock *B) const;
+
+  /// \returns the immediate dominator of \p B, or nullptr for the root,
+  /// for blocks immediately dominated by the virtual exit, and for
+  /// unreachable blocks.
+  const ir::BasicBlock *getIdom(const ir::BasicBlock *B) const;
+
+  /// \returns true if \p B participates in the tree (is reachable from
+  /// the entry, or reaches an exit for the postdominator variant).
+  bool isReachable(const ir::BasicBlock *B) const;
+
+  /// \returns the dominator-tree depth of \p B (root = 0); 0 for
+  /// unreachable blocks.
+  unsigned getDepth(const ir::BasicBlock *B) const;
+
+private:
+  DomTree() = default;
+
+  /// Generic core: \p NumNodes nodes, root \p Root, predecessor lists in
+  /// the direction of the dataflow, and \p Order a reverse postorder of
+  /// the reachable nodes.
+  void build(unsigned NumNodes, unsigned Root,
+             const std::vector<std::vector<unsigned>> &Preds,
+             const std::vector<unsigned> &Order);
+
+  const ir::Function *F = nullptr;
+  unsigned VirtualRoot = ~0u; ///< node id of the virtual exit, if any
+  std::vector<int> Idom;      ///< -1 = unreachable / root marker
+  std::vector<unsigned> TourIn, TourOut;
+  std::vector<unsigned> Depth;
+};
+
+} // namespace bpfree
+
+#endif // BPFREE_ANALYSIS_DOMTREE_H

@@ -1,0 +1,139 @@
+//===- analysis/LoopInfo.cpp - Natural loop analysis ----------------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LoopInfo.h"
+
+#include <cassert>
+
+using namespace bpfree;
+using namespace bpfree::ir;
+
+LoopInfo::LoopInfo(const Function &F, const DomTree &DT) : F(F) {
+  unsigned N = static_cast<unsigned>(F.numBlocks());
+  HeadLoopIndex.assign(N, -1);
+  DepthOf.assign(N, 0);
+
+  auto Preds = F.computePredecessors();
+
+  // Find backedges (x -> y with y dominating x) and group them by head.
+  for (const auto &BB : F) {
+    for (unsigned I = 0, E = BB->numSuccessors(); I != E; ++I) {
+      BasicBlock *Head = BB->getSuccessor(I);
+      if (!DT.isReachable(BB.get()) || !DT.dominates(Head, BB.get()))
+        continue;
+      unsigned HeadId = Head->getId();
+      int LoopIdx = HeadLoopIndex[HeadId];
+      if (LoopIdx < 0) {
+        LoopIdx = static_cast<int>(Loops.size());
+        HeadLoopIndex[HeadId] = LoopIdx;
+        Loops.emplace_back();
+        Loops.back().HeadId = HeadId;
+        Loops.back().Members.assign(N, false);
+        Loops.back().Members[HeadId] = true;
+      }
+      Loops[LoopIdx].BackedgeSources.push_back(BB->getId());
+    }
+  }
+
+  // nat-loop(y): backward reachability from each backedge source, not
+  // passing through y.
+  for (Loop &L : Loops) {
+    std::vector<unsigned> Worklist;
+    for (unsigned Src : L.BackedgeSources) {
+      if (!L.Members[Src]) {
+        L.Members[Src] = true;
+        Worklist.push_back(Src);
+      }
+    }
+    while (!Worklist.empty()) {
+      unsigned Cur = Worklist.back();
+      Worklist.pop_back();
+      for (const BasicBlock *P : Preds[Cur]) {
+        unsigned PId = P->getId();
+        // Restrict membership to blocks reachable from the entry:
+        // unreachable code can reach a backedge source without ever
+        // executing, and it must not perturb loop classification.
+        if (!L.Members[PId] && DT.isReachable(P)) {
+          L.Members[PId] = true;
+          Worklist.push_back(PId);
+        }
+      }
+    }
+    for (unsigned B = 0; B < N; ++B)
+      if (L.Members[B])
+        ++DepthOf[B];
+  }
+}
+
+bool LoopInfo::isBackedge(const BasicBlock *From, unsigned SuccIdx) const {
+  const BasicBlock *To = From->getSuccessor(SuccIdx);
+  int LoopIdx = HeadLoopIndex[To->getId()];
+  if (LoopIdx < 0)
+    return false;
+  for (unsigned Src : Loops[LoopIdx].BackedgeSources)
+    if (Src == From->getId())
+      return true;
+  return false;
+}
+
+unsigned LoopInfo::loopsExited(const BasicBlock *From,
+                               unsigned SuccIdx) const {
+  const BasicBlock *To = From->getSuccessor(SuccIdx);
+  unsigned Count = 0;
+  for (const Loop &L : Loops)
+    if (L.contains(From->getId()) && !L.contains(To->getId()))
+      ++Count;
+  return Count;
+}
+
+bool LoopInfo::isExitEdge(const BasicBlock *From, unsigned SuccIdx) const {
+  return loopsExited(From, SuccIdx) > 0;
+}
+
+bool LoopInfo::isLoopBranch(const BasicBlock *BB) const {
+  assert(BB->isCondBranch() && "loop classification requires a branch");
+  for (unsigned I = 0; I < 2; ++I)
+    if (isBackedge(BB, I) || isExitEdge(BB, I))
+      return true;
+  return false;
+}
+
+unsigned LoopInfo::predictLoopBranch(const BasicBlock *BB) const {
+  assert(isLoopBranch(BB) && "not a loop branch");
+
+  bool Back0 = isBackedge(BB, 0), Back1 = isBackedge(BB, 1);
+  if (Back0 != Back1)
+    return Back0 ? 0 : 1;
+  if (Back0 && Back1) {
+    // Paper footnote: predict the edge that leads to the innermost loop.
+    unsigned D0 = getLoopDepth(BB->getSuccessor(0));
+    unsigned D1 = getLoopDepth(BB->getSuccessor(1));
+    return D0 >= D1 ? 0 : 1;
+  }
+
+  // No backedge: predict the edge exiting fewer loops (the non-exit edge
+  // in the common single-loop case — "iterating over exiting").
+  unsigned E0 = loopsExited(BB, 0), E1 = loopsExited(BB, 1);
+  if (E0 != E1)
+    return E0 < E1 ? 0 : 1;
+  return 1;
+}
+
+bool LoopInfo::isPreheader(const BasicBlock *BB, const DomTree &DT) const {
+  // Follow a chain of unconditional jumps from BB (bounded; jump chains
+  // in generated code are short and this also guards against jump-only
+  // cycles). BB must dominate the loop head it feeds.
+  const BasicBlock *Cur = BB;
+  for (unsigned Hops = 0; Hops < 8; ++Hops) {
+    if (!Cur->isUnconditionalJump())
+      return false;
+    const BasicBlock *Next = Cur->getSuccessor(0);
+    if (isLoopHead(Next))
+      return DT.dominates(BB, Next);
+    Cur = Next;
+  }
+  return false;
+}

@@ -1,0 +1,104 @@
+//===- analysis/LoopInfo.h - Natural loop analysis --------------*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Natural-loop analysis following the paper's Section 3 definitions:
+///
+///   * A *backedge* is an edge x -> y where y dominates x.
+///   * Each target y of a backedge is a *loop head*.
+///   * nat-loop(y) = {y} union {w | there is a backedge x -> y and a
+///     y-free path from w to x}.
+///   * An edge v -> w is an *exit edge* if v is in some nat-loop(y) and
+///     w is not.
+///
+/// The analysis also supplies the derived queries the predictor needs:
+/// branch classification (loop vs non-loop), the loop-branch predictor's
+/// edge choice, loop-head and preheader tests for the Loop heuristic,
+/// and per-block loop depth.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_ANALYSIS_LOOPINFO_H
+#define BPFREE_ANALYSIS_LOOPINFO_H
+
+#include "analysis/DomTree.h"
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace bpfree {
+
+/// One natural loop: a head block plus its member set.
+struct Loop {
+  unsigned HeadId = 0;
+  /// Block-id membership bitmap (indexed by block id).
+  std::vector<bool> Members;
+  /// Source block ids of the backedges targeting HeadId.
+  std::vector<unsigned> BackedgeSources;
+
+  bool contains(unsigned BlockId) const {
+    return BlockId < Members.size() && Members[BlockId];
+  }
+};
+
+/// Natural loops of one function, with edge-classification queries.
+class LoopInfo {
+public:
+  /// Builds loop info for \p F using dominator tree \p DT (must be the
+  /// forward dominator tree of the same function).
+  LoopInfo(const ir::Function &F, const DomTree &DT);
+
+  const std::vector<Loop> &loops() const { return Loops; }
+
+  bool isLoopHead(const ir::BasicBlock *BB) const {
+    return HeadLoopIndex[BB->getId()] >= 0;
+  }
+
+  /// Number of natural loops containing \p BB (0 = not in any loop).
+  unsigned getLoopDepth(const ir::BasicBlock *BB) const {
+    return DepthOf[BB->getId()];
+  }
+
+  /// \returns true if the edge From -> From->getSuccessor(SuccIdx) is a
+  /// loop backedge (target dominates source).
+  bool isBackedge(const ir::BasicBlock *From, unsigned SuccIdx) const;
+
+  /// \returns true if the edge leaves at least one loop containing From.
+  bool isExitEdge(const ir::BasicBlock *From, unsigned SuccIdx) const;
+
+  /// Number of loops containing From that do not contain the successor —
+  /// 0 for non-exit edges; used to break ties between two exit edges.
+  unsigned loopsExited(const ir::BasicBlock *From, unsigned SuccIdx) const;
+
+  /// Paper classification: a branch block is a *loop branch* iff either
+  /// outgoing edge is an exit edge or a backedge. \p BB must be a
+  /// conditional branch.
+  bool isLoopBranch(const ir::BasicBlock *BB) const;
+
+  /// The paper's loop-branch predictor: prefer a backedge (the one to the
+  /// innermost loop when both edges are backedges), otherwise the
+  /// non-exit edge (the edge exiting fewer loops when both exit).
+  /// \returns 0 to predict the taken successor, 1 for the fall-thru.
+  unsigned predictLoopBranch(const ir::BasicBlock *BB) const;
+
+  /// \returns true if \p BB is a loop preheader: it passes control
+  /// unconditionally (through a chain of jump-only blocks) to a loop head
+  /// that it dominates. Used by the Loop heuristic for non-loop branches.
+  bool isPreheader(const ir::BasicBlock *BB, const DomTree &DT) const;
+
+private:
+  const ir::Function &F;
+  std::vector<Loop> Loops;
+  /// Block id -> index into Loops if the block is that loop's head; -1
+  /// otherwise.
+  std::vector<int> HeadLoopIndex;
+  /// Block id -> number of loops containing it.
+  std::vector<unsigned> DepthOf;
+};
+
+} // namespace bpfree
+
+#endif // BPFREE_ANALYSIS_LOOPINFO_H

@@ -1,0 +1,213 @@
+//===- frontend/Ast.h - MiniC abstract syntax trees -------------*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST for MiniC. Nodes are built by the parser and annotated in place
+/// by semantic analysis (types on expressions, resolved symbols on
+/// variable references). Ownership is strictly tree-shaped via
+/// unique_ptr.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_FRONTEND_AST_H
+#define BPFREE_FRONTEND_AST_H
+
+#include "frontend/Type.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bpfree {
+namespace minic {
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// Binary operators (assignment handled separately).
+enum class BinOp {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  Shl,
+  Shr,
+  BitAnd,
+  BitOr,
+  BitXor,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Eq,
+  Ne,
+  LogAnd,
+  LogOr,
+};
+
+/// Unary operators.
+enum class UnOp {
+  Neg,    ///< -x
+  Not,    ///< !x
+  BitNot, ///< ~x
+  Deref,  ///< *p
+  AddrOf, ///< &x
+};
+
+/// Expression node kinds.
+enum class ExprKind {
+  IntLit,
+  FloatLit,
+  StringLit,
+  VarRef,
+  Unary,
+  Binary,
+  Assign,         ///< lhs = rhs
+  CompoundAssign, ///< lhs op= rhs (address evaluated once)
+  IncDec,         ///< ++x, x++, --x, x--
+  Call,
+  Index,  ///< base[index]
+  Member, ///< base.field or base->field
+  Cast,   ///< (type) expr
+  Sizeof, ///< sizeof(type)
+};
+
+/// How a variable reference resolved. Filled in by Sema.
+struct VarBinding {
+  enum Kind { None, Local, Param, Global, Function } K = None;
+  /// Local/param: per-function variable id. Global: global id.
+  /// Function: function id.
+  uint32_t Id = 0;
+};
+
+/// One expression node (all kinds share the struct; unused fields stay
+/// defaulted). A tagged struct keeps the tree walkable without visitors
+/// or RTTI.
+struct Expr {
+  ExprKind Kind;
+  int Line = 0;
+  int Column = 0;
+
+  // Literals.
+  int64_t IntValue = 0;
+  double FloatValue = 0.0;
+  std::string StrValue; ///< string literal / identifier / field name
+
+  // Children.
+  ExprPtr Lhs, Rhs;           ///< unary uses Lhs only
+  std::vector<ExprPtr> Args;  ///< call arguments
+
+  BinOp BOp = BinOp::Add;
+  UnOp UOp = UnOp::Neg;
+  bool IsArrow = false;   ///< Member: -> vs .
+  bool IsPrefix = false;  ///< IncDec
+  bool IsIncrement = true;///< IncDec: ++ vs --
+  Type CastType;          ///< Cast/Sizeof target
+
+  // Sema annotations.
+  Type Ty;                ///< type after decay rules (see Sema)
+  VarBinding Binding;     ///< VarRef / Call callee resolution
+  bool IsLValue = false;
+
+  explicit Expr(ExprKind Kind) : Kind(Kind) {}
+};
+
+/// Statement node kinds.
+enum class StmtKind {
+  Block,
+  If,
+  While,
+  DoWhile,
+  For,
+  Return,
+  Break,
+  Continue,
+  VarDecl,
+  ExprStmt,
+};
+
+/// One statement node.
+struct Stmt {
+  StmtKind Kind;
+  int Line = 0;
+  int Column = 0;
+
+  std::vector<StmtPtr> Body; ///< Block
+  ExprPtr Cond;              ///< If/While/DoWhile/For
+  StmtPtr Then, Else;        ///< If; loop bodies use Then
+  StmtPtr Init;              ///< For (VarDecl or ExprStmt)
+  ExprPtr Step;              ///< For
+  ExprPtr Value;             ///< Return / ExprStmt / VarDecl initializer
+
+  // VarDecl.
+  std::string VarName;
+  Type VarType;
+  uint32_t VarId = 0; ///< Sema: per-function variable id
+
+  explicit Stmt(StmtKind Kind) : Kind(Kind) {}
+};
+
+/// A function parameter.
+struct ParamDecl {
+  std::string Name;
+  Type Ty;
+  int Line = 0;
+};
+
+/// A function definition.
+struct FuncDecl {
+  std::string Name;
+  Type ReturnType;
+  std::vector<ParamDecl> Params;
+  StmtPtr Body;
+  int Line = 0;
+
+  // Sema annotations.
+  uint32_t Id = 0; ///< index in Program::Functions (== IR function index)
+};
+
+/// A global variable definition (optionally scalar-initialized).
+struct GlobalDecl {
+  std::string Name;
+  Type Ty;
+  bool HasInit = false;
+  int64_t InitInt = 0;
+  double InitFloat = 0.0;
+  int Line = 0;
+
+  // Sema annotations.
+  uint32_t Id = 0;
+};
+
+/// A whole translation unit.
+struct Program {
+  std::vector<std::unique_ptr<StructDef>> Structs;
+  std::vector<std::unique_ptr<GlobalDecl>> Globals;
+  std::vector<std::unique_ptr<FuncDecl>> Functions;
+
+  const StructDef *findStruct(const std::string &Name) const {
+    for (const auto &S : Structs)
+      if (S->Name == Name)
+        return S.get();
+    return nullptr;
+  }
+
+  const FuncDecl *findFunction(const std::string &Name) const {
+    for (const auto &F : Functions)
+      if (F->Name == Name)
+        return F.get();
+    return nullptr;
+  }
+};
+
+} // namespace minic
+} // namespace bpfree
+
+#endif // BPFREE_FRONTEND_AST_H

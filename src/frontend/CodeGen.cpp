@@ -1,0 +1,1048 @@
+//===- frontend/CodeGen.cpp - MiniC to IR code generation -----------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/CodeGen.h"
+
+#include "ir/IRBuilder.h"
+#include "support/Error.h"
+
+#include <cassert>
+#include <cstring>
+#include <optional>
+#include <unordered_map>
+
+using namespace bpfree;
+using namespace bpfree::minic;
+using ir::BasicBlock;
+using ir::BranchOp;
+using ir::IRBuilder;
+using ir::MemWidth;
+using ir::Opcode;
+using ir::Reg;
+
+namespace {
+
+ir::Intrinsic builtinIntrinsic(Builtin B) {
+  switch (B) {
+  case Builtin::PrintInt:
+    return ir::Intrinsic::PrintInt;
+  case Builtin::PrintChar:
+    return ir::Intrinsic::PrintChar;
+  case Builtin::PrintDouble:
+    return ir::Intrinsic::PrintDouble;
+  case Builtin::PrintStr:
+    return ir::Intrinsic::PrintStr;
+  case Builtin::Malloc:
+    return ir::Intrinsic::Malloc;
+  case Builtin::Arg:
+    return ir::Intrinsic::Arg;
+  case Builtin::InputLen:
+    return ir::Intrinsic::InputLen;
+  case Builtin::InputByte:
+    return ir::Intrinsic::InputByte;
+  case Builtin::Trap:
+    return ir::Intrinsic::Trap;
+  }
+  reportFatalError("unknown builtin");
+}
+
+MemWidth widthFor(const Type &Ty) {
+  return Ty.isChar() ? MemWidth::I8 : MemWidth::I64;
+}
+
+class CodeGenImpl {
+public:
+  CodeGenImpl(const Program &P, const SemaResult &SR) : P(P), SR(SR) {}
+
+  std::unique_ptr<ir::Module> run() {
+    M = std::make_unique<ir::Module>();
+
+    // Globals first, so functions can address them.
+    GlobalOffsets.resize(P.Globals.size());
+    for (size_t I = 0; I < P.Globals.size(); ++I)
+      GlobalOffsets[I] = emitGlobal(*P.Globals[I]);
+
+    // Declare every function up front (mutual recursion), then emit.
+    for (const auto &FD : P.Functions)
+      M->createFunction(FD->Name,
+                        static_cast<unsigned>(FD->Params.size()));
+    for (size_t I = 0; I < P.Functions.size(); ++I)
+      emitFunction(*P.Functions[I], SR.Funcs[I]);
+
+    return std::move(M);
+  }
+
+private:
+  //===--- globals --------------------------------------------------------===//
+
+  uint32_t emitGlobal(const GlobalDecl &G) {
+    uint32_t Offset = M->allocateGlobal(static_cast<uint32_t>(G.Ty.size()));
+    if (G.HasInit) {
+      uint64_t Bits;
+      if (G.Ty.isDouble()) {
+        double D = G.InitFloat;
+        std::memcpy(&Bits, &D, 8);
+      } else {
+        Bits = static_cast<uint64_t>(G.InitInt);
+      }
+      if (G.Ty.isChar()) {
+        uint8_t Byte = static_cast<uint8_t>(Bits);
+        M->patchGlobalImage(Offset, &Byte, 1);
+      } else {
+        M->patchGlobalImage(Offset, &Bits, 8);
+      }
+    }
+    return Offset;
+  }
+
+  uint32_t internString(const std::string &S) {
+    auto It = StringOffsets.find(S);
+    if (It != StringOffsets.end())
+      return It->second;
+    std::vector<uint8_t> Data(S.begin(), S.end());
+    Data.push_back(0);
+    uint32_t Offset = M->allocateGlobalData(Data);
+    StringOffsets.emplace(S, Offset);
+    return Offset;
+  }
+
+  //===--- per-function state ---------------------------------------------===//
+
+  struct Storage {
+    bool InReg = false;
+    Reg R;
+    uint32_t FrameOffset = 0;
+  };
+
+  /// Loop context for break/continue.
+  struct LoopCtx {
+    BasicBlock *ContinueTarget;
+    BasicBlock *BreakTarget;
+  };
+
+  void emitFunction(const FuncDecl &FD, const FuncInfo &FI) {
+    F = M->getFunction(FD.Id);
+    CurFI = &FI;
+    CurFD = &FD;
+    Builder = std::make_unique<IRBuilder>(F);
+    Loops.clear();
+
+    BasicBlock *Entry = F->createBlock("entry");
+    Builder->setInsertBlock(Entry);
+
+    // Assign storage: registers for non-address-taken scalars, frame
+    // slots otherwise.
+    Locals.assign(FI.Locals.size(), Storage());
+    uint32_t FrameSize = 0;
+    for (size_t I = 0; I < FI.Locals.size(); ++I) {
+      const LocalVar &LV = FI.Locals[I];
+      bool Scalar = LV.Ty.isScalar();
+      if (Scalar && !LV.AddressTaken) {
+        Locals[I].InReg = true;
+        Locals[I].R = LV.IsParam ? F->getParamReg(static_cast<unsigned>(I))
+                                 : F->newReg();
+      } else {
+        uint64_t Size = (LV.Ty.size() + 7) & ~7ull;
+        Locals[I].FrameOffset = FrameSize;
+        FrameSize += static_cast<uint32_t>(Size);
+      }
+    }
+    F->setFrameSize(FrameSize);
+
+    // Spill address-taken parameters into their slots.
+    for (size_t I = 0; I < FD.Params.size(); ++I) {
+      if (!Locals[I].InReg)
+        Builder->store(F->getParamReg(static_cast<unsigned>(I)), ir::SpReg,
+                       Locals[I].FrameOffset, widthFor(FI.Locals[I].Ty));
+    }
+
+    genStmt(*FD.Body);
+
+    // Implicit return for functions that fall off the end.
+    if (!Builder->getInsertBlock()->hasTerminator()) {
+      if (FD.ReturnType.isVoid())
+        Builder->ret();
+      else
+        Builder->retValue(Builder->loadImm(0));
+    }
+  }
+
+  //===--- statements -----------------------------------------------------===//
+
+  /// Starts a fresh block for any code following a mid-block terminator
+  /// (break/continue/return); that code is unreachable but must still be
+  /// generated into well-formed blocks.
+  void ensureOpenBlock(const char *Name) {
+    if (Builder->getInsertBlock()->hasTerminator())
+      Builder->setInsertBlock(Builder->makeBlock(Name));
+  }
+
+  void genStmt(const Stmt &S) {
+    ensureOpenBlock("unreachable");
+    switch (S.Kind) {
+    case StmtKind::Block:
+      for (const StmtPtr &Child : S.Body)
+        genStmt(*Child);
+      return;
+    case StmtKind::If:
+      return genIf(S);
+    case StmtKind::While:
+      return genWhile(S);
+    case StmtKind::DoWhile:
+      return genDoWhile(S);
+    case StmtKind::For:
+      return genFor(S);
+    case StmtKind::Return:
+      if (S.Value) {
+        Reg V = genExpr(*S.Value);
+        V = convert(V, S.Value->Ty.decay(), CurFD->ReturnType);
+        Builder->retValue(V);
+      } else {
+        Builder->ret();
+      }
+      return;
+    case StmtKind::Break:
+      assert(!Loops.empty() && "break outside loop (sema bug)");
+      Builder->jump(Loops.back().BreakTarget);
+      return;
+    case StmtKind::Continue:
+      assert(!Loops.empty() && "continue outside loop (sema bug)");
+      Builder->jump(Loops.back().ContinueTarget);
+      return;
+    case StmtKind::VarDecl:
+      if (S.Value) {
+        uint32_t Watermark = F->getNumRegs();
+        Reg V = genExpr(*S.Value);
+        V = convert(V, S.Value->Ty.decay(), S.VarType);
+        storeToLocal(S.VarId, V, Watermark);
+      }
+      return;
+    case StmtKind::ExprStmt:
+      (void)genExpr(*S.Value);
+      return;
+    }
+  }
+
+  void genIf(const Stmt &S) {
+    BasicBlock *ThenB = Builder->makeBlock("if.then");
+    BasicBlock *Join = Builder->makeBlock("if.join");
+    BasicBlock *ElseB = S.Else ? Builder->makeBlock("if.else") : Join;
+
+    genBranch(*S.Cond, ThenB, ElseB);
+
+    Builder->setInsertBlock(ThenB);
+    genStmt(*S.Then);
+    if (!Builder->getInsertBlock()->hasTerminator())
+      Builder->jump(Join);
+
+    if (S.Else) {
+      Builder->setInsertBlock(ElseB);
+      genStmt(*S.Else);
+      if (!Builder->getInsertBlock()->hasTerminator())
+        Builder->jump(Join);
+    }
+    Builder->setInsertBlock(Join);
+  }
+
+  /// While loops are rotated exactly as the paper describes compilers
+  /// doing: "generating an if-then around a do-until loop, replicating
+  /// the loop test". The guard branch is a *non-loop* branch choosing
+  /// between entering the loop and skipping it; the bottom test is the
+  /// loop (backedge) branch.
+  void genWhile(const Stmt &S) {
+    BasicBlock *Body = Builder->makeBlock("while.body");
+    BasicBlock *Latch = Builder->makeBlock("while.latch");
+    BasicBlock *Exit = Builder->makeBlock("while.exit");
+
+    genBranch(*S.Cond, Body, Exit); // guard (replicated test)
+
+    Builder->setInsertBlock(Body);
+    Loops.push_back({Latch, Exit});
+    genStmt(*S.Then);
+    Loops.pop_back();
+    if (!Builder->getInsertBlock()->hasTerminator())
+      Builder->jump(Latch);
+
+    Builder->setInsertBlock(Latch);
+    genBranch(*S.Cond, Body, Exit); // bottom test: backedge to Body
+
+    Builder->setInsertBlock(Exit);
+  }
+
+  void genDoWhile(const Stmt &S) {
+    BasicBlock *Body = Builder->makeBlock("do.body");
+    BasicBlock *Latch = Builder->makeBlock("do.latch");
+    BasicBlock *Exit = Builder->makeBlock("do.exit");
+
+    Builder->jump(Body);
+    Builder->setInsertBlock(Body);
+    Loops.push_back({Latch, Exit});
+    genStmt(*S.Then);
+    Loops.pop_back();
+    if (!Builder->getInsertBlock()->hasTerminator())
+      Builder->jump(Latch);
+
+    Builder->setInsertBlock(Latch);
+    genBranch(*S.Cond, Body, Exit);
+
+    Builder->setInsertBlock(Exit);
+  }
+
+  void genFor(const Stmt &S) {
+    if (S.Init)
+      genStmt(*S.Init);
+    ensureOpenBlock("for.preheader");
+
+    BasicBlock *Body = Builder->makeBlock("for.body");
+    BasicBlock *Step = Builder->makeBlock("for.step");
+    BasicBlock *Exit = Builder->makeBlock("for.exit");
+
+    if (S.Cond)
+      genBranch(*S.Cond, Body, Exit); // guard (replicated test)
+    else
+      Builder->jump(Body);
+
+    Builder->setInsertBlock(Body);
+    Loops.push_back({Step, Exit});
+    genStmt(*S.Then);
+    Loops.pop_back();
+    if (!Builder->getInsertBlock()->hasTerminator())
+      Builder->jump(Step);
+
+    Builder->setInsertBlock(Step);
+    if (S.Step)
+      (void)genExpr(*S.Step);
+    if (S.Cond)
+      genBranch(*S.Cond, Body, Exit); // bottom test: backedge
+    else
+      Builder->jump(Body);
+
+    Builder->setInsertBlock(Exit);
+  }
+
+  //===--- conversions ----------------------------------------------------===//
+
+  /// Converts \p V from \p From to \p To (both decayed scalar types).
+  Reg convert(Reg V, const Type &From, const Type &To) {
+    if (From.isDouble() && !To.isDouble() && To.isArithmetic())
+      return Builder->funop(Opcode::CvtFI, V);
+    if (!From.isDouble() && From.isArithmetic() && To.isDouble())
+      return Builder->funop(Opcode::CvtIF, V);
+    return V;
+  }
+
+  /// Result type of a MiniC arithmetic binary op.
+  static Type commonType(const Type &L, const Type &R) {
+    return (L.isDouble() || R.isDouble()) ? Type::doubleTy() : Type::intTy();
+  }
+
+  //===--- lvalues ---------------------------------------------------------===//
+
+  void storeToLocal(uint32_t Id, Reg V, uint32_t Watermark) {
+    const Storage &St = Locals[Id];
+    if (St.InReg)
+      writeVar(St.R, V, Watermark);
+    else
+      Builder->store(V, ir::SpReg, St.FrameOffset,
+                     widthFor(CurFI->Locals[Id].Ty));
+  }
+
+  /// Writes \p V into variable register \p VarReg. When \p V is a fresh
+  /// temporary (id at or above \p Watermark) defined by the last
+  /// instruction of the current block, the copy is coalesced into that
+  /// instruction — modeling a register-allocating compiler, whose
+  /// bottom-of-loop tests read load results directly (the shape the
+  /// Pointer heuristic pattern-matches).
+  void writeVar(Reg VarReg, Reg V, uint32_t Watermark) {
+    auto &Insts = Builder->getInsertBlock()->instructions();
+    if (V.Id >= Watermark && !Insts.empty() && Insts.back().def() == V) {
+      Insts.back().Dst = VarReg;
+      return;
+    }
+    Builder->moveInto(VarReg, V);
+  }
+
+  /// Address of an lvalue expression. Register-resident locals have no
+  /// address (sema forces AddressTaken ones into slots).
+  Reg genAddr(const Expr &E) {
+    switch (E.Kind) {
+    case ExprKind::VarRef: {
+      if (E.Binding.K == VarBinding::Global)
+        return Builder->addImm(ir::GpReg, GlobalOffsets[E.Binding.Id]);
+      assert(E.Binding.K == VarBinding::Local && "bad lvalue binding");
+      const Storage &St = Locals[E.Binding.Id];
+      assert(!St.InReg && "taking address of register-resident local");
+      return Builder->addImm(ir::SpReg, St.FrameOffset);
+    }
+    case ExprKind::Unary:
+      assert(E.UOp == UnOp::Deref && "not an lvalue unary");
+      return genExpr(*E.Lhs);
+    case ExprKind::Index: {
+      Type Base = E.Lhs->Ty.decay();
+      Reg BaseV = genExpr(*E.Lhs); // arrays yield their address
+      Reg Idx = genExpr(*E.Rhs);
+      uint64_t Size = Base.pointee().size();
+      Reg Scaled = Size == 1
+                       ? Idx
+                       : Builder->binopImm(Opcode::Mul, Idx,
+                                           static_cast<int64_t>(Size));
+      return Builder->add(BaseV, Scaled);
+    }
+    case ExprKind::Member: {
+      const StructDef *S = E.IsArrow
+                               ? E.Lhs->Ty.decay().pointee().structDef()
+                               : E.Lhs->Ty.structDef();
+      const FieldDef *Field = S->findField(E.StrValue);
+      assert(Field && "field vanished after sema");
+      Reg Base = E.IsArrow ? genExpr(*E.Lhs) : genAddr(*E.Lhs);
+      return Builder->addImm(Base, static_cast<int64_t>(Field->Offset));
+    }
+    default:
+      reportFatalError("genAddr on a non-lvalue expression");
+    }
+  }
+
+  /// True when the lvalue can be written without materializing an
+  /// address (a register-resident local).
+  bool isRegisterLocal(const Expr &E) const {
+    return E.Kind == ExprKind::VarRef && E.Binding.K == VarBinding::Local &&
+           Locals[E.Binding.Id].InReg;
+  }
+
+  /// For memory-resident scalar variables, the MIPS-style direct
+  /// base+offset addressing: off(gp) for globals, off(sp) for stack
+  /// locals. Computed lvalues (indexing, members, derefs) return
+  /// nullopt and go through an address register.
+  std::optional<std::pair<Reg, int64_t>>
+  directSlot(const Expr &E) const {
+    if (E.Kind != ExprKind::VarRef)
+      return std::nullopt;
+    if (E.Binding.K == VarBinding::Global)
+      return std::make_pair(ir::GpReg,
+                            static_cast<int64_t>(
+                                GlobalOffsets[E.Binding.Id]));
+    if (E.Binding.K == VarBinding::Local && !Locals[E.Binding.Id].InReg)
+      return std::make_pair(ir::SpReg,
+                            static_cast<int64_t>(
+                                Locals[E.Binding.Id].FrameOffset));
+    return std::nullopt;
+  }
+
+  //===--- expressions ----------------------------------------------------===//
+
+  Reg genExpr(const Expr &E) {
+    switch (E.Kind) {
+    case ExprKind::IntLit:
+      return Builder->loadImm(E.IntValue);
+    case ExprKind::FloatLit:
+      return Builder->loadFImm(E.FloatValue);
+    case ExprKind::StringLit:
+      return Builder->addImm(ir::GpReg, internString(E.StrValue));
+    case ExprKind::VarRef:
+      return genVarRef(E);
+    case ExprKind::Unary:
+      return genUnary(E);
+    case ExprKind::Binary:
+      return genBinary(E);
+    case ExprKind::Assign:
+      return genAssign(E);
+    case ExprKind::CompoundAssign:
+      return genCompoundAssign(E);
+    case ExprKind::IncDec:
+      return genIncDec(E);
+    case ExprKind::Call:
+      return genCall(E);
+    case ExprKind::Index:
+    case ExprKind::Member:
+      return loadLValue(E);
+    case ExprKind::Cast: {
+      Reg V = genExpr(*E.Lhs);
+      return convert(V, E.Lhs->Ty.decay(), E.CastType);
+    }
+    case ExprKind::Sizeof:
+      return Builder->loadImm(static_cast<int64_t>(E.CastType.size()));
+    }
+    reportFatalError("unknown expression kind");
+  }
+
+  Reg genVarRef(const Expr &E) {
+    if (E.Ty.isArray() || E.Ty.isStruct())
+      return genAddr(E); // aggregates evaluate to their address
+    if (E.Binding.K == VarBinding::Local && Locals[E.Binding.Id].InReg)
+      return Locals[E.Binding.Id].R;
+    Reg Addr;
+    int64_t Offset;
+    if (E.Binding.K == VarBinding::Global) {
+      Addr = ir::GpReg;
+      Offset = GlobalOffsets[E.Binding.Id];
+    } else {
+      Addr = ir::SpReg;
+      Offset = Locals[E.Binding.Id].FrameOffset;
+    }
+    return Builder->load(Addr, Offset, widthFor(E.Ty));
+  }
+
+  Reg loadLValue(const Expr &E) {
+    if (E.Ty.isArray() || E.Ty.isStruct())
+      return genAddr(E);
+    Reg Addr = genAddr(E);
+    return Builder->load(Addr, 0, widthFor(E.Ty));
+  }
+
+  Reg genUnary(const Expr &E) {
+    switch (E.UOp) {
+    case UnOp::Neg: {
+      Reg V = genExpr(*E.Lhs);
+      if (E.Ty.isDouble()) {
+        V = convert(V, E.Lhs->Ty.decay(), Type::doubleTy());
+        return Builder->funop(Opcode::FNeg, V);
+      }
+      return Builder->binop(Opcode::Sub, ir::ZeroReg, V);
+    }
+    case UnOp::Not: {
+      const Type Sub = E.Lhs->Ty.decay();
+      if (Sub.isDouble()) {
+        // !d == (d == 0.0), materialized through the FP flag.
+        return genCondValue(E, /*Negate=*/false);
+      }
+      Reg V = genExpr(*E.Lhs);
+      return Builder->binop(Opcode::Seq, V, ir::ZeroReg);
+    }
+    case UnOp::BitNot: {
+      Reg V = genExpr(*E.Lhs);
+      return Builder->binopImm(Opcode::Xor, V, -1);
+    }
+    case UnOp::Deref:
+      return loadLValue(E);
+    case UnOp::AddrOf:
+      return genAddr(*E.Lhs);
+    }
+    reportFatalError("unknown unary operator");
+  }
+
+  static bool isComparison(BinOp Op) {
+    switch (Op) {
+    case BinOp::Lt:
+    case BinOp::Le:
+    case BinOp::Gt:
+    case BinOp::Ge:
+    case BinOp::Eq:
+    case BinOp::Ne:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  Reg genBinary(const Expr &E) {
+    if (E.BOp == BinOp::LogAnd || E.BOp == BinOp::LogOr)
+      return genCondValue(E, false);
+    if (isComparison(E.BOp))
+      return genComparisonValue(E);
+
+    Type L = E.Lhs->Ty.decay(), R = E.Rhs->Ty.decay();
+
+    // Pointer arithmetic.
+    if (E.BOp == BinOp::Add || E.BOp == BinOp::Sub) {
+      if (L.isPointer() && R.isIntegral())
+        return genPointerOffset(E, L, /*PointerOnLeft=*/true);
+      if (E.BOp == BinOp::Add && L.isIntegral() && R.isPointer())
+        return genPointerOffset(E, R, /*PointerOnLeft=*/false);
+      if (E.BOp == BinOp::Sub && L.isPointer() && R.isPointer()) {
+        Reg A = genExpr(*E.Lhs);
+        Reg B = genExpr(*E.Rhs);
+        Reg Diff = Builder->sub(A, B);
+        uint64_t Size = L.pointee().size();
+        if (Size == 1)
+          return Diff;
+        return Builder->binopImm(Opcode::Div, Diff,
+                                 static_cast<int64_t>(Size));
+      }
+    }
+
+    Type Common = commonType(L, R);
+    Reg A = convert(genExpr(*E.Lhs), L, Common);
+    Reg B = convert(genExpr(*E.Rhs), R, Common);
+
+    if (Common.isDouble()) {
+      Opcode Op;
+      switch (E.BOp) {
+      case BinOp::Add:
+        Op = Opcode::FAdd;
+        break;
+      case BinOp::Sub:
+        Op = Opcode::FSub;
+        break;
+      case BinOp::Mul:
+        Op = Opcode::FMul;
+        break;
+      case BinOp::Div:
+        Op = Opcode::FDiv;
+        break;
+      default:
+        reportFatalError("invalid double operator (sema bug)");
+      }
+      return Builder->fbinop(Op, A, B);
+    }
+
+    Opcode Op;
+    switch (E.BOp) {
+    case BinOp::Add:
+      Op = Opcode::Add;
+      break;
+    case BinOp::Sub:
+      Op = Opcode::Sub;
+      break;
+    case BinOp::Mul:
+      Op = Opcode::Mul;
+      break;
+    case BinOp::Div:
+      Op = Opcode::Div;
+      break;
+    case BinOp::Rem:
+      Op = Opcode::Rem;
+      break;
+    case BinOp::Shl:
+      Op = Opcode::Shl;
+      break;
+    case BinOp::Shr:
+      Op = Opcode::Shr;
+      break;
+    case BinOp::BitAnd:
+      Op = Opcode::And;
+      break;
+    case BinOp::BitOr:
+      Op = Opcode::Or;
+      break;
+    case BinOp::BitXor:
+      Op = Opcode::Xor;
+      break;
+    default:
+      reportFatalError("unhandled integer operator");
+    }
+    return Builder->binop(Op, A, B);
+  }
+
+  Reg genPointerOffset(const Expr &E, const Type &PtrTy, bool PointerOnLeft) {
+    Reg Ptr = PointerOnLeft ? genExpr(*E.Lhs) : genExpr(*E.Rhs);
+    Reg Idx = PointerOnLeft ? genExpr(*E.Rhs) : genExpr(*E.Lhs);
+    uint64_t Size = PtrTy.pointee().size();
+    if (Size != 1)
+      Idx = Builder->binopImm(Opcode::Mul, Idx, static_cast<int64_t>(Size));
+    return E.BOp == BinOp::Add ? Builder->add(Ptr, Idx)
+                               : Builder->sub(Ptr, Idx);
+  }
+
+  /// Integer/pointer comparisons materialize with slt/seq/sne, like a
+  /// MIPS compiler; double comparisons go through the FP flag.
+  Reg genComparisonValue(const Expr &E) {
+    Type L = E.Lhs->Ty.decay(), R = E.Rhs->Ty.decay();
+    if (L.isDouble() || R.isDouble())
+      return genCondValue(E, false);
+
+    Reg A = genExpr(*E.Lhs);
+    Reg B = genExpr(*E.Rhs);
+    switch (E.BOp) {
+    case BinOp::Eq:
+      return Builder->binop(Opcode::Seq, A, B);
+    case BinOp::Ne:
+      return Builder->binop(Opcode::Sne, A, B);
+    case BinOp::Lt:
+      return Builder->slt(A, B);
+    case BinOp::Gt:
+      return Builder->slt(B, A);
+    case BinOp::Le:
+      return Builder->binopImm(Opcode::Xor, Builder->slt(B, A), 1);
+    case BinOp::Ge:
+      return Builder->binopImm(Opcode::Xor, Builder->slt(A, B), 1);
+    default:
+      reportFatalError("not a comparison");
+    }
+  }
+
+  /// Materializes any boolean condition as 0/1 through control flow (the
+  /// MIPS idiom for conditions without a set-instruction form).
+  Reg genCondValue(const Expr &E, bool Negate) {
+    Reg Result = F->newReg();
+    BasicBlock *TrueB = Builder->makeBlock("cond.true");
+    BasicBlock *FalseB = Builder->makeBlock("cond.false");
+    BasicBlock *Join = Builder->makeBlock("cond.join");
+    if (Negate)
+      genBranch(E, FalseB, TrueB);
+    else
+      genBranch(E, TrueB, FalseB);
+    Builder->setInsertBlock(TrueB);
+    Builder->loadImmInto(Result, 1);
+    Builder->jump(Join);
+    Builder->setInsertBlock(FalseB);
+    Builder->loadImmInto(Result, 0);
+    Builder->jump(Join);
+    Builder->setInsertBlock(Join);
+    return Result;
+  }
+
+  Reg genAssign(const Expr &E) {
+    if (isRegisterLocal(*E.Lhs)) {
+      uint32_t Watermark = F->getNumRegs();
+      Reg V = genExpr(*E.Rhs);
+      V = convert(V, E.Rhs->Ty.decay(), E.Lhs->Ty);
+      writeVar(Locals[E.Lhs->Binding.Id].R, V, Watermark);
+      return Locals[E.Lhs->Binding.Id].R;
+    }
+    if (auto Slot = directSlot(*E.Lhs)) {
+      Reg V = genExpr(*E.Rhs);
+      V = convert(V, E.Rhs->Ty.decay(), E.Lhs->Ty);
+      Builder->store(V, Slot->first, Slot->second, widthFor(E.Lhs->Ty));
+      return V;
+    }
+    Reg Addr = genAddr(*E.Lhs);
+    Reg V = genExpr(*E.Rhs);
+    V = convert(V, E.Rhs->Ty.decay(), E.Lhs->Ty);
+    Builder->store(V, Addr, 0, widthFor(E.Lhs->Ty));
+    return V;
+  }
+
+  /// Applies \p Op to (Old, RhsV), honoring pointer scaling and doubles.
+  Reg applyCompound(BinOp Op, Reg Old, const Type &LTy, const Expr &Rhs) {
+    Type RTy = Rhs.Ty.decay();
+    if (LTy.isPointer()) {
+      Reg Idx = genExpr(Rhs);
+      uint64_t Size = LTy.pointee().size();
+      if (Size != 1)
+        Idx = Builder->binopImm(Opcode::Mul, Idx,
+                                static_cast<int64_t>(Size));
+      return Op == BinOp::Add ? Builder->add(Old, Idx)
+                              : Builder->sub(Old, Idx);
+    }
+    Type Common = commonType(LTy, RTy);
+    Reg A = convert(Old, LTy, Common);
+    Reg B = convert(genExpr(Rhs), RTy, Common);
+    Reg NewV;
+    if (Common.isDouble()) {
+      Opcode FOp;
+      switch (Op) {
+      case BinOp::Add:
+        FOp = Opcode::FAdd;
+        break;
+      case BinOp::Sub:
+        FOp = Opcode::FSub;
+        break;
+      case BinOp::Mul:
+        FOp = Opcode::FMul;
+        break;
+      case BinOp::Div:
+        FOp = Opcode::FDiv;
+        break;
+      default:
+        reportFatalError("invalid double compound op");
+      }
+      NewV = Builder->fbinop(FOp, A, B);
+    } else {
+      Opcode IOp;
+      switch (Op) {
+      case BinOp::Add:
+        IOp = Opcode::Add;
+        break;
+      case BinOp::Sub:
+        IOp = Opcode::Sub;
+        break;
+      case BinOp::Mul:
+        IOp = Opcode::Mul;
+        break;
+      case BinOp::Div:
+        IOp = Opcode::Div;
+        break;
+      case BinOp::Rem:
+        IOp = Opcode::Rem;
+        break;
+      default:
+        reportFatalError("invalid compound op");
+      }
+      NewV = Builder->binop(IOp, A, B);
+    }
+    return convert(NewV, Common, LTy);
+  }
+
+  Reg genCompoundAssign(const Expr &E) {
+    const Type &LTy = E.Lhs->Ty;
+    if (isRegisterLocal(*E.Lhs)) {
+      Reg Var = Locals[E.Lhs->Binding.Id].R;
+      uint32_t Watermark = F->getNumRegs();
+      Reg NewV = applyCompound(E.BOp, Var, LTy, *E.Rhs);
+      writeVar(Var, NewV, Watermark);
+      return Var;
+    }
+    if (auto Slot = directSlot(*E.Lhs)) {
+      Reg Old = Builder->load(Slot->first, Slot->second, widthFor(LTy));
+      Reg NewV = applyCompound(E.BOp, Old, LTy, *E.Rhs);
+      Builder->store(NewV, Slot->first, Slot->second, widthFor(LTy));
+      return NewV;
+    }
+    Reg Addr = genAddr(*E.Lhs); // address evaluated once
+    Reg Old = Builder->load(Addr, 0, widthFor(LTy));
+    Reg NewV = applyCompound(E.BOp, Old, LTy, *E.Rhs);
+    Builder->store(NewV, Addr, 0, widthFor(LTy));
+    return NewV;
+  }
+
+  Reg genIncDec(const Expr &E) {
+    const Type &Ty = E.Lhs->Ty;
+    int64_t Delta = E.IsIncrement ? 1 : -1;
+    if (Ty.isPointer())
+      Delta *= static_cast<int64_t>(Ty.pointee().size());
+
+    auto bump = [&](Reg Old) -> Reg {
+      if (Ty.isDouble()) {
+        Reg One = Builder->loadFImm(static_cast<double>(Delta));
+        return Builder->fbinop(Opcode::FAdd, Old, One);
+      }
+      return Builder->addImm(Old, Delta);
+    };
+
+    if (isRegisterLocal(*E.Lhs)) {
+      Reg Var = Locals[E.Lhs->Binding.Id].R;
+      Reg Old = E.IsPrefix ? Var : Builder->move(Var);
+      uint32_t Watermark = F->getNumRegs();
+      Reg NewV = bump(Var);
+      writeVar(Var, NewV, Watermark);
+      return E.IsPrefix ? Var : Old;
+    }
+    if (auto Slot = directSlot(*E.Lhs)) {
+      Reg Old = Builder->load(Slot->first, Slot->second, widthFor(Ty));
+      Reg NewV = bump(Old);
+      Builder->store(NewV, Slot->first, Slot->second, widthFor(Ty));
+      return E.IsPrefix ? NewV : Old;
+    }
+    Reg Addr = genAddr(*E.Lhs);
+    Reg Old = Builder->load(Addr, 0, widthFor(Ty));
+    Reg NewV = bump(Old);
+    Builder->store(NewV, Addr, 0, widthFor(Ty));
+    return E.IsPrefix ? NewV : Old;
+  }
+
+  Reg genCall(const Expr &E) {
+    std::vector<Reg> Args;
+    Args.reserve(E.Args.size());
+
+    if (const Builtin *B = lookupBuiltin(E.StrValue)) {
+      Type DArg = Type::doubleTy();
+      for (size_t I = 0; I < E.Args.size(); ++I) {
+        Reg V = genExpr(*E.Args[I]);
+        // print_double takes a double; everything else takes ints or
+        // pointers (no conversion needed beyond int<->double).
+        Type Want = (*B == Builtin::PrintDouble) ? DArg : Type::intTy();
+        if (Want.isDouble() || E.Args[I]->Ty.decay().isDouble())
+          V = convert(V, E.Args[I]->Ty.decay(), Want);
+        Args.push_back(V);
+      }
+      if (E.Ty.isVoid()) {
+        Builder->callIntrinsicVoid(builtinIntrinsic(*B), Args);
+        return Reg();
+      }
+      return Builder->callIntrinsic(builtinIntrinsic(*B), Args);
+    }
+
+    assert(E.Binding.K == VarBinding::Function && "unresolved call");
+    const FuncDecl &Callee = *P.Functions[E.Binding.Id];
+    for (size_t I = 0; I < E.Args.size(); ++I) {
+      Reg V = genExpr(*E.Args[I]);
+      V = convert(V, E.Args[I]->Ty.decay(), Callee.Params[I].Ty);
+      Args.push_back(V);
+    }
+    ir::Function *Target = M->getFunction(E.Binding.Id);
+    if (E.Ty.isVoid()) {
+      Builder->callVoid(Target, Args);
+      return Reg();
+    }
+    return Builder->call(Target, Args);
+  }
+
+  //===--- branch generation ----------------------------------------------===//
+
+  static bool isZeroIntLiteral(const Expr &E) {
+    return E.Kind == ExprKind::IntLit && E.IntValue == 0;
+  }
+
+  /// Emits control flow transferring to \p TrueB when \p E is true.
+  /// This is where the MIPS-style branch opcode selection happens.
+  void genBranch(const Expr &E, BasicBlock *TrueB, BasicBlock *FalseB) {
+    // !e: swap targets.
+    if (E.Kind == ExprKind::Unary && E.UOp == UnOp::Not)
+      return genBranch(*E.Lhs, FalseB, TrueB);
+
+    if (E.Kind == ExprKind::Binary) {
+      if (E.BOp == BinOp::LogAnd) {
+        BasicBlock *Mid = Builder->makeBlock("and.rhs");
+        genBranch(*E.Lhs, Mid, FalseB);
+        Builder->setInsertBlock(Mid);
+        return genBranch(*E.Rhs, TrueB, FalseB);
+      }
+      if (E.BOp == BinOp::LogOr) {
+        BasicBlock *Mid = Builder->makeBlock("or.rhs");
+        genBranch(*E.Lhs, TrueB, Mid);
+        Builder->setInsertBlock(Mid);
+        return genBranch(*E.Rhs, TrueB, FalseB);
+      }
+      if (isComparison(E.BOp))
+        return genComparisonBranch(E, TrueB, FalseB);
+    }
+
+    // Plain value as condition: value != 0.
+    Type Ty = E.Ty.decay();
+    Reg V = genExpr(E);
+    if (Ty.isDouble()) {
+      Reg Z = Builder->loadFImm(0.0);
+      Builder->fcmp(Opcode::FCmpEq, V, Z);
+      Builder->flagBranch(BranchOp::BC1F, TrueB, FalseB);
+      return;
+    }
+    Builder->condBranch(BranchOp::BNE, V, ir::ZeroReg, TrueB, FalseB);
+    if (Ty.isPointer())
+      Builder->markPointerCompare();
+  }
+
+  void genComparisonBranch(const Expr &E, BasicBlock *TrueB,
+                           BasicBlock *FalseB) {
+    Type L = E.Lhs->Ty.decay(), R = E.Rhs->Ty.decay();
+
+    // Double comparisons: c.{eq,lt,le}.d + bc1t/bc1f.
+    if (L.isDouble() || R.isDouble()) {
+      Reg A = convert(genExpr(*E.Lhs), L, Type::doubleTy());
+      Reg B = convert(genExpr(*E.Rhs), R, Type::doubleTy());
+      switch (E.BOp) {
+      case BinOp::Eq:
+        Builder->fcmp(Opcode::FCmpEq, A, B);
+        return Builder->flagBranch(BranchOp::BC1T, TrueB, FalseB);
+      case BinOp::Ne:
+        Builder->fcmp(Opcode::FCmpEq, A, B);
+        return Builder->flagBranch(BranchOp::BC1F, TrueB, FalseB);
+      case BinOp::Lt:
+        Builder->fcmp(Opcode::FCmpLt, A, B);
+        return Builder->flagBranch(BranchOp::BC1T, TrueB, FalseB);
+      case BinOp::Le:
+        Builder->fcmp(Opcode::FCmpLe, A, B);
+        return Builder->flagBranch(BranchOp::BC1T, TrueB, FalseB);
+      case BinOp::Gt:
+        Builder->fcmp(Opcode::FCmpLt, B, A);
+        return Builder->flagBranch(BranchOp::BC1T, TrueB, FalseB);
+      case BinOp::Ge:
+        Builder->fcmp(Opcode::FCmpLe, B, A);
+        return Builder->flagBranch(BranchOp::BC1T, TrueB, FalseB);
+      default:
+        reportFatalError("not a comparison");
+      }
+    }
+
+    bool PointerCmp = L.isPointer() || R.isPointer();
+
+    // Comparisons against literal zero get the MIPS compare-to-zero
+    // opcodes (integers only; pointers use beq/bne against $zero).
+    if (!PointerCmp) {
+      bool ZeroRhs = isZeroIntLiteral(*E.Rhs);
+      bool ZeroLhs = isZeroIntLiteral(*E.Lhs);
+      if (ZeroRhs || ZeroLhs) {
+        const Expr &Val = ZeroRhs ? *E.Lhs : *E.Rhs;
+        BinOp Op = E.BOp;
+        if (ZeroLhs) {
+          // 0 < a  ==  a > 0, etc.
+          switch (Op) {
+          case BinOp::Lt:
+            Op = BinOp::Gt;
+            break;
+          case BinOp::Le:
+            Op = BinOp::Ge;
+            break;
+          case BinOp::Gt:
+            Op = BinOp::Lt;
+            break;
+          case BinOp::Ge:
+            Op = BinOp::Le;
+            break;
+          default:
+            break;
+          }
+        }
+        Reg V = genExpr(Val);
+        switch (Op) {
+        case BinOp::Lt:
+          return Builder->condBranch(BranchOp::BLTZ, V, Reg(), TrueB,
+                                     FalseB);
+        case BinOp::Le:
+          return Builder->condBranch(BranchOp::BLEZ, V, Reg(), TrueB,
+                                     FalseB);
+        case BinOp::Gt:
+          return Builder->condBranch(BranchOp::BGTZ, V, Reg(), TrueB,
+                                     FalseB);
+        case BinOp::Ge:
+          return Builder->condBranch(BranchOp::BGEZ, V, Reg(), TrueB,
+                                     FalseB);
+        case BinOp::Eq:
+          return Builder->condBranch(BranchOp::BEQ, V, ir::ZeroReg, TrueB,
+                                     FalseB);
+        case BinOp::Ne:
+          return Builder->condBranch(BranchOp::BNE, V, ir::ZeroReg, TrueB,
+                                     FalseB);
+        default:
+          reportFatalError("not a comparison");
+        }
+      }
+    }
+
+    // Equality: beq/bne.
+    if (E.BOp == BinOp::Eq || E.BOp == BinOp::Ne) {
+      Reg A = isZeroIntLiteral(*E.Lhs) ? ir::ZeroReg : genExpr(*E.Lhs);
+      Reg B = isZeroIntLiteral(*E.Rhs) ? ir::ZeroReg : genExpr(*E.Rhs);
+      Builder->condBranch(E.BOp == BinOp::Eq ? BranchOp::BEQ : BranchOp::BNE,
+                          A, B, TrueB, FalseB);
+      if (PointerCmp)
+        Builder->markPointerCompare();
+      return;
+    }
+
+    // General relational: slt + bne/beq, the MIPS lowering.
+    Reg A = genExpr(*E.Lhs);
+    Reg B = genExpr(*E.Rhs);
+    switch (E.BOp) {
+    case BinOp::Lt:
+      return Builder->condBranch(BranchOp::BNE, Builder->slt(A, B),
+                                 ir::ZeroReg, TrueB, FalseB);
+    case BinOp::Gt:
+      return Builder->condBranch(BranchOp::BNE, Builder->slt(B, A),
+                                 ir::ZeroReg, TrueB, FalseB);
+    case BinOp::Le:
+      // a <= b  ==  !(b < a): branch on the slt result being zero.
+      return Builder->condBranch(BranchOp::BEQ, Builder->slt(B, A),
+                                 ir::ZeroReg, TrueB, FalseB);
+    case BinOp::Ge:
+      return Builder->condBranch(BranchOp::BEQ, Builder->slt(A, B),
+                                 ir::ZeroReg, TrueB, FalseB);
+    default:
+      reportFatalError("not a comparison");
+    }
+  }
+
+  const Program &P;
+  const SemaResult &SR;
+  std::unique_ptr<ir::Module> M;
+
+  std::vector<uint32_t> GlobalOffsets;
+  std::unordered_map<std::string, uint32_t> StringOffsets;
+
+  // Per-function state.
+  ir::Function *F = nullptr;
+  const FuncInfo *CurFI = nullptr;
+  const FuncDecl *CurFD = nullptr;
+  std::unique_ptr<IRBuilder> Builder;
+  std::vector<Storage> Locals;
+  std::vector<LoopCtx> Loops;
+};
+
+} // namespace
+
+std::unique_ptr<ir::Module> minic::codegen(const Program &P,
+                                           const SemaResult &SR) {
+  return CodeGenImpl(P, SR).run();
+}

@@ -1,0 +1,46 @@
+//===- frontend/CodeGen.h - MiniC to IR code generation --------*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a type-checked MiniC Program to bpfree IR, following the MIPS
+/// code-generation conventions the paper's heuristics were designed
+/// around:
+///
+///  * globals are addressed off GP, locals off SP — the Pointer
+///    heuristic's GP filter depends on this;
+///  * scalar locals whose address is never taken live in (mutable)
+///    virtual registers — the paper notes that without register
+///    allocation the Guard heuristic's coverage collapses;
+///  * comparisons against literal zero lower to the MIPS
+///    blez/bgtz/bltz/bgez opcodes, equality to beq/bne, FP compares to
+///    c.{eq,lt,le}.d + bc1t/bc1f — the Opcode heuristic's vocabulary;
+///  * while/for loops are rotated ("an if-then around a do-until loop,
+///    replicating the loop test"), the shape the paper observes real
+///    compilers emit and which the Loop heuristic exploits;
+///  * pointer comparisons set the Terminator::PointerCompare annotation
+///    for the type-aware pointer-heuristic extension.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_FRONTEND_CODEGEN_H
+#define BPFREE_FRONTEND_CODEGEN_H
+
+#include "frontend/Sema.h"
+#include "ir/Module.h"
+
+#include <memory>
+
+namespace bpfree {
+namespace minic {
+
+/// Lowers \p P (already analyzed; \p SR from analyze(P)) into a fresh IR
+/// module. The generated module passes ir::verifyModule.
+std::unique_ptr<ir::Module> codegen(const Program &P, const SemaResult &SR);
+
+} // namespace minic
+} // namespace bpfree
+
+#endif // BPFREE_FRONTEND_CODEGEN_H

@@ -1,0 +1,46 @@
+//===- frontend/Compiler.cpp - MiniC compilation driver -------------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+
+#include "frontend/CodeGen.h"
+#include "frontend/Parser.h"
+#include "frontend/Sema.h"
+#include "ir/Simplify.h"
+#include "ir/Verifier.h"
+
+using namespace bpfree;
+using namespace bpfree::minic;
+
+Expected<std::unique_ptr<ir::Module>>
+minic::compile(const std::string &Source) {
+  Expected<std::unique_ptr<Program>> Prog = parseSource(Source);
+  if (!Prog)
+    return Prog.error();
+
+  Expected<SemaResult> Sema = analyze(**Prog);
+  if (!Sema)
+    return Sema.error();
+
+  std::unique_ptr<ir::Module> M = codegen(**Prog, *Sema);
+
+  // Straight-line block merging: real compilers' output shape, and a
+  // precondition for the pointer heuristic's load/branch pattern to be
+  // visible at bottom-of-loop tests.
+  ir::simplifyCfg(*M);
+
+  std::vector<std::string> Errors = ir::verifyModule(*M);
+  if (!Errors.empty())
+    return Diag("internal codegen error: " + Errors.front());
+  return M;
+}
+
+std::unique_ptr<ir::Module> minic::compileOrDie(const std::string &Source) {
+  Expected<std::unique_ptr<ir::Module>> M = compile(Source);
+  if (!M)
+    reportFatalError("MiniC compilation failed: " + M.error().render());
+  return std::move(*M);
+}

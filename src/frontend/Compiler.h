@@ -1,0 +1,38 @@
+//===- frontend/Compiler.h - MiniC compilation driver -----------*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One-call driver: MiniC source text -> verified IR module
+/// (lex -> parse -> sema -> codegen -> verify). This is the entry point
+/// the workloads, tests, examples, and benches use.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_FRONTEND_COMPILER_H
+#define BPFREE_FRONTEND_COMPILER_H
+
+#include "ir/Module.h"
+#include "support/Error.h"
+
+#include <memory>
+#include <string>
+
+namespace bpfree {
+namespace minic {
+
+/// Compiles \p Source to a verified IR module. On any error (lexical,
+/// syntactic, semantic, or an internal codegen verification failure)
+/// returns a Diag whose message names the stage.
+Expected<std::unique_ptr<ir::Module>> compile(const std::string &Source);
+
+/// Like compile(), but aborts with the diagnostic on failure. For tests
+/// and tools whose inputs are known-good programs.
+std::unique_ptr<ir::Module> compileOrDie(const std::string &Source);
+
+} // namespace minic
+} // namespace bpfree
+
+#endif // BPFREE_FRONTEND_COMPILER_H

@@ -1,0 +1,467 @@
+//===- frontend/Lexer.cpp - MiniC tokenizer -------------------------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+using namespace bpfree;
+using namespace bpfree::minic;
+
+const char *minic::tokKindName(TokKind K) {
+  switch (K) {
+  case TokKind::Eof:
+    return "end of file";
+  case TokKind::Identifier:
+    return "identifier";
+  case TokKind::IntLiteral:
+    return "integer literal";
+  case TokKind::FloatLiteral:
+    return "float literal";
+  case TokKind::CharLiteral:
+    return "char literal";
+  case TokKind::StringLiteral:
+    return "string literal";
+  case TokKind::KwInt:
+    return "'int'";
+  case TokKind::KwChar:
+    return "'char'";
+  case TokKind::KwDouble:
+    return "'double'";
+  case TokKind::KwVoid:
+    return "'void'";
+  case TokKind::KwStruct:
+    return "'struct'";
+  case TokKind::KwIf:
+    return "'if'";
+  case TokKind::KwElse:
+    return "'else'";
+  case TokKind::KwWhile:
+    return "'while'";
+  case TokKind::KwFor:
+    return "'for'";
+  case TokKind::KwDo:
+    return "'do'";
+  case TokKind::KwReturn:
+    return "'return'";
+  case TokKind::KwBreak:
+    return "'break'";
+  case TokKind::KwContinue:
+    return "'continue'";
+  case TokKind::KwSizeof:
+    return "'sizeof'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::LBracket:
+    return "'['";
+  case TokKind::RBracket:
+    return "']'";
+  case TokKind::Semi:
+    return "';'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Dot:
+    return "'.'";
+  case TokKind::Arrow:
+    return "'->'";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Slash:
+    return "'/'";
+  case TokKind::Percent:
+    return "'%'";
+  case TokKind::Amp:
+    return "'&'";
+  case TokKind::Pipe:
+    return "'|'";
+  case TokKind::Caret:
+    return "'^'";
+  case TokKind::Tilde:
+    return "'~'";
+  case TokKind::Bang:
+    return "'!'";
+  case TokKind::Assign:
+    return "'='";
+  case TokKind::PlusAssign:
+    return "'+='";
+  case TokKind::MinusAssign:
+    return "'-='";
+  case TokKind::StarAssign:
+    return "'*='";
+  case TokKind::SlashAssign:
+    return "'/='";
+  case TokKind::PercentAssign:
+    return "'%='";
+  case TokKind::PlusPlus:
+    return "'++'";
+  case TokKind::MinusMinus:
+    return "'--'";
+  case TokKind::EqEq:
+    return "'=='";
+  case TokKind::NotEq:
+    return "'!='";
+  case TokKind::Less:
+    return "'<'";
+  case TokKind::LessEq:
+    return "'<='";
+  case TokKind::Greater:
+    return "'>'";
+  case TokKind::GreaterEq:
+    return "'>='";
+  case TokKind::Shl:
+    return "'<<'";
+  case TokKind::ShrTok:
+    return "'>>'";
+  case TokKind::AmpAmp:
+    return "'&&'";
+  case TokKind::PipePipe:
+    return "'||'";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string, TokKind> &keywords() {
+  static const std::unordered_map<std::string, TokKind> Map = {
+      {"int", TokKind::KwInt},         {"char", TokKind::KwChar},
+      {"double", TokKind::KwDouble},   {"void", TokKind::KwVoid},
+      {"struct", TokKind::KwStruct},   {"if", TokKind::KwIf},
+      {"else", TokKind::KwElse},       {"while", TokKind::KwWhile},
+      {"for", TokKind::KwFor},         {"do", TokKind::KwDo},
+      {"return", TokKind::KwReturn},   {"break", TokKind::KwBreak},
+      {"continue", TokKind::KwContinue}, {"sizeof", TokKind::KwSizeof},
+  };
+  return Map;
+}
+
+class LexerImpl {
+public:
+  explicit LexerImpl(const std::string &Source) : Src(Source) {}
+
+  Expected<std::vector<Token>> run() {
+    std::vector<Token> Tokens;
+    while (true) {
+      if (!skipWhitespaceAndComments())
+        return Diag(ErrMessage, ErrLine, ErrColumn);
+      Token T;
+      T.Line = Line;
+      T.Column = Column;
+      if (atEnd()) {
+        T.Kind = TokKind::Eof;
+        Tokens.push_back(T);
+        return Tokens;
+      }
+      if (!lexToken(T))
+        return Diag(ErrMessage, ErrLine, ErrColumn);
+      Tokens.push_back(std::move(T));
+    }
+  }
+
+private:
+  bool atEnd() const { return Pos >= Src.size(); }
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  }
+  char advance() {
+    char C = Src[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Column = 1;
+    } else {
+      ++Column;
+    }
+    return C;
+  }
+
+  bool fail(const std::string &Message) {
+    ErrMessage = Message;
+    ErrLine = Line;
+    ErrColumn = Column;
+    return false;
+  }
+
+  bool skipWhitespaceAndComments() {
+    while (!atEnd()) {
+      char C = peek();
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        advance();
+      } else if (C == '/' && peek(1) == '/') {
+        while (!atEnd() && peek() != '\n')
+          advance();
+      } else if (C == '/' && peek(1) == '*') {
+        advance();
+        advance();
+        while (!atEnd() && !(peek() == '*' && peek(1) == '/'))
+          advance();
+        if (atEnd())
+          return fail("unterminated block comment");
+        advance();
+        advance();
+      } else {
+        break;
+      }
+    }
+    return true;
+  }
+
+  /// Decodes a backslash escape after the '\\' was consumed.
+  bool lexEscape(char &Out) {
+    if (atEnd())
+      return fail("unterminated escape sequence");
+    char C = advance();
+    switch (C) {
+    case 'n':
+      Out = '\n';
+      return true;
+    case 't':
+      Out = '\t';
+      return true;
+    case 'r':
+      Out = '\r';
+      return true;
+    case '0':
+      Out = '\0';
+      return true;
+    case '\\':
+      Out = '\\';
+      return true;
+    case '\'':
+      Out = '\'';
+      return true;
+    case '"':
+      Out = '"';
+      return true;
+    default:
+      return fail(std::string("unknown escape '\\") + C + "'");
+    }
+  }
+
+  bool lexToken(Token &T) {
+    char C = peek();
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+      return lexIdentifier(T);
+    if (std::isdigit(static_cast<unsigned char>(C)))
+      return lexNumber(T);
+    if (C == '\'')
+      return lexCharLiteral(T);
+    if (C == '"')
+      return lexStringLiteral(T);
+    return lexPunct(T);
+  }
+
+  bool lexIdentifier(Token &T) {
+    std::string Text;
+    while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                        peek() == '_'))
+      Text += advance();
+    auto It = keywords().find(Text);
+    if (It != keywords().end()) {
+      T.Kind = It->second;
+    } else {
+      T.Kind = TokKind::Identifier;
+      T.Text = std::move(Text);
+    }
+    return true;
+  }
+
+  bool lexNumber(Token &T) {
+    std::string Text;
+    bool IsFloat = false;
+    while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+      Text += advance();
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      IsFloat = true;
+      Text += advance();
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+        Text += advance();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      size_t Save = 1;
+      if (peek(1) == '+' || peek(1) == '-')
+        Save = 2;
+      if (std::isdigit(static_cast<unsigned char>(peek(Save)))) {
+        IsFloat = true;
+        for (size_t I = 0; I < Save; ++I)
+          Text += advance();
+        while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+          Text += advance();
+      }
+    }
+    if (IsFloat) {
+      T.Kind = TokKind::FloatLiteral;
+      T.FloatValue = std::strtod(Text.c_str(), nullptr);
+    } else {
+      T.Kind = TokKind::IntLiteral;
+      T.IntValue = std::strtoll(Text.c_str(), nullptr, 10);
+    }
+    return true;
+  }
+
+  bool lexCharLiteral(Token &T) {
+    advance(); // opening quote
+    if (atEnd())
+      return fail("unterminated char literal");
+    char Value;
+    if (peek() == '\\') {
+      advance();
+      if (!lexEscape(Value))
+        return false;
+    } else {
+      Value = advance();
+    }
+    if (atEnd() || advance() != '\'')
+      return fail("unterminated char literal");
+    T.Kind = TokKind::CharLiteral;
+    T.IntValue = static_cast<int64_t>(Value);
+    return true;
+  }
+
+  bool lexStringLiteral(Token &T) {
+    advance(); // opening quote
+    std::string Text;
+    while (!atEnd() && peek() != '"') {
+      char C;
+      if (peek() == '\\') {
+        advance();
+        if (!lexEscape(C))
+          return false;
+      } else {
+        C = advance();
+      }
+      Text += C;
+    }
+    if (atEnd())
+      return fail("unterminated string literal");
+    advance(); // closing quote
+    T.Kind = TokKind::StringLiteral;
+    T.Text = std::move(Text);
+    return true;
+  }
+
+  bool lexPunct(Token &T) {
+    char C = advance();
+    auto two = [&](char Next, TokKind Double, TokKind Single) {
+      if (peek() == Next) {
+        advance();
+        T.Kind = Double;
+      } else {
+        T.Kind = Single;
+      }
+      return true;
+    };
+    switch (C) {
+    case '(':
+      T.Kind = TokKind::LParen;
+      return true;
+    case ')':
+      T.Kind = TokKind::RParen;
+      return true;
+    case '{':
+      T.Kind = TokKind::LBrace;
+      return true;
+    case '}':
+      T.Kind = TokKind::RBrace;
+      return true;
+    case '[':
+      T.Kind = TokKind::LBracket;
+      return true;
+    case ']':
+      T.Kind = TokKind::RBracket;
+      return true;
+    case ';':
+      T.Kind = TokKind::Semi;
+      return true;
+    case ',':
+      T.Kind = TokKind::Comma;
+      return true;
+    case '.':
+      T.Kind = TokKind::Dot;
+      return true;
+    case '~':
+      T.Kind = TokKind::Tilde;
+      return true;
+    case '^':
+      T.Kind = TokKind::Caret;
+      return true;
+    case '+':
+      if (peek() == '+') {
+        advance();
+        T.Kind = TokKind::PlusPlus;
+        return true;
+      }
+      return two('=', TokKind::PlusAssign, TokKind::Plus);
+    case '-':
+      if (peek() == '-') {
+        advance();
+        T.Kind = TokKind::MinusMinus;
+        return true;
+      }
+      if (peek() == '>') {
+        advance();
+        T.Kind = TokKind::Arrow;
+        return true;
+      }
+      return two('=', TokKind::MinusAssign, TokKind::Minus);
+    case '*':
+      return two('=', TokKind::StarAssign, TokKind::Star);
+    case '/':
+      return two('=', TokKind::SlashAssign, TokKind::Slash);
+    case '%':
+      return two('=', TokKind::PercentAssign, TokKind::Percent);
+    case '=':
+      return two('=', TokKind::EqEq, TokKind::Assign);
+    case '!':
+      return two('=', TokKind::NotEq, TokKind::Bang);
+    case '&':
+      return two('&', TokKind::AmpAmp, TokKind::Amp);
+    case '|':
+      return two('|', TokKind::PipePipe, TokKind::Pipe);
+    case '<':
+      if (peek() == '<') {
+        advance();
+        T.Kind = TokKind::Shl;
+        return true;
+      }
+      return two('=', TokKind::LessEq, TokKind::Less);
+    case '>':
+      if (peek() == '>') {
+        advance();
+        T.Kind = TokKind::ShrTok;
+        return true;
+      }
+      return two('=', TokKind::GreaterEq, TokKind::Greater);
+    default:
+      return fail(std::string("unexpected character '") + C + "'");
+    }
+  }
+
+  const std::string &Src;
+  size_t Pos = 0;
+  int Line = 1;
+  int Column = 1;
+  std::string ErrMessage;
+  int ErrLine = 0;
+  int ErrColumn = 0;
+};
+
+} // namespace
+
+Expected<std::vector<Token>> minic::lex(const std::string &Source) {
+  return LexerImpl(Source).run();
+}

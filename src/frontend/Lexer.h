@@ -1,0 +1,111 @@
+//===- frontend/Lexer.h - MiniC tokenizer -----------------------*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written tokenizer for MiniC. Produces the whole token stream up
+/// front (sources are small); reports the first lexical error via Diag.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_FRONTEND_LEXER_H
+#define BPFREE_FRONTEND_LEXER_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bpfree {
+namespace minic {
+
+/// Token kinds. Punctuation tokens are named after their spelling.
+enum class TokKind {
+  Eof,
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+  CharLiteral,
+  StringLiteral,
+
+  // Keywords.
+  KwInt,
+  KwChar,
+  KwDouble,
+  KwVoid,
+  KwStruct,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwDo,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  KwSizeof,
+
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Dot,
+  Arrow,      // ->
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Amp,
+  Pipe,
+  Caret,
+  Tilde,
+  Bang,
+  Assign,     // =
+  PlusAssign, // +=
+  MinusAssign,
+  StarAssign,
+  SlashAssign,
+  PercentAssign,
+  PlusPlus,
+  MinusMinus,
+  EqEq,
+  NotEq,
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+  Shl,
+  ShrTok,
+  AmpAmp,
+  PipePipe,
+};
+
+/// \returns a printable name for \p K ("identifier", "'+='", ...).
+const char *tokKindName(TokKind K);
+
+/// One token with source location and literal payload.
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;   ///< identifier / string contents
+  int64_t IntValue = 0;
+  double FloatValue = 0.0;
+  int Line = 0;
+  int Column = 0;
+};
+
+/// Tokenizes \p Source. On success returns the token vector terminated
+/// by an Eof token; on failure returns the lexical error.
+Expected<std::vector<Token>> lex(const std::string &Source);
+
+} // namespace minic
+} // namespace bpfree
+
+#endif // BPFREE_FRONTEND_LEXER_H

@@ -1,0 +1,758 @@
+//===- frontend/Parser.cpp - MiniC recursive-descent parser ---------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+#include <cassert>
+
+using namespace bpfree;
+using namespace bpfree::minic;
+
+namespace {
+
+class ParserImpl {
+public:
+  explicit ParserImpl(const std::vector<Token> &Tokens) : Tokens(Tokens) {}
+
+  Expected<std::unique_ptr<Program>> run() {
+    auto P = std::make_unique<Program>();
+    Prog = P.get();
+    while (!check(TokKind::Eof)) {
+      if (!parseTopLevel())
+        return Err;
+    }
+    return P;
+  }
+
+private:
+  //===--- token plumbing -------------------------------------------------===//
+
+  const Token &peek(size_t Ahead = 0) const {
+    size_t I = Pos + Ahead;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  const Token &advance() { return Tokens[Pos < Tokens.size() - 1 ? Pos++ : Pos]; }
+  bool check(TokKind K) const { return peek().Kind == K; }
+  bool match(TokKind K) {
+    if (!check(K))
+      return false;
+    advance();
+    return true;
+  }
+
+  bool fail(const std::string &Message) {
+    const Token &T = peek();
+    Err = Diag(Message, T.Line, T.Column);
+    return false;
+  }
+
+  bool expect(TokKind K, const char *Context) {
+    if (match(K))
+      return true;
+    return fail(std::string("expected ") + tokKindName(K) + " " + Context +
+                ", found " + tokKindName(peek().Kind));
+  }
+
+  //===--- types ----------------------------------------------------------===//
+
+  bool startsType(size_t Ahead = 0) const {
+    switch (peek(Ahead).Kind) {
+    case TokKind::KwInt:
+    case TokKind::KwChar:
+    case TokKind::KwDouble:
+    case TokKind::KwVoid:
+    case TokKind::KwStruct:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  /// Parses a type: base type plus pointer stars. Arrays are declared
+  /// via declarator suffixes, not here.
+  bool parseType(Type &Out) {
+    switch (peek().Kind) {
+    case TokKind::KwInt:
+      advance();
+      Out = Type::intTy();
+      break;
+    case TokKind::KwChar:
+      advance();
+      Out = Type::charTy();
+      break;
+    case TokKind::KwDouble:
+      advance();
+      Out = Type::doubleTy();
+      break;
+    case TokKind::KwVoid:
+      advance();
+      Out = Type::voidTy();
+      break;
+    case TokKind::KwStruct: {
+      advance();
+      if (!check(TokKind::Identifier))
+        return fail("expected struct name");
+      std::string Name = advance().Text;
+      const StructDef *S = Prog->findStruct(Name);
+      if (!S)
+        return fail("unknown struct '" + Name + "'");
+      Out = Type::structTy(S);
+      break;
+    }
+    default:
+      return fail("expected a type");
+    }
+    while (match(TokKind::Star))
+      Out = Type::pointerTo(Out);
+    return true;
+  }
+
+  /// Parses an optional "[N]" array suffix onto \p Ty.
+  bool parseArraySuffix(Type &Ty) {
+    if (!match(TokKind::LBracket))
+      return true;
+    if (!check(TokKind::IntLiteral))
+      return fail("array size must be an integer literal");
+    int64_t N = advance().IntValue;
+    if (N <= 0)
+      return fail("array size must be positive");
+    if (!expect(TokKind::RBracket, "after array size"))
+      return false;
+    Ty = Type::arrayOf(Ty, static_cast<uint64_t>(N));
+    return true;
+  }
+
+  //===--- top level ------------------------------------------------------===//
+
+  bool parseTopLevel() {
+    // Struct definition: "struct" IDENT "{".
+    if (check(TokKind::KwStruct) && peek(1).Kind == TokKind::Identifier &&
+        peek(2).Kind == TokKind::LBrace)
+      return parseStructDef();
+
+    Type Ty;
+    if (!parseType(Ty))
+      return false;
+    if (!check(TokKind::Identifier))
+      return fail("expected a name after type");
+    int Line = peek().Line;
+    std::string Name = advance().Text;
+
+    if (check(TokKind::LParen))
+      return parseFunction(Ty, Name, Line);
+    return parseGlobal(Ty, Name, Line);
+  }
+
+  bool parseStructDef() {
+    advance(); // struct
+    std::string Name = advance().Text;
+    if (Prog->findStruct(Name))
+      return fail("redefinition of struct '" + Name + "'");
+    advance(); // {
+
+    // Register before parsing fields so self-referential pointers work.
+    auto Def = std::make_unique<StructDef>();
+    StructDef *S = Def.get();
+    S->Name = Name;
+    Prog->Structs.push_back(std::move(Def));
+
+    while (!check(TokKind::RBrace)) {
+      Type FieldTy;
+      if (!parseType(FieldTy))
+        return false;
+      if (!check(TokKind::Identifier))
+        return fail("expected field name");
+      std::string FieldName = advance().Text;
+      if (!parseArraySuffix(FieldTy))
+        return false;
+      if (FieldTy.isVoid())
+        return fail("field '" + FieldName + "' has void type");
+      if (FieldTy.isStruct() && FieldTy.structDef() == S)
+        return fail("field '" + FieldName + "' has incomplete type");
+      if (S->findField(FieldName))
+        return fail("duplicate field '" + FieldName + "'");
+      S->Fields.push_back({FieldName, FieldTy, 0});
+      if (!expect(TokKind::Semi, "after struct field"))
+        return false;
+    }
+    advance(); // }
+    if (!expect(TokKind::Semi, "after struct definition"))
+      return false;
+    if (S->Fields.empty())
+      return fail("struct '" + Name + "' has no fields");
+    S->computeLayout();
+    return true;
+  }
+
+  bool parseGlobal(Type Ty, const std::string &Name, int Line) {
+    if (!parseArraySuffix(Ty))
+      return false;
+    if (Ty.isVoid())
+      return fail("global '" + Name + "' has void type");
+    auto G = std::make_unique<GlobalDecl>();
+    G->Name = Name;
+    G->Ty = Ty;
+    G->Line = Line;
+    if (match(TokKind::Assign)) {
+      bool Negative = match(TokKind::Minus);
+      if (check(TokKind::IntLiteral) || check(TokKind::CharLiteral)) {
+        G->HasInit = true;
+        G->InitInt = advance().IntValue;
+        G->InitFloat = static_cast<double>(G->InitInt);
+      } else if (check(TokKind::FloatLiteral)) {
+        G->HasInit = true;
+        G->InitFloat = advance().FloatValue;
+        G->InitInt = static_cast<int64_t>(G->InitFloat);
+      } else {
+        return fail("global initializer must be a numeric literal");
+      }
+      if (Negative) {
+        G->InitInt = -G->InitInt;
+        G->InitFloat = -G->InitFloat;
+      }
+    }
+    Prog->Globals.push_back(std::move(G));
+    return expect(TokKind::Semi, "after global declaration");
+  }
+
+  bool parseFunction(Type RetTy, const std::string &Name, int Line) {
+    advance(); // (
+    auto F = std::make_unique<FuncDecl>();
+    F->Name = Name;
+    F->ReturnType = RetTy;
+    F->Line = Line;
+
+    if (!check(TokKind::RParen)) {
+      // "(void)" means no parameters.
+      if (check(TokKind::KwVoid) && peek(1).Kind == TokKind::RParen) {
+        advance();
+      } else {
+        do {
+          ParamDecl P;
+          P.Line = peek().Line;
+          if (!parseType(P.Ty))
+            return false;
+          if (P.Ty.isVoid())
+            return fail("parameter has void type");
+          if (!check(TokKind::Identifier))
+            return fail("expected parameter name");
+          P.Name = advance().Text;
+          // Array parameters decay to pointers, as in C.
+          if (check(TokKind::LBracket)) {
+            advance();
+            if (!expect(TokKind::RBracket, "in array parameter"))
+              return false;
+            P.Ty = Type::pointerTo(P.Ty);
+          }
+          F->Params.push_back(std::move(P));
+        } while (match(TokKind::Comma));
+      }
+    }
+    if (!expect(TokKind::RParen, "after parameters"))
+      return false;
+    if (!check(TokKind::LBrace))
+      return fail("expected function body");
+    StmtPtr Body;
+    if (!parseBlock(Body))
+      return false;
+    F->Body = std::move(Body);
+    Prog->Functions.push_back(std::move(F));
+    return true;
+  }
+
+  //===--- statements -----------------------------------------------------===//
+
+  bool parseBlock(StmtPtr &Out) {
+    auto S = std::make_unique<Stmt>(StmtKind::Block);
+    S->Line = peek().Line;
+    if (!expect(TokKind::LBrace, "to open block"))
+      return false;
+    while (!check(TokKind::RBrace)) {
+      if (check(TokKind::Eof))
+        return fail("unterminated block");
+      StmtPtr Child;
+      if (!parseStatement(Child))
+        return false;
+      S->Body.push_back(std::move(Child));
+    }
+    advance(); // }
+    Out = std::move(S);
+    return true;
+  }
+
+  bool parseStatement(StmtPtr &Out) {
+    switch (peek().Kind) {
+    case TokKind::LBrace:
+      return parseBlock(Out);
+    case TokKind::KwIf:
+      return parseIf(Out);
+    case TokKind::KwWhile:
+      return parseWhile(Out);
+    case TokKind::KwDo:
+      return parseDoWhile(Out);
+    case TokKind::KwFor:
+      return parseFor(Out);
+    case TokKind::KwReturn:
+      return parseReturn(Out);
+    case TokKind::KwBreak: {
+      auto S = std::make_unique<Stmt>(StmtKind::Break);
+      S->Line = advance().Line;
+      Out = std::move(S);
+      return expect(TokKind::Semi, "after 'break'");
+    }
+    case TokKind::KwContinue: {
+      auto S = std::make_unique<Stmt>(StmtKind::Continue);
+      S->Line = advance().Line;
+      Out = std::move(S);
+      return expect(TokKind::Semi, "after 'continue'");
+    }
+    default:
+      if (startsType())
+        return parseVarDecl(Out) && expect(TokKind::Semi, "after declaration");
+      return parseExprStatement(Out);
+    }
+  }
+
+  bool parseIf(StmtPtr &Out) {
+    auto S = std::make_unique<Stmt>(StmtKind::If);
+    S->Line = advance().Line; // if
+    if (!expect(TokKind::LParen, "after 'if'"))
+      return false;
+    if (!parseExpr(S->Cond))
+      return false;
+    if (!expect(TokKind::RParen, "after if condition"))
+      return false;
+    if (!parseStatement(S->Then))
+      return false;
+    if (match(TokKind::KwElse))
+      if (!parseStatement(S->Else))
+        return false;
+    Out = std::move(S);
+    return true;
+  }
+
+  bool parseWhile(StmtPtr &Out) {
+    auto S = std::make_unique<Stmt>(StmtKind::While);
+    S->Line = advance().Line; // while
+    if (!expect(TokKind::LParen, "after 'while'"))
+      return false;
+    if (!parseExpr(S->Cond))
+      return false;
+    if (!expect(TokKind::RParen, "after while condition"))
+      return false;
+    if (!parseStatement(S->Then))
+      return false;
+    Out = std::move(S);
+    return true;
+  }
+
+  bool parseDoWhile(StmtPtr &Out) {
+    auto S = std::make_unique<Stmt>(StmtKind::DoWhile);
+    S->Line = advance().Line; // do
+    if (!parseStatement(S->Then))
+      return false;
+    if (!expect(TokKind::KwWhile, "after do-while body"))
+      return false;
+    if (!expect(TokKind::LParen, "after 'while'"))
+      return false;
+    if (!parseExpr(S->Cond))
+      return false;
+    if (!expect(TokKind::RParen, "after do-while condition"))
+      return false;
+    Out = std::move(S);
+    return expect(TokKind::Semi, "after do-while");
+  }
+
+  bool parseFor(StmtPtr &Out) {
+    auto S = std::make_unique<Stmt>(StmtKind::For);
+    S->Line = advance().Line; // for
+    if (!expect(TokKind::LParen, "after 'for'"))
+      return false;
+    if (!check(TokKind::Semi)) {
+      if (startsType()) {
+        if (!parseVarDecl(S->Init))
+          return false;
+      } else {
+        if (!parseExprStatementNoSemi(S->Init))
+          return false;
+      }
+    }
+    if (!expect(TokKind::Semi, "after for initializer"))
+      return false;
+    if (!check(TokKind::Semi))
+      if (!parseExpr(S->Cond))
+        return false;
+    if (!expect(TokKind::Semi, "after for condition"))
+      return false;
+    if (!check(TokKind::RParen))
+      if (!parseExpr(S->Step))
+        return false;
+    if (!expect(TokKind::RParen, "after for step"))
+      return false;
+    if (!parseStatement(S->Then))
+      return false;
+    Out = std::move(S);
+    return true;
+  }
+
+  bool parseReturn(StmtPtr &Out) {
+    auto S = std::make_unique<Stmt>(StmtKind::Return);
+    S->Line = advance().Line; // return
+    if (!check(TokKind::Semi))
+      if (!parseExpr(S->Value))
+        return false;
+    Out = std::move(S);
+    return expect(TokKind::Semi, "after return");
+  }
+
+  bool parseVarDecl(StmtPtr &Out) {
+    auto S = std::make_unique<Stmt>(StmtKind::VarDecl);
+    S->Line = peek().Line;
+    if (!parseType(S->VarType))
+      return false;
+    if (!check(TokKind::Identifier))
+      return fail("expected variable name");
+    S->VarName = advance().Text;
+    if (!parseArraySuffix(S->VarType))
+      return false;
+    if (S->VarType.isVoid())
+      return fail("variable '" + S->VarName + "' has void type");
+    if (match(TokKind::Assign))
+      if (!parseExpr(S->Value))
+        return false;
+    Out = std::move(S);
+    return true;
+  }
+
+  bool parseExprStatementNoSemi(StmtPtr &Out) {
+    auto S = std::make_unique<Stmt>(StmtKind::ExprStmt);
+    S->Line = peek().Line;
+    if (!parseExpr(S->Value))
+      return false;
+    Out = std::move(S);
+    return true;
+  }
+
+  bool parseExprStatement(StmtPtr &Out) {
+    return parseExprStatementNoSemi(Out) &&
+           expect(TokKind::Semi, "after expression");
+  }
+
+  //===--- expressions ----------------------------------------------------===//
+
+  ExprPtr makeExpr(ExprKind K) {
+    auto E = std::make_unique<Expr>(K);
+    E->Line = peek().Line;
+    E->Column = peek().Column;
+    return E;
+  }
+
+  bool parseExpr(ExprPtr &Out) { return parseAssignment(Out); }
+
+  bool parseAssignment(ExprPtr &Out) {
+    ExprPtr Lhs;
+    if (!parseLogicalOr(Lhs))
+      return false;
+    TokKind K = peek().Kind;
+    if (K == TokKind::Assign) {
+      auto E = makeExpr(ExprKind::Assign);
+      advance();
+      E->Lhs = std::move(Lhs);
+      if (!parseAssignment(E->Rhs))
+        return false;
+      Out = std::move(E);
+      return true;
+    }
+    BinOp Op;
+    switch (K) {
+    case TokKind::PlusAssign:
+      Op = BinOp::Add;
+      break;
+    case TokKind::MinusAssign:
+      Op = BinOp::Sub;
+      break;
+    case TokKind::StarAssign:
+      Op = BinOp::Mul;
+      break;
+    case TokKind::SlashAssign:
+      Op = BinOp::Div;
+      break;
+    case TokKind::PercentAssign:
+      Op = BinOp::Rem;
+      break;
+    default:
+      Out = std::move(Lhs);
+      return true;
+    }
+    auto E = makeExpr(ExprKind::CompoundAssign);
+    advance();
+    E->BOp = Op;
+    E->Lhs = std::move(Lhs);
+    if (!parseAssignment(E->Rhs))
+      return false;
+    Out = std::move(E);
+    return true;
+  }
+
+  /// Parses a left-associative binary level.
+  template <typename SubParser>
+  bool parseBinaryLevel(ExprPtr &Out, SubParser Sub,
+                        std::initializer_list<std::pair<TokKind, BinOp>> Ops) {
+    if (!(this->*Sub)(Out))
+      return false;
+    while (true) {
+      bool Matched = false;
+      for (auto [K, Op] : Ops) {
+        if (check(K)) {
+          auto E = makeExpr(ExprKind::Binary);
+          advance();
+          E->BOp = Op;
+          E->Lhs = std::move(Out);
+          if (!(this->*Sub)(E->Rhs))
+            return false;
+          Out = std::move(E);
+          Matched = true;
+          break;
+        }
+      }
+      if (!Matched)
+        return true;
+    }
+  }
+
+  bool parseLogicalOr(ExprPtr &Out) {
+    return parseBinaryLevel(Out, &ParserImpl::parseLogicalAnd,
+                            {{TokKind::PipePipe, BinOp::LogOr}});
+  }
+  bool parseLogicalAnd(ExprPtr &Out) {
+    return parseBinaryLevel(Out, &ParserImpl::parseBitOr,
+                            {{TokKind::AmpAmp, BinOp::LogAnd}});
+  }
+  bool parseBitOr(ExprPtr &Out) {
+    return parseBinaryLevel(Out, &ParserImpl::parseBitXor,
+                            {{TokKind::Pipe, BinOp::BitOr}});
+  }
+  bool parseBitXor(ExprPtr &Out) {
+    return parseBinaryLevel(Out, &ParserImpl::parseBitAnd,
+                            {{TokKind::Caret, BinOp::BitXor}});
+  }
+  bool parseBitAnd(ExprPtr &Out) {
+    return parseBinaryLevel(Out, &ParserImpl::parseEquality,
+                            {{TokKind::Amp, BinOp::BitAnd}});
+  }
+  bool parseEquality(ExprPtr &Out) {
+    return parseBinaryLevel(Out, &ParserImpl::parseRelational,
+                            {{TokKind::EqEq, BinOp::Eq},
+                             {TokKind::NotEq, BinOp::Ne}});
+  }
+  bool parseRelational(ExprPtr &Out) {
+    return parseBinaryLevel(Out, &ParserImpl::parseShift,
+                            {{TokKind::Less, BinOp::Lt},
+                             {TokKind::LessEq, BinOp::Le},
+                             {TokKind::Greater, BinOp::Gt},
+                             {TokKind::GreaterEq, BinOp::Ge}});
+  }
+  bool parseShift(ExprPtr &Out) {
+    return parseBinaryLevel(Out, &ParserImpl::parseAdditive,
+                            {{TokKind::Shl, BinOp::Shl},
+                             {TokKind::ShrTok, BinOp::Shr}});
+  }
+  bool parseAdditive(ExprPtr &Out) {
+    return parseBinaryLevel(Out, &ParserImpl::parseMultiplicative,
+                            {{TokKind::Plus, BinOp::Add},
+                             {TokKind::Minus, BinOp::Sub}});
+  }
+  bool parseMultiplicative(ExprPtr &Out) {
+    return parseBinaryLevel(Out, &ParserImpl::parseUnary,
+                            {{TokKind::Star, BinOp::Mul},
+                             {TokKind::Slash, BinOp::Div},
+                             {TokKind::Percent, BinOp::Rem}});
+  }
+
+  bool parseUnary(ExprPtr &Out) {
+    UnOp Op;
+    switch (peek().Kind) {
+    case TokKind::Minus:
+      Op = UnOp::Neg;
+      break;
+    case TokKind::Bang:
+      Op = UnOp::Not;
+      break;
+    case TokKind::Tilde:
+      Op = UnOp::BitNot;
+      break;
+    case TokKind::Star:
+      Op = UnOp::Deref;
+      break;
+    case TokKind::Amp:
+      Op = UnOp::AddrOf;
+      break;
+    case TokKind::PlusPlus:
+    case TokKind::MinusMinus: {
+      auto E = makeExpr(ExprKind::IncDec);
+      E->IsIncrement = advance().Kind == TokKind::PlusPlus;
+      E->IsPrefix = true;
+      if (!parseUnary(E->Lhs))
+        return false;
+      Out = std::move(E);
+      return true;
+    }
+    case TokKind::KwSizeof: {
+      auto E = makeExpr(ExprKind::Sizeof);
+      advance();
+      if (!expect(TokKind::LParen, "after 'sizeof'"))
+        return false;
+      if (!parseType(E->CastType))
+        return false;
+      if (!parseArraySuffix(E->CastType))
+        return false;
+      if (!expect(TokKind::RParen, "after sizeof type"))
+        return false;
+      Out = std::move(E);
+      return true;
+    }
+    default:
+      return parseCast(Out);
+    }
+    auto E = makeExpr(ExprKind::Unary);
+    advance();
+    E->UOp = Op;
+    if (!parseUnary(E->Lhs))
+      return false;
+    Out = std::move(E);
+    return true;
+  }
+
+  bool parseCast(ExprPtr &Out) {
+    // "(" type ")" unary — unambiguous: MiniC has no typedef names.
+    if (check(TokKind::LParen) && startsType(1)) {
+      auto E = makeExpr(ExprKind::Cast);
+      advance(); // (
+      if (!parseType(E->CastType))
+        return false;
+      if (!expect(TokKind::RParen, "after cast type"))
+        return false;
+      if (!parseUnary(E->Lhs))
+        return false;
+      Out = std::move(E);
+      return true;
+    }
+    return parsePostfix(Out);
+  }
+
+  bool parsePostfix(ExprPtr &Out) {
+    if (!parsePrimary(Out))
+      return false;
+    while (true) {
+      if (check(TokKind::LBracket)) {
+        auto E = makeExpr(ExprKind::Index);
+        advance();
+        E->Lhs = std::move(Out);
+        if (!parseExpr(E->Rhs))
+          return false;
+        if (!expect(TokKind::RBracket, "after index"))
+          return false;
+        Out = std::move(E);
+      } else if (check(TokKind::Dot) || check(TokKind::Arrow)) {
+        auto E = makeExpr(ExprKind::Member);
+        E->IsArrow = advance().Kind == TokKind::Arrow;
+        E->Lhs = std::move(Out);
+        if (!check(TokKind::Identifier))
+          return fail("expected field name");
+        E->StrValue = advance().Text;
+        Out = std::move(E);
+      } else if (check(TokKind::PlusPlus) || check(TokKind::MinusMinus)) {
+        auto E = makeExpr(ExprKind::IncDec);
+        E->IsIncrement = advance().Kind == TokKind::PlusPlus;
+        E->IsPrefix = false;
+        E->Lhs = std::move(Out);
+        Out = std::move(E);
+      } else {
+        return true;
+      }
+    }
+  }
+
+  bool parsePrimary(ExprPtr &Out) {
+    const Token &T = peek();
+    switch (T.Kind) {
+    case TokKind::IntLiteral:
+    case TokKind::CharLiteral: {
+      auto E = makeExpr(ExprKind::IntLit);
+      E->IntValue = advance().IntValue;
+      Out = std::move(E);
+      return true;
+    }
+    case TokKind::FloatLiteral: {
+      auto E = makeExpr(ExprKind::FloatLit);
+      E->FloatValue = advance().FloatValue;
+      Out = std::move(E);
+      return true;
+    }
+    case TokKind::StringLiteral: {
+      auto E = makeExpr(ExprKind::StringLit);
+      E->StrValue = advance().Text;
+      Out = std::move(E);
+      return true;
+    }
+    case TokKind::Identifier: {
+      // Function call or variable reference.
+      if (peek(1).Kind == TokKind::LParen) {
+        auto E = makeExpr(ExprKind::Call);
+        E->StrValue = advance().Text;
+        advance(); // (
+        if (!check(TokKind::RParen)) {
+          do {
+            ExprPtr Arg;
+            if (!parseExpr(Arg))
+              return false;
+            E->Args.push_back(std::move(Arg));
+          } while (match(TokKind::Comma));
+        }
+        if (!expect(TokKind::RParen, "after call arguments"))
+          return false;
+        Out = std::move(E);
+        return true;
+      }
+      auto E = makeExpr(ExprKind::VarRef);
+      E->StrValue = advance().Text;
+      Out = std::move(E);
+      return true;
+    }
+    case TokKind::LParen: {
+      advance();
+      if (!parseExpr(Out))
+        return false;
+      return expect(TokKind::RParen, "after parenthesized expression");
+    }
+    default:
+      return fail(std::string("expected an expression, found ") +
+                  tokKindName(T.Kind));
+    }
+  }
+
+  const std::vector<Token> &Tokens;
+  size_t Pos = 0;
+  Program *Prog = nullptr;
+  Diag Err;
+};
+
+} // namespace
+
+Expected<std::unique_ptr<Program>>
+minic::parse(const std::vector<Token> &Tokens) {
+  assert(!Tokens.empty() && Tokens.back().Kind == TokKind::Eof &&
+         "token stream must be Eof-terminated");
+  return ParserImpl(Tokens).run();
+}
+
+Expected<std::unique_ptr<Program>>
+minic::parseSource(const std::string &Source) {
+  Expected<std::vector<Token>> Tokens = lex(Source);
+  if (!Tokens)
+    return Tokens.error();
+  return parse(*Tokens);
+}

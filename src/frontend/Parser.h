@@ -1,0 +1,46 @@
+//===- frontend/Parser.h - MiniC recursive-descent parser ------*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for MiniC. Grammar summary:
+///
+///   program    := (structdef | globaldecl | funcdef)*
+///   structdef  := "struct" IDENT "{" (type declarator ";")+ "}" ";"
+///   funcdef    := type IDENT "(" params? ")" block
+///   globaldecl := type IDENT ("[" INT "]")? ("=" literal)? ";"
+///   stmt       := block | if | while | do-while | for | return
+///               | break | continue | vardecl | expr ";"
+///
+/// Expressions use C's precedence for the supported operators. Casts
+/// are unambiguous because MiniC has no typedefs: "(" followed by a
+/// type keyword is always a cast.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_FRONTEND_PARSER_H
+#define BPFREE_FRONTEND_PARSER_H
+
+#include "frontend/Ast.h"
+#include "frontend/Lexer.h"
+
+#include <memory>
+
+namespace bpfree {
+namespace minic {
+
+/// Parses \p Tokens (from lex()) into a Program, or returns the first
+/// syntax error. Struct names are resolved during parsing (definitions
+/// must precede uses, as in C without forward declarations — except
+/// that a struct may contain pointers to itself).
+Expected<std::unique_ptr<Program>> parse(const std::vector<Token> &Tokens);
+
+/// Convenience: lex + parse.
+Expected<std::unique_ptr<Program>> parseSource(const std::string &Source);
+
+} // namespace minic
+} // namespace bpfree
+
+#endif // BPFREE_FRONTEND_PARSER_H

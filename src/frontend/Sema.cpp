@@ -1,0 +1,613 @@
+//===- frontend/Sema.cpp - MiniC semantic analysis ------------------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Sema.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace bpfree;
+using namespace bpfree::minic;
+
+const Builtin *minic::lookupBuiltin(const std::string &Name) {
+  static const std::unordered_map<std::string, Builtin> Map = {
+      {"print_int", Builtin::PrintInt},
+      {"print_char", Builtin::PrintChar},
+      {"print_double", Builtin::PrintDouble},
+      {"print_str", Builtin::PrintStr},
+      {"malloc", Builtin::Malloc},
+      {"arg", Builtin::Arg},
+      {"input_len", Builtin::InputLen},
+      {"input_byte", Builtin::InputByte},
+      {"trap", Builtin::Trap},
+  };
+  auto It = Map.find(Name);
+  return It == Map.end() ? nullptr : &It->second;
+}
+
+namespace {
+
+/// Builtin signatures, aligned with lookupBuiltin.
+struct BuiltinSig {
+  Type Ret;
+  std::vector<Type> Params;
+};
+
+BuiltinSig builtinSig(Builtin B) {
+  Type I = Type::intTy(), D = Type::doubleTy(), V = Type::voidTy();
+  Type CharPtr = Type::pointerTo(Type::charTy());
+  switch (B) {
+  case Builtin::PrintInt:
+    return {V, {I}};
+  case Builtin::PrintChar:
+    return {V, {I}};
+  case Builtin::PrintDouble:
+    return {V, {D}};
+  case Builtin::PrintStr:
+    return {V, {CharPtr}};
+  case Builtin::Malloc:
+    return {CharPtr, {I}};
+  case Builtin::Arg:
+    return {I, {I}};
+  case Builtin::InputLen:
+    return {I, {}};
+  case Builtin::InputByte:
+    return {I, {I}};
+  case Builtin::Trap:
+    return {V, {}};
+  }
+  reportFatalError("unknown builtin");
+}
+
+class SemaImpl {
+public:
+  explicit SemaImpl(Program &P) : P(P) {}
+
+  Expected<SemaResult> run() {
+    // Register globals and functions (allows forward references and
+    // mutual recursion).
+    for (size_t I = 0; I < P.Globals.size(); ++I) {
+      GlobalDecl &G = *P.Globals[I];
+      G.Id = static_cast<uint32_t>(I);
+      if (lookupBuiltin(G.Name))
+        return err(G.Line, "global '" + G.Name + "' shadows a builtin");
+      if (!GlobalIds.emplace(G.Name, G.Id).second)
+        return err(G.Line, "redefinition of global '" + G.Name + "'");
+      if (G.HasInit && !G.Ty.isArithmetic())
+        return err(G.Line, "only int/char/double globals may have "
+                           "initializers");
+    }
+    for (size_t I = 0; I < P.Functions.size(); ++I) {
+      FuncDecl &F = *P.Functions[I];
+      F.Id = static_cast<uint32_t>(I);
+      if (lookupBuiltin(F.Name))
+        return err(F.Line, "function '" + F.Name + "' shadows a builtin");
+      if (GlobalIds.count(F.Name))
+        return err(F.Line, "'" + F.Name + "' is already a global");
+      if (!FunctionIds.emplace(F.Name, F.Id).second)
+        return err(F.Line, "redefinition of function '" + F.Name + "'");
+      if (F.ReturnType.isStruct() || F.ReturnType.isArray())
+        return err(F.Line, "functions must return scalars or void");
+    }
+
+    SemaResult R;
+    R.Funcs.resize(P.Functions.size());
+    for (size_t I = 0; I < P.Functions.size(); ++I)
+      if (!analyzeFunction(*P.Functions[I], R.Funcs[I]))
+        return Err;
+    return R;
+  }
+
+private:
+  //===--- diagnostics ----------------------------------------------------===//
+
+  bool fail(int Line, const std::string &Message) {
+    Err = Diag(Message, Line, 0);
+    return false;
+  }
+  Diag err(int Line, const std::string &Message) {
+    return Diag(Message, Line, 0);
+  }
+
+  //===--- scopes ---------------------------------------------------------===//
+
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+
+  bool declareLocal(int Line, const std::string &Name, Type Ty, bool IsParam,
+                    uint32_t &IdOut) {
+    assert(!Scopes.empty() && "no active scope");
+    if (Scopes.back().count(Name))
+      return fail(Line, "redefinition of '" + Name + "' in this scope");
+    IdOut = static_cast<uint32_t>(Info->Locals.size());
+    Info->Locals.push_back({Name, Ty, IsParam, false});
+    Scopes.back().emplace(Name, IdOut);
+    return true;
+  }
+
+  /// \returns the innermost local with \p Name, or nullptr.
+  const uint32_t *findLocal(const std::string &Name) const {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return &Found->second;
+    }
+    return nullptr;
+  }
+
+  //===--- functions ------------------------------------------------------===//
+
+  bool analyzeFunction(FuncDecl &F, FuncInfo &FI) {
+    Info = &FI;
+    CurFunc = &F;
+    LoopDepth = 0;
+    Scopes.clear();
+    pushScope();
+    for (const ParamDecl &Param : F.Params) {
+      if (Param.Ty.isStruct() || Param.Ty.isArray())
+        return fail(Param.Line, "parameters must be scalars (pass structs "
+                                "by pointer)");
+      uint32_t Id;
+      if (!declareLocal(Param.Line, Param.Name, Param.Ty, true, Id))
+        return false;
+    }
+    bool Ok = analyzeStmt(*F.Body);
+    popScope();
+    return Ok;
+  }
+
+  //===--- statements -----------------------------------------------------===//
+
+  bool analyzeStmt(Stmt &S) {
+    switch (S.Kind) {
+    case StmtKind::Block: {
+      pushScope();
+      for (StmtPtr &Child : S.Body)
+        if (!analyzeStmt(*Child)) {
+          popScope();
+          return false;
+        }
+      popScope();
+      return true;
+    }
+    case StmtKind::If:
+      if (!analyzeCondition(*S.Cond))
+        return false;
+      if (!analyzeStmt(*S.Then))
+        return false;
+      return !S.Else || analyzeStmt(*S.Else);
+    case StmtKind::While:
+    case StmtKind::DoWhile: {
+      if (!analyzeCondition(*S.Cond))
+        return false;
+      ++LoopDepth;
+      bool Ok = analyzeStmt(*S.Then);
+      --LoopDepth;
+      return Ok;
+    }
+    case StmtKind::For: {
+      pushScope(); // the induction variable's scope
+      bool Ok = true;
+      if (S.Init)
+        Ok = analyzeStmt(*S.Init);
+      if (Ok && S.Cond)
+        Ok = analyzeCondition(*S.Cond);
+      if (Ok && S.Step)
+        Ok = analyzeExpr(*S.Step);
+      if (Ok) {
+        ++LoopDepth;
+        Ok = analyzeStmt(*S.Then);
+        --LoopDepth;
+      }
+      popScope();
+      return Ok;
+    }
+    case StmtKind::Return: {
+      const Type &RetTy = CurFunc->ReturnType;
+      if (!S.Value) {
+        if (!RetTy.isVoid())
+          return fail(S.Line, "non-void function must return a value");
+        return true;
+      }
+      if (RetTy.isVoid())
+        return fail(S.Line, "void function returns a value");
+      if (!analyzeExpr(*S.Value))
+        return false;
+      return checkAssignable(S.Line, RetTy, *S.Value, "return value");
+    }
+    case StmtKind::Break:
+      if (LoopDepth == 0)
+        return fail(S.Line, "'break' outside a loop");
+      return true;
+    case StmtKind::Continue:
+      if (LoopDepth == 0)
+        return fail(S.Line, "'continue' outside a loop");
+      return true;
+    case StmtKind::VarDecl: {
+      if (S.Value) {
+        if (S.VarType.isStruct() || S.VarType.isArray())
+          return fail(S.Line, "aggregate locals cannot have initializers");
+        if (!analyzeExpr(*S.Value))
+          return false;
+        if (!checkAssignable(S.Line, S.VarType, *S.Value, "initializer"))
+          return false;
+      }
+      return declareLocal(S.Line, S.VarName, S.VarType, false, S.VarId);
+    }
+    case StmtKind::ExprStmt:
+      return analyzeExpr(*S.Value);
+    }
+    reportFatalError("unknown statement kind");
+  }
+
+  bool analyzeCondition(Expr &E) {
+    if (!analyzeExpr(E))
+      return false;
+    if (!E.Ty.decay().isScalar())
+      return fail(E.Line, "condition must be scalar, got " + E.Ty.str());
+    return true;
+  }
+
+  //===--- conversions ----------------------------------------------------===//
+
+  static bool isNullLiteral(const Expr &E) {
+    return E.Kind == ExprKind::IntLit && E.IntValue == 0;
+  }
+
+  /// Checks that \p Src can be assigned/passed/returned as \p Dst.
+  bool checkAssignable(int Line, const Type &Dst, const Expr &Src,
+                       const char *What) {
+    Type SrcTy = Src.Ty.decay();
+    if (Dst.isArithmetic() && SrcTy.isArithmetic())
+      return true;
+    if (Dst.isPointer()) {
+      if (SrcTy.isPointer() && (Dst == SrcTy || SrcTy.pointee().isChar() ||
+                                Dst.pointee().isChar()))
+        return true; // char* interconverts (malloc results)
+      if (isNullLiteral(Src))
+        return true;
+    }
+    return fail(Line, std::string("cannot use ") + SrcTy.str() + " as " +
+                          Dst.str() + " in " + What);
+  }
+
+  //===--- expressions ----------------------------------------------------===//
+
+  bool analyzeExpr(Expr &E) {
+    switch (E.Kind) {
+    case ExprKind::IntLit:
+      E.Ty = Type::intTy();
+      return true;
+    case ExprKind::FloatLit:
+      E.Ty = Type::doubleTy();
+      return true;
+    case ExprKind::StringLit:
+      E.Ty = Type::pointerTo(Type::charTy());
+      return true;
+    case ExprKind::VarRef:
+      return analyzeVarRef(E);
+    case ExprKind::Unary:
+      return analyzeUnary(E);
+    case ExprKind::Binary:
+      return analyzeBinary(E);
+    case ExprKind::Assign:
+      return analyzeAssign(E);
+    case ExprKind::CompoundAssign:
+      return analyzeCompoundAssign(E);
+    case ExprKind::IncDec:
+      return analyzeIncDec(E);
+    case ExprKind::Call:
+      return analyzeCall(E);
+    case ExprKind::Index:
+      return analyzeIndex(E);
+    case ExprKind::Member:
+      return analyzeMember(E);
+    case ExprKind::Cast:
+      return analyzeCast(E);
+    case ExprKind::Sizeof:
+      E.Ty = Type::intTy();
+      return true;
+    }
+    reportFatalError("unknown expression kind");
+  }
+
+  bool analyzeVarRef(Expr &E) {
+    if (const uint32_t *Id = findLocal(E.StrValue)) {
+      E.Binding.K = VarBinding::Local;
+      E.Binding.Id = *Id;
+      E.Ty = Info->Locals[*Id].Ty;
+      E.IsLValue = true;
+      return true;
+    }
+    auto GIt = GlobalIds.find(E.StrValue);
+    if (GIt != GlobalIds.end()) {
+      E.Binding.K = VarBinding::Global;
+      E.Binding.Id = GIt->second;
+      E.Ty = P.Globals[GIt->second]->Ty;
+      E.IsLValue = true;
+      return true;
+    }
+    return fail(E.Line, "use of undeclared identifier '" + E.StrValue + "'");
+  }
+
+  bool analyzeUnary(Expr &E) {
+    if (!analyzeExpr(*E.Lhs))
+      return false;
+    Type Sub = E.Lhs->Ty.decay();
+    switch (E.UOp) {
+    case UnOp::Neg:
+      if (!Sub.isArithmetic())
+        return fail(E.Line, "cannot negate " + Sub.str());
+      E.Ty = Sub.isDouble() ? Type::doubleTy() : Type::intTy();
+      return true;
+    case UnOp::Not:
+      if (!Sub.isScalar())
+        return fail(E.Line, "'!' requires a scalar operand");
+      E.Ty = Type::intTy();
+      return true;
+    case UnOp::BitNot:
+      if (!Sub.isIntegral())
+        return fail(E.Line, "'~' requires an integer operand");
+      E.Ty = Type::intTy();
+      return true;
+    case UnOp::Deref:
+      if (!Sub.isPointer())
+        return fail(E.Line, "cannot dereference " + Sub.str());
+      if (Sub.pointee().isVoid())
+        return fail(E.Line, "cannot dereference a void pointer");
+      E.Ty = Sub.pointee();
+      E.IsLValue = true;
+      return true;
+    case UnOp::AddrOf: {
+      if (!E.Lhs->IsLValue)
+        return fail(E.Line, "'&' requires an lvalue");
+      markAddressTaken(*E.Lhs);
+      E.Ty = Type::pointerTo(E.Lhs->Ty);
+      return true;
+    }
+    }
+    reportFatalError("unknown unary operator");
+  }
+
+  /// Marks the underlying local variable of \p Lv (if any) as
+  /// address-taken so codegen gives it a stack slot.
+  void markAddressTaken(Expr &Lv) {
+    if (Lv.Kind == ExprKind::VarRef && Lv.Binding.K == VarBinding::Local)
+      Info->Locals[Lv.Binding.Id].AddressTaken = true;
+  }
+
+  bool analyzeBinary(Expr &E) {
+    if (!analyzeExpr(*E.Lhs) || !analyzeExpr(*E.Rhs))
+      return false;
+    Type L = E.Lhs->Ty.decay(), R = E.Rhs->Ty.decay();
+
+    switch (E.BOp) {
+    case BinOp::LogAnd:
+    case BinOp::LogOr:
+      if (!L.isScalar() || !R.isScalar())
+        return fail(E.Line, "logical operators require scalar operands");
+      E.Ty = Type::intTy();
+      return true;
+
+    case BinOp::Eq:
+    case BinOp::Ne:
+    case BinOp::Lt:
+    case BinOp::Le:
+    case BinOp::Gt:
+    case BinOp::Ge:
+      if (L.isArithmetic() && R.isArithmetic()) {
+        E.Ty = Type::intTy();
+        return true;
+      }
+      if (L.isPointer() &&
+          (R == L || isNullLiteral(*E.Rhs) ||
+           (R.isPointer() && (R.pointee().isChar() || L.pointee().isChar())))) {
+        E.Ty = Type::intTy();
+        return true;
+      }
+      if (R.isPointer() && isNullLiteral(*E.Lhs)) {
+        E.Ty = Type::intTy();
+        return true;
+      }
+      return fail(E.Line,
+                  "cannot compare " + L.str() + " with " + R.str());
+
+    case BinOp::Add:
+      if (L.isPointer() && R.isIntegral()) {
+        E.Ty = L;
+        return true;
+      }
+      if (L.isIntegral() && R.isPointer()) {
+        E.Ty = R;
+        return true;
+      }
+      break;
+    case BinOp::Sub:
+      if (L.isPointer() && R.isIntegral()) {
+        E.Ty = L;
+        return true;
+      }
+      if (L.isPointer() && R == L) {
+        E.Ty = Type::intTy(); // element count difference
+        return true;
+      }
+      break;
+    case BinOp::Rem:
+    case BinOp::Shl:
+    case BinOp::Shr:
+    case BinOp::BitAnd:
+    case BinOp::BitOr:
+    case BinOp::BitXor:
+      if (!L.isIntegral() || !R.isIntegral())
+        return fail(E.Line, "integer operator on non-integers");
+      E.Ty = Type::intTy();
+      return true;
+    default:
+      break;
+    }
+
+    // Remaining arithmetic: + - * /.
+    if (L.isArithmetic() && R.isArithmetic()) {
+      E.Ty = (L.isDouble() || R.isDouble()) ? Type::doubleTy()
+                                            : Type::intTy();
+      return true;
+    }
+    return fail(E.Line, "invalid operands " + L.str() + " and " + R.str());
+  }
+
+  bool analyzeAssign(Expr &E) {
+    if (!analyzeExpr(*E.Lhs) || !analyzeExpr(*E.Rhs))
+      return false;
+    if (!E.Lhs->IsLValue)
+      return fail(E.Line, "assignment target is not an lvalue");
+    if (E.Lhs->Ty.isArray() || E.Lhs->Ty.isStruct())
+      return fail(E.Line, "cannot assign aggregates");
+    if (!checkAssignable(E.Line, E.Lhs->Ty, *E.Rhs, "assignment"))
+      return false;
+    E.Ty = E.Lhs->Ty;
+    return true;
+  }
+
+  bool analyzeCompoundAssign(Expr &E) {
+    if (!analyzeExpr(*E.Lhs) || !analyzeExpr(*E.Rhs))
+      return false;
+    if (!E.Lhs->IsLValue)
+      return fail(E.Line, "assignment target is not an lvalue");
+    Type L = E.Lhs->Ty, R = E.Rhs->Ty.decay();
+    if (L.isPointer()) {
+      if ((E.BOp != BinOp::Add && E.BOp != BinOp::Sub) || !R.isIntegral())
+        return fail(E.Line, "invalid pointer compound assignment");
+    } else if (L.isArithmetic() && R.isArithmetic()) {
+      if (E.BOp == BinOp::Rem && (L.isDouble() || R.isDouble()))
+        return fail(E.Line, "'%=' requires integers");
+    } else {
+      return fail(E.Line, "invalid compound assignment operands");
+    }
+    E.Ty = L;
+    return true;
+  }
+
+  bool analyzeIncDec(Expr &E) {
+    if (!analyzeExpr(*E.Lhs))
+      return false;
+    if (!E.Lhs->IsLValue)
+      return fail(E.Line, "'++'/'--' requires an lvalue");
+    Type L = E.Lhs->Ty;
+    if (!L.isIntegral() && !L.isPointer() && !L.isDouble())
+      return fail(E.Line, "cannot increment " + L.str());
+    E.Ty = L;
+    return true;
+  }
+
+  bool analyzeCall(Expr &E) {
+    // Builtins first.
+    if (const Builtin *B = lookupBuiltin(E.StrValue)) {
+      BuiltinSig Sig = builtinSig(*B);
+      if (E.Args.size() != Sig.Params.size())
+        return fail(E.Line, "builtin '" + E.StrValue + "' expects " +
+                                std::to_string(Sig.Params.size()) +
+                                " arguments");
+      for (size_t I = 0; I < E.Args.size(); ++I) {
+        if (!analyzeExpr(*E.Args[I]))
+          return false;
+        if (!checkAssignable(E.Line, Sig.Params[I], *E.Args[I], "argument"))
+          return false;
+      }
+      E.Binding.K = VarBinding::None; // builtin: resolved by name in codegen
+      E.Ty = Sig.Ret;
+      return true;
+    }
+
+    auto It = FunctionIds.find(E.StrValue);
+    if (It == FunctionIds.end())
+      return fail(E.Line, "call to undefined function '" + E.StrValue + "'");
+    const FuncDecl &Callee = *P.Functions[It->second];
+    if (E.Args.size() != Callee.Params.size())
+      return fail(E.Line, "'" + E.StrValue + "' expects " +
+                              std::to_string(Callee.Params.size()) +
+                              " arguments, got " +
+                              std::to_string(E.Args.size()));
+    for (size_t I = 0; I < E.Args.size(); ++I) {
+      if (!analyzeExpr(*E.Args[I]))
+        return false;
+      if (!checkAssignable(E.Line, Callee.Params[I].Ty, *E.Args[I],
+                           "argument"))
+        return false;
+    }
+    E.Binding.K = VarBinding::Function;
+    E.Binding.Id = It->second;
+    E.Ty = Callee.ReturnType;
+    return true;
+  }
+
+  bool analyzeIndex(Expr &E) {
+    if (!analyzeExpr(*E.Lhs) || !analyzeExpr(*E.Rhs))
+      return false;
+    Type Base = E.Lhs->Ty.decay();
+    if (!Base.isPointer())
+      return fail(E.Line, "cannot index " + E.Lhs->Ty.str());
+    if (!E.Rhs->Ty.decay().isIntegral())
+      return fail(E.Line, "array index must be an integer");
+    E.Ty = Base.pointee();
+    E.IsLValue = true;
+    return true;
+  }
+
+  bool analyzeMember(Expr &E) {
+    if (!analyzeExpr(*E.Lhs))
+      return false;
+    const StructDef *S = nullptr;
+    if (E.IsArrow) {
+      Type Base = E.Lhs->Ty.decay();
+      if (!Base.isPointer() || !Base.pointee().isStruct())
+        return fail(E.Line, "'->' requires a struct pointer, got " +
+                                E.Lhs->Ty.str());
+      S = Base.pointee().structDef();
+    } else {
+      if (!E.Lhs->Ty.isStruct())
+        return fail(E.Line, "'.' requires a struct, got " + E.Lhs->Ty.str());
+      if (!E.Lhs->IsLValue)
+        return fail(E.Line, "'.' requires an addressable struct");
+      S = E.Lhs->Ty.structDef();
+    }
+    const FieldDef *F = S->findField(E.StrValue);
+    if (!F)
+      return fail(E.Line, "struct " + S->Name + " has no field '" +
+                              E.StrValue + "'");
+    E.Ty = F->Ty;
+    E.IsLValue = true;
+    return true;
+  }
+
+  bool analyzeCast(Expr &E) {
+    if (!analyzeExpr(*E.Lhs))
+      return false;
+    Type From = E.Lhs->Ty.decay(), To = E.CastType;
+    bool Ok = (To.isArithmetic() && From.isArithmetic()) ||
+              (To.isPointer() && (From.isPointer() || From.isIntegral())) ||
+              (To.isIntegral() && From.isPointer());
+    if (!Ok)
+      return fail(E.Line,
+                  "invalid cast from " + From.str() + " to " + To.str());
+    E.Ty = To;
+    return true;
+  }
+
+  Program &P;
+  Diag Err;
+  std::unordered_map<std::string, uint32_t> GlobalIds;
+  std::unordered_map<std::string, uint32_t> FunctionIds;
+
+  // Per-function state.
+  FuncInfo *Info = nullptr;
+  const FuncDecl *CurFunc = nullptr;
+  unsigned LoopDepth = 0;
+  std::vector<std::unordered_map<std::string, uint32_t>> Scopes;
+};
+
+} // namespace
+
+Expected<SemaResult> minic::analyze(Program &P) { return SemaImpl(P).run(); }

@@ -1,0 +1,71 @@
+//===- frontend/Sema.h - MiniC semantic analysis ----------------*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic analysis for MiniC: name resolution (globals, functions,
+/// builtins, scoped locals), type checking with C-like implicit
+/// conversions (char promotes to int, int converts to double in mixed
+/// arithmetic, arrays decay to pointers), lvalue analysis, and
+/// address-taken marking (codegen keeps non-address-taken scalars in
+/// registers — the paper notes global register allocation materially
+/// affects the Guard heuristic's coverage).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_FRONTEND_SEMA_H
+#define BPFREE_FRONTEND_SEMA_H
+
+#include "frontend/Ast.h"
+#include "support/Error.h"
+
+#include <vector>
+
+namespace bpfree {
+namespace minic {
+
+/// The VM intrinsics surfaced as MiniC builtins.
+enum class Builtin {
+  PrintInt,
+  PrintChar,
+  PrintDouble,
+  PrintStr,
+  Malloc,
+  Arg,
+  InputLen,
+  InputByte,
+  Trap,
+};
+
+/// \returns the builtin named \p Name, if any.
+const Builtin *lookupBuiltin(const std::string &Name);
+
+/// One function-local variable (parameters occupy ids [0, NumParams)).
+struct LocalVar {
+  std::string Name;
+  Type Ty;
+  bool IsParam = false;
+  bool AddressTaken = false;
+};
+
+/// Per-function results of semantic analysis, indexed like
+/// Program::Functions.
+struct FuncInfo {
+  std::vector<LocalVar> Locals;
+};
+
+/// Whole-program sema results.
+struct SemaResult {
+  std::vector<FuncInfo> Funcs;
+};
+
+/// Type-checks and annotates \p P in place. On success returns the
+/// per-function tables; on failure the first diagnostic.
+Expected<SemaResult> analyze(Program &P);
+
+} // namespace minic
+} // namespace bpfree
+
+#endif // BPFREE_FRONTEND_SEMA_H

@@ -1,0 +1,85 @@
+//===- frontend/Type.cpp - MiniC type system ------------------------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Type.h"
+
+#include "support/Error.h"
+
+using namespace bpfree;
+using namespace bpfree::minic;
+
+uint64_t Type::size() const {
+  switch (Kind) {
+  case TypeKind::Void:
+    return 0;
+  case TypeKind::Char:
+    return 1;
+  case TypeKind::Int:
+  case TypeKind::Double:
+  case TypeKind::Pointer:
+    return 8;
+  case TypeKind::Array:
+    return element().size() * Count;
+  case TypeKind::Struct:
+    return Struct->Size;
+  }
+  reportFatalError("unknown type kind");
+}
+
+bool Type::operator==(const Type &RHS) const {
+  if (Kind != RHS.Kind)
+    return false;
+  switch (Kind) {
+  case TypeKind::Void:
+  case TypeKind::Int:
+  case TypeKind::Char:
+  case TypeKind::Double:
+    return true;
+  case TypeKind::Pointer:
+    return pointee() == RHS.pointee();
+  case TypeKind::Array:
+    return Count == RHS.Count && element() == RHS.element();
+  case TypeKind::Struct:
+    return Struct == RHS.Struct;
+  }
+  return false;
+}
+
+std::string Type::str() const {
+  switch (Kind) {
+  case TypeKind::Void:
+    return "void";
+  case TypeKind::Int:
+    return "int";
+  case TypeKind::Char:
+    return "char";
+  case TypeKind::Double:
+    return "double";
+  case TypeKind::Pointer:
+    return pointee().str() + " *";
+  case TypeKind::Array:
+    return element().str() + " [" + std::to_string(Count) + "]";
+  case TypeKind::Struct:
+    return "struct " + Struct->Name;
+  }
+  return "?";
+}
+
+void StructDef::computeLayout() {
+  uint64_t Offset = 0;
+  for (FieldDef &F : Fields) {
+    uint64_t Align = F.Ty.size() == 1 ? 1 : 8;
+    // Char arrays stay byte-aligned; everything else rounds up to 8.
+    if (F.Ty.isArray() && F.Ty.element().size() == 1)
+      Align = 1;
+    Offset = (Offset + Align - 1) & ~(Align - 1);
+    F.Offset = Offset;
+    Offset += F.Ty.size();
+  }
+  Size = (Offset + 7) & ~7ull;
+  if (Size == 0)
+    Size = 8; // empty structs still occupy storage
+}

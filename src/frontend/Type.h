@@ -1,0 +1,153 @@
+//===- frontend/Type.h - MiniC type system ----------------------*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Types for MiniC, the C-subset language the workload suite is written
+/// in. MiniC has 64-bit ints, 8-bit chars, doubles, pointers, fixed-size
+/// arrays, and structs — enough to express the paper's benchmark idioms
+/// (pointer chasing, null guards, error codes, FP kernels) and nothing
+/// more.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_FRONTEND_TYPE_H
+#define BPFREE_FRONTEND_TYPE_H
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bpfree {
+namespace minic {
+
+/// Base type kinds.
+enum class TypeKind {
+  Void,
+  Int,    ///< 64-bit signed
+  Char,   ///< 8-bit signed
+  Double, ///< IEEE binary64
+  Pointer,
+  Array,
+  Struct,
+};
+
+struct StructDef;
+
+/// A MiniC type. Types are small value objects; pointee/element types
+/// are shared_ptrs so Type remains copyable.
+class Type {
+public:
+  Type() : Kind(TypeKind::Void) {}
+
+  static Type voidTy() { return Type(TypeKind::Void); }
+  static Type intTy() { return Type(TypeKind::Int); }
+  static Type charTy() { return Type(TypeKind::Char); }
+  static Type doubleTy() { return Type(TypeKind::Double); }
+
+  static Type pointerTo(Type Pointee) {
+    Type T(TypeKind::Pointer);
+    T.Inner = std::make_shared<Type>(std::move(Pointee));
+    return T;
+  }
+
+  static Type arrayOf(Type Element, uint64_t Count) {
+    Type T(TypeKind::Array);
+    T.Inner = std::make_shared<Type>(std::move(Element));
+    T.Count = Count;
+    return T;
+  }
+
+  static Type structTy(const StructDef *Def) {
+    Type T(TypeKind::Struct);
+    T.Struct = Def;
+    return T;
+  }
+
+  TypeKind kind() const { return Kind; }
+  bool isVoid() const { return Kind == TypeKind::Void; }
+  bool isInt() const { return Kind == TypeKind::Int; }
+  bool isChar() const { return Kind == TypeKind::Char; }
+  bool isDouble() const { return Kind == TypeKind::Double; }
+  bool isPointer() const { return Kind == TypeKind::Pointer; }
+  bool isArray() const { return Kind == TypeKind::Array; }
+  bool isStruct() const { return Kind == TypeKind::Struct; }
+  bool isIntegral() const { return isInt() || isChar(); }
+  bool isArithmetic() const { return isIntegral() || isDouble(); }
+  /// Types usable in a branch condition.
+  bool isScalar() const { return isArithmetic() || isPointer(); }
+
+  const Type &pointee() const {
+    assert(isPointer() && "pointee() on non-pointer");
+    return *Inner;
+  }
+  const Type &element() const {
+    assert(isArray() && "element() on non-array");
+    return *Inner;
+  }
+  uint64_t arrayCount() const {
+    assert(isArray() && "arrayCount() on non-array");
+    return Count;
+  }
+  const StructDef *structDef() const {
+    assert(isStruct() && "structDef() on non-struct");
+    return Struct;
+  }
+
+  /// Array-to-pointer decay; identity for other types.
+  Type decay() const {
+    return isArray() ? pointerTo(element()) : *this;
+  }
+
+  /// Size in bytes (structs via their layout; see StructDef).
+  uint64_t size() const;
+
+  /// Structural equality (structs by definition identity).
+  bool operator==(const Type &RHS) const;
+  bool operator!=(const Type &RHS) const { return !(*this == RHS); }
+
+  /// "int", "char *", "struct node", "double [8]", ...
+  std::string str() const;
+
+private:
+  explicit Type(TypeKind K) : Kind(K) {}
+
+  TypeKind Kind;
+  std::shared_ptr<Type> Inner; ///< pointee or element
+  uint64_t Count = 0;          ///< array element count
+  const StructDef *Struct = nullptr;
+};
+
+/// One struct field with its layout offset.
+struct FieldDef {
+  std::string Name;
+  Type Ty;
+  uint64_t Offset = 0;
+};
+
+/// A struct definition with computed layout (8-byte alignment for
+/// everything except chars, which are byte-aligned).
+struct StructDef {
+  std::string Name;
+  std::vector<FieldDef> Fields;
+  uint64_t Size = 0;
+
+  const FieldDef *findField(const std::string &FieldName) const {
+    for (const FieldDef &F : Fields)
+      if (F.Name == FieldName)
+        return &F;
+    return nullptr;
+  }
+
+  /// Assigns field offsets and the total size.
+  void computeLayout();
+};
+
+} // namespace minic
+} // namespace bpfree
+
+#endif // BPFREE_FRONTEND_TYPE_H

@@ -1,0 +1,110 @@
+//===- ipbc/SequenceAnalysis.cpp - Break-in-control run lengths -----------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ipbc/SequenceAnalysis.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace bpfree;
+using namespace bpfree::ir;
+
+double SequenceHistogram::dividingLength() const {
+  if (TotalInstrs == 0)
+    return 0.0;
+  uint64_t Half = TotalInstrs / 2;
+  uint64_t Cum = 0;
+  for (size_t J = 0; J < NumBuckets; ++J) {
+    Cum += SumLengths[J];
+    if (Cum >= Half)
+      return static_cast<double>(J * BucketWidth + BucketWidth / 2);
+  }
+  return static_cast<double>(NumBuckets * BucketWidth);
+}
+
+std::vector<std::pair<uint64_t, double>> SequenceHistogram::instrCurve() const {
+  std::vector<std::pair<uint64_t, double>> Curve;
+  if (TotalInstrs == 0)
+    return Curve;
+  uint64_t Cum = 0;
+  for (size_t J = 0; J < NumBuckets; ++J) {
+    Cum += SumLengths[J];
+    Curve.emplace_back((J + 1) * BucketWidth,
+                       static_cast<double>(Cum) /
+                           static_cast<double>(TotalInstrs));
+  }
+  return Curve;
+}
+
+std::vector<std::pair<uint64_t, double>> SequenceHistogram::breakCurve() const {
+  std::vector<std::pair<uint64_t, double>> Curve;
+  uint64_t TotalSeqs = 0;
+  for (uint64_t N : NumSequences)
+    TotalSeqs += N;
+  if (TotalSeqs == 0)
+    return Curve;
+  uint64_t Cum = 0;
+  for (size_t J = 0; J < NumBuckets; ++J) {
+    Cum += NumSequences[J];
+    Curve.emplace_back((J + 1) * BucketWidth,
+                       static_cast<double>(Cum) /
+                           static_cast<double>(TotalSeqs));
+  }
+  return Curve;
+}
+
+SequenceCollector::SequenceCollector(
+    const Module &M, std::vector<const StaticPredictor *> Predictors)
+    : M(M), Predictors(std::move(Predictors)) {
+  Hists.resize(this->Predictors.size());
+  LastBreak.assign(this->Predictors.size(), 0);
+  DirCache.resize(this->Predictors.size());
+  for (auto &PerFunc : DirCache) {
+    PerFunc.resize(M.numFunctions());
+    for (size_t F = 0; F < M.numFunctions(); ++F)
+      PerFunc[F].assign(M.getFunction(static_cast<uint32_t>(F))->numBlocks(),
+                        0xFF);
+  }
+}
+
+uint8_t SequenceCollector::cachedDirection(size_t PredIdx,
+                                           const BasicBlock &BB) {
+  uint8_t &Slot =
+      DirCache[PredIdx][BB.getParent()->getIndex()][BB.getId()];
+  if (Slot == 0xFF)
+    Slot = static_cast<uint8_t>(Predictors[PredIdx]->predict(BB));
+  return Slot;
+}
+
+void SequenceCollector::onCondBranch(const BasicBlock &BB, bool Taken,
+                                     uint64_t InstrCount) {
+  assert(!Finalized && "collector already finalized");
+  Direction Actual = Taken ? DirTaken : DirFallthru;
+  for (size_t P = 0; P < Predictors.size(); ++P) {
+    ++Hists[P].BranchExecs;
+    if (cachedDirection(P, BB) != static_cast<uint8_t>(Actual)) {
+      // A break in control: close the sequence ending at this branch.
+      Hists[P].record(InstrCount - LastBreak[P]);
+      ++Hists[P].Breaks;
+      LastBreak[P] = InstrCount;
+    }
+  }
+}
+
+void SequenceCollector::finalize(uint64_t TotalInstrCount) {
+  assert(!Finalized && "collector finalized twice");
+  Finalized = true;
+  // The trailing instructions after the last break form one final
+  // (unterminated) sequence, so that summed lengths equal the total
+  // instruction count.
+  for (size_t P = 0; P < Predictors.size(); ++P)
+    if (TotalInstrCount > LastBreak[P])
+      Hists[P].record(TotalInstrCount - LastBreak[P]);
+}
+
+double bpfree::sequenceModel(double M, double S) {
+  return 1.0 - std::pow(1.0 - M, S);
+}

@@ -1,0 +1,128 @@
+//===- ipbc/SequenceAnalysis.h - Break-in-control run lengths --*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Section 6 measurement: instructions executed per break in
+/// control. A break in control is a mispredicted branch (our IR has no
+/// indirect jumps or calls; returns are explicitly not breaks). Each
+/// break defines a sequence of instructions since the previous break;
+/// the collector histograms sequence lengths exactly as the paper does:
+/// bucket j in [0, 999) counts sequences of length [10j, 10j+9], bucket
+/// 999 counts everything at or beyond 9990, and each bucket also records
+/// the summed lengths of its sequences.
+///
+/// Because traces are consumed online (via ExecObserver) rather than
+/// stored, arbitrary-length executions are analyzed in O(1) memory —
+/// this is the trace-based methodology the paper argues is preferable to
+/// profile-based IPBC averages.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_IPBC_SEQUENCEANALYSIS_H
+#define BPFREE_IPBC_SEQUENCEANALYSIS_H
+
+#include "predict/Predictors.h"
+#include "vm/ExecObserver.h"
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bpfree {
+
+/// Run-length distribution for one predictor over one execution.
+struct SequenceHistogram {
+  static constexpr size_t NumBuckets = 1000;
+  static constexpr uint64_t BucketWidth = 10;
+
+  std::array<uint64_t, NumBuckets> NumSequences{};
+  std::array<uint64_t, NumBuckets> SumLengths{};
+  uint64_t Breaks = 0;         ///< mispredicted branches
+  uint64_t TotalInstrs = 0;    ///< instructions in recorded sequences
+  uint64_t BranchExecs = 0;    ///< all executed conditional branches
+
+  void record(uint64_t Length) {
+    size_t Bucket = static_cast<size_t>(Length / BucketWidth);
+    if (Bucket >= NumBuckets)
+      Bucket = NumBuckets - 1;
+    ++NumSequences[Bucket];
+    SumLengths[Bucket] += Length;
+    TotalInstrs += Length;
+  }
+
+  /// Fisher-Freudenberger profile-based average: instructions executed
+  /// per break in control.
+  double ipbcAverage() const {
+    return Breaks == 0 ? static_cast<double>(TotalInstrs)
+                       : static_cast<double>(TotalInstrs) /
+                             static_cast<double>(Breaks);
+  }
+
+  /// Overall miss rate of the predictor on this execution.
+  double missRate() const {
+    return BranchExecs == 0 ? 0.0
+                            : static_cast<double>(Breaks) /
+                                  static_cast<double>(BranchExecs);
+  }
+
+  /// The paper's "dividing length": the sequence length at which 50% of
+  /// the executed instructions are accounted for (bucket midpoint).
+  double dividingLength() const;
+
+  /// Cumulative fraction of executed instructions accounted for by
+  /// sequences of length < x, sampled at bucket boundaries:
+  /// (x, fraction) pairs. This is the curve of Graphs 4 and 6-11.
+  std::vector<std::pair<uint64_t, double>> instrCurve() const;
+
+  /// Cumulative fraction of breaks accounted for by sequences of length
+  /// < x (the curve of Graph 5).
+  std::vector<std::pair<uint64_t, double>> breakCurve() const;
+};
+
+/// Observes one execution and maintains a SequenceHistogram per
+/// predictor. Predictions are resolved once per static branch and
+/// memoized (predictions are static, so this is sound).
+class SequenceCollector : public ExecObserver {
+public:
+  /// \p Predictors must outlive the collector. One histogram per
+  /// predictor is produced, in the same order.
+  SequenceCollector(const ir::Module &M,
+                    std::vector<const StaticPredictor *> Predictors);
+
+  void onCondBranch(const ir::BasicBlock &BB, bool Taken,
+                    uint64_t InstrCount) override;
+
+  /// Closes the final (unbroken) sequence using the run's total
+  /// instruction count; call once, after the run finishes.
+  void finalize(uint64_t TotalInstrCount);
+
+  const std::vector<SequenceHistogram> &histograms() const { return Hists; }
+  const StaticPredictor &predictor(size_t I) const { return *Predictors[I]; }
+  size_t numPredictors() const { return Predictors.size(); }
+
+private:
+  /// Cached direction per (function, block), lazily resolved; 0xFF =
+  /// not yet computed.
+  uint8_t cachedDirection(size_t PredIdx, const ir::BasicBlock &BB);
+
+  const ir::Module &M;
+  std::vector<const StaticPredictor *> Predictors;
+  std::vector<SequenceHistogram> Hists;
+  std::vector<uint64_t> LastBreak; ///< instr count at previous break
+  /// [predictor][function] -> per-block directions.
+  std::vector<std::vector<std::vector<uint8_t>>> DirCache;
+  bool Finalized = false;
+};
+
+/// The paper's Graph 12 analytic model: with unit basic blocks and
+/// independent branches of miss rate \p M, the fraction of executed
+/// instructions in sequences of length <= \p S is 1 - (1-m)^s.
+double sequenceModel(double M, double S);
+
+} // namespace bpfree
+
+#endif // BPFREE_IPBC_SEQUENCEANALYSIS_H

@@ -1,0 +1,93 @@
+//===- ir/BasicBlock.h - Basic blocks of the bpfree IR ----------*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Basic blocks: a sequence of straight-line instructions ended by one
+/// terminator. Blocks mirror the vertices of the paper's control flow
+/// graph; a block whose terminator is a conditional branch is "a branch"
+/// in the paper's terminology, with a target successor and a fall-thru
+/// successor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_IR_BASICBLOCK_H
+#define BPFREE_IR_BASICBLOCK_H
+
+#include "ir/Instruction.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace bpfree {
+namespace ir {
+
+class Function;
+
+/// A CFG vertex holding instructions and a terminator.
+class BasicBlock {
+public:
+  BasicBlock(Function *Parent, unsigned Id, std::string Name)
+      : Parent(Parent), Id(Id), Name(std::move(Name)) {}
+
+  Function *getParent() const { return Parent; }
+
+  /// Dense index within the parent function; stable once created and used
+  /// as the key for analyses and edge profiles.
+  unsigned getId() const { return Id; }
+
+  const std::string &getName() const { return Name; }
+
+  std::vector<Instruction> &instructions() { return Insts; }
+  const std::vector<Instruction> &instructions() const { return Insts; }
+
+  Terminator &terminator() { return Term; }
+  const Terminator &terminator() const { return Term; }
+
+  bool hasTerminator() const { return TermSet; }
+  void markTerminatorSet() { TermSet = true; }
+
+  /// \returns the number of CFG successors (0 for return, 1 for jump,
+  /// 2 for conditional branch).
+  unsigned numSuccessors() const;
+
+  /// \returns successor \p I; 0 = Taken, 1 = Fallthru for branches.
+  BasicBlock *getSuccessor(unsigned I) const;
+
+  bool isCondBranch() const {
+    return TermSet && Term.Kind == TermKind::CondBranch;
+  }
+  bool isReturnBlock() const {
+    return TermSet && Term.Kind == TermKind::Return;
+  }
+
+  /// True if the block's only outgoing control flow is an unconditional
+  /// jump — the "unconditionally passes control to" relation used by the
+  /// Call, Return, and Loop heuristics.
+  bool isUnconditionalJump() const {
+    return TermSet && Term.Kind == TermKind::Jump;
+  }
+
+  /// \returns true if any instruction in the block is a call into another
+  /// analyzed function.
+  bool containsCall() const;
+
+  /// \returns true if any instruction in the block is a store.
+  bool containsStore() const;
+
+private:
+  Function *Parent;
+  unsigned Id;
+  std::string Name;
+  std::vector<Instruction> Insts;
+  Terminator Term;
+  bool TermSet = false;
+};
+
+} // namespace ir
+} // namespace bpfree
+
+#endif // BPFREE_IR_BASICBLOCK_H

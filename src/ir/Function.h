@@ -1,0 +1,114 @@
+//===- ir/Function.h - Functions of the bpfree IR ---------------*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Functions own their basic blocks and the virtual-register namespace.
+/// The entry block is always block 0, matching the paper's "root vertex
+/// of the control flow graph is the entry point of the procedure".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_IR_FUNCTION_H
+#define BPFREE_IR_FUNCTION_H
+
+#include "ir/BasicBlock.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bpfree {
+namespace ir {
+
+class Module;
+
+/// One procedure: a named CFG plus calling-convention metadata.
+class Function {
+public:
+  Function(Module *Parent, uint32_t Index, std::string Name,
+           unsigned NumParams);
+
+  Module *getParent() const { return Parent; }
+
+  /// Index of this function within its module; Call instructions refer to
+  /// callees by this index.
+  uint32_t getIndex() const { return Index; }
+
+  const std::string &getName() const { return Name; }
+
+  unsigned getNumParams() const { return NumParams; }
+
+  /// Register that receives parameter \p I at a call. Parameters occupy
+  /// the first virtual registers, so codegen can rely on this mapping.
+  Reg getParamReg(unsigned I) const {
+    assert(I < NumParams && "parameter index out of range");
+    return Reg(FirstVirtualReg + I);
+  }
+
+  /// Allocates a fresh virtual register.
+  Reg newReg() { return Reg(NextReg++); }
+
+  uint32_t getNumRegs() const { return NextReg; }
+
+  /// Ensures the register namespace covers ids below \p Count (used by
+  /// the textual IR parser to restore a printed function's register
+  /// space).
+  void reserveRegs(uint32_t Count) {
+    if (Count > NextReg)
+      NextReg = Count;
+  }
+
+  /// Creates and owns a new basic block; the first created block is the
+  /// entry block.
+  BasicBlock *createBlock(std::string BlockName);
+
+  BasicBlock *getEntry() const {
+    assert(!Blocks.empty() && "function has no blocks");
+    return Blocks.front().get();
+  }
+
+  size_t numBlocks() const { return Blocks.size(); }
+  BasicBlock *getBlock(unsigned Id) const {
+    assert(Id < Blocks.size() && "block id out of range");
+    return Blocks[Id].get();
+  }
+
+  /// Block iteration in creation (= id) order.
+  auto begin() const { return Blocks.begin(); }
+  auto end() const { return Blocks.end(); }
+
+  /// Bytes of stack frame this function reserves for locals. The VM
+  /// decrements SP by this amount on entry; locals are addressed at
+  /// positive offsets from the decremented SP — the addressing shape the
+  /// Pointer heuristic's SP test looks at.
+  uint32_t getFrameSize() const { return FrameSize; }
+  void setFrameSize(uint32_t Bytes) { FrameSize = Bytes; }
+
+  /// Computes predecessor lists indexed by block id. Analyses call this
+  /// once and pass the result around; the IR itself does not maintain
+  /// predecessor links.
+  std::vector<std::vector<BasicBlock *>> computePredecessors() const;
+
+  /// Counts conditional-branch blocks.
+  size_t countCondBranches() const;
+
+  /// Counts instructions across all blocks, terminators excluded.
+  size_t countInstructions() const;
+
+private:
+  Module *Parent;
+  uint32_t Index;
+  std::string Name;
+  unsigned NumParams;
+  uint32_t NextReg;
+  uint32_t FrameSize = 0;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+};
+
+} // namespace ir
+} // namespace bpfree
+
+#endif // BPFREE_IR_FUNCTION_H

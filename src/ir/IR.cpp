@@ -1,0 +1,352 @@
+//===- ir/IR.cpp - Implementation of the core IR classes ------------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Module.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace bpfree;
+using namespace bpfree::ir;
+
+//===----------------------------------------------------------------------===//
+// Opcode names
+//===----------------------------------------------------------------------===//
+
+const char *ir::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::LoadImm:
+    return "li";
+  case Opcode::Move:
+    return "move";
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Div:
+    return "div";
+  case Opcode::Rem:
+    return "rem";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Xor:
+    return "xor";
+  case Opcode::Shl:
+    return "sll";
+  case Opcode::Shr:
+    return "sra";
+  case Opcode::Slt:
+    return "slt";
+  case Opcode::Seq:
+    return "seq";
+  case Opcode::Sne:
+    return "sne";
+  case Opcode::FAdd:
+    return "add.d";
+  case Opcode::FSub:
+    return "sub.d";
+  case Opcode::FMul:
+    return "mul.d";
+  case Opcode::FDiv:
+    return "div.d";
+  case Opcode::FNeg:
+    return "neg.d";
+  case Opcode::CvtIF:
+    return "cvt.d.w";
+  case Opcode::CvtFI:
+    return "cvt.w.d";
+  case Opcode::FCmpEq:
+    return "c.eq.d";
+  case Opcode::FCmpLt:
+    return "c.lt.d";
+  case Opcode::FCmpLe:
+    return "c.le.d";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  case Opcode::Call:
+    return "call";
+  case Opcode::CallIntrinsic:
+    return "icall";
+  }
+  reportFatalError("unknown opcode");
+}
+
+const char *ir::branchOpName(BranchOp Op) {
+  switch (Op) {
+  case BranchOp::BEQ:
+    return "beq";
+  case BranchOp::BNE:
+    return "bne";
+  case BranchOp::BLEZ:
+    return "blez";
+  case BranchOp::BGTZ:
+    return "bgtz";
+  case BranchOp::BLTZ:
+    return "bltz";
+  case BranchOp::BGEZ:
+    return "bgez";
+  case BranchOp::BC1T:
+    return "bc1t";
+  case BranchOp::BC1F:
+    return "bc1f";
+  }
+  reportFatalError("unknown branch opcode");
+}
+
+const char *ir::intrinsicName(Intrinsic Intr) {
+  switch (Intr) {
+  case Intrinsic::PrintInt:
+    return "print_int";
+  case Intrinsic::PrintChar:
+    return "print_char";
+  case Intrinsic::PrintDouble:
+    return "print_double";
+  case Intrinsic::PrintStr:
+    return "print_str";
+  case Intrinsic::Malloc:
+    return "malloc";
+  case Intrinsic::Arg:
+    return "arg";
+  case Intrinsic::InputLen:
+    return "input_len";
+  case Intrinsic::InputByte:
+    return "input_byte";
+  case Intrinsic::Trap:
+    return "trap";
+  }
+  reportFatalError("unknown intrinsic");
+}
+
+//===----------------------------------------------------------------------===//
+// Instruction
+//===----------------------------------------------------------------------===//
+
+void Instruction::appendUses(std::vector<Reg> &Uses) const {
+  switch (Op) {
+  case Opcode::LoadImm:
+    break;
+  case Opcode::Move:
+  case Opcode::FNeg:
+  case Opcode::CvtIF:
+  case Opcode::CvtFI:
+    Uses.push_back(SrcA);
+    break;
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Rem:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::Slt:
+  case Opcode::Seq:
+  case Opcode::Sne:
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+  case Opcode::FDiv:
+    Uses.push_back(SrcA);
+    if (!BIsImm)
+      Uses.push_back(SrcB);
+    break;
+  case Opcode::FCmpEq:
+  case Opcode::FCmpLt:
+  case Opcode::FCmpLe:
+    Uses.push_back(SrcA);
+    Uses.push_back(SrcB);
+    break;
+  case Opcode::Load:
+    Uses.push_back(SrcA);
+    break;
+  case Opcode::Store:
+    Uses.push_back(SrcA);
+    Uses.push_back(SrcB);
+    break;
+  case Opcode::Call:
+  case Opcode::CallIntrinsic:
+    for (Reg R : Args)
+      Uses.push_back(R);
+    break;
+  }
+}
+
+Reg Instruction::def() const {
+  switch (Op) {
+  case Opcode::Store:
+  case Opcode::FCmpEq:
+  case Opcode::FCmpLt:
+  case Opcode::FCmpLe:
+    return Reg();
+  case Opcode::Call:
+  case Opcode::CallIntrinsic:
+    return Dst; // may be invalid for void calls
+  default:
+    return Dst;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Terminator
+//===----------------------------------------------------------------------===//
+
+void Terminator::appendUses(std::vector<Reg> &Uses) const {
+  switch (Kind) {
+  case TermKind::Jump:
+    break;
+  case TermKind::CondBranch:
+    if (!isFlagBranch(BOp)) {
+      Uses.push_back(Lhs);
+      if (BOp == BranchOp::BEQ || BOp == BranchOp::BNE)
+        Uses.push_back(Rhs);
+    }
+    break;
+  case TermKind::Return:
+    if (HasRetValue)
+      Uses.push_back(RetValue);
+    break;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// BasicBlock
+//===----------------------------------------------------------------------===//
+
+unsigned BasicBlock::numSuccessors() const {
+  assert(TermSet && "block has no terminator");
+  switch (Term.Kind) {
+  case TermKind::Return:
+    return 0;
+  case TermKind::Jump:
+    return 1;
+  case TermKind::CondBranch:
+    return 2;
+  }
+  reportFatalError("unknown terminator kind");
+}
+
+BasicBlock *BasicBlock::getSuccessor(unsigned I) const {
+  assert(I < numSuccessors() && "successor index out of range");
+  if (Term.Kind == TermKind::Jump)
+    return Term.Taken;
+  return I == 0 ? Term.Taken : Term.Fallthru;
+}
+
+bool BasicBlock::containsCall() const {
+  for (const Instruction &I : Insts)
+    if (I.isFunctionCall())
+      return true;
+  return false;
+}
+
+bool BasicBlock::containsStore() const {
+  for (const Instruction &I : Insts)
+    if (I.isStore())
+      return true;
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Function
+//===----------------------------------------------------------------------===//
+
+Function::Function(Module *Parent, uint32_t Index, std::string Name,
+                   unsigned NumParams)
+    : Parent(Parent), Index(Index), Name(std::move(Name)),
+      NumParams(NumParams), NextReg(FirstVirtualReg + NumParams) {}
+
+BasicBlock *Function::createBlock(std::string BlockName) {
+  auto BB = std::make_unique<BasicBlock>(
+      this, static_cast<unsigned>(Blocks.size()), std::move(BlockName));
+  Blocks.push_back(std::move(BB));
+  return Blocks.back().get();
+}
+
+std::vector<std::vector<BasicBlock *>> Function::computePredecessors() const {
+  std::vector<std::vector<BasicBlock *>> Preds(Blocks.size());
+  for (const auto &BB : Blocks)
+    for (unsigned I = 0, E = BB->numSuccessors(); I != E; ++I)
+      Preds[BB->getSuccessor(I)->getId()].push_back(BB.get());
+  return Preds;
+}
+
+size_t Function::countCondBranches() const {
+  size_t N = 0;
+  for (const auto &BB : Blocks)
+    if (BB->isCondBranch())
+      ++N;
+  return N;
+}
+
+size_t Function::countInstructions() const {
+  size_t N = 0;
+  for (const auto &BB : Blocks)
+    N += BB->instructions().size();
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// Module
+//===----------------------------------------------------------------------===//
+
+Function *Module::createFunction(const std::string &Name, unsigned NumParams) {
+  assert(!FunctionsByName.count(Name) && "duplicate function name");
+  auto Index = static_cast<uint32_t>(Functions.size());
+  Functions.push_back(
+      std::make_unique<Function>(this, Index, Name, NumParams));
+  FunctionsByName.emplace(Name, Index);
+  return Functions.back().get();
+}
+
+Function *Module::findFunction(const std::string &Name) const {
+  auto It = FunctionsByName.find(Name);
+  return It == FunctionsByName.end() ? nullptr
+                                     : Functions[It->second].get();
+}
+
+uint32_t Module::allocateGlobal(uint32_t Bytes) {
+  // Keep every allocation 8-byte aligned so doubles and pointers in the
+  // data segment never straddle alignment boundaries.
+  uint32_t Offset = (getGlobalSize() + 7u) & ~7u;
+  GlobalImage.resize(Offset + Bytes, 0);
+  return Offset;
+}
+
+void Module::patchGlobalImage(uint32_t Offset, const void *Data,
+                              size_t Size) {
+  assert(Offset + Size <= GlobalImage.size() && "patch out of range");
+  std::memcpy(GlobalImage.data() + Offset, Data, Size);
+}
+
+uint32_t Module::allocateGlobalData(const std::vector<uint8_t> &Data) {
+  uint32_t Offset = allocateGlobal(static_cast<uint32_t>(Data.size()));
+  std::copy(Data.begin(), Data.end(), GlobalImage.begin() + Offset);
+  return Offset;
+}
+
+size_t Module::countCondBranches() const {
+  size_t N = 0;
+  for (const auto &F : Functions)
+    N += F->countCondBranches();
+  return N;
+}
+
+size_t Module::countInstructions() const {
+  size_t N = 0;
+  for (const auto &F : Functions)
+    N += F->countInstructions();
+  return N;
+}

@@ -1,0 +1,191 @@
+//===- ir/IRBuilder.cpp - Convenience instruction builder -----------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+
+#include <cstring>
+
+using namespace bpfree;
+using namespace bpfree::ir;
+
+Instruction &IRBuilder::emit(Opcode Op) {
+  assert(Cur && "no insertion block set");
+  assert(!Cur->hasTerminator() && "appending after terminator");
+  Cur->instructions().emplace_back();
+  Instruction &I = Cur->instructions().back();
+  I.Op = Op;
+  return I;
+}
+
+Terminator &IRBuilder::setTerm(TermKind Kind) {
+  assert(Cur && "no insertion block set");
+  assert(!Cur->hasTerminator() && "block already terminated");
+  Terminator &T = Cur->terminator();
+  T.Kind = Kind;
+  Cur->markTerminatorSet();
+  return T;
+}
+
+Reg IRBuilder::loadImm(int64_t Value) {
+  Instruction &I = emit(Opcode::LoadImm);
+  I.Dst = F->newReg();
+  I.Imm = Value;
+  return I.Dst;
+}
+
+Reg IRBuilder::loadFImm(double Value) {
+  int64_t Bits;
+  static_assert(sizeof(Bits) == sizeof(Value));
+  std::memcpy(&Bits, &Value, sizeof(Bits));
+  return loadImm(Bits);
+}
+
+Reg IRBuilder::move(Reg Src) {
+  Instruction &I = emit(Opcode::Move);
+  I.Dst = F->newReg();
+  I.SrcA = Src;
+  return I.Dst;
+}
+
+void IRBuilder::moveInto(Reg Dst, Reg Src) {
+  assert(Dst.isValid() && !isDedicatedReg(Dst) && "bad move destination");
+  Instruction &I = emit(Opcode::Move);
+  I.Dst = Dst;
+  I.SrcA = Src;
+}
+
+void IRBuilder::loadImmInto(Reg Dst, int64_t Value) {
+  assert(Dst.isValid() && !isDedicatedReg(Dst) && "bad load destination");
+  Instruction &I = emit(Opcode::LoadImm);
+  I.Dst = Dst;
+  I.Imm = Value;
+}
+
+void IRBuilder::markPointerCompare() {
+  assert(Cur && Cur->hasTerminator() &&
+         Cur->terminator().Kind == TermKind::CondBranch &&
+         "no branch to annotate");
+  Cur->terminator().PointerCompare = true;
+}
+
+Reg IRBuilder::binop(Opcode Op, Reg A, Reg B) {
+  Instruction &I = emit(Op);
+  I.Dst = F->newReg();
+  I.SrcA = A;
+  I.SrcB = B;
+  return I.Dst;
+}
+
+Reg IRBuilder::binopImm(Opcode Op, Reg A, int64_t Imm) {
+  Instruction &I = emit(Op);
+  I.Dst = F->newReg();
+  I.SrcA = A;
+  I.Imm = Imm;
+  I.BIsImm = true;
+  return I.Dst;
+}
+
+Reg IRBuilder::funop(Opcode Op, Reg A) {
+  Instruction &I = emit(Op);
+  I.Dst = F->newReg();
+  I.SrcA = A;
+  return I.Dst;
+}
+
+Reg IRBuilder::fbinop(Opcode Op, Reg A, Reg B) { return binop(Op, A, B); }
+
+void IRBuilder::fcmp(Opcode Op, Reg A, Reg B) {
+  assert(isFCmp(Op) && "fcmp requires an FP-compare opcode");
+  Instruction &I = emit(Op);
+  I.SrcA = A;
+  I.SrcB = B;
+}
+
+Reg IRBuilder::load(Reg Base, int64_t Offset, MemWidth Width) {
+  Instruction &I = emit(Opcode::Load);
+  I.Dst = F->newReg();
+  I.SrcA = Base;
+  I.Imm = Offset;
+  I.Width = Width;
+  return I.Dst;
+}
+
+void IRBuilder::store(Reg Value, Reg Base, int64_t Offset, MemWidth Width) {
+  Instruction &I = emit(Opcode::Store);
+  I.SrcA = Base;
+  I.SrcB = Value;
+  I.Imm = Offset;
+  I.Width = Width;
+}
+
+Reg IRBuilder::call(Function *Callee, const std::vector<Reg> &Args) {
+  assert(Callee && Args.size() == Callee->getNumParams() &&
+         "call argument count mismatch");
+  Instruction &I = emit(Opcode::Call);
+  I.Dst = F->newReg();
+  I.CalleeIndex = Callee->getIndex();
+  I.Args = Args;
+  return I.Dst;
+}
+
+void IRBuilder::callVoid(Function *Callee, const std::vector<Reg> &Args) {
+  assert(Callee && Args.size() == Callee->getNumParams() &&
+         "call argument count mismatch");
+  Instruction &I = emit(Opcode::Call);
+  I.CalleeIndex = Callee->getIndex();
+  I.Args = Args;
+}
+
+Reg IRBuilder::callIntrinsic(Intrinsic Intr, const std::vector<Reg> &Args) {
+  Instruction &I = emit(Opcode::CallIntrinsic);
+  I.Dst = F->newReg();
+  I.Intr = Intr;
+  I.Args = Args;
+  return I.Dst;
+}
+
+void IRBuilder::callIntrinsicVoid(Intrinsic Intr,
+                                  const std::vector<Reg> &Args) {
+  Instruction &I = emit(Opcode::CallIntrinsic);
+  I.Intr = Intr;
+  I.Args = Args;
+}
+
+void IRBuilder::jump(BasicBlock *Target) {
+  assert(Target && "jump target is null");
+  Terminator &T = setTerm(TermKind::Jump);
+  T.Taken = Target;
+}
+
+void IRBuilder::condBranch(BranchOp Op, Reg Lhs, Reg Rhs, BasicBlock *Taken,
+                           BasicBlock *Fallthru) {
+  assert(!isFlagBranch(Op) && "use flagBranch for bc1t/bc1f");
+  assert(Taken && Fallthru && "branch successors are null");
+  Terminator &T = setTerm(TermKind::CondBranch);
+  T.BOp = Op;
+  T.Lhs = Lhs;
+  T.Rhs = Rhs;
+  T.Taken = Taken;
+  T.Fallthru = Fallthru;
+}
+
+void IRBuilder::flagBranch(BranchOp Op, BasicBlock *Taken,
+                           BasicBlock *Fallthru) {
+  assert(isFlagBranch(Op) && "flagBranch requires bc1t/bc1f");
+  assert(Taken && Fallthru && "branch successors are null");
+  Terminator &T = setTerm(TermKind::CondBranch);
+  T.BOp = Op;
+  T.Taken = Taken;
+  T.Fallthru = Fallthru;
+}
+
+void IRBuilder::ret() { setTerm(TermKind::Return); }
+
+void IRBuilder::retValue(Reg Value) {
+  Terminator &T = setTerm(TermKind::Return);
+  T.RetValue = Value;
+  T.HasRetValue = true;
+}

@@ -1,0 +1,100 @@
+//===- ir/IRBuilder.h - Convenience instruction builder ---------*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IRBuilder appends instructions to a current insertion block and hands
+/// back result registers, so that codegen, tests, and examples can build
+/// functions without touching Instruction fields directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_IR_IRBUILDER_H
+#define BPFREE_IR_IRBUILDER_H
+
+#include "ir/Function.h"
+#include "ir/Module.h"
+
+#include <cassert>
+
+namespace bpfree {
+namespace ir {
+
+/// Appends instructions and terminators to basic blocks of one function.
+class IRBuilder {
+public:
+  explicit IRBuilder(Function *F) : F(F) {}
+
+  Function *getFunction() const { return F; }
+
+  void setInsertBlock(BasicBlock *BB) { Cur = BB; }
+  BasicBlock *getInsertBlock() const { return Cur; }
+
+  /// Creates a new block in the function (does not change insertion point).
+  BasicBlock *makeBlock(const std::string &Name) {
+    return F->createBlock(Name);
+  }
+
+  // Immediates and moves.
+  Reg loadImm(int64_t Value);
+  Reg loadFImm(double Value); ///< LoadImm with the double's bit pattern
+  Reg move(Reg Src);
+
+  /// Writes into an existing register (mutable variable assignment).
+  void moveInto(Reg Dst, Reg Src);
+  void loadImmInto(Reg Dst, int64_t Value);
+
+  /// Marks the just-emitted conditional branch as a pointer comparison
+  /// (frontend type annotation consumed by the Pointer heuristic's
+  /// type-aware variant).
+  void markPointerCompare();
+
+  // Integer ALU, register and immediate forms.
+  Reg binop(Opcode Op, Reg A, Reg B);
+  Reg binopImm(Opcode Op, Reg A, int64_t Imm);
+  Reg add(Reg A, Reg B) { return binop(Opcode::Add, A, B); }
+  Reg addImm(Reg A, int64_t Imm) { return binopImm(Opcode::Add, A, Imm); }
+  Reg sub(Reg A, Reg B) { return binop(Opcode::Sub, A, B); }
+  Reg mul(Reg A, Reg B) { return binop(Opcode::Mul, A, B); }
+  Reg slt(Reg A, Reg B) { return binop(Opcode::Slt, A, B); }
+
+  // Floating point.
+  Reg funop(Opcode Op, Reg A); ///< FNeg / CvtIF / CvtFI
+  Reg fbinop(Opcode Op, Reg A, Reg B);
+
+  /// Emits an FP compare that sets the condition flag for bc1t/bc1f.
+  void fcmp(Opcode Op, Reg A, Reg B);
+
+  // Memory.
+  Reg load(Reg Base, int64_t Offset, MemWidth Width);
+  void store(Reg Value, Reg Base, int64_t Offset, MemWidth Width);
+
+  // Calls.
+  Reg call(Function *Callee, const std::vector<Reg> &Args);
+  void callVoid(Function *Callee, const std::vector<Reg> &Args);
+  Reg callIntrinsic(Intrinsic Intr, const std::vector<Reg> &Args);
+  void callIntrinsicVoid(Intrinsic Intr, const std::vector<Reg> &Args);
+
+  // Terminators. Each may be applied once per block.
+  void jump(BasicBlock *Target);
+  void condBranch(BranchOp Op, Reg Lhs, Reg Rhs, BasicBlock *Taken,
+                  BasicBlock *Fallthru);
+  /// Flag-reading branch (BC1T/BC1F); a preceding fcmp must set the flag.
+  void flagBranch(BranchOp Op, BasicBlock *Taken, BasicBlock *Fallthru);
+  void ret();
+  void retValue(Reg Value);
+
+private:
+  Instruction &emit(Opcode Op);
+  Terminator &setTerm(TermKind Kind);
+
+  Function *F;
+  BasicBlock *Cur = nullptr;
+};
+
+} // namespace ir
+} // namespace bpfree
+
+#endif // BPFREE_IR_IRBUILDER_H

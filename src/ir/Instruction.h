@@ -1,0 +1,131 @@
+//===- ir/Instruction.h - Registers, instructions, terminators -*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Core IR data types: registers, straight-line instructions, and block
+/// terminators. Instructions use a flat fixed-field encoding (a dst, two
+/// source registers, one immediate) plus an argument vector for calls;
+/// this keeps use/def queries — which the Guard heuristic depends on —
+/// trivial and allocation-free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_IR_INSTRUCTION_H
+#define BPFREE_IR_INSTRUCTION_H
+
+#include "ir/Opcodes.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace bpfree {
+namespace ir {
+
+class BasicBlock;
+
+/// A register id. The machine has an infinite virtual register file plus
+/// a handful of dedicated registers with MIPS-like roles; the Pointer
+/// heuristic's "addressed off SP / off GP" distinction needs SP and GP to
+/// be identifiable.
+struct Reg {
+  static constexpr uint32_t InvalidId = ~0u;
+
+  uint32_t Id = InvalidId;
+
+  Reg() = default;
+  explicit constexpr Reg(uint32_t Id) : Id(Id) {}
+
+  bool isValid() const { return Id != InvalidId; }
+  bool operator==(const Reg &RHS) const { return Id == RHS.Id; }
+  bool operator!=(const Reg &RHS) const { return Id != RHS.Id; }
+  bool operator<(const Reg &RHS) const { return Id < RHS.Id; }
+};
+
+/// Dedicated registers. Virtual registers start at FirstVirtualReg.
+constexpr Reg ZeroReg{0}; ///< always reads 0, writes ignored (MIPS $zero)
+constexpr Reg SpReg{1};   ///< stack pointer (locals addressed off it)
+constexpr Reg GpReg{2};   ///< global pointer (globals addressed off it)
+constexpr uint32_t FirstVirtualReg = 8;
+
+/// \returns true if \p R is one of the dedicated registers above.
+inline bool isDedicatedReg(Reg R) { return R.Id < FirstVirtualReg; }
+
+/// One straight-line (non-terminator) instruction.
+///
+/// Field usage by opcode:
+///  - LoadImm:           Dst, Imm (integer or bit-cast double)
+///  - Move/FNeg/Cvt*:    Dst, SrcA
+///  - ALU / FP binary:   Dst, SrcA, SrcB-or-Imm (BIsImm selects)
+///  - FCmp*:             SrcA, SrcB (sets the implicit FP flag)
+///  - Load:              Dst, SrcA (base), Imm (offset), Width
+///  - Store:             SrcB (value), SrcA (base), Imm (offset), Width
+///  - Call:              Dst (optional), CalleeIndex, Args
+///  - CallIntrinsic:     Dst (optional), Intr, Args
+struct Instruction {
+  Opcode Op = Opcode::Move;
+  Reg Dst;
+  Reg SrcA;
+  Reg SrcB;
+  int64_t Imm = 0;
+  bool BIsImm = false;
+  MemWidth Width = MemWidth::I64;
+  uint32_t CalleeIndex = 0;
+  Intrinsic Intr = Intrinsic::PrintInt;
+  std::vector<Reg> Args;
+
+  bool isCall() const {
+    return Op == Opcode::Call || Op == Opcode::CallIntrinsic;
+  }
+
+  /// True for calls into another IR function; intrinsic calls never
+  /// transfer control into analyzed code, so the Call heuristic — which
+  /// models "this block does real work elsewhere" — only counts these.
+  bool isFunctionCall() const { return Op == Opcode::Call; }
+
+  bool isStore() const { return Op == Opcode::Store; }
+  bool isLoad() const { return Op == Opcode::Load; }
+
+  /// Appends the registers this instruction reads to \p Uses.
+  void appendUses(std::vector<Reg> &Uses) const;
+
+  /// \returns the register defined, or an invalid Reg if none.
+  Reg def() const;
+};
+
+/// Kinds of block terminators.
+enum class TermKind {
+  Jump,       ///< unconditional transfer to Taken
+  CondBranch, ///< two-way branch: Taken on true, Fallthru on false
+  Return      ///< procedure exit; RetValue if HasRetValue
+};
+
+/// A block terminator. Conditional branches are the paper's unit of
+/// prediction: choosing a direction = choosing Taken or Fallthru.
+struct Terminator {
+  TermKind Kind = TermKind::Return;
+  BranchOp BOp = BranchOp::BEQ;
+  Reg Lhs; ///< first compared register (unused by BC1T/BC1F)
+  Reg Rhs; ///< second compared register (BEQ/BNE only)
+  BasicBlock *Taken = nullptr;
+  BasicBlock *Fallthru = nullptr;
+  Reg RetValue;
+  bool HasRetValue = false;
+  /// Frontend annotation: this branch compares pointer-typed values.
+  /// The paper notes its opcode-pattern pointer heuristic "could easily
+  /// be improved by incorporating type information" available to a
+  /// compiler; the type-aware Pointer heuristic variant consumes this.
+  bool PointerCompare = false;
+
+  bool isCondBranch() const { return Kind == TermKind::CondBranch; }
+
+  /// Appends the registers the terminator itself reads.
+  void appendUses(std::vector<Reg> &Uses) const;
+};
+
+} // namespace ir
+} // namespace bpfree
+
+#endif // BPFREE_IR_INSTRUCTION_H

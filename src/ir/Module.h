@@ -1,0 +1,84 @@
+//===- ir/Module.h - Whole-program container --------------------*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Module is the analyzed unit: all functions of a program plus the
+/// initial image of the global data segment. It plays the role of the
+/// "executable file" QPT analyzed — every procedure in it, runtime
+/// routines included, is visible to the predictor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_IR_MODULE_H
+#define BPFREE_IR_MODULE_H
+
+#include "ir/Function.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace bpfree {
+namespace ir {
+
+/// Owns functions and the global data image.
+class Module {
+public:
+  /// Creates a new function with \p NumParams parameters. Function names
+  /// must be unique within the module.
+  Function *createFunction(const std::string &Name, unsigned NumParams);
+
+  Function *getFunction(uint32_t Index) const {
+    assert(Index < Functions.size() && "function index out of range");
+    return Functions[Index].get();
+  }
+
+  /// \returns the function named \p Name, or nullptr.
+  Function *findFunction(const std::string &Name) const;
+
+  size_t numFunctions() const { return Functions.size(); }
+
+  auto begin() const { return Functions.begin(); }
+  auto end() const { return Functions.end(); }
+
+  /// Reserves \p Bytes of zero-initialized global storage, 8-byte aligned,
+  /// and returns its GP-relative offset.
+  uint32_t allocateGlobal(uint32_t Bytes);
+
+  /// Reserves global storage initialized with \p Data (used for string
+  /// literals and initialized arrays); returns the GP-relative offset.
+  uint32_t allocateGlobalData(const std::vector<uint8_t> &Data);
+
+  /// Total size of the global segment.
+  uint32_t getGlobalSize() const {
+    return static_cast<uint32_t>(GlobalImage.size());
+  }
+
+  /// Initial byte image of the global segment.
+  const std::vector<uint8_t> &getGlobalImage() const { return GlobalImage; }
+
+  /// Overwrites \p Data.size() bytes of the global image at \p Offset
+  /// (for scalar global initializers).
+  void patchGlobalImage(uint32_t Offset, const void *Data, size_t Size);
+
+  /// Counts conditional branches across all functions (static count).
+  size_t countCondBranches() const;
+
+  /// Counts instructions across all functions.
+  size_t countInstructions() const;
+
+private:
+  std::vector<std::unique_ptr<Function>> Functions;
+  std::unordered_map<std::string, uint32_t> FunctionsByName;
+  std::vector<uint8_t> GlobalImage;
+};
+
+} // namespace ir
+} // namespace bpfree
+
+#endif // BPFREE_IR_MODULE_H

@@ -1,0 +1,136 @@
+//===- ir/Opcodes.h - Instruction and branch opcode enums -------*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Opcode vocabulary for the bpfree IR. The IR is a MIPS-flavoured
+/// register machine: it keeps exactly the features the Ball-Larus
+/// heuristics inspect on real MIPS executables — compare-against-zero
+/// branch opcodes (blez/bgtz/bltz/bgez), two-register equality branches
+/// (beq/bne), a floating-point compare flag consumed by bc1t/bc1f,
+/// explicit loads/stores with base+offset addressing, and calls/returns
+/// as ordinary block contents.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_IR_OPCODES_H
+#define BPFREE_IR_OPCODES_H
+
+namespace bpfree {
+namespace ir {
+
+/// Non-terminator instruction opcodes.
+enum class Opcode {
+  // Immediates and moves.
+  LoadImm, ///< Dst = Imm (64-bit integer, also used for addresses)
+  Move,    ///< Dst = SrcA
+
+  // Integer ALU. SrcB may be a register or an immediate (BIsImm).
+  Add,
+  Sub,
+  Mul,
+  Div, ///< Signed division; divide-by-zero traps at run time.
+  Rem, ///< Signed remainder; divide-by-zero traps at run time.
+  And,
+  Or,
+  Xor,
+  Shl,
+  Shr, ///< Arithmetic (sign-propagating) right shift.
+  Slt, ///< Dst = (SrcA < SrcB) signed, 0 or 1.
+  Seq, ///< Dst = (SrcA == SrcB), 0 or 1.
+  Sne, ///< Dst = (SrcA != SrcB), 0 or 1.
+
+  // Floating point (double precision, stored bit-cast in the register
+  // file; the opcode decides interpretation, as heuristics never read
+  // values).
+  FAdd,
+  FSub,
+  FMul,
+  FDiv,
+  FNeg,
+  CvtIF, ///< Dst = (double)(int64)SrcA
+  CvtFI, ///< Dst = (int64)(double)SrcA, truncating
+
+  // Floating-point compares set the FP condition flag read by BC1T/BC1F
+  // terminators, exactly like the MIPS c.cond.d / bc1x pair the paper's
+  // opcode heuristic pattern-matches.
+  FCmpEq,
+  FCmpLt,
+  FCmpLe,
+
+  // Memory. Address = SrcA + Imm. Width selects 1 or 8 bytes.
+  Load,  ///< Dst = Mem[SrcA + Imm]
+  Store, ///< Mem[SrcA + Imm] = SrcB
+
+  // Calls are ordinary instructions (not terminators): the call/return
+  // heuristics ask whether a *successor block contains* a call or return.
+  Call,          ///< Dst(optional) = Functions[CalleeIndex](Args...)
+  CallIntrinsic, ///< Dst(optional) = Intr(Args...)
+};
+
+/// Conditional branch opcodes; the Opcode heuristic keys off these.
+enum class BranchOp {
+  BEQ,  ///< taken iff Lhs == Rhs
+  BNE,  ///< taken iff Lhs != Rhs
+  BLEZ, ///< taken iff Lhs <= 0   (opcode heuristic: predict not taken)
+  BGTZ, ///< taken iff Lhs >  0   (opcode heuristic: predict taken)
+  BLTZ, ///< taken iff Lhs <  0   (opcode heuristic: predict not taken)
+  BGEZ, ///< taken iff Lhs >= 0   (opcode heuristic: predict taken)
+  BC1T, ///< taken iff FP condition flag is true
+  BC1F, ///< taken iff FP condition flag is false
+};
+
+/// Memory access widths.
+enum class MemWidth {
+  I8, ///< one byte, sign-extended on load (C char semantics)
+  I64 ///< eight bytes (integers, pointers, and raw doubles)
+};
+
+/// VM intrinsics reachable from MiniC. These stand in for the Ultrix libc
+/// routines the paper's tool also instrumented; the MiniC runtime layers
+/// richer routines (formatting, string ops) on top of them in MiniC itself.
+enum class Intrinsic {
+  PrintInt,    ///< print integer (arg0) to the VM output buffer
+  PrintChar,   ///< print one character (arg0)
+  PrintDouble, ///< print double (arg0) with fixed formatting
+  PrintStr,    ///< print NUL-terminated string at address arg0
+  Malloc,      ///< bump-allocate arg0 bytes from the VM heap, returns addr
+  Arg,         ///< read integer parameter arg0 of the active dataset
+  InputLen,    ///< length of the active dataset's byte buffer
+  InputByte,   ///< byte arg0 of the dataset buffer (0 past the end)
+  Trap,        ///< abort execution with a runtime trap (MiniC `trap()`)
+};
+
+/// \returns a stable mnemonic for \p Op (used by the printer and tests).
+const char *opcodeName(Opcode Op);
+
+/// \returns a stable mnemonic for \p Op.
+const char *branchOpName(BranchOp Op);
+
+/// \returns a stable name for \p Intr.
+const char *intrinsicName(Intrinsic Intr);
+
+/// \returns true if \p Op is one of the FP-compare opcodes that set the
+/// condition flag.
+inline bool isFCmp(Opcode Op) {
+  return Op == Opcode::FCmpEq || Op == Opcode::FCmpLt || Op == Opcode::FCmpLe;
+}
+
+/// \returns true if \p Op reads the FP condition flag.
+inline bool isFlagBranch(BranchOp Op) {
+  return Op == BranchOp::BC1T || Op == BranchOp::BC1F;
+}
+
+/// \returns true if \p Op compares a single register against zero (the
+/// MIPS blez/bgtz/bltz/bgez family the opcode heuristic predicts).
+inline bool isZeroCompareBranch(BranchOp Op) {
+  return Op == BranchOp::BLEZ || Op == BranchOp::BGTZ ||
+         Op == BranchOp::BLTZ || Op == BranchOp::BGEZ;
+}
+
+} // namespace ir
+} // namespace bpfree
+
+#endif // BPFREE_IR_OPCODES_H

@@ -1,0 +1,159 @@
+//===- ir/Printer.cpp - Textual IR dumping --------------------------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+
+#include "ir/Module.h"
+
+#include <sstream>
+
+using namespace bpfree;
+using namespace bpfree::ir;
+
+static std::string regName(Reg R) {
+  if (!R.isValid())
+    return "r?";
+  if (R == ZeroReg)
+    return "zero";
+  if (R == SpReg)
+    return "sp";
+  if (R == GpReg)
+    return "gp";
+  return "r" + std::to_string(R.Id);
+}
+
+static std::string blockLabel(const BasicBlock *BB) {
+  if (!BB)
+    return "<null>";
+  return BB->getName() + "." + std::to_string(BB->getId());
+}
+
+std::string ir::printInstruction(const Instruction &I, const Module *M) {
+  std::ostringstream OS;
+  OS << opcodeName(I.Op) << ' ';
+  switch (I.Op) {
+  case Opcode::LoadImm:
+    OS << regName(I.Dst) << ", " << I.Imm;
+    break;
+  case Opcode::Move:
+  case Opcode::FNeg:
+  case Opcode::CvtIF:
+  case Opcode::CvtFI:
+    OS << regName(I.Dst) << ", " << regName(I.SrcA);
+    break;
+  case Opcode::FCmpEq:
+  case Opcode::FCmpLt:
+  case Opcode::FCmpLe:
+    OS << regName(I.SrcA) << ", " << regName(I.SrcB);
+    break;
+  case Opcode::Load:
+    OS << regName(I.Dst) << ", " << I.Imm << '(' << regName(I.SrcA) << ')'
+       << (I.Width == MemWidth::I8 ? " b" : "");
+    break;
+  case Opcode::Store:
+    OS << regName(I.SrcB) << ", " << I.Imm << '(' << regName(I.SrcA) << ')'
+       << (I.Width == MemWidth::I8 ? " b" : "");
+    break;
+  case Opcode::Call: {
+    OS << (M ? M->getFunction(I.CalleeIndex)->getName()
+             : "@" + std::to_string(I.CalleeIndex));
+    OS << '(';
+    for (size_t A = 0; A < I.Args.size(); ++A)
+      OS << (A ? ", " : "") << regName(I.Args[A]);
+    OS << ')';
+    if (I.Dst.isValid())
+      OS << " -> " << regName(I.Dst);
+    break;
+  }
+  case Opcode::CallIntrinsic: {
+    OS << intrinsicName(I.Intr) << '(';
+    for (size_t A = 0; A < I.Args.size(); ++A)
+      OS << (A ? ", " : "") << regName(I.Args[A]);
+    OS << ')';
+    if (I.Dst.isValid())
+      OS << " -> " << regName(I.Dst);
+    break;
+  }
+  default:
+    // Binary ALU / FP forms.
+    OS << regName(I.Dst) << ", " << regName(I.SrcA) << ", ";
+    if (I.BIsImm)
+      OS << I.Imm;
+    else
+      OS << regName(I.SrcB);
+    break;
+  }
+  return OS.str();
+}
+
+std::string ir::printBlock(const BasicBlock &BB, const Module *M) {
+  std::ostringstream OS;
+  OS << blockLabel(&BB) << ":\n";
+  for (const Instruction &I : BB.instructions())
+    OS << "  " << printInstruction(I, M) << '\n';
+  if (!BB.hasTerminator()) {
+    OS << "  <no terminator>\n";
+    return OS.str();
+  }
+  const Terminator &T = BB.terminator();
+  switch (T.Kind) {
+  case TermKind::Jump:
+    OS << "  j " << blockLabel(T.Taken) << '\n';
+    break;
+  case TermKind::CondBranch:
+    OS << "  " << branchOpName(T.BOp);
+    if (!isFlagBranch(T.BOp)) {
+      OS << ' ' << regName(T.Lhs);
+      if (T.BOp == BranchOp::BEQ || T.BOp == BranchOp::BNE)
+        OS << ", " << regName(T.Rhs);
+    }
+    OS << " -> " << blockLabel(T.Taken) << " | " << blockLabel(T.Fallthru);
+    if (T.PointerCompare)
+      OS << " !ptr";
+    OS << '\n';
+    break;
+  case TermKind::Return:
+    OS << "  ret";
+    if (T.HasRetValue)
+      OS << ' ' << regName(T.RetValue);
+    OS << '\n';
+    break;
+  }
+  return OS.str();
+}
+
+std::string ir::printFunction(const Function &F) {
+  std::ostringstream OS;
+  OS << "func " << F.getName() << '(' << F.getNumParams() << " params)"
+     << " frame=" << F.getFrameSize() << " regs=" << F.getNumRegs()
+     << ":\n";
+  for (const auto &BB : F)
+    OS << printBlock(*BB, F.getParent());
+  return OS.str();
+}
+
+std::string ir::printModule(const Module &M) {
+  std::ostringstream OS;
+  OS << "module: " << M.numFunctions() << " functions, "
+     << M.getGlobalSize() << " global bytes\n";
+  // Data segment as hex, 32 bytes per line; parseModuleText reads it
+  // back, making print/parse a faithful round trip.
+  const std::vector<uint8_t> &Image = M.getGlobalImage();
+  if (!Image.empty()) {
+    OS << "data " << Image.size() << ":\n";
+    static const char Hex[] = "0123456789abcdef";
+    for (size_t I = 0; I < Image.size(); ++I) {
+      if (I % 32 == 0)
+        OS << "  ";
+      OS << Hex[Image[I] >> 4] << Hex[Image[I] & 0xF];
+      if (I % 32 == 31 || I + 1 == Image.size())
+        OS << '\n';
+    }
+  }
+  for (const auto &F : M)
+    OS << printFunction(*F) << '\n';
+  return OS.str();
+}

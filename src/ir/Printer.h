@@ -1,0 +1,43 @@
+//===- ir/Printer.h - Textual IR dumping ------------------------*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Human-readable dumps of IR functions and modules, in a MIPS-assembly
+/// flavoured syntax. Used by tests and the example tools; the dumps are
+/// stable so tests may match substrings, but they are not a serialization
+/// format.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_IR_PRINTER_H
+#define BPFREE_IR_PRINTER_H
+
+#include <string>
+
+namespace bpfree {
+namespace ir {
+
+class BasicBlock;
+class Function;
+class Module;
+struct Instruction;
+
+/// Renders one instruction, e.g. "add r9, r8, 4".
+std::string printInstruction(const Instruction &I, const Module *M);
+
+/// Renders a block with its label, instructions, and terminator.
+std::string printBlock(const BasicBlock &BB, const Module *M);
+
+/// Renders a whole function.
+std::string printFunction(const Function &F);
+
+/// Renders every function in the module.
+std::string printModule(const Module &M);
+
+} // namespace ir
+} // namespace bpfree
+
+#endif // BPFREE_IR_PRINTER_H

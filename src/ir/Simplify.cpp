@@ -1,0 +1,91 @@
+//===- ir/Simplify.cpp - CFG cleanup (block merging) ----------------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Simplify.h"
+
+#include "ir/Function.h"
+#include "ir/Module.h"
+
+#include <vector>
+
+using namespace bpfree;
+using namespace bpfree::ir;
+
+namespace {
+
+/// Reachable-from-entry bitmap; merging must ignore predecessor edges
+/// from dead blocks left behind by earlier merges.
+std::vector<bool> reachableBlocks(const Function &F) {
+  std::vector<bool> Seen(F.numBlocks(), false);
+  std::vector<const BasicBlock *> Work;
+  Seen[F.getEntry()->getId()] = true;
+  Work.push_back(F.getEntry());
+  while (!Work.empty()) {
+    const BasicBlock *Cur = Work.back();
+    Work.pop_back();
+    for (unsigned I = 0, E = Cur->numSuccessors(); I != E; ++I) {
+      const BasicBlock *S = Cur->getSuccessor(I);
+      if (!Seen[S->getId()]) {
+        Seen[S->getId()] = true;
+        Work.push_back(S);
+      }
+    }
+  }
+  return Seen;
+}
+
+} // namespace
+
+size_t ir::simplifyCfg(Function &F) {
+  size_t Merged = 0;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    std::vector<bool> Live = reachableBlocks(F);
+
+    // Count predecessors among live blocks only.
+    std::vector<unsigned> PredCount(F.numBlocks(), 0);
+    for (const auto &BB : F) {
+      if (!Live[BB->getId()])
+        continue;
+      for (unsigned I = 0, E = BB->numSuccessors(); I != E; ++I)
+        ++PredCount[BB->getSuccessor(I)->getId()];
+    }
+
+    for (const auto &BBPtr : F) {
+      BasicBlock *B = BBPtr.get();
+      if (!Live[B->getId()] || !B->isUnconditionalJump())
+        continue;
+      BasicBlock *C = B->getSuccessor(0);
+      if (C == B || C == F.getEntry() || PredCount[C->getId()] != 1)
+        continue;
+      // Fold C into B: move instructions, adopt C's terminator. C stays
+      // in the function as an unreachable empty shell; neutralize its
+      // terminator to a plain return so the dead block contributes no
+      // phantom branches to static counts.
+      auto &BInsts = B->instructions();
+      auto &CInsts = C->instructions();
+      BInsts.insert(BInsts.end(), std::make_move_iterator(CInsts.begin()),
+                    std::make_move_iterator(CInsts.end()));
+      CInsts.clear();
+      B->terminator() = C->terminator();
+      C->terminator() = Terminator();
+      C->terminator().Kind = TermKind::Return;
+      ++Merged;
+      Changed = true;
+      // Restart the scan: predecessor counts are stale now.
+      break;
+    }
+  }
+  return Merged;
+}
+
+size_t ir::simplifyCfg(Module &M) {
+  size_t Merged = 0;
+  for (const auto &F : M)
+    Merged += simplifyCfg(*F);
+  return Merged;
+}

@@ -1,0 +1,42 @@
+//===- ir/Simplify.h - CFG cleanup (block merging) --------------*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Straight-line block merging: when a block B ends in an unconditional
+/// jump to a block C whose only predecessor is B, C's contents are
+/// folded into B. Any real compiler performs this cleanup, and the
+/// Ball-Larus heuristics assume its effect — e.g. a rotated loop's
+/// bottom test sits in the same basic block as the body's trailing
+/// loads, which is what lets the Pointer heuristic see the
+/// "load rM ... beq rM, ..." pattern.
+///
+/// Merged-away blocks become unreachable but remain structurally valid
+/// members of the function (block ids are stable by design).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_IR_SIMPLIFY_H
+#define BPFREE_IR_SIMPLIFY_H
+
+#include <cstddef>
+
+namespace bpfree {
+namespace ir {
+
+class Function;
+class Module;
+
+/// Merges single-predecessor jump targets into their predecessor until
+/// a fixpoint. \returns the number of blocks merged away.
+size_t simplifyCfg(Function &F);
+
+/// Runs simplifyCfg on every function. \returns total merges.
+size_t simplifyCfg(Module &M);
+
+} // namespace ir
+} // namespace bpfree
+
+#endif // BPFREE_IR_SIMPLIFY_H

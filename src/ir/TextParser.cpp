@@ -1,0 +1,561 @@
+//===- ir/TextParser.cpp - Parse printed IR back into modules -------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/TextParser.h"
+
+#include "ir/IRBuilder.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+#include <vector>
+
+using namespace bpfree;
+using namespace bpfree::ir;
+
+namespace {
+
+/// A tiny cursor over one line of text.
+class LineCursor {
+public:
+  explicit LineCursor(const std::string &Line) : Line(Line) {}
+
+  void skipSpace() {
+    while (Pos < Line.size() && Line[Pos] == ' ')
+      ++Pos;
+  }
+
+  bool atEnd() {
+    skipSpace();
+    return Pos >= Line.size();
+  }
+
+  /// Consumes \p Literal if it is next (after spaces).
+  bool consume(const std::string &Literal) {
+    skipSpace();
+    if (Line.compare(Pos, Literal.size(), Literal) != 0)
+      return false;
+    Pos += Literal.size();
+    return true;
+  }
+
+  /// Reads an identifier-like word [A-Za-z0-9_.$@-]+.
+  bool word(std::string &Out) {
+    skipSpace();
+    size_t Start = Pos;
+    while (Pos < Line.size() &&
+           (std::isalnum(static_cast<unsigned char>(Line[Pos])) ||
+            Line[Pos] == '_' || Line[Pos] == '.' || Line[Pos] == '$'))
+      ++Pos;
+    if (Pos == Start)
+      return false;
+    Out = Line.substr(Start, Pos - Start);
+    return true;
+  }
+
+  bool integer(int64_t &Out) {
+    skipSpace();
+    size_t Start = Pos;
+    if (Pos < Line.size() && (Line[Pos] == '-' || Line[Pos] == '+'))
+      ++Pos;
+    size_t DigitsFrom = Pos;
+    while (Pos < Line.size() &&
+           std::isdigit(static_cast<unsigned char>(Line[Pos])))
+      ++Pos;
+    if (Pos == DigitsFrom) {
+      Pos = Start;
+      return false;
+    }
+    Out = std::strtoll(Line.c_str() + Start, nullptr, 10);
+    return true;
+  }
+
+  /// True if the next token (after spaces) starts an integer.
+  bool nextIsInteger() {
+    skipSpace();
+    if (Pos >= Line.size())
+      return false;
+    char C = Line[Pos];
+    if (std::isdigit(static_cast<unsigned char>(C)))
+      return true;
+    return (C == '-' || C == '+') && Pos + 1 < Line.size() &&
+           std::isdigit(static_cast<unsigned char>(Line[Pos + 1]));
+  }
+
+private:
+  const std::string &Line;
+  size_t Pos = 0;
+};
+
+struct PendingBranch {
+  BasicBlock *Block;
+  unsigned TakenId;
+  unsigned FallthruId; ///< == TakenId for jumps
+  bool IsJump;
+};
+
+class TextParserImpl {
+public:
+  explicit TextParserImpl(const std::string &Text) {
+    size_t Start = 0;
+    while (Start <= Text.size()) {
+      size_t End = Text.find('\n', Start);
+      if (End == std::string::npos) {
+        if (Start < Text.size())
+          Lines.push_back(Text.substr(Start));
+        break;
+      }
+      Lines.push_back(Text.substr(Start, End - Start));
+      Start = End + 1;
+    }
+  }
+
+  Expected<std::unique_ptr<Module>> run() {
+    M = std::make_unique<Module>();
+    if (!predeclareFunctions())
+      return Err;
+    Cur = 0;
+    if (!parseHeader() || !parseData())
+      return Err;
+    while (Cur < Lines.size()) {
+      if (blank(Lines[Cur])) {
+        ++Cur;
+        continue;
+      }
+      if (!parseFunction())
+        return Err;
+    }
+    return std::move(M);
+  }
+
+private:
+  static bool blank(const std::string &Line) {
+    for (char C : Line)
+      if (C != ' ' && C != '\t' && C != '\r')
+        return false;
+    return true;
+  }
+
+  bool fail(const std::string &Message) {
+    Err = Diag(Message, static_cast<int>(Cur + 1), 0);
+    return false;
+  }
+
+  /// Pass 1: create every function so calls can resolve forward.
+  bool predeclareFunctions() {
+    for (Cur = 0; Cur < Lines.size(); ++Cur) {
+      LineCursor C(Lines[Cur]);
+      if (!C.consume("func "))
+        continue;
+      std::string Name;
+      int64_t Params;
+      if (!C.word(Name) || !C.consume("(") || !C.integer(Params) ||
+          !C.consume("params)"))
+        return fail("malformed function header");
+      if (M->findFunction(Name))
+        return fail("duplicate function '" + Name + "'");
+      M->createFunction(Name, static_cast<unsigned>(Params));
+    }
+    return true;
+  }
+
+  bool parseHeader() {
+    if (Cur >= Lines.size())
+      return fail("empty module text");
+    LineCursor C(Lines[Cur]);
+    if (!C.consume("module:"))
+      return fail("expected 'module:' header");
+    ++Cur;
+    return true;
+  }
+
+  bool parseData() {
+    if (Cur >= Lines.size())
+      return true;
+    LineCursor C(Lines[Cur]);
+    if (!C.consume("data "))
+      return true; // no data section
+    int64_t Size;
+    if (!C.integer(Size) || !C.consume(":"))
+      return fail("malformed data header");
+    ++Cur;
+    std::vector<uint8_t> Image;
+    Image.reserve(static_cast<size_t>(Size));
+    while (static_cast<int64_t>(Image.size()) < Size) {
+      if (Cur >= Lines.size())
+        return fail("data section truncated");
+      const std::string &Line = Lines[Cur];
+      for (size_t I = 0; I < Line.size(); ++I) {
+        char A = Line[I];
+        if (A == ' ' || A == '\t')
+          continue;
+        if (I + 1 >= Line.size())
+          return fail("odd hex digit count in data");
+        int Hi = hexVal(A), Lo = hexVal(Line[I + 1]);
+        if (Hi < 0 || Lo < 0)
+          return fail("bad hex byte in data");
+        Image.push_back(static_cast<uint8_t>((Hi << 4) | Lo));
+        ++I;
+      }
+      ++Cur;
+    }
+    if (static_cast<int64_t>(Image.size()) != Size)
+      return fail("data size mismatch");
+    M->allocateGlobalData(Image);
+    return true;
+  }
+
+  static int hexVal(char C) {
+    if (C >= '0' && C <= '9')
+      return C - '0';
+    if (C >= 'a' && C <= 'f')
+      return C - 'a' + 10;
+    if (C >= 'A' && C <= 'F')
+      return C - 'A' + 10;
+    return -1;
+  }
+
+  bool parseReg(LineCursor &C, Reg &Out) {
+    std::string W;
+    if (!C.word(W))
+      return fail("expected a register");
+    if (W == "zero") {
+      Out = ZeroReg;
+      return true;
+    }
+    if (W == "sp") {
+      Out = SpReg;
+      return true;
+    }
+    if (W == "gp") {
+      Out = GpReg;
+      return true;
+    }
+    if (W.size() > 1 && W[0] == 'r') {
+      Out = Reg(static_cast<uint32_t>(
+          std::strtoul(W.c_str() + 1, nullptr, 10)));
+      return true;
+    }
+    return fail("bad register '" + W + "'");
+  }
+
+  /// "name.id" -> id, validated against the current function.
+  bool parseBlockRef(LineCursor &C, unsigned &Out) {
+    std::string W;
+    if (!C.word(W))
+      return fail("expected a block label");
+    size_t Dot = W.rfind('.');
+    if (Dot == std::string::npos)
+      return fail("block label missing .id suffix: '" + W + "'");
+    Out = static_cast<unsigned>(
+        std::strtoul(W.c_str() + Dot + 1, nullptr, 10));
+    if (Out >= F->numBlocks())
+      return fail("block id out of range in '" + W + "'");
+    return true;
+  }
+
+  bool parseFunction() {
+    LineCursor C(Lines[Cur]);
+    if (!C.consume("func "))
+      return fail("expected a function header");
+    std::string Name;
+    int64_t Params, Frame, Regs;
+    if (!C.word(Name) || !C.consume("(") || !C.integer(Params) ||
+        !C.consume("params)") || !C.consume("frame=") ||
+        !C.integer(Frame) || !C.consume("regs=") || !C.integer(Regs) ||
+        !C.consume(":"))
+      return fail("malformed function header");
+    F = M->findFunction(Name);
+    if (!F)
+      return fail("function vanished between passes");
+    F->setFrameSize(static_cast<uint32_t>(Frame));
+    F->reserveRegs(static_cast<uint32_t>(Regs));
+    size_t HeaderLine = Cur;
+    ++Cur;
+
+    // Pre-scan this function's block labels to create all blocks.
+    size_t Scan = Cur;
+    while (Scan < Lines.size()) {
+      const std::string &Line = Lines[Scan];
+      if (blank(Line) || Line.rfind("func ", 0) == 0)
+        break;
+      if (Line[0] != ' ' && Line.back() == ':') {
+        size_t Dot = Line.rfind('.');
+        if (Dot == std::string::npos)
+          return fail("block label missing .id");
+        F->createBlock(Line.substr(0, Dot));
+      }
+      ++Scan;
+    }
+    if (F->numBlocks() == 0) {
+      Cur = HeaderLine;
+      return fail("function '" + Name + "' has no blocks");
+    }
+
+    // Parse block bodies.
+    BasicBlock *BB = nullptr;
+    unsigned NextBlock = 0;
+    std::vector<PendingBranch> Pending;
+    while (Cur < Lines.size()) {
+      const std::string &Line = Lines[Cur];
+      if (blank(Line) || Line.rfind("func ", 0) == 0)
+        break;
+      if (Line[0] != ' ') {
+        BB = F->getBlock(NextBlock++);
+        ++Cur;
+        continue;
+      }
+      if (!BB)
+        return fail("instruction before any block label");
+      if (!parseLine(*BB, Pending))
+        return false;
+      ++Cur;
+    }
+
+    // Resolve branch targets now that all blocks exist.
+    for (const PendingBranch &P : Pending) {
+      Terminator &T = P.Block->terminator();
+      T.Taken = F->getBlock(P.TakenId);
+      if (!P.IsJump)
+        T.Fallthru = F->getBlock(P.FallthruId);
+    }
+    for (const auto &Block : *F)
+      if (!Block->hasTerminator())
+        return fail("block '" + Block->getName() + "' lacks a terminator");
+    return true;
+  }
+
+  /// One "  ..." body line: instruction or terminator.
+  bool parseLine(BasicBlock &BB, std::vector<PendingBranch> &Pending) {
+    LineCursor C(Lines[Cur]);
+    std::string Op;
+    if (!C.word(Op))
+      return fail("empty body line");
+
+    // Terminators -------------------------------------------------------
+    if (Op == "j") {
+      unsigned Target;
+      if (!parseBlockRef(C, Target))
+        return false;
+      BB.terminator().Kind = TermKind::Jump;
+      BB.markTerminatorSet();
+      Pending.push_back({&BB, Target, Target, true});
+      return true;
+    }
+    if (Op == "ret") {
+      Terminator &T = BB.terminator();
+      T.Kind = TermKind::Return;
+      if (!C.atEnd()) {
+        if (!parseReg(C, T.RetValue))
+          return false;
+        T.HasRetValue = true;
+      }
+      BB.markTerminatorSet();
+      return true;
+    }
+    for (BranchOp BOp : {BranchOp::BEQ, BranchOp::BNE, BranchOp::BLEZ,
+                         BranchOp::BGTZ, BranchOp::BLTZ, BranchOp::BGEZ,
+                         BranchOp::BC1T, BranchOp::BC1F}) {
+      if (Op != branchOpName(BOp))
+        continue;
+      Terminator &T = BB.terminator();
+      T.Kind = TermKind::CondBranch;
+      T.BOp = BOp;
+      if (!isFlagBranch(BOp)) {
+        if (!parseReg(C, T.Lhs))
+          return false;
+        if (BOp == BranchOp::BEQ || BOp == BranchOp::BNE) {
+          if (!C.consume(","))
+            return fail("expected ',' in branch");
+          if (!parseReg(C, T.Rhs))
+            return false;
+        }
+      }
+      if (!C.consume("->"))
+        return fail("expected '->' in branch");
+      unsigned Taken, Fallthru;
+      if (!parseBlockRef(C, Taken))
+        return false;
+      if (!C.consume("|"))
+        return fail("expected '|' in branch");
+      if (!parseBlockRef(C, Fallthru))
+        return false;
+      if (C.consume("!ptr"))
+        T.PointerCompare = true;
+      BB.markTerminatorSet();
+      Pending.push_back({&BB, Taken, Fallthru, false});
+      return true;
+    }
+
+    // Instructions ------------------------------------------------------
+    Instruction I;
+    if (Op == "icall") {
+      I.Op = Opcode::CallIntrinsic;
+      std::string Name;
+      if (!C.word(Name))
+        return fail("expected intrinsic name");
+      bool Known = false;
+      for (Intrinsic K :
+           {Intrinsic::PrintInt, Intrinsic::PrintChar,
+            Intrinsic::PrintDouble, Intrinsic::PrintStr, Intrinsic::Malloc,
+            Intrinsic::Arg, Intrinsic::InputLen, Intrinsic::InputByte,
+            Intrinsic::Trap}) {
+        if (Name == intrinsicName(K)) {
+          I.Intr = K;
+          Known = true;
+        }
+      }
+      if (!Known)
+        return fail("unknown intrinsic '" + Name + "'");
+      if (!parseCallArgs(C, I))
+        return false;
+      BB.instructions().push_back(std::move(I));
+      return true;
+    }
+    if (Op == "call") {
+      I.Op = Opcode::Call;
+      std::string Callee;
+      if (!C.word(Callee))
+        return fail("expected callee name");
+      Function *Target = M->findFunction(Callee);
+      if (!Target)
+        return fail("call to unknown function '" + Callee + "'");
+      I.CalleeIndex = Target->getIndex();
+      if (!parseCallArgs(C, I))
+        return false;
+      BB.instructions().push_back(std::move(I));
+      return true;
+    }
+    if (Op == "li") {
+      I.Op = Opcode::LoadImm;
+      if (!parseReg(C, I.Dst) || !C.consume(",") || !C.integer(I.Imm))
+        return fail("malformed li");
+      BB.instructions().push_back(std::move(I));
+      return true;
+    }
+    if (Op == "load" || Op == "store") {
+      I.Op = Op == "load" ? Opcode::Load : Opcode::Store;
+      Reg ValueOrDst;
+      int64_t Offset;
+      Reg Base;
+      if (!parseReg(C, ValueOrDst) || !C.consume(",") ||
+          !C.integer(Offset) || !C.consume("("))
+        return fail("malformed memory operand");
+      if (!parseReg(C, Base) || !C.consume(")"))
+        return fail("malformed memory base");
+      I.Imm = Offset;
+      I.SrcA = Base;
+      I.Width = C.consume("b") ? MemWidth::I8 : MemWidth::I64;
+      if (I.Op == Opcode::Load)
+        I.Dst = ValueOrDst;
+      else
+        I.SrcB = ValueOrDst;
+      BB.instructions().push_back(std::move(I));
+      return true;
+    }
+
+    // Unary (dst, src) forms.
+    static const std::pair<const char *, Opcode> Unary[] = {
+        {"move", Opcode::Move},
+        {"neg.d", Opcode::FNeg},
+        {"cvt.d.w", Opcode::CvtIF},
+        {"cvt.w.d", Opcode::CvtFI},
+    };
+    for (auto [Name, Code] : Unary) {
+      if (Op != Name)
+        continue;
+      I.Op = Code;
+      if (!parseReg(C, I.Dst) || !C.consume(",") || !parseReg(C, I.SrcA))
+        return fail("malformed unary op");
+      BB.instructions().push_back(std::move(I));
+      return true;
+    }
+
+    // FP compares (two sources, no dst).
+    static const std::pair<const char *, Opcode> Compares[] = {
+        {"c.eq.d", Opcode::FCmpEq},
+        {"c.lt.d", Opcode::FCmpLt},
+        {"c.le.d", Opcode::FCmpLe},
+    };
+    for (auto [Name, Code] : Compares) {
+      if (Op != Name)
+        continue;
+      I.Op = Code;
+      if (!parseReg(C, I.SrcA) || !C.consume(",") || !parseReg(C, I.SrcB))
+        return fail("malformed FP compare");
+      BB.instructions().push_back(std::move(I));
+      return true;
+    }
+
+    // Binary ALU / FP (dst, srcA, srcB-or-imm).
+    static const std::pair<const char *, Opcode> Binary[] = {
+        {"add", Opcode::Add},     {"sub", Opcode::Sub},
+        {"mul", Opcode::Mul},     {"div", Opcode::Div},
+        {"rem", Opcode::Rem},     {"and", Opcode::And},
+        {"or", Opcode::Or},       {"xor", Opcode::Xor},
+        {"sll", Opcode::Shl},     {"sra", Opcode::Shr},
+        {"slt", Opcode::Slt},     {"seq", Opcode::Seq},
+        {"sne", Opcode::Sne},     {"add.d", Opcode::FAdd},
+        {"sub.d", Opcode::FSub},  {"mul.d", Opcode::FMul},
+        {"div.d", Opcode::FDiv},
+    };
+    for (auto [Name, Code] : Binary) {
+      if (Op != Name)
+        continue;
+      I.Op = Code;
+      if (!parseReg(C, I.Dst) || !C.consume(",") || !parseReg(C, I.SrcA) ||
+          !C.consume(","))
+        return fail("malformed binary op");
+      // Second operand: register or immediate.
+      if (C.nextIsInteger()) {
+        if (!C.integer(I.Imm))
+          return fail("malformed immediate operand");
+        I.BIsImm = true;
+      } else if (!parseReg(C, I.SrcB)) {
+        return fail("malformed binary operand");
+      }
+      BB.instructions().push_back(std::move(I));
+      return true;
+    }
+    return fail("unknown instruction '" + Op + "'");
+  }
+
+  /// "(r1, r2, ...)" plus optional " -> rD".
+  bool parseCallArgs(LineCursor &C, Instruction &I) {
+    if (!C.consume("("))
+      return fail("expected '(' in call");
+    if (!C.consume(")")) {
+      while (true) {
+        Reg A;
+        if (!parseReg(C, A))
+          return false;
+        I.Args.push_back(A);
+        if (C.consume(")"))
+          break;
+        if (!C.consume(","))
+          return fail("expected ',' in call args");
+      }
+    }
+    if (C.consume("->")) {
+      if (!parseReg(C, I.Dst))
+        return false;
+    }
+    return true;
+  }
+
+  std::vector<std::string> Lines;
+  size_t Cur = 0;
+  std::unique_ptr<Module> M;
+  Function *F = nullptr;
+  Diag Err;
+};
+
+} // namespace
+
+Expected<std::unique_ptr<Module>>
+ir::parseModuleText(const std::string &Text) {
+  return TextParserImpl(Text).run();
+}

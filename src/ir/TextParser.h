@@ -1,0 +1,35 @@
+//===- ir/TextParser.h - Parse printed IR back into modules ----*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual form produced by ir::printModule back into a
+/// Module, making the printer a faithful serialization: for any module
+/// M, parseModuleText(printModule(M)) verifies, prints identically,
+/// and behaves identically under the interpreter. Useful for storing
+/// IR test cases as text and for debugging pipelines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_IR_TEXTPARSER_H
+#define BPFREE_IR_TEXTPARSER_H
+
+#include "ir/Module.h"
+#include "support/Error.h"
+
+#include <memory>
+#include <string>
+
+namespace bpfree {
+namespace ir {
+
+/// Parses \p Text (the printModule format). Returns the module or a
+/// diagnostic with the offending line number.
+Expected<std::unique_ptr<Module>> parseModuleText(const std::string &Text);
+
+} // namespace ir
+} // namespace bpfree
+
+#endif // BPFREE_IR_TEXTPARSER_H

@@ -1,0 +1,151 @@
+//===- ir/Verifier.cpp - IR structural well-formedness checks -------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/Module.h"
+
+using namespace bpfree;
+using namespace bpfree::ir;
+
+namespace {
+
+class FunctionVerifier {
+public:
+  FunctionVerifier(const Function &F, std::vector<std::string> &Errors)
+      : F(F), Errors(Errors) {}
+
+  void run() {
+    if (F.numBlocks() == 0) {
+      error("function has no blocks");
+      return;
+    }
+    for (const auto &BB : F)
+      verifyBlock(*BB);
+  }
+
+private:
+  void error(const std::string &Message) {
+    Errors.push_back("function '" + F.getName() + "': " + Message);
+  }
+
+  void blockError(const BasicBlock &BB, const std::string &Message) {
+    error("block '" + BB.getName() + "." + std::to_string(BB.getId()) +
+          "': " + Message);
+  }
+
+  void checkUse(const BasicBlock &BB, Reg R, const char *What) {
+    if (!R.isValid()) {
+      blockError(BB, std::string("invalid register used as ") + What);
+      return;
+    }
+    bool Dedicated = isDedicatedReg(R);
+    if (!Dedicated && R.Id >= F.getNumRegs())
+      blockError(BB, std::string(What) + " register r" +
+                         std::to_string(R.Id) + " out of range");
+    if (Dedicated && R != ZeroReg && R != SpReg && R != GpReg)
+      blockError(BB, std::string(What) + " uses reserved register id " +
+                         std::to_string(R.Id));
+  }
+
+  void checkDef(const BasicBlock &BB, Reg R) {
+    if (!R.isValid())
+      return; // void call result
+    if (isDedicatedReg(R)) {
+      blockError(BB, "instruction defines dedicated register id " +
+                         std::to_string(R.Id));
+      return;
+    }
+    if (R.Id >= F.getNumRegs())
+      blockError(BB, "defined register r" + std::to_string(R.Id) +
+                         " out of range");
+  }
+
+  void checkSuccessor(const BasicBlock &BB, const BasicBlock *Succ) {
+    if (!Succ) {
+      blockError(BB, "null successor");
+      return;
+    }
+    if (Succ->getParent() != &F)
+      blockError(BB, "successor belongs to another function");
+    else if (F.getBlock(Succ->getId()) != Succ)
+      blockError(BB, "successor not owned by parent function");
+  }
+
+  void verifyBlock(const BasicBlock &BB) {
+    bool FlagSet = false;
+    std::vector<Reg> Uses;
+    for (const Instruction &I : BB.instructions()) {
+      Uses.clear();
+      I.appendUses(Uses);
+      for (Reg R : Uses)
+        checkUse(BB, R, "operand");
+      checkDef(BB, I.def());
+
+      if (isFCmp(I.Op))
+        FlagSet = true;
+
+      if (I.Op == Opcode::Call) {
+        const Module *M = F.getParent();
+        if (!M || I.CalleeIndex >= M->numFunctions()) {
+          blockError(BB, "call to out-of-range function index " +
+                             std::to_string(I.CalleeIndex));
+        } else {
+          const Function *Callee = M->getFunction(I.CalleeIndex);
+          if (I.Args.size() != Callee->getNumParams())
+            blockError(BB, "call to '" + Callee->getName() + "' passes " +
+                               std::to_string(I.Args.size()) +
+                               " args, expected " +
+                               std::to_string(Callee->getNumParams()));
+        }
+      }
+    }
+
+    if (!BB.hasTerminator()) {
+      blockError(BB, "missing terminator");
+      return;
+    }
+
+    const Terminator &T = BB.terminator();
+    Uses.clear();
+    T.appendUses(Uses);
+    for (Reg R : Uses)
+      checkUse(BB, R, "terminator operand");
+
+    switch (T.Kind) {
+    case TermKind::Jump:
+      checkSuccessor(BB, T.Taken);
+      break;
+    case TermKind::CondBranch:
+      checkSuccessor(BB, T.Taken);
+      checkSuccessor(BB, T.Fallthru);
+      if (T.Taken == T.Fallthru)
+        blockError(BB, "conditional branch with identical successors");
+      if (isFlagBranch(T.BOp) && !FlagSet)
+        blockError(BB, "flag branch without a preceding FP compare in the "
+                       "same block");
+      break;
+    case TermKind::Return:
+      break;
+    }
+  }
+
+  const Function &F;
+  std::vector<std::string> &Errors;
+};
+
+} // namespace
+
+void ir::verifyFunction(const Function &F, std::vector<std::string> &Errors) {
+  FunctionVerifier(F, Errors).run();
+}
+
+std::vector<std::string> ir::verifyModule(const Module &M) {
+  std::vector<std::string> Errors;
+  for (const auto &F : M)
+    verifyFunction(*F, Errors);
+  return Errors;
+}

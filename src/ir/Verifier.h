@@ -1,0 +1,36 @@
+//===- ir/Verifier.h - IR structural well-formedness checks ----*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural verification for IR modules. The frontend runs this after
+/// codegen and the VM assumes a verified module, so every malformation
+/// the interpreter or the analyses would trip over is diagnosed here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_IR_VERIFIER_H
+#define BPFREE_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+namespace bpfree {
+namespace ir {
+
+class Function;
+class Module;
+
+/// Appends a human-readable message for every malformation found in \p F.
+void verifyFunction(const Function &F, std::vector<std::string> &Errors);
+
+/// Verifies every function plus module-level invariants.
+/// \returns the collected error messages; empty means the module is valid.
+std::vector<std::string> verifyModule(const Module &M);
+
+} // namespace ir
+} // namespace bpfree
+
+#endif // BPFREE_IR_VERIFIER_H

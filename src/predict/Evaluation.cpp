@@ -1,0 +1,183 @@
+//===- predict/Evaluation.cpp - Miss-rate evaluation harness --------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "predict/Evaluation.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace bpfree;
+using namespace bpfree::ir;
+
+std::vector<BranchStats>
+bpfree::collectBranchStats(const PredictionContext &Ctx,
+                           const EdgeProfile &Profile,
+                           const HeuristicConfig &Config,
+                           uint64_t RandomSeed) {
+  std::vector<BranchStats> Stats;
+  const Module &M = Ctx.getModule();
+  for (const auto &F : M) {
+    const FunctionContext &FC = Ctx.get(*F);
+    for (const auto &BB : *F) {
+      if (!BB->isCondBranch())
+        continue;
+      BranchStats S;
+      S.BB = BB.get();
+      const EdgeProfile::Counts &C = Profile.get(*BB);
+      S.Taken = C.Taken;
+      S.Fallthru = C.Fallthru;
+      S.IsLoopBranch = FC.Loops.isLoopBranch(BB.get());
+      if (S.IsLoopBranch) {
+        unsigned Pred = FC.Loops.predictLoopBranch(BB.get());
+        S.LoopDir = Pred == 0 ? DirTaken : DirFallthru;
+        S.IsBackwardBranch = FC.Loops.isBackedge(BB.get(), Pred);
+      } else {
+        auto [Applies, Dirs] = applyAllHeuristics(*BB, FC, Config);
+        S.AppliesMask = Applies;
+        S.DirMask = Dirs;
+      }
+      S.RandomDir = RandomPredictor::flip(*BB, RandomSeed);
+      Stats.push_back(S);
+    }
+  }
+  return Stats;
+}
+
+LoopNonLoopBreakdown
+bpfree::computeLoopNonLoopBreakdown(const std::vector<BranchStats> &Stats) {
+  LoopNonLoopBreakdown R;
+  uint64_t LoopExecs = 0;
+  uint64_t NonBackwardLoopExecs = 0;
+  std::vector<const BranchStats *> NonLoop;
+
+  for (const BranchStats &S : Stats) {
+    uint64_t T = S.total();
+    if (T == 0)
+      continue;
+    R.TotalExecs += T;
+    if (S.IsLoopBranch) {
+      LoopExecs += T;
+      R.LoopPredictorMiss.add(S.missesFor(S.LoopDir), T);
+      R.LoopPerfectMiss.add(S.perfectMisses(), T);
+      if (!S.IsBackwardBranch)
+        NonBackwardLoopExecs += T;
+      // Ablation: the "common technique of simply identifying backwards
+      // branches" — predict the backedge when the loop predictor chose
+      // one, otherwise fall back to the per-branch coin.
+      Direction D = S.IsBackwardBranch ? S.LoopDir : S.RandomDir;
+      R.BackwardOnlyMiss.add(S.missesFor(D), T);
+    } else {
+      R.NonLoopExecs += T;
+      R.NonLoopPerfectMiss.add(S.perfectMisses(), T);
+      R.NonLoopTakenMiss.add(S.missesFor(DirTaken), T);
+      R.NonLoopRandomMiss.add(S.missesFor(S.RandomDir), T);
+      NonLoop.push_back(&S);
+    }
+  }
+
+  // "Big" branches: distinct non-loop branches that each generate more
+  // than 5 percent of the dynamic non-loop branch executions.
+  uint64_t BigExecs = 0;
+  for (const BranchStats *S : NonLoop) {
+    if (R.NonLoopExecs > 0 &&
+        static_cast<double>(S->total()) >
+            0.05 * static_cast<double>(R.NonLoopExecs)) {
+      ++R.BigBranchCount;
+      BigExecs += S->total();
+    }
+  }
+  R.BigBranchFraction =
+      R.NonLoopExecs == 0 ? 0.0
+                          : static_cast<double>(BigExecs) /
+                                static_cast<double>(R.NonLoopExecs);
+  R.NonBackwardLoopFraction =
+      LoopExecs == 0 ? 0.0
+                     : static_cast<double>(NonBackwardLoopExecs) /
+                           static_cast<double>(LoopExecs);
+  return R;
+}
+
+std::vector<HeuristicIsolation>
+bpfree::computeHeuristicIsolation(const std::vector<BranchStats> &Stats) {
+  std::vector<HeuristicIsolation> Results;
+  uint64_t NonLoopExecs = 0;
+  for (const BranchStats &S : Stats)
+    if (!S.IsLoopBranch)
+      NonLoopExecs += S.total();
+
+  for (HeuristicKind K : AllHeuristics) {
+    HeuristicIsolation H;
+    H.Kind = K;
+    H.NonLoopExecs = NonLoopExecs;
+    for (const BranchStats &S : Stats) {
+      if (S.IsLoopBranch || S.total() == 0 || !S.heuristicApplies(K))
+        continue;
+      uint64_t T = S.total();
+      H.CoveredExecs += T;
+      H.Miss.add(S.missesFor(S.heuristicDir(K)), T);
+      H.PerfectMiss.add(S.perfectMisses(), T);
+    }
+    Results.push_back(H);
+  }
+  return Results;
+}
+
+CombinedResult
+bpfree::computeCombined(const std::vector<BranchStats> &Stats,
+                        const HeuristicOrder &Order) {
+  CombinedResult R;
+  R.Order = Order;
+
+  for (const BranchStats &S : Stats) {
+    uint64_t T = S.total();
+    if (T == 0)
+      continue;
+    R.AllPerfectMiss.add(S.perfectMisses(), T);
+
+    if (S.IsLoopBranch) {
+      uint64_t LoopMisses = S.missesFor(S.LoopDir);
+      R.AllMiss.add(LoopMisses, T);
+      R.LoopRandMiss.add(LoopMisses, T);
+      continue;
+    }
+
+    R.NonLoopExecs += T;
+    R.NonLoopPerfectMiss.add(S.perfectMisses(), T);
+    R.LoopRandMiss.add(S.missesFor(S.RandomDir), T);
+
+    // First applicable heuristic in priority order, else the default.
+    size_t SlotIdx = NumHeuristics;
+    Direction D = S.RandomDir;
+    for (size_t I = 0; I < Order.size(); ++I) {
+      if (S.heuristicApplies(Order[I])) {
+        SlotIdx = I;
+        D = S.heuristicDir(Order[I]);
+        break;
+      }
+    }
+    uint64_t Misses = S.missesFor(D);
+    R.Slots[SlotIdx].CoveredExecs += T;
+    R.Slots[SlotIdx].Miss.add(Misses, T);
+    R.Slots[SlotIdx].PerfectMiss.add(S.perfectMisses(), T);
+    R.NonLoopMiss.add(Misses, T);
+    R.AllMiss.add(Misses, T);
+    if (SlotIdx != NumHeuristics)
+      R.HeuristicOnlyMiss.add(Misses, T);
+  }
+  return R;
+}
+
+Ratio bpfree::evaluatePredictor(const StaticPredictor &P,
+                                const std::vector<BranchStats> &Stats) {
+  Ratio R;
+  for (const BranchStats &S : Stats) {
+    uint64_t T = S.total();
+    if (T == 0)
+      continue;
+    R.add(S.missesFor(P.predict(*S.BB)), T);
+  }
+  return R;
+}

@@ -1,0 +1,166 @@
+//===- predict/Evaluation.h - Miss-rate evaluation harness ------*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Computes the statistics behind the paper's Tables 2, 3, 5, and 6 from
+/// one module + one edge profile. Everything is expressed over dynamic
+/// branch executions: the miss rate of a static predictor is the number
+/// of executed branches whose direction differed from the prediction,
+/// divided by total executed branches of the population in question.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_PREDICT_EVALUATION_H
+#define BPFREE_PREDICT_EVALUATION_H
+
+#include "predict/Predictors.h"
+
+#include <vector>
+
+namespace bpfree {
+
+/// Everything the evaluation needs to know about one static conditional
+/// branch: its dynamic counts and the static predictions all predictors
+/// would make. Branches that never executed get Taken = Fallthru = 0 and
+/// contribute nothing to any rate.
+struct BranchStats {
+  const ir::BasicBlock *BB = nullptr;
+  uint64_t Taken = 0;
+  uint64_t Fallthru = 0;
+
+  bool IsLoopBranch = false;
+  /// Loop predictor's direction (valid when IsLoopBranch).
+  Direction LoopDir = DirTaken;
+  /// True when the predicted loop edge is a backedge (vs non-exit edge);
+  /// used by the backedge-only ablation.
+  bool IsBackwardBranch = false;
+
+  /// Heuristic applicability and directions (bit = HeuristicKind).
+  uint8_t AppliesMask = 0;
+  uint8_t DirMask = 0;
+
+  /// Deterministic per-branch coin for random/default prediction.
+  Direction RandomDir = DirTaken;
+
+  uint64_t total() const { return Taken + Fallthru; }
+  uint64_t missesFor(Direction D) const {
+    return D == DirTaken ? Fallthru : Taken;
+  }
+  uint64_t perfectMisses() const {
+    return Taken < Fallthru ? Taken : Fallthru;
+  }
+  bool heuristicApplies(HeuristicKind K) const {
+    return AppliesMask & (1u << static_cast<unsigned>(K));
+  }
+  Direction heuristicDir(HeuristicKind K) const {
+    return (DirMask & (1u << static_cast<unsigned>(K))) ? DirFallthru
+                                                        : DirTaken;
+  }
+};
+
+/// Collects BranchStats for every conditional branch of the module.
+std::vector<BranchStats> collectBranchStats(const PredictionContext &Ctx,
+                                            const EdgeProfile &Profile,
+                                            const HeuristicConfig &Config = {},
+                                            uint64_t RandomSeed = 0);
+
+/// A misses/total pair convertible to a rate.
+struct Ratio {
+  uint64_t Num = 0;
+  uint64_t Den = 0;
+  double rate() const {
+    return Den == 0 ? 0.0 : static_cast<double>(Num) / static_cast<double>(Den);
+  }
+  void add(uint64_t N, uint64_t D) {
+    Num += N;
+    Den += D;
+  }
+};
+
+/// Table 2: dynamic breakdown of loop vs non-loop branches.
+struct LoopNonLoopBreakdown {
+  uint64_t TotalExecs = 0;    ///< all dynamic conditional branches
+  uint64_t NonLoopExecs = 0;  ///< dynamic non-loop branch executions
+  Ratio LoopPredictorMiss;    ///< loop predictor on loop branches
+  Ratio LoopPerfectMiss;      ///< perfect predictor on loop branches
+  Ratio BackwardOnlyMiss;     ///< ablation: predict backwards-taken only
+  Ratio NonLoopPerfectMiss;   ///< perfect predictor on non-loop branches
+  Ratio NonLoopTakenMiss;     ///< always-target on non-loop branches
+  Ratio NonLoopRandomMiss;    ///< random on non-loop branches
+  unsigned BigBranchCount = 0;  ///< non-loop branches with > 5% of execs
+  double BigBranchFraction = 0; ///< fraction of execs they account for
+  /// Fraction of dynamic *loop branch* executions whose predicted edge is
+  /// not a backwards branch (the paper: 40% in xlisp, 45% in doduc).
+  double NonBackwardLoopFraction = 0;
+
+  double nonLoopFraction() const {
+    return TotalExecs == 0
+               ? 0.0
+               : static_cast<double>(NonLoopExecs) /
+                     static_cast<double>(TotalExecs);
+  }
+};
+
+LoopNonLoopBreakdown
+computeLoopNonLoopBreakdown(const std::vector<BranchStats> &Stats);
+
+/// Table 3: one heuristic applied in isolation over non-loop branches.
+struct HeuristicIsolation {
+  HeuristicKind Kind = HeuristicKind::Opcode;
+  uint64_t CoveredExecs = 0; ///< dynamic non-loop execs where it applies
+  uint64_t NonLoopExecs = 0; ///< all dynamic non-loop execs
+  Ratio Miss;                ///< heuristic miss on covered branches
+  Ratio PerfectMiss;         ///< perfect miss on the same branches
+
+  double coverage() const {
+    return NonLoopExecs == 0 ? 0.0
+                             : static_cast<double>(CoveredExecs) /
+                                   static_cast<double>(NonLoopExecs);
+  }
+};
+
+std::vector<HeuristicIsolation>
+computeHeuristicIsolation(const std::vector<BranchStats> &Stats);
+
+/// Tables 5 and 6: the combined predictor with per-slot attribution.
+struct CombinedResult {
+  HeuristicOrder Order = paperOrder();
+  /// Slot I = heuristic Order[I]; entry NumHeuristics = the Default.
+  struct Slot {
+    uint64_t CoveredExecs = 0;
+    Ratio Miss;
+    Ratio PerfectMiss;
+  };
+  std::array<Slot, NumHeuristics + 1> Slots;
+
+  uint64_t NonLoopExecs = 0;
+  Ratio HeuristicOnlyMiss;  ///< covered non-loop branches (Table 6 col 1)
+  Ratio NonLoopMiss;        ///< + default = all non-loop (col 2)
+  Ratio NonLoopPerfectMiss; ///< perfect on non-loop branches
+  Ratio AllMiss;            ///< + loop predictor = all branches (col 3)
+  Ratio AllPerfectMiss;     ///< perfect on all branches
+  Ratio LoopRandMiss;       ///< Loop+Rand baseline on all branches (col 4)
+
+  /// Fraction of dynamic non-loop executions covered before the default.
+  double coverage() const {
+    return NonLoopExecs == 0
+               ? 0.0
+               : static_cast<double>(NonLoopExecs - Slots[NumHeuristics]
+                                                        .CoveredExecs) /
+                     static_cast<double>(NonLoopExecs);
+  }
+};
+
+CombinedResult computeCombined(const std::vector<BranchStats> &Stats,
+                               const HeuristicOrder &Order = paperOrder());
+
+/// Evaluates an arbitrary static predictor over all executed branches.
+Ratio evaluatePredictor(const StaticPredictor &P,
+                        const std::vector<BranchStats> &Stats);
+
+} // namespace bpfree
+
+#endif // BPFREE_PREDICT_EVALUATION_H

@@ -1,0 +1,178 @@
+//===- predict/Frequency.cpp - Static block-frequency estimation ----------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "predict/Frequency.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+using namespace bpfree;
+using namespace bpfree::ir;
+
+std::vector<double>
+bpfree::estimateBlockFrequencies(const Function &F,
+                                 const TakenProbabilityFn &TakenProb,
+                                 double MaxFrequency) {
+  size_t N = F.numBlocks();
+  std::vector<double> Freq(N, 0.0), Next(N, 0.0);
+  // Edge probabilities, gathered once.
+  struct OutEdge {
+    unsigned To;
+    double P;
+  };
+  std::vector<std::vector<OutEdge>> Out(N);
+  for (const auto &BB : F) {
+    unsigned Id = BB->getId();
+    if (BB->isCondBranch()) {
+      double P = TakenProb(*BB);
+      P = std::clamp(P, 0.0001, 0.9999); // Wu-Larus-style clamp
+      Out[Id].push_back({BB->getSuccessor(0)->getId(), P});
+      Out[Id].push_back({BB->getSuccessor(1)->getId(), 1.0 - P});
+    } else if (BB->isUnconditionalJump()) {
+      Out[Id].push_back({BB->getSuccessor(0)->getId(), 1.0});
+    }
+  }
+
+  // Fixed-point iteration: the flow equations around loops form
+  // geometric series that converge because branch probabilities are
+  // clamped away from 1.
+  unsigned Entry = F.getEntry()->getId();
+  for (int Iter = 0; Iter < 500; ++Iter) {
+    std::fill(Next.begin(), Next.end(), 0.0);
+    Next[Entry] = 1.0;
+    for (size_t B = 0; B < N; ++B) {
+      if (Freq[B] == 0.0)
+        continue;
+      for (const OutEdge &E : Out[B])
+        Next[E.To] += Freq[B] * E.P;
+      if (Next[B] > MaxFrequency)
+        Next[B] = MaxFrequency;
+    }
+    for (double &V : Next)
+      V = std::min(V, MaxFrequency);
+    double MaxDelta = 0.0;
+    for (size_t B = 0; B < N; ++B)
+      MaxDelta = std::max(MaxDelta, std::fabs(Next[B] - Freq[B]));
+    Freq.swap(Next);
+    if (MaxDelta < 1e-9)
+      break;
+  }
+  return Freq;
+}
+
+TakenProbabilityFn bpfree::wuLarusOracle(const WuLarusPredictor &WL) {
+  return [&WL](const BasicBlock &BB) { return WL.probability(BB); };
+}
+
+TakenProbabilityFn bpfree::uniformOracle() {
+  return [](const BasicBlock &) { return 0.5; };
+}
+
+TakenProbabilityFn bpfree::perfectOracle(const EdgeProfile &Profile) {
+  return [&Profile](const BasicBlock &BB) {
+    const EdgeProfile::Counts &C = Profile.get(BB);
+    if (C.total() == 0)
+      return 0.5;
+    return static_cast<double>(C.Taken) / static_cast<double>(C.total());
+  };
+}
+
+namespace {
+
+/// Average-tie ranks of \p Values.
+std::vector<double> ranks(const std::vector<double> &Values) {
+  size_t N = Values.size();
+  std::vector<size_t> Idx(N);
+  std::iota(Idx.begin(), Idx.end(), 0);
+  std::stable_sort(Idx.begin(), Idx.end(), [&](size_t A, size_t B) {
+    return Values[A] < Values[B];
+  });
+  std::vector<double> R(N, 0.0);
+  size_t I = 0;
+  while (I < N) {
+    size_t J = I;
+    while (J + 1 < N && Values[Idx[J + 1]] == Values[Idx[I]])
+      ++J;
+    double Avg = (static_cast<double>(I) + static_cast<double>(J)) / 2.0 +
+                 1.0;
+    for (size_t K = I; K <= J; ++K)
+      R[Idx[K]] = Avg;
+    I = J + 1;
+  }
+  return R;
+}
+
+double pearson(const std::vector<double> &X, const std::vector<double> &Y) {
+  size_t N = X.size();
+  if (N < 2)
+    return 0.0;
+  double MX = 0, MY = 0;
+  for (size_t I = 0; I < N; ++I) {
+    MX += X[I];
+    MY += Y[I];
+  }
+  MX /= static_cast<double>(N);
+  MY /= static_cast<double>(N);
+  double Num = 0, DX = 0, DY = 0;
+  for (size_t I = 0; I < N; ++I) {
+    Num += (X[I] - MX) * (Y[I] - MY);
+    DX += (X[I] - MX) * (X[I] - MX);
+    DY += (Y[I] - MY) * (Y[I] - MY);
+  }
+  if (DX <= 0 || DY <= 0)
+    return 0.0;
+  return Num / std::sqrt(DX * DY);
+}
+
+} // namespace
+
+FrequencyQuality
+bpfree::scoreFrequencies(const Module &M,
+                         const TakenProbabilityFn &TakenProb,
+                         const EdgeProfile &Profile) {
+  std::vector<double> Estimated, Measured;
+  for (const auto &F : M) {
+    uint64_t EntryCount = Profile.getBlockCount(*F->getEntry());
+    if (EntryCount == 0)
+      continue; // function never executed: nothing to score
+    std::vector<double> Freq = estimateBlockFrequencies(*F, TakenProb);
+    for (const auto &BB : *F) {
+      Estimated.push_back(Freq[BB->getId()] *
+                          static_cast<double>(EntryCount));
+      Measured.push_back(
+          static_cast<double>(Profile.getBlockCount(*BB)));
+    }
+  }
+
+  FrequencyQuality Q;
+  Q.BlocksScored = Estimated.size();
+  if (Estimated.size() < 2)
+    return Q;
+  Q.SpearmanRho = pearson(ranks(Estimated), ranks(Measured));
+
+  // Hot-block overlap: measured top decile vs estimated top decile.
+  size_t K = std::max<size_t>(1, Estimated.size() / 10);
+  auto topK = [&](const std::vector<double> &V) {
+    std::vector<size_t> Idx(V.size());
+    std::iota(Idx.begin(), Idx.end(), 0);
+    std::stable_sort(Idx.begin(), Idx.end(), [&](size_t A, size_t B) {
+      return V[A] > V[B];
+    });
+    Idx.resize(K);
+    return Idx;
+  };
+  std::vector<size_t> HotEst = topK(Estimated), HotMeas = topK(Measured);
+  std::vector<bool> InEst(Estimated.size(), false);
+  for (size_t I : HotEst)
+    InEst[I] = true;
+  size_t Overlap = 0;
+  for (size_t I : HotMeas)
+    if (InEst[I])
+      ++Overlap;
+  Q.HotOverlap = static_cast<double>(Overlap) / static_cast<double>(K);
+  return Q;
+}

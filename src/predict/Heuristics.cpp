@@ -1,0 +1,335 @@
+//===- predict/Heuristics.cpp - Ball-Larus non-loop heuristics ------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "predict/Heuristics.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace bpfree;
+using namespace bpfree::ir;
+
+const char *bpfree::heuristicName(HeuristicKind K) {
+  switch (K) {
+  case HeuristicKind::Opcode:
+    return "Opcode";
+  case HeuristicKind::Loop:
+    return "Loop";
+  case HeuristicKind::Call:
+    return "Call";
+  case HeuristicKind::Return:
+    return "Return";
+  case HeuristicKind::Guard:
+    return "Guard";
+  case HeuristicKind::Store:
+    return "Store";
+  case HeuristicKind::Pointer:
+    return "Point";
+  }
+  reportFatalError("unknown heuristic kind");
+}
+
+namespace {
+
+/// Maximum unconditional-jump chain length followed by the "passes
+/// control unconditionally to" relation; bounds work and guards against
+/// jump-only cycles.
+constexpr unsigned MaxJumpChain = 8;
+
+/// Resolves a per-successor property with the paper's exactly-one rule.
+/// \p PredictWith selects whether the successor with the property (true)
+/// or without it (false) is predicted.
+std::optional<Direction> exactlyOne(bool TakenHas, bool FallthruHas,
+                                    bool PredictWith) {
+  if (TakenHas == FallthruHas)
+    return std::nullopt;
+  bool PickTaken = TakenHas == PredictWith;
+  return PickTaken ? DirTaken : DirFallthru;
+}
+
+/// \returns the last FP compare in \p BB, which set the flag a trailing
+/// bc1t/bc1f reads, or nullptr.
+const Instruction *findFlagSetter(const BasicBlock &BB) {
+  for (auto It = BB.instructions().rbegin(), E = BB.instructions().rend();
+       It != E; ++It)
+    if (isFCmp(It->Op))
+      return &*It;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Opcode heuristic
+//===----------------------------------------------------------------------===//
+
+std::optional<Direction> opcodeHeuristic(const BasicBlock &BB) {
+  const Terminator &T = BB.terminator();
+  switch (T.BOp) {
+  case BranchOp::BLTZ:
+  case BranchOp::BLEZ:
+    // "Many programs use negative integers to denote error values":
+    // predict the < 0 / <= 0 test fails.
+    return DirFallthru;
+  case BranchOp::BGTZ:
+  case BranchOp::BGEZ:
+    return DirTaken;
+  case BranchOp::BC1T:
+  case BranchOp::BC1F: {
+    // FP equality tests "usually evaluate false".
+    const Instruction *Cmp = findFlagSetter(BB);
+    if (!Cmp || Cmp->Op != Opcode::FCmpEq)
+      return std::nullopt;
+    return T.BOp == BranchOp::BC1T ? DirFallthru : DirTaken;
+  }
+  case BranchOp::BEQ:
+  case BranchOp::BNE:
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+//===----------------------------------------------------------------------===//
+// Successor-property heuristics: Loop, Call, Return, Store
+//===----------------------------------------------------------------------===//
+
+/// True if \p S is a loop head or a loop preheader (passes control
+/// unconditionally to a loop head it dominates).
+bool loopProperty(const BasicBlock &BB, const BasicBlock &S,
+                  const FunctionContext &Ctx) {
+  if (Ctx.PostDom.dominates(&S, &BB))
+    return false;
+  return Ctx.Loops.isLoopHead(&S) || Ctx.Loops.isPreheader(&S, Ctx.Dom);
+}
+
+/// True if \p S contains a call, or unconditionally passes control to a
+/// block containing a call that \p S dominates; and does not
+/// postdominate the branch.
+bool callProperty(const BasicBlock &BB, const BasicBlock &S,
+                  const FunctionContext &Ctx) {
+  if (Ctx.PostDom.dominates(&S, &BB))
+    return false;
+  if (S.containsCall())
+    return true;
+  const BasicBlock *Cur = &S;
+  for (unsigned Hops = 0; Hops < MaxJumpChain; ++Hops) {
+    if (!Cur->isUnconditionalJump())
+      return false;
+    Cur = Cur->getSuccessor(0);
+    if (Cur->containsCall())
+      return Ctx.Dom.dominates(&S, Cur);
+  }
+  return false;
+}
+
+/// True if \p S contains a return or unconditionally passes control to a
+/// block that contains a return.
+bool returnProperty(const BasicBlock &S) {
+  const BasicBlock *Cur = &S;
+  for (unsigned Hops = 0; Hops <= MaxJumpChain; ++Hops) {
+    if (Cur->isReturnBlock())
+      return true;
+    if (!Cur->isUnconditionalJump())
+      return false;
+    Cur = Cur->getSuccessor(0);
+  }
+  return false;
+}
+
+/// True if \p S contains a store and does not postdominate the branch.
+bool storeProperty(const BasicBlock &BB, const BasicBlock &S,
+                   const FunctionContext &Ctx) {
+  return S.containsStore() && !Ctx.PostDom.dominates(&S, &BB);
+}
+
+//===----------------------------------------------------------------------===//
+// Guard heuristic
+//===----------------------------------------------------------------------===//
+
+/// Collects the registers the branch conditions on: the integer branch
+/// operands, or — for flag branches — the operands of the FP compare
+/// that set the flag (the paper's guard heuristic "analyzes both integer
+/// and floating point branches"). Dedicated registers (zero/SP/GP) are
+/// never guard candidates.
+void collectBranchOperands(const BasicBlock &BB, std::vector<Reg> &Out) {
+  const Terminator &T = BB.terminator();
+  if (isFlagBranch(T.BOp)) {
+    if (const Instruction *Cmp = findFlagSetter(BB)) {
+      Out.push_back(Cmp->SrcA);
+      Out.push_back(Cmp->SrcB);
+    }
+  } else {
+    T.appendUses(Out);
+  }
+  std::erase_if(Out, [](Reg R) { return !R.isValid() || isDedicatedReg(R); });
+}
+
+/// True if \p S uses \p R before (re)defining it. Terminator operands
+/// count as uses when nothing in the block redefines \p R first.
+bool usesBeforeDef(const BasicBlock &S, Reg R) {
+  std::vector<Reg> Uses;
+  for (const Instruction &I : S.instructions()) {
+    Uses.clear();
+    I.appendUses(Uses);
+    for (Reg U : Uses)
+      if (U == R)
+        return true;
+    if (I.def() == R)
+      return false;
+  }
+  Uses.clear();
+  if (S.hasTerminator())
+    S.terminator().appendUses(Uses);
+  for (Reg U : Uses)
+    if (U == R)
+      return true;
+  return false;
+}
+
+/// Depth-limited variant for the generalized guard extension: searches
+/// \p S and, while \p R stays undefined, its successors up to \p Depth
+/// blocks from the branch. Depth 1 is the paper's formulation.
+bool usesBeforeDefDeep(const BasicBlock &S, Reg R, unsigned Depth) {
+  if (usesBeforeDef(S, R))
+    return true;
+  if (Depth <= 1)
+    return false;
+  // Only continue past S if S does not redefine R.
+  for (const Instruction &I : S.instructions())
+    if (I.def() == R)
+      return false;
+  for (unsigned I = 0, E = S.hasTerminator() ? S.numSuccessors() : 0; I != E;
+       ++I)
+    if (usesBeforeDefDeep(*S.getSuccessor(I), R, Depth - 1))
+      return true;
+  return false;
+}
+
+bool guardProperty(const BasicBlock &BB, const BasicBlock &S,
+                   const FunctionContext &Ctx,
+                   const std::vector<Reg> &Operands, unsigned Depth) {
+  if (Ctx.PostDom.dominates(&S, &BB))
+    return false;
+  for (Reg R : Operands)
+    if (usesBeforeDefDeep(S, R, Depth))
+      return true;
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Pointer heuristic
+//===----------------------------------------------------------------------===//
+
+/// True if \p R is defined within \p BB by a load whose base register is
+/// acceptable as a pointer load (not GP-relative when the filter is on),
+/// with no call between that load and the end of the block.
+bool regIsPointerLoad(const BasicBlock &BB, Reg R, bool GpFilter) {
+  // Walk forward remembering the last definition of R and the last call.
+  int DefIdx = -1;
+  bool DefIsPointerLoad = false;
+  int LastCallIdx = -1;
+  const auto &Insts = BB.instructions();
+  for (int I = 0; I < static_cast<int>(Insts.size()); ++I) {
+    const Instruction &Inst = Insts[I];
+    if (Inst.isCall())
+      LastCallIdx = I;
+    if (Inst.def() == R) {
+      DefIdx = I;
+      DefIsPointerLoad =
+          Inst.isLoad() && !(GpFilter && Inst.SrcA == GpReg);
+    }
+  }
+  // "The heuristic does not apply if there is a call instruction between
+  // the load and the branch."
+  return DefIdx >= 0 && DefIsPointerLoad && LastCallIdx <= DefIdx;
+}
+
+std::optional<Direction> pointerHeuristic(const BasicBlock &BB,
+                                          const HeuristicConfig &Config) {
+  const Terminator &T = BB.terminator();
+  if (T.BOp != BranchOp::BEQ && T.BOp != BranchOp::BNE)
+    return std::nullopt;
+
+  // Equality is predicted false: beq falls through, bne is taken.
+  Direction EqualityFalse =
+      T.BOp == BranchOp::BEQ ? DirFallthru : DirTaken;
+
+  if (Config.PointerUseTypeInfo)
+    return T.PointerCompare ? std::optional<Direction>(EqualityFalse)
+                            : std::nullopt;
+
+  // Opcode-pattern match: "load rM ... beq r0, rM" (null test) or
+  // "load rM; load rN ... beq rM, rN" (pointer equality).
+  Reg A = T.Lhs, B = T.Rhs;
+  if (A == ZeroReg && B == ZeroReg)
+    return std::nullopt;
+  if (A == ZeroReg)
+    std::swap(A, B);
+  if (!regIsPointerLoad(BB, A, Config.PointerGpFilter))
+    return std::nullopt;
+  if (B != ZeroReg && !regIsPointerLoad(BB, B, Config.PointerGpFilter))
+    return std::nullopt;
+  return EqualityFalse;
+}
+
+} // namespace
+
+std::optional<Direction> bpfree::applyHeuristic(HeuristicKind K,
+                                                const BasicBlock &BB,
+                                                const FunctionContext &Ctx,
+                                                const HeuristicConfig &Config) {
+  assert(BB.isCondBranch() && "heuristics apply to conditional branches");
+  const Terminator &T = BB.terminator();
+  const BasicBlock &STaken = *T.Taken;
+  const BasicBlock &SFall = *T.Fallthru;
+
+  switch (K) {
+  case HeuristicKind::Opcode:
+    return opcodeHeuristic(BB);
+  case HeuristicKind::Loop:
+    return exactlyOne(loopProperty(BB, STaken, Ctx),
+                      loopProperty(BB, SFall, Ctx),
+                      /*PredictWith=*/true);
+  case HeuristicKind::Call:
+    return exactlyOne(callProperty(BB, STaken, Ctx),
+                      callProperty(BB, SFall, Ctx),
+                      /*PredictWith=*/false);
+  case HeuristicKind::Return:
+    return exactlyOne(returnProperty(STaken), returnProperty(SFall),
+                      /*PredictWith=*/false);
+  case HeuristicKind::Guard: {
+    std::vector<Reg> Operands;
+    collectBranchOperands(BB, Operands);
+    if (Operands.empty())
+      return std::nullopt;
+    unsigned Depth = Config.GuardSearchDepth ? Config.GuardSearchDepth : 1;
+    return exactlyOne(guardProperty(BB, STaken, Ctx, Operands, Depth),
+                      guardProperty(BB, SFall, Ctx, Operands, Depth),
+                      /*PredictWith=*/true);
+  }
+  case HeuristicKind::Store:
+    return exactlyOne(storeProperty(BB, STaken, Ctx),
+                      storeProperty(BB, SFall, Ctx),
+                      /*PredictWith=*/false);
+  case HeuristicKind::Pointer:
+    return pointerHeuristic(BB, Config);
+  }
+  reportFatalError("unknown heuristic kind");
+}
+
+std::pair<uint8_t, uint8_t>
+bpfree::applyAllHeuristics(const BasicBlock &BB, const FunctionContext &Ctx,
+                           const HeuristicConfig &Config) {
+  uint8_t AppliesMask = 0, DirMask = 0;
+  for (HeuristicKind K : AllHeuristics) {
+    if (std::optional<Direction> D = applyHeuristic(K, BB, Ctx, Config)) {
+      unsigned Bit = static_cast<unsigned>(K);
+      AppliesMask |= static_cast<uint8_t>(1u << Bit);
+      if (*D == DirFallthru)
+        DirMask |= static_cast<uint8_t>(1u << Bit);
+    }
+  }
+  return {AppliesMask, DirMask};
+}

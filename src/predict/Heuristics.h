@@ -1,0 +1,93 @@
+//===- predict/Heuristics.h - Ball-Larus non-loop heuristics ---*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's seven heuristics for predicting non-loop branches
+/// (Section 4). Each heuristic examines a conditional branch and either
+/// declines or predicts one of its two outgoing edges. The successor-
+/// property heuristics (Loop, Call, Return, Guard, Store) follow the
+/// paper's rule: "If neither successor has the selection property or
+/// both have the property, no prediction is made. If exactly one
+/// successor has the property, the predictor chooses either the
+/// successor with the property, or the successor without the property,
+/// depending on the heuristic."
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_PREDICT_HEURISTICS_H
+#define BPFREE_PREDICT_HEURISTICS_H
+
+#include "predict/PredictionContext.h"
+
+#include <array>
+#include <optional>
+#include <string>
+
+namespace bpfree {
+
+/// A branch direction: index of the predicted successor.
+enum Direction : unsigned {
+  DirTaken = 0,    ///< the branch's target successor
+  DirFallthru = 1, ///< the branch's fall-thru successor
+};
+
+/// The seven non-loop heuristics, in the paper's Table 3 column order.
+enum class HeuristicKind : unsigned {
+  Opcode = 0, ///< blez/bltz not taken, bgtz/bgez taken, FP-eq false
+  Loop,       ///< prefer the successor that enters a loop
+  Call,       ///< avoid the successor that performs a call
+  Return,     ///< avoid the successor that returns
+  Guard,      ///< prefer the successor using the guarded value
+  Store,      ///< avoid the successor that stores
+  Pointer,    ///< pointer==null / ptr==ptr false, ptr!=... true
+};
+
+constexpr unsigned NumHeuristics = 7;
+
+/// All heuristics in enum order, for iteration.
+constexpr std::array<HeuristicKind, NumHeuristics> AllHeuristics = {
+    HeuristicKind::Opcode, HeuristicKind::Loop,  HeuristicKind::Call,
+    HeuristicKind::Return, HeuristicKind::Guard, HeuristicKind::Store,
+    HeuristicKind::Pointer};
+
+/// \returns the paper's name for \p K ("Opcode", "Point", ...).
+const char *heuristicName(HeuristicKind K);
+
+/// Knobs for the heuristic variants studied in the benches.
+struct HeuristicConfig {
+  /// Paper's pointer-heuristic refinement: loads addressed off GP are
+  /// not considered pointer loads (globals use direct GP addressing).
+  /// Disabling this is the bench_table3 ablation.
+  bool PointerGpFilter = true;
+
+  /// Extension (paper Section 4.3): use the frontend's pointer-compare
+  /// type annotation instead of the load-pattern match.
+  bool PointerUseTypeInfo = false;
+
+  /// Extension (paper Section 4.4 "Generalizations"): how many blocks
+  /// deep the Guard heuristic searches for a use of the branch operand.
+  /// 1 = the paper's formulation (the successor block only).
+  unsigned GuardSearchDepth = 1;
+};
+
+/// Applies heuristic \p K to the conditional branch terminating \p BB.
+/// \returns the predicted direction, or nullopt when the heuristic does
+/// not apply. \p BB must end in a conditional branch.
+std::optional<Direction> applyHeuristic(HeuristicKind K,
+                                        const ir::BasicBlock &BB,
+                                        const FunctionContext &Ctx,
+                                        const HeuristicConfig &Config = {});
+
+/// Applies every heuristic at once. \returns a pair (AppliesMask,
+/// DirMask): bit K of AppliesMask is set when heuristic K applies, and
+/// bit K of DirMask then holds its predicted direction (1 = fall-thru).
+std::pair<uint8_t, uint8_t>
+applyAllHeuristics(const ir::BasicBlock &BB, const FunctionContext &Ctx,
+                   const HeuristicConfig &Config = {});
+
+} // namespace bpfree
+
+#endif // BPFREE_PREDICT_HEURISTICS_H

@@ -1,0 +1,94 @@
+//===- predict/Layout.cpp - Prediction-guided code layout -----------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "predict/Layout.h"
+
+#include <cassert>
+
+using namespace bpfree;
+using namespace bpfree::ir;
+
+BlockOrder bpfree::originalBlockOrder(const Function &F) {
+  BlockOrder Order;
+  for (const auto &BB : F)
+    Order.push_back(BB.get());
+  return Order;
+}
+
+BlockOrder bpfree::computeBlockOrder(const Function &F,
+                                     const StaticPredictor &P) {
+  BlockOrder Order;
+  std::vector<bool> Placed(F.numBlocks(), false);
+
+  // Grow a chain from each unplaced seed, following predictions.
+  // Seeds are taken in creation order starting from the entry, so the
+  // entry block is always first.
+  for (size_t Seed = 0; Seed < F.numBlocks(); ++Seed) {
+    const BasicBlock *Cur = F.getBlock(static_cast<unsigned>(Seed));
+    while (Cur && !Placed[Cur->getId()]) {
+      Placed[Cur->getId()] = true;
+      Order.push_back(Cur);
+      // Choose the likely successor: predicted direction for branches,
+      // the jump target for jumps, nothing for returns.
+      const BasicBlock *Next = nullptr;
+      if (Cur->isCondBranch()) {
+        Direction D = P.predict(*Cur);
+        Next = Cur->getSuccessor(D == DirTaken ? 0 : 1);
+      } else if (Cur->isUnconditionalJump()) {
+        Next = Cur->getSuccessor(0);
+      }
+      Cur = Next;
+    }
+  }
+  assert(Order.size() == F.numBlocks() && "layout must place every block");
+  return Order;
+}
+
+LayoutQuality bpfree::evaluateLayout(const Function &F,
+                                     const BlockOrder &Order,
+                                     const EdgeProfile &Profile) {
+  assert(Order.size() == F.numBlocks() && "incomplete layout");
+  // Block id -> its successor in the layout (nullptr for the last).
+  std::vector<const BasicBlock *> NextInLayout(F.numBlocks(), nullptr);
+  for (size_t I = 0; I + 1 < Order.size(); ++I)
+    NextInLayout[Order[I]->getId()] = Order[I + 1];
+
+  LayoutQuality Q;
+  for (const auto &BB : F) {
+    const BasicBlock *Next = NextInLayout[BB->getId()];
+    if (BB->isCondBranch()) {
+      const EdgeProfile::Counts &C = Profile.get(*BB);
+      const Terminator &T = BB->terminator();
+      (T.Taken == Next ? Q.FallthroughExecs : Q.TakenTransfers) += C.Taken;
+      (T.Fallthru == Next ? Q.FallthroughExecs : Q.TakenTransfers) +=
+          C.Fallthru;
+    } else if (BB->isUnconditionalJump()) {
+      uint64_t N = Profile.getBlockCount(*BB);
+      (BB->getSuccessor(0) == Next ? Q.FallthroughExecs
+                                   : Q.TakenTransfers) += N;
+    }
+    // Returns transfer to the caller; they are neither fall-throughs
+    // nor layout-taken branches.
+  }
+  return Q;
+}
+
+LayoutQuality bpfree::evaluateModuleLayout(const Module &M,
+                                           const StaticPredictor &P,
+                                           const EdgeProfile &Profile) {
+  LayoutQuality Q;
+  for (const auto &F : M)
+    Q += evaluateLayout(*F, computeBlockOrder(*F, P), Profile);
+  return Q;
+}
+
+LayoutQuality bpfree::evaluateOriginalLayout(const Module &M,
+                                             const EdgeProfile &Profile) {
+  LayoutQuality Q;
+  for (const auto &F : M)
+    Q += evaluateLayout(*F, originalBlockOrder(*F), Profile);
+  return Q;
+}

@@ -1,0 +1,83 @@
+//===- predict/Layout.h - Prediction-guided code layout ---------*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A consumer for the predictions, motivated by the paper's
+/// introduction: "Many compilers rely on branch prediction to improve
+/// program performance by identifying frequently executed regions",
+/// citing Pettis & Hanson's profile-guided code positioning and the
+/// DEC Alpha convention that forward branches are predicted not-taken.
+///
+/// computeBlockOrder grows chains greedily: each block is followed by
+/// its predicted successor whenever that successor has not been placed
+/// yet. Feeding it the Ball-Larus predictor gives profile-free code
+/// positioning; feeding it the perfect predictor gives the
+/// profile-guided upper bound. evaluateLayout scores an order against
+/// an actual execution: the fraction of dynamic control transfers that
+/// fall through to the next block in the layout (higher = fewer taken
+/// branches = cheaper on machines that predict forward-not-taken).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_PREDICT_LAYOUT_H
+#define BPFREE_PREDICT_LAYOUT_H
+
+#include "predict/Predictors.h"
+#include "vm/EdgeProfile.h"
+
+#include <vector>
+
+namespace bpfree {
+
+/// A block order for one function (a permutation of its blocks; the
+/// entry block always comes first).
+using BlockOrder = std::vector<const ir::BasicBlock *>;
+
+/// Greedy chain-growing placement driven by \p P's predictions.
+BlockOrder computeBlockOrder(const ir::Function &F,
+                             const StaticPredictor &P);
+
+/// The function's original (creation) order — the unoptimized baseline.
+BlockOrder originalBlockOrder(const ir::Function &F);
+
+/// Dynamic layout quality of \p Order under \p Profile.
+struct LayoutQuality {
+  uint64_t FallthroughExecs = 0; ///< transfers to the next block in layout
+  uint64_t TakenTransfers = 0;   ///< all other transfers
+
+  uint64_t total() const { return FallthroughExecs + TakenTransfers; }
+  double fallthroughRate() const {
+    return total() == 0 ? 0.0
+                        : static_cast<double>(FallthroughExecs) /
+                              static_cast<double>(total());
+  }
+
+  void operator+=(const LayoutQuality &RHS) {
+    FallthroughExecs += RHS.FallthroughExecs;
+    TakenTransfers += RHS.TakenTransfers;
+  }
+};
+
+/// Scores \p Order for \p F: every executed control transfer (both
+/// directions of conditional branches, weighted by the profile, and
+/// unconditional jumps, weighted by block execution counts) either
+/// reaches the next block in the layout (fall-through) or not (taken).
+LayoutQuality evaluateLayout(const ir::Function &F, const BlockOrder &Order,
+                             const EdgeProfile &Profile);
+
+/// Whole-module convenience: lay out every function with \p P and sum
+/// the qualities.
+LayoutQuality evaluateModuleLayout(const ir::Module &M,
+                                   const StaticPredictor &P,
+                                   const EdgeProfile &Profile);
+
+/// Whole-module score of the original block order.
+LayoutQuality evaluateOriginalLayout(const ir::Module &M,
+                                     const EdgeProfile &Profile);
+
+} // namespace bpfree
+
+#endif // BPFREE_PREDICT_LAYOUT_H

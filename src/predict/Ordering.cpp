@@ -1,0 +1,150 @@
+//===- predict/Ordering.cpp - Heuristic ordering experiments --------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "predict/Ordering.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <numeric>
+
+using namespace bpfree;
+
+const std::vector<HeuristicOrder> &bpfree::allOrders() {
+  static const std::vector<HeuristicOrder> Orders = [] {
+    std::vector<HeuristicOrder> Result;
+    Result.reserve(NumOrders);
+    std::array<unsigned, NumHeuristics> Perm;
+    std::iota(Perm.begin(), Perm.end(), 0u);
+    do {
+      HeuristicOrder O;
+      for (size_t I = 0; I < NumHeuristics; ++I)
+        O[I] = static_cast<HeuristicKind>(Perm[I]);
+      Result.push_back(O);
+    } while (std::next_permutation(Perm.begin(), Perm.end()));
+    assert(Result.size() == NumOrders && "expected 7! orders");
+    return Result;
+  }();
+  return Orders;
+}
+
+OrderEvaluator::OrderEvaluator(const std::vector<BranchStats> &Stats) {
+  // Group by (AppliesMask, DirMask); the random default's misses differ
+  // per branch, so they are pre-summed into slot NumHeuristics.
+  std::map<std::pair<uint8_t, uint8_t>, Signature> Groups;
+  for (const BranchStats &S : Stats) {
+    if (S.IsLoopBranch || S.total() == 0)
+      continue;
+    TotalExecs += S.total();
+    Signature &Sig = Groups[{S.AppliesMask, S.DirMask}];
+    Sig.AppliesMask = S.AppliesMask;
+    Sig.DirMask = S.DirMask;
+    for (unsigned H = 0; H < NumHeuristics; ++H)
+      if (S.AppliesMask & (1u << H))
+        Sig.Misses[H] +=
+            S.missesFor(S.heuristicDir(static_cast<HeuristicKind>(H)));
+    Sig.Misses[NumHeuristics] += S.missesFor(S.RandomDir);
+  }
+  for (auto &[Key, Sig] : Groups) {
+    if (Sig.AppliesMask == 0)
+      DefaultOnlyMisses += Sig.Misses[NumHeuristics];
+    else
+      Signatures.push_back(Sig);
+  }
+}
+
+double OrderEvaluator::missRate(const HeuristicOrder &Order) const {
+  if (TotalExecs == 0)
+    return 0.0;
+  uint64_t Misses = DefaultOnlyMisses;
+  for (const Signature &Sig : Signatures) {
+    size_t Slot = NumHeuristics;
+    for (size_t I = 0; I < Order.size(); ++I) {
+      if (Sig.AppliesMask & (1u << static_cast<unsigned>(Order[I]))) {
+        Slot = static_cast<size_t>(Order[I]);
+        break;
+      }
+    }
+    Misses += Sig.Misses[Slot];
+  }
+  return static_cast<double>(Misses) / static_cast<double>(TotalExecs);
+}
+
+std::vector<double> OrderEvaluator::allMissRates() const {
+  const auto &Orders = allOrders();
+  std::vector<double> Rates(Orders.size());
+  for (size_t I = 0; I < Orders.size(); ++I)
+    Rates[I] = missRate(Orders[I]);
+  return Rates;
+}
+
+std::vector<size_t> OrderSelectionResult::byFrequency() const {
+  std::vector<size_t> Ids;
+  for (size_t I = 0; I < Frequency.size(); ++I)
+    if (Frequency[I] > 0)
+      Ids.push_back(I);
+  std::stable_sort(Ids.begin(), Ids.end(), [&](size_t A, size_t B) {
+    return Frequency[A] > Frequency[B];
+  });
+  return Ids;
+}
+
+OrderSelectionResult
+bpfree::runOrderSelection(const std::vector<std::vector<double>> &PerBenchmark,
+                          size_t SubsetSize, uint64_t MaxTrials) {
+  size_t N = PerBenchmark.size();
+  assert(SubsetSize > 0 && SubsetSize <= N && "bad subset size");
+  for (const auto &V : PerBenchmark) {
+    assert(V.size() == NumOrders && "per-benchmark vector size mismatch");
+    (void)V;
+  }
+
+  OrderSelectionResult R;
+  R.Frequency.assign(NumOrders, 0);
+  R.FullSuiteMiss.assign(NumOrders, 0.0);
+  for (size_t O = 0; O < NumOrders; ++O) {
+    double Sum = 0;
+    for (const auto &V : PerBenchmark)
+      Sum += V[O];
+    R.FullSuiteMiss[O] = Sum / static_cast<double>(N);
+  }
+
+  // Enumerate subsets via the canonical combination walk.
+  std::vector<size_t> Pick(SubsetSize);
+  std::iota(Pick.begin(), Pick.end(), 0);
+  std::vector<double> Acc(NumOrders);
+
+  while (true) {
+    // Arg-min order of the subset average (sum suffices).
+    std::fill(Acc.begin(), Acc.end(), 0.0);
+    for (size_t B : Pick) {
+      const double *V = PerBenchmark[B].data();
+      for (size_t O = 0; O < NumOrders; ++O)
+        Acc[O] += V[O];
+    }
+    size_t Best = static_cast<size_t>(
+        std::min_element(Acc.begin(), Acc.end()) - Acc.begin());
+    ++R.Frequency[Best];
+    ++R.NumTrials;
+    if (MaxTrials && R.NumTrials >= MaxTrials)
+      break;
+
+    // Next combination.
+    size_t I = SubsetSize;
+    while (I > 0 && Pick[I - 1] == N - SubsetSize + (I - 1))
+      --I;
+    if (I == 0)
+      break;
+    ++Pick[I - 1];
+    for (size_t J = I; J < SubsetSize; ++J)
+      Pick[J] = Pick[J - 1] + 1;
+  }
+
+  for (uint64_t F : R.Frequency)
+    if (F > 0)
+      ++R.DistinctOrders;
+  return R;
+}

@@ -1,0 +1,94 @@
+//===- predict/Ordering.h - Heuristic ordering experiments -----*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Section 5 experiments on prioritizing the heuristics:
+///
+///  * Graph 1 — the average non-loop miss rate of every one of the
+///    7! = 5040 possible heuristic orders, sorted.
+///  * Graphs 2-3 / Table 4 — the order-selection experiment: for every
+///    half-size subset of the benchmarks, find the order minimizing the
+///    subset's average miss rate, then score that order on the full
+///    suite; report order frequencies and full-suite miss rates.
+///
+/// Evaluating 5040 orders per benchmark is made cheap by collapsing the
+/// per-branch data into (AppliesMask, DirMask) signature groups: the
+/// first-match decision depends only on the masks, so each order costs
+/// O(#signatures) rather than O(#branches).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_PREDICT_ORDERING_H
+#define BPFREE_PREDICT_ORDERING_H
+
+#include "predict/Evaluation.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bpfree {
+
+/// Factorial of NumHeuristics: the number of priority orders.
+constexpr size_t NumOrders = 5040;
+
+/// All 5040 orders in lexicographic enumeration sequence. Index into
+/// this table is the canonical "order id" used below.
+const std::vector<HeuristicOrder> &allOrders();
+
+/// Per-benchmark data reduced for fast order evaluation.
+class OrderEvaluator {
+public:
+  /// Builds signature groups from \p Stats (non-loop, executed branches
+  /// only; the default prediction uses the per-branch RandomDir).
+  explicit OrderEvaluator(const std::vector<BranchStats> &Stats);
+
+  /// Non-loop miss rate (default included) under \p Order.
+  double missRate(const HeuristicOrder &Order) const;
+
+  /// Miss rates for all 5040 orders, indexed by order id.
+  std::vector<double> allMissRates() const;
+
+  uint64_t totalExecs() const { return TotalExecs; }
+
+private:
+  struct Signature {
+    uint8_t AppliesMask = 0;
+    uint8_t DirMask = 0;
+    /// For each heuristic h (and the random default at index
+    /// NumHeuristics): misses if that slot decides this group.
+    std::array<uint64_t, NumHeuristics + 1> Misses{};
+  };
+  std::vector<Signature> Signatures;
+  uint64_t TotalExecs = 0;
+  uint64_t DefaultOnlyMisses = 0; ///< groups with empty mask
+};
+
+/// Result of the subset order-selection experiment.
+struct OrderSelectionResult {
+  /// How many subsets selected each order (indexed by order id).
+  std::vector<uint64_t> Frequency;
+  /// Full-suite average miss rate of each order (indexed by order id).
+  std::vector<double> FullSuiteMiss;
+  uint64_t NumTrials = 0;
+  size_t DistinctOrders = 0;
+
+  /// Orders sorted by descending frequency (ties by id).
+  std::vector<size_t> byFrequency() const;
+};
+
+/// Runs the experiment: for every subset of size \p SubsetSize drawn
+/// from \p PerBenchmark (one OrderEvaluator-derived miss vector per
+/// benchmark, each of length NumOrders), picks the arg-min order for the
+/// subset average and tallies it. \p MaxTrials caps the enumeration
+/// (0 = exhaustive).
+OrderSelectionResult
+runOrderSelection(const std::vector<std::vector<double>> &PerBenchmark,
+                  size_t SubsetSize, uint64_t MaxTrials = 0);
+
+} // namespace bpfree
+
+#endif // BPFREE_PREDICT_ORDERING_H

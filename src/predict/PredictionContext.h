@@ -1,0 +1,65 @@
+//===- predict/PredictionContext.h - Cached per-function analyses -*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The heuristics need three analyses per function — dominators,
+/// postdominators, and natural loops. PredictionContext computes and
+/// caches them for every function of a module so predictors and the
+/// evaluation harness can share one set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_PREDICT_PREDICTIONCONTEXT_H
+#define BPFREE_PREDICT_PREDICTIONCONTEXT_H
+
+#include "analysis/DomTree.h"
+#include "analysis/LoopInfo.h"
+#include "ir/Module.h"
+
+#include <memory>
+#include <vector>
+
+namespace bpfree {
+
+/// Analyses for one function.
+struct FunctionContext {
+  const ir::Function *F;
+  DomTree Dom;
+  DomTree PostDom;
+  LoopInfo Loops;
+
+  explicit FunctionContext(const ir::Function &Fn)
+      : F(&Fn), Dom(DomTree::computeDominators(Fn)),
+        PostDom(DomTree::computePostDominators(Fn)), Loops(Fn, Dom) {}
+};
+
+/// Analyses for every function of a module.
+class PredictionContext {
+public:
+  explicit PredictionContext(const ir::Module &M) : M(&M) {
+    Funcs.reserve(M.numFunctions());
+    for (const auto &F : M)
+      Funcs.push_back(std::make_unique<FunctionContext>(*F));
+  }
+
+  const ir::Module &getModule() const { return *M; }
+
+  const FunctionContext &get(const ir::Function &F) const {
+    return *Funcs[F.getIndex()];
+  }
+
+  const FunctionContext &get(const ir::BasicBlock &BB) const {
+    return get(*BB.getParent());
+  }
+
+private:
+  const ir::Module *M;
+  std::vector<std::unique_ptr<FunctionContext>> Funcs;
+};
+
+} // namespace bpfree
+
+#endif // BPFREE_PREDICT_PREDICTIONCONTEXT_H

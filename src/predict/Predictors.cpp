@@ -1,0 +1,101 @@
+//===- predict/Predictors.cpp - Static branch predictors ------------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "predict/Predictors.h"
+
+#include <cassert>
+
+using namespace bpfree;
+using namespace bpfree::ir;
+
+StaticPredictor::~StaticPredictor() = default;
+
+HeuristicOrder bpfree::paperOrder() {
+  return {HeuristicKind::Pointer, HeuristicKind::Call,
+          HeuristicKind::Opcode,  HeuristicKind::Return,
+          HeuristicKind::Store,   HeuristicKind::Loop,
+          HeuristicKind::Guard};
+}
+
+std::string bpfree::orderToString(const HeuristicOrder &Order) {
+  std::string S;
+  for (HeuristicKind K : Order) {
+    if (!S.empty())
+      S += '>';
+    S += heuristicName(K);
+  }
+  return S;
+}
+
+Direction PerfectPredictor::predict(const BasicBlock &BB) const {
+  assert(BB.isCondBranch() && "predicting a non-branch");
+  const EdgeProfile::Counts &C = Profile.get(BB);
+  return C.Taken >= C.Fallthru ? DirTaken : DirFallthru;
+}
+
+Direction AlwaysTakenPredictor::predict(const BasicBlock &BB) const {
+  assert(BB.isCondBranch() && "predicting a non-branch");
+  return DirTaken;
+}
+
+Direction AlwaysFallthruPredictor::predict(const BasicBlock &BB) const {
+  assert(BB.isCondBranch() && "predicting a non-branch");
+  return DirFallthru;
+}
+
+Direction RandomPredictor::flip(const BasicBlock &BB, uint64_t Seed) {
+  uint64_t Key = (static_cast<uint64_t>(BB.getParent()->getIndex()) << 32) |
+                 BB.getId();
+  return (Rng::splitmix64(Key ^ Seed) & 1) ? DirTaken : DirFallthru;
+}
+
+Direction RandomPredictor::predict(const BasicBlock &BB) const {
+  assert(BB.isCondBranch() && "predicting a non-branch");
+  return flip(BB, Seed);
+}
+
+Direction BallLarusPredictor::predict(const BasicBlock &BB) const {
+  assert(BB.isCondBranch() && "predicting a non-branch");
+  const FunctionContext &FC = Ctx.get(BB);
+
+  // Loop branches get the loop predictor (Section 3).
+  if (FC.Loops.isLoopBranch(&BB))
+    return FC.Loops.predictLoopBranch(&BB) == 0 ? DirTaken : DirFallthru;
+
+  // Non-loop branches: first applicable heuristic in priority order.
+  for (HeuristicKind K : Order)
+    if (std::optional<Direction> D = applyHeuristic(K, BB, FC, Config))
+      return *D;
+
+  switch (Default) {
+  case DefaultPolicy::Random:
+    return RandomPredictor::flip(BB, DefaultSeed);
+  case DefaultPolicy::Taken:
+    return DirTaken;
+  case DefaultPolicy::Fallthru:
+    return DirFallthru;
+  }
+  return DirTaken;
+}
+
+std::optional<HeuristicKind>
+BallLarusPredictor::responsibleHeuristic(const BasicBlock &BB) const {
+  const FunctionContext &FC = Ctx.get(BB);
+  if (FC.Loops.isLoopBranch(&BB))
+    return std::nullopt;
+  for (HeuristicKind K : Order)
+    if (applyHeuristic(K, BB, FC, Config))
+      return K;
+  return std::nullopt;
+}
+
+Direction LoopRandPredictor::predict(const BasicBlock &BB) const {
+  assert(BB.isCondBranch() && "predicting a non-branch");
+  const FunctionContext &FC = Ctx.get(BB);
+  if (FC.Loops.isLoopBranch(&BB))
+    return FC.Loops.predictLoopBranch(&BB) == 0 ? DirTaken : DirFallthru;
+  return RandomPredictor::flip(BB, Seed);
+}

@@ -1,0 +1,156 @@
+//===- predict/Predictors.h - Static branch predictors ----------*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static branch predictors. A static predictor assigns every
+/// conditional branch one direction that never changes during execution
+/// — "predicting a branch corresponds to choosing one of the two
+/// outgoing edges". The suite contains:
+///
+///  * PerfectPredictor   — per-branch majority direction from an edge
+///                         profile; the paper's upper bound.
+///  * AlwaysTakenPredictor / AlwaysFallthruPredictor — the naive
+///                         strategies of Table 2.
+///  * RandomPredictor    — a deterministic per-branch coin flip.
+///  * BallLarusPredictor — the paper's combined predictor: the loop
+///                         predictor on loop branches and an ordered
+///                         list of heuristics (plus a default) on
+///                         non-loop branches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_PREDICT_PREDICTORS_H
+#define BPFREE_PREDICT_PREDICTORS_H
+
+#include "predict/Heuristics.h"
+#include "support/Rng.h"
+#include "vm/EdgeProfile.h"
+
+#include <array>
+#include <string>
+
+namespace bpfree {
+
+/// A heuristic priority order for the combined predictor.
+using HeuristicOrder = std::array<HeuristicKind, NumHeuristics>;
+
+/// The paper's Table 5 / Section 6 order:
+/// Point, Call, Opcode, Return, Store, Loop, Guard.
+HeuristicOrder paperOrder();
+
+/// Renders an order as "Point>Call>...".
+std::string orderToString(const HeuristicOrder &Order);
+
+/// Abstract static predictor.
+class StaticPredictor {
+public:
+  virtual ~StaticPredictor();
+
+  /// Predicts the branch terminating \p BB (must be a conditional
+  /// branch). The result must be stable across calls.
+  virtual Direction predict(const ir::BasicBlock &BB) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Predicts each branch's more frequently executed edge (ties and never-
+/// executed branches default to taken — their choice never affects miss
+/// counts).
+class PerfectPredictor : public StaticPredictor {
+public:
+  explicit PerfectPredictor(const EdgeProfile &Profile) : Profile(Profile) {}
+  Direction predict(const ir::BasicBlock &BB) const override;
+  std::string name() const override { return "Perfect"; }
+
+private:
+  const EdgeProfile &Profile;
+};
+
+/// Always predicts the target successor.
+class AlwaysTakenPredictor : public StaticPredictor {
+public:
+  Direction predict(const ir::BasicBlock &BB) const override;
+  std::string name() const override { return "Taken"; }
+};
+
+/// Always predicts the fall-thru successor.
+class AlwaysFallthruPredictor : public StaticPredictor {
+public:
+  Direction predict(const ir::BasicBlock &BB) const override;
+  std::string name() const override { return "Fallthru"; }
+};
+
+/// Deterministic per-branch random prediction: the same branch always
+/// gets the same direction (the prediction is static), but directions
+/// are split 50/50 across branches.
+class RandomPredictor : public StaticPredictor {
+public:
+  explicit RandomPredictor(uint64_t Seed = 0) : Seed(Seed) {}
+  Direction predict(const ir::BasicBlock &BB) const override;
+  std::string name() const override { return "Random"; }
+
+  /// The coin flip itself, shared with the combined predictor's Default.
+  static Direction flip(const ir::BasicBlock &BB, uint64_t Seed);
+
+private:
+  uint64_t Seed;
+};
+
+/// What the combined predictor does when no heuristic applies.
+enum class DefaultPolicy {
+  Random,   ///< per-branch deterministic coin (the paper's choice)
+  Taken,    ///< always the target successor
+  Fallthru, ///< always the fall-thru successor
+};
+
+/// The paper's program-based predictor.
+class BallLarusPredictor : public StaticPredictor {
+public:
+  BallLarusPredictor(const PredictionContext &Ctx,
+                     HeuristicOrder Order = paperOrder(),
+                     HeuristicConfig Config = {},
+                     DefaultPolicy Default = DefaultPolicy::Random,
+                     uint64_t DefaultSeed = 0)
+      : Ctx(Ctx), Order(Order), Config(Config), Default(Default),
+        DefaultSeed(DefaultSeed) {}
+
+  Direction predict(const ir::BasicBlock &BB) const override;
+  std::string name() const override { return "Heuristic"; }
+
+  /// \returns the heuristic that would predict \p BB under this order,
+  /// or nullopt when the branch is a loop branch or falls to the
+  /// default.
+  std::optional<HeuristicKind>
+  responsibleHeuristic(const ir::BasicBlock &BB) const;
+
+  const HeuristicOrder &getOrder() const { return Order; }
+  const HeuristicConfig &getConfig() const { return Config; }
+
+private:
+  const PredictionContext &Ctx;
+  HeuristicOrder Order;
+  HeuristicConfig Config;
+  DefaultPolicy Default;
+  uint64_t DefaultSeed;
+};
+
+/// Baseline of Section 6: the loop predictor on loop branches and a
+/// random (but static) prediction on non-loop branches — "Loop+Rand".
+class LoopRandPredictor : public StaticPredictor {
+public:
+  explicit LoopRandPredictor(const PredictionContext &Ctx, uint64_t Seed = 0)
+      : Ctx(Ctx), Seed(Seed) {}
+  Direction predict(const ir::BasicBlock &BB) const override;
+  std::string name() const override { return "Loop+Rand"; }
+
+private:
+  const PredictionContext &Ctx;
+  uint64_t Seed;
+};
+
+} // namespace bpfree
+
+#endif // BPFREE_PREDICT_PREDICTORS_H

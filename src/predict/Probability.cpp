@@ -1,0 +1,116 @@
+//===- predict/Probability.cpp - Wu-Larus branch probabilities ------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "predict/Probability.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace bpfree;
+using namespace bpfree::ir;
+
+HeuristicPriors HeuristicPriors::paperTable3() {
+  HeuristicPriors P;
+  auto Set = [&](HeuristicKind K, double Hit) {
+    P.HitRate[static_cast<size_t>(K)] = Hit;
+  };
+  // 1 - the paper's Table 3 mean miss rates.
+  Set(HeuristicKind::Opcode, 0.84);
+  Set(HeuristicKind::Loop, 0.75);
+  Set(HeuristicKind::Call, 0.78);
+  Set(HeuristicKind::Return, 0.72);
+  Set(HeuristicKind::Guard, 0.62);
+  Set(HeuristicKind::Store, 0.55);
+  Set(HeuristicKind::Pointer, 0.59);
+  P.LoopHitRate = 0.88;
+  return P;
+}
+
+HeuristicPriors
+HeuristicPriors::measured(const std::vector<BranchStats> &Stats) {
+  HeuristicPriors P = paperTable3(); // fallback for uncovered heuristics
+  std::array<uint64_t, NumHeuristics> Hits{}, Covered{};
+  uint64_t LoopHits = 0, LoopTotal = 0;
+  for (const BranchStats &S : Stats) {
+    uint64_t T = S.total();
+    if (T == 0)
+      continue;
+    if (S.IsLoopBranch) {
+      LoopTotal += T;
+      LoopHits += T - S.missesFor(S.LoopDir);
+      continue;
+    }
+    for (HeuristicKind K : AllHeuristics) {
+      if (!S.heuristicApplies(K))
+        continue;
+      size_t I = static_cast<size_t>(K);
+      Covered[I] += T;
+      Hits[I] += T - S.missesFor(S.heuristicDir(K));
+    }
+  }
+  for (size_t I = 0; I < NumHeuristics; ++I)
+    if (Covered[I] > 0)
+      P.HitRate[I] = static_cast<double>(Hits[I]) /
+                     static_cast<double>(Covered[I]);
+  if (LoopTotal > 0)
+    P.LoopHitRate = static_cast<double>(LoopHits) /
+                    static_cast<double>(LoopTotal);
+  // Clamp away 0/1 extremes: certainty saturates the D-S combination.
+  for (double &H : P.HitRate)
+    H = std::clamp(H, 0.02, 0.98);
+  P.LoopHitRate = std::clamp(P.LoopHitRate, 0.02, 0.98);
+  return P;
+}
+
+double bpfree::dsCombine(double P, double Q) {
+  double Num = P * Q;
+  double Den = Num + (1.0 - P) * (1.0 - Q);
+  // Both certain in opposite directions: undefined; stay neutral.
+  if (Den <= 0.0)
+    return 0.5;
+  return Num / Den;
+}
+
+double bpfree::takenProbability(uint8_t AppliesMask, uint8_t DirMask,
+                                const HeuristicPriors &Priors) {
+  double P = 0.5;
+  for (unsigned H = 0; H < NumHeuristics; ++H) {
+    if (!(AppliesMask & (1u << H)))
+      continue;
+    double Hit = Priors.HitRate[H];
+    bool PredictsTaken = !(DirMask & (1u << H));
+    P = dsCombine(P, PredictsTaken ? Hit : 1.0 - Hit);
+  }
+  return P;
+}
+
+double bpfree::takenProbability(const BranchStats &S,
+                                const HeuristicPriors &Priors) {
+  if (S.IsLoopBranch)
+    return S.LoopDir == DirTaken ? Priors.LoopHitRate
+                                 : 1.0 - Priors.LoopHitRate;
+  return takenProbability(S.AppliesMask, S.DirMask, Priors);
+}
+
+double WuLarusPredictor::probability(const BasicBlock &BB) const {
+  assert(BB.isCondBranch() && "probability of a non-branch");
+  const FunctionContext &FC = Ctx.get(BB);
+  if (FC.Loops.isLoopBranch(&BB)) {
+    unsigned Pred = FC.Loops.predictLoopBranch(&BB);
+    return Pred == 0 ? Priors.LoopHitRate : 1.0 - Priors.LoopHitRate;
+  }
+  auto [Applies, Dirs] = applyAllHeuristics(BB, FC, Config);
+  return takenProbability(Applies, Dirs, Priors);
+}
+
+Direction WuLarusPredictor::predict(const BasicBlock &BB) const {
+  double P = probability(BB);
+  if (P > 0.5)
+    return DirTaken;
+  if (P < 0.5)
+    return DirFallthru;
+  return RandomPredictor::flip(BB, DefaultSeed);
+}

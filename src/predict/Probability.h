@@ -1,0 +1,149 @@
+//===- predict/Probability.h - Wu-Larus branch probabilities ---*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sequel extension: Wu & Larus, "Static Branch Frequency and
+/// Program Profile Analysis" (MICRO-27, 1994), turned this paper's
+/// heuristics into branch *probabilities* by treating each applicable
+/// heuristic as independent evidence and combining with the
+/// Dempster-Shafer rule:
+///
+///     p (+) q  =  p*q / (p*q + (1-p)*(1-q))
+///
+/// Each heuristic carries a prior hit rate (how often its prediction
+/// is right when it applies). A branch's taken-probability starts at
+/// 1/2 and folds in every applicable heuristic's evidence; the
+/// first-match priority order disappears entirely.
+///
+/// This module provides the combination, priors (the paper-derived
+/// defaults and a calibrator that measures them on a profile), a
+/// probability-based StaticPredictor, and calibration metrics (Brier
+/// score, bucketed reliability) to judge probability quality.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_PREDICT_PROBABILITY_H
+#define BPFREE_PREDICT_PROBABILITY_H
+
+#include "predict/Evaluation.h"
+
+#include <array>
+
+namespace bpfree {
+
+/// Per-heuristic hit-rate priors, plus the loop predictor's.
+struct HeuristicPriors {
+  /// P(branch goes where heuristic K predicts | K applies), indexed by
+  /// HeuristicKind.
+  std::array<double, NumHeuristics> HitRate{};
+  /// P(loop branch goes where the loop predictor predicts).
+  double LoopHitRate = 0.88;
+
+  /// Priors derived from the paper's Table 3 mean miss rates
+  /// (hit = 1 - miss): Opcode 84%, Loop 75%, Call 78%, Return 72%,
+  /// Guard 62%, Store 55%, Point 59%; loop predictor 88% (Table 2).
+  static HeuristicPriors paperTable3();
+
+  /// Priors measured from \p Stats: for each heuristic, the dynamic
+  /// fraction of covered executions it predicted correctly (falling
+  /// back to the paper's value when a heuristic never applies).
+  static HeuristicPriors measured(const std::vector<BranchStats> &Stats);
+};
+
+/// Dempster-Shafer combination of two probabilities-of-the-same-event.
+double dsCombine(double P, double Q);
+
+/// Taken-probability of a non-loop branch from its heuristic masks.
+/// Starts at 0.5; each applicable heuristic contributes HitRate toward
+/// its predicted direction. No applicable heuristic -> 0.5.
+double takenProbability(uint8_t AppliesMask, uint8_t DirMask,
+                        const HeuristicPriors &Priors);
+
+/// Taken-probability for any branch record (loop branches use the
+/// loop predictor's prior toward its direction).
+double takenProbability(const BranchStats &S, const HeuristicPriors &Priors);
+
+/// Wu-Larus-style predictor: predict taken iff the combined
+/// taken-probability is at least 1/2 (exact ties resolved by the
+/// per-branch deterministic coin, mirroring the Ball-Larus default).
+class WuLarusPredictor : public StaticPredictor {
+public:
+  WuLarusPredictor(const PredictionContext &Ctx,
+                   HeuristicPriors Priors = HeuristicPriors::paperTable3(),
+                   HeuristicConfig Config = {}, uint64_t DefaultSeed = 0)
+      : Ctx(Ctx), Priors(Priors), Config(Config), DefaultSeed(DefaultSeed) {}
+
+  Direction predict(const ir::BasicBlock &BB) const override;
+  std::string name() const override { return "WuLarus"; }
+
+  /// The probability itself (for layout, calibration, ...).
+  double probability(const ir::BasicBlock &BB) const;
+
+private:
+  const PredictionContext &Ctx;
+  HeuristicPriors Priors;
+  HeuristicConfig Config;
+  uint64_t DefaultSeed;
+};
+
+/// Probability-quality metrics against an edge profile.
+struct CalibrationReport {
+  /// Execution-weighted Brier score: mean over executed branch
+  /// instances of (p_taken - went_taken)^2. 0 = oracle, 0.25 = coin.
+  double Brier = 0.0;
+  /// Reliability buckets over predicted taken-probability deciles:
+  /// for each bucket, total executions, mean predicted p, and the
+  /// empirical taken fraction. Perfect calibration: predicted ==
+  /// empirical.
+  struct Bucket {
+    uint64_t Execs = 0;
+    double MeanPredicted = 0.0;
+    double EmpiricalTaken = 0.0;
+  };
+  std::array<Bucket, 10> Buckets{};
+};
+
+/// Scores \p Probability (a per-branch taken-probability oracle)
+/// against the dynamic counts in \p Stats.
+template <typename ProbabilityFn>
+CalibrationReport calibrate(const std::vector<BranchStats> &Stats,
+                            ProbabilityFn &&Probability) {
+  CalibrationReport R;
+  long double BrierSum = 0.0;
+  uint64_t Total = 0;
+  std::array<long double, 10> PredSum{};
+  std::array<uint64_t, 10> TakenSum{};
+  for (const BranchStats &S : Stats) {
+    uint64_t T = S.total();
+    if (T == 0)
+      continue;
+    double P = Probability(S);
+    // Brier over individual executions decomposes into counts.
+    BrierSum += static_cast<long double>(S.Taken) * (1.0 - P) * (1.0 - P) +
+                static_cast<long double>(S.Fallthru) * P * P;
+    Total += T;
+    size_t B = P >= 1.0 ? 9 : static_cast<size_t>(P * 10.0);
+    R.Buckets[B].Execs += T;
+    PredSum[B] += static_cast<long double>(P) * T;
+    TakenSum[B] += S.Taken;
+  }
+  if (Total > 0)
+    R.Brier = static_cast<double>(BrierSum / Total);
+  for (size_t B = 0; B < 10; ++B) {
+    if (R.Buckets[B].Execs == 0)
+      continue;
+    R.Buckets[B].MeanPredicted = static_cast<double>(
+        PredSum[B] / static_cast<long double>(R.Buckets[B].Execs));
+    R.Buckets[B].EmpiricalTaken =
+        static_cast<double>(TakenSum[B]) /
+        static_cast<double>(R.Buckets[B].Execs);
+  }
+  return R;
+}
+
+} // namespace bpfree
+
+#endif // BPFREE_PREDICT_PROBABILITY_H

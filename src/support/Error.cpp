@@ -1,0 +1,14 @@
+//===- support/Error.cpp - Lightweight result/error types ----------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+
+#include <cstdio>
+
+void bpfree::reportFatalError(const std::string &Message) {
+  std::fprintf(stderr, "bpfree fatal error: %s\n", Message.c_str());
+  std::abort();
+}

@@ -1,0 +1,83 @@
+//===- support/Error.h - Lightweight result/error types --------*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal error-handling vocabulary for the library. We follow the LLVM
+/// convention of separating programmatic errors (asserts) from recoverable
+/// errors (bad source programs, runtime traps), but the library is small
+/// enough that a string-carrying Diag plus Expected<T> suffices.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_SUPPORT_ERROR_H
+#define BPFREE_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace bpfree {
+
+/// A recoverable diagnostic with an optional source location. Used by the
+/// MiniC frontend (parse/type errors) and the VM (runtime traps).
+struct Diag {
+  std::string Message;
+  int Line = 0;   ///< 1-based source line, 0 when not applicable.
+  int Column = 0; ///< 1-based source column, 0 when not applicable.
+
+  Diag() = default;
+  explicit Diag(std::string Message, int Line = 0, int Column = 0)
+      : Message(std::move(Message)), Line(Line), Column(Column) {}
+
+  /// Renders "line:col: message" or just "message" without a location.
+  std::string render() const {
+    if (Line == 0)
+      return Message;
+    return std::to_string(Line) + ":" + std::to_string(Column) + ": " +
+           Message;
+  }
+};
+
+/// Either a value or a Diag. Modeled on llvm::Expected but non-owning and
+/// copyable; callers must check hasValue() before dereferencing.
+template <typename T> class Expected {
+public:
+  Expected(T Value) : Value(std::move(Value)) {}
+  Expected(Diag D) : Err(std::move(D)) {}
+
+  bool hasValue() const { return Value.has_value(); }
+  explicit operator bool() const { return hasValue(); }
+
+  T &operator*() {
+    assert(hasValue() && "dereferencing an error Expected");
+    return *Value;
+  }
+  const T &operator*() const {
+    assert(hasValue() && "dereferencing an error Expected");
+    return *Value;
+  }
+  T *operator->() { return &**this; }
+  const T *operator->() const { return &**this; }
+
+  const Diag &error() const {
+    assert(!hasValue() && "no error present");
+    return Err;
+  }
+
+private:
+  std::optional<T> Value;
+  Diag Err;
+};
+
+/// Terminates the program with a message. Used for violated invariants on
+/// paths where assert may be compiled out; mirrors llvm::report_fatal_error.
+[[noreturn]] void reportFatalError(const std::string &Message);
+
+} // namespace bpfree
+
+#endif // BPFREE_SUPPORT_ERROR_H

@@ -1,0 +1,76 @@
+//===- support/Rng.h - Deterministic pseudo-random numbers ------*- C++ -*-===//
+//
+// Part of the bpfree project: a reproduction of Ball & Larus,
+// "Branch Prediction for Free", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fully deterministic xorshift-based PRNG. Every experiment in this
+/// repository is seeded explicitly, so results are reproducible bit-for-bit
+/// across runs and machines. Do not replace with std::mt19937 unless you pin
+/// the distribution algorithms as well.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_SUPPORT_RNG_H
+#define BPFREE_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace bpfree {
+
+/// xorshift128+ generator with splitmix64 seeding.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9E3779B97F4A7C15ULL) { reseed(Seed); }
+
+  /// Re-initialize the state from \p Seed via splitmix64 so that nearby
+  /// seeds produce unrelated streams.
+  void reseed(uint64_t Seed) {
+    S0 = splitmix64(Seed);
+    S1 = splitmix64(S0 ^ 0xBF58476D1CE4E5B9ULL);
+    if (S0 == 0 && S1 == 0)
+      S1 = 1;
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    uint64_t X = S0;
+    const uint64_t Y = S1;
+    S0 = Y;
+    X ^= X << 23;
+    S1 = X ^ Y ^ (X >> 17) ^ (Y >> 26);
+    return S1 + Y;
+  }
+
+  /// Uniform integer in [0, Bound). \p Bound must be nonzero.
+  uint64_t below(uint64_t Bound) { return next() % Bound; }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double unit() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli trial with probability \p P of returning true.
+  bool chance(double P) { return unit() < P; }
+
+  /// Stateless 64-bit mix, usable for per-key deterministic "random" bits
+  /// (for example the Default predictor's per-branch coin flip).
+  static uint64_t splitmix64(uint64_t X) {
+    X += 0x9E3779B97F4A7C15ULL;
+    X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    X = (X ^ (X >> 27)) * 0x94D049BB133111EBULL;
+    return X ^ (X >> 31);
+  }
+
+private:
+  uint64_t S0, S1;
+};
+
+} // namespace bpfree
+
+#endif // BPFREE_SUPPORT_RNG_H

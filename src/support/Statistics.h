@@ -1,0 +1,55 @@
+//===- support/Statistics.h - Mean / stddev accumulators --------*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Summary statistics used by the evaluation tables. The paper reports
+/// per-benchmark means and (population) standard deviations, e.g. the
+/// "MEAN" and "Std.Dev." rows of Tables 2, 3, and 5.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_SUPPORT_STATISTICS_H
+#define BPFREE_SUPPORT_STATISTICS_H
+
+#include <cmath>
+#include <cstddef>
+
+namespace bpfree {
+
+/// Accumulates samples and reports count, mean, and standard deviation.
+/// Uses Welford's online algorithm for numerical stability.
+class RunningStat {
+public:
+  void add(double X) {
+    ++N;
+    double Delta = X - Mean;
+    Mean += Delta / static_cast<double>(N);
+    M2 += Delta * (X - Mean);
+  }
+
+  size_t count() const { return N; }
+  bool empty() const { return N == 0; }
+
+  /// Mean of the samples so far; 0 when empty.
+  double mean() const { return Mean; }
+
+  /// Population variance (divide by N); 0 when fewer than one sample.
+  double variance() const {
+    return N > 0 ? M2 / static_cast<double>(N) : 0.0;
+  }
+
+  /// Population standard deviation, matching the paper's Std.Dev. rows.
+  double stddev() const { return std::sqrt(variance()); }
+
+private:
+  size_t N = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+};
+
+} // namespace bpfree
+
+#endif // BPFREE_SUPPORT_STATISTICS_H

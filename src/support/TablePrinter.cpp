@@ -1,0 +1,111 @@
+//===- support/TablePrinter.cpp - Fixed-width text tables -----------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TablePrinter.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+using namespace bpfree;
+
+TablePrinter::TablePrinter(std::vector<std::string> Headers)
+    : Headers(std::move(Headers)) {}
+
+void TablePrinter::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() <= Headers.size() && "row has more cells than headers");
+  Cells.resize(Headers.size());
+  Rows.push_back(std::move(Cells));
+  IsSeparator.push_back(false);
+}
+
+void TablePrinter::addSeparator() {
+  Rows.emplace_back();
+  IsSeparator.push_back(true);
+}
+
+static bool looksNumeric(const std::string &S) {
+  if (S.empty())
+    return false;
+  for (char C : S)
+    if ((C < '0' || C > '9') && C != '.' && C != '-' && C != '+' && C != '/' &&
+        C != '%' && C != 'e')
+      return false;
+  return true;
+}
+
+void TablePrinter::print(std::ostream &OS) const {
+  std::vector<size_t> Widths(Headers.size());
+  for (size_t I = 0; I < Headers.size(); ++I)
+    Widths[I] = Headers[I].size();
+  for (size_t R = 0; R < Rows.size(); ++R) {
+    if (IsSeparator[R])
+      continue;
+    for (size_t I = 0; I < Rows[R].size(); ++I)
+      if (Rows[R][I].size() > Widths[I])
+        Widths[I] = Rows[R][I].size();
+  }
+
+  auto printSeparator = [&] {
+    for (size_t I = 0; I < Widths.size(); ++I) {
+      OS << '+';
+      for (size_t J = 0; J < Widths[I] + 2; ++J)
+        OS << '-';
+    }
+    OS << "+\n";
+  };
+
+  auto printCells = [&](const std::vector<std::string> &Cells) {
+    for (size_t I = 0; I < Widths.size(); ++I) {
+      const std::string &Cell = I < Cells.size() ? Cells[I] : std::string();
+      OS << "| ";
+      // Right-align numeric-looking cells, left-align everything else.
+      size_t Pad = Widths[I] - Cell.size();
+      if (looksNumeric(Cell)) {
+        for (size_t J = 0; J < Pad; ++J)
+          OS << ' ';
+        OS << Cell;
+      } else {
+        OS << Cell;
+        for (size_t J = 0; J < Pad; ++J)
+          OS << ' ';
+      }
+      OS << ' ';
+    }
+    OS << "|\n";
+  };
+
+  printSeparator();
+  printCells(Headers);
+  printSeparator();
+  for (size_t R = 0; R < Rows.size(); ++R) {
+    if (IsSeparator[R])
+      printSeparator();
+    else
+      printCells(Rows[R]);
+  }
+  printSeparator();
+}
+
+std::string TablePrinter::formatPercent(double Fraction) {
+  double Pct = Fraction * 100.0;
+  char Buf[32];
+  if (Pct != 0.0 && std::fabs(Pct) < 9.95)
+    std::snprintf(Buf, sizeof(Buf), "%.1f", Pct);
+  else
+    std::snprintf(Buf, sizeof(Buf), "%.0f", Pct);
+  return Buf;
+}
+
+std::string TablePrinter::formatMissPair(double Miss, double Perfect) {
+  return formatPercent(Miss) + "/" + formatPercent(Perfect);
+}
+
+std::string TablePrinter::formatDouble(double Value, int Decimals) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Decimals, Value);
+  return Buf;
+}

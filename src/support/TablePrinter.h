@@ -1,0 +1,61 @@
+//===- support/TablePrinter.h - Fixed-width text tables ---------*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-width table renderer used by the bench binaries to print
+/// reproductions of the paper's tables. Columns auto-size to their widest
+/// cell; numeric cells are right-aligned, text cells left-aligned.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_SUPPORT_TABLEPRINTER_H
+#define BPFREE_SUPPORT_TABLEPRINTER_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bpfree {
+
+/// Collects rows of string cells and renders them column-aligned.
+class TablePrinter {
+public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> Headers);
+
+  /// Appends one row; missing trailing cells render empty, extra cells are
+  /// an error (asserted).
+  void addRow(std::vector<std::string> Cells);
+
+  /// Appends a horizontal separator line at this position.
+  void addSeparator();
+
+  /// Renders the table to \p OS.
+  void print(std::ostream &OS) const;
+
+  size_t numRows() const { return Rows.size(); }
+
+  /// Formats a percentage like the paper: "26" for 26.4%, one decimal only
+  /// when below 10 to keep the tables compact ("3.1").
+  static std::string formatPercent(double Fraction);
+
+  /// Formats the paper's "C/D" cell: predictor miss rate over perfect miss
+  /// rate, both as percentages.
+  static std::string formatMissPair(double Miss, double Perfect);
+
+  /// Formats a plain double with \p Decimals digits after the point.
+  static std::string formatDouble(double Value, int Decimals);
+
+private:
+  std::vector<std::string> Headers;
+  // A row is either cells, or empty() == separator marker.
+  std::vector<std::vector<std::string>> Rows;
+  std::vector<bool> IsSeparator;
+};
+
+} // namespace bpfree
+
+#endif // BPFREE_SUPPORT_TABLEPRINTER_H

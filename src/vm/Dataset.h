@@ -1,0 +1,50 @@
+//===- vm/Dataset.h - Program input datasets --------------------*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Dataset is everything a workload run can observe from the outside
+/// world: a vector of integer parameters (read with the `arg` intrinsic)
+/// and a byte buffer (read with `input_len` / `input_byte`). Workloads
+/// declare several datasets so the Graph-13 cross-dataset experiment has
+/// multiple executions per benchmark, mirroring the paper's use of
+/// alternate SPEC inputs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_VM_DATASET_H
+#define BPFREE_VM_DATASET_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bpfree {
+
+/// Immutable run input for one program execution.
+struct Dataset {
+  std::string Name;
+  std::vector<int64_t> Scalars;
+  std::vector<uint8_t> Bytes;
+
+  Dataset() = default;
+  Dataset(std::string Name, std::vector<int64_t> Scalars,
+          std::vector<uint8_t> Bytes = {})
+      : Name(std::move(Name)), Scalars(std::move(Scalars)),
+        Bytes(std::move(Bytes)) {}
+
+  /// Scalar parameter \p I, or 0 when out of range (programs probe
+  /// optional parameters this way).
+  int64_t scalar(size_t I) const {
+    return I < Scalars.size() ? Scalars[I] : 0;
+  }
+
+  /// Byte \p I of the input buffer, or 0 past the end.
+  uint8_t byte(size_t I) const { return I < Bytes.size() ? Bytes[I] : 0; }
+};
+
+} // namespace bpfree
+
+#endif // BPFREE_VM_DATASET_H

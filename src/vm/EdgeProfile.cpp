@@ -1,0 +1,65 @@
+//===- vm/EdgeProfile.cpp - Branch edge profiles --------------------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/EdgeProfile.h"
+
+#include <cassert>
+
+using namespace bpfree;
+using namespace bpfree::ir;
+
+ExecObserver::~ExecObserver() = default;
+void ExecObserver::onCondBranch(const BasicBlock &, bool, uint64_t) {}
+void ExecObserver::onBlockEnter(const BasicBlock &) {}
+
+EdgeProfile::EdgeProfile(const Module &M) : M(M) {
+  PerBlock.resize(M.numFunctions());
+  BlockEntries.resize(M.numFunctions());
+  for (size_t I = 0; I < M.numFunctions(); ++I) {
+    size_t NumBlocks = M.getFunction(static_cast<uint32_t>(I))->numBlocks();
+    PerBlock[I].resize(NumBlocks);
+    BlockEntries[I].assign(NumBlocks, 0);
+  }
+}
+
+void EdgeProfile::onCondBranch(const BasicBlock &BB, bool Taken,
+                               uint64_t /*InstrCount*/) {
+  Counts &C = PerBlock[BB.getParent()->getIndex()][BB.getId()];
+  if (Taken)
+    ++C.Taken;
+  else
+    ++C.Fallthru;
+}
+
+void EdgeProfile::onBlockEnter(const BasicBlock &BB) {
+  ++BlockEntries[BB.getParent()->getIndex()][BB.getId()];
+}
+
+const EdgeProfile::Counts &EdgeProfile::get(const BasicBlock &BB) const {
+  return PerBlock[BB.getParent()->getIndex()][BB.getId()];
+}
+
+uint64_t EdgeProfile::getBlockCount(const BasicBlock &BB) const {
+  return BlockEntries[BB.getParent()->getIndex()][BB.getId()];
+}
+
+void EdgeProfile::merge(const EdgeProfile &Other) {
+  assert(&M == &Other.M && "merging profiles of different modules");
+  for (size_t F = 0; F < PerBlock.size(); ++F)
+    for (size_t B = 0; B < PerBlock[F].size(); ++B) {
+      PerBlock[F][B].Taken += Other.PerBlock[F][B].Taken;
+      PerBlock[F][B].Fallthru += Other.PerBlock[F][B].Fallthru;
+      BlockEntries[F][B] += Other.BlockEntries[F][B];
+    }
+}
+
+uint64_t EdgeProfile::totalBranchExecutions() const {
+  uint64_t Total = 0;
+  for (const auto &FunctionCounts : PerBlock)
+    for (const Counts &C : FunctionCounts)
+      Total += C.total();
+  return Total;
+}

@@ -1,0 +1,73 @@
+//===- vm/EdgeProfile.h - Branch edge profiles -------------------*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An edge profile records, for each conditional branch, how many times
+/// control passed to the target and to the fall-thru successor — the
+/// exact information QPT's edge profiles gave the paper, and all a
+/// *perfect static predictor* needs (it predicts the more frequently
+/// executed outgoing edge of each branch).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_VM_EDGEPROFILE_H
+#define BPFREE_VM_EDGEPROFILE_H
+
+#include "ir/Module.h"
+#include "vm/ExecObserver.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace bpfree {
+
+/// Per-branch taken/fall-thru counters for one module execution (or the
+/// sum of several; profiles can be merged).
+class EdgeProfile : public ExecObserver {
+public:
+  struct Counts {
+    uint64_t Taken = 0;
+    uint64_t Fallthru = 0;
+
+    uint64_t total() const { return Taken + Fallthru; }
+    /// Executions the perfect static predictor mispredicts: the less
+    /// frequent direction.
+    uint64_t perfectMisses() const {
+      return Taken < Fallthru ? Taken : Fallthru;
+    }
+  };
+
+  explicit EdgeProfile(const ir::Module &M);
+
+  void onCondBranch(const ir::BasicBlock &BB, bool Taken,
+                    uint64_t InstrCount) override;
+  void onBlockEnter(const ir::BasicBlock &BB) override;
+
+  /// Counters for the branch terminating \p BB.
+  const Counts &get(const ir::BasicBlock &BB) const;
+
+  /// How many times \p BB began executing (used by the layout
+  /// evaluator to weight unconditional-jump transitions).
+  uint64_t getBlockCount(const ir::BasicBlock &BB) const;
+
+  /// Adds another profile of the same module into this one.
+  void merge(const EdgeProfile &Other);
+
+  /// Sum of all branch executions.
+  uint64_t totalBranchExecutions() const;
+
+  const ir::Module &getModule() const { return M; }
+
+private:
+  const ir::Module &M;
+  /// Indexed [function index][block id].
+  std::vector<std::vector<Counts>> PerBlock;
+  std::vector<std::vector<uint64_t>> BlockEntries;
+};
+
+} // namespace bpfree
+
+#endif // BPFREE_VM_EDGEPROFILE_H

@@ -1,0 +1,45 @@
+//===- vm/ExecObserver.h - Execution observation hooks ----------*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Observer interface through which the VM reports dynamic events. This
+/// plays the role of QPT's instrumentation: an edge profiler and a trace
+/// consumer are both observers; the IPBC experiments attach observers
+/// that watch every executed conditional branch together with the running
+/// instruction count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_VM_EXECOBSERVER_H
+#define BPFREE_VM_EXECOBSERVER_H
+
+#include <cstdint>
+
+namespace bpfree {
+
+namespace ir {
+class BasicBlock;
+} // namespace ir
+
+/// Callbacks invoked by the interpreter during execution. The default
+/// implementations do nothing, so observers override only what they need.
+class ExecObserver {
+public:
+  virtual ~ExecObserver();
+
+  /// Called after each executed conditional branch. \p Taken says which
+  /// direction the branch went; \p InstrCount is the number of
+  /// instructions executed so far, the branch itself included.
+  virtual void onCondBranch(const ir::BasicBlock &BB, bool Taken,
+                            uint64_t InstrCount);
+
+  /// Called when a basic block begins executing.
+  virtual void onBlockEnter(const ir::BasicBlock &BB);
+};
+
+} // namespace bpfree
+
+#endif // BPFREE_VM_EXECOBSERVER_H

@@ -1,0 +1,520 @@
+//===- vm/Interpreter.cpp - IR interpreter --------------------------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Interpreter.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+
+using namespace bpfree;
+using namespace bpfree::ir;
+
+namespace {
+
+constexpr uint64_t NullPageSize = 8;
+
+inline double asDouble(uint64_t Bits) {
+  double D;
+  std::memcpy(&D, &Bits, sizeof(D));
+  return D;
+}
+
+inline uint64_t fromDouble(double D) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &D, sizeof(Bits));
+  return Bits;
+}
+
+/// One activation record.
+struct Frame {
+  const Function *F = nullptr;
+  const BasicBlock *Block = nullptr;
+  size_t InstIdx = 0;          ///< next instruction to execute
+  std::vector<uint64_t> Regs;  ///< virtual register file
+  uint64_t SavedSp = 0;        ///< SP to restore on return
+  Reg CallerDst;               ///< caller register receiving the result
+  bool FpFlag = false;         ///< FP condition flag
+};
+
+/// Execution engine for a single run; holds all mutable state so that
+/// Interpreter::run is reentrant.
+class Machine {
+public:
+  Machine(const Module &M, const RunLimits &Limits, const Dataset &Data,
+          const std::vector<ExecObserver *> &Observers)
+      : M(M), Limits(Limits), Data(Data), Observers(Observers) {}
+
+  RunResult run(const Function *Entry);
+
+private:
+  // Register access ---------------------------------------------------
+
+  uint64_t readReg(const Frame &F, Reg R) const {
+    if (R == ZeroReg)
+      return 0;
+    if (R == SpReg)
+      return Sp;
+    if (R == GpReg)
+      return NullPageSize;
+    assert(R.Id >= FirstVirtualReg && R.Id < F.Regs.size() + FirstVirtualReg);
+    return F.Regs[R.Id - FirstVirtualReg];
+  }
+
+  void writeReg(Frame &F, Reg R, uint64_t V) {
+    assert(R.isValid() && R.Id >= FirstVirtualReg && "write to dedicated reg");
+    assert(R.Id - FirstVirtualReg < F.Regs.size());
+    F.Regs[R.Id - FirstVirtualReg] = V;
+  }
+
+  // Memory access ------------------------------------------------------
+
+  bool checkAddr(uint64_t Addr, uint64_t Size) {
+    if (Addr < NullPageSize || Addr + Size > Memory.size() ||
+        Addr + Size < Addr) {
+      trap("memory access out of bounds at address " + std::to_string(Addr));
+      return false;
+    }
+    return true;
+  }
+
+  bool loadMem(uint64_t Addr, MemWidth W, uint64_t &Out) {
+    uint64_t Size = W == MemWidth::I8 ? 1 : 8;
+    if (!checkAddr(Addr, Size))
+      return false;
+    if (W == MemWidth::I8) {
+      // Sign-extend: MiniC chars behave like signed C chars.
+      Out = static_cast<uint64_t>(
+          static_cast<int64_t>(static_cast<int8_t>(Memory[Addr])));
+    } else {
+      uint64_t V;
+      std::memcpy(&V, Memory.data() + Addr, 8);
+      Out = V;
+    }
+    return true;
+  }
+
+  bool storeMem(uint64_t Addr, MemWidth W, uint64_t V) {
+    uint64_t Size = W == MemWidth::I8 ? 1 : 8;
+    if (!checkAddr(Addr, Size))
+      return false;
+    if (W == MemWidth::I8)
+      Memory[Addr] = static_cast<uint8_t>(V);
+    else
+      std::memcpy(Memory.data() + Addr, &V, 8);
+    return true;
+  }
+
+  // Faults ---------------------------------------------------------------
+
+  void trap(const std::string &Message) {
+    if (Result.Status == RunStatus::Ok) {
+      Result.Status = RunStatus::Trap;
+      Result.TrapMessage = Message;
+    }
+  }
+
+  // Helpers ----------------------------------------------------------
+
+  void output(const std::string &S) {
+    if (Result.Output.size() + S.size() <= Limits.MaxOutputBytes)
+      Result.Output += S;
+  }
+
+  bool pushFrame(const Function *F, const std::vector<uint64_t> &Args,
+                 Reg CallerDst);
+  void popFrame(uint64_t RetValue, bool HasRetValue);
+  bool execInstruction(Frame &F, const Instruction &I);
+  void execTerminator(Frame &F);
+  bool execIntrinsic(Frame &F, const Instruction &I);
+
+  const Module &M;
+  const RunLimits &Limits;
+  const Dataset &Data;
+  const std::vector<ExecObserver *> &Observers;
+
+  std::vector<uint8_t> Memory;
+  uint64_t Sp = 0;
+  uint64_t HeapTop = 0;
+  std::vector<Frame> Frames;
+  RunResult Result;
+};
+
+bool Machine::pushFrame(const Function *F, const std::vector<uint64_t> &Args,
+                        Reg CallerDst) {
+  assert(Args.size() == F->getNumParams() && "argument count mismatch");
+  if (Frames.size() >= Limits.MaxCallDepth) {
+    trap("call depth limit exceeded in '" + F->getName() + "'");
+    return false;
+  }
+  // Reserve the frame: SP moves down, 8-byte aligned.
+  uint64_t FrameBytes = (F->getFrameSize() + 7u) & ~7u;
+  if (Sp < HeapTop + FrameBytes) {
+    trap("stack overflow entering '" + F->getName() + "'");
+    return false;
+  }
+  Frames.emplace_back();
+  Frame &Fr = Frames.back();
+  Fr.F = F;
+  Fr.Block = F->getEntry();
+  Fr.InstIdx = 0;
+  Fr.SavedSp = Sp;
+  Fr.CallerDst = CallerDst;
+  Fr.Regs.assign(F->getNumRegs() - FirstVirtualReg, 0);
+  Sp -= FrameBytes;
+  for (size_t I = 0; I < Args.size(); ++I)
+    Fr.Regs[I] = Args[I];
+  for (ExecObserver *O : Observers)
+    O->onBlockEnter(*Fr.Block);
+  return true;
+}
+
+void Machine::popFrame(uint64_t RetValue, bool HasRetValue) {
+  Sp = Frames.back().SavedSp;
+  Reg Dst = Frames.back().CallerDst;
+  Frames.pop_back();
+  if (!Frames.empty() && Dst.isValid() && HasRetValue)
+    writeReg(Frames.back(), Dst, RetValue);
+  if (Frames.empty()) {
+    Result.ExitValue = static_cast<int64_t>(RetValue);
+  }
+}
+
+bool Machine::execIntrinsic(Frame &F, const Instruction &I) {
+  auto Arg = [&](size_t Idx) -> uint64_t {
+    return Idx < I.Args.size() ? readReg(F, I.Args[Idx]) : 0;
+  };
+  uint64_t Ret = 0;
+  switch (I.Intr) {
+  case Intrinsic::PrintInt: {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%" PRId64,
+                  static_cast<int64_t>(Arg(0)));
+    output(Buf);
+    break;
+  }
+  case Intrinsic::PrintChar:
+    output(std::string(1, static_cast<char>(Arg(0))));
+    break;
+  case Intrinsic::PrintDouble: {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.6g", asDouble(Arg(0)));
+    output(Buf);
+    break;
+  }
+  case Intrinsic::PrintStr: {
+    uint64_t Addr = Arg(0);
+    std::string S;
+    for (uint64_t K = 0; K < 1u << 20; ++K) {
+      if (Addr + K < NullPageSize || Addr + K >= Memory.size()) {
+        trap("print_str reads out of bounds");
+        return false;
+      }
+      char C = static_cast<char>(Memory[Addr + K]);
+      if (C == '\0')
+        break;
+      S += C;
+    }
+    output(S);
+    break;
+  }
+  case Intrinsic::Malloc: {
+    uint64_t Bytes = (Arg(0) + 7u) & ~7ull;
+    if (Bytes == 0)
+      Bytes = 8;
+    if (HeapTop + Bytes >= Sp || HeapTop + Bytes < HeapTop) {
+      trap("out of heap memory");
+      return false;
+    }
+    Ret = HeapTop;
+    HeapTop += Bytes;
+    break;
+  }
+  case Intrinsic::Arg:
+    Ret = static_cast<uint64_t>(Data.scalar(static_cast<size_t>(Arg(0))));
+    break;
+  case Intrinsic::InputLen:
+    Ret = Data.Bytes.size();
+    break;
+  case Intrinsic::InputByte:
+    Ret = Data.byte(static_cast<size_t>(Arg(0)));
+    break;
+  case Intrinsic::Trap:
+    trap("explicit trap() in '" + F.F->getName() + "'");
+    return false;
+  }
+  if (I.Dst.isValid())
+    writeReg(F, I.Dst, Ret);
+  return true;
+}
+
+bool Machine::execInstruction(Frame &F, const Instruction &I) {
+  auto B = [&]() -> uint64_t {
+    return I.BIsImm ? static_cast<uint64_t>(I.Imm) : readReg(F, I.SrcB);
+  };
+  switch (I.Op) {
+  case Opcode::LoadImm:
+    writeReg(F, I.Dst, static_cast<uint64_t>(I.Imm));
+    break;
+  case Opcode::Move:
+    writeReg(F, I.Dst, readReg(F, I.SrcA));
+    break;
+  case Opcode::Add:
+    writeReg(F, I.Dst, readReg(F, I.SrcA) + B());
+    break;
+  case Opcode::Sub:
+    writeReg(F, I.Dst, readReg(F, I.SrcA) - B());
+    break;
+  case Opcode::Mul:
+    writeReg(F, I.Dst, readReg(F, I.SrcA) * B());
+    break;
+  case Opcode::Div: {
+    int64_t Num = static_cast<int64_t>(readReg(F, I.SrcA));
+    int64_t Den = static_cast<int64_t>(B());
+    if (Den == 0) {
+      trap("integer division by zero in '" + F.F->getName() + "'");
+      return false;
+    }
+    int64_t Q = (Num == std::numeric_limits<int64_t>::min() && Den == -1)
+                    ? Num
+                    : Num / Den;
+    writeReg(F, I.Dst, static_cast<uint64_t>(Q));
+    break;
+  }
+  case Opcode::Rem: {
+    int64_t Num = static_cast<int64_t>(readReg(F, I.SrcA));
+    int64_t Den = static_cast<int64_t>(B());
+    if (Den == 0) {
+      trap("integer remainder by zero in '" + F.F->getName() + "'");
+      return false;
+    }
+    int64_t R = (Num == std::numeric_limits<int64_t>::min() && Den == -1)
+                    ? 0
+                    : Num % Den;
+    writeReg(F, I.Dst, static_cast<uint64_t>(R));
+    break;
+  }
+  case Opcode::And:
+    writeReg(F, I.Dst, readReg(F, I.SrcA) & B());
+    break;
+  case Opcode::Or:
+    writeReg(F, I.Dst, readReg(F, I.SrcA) | B());
+    break;
+  case Opcode::Xor:
+    writeReg(F, I.Dst, readReg(F, I.SrcA) ^ B());
+    break;
+  case Opcode::Shl:
+    writeReg(F, I.Dst, readReg(F, I.SrcA) << (B() & 63));
+    break;
+  case Opcode::Shr:
+    writeReg(F, I.Dst,
+             static_cast<uint64_t>(static_cast<int64_t>(readReg(F, I.SrcA)) >>
+                                   (B() & 63)));
+    break;
+  case Opcode::Slt:
+    writeReg(F, I.Dst,
+             static_cast<int64_t>(readReg(F, I.SrcA)) <
+                     static_cast<int64_t>(B())
+                 ? 1
+                 : 0);
+    break;
+  case Opcode::Seq:
+    writeReg(F, I.Dst, readReg(F, I.SrcA) == B() ? 1 : 0);
+    break;
+  case Opcode::Sne:
+    writeReg(F, I.Dst, readReg(F, I.SrcA) != B() ? 1 : 0);
+    break;
+  case Opcode::FAdd:
+    writeReg(F, I.Dst,
+             fromDouble(asDouble(readReg(F, I.SrcA)) + asDouble(B())));
+    break;
+  case Opcode::FSub:
+    writeReg(F, I.Dst,
+             fromDouble(asDouble(readReg(F, I.SrcA)) - asDouble(B())));
+    break;
+  case Opcode::FMul:
+    writeReg(F, I.Dst,
+             fromDouble(asDouble(readReg(F, I.SrcA)) * asDouble(B())));
+    break;
+  case Opcode::FDiv:
+    // IEEE semantics: x/0 is inf/nan, no trap — matches the hardware the
+    // paper measured on.
+    writeReg(F, I.Dst,
+             fromDouble(asDouble(readReg(F, I.SrcA)) / asDouble(B())));
+    break;
+  case Opcode::FNeg:
+    writeReg(F, I.Dst, fromDouble(-asDouble(readReg(F, I.SrcA))));
+    break;
+  case Opcode::CvtIF:
+    writeReg(F, I.Dst,
+             fromDouble(static_cast<double>(
+                 static_cast<int64_t>(readReg(F, I.SrcA)))));
+    break;
+  case Opcode::CvtFI: {
+    double D = asDouble(readReg(F, I.SrcA));
+    int64_t V;
+    if (D >= 9.2233720368547758e18)
+      V = std::numeric_limits<int64_t>::max();
+    else if (D <= -9.2233720368547758e18 || D != D)
+      V = std::numeric_limits<int64_t>::min();
+    else
+      V = static_cast<int64_t>(D);
+    writeReg(F, I.Dst, static_cast<uint64_t>(V));
+    break;
+  }
+  case Opcode::FCmpEq:
+    F.FpFlag = asDouble(readReg(F, I.SrcA)) == asDouble(readReg(F, I.SrcB));
+    break;
+  case Opcode::FCmpLt:
+    F.FpFlag = asDouble(readReg(F, I.SrcA)) < asDouble(readReg(F, I.SrcB));
+    break;
+  case Opcode::FCmpLe:
+    F.FpFlag = asDouble(readReg(F, I.SrcA)) <= asDouble(readReg(F, I.SrcB));
+    break;
+  case Opcode::Load: {
+    uint64_t Addr = readReg(F, I.SrcA) + static_cast<uint64_t>(I.Imm);
+    uint64_t V;
+    if (!loadMem(Addr, I.Width, V))
+      return false;
+    writeReg(F, I.Dst, V);
+    break;
+  }
+  case Opcode::Store: {
+    uint64_t Addr = readReg(F, I.SrcA) + static_cast<uint64_t>(I.Imm);
+    if (!storeMem(Addr, I.Width, readReg(F, I.SrcB)))
+      return false;
+    break;
+  }
+  case Opcode::Call: {
+    const Function *Callee = M.getFunction(I.CalleeIndex);
+    std::vector<uint64_t> Args;
+    Args.reserve(I.Args.size());
+    for (Reg R : I.Args)
+      Args.push_back(readReg(F, R));
+    // pushFrame may reallocate Frames and invalidate F; the main loop
+    // re-fetches the active frame before every instruction.
+    return pushFrame(Callee, Args, I.Dst);
+  }
+  case Opcode::CallIntrinsic:
+    return execIntrinsic(F, I);
+  }
+  return true;
+}
+
+void Machine::execTerminator(Frame &F) {
+  const Terminator &T = F.Block->terminator();
+  switch (T.Kind) {
+  case TermKind::Jump:
+    F.Block = T.Taken;
+    F.InstIdx = 0;
+    for (ExecObserver *O : Observers)
+      O->onBlockEnter(*F.Block);
+    return;
+  case TermKind::CondBranch: {
+    bool Taken = false;
+    // Flag branches have no register operands; only read Lhs otherwise.
+    int64_t L = isFlagBranch(T.BOp)
+                    ? 0
+                    : static_cast<int64_t>(readReg(F, T.Lhs));
+    switch (T.BOp) {
+    case BranchOp::BEQ:
+      Taken = readReg(F, T.Lhs) == readReg(F, T.Rhs);
+      break;
+    case BranchOp::BNE:
+      Taken = readReg(F, T.Lhs) != readReg(F, T.Rhs);
+      break;
+    case BranchOp::BLEZ:
+      Taken = L <= 0;
+      break;
+    case BranchOp::BGTZ:
+      Taken = L > 0;
+      break;
+    case BranchOp::BLTZ:
+      Taken = L < 0;
+      break;
+    case BranchOp::BGEZ:
+      Taken = L >= 0;
+      break;
+    case BranchOp::BC1T:
+      Taken = F.FpFlag;
+      break;
+    case BranchOp::BC1F:
+      Taken = !F.FpFlag;
+      break;
+    }
+    const BasicBlock &BranchBlock = *F.Block;
+    F.Block = Taken ? T.Taken : T.Fallthru;
+    F.InstIdx = 0;
+    for (ExecObserver *O : Observers)
+      O->onCondBranch(BranchBlock, Taken, Result.InstrCount);
+    for (ExecObserver *O : Observers)
+      O->onBlockEnter(*F.Block);
+    return;
+  }
+  case TermKind::Return: {
+    uint64_t V = T.HasRetValue ? readReg(F, T.RetValue) : 0;
+    popFrame(V, T.HasRetValue);
+    return;
+  }
+  }
+}
+
+RunResult Machine::run(const Function *Entry) {
+  Memory.assign(Limits.MemoryBytes, 0);
+  // Map the global image just past the null page; GP reads as its base.
+  const std::vector<uint8_t> &Image = M.getGlobalImage();
+  if (NullPageSize + Image.size() > Memory.size()) {
+    trap("global segment larger than VM memory");
+    return Result;
+  }
+  std::memcpy(Memory.data() + NullPageSize, Image.data(), Image.size());
+  HeapTop = (NullPageSize + Image.size() + 7u) & ~7ull;
+  Sp = Memory.size();
+
+  if (!pushFrame(Entry, {}, Reg()))
+    return Result;
+
+  while (!Frames.empty() && Result.Status == RunStatus::Ok) {
+    Frame &F = Frames.back();
+    if (Result.InstrCount >= Limits.MaxInstructions) {
+      Result.Status = RunStatus::BudgetExceeded;
+      break;
+    }
+    ++Result.InstrCount;
+    if (F.InstIdx < F.Block->instructions().size()) {
+      const Instruction &I = F.Block->instructions()[F.InstIdx++];
+      // Calls push a frame; all other instructions stay in F.
+      if (!execInstruction(F, I))
+        continue; // either trapped or entered a callee
+    } else {
+      execTerminator(F);
+    }
+  }
+  return Result;
+}
+
+} // namespace
+
+Interpreter::Interpreter(const Module &M, RunLimits Limits)
+    : M(M), Limits(Limits) {}
+
+RunResult Interpreter::run(const Dataset &Data,
+                           const std::vector<ExecObserver *> &Observers,
+                           const std::string &EntryName) {
+  const Function *Entry = M.findFunction(EntryName);
+  if (!Entry) {
+    RunResult R;
+    R.Status = RunStatus::Trap;
+    R.TrapMessage = "entry function '" + EntryName + "' not found";
+    return R;
+  }
+  Machine Mach(M, Limits, Data, Observers);
+  return Mach.run(Entry);
+}

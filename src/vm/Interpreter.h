@@ -1,0 +1,85 @@
+//===- vm/Interpreter.h - IR interpreter -------------------------*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The execution substrate: an interpreter for bpfree IR modules with a
+/// flat byte-addressable memory (globals / heap / stack), an explicit
+/// call stack, deterministic intrinsics, and observer hooks. Together
+/// with the observers it replaces the paper's instrumented-executable
+/// methodology: running a module under an EdgeProfile observer yields
+/// the QPT edge profile; custom observers yield instruction traces.
+///
+/// Memory layout (addresses are plain 64-bit integers):
+///
+///   0 .. 7              unmapped null page (loads/stores trap)
+///   8 .. 8+G            global segment (GP points at 8)
+///   heap                grows upward after the globals
+///   ...                 gap
+///   stack               grows downward from the top of memory (SP)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_VM_INTERPRETER_H
+#define BPFREE_VM_INTERPRETER_H
+
+#include "ir/Module.h"
+#include "vm/Dataset.h"
+#include "vm/ExecObserver.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bpfree {
+
+/// Why a run ended.
+enum class RunStatus {
+  Ok,             ///< main returned normally
+  Trap,           ///< runtime error (bad address, div by zero, trap())
+  BudgetExceeded, ///< instruction budget exhausted
+};
+
+/// Outcome of one execution.
+struct RunResult {
+  RunStatus Status = RunStatus::Ok;
+  std::string TrapMessage;  ///< set when Status == Trap
+  int64_t ExitValue = 0;    ///< main's return value (0 if void)
+  uint64_t InstrCount = 0;  ///< instructions executed (terminators count)
+  std::string Output;       ///< bytes written by the print intrinsics
+
+  bool ok() const { return Status == RunStatus::Ok; }
+};
+
+/// Tunable execution limits.
+struct RunLimits {
+  uint64_t MaxInstructions = 400'000'000; ///< trap-free upper bound
+  uint64_t MemoryBytes = 64u << 20;       ///< flat memory size
+  size_t MaxCallDepth = 8192;             ///< frames
+  size_t MaxOutputBytes = 4u << 20;       ///< print budget
+};
+
+/// Executes IR modules. Construct once per module; run() may be invoked
+/// repeatedly with different datasets and observers.
+class Interpreter {
+public:
+  /// \p M must verify cleanly (see ir::verifyModule); the interpreter
+  /// asserts rather than diagnoses structural errors.
+  explicit Interpreter(const ir::Module &M, RunLimits Limits = RunLimits());
+
+  /// Runs \p EntryName (default "main", no arguments) against \p Data,
+  /// notifying each observer in \p Observers of dynamic events.
+  RunResult run(const Dataset &Data,
+                const std::vector<ExecObserver *> &Observers = {},
+                const std::string &EntryName = "main");
+
+private:
+  const ir::Module &M;
+  RunLimits Limits;
+};
+
+} // namespace bpfree
+
+#endif // BPFREE_VM_INTERPRETER_H

@@ -1,0 +1,45 @@
+//===- workloads/Driver.cpp - Compile-run-profile-evaluate driver ---------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Driver.h"
+
+#include "frontend/Compiler.h"
+#include "support/Error.h"
+
+using namespace bpfree;
+
+std::unique_ptr<WorkloadRun>
+bpfree::runWorkload(const Workload &W, size_t DatasetIndex,
+                    const HeuristicConfig &Config) {
+  if (DatasetIndex >= W.Datasets.size())
+    reportFatalError("workload '" + W.Name + "' has no dataset " +
+                     std::to_string(DatasetIndex));
+
+  auto Run = std::make_unique<WorkloadRun>();
+  Run->W = &W;
+  Run->DatasetIndex = DatasetIndex;
+  Run->M = minic::compileOrDie(W.Source);
+  Run->Ctx = std::make_unique<PredictionContext>(*Run->M);
+  Run->Profile = std::make_unique<EdgeProfile>(*Run->M);
+
+  Interpreter Interp(*Run->M);
+  Run->Result = Interp.run(W.Datasets[DatasetIndex], {Run->Profile.get()});
+  if (!Run->Result.ok())
+    reportFatalError("workload '" + W.Name + "' dataset '" +
+                     W.Datasets[DatasetIndex].Name +
+                     "' failed: " + Run->Result.TrapMessage);
+
+  Run->Stats = collectBranchStats(*Run->Ctx, *Run->Profile, Config);
+  return Run;
+}
+
+std::vector<std::unique_ptr<WorkloadRun>>
+bpfree::runSuite(const HeuristicConfig &Config) {
+  std::vector<std::unique_ptr<WorkloadRun>> Runs;
+  for (const Workload &W : workloadSuite())
+    Runs.push_back(runWorkload(W, 0, Config));
+  return Runs;
+}

@@ -1,0 +1,56 @@
+//===- workloads/Driver.h - Compile-run-profile-evaluate driver -*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The experiment driver gluing the pipeline together:
+/// workload source -> IR module -> analyses -> profiled execution ->
+/// per-branch statistics. Every bench binary and the integration tests
+/// go through this entry point, so the paper's tables are all computed
+/// from the same per-branch records.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_WORKLOADS_DRIVER_H
+#define BPFREE_WORKLOADS_DRIVER_H
+
+#include "predict/Evaluation.h"
+#include "vm/Interpreter.h"
+#include "workloads/Workloads.h"
+
+#include <memory>
+
+namespace bpfree {
+
+/// Everything produced by compiling and profiling one workload on one
+/// dataset.
+struct WorkloadRun {
+  const Workload *W = nullptr;
+  size_t DatasetIndex = 0;
+  std::unique_ptr<ir::Module> M;
+  std::unique_ptr<PredictionContext> Ctx;
+  std::unique_ptr<EdgeProfile> Profile;
+  std::vector<BranchStats> Stats;
+  RunResult Result;
+
+  const Dataset &dataset() const { return W->Datasets[DatasetIndex]; }
+};
+
+/// Compiles \p W, runs dataset \p DatasetIndex under an edge profiler,
+/// and collects per-branch statistics under \p Config. Aborts on
+/// compile errors or runtime traps (workload programs are known-good;
+/// failures indicate library bugs).
+std::unique_ptr<WorkloadRun> runWorkload(const Workload &W,
+                                         size_t DatasetIndex = 0,
+                                         const HeuristicConfig &Config = {});
+
+/// Runs the whole suite (reference datasets) and returns the runs in
+/// suite order. \p Config selects heuristic variants.
+std::vector<std::unique_ptr<WorkloadRun>>
+runSuite(const HeuristicConfig &Config = {});
+
+} // namespace bpfree
+
+#endif // BPFREE_WORKLOADS_DRIVER_H

@@ -1,0 +1,150 @@
+//===- workloads/Runtime.cpp - Shared MiniC runtime library ---------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Runtime.h"
+
+using namespace bpfree;
+
+const std::string &bpfree::runtimeSource() {
+  static const std::string Source = R"MC(
+/* ---- bpfree MiniC runtime (the suite's "libc") ---- */
+
+int rt_state = 88172645463325252;
+
+void rt_srand(int s) {
+  rt_state = s * 2654435761 + 1;
+  if (rt_state == 0) {
+    rt_state = 88172645463325252;
+  }
+}
+
+/* Deterministic LCG; returns a value in [0, 2^30). */
+int rt_rand() {
+  rt_state = rt_state * 6364136223846793005 + 1442695040888963407;
+  return (rt_state >> 33) & 1073741823;
+}
+
+/* Uniform value in [0, n); n must be positive. */
+int rt_rand_range(int n) {
+  if (n <= 0) {
+    trap();
+  }
+  return rt_rand() % n;
+}
+
+int str_len(char *s) {
+  int n = 0;
+  while (s[n] != 0) {
+    n = n + 1;
+  }
+  return n;
+}
+
+int str_cmp(char *a, char *b) {
+  int i = 0;
+  while (a[i] != 0 && a[i] == b[i]) {
+    i = i + 1;
+  }
+  return a[i] - b[i];
+}
+
+void str_copy(char *dst, char *src) {
+  int i = 0;
+  while (src[i] != 0) {
+    dst[i] = src[i];
+    i = i + 1;
+  }
+  dst[i] = 0;
+}
+
+void mem_set(char *p, int v, int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    p[i] = v;
+  }
+}
+
+void mem_copy(char *dst, char *src, int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    dst[i] = src[i];
+  }
+}
+
+int i_abs(int x) {
+  if (x < 0) {
+    return -x;
+  }
+  return x;
+}
+
+int i_min(int a, int b) {
+  if (a < b) {
+    return a;
+  }
+  return b;
+}
+
+int i_max(int a, int b) {
+  if (a > b) {
+    return a;
+  }
+  return b;
+}
+
+double d_abs(double x) {
+  if (x < 0.0) {
+    return -x;
+  }
+  return x;
+}
+
+/* Newton-Raphson square root; returns 0 for non-positive inputs. */
+double d_sqrt(double x) {
+  double guess;
+  double next;
+  int iter;
+  if (x <= 0.0) {
+    return 0.0;
+  }
+  guess = x;
+  if (guess > 1.0) {
+    guess = x / 2.0;
+  }
+  for (iter = 0; iter < 64; iter = iter + 1) {
+    next = (guess + x / guess) / 2.0;
+    if (d_abs(next - guess) < 0.0000000001 * (next + 1.0)) {
+      return next;
+    }
+    guess = next;
+  }
+  return guess;
+}
+
+/* Largest integral double <= x (for the modest ranges the suite uses). */
+double d_floor(double x) {
+  int i = (int)x;
+  double d = (double)i;
+  if (d > x) {
+    return d - 1.0;
+  }
+  return d;
+}
+
+void print_nl() {
+  print_char(10);
+}
+
+void print_spc() {
+  print_char(32);
+}
+)MC";
+  return Source;
+}
+
+std::string bpfree::withRuntime(const std::string &Body) {
+  return Body + "\n" + runtimeSource();
+}

@@ -1,0 +1,39 @@
+//===- workloads/Runtime.h - Shared MiniC runtime library ------*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small runtime library written in MiniC and appended to every
+/// workload's source. It plays the role of the DEC Ultrix library
+/// procedures in the paper's measurements: "The numbers in this paper
+/// include DEC Ultrix 4.2 library procedures as well as application
+/// procedures" — our predictor analyzes these branches too.
+///
+/// Provided routines (all prefixed to avoid collisions):
+///   rt_srand/rt_rand/rt_rand_range  deterministic LCG
+///   str_len/str_cmp/str_copy        C-string helpers
+///   mem_set/mem_copy                byte-block helpers
+///   i_abs/i_min/i_max               integer math
+///   d_abs/d_sqrt/d_floor            double math (sqrt via Newton)
+///   print_nl/print_spc              output sugar
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_WORKLOADS_RUNTIME_H
+#define BPFREE_WORKLOADS_RUNTIME_H
+
+#include <string>
+
+namespace bpfree {
+
+/// \returns the MiniC source of the runtime library.
+const std::string &runtimeSource();
+
+/// \returns \p Body with the runtime library appended.
+std::string withRuntime(const std::string &Body);
+
+} // namespace bpfree
+
+#endif // BPFREE_WORKLOADS_RUNTIME_H

@@ -1,0 +1,114 @@
+//===- workloads/Workloads.cpp - The benchmark suite registry -------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "support/Rng.h"
+#include "workloads/suite/Suites.h"
+
+using namespace bpfree;
+
+const std::vector<Workload> &bpfree::workloadSuite() {
+  static const std::vector<Workload> Suite = [] {
+    std::vector<Workload> S;
+    // Integer/pointer group first, FP group second — the paper's
+    // Table 1 layout.
+    suite::addPointerSuite(S);
+    suite::addIntegerSuite(S);
+    suite::addTextSuite(S);
+    suite::addExtraSuite(S);
+    suite::addFloatSuite(S);
+    return S;
+  }();
+  return Suite;
+}
+
+const Workload *bpfree::findWorkload(const std::string &Name) {
+  for (const Workload &W : workloadSuite())
+    if (W.Name == Name)
+      return &W;
+  return nullptr;
+}
+
+std::vector<uint8_t> suite::synthText(uint64_t Seed, size_t Bytes) {
+  Rng R(Seed * 0x9E3779B97F4A7C15ULL + 17);
+
+  // Build a fixed vocabulary, then sample it with a Zipf-like skew so
+  // the text repeats words the way natural language does (word-count
+  // and hash-table workloads depend on hit-dominated lookups).
+  constexpr size_t VocabSize = 900;
+  std::vector<std::string> Vocab;
+  Vocab.reserve(VocabSize);
+  // A few real high-frequency words first, so literal search patterns
+  // ("the", "ation") have genuine hits in the synthetic text.
+  for (const char *Common : {"the", "and", "for", "that", "with", "this",
+                             "nation", "station", "creation", "other"})
+    Vocab.push_back(Common);
+  static const char Alphabet[] = "etaoinshrdlucmfwypvbgkqjxz";
+  while (Vocab.size() < VocabSize) {
+    size_t WordLen = 1 + R.below(3) + R.below(4) + R.below(4);
+    std::string Word;
+    for (size_t I = 0; I < WordLen; ++I) {
+      size_t Idx = R.below(26);
+      Idx = Idx < 13 ? Idx / 2 : Idx; // skew toward frequent letters
+      Word += Alphabet[Idx];
+    }
+    Vocab.push_back(Word);
+  }
+
+  std::vector<uint8_t> Out;
+  Out.reserve(Bytes);
+  size_t LineLen = 0;
+  while (Out.size() < Bytes) {
+    // Zipf-ish rank: squaring the uniform sample concentrates mass on
+    // low ranks (common words).
+    double U = R.unit();
+    size_t Rank = static_cast<size_t>(U * U * U * VocabSize);
+    const std::string &Word = Vocab[Rank % VocabSize];
+    for (char C : Word) {
+      if (Out.size() >= Bytes)
+        break;
+      Out.push_back(static_cast<uint8_t>(C));
+    }
+    LineLen += Word.size();
+    if (Out.size() >= Bytes)
+      break;
+    if (R.chance(0.05))
+      Out.push_back(static_cast<uint8_t>('0' + R.below(10)));
+    if (R.chance(0.08))
+      Out.push_back('.');
+    if (LineLen > 50 + R.below(20)) {
+      Out.push_back('\n');
+      LineLen = 0;
+    } else {
+      Out.push_back(' ');
+    }
+  }
+  if (!Out.empty())
+    Out.back() = '\n';
+  return Out;
+}
+
+std::vector<uint8_t> suite::synthBytes(uint64_t Seed, size_t Bytes) {
+  Rng R(Seed * 0xBF58476D1CE4E5B9ULL + 3);
+  std::vector<uint8_t> Out;
+  Out.reserve(Bytes);
+  // Mix runs (compressible) with noise (incompressible) so compression
+  // workloads take both match and literal paths.
+  while (Out.size() < Bytes) {
+    if (R.chance(0.4)) {
+      uint8_t B = static_cast<uint8_t>(R.below(256));
+      size_t RunLen = 2 + R.below(30);
+      for (size_t I = 0; I < RunLen && Out.size() < Bytes; ++I)
+        Out.push_back(B);
+    } else {
+      size_t NoiseLen = 1 + R.below(12);
+      for (size_t I = 0; I < NoiseLen && Out.size() < Bytes; ++I)
+        Out.push_back(static_cast<uint8_t>(R.below(256)));
+    }
+  }
+  return Out;
+}

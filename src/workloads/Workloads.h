@@ -1,0 +1,49 @@
+//===- workloads/Workloads.h - The benchmark suite --------------*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The workload suite standing in for the paper's 23 C/Fortran
+/// benchmarks (Table 1). Each workload is a MiniC program plus a set of
+/// deterministic datasets; the registry exposes them to tests, benches,
+/// and examples. Programs are written to exercise the same branch
+/// idioms the paper attributes to its benchmarks: pointer-chasing with
+/// null guards, error-code checks against negative values, conditional
+/// calls for exceptional cases, loop-heavy FP kernels, and so on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_WORKLOADS_WORKLOADS_H
+#define BPFREE_WORKLOADS_WORKLOADS_H
+
+#include "vm/Dataset.h"
+
+#include <string>
+#include <vector>
+
+namespace bpfree {
+
+/// One benchmark: a named MiniC source plus its input datasets.
+/// Dataset 0 is the "reference" input used for the single-execution
+/// tables; the rest feed the Graph-13 cross-dataset experiment.
+struct Workload {
+  std::string Name;
+  std::string Description; ///< one line, as in the paper's Table 1
+  bool FloatingPoint;      ///< second (Fortran-like) group when true
+  std::string Source;      ///< MiniC program text
+  std::vector<Dataset> Datasets;
+};
+
+/// The full suite, integer/pointer programs first, FP programs second
+/// (the paper's Table 1 grouping). Built once; subsequent calls return
+/// the same registry.
+const std::vector<Workload> &workloadSuite();
+
+/// \returns the workload named \p Name, or nullptr.
+const Workload *findWorkload(const std::string &Name);
+
+} // namespace bpfree
+
+#endif // BPFREE_WORKLOADS_WORKLOADS_H

@@ -1,0 +1,425 @@
+//===- workloads/suite/ExtraSuite.cpp - GC and Huffman workloads ----------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two further workloads rounding out the suite's coverage of branch
+/// idioms: a mark-sweep collector over a mutating object graph (the
+/// part of xlisp the paper's pointer/guard heuristics love most), and
+/// a Huffman coder (tree building + bit-level I/O, compress's
+/// entropy-coding sibling).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Runtime.h"
+#include "workloads/suite/Suites.h"
+
+using namespace bpfree;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// markgc — mark-sweep collection over a mutating object graph
+//===----------------------------------------------------------------------===//
+
+const char *MarkGcSource = R"MC(
+/* A two-field object heap with root set, mutation phases, and
+   mark-sweep collections. Mark is an explicit-stack graph walk full of
+   null and mark-bit tests; sweep is a linear pass with a free-list
+   rebuild. */
+
+struct obj {
+  int marked;
+  int payload;
+  struct obj *left;
+  struct obj *right;
+};
+
+struct obj *objects[8192];  /* all allocated objects, by slot */
+int live[8192];             /* slot in use? */
+int freelist[8192];         /* recycled slots (filled by sweep) */
+int nfree = 0;
+struct obj *roots[64];
+int nroots = 0;
+int nslots = 0;
+int allocated = 0;
+int collected = 0;
+int mark_steps = 0;
+int collections = 0;
+
+struct obj *stack[8192];
+
+struct obj *alloc_obj(int payload) {
+  int slot;
+  struct obj *o = (struct obj *)malloc(sizeof(struct obj));
+  if (o == 0) {
+    trap();
+  }
+  o->marked = 0;
+  o->payload = payload;
+  o->left = 0;
+  o->right = 0;
+  if (nfree > 0) {
+    nfree = nfree - 1;
+    slot = freelist[nfree];
+  } else {
+    if (nslots >= 8192) {
+      trap(); /* heap table full */
+    }
+    slot = nslots;
+    nslots = nslots + 1;
+  }
+  objects[slot] = o;
+  live[slot] = 1;
+  allocated = allocated + 1;
+  return o;
+}
+
+void mark() {
+  int sp = 0;
+  int r;
+  for (r = 0; r < nroots; r = r + 1) {
+    if (roots[r] != 0 && roots[r]->marked == 0) {
+      roots[r]->marked = 1;
+      stack[sp] = roots[r];
+      sp = sp + 1;
+    }
+  }
+  while (sp > 0) {
+    struct obj *o;
+    sp = sp - 1;
+    o = stack[sp];
+    mark_steps = mark_steps + 1;
+    if (o->left != 0 && o->left->marked == 0) {
+      o->left->marked = 1;
+      stack[sp] = o->left;
+      sp = sp + 1;
+    }
+    if (o->right != 0 && o->right->marked == 0) {
+      o->right->marked = 1;
+      stack[sp] = o->right;
+      sp = sp + 1;
+    }
+    if (sp >= 8190) {
+      trap(); /* mark stack overflow */
+    }
+  }
+}
+
+void sweep() {
+  int i;
+  for (i = 0; i < nslots; i = i + 1) {
+    if (live[i] != 0) {
+      if (objects[i]->marked == 0) {
+        live[i] = 0; /* slot recycles; the VM heap is a bump allocator */
+        freelist[nfree] = i;
+        nfree = nfree + 1;
+        collected = collected + 1;
+      } else {
+        objects[i]->marked = 0;
+      }
+    }
+  }
+}
+
+void collect() {
+  collections = collections + 1;
+  mark();
+  sweep();
+}
+
+/* Random descent: mutations hit interior nodes, not just roots, so
+   the live graph develops real depth between collections. */
+struct obj *walk_down(struct obj *o, int steps) {
+  int k;
+  for (k = 0; k < steps; k = k + 1) {
+    if (o == 0) {
+      return 0;
+    }
+    if (rt_rand_range(2) == 0) {
+      if (o->left != 0) {
+        o = o->left;
+      }
+    } else {
+      if (o->right != 0) {
+        o = o->right;
+      }
+    }
+  }
+  return o;
+}
+
+int main() {
+  int phases = arg(0);
+  int churn = arg(1);
+  int p;
+  int checksum = 0;
+  rt_srand(arg(2));
+  nroots = 8;
+  {
+    int r;
+    for (r = 0; r < nroots; r = r + 1) {
+      roots[r] = alloc_obj(r);
+    }
+  }
+  for (p = 0; p < phases; p = p + 1) {
+    int c;
+    for (c = 0; c < churn; c = c + 1) {
+      int pick = rt_rand_range(100);
+      struct obj *victim =
+          walk_down(roots[rt_rand_range(nroots)], rt_rand_range(7));
+      if (victim == 0) {
+        continue;
+      }
+      if (pick < 62) {
+        /* grow: hang a fresh object off a random reachable edge */
+        struct obj *fresh = alloc_obj(p * 1000 + c);
+        if (pick % 2 == 0) {
+          fresh->left = victim->left;
+          victim->left = fresh;
+        } else {
+          fresh->right = victim->right;
+          victim->right = fresh;
+        }
+      } else if (pick < 72) {
+        /* drop a subtree (creates garbage) */
+        if (pick % 2 == 0) {
+          victim->left = 0;
+        } else {
+          victim->right = 0;
+        }
+      } else if (pick < 95) {
+        /* rewire: share structure across the graph */
+        struct obj *other =
+            walk_down(roots[rt_rand_range(nroots)], rt_rand_range(4));
+        if (other != 0 && other != victim) {
+          victim->right = other->left;
+        }
+      } else {
+        /* replace a root */
+        roots[rt_rand_range(nroots)] = alloc_obj(-p);
+      }
+      if (allocated - collected > 6000) {
+        collect();
+      }
+    }
+    collect();
+    checksum = checksum + mark_steps % 1000;
+  }
+  print_str("markgc alloc=");
+  print_int(allocated);
+  print_str(" collected=");
+  print_int(collected);
+  print_str(" gcs=");
+  print_int(collections);
+  print_str(" steps=");
+  print_int(mark_steps);
+  print_str(" chk=");
+  print_int(checksum);
+  print_nl();
+  return 0;
+}
+)MC";
+
+//===----------------------------------------------------------------------===//
+// huffman — Huffman coding with round-trip verification
+//===----------------------------------------------------------------------===//
+
+const char *HuffmanSource = R"MC(
+/* Classic Huffman: byte histogram, tree built by repeated min-pair
+   selection, code table by tree walk, bit-packed encode, tree-walking
+   decode, byte-for-byte verification. */
+
+int freq[512];      /* node weights (leaves 0..255, internal 256..) */
+int left[512];
+int right[512];
+int parent_of[512];
+int active[512];
+int nnodes = 256;
+
+int code_bits[256];
+int code_len[256];
+
+char bitbuf[1200000];
+int bitpos = 0;
+
+void put_bit(int b) {
+  if (bitpos >= 9600000) {
+    trap(); /* output overflow */
+  }
+  if (b != 0) {
+    bitbuf[bitpos >> 3] = bitbuf[bitpos >> 3] | (1 << (bitpos & 7));
+  }
+  bitpos = bitpos + 1;
+}
+
+int get_bit(int pos) {
+  return (bitbuf[pos >> 3] >> (pos & 7)) & 1;
+}
+
+/* Returns the active node with smallest weight, or -1. */
+int take_min() {
+  int best = -1;
+  int i;
+  for (i = 0; i < nnodes; i = i + 1) {
+    if (active[i] != 0 && freq[i] > 0) {
+      if (best < 0 || freq[i] < freq[best]) {
+        best = i;
+      }
+    }
+  }
+  if (best >= 0) {
+    active[best] = 0;
+  }
+  return best;
+}
+
+int build_tree() {
+  int i;
+  for (i = 0; i < 256; i = i + 1) {
+    active[i] = freq[i] > 0;
+    left[i] = -1;
+    right[i] = -1;
+  }
+  nnodes = 256;
+  while (1) {
+    int a = take_min();
+    int b;
+    if (a < 0) {
+      trap(); /* empty input handled by caller */
+    }
+    b = take_min();
+    if (b < 0) {
+      return a; /* single symbol class or final root */
+    }
+    left[nnodes] = a;
+    right[nnodes] = b;
+    freq[nnodes] = freq[a] + freq[b];
+    parent_of[a] = nnodes;
+    parent_of[b] = nnodes;
+    active[nnodes] = 1;
+    nnodes = nnodes + 1;
+    if (nnodes >= 512) {
+      trap();
+    }
+  }
+  return -1;
+}
+
+/* Compute each leaf's code by climbing to the root. */
+void assign_codes(int root) {
+  int s;
+  for (s = 0; s < 256; s = s + 1) {
+    int bits = 0;
+    int len = 0;
+    int node = s;
+    if (freq[s] == 0) {
+      continue;
+    }
+    while (node != root) {
+      int up = parent_of[node];
+      bits = bits << 1;
+      if (right[up] == node) {
+        bits = bits | 1;
+      }
+      len = len + 1;
+      node = up;
+    }
+    /* bits were collected leaf-to-root: reverse them */
+    {
+      int rev = 0;
+      int k;
+      for (k = 0; k < len; k = k + 1) {
+        rev = (rev << 1) | ((bits >> k) & 1);
+      }
+      code_bits[s] = rev;
+    }
+    code_len[s] = len;
+  }
+}
+
+int main() {
+  int n = input_len();
+  int i;
+  int root;
+  int maxlen = 0;
+  int errors = 0;
+  if (n == 0) {
+    print_str("huffman empty\n");
+    return 0;
+  }
+  for (i = 0; i < n; i = i + 1) {
+    freq[input_byte(i)] = freq[input_byte(i)] + 1;
+  }
+  root = build_tree();
+  assign_codes(root);
+  for (i = 0; i < 256; i = i + 1) {
+    if (code_len[i] > maxlen) {
+      maxlen = code_len[i];
+    }
+  }
+  /* encode */
+  for (i = 0; i < n; i = i + 1) {
+    int s = input_byte(i);
+    int k;
+    for (k = code_len[s] - 1; k >= 0; k = k - 1) {
+      put_bit((code_bits[s] >> k) & 1);
+    }
+  }
+  /* decode + verify */
+  {
+    int pos = 0;
+    for (i = 0; i < n; i = i + 1) {
+      int node = root;
+      while (left[node] >= 0) {
+        if (get_bit(pos) != 0) {
+          node = right[node];
+        } else {
+          node = left[node];
+        }
+        pos = pos + 1;
+      }
+      if (node != input_byte(i)) {
+        errors = errors + 1;
+      }
+    }
+    if (pos != bitpos || errors > 0) {
+      print_str("huffman ROUNDTRIP ERROR\n");
+      trap();
+    }
+  }
+  print_str("huffman in=");
+  print_int(n * 8);
+  print_str(" out=");
+  print_int(bitpos);
+  print_str(" maxlen=");
+  print_int(maxlen);
+  print_nl();
+  return 0;
+}
+)MC";
+
+} // namespace
+
+void suite::addExtraSuite(std::vector<Workload> &Out) {
+  Out.push_back({"markgc",
+                 "Mark-sweep collector over a mutating object graph",
+                 false,
+                 withRuntime(MarkGcSource),
+                 {
+                     Dataset("ref", {18, 700, 5}),
+                     Dataset("small", {8, 400, 9}),
+                     Dataset("churny", {30, 350, 13}),
+                 }});
+  Out.push_back({"huffman",
+                 "Huffman coding with round-trip verification",
+                 false,
+                 withRuntime(HuffmanSource),
+                 {
+                     Dataset("ref", {}, synthText(40, 150000)),
+                     Dataset("binary", {}, synthBytes(41, 100000)),
+                     Dataset("small", {}, synthText(42, 30000)),
+                 }});
+}

@@ -1,0 +1,740 @@
+//===- workloads/suite/FloatSuite.cpp - Floating-point workloads ----------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Floating-point workloads standing in for the paper's Fortran group
+/// (matrix300, tomcatv, sgefat, dcg, doduc, dnasa7/fpppp, spice2g6):
+/// dense matrix multiply, Jacobi relaxation with max-tracking (the
+/// exact guard-vs-store showdown the paper dissects for tomcatv),
+/// Gaussian elimination with partial pivoting, conjugate gradients,
+/// an N-body stepper, straight-line FP kernels, and an RC-network
+/// transient simulator with piecewise device models.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Runtime.h"
+#include "workloads/suite/Suites.h"
+
+using namespace bpfree;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// matmul300 — dense matrix multiply (matrix300 stand-in)
+//===----------------------------------------------------------------------===//
+
+const char *MatmulSource = R"MC(
+/* C = A * B on n x n doubles (flattened 1-D arrays), then a checksum
+   pass. Branch behavior is almost purely loop branches — the paper's
+   matrix300 has only 4% non-loop branches. */
+
+double A[16384];
+double B[16384];
+double C[16384];
+
+int main() {
+  int n = arg(0);
+  int reps = arg(1);
+  int r;
+  int i;
+  int j;
+  int k;
+  double checksum = 0.0;
+  int negs = 0;
+  rt_srand(arg(2));
+  if (n > 128) {
+    n = 128;
+  }
+  for (i = 0; i < n * n; i = i + 1) {
+    A[i] = (double)(rt_rand_range(2000) - 1000) / 997.0;
+    B[i] = (double)(rt_rand_range(2000) - 1000) / 991.0;
+  }
+  for (r = 0; r < reps; r = r + 1) {
+    for (i = 0; i < n; i = i + 1) {
+      for (j = 0; j < n; j = j + 1) {
+        double acc = 0.0;
+        for (k = 0; k < n; k = k + 1) {
+          acc = acc + A[i * n + k] * B[k * n + j];
+        }
+        C[i * n + j] = acc;
+      }
+    }
+    /* fold C back into A to keep iterations dependent */
+    for (i = 0; i < n * n; i = i + 1) {
+      A[i] = C[i] / 64.0;
+    }
+  }
+  for (i = 0; i < n * n; i = i + 1) {
+    checksum = checksum + C[i];
+    if (C[i] < 0.0) {
+      negs = negs + 1;
+    }
+  }
+  print_str("matmul300 checksum=");
+  print_double(checksum);
+  print_str(" negs=");
+  print_int(negs);
+  print_nl();
+  return 0;
+}
+)MC";
+
+//===----------------------------------------------------------------------===//
+// relax — Jacobi relaxation with max tracking (tomcatv stand-in)
+//===----------------------------------------------------------------------===//
+
+const char *RelaxSource = R"MC(
+/* Jacobi relaxation on an n x n grid with fixed boundary, tracking the
+   maximum update per sweep: "if (delta > max) max = delta" — the exact
+   branch pair the paper shows the Guard heuristic mispredicting and the
+   Store heuristic predicting perfectly on tomcatv. */
+
+double grid[16900];
+double next_grid[16900];
+
+int main() {
+  int n = arg(0);
+  int sweeps = arg(1);
+  int s;
+  int i;
+  int j;
+  double maxdelta = 0.0;
+  double tol = 0.0000001;
+  int converged_at = -1;
+  rt_srand(arg(2));
+  if (n > 130) {
+    n = 130;
+  }
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < n; j = j + 1) {
+      if (i == 0 || j == 0 || i == n - 1 || j == n - 1) {
+        grid[i * n + j] = (double)((i + j) % 17) / 4.0;
+      } else {
+        grid[i * n + j] = (double)rt_rand_range(1000) / 500.0;
+      }
+      next_grid[i * n + j] = grid[i * n + j];
+    }
+  }
+  for (s = 0; s < sweeps; s = s + 1) {
+    maxdelta = 0.0;
+    for (i = 1; i < n - 1; i = i + 1) {
+      for (j = 1; j < n - 1; j = j + 1) {
+        double v = (grid[(i - 1) * n + j] + grid[(i + 1) * n + j] +
+                    grid[i * n + j - 1] + grid[i * n + j + 1]) /
+                   4.0;
+        double delta = d_abs(v - grid[i * n + j]);
+        next_grid[i * n + j] = v;
+        if (delta > maxdelta) {
+          maxdelta = delta;
+        }
+      }
+    }
+    for (i = 1; i < n - 1; i = i + 1) {
+      for (j = 1; j < n - 1; j = j + 1) {
+        grid[i * n + j] = next_grid[i * n + j];
+      }
+    }
+    if (maxdelta < tol) {
+      converged_at = s;
+      break;
+    }
+  }
+  print_str("relax maxdelta=");
+  print_double(maxdelta);
+  print_str(" converged=");
+  print_int(converged_at);
+  print_nl();
+  return 0;
+}
+)MC";
+
+//===----------------------------------------------------------------------===//
+// gauss — Gaussian elimination with partial pivoting (sgefat stand-in)
+//===----------------------------------------------------------------------===//
+
+const char *GaussSource = R"MC(
+/* Solves A x = b via LU with partial pivoting plus back-substitution;
+   verifies the residual. The pivot-search "if (fabs > best)" is the
+   same max-tracking idiom as relax. */
+
+double A[16384];
+double b[128];
+double x[128];
+double orig[16384];
+double origb[128];
+
+int main() {
+  int n = arg(0);
+  int systems = arg(1);
+  int sys;
+  int i;
+  int j;
+  int k;
+  int singulars = 0;
+  double worst_resid = 0.0;
+  rt_srand(arg(2));
+  if (n > 128) {
+    n = 128;
+  }
+  for (sys = 0; sys < systems; sys = sys + 1) {
+    for (i = 0; i < n; i = i + 1) {
+      for (j = 0; j < n; j = j + 1) {
+        A[i * n + j] = (double)(rt_rand_range(2000) - 1000) / 487.0;
+        if (i == j) {
+          A[i * n + j] = A[i * n + j] + 8.0; /* diagonally dominant */
+        }
+        orig[i * n + j] = A[i * n + j];
+      }
+      b[i] = (double)(rt_rand_range(2000) - 1000) / 333.0;
+      origb[i] = b[i];
+    }
+    /* forward elimination with partial pivoting */
+    for (k = 0; k < n; k = k + 1) {
+      int piv = k;
+      double best = d_abs(A[k * n + k]);
+      for (i = k + 1; i < n; i = i + 1) {
+        double cand = d_abs(A[i * n + k]);
+        if (cand > best) {
+          best = cand;
+          piv = i;
+        }
+      }
+      if (best < 0.000000000001) {
+        singulars = singulars + 1;
+        break;
+      }
+      if (piv != k) {
+        double t;
+        for (j = k; j < n; j = j + 1) {
+          t = A[k * n + j];
+          A[k * n + j] = A[piv * n + j];
+          A[piv * n + j] = t;
+        }
+        t = b[k];
+        b[k] = b[piv];
+        b[piv] = t;
+      }
+      for (i = k + 1; i < n; i = i + 1) {
+        double f = A[i * n + k] / A[k * n + k];
+        if (f != 0.0) {
+          for (j = k; j < n; j = j + 1) {
+            A[i * n + j] = A[i * n + j] - f * A[k * n + j];
+          }
+          b[i] = b[i] - f * b[k];
+        }
+      }
+    }
+    /* back substitution */
+    for (i = n - 1; i >= 0; i = i - 1) {
+      double s = b[i];
+      for (j = i + 1; j < n; j = j + 1) {
+        s = s - A[i * n + j] * x[j];
+      }
+      x[i] = s / A[i * n + i];
+    }
+    /* residual check against the original system */
+    for (i = 0; i < n; i = i + 1) {
+      double r = origb[i];
+      for (j = 0; j < n; j = j + 1) {
+        r = r - orig[i * n + j] * x[j];
+      }
+      if (d_abs(r) > worst_resid) {
+        worst_resid = d_abs(r);
+      }
+    }
+  }
+  if (worst_resid > 0.001) {
+    print_str("gauss RESIDUAL ERROR\n");
+    trap();
+  }
+  print_str("gauss systems=");
+  print_int(systems);
+  print_str(" singulars=");
+  print_int(singulars);
+  print_str(" resid=");
+  print_double(worst_resid);
+  print_nl();
+  return 0;
+}
+)MC";
+
+//===----------------------------------------------------------------------===//
+// conjgrad — conjugate gradients on a stencil matrix (dcg stand-in)
+//===----------------------------------------------------------------------===//
+
+const char *ConjgradSource = R"MC(
+/* Conjugate gradients on the 1-D Poisson (tridiagonal) operator:
+   A = tridiag(-1, 2+eps, -1). Matrix-free products keep the inner loop
+   tight; iteration count depends on the tolerance — the convergence
+   test is the interesting rare branch. */
+
+double xv[32768];
+double rv[32768];
+double pv[32768];
+double Ap[32768];
+double rhs[32768];
+
+int n = 0;
+
+/* Ap = A * p for the tridiagonal operator. */
+void apply(double *p, double *out) {
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    double v = 2.001 * p[i];
+    if (i > 0) {
+      v = v - p[i - 1];
+    }
+    if (i < n - 1) {
+      v = v - p[i + 1];
+    }
+    out[i] = v;
+  }
+}
+
+double dot(double *a, double *b) {
+  double s = 0.0;
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    s = s + a[i] * b[i];
+  }
+  return s;
+}
+
+int main() {
+  int iters = arg(1);
+  int it;
+  int used = 0;
+  double rr;
+  double tol = 0.000000001;
+  int i;
+  n = arg(0);
+  rt_srand(arg(2));
+  if (n > 32768) {
+    n = 32768;
+  }
+  for (i = 0; i < n; i = i + 1) {
+    xv[i] = 0.0;
+    rhs[i] = (double)(rt_rand_range(2000) - 1000) / 999.0;
+    rv[i] = rhs[i];
+    pv[i] = rhs[i];
+  }
+  rr = dot(rv, rv);
+  for (it = 0; it < iters; it = it + 1) {
+    double alpha;
+    double beta;
+    double rrnew;
+    double pap;
+    used = it + 1;
+    apply(pv, Ap);
+    pap = dot(pv, Ap);
+    if (pap == 0.0) {
+      break; /* degenerate direction */
+    }
+    alpha = rr / pap;
+    for (i = 0; i < n; i = i + 1) {
+      xv[i] = xv[i] + alpha * pv[i];
+      rv[i] = rv[i] - alpha * Ap[i];
+    }
+    rrnew = dot(rv, rv);
+    if (rrnew < tol) {
+      break;
+    }
+    beta = rrnew / rr;
+    rr = rrnew;
+    for (i = 0; i < n; i = i + 1) {
+      pv[i] = rv[i] + beta * pv[i];
+    }
+  }
+  print_str("conjgrad n=");
+  print_int(n);
+  print_str(" iters=");
+  print_int(used);
+  print_str(" rr=");
+  print_double(rr);
+  print_nl();
+  return 0;
+}
+)MC";
+
+//===----------------------------------------------------------------------===//
+// nbody — gravitational N-body stepper (doduc stand-in)
+//===----------------------------------------------------------------------===//
+
+const char *NbodySource = R"MC(
+/* Plane N-body simulation with softened gravity and leapfrog steps.
+   Close encounters (dist < soft) take a rare special-case path, and an
+   energy audit runs every k steps — doduc-like mixed control flow. */
+
+double px[512];
+double py[512];
+double vx[512];
+double vy[512];
+double mass[512];
+int nb = 0;
+int close_calls = 0;
+
+double energy() {
+  double e = 0.0;
+  int i;
+  int j;
+  for (i = 0; i < nb; i = i + 1) {
+    e = e + 0.5 * mass[i] * (vx[i] * vx[i] + vy[i] * vy[i]);
+    for (j = i + 1; j < nb; j = j + 1) {
+      double dx = px[j] - px[i];
+      double dy = py[j] - py[i];
+      double d = d_sqrt(dx * dx + dy * dy + 0.01);
+      e = e - mass[i] * mass[j] / d;
+    }
+  }
+  return e;
+}
+
+int main() {
+  int steps = arg(1);
+  int s;
+  int i;
+  int j;
+  double dt = 0.001;
+  double soft = 0.05;
+  double e0;
+  double e1;
+  nb = arg(0);
+  rt_srand(arg(2));
+  if (nb > 512) {
+    nb = 512;
+  }
+  for (i = 0; i < nb; i = i + 1) {
+    px[i] = (double)(rt_rand_range(2000) - 1000) / 100.0;
+    py[i] = (double)(rt_rand_range(2000) - 1000) / 100.0;
+    vx[i] = (double)(rt_rand_range(200) - 100) / 1000.0;
+    vy[i] = (double)(rt_rand_range(200) - 100) / 1000.0;
+    mass[i] = 0.5 + (double)rt_rand_range(100) / 100.0;
+  }
+  e0 = energy();
+  for (s = 0; s < steps; s = s + 1) {
+    for (i = 0; i < nb; i = i + 1) {
+      double ax = 0.0;
+      double ay = 0.0;
+      for (j = 0; j < nb; j = j + 1) {
+        double dx;
+        double dy;
+        double d2;
+        double d;
+        double f;
+        if (j == i) {
+          continue;
+        }
+        dx = px[j] - px[i];
+        dy = py[j] - py[i];
+        d2 = dx * dx + dy * dy;
+        if (d2 < soft * soft) {
+          /* rare close encounter: clamp the force */
+          d2 = soft * soft;
+          close_calls = close_calls + 1;
+        }
+        d = d_sqrt(d2);
+        f = mass[j] / (d2 * d);
+        ax = ax + f * dx;
+        ay = ay + f * dy;
+      }
+      vx[i] = vx[i] + ax * dt;
+      vy[i] = vy[i] + ay * dt;
+    }
+    for (i = 0; i < nb; i = i + 1) {
+      px[i] = px[i] + vx[i] * dt;
+      py[i] = py[i] + vy[i] * dt;
+    }
+  }
+  e1 = energy();
+  print_str("nbody n=");
+  print_int(nb);
+  print_str(" close=");
+  print_int(close_calls);
+  print_str(" e0=");
+  print_double(e0);
+  print_str(" e1=");
+  print_double(e1);
+  print_nl();
+  return 0;
+}
+)MC";
+
+//===----------------------------------------------------------------------===//
+// fpkernels — straight-line FP kernel battery (dnasa7/fpppp stand-in)
+//===----------------------------------------------------------------------===//
+
+const char *FpkernelsSource = R"MC(
+/* A battery of dense FP kernels: daxpy, dot, Horner polynomial
+   evaluation, running min/max, and a Chebyshev recurrence — long
+   straight-line loop bodies with few non-loop branches, like fpppp. */
+
+double va[65536];
+double vb[65536];
+double vc[65536];
+
+int main() {
+  int n = arg(0);
+  int reps = arg(1);
+  int r;
+  int i;
+  double dotsum = 0.0;
+  double horner = 0.0;
+  double vmin = 1000000000.0;
+  double vmax = -1000000000.0;
+  double cheb = 0.0;
+  rt_srand(arg(2));
+  if (n > 65536) {
+    n = 65536;
+  }
+  for (i = 0; i < n; i = i + 1) {
+    va[i] = (double)(rt_rand_range(2000) - 1000) / 1000.0;
+    vb[i] = (double)(rt_rand_range(2000) - 1000) / 1000.0;
+  }
+  for (r = 0; r < reps; r = r + 1) {
+    double alpha = 0.5 + (double)r / 100.0;
+    /* daxpy */
+    for (i = 0; i < n; i = i + 1) {
+      vc[i] = alpha * va[i] + vb[i];
+    }
+    /* dot */
+    for (i = 0; i < n; i = i + 1) {
+      dotsum = dotsum + va[i] * vc[i];
+    }
+    /* Horner: p(x) = ((x*c3 + c2)*x + c1)*x + c0 at many points */
+    for (i = 0; i < n; i = i + 1) {
+      double xp = va[i];
+      horner = horner + ((xp * 1.5 - 0.25) * xp + 0.125) * xp - 2.0;
+    }
+    /* running min/max */
+    for (i = 0; i < n; i = i + 1) {
+      if (vc[i] < vmin) {
+        vmin = vc[i];
+      }
+      if (vc[i] > vmax) {
+        vmax = vc[i];
+      }
+    }
+    /* Chebyshev recurrence T_k(x) summed at x = vb[i] (clamped) */
+    for (i = 0; i < n; i = i + 1) {
+      double xp = vb[i];
+      double t0 = 1.0;
+      double t1 = xp;
+      double t2 = 2.0 * xp * t1 - t0;
+      double t3 = 2.0 * xp * t2 - t1;
+      cheb = cheb + t3;
+    }
+  }
+  print_str("fpkernels dot=");
+  print_double(dotsum);
+  print_str(" horner=");
+  print_double(horner);
+  print_str(" min=");
+  print_double(vmin);
+  print_str(" max=");
+  print_double(vmax);
+  print_str(" cheb=");
+  print_double(cheb);
+  print_nl();
+  return 0;
+}
+)MC";
+
+//===----------------------------------------------------------------------===//
+// circuit — RC network transient simulation (spice2g6 stand-in)
+//===----------------------------------------------------------------------===//
+
+const char *CircuitSource = R"MC(
+/* Transient simulation of a nonlinear RC ladder driven by a square
+   wave. Each node has a capacitor to ground, resistors to neighbors,
+   and a piecewise diode-like element (three operating regions — the
+   conditional device-model evaluation that dominates spice). Implicit
+   Euler with fixed-point iteration; the step halves on non-convergence
+   (rare branch). */
+
+double volt[1024];
+double vnew[1024];
+int nn = 0;
+int halvings = 0;
+int device_hi = 0;
+int device_mid = 0;
+int device_lo = 0;
+
+/* Piecewise diode current: exponential region approximated by a
+   quadratic, plus linear leakage elsewhere. */
+double diode(double v) {
+  if (v > 0.7) {
+    device_hi = device_hi + 1;
+    return 10.0 * (v - 0.7) * (v - 0.7) + 0.01 * v;
+  }
+  if (v > 0.0) {
+    device_mid = device_mid + 1;
+    return 0.01 * v * v;
+  }
+  device_lo = device_lo + 1;
+  return 0.0001 * v; /* reverse leakage */
+}
+
+int main() {
+  int steps = arg(1);
+  int s;
+  int i;
+  double dt = 0.01;
+  double drive;
+  double maxv = 0.0;
+  int total_iters = 0;
+  nn = arg(0);
+  rt_srand(arg(2));
+  if (nn > 1024) {
+    nn = 1024;
+  }
+  for (i = 0; i < nn; i = i + 1) {
+    volt[i] = 0.0;
+  }
+  for (s = 0; s < steps; s = s + 1) {
+    int iter;
+    int converged = 0;
+    double h = dt;
+    int attempts = 0;
+    /* square-wave drive on node 0 */
+    if ((s / 50) % 2 == 0) {
+      drive = 5.0;
+    } else {
+      drive = 0.0;
+    }
+    while (converged == 0 && attempts < 4) {
+      attempts = attempts + 1;
+      for (i = 0; i < nn; i = i + 1) {
+        vnew[i] = volt[i];
+      }
+      for (iter = 0; iter < 30; iter = iter + 1) {
+        double maxchange = 0.0;
+        total_iters = total_iters + 1;
+        for (i = 0; i < nn; i = i + 1) {
+          double left;
+          double right;
+          double inject = 0.0;
+          double target;
+          double change;
+          if (i == 0) {
+            left = drive;
+          } else {
+            left = vnew[i - 1];
+          }
+          if (i == nn - 1) {
+            right = vnew[i];
+          } else {
+            right = vnew[i + 1];
+          }
+          inject = (left - vnew[i]) + 0.5 * (right - vnew[i]) -
+                   diode(vnew[i]);
+          target = volt[i] + h * inject;
+          change = d_abs(target - vnew[i]);
+          if (change > maxchange) {
+            maxchange = change;
+          }
+          vnew[i] = 0.5 * vnew[i] + 0.5 * target;
+        }
+        if (maxchange < 0.0001) {
+          converged = 1;
+          break;
+        }
+      }
+      if (converged == 0) {
+        h = h / 2.0; /* halve the step and retry */
+        halvings = halvings + 1;
+      }
+    }
+    for (i = 0; i < nn; i = i + 1) {
+      volt[i] = vnew[i];
+      if (volt[i] > maxv) {
+        maxv = volt[i];
+      }
+    }
+  }
+  print_str("circuit iters=");
+  print_int(total_iters);
+  print_str(" halvings=");
+  print_int(halvings);
+  print_str(" hi=");
+  print_int(device_hi);
+  print_str(" mid=");
+  print_int(device_mid);
+  print_str(" lo=");
+  print_int(device_lo);
+  print_str(" maxv=");
+  print_double(maxv);
+  print_nl();
+  return 0;
+}
+)MC";
+
+} // namespace
+
+void suite::addFloatSuite(std::vector<Workload> &Out) {
+  Out.push_back({"matmul300",
+                 "Dense matrix multiply (matrix300 stand-in)",
+                 true,
+                 withRuntime(MatmulSource),
+                 {
+                     Dataset("ref", {96, 3, 7}),
+                     Dataset("small", {48, 4, 9}),
+                     Dataset("big", {128, 2, 3}),
+                 }});
+  Out.push_back({"relax",
+                 "Jacobi relaxation with max tracking (tomcatv stand-in)",
+                 true,
+                 withRuntime(RelaxSource),
+                 {
+                     Dataset("ref", {80, 150, 5}),
+                     Dataset("small", {40, 300, 8}),
+                     Dataset("big", {120, 60, 2}),
+                 }});
+  Out.push_back({"gauss",
+                 "Gaussian elimination with pivoting (sgefat stand-in)",
+                 true,
+                 withRuntime(GaussSource),
+                 {
+                     Dataset("ref", {96, 8, 3}),
+                     Dataset("small", {40, 20, 6}),
+                     Dataset("big", {128, 4, 1}),
+                 }});
+  Out.push_back({"conjgrad",
+                 "Conjugate gradients on a stencil (dcg stand-in)",
+                 true,
+                 withRuntime(ConjgradSource),
+                 {
+                     Dataset("ref", {4000, 120, 4}),
+                     Dataset("small", {1000, 160, 5}),
+                     Dataset("long", {12000, 55, 6}),
+                 }});
+  Out.push_back({"nbody",
+                 "Softened-gravity N-body stepper (doduc stand-in)",
+                 true,
+                 withRuntime(NbodySource),
+                 {
+                     Dataset("ref", {100, 25, 7}),
+                     Dataset("small", {50, 80, 9}),
+                     Dataset("dense", {200, 7, 2}),
+                 }});
+  Out.push_back({"fpkernels",
+                 "Straight-line FP kernel battery (dnasa7 stand-in)",
+                 true,
+                 withRuntime(FpkernelsSource),
+                 {
+                     Dataset("ref", {40000, 12, 5}),
+                     Dataset("small", {8000, 20, 8}),
+                     Dataset("long", {65536, 8, 1}),
+                 }});
+  Out.push_back({"circuit",
+                 "Nonlinear RC transient simulation (spice2g6 stand-in)",
+                 true,
+                 withRuntime(CircuitSource),
+                 {
+                     Dataset("ref", {200, 400, 3}),
+                     Dataset("small", {50, 600, 6}),
+                     Dataset("big", {600, 150, 9}),
+                 }});
+}

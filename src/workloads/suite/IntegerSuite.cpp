@@ -1,0 +1,650 @@
+//===- workloads/suite/IntegerSuite.cpp - Integer workloads ---------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Integer workloads standing in for the paper's addalg, poly,
+/// costScale, eqntott, and espresso benchmarks: a branch-and-bound
+/// knapsack solver, N-queens, Dijkstra shortest paths, a boolean
+/// equation-to-truth-table converter, and a cube-cover minimizer.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Runtime.h"
+#include "workloads/suite/Suites.h"
+
+using namespace bpfree;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// intsolve — branch-and-bound 0/1 knapsack (addalg stand-in)
+//===----------------------------------------------------------------------===//
+
+const char *IntsolveSource = R"MC(
+/* 0/1 knapsack by branch and bound with a fractional upper bound.
+   Items are pre-sorted by value density; pruning branches fire often,
+   giving the error-guard-heavy profile of integer solvers. */
+
+int weight[64];
+int value[64];
+int nitems = 0;
+int capacity = 0;
+int best = 0;
+int nodes = 0;
+int prunes = 0;
+
+/* Fractional (LP) bound for the subtree at item i. */
+int bound(int i, int curw, int curv) {
+  int b = curv;
+  int w = curw;
+  while (i < nitems && w + weight[i] <= capacity) {
+    w = w + weight[i];
+    b = b + value[i];
+    i = i + 1;
+  }
+  if (i < nitems) {
+    b = b + (capacity - w) * value[i] / weight[i];
+  }
+  return b;
+}
+
+void search(int i, int curw, int curv) {
+  nodes = nodes + 1;
+  if (curv > best) {
+    best = curv;
+  }
+  if (i >= nitems) {
+    return;
+  }
+  if (bound(i, curw, curv) <= best) {
+    prunes = prunes + 1;
+    return;
+  }
+  if (curw + weight[i] <= capacity) {
+    search(i + 1, curw + weight[i], curv + value[i]);
+  }
+  search(i + 1, curw, curv);
+}
+
+/* Insertion sort by value density (value/weight), descending. */
+void sort_items() {
+  int i;
+  for (i = 1; i < nitems; i = i + 1) {
+    int w = weight[i];
+    int v = value[i];
+    int j = i - 1;
+    while (j >= 0 && value[j] * w < v * weight[j]) {
+      weight[j + 1] = weight[j];
+      value[j + 1] = value[j];
+      j = j - 1;
+    }
+    weight[j + 1] = w;
+    value[j + 1] = v;
+  }
+}
+
+int main() {
+  int n = arg(0);
+  int rounds = arg(1);
+  int r;
+  int total = 0;
+  rt_srand(arg(2));
+  if (n > 64) {
+    n = 64;
+  }
+  nitems = n;
+  for (r = 0; r < rounds; r = r + 1) {
+    int i;
+    int sumw = 0;
+    for (i = 0; i < n; i = i + 1) {
+      weight[i] = 1 + rt_rand_range(100);
+      value[i] = 1 + rt_rand_range(120);
+      sumw = sumw + weight[i];
+    }
+    capacity = sumw / 3 + 1;
+    sort_items();
+    best = 0;
+    search(0, 0, 0);
+    total = total + best;
+  }
+  print_str("intsolve nodes=");
+  print_int(nodes);
+  print_str(" prunes=");
+  print_int(prunes);
+  print_str(" total=");
+  print_int(total);
+  print_nl();
+  return 0;
+}
+)MC";
+
+//===----------------------------------------------------------------------===//
+// queens — N-queens backtracking (poly stand-in)
+//===----------------------------------------------------------------------===//
+
+const char *QueensSource = R"MC(
+/* Classic N-queens backtracking solution counter, plus a variant that
+   counts boards with exactly one conflicting pair (near-solutions). */
+
+int colused[32];
+int diag1[64];
+int diag2[64];
+int n = 8;
+int solutions = 0;
+int placed_total = 0;
+
+void place(int row) {
+  int col;
+  if (row == n) {
+    solutions = solutions + 1;
+    return;
+  }
+  for (col = 0; col < n; col = col + 1) {
+    if (colused[col] == 0 && diag1[row + col] == 0 &&
+        diag2[row - col + n] == 0) {
+      colused[col] = 1;
+      diag1[row + col] = 1;
+      diag2[row - col + n] = 1;
+      placed_total = placed_total + 1;
+      place(row + 1);
+      colused[col] = 0;
+      diag1[row + col] = 0;
+      diag2[row - col + n] = 0;
+    }
+  }
+}
+
+/* Random boards: count conflicts (exercises data-dependent branches). */
+int board[32];
+
+int conflicts() {
+  int i;
+  int j;
+  int c = 0;
+  for (i = 0; i < n; i = i + 1) {
+    for (j = i + 1; j < n; j = j + 1) {
+      if (board[i] == board[j]) {
+        c = c + 1;
+      } else if (i_abs(board[i] - board[j]) == j - i) {
+        c = c + 1;
+      }
+    }
+  }
+  return c;
+}
+
+int main() {
+  int boards = arg(1);
+  int b;
+  int nearsol = 0;
+  int confsum = 0;
+  n = arg(0);
+  rt_srand(arg(2));
+  if (n > 12) {
+    n = 12;
+  }
+  if (n < 4) {
+    n = 4;
+  }
+  place(0);
+  for (b = 0; b < boards; b = b + 1) {
+    int i;
+    for (i = 0; i < n; i = i + 1) {
+      board[i] = rt_rand_range(n);
+    }
+    i = conflicts();
+    confsum = confsum + i;
+    if (i == 1) {
+      nearsol = nearsol + 1;
+    }
+  }
+  print_str("queens n=");
+  print_int(n);
+  print_str(" solutions=");
+  print_int(solutions);
+  print_str(" placed=");
+  print_int(placed_total);
+  print_str(" nearsol=");
+  print_int(nearsol);
+  print_str(" confsum=");
+  print_int(confsum);
+  print_nl();
+  return 0;
+}
+)MC";
+
+//===----------------------------------------------------------------------===//
+// dijkstra — shortest paths on a random graph (costScale stand-in)
+//===----------------------------------------------------------------------===//
+
+const char *DijkstraSource = R"MC(
+/* Dijkstra single-source shortest paths over a random sparse digraph in
+   adjacency-array form, selecting the minimum-distance vertex by linear
+   scan (the O(V^2) formulation). Repeated from several sources. */
+
+int head[2048];     /* first edge index per vertex, -1 = none */
+int enext[16384];   /* next edge in the same adjacency list   */
+int eto[16384];
+int ecost[16384];
+int dist[2048];
+int done[2048];
+int nv = 0;
+int ne = 0;
+
+void add_edge(int from, int to, int cost) {
+  if (ne >= 16384) {
+    return; /* graph full: drop extra edges */
+  }
+  eto[ne] = to;
+  ecost[ne] = cost;
+  enext[ne] = head[from];
+  head[from] = ne;
+  ne = ne + 1;
+}
+
+int INF = 1000000000;
+
+int relaxations = 0;
+
+int run_dijkstra(int src) {
+  int i;
+  int iter;
+  int reached = 0;
+  for (i = 0; i < nv; i = i + 1) {
+    dist[i] = INF;
+    done[i] = 0;
+  }
+  dist[src] = 0;
+  for (iter = 0; iter < nv; iter = iter + 1) {
+    int bestv = -1;
+    int bestd = INF;
+    int e;
+    for (i = 0; i < nv; i = i + 1) {
+      if (done[i] == 0 && dist[i] < bestd) {
+        bestd = dist[i];
+        bestv = i;
+      }
+    }
+    if (bestv < 0) {
+      return reached; /* remaining vertices unreachable */
+    }
+    done[bestv] = 1;
+    reached = reached + 1;
+    e = head[bestv];
+    while (e >= 0) {
+      int nd = dist[bestv] + ecost[e];
+      if (nd < dist[eto[e]]) {
+        dist[eto[e]] = nd;
+        relaxations = relaxations + 1;
+      }
+      e = enext[e];
+    }
+  }
+  return reached;
+}
+
+int main() {
+  int v = arg(0);
+  int degree = arg(1);
+  int sources = arg(2);
+  int i;
+  int s;
+  int checksum = 0;
+  rt_srand(arg(3));
+  if (v > 2048) {
+    v = 2048;
+  }
+  nv = v;
+  for (i = 0; i < nv; i = i + 1) {
+    head[i] = -1;
+  }
+  for (i = 0; i < nv * degree; i = i + 1) {
+    add_edge(rt_rand_range(nv), rt_rand_range(nv), 1 + rt_rand_range(1000));
+  }
+  for (s = 0; s < sources; s = s + 1) {
+    int reached = run_dijkstra(rt_rand_range(nv));
+    checksum = checksum + reached;
+    for (i = 0; i < nv; i = i + 1) {
+      if (dist[i] < INF) {
+        checksum = checksum + dist[i] % 97;
+      }
+    }
+  }
+  print_str("dijkstra reached_checksum=");
+  print_int(checksum);
+  print_str(" relax=");
+  print_int(relaxations);
+  print_nl();
+  return 0;
+}
+)MC";
+
+//===----------------------------------------------------------------------===//
+// eqn — boolean equations to truth table (eqntott stand-in)
+//===----------------------------------------------------------------------===//
+
+const char *EqnSource = R"MC(
+/* Converts random boolean expressions over k variables into truth
+   tables by exhaustive evaluation, then sorts the minterms — eqntott's
+   hot branches were in exactly such compare/sort loops. Expression
+   nodes: 0=VAR k, 1=NOT, 2=AND, 3=OR, 4=XOR (flat arrays). */
+
+int op[512];
+int opa[512];
+int opb[512];
+int nnodes = 0;
+
+int add_node(int o, int a, int b) {
+  if (nnodes >= 512) {
+    trap();
+  }
+  op[nnodes] = o;
+  opa[nnodes] = a;
+  opb[nnodes] = b;
+  nnodes = nnodes + 1;
+  return nnodes - 1;
+}
+
+int build(int depth, int vars) {
+  int pick;
+  int a;
+  int b;
+  if (depth <= 0) {
+    return add_node(0, rt_rand_range(vars), 0);
+  }
+  pick = rt_rand_range(8);
+  if (pick == 0) {
+    return add_node(0, rt_rand_range(vars), 0);
+  }
+  a = build(depth - 1, vars);
+  if (pick <= 2) {
+    return add_node(1, a, 0);
+  }
+  b = build(depth - 1, vars);
+  if (pick <= 4) {
+    return add_node(2, a, b);
+  }
+  if (pick <= 6) {
+    return add_node(3, a, b);
+  }
+  return add_node(4, a, b);
+}
+
+int eval_node(int node, int assignment) {
+  int o = op[node];
+  int l;
+  int r;
+  if (o == 0) {
+    return (assignment >> opa[node]) & 1;
+  }
+  l = eval_node(opa[node], assignment);
+  if (o == 1) {
+    if (l != 0) {
+      return 0;
+    }
+    return 1;
+  }
+  r = eval_node(opb[node], assignment);
+  if (o == 2) {
+    if (l != 0 && r != 0) {
+      return 1;
+    }
+    return 0;
+  }
+  if (o == 3) {
+    if (l != 0 || r != 0) {
+      return 1;
+    }
+    return 0;
+  }
+  if (l != r) {
+    return 1;
+  }
+  return 0;
+}
+
+int minterms[4096];
+int nmin = 0;
+
+/* eqntott's cmppt-style comparison: lexicographic over variable bits. */
+int cmp_minterm(int a, int b, int vars) {
+  int k;
+  for (k = vars - 1; k >= 0; k = k - 1) {
+    int ba = (a >> k) & 1;
+    int bb = (b >> k) & 1;
+    if (ba != bb) {
+      return ba - bb;
+    }
+  }
+  return 0;
+}
+
+void sort_minterms(int vars) {
+  int i;
+  for (i = 1; i < nmin; i = i + 1) {
+    int v = minterms[i];
+    int j = i - 1;
+    while (j >= 0 && cmp_minterm(minterms[j], v, vars) > 0) {
+      minterms[j + 1] = minterms[j];
+      j = j - 1;
+    }
+    minterms[j + 1] = v;
+  }
+}
+
+int main() {
+  int vars = arg(0);
+  int exprs = arg(1);
+  int depth = arg(2);
+  int e;
+  int total_true = 0;
+  int checksum = 0;
+  rt_srand(arg(3));
+  if (vars > 12) {
+    vars = 12;
+  }
+  for (e = 0; e < exprs; e = e + 1) {
+    int root;
+    int a;
+    int limit = 1 << vars;
+    nnodes = 0;
+    nmin = 0;
+    root = build(depth, vars);
+    for (a = 0; a < limit; a = a + 1) {
+      if (eval_node(root, a) != 0) {
+        if (nmin < 4096) {
+          minterms[nmin] = a;
+          nmin = nmin + 1;
+        }
+      }
+    }
+    total_true = total_true + nmin;
+    sort_minterms(vars);
+    for (a = 1; a < nmin; a = a + 1) {
+      if (cmp_minterm(minterms[a - 1], minterms[a], vars) > 0) {
+        trap(); /* sort broke */
+      }
+    }
+    if (nmin > 0) {
+      checksum = checksum + minterms[nmin / 2];
+    }
+  }
+  print_str("eqn true=");
+  print_int(total_true);
+  print_str(" checksum=");
+  print_int(checksum);
+  print_nl();
+  return 0;
+}
+)MC";
+
+//===----------------------------------------------------------------------===//
+// espresso — two-level cube-cover minimizer (espresso stand-in)
+//===----------------------------------------------------------------------===//
+
+const char *EspressoSource = R"MC(
+/* Simplified two-level logic minimization: cubes over v variables are
+   (mask, value) pairs; repeatedly merge distance-1 cubes and delete
+   covered cubes until a fixpoint — espresso's expand/irredundant loops
+   in miniature. */
+
+int cmask[2048];
+int cval[2048];
+int alive[2048];
+int ncubes = 0;
+
+int covered(int i, int j) {
+  /* cube j covers cube i if j's care-set is a subset of i's and they
+     agree on j's cares. */
+  if ((cmask[j] & cmask[i]) != cmask[j]) {
+    return 0;
+  }
+  if ((cval[i] & cmask[j]) != (cval[j] & cmask[j])) {
+    return 0;
+  }
+  return 1;
+}
+
+int popcount(int x) {
+  int n = 0;
+  while (x != 0) {
+    n = n + (x & 1);
+    x = x >> 1;
+  }
+  return n;
+}
+
+int merges = 0;
+int deletions = 0;
+
+int one_pass() {
+  int changed = 0;
+  int i;
+  int j;
+  for (i = 0; i < ncubes; i = i + 1) {
+    if (alive[i] == 0) {
+      continue;
+    }
+    for (j = 0; j < ncubes; j = j + 1) {
+      int diff;
+      if (i == j || alive[j] == 0) {
+        continue;
+      }
+      /* identical masks differing in exactly one care bit: merge */
+      if (cmask[i] == cmask[j]) {
+        diff = (cval[i] ^ cval[j]) & cmask[i];
+        if (popcount(diff) == 1) {
+          cmask[i] = cmask[i] & ~diff;
+          cval[i] = cval[i] & cmask[i];
+          alive[j] = 0;
+          merges = merges + 1;
+          changed = 1;
+          continue;
+        }
+      }
+      if (covered(j, i)) {
+        alive[j] = 0;
+        deletions = deletions + 1;
+        changed = 1;
+      }
+    }
+  }
+  return changed;
+}
+
+int main() {
+  int vars = arg(0);
+  int n = arg(1);
+  int rounds = arg(2);
+  int r;
+  int live_total = 0;
+  rt_srand(arg(3));
+  if (vars > 16) {
+    vars = 16;
+  }
+  if (n > 2048) {
+    n = 2048;
+  }
+  for (r = 0; r < rounds; r = r + 1) {
+    int i;
+    int passes = 0;
+    int full = (1 << vars) - 1;
+    ncubes = n;
+    for (i = 0; i < n; i = i + 1) {
+      /* random cube with mostly-care bits */
+      cmask[i] = full & ~(rt_rand_range(full + 1) & rt_rand_range(full + 1));
+      cval[i] = rt_rand_range(full + 1) & cmask[i];
+      alive[i] = 1;
+    }
+    while (one_pass() != 0 && passes < 40) {
+      passes = passes + 1;
+    }
+    for (i = 0; i < ncubes; i = i + 1) {
+      if (alive[i] != 0) {
+        live_total = live_total + 1;
+      }
+    }
+  }
+  print_str("espresso merges=");
+  print_int(merges);
+  print_str(" deletions=");
+  print_int(deletions);
+  print_str(" live=");
+  print_int(live_total);
+  print_nl();
+  return 0;
+}
+)MC";
+
+} // namespace
+
+void suite::addIntegerSuite(std::vector<Workload> &Out) {
+  Out.push_back({"intsolve",
+                 "Branch-and-bound knapsack solver (addalg stand-in)",
+                 false,
+                 withRuntime(IntsolveSource),
+                 {
+                     Dataset("ref", {26, 40, 7}),
+                     Dataset("small", {18, 20, 3}),
+                     Dataset("hard", {30, 12, 31}),
+                 }});
+  Out.push_back({"queens",
+                 "N-queens backtracking + conflict counting",
+                 false,
+                 withRuntime(QueensSource),
+                 {
+                     Dataset("ref", {9, 30000, 5}),
+                     Dataset("big", {10, 5000, 11}),
+                     Dataset("boardy", {8, 120000, 2}),
+                 }});
+  Out.push_back({"dijkstra",
+                 "Shortest paths on random graphs (costScale stand-in)",
+                 false,
+                 withRuntime(DijkstraSource),
+                 {
+                     Dataset("ref", {600, 6, 12, 3}),
+                     Dataset("dense", {300, 20, 12, 5}),
+                     Dataset("small", {150, 5, 20, 7}),
+                 }});
+  Out.push_back({"eqn",
+                 "Boolean equations to truth tables (eqntott stand-in)",
+                 false,
+                 withRuntime(EqnSource),
+                 {
+                     Dataset("ref", {10, 120, 6, 13}),
+                     Dataset("widevars", {12, 40, 5, 17}),
+                     Dataset("deep", {8, 120, 9, 19}),
+                 }});
+  Out.push_back({"espresso",
+                 "Two-level cube-cover minimizer (espresso stand-in)",
+                 false,
+                 withRuntime(EspressoSource),
+                 {
+                     Dataset("ref", {10, 700, 4, 23}),
+                     Dataset("small", {8, 250, 6, 29}),
+                     Dataset("big", {12, 1100, 2, 37}),
+                 }});
+}

@@ -1,0 +1,801 @@
+//===- workloads/suite/PointerSuite.cpp - Pointer-chasing workloads -------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pointer-manipulating workloads standing in for the paper's xlisp,
+/// gcc/lcc, qpt, and congress benchmarks: a tiny lisp-style expression
+/// evaluator, a binary search tree, a bytecode interpreter, a chained
+/// hash table over text, and a pointer-heavy quicksort. These exercise
+/// the null-guard and pointer-comparison idioms the Pointer and Guard
+/// heuristics target.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Runtime.h"
+#include "workloads/suite/Suites.h"
+
+using namespace bpfree;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// lisp — tagged-cell expression evaluator (xlisp stand-in)
+//===----------------------------------------------------------------------===//
+
+const char *LispSource = R"MC(
+/* Tiny lisp-style evaluator: builds random tagged expression trees out
+   of cons cells and evaluates them recursively. Tags: 0=NUM, 1=ADD,
+   2=SUB, 3=MUL, 4=IF (cond/then/else via nested cells), 5=LT, 6=VAR. */
+
+struct cell {
+  int tag;
+  int value;
+  struct cell *left;
+  struct cell *right;
+};
+
+int cells_made = 0;
+int env_x = 0;
+
+struct cell *new_cell(int tag, int value) {
+  struct cell *c;
+  c = (struct cell *)malloc(sizeof(struct cell));
+  if (c == 0) {
+    trap();
+  }
+  c->tag = tag;
+  c->value = value;
+  c->left = 0;
+  c->right = 0;
+  cells_made = cells_made + 1;
+  return c;
+}
+
+/* Builds a random expression tree of the given depth. */
+struct cell *build(int depth) {
+  int pick;
+  struct cell *c;
+  if (depth <= 0) {
+    if (rt_rand_range(3) == 0) {
+      return new_cell(6, 0); /* VAR */
+    }
+    return new_cell(0, rt_rand_range(100) - 50);
+  }
+  pick = rt_rand_range(10);
+  if (pick < 3) {
+    c = new_cell(1, 0);
+  } else if (pick < 5) {
+    c = new_cell(2, 0);
+  } else if (pick < 7) {
+    c = new_cell(3, 0);
+  } else if (pick < 9) {
+    c = new_cell(4, 0);
+  } else {
+    c = new_cell(5, 0);
+  }
+  c->left = build(depth - 1);
+  c->right = build(depth - 1);
+  if (c->tag == 4) {
+    /* IF reuses right as a then/else pair cell. */
+    struct cell *pair = new_cell(0, 0);
+    pair->left = c->right;
+    pair->right = build(depth - 1);
+    c->right = pair;
+  }
+  return c;
+}
+
+int eval(struct cell *c) {
+  int l;
+  int r;
+  if (c == 0) {
+    return 0; /* defensive: never happens for well-formed trees */
+  }
+  if (c->tag == 0) {
+    return c->value;
+  }
+  if (c->tag == 6) {
+    return env_x;
+  }
+  if (c->tag == 4) {
+    if (eval(c->left) != 0) {
+      return eval(c->right->left);
+    }
+    return eval(c->right->right);
+  }
+  l = eval(c->left);
+  r = eval(c->right);
+  if (c->tag == 1) {
+    return l + r;
+  }
+  if (c->tag == 2) {
+    return l - r;
+  }
+  if (c->tag == 3) {
+    return (l % 1000) * (r % 1000);
+  }
+  if (c->tag == 5) {
+    if (l < r) {
+      return 1;
+    }
+    return 0;
+  }
+  trap(); /* unknown tag: corrupted tree */
+  return 0;
+}
+
+/* Counts cells with a given tag (another pointer walk). */
+int count_tag(struct cell *c, int tag) {
+  int n = 0;
+  if (c == 0) {
+    return 0;
+  }
+  if (c->tag == tag) {
+    n = 1;
+  }
+  return n + count_tag(c->left, tag) + count_tag(c->right, tag);
+}
+
+int main() {
+  int trees = arg(0);
+  int depth = arg(1);
+  int t;
+  int acc = 0;
+  int adds = 0;
+  rt_srand(arg(2));
+  for (t = 0; t < trees; t = t + 1) {
+    struct cell *e = build(depth);
+    env_x = t;
+    acc = acc + eval(e);
+    acc = acc + eval(e); /* evaluate twice with same env */
+    env_x = -t;
+    acc = acc + eval(e);
+    adds = adds + count_tag(e, 1);
+  }
+  print_str("lisp cells=");
+  print_int(cells_made);
+  print_str(" adds=");
+  print_int(adds);
+  print_str(" acc=");
+  print_int(acc);
+  print_nl();
+  return 0;
+}
+)MC";
+
+//===----------------------------------------------------------------------===//
+// treesort — binary search tree insert/search/traverse (gcc/lcc flavor)
+//===----------------------------------------------------------------------===//
+
+const char *TreesortSource = R"MC(
+/* Binary search tree: N random inserts (with duplicate handling), M
+   lookups, an in-order traversal checking sortedness, and a node-depth
+   histogram. Null-pointer guards dominate. */
+
+struct node {
+  int key;
+  int count;
+  struct node *left;
+  struct node *right;
+};
+
+int nodes_made = 0;
+
+struct node *mk_node(int key) {
+  struct node *n = (struct node *)malloc(sizeof(struct node));
+  if (n == 0) {
+    trap();
+  }
+  n->key = key;
+  n->count = 1;
+  n->left = 0;
+  n->right = 0;
+  nodes_made = nodes_made + 1;
+  return n;
+}
+
+struct node *insert(struct node *root, int key) {
+  struct node *cur;
+  struct node *parent;
+  if (root == 0) {
+    return mk_node(key);
+  }
+  cur = root;
+  parent = 0;
+  while (cur != 0) {
+    parent = cur;
+    if (key == cur->key) {
+      cur->count = cur->count + 1;
+      return root;
+    }
+    if (key < cur->key) {
+      cur = cur->left;
+    } else {
+      cur = cur->right;
+    }
+  }
+  if (key < parent->key) {
+    parent->left = mk_node(key);
+  } else {
+    parent->right = mk_node(key);
+  }
+  return root;
+}
+
+int lookup(struct node *root, int key) {
+  struct node *cur = root;
+  while (cur != 0) {
+    if (key == cur->key) {
+      return cur->count;
+    }
+    if (key < cur->key) {
+      cur = cur->left;
+    } else {
+      cur = cur->right;
+    }
+  }
+  return 0;
+}
+
+int last_seen = -1000000000;
+int order_errors = 0;
+int visited = 0;
+
+void traverse(struct node *n) {
+  if (n == 0) {
+    return;
+  }
+  traverse(n->left);
+  if (n->key < last_seen) {
+    order_errors = order_errors + 1; /* would indicate a bug */
+  }
+  last_seen = n->key;
+  visited = visited + 1;
+  traverse(n->right);
+}
+
+int depth_of(struct node *n) {
+  int dl;
+  int dr;
+  if (n == 0) {
+    return 0;
+  }
+  dl = depth_of(n->left);
+  dr = depth_of(n->right);
+  return 1 + i_max(dl, dr);
+}
+
+int main() {
+  int n = arg(0);
+  int lookups = arg(1);
+  int range = arg(2);
+  int i;
+  int hits = 0;
+  struct node *root = 0;
+  rt_srand(arg(3));
+  if (range <= 0) {
+    range = 1;
+  }
+  for (i = 0; i < n; i = i + 1) {
+    root = insert(root, rt_rand_range(range));
+  }
+  for (i = 0; i < lookups; i = i + 1) {
+    if (lookup(root, rt_rand_range(range)) > 0) {
+      hits = hits + 1;
+    }
+  }
+  traverse(root);
+  if (order_errors > 0) {
+    print_str("treesort ORDER ERROR\n");
+    trap();
+  }
+  print_str("treesort nodes=");
+  print_int(nodes_made);
+  print_str(" visited=");
+  print_int(visited);
+  print_str(" hits=");
+  print_int(hits);
+  print_str(" depth=");
+  print_int(depth_of(root));
+  print_nl();
+  return 0;
+}
+)MC";
+
+//===----------------------------------------------------------------------===//
+// basicinterp — stack-machine bytecode interpreter (congress flavor)
+//===----------------------------------------------------------------------===//
+
+const char *BasicInterpSource = R"MC(
+/* A stack-machine interpreter. Opcodes: 0 HALT, 1 PUSH k, 2 ADD, 3 SUB,
+   4 MUL, 5 DUP, 6 SWAP, 7 JZ addr, 8 JMP addr, 9 LOAD slot,
+   10 STORE slot, 11 LT, 12 MOD, 13 PRINTACC (accumulate, not print).
+   The interpreter runs two embedded programs: a prime counter and an
+   iterative fibonacci, each driven by dataset parameters. */
+
+int code_op[256];
+int code_arg[256];
+int stack[256];
+int slots[16];
+int out_acc = 0;
+
+int run(int limit) {
+  int pc = 0;
+  int sp = 0;
+  int steps = 0;
+  int a;
+  int b;
+  while (steps < limit) {
+    int op = code_op[pc];
+    int k = code_arg[pc];
+    steps = steps + 1;
+    pc = pc + 1;
+    if (op == 0) {
+      return steps;
+    } else if (op == 1) {
+      stack[sp] = k;
+      sp = sp + 1;
+    } else if (op == 2) {
+      sp = sp - 1;
+      stack[sp - 1] = stack[sp - 1] + stack[sp];
+    } else if (op == 3) {
+      sp = sp - 1;
+      stack[sp - 1] = stack[sp - 1] - stack[sp];
+    } else if (op == 4) {
+      sp = sp - 1;
+      stack[sp - 1] = stack[sp - 1] * stack[sp];
+    } else if (op == 5) {
+      stack[sp] = stack[sp - 1];
+      sp = sp + 1;
+    } else if (op == 6) {
+      a = stack[sp - 1];
+      stack[sp - 1] = stack[sp - 2];
+      stack[sp - 2] = a;
+    } else if (op == 7) {
+      sp = sp - 1;
+      if (stack[sp] == 0) {
+        pc = k;
+      }
+    } else if (op == 8) {
+      pc = k;
+    } else if (op == 9) {
+      stack[sp] = slots[k];
+      sp = sp + 1;
+    } else if (op == 10) {
+      sp = sp - 1;
+      slots[k] = stack[sp];
+    } else if (op == 11) {
+      sp = sp - 1;
+      a = stack[sp - 1];
+      b = stack[sp];
+      if (a < b) {
+        stack[sp - 1] = 1;
+      } else {
+        stack[sp - 1] = 0;
+      }
+    } else if (op == 12) {
+      sp = sp - 1;
+      if (stack[sp] == 0) {
+        trap();
+      }
+      stack[sp - 1] = stack[sp - 1] % stack[sp];
+    } else if (op == 13) {
+      sp = sp - 1;
+      out_acc = out_acc + stack[sp];
+    } else {
+      trap(); /* illegal opcode */
+    }
+    if (sp < 0 || sp > 250) {
+      trap(); /* interpreter stack over/underflow */
+    }
+  }
+  return steps;
+}
+
+int emit_at = 0;
+
+void emit(int op, int k) {
+  code_op[emit_at] = op;
+  code_arg[emit_at] = k;
+  emit_at = emit_at + 1;
+}
+
+/* Bytecode: count primes below n by trial division; the prime count
+   accumulates into out_acc via PRINTACC. Slots: 0=cand, 1=div,
+   3=isprime. */
+void gen_primes(int n) {
+  emit_at = 0;
+  emit(1, 2);   /*  0: push 2                 */
+  emit(10, 0);  /*  1: cand = 2               */
+  emit(9, 0);   /*  2: outer: load cand       */
+  emit(1, n);   /*  3: push n                 */
+  emit(11, 0);  /*  4: cand < n               */
+  emit(7, 37);  /*  5: jz end                 */
+  emit(1, 1);   /*  6: push 1                 */
+  emit(10, 3);  /*  7: isprime = 1            */
+  emit(1, 2);   /*  8: push 2                 */
+  emit(10, 1);  /*  9: div = 2                */
+  emit(9, 0);   /* 10: inner: load cand       */
+  emit(9, 1);   /* 11: load div               */
+  emit(9, 1);   /* 12: load div               */
+  emit(4, 0);   /* 13: div*div                */
+  emit(11, 0);  /* 14: cand < div*div         */
+  emit(7, 17);  /* 15: jz body (d*d <= cand)  */
+  emit(8, 28);  /* 16: jmp check (inner done) */
+  emit(9, 0);   /* 17: body: load cand        */
+  emit(9, 1);   /* 18: load div               */
+  emit(12, 0);  /* 19: cand % div             */
+  emit(7, 26);  /* 20: jz notprime            */
+  emit(9, 1);   /* 21: load div               */
+  emit(1, 1);   /* 22: push 1                 */
+  emit(2, 0);   /* 23: add                    */
+  emit(10, 1);  /* 24: div = div + 1          */
+  emit(8, 10);  /* 25: jmp inner              */
+  emit(1, 0);   /* 26: notprime: push 0       */
+  emit(10, 3);  /* 27: isprime = 0            */
+  emit(9, 3);   /* 28: check: load isprime    */
+  emit(7, 32);  /* 29: jz next                */
+  emit(9, 3);   /* 30: load isprime           */
+  emit(13, 0);  /* 31: acc += isprime         */
+  emit(9, 0);   /* 32: next: load cand        */
+  emit(1, 1);   /* 33: push 1                 */
+  emit(2, 0);   /* 34: add                    */
+  emit(10, 0);  /* 35: cand = cand + 1        */
+  emit(8, 2);   /* 36: jmp outer              */
+  emit(0, 0);   /* 37: halt                   */
+}
+
+/* Bytecode: iterative fibonacci mod 9973. Slots: 0=a, 1=b, 2=i. */
+void gen_fib(int n) {
+  emit_at = 0;
+  emit(1, 0);    /*  0: push 0            */
+  emit(10, 0);   /*  1: a = 0             */
+  emit(1, 1);    /*  2: push 1            */
+  emit(10, 1);   /*  3: b = 1             */
+  emit(1, 0);    /*  4: push 0            */
+  emit(10, 2);   /*  5: i = 0             */
+  emit(9, 2);    /*  6: loop: load i      */
+  emit(1, n);    /*  7: push n            */
+  emit(11, 0);   /*  8: i < n             */
+  emit(7, 23);   /*  9: jz end            */
+  emit(9, 0);    /* 10: load a            */
+  emit(9, 1);    /* 11: load b            */
+  emit(2, 0);    /* 12: a + b             */
+  emit(1, 9973); /* 13: push 9973         */
+  emit(12, 0);   /* 14: (a+b) % 9973      */
+  emit(9, 1);    /* 15: load b            */
+  emit(10, 0);   /* 16: a = b             */
+  emit(10, 1);   /* 17: b = (a+b) % 9973  */
+  emit(9, 2);    /* 18: load i            */
+  emit(1, 1);    /* 19: push 1            */
+  emit(2, 0);    /* 20: add               */
+  emit(10, 2);   /* 21: i = i + 1         */
+  emit(8, 6);    /* 22: jmp loop          */
+  emit(0, 0);    /* 23: halt              */
+}
+
+int main() {
+  int nprimes = arg(0);
+  int nfib = arg(1);
+  int limit = arg(2);
+  int steps = 0;
+  int i;
+  gen_primes(nprimes);
+  steps = steps + run(limit);
+  for (i = 0; i < 4; i = i + 1) {
+    gen_fib(nfib + i * 7);
+    steps = steps + run(limit);
+    out_acc = out_acc + slots[0];
+  }
+  print_str("basicinterp steps=");
+  print_int(steps);
+  print_str(" acc=");
+  print_int(out_acc);
+  print_nl();
+  return 0;
+}
+)MC";
+
+//===----------------------------------------------------------------------===//
+// hashwords — chained hash table over text (awk flavor)
+//===----------------------------------------------------------------------===//
+
+const char *HashwordsSource = R"MC(
+/* Word-frequency counting with a chained hash table: reads the dataset
+   text, splits it into words, hashes each into one of 1024 buckets,
+   walks the chain comparing strings, and bumps or inserts. */
+
+struct entry {
+  char name[24];
+  int count;
+  struct entry *next;
+};
+
+struct entry *buckets[1024];
+int distinct = 0;
+int total_words = 0;
+int chain_steps = 0;
+
+int hash_word(char *w, int len) {
+  int h = 5381;
+  int i;
+  for (i = 0; i < len; i = i + 1) {
+    h = h * 33 + w[i];
+  }
+  h = h & 1023;
+  if (h < 0) {
+    h = 0;
+  }
+  return h;
+}
+
+void add_word(char *w, int len) {
+  int h;
+  struct entry *e;
+  if (len <= 0 || len >= 24) {
+    return; /* overlong words are dropped, like awk field limits */
+  }
+  w[len] = 0;
+  total_words = total_words + 1;
+  h = hash_word(w, len);
+  e = buckets[h];
+  while (e != 0) {
+    chain_steps = chain_steps + 1;
+    if (str_cmp(e->name, w) == 0) {
+      e->count = e->count + 1;
+      return;
+    }
+    e = e->next;
+  }
+  e = (struct entry *)malloc(sizeof(struct entry));
+  if (e == 0) {
+    trap();
+  }
+  str_copy(e->name, w);
+  e->count = 1;
+  e->next = buckets[h];
+  buckets[h] = e;
+  distinct = distinct + 1;
+}
+
+int is_letter(int c) {
+  if (c >= 97 && c <= 122) {
+    return 1;
+  }
+  if (c >= 65 && c <= 90) {
+    return 1;
+  }
+  return 0;
+}
+
+int main() {
+  int n = input_len();
+  int i;
+  int wlen = 0;
+  int maxcount = 0;
+  char word[32];
+  struct entry *e;
+  int b;
+  for (i = 0; i < n; i = i + 1) {
+    int c = input_byte(i);
+    if (is_letter(c)) {
+      if (wlen < 30) {
+        word[wlen] = c;
+        wlen = wlen + 1;
+      }
+    } else {
+      if (wlen > 0) {
+        add_word(word, wlen);
+      }
+      wlen = 0;
+    }
+  }
+  if (wlen > 0) {
+    add_word(word, wlen);
+  }
+  for (b = 0; b < 1024; b = b + 1) {
+    e = buckets[b];
+    while (e != 0) {
+      if (e->count > maxcount) {
+        maxcount = e->count;
+      }
+      e = e->next;
+    }
+  }
+  print_str("hashwords words=");
+  print_int(total_words);
+  print_str(" distinct=");
+  print_int(distinct);
+  print_str(" max=");
+  print_int(maxcount);
+  print_str(" steps=");
+  print_int(chain_steps);
+  print_nl();
+  return 0;
+}
+)MC";
+
+//===----------------------------------------------------------------------===//
+// qsortbench — quicksort + binary search battery (qpt flavor)
+//===----------------------------------------------------------------------===//
+
+const char *QsortSource = R"MC(
+/* Quicksort with median-of-three pivoting and an insertion-sort cutoff
+   for small partitions, followed by a binary-search battery and a
+   sortedness audit. */
+
+int data[65536];
+int nelems = 0;
+int swaps = 0;
+
+void swap_at(int i, int j) {
+  int t = data[i];
+  data[i] = data[j];
+  data[j] = t;
+  swaps = swaps + 1;
+}
+
+void isort(int lo, int hi) {
+  int i;
+  for (i = lo + 1; i <= hi; i = i + 1) {
+    int v = data[i];
+    int j = i - 1;
+    while (j >= lo && data[j] > v) {
+      data[j + 1] = data[j];
+      j = j - 1;
+    }
+    data[j + 1] = v;
+  }
+}
+
+void qsort_range(int lo, int hi) {
+  int pivot;
+  int i;
+  int j;
+  int mid;
+  if (hi - lo < 12) {
+    isort(lo, hi);
+    return;
+  }
+  mid = lo + (hi - lo) / 2;
+  /* median of three */
+  if (data[mid] < data[lo]) {
+    swap_at(mid, lo);
+  }
+  if (data[hi] < data[lo]) {
+    swap_at(hi, lo);
+  }
+  if (data[hi] < data[mid]) {
+    swap_at(hi, mid);
+  }
+  pivot = data[mid];
+  i = lo;
+  j = hi;
+  while (i <= j) {
+    while (data[i] < pivot) {
+      i = i + 1;
+    }
+    while (data[j] > pivot) {
+      j = j - 1;
+    }
+    if (i <= j) {
+      swap_at(i, j);
+      i = i + 1;
+      j = j - 1;
+    }
+  }
+  qsort_range(lo, j);
+  qsort_range(i, hi);
+}
+
+int bsearch_key(int key) {
+  int lo = 0;
+  int hi = nelems - 1;
+  while (lo <= hi) {
+    int mid = lo + (hi - lo) / 2;
+    if (data[mid] == key) {
+      return mid;
+    }
+    if (data[mid] < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return -1;
+}
+
+int main() {
+  int n = arg(0);
+  int searches = arg(1);
+  int i;
+  int found = 0;
+  int bad = 0;
+  rt_srand(arg(2));
+  if (n > 65536) {
+    n = 65536;
+  }
+  nelems = n;
+  for (i = 0; i < n; i = i + 1) {
+    data[i] = rt_rand_range(1000000);
+  }
+  qsort_range(0, n - 1);
+  for (i = 1; i < n; i = i + 1) {
+    if (data[i - 1] > data[i]) {
+      bad = bad + 1;
+    }
+  }
+  if (bad > 0) {
+    print_str("qsortbench SORT ERROR\n");
+    trap();
+  }
+  for (i = 0; i < searches; i = i + 1) {
+    if (bsearch_key(rt_rand_range(1000000)) >= 0) {
+      found = found + 1;
+    }
+  }
+  print_str("qsortbench n=");
+  print_int(n);
+  print_str(" swaps=");
+  print_int(swaps);
+  print_str(" found=");
+  print_int(found);
+  print_nl();
+  return 0;
+}
+)MC";
+
+} // namespace
+
+void suite::addPointerSuite(std::vector<Workload> &Out) {
+  Out.push_back({"lisp",
+                 "Tagged-cell expression evaluator (xlisp stand-in)",
+                 false,
+                 withRuntime(LispSource),
+                 {
+                     Dataset("ref", {260, 7, 42}),
+                     Dataset("small", {60, 6, 7}),
+                     Dataset("deep", {40, 10, 99}),
+                     Dataset("wide", {600, 5, 1234}),
+                 }});
+  Out.push_back({"treesort",
+                 "Binary search tree insert/search/traverse",
+                 false,
+                 withRuntime(TreesortSource),
+                 {
+                     Dataset("ref", {20000, 30000, 40000, 11}),
+                     Dataset("dense", {20000, 30000, 2000, 13}),
+                     Dataset("small", {2000, 4000, 5000, 17}),
+                     Dataset("sparse", {8000, 40000, 10000000, 23}),
+                 }});
+  Out.push_back({"basicinterp",
+                 "Stack-machine bytecode interpreter",
+                 false,
+                 withRuntime(BasicInterpSource),
+                 {
+                     Dataset("ref", {2200, 5500, 4000000}),
+                     Dataset("small", {500, 1200, 1000000}),
+                     Dataset("fibheavy", {200, 40000, 4000000}),
+                 }});
+  Out.push_back({"hashwords",
+                 "Word-frequency hash table over text",
+                 false,
+                 withRuntime(HashwordsSource),
+                 {
+                     Dataset("ref", {}, synthText(1, 300000)),
+                     Dataset("small", {}, synthText(2, 60000)),
+                     Dataset("large", {}, synthText(3, 700000)),
+                 }});
+  Out.push_back({"qsortbench",
+                 "Quicksort + binary search battery (qpt stand-in)",
+                 false,
+                 withRuntime(QsortSource),
+                 {
+                     Dataset("ref", {50000, 60000, 5}),
+                     Dataset("small", {5000, 10000, 9}),
+                     Dataset("searchy", {20000, 200000, 21}),
+                 }});
+}

@@ -1,0 +1,44 @@
+//===- workloads/suite/Suites.h - Suite construction internals -*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal header shared by the suite/*.cpp files: each contributes a
+/// group of workloads to the registry. Also provides the synthetic text
+/// generator used by text workloads' datasets (deterministic stand-in
+/// for the paper's file inputs).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_WORKLOADS_SUITE_SUITES_H
+#define BPFREE_WORKLOADS_SUITE_SUITES_H
+
+#include "workloads/Workloads.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace bpfree {
+namespace suite {
+
+void addIntegerSuite(std::vector<Workload> &Out);
+void addPointerSuite(std::vector<Workload> &Out);
+void addTextSuite(std::vector<Workload> &Out);
+void addExtraSuite(std::vector<Workload> &Out);
+void addFloatSuite(std::vector<Workload> &Out);
+
+/// Deterministic synthetic English-like text: lowercase words of mixed
+/// length separated by spaces and newlines, with occasional digits and
+/// punctuation. Used as the byte input of the text workloads.
+std::vector<uint8_t> synthText(uint64_t Seed, size_t Bytes);
+
+/// Deterministic pseudo-random bytes (full 0-255 range), for the
+/// compression workload's binary-ish datasets.
+std::vector<uint8_t> synthBytes(uint64_t Seed, size_t Bytes);
+
+} // namespace suite
+} // namespace bpfree
+
+#endif // BPFREE_WORKLOADS_SUITE_SUITES_H

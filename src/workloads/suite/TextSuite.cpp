@@ -1,0 +1,385 @@
+//===- workloads/suite/TextSuite.cpp - Text-processing workloads ----------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Text workloads standing in for the paper's grep, compress, and awk
+/// benchmarks: a substring/character-class matcher, an LZW compressor
+/// with round-trip verification, and a wc-style counting state machine.
+/// grep and compress are the paper's poster children for "a handful of
+/// branches produce most of the dynamic non-loop branches".
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Runtime.h"
+#include "workloads/suite/Suites.h"
+
+using namespace bpfree;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// grep — line matcher with literal and class patterns
+//===----------------------------------------------------------------------===//
+
+const char *GrepSource = R"MC(
+/* Scans the input line by line and counts lines matching any of a small
+   set of patterns. Patterns support literals and '.' wildcards; the
+   inner match loop's first-character test is the classic grep "big
+   branch". */
+
+char line[512];
+int line_len = 0;
+
+/* Does pat match starting at line[pos]? '.' matches anything. */
+int match_at(char *pat, int pos) {
+  int i = 0;
+  while (pat[i] != 0) {
+    if (pos + i >= line_len) {
+      return 0;
+    }
+    if (pat[i] != 46 && pat[i] != line[pos + i]) {
+      return 0;
+    }
+    i = i + 1;
+  }
+  return 1;
+}
+
+int match_line(char *pat) {
+  int pos;
+  char first = pat[0];
+  for (pos = 0; pos < line_len; pos = pos + 1) {
+    /* fast path: check the first character before full match */
+    if (first == 46 || line[pos] == first) {
+      if (match_at(pat, pos)) {
+        return 1;
+      }
+    }
+  }
+  return 0;
+}
+
+int main() {
+  int n = input_len();
+  int i;
+  int matched0 = 0;
+  int matched1 = 0;
+  int matched2 = 0;
+  int lines = 0;
+  for (i = 0; i <= n; i = i + 1) {
+    int c = 10;
+    if (i < n) {
+      c = input_byte(i);
+    }
+    if (c == 10) {
+      if (line_len > 0) {
+        lines = lines + 1;
+        if (match_line("the")) {
+          matched0 = matched0 + 1;
+        }
+        if (match_line("t.e")) {
+          matched1 = matched1 + 1;
+        }
+        if (match_line("ation")) {
+          matched2 = matched2 + 1;
+        }
+      }
+      line_len = 0;
+    } else if (line_len < 510) {
+      line[line_len] = c;
+      line_len = line_len + 1;
+    }
+  }
+  print_str("grep lines=");
+  print_int(lines);
+  print_str(" m0=");
+  print_int(matched0);
+  print_str(" m1=");
+  print_int(matched1);
+  print_str(" m2=");
+  print_int(matched2);
+  print_nl();
+  return 0;
+}
+)MC";
+
+//===----------------------------------------------------------------------===//
+// compress — LZW with round-trip verification
+//===----------------------------------------------------------------------===//
+
+const char *CompressSource = R"MC(
+/* LZW compression with a (prefix, char) hash dictionary, followed by
+   decompression and byte-for-byte verification against the input. The
+   hash-probe hit/miss branch is compress(1)'s famous hot branch. */
+
+int hash_code[16384];   /* dictionary: open addressing        */
+int hash_prefix[16384];
+int hash_char[16384];
+int next_code = 256;
+
+int out_codes[131072];
+int nout = 0;
+
+int probe(int prefix, int ch) {
+  int h = ((prefix << 5) ^ ch) & 16383;
+  while (hash_code[h] != -1) {
+    if (hash_prefix[h] == prefix && hash_char[h] == ch) {
+      return hash_code[h];
+    }
+    h = (h + 61) & 16383;
+  }
+  return -(h + 1); /* not found: return insertion slot as -(slot+1) */
+}
+
+void compress() {
+  int i;
+  int n = input_len();
+  int prefix;
+  if (n == 0) {
+    return;
+  }
+  prefix = input_byte(0);
+  for (i = 1; i < n; i = i + 1) {
+    int c = input_byte(i);
+    int f = probe(prefix, c);
+    if (f >= 0) {
+      prefix = f;
+    } else {
+      int slot = -f - 1;
+      out_codes[nout] = prefix;
+      nout = nout + 1;
+      if (nout >= 131072) {
+        trap(); /* output overflow: dataset too large */
+      }
+      /* Cap the dictionary at 12288 entries so the 16384-slot hash
+         table never exceeds 75% load (compress(1) similarly freezes
+         its dictionary when full). */
+      if (next_code < 12544) {
+        hash_code[slot] = next_code;
+        hash_prefix[slot] = prefix;
+        hash_char[slot] = c;
+        next_code = next_code + 1;
+      }
+      prefix = c;
+    }
+  }
+  out_codes[nout] = prefix;
+  nout = nout + 1;
+}
+
+/* Decoder tables rebuilt from the code stream. */
+int dec_prefix[65536];
+int dec_char[65536];
+char stackbuf[65536];
+
+int emit_pos = 0;
+int mismatches = 0;
+
+void emit_byte(int b) {
+  if (input_byte(emit_pos) != b) {
+    mismatches = mismatches + 1;
+  }
+  emit_pos = emit_pos + 1;
+}
+
+/* Writes the expansion of code, returning its first byte. */
+int expand(int code) {
+  int sp = 0;
+  int first;
+  while (code >= 256) {
+    stackbuf[sp] = dec_char[code];
+    sp = sp + 1;
+    if (sp >= 65536) {
+      trap(); /* corrupt chain */
+    }
+    code = dec_prefix[code];
+  }
+  first = code;
+  emit_byte(code);
+  while (sp > 0) {
+    sp = sp - 1;
+    /* chars are signed; mask back to the 0..255 byte value */
+    emit_byte(stackbuf[sp] & 255);
+  }
+  return first;
+}
+
+void decompress() {
+  int dec_next = 256;
+  int i;
+  int prev;
+  int first = 0;
+  if (nout == 0) {
+    return;
+  }
+  prev = out_codes[0];
+  first = expand(prev);
+  for (i = 1; i < nout; i = i + 1) {
+    int code = out_codes[i];
+    if (code < dec_next) {
+      first = expand(code);
+    } else if (code == dec_next) {
+      /* KwKwK case: expand prev then repeat its first byte */
+      first = expand(prev);
+      emit_byte(first);
+    } else {
+      trap(); /* corrupt stream */
+    }
+    if (dec_next < 12544) { /* must match the encoder's cap */
+      dec_prefix[dec_next] = prev;
+      dec_char[dec_next] = first;
+      dec_next = dec_next + 1;
+    }
+    prev = code;
+  }
+}
+
+int main() {
+  int i;
+  for (i = 0; i < 16384; i = i + 1) {
+    hash_code[i] = -1;
+  }
+  compress();
+  decompress();
+  if (mismatches > 0 || emit_pos != input_len()) {
+    print_str("compress ROUNDTRIP ERROR mism=");
+    print_int(mismatches);
+    print_str(" pos=");
+    print_int(emit_pos);
+    print_nl();
+    trap();
+  }
+  print_str("compress in=");
+  print_int(input_len());
+  print_str(" out=");
+  print_int(nout);
+  print_str(" dict=");
+  print_int(next_code);
+  print_nl();
+  return 0;
+}
+)MC";
+
+//===----------------------------------------------------------------------===//
+// wordcount — wc-style counting state machine (awk flavor)
+//===----------------------------------------------------------------------===//
+
+const char *WordcountSource = R"MC(
+/* Counts lines, words, characters, digits and tracks line-length
+   statistics in one pass — awk's field-splitting inner loop, distilled.
+   A second pass computes a letter histogram and its entropy class. */
+
+int histogram[256];
+
+int main() {
+  int n = input_len();
+  int i;
+  int lines = 0;
+  int words = 0;
+  int digits = 0;
+  int inword = 0;
+  int linelen = 0;
+  int maxline = 0;
+  int minline = 1000000;
+  int longlines = 0;
+  int peak;
+  int peakchar;
+  int used;
+  for (i = 0; i < n; i = i + 1) {
+    int c = input_byte(i);
+    histogram[c] = histogram[c] + 1;
+    if (c == 10) {
+      lines = lines + 1;
+      if (linelen > maxline) {
+        maxline = linelen;
+      }
+      if (linelen < minline) {
+        minline = linelen;
+      }
+      if (linelen > 60) {
+        longlines = longlines + 1;
+      }
+      linelen = 0;
+    } else {
+      linelen = linelen + 1;
+    }
+    if (c >= 48 && c <= 57) {
+      digits = digits + 1;
+    }
+    if (c == 32 || c == 10 || c == 9) {
+      if (inword != 0) {
+        words = words + 1;
+      }
+      inword = 0;
+    } else {
+      inword = 1;
+    }
+  }
+  if (inword != 0) {
+    words = words + 1;
+  }
+  peak = 0;
+  peakchar = 0;
+  used = 0;
+  for (i = 0; i < 256; i = i + 1) {
+    if (histogram[i] > 0) {
+      used = used + 1;
+      if (histogram[i] > peak) {
+        peak = histogram[i];
+        peakchar = i;
+      }
+    }
+  }
+  print_str("wordcount lines=");
+  print_int(lines);
+  print_str(" words=");
+  print_int(words);
+  print_str(" digits=");
+  print_int(digits);
+  print_str(" max=");
+  print_int(maxline);
+  print_str(" long=");
+  print_int(longlines);
+  print_str(" used=");
+  print_int(used);
+  print_str(" peak=");
+  print_int(peakchar);
+  print_nl();
+  return 0;
+}
+)MC";
+
+} // namespace
+
+void suite::addTextSuite(std::vector<Workload> &Out) {
+  Out.push_back({"grep",
+                 "Line matcher with literal and wildcard patterns",
+                 false,
+                 withRuntime(GrepSource),
+                 {
+                     Dataset("ref", {}, synthText(10, 400000)),
+                     Dataset("small", {}, synthText(11, 80000)),
+                     Dataset("large", {}, synthText(12, 900000)),
+                 }});
+  Out.push_back({"compress",
+                 "LZW compression with round-trip verification",
+                 false,
+                 withRuntime(CompressSource),
+                 {
+                     Dataset("ref", {}, synthBytes(20, 120000)),
+                     Dataset("text", {}, synthText(21, 120000)),
+                     Dataset("small", {}, synthBytes(22, 30000)),
+                 }});
+  Out.push_back({"wordcount",
+                 "wc-style counting state machine (awk stand-in)",
+                 false,
+                 withRuntime(WordcountSource),
+                 {
+                     Dataset("ref", {}, synthText(30, 500000)),
+                     Dataset("small", {}, synthText(31, 100000)),
+                     Dataset("binary", {}, synthBytes(32, 300000)),
+                 }});
+}

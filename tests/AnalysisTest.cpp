@@ -1,0 +1,454 @@
+//===- tests/AnalysisTest.cpp - Dominators, postdominators, loops ---------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the CFG analyses, including a reconstruction of the
+/// paper's Figure 1 loop example, and property tests over randomly
+/// generated CFGs checking the dominator/postdominator axioms and the
+/// natural-loop invariants.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DomTree.h"
+#include "analysis/LoopInfo.h"
+#include "ir/IRBuilder.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace bpfree;
+using namespace bpfree::ir;
+
+namespace {
+
+/// Builds the CFG of the paper's Figure 1:
+///   A -> B | F;  B -> C | E;  C -> D | F;  D -> B;  E -> B | F;  F: ret
+/// Backedges: D->B, E->B. Natural loop of B = {B, C, D, E}.
+/// Exit edges: C->F, E->F. Loop branches: C, E (and D has only the
+/// backedge... D ends in an unconditional backedge jump here, so the
+/// conditional loop branches are B? no — in the paper A and B are
+/// non-loop branches, C, D, E are loop branches; we give D a
+/// conditional self-iteration to match by branching D -> B | E.
+struct Figure1 {
+  Module M;
+  Function *F = nullptr;
+  BasicBlock *A, *B, *C, *D, *E, *X;
+
+  Figure1() {
+    F = M.createFunction("fig1", 1);
+    IRBuilder Bld(F);
+    A = F->createBlock("A");
+    B = F->createBlock("B");
+    C = F->createBlock("C");
+    D = F->createBlock("D");
+    E = F->createBlock("E");
+    X = F->createBlock("F");
+    Reg P = F->getParamReg(0);
+    Bld.setInsertBlock(A);
+    Bld.condBranch(BranchOp::BGTZ, P, Reg(), B, X);
+    Bld.setInsertBlock(B);
+    Bld.condBranch(BranchOp::BGTZ, P, Reg(), C, E);
+    Bld.setInsertBlock(C);
+    Bld.condBranch(BranchOp::BGTZ, P, Reg(), D, X);
+    Bld.setInsertBlock(D);
+    Bld.jump(B);
+    Bld.setInsertBlock(E);
+    Bld.condBranch(BranchOp::BGTZ, P, Reg(), B, X);
+    Bld.setInsertBlock(X);
+    Bld.ret();
+  }
+};
+
+TEST(DomTreeTest, Figure1Dominators) {
+  Figure1 G;
+  DomTree DT = DomTree::computeDominators(*G.F);
+  EXPECT_TRUE(DT.dominates(G.A, G.A));
+  EXPECT_TRUE(DT.dominates(G.A, G.X));
+  EXPECT_TRUE(DT.dominates(G.B, G.C));
+  EXPECT_TRUE(DT.dominates(G.B, G.D));
+  EXPECT_TRUE(DT.dominates(G.B, G.E));
+  EXPECT_FALSE(DT.dominates(G.C, G.B));
+  EXPECT_FALSE(DT.dominates(G.B, G.X)) << "A -> F bypasses B";
+  EXPECT_FALSE(DT.dominates(G.C, G.E));
+  EXPECT_EQ(DT.getIdom(G.A), nullptr);
+  EXPECT_EQ(DT.getIdom(G.B), G.A);
+  EXPECT_EQ(DT.getIdom(G.C), G.B);
+  EXPECT_EQ(DT.getIdom(G.X), G.A);
+}
+
+TEST(DomTreeTest, Figure1PostDominators) {
+  Figure1 G;
+  DomTree PDT = DomTree::computePostDominators(*G.F);
+  EXPECT_TRUE(PDT.dominates(G.X, G.A));
+  EXPECT_TRUE(PDT.dominates(G.X, G.D));
+  EXPECT_FALSE(PDT.dominates(G.B, G.A)) << "A can go straight to F";
+  EXPECT_TRUE(PDT.dominates(G.B, G.D)) << "D's only successor is B";
+  EXPECT_FALSE(PDT.dominates(G.C, G.B));
+  EXPECT_TRUE(PDT.isReachable(G.A));
+}
+
+TEST(DomTreeTest, InfiniteLoopHasNoPostdomInfo) {
+  Module M;
+  Function *F = M.createFunction("spin", 0);
+  IRBuilder B(F);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Loop = F->createBlock("loop");
+  B.setInsertBlock(Entry);
+  B.jump(Loop);
+  B.setInsertBlock(Loop);
+  B.jump(Loop);
+  DomTree PDT = DomTree::computePostDominators(*F);
+  EXPECT_FALSE(PDT.isReachable(Entry));
+  EXPECT_FALSE(PDT.isReachable(Loop));
+  // Self-postdominance still holds by convention.
+  EXPECT_TRUE(PDT.dominates(Loop, Loop));
+  EXPECT_FALSE(PDT.dominates(Loop, Entry));
+}
+
+TEST(LoopInfoTest, Figure1Loops) {
+  Figure1 G;
+  DomTree DT = DomTree::computeDominators(*G.F);
+  LoopInfo LI(*G.F, DT);
+
+  ASSERT_EQ(LI.loops().size(), 1u);
+  const Loop &L = LI.loops()[0];
+  EXPECT_EQ(L.HeadId, G.B->getId());
+  EXPECT_TRUE(L.contains(G.B->getId()));
+  EXPECT_TRUE(L.contains(G.C->getId()));
+  EXPECT_TRUE(L.contains(G.D->getId()));
+  EXPECT_TRUE(L.contains(G.E->getId()));
+  EXPECT_FALSE(L.contains(G.A->getId()));
+  EXPECT_FALSE(L.contains(G.X->getId()));
+
+  EXPECT_TRUE(LI.isLoopHead(G.B));
+  EXPECT_FALSE(LI.isLoopHead(G.C));
+
+  // Backedges: D->B (jump) and E->B (taken successor of E's branch).
+  EXPECT_TRUE(LI.isBackedge(G.D, 0));
+  EXPECT_TRUE(LI.isBackedge(G.E, 0));
+  EXPECT_FALSE(LI.isBackedge(G.B, 0));
+
+  // Exit edges: C->F (successor 1) and E->F (successor 1).
+  EXPECT_TRUE(LI.isExitEdge(G.C, 1));
+  EXPECT_TRUE(LI.isExitEdge(G.E, 1));
+  EXPECT_FALSE(LI.isExitEdge(G.B, 0));
+  EXPECT_FALSE(LI.isExitEdge(G.B, 1));
+
+  // Classification: C and E are loop branches; A and B are not.
+  EXPECT_TRUE(LI.isLoopBranch(G.C));
+  EXPECT_TRUE(LI.isLoopBranch(G.E));
+  EXPECT_FALSE(LI.isLoopBranch(G.A));
+  EXPECT_FALSE(LI.isLoopBranch(G.B));
+
+  // Predictions (paper): C -> D, E -> B.
+  EXPECT_EQ(LI.predictLoopBranch(G.C), 0u) << "C predicts the non-exit edge";
+  EXPECT_EQ(LI.predictLoopBranch(G.E), 0u) << "E predicts its backedge";
+}
+
+TEST(LoopInfoTest, Depths) {
+  // entry -> outer -> inner; inner -> inner | outerLatch;
+  // outerLatch -> outer | exit.
+  Module M;
+  Function *F = M.createFunction("nest", 1);
+  IRBuilder B(F);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Outer = F->createBlock("outer");
+  BasicBlock *Inner = F->createBlock("inner");
+  BasicBlock *Latch = F->createBlock("latch");
+  BasicBlock *Exit = F->createBlock("exit");
+  Reg P = F->getParamReg(0);
+  B.setInsertBlock(Entry);
+  B.jump(Outer);
+  B.setInsertBlock(Outer);
+  B.jump(Inner);
+  B.setInsertBlock(Inner);
+  B.condBranch(BranchOp::BGTZ, P, Reg(), Inner, Latch);
+  B.setInsertBlock(Latch);
+  B.condBranch(BranchOp::BGTZ, P, Reg(), Outer, Exit);
+  B.setInsertBlock(Exit);
+  B.ret();
+
+  DomTree DT = DomTree::computeDominators(*F);
+  LoopInfo LI(*F, DT);
+  EXPECT_EQ(LI.loops().size(), 2u);
+  EXPECT_EQ(LI.getLoopDepth(Inner), 2u);
+  EXPECT_EQ(LI.getLoopDepth(Outer), 1u);
+  EXPECT_EQ(LI.getLoopDepth(Latch), 1u);
+  EXPECT_EQ(LI.getLoopDepth(Entry), 0u);
+  EXPECT_EQ(LI.getLoopDepth(Exit), 0u);
+
+  // Inner's self-branch: backedge preferred.
+  EXPECT_TRUE(LI.isLoopBranch(Inner));
+  EXPECT_EQ(LI.predictLoopBranch(Inner), 0u);
+  // Latch: backedge to outer preferred over exit.
+  EXPECT_TRUE(LI.isLoopBranch(Latch));
+  EXPECT_EQ(LI.predictLoopBranch(Latch), 0u);
+}
+
+TEST(LoopInfoTest, PreheaderDetection) {
+  // entry -> pre; pre -(jump)-> head; head -> head | exit.
+  Module M;
+  Function *F = M.createFunction("pre", 1);
+  IRBuilder B(F);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Pre = F->createBlock("pre");
+  BasicBlock *Head = F->createBlock("head");
+  BasicBlock *Exit = F->createBlock("exit");
+  Reg P = F->getParamReg(0);
+  B.setInsertBlock(Entry);
+  B.jump(Pre);
+  B.setInsertBlock(Pre);
+  B.jump(Head);
+  B.setInsertBlock(Head);
+  B.condBranch(BranchOp::BGTZ, P, Reg(), Head, Exit);
+  B.setInsertBlock(Exit);
+  B.ret();
+
+  DomTree DT = DomTree::computeDominators(*F);
+  LoopInfo LI(*F, DT);
+  EXPECT_TRUE(LI.isPreheader(Pre, DT));
+  EXPECT_TRUE(LI.isPreheader(Entry, DT)) << "jump chains are followed";
+  EXPECT_FALSE(LI.isPreheader(Head, DT));
+  EXPECT_FALSE(LI.isPreheader(Exit, DT));
+}
+
+//===----------------------------------------------------------------------===//
+// Property tests on random CFGs
+//===----------------------------------------------------------------------===//
+
+/// Builds a random function with \p NumBlocks blocks whose terminators
+/// are chosen randomly (all blocks reachable from entry not guaranteed —
+/// that is part of what we test).
+Function *randomCfg(Module &M, Rng &R, unsigned NumBlocks,
+                    const std::string &Name) {
+  Function *F = M.createFunction(Name, 1);
+  IRBuilder B(F);
+  std::vector<BasicBlock *> Blocks;
+  for (unsigned I = 0; I < NumBlocks; ++I)
+    Blocks.push_back(F->createBlock("b" + std::to_string(I)));
+  Reg P = F->getParamReg(0);
+  for (unsigned I = 0; I < NumBlocks; ++I) {
+    B.setInsertBlock(Blocks[I]);
+    unsigned Kind = static_cast<unsigned>(R.below(10));
+    if (Kind < 2 || NumBlocks == 1) {
+      B.ret();
+    } else if (Kind < 5) {
+      B.jump(Blocks[R.below(NumBlocks)]);
+    } else {
+      unsigned T = static_cast<unsigned>(R.below(NumBlocks));
+      unsigned FT = static_cast<unsigned>(R.below(NumBlocks));
+      if (T == FT)
+        FT = (FT + 1) % NumBlocks;
+      B.condBranch(BranchOp::BGTZ, P, Reg(), Blocks[T], Blocks[FT]);
+    }
+  }
+  return F;
+}
+
+/// Reference dominance: BFS from entry avoiding \p Avoid; everything
+/// not reached (but reachable normally) is dominated by Avoid.
+std::vector<bool> reachableAvoiding(const Function &F,
+                                    const BasicBlock *Avoid) {
+  std::vector<bool> Seen(F.numBlocks(), false);
+  std::vector<const BasicBlock *> Work;
+  const BasicBlock *Entry = F.getEntry();
+  if (Entry != Avoid) {
+    Seen[Entry->getId()] = true;
+    Work.push_back(Entry);
+  }
+  while (!Work.empty()) {
+    const BasicBlock *Cur = Work.back();
+    Work.pop_back();
+    for (unsigned I = 0, E = Cur->numSuccessors(); I != E; ++I) {
+      const BasicBlock *S = Cur->getSuccessor(I);
+      if (S == Avoid || Seen[S->getId()])
+        continue;
+      Seen[S->getId()] = true;
+      Work.push_back(S);
+    }
+  }
+  return Seen;
+}
+
+TEST(DomTreeProperty, MatchesPathDefinitionOnRandomCfgs) {
+  Rng R(12345);
+  for (int Trial = 0; Trial < 40; ++Trial) {
+    Module M;
+    unsigned N = 2 + static_cast<unsigned>(R.below(12));
+    Function *F = randomCfg(M, R, N, "f" + std::to_string(Trial));
+    DomTree DT = DomTree::computeDominators(*F);
+    std::vector<bool> Reachable = reachableAvoiding(*F, nullptr);
+
+    for (unsigned A = 0; A < N; ++A) {
+      const BasicBlock *BA = F->getBlock(A);
+      std::vector<bool> ReachWithoutA = reachableAvoiding(*F, BA);
+      for (unsigned B = 0; B < N; ++B) {
+        const BasicBlock *BB = F->getBlock(B);
+        if (!Reachable[A] || !Reachable[B]) {
+          EXPECT_EQ(DT.dominates(BA, BB), BA == BB);
+          continue;
+        }
+        // "v dominates w if every path from entry to w includes v":
+        // equivalently w is not reachable when v is removed (or w == v).
+        bool Expected = (A == B) || !ReachWithoutA[B];
+        EXPECT_EQ(DT.dominates(BA, BB), Expected)
+            << "trial " << Trial << " blocks " << A << " -> " << B;
+      }
+    }
+  }
+}
+
+/// Reference postdominance: can \p From reach any return block without
+/// passing through \p Avoid?
+bool reachesExitAvoiding(const Function &F, const BasicBlock *From,
+                         const BasicBlock *Avoid) {
+  assert(From != Avoid && "query not meaningful for From == Avoid");
+  std::vector<bool> Seen(F.numBlocks(), false);
+  std::vector<const BasicBlock *> Work;
+  Seen[From->getId()] = true;
+  Work.push_back(From);
+  while (!Work.empty()) {
+    const BasicBlock *Cur = Work.back();
+    Work.pop_back();
+    if (Cur->isReturnBlock())
+      return true;
+    for (unsigned I = 0, E = Cur->numSuccessors(); I != E; ++I) {
+      const BasicBlock *S = Cur->getSuccessor(I);
+      if (S == Avoid || Seen[S->getId()])
+        continue;
+      Seen[S->getId()] = true;
+      Work.push_back(S);
+    }
+  }
+  return false;
+}
+
+TEST(PostDomProperty, MatchesPathDefinitionOnRandomCfgs) {
+  // "w postdominates v if every path from v to any exit vertex
+  // includes w" — equivalently: v cannot reach an exit once w is
+  // removed (for v != w, both able to reach an exit at all).
+  Rng R(31337);
+  for (int Trial = 0; Trial < 40; ++Trial) {
+    Module M;
+    unsigned N = 2 + static_cast<unsigned>(R.below(12));
+    Function *F = randomCfg(M, R, N, "f" + std::to_string(Trial));
+    DomTree PDT = DomTree::computePostDominators(*F);
+
+    for (unsigned V = 0; V < N; ++V) {
+      const BasicBlock *BV = F->getBlock(V);
+      bool VReaches = reachesExitAvoiding(*F, BV, nullptr);
+      EXPECT_EQ(PDT.isReachable(BV), VReaches) << "trial " << Trial;
+      for (unsigned W = 0; W < N; ++W) {
+        const BasicBlock *BW = F->getBlock(W);
+        if (V == W) {
+          EXPECT_TRUE(PDT.dominates(BW, BV)) << "reflexive";
+          continue;
+        }
+        bool WReaches = reachesExitAvoiding(*F, BW, nullptr);
+        if (!VReaches || !WReaches) {
+          EXPECT_FALSE(PDT.dominates(BW, BV))
+              << "trial " << Trial << " " << W << " pdom " << V;
+          continue;
+        }
+        bool Expected = !reachesExitAvoiding(*F, BV, BW);
+        EXPECT_EQ(PDT.dominates(BW, BV), Expected)
+            << "trial " << Trial << ": does " << W << " postdominate "
+            << V << "?";
+      }
+    }
+  }
+}
+
+TEST(DomTreeProperty, IdomIsStrictDominatorOnRandomCfgs) {
+  Rng R(777);
+  for (int Trial = 0; Trial < 40; ++Trial) {
+    Module M;
+    unsigned N = 2 + static_cast<unsigned>(R.below(14));
+    Function *F = randomCfg(M, R, N, "f" + std::to_string(Trial));
+    DomTree DT = DomTree::computeDominators(*F);
+    for (unsigned B = 0; B < N; ++B) {
+      const BasicBlock *BB = F->getBlock(B);
+      const BasicBlock *Idom = DT.getIdom(BB);
+      if (!Idom)
+        continue;
+      EXPECT_TRUE(DT.dominates(Idom, BB));
+      EXPECT_NE(Idom, BB);
+      EXPECT_LT(DT.getDepth(Idom), DT.getDepth(BB));
+    }
+  }
+}
+
+TEST(LoopInfoProperty, NaturalLoopInvariantsOnRandomCfgs) {
+  Rng R(999);
+  for (int Trial = 0; Trial < 40; ++Trial) {
+    Module M;
+    unsigned N = 3 + static_cast<unsigned>(R.below(12));
+    Function *F = randomCfg(M, R, N, "f" + std::to_string(Trial));
+    DomTree DT = DomTree::computeDominators(*F);
+    LoopInfo LI(*F, DT);
+
+    for (const Loop &L : LI.loops()) {
+      const BasicBlock *Head = F->getBlock(L.HeadId);
+      // Every backedge source is in the loop and dominated by the head.
+      for (unsigned Src : L.BackedgeSources) {
+        EXPECT_TRUE(L.contains(Src));
+        EXPECT_TRUE(DT.dominates(Head, F->getBlock(Src)));
+      }
+      // Every member except the head has all in-loop paths; at minimum,
+      // each member is dominated by the head (reducible-loop property
+      // holds because backedges require dominance).
+      for (unsigned B = 0; B < N; ++B) {
+        if (L.contains(B)) {
+          EXPECT_TRUE(DT.dominates(Head, F->getBlock(B)))
+              << "trial " << Trial;
+        }
+      }
+    }
+
+    // Paper's claim: "for any vertex, either none of its outgoing edges
+    // are exit edges, or exactly one of its outgoing edges is an exit
+    // edge" — with nested loops a branch can exit several loops at
+    // once, but each single loop contributes at most one exiting edge
+    // per vertex... verify the per-loop version.
+    for (const Loop &L : LI.loops()) {
+      for (unsigned B = 0; B < N; ++B) {
+        if (!L.contains(B))
+          continue;
+        const BasicBlock *BB = F->getBlock(B);
+        unsigned ExitsFromThisLoop = 0;
+        for (unsigned S = 0, E = BB->numSuccessors(); S != E; ++S)
+          if (!L.contains(BB->getSuccessor(S)->getId()))
+            ++ExitsFromThisLoop;
+        EXPECT_LE(ExitsFromThisLoop, BB->numSuccessors());
+      }
+    }
+
+    // Loop-branch predictions always pick an edge that stays in (or
+    // re-enters) a loop when one exists.
+    for (unsigned B = 0; B < N; ++B) {
+      const BasicBlock *BB = F->getBlock(B);
+      if (!BB->isCondBranch() || !LI.isLoopBranch(BB))
+        continue;
+      unsigned Pick = LI.predictLoopBranch(BB);
+      EXPECT_LT(Pick, 2u);
+      // If one edge is a backedge and the other is not, the backedge
+      // must be chosen.
+      bool B0 = LI.isBackedge(BB, 0), B1 = LI.isBackedge(BB, 1);
+      if (B0 != B1) {
+        // A backedge is always preferred — even when it exits an inner
+        // loop on the way back to an outer head ("iterating over
+        // exiting").
+        EXPECT_EQ(Pick, B0 ? 0u : 1u);
+      } else if (!B0 && !B1) {
+        // With no backedge, the picked edge exits no more loops than
+        // the alternative.
+        EXPECT_LE(LI.loopsExited(BB, Pick), LI.loopsExited(BB, 1 - Pick));
+      }
+    }
+  }
+}
+
+} // namespace

@@ -1,0 +1,291 @@
+//===- tests/CodeGenTest.cpp - MiniC lowering shape tests -----------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The heuristics only work if codegen produces the MIPS shapes the
+/// paper assumes. These tests pin those invariants:
+///
+///  * comparisons against literal zero lower to blez/bgtz/bltz/bgez,
+///  * equality lowers to beq/bne (against $zero for == 0),
+///  * general relationals lower to slt + bne/beq,
+///  * FP compares lower to c.{eq,lt,le}.d + bc1t/bc1f,
+///  * while/for loops are rotated (guard + bottom-test backedge),
+///  * pointer comparisons carry the PointerCompare annotation,
+///  * globals are addressed off GP, aggregate locals off SP,
+///  * non-address-taken scalars live in registers (no loads/stores).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DomTree.h"
+#include "analysis/LoopInfo.h"
+#include "frontend/Compiler.h"
+#include "ir/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace bpfree;
+using namespace bpfree::ir;
+
+namespace {
+
+std::unique_ptr<Module> compileBody(const std::string &Body) {
+  return minic::compileOrDie("int main() {\n" + Body + "\n}");
+}
+
+/// Collects the branch opcodes of all conditional branches in main.
+std::vector<BranchOp> branchOps(const Module &M) {
+  std::vector<BranchOp> Ops;
+  const Function *Main = M.findFunction("main");
+  for (const auto &BB : *Main)
+    if (BB->isCondBranch())
+      Ops.push_back(BB->terminator().BOp);
+  return Ops;
+}
+
+bool containsOp(const std::vector<BranchOp> &Ops, BranchOp Op) {
+  for (BranchOp O : Ops)
+    if (O == Op)
+      return true;
+  return false;
+}
+
+TEST(LoweringTest, ZeroComparisonsUseMipsOpcodes) {
+  struct Case {
+    const char *Cond;
+    BranchOp Expected;
+  } Cases[] = {
+      {"x < 0", BranchOp::BLTZ},  {"x <= 0", BranchOp::BLEZ},
+      {"x > 0", BranchOp::BGTZ},  {"x >= 0", BranchOp::BGEZ},
+      {"0 < x", BranchOp::BGTZ},  {"0 >= x", BranchOp::BLEZ},
+      {"x == 0", BranchOp::BEQ},  {"x != 0", BranchOp::BNE},
+  };
+  for (const auto &C : Cases) {
+    auto M = compileBody(std::string("int x = arg(0); if (") + C.Cond +
+                         ") { return 1; } return 0;");
+    auto Ops = branchOps(*M);
+    EXPECT_TRUE(containsOp(Ops, C.Expected))
+        << C.Cond << " should lower to " << branchOpName(C.Expected);
+  }
+}
+
+TEST(LoweringTest, GeneralRelationalUsesSlt) {
+  auto M = compileBody("int x = arg(0); int y = arg(1); "
+                       "if (x < y) { return 1; } return 0;");
+  const Function *Main = M->findFunction("main");
+  bool FoundSlt = false;
+  for (const auto &BB : *Main)
+    for (const Instruction &I : BB->instructions())
+      if (I.Op == Opcode::Slt)
+        FoundSlt = true;
+  EXPECT_TRUE(FoundSlt);
+  EXPECT_TRUE(containsOp(branchOps(*M), BranchOp::BNE));
+}
+
+TEST(LoweringTest, DoubleComparesUseFlagBranches) {
+  auto M = compileBody("double x = 1.5; double y = 2.5; "
+                       "if (x == y) { return 1; } "
+                       "if (x < y) { return 2; } return 0;");
+  auto Ops = branchOps(*M);
+  EXPECT_TRUE(containsOp(Ops, BranchOp::BC1T));
+  const Function *Main = M->findFunction("main");
+  bool FoundEq = false, FoundLt = false;
+  for (const auto &BB : *Main)
+    for (const Instruction &I : BB->instructions()) {
+      if (I.Op == Opcode::FCmpEq)
+        FoundEq = true;
+      if (I.Op == Opcode::FCmpLt)
+        FoundLt = true;
+    }
+  EXPECT_TRUE(FoundEq);
+  EXPECT_TRUE(FoundLt);
+}
+
+TEST(LoweringTest, NotEqualDoubleUsesBc1f) {
+  auto M = compileBody("double x = 1.5; if (x != 0.25) { return 1; } "
+                       "return 0;");
+  EXPECT_TRUE(containsOp(branchOps(*M), BranchOp::BC1F));
+}
+
+TEST(LoweringTest, PointerComparesAreAnnotated) {
+  auto M = minic::compileOrDie(
+      "struct n { struct n *next; };\n"
+      "int main() {\n"
+      "  struct n *p = 0;\n"
+      "  int x = arg(0);\n"
+      "  if (p == 0) { x++; }\n"
+      "  if (p) { x--; }\n"
+      "  if (x == 3) { x++; }\n" // integer compare: must NOT be annotated
+      "  return x;\n"
+      "}");
+  const Function *Main = M->findFunction("main");
+  unsigned Annotated = 0, Unannotated = 0;
+  for (const auto &BB : *Main) {
+    if (!BB->isCondBranch())
+      continue;
+    const Terminator &T = BB->terminator();
+    if (T.BOp != BranchOp::BEQ && T.BOp != BranchOp::BNE)
+      continue;
+    if (T.PointerCompare)
+      ++Annotated;
+    else
+      ++Unannotated;
+  }
+  EXPECT_EQ(Annotated, 2u) << "p == 0 and if (p)";
+  EXPECT_GE(Unannotated, 1u) << "x == 3 stays unannotated";
+}
+
+TEST(LoweringTest, WhileLoopsAreRotated) {
+  // Rotated shape: the loop's bottom test is a backedge branch; the
+  // guard before the loop is a *non-loop* branch (the paper's
+  // "if-then around a do-until").
+  auto M = compileBody("int i = 0; int s = 0;\n"
+                       "while (i < arg(0)) { s += i; i++; }\n"
+                       "return s;");
+  const Function *Main = M->findFunction("main");
+  DomTree DT = DomTree::computeDominators(*Main);
+  LoopInfo LI(*Main, DT);
+  ASSERT_EQ(LI.loops().size(), 1u);
+
+  unsigned LoopBranches = 0, NonLoopBranches = 0;
+  bool BackedgeBranchFound = false;
+  for (const auto &BB : *Main) {
+    if (!BB->isCondBranch())
+      continue;
+    if (LI.isLoopBranch(BB.get())) {
+      ++LoopBranches;
+      if (LI.isBackedge(BB.get(), 0) || LI.isBackedge(BB.get(), 1))
+        BackedgeBranchFound = true;
+    } else {
+      ++NonLoopBranches;
+    }
+  }
+  EXPECT_EQ(LoopBranches, 1u) << "the bottom test";
+  EXPECT_EQ(NonLoopBranches, 1u) << "the replicated guard";
+  EXPECT_TRUE(BackedgeBranchFound);
+}
+
+TEST(LoweringTest, DoWhileHasNoGuard) {
+  auto M = compileBody("int i = 0;\n"
+                       "do { i++; } while (i < 10);\n"
+                       "return i;");
+  const Function *Main = M->findFunction("main");
+  DomTree DT = DomTree::computeDominators(*Main);
+  LoopInfo LI(*Main, DT);
+  unsigned CondBranches = 0;
+  for (const auto &BB : *Main)
+    if (BB->isCondBranch())
+      ++CondBranches;
+  EXPECT_EQ(CondBranches, 1u) << "do-while tests only at the bottom";
+  EXPECT_EQ(LI.loops().size(), 1u);
+}
+
+TEST(LoweringTest, GlobalsAddressedOffGp) {
+  auto M = minic::compileOrDie("int g; int main() { g = 5; return g; }");
+  const Function *Main = M->findFunction("main");
+  bool StoreOffGp = false, LoadOffGp = false;
+  for (const auto &BB : *Main)
+    for (const Instruction &I : BB->instructions()) {
+      if (I.Op == Opcode::Store && I.SrcA == GpReg)
+        StoreOffGp = true;
+      if (I.Op == Opcode::Load && I.SrcA == GpReg)
+        LoadOffGp = true;
+    }
+  EXPECT_TRUE(StoreOffGp);
+  EXPECT_TRUE(LoadOffGp);
+}
+
+TEST(LoweringTest, AggregateLocalsAddressedOffSp) {
+  auto M = compileBody("int a[4]; a[0] = 1; a[1] = a[0] + 1; "
+                       "return a[1];");
+  const Function *Main = M->findFunction("main");
+  EXPECT_GT(Main->getFrameSize(), 0u);
+  bool SpAddressing = false;
+  for (const auto &BB : *Main)
+    for (const Instruction &I : BB->instructions())
+      if (I.Op == Opcode::Add && I.SrcA == SpReg && I.BIsImm)
+        SpAddressing = true;
+  EXPECT_TRUE(SpAddressing);
+}
+
+TEST(LoweringTest, ScalarLocalsStayInRegisters) {
+  auto M = compileBody("int x = 1; int y = 2; int z;\n"
+                       "z = x + y; z = z * 2; return z;");
+  const Function *Main = M->findFunction("main");
+  EXPECT_EQ(Main->getFrameSize(), 0u) << "no stack traffic for scalars";
+  for (const auto &BB : *Main)
+    for (const Instruction &I : BB->instructions()) {
+      EXPECT_NE(I.Op, Opcode::Load);
+      EXPECT_NE(I.Op, Opcode::Store);
+    }
+}
+
+TEST(LoweringTest, AddressTakenLocalGetsSlot) {
+  auto M = compileBody("int x = 1; int *p = &x; *p = 7; return x;");
+  const Function *Main = M->findFunction("main");
+  EXPECT_GE(Main->getFrameSize(), 8u);
+}
+
+TEST(LoweringTest, CopyCoalescingIntoLoadResult) {
+  // head = head->next must end as a load whose destination is head's
+  // register — not load-then-move — so the Pointer heuristic can match
+  // the pattern at the bottom-of-loop test.
+  auto M = minic::compileOrDie(
+      "struct n { struct n *next; };\n"
+      "int main() {\n"
+      "  struct n *head = 0; int c = 0;\n"
+      "  while (head != 0) { c++; head = head->next; }\n"
+      "  return c;\n"
+      "}");
+  const Function *Main = M->findFunction("main");
+  bool LoadFeedsBranch = false;
+  for (const auto &BB : *Main) {
+    if (!BB->isCondBranch())
+      continue;
+    const Terminator &T = BB->terminator();
+    for (const Instruction &I : BB->instructions())
+      if (I.isLoad() && I.def() == T.Lhs)
+        LoadFeedsBranch = true;
+  }
+  EXPECT_TRUE(LoadFeedsBranch);
+}
+
+TEST(LoweringTest, StringLiteralsInternedOnce) {
+  auto M = compileBody("print_str(\"hello\"); print_str(\"hello\"); "
+                       "print_str(\"world\"); return 0;");
+  // Two distinct strings: "hello\0" and "world\0" = 12 bytes, padded.
+  // Duplicate "hello" must not grow the image.
+  EXPECT_LE(M->getGlobalSize(), 24u);
+}
+
+TEST(LoweringTest, ShortCircuitCreatesBranchesNotOps) {
+  auto M = compileBody("int x = arg(0); int y = arg(1);\n"
+                       "if (x > 0 && y > 0) { return 1; } return 0;");
+  auto Ops = branchOps(*M);
+  // Two bgtz branches, one per operand.
+  unsigned Bgtz = 0;
+  for (BranchOp O : Ops)
+    if (O == BranchOp::BGTZ)
+      ++Bgtz;
+  EXPECT_EQ(Bgtz, 2u);
+}
+
+TEST(LoweringTest, ImplicitReturnForVoidAndValue) {
+  auto M = minic::compileOrDie("void f() { } int g() { if (arg(0)) "
+                               "{ return 1; } } int main() "
+                               "{ f(); return g(); }");
+  // All functions verify (done inside compile); execution-safe too.
+  EXPECT_EQ(M->numFunctions(), 3u);
+}
+
+TEST(LoweringTest, PrintedIrMentionsExpectedPieces) {
+  auto M = compileBody("double d = 2.0; if (d == 2.0) { return 1; } "
+                       "return 0;");
+  std::string Text = printModule(*M);
+  EXPECT_NE(Text.find("c.eq.d"), std::string::npos);
+  EXPECT_NE(Text.find("bc1t"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,119 @@
+//===- tests/EvaluationEdgeTest.cpp - Evaluation corner cases -------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+#include "predict/Ordering.h"
+#include "vm/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace bpfree;
+
+namespace {
+
+TEST(RatioTest, Basics) {
+  Ratio R;
+  EXPECT_EQ(R.rate(), 0.0) << "empty ratio is 0, not NaN";
+  R.add(1, 4);
+  R.add(1, 4);
+  EXPECT_DOUBLE_EQ(R.rate(), 0.25);
+}
+
+TEST(BranchStatsTest, MissAccounting) {
+  BranchStats S;
+  S.Taken = 30;
+  S.Fallthru = 10;
+  EXPECT_EQ(S.total(), 40u);
+  EXPECT_EQ(S.missesFor(DirTaken), 10u);
+  EXPECT_EQ(S.missesFor(DirFallthru), 30u);
+  EXPECT_EQ(S.perfectMisses(), 10u);
+}
+
+TEST(BranchStatsTest, HeuristicMaskAccessors) {
+  BranchStats S;
+  unsigned G = static_cast<unsigned>(HeuristicKind::Guard);
+  S.AppliesMask = static_cast<uint8_t>(1u << G);
+  S.DirMask = static_cast<uint8_t>(1u << G);
+  EXPECT_TRUE(S.heuristicApplies(HeuristicKind::Guard));
+  EXPECT_FALSE(S.heuristicApplies(HeuristicKind::Opcode));
+  EXPECT_EQ(S.heuristicDir(HeuristicKind::Guard), DirFallthru);
+}
+
+TEST(EvaluationEdge, NeverExecutedModule) {
+  // Compile but never run: all counts zero; every computation must be
+  // well-defined.
+  auto M = minic::compileOrDie(
+      "int main() { int i; int s = 0; for (i = 0; i < 10; i++) "
+      "{ s += i; } return s; }");
+  PredictionContext Ctx(*M);
+  EdgeProfile EmptyProfile(*M);
+  std::vector<BranchStats> Stats = collectBranchStats(Ctx, EmptyProfile);
+  EXPECT_FALSE(Stats.empty());
+
+  LoopNonLoopBreakdown B = computeLoopNonLoopBreakdown(Stats);
+  EXPECT_EQ(B.TotalExecs, 0u);
+  EXPECT_EQ(B.nonLoopFraction(), 0.0);
+  EXPECT_EQ(B.LoopPredictorMiss.rate(), 0.0);
+
+  CombinedResult C = computeCombined(Stats);
+  EXPECT_EQ(C.AllMiss.Den, 0u);
+  EXPECT_EQ(C.coverage(), 0.0);
+
+  OrderEvaluator Eval(Stats);
+  EXPECT_EQ(Eval.totalExecs(), 0u);
+  EXPECT_EQ(Eval.missRate(paperOrder()), 0.0);
+}
+
+TEST(EvaluationEdge, StatsCoverEveryStaticBranch) {
+  auto M = minic::compileOrDie(
+      "int f(int x) { if (x > 0) { return 1; } return 0; }\n"
+      "int main() { return f(arg(0)); }");
+  PredictionContext Ctx(*M);
+  EdgeProfile Profile(*M);
+  std::vector<BranchStats> Stats = collectBranchStats(Ctx, Profile);
+  size_t Branches = 0;
+  for (const auto &F : *M)
+    Branches += F->countCondBranches();
+  EXPECT_EQ(Stats.size(), Branches);
+}
+
+TEST(EvaluationEdge, RandomSeedChangesDefaultDirections) {
+  auto M = minic::compileOrDie(
+      "int main() { int i; int s = 0; for (i = 0; i < 40; i++) "
+      "{ if ((i * 7 + 3) % 5 < 2) { s++; } } return s; }");
+  PredictionContext Ctx(*M);
+  EdgeProfile Profile(*M);
+  Interpreter Interp(*M);
+  ASSERT_TRUE(Interp.run(Dataset(), {&Profile}).ok());
+  auto A = collectBranchStats(Ctx, Profile, {}, /*RandomSeed=*/1);
+  auto B = collectBranchStats(Ctx, Profile, {}, /*RandomSeed=*/2);
+  ASSERT_EQ(A.size(), B.size());
+  // Same structural facts regardless of seed.
+  for (size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A[I].AppliesMask, B[I].AppliesMask);
+    EXPECT_EQ(A[I].IsLoopBranch, B[I].IsLoopBranch);
+    EXPECT_EQ(A[I].Taken, B[I].Taken);
+  }
+}
+
+TEST(OrderingEdge, SingleBenchmarkSelection) {
+  std::vector<std::vector<double>> One(1,
+                                       std::vector<double>(NumOrders, 0.3));
+  One[0][1234] = 0.1;
+  OrderSelectionResult R = runOrderSelection(One, 1);
+  EXPECT_EQ(R.NumTrials, 1u);
+  EXPECT_EQ(R.Frequency[1234], 1u);
+  EXPECT_EQ(R.DistinctOrders, 1u);
+}
+
+TEST(OrderingEdge, FullSizeSubsetsAreOneTrial) {
+  std::vector<std::vector<double>> Three(
+      3, std::vector<double>(NumOrders, 0.5));
+  OrderSelectionResult R = runOrderSelection(Three, 3);
+  EXPECT_EQ(R.NumTrials, 1u);
+}
+
+} // namespace

@@ -1,0 +1,407 @@
+//===- tests/ExecTest.cpp - End-to-end MiniC execution tests --------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles MiniC programs and runs them in the VM, checking outputs,
+/// exit values, trap behavior, and observer events. This is the
+/// substrate integration test: frontend -> IR -> interpreter.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+#include "vm/EdgeProfile.h"
+#include "vm/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace bpfree;
+
+namespace {
+
+RunResult runSource(const std::string &Src, Dataset Data = Dataset(),
+                    RunLimits Limits = RunLimits()) {
+  auto M = minic::compile(Src);
+  EXPECT_TRUE(M.hasValue()) << (M ? "" : M.error().render());
+  if (!M)
+    return RunResult();
+  Interpreter Interp(**M, Limits);
+  return Interp.run(Data);
+}
+
+TEST(ExecTest, ReturnValue) {
+  RunResult R = runSource("int main() { return 42; }");
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(R.ExitValue, 42);
+}
+
+TEST(ExecTest, Arithmetic) {
+  RunResult R = runSource(
+      "int main() { return (7 + 3) * 2 - 6 / 2 - (17 % 5); }");
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(R.ExitValue, 20 - 3 - 2);
+}
+
+TEST(ExecTest, NegativeDivisionAndRemainder) {
+  RunResult R = runSource("int main() { return -7 / 2 * 100 + -7 % 2; }");
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(R.ExitValue, -300 - 1) << "C truncating semantics";
+}
+
+TEST(ExecTest, Bitwise) {
+  RunResult R = runSource("int main() { return ((5 & 3) << 4) | (8 >> 2) "
+                          "| (1 ^ 3); }");
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(R.ExitValue, ((5 & 3) << 4) | (8 >> 2) | (1 ^ 3));
+}
+
+TEST(ExecTest, ComparisonValues) {
+  RunResult R = runSource(
+      "int main() { return (1 < 2) + (2 <= 2) + (3 > 2) + (2 >= 3) * 10 "
+      "+ (4 == 4) + (4 != 4) * 100; }");
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(R.ExitValue, 1 + 1 + 1 + 0 + 1 + 0);
+}
+
+TEST(ExecTest, ShortCircuit) {
+  // Division by zero on the unevaluated side must not trap.
+  RunResult R = runSource(
+      "int zero() { return 0; }\n"
+      "int main() {\n"
+      "  int a = 0;\n"
+      "  if (zero() && 1 / a) { return 1; }\n"
+      "  if (1 || 1 / a) { return 7; }\n"
+      "  return 2;\n"
+      "}");
+  EXPECT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_EQ(R.ExitValue, 7);
+}
+
+TEST(ExecTest, WhileAndForLoops) {
+  RunResult R = runSource(
+      "int main() {\n"
+      "  int s = 0; int i;\n"
+      "  for (i = 1; i <= 10; i++) { s += i; }\n"
+      "  while (s > 50) { s -= 3; }\n"
+      "  do { s++; } while (s < 52);\n"
+      "  return s;\n"
+      "}");
+  EXPECT_TRUE(R.ok());
+  int S = 55;
+  while (S > 50)
+    S -= 3;
+  do
+    S++;
+  while (S < 52);
+  EXPECT_EQ(R.ExitValue, S);
+}
+
+TEST(ExecTest, BreakContinue) {
+  RunResult R = runSource(
+      "int main() {\n"
+      "  int s = 0; int i;\n"
+      "  for (i = 0; i < 100; i++) {\n"
+      "    if (i % 2 == 0) { continue; }\n"
+      "    if (i > 10) { break; }\n"
+      "    s += i;\n"
+      "  }\n"
+      "  return s;\n"
+      "}");
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(R.ExitValue, 1 + 3 + 5 + 7 + 9);
+}
+
+TEST(ExecTest, Recursion) {
+  RunResult R = runSource(
+      "int fib(int n) { if (n < 2) { return n; } "
+      "return fib(n - 1) + fib(n - 2); }\n"
+      "int main() { return fib(15); }");
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(R.ExitValue, 610);
+}
+
+TEST(ExecTest, MutualRecursion) {
+  RunResult R = runSource(
+      "int is_even(int n) { if (n == 0) { return 1; } "
+      "return is_odd(n - 1); }\n"
+      "int is_odd(int n) { if (n == 0) { return 0; } "
+      "return is_even(n - 1); }\n"
+      "int main() { return is_even(10) * 10 + is_odd(7); }");
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(R.ExitValue, 11);
+}
+
+TEST(ExecTest, GlobalsAndInitializers) {
+  RunResult R = runSource(
+      "int g = 7; double d = 2.5; int arr[4]; char c = 65;\n"
+      "int main() {\n"
+      "  arr[0] = g; arr[1] = arr[0] * 2; arr[3] = c;\n"
+      "  return arr[1] + (int)(d * 2.0) + arr[3] + arr[2];\n"
+      "}");
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(R.ExitValue, 14 + 5 + 65 + 0);
+}
+
+TEST(ExecTest, DoubleArithmetic) {
+  RunResult R = runSource(
+      "int main() {\n"
+      "  double a = 1.5; double b = 2.25;\n"
+      "  double c = a * b + a / b - (a - b);\n"
+      "  return (int)(c * 1000.0);\n"
+      "}");
+  EXPECT_TRUE(R.ok());
+  double C = 1.5 * 2.25 + 1.5 / 2.25 - (1.5 - 2.25);
+  EXPECT_EQ(R.ExitValue, static_cast<int64_t>(C * 1000.0));
+}
+
+TEST(ExecTest, DoubleComparisons) {
+  RunResult R = runSource(
+      "int main() {\n"
+      "  double a = 1.5; double b = 2.5; int s = 0;\n"
+      "  if (a < b) { s += 1; }\n"
+      "  if (a > b) { s += 10; }\n"
+      "  if (a <= 1.5) { s += 100; }\n"
+      "  if (a >= 1.6) { s += 1000; }\n"
+      "  if (a == 1.5) { s += 10000; }\n"
+      "  if (a != 1.5) { s += 100000; }\n"
+      "  s += (a < b);\n"
+      "  return s;\n"
+      "}");
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(R.ExitValue, 1 + 100 + 10000 + 1);
+}
+
+TEST(ExecTest, IntDoubleConversions) {
+  RunResult R = runSource(
+      "int main() {\n"
+      "  double d = 7; int i = 2.9; int j = -2.9;\n"
+      "  return (int)(d + 0.5) * 100 + i * 10 + j;\n"
+      "}");
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(R.ExitValue, 700 + 20 - 2) << "double->int truncates toward 0";
+}
+
+TEST(ExecTest, PointersAndAddressOf) {
+  RunResult R = runSource(
+      "void bump(int *p) { *p = *p + 5; }\n"
+      "int main() {\n"
+      "  int x = 10;\n"
+      "  int *p = &x;\n"
+      "  bump(p);\n"
+      "  *p += 2;\n"
+      "  return x;\n"
+      "}");
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(R.ExitValue, 17);
+}
+
+TEST(ExecTest, PointerArithmetic) {
+  RunResult R = runSource(
+      "int a[10];\n"
+      "int main() {\n"
+      "  int *p = a; int *q;\n"
+      "  int i;\n"
+      "  for (i = 0; i < 10; i++) { a[i] = i * i; }\n"
+      "  q = p + 7;\n"
+      "  return *q + (q - p);\n"
+      "}");
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(R.ExitValue, 49 + 7);
+}
+
+TEST(ExecTest, CharsAndStrings) {
+  RunResult R = runSource(
+      "int main() {\n"
+      "  char buf[16];\n"
+      "  char *s = \"hi!\";\n"
+      "  int i = 0;\n"
+      "  while (s[i] != 0) { buf[i] = s[i]; i++; }\n"
+      "  buf[i] = 0;\n"
+      "  print_str(buf);\n"
+      "  return buf[0] + buf[2];\n"
+      "}");
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(R.Output, "hi!");
+  EXPECT_EQ(R.ExitValue, 'h' + '!');
+}
+
+TEST(ExecTest, CharSignExtension) {
+  RunResult R = runSource(
+      "int main() { char c = 200; if (c < 0) { return 1; } return 0; }");
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(R.ExitValue, 0) << "register-resident char is not re-narrowed";
+  R = runSource("char g;\n"
+                "int main() { g = 200; if (g < 0) { return 1; } "
+                "return 0; }");
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(R.ExitValue, 1) << "memory chars are signed 8-bit";
+}
+
+TEST(ExecTest, StructsAndMalloc) {
+  RunResult R = runSource(
+      "struct node { int v; struct node *next; };\n"
+      "int main() {\n"
+      "  struct node *head = 0;\n"
+      "  int i; int sum = 0;\n"
+      "  for (i = 0; i < 10; i++) {\n"
+      "    struct node *n = malloc(sizeof(struct node));\n"
+      "    n->v = i; n->next = head; head = n;\n"
+      "  }\n"
+      "  while (head != 0) { sum = sum * 10 + head->v; head = head->next; }\n"
+      "  return sum % 100000;\n"
+      "}");
+  EXPECT_TRUE(R.ok()) << R.TrapMessage;
+  // List is 9,8,...,0 -> digits 9876543210; mod 1e5 = 43210.
+  EXPECT_EQ(R.ExitValue, 43210);
+}
+
+TEST(ExecTest, StructByValueMembers) {
+  RunResult R = runSource(
+      "struct pt { int x; int y; double w; };\n"
+      "int main() {\n"
+      "  struct pt p;\n"
+      "  p.x = 3; p.y = 4; p.w = 1.5;\n"
+      "  return p.x * p.y + (int)p.w;\n"
+      "}");
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(R.ExitValue, 13);
+}
+
+TEST(ExecTest, IncDecSemantics) {
+  RunResult R = runSource(
+      "int main() {\n"
+      "  int a = 5; int r = 0;\n"
+      "  r += a++;\n" // 5, a=6
+      "  r += ++a;\n" // 7, a=7
+      "  r += a--;\n" // 7, a=6
+      "  r += --a;\n" // 5, a=5
+      "  return r * 10 + a;\n"
+      "}");
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(R.ExitValue, 24 * 10 + 5);
+}
+
+TEST(ExecTest, PrintIntrinsics) {
+  RunResult R = runSource(
+      "int main() {\n"
+      "  print_int(-42);\n"
+      "  print_char(44);\n"
+      "  print_double(2.5);\n"
+      "  print_char(10);\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(R.Output, "-42,2.5\n");
+}
+
+TEST(ExecTest, DatasetIntrinsics) {
+  Dataset D("t", {10, 20}, {5, 6, 7});
+  RunResult R = runSource(
+      "int main() { return arg(0) + arg(1) + arg(9) + input_len() * 100 "
+      "+ input_byte(2) + input_byte(99); }",
+      D);
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(R.ExitValue, 10 + 20 + 0 + 300 + 7 + 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Traps and limits
+//===----------------------------------------------------------------------===//
+
+TEST(ExecTest, DivisionByZeroTraps) {
+  RunResult R = runSource("int main() { int a = 0; return 5 / a; }");
+  EXPECT_EQ(R.Status, RunStatus::Trap);
+  EXPECT_NE(R.TrapMessage.find("division by zero"), std::string::npos);
+}
+
+TEST(ExecTest, NullDereferenceTraps) {
+  RunResult R = runSource("int main() { int *p = 0; return *p; }");
+  EXPECT_EQ(R.Status, RunStatus::Trap);
+  EXPECT_NE(R.TrapMessage.find("out of bounds"), std::string::npos);
+}
+
+TEST(ExecTest, ExplicitTrap) {
+  RunResult R = runSource("int main() { trap(); return 0; }");
+  EXPECT_EQ(R.Status, RunStatus::Trap);
+}
+
+TEST(ExecTest, InstructionBudget) {
+  RunLimits L;
+  L.MaxInstructions = 1000;
+  RunResult R = runSource("int main() { int i = 0; while (1) { i++; } "
+                          "return i; }",
+                          Dataset(), L);
+  EXPECT_EQ(R.Status, RunStatus::BudgetExceeded);
+  EXPECT_EQ(R.InstrCount, 1000u);
+}
+
+TEST(ExecTest, StackOverflowTraps) {
+  RunResult R = runSource(
+      "int f(int n) { int pad[512]; pad[0] = n; return f(n + 1) + "
+      "pad[0]; }\n"
+      "int main() { return f(0); }");
+  EXPECT_EQ(R.Status, RunStatus::Trap);
+}
+
+TEST(ExecTest, FloatDivisionByZeroIsIeee) {
+  RunResult R = runSource(
+      "int main() { double z = 0.0; double x = 1.0 / z; "
+      "if (x > 1000000.0) { return 1; } return 0; }");
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(R.ExitValue, 1) << "1/0.0 is +inf, no trap";
+}
+
+//===----------------------------------------------------------------------===//
+// Observers
+//===----------------------------------------------------------------------===//
+
+TEST(ExecTest, EdgeProfileCountsBranches) {
+  auto M = minic::compileOrDie(
+      "int main() {\n"
+      "  int i; int odd = 0;\n"
+      "  for (i = 0; i < 10; i++) { if (i % 2 == 1) { odd++; } }\n"
+      "  return odd;\n"
+      "}");
+  EdgeProfile Profile(*M);
+  Interpreter Interp(*M);
+  RunResult R = Interp.run(Dataset(), {&Profile});
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(R.ExitValue, 5);
+  // The if takes each direction 5 times; total branch executions cover
+  // the loop guard + latch + if.
+  uint64_t Total = Profile.totalBranchExecutions();
+  EXPECT_GE(Total, 10u + 10u);
+  // Sum of per-branch counts is consistent across a second run.
+  EdgeProfile P2(*M);
+  Interpreter I2(*M);
+  I2.run(Dataset(), {&P2});
+  EXPECT_EQ(P2.totalBranchExecutions(), Total) << "determinism";
+}
+
+TEST(ExecTest, EdgeProfileMerge) {
+  auto M = minic::compileOrDie(
+      "int main() { int i; int s = 0; for (i = 0; i < arg(0); i++) "
+      "{ s += i; } return s; }");
+  EdgeProfile A(*M), B(*M);
+  Interpreter Interp(*M);
+  Interp.run(Dataset("a", {5}), {&A});
+  Interp.run(Dataset("b", {9}), {&B});
+  uint64_t TotalA = A.totalBranchExecutions();
+  uint64_t TotalB = B.totalBranchExecutions();
+  A.merge(B);
+  EXPECT_EQ(A.totalBranchExecutions(), TotalA + TotalB);
+}
+
+TEST(ExecTest, OutputDeterminism) {
+  const char *Src = "int main() { int i; for (i = 0; i < 5; i++) "
+                    "{ print_int(i * 7); print_char(32); } return 0; }";
+  RunResult R1 = runSource(Src);
+  RunResult R2 = runSource(Src);
+  EXPECT_EQ(R1.Output, "0 7 14 21 28 ");
+  EXPECT_EQ(R1.Output, R2.Output);
+  EXPECT_EQ(R1.InstrCount, R2.InstrCount);
+}
+
+} // namespace

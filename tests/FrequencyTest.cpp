@@ -1,0 +1,135 @@
+//===- tests/FrequencyTest.cpp - Static profile estimation tests ----------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+#include "predict/Frequency.h"
+#include "workloads/Driver.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace bpfree;
+using namespace bpfree::ir;
+
+namespace {
+
+TEST(FrequencyTest, StraightLineIsAllOnes) {
+  auto M = minic::compileOrDie("int main() { int a = 1; a += 2; "
+                               "return a; }");
+  const Function *Main = M->findFunction("main");
+  std::vector<double> F =
+      estimateBlockFrequencies(*Main, uniformOracle());
+  // One reachable chain of frequency 1 (dead merged shells get 0).
+  EXPECT_DOUBLE_EQ(F[Main->getEntry()->getId()], 1.0);
+}
+
+TEST(FrequencyTest, DiamondSplitsByProbability) {
+  auto M = minic::compileOrDie(
+      "int main() { int x = arg(0); int s;\n"
+      "  if (x < 0) { s = 1; } else { s = 2; }\n"
+      "  return s; }");
+  const Function *Main = M->findFunction("main");
+  // Find the branch block and its two arms.
+  const BasicBlock *Branch = nullptr;
+  for (const auto &BB : *Main)
+    if (BB->isCondBranch())
+      Branch = BB.get();
+  ASSERT_NE(Branch, nullptr);
+
+  // Oracle: 30% taken.
+  std::vector<double> F = estimateBlockFrequencies(
+      *Main, [&](const BasicBlock &BB) {
+        return &BB == Branch ? 0.3 : 0.5;
+      });
+  EXPECT_NEAR(F[Branch->terminator().Taken->getId()], 0.3, 1e-9);
+  EXPECT_NEAR(F[Branch->terminator().Fallthru->getId()], 0.7, 1e-9);
+}
+
+TEST(FrequencyTest, LoopFrequencyIsGeometricSeries) {
+  // A rotated loop whose backedge probability is p executes the body
+  // 1/(1-p) times per entry (after the guard admits it).
+  auto M = minic::compileOrDie(
+      "int main() { int i = 0;\n"
+      "  while (i < arg(0)) { i++; }\n"
+      "  return i; }");
+  const Function *Main = M->findFunction("main");
+  // Identify guard (non-loop) and latch (backedge) branches.
+  PredictionContext Ctx(*M);
+  const FunctionContext &FC = Ctx.get(*Main);
+  const BasicBlock *Latch = nullptr;
+  for (const auto &BB : *Main)
+    if (BB->isCondBranch() && FC.Loops.isLoopBranch(BB.get()))
+      Latch = BB.get();
+  ASSERT_NE(Latch, nullptr);
+
+  double P = 0.9; // iterate with probability 0.9
+  std::vector<double> F = estimateBlockFrequencies(
+      *Main, [&](const BasicBlock &BB) {
+        if (&BB == Latch)
+          return FC.Loops.predictLoopBranch(Latch) == 0 ? P : 1.0 - P;
+        return 0.5; // the guard: half the entries reach the loop
+      });
+  // Body frequency: guard admits 0.5; each admission iterates
+  // geometrically: 0.5 * 1/(1-0.9) = 5.
+  double BodyFreq = F[Latch->getId()];
+  EXPECT_NEAR(BodyFreq, 5.0, 0.01);
+}
+
+TEST(FrequencyTest, CapPreventsDivergence) {
+  auto M = minic::compileOrDie(
+      "int main() { int i = 0; while (i < arg(0)) { i++; } return i; }");
+  const Function *Main = M->findFunction("main");
+  // Probability 1 of iterating would diverge; the clamp keeps it
+  // finite and below the cap.
+  std::vector<double> F = estimateBlockFrequencies(
+      *Main, [](const BasicBlock &) { return 1.0; }, 1e6);
+  for (double V : F) {
+    EXPECT_TRUE(std::isfinite(V));
+    EXPECT_LE(V, 1e6);
+  }
+}
+
+TEST(FrequencyTest, PerfectOracleScoresHighest) {
+  for (const char *Name : {"treesort", "grep", "circuit"}) {
+    auto Run = runWorkload(*findWorkload(Name), 0);
+    WuLarusPredictor WL(*Run->Ctx,
+                        HeuristicPriors::measured(Run->Stats));
+
+    FrequencyQuality Perfect = scoreFrequencies(
+        *Run->M, perfectOracle(*Run->Profile), *Run->Profile);
+    FrequencyQuality Heur =
+        scoreFrequencies(*Run->M, wuLarusOracle(WL), *Run->Profile);
+    FrequencyQuality Coin =
+        scoreFrequencies(*Run->M, uniformOracle(), *Run->Profile);
+
+    EXPECT_GT(Perfect.BlocksScored, 10u) << Name;
+    EXPECT_GT(Perfect.SpearmanRho, 0.7)
+        << Name << ": true probabilities must rank blocks well";
+    // NOTE: perfect *marginal* probabilities are not a strict upper
+    // bound — frequency propagation assumes branch independence, so
+    // correlated branches can make heuristic probabilities rank
+    // better by accident. Only require both to carry strong signal.
+    EXPECT_GT(Heur.SpearmanRho, 0.3)
+        << Name << ": static profile must carry signal";
+    EXPECT_GE(Heur.SpearmanRho, Coin.SpearmanRho - 0.15) << Name;
+  }
+}
+
+TEST(FrequencyTest, UnexecutedFunctionsAreSkipped) {
+  auto M = minic::compileOrDie(
+      "int unused() { return 1; }\n"
+      "int main() { return 0; }");
+  EdgeProfile Profile(*M);
+  Interpreter Interp(*M);
+  ASSERT_TRUE(Interp.run(Dataset(), {&Profile}).ok());
+  FrequencyQuality Q =
+      scoreFrequencies(*M, uniformOracle(), Profile);
+  // Only main's single block chain is scored.
+  EXPECT_LE(Q.BlocksScored, 3u);
+}
+
+} // namespace

@@ -1,0 +1,318 @@
+//===- tests/FrontendEdgeTest.cpp - MiniC corner-case execution tests -----===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Execution-level tests of MiniC corners: nested structs, arrays of
+/// structs, pointer-to-pointer, struct fields of every kind, scoping,
+/// conversion corners, operator interactions — the places where a
+/// frontend quietly miscompiles.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+#include "vm/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace bpfree;
+
+namespace {
+
+int64_t run(const std::string &Src, Dataset Data = Dataset()) {
+  auto M = minic::compile(Src);
+  EXPECT_TRUE(M.hasValue()) << (M ? "" : M.error().render());
+  if (!M)
+    return -999999;
+  Interpreter Interp(**M);
+  RunResult R = Interp.run(Data);
+  EXPECT_TRUE(R.ok()) << R.TrapMessage;
+  return R.ExitValue;
+}
+
+TEST(FrontendEdge, NestedStructsByValue) {
+  EXPECT_EQ(run("struct inner { int x; int y; };\n"
+                "struct outer { int a; struct inner in; int b; };\n"
+                "int main() {\n"
+                "  struct outer o;\n"
+                "  o.a = 1; o.in.x = 2; o.in.y = 3; o.b = 4;\n"
+                "  return o.a * 1000 + o.in.x * 100 + o.in.y * 10 + o.b;\n"
+                "}"),
+            1234);
+}
+
+TEST(FrontendEdge, ArrayOfStructs) {
+  EXPECT_EQ(run("struct pt { int x; int y; };\n"
+                "struct pt pts[10];\n"
+                "int main() {\n"
+                "  int i;\n"
+                "  for (i = 0; i < 10; i++) { pts[i].x = i; "
+                "pts[i].y = i * i; }\n"
+                "  return pts[7].x * 100 + pts[7].y;\n"
+                "}"),
+            749);
+}
+
+TEST(FrontendEdge, PointerToStructArrayElement) {
+  EXPECT_EQ(run("struct pt { int x; int y; };\n"
+                "struct pt pts[4];\n"
+                "int main() {\n"
+                "  struct pt *p = &pts[2];\n"
+                "  p->x = 5; p->y = 7;\n"
+                "  return pts[2].x * 10 + pts[2].y;\n"
+                "}"),
+            57);
+}
+
+TEST(FrontendEdge, PointerToPointer) {
+  EXPECT_EQ(run("int main() {\n"
+                "  int x = 3;\n"
+                "  int *p = &x;\n"
+                "  int **pp = &p;\n"
+                "  **pp = 9;\n"
+                "  return x + **pp;\n"
+                "}"),
+            18);
+}
+
+TEST(FrontendEdge, StructWithMixedFieldKinds) {
+  EXPECT_EQ(run("struct rec { char tag; double w; int n; char name[3]; "
+                "struct rec *next; };\n"
+                "int main() {\n"
+                "  struct rec r;\n"
+                "  r.tag = 65; r.w = 2.5; r.n = 10;\n"
+                "  r.name[0] = 104; r.name[1] = 105; r.name[2] = 0;\n"
+                "  r.next = &r;\n"
+                "  return (int)(r.w * (double)r.n) + r.tag + "
+                "r.next->name[1];\n"
+                "}"),
+            25 + 65 + 105);
+}
+
+TEST(FrontendEdge, CharArithmeticAndComparison) {
+  EXPECT_EQ(run("int main() {\n"
+                "  char a = 'z'; char b = 'a';\n"
+                "  int d = a - b;\n"
+                "  if (a > b && b >= 'a' && a <= 'z') { return d; }\n"
+                "  return -1;\n"
+                "}"),
+            25);
+}
+
+TEST(FrontendEdge, ForScopeShadowing) {
+  EXPECT_EQ(run("int main() {\n"
+                "  int i = 100; int s = 0;\n"
+                "  for (int i = 0; i < 3; i++) { s += i; }\n"
+                "  return s * 1000 + i;\n"
+                "}"),
+            3100);
+}
+
+TEST(FrontendEdge, DoubleToIntInConditions) {
+  EXPECT_EQ(run("int main() {\n"
+                "  double d = 0.4;\n"
+                "  int hits = 0;\n"
+                "  if (d) { hits += 1; }\n"        // 0.4 != 0.0
+                "  d = 0.0;\n"
+                "  if (d) { hits += 10; }\n"
+                "  if (!d) { hits += 100; }\n"
+                "  return hits;\n"
+                "}"),
+            101);
+}
+
+TEST(FrontendEdge, MixedIntDoubleComparisons) {
+  EXPECT_EQ(run("int main() {\n"
+                "  int i = 3; double d = 3.5; int s = 0;\n"
+                "  if (i < d) { s += 1; }\n"
+                "  if (d > i) { s += 10; }\n"
+                "  if (i == 3.0) { s += 100; }\n"
+                "  return s;\n"
+                "}"),
+            111);
+}
+
+TEST(FrontendEdge, CompoundAssignOnMemoryLValues) {
+  EXPECT_EQ(run("int g = 5;\n"
+                "int arr[3];\n"
+                "int main() {\n"
+                "  g += 2; g *= 3;\n"
+                "  arr[1] = 4; arr[1] -= 1; arr[1] *= arr[1];\n"
+                "  return g * 100 + arr[1];\n"
+                "}"),
+            2109);
+}
+
+TEST(FrontendEdge, CompoundAssignEvaluatesAddressOnce) {
+  // a[next()] += 1 with a side-effecting index must bump exactly one
+  // element.
+  EXPECT_EQ(run("int calls = 0;\n"
+                "int a[10];\n"
+                "int next() { calls++; return calls; }\n"
+                "int main() {\n"
+                "  a[next()] += 5;\n"
+                "  return calls * 100 + a[1];\n"
+                "}"),
+            105);
+}
+
+TEST(FrontendEdge, IncDecOnPointers) {
+  EXPECT_EQ(run("int a[5];\n"
+                "int main() {\n"
+                "  int *p = a; int i;\n"
+                "  for (i = 0; i < 5; i++) { a[i] = i * 10; }\n"
+                "  p++;\n"       // -> a[1]
+                "  ++p;\n"       // -> a[2]
+                "  p--;\n"       // -> a[1]
+                "  return *p + *(p + 3);\n" // 10 + 40
+                "}"),
+            50);
+}
+
+TEST(FrontendEdge, PostfixIncInExpression) {
+  EXPECT_EQ(run("int a[4];\n"
+                "int main() {\n"
+                "  int i = 0;\n"
+                "  a[i++] = 7;\n" // stores to a[0], i becomes 1
+                "  a[i++] = 8;\n"
+                "  return a[0] * 10 + a[1] + i;\n"
+                "}"),
+            7 * 10 + 8 + 2);
+}
+
+TEST(FrontendEdge, StringEscapes) {
+  auto M = minic::compileOrDie(
+      "int main() { print_str(\"a\\tb\\\\c\\\"d\\n\"); return 0; }");
+  Interpreter Interp(*M);
+  RunResult R = Interp.run(Dataset());
+  EXPECT_EQ(R.Output, "a\tb\\c\"d\n");
+}
+
+TEST(FrontendEdge, NegativeLiteralsAndUnaryChains) {
+  EXPECT_EQ(run("int main() { return -(-5) + - - -3 + ~~7 + !!9; }"),
+            5 - 3 + 7 + 1);
+}
+
+TEST(FrontendEdge, SizeofValues) {
+  EXPECT_EQ(run("struct s { char c; int n; double d; };\n"
+                "int main() { return sizeof(int) + sizeof(char) * 100 + "
+                "sizeof(double) * 10 + sizeof(struct s) + "
+                "sizeof(int *) + sizeof(int [5]); }"),
+            8 + 100 + 80 + 24 + 8 + 40);
+}
+
+TEST(FrontendEdge, RecursiveStructTraversalDepth) {
+  // Deep recursion within the call-depth budget.
+  EXPECT_EQ(run("struct n { int v; struct n *next; };\n"
+                "int sum(struct n *p) { if (p == 0) { return 0; } "
+                "return p->v + sum(p->next); }\n"
+                "int main() {\n"
+                "  struct n *head = 0; int i;\n"
+                "  for (i = 1; i <= 1000; i++) {\n"
+                "    struct n *e = malloc(sizeof(struct n));\n"
+                "    e->v = i; e->next = head; head = e;\n"
+                "  }\n"
+                "  return sum(head) % 10007;\n"
+                "}"),
+            (1000 * 1001 / 2) % 10007);
+}
+
+TEST(FrontendEdge, GlobalDoubleInitializer) {
+  EXPECT_EQ(run("double half = 0.5; double neg = -2.25; char c = 'x';\n"
+                "int main() { return (int)(half * 8.0) + (int)(neg * "
+                "-4.0) + c; }"),
+            4 + 9 + 'x');
+}
+
+TEST(FrontendEdge, ShortCircuitSideEffects) {
+  EXPECT_EQ(run("int calls = 0;\n"
+                "int bump() { calls++; return 1; }\n"
+                "int main() {\n"
+                "  int r = 0;\n"
+                "  if (0 && bump()) { r = 1; }\n"
+                "  if (1 || bump()) { r += 2; }\n"
+                "  if (bump() && bump()) { r += 4; }\n"
+                "  return calls * 10 + r;\n"
+                "}"),
+            26);
+}
+
+TEST(FrontendEdge, WhileConditionWithSideEffectRunsOncePerTest) {
+  // Rotated loops replicate the test *statically*; dynamically each
+  // iteration must still evaluate the condition exactly once.
+  EXPECT_EQ(run("int evals = 0;\n"
+                "int check(int x) { evals++; return x < 5; }\n"
+                "int main() {\n"
+                "  int i = 0;\n"
+                "  while (check(i)) { i++; }\n"
+                "  return evals * 10 + i;\n"
+                "}"),
+            6 * 10 + 5);
+}
+
+TEST(FrontendEdge, BreakFromNestedLoops) {
+  EXPECT_EQ(run("int main() {\n"
+                "  int i; int j; int s = 0;\n"
+                "  for (i = 0; i < 5; i++) {\n"
+                "    for (j = 0; j < 5; j++) {\n"
+                "      if (j == 2) { break; }\n"
+                "      s += 1;\n"
+                "    }\n"
+                "    if (i == 3) { break; }\n"
+                "  }\n"
+                "  return s;\n" // i = 0..3, j = 0..1 each -> 8
+                "}"),
+            8);
+}
+
+TEST(FrontendEdge, ContinueInDoWhile) {
+  EXPECT_EQ(run("int main() {\n"
+                "  int i = 0; int s = 0;\n"
+                "  do {\n"
+                "    i++;\n"
+                "    if (i % 2 == 0) { continue; }\n"
+                "    s += i;\n"
+                "  } while (i < 10);\n"
+                "  return s;\n" // 1+3+5+7+9
+                "}"),
+            25);
+}
+
+TEST(FrontendEdge, CastPointerRoundTrip) {
+  EXPECT_EQ(run("struct n { int v; };\n"
+                "int main() {\n"
+                "  struct n *p = malloc(sizeof(struct n));\n"
+                "  char *raw = (char *)p;\n"
+                "  struct n *q = (struct n *)raw;\n"
+                "  q->v = 77;\n"
+                "  return p->v;\n"
+                "}"),
+            77);
+}
+
+TEST(FrontendEdge, PointerDifferenceScaling) {
+  EXPECT_EQ(run("double a[10];\n"
+                "int main() {\n"
+                "  double *p = a; double *q = &a[6];\n"
+                "  return q - p;\n"
+                "}"),
+            6);
+}
+
+TEST(FrontendEdge, DeeplyNestedExpressions) {
+  EXPECT_EQ(run("int main() { return ((((1 + 2) * (3 + 4)) - ((5 - 6) * "
+                "(7 + 8))) << 1) / 3; }"),
+            ((((1 + 2) * (3 + 4)) - ((5 - 6) * (7 + 8))) << 1) / 3);
+}
+
+TEST(FrontendEdge, CommentsEverywhere) {
+  EXPECT_EQ(run("/* header */ int /* mid */ main() { // trailing\n"
+                "  int x = 1; /* between */ x += 2;\n"
+                "  return x; // done\n"
+                "}"),
+            3);
+}
+
+} // namespace

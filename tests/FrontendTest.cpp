@@ -1,0 +1,330 @@
+//===- tests/FrontendTest.cpp - Lexer, parser, sema tests -----------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+#include "frontend/Sema.h"
+
+#include <gtest/gtest.h>
+
+using namespace bpfree;
+using namespace bpfree::minic;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+std::vector<Token> lexOrDie(const std::string &Src) {
+  auto Toks = lex(Src);
+  EXPECT_TRUE(Toks.hasValue()) << (Toks ? "" : Toks.error().render());
+  return *Toks;
+}
+
+TEST(LexerTest, Keywords) {
+  auto T = lexOrDie("int char double void struct if else while for do "
+                    "return break continue sizeof");
+  ASSERT_EQ(T.size(), 15u); // 14 keywords + EOF
+  EXPECT_EQ(T[0].Kind, TokKind::KwInt);
+  EXPECT_EQ(T[4].Kind, TokKind::KwStruct);
+  EXPECT_EQ(T[13].Kind, TokKind::KwSizeof);
+  EXPECT_EQ(T.back().Kind, TokKind::Eof);
+}
+
+TEST(LexerTest, IdentifiersAndLiterals) {
+  auto T = lexOrDie("foo _bar x42 123 3.5 1e3 'a' '\\n' \"hi\\t\"");
+  EXPECT_EQ(T[0].Kind, TokKind::Identifier);
+  EXPECT_EQ(T[0].Text, "foo");
+  EXPECT_EQ(T[1].Text, "_bar");
+  EXPECT_EQ(T[2].Text, "x42");
+  EXPECT_EQ(T[3].Kind, TokKind::IntLiteral);
+  EXPECT_EQ(T[3].IntValue, 123);
+  EXPECT_EQ(T[4].Kind, TokKind::FloatLiteral);
+  EXPECT_DOUBLE_EQ(T[4].FloatValue, 3.5);
+  EXPECT_EQ(T[5].Kind, TokKind::FloatLiteral);
+  EXPECT_DOUBLE_EQ(T[5].FloatValue, 1000.0);
+  EXPECT_EQ(T[6].Kind, TokKind::CharLiteral);
+  EXPECT_EQ(T[6].IntValue, 'a');
+  EXPECT_EQ(T[7].IntValue, '\n');
+  EXPECT_EQ(T[8].Kind, TokKind::StringLiteral);
+  EXPECT_EQ(T[8].Text, "hi\t");
+}
+
+TEST(LexerTest, Operators) {
+  auto T = lexOrDie("+ ++ += - -- -= -> * *= / /= % %= = == ! != < <= << "
+                    "> >= >> & && | || ^ ~ . , ; ( ) [ ] { }");
+  std::vector<TokKind> Expected = {
+      TokKind::Plus,     TokKind::PlusPlus,  TokKind::PlusAssign,
+      TokKind::Minus,    TokKind::MinusMinus, TokKind::MinusAssign,
+      TokKind::Arrow,    TokKind::Star,      TokKind::StarAssign,
+      TokKind::Slash,    TokKind::SlashAssign, TokKind::Percent,
+      TokKind::PercentAssign, TokKind::Assign, TokKind::EqEq,
+      TokKind::Bang,     TokKind::NotEq,     TokKind::Less,
+      TokKind::LessEq,   TokKind::Shl,       TokKind::Greater,
+      TokKind::GreaterEq, TokKind::ShrTok,   TokKind::Amp,
+      TokKind::AmpAmp,   TokKind::Pipe,      TokKind::PipePipe,
+      TokKind::Caret,    TokKind::Tilde,     TokKind::Dot,
+      TokKind::Comma,    TokKind::Semi,      TokKind::LParen,
+      TokKind::RParen,   TokKind::LBracket,  TokKind::RBracket,
+      TokKind::LBrace,   TokKind::RBrace};
+  ASSERT_EQ(T.size(), Expected.size() + 1);
+  for (size_t I = 0; I < Expected.size(); ++I)
+    EXPECT_EQ(T[I].Kind, Expected[I]) << "token " << I;
+}
+
+TEST(LexerTest, Comments) {
+  auto T = lexOrDie("a // line comment\n b /* block\n comment */ c");
+  ASSERT_EQ(T.size(), 4u);
+  EXPECT_EQ(T[0].Text, "a");
+  EXPECT_EQ(T[1].Text, "b");
+  EXPECT_EQ(T[2].Text, "c");
+}
+
+TEST(LexerTest, LineAndColumnTracking) {
+  auto T = lexOrDie("a\n  b");
+  EXPECT_EQ(T[0].Line, 1);
+  EXPECT_EQ(T[0].Column, 1);
+  EXPECT_EQ(T[1].Line, 2);
+  EXPECT_EQ(T[1].Column, 3);
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(lex("int x = @;").hasValue());
+  EXPECT_FALSE(lex("\"unterminated").hasValue());
+  EXPECT_FALSE(lex("'x").hasValue());
+  EXPECT_FALSE(lex("/* unterminated").hasValue());
+  auto E = lex("???");
+  ASSERT_FALSE(E.hasValue());
+  EXPECT_EQ(E.error().Line, 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Program> parseOrDie(const std::string &Src) {
+  auto P = parseSource(Src);
+  EXPECT_TRUE(P.hasValue()) << (P ? "" : P.error().render());
+  return P ? std::move(*P) : nullptr;
+}
+
+TEST(ParserTest, GlobalAndFunction) {
+  auto P = parseOrDie("int g = 5; double d = -2.5; int x[10];\n"
+                      "int main() { return g; }");
+  ASSERT_TRUE(P);
+  ASSERT_EQ(P->Globals.size(), 3u);
+  EXPECT_EQ(P->Globals[0]->Name, "g");
+  EXPECT_TRUE(P->Globals[0]->HasInit);
+  EXPECT_EQ(P->Globals[0]->InitInt, 5);
+  EXPECT_DOUBLE_EQ(P->Globals[1]->InitFloat, -2.5);
+  EXPECT_TRUE(P->Globals[2]->Ty.isArray());
+  EXPECT_EQ(P->Globals[2]->Ty.arrayCount(), 10u);
+  ASSERT_EQ(P->Functions.size(), 1u);
+  EXPECT_EQ(P->Functions[0]->Name, "main");
+}
+
+TEST(ParserTest, StructDefinition) {
+  auto P = parseOrDie("struct node { int key; struct node *next; };\n"
+                      "int main() { return 0; }");
+  ASSERT_TRUE(P);
+  const StructDef *S = P->findStruct("node");
+  ASSERT_NE(S, nullptr);
+  ASSERT_EQ(S->Fields.size(), 2u);
+  EXPECT_EQ(S->Fields[0].Offset, 0u);
+  EXPECT_EQ(S->Fields[1].Offset, 8u);
+  EXPECT_EQ(S->Size, 16u);
+  EXPECT_TRUE(S->Fields[1].Ty.isPointer());
+  EXPECT_EQ(S->Fields[1].Ty.pointee().structDef(), S);
+}
+
+TEST(ParserTest, StructLayoutWithCharArrays) {
+  auto P = parseOrDie("struct e { char name[5]; int count; char c; };\n"
+                      "int main() { return 0; }");
+  const StructDef *S = P->findStruct("e");
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->Fields[0].Offset, 0u);
+  EXPECT_EQ(S->Fields[1].Offset, 8u); // rounded up from 5
+  EXPECT_EQ(S->Fields[2].Offset, 16u);
+  EXPECT_EQ(S->Size, 24u); // rounded to 8
+}
+
+TEST(ParserTest, PrecedenceShape) {
+  auto P = parseOrDie("int main() { return 1 + 2 * 3 < 4 && 5 == 6; }");
+  const Expr &Root = *P->Functions[0]->Body->Body[0]->Value;
+  ASSERT_EQ(Root.Kind, ExprKind::Binary);
+  EXPECT_EQ(Root.BOp, BinOp::LogAnd);
+  EXPECT_EQ(Root.Lhs->BOp, BinOp::Lt);
+  EXPECT_EQ(Root.Lhs->Lhs->BOp, BinOp::Add);
+  EXPECT_EQ(Root.Lhs->Lhs->Rhs->BOp, BinOp::Mul);
+  EXPECT_EQ(Root.Rhs->BOp, BinOp::Eq);
+}
+
+TEST(ParserTest, CastVsParen) {
+  auto P = parseOrDie("int main() { int x; double d; d = 1.5;"
+                      " x = (int)d; x = (x); return x; }");
+  ASSERT_TRUE(P);
+  const auto &Body = P->Functions[0]->Body->Body;
+  // x = (int)d
+  EXPECT_EQ(Body[3]->Value->Rhs->Kind, ExprKind::Cast);
+  // x = (x)
+  EXPECT_EQ(Body[4]->Value->Rhs->Kind, ExprKind::VarRef);
+}
+
+TEST(ParserTest, ControlFlowForms) {
+  auto P = parseOrDie(
+      "int main() {\n"
+      "  int i; int s = 0;\n"
+      "  for (i = 0; i < 10; i++) { s += i; }\n"
+      "  while (s > 0) { s--; if (s == 5) break; else continue; }\n"
+      "  do { s++; } while (s < 3);\n"
+      "  return s;\n"
+      "}");
+  ASSERT_TRUE(P);
+  const auto &Body = P->Functions[0]->Body->Body;
+  EXPECT_EQ(Body[2]->Kind, StmtKind::For);
+  EXPECT_EQ(Body[3]->Kind, StmtKind::While);
+  EXPECT_EQ(Body[4]->Kind, StmtKind::DoWhile);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(parseSource("int main( { }").hasValue());
+  EXPECT_FALSE(parseSource("int main() { return 1 }").hasValue());
+  EXPECT_FALSE(parseSource("int x[0];").hasValue());
+  EXPECT_FALSE(parseSource("struct s { };").hasValue());
+  EXPECT_FALSE(parseSource("struct s { int a; }; struct s { int b; };")
+                   .hasValue());
+  EXPECT_FALSE(parseSource("int main() { int x = ; }").hasValue());
+  EXPECT_FALSE(parseSource("struct t x;").hasValue()) << "unknown struct";
+}
+
+TEST(ParserTest, SelfReferentialStructByValueRejected) {
+  EXPECT_FALSE(
+      parseSource("struct s { struct s inner; }; int main() { return 0; }")
+          .hasValue());
+}
+
+//===----------------------------------------------------------------------===//
+// Sema
+//===----------------------------------------------------------------------===//
+
+Diag semaError(const std::string &Src) {
+  auto P = parseSource(Src);
+  EXPECT_TRUE(P.hasValue()) << "parse failed: "
+                            << (P ? "" : P.error().render());
+  if (!P)
+    return Diag("parse failed");
+  auto R = analyze(**P);
+  EXPECT_FALSE(R.hasValue()) << "expected sema error";
+  return R ? Diag("no error") : R.error();
+}
+
+bool semaOk(const std::string &Src) {
+  auto P = parseSource(Src);
+  if (!P)
+    return false;
+  return analyze(**P).hasValue();
+}
+
+TEST(SemaTest, AcceptsValidPrograms) {
+  EXPECT_TRUE(semaOk("int main() { return 0; }"));
+  EXPECT_TRUE(semaOk("int f(int a, int b) { return a + b; }\n"
+                     "int main() { return f(1, 2); }"));
+  EXPECT_TRUE(semaOk("struct p { int x; int y; };\n"
+                     "int main() { struct p a; a.x = 1; return a.x; }"));
+  EXPECT_TRUE(semaOk("int main() { int *p; p = 0; if (p) { return 1; } "
+                     "return 0; }"));
+  EXPECT_TRUE(semaOk("int main() { double d = 1; int i = 2.5; return i; }"))
+      << "implicit arithmetic conversions";
+  EXPECT_TRUE(semaOk("int main() { char *s; s = malloc(10); return 0; }"));
+  EXPECT_TRUE(
+      semaOk("struct n { struct n *next; };\n"
+             "int main() { struct n *p; p = malloc(sizeof(struct n));"
+             " p->next = 0; return p->next == 0; }"));
+}
+
+TEST(SemaTest, UndeclaredAndRedefined) {
+  EXPECT_NE(semaError("int main() { return zzz; }").Message.find("undeclared"),
+            std::string::npos);
+  EXPECT_NE(semaError("int main() { int a; int a; return 0; }")
+                .Message.find("redefinition"),
+            std::string::npos);
+  EXPECT_NE(semaError("int f() { return 0; } int f() { return 1; }")
+                .Message.find("redefinition"),
+            std::string::npos);
+  // Shadowing in an inner scope is legal.
+  EXPECT_TRUE(semaOk("int main() { int a = 1; { int a = 2; a = a; } "
+                     "return a; }"));
+}
+
+TEST(SemaTest, TypeErrors) {
+  EXPECT_FALSE(semaOk("int main() { int *p; double d; p = d; return 0; }"));
+  EXPECT_FALSE(semaOk("int main() { int a; a = \"str\"; return 0; }"));
+  EXPECT_FALSE(semaOk("int main() { double d; return d % 2; }"));
+  EXPECT_FALSE(semaOk("int main() { int a; return *a; }"));
+  EXPECT_FALSE(semaOk("int main() { return &5; }"));
+  EXPECT_FALSE(semaOk("struct p { int x; }; int main() { struct p a; "
+                      "return a + 1; }"));
+  EXPECT_FALSE(semaOk("int main() { int a[5]; a = 0; return 0; }"));
+  EXPECT_FALSE(semaOk("int main() { if (main) { } return 0; }"))
+      << "functions are not values";
+}
+
+TEST(SemaTest, CallChecking) {
+  EXPECT_FALSE(semaOk("int f(int a) { return a; } int main() "
+                      "{ return f(); }"));
+  EXPECT_FALSE(semaOk("int f(int a) { return a; } int main() "
+                      "{ return f(1, 2); }"));
+  EXPECT_FALSE(semaOk("int main() { return g(); }"));
+  EXPECT_FALSE(semaOk("int f(int *p) { return 0; } int main() "
+                      "{ return f(1); }"))
+      << "int literal (non-zero) is not a pointer";
+  EXPECT_TRUE(semaOk("int f(int *p) { return p == 0; } int main() "
+                     "{ return f(0); }"))
+      << "null literal converts";
+  // Builtin arity and shadowing.
+  EXPECT_FALSE(semaOk("int main() { print_int(1, 2); return 0; }"));
+  EXPECT_FALSE(semaOk("int malloc(int n) { return n; } int main() "
+                      "{ return 0; }"));
+}
+
+TEST(SemaTest, BreakContinueOutsideLoop) {
+  EXPECT_FALSE(semaOk("int main() { break; return 0; }"));
+  EXPECT_FALSE(semaOk("int main() { continue; return 0; }"));
+  EXPECT_FALSE(semaOk("int main() { if (1) { break; } return 0; }"));
+}
+
+TEST(SemaTest, ReturnChecking) {
+  EXPECT_FALSE(semaOk("void f() { return 1; } int main() { return 0; }"));
+  EXPECT_FALSE(semaOk("int f() { return; } int main() { return 0; }"));
+  EXPECT_TRUE(semaOk("void f() { return; } int main() { f(); return 0; }"));
+}
+
+TEST(SemaTest, AddressTakenMarksLocal) {
+  auto P = parseSource("int main() { int a; int b; int *p; p = &a; "
+                       "b = *p; return b; }");
+  ASSERT_TRUE(P.hasValue());
+  auto R = analyze(**P);
+  ASSERT_TRUE(R.hasValue());
+  const auto &Locals = R->Funcs[0].Locals;
+  ASSERT_EQ(Locals.size(), 3u);
+  EXPECT_TRUE(Locals[0].AddressTaken);  // a
+  EXPECT_FALSE(Locals[1].AddressTaken); // b
+  EXPECT_FALSE(Locals[2].AddressTaken); // p
+}
+
+TEST(SemaTest, MemberAccessChecking) {
+  EXPECT_FALSE(semaOk("struct p { int x; }; int main() { struct p a; "
+                      "return a.y; }"));
+  EXPECT_FALSE(semaOk("struct p { int x; }; int main() { struct p a; "
+                      "return a->x; }"));
+  EXPECT_FALSE(semaOk("int main() { int a; return a.x; }"));
+  EXPECT_TRUE(semaOk("struct p { int x; }; int main() { struct p a; "
+                     "struct p *q; q = &a; q->x = 3; return q->x; }"));
+}
+
+} // namespace

@@ -1,0 +1,453 @@
+//===- tests/FuzzTest.cpp - Differential fuzzing of the pipeline ----------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property tests over randomly generated MiniC programs. A structured
+/// generator produces programs together with a mirror evaluator, so
+/// that lexer + parser + sema + codegen + simplify + interpreter are
+/// checked end-to-end against an independent reference:
+///
+///  * the compiled program's exit value equals the mirror's result,
+///  * execution is deterministic,
+///  * the verifier accepts everything codegen produces,
+///  * every static predictor stays within [perfect, 100%] miss.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+#include "predict/Evaluation.h"
+#include "support/Rng.h"
+#include "vm/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+using namespace bpfree;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Expression generator with mirror evaluation
+//===----------------------------------------------------------------------===//
+
+/// Variables are fixed slots a..d (int64). The mirror uses the same
+/// wraparound semantics as the VM (unsigned arithmetic, arithmetic
+/// shift right, C-truncating division).
+struct Env {
+  int64_t Vars[4] = {0, 0, 0, 0};
+};
+
+constexpr const char *VarNames[4] = {"a", "b", "c", "d"};
+
+struct GenExpr {
+  enum Kind {
+    Lit,
+    Var,
+    Add,
+    Sub,
+    MulK, ///< multiply by small literal (avoids overflow blowup)
+    DivK, ///< divide by nonzero literal
+    RemK, ///< remainder by nonzero literal
+    AndOp,
+    OrOp,
+    XorOp,
+    ShlK,
+    ShrK,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqOp,
+    NeOp,
+    Not,
+    Neg,
+    LogAnd,
+    LogOr,
+  } K = Lit;
+  int64_t Value = 0; ///< literal / shift amount / divisor / var index
+  std::unique_ptr<GenExpr> L, R;
+
+  int64_t eval(const Env &E) const {
+    auto U = [](int64_t X) { return static_cast<uint64_t>(X); };
+    auto S = [](uint64_t X) { return static_cast<int64_t>(X); };
+    switch (K) {
+    case Lit:
+      return Value;
+    case Var:
+      return E.Vars[Value];
+    case Add:
+      return S(U(L->eval(E)) + U(R->eval(E)));
+    case Sub:
+      return S(U(L->eval(E)) - U(R->eval(E)));
+    case MulK:
+      return S(U(L->eval(E)) * U(Value));
+    case DivK:
+      return L->eval(E) / Value; // Value != 0, != -1 by construction
+    case RemK:
+      return L->eval(E) % Value;
+    case AndOp:
+      return L->eval(E) & R->eval(E);
+    case OrOp:
+      return L->eval(E) | R->eval(E);
+    case XorOp:
+      return L->eval(E) ^ R->eval(E);
+    case ShlK:
+      return S(U(L->eval(E)) << Value);
+    case ShrK:
+      return L->eval(E) >> Value;
+    case Lt:
+      return L->eval(E) < R->eval(E) ? 1 : 0;
+    case Le:
+      return L->eval(E) <= R->eval(E) ? 1 : 0;
+    case Gt:
+      return L->eval(E) > R->eval(E) ? 1 : 0;
+    case Ge:
+      return L->eval(E) >= R->eval(E) ? 1 : 0;
+    case EqOp:
+      return L->eval(E) == R->eval(E) ? 1 : 0;
+    case NeOp:
+      return L->eval(E) != R->eval(E) ? 1 : 0;
+    case Not:
+      return L->eval(E) == 0 ? 1 : 0;
+    case Neg:
+      return S(~U(L->eval(E)) + 1);
+    case LogAnd:
+      return (L->eval(E) != 0 && R->eval(E) != 0) ? 1 : 0;
+    case LogOr:
+      return (L->eval(E) != 0 || R->eval(E) != 0) ? 1 : 0;
+    }
+    return 0;
+  }
+
+  void render(std::ostringstream &OS) const {
+    auto Bin = [&](const char *Op) {
+      OS << '(';
+      L->render(OS);
+      OS << ' ' << Op << ' ';
+      R->render(OS);
+      OS << ')';
+    };
+    switch (K) {
+    case Lit:
+      if (Value < 0) {
+        OS << "(0 - " << -Value << ')';
+      } else {
+        OS << Value;
+      }
+      return;
+    case Var:
+      OS << VarNames[Value];
+      return;
+    case Add:
+      return Bin("+");
+    case Sub:
+      return Bin("-");
+    case MulK:
+      OS << '(';
+      L->render(OS);
+      OS << " * " << Value << ')';
+      return;
+    case DivK:
+      OS << '(';
+      L->render(OS);
+      OS << " / " << Value << ')';
+      return;
+    case RemK:
+      OS << '(';
+      L->render(OS);
+      OS << " % " << Value << ')';
+      return;
+    case AndOp:
+      return Bin("&");
+    case OrOp:
+      return Bin("|");
+    case XorOp:
+      return Bin("^");
+    case ShlK:
+      OS << '(';
+      L->render(OS);
+      OS << " << " << Value << ')';
+      return;
+    case ShrK:
+      OS << '(';
+      L->render(OS);
+      OS << " >> " << Value << ')';
+      return;
+    case Lt:
+      return Bin("<");
+    case Le:
+      return Bin("<=");
+    case Gt:
+      return Bin(">");
+    case Ge:
+      return Bin(">=");
+    case EqOp:
+      return Bin("==");
+    case NeOp:
+      return Bin("!=");
+    case Not:
+      OS << "(!";
+      L->render(OS);
+      OS << ')';
+      return;
+    case Neg:
+      OS << "(-";
+      L->render(OS);
+      OS << ')';
+      return;
+    case LogAnd:
+      return Bin("&&");
+    case LogOr:
+      return Bin("||");
+    }
+  }
+};
+
+std::unique_ptr<GenExpr> genExpr(Rng &R, int Depth) {
+  auto E = std::make_unique<GenExpr>();
+  if (Depth <= 0 || R.chance(0.25)) {
+    if (R.chance(0.5)) {
+      E->K = GenExpr::Lit;
+      E->Value = R.range(-100, 100);
+    } else {
+      E->K = GenExpr::Var;
+      E->Value = static_cast<int64_t>(R.below(4));
+    }
+    return E;
+  }
+  static const GenExpr::Kind Binary[] = {
+      GenExpr::Add,  GenExpr::Sub,  GenExpr::AndOp,  GenExpr::OrOp,
+      GenExpr::XorOp, GenExpr::Lt,  GenExpr::Le,     GenExpr::Gt,
+      GenExpr::Ge,   GenExpr::EqOp, GenExpr::NeOp,   GenExpr::LogAnd,
+      GenExpr::LogOr};
+  static const GenExpr::Kind UnaryK[] = {GenExpr::Not, GenExpr::Neg};
+  static const GenExpr::Kind Scaled[] = {GenExpr::MulK, GenExpr::DivK,
+                                         GenExpr::RemK, GenExpr::ShlK,
+                                         GenExpr::ShrK};
+  double Pick = R.unit();
+  if (Pick < 0.6) {
+    E->K = Binary[R.below(std::size(Binary))];
+    E->L = genExpr(R, Depth - 1);
+    E->R = genExpr(R, Depth - 1);
+  } else if (Pick < 0.8) {
+    E->K = Scaled[R.below(std::size(Scaled))];
+    E->L = genExpr(R, Depth - 1);
+    switch (E->K) {
+    case GenExpr::MulK:
+      E->Value = R.range(-7, 7);
+      if (E->Value == 0)
+        E->Value = 3;
+      break;
+    case GenExpr::DivK:
+    case GenExpr::RemK:
+      E->Value = R.range(2, 17); // positive: no -1 or 0 divisors
+      break;
+    default:
+      E->Value = R.range(0, 8);
+      break;
+    }
+  } else {
+    E->K = UnaryK[R.below(std::size(UnaryK))];
+    E->L = genExpr(R, Depth - 1);
+  }
+  return E;
+}
+
+//===----------------------------------------------------------------------===//
+// Statement generator with mirror execution
+//===----------------------------------------------------------------------===//
+
+struct GenStmt {
+  enum Kind { Assign, AddAssign, IfElse, FixedLoop } K = Assign;
+  int VarIdx = 0;
+  std::unique_ptr<GenExpr> E;
+  std::vector<GenStmt> Then, Else; ///< IfElse branches / loop body
+  int TripCount = 0;
+
+  void run(Env &Environment) const {
+    auto U = [](int64_t X) { return static_cast<uint64_t>(X); };
+    switch (K) {
+    case Assign:
+      Environment.Vars[VarIdx] = E->eval(Environment);
+      return;
+    case AddAssign:
+      Environment.Vars[VarIdx] = static_cast<int64_t>(
+          U(Environment.Vars[VarIdx]) + U(E->eval(Environment)));
+      return;
+    case IfElse:
+      if (E->eval(Environment) != 0) {
+        for (const GenStmt &S : Then)
+          S.run(Environment);
+      } else {
+        for (const GenStmt &S : Else)
+          S.run(Environment);
+      }
+      return;
+    case FixedLoop:
+      for (int I = 0; I < TripCount; ++I) {
+        for (const GenStmt &S : Then)
+          S.run(Environment);
+      }
+      return;
+    }
+  }
+
+  void render(std::ostringstream &OS, int Indent, int &LoopId) const {
+    std::string Pad(static_cast<size_t>(Indent) * 2, ' ');
+    switch (K) {
+    case Assign:
+      OS << Pad << VarNames[VarIdx] << " = ";
+      E->render(OS);
+      OS << ";\n";
+      return;
+    case AddAssign:
+      OS << Pad << VarNames[VarIdx] << " += ";
+      E->render(OS);
+      OS << ";\n";
+      return;
+    case IfElse:
+      OS << Pad << "if (";
+      E->render(OS);
+      OS << ") {\n";
+      for (const GenStmt &S : Then)
+        S.render(OS, Indent + 1, LoopId);
+      OS << Pad << "} else {\n";
+      for (const GenStmt &S : Else)
+        S.render(OS, Indent + 1, LoopId);
+      OS << Pad << "}\n";
+      return;
+    case FixedLoop: {
+      std::string Iter = "it" + std::to_string(LoopId++);
+      OS << Pad << "{ int " << Iter << ";\n";
+      OS << Pad << "for (" << Iter << " = 0; " << Iter << " < "
+         << TripCount << "; " << Iter << " = " << Iter << " + 1) {\n";
+      for (const GenStmt &S : Then)
+        S.render(OS, Indent + 1, LoopId);
+      OS << Pad << "} }\n";
+      return;
+    }
+    }
+  }
+};
+
+std::vector<GenStmt> genStmts(Rng &R, int Depth, size_t Count) {
+  std::vector<GenStmt> Out;
+  for (size_t I = 0; I < Count; ++I) {
+    GenStmt S;
+    double Pick = R.unit();
+    if (Depth > 0 && Pick < 0.18) {
+      S.K = GenStmt::IfElse;
+      S.E = genExpr(R, 2);
+      S.Then = genStmts(R, Depth - 1, 1 + R.below(2));
+      S.Else = genStmts(R, Depth - 1, 1 + R.below(2));
+    } else if (Depth > 0 && Pick < 0.33) {
+      S.K = GenStmt::FixedLoop;
+      S.TripCount = static_cast<int>(1 + R.below(6));
+      S.Then = genStmts(R, Depth - 1, 1 + R.below(2));
+    } else if (Pick < 0.66) {
+      S.K = GenStmt::Assign;
+      S.VarIdx = static_cast<int>(R.below(4));
+      S.E = genExpr(R, 3);
+    } else {
+      S.K = GenStmt::AddAssign;
+      S.VarIdx = static_cast<int>(R.below(4));
+      S.E = genExpr(R, 3);
+    }
+    Out.push_back(std::move(S));
+  }
+  return Out;
+}
+
+/// One random program: statements + final result expression.
+struct GenProgram {
+  std::vector<GenStmt> Stmts;
+  std::unique_ptr<GenExpr> Result;
+
+  int64_t mirror() const {
+    Env E;
+    for (const GenStmt &S : Stmts)
+      S.run(E);
+    return Result->eval(E);
+  }
+
+  std::string source() const {
+    std::ostringstream OS;
+    OS << "int main() {\n  int a = 0; int b = 0; int c = 0; int d = 0;\n";
+    int LoopId = 0;
+    for (const GenStmt &S : Stmts)
+      S.render(OS, 1, LoopId);
+    OS << "  return ";
+    Result->render(OS);
+    OS << ";\n}\n";
+    return OS.str();
+  }
+};
+
+GenProgram genProgram(Rng &R) {
+  GenProgram P;
+  P.Stmts = genStmts(R, 3, 3 + R.below(6));
+  P.Result = genExpr(R, 3);
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// The properties
+//===----------------------------------------------------------------------===//
+
+class FuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzTest, CompiledMatchesMirror) {
+  Rng R(GetParam());
+  for (int Trial = 0; Trial < 8; ++Trial) {
+    GenProgram P = genProgram(R);
+    std::string Src = P.source();
+    auto M = minic::compile(Src);
+    ASSERT_TRUE(M.hasValue())
+        << M.error().render() << "\nprogram:\n" << Src;
+    Interpreter Interp(**M);
+    RunResult Run1 = Interp.run(Dataset());
+    ASSERT_TRUE(Run1.ok()) << Run1.TrapMessage << "\nprogram:\n" << Src;
+    EXPECT_EQ(Run1.ExitValue, P.mirror()) << "program:\n" << Src;
+
+    RunResult Run2 = Interp.run(Dataset());
+    EXPECT_EQ(Run1.ExitValue, Run2.ExitValue);
+    EXPECT_EQ(Run1.InstrCount, Run2.InstrCount);
+  }
+}
+
+TEST_P(FuzzTest, PredictorsBoundedByPerfect) {
+  Rng R(GetParam() ^ 0xABCDEF);
+  GenProgram P = genProgram(R);
+  auto M = minic::compile(P.source());
+  ASSERT_TRUE(M.hasValue());
+  PredictionContext Ctx(**M);
+  EdgeProfile Profile(**M);
+  Interpreter Interp(**M);
+  RunResult Run = Interp.run(Dataset(), {&Profile});
+  ASSERT_TRUE(Run.ok());
+  std::vector<BranchStats> Stats = collectBranchStats(Ctx, Profile);
+
+  PerfectPredictor Perfect(Profile);
+  Ratio PerfectMiss = evaluatePredictor(Perfect, Stats);
+  BallLarusPredictor BL(Ctx);
+  LoopRandPredictor LR(Ctx);
+  AlwaysTakenPredictor Taken;
+  RandomPredictor Rand(1);
+  for (const StaticPredictor *Pred :
+       std::initializer_list<const StaticPredictor *>{&BL, &LR, &Taken,
+                                                      &Rand}) {
+    Ratio Miss = evaluatePredictor(*Pred, Stats);
+    EXPECT_GE(Miss.Num, PerfectMiss.Num) << Pred->name();
+    EXPECT_LE(Miss.Num, Miss.Den) << Pred->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+} // namespace

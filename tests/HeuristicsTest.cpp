@@ -1,0 +1,604 @@
+//===- tests/HeuristicsTest.cpp - Unit tests for the 7 heuristics ---------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Each heuristic is exercised on hand-built IR where the paper's
+/// definition pins down the expected answer, including the negative
+/// cases (property on both successors, postdomination defeats, GP
+/// filter, call-between-load-and-branch).
+///
+//===----------------------------------------------------------------------===//
+
+#include "predict/Heuristics.h"
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace bpfree;
+using namespace bpfree::ir;
+
+namespace {
+
+/// A module with one function under construction plus a callee for the
+/// Call heuristic.
+struct HeuristicFixture {
+  Module M;
+  Function *Callee;
+  Function *F;
+  IRBuilder B;
+
+  HeuristicFixture()
+      : Callee(M.createFunction("callee", 0)),
+        F(M.createFunction("f", 2)), B(F) {
+    IRBuilder CB(Callee);
+    CB.setInsertBlock(Callee->createBlock("entry"));
+    CB.ret();
+  }
+
+  Reg param(unsigned I) { return F->getParamReg(I); }
+
+  FunctionContext context() { return FunctionContext(*F); }
+
+  std::optional<Direction> apply(HeuristicKind K, const BasicBlock &BB,
+                                 const HeuristicConfig &Config = {}) {
+    FunctionContext Ctx(*F);
+    return applyHeuristic(K, BB, Ctx, Config);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Opcode heuristic
+//===----------------------------------------------------------------------===//
+
+TEST(OpcodeHeuristic, ZeroCompareBranches) {
+  struct Case {
+    BranchOp Op;
+    std::optional<Direction> Expected;
+  } Cases[] = {
+      {BranchOp::BLTZ, DirFallthru},
+      {BranchOp::BLEZ, DirFallthru},
+      {BranchOp::BGTZ, DirTaken},
+      {BranchOp::BGEZ, DirTaken},
+      {BranchOp::BEQ, std::nullopt},
+      {BranchOp::BNE, std::nullopt},
+  };
+  for (const auto &C : Cases) {
+    HeuristicFixture H;
+    BasicBlock *Entry = H.F->createBlock("entry");
+    BasicBlock *T = H.F->createBlock("t");
+    BasicBlock *E = H.F->createBlock("e");
+    H.B.setInsertBlock(Entry);
+    H.B.condBranch(C.Op, H.param(0), H.param(1), T, E);
+    H.B.setInsertBlock(T);
+    H.B.ret();
+    H.B.setInsertBlock(E);
+    H.B.ret();
+    EXPECT_EQ(H.apply(HeuristicKind::Opcode, *Entry), C.Expected)
+        << branchOpName(C.Op);
+  }
+}
+
+TEST(OpcodeHeuristic, FpEqualityPredictedFalse) {
+  for (bool UseBc1t : {true, false}) {
+    HeuristicFixture H;
+    BasicBlock *Entry = H.F->createBlock("entry");
+    BasicBlock *T = H.F->createBlock("t");
+    BasicBlock *E = H.F->createBlock("e");
+    H.B.setInsertBlock(Entry);
+    H.B.fcmp(Opcode::FCmpEq, H.param(0), H.param(1));
+    H.B.flagBranch(UseBc1t ? BranchOp::BC1T : BranchOp::BC1F, T, E);
+    H.B.setInsertBlock(T);
+    H.B.ret();
+    H.B.setInsertBlock(E);
+    H.B.ret();
+    // Equality is predicted false: bc1t falls through, bc1f is taken.
+    EXPECT_EQ(H.apply(HeuristicKind::Opcode, *Entry),
+              UseBc1t ? DirFallthru : DirTaken);
+  }
+}
+
+TEST(OpcodeHeuristic, FpRelationalNotCovered) {
+  HeuristicFixture H;
+  BasicBlock *Entry = H.F->createBlock("entry");
+  BasicBlock *T = H.F->createBlock("t");
+  BasicBlock *E = H.F->createBlock("e");
+  H.B.setInsertBlock(Entry);
+  H.B.fcmp(Opcode::FCmpLt, H.param(0), H.param(1));
+  H.B.flagBranch(BranchOp::BC1T, T, E);
+  H.B.setInsertBlock(T);
+  H.B.ret();
+  H.B.setInsertBlock(E);
+  H.B.ret();
+  EXPECT_EQ(H.apply(HeuristicKind::Opcode, *Entry), std::nullopt)
+      << "only FP *equality* tests are covered by the opcode heuristic";
+}
+
+//===----------------------------------------------------------------------===//
+// Call heuristic
+//===----------------------------------------------------------------------===//
+
+/// entry: branch -> t | e; t contains a call then jumps to join; e jumps
+/// to join; join returns.
+TEST(CallHeuristic, AvoidsCallingSuccessor) {
+  HeuristicFixture H;
+  BasicBlock *Entry = H.F->createBlock("entry");
+  BasicBlock *T = H.F->createBlock("t");
+  BasicBlock *E = H.F->createBlock("e");
+  BasicBlock *Join = H.F->createBlock("join");
+  H.B.setInsertBlock(Entry);
+  H.B.condBranch(BranchOp::BEQ, H.param(0), H.param(1), T, E);
+  H.B.setInsertBlock(T);
+  H.B.callVoid(H.Callee, {});
+  H.B.jump(Join);
+  H.B.setInsertBlock(E);
+  H.B.jump(Join);
+  H.B.setInsertBlock(Join);
+  H.B.ret();
+  EXPECT_EQ(H.apply(HeuristicKind::Call, *Entry), DirFallthru)
+      << "predict the successor without the call";
+}
+
+TEST(CallHeuristic, BothSuccessorsCallMeansNoPrediction) {
+  HeuristicFixture H;
+  BasicBlock *Entry = H.F->createBlock("entry");
+  BasicBlock *T = H.F->createBlock("t");
+  BasicBlock *E = H.F->createBlock("e");
+  BasicBlock *Join = H.F->createBlock("join");
+  H.B.setInsertBlock(Entry);
+  H.B.condBranch(BranchOp::BEQ, H.param(0), H.param(1), T, E);
+  H.B.setInsertBlock(T);
+  H.B.callVoid(H.Callee, {});
+  H.B.jump(Join);
+  H.B.setInsertBlock(E);
+  H.B.callVoid(H.Callee, {});
+  H.B.jump(Join);
+  H.B.setInsertBlock(Join);
+  H.B.ret();
+  EXPECT_EQ(H.apply(HeuristicKind::Call, *Entry), std::nullopt);
+}
+
+TEST(CallHeuristic, PostdominatingCallerDoesNotCount) {
+  // entry -> t | join; t -> join; join contains the call and returns.
+  // join postdominates entry, so its call must not trigger.
+  HeuristicFixture H;
+  BasicBlock *Entry = H.F->createBlock("entry");
+  BasicBlock *T = H.F->createBlock("t");
+  BasicBlock *Join = H.F->createBlock("join");
+  H.B.setInsertBlock(Entry);
+  H.B.condBranch(BranchOp::BEQ, H.param(0), H.param(1), T, Join);
+  H.B.setInsertBlock(T);
+  H.B.jump(Join);
+  H.B.setInsertBlock(Join);
+  H.B.callVoid(H.Callee, {});
+  H.B.ret();
+  EXPECT_EQ(H.apply(HeuristicKind::Call, *Entry), std::nullopt)
+      << "the calling successor postdominates the branch";
+}
+
+TEST(CallHeuristic, JumpChainToDominatedCall) {
+  // t -> mid (jump), mid has the call, t dominates mid.
+  HeuristicFixture H;
+  BasicBlock *Entry = H.F->createBlock("entry");
+  BasicBlock *T = H.F->createBlock("t");
+  BasicBlock *Mid = H.F->createBlock("mid");
+  BasicBlock *E = H.F->createBlock("e");
+  BasicBlock *Join = H.F->createBlock("join");
+  H.B.setInsertBlock(Entry);
+  H.B.condBranch(BranchOp::BEQ, H.param(0), H.param(1), T, E);
+  H.B.setInsertBlock(T);
+  H.B.jump(Mid);
+  H.B.setInsertBlock(Mid);
+  H.B.callVoid(H.Callee, {});
+  H.B.jump(Join);
+  H.B.setInsertBlock(E);
+  H.B.jump(Join);
+  H.B.setInsertBlock(Join);
+  H.B.ret();
+  EXPECT_EQ(H.apply(HeuristicKind::Call, *Entry), DirFallthru);
+}
+
+//===----------------------------------------------------------------------===//
+// Return heuristic
+//===----------------------------------------------------------------------===//
+
+TEST(ReturnHeuristic, AvoidsReturningSuccessor) {
+  HeuristicFixture H;
+  BasicBlock *Entry = H.F->createBlock("entry");
+  BasicBlock *T = H.F->createBlock("t");    // returns (error path)
+  BasicBlock *E = H.F->createBlock("e");    // goes on to work
+  BasicBlock *Work = H.F->createBlock("w"); // branchy continuation
+  BasicBlock *Done = H.F->createBlock("d");
+  H.B.setInsertBlock(Entry);
+  H.B.condBranch(BranchOp::BEQ, H.param(0), H.param(1), T, E);
+  H.B.setInsertBlock(T);
+  H.B.ret();
+  H.B.setInsertBlock(E);
+  H.B.jump(Work);
+  H.B.setInsertBlock(Work);
+  // The continuation is a loop, not an immediate return — otherwise the
+  // jump chain would reach a return and both successors would have the
+  // property.
+  H.B.condBranch(BranchOp::BGTZ, H.param(0), Reg(), Work, Done);
+  H.B.setInsertBlock(Done);
+  H.B.ret();
+  EXPECT_EQ(H.apply(HeuristicKind::Return, *Entry), DirFallthru);
+}
+
+TEST(ReturnHeuristic, JumpChainToReturn) {
+  HeuristicFixture H;
+  BasicBlock *Entry = H.F->createBlock("entry");
+  BasicBlock *T = H.F->createBlock("t");
+  BasicBlock *Mid = H.F->createBlock("mid");
+  BasicBlock *E = H.F->createBlock("e");
+  BasicBlock *Loop = H.F->createBlock("loop");
+  H.B.setInsertBlock(Entry);
+  H.B.condBranch(BranchOp::BEQ, H.param(0), H.param(1), T, E);
+  H.B.setInsertBlock(T);
+  H.B.jump(Mid);
+  H.B.setInsertBlock(Mid);
+  H.B.ret();
+  H.B.setInsertBlock(E);
+  H.B.jump(Loop);
+  H.B.setInsertBlock(Loop);
+  H.B.condBranch(BranchOp::BGTZ, H.param(0), Reg(), Loop, Mid);
+  EXPECT_EQ(H.apply(HeuristicKind::Return, *Entry), DirFallthru);
+}
+
+TEST(ReturnHeuristic, BothReturnMeansNoPrediction) {
+  HeuristicFixture H;
+  BasicBlock *Entry = H.F->createBlock("entry");
+  BasicBlock *T = H.F->createBlock("t");
+  BasicBlock *E = H.F->createBlock("e");
+  H.B.setInsertBlock(Entry);
+  H.B.condBranch(BranchOp::BEQ, H.param(0), H.param(1), T, E);
+  H.B.setInsertBlock(T);
+  H.B.ret();
+  H.B.setInsertBlock(E);
+  H.B.ret();
+  EXPECT_EQ(H.apply(HeuristicKind::Return, *Entry), std::nullopt);
+}
+
+//===----------------------------------------------------------------------===//
+// Store heuristic
+//===----------------------------------------------------------------------===//
+
+TEST(StoreHeuristic, AvoidsStoringSuccessor) {
+  HeuristicFixture H;
+  BasicBlock *Entry = H.F->createBlock("entry");
+  BasicBlock *T = H.F->createBlock("t");
+  BasicBlock *E = H.F->createBlock("e");
+  BasicBlock *Join = H.F->createBlock("join");
+  H.B.setInsertBlock(Entry);
+  H.B.condBranch(BranchOp::BEQ, H.param(0), H.param(1), T, E);
+  H.B.setInsertBlock(T);
+  H.B.store(H.param(0), SpReg, 0, MemWidth::I64);
+  H.B.jump(Join);
+  H.B.setInsertBlock(E);
+  H.B.jump(Join);
+  H.B.setInsertBlock(Join);
+  H.B.ret();
+  EXPECT_EQ(H.apply(HeuristicKind::Store, *Entry), DirFallthru);
+}
+
+TEST(StoreHeuristic, PostdominatingStoreDoesNotCount) {
+  HeuristicFixture H;
+  BasicBlock *Entry = H.F->createBlock("entry");
+  BasicBlock *T = H.F->createBlock("t");
+  BasicBlock *Join = H.F->createBlock("join");
+  H.B.setInsertBlock(Entry);
+  H.B.condBranch(BranchOp::BEQ, H.param(0), H.param(1), T, Join);
+  H.B.setInsertBlock(T);
+  H.B.jump(Join);
+  H.B.setInsertBlock(Join);
+  H.B.store(H.param(0), SpReg, 0, MemWidth::I64);
+  H.B.ret();
+  EXPECT_EQ(H.apply(HeuristicKind::Store, *Entry), std::nullopt);
+}
+
+//===----------------------------------------------------------------------===//
+// Guard heuristic
+//===----------------------------------------------------------------------===//
+
+/// if (p != 0) use *p  — guard predicts the using successor.
+TEST(GuardHeuristic, PrefersUsingSuccessor) {
+  HeuristicFixture H;
+  BasicBlock *Entry = H.F->createBlock("entry");
+  BasicBlock *Use = H.F->createBlock("use");
+  BasicBlock *Skip = H.F->createBlock("skip");
+  BasicBlock *Join = H.F->createBlock("join");
+  Reg P = H.param(0);
+  H.B.setInsertBlock(Entry);
+  H.B.condBranch(BranchOp::BNE, P, ZeroReg, Use, Skip);
+  H.B.setInsertBlock(Use);
+  H.B.load(P, 0, MemWidth::I64); // use of p before any def
+  H.B.jump(Join);
+  H.B.setInsertBlock(Skip);
+  H.B.jump(Join);
+  H.B.setInsertBlock(Join);
+  H.B.ret();
+  EXPECT_EQ(H.apply(HeuristicKind::Guard, *Entry), DirTaken);
+}
+
+TEST(GuardHeuristic, DefBeforeUseDefeats) {
+  HeuristicFixture H;
+  BasicBlock *Entry = H.F->createBlock("entry");
+  BasicBlock *Use = H.F->createBlock("use");
+  BasicBlock *Skip = H.F->createBlock("skip");
+  BasicBlock *Join = H.F->createBlock("join");
+  Reg P = H.param(0);
+  H.B.setInsertBlock(Entry);
+  H.B.condBranch(BranchOp::BNE, P, ZeroReg, Use, Skip);
+  H.B.setInsertBlock(Use);
+  // p is *redefined* before being used: writeReg via Move into p's reg.
+  H.B.moveInto(P, ZeroReg);
+  H.B.load(P, 0, MemWidth::I64);
+  H.B.jump(Join);
+  H.B.setInsertBlock(Skip);
+  H.B.jump(Join);
+  H.B.setInsertBlock(Join);
+  H.B.ret();
+  EXPECT_EQ(H.apply(HeuristicKind::Guard, *Entry), std::nullopt);
+}
+
+TEST(GuardHeuristic, FpCompareOperandsAreAnalyzed) {
+  // if (a == b) both successors, one uses a.
+  HeuristicFixture H;
+  BasicBlock *Entry = H.F->createBlock("entry");
+  BasicBlock *T = H.F->createBlock("t");
+  BasicBlock *E = H.F->createBlock("e");
+  BasicBlock *Join = H.F->createBlock("join");
+  Reg A = H.param(0), Bp = H.param(1);
+  H.B.setInsertBlock(Entry);
+  H.B.fcmp(Opcode::FCmpLt, A, Bp);
+  H.B.flagBranch(BranchOp::BC1T, T, E);
+  H.B.setInsertBlock(T);
+  H.B.fbinop(Opcode::FAdd, A, A); // uses a
+  H.B.jump(Join);
+  H.B.setInsertBlock(E);
+  H.B.jump(Join);
+  H.B.setInsertBlock(Join);
+  H.B.ret();
+  EXPECT_EQ(H.apply(HeuristicKind::Guard, *Entry), DirTaken)
+      << "the paper's guard heuristic analyzes FP branches too";
+}
+
+TEST(GuardHeuristic, GeneralizedDepthFindsRemoteUse) {
+  // use is two blocks away: depth 1 (paper) misses it, depth 3 finds it.
+  HeuristicFixture H;
+  BasicBlock *Entry = H.F->createBlock("entry");
+  BasicBlock *T = H.F->createBlock("t");
+  BasicBlock *T2 = H.F->createBlock("t2");
+  BasicBlock *E = H.F->createBlock("e");
+  BasicBlock *Join = H.F->createBlock("join");
+  Reg P = H.param(0);
+  H.B.setInsertBlock(Entry);
+  H.B.condBranch(BranchOp::BNE, P, ZeroReg, T, E);
+  H.B.setInsertBlock(T);
+  H.B.loadImm(1); // unrelated work, no use of p
+  H.B.jump(T2);
+  H.B.setInsertBlock(T2);
+  H.B.load(P, 0, MemWidth::I64);
+  H.B.jump(Join);
+  H.B.setInsertBlock(E);
+  H.B.jump(Join);
+  H.B.setInsertBlock(Join);
+  H.B.ret();
+  HeuristicConfig Paper;
+  EXPECT_EQ(H.apply(HeuristicKind::Guard, *Entry, Paper), std::nullopt);
+  HeuristicConfig Deep;
+  Deep.GuardSearchDepth = 3;
+  EXPECT_EQ(H.apply(HeuristicKind::Guard, *Entry, Deep), DirTaken);
+}
+
+//===----------------------------------------------------------------------===//
+// Loop heuristic (non-loop branches choosing to enter loops)
+//===----------------------------------------------------------------------===//
+
+TEST(LoopHeuristic, PrefersLoopEnteringSuccessor) {
+  // entry: branch -> head | skip; head: loop on itself then to join;
+  // skip -> join.
+  HeuristicFixture H;
+  BasicBlock *Entry = H.F->createBlock("entry");
+  BasicBlock *Head = H.F->createBlock("head");
+  BasicBlock *Skip = H.F->createBlock("skip");
+  BasicBlock *Join = H.F->createBlock("join");
+  H.B.setInsertBlock(Entry);
+  H.B.condBranch(BranchOp::BGTZ, H.param(0), Reg(), Head, Skip);
+  H.B.setInsertBlock(Head);
+  H.B.condBranch(BranchOp::BGTZ, H.param(1), Reg(), Head, Join);
+  H.B.setInsertBlock(Skip);
+  H.B.jump(Join);
+  H.B.setInsertBlock(Join);
+  H.B.ret();
+  EXPECT_EQ(H.apply(HeuristicKind::Loop, *Entry), DirTaken);
+}
+
+TEST(LoopHeuristic, PreheaderCountsAsLoopEntry) {
+  HeuristicFixture H;
+  BasicBlock *Entry = H.F->createBlock("entry");
+  BasicBlock *Pre = H.F->createBlock("pre");
+  BasicBlock *Head = H.F->createBlock("head");
+  BasicBlock *Skip = H.F->createBlock("skip");
+  BasicBlock *Join = H.F->createBlock("join");
+  H.B.setInsertBlock(Entry);
+  H.B.condBranch(BranchOp::BGTZ, H.param(0), Reg(), Pre, Skip);
+  H.B.setInsertBlock(Pre);
+  H.B.jump(Head);
+  H.B.setInsertBlock(Head);
+  H.B.condBranch(BranchOp::BGTZ, H.param(1), Reg(), Head, Join);
+  H.B.setInsertBlock(Skip);
+  H.B.jump(Join);
+  H.B.setInsertBlock(Join);
+  H.B.ret();
+  EXPECT_EQ(H.apply(HeuristicKind::Loop, *Entry), DirTaken);
+}
+
+//===----------------------------------------------------------------------===//
+// Pointer heuristic
+//===----------------------------------------------------------------------===//
+
+/// Builds: load p from SP slot; beq/bne p, zero.
+struct PointerFixture : HeuristicFixture {
+  BasicBlock *Entry, *T, *E;
+
+  void finish(BranchOp Op, Reg Lhs, Reg Rhs) {
+    T = F->createBlock("t");
+    E = F->createBlock("e");
+    B.condBranch(Op, Lhs, Rhs, T, E);
+    B.setInsertBlock(T);
+    B.ret();
+    B.setInsertBlock(E);
+    B.ret();
+  }
+};
+
+TEST(PointerHeuristic, NullTestViaLoadedPointer) {
+  PointerFixture H;
+  H.Entry = H.F->createBlock("entry");
+  H.B.setInsertBlock(H.Entry);
+  Reg P = H.B.load(SpReg, 0, MemWidth::I64);
+  H.finish(BranchOp::BEQ, P, ZeroReg);
+  EXPECT_EQ(H.apply(HeuristicKind::Pointer, *H.Entry), DirFallthru)
+      << "p == 0 predicted false";
+
+  PointerFixture H2;
+  H2.Entry = H2.F->createBlock("entry");
+  H2.B.setInsertBlock(H2.Entry);
+  Reg P2 = H2.B.load(SpReg, 0, MemWidth::I64);
+  H2.finish(BranchOp::BNE, P2, ZeroReg);
+  EXPECT_EQ(H2.apply(HeuristicKind::Pointer, *H2.Entry), DirTaken)
+      << "p != 0 predicted true";
+}
+
+TEST(PointerHeuristic, TwoLoadedPointers) {
+  PointerFixture H;
+  H.Entry = H.F->createBlock("entry");
+  H.B.setInsertBlock(H.Entry);
+  Reg P = H.B.load(SpReg, 0, MemWidth::I64);
+  Reg Q = H.B.load(P, 8, MemWidth::I64);
+  H.finish(BranchOp::BEQ, P, Q);
+  EXPECT_EQ(H.apply(HeuristicKind::Pointer, *H.Entry), DirFallthru);
+}
+
+TEST(PointerHeuristic, GpRelativeLoadExcluded) {
+  PointerFixture H;
+  H.Entry = H.F->createBlock("entry");
+  H.B.setInsertBlock(H.Entry);
+  Reg P = H.B.load(GpReg, 0, MemWidth::I64);
+  H.finish(BranchOp::BEQ, P, ZeroReg);
+  EXPECT_EQ(H.apply(HeuristicKind::Pointer, *H.Entry), std::nullopt)
+      << "loads off GP are not considered";
+
+  // Ablation: with the GP filter off, the branch is covered.
+  HeuristicConfig NoFilter;
+  NoFilter.PointerGpFilter = false;
+  EXPECT_EQ(H.apply(HeuristicKind::Pointer, *H.Entry, NoFilter),
+            DirFallthru);
+}
+
+TEST(PointerHeuristic, CallBetweenLoadAndBranchDisqualifies) {
+  PointerFixture H;
+  H.Entry = H.F->createBlock("entry");
+  H.B.setInsertBlock(H.Entry);
+  Reg P = H.B.load(SpReg, 0, MemWidth::I64);
+  H.B.callVoid(H.Callee, {});
+  H.finish(BranchOp::BEQ, P, ZeroReg);
+  EXPECT_EQ(H.apply(HeuristicKind::Pointer, *H.Entry), std::nullopt);
+}
+
+TEST(PointerHeuristic, LoadAfterCallIsFine) {
+  PointerFixture H;
+  H.Entry = H.F->createBlock("entry");
+  H.B.setInsertBlock(H.Entry);
+  H.B.callVoid(H.Callee, {});
+  Reg P = H.B.load(SpReg, 0, MemWidth::I64);
+  H.finish(BranchOp::BEQ, P, ZeroReg);
+  EXPECT_EQ(H.apply(HeuristicKind::Pointer, *H.Entry), DirFallthru);
+}
+
+TEST(PointerHeuristic, NonLoadDefDisqualifies) {
+  PointerFixture H;
+  H.Entry = H.F->createBlock("entry");
+  H.B.setInsertBlock(H.Entry);
+  Reg P = H.B.addImm(SpReg, 16);
+  H.finish(BranchOp::BEQ, P, ZeroReg);
+  EXPECT_EQ(H.apply(HeuristicKind::Pointer, *H.Entry), std::nullopt);
+}
+
+TEST(PointerHeuristic, TypeInfoVariantUsesAnnotation) {
+  PointerFixture H;
+  H.Entry = H.F->createBlock("entry");
+  H.B.setInsertBlock(H.Entry);
+  // Not a load pattern: pointer arrives in a register (parameter).
+  H.finish(BranchOp::BEQ, H.param(0), ZeroReg);
+  H.Entry->terminator().PointerCompare = true;
+
+  HeuristicConfig Pattern; // default: opcode-pattern variant
+  EXPECT_EQ(H.apply(HeuristicKind::Pointer, *H.Entry, Pattern),
+            std::nullopt);
+
+  HeuristicConfig Typed;
+  Typed.PointerUseTypeInfo = true;
+  EXPECT_EQ(H.apply(HeuristicKind::Pointer, *H.Entry, Typed), DirFallthru);
+
+  // Without the annotation, the typed variant declines.
+  H.Entry->terminator().PointerCompare = false;
+  EXPECT_EQ(H.apply(HeuristicKind::Pointer, *H.Entry, Typed), std::nullopt);
+}
+
+//===----------------------------------------------------------------------===//
+// applyAllHeuristics masks
+//===----------------------------------------------------------------------===//
+
+TEST(ApplyAll, MasksMatchIndividualApplications) {
+  HeuristicFixture H;
+  BasicBlock *Entry = H.F->createBlock("entry");
+  BasicBlock *T = H.F->createBlock("t");
+  BasicBlock *E = H.F->createBlock("e");
+  BasicBlock *Join = H.F->createBlock("join");
+  BasicBlock *Exit = H.F->createBlock("exit");
+  H.B.setInsertBlock(Entry);
+  Reg P = H.B.load(SpReg, 0, MemWidth::I64);
+  H.B.condBranch(BranchOp::BNE, P, ZeroReg, T, E);
+  H.B.setInsertBlock(T);
+  H.B.load(P, 0, MemWidth::I64);
+  H.B.jump(Join);
+  H.B.setInsertBlock(E);
+  H.B.ret();
+  H.B.setInsertBlock(Join);
+  // Keep the taken side's continuation branchy so only the fall-thru
+  // successor has the Return property.
+  H.B.condBranch(BranchOp::BGTZ, P, Reg(), Join, Exit);
+  H.B.setInsertBlock(Exit);
+  H.B.ret();
+
+  FunctionContext Ctx(*H.F);
+  auto [Mask, Dirs] = applyAllHeuristics(*Entry, Ctx);
+  for (HeuristicKind K : AllHeuristics) {
+    auto Single = applyHeuristic(K, *Entry, Ctx);
+    unsigned Bit = 1u << static_cast<unsigned>(K);
+    EXPECT_EQ(static_cast<bool>(Mask & Bit), Single.has_value())
+        << heuristicName(K);
+    if (Single) {
+      EXPECT_EQ((Dirs & Bit) ? DirFallthru : DirTaken, *Single)
+          << heuristicName(K);
+    }
+  }
+  // This branch is a pointer null check guarding a use and an early
+  // return on the other side: Pointer, Guard, and Return must all
+  // apply.
+  EXPECT_TRUE(Mask & (1u << static_cast<unsigned>(HeuristicKind::Pointer)));
+  EXPECT_TRUE(Mask & (1u << static_cast<unsigned>(HeuristicKind::Guard)));
+  EXPECT_TRUE(Mask & (1u << static_cast<unsigned>(HeuristicKind::Return)));
+}
+
+TEST(HeuristicNames, PaperSpellings) {
+  EXPECT_STREQ(heuristicName(HeuristicKind::Pointer), "Point");
+  EXPECT_STREQ(heuristicName(HeuristicKind::Opcode), "Opcode");
+  EXPECT_STREQ(heuristicName(HeuristicKind::Guard), "Guard");
+}
+
+} // namespace

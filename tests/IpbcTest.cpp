@@ -1,0 +1,160 @@
+//===- tests/IpbcTest.cpp - Sequence-length / IPBC analysis tests ---------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+#include "ipbc/SequenceAnalysis.h"
+#include "vm/Interpreter.h"
+#include "workloads/Driver.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace bpfree;
+
+namespace {
+
+TEST(SequenceHistogram, BucketingAndTotals) {
+  SequenceHistogram H;
+  H.record(5);    // bucket 0
+  H.record(12);   // bucket 1
+  H.record(9990); // bucket 999 (cap)
+  H.record(50000);
+  EXPECT_EQ(H.NumSequences[0], 1u);
+  EXPECT_EQ(H.NumSequences[1], 1u);
+  EXPECT_EQ(H.NumSequences[999], 2u);
+  EXPECT_EQ(H.TotalInstrs, 5u + 12u + 9990u + 50000u);
+  EXPECT_EQ(H.SumLengths[999], 59990u);
+}
+
+TEST(SequenceHistogram, IpbcAverage) {
+  SequenceHistogram H;
+  H.record(100);
+  H.record(300);
+  H.Breaks = 2;
+  EXPECT_DOUBLE_EQ(H.ipbcAverage(), 200.0);
+  H.BranchExecs = 8;
+  EXPECT_DOUBLE_EQ(H.missRate(), 0.25);
+}
+
+TEST(SequenceHistogram, DividingLength) {
+  SequenceHistogram H;
+  // 10 sequences of length 10 (bucket 1) and one of length 900.
+  for (int I = 0; I < 10; ++I)
+    H.record(10);
+  H.record(900);
+  // Total 1000; half = 500; cumulative reaches 500 inside bucket 90.
+  double DL = H.dividingLength();
+  EXPECT_GE(DL, 100.0);
+  EXPECT_LE(DL, 905.0);
+}
+
+TEST(SequenceHistogram, CurvesAreMonotoneAndEndAtOne) {
+  SequenceHistogram H;
+  for (uint64_t L : {3u, 18u, 250u, 4000u, 12000u})
+    H.record(L);
+  auto Instr = H.instrCurve();
+  auto Breaks = H.breakCurve();
+  ASSERT_FALSE(Instr.empty());
+  double Prev = 0;
+  for (auto [X, Y] : Instr) {
+    EXPECT_GE(Y, Prev);
+    Prev = Y;
+  }
+  EXPECT_NEAR(Instr.back().second, 1.0, 1e-12);
+  EXPECT_NEAR(Breaks.back().second, 1.0, 1e-12);
+}
+
+TEST(SequenceModel, MatchesClosedForm) {
+  // f(m, s) = 1 - (1-m)^s, the paper's Graph 12.
+  EXPECT_NEAR(sequenceModel(0.5, 1), 0.5, 1e-12);
+  EXPECT_NEAR(sequenceModel(0.1, 10), 1.0 - std::pow(0.9, 10), 1e-12);
+  EXPECT_NEAR(sequenceModel(0.0, 100), 0.0, 1e-12);
+  EXPECT_NEAR(sequenceModel(1.0, 3), 1.0, 1e-12);
+  // Monotone in both arguments.
+  EXPECT_LT(sequenceModel(0.05, 10), sequenceModel(0.10, 10));
+  EXPECT_LT(sequenceModel(0.05, 10), sequenceModel(0.05, 20));
+}
+
+TEST(SequenceCollector, PerfectNeverBreaksOnBiasedBranch) {
+  // All branches go one way: perfect predicts everything, so it sees
+  // one unbroken sequence covering the entire run.
+  auto M = minic::compileOrDie(
+      "int main() { int i; int s = 0;\n"
+      "  for (i = 0; i < 200; i++) { if (i >= 0) { s++; } }\n"
+      "  return s; }");
+  // First pass: profile.
+  EdgeProfile Profile(*M);
+  Interpreter Interp(*M);
+  RunResult R1 = Interp.run(Dataset(), {&Profile});
+  ASSERT_TRUE(R1.ok());
+  // Second pass: collect sequences for the perfect predictor.
+  PerfectPredictor Perfect(Profile);
+  SequenceCollector Collector(*M, {&Perfect});
+  RunResult R2 = Interp.run(Dataset(), {&Collector});
+  ASSERT_TRUE(R2.ok());
+  Collector.finalize(R2.InstrCount);
+  const SequenceHistogram &H = Collector.histograms()[0];
+  // The loop exit is the single potential miss; perfect predicts the
+  // majority (iterate) so exactly one break occurs at the end — or zero
+  // if ties broke favorably. Either way, almost no breaks.
+  EXPECT_LE(H.Breaks, 2u);
+  EXPECT_EQ(H.TotalInstrs, R2.InstrCount)
+      << "finalize accounts for every executed instruction";
+}
+
+TEST(SequenceCollector, MultiplePredictorsInOnePass) {
+  auto Run = runWorkload(*findWorkload("eqn"), 0);
+  PerfectPredictor Perfect(*Run->Profile);
+  BallLarusPredictor BL(*Run->Ctx);
+  LoopRandPredictor LR(*Run->Ctx);
+  SequenceCollector Collector(*Run->M, {&Perfect, &BL, &LR});
+  Interpreter Interp(*Run->M);
+  RunResult R = Interp.run(Run->dataset(), {&Collector});
+  ASSERT_TRUE(R.ok());
+  Collector.finalize(R.InstrCount);
+
+  const auto &Hists = Collector.histograms();
+  ASSERT_EQ(Hists.size(), 3u);
+  // All see the same branch executions.
+  EXPECT_EQ(Hists[0].BranchExecs, Hists[1].BranchExecs);
+  EXPECT_EQ(Hists[1].BranchExecs, Hists[2].BranchExecs);
+  EXPECT_GT(Hists[0].BranchExecs, 1000u);
+  // Perfect breaks least; its IPBC average is the largest.
+  EXPECT_LE(Hists[0].Breaks, Hists[1].Breaks);
+  EXPECT_LE(Hists[0].Breaks, Hists[2].Breaks);
+  EXPECT_GE(Hists[0].ipbcAverage(), Hists[1].ipbcAverage());
+  // Sequence accounting is exact for every predictor.
+  for (const auto &H : Hists) {
+    EXPECT_EQ(H.TotalInstrs, R.InstrCount);
+    uint64_t Seqs = 0;
+    for (uint64_t N : H.NumSequences)
+      Seqs += N;
+    // #sequences = #breaks + the final unterminated sequence (if any).
+    EXPECT_GE(Seqs, H.Breaks);
+    EXPECT_LE(Seqs, H.Breaks + 1);
+  }
+}
+
+TEST(SequenceCollector, MissRateMatchesEvaluation) {
+  // The trace-based miss rate must equal the profile-based one: same
+  // predictor, same execution.
+  auto Run = runWorkload(*findWorkload("grep"), 0);
+  BallLarusPredictor BL(*Run->Ctx);
+  Ratio ProfileMiss = evaluatePredictor(BL, Run->Stats);
+
+  SequenceCollector Collector(*Run->M, {&BL});
+  Interpreter Interp(*Run->M);
+  RunResult R = Interp.run(Run->dataset(), {&Collector});
+  ASSERT_TRUE(R.ok());
+  Collector.finalize(R.InstrCount);
+  const SequenceHistogram &H = Collector.histograms()[0];
+  EXPECT_EQ(H.Breaks, ProfileMiss.Num);
+  EXPECT_EQ(H.BranchExecs, ProfileMiss.Den);
+  EXPECT_NEAR(H.missRate(), ProfileMiss.rate(), 1e-12);
+}
+
+} // namespace

@@ -1,0 +1,165 @@
+//===- tests/SimplifyTest.cpp - CFG block-merging tests -------------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+#include "ir/IRBuilder.h"
+#include "ir/Simplify.h"
+#include "ir/Verifier.h"
+#include "vm/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace bpfree;
+using namespace bpfree::ir;
+
+namespace {
+
+TEST(SimplifyTest, MergesSinglePredJumpChain) {
+  Module M;
+  Function *F = M.createFunction("f", 0);
+  IRBuilder B(F);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Mid = F->createBlock("mid");
+  BasicBlock *End = F->createBlock("end");
+  B.setInsertBlock(Entry);
+  B.loadImm(1);
+  B.jump(Mid);
+  B.setInsertBlock(Mid);
+  B.loadImm(2);
+  B.jump(End);
+  B.setInsertBlock(End);
+  Reg R = B.loadImm(3);
+  B.retValue(R);
+
+  size_t Merged = simplifyCfg(*F);
+  EXPECT_EQ(Merged, 2u);
+  // Entry now holds all three instructions and returns directly.
+  EXPECT_EQ(F->getEntry()->instructions().size(), 3u);
+  EXPECT_TRUE(F->getEntry()->isReturnBlock());
+  EXPECT_TRUE(verifyModule(M).empty());
+}
+
+TEST(SimplifyTest, DoesNotMergeMultiPredTarget) {
+  Module M;
+  Function *F = M.createFunction("f", 1);
+  IRBuilder B(F);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *T = F->createBlock("t");
+  BasicBlock *E = F->createBlock("e");
+  BasicBlock *Join = F->createBlock("join");
+  B.setInsertBlock(Entry);
+  B.condBranch(BranchOp::BGTZ, F->getParamReg(0), Reg(), T, E);
+  B.setInsertBlock(T);
+  B.jump(Join);
+  B.setInsertBlock(E);
+  B.jump(Join);
+  B.setInsertBlock(Join);
+  B.ret();
+
+  EXPECT_EQ(simplifyCfg(*F), 0u) << "join has two predecessors";
+  EXPECT_TRUE(verifyModule(M).empty());
+}
+
+TEST(SimplifyTest, DoesNotMergeLoopHead) {
+  // entry -> head; head -> head | exit. head has 2 preds (entry +
+  // backedge), so nothing merges.
+  Module M;
+  Function *F = M.createFunction("f", 1);
+  IRBuilder B(F);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Head = F->createBlock("head");
+  BasicBlock *Exit = F->createBlock("exit");
+  B.setInsertBlock(Entry);
+  B.jump(Head);
+  B.setInsertBlock(Head);
+  B.condBranch(BranchOp::BGTZ, F->getParamReg(0), Reg(), Head, Exit);
+  B.setInsertBlock(Exit);
+  B.ret();
+
+  EXPECT_EQ(simplifyCfg(*F), 0u);
+  EXPECT_TRUE(verifyModule(M).empty());
+}
+
+TEST(SimplifyTest, IgnoresDeadPredecessors) {
+  // Dead block D also jumps to Mid; Mid still merges because D is
+  // unreachable.
+  Module M;
+  Function *F = M.createFunction("f", 0);
+  IRBuilder B(F);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Mid = F->createBlock("mid");
+  BasicBlock *Dead = F->createBlock("dead");
+  B.setInsertBlock(Entry);
+  B.jump(Mid);
+  B.setInsertBlock(Mid);
+  B.ret();
+  B.setInsertBlock(Dead);
+  B.jump(Mid);
+
+  EXPECT_EQ(simplifyCfg(*F), 1u);
+  EXPECT_TRUE(F->getEntry()->isReturnBlock());
+}
+
+TEST(SimplifyTest, SemanticsPreservedOnMiniC) {
+  // The same program must produce identical output and exit value with
+  // simplification applied (compile() already applies it; compare an
+  // unsimplified pipeline manually is not exposed, so instead check
+  // execution results and that loop latches got merged into body
+  // tails: the rotated while-loop's bottom test shares a block with
+  // the preceding body instructions).
+  const char *Src =
+      "struct n { int v; struct n *next; };\n"
+      "int main() {\n"
+      "  struct n *head = 0; int i; int s = 0;\n"
+      "  for (i = 0; i < 50; i++) {\n"
+      "    struct n *e = malloc(sizeof(struct n));\n"
+      "    e->v = i; e->next = head; head = e;\n"
+      "  }\n"
+      "  while (head != 0) { s += head->v; head = head->next; }\n"
+      "  return s;\n"
+      "}";
+  auto M = minic::compileOrDie(Src);
+  Interpreter Interp(*M);
+  RunResult R = Interp.run(Dataset());
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.ExitValue, 49 * 50 / 2);
+
+  // Find the list-walk bottom test: a BNE against zero in a block that
+  // also contains the load of head->next.
+  const ir::Function *Main = M->findFunction("main");
+  ASSERT_NE(Main, nullptr);
+  bool FoundMergedLatch = false;
+  for (const auto &BB : *Main) {
+    if (!BB->isCondBranch())
+      continue;
+    const Terminator &T = BB->terminator();
+    if (T.BOp != BranchOp::BNE && T.BOp != BranchOp::BEQ)
+      continue;
+    for (const Instruction &I : BB->instructions())
+      if (I.isLoad() && I.def() == T.Lhs)
+        FoundMergedLatch = true;
+  }
+  EXPECT_TRUE(FoundMergedLatch)
+      << "the rotated loop's bottom null test must share a block with "
+         "the pointer load (pointer-heuristic pattern)";
+}
+
+TEST(SimplifyTest, ModuleLevelRunsAllFunctions) {
+  Module M;
+  for (int I = 0; I < 3; ++I) {
+    Function *F = M.createFunction("f" + std::to_string(I), 0);
+    IRBuilder B(F);
+    BasicBlock *Entry = F->createBlock("entry");
+    BasicBlock *Next = F->createBlock("next");
+    B.setInsertBlock(Entry);
+    B.jump(Next);
+    B.setInsertBlock(Next);
+    B.ret();
+  }
+  EXPECT_EQ(simplifyCfg(M), 3u);
+}
+
+} // namespace

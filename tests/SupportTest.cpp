@@ -1,0 +1,201 @@
+//===- tests/SupportTest.cpp - Support library tests ----------------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+#include "support/Rng.h"
+#include "support/Statistics.h"
+#include "support/TablePrinter.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+using namespace bpfree;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Rng
+//===----------------------------------------------------------------------===//
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng A(42), B(42), C(43);
+  bool Differs = false;
+  for (int I = 0; I < 100; ++I) {
+    uint64_t VA = A.next();
+    EXPECT_EQ(VA, B.next());
+    if (VA != C.next())
+      Differs = true;
+  }
+  EXPECT_TRUE(Differs);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.below(17), 17u);
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng R(9);
+  std::set<int64_t> Seen;
+  for (int I = 0; I < 2000; ++I) {
+    int64_t V = R.range(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 7u) << "all values of a small range appear";
+}
+
+TEST(RngTest, UnitInHalfOpenInterval) {
+  Rng R(11);
+  double Sum = 0;
+  for (int I = 0; I < 10000; ++I) {
+    double U = R.unit();
+    EXPECT_GE(U, 0.0);
+    EXPECT_LT(U, 1.0);
+    Sum += U;
+  }
+  EXPECT_NEAR(Sum / 10000.0, 0.5, 0.02) << "roughly uniform";
+}
+
+TEST(RngTest, SplitmixIsAGoodCoin) {
+  // The default predictor relies on splitmix64 parity being ~fair.
+  int Heads = 0;
+  for (uint64_t Key = 0; Key < 4000; ++Key)
+    Heads += Rng::splitmix64(Key) & 1;
+  EXPECT_GT(Heads, 1800);
+  EXPECT_LT(Heads, 2200);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng R(5);
+  uint64_t First = R.next();
+  R.next();
+  R.reseed(5);
+  EXPECT_EQ(R.next(), First);
+}
+
+//===----------------------------------------------------------------------===//
+// RunningStat
+//===----------------------------------------------------------------------===//
+
+TEST(StatisticsTest, MeanAndStddev) {
+  RunningStat S;
+  for (double X : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+    S.add(X);
+  EXPECT_EQ(S.count(), 8u);
+  EXPECT_DOUBLE_EQ(S.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(S.stddev(), 2.0); // classic population-stddev example
+}
+
+TEST(StatisticsTest, EmptyAndSingle) {
+  RunningStat S;
+  EXPECT_TRUE(S.empty());
+  EXPECT_EQ(S.mean(), 0.0);
+  EXPECT_EQ(S.stddev(), 0.0);
+  S.add(3.5);
+  EXPECT_DOUBLE_EQ(S.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(S.stddev(), 0.0);
+}
+
+TEST(StatisticsTest, NumericalStability) {
+  RunningStat S;
+  for (int I = 0; I < 10000; ++I)
+    S.add(1e9 + (I % 2)); // tiny variance on a huge mean
+  EXPECT_NEAR(S.mean(), 1e9 + 0.5, 1e-3);
+  EXPECT_NEAR(S.stddev(), 0.5, 1e-6);
+}
+
+//===----------------------------------------------------------------------===//
+// TablePrinter
+//===----------------------------------------------------------------------===//
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter T({"Name", "Value"});
+  T.addRow({"alpha", "1"});
+  T.addRow({"b", "12345"});
+  std::ostringstream OS;
+  T.print(OS);
+  std::string Out = OS.str();
+  EXPECT_NE(Out.find("| Name  |"), std::string::npos);
+  EXPECT_NE(Out.find("| alpha |"), std::string::npos);
+  EXPECT_NE(Out.find("|     1 |"), std::string::npos) << "numbers right-align";
+  EXPECT_NE(Out.find("| 12345 |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, MissingCellsRenderEmpty) {
+  TablePrinter T({"A", "B", "C"});
+  T.addRow({"x"});
+  std::ostringstream OS;
+  T.print(OS);
+  // Every data row has the full column structure.
+  std::string Out = OS.str();
+  size_t Bars = 0;
+  std::istringstream Lines(Out);
+  std::string Line;
+  while (std::getline(Lines, Line))
+    if (Line.find("x") != std::string::npos)
+      Bars = static_cast<size_t>(
+          std::count(Line.begin(), Line.end(), '|'));
+  EXPECT_EQ(Bars, 4u);
+}
+
+TEST(TablePrinterTest, SeparatorRows) {
+  TablePrinter T({"A"});
+  T.addRow({"1"});
+  T.addSeparator();
+  T.addRow({"2"});
+  std::ostringstream OS;
+  T.print(OS);
+  // Top, header, mid separator, bottom = 4 separator lines.
+  std::string Out = OS.str();
+  size_t Count = 0, Pos = 0;
+  while ((Pos = Out.find("+---", Pos)) != std::string::npos) {
+    ++Count;
+    Pos += 4;
+  }
+  EXPECT_EQ(Count, 4u);
+}
+
+TEST(TablePrinterTest, PercentFormatting) {
+  EXPECT_EQ(TablePrinter::formatPercent(0.264), "26");
+  EXPECT_EQ(TablePrinter::formatPercent(0.031), "3.1");
+  EXPECT_EQ(TablePrinter::formatPercent(0.0), "0");
+  EXPECT_EQ(TablePrinter::formatPercent(1.0), "100");
+  EXPECT_EQ(TablePrinter::formatPercent(0.095), "9.5");
+  EXPECT_EQ(TablePrinter::formatPercent(0.0999), "10");
+  EXPECT_EQ(TablePrinter::formatMissPair(0.26, 0.11), "26/11");
+}
+
+TEST(TablePrinterTest, DoubleFormatting) {
+  EXPECT_EQ(TablePrinter::formatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::formatDouble(2.0, 0), "2");
+}
+
+//===----------------------------------------------------------------------===//
+// Diag / Expected
+//===----------------------------------------------------------------------===//
+
+TEST(ErrorTest, DiagRendering) {
+  EXPECT_EQ(Diag("boom").render(), "boom");
+  EXPECT_EQ(Diag("boom", 3, 7).render(), "3:7: boom");
+}
+
+TEST(ErrorTest, ExpectedValueAndError) {
+  Expected<int> V(42);
+  ASSERT_TRUE(V.hasValue());
+  EXPECT_EQ(*V, 42);
+
+  Expected<int> E(Diag("nope", 1, 2));
+  EXPECT_FALSE(E.hasValue());
+  EXPECT_EQ(E.error().Message, "nope");
+  EXPECT_FALSE(static_cast<bool>(E));
+}
+
+} // namespace

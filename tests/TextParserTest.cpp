@@ -1,0 +1,171 @@
+//===- tests/TextParserTest.cpp - IR text round-trip tests ----------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The printer/parser round trip: for hand-written IR, for every
+/// compiled workload, and behaviorally (parsed modules run with
+/// identical outputs and instruction counts).
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+#include "ir/IRBuilder.h"
+#include "ir/Printer.h"
+#include "ir/TextParser.h"
+#include "ir/Verifier.h"
+#include "vm/Interpreter.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace bpfree;
+using namespace bpfree::ir;
+
+namespace {
+
+TEST(TextParserTest, ParsesMinimalModule) {
+  auto M = parseModuleText("module: 1 functions, 0 global bytes\n"
+                           "func main(0 params) frame=0 regs=9:\n"
+                           "entry.0:\n"
+                           "  li r8, 42\n"
+                           "  ret r8\n");
+  ASSERT_TRUE(M.hasValue()) << M.error().render();
+  EXPECT_TRUE(verifyModule(**M).empty());
+  Interpreter Interp(**M);
+  EXPECT_EQ(Interp.run(Dataset()).ExitValue, 42);
+}
+
+TEST(TextParserTest, ParsesBranchesAndCalls) {
+  auto M = parseModuleText(
+      "module: 2 functions, 0 global bytes\n"
+      "func twice(1 params) frame=0 regs=10:\n"
+      "entry.0:\n"
+      "  add r9, r8, r8\n"
+      "  ret r9\n"
+      "\n"
+      "func main(0 params) frame=0 regs=12:\n"
+      "entry.0:\n"
+      "  li r8, 21\n"
+      "  twice(r8) -> r9\n" // printer spells calls "call name(...)"
+      "  ret r9\n");
+  // The line above is actually invalid (missing the 'call' mnemonic);
+  // expect a diagnostic naming the line.
+  ASSERT_FALSE(M.hasValue());
+  EXPECT_GT(M.error().Line, 0);
+
+  auto M2 = parseModuleText(
+      "module: 2 functions, 0 global bytes\n"
+      "func twice(1 params) frame=0 regs=10:\n"
+      "entry.0:\n"
+      "  add r9, r8, r8\n"
+      "  ret r9\n"
+      "\n"
+      "func main(0 params) frame=0 regs=12:\n"
+      "entry.0:\n"
+      "  li r8, 21\n"
+      "  call twice(r8) -> r9\n"
+      "  blez r9 -> neg.1 | pos.2\n"
+      "neg.1:\n"
+      "  ret zero\n"
+      "pos.2:\n"
+      "  ret r9\n");
+  ASSERT_TRUE(M2.hasValue()) << M2.error().render();
+  EXPECT_TRUE(verifyModule(**M2).empty());
+  Interpreter Interp(**M2);
+  EXPECT_EQ(Interp.run(Dataset()).ExitValue, 42);
+}
+
+TEST(TextParserTest, DataSectionRoundTrip) {
+  Module M;
+  std::vector<uint8_t> Data;
+  for (int I = 0; I < 100; ++I)
+    Data.push_back(static_cast<uint8_t>(I * 37));
+  M.allocateGlobalData(Data);
+  Function *F = M.createFunction("main", 0);
+  IRBuilder B(F);
+  B.setInsertBlock(F->createBlock("entry"));
+  B.retValue(B.load(GpReg, 8, MemWidth::I8));
+
+  std::string Text = printModule(M);
+  auto Parsed = parseModuleText(Text);
+  ASSERT_TRUE(Parsed.hasValue()) << Parsed.error().render();
+  EXPECT_EQ((*Parsed)->getGlobalImage(), M.getGlobalImage());
+}
+
+TEST(TextParserTest, Diagnostics) {
+  EXPECT_FALSE(parseModuleText("").hasValue());
+  EXPECT_FALSE(parseModuleText("nonsense\n").hasValue());
+  // Unknown instruction.
+  auto M = parseModuleText("module: 1 functions, 0 global bytes\n"
+                           "func main(0 params) frame=0 regs=9:\n"
+                           "entry.0:\n"
+                           "  frobnicate r8\n"
+                           "  ret\n");
+  ASSERT_FALSE(M.hasValue());
+  EXPECT_NE(M.error().Message.find("unknown instruction"),
+            std::string::npos);
+  // Missing terminator.
+  EXPECT_FALSE(parseModuleText("module: 1 functions, 0 global bytes\n"
+                               "func main(0 params) frame=0 regs=9:\n"
+                               "entry.0:\n"
+                               "  li r8, 1\n")
+                   .hasValue());
+  // Bad block reference.
+  EXPECT_FALSE(parseModuleText("module: 1 functions, 0 global bytes\n"
+                               "func main(0 params) frame=0 regs=9:\n"
+                               "entry.0:\n"
+                               "  j nowhere.7\n")
+                   .hasValue());
+}
+
+class RoundTripTest : public ::testing::TestWithParam<const Workload *> {};
+
+TEST_P(RoundTripTest, PrintParsePrintIsStable) {
+  const Workload &W = *GetParam();
+  auto M = minic::compileOrDie(W.Source);
+  std::string Text = printModule(*M);
+  auto Parsed = parseModuleText(Text);
+  ASSERT_TRUE(Parsed.hasValue())
+      << W.Name << ": " << Parsed.error().render();
+  EXPECT_TRUE(verifyModule(**Parsed).empty()) << W.Name;
+  EXPECT_EQ(printModule(**Parsed), Text)
+      << W.Name << ": print -> parse -> print must be a fixpoint";
+}
+
+TEST_P(RoundTripTest, ParsedModuleBehavesIdentically) {
+  const Workload &W = *GetParam();
+  auto M = minic::compileOrDie(W.Source);
+  auto Parsed = parseModuleText(printModule(*M));
+  ASSERT_TRUE(Parsed.hasValue());
+
+  Interpreter Orig(*M), Re(**Parsed);
+  RunResult R1 = Orig.run(W.Datasets[0]);
+  RunResult R2 = Re.run(W.Datasets[0]);
+  ASSERT_TRUE(R1.ok());
+  ASSERT_TRUE(R2.ok()) << R2.TrapMessage;
+  EXPECT_EQ(R1.Output, R2.Output) << W.Name;
+  EXPECT_EQ(R1.InstrCount, R2.InstrCount) << W.Name;
+  EXPECT_EQ(R1.ExitValue, R2.ExitValue) << W.Name;
+}
+
+std::string rtName(const ::testing::TestParamInfo<const Workload *> &Info) {
+  return Info.param->Name;
+}
+
+std::vector<const Workload *> roundTripSample() {
+  // A diverse sample keeps runtime modest; the fixpoint property is
+  // structural, so a sample suffices alongside the behavioral checks.
+  std::vector<const Workload *> Ptrs;
+  for (const char *Name : {"lisp", "treesort", "compress", "markgc",
+                           "circuit", "gauss", "wordcount"})
+    Ptrs.push_back(findWorkload(Name));
+  return Ptrs;
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, RoundTripTest,
+                         ::testing::ValuesIn(roundTripSample()), rtName);
+
+} // namespace

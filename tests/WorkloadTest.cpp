@@ -1,0 +1,119 @@
+//===- tests/WorkloadTest.cpp - Benchmark suite integration tests ---------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles and runs every workload on every dataset: each run must
+/// complete without trapping, within budget, produce its marker output,
+/// and be deterministic. Parameterized over the suite so each workload
+/// reports individually.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+#include "vm/EdgeProfile.h"
+#include "vm/Interpreter.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace bpfree;
+
+namespace {
+
+class WorkloadTest : public ::testing::TestWithParam<const Workload *> {};
+
+TEST_P(WorkloadTest, CompilesCleanly) {
+  const Workload &W = *GetParam();
+  auto M = minic::compile(W.Source);
+  ASSERT_TRUE(M.hasValue()) << W.Name << ": " << (M ? "" : M.error().render());
+  EXPECT_GT((*M)->numFunctions(), 1u) << "runtime library must be linked in";
+  EXPECT_GT((*M)->countCondBranches(), 5u);
+}
+
+TEST_P(WorkloadTest, RunsAllDatasetsCleanly) {
+  const Workload &W = *GetParam();
+  auto M = minic::compile(W.Source);
+  ASSERT_TRUE(M.hasValue()) << (M ? "" : M.error().render());
+  ASSERT_FALSE(W.Datasets.empty()) << "every workload needs datasets";
+  EXPECT_GE(W.Datasets.size(), 3u)
+      << "Graph 13 needs at least 3 datasets per benchmark";
+  Interpreter Interp(**M);
+  for (const Dataset &D : W.Datasets) {
+    RunResult R = Interp.run(D);
+    EXPECT_TRUE(R.ok()) << W.Name << "/" << D.Name
+                        << " status=" << static_cast<int>(R.Status) << " "
+                        << R.TrapMessage << "\noutput: " << R.Output;
+    EXPECT_NE(R.Output.find(W.Name), std::string::npos)
+        << W.Name << "/" << D.Name << " marker missing: " << R.Output;
+    EXPECT_GT(R.InstrCount, 10000u)
+        << W.Name << "/" << D.Name << " suspiciously small run";
+    EXPECT_LT(R.InstrCount, 200'000'000u)
+        << W.Name << "/" << D.Name << " suspiciously large run";
+  }
+}
+
+TEST_P(WorkloadTest, ReferenceRunIsDeterministic) {
+  const Workload &W = *GetParam();
+  auto M = minic::compile(W.Source);
+  ASSERT_TRUE(M.hasValue());
+  Interpreter Interp(**M);
+  RunResult R1 = Interp.run(W.Datasets[0]);
+  RunResult R2 = Interp.run(W.Datasets[0]);
+  EXPECT_EQ(R1.Output, R2.Output);
+  EXPECT_EQ(R1.InstrCount, R2.InstrCount);
+  EXPECT_EQ(R1.ExitValue, R2.ExitValue);
+}
+
+TEST_P(WorkloadTest, BranchesActuallyExecute) {
+  const Workload &W = *GetParam();
+  auto M = minic::compile(W.Source);
+  ASSERT_TRUE(M.hasValue());
+  EdgeProfile Profile(**M);
+  Interpreter Interp(**M);
+  RunResult R = Interp.run(W.Datasets[0], {&Profile});
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_GT(Profile.totalBranchExecutions(), 1000u)
+      << W.Name << " must be branchy enough to evaluate predictors";
+}
+
+std::string workloadName(
+    const ::testing::TestParamInfo<const Workload *> &Info) {
+  return Info.param->Name;
+}
+
+std::vector<const Workload *> allWorkloads() {
+  std::vector<const Workload *> Ptrs;
+  for (const Workload &W : workloadSuite())
+    Ptrs.push_back(&W);
+  return Ptrs;
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, WorkloadTest,
+                         ::testing::ValuesIn(allWorkloads()), workloadName);
+
+TEST(WorkloadRegistryTest, SuiteShape) {
+  const auto &Suite = workloadSuite();
+  EXPECT_GE(Suite.size(), 18u);
+  size_t FloatCount = 0;
+  for (const Workload &W : Suite) {
+    EXPECT_FALSE(W.Name.empty());
+    EXPECT_FALSE(W.Description.empty());
+    if (W.FloatingPoint)
+      ++FloatCount;
+  }
+  EXPECT_GE(FloatCount, 5u) << "the paper's second group is FP-heavy";
+  EXPECT_NE(findWorkload("matmul300"), nullptr);
+  EXPECT_EQ(findWorkload("nope"), nullptr);
+}
+
+TEST(WorkloadRegistryTest, NamesAreUnique) {
+  const auto &Suite = workloadSuite();
+  for (size_t I = 0; I < Suite.size(); ++I)
+    for (size_t J = I + 1; J < Suite.size(); ++J)
+      EXPECT_NE(Suite[I].Name, Suite[J].Name);
+}
+
+} // namespace
