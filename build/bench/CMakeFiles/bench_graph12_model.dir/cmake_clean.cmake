@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_graph12_model.dir/bench_graph12_model.cpp.o"
+  "CMakeFiles/bench_graph12_model.dir/bench_graph12_model.cpp.o.d"
+  "bench_graph12_model"
+  "bench_graph12_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graph12_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

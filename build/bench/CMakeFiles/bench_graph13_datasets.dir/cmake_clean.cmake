@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_graph13_datasets.dir/bench_graph13_datasets.cpp.o"
+  "CMakeFiles/bench_graph13_datasets.dir/bench_graph13_datasets.cpp.o.d"
+  "bench_graph13_datasets"
+  "bench_graph13_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graph13_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_graph1_orderings.dir/bench_graph1_orderings.cpp.o"
+  "CMakeFiles/bench_graph1_orderings.dir/bench_graph1_orderings.cpp.o.d"
+  "bench_graph1_orderings"
+  "bench_graph1_orderings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graph1_orderings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ipbc_graphs.dir/bench_ipbc_graphs.cpp.o"
+  "CMakeFiles/bench_ipbc_graphs.dir/bench_ipbc_graphs.cpp.o.d"
+  "bench_ipbc_graphs"
+  "bench_ipbc_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ipbc_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_profile_based.dir/bench_profile_based.cpp.o"
+  "CMakeFiles/bench_profile_based.dir/bench_profile_based.cpp.o.d"
+  "bench_profile_based"
+  "bench_profile_based.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_profile_based.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_loop_nonloop.dir/bench_table2_loop_nonloop.cpp.o"
+  "CMakeFiles/bench_table2_loop_nonloop.dir/bench_table2_loop_nonloop.cpp.o.d"
+  "bench_table2_loop_nonloop"
+  "bench_table2_loop_nonloop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_loop_nonloop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

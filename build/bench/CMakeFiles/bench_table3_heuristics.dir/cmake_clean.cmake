@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_heuristics.dir/bench_table3_heuristics.cpp.o"
+  "CMakeFiles/bench_table3_heuristics.dir/bench_table3_heuristics.cpp.o.d"
+  "bench_table3_heuristics"
+  "bench_table3_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_combined_slots.dir/bench_table5_combined_slots.cpp.o"
+  "CMakeFiles/bench_table5_combined_slots.dir/bench_table5_combined_slots.cpp.o.d"
+  "bench_table5_combined_slots"
+  "bench_table5_combined_slots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_combined_slots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_final.dir/bench_table6_final.cpp.o"
+  "CMakeFiles/bench_table6_final.dir/bench_table6_final.cpp.o.d"
+  "bench_table6_final"
+  "bench_table6_final.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_final.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

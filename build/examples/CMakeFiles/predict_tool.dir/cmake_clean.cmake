@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predict_tool.dir/predict_tool.cpp.o"
+  "CMakeFiles/predict_tool.dir/predict_tool.cpp.o.d"
+  "predict_tool"
+  "predict_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predict_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpfree_analysis.dir/DomTree.cpp.o"
+  "CMakeFiles/bpfree_analysis.dir/DomTree.cpp.o.d"
+  "CMakeFiles/bpfree_analysis.dir/LoopInfo.cpp.o"
+  "CMakeFiles/bpfree_analysis.dir/LoopInfo.cpp.o.d"
+  "libbpfree_analysis.a"
+  "libbpfree_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpfree_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpfree_frontend.dir/CodeGen.cpp.o"
+  "CMakeFiles/bpfree_frontend.dir/CodeGen.cpp.o.d"
+  "CMakeFiles/bpfree_frontend.dir/Compiler.cpp.o"
+  "CMakeFiles/bpfree_frontend.dir/Compiler.cpp.o.d"
+  "CMakeFiles/bpfree_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/bpfree_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/bpfree_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/bpfree_frontend.dir/Parser.cpp.o.d"
+  "CMakeFiles/bpfree_frontend.dir/Sema.cpp.o"
+  "CMakeFiles/bpfree_frontend.dir/Sema.cpp.o.d"
+  "CMakeFiles/bpfree_frontend.dir/Type.cpp.o"
+  "CMakeFiles/bpfree_frontend.dir/Type.cpp.o.d"
+  "libbpfree_frontend.a"
+  "libbpfree_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpfree_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpfree_ipbc.dir/SequenceAnalysis.cpp.o"
+  "CMakeFiles/bpfree_ipbc.dir/SequenceAnalysis.cpp.o.d"
+  "libbpfree_ipbc.a"
+  "libbpfree_ipbc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpfree_ipbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbpfree_ipbc.a"
+)

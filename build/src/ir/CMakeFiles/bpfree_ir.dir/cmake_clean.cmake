@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpfree_ir.dir/IR.cpp.o"
+  "CMakeFiles/bpfree_ir.dir/IR.cpp.o.d"
+  "CMakeFiles/bpfree_ir.dir/IRBuilder.cpp.o"
+  "CMakeFiles/bpfree_ir.dir/IRBuilder.cpp.o.d"
+  "CMakeFiles/bpfree_ir.dir/Printer.cpp.o"
+  "CMakeFiles/bpfree_ir.dir/Printer.cpp.o.d"
+  "CMakeFiles/bpfree_ir.dir/Simplify.cpp.o"
+  "CMakeFiles/bpfree_ir.dir/Simplify.cpp.o.d"
+  "CMakeFiles/bpfree_ir.dir/TextParser.cpp.o"
+  "CMakeFiles/bpfree_ir.dir/TextParser.cpp.o.d"
+  "CMakeFiles/bpfree_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/bpfree_ir.dir/Verifier.cpp.o.d"
+  "libbpfree_ir.a"
+  "libbpfree_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpfree_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predict/Evaluation.cpp" "src/predict/CMakeFiles/bpfree_predict.dir/Evaluation.cpp.o" "gcc" "src/predict/CMakeFiles/bpfree_predict.dir/Evaluation.cpp.o.d"
+  "/root/repo/src/predict/Frequency.cpp" "src/predict/CMakeFiles/bpfree_predict.dir/Frequency.cpp.o" "gcc" "src/predict/CMakeFiles/bpfree_predict.dir/Frequency.cpp.o.d"
+  "/root/repo/src/predict/Heuristics.cpp" "src/predict/CMakeFiles/bpfree_predict.dir/Heuristics.cpp.o" "gcc" "src/predict/CMakeFiles/bpfree_predict.dir/Heuristics.cpp.o.d"
+  "/root/repo/src/predict/Layout.cpp" "src/predict/CMakeFiles/bpfree_predict.dir/Layout.cpp.o" "gcc" "src/predict/CMakeFiles/bpfree_predict.dir/Layout.cpp.o.d"
+  "/root/repo/src/predict/Ordering.cpp" "src/predict/CMakeFiles/bpfree_predict.dir/Ordering.cpp.o" "gcc" "src/predict/CMakeFiles/bpfree_predict.dir/Ordering.cpp.o.d"
+  "/root/repo/src/predict/Predictors.cpp" "src/predict/CMakeFiles/bpfree_predict.dir/Predictors.cpp.o" "gcc" "src/predict/CMakeFiles/bpfree_predict.dir/Predictors.cpp.o.d"
+  "/root/repo/src/predict/Probability.cpp" "src/predict/CMakeFiles/bpfree_predict.dir/Probability.cpp.o" "gcc" "src/predict/CMakeFiles/bpfree_predict.dir/Probability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/bpfree_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/bpfree_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/bpfree_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bpfree_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpfree_predict.dir/Evaluation.cpp.o"
+  "CMakeFiles/bpfree_predict.dir/Evaluation.cpp.o.d"
+  "CMakeFiles/bpfree_predict.dir/Frequency.cpp.o"
+  "CMakeFiles/bpfree_predict.dir/Frequency.cpp.o.d"
+  "CMakeFiles/bpfree_predict.dir/Heuristics.cpp.o"
+  "CMakeFiles/bpfree_predict.dir/Heuristics.cpp.o.d"
+  "CMakeFiles/bpfree_predict.dir/Layout.cpp.o"
+  "CMakeFiles/bpfree_predict.dir/Layout.cpp.o.d"
+  "CMakeFiles/bpfree_predict.dir/Ordering.cpp.o"
+  "CMakeFiles/bpfree_predict.dir/Ordering.cpp.o.d"
+  "CMakeFiles/bpfree_predict.dir/Predictors.cpp.o"
+  "CMakeFiles/bpfree_predict.dir/Predictors.cpp.o.d"
+  "CMakeFiles/bpfree_predict.dir/Probability.cpp.o"
+  "CMakeFiles/bpfree_predict.dir/Probability.cpp.o.d"
+  "libbpfree_predict.a"
+  "libbpfree_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpfree_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

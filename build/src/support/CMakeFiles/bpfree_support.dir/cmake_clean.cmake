@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpfree_support.dir/Error.cpp.o"
+  "CMakeFiles/bpfree_support.dir/Error.cpp.o.d"
+  "CMakeFiles/bpfree_support.dir/TablePrinter.cpp.o"
+  "CMakeFiles/bpfree_support.dir/TablePrinter.cpp.o.d"
+  "libbpfree_support.a"
+  "libbpfree_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpfree_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

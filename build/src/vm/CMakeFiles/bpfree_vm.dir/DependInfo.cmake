@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/EdgeProfile.cpp" "src/vm/CMakeFiles/bpfree_vm.dir/EdgeProfile.cpp.o" "gcc" "src/vm/CMakeFiles/bpfree_vm.dir/EdgeProfile.cpp.o.d"
+  "/root/repo/src/vm/Interpreter.cpp" "src/vm/CMakeFiles/bpfree_vm.dir/Interpreter.cpp.o" "gcc" "src/vm/CMakeFiles/bpfree_vm.dir/Interpreter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/bpfree_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bpfree_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpfree_vm.dir/EdgeProfile.cpp.o"
+  "CMakeFiles/bpfree_vm.dir/EdgeProfile.cpp.o.d"
+  "CMakeFiles/bpfree_vm.dir/Interpreter.cpp.o"
+  "CMakeFiles/bpfree_vm.dir/Interpreter.cpp.o.d"
+  "libbpfree_vm.a"
+  "libbpfree_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpfree_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/Driver.cpp" "src/workloads/CMakeFiles/bpfree_workloads.dir/Driver.cpp.o" "gcc" "src/workloads/CMakeFiles/bpfree_workloads.dir/Driver.cpp.o.d"
+  "/root/repo/src/workloads/Runtime.cpp" "src/workloads/CMakeFiles/bpfree_workloads.dir/Runtime.cpp.o" "gcc" "src/workloads/CMakeFiles/bpfree_workloads.dir/Runtime.cpp.o.d"
+  "/root/repo/src/workloads/Workloads.cpp" "src/workloads/CMakeFiles/bpfree_workloads.dir/Workloads.cpp.o" "gcc" "src/workloads/CMakeFiles/bpfree_workloads.dir/Workloads.cpp.o.d"
+  "/root/repo/src/workloads/suite/ExtraSuite.cpp" "src/workloads/CMakeFiles/bpfree_workloads.dir/suite/ExtraSuite.cpp.o" "gcc" "src/workloads/CMakeFiles/bpfree_workloads.dir/suite/ExtraSuite.cpp.o.d"
+  "/root/repo/src/workloads/suite/FloatSuite.cpp" "src/workloads/CMakeFiles/bpfree_workloads.dir/suite/FloatSuite.cpp.o" "gcc" "src/workloads/CMakeFiles/bpfree_workloads.dir/suite/FloatSuite.cpp.o.d"
+  "/root/repo/src/workloads/suite/IntegerSuite.cpp" "src/workloads/CMakeFiles/bpfree_workloads.dir/suite/IntegerSuite.cpp.o" "gcc" "src/workloads/CMakeFiles/bpfree_workloads.dir/suite/IntegerSuite.cpp.o.d"
+  "/root/repo/src/workloads/suite/PointerSuite.cpp" "src/workloads/CMakeFiles/bpfree_workloads.dir/suite/PointerSuite.cpp.o" "gcc" "src/workloads/CMakeFiles/bpfree_workloads.dir/suite/PointerSuite.cpp.o.d"
+  "/root/repo/src/workloads/suite/TextSuite.cpp" "src/workloads/CMakeFiles/bpfree_workloads.dir/suite/TextSuite.cpp.o" "gcc" "src/workloads/CMakeFiles/bpfree_workloads.dir/suite/TextSuite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontend/CMakeFiles/bpfree_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/bpfree_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/bpfree_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/bpfree_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/bpfree_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bpfree_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpfree_workloads.dir/Driver.cpp.o"
+  "CMakeFiles/bpfree_workloads.dir/Driver.cpp.o.d"
+  "CMakeFiles/bpfree_workloads.dir/Runtime.cpp.o"
+  "CMakeFiles/bpfree_workloads.dir/Runtime.cpp.o.d"
+  "CMakeFiles/bpfree_workloads.dir/Workloads.cpp.o"
+  "CMakeFiles/bpfree_workloads.dir/Workloads.cpp.o.d"
+  "CMakeFiles/bpfree_workloads.dir/suite/ExtraSuite.cpp.o"
+  "CMakeFiles/bpfree_workloads.dir/suite/ExtraSuite.cpp.o.d"
+  "CMakeFiles/bpfree_workloads.dir/suite/FloatSuite.cpp.o"
+  "CMakeFiles/bpfree_workloads.dir/suite/FloatSuite.cpp.o.d"
+  "CMakeFiles/bpfree_workloads.dir/suite/IntegerSuite.cpp.o"
+  "CMakeFiles/bpfree_workloads.dir/suite/IntegerSuite.cpp.o.d"
+  "CMakeFiles/bpfree_workloads.dir/suite/PointerSuite.cpp.o"
+  "CMakeFiles/bpfree_workloads.dir/suite/PointerSuite.cpp.o.d"
+  "CMakeFiles/bpfree_workloads.dir/suite/TextSuite.cpp.o"
+  "CMakeFiles/bpfree_workloads.dir/suite/TextSuite.cpp.o.d"
+  "libbpfree_workloads.a"
+  "libbpfree_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpfree_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

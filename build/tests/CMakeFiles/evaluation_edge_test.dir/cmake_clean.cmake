@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evaluation_edge_test.dir/EvaluationEdgeTest.cpp.o"
+  "CMakeFiles/evaluation_edge_test.dir/EvaluationEdgeTest.cpp.o.d"
+  "evaluation_edge_test"
+  "evaluation_edge_test.pdb"
+  "evaluation_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evaluation_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frequency_test.dir/FrequencyTest.cpp.o"
+  "CMakeFiles/frequency_test.dir/FrequencyTest.cpp.o.d"
+  "frequency_test"
+  "frequency_test.pdb"
+  "frequency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frequency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frontend_edge_test.dir/FrontendEdgeTest.cpp.o"
+  "CMakeFiles/frontend_edge_test.dir/FrontendEdgeTest.cpp.o.d"
+  "frontend_edge_test"
+  "frontend_edge_test.pdb"
+  "frontend_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frontend_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/InterpreterTest.cpp" "tests/CMakeFiles/interpreter_test.dir/InterpreterTest.cpp.o" "gcc" "tests/CMakeFiles/interpreter_test.dir/InterpreterTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/bpfree_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipbc/CMakeFiles/bpfree_ipbc.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/bpfree_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/bpfree_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/bpfree_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/bpfree_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/bpfree_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bpfree_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

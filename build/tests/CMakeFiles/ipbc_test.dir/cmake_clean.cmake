@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipbc_test.dir/IpbcTest.cpp.o"
+  "CMakeFiles/ipbc_test.dir/IpbcTest.cpp.o.d"
+  "ipbc_test"
+  "ipbc_test.pdb"
+  "ipbc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipbc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/textparser_test.dir/TextParserTest.cpp.o"
+  "CMakeFiles/textparser_test.dir/TextParserTest.cpp.o.d"
+  "textparser_test"
+  "textparser_test.pdb"
+  "textparser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/textparser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/ir_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/frontend_test[1]_include.cmake")
+include("/root/repo/build/tests/exec_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/heuristics_test[1]_include.cmake")
+include("/root/repo/build/tests/predict_test[1]_include.cmake")
+include("/root/repo/build/tests/ipbc_test[1]_include.cmake")
+include("/root/repo/build/tests/simplify_test[1]_include.cmake")
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/codegen_test[1]_include.cmake")
+include("/root/repo/build/tests/layout_test[1]_include.cmake")
+include("/root/repo/build/tests/interpreter_test[1]_include.cmake")
+include("/root/repo/build/tests/golden_test[1]_include.cmake")
+include("/root/repo/build/tests/probability_test[1]_include.cmake")
+include("/root/repo/build/tests/textparser_test[1]_include.cmake")
+include("/root/repo/build/tests/frontend_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/frequency_test[1]_include.cmake")
+include("/root/repo/build/tests/evaluation_edge_test[1]_include.cmake")
