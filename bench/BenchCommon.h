@@ -18,7 +18,9 @@
 #include "workloads/Driver.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -35,15 +37,25 @@ inline void banner(const std::string &Artifact, const std::string &Note) {
 }
 
 /// Runs the whole suite on reference datasets, echoing progress to
-/// stderr so long benches show life.
+/// stderr so long benches show life. Benches need every workload to
+/// succeed to fill their tables, so on any failure this prints the
+/// per-workload failure summary (with backtraces) and exits nonzero —
+/// partial results are reported, the process is never aborted.
 inline std::vector<std::unique_ptr<WorkloadRun>>
 runSuiteVerbose(const HeuristicConfig &Config = {}) {
-  std::vector<std::unique_ptr<WorkloadRun>> Runs;
-  for (const Workload &W : workloadSuite()) {
+  SuiteOptions Opts;
+  Opts.Progress = [](const Workload &W) {
     std::fprintf(stderr, "  [suite] %s...\n", W.Name.c_str());
-    Runs.push_back(runWorkload(W, 0, Config));
+  };
+  SuiteReport Report = runSuite(Config, Opts);
+  if (!Report.allOk()) {
+    std::fprintf(stderr,
+                 "bpfree: %zu of %zu suite workloads failed:\n%s",
+                 Report.Failures.size(), Report.Attempted,
+                 Report.renderFailures().c_str());
+    std::exit(1);
   }
-  return Runs;
+  return std::move(Report.Runs);
 }
 
 /// "26" / "3.1" style percentage of a [0,1] fraction.

@@ -37,7 +37,7 @@ int main() {
 
   for (const Workload &W : workloadSuite()) {
     std::fprintf(stderr, "  [frequency] %s...\n", W.Name.c_str());
-    auto Run = runWorkload(W, 0);
+    auto Run = runWorkloadOrExit(W, 0);
     WuLarusPredictor WL(*Run->Ctx,
                         HeuristicPriors::measured(Run->Stats));
 

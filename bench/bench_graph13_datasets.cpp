@@ -34,7 +34,7 @@ int main() {
     std::fprintf(stderr, "  [datasets] %s...\n", W.Name.c_str());
     double MinMiss = 1.0, MaxMiss = 0.0;
     for (size_t D = 0; D < W.Datasets.size(); ++D) {
-      auto Run = runWorkload(W, D);
+      auto Run = runWorkloadOrExit(W, D);
       CombinedResult C = computeCombined(Run->Stats);
       T.addRow({W.Name, W.Datasets[D].Name, pct(C.AllMiss.rate()),
                 pct(C.AllPerfectMiss.rate()),

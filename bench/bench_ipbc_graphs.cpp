@@ -47,7 +47,7 @@ double curveAt(const std::vector<std::pair<uint64_t, double>> &Curve,
 
 void analyzeWorkload(const Workload &W) {
   std::fprintf(stderr, "  [ipbc] %s...\n", W.Name.c_str());
-  auto Run = runWorkload(W, 0);
+  auto Run = runWorkloadOrExit(W, 0);
 
   PerfectPredictor Perfect(*Run->Profile);
   BallLarusPredictor Heuristic(*Run->Ctx);
@@ -56,8 +56,12 @@ void analyzeWorkload(const Workload &W) {
       *Run->M, {&LoopRand, &Heuristic, &Perfect});
   Interpreter Interp(*Run->M);
   RunResult R = Interp.run(Run->dataset(), {&Collector});
-  if (!R.ok())
-    reportFatalError("trace run failed for " + W.Name);
+  if (!R.ok()) {
+    std::fprintf(stderr, "bpfree: trace run failed for %s:\n%s\n",
+                 W.Name.c_str(),
+                 R.Trap ? R.Trap->render().c_str() : R.TrapMessage.c_str());
+    std::exit(1);
+  }
   Collector.finalize(R.InstrCount);
 
   std::cout << "== " << W.Name << " (" << R.InstrCount
@@ -127,8 +131,10 @@ int main() {
                             "circuit"};
   for (const char *Name : TraceSet) {
     const Workload *W = findWorkload(Name);
-    if (!W)
-      reportFatalError(std::string("missing workload ") + Name);
+    if (!W) {
+      std::fprintf(stderr, "bpfree: missing workload %s\n", Name);
+      return 1;
+    }
     analyzeWorkload(*W);
   }
 

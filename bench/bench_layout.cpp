@@ -41,7 +41,7 @@ int main() {
 
   for (const Workload &W : workloadSuite()) {
     std::fprintf(stderr, "  [layout] %s...\n", W.Name.c_str());
-    auto Run = runWorkload(W, 0);
+    auto Run = runWorkloadOrExit(W, 0);
     PerfectPredictor Perfect(*Run->Profile);
     BallLarusPredictor Heuristic(*Run->Ctx);
 

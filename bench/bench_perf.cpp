@@ -131,7 +131,7 @@ void BM_InterpretWithTraceCollector(benchmark::State &State) {
 BENCHMARK(BM_InterpretWithTraceCollector)->Unit(benchmark::kMillisecond);
 
 void BM_OrderEvaluation(benchmark::State &State) {
-  auto Run = runWorkload(benchWorkload(), 0);
+  auto Run = runWorkloadOrExit(benchWorkload(), 0);
   OrderEvaluator Eval(Run->Stats);
   const auto &Orders = allOrders();
   size_t I = 0;
@@ -143,7 +143,7 @@ void BM_OrderEvaluation(benchmark::State &State) {
 BENCHMARK(BM_OrderEvaluation);
 
 void BM_AllOrdersSweep(benchmark::State &State) {
-  auto Run = runWorkload(benchWorkload(), 0);
+  auto Run = runWorkloadOrExit(benchWorkload(), 0);
   OrderEvaluator Eval(Run->Stats);
   for (auto _ : State) {
     std::vector<double> Rates = Eval.allMissRates();

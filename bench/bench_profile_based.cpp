@@ -42,12 +42,17 @@ int main() {
     if (W.Datasets.size() < 2)
       continue;
     // Reference run (scored) and training run (dataset 1).
-    auto Ref = runWorkload(W, 0);
+    auto Ref = runWorkloadOrExit(W, 0);
     EdgeProfile TrainProfile(*Ref->M);
     Interpreter Interp(*Ref->M);
     RunResult TrainResult = Interp.run(W.Datasets[1], {&TrainProfile});
-    if (!TrainResult.ok())
-      reportFatalError("training run failed for " + W.Name);
+    if (!TrainResult.ok()) {
+      std::fprintf(stderr, "bpfree: training run failed for %s:\n%s\n",
+                   W.Name.c_str(),
+                   TrainResult.Trap ? TrainResult.Trap->render().c_str()
+                                    : TrainResult.TrapMessage.c_str());
+      return 1;
+    }
 
     PerfectPredictor Self(*Ref->Profile);
     PerfectPredictor Cross(TrainProfile);

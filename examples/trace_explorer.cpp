@@ -48,7 +48,13 @@ int main(int argc, char **argv) {
 
   std::cout << "Profiling " << W->Name << " on dataset '"
             << W->Datasets[DatasetIdx].Name << "'...\n";
-  auto Run = runWorkload(*W, DatasetIdx);
+  auto RunOrErr = runWorkload(*W, DatasetIdx);
+  if (!RunOrErr) {
+    std::cerr << "profiling run failed: "
+              << RunOrErr.error().renderWithKind() << "\n";
+    return 1;
+  }
+  auto Run = RunOrErr.takeValue();
 
   PerfectPredictor Perfect(*Run->Profile);
   BallLarusPredictor Heuristic(*Run->Ctx);
@@ -58,7 +64,8 @@ int main(int argc, char **argv) {
   Interpreter Interp(*Run->M);
   RunResult R = Interp.run(Run->dataset(), {&Collector});
   if (!R.ok()) {
-    std::cerr << "trace run failed: " << R.TrapMessage << "\n";
+    std::cerr << "trace run failed: "
+              << (R.Trap ? R.Trap->render() : R.TrapMessage) << "\n";
     return 1;
   }
   Collector.finalize(R.InstrCount);

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Tier-1 CI for bpfree: build + full test suite, first plain, then under
+# AddressSanitizer + UBSan (BPFREE_SANITIZE=ON). Any failure is fatal.
+#
+# Usage: scripts/ci.sh [--plain-only|--sanitize-only]
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+MODE="${1:-all}"
+
+run_tier1() {
+  local build_dir="$1"
+  shift
+  echo "== configure: ${build_dir} ($*)"
+  cmake -B "${build_dir}" -S "${REPO_ROOT}" "$@"
+  echo "== build: ${build_dir}"
+  cmake --build "${build_dir}" -j "${JOBS}"
+  echo "== ctest: ${build_dir}"
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
+}
+
+case "${MODE}" in
+  all)
+    run_tier1 "${REPO_ROOT}/build"
+    run_tier1 "${REPO_ROOT}/build-asan" -DBPFREE_SANITIZE=ON
+    ;;
+  --plain-only)
+    run_tier1 "${REPO_ROOT}/build"
+    ;;
+  --sanitize-only)
+    run_tier1 "${REPO_ROOT}/build-asan" -DBPFREE_SANITIZE=ON
+    ;;
+  *)
+    echo "usage: $0 [--plain-only|--sanitize-only]" >&2
+    exit 2
+    ;;
+esac
+
+echo "== ci.sh: all green"

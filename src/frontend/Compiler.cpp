@@ -12,18 +12,32 @@
 #include "ir/Simplify.h"
 #include "ir/Verifier.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 using namespace bpfree;
 using namespace bpfree::minic;
+
+namespace {
+
+/// Tags frontend diagnostics that predate the taxonomy.
+Diag asCompileError(Diag D) {
+  if (D.Kind == ErrorKind::Unknown)
+    D.Kind = ErrorKind::CompileError;
+  return D;
+}
+
+} // namespace
 
 Expected<std::unique_ptr<ir::Module>>
 minic::compile(const std::string &Source) {
   Expected<std::unique_ptr<Program>> Prog = parseSource(Source);
   if (!Prog)
-    return Prog.error();
+    return asCompileError(Prog.takeError());
 
   Expected<SemaResult> Sema = analyze(**Prog);
   if (!Sema)
-    return Sema.error();
+    return asCompileError(Sema.takeError());
 
   std::unique_ptr<ir::Module> M = codegen(**Prog, *Sema);
 
@@ -34,13 +48,19 @@ minic::compile(const std::string &Source) {
 
   std::vector<std::string> Errors = ir::verifyModule(*M);
   if (!Errors.empty())
-    return Diag("internal codegen error: " + Errors.front());
+    return Diag(ErrorKind::VerifyError,
+                "internal codegen error: " + Errors.front());
   return M;
 }
 
 std::unique_ptr<ir::Module> minic::compileOrDie(const std::string &Source) {
   Expected<std::unique_ptr<ir::Module>> M = compile(Source);
-  if (!M)
-    reportFatalError("MiniC compilation failed: " + M.error().render());
+  if (!M) {
+    // Known-good inputs only: exit with a readable diagnostic rather
+    // than aborting with a core dump.
+    std::fprintf(stderr, "bpfree: MiniC compilation failed: %s\n",
+                 M.error().renderWithKind().c_str());
+    std::exit(1);
+  }
   return std::move(*M);
 }

@@ -8,6 +8,32 @@
 
 #include <cstdio>
 
+const char *bpfree::errorKindName(ErrorKind Kind) {
+  switch (Kind) {
+  case ErrorKind::Unknown:
+    return "unknown";
+  case ErrorKind::CompileError:
+    return "compile-error";
+  case ErrorKind::VerifyError:
+    return "verify-error";
+  case ErrorKind::Trap:
+    return "trap";
+  case ErrorKind::BudgetExceeded:
+    return "budget-exceeded";
+  case ErrorKind::Timeout:
+    return "timeout";
+  case ErrorKind::OutputOverflow:
+    return "output-overflow";
+  case ErrorKind::Injected:
+    return "injected";
+  case ErrorKind::InvalidArgument:
+    return "invalid-argument";
+  case ErrorKind::Internal:
+    return "internal";
+  }
+  return "unknown";
+}
+
 void bpfree::reportFatalError(const std::string &Message) {
   std::fprintf(stderr, "bpfree fatal error: %s\n", Message.c_str());
   std::abort();

@@ -23,16 +23,39 @@
 
 namespace bpfree {
 
+/// Classifies every recoverable failure the library can report. The
+/// pipeline (frontend -> verifier -> VM -> workload driver) tags each
+/// Diag with one of these so callers can react per category instead of
+/// string-matching messages, and so suite reports can aggregate by kind.
+enum class ErrorKind {
+  Unknown,         ///< untagged legacy diagnostics
+  CompileError,    ///< MiniC lexical / syntactic / semantic error
+  VerifyError,     ///< IR failed structural verification
+  Trap,            ///< VM runtime fault (bad address, div by zero, trap())
+  BudgetExceeded,  ///< instruction budget exhausted
+  Timeout,         ///< wall-clock watchdog (RunLimits::MaxMillis) fired
+  OutputOverflow,  ///< print budget exceeded with overflow trapping on
+  Injected,        ///< manufactured by a FaultInjector (chaos testing)
+  InvalidArgument, ///< bad API usage (unknown workload, dataset index...)
+  Internal,        ///< invariant violation surfaced as a diagnostic
+};
+
+/// \returns a stable lower-case name for \p Kind ("compile-error", ...).
+const char *errorKindName(ErrorKind Kind);
+
 /// A recoverable diagnostic with an optional source location. Used by the
 /// MiniC frontend (parse/type errors) and the VM (runtime traps).
 struct Diag {
   std::string Message;
   int Line = 0;   ///< 1-based source line, 0 when not applicable.
   int Column = 0; ///< 1-based source column, 0 when not applicable.
+  ErrorKind Kind = ErrorKind::Unknown;
 
   Diag() = default;
   explicit Diag(std::string Message, int Line = 0, int Column = 0)
       : Message(std::move(Message)), Line(Line), Column(Column) {}
+  Diag(ErrorKind Kind, std::string Message)
+      : Message(std::move(Message)), Kind(Kind) {}
 
   /// Renders "line:col: message" or just "message" without a location.
   std::string render() const {
@@ -40,6 +63,11 @@ struct Diag {
       return Message;
     return std::to_string(Line) + ":" + std::to_string(Column) + ": " +
            Message;
+  }
+
+  /// Renders "[kind] message" for reports that group failures by kind.
+  std::string renderWithKind() const {
+    return "[" + std::string(errorKindName(Kind)) + "] " + render();
   }
 };
 
@@ -67,6 +95,27 @@ public:
   const Diag &error() const {
     assert(!hasValue() && "no error present");
     return Err;
+  }
+
+  /// Moves the diagnostic out of an error-state Expected.
+  Diag takeError() {
+    assert(!hasValue() && "no error present");
+    return std::move(Err);
+  }
+
+  /// Moves the value out of a value-state Expected.
+  T takeValue() {
+    assert(hasValue() && "no value present");
+    return std::move(*Value);
+  }
+
+  /// \returns the contained value, or \p Default when this holds an
+  /// error. The rvalue overload supports move-only payloads.
+  T valueOr(T Default) const & {
+    return hasValue() ? *Value : std::move(Default);
+  }
+  T valueOr(T Default) && {
+    return hasValue() ? std::move(*Value) : std::move(Default);
   }
 
 private:

@@ -14,6 +14,10 @@ using namespace bpfree::ir;
 ExecObserver::~ExecObserver() = default;
 void ExecObserver::onCondBranch(const BasicBlock &, bool, uint64_t) {}
 void ExecObserver::onBlockEnter(const BasicBlock &) {}
+bool ExecObserver::wantsInstructionEvents() const { return false; }
+ExecAction ExecObserver::onInstruction(const ExecEvent &) {
+  return ExecAction::Continue;
+}
 
 EdgeProfile::EdgeProfile(const Module &M) : M(M) {
   PerBlock.resize(M.numFunctions());

@@ -11,18 +11,48 @@
 /// that watch every executed conditional branch together with the running
 /// instruction count.
 ///
+/// Observers that opt in (wantsInstructionEvents) additionally see every
+/// executed instruction and may *steer* the VM: the returned ExecAction
+/// lets a FaultInjector manufacture deterministic failures for chaos
+/// testing without any special-case code in the interpreter loop.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef BPFREE_VM_EXECOBSERVER_H
 #define BPFREE_VM_EXECOBSERVER_H
 
+#include <cstddef>
 #include <cstdint>
 
 namespace bpfree {
 
 namespace ir {
 class BasicBlock;
+class Function;
+struct Instruction;
 } // namespace ir
+
+/// What an instruction-level observer asks the VM to do next. Continue is
+/// the normal case; the Inject* actions deliberately push the machine into
+/// one of its failure modes (used by the fault-injection harness).
+enum class ExecAction {
+  Continue,                ///< execute the instruction normally
+  InjectTrap,              ///< raise a runtime trap here
+  InjectBudgetExhaustion,  ///< behave as if MaxInstructions was reached
+  InjectMemoryFault,       ///< raise an out-of-bounds memory trap
+  InjectOutputFlood,       ///< blow the MaxOutputBytes print budget
+};
+
+/// Snapshot handed to instruction-level observers before each executed
+/// instruction or terminator.
+struct ExecEvent {
+  const ir::Function *F = nullptr;   ///< function of the active frame
+  const ir::BasicBlock *BB = nullptr;
+  size_t InstIdx = 0;                ///< index within BB; == size() for
+                                     ///< the block terminator
+  const ir::Instruction *I = nullptr; ///< null when at the terminator
+  uint64_t InstrCount = 0;           ///< executed so far, this one included
+};
 
 /// Callbacks invoked by the interpreter during execution. The default
 /// implementations do nothing, so observers override only what they need.
@@ -38,6 +68,16 @@ public:
 
   /// Called when a basic block begins executing.
   virtual void onBlockEnter(const ir::BasicBlock &BB);
+
+  /// Observers returning true here receive onInstruction for every
+  /// executed instruction and terminator. Checked once at run start so
+  /// runs without such observers pay nothing per instruction.
+  virtual bool wantsInstructionEvents() const;
+
+  /// Called before each instruction for observers that opted in via
+  /// wantsInstructionEvents. Returning anything but Continue makes the
+  /// VM take that failure action instead of executing the instruction.
+  virtual ExecAction onInstruction(const ExecEvent &E);
 };
 
 } // namespace bpfree

@@ -1,0 +1,126 @@
+//===- vm/FaultInjector.cpp - Deterministic fault injection ---------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/FaultInjector.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "support/Rng.h"
+
+#include <cassert>
+
+using namespace bpfree;
+
+FaultPlan FaultPlan::atInstruction(uint64_t InstrCount, FaultAction Action) {
+  FaultPlan P;
+  P.Trigger = FaultTrigger::AtInstruction;
+  P.Action = Action;
+  P.TriggerInstr = InstrCount;
+  return P;
+}
+
+FaultPlan FaultPlan::onFunctionEntry(std::string Name, FaultAction Action,
+                                     uint64_t Skip) {
+  FaultPlan P;
+  P.Trigger = FaultTrigger::OnFunctionEntry;
+  P.Action = Action;
+  P.FunctionName = std::move(Name);
+  P.Skip = Skip;
+  return P;
+}
+
+FaultPlan FaultPlan::onIntrinsic(ir::Intrinsic Intr, FaultAction Action,
+                                 uint64_t Skip) {
+  FaultPlan P;
+  P.Trigger = FaultTrigger::OnIntrinsic;
+  P.Action = Action;
+  P.Intr = Intr;
+  P.Skip = Skip;
+  return P;
+}
+
+FaultPlan FaultPlan::fromSeed(uint64_t Seed, uint64_t WindowLo,
+                              uint64_t WindowHi) {
+  assert(WindowLo < WindowHi && "empty trigger window");
+  Rng R(Seed);
+  FaultPlan P;
+  P.Trigger = FaultTrigger::AtInstruction;
+  P.TriggerInstr = WindowLo + R.below(WindowHi - WindowLo);
+  P.Action = static_cast<FaultAction>(R.below(4));
+  return P;
+}
+
+const char *bpfree::faultActionName(FaultAction Action) {
+  switch (Action) {
+  case FaultAction::Trap:
+    return "trap";
+  case FaultAction::ExhaustBudget:
+    return "exhaust-budget";
+  case FaultAction::MemoryFault:
+    return "memory-fault";
+  case FaultAction::FloodOutput:
+    return "flood-output";
+  }
+  return "unknown";
+}
+
+std::string FaultPlan::describe() const {
+  std::string S = std::string(faultActionName(Action)) + " ";
+  switch (Trigger) {
+  case FaultTrigger::AtInstruction:
+    S += "at instruction " + std::to_string(TriggerInstr);
+    break;
+  case FaultTrigger::OnFunctionEntry:
+    S += "on entry to '" + FunctionName + "'";
+    break;
+  case FaultTrigger::OnIntrinsic:
+    S += "on intrinsic " + std::string(ir::intrinsicName(Intr));
+    break;
+  }
+  if (Skip)
+    S += " (skipping first " + std::to_string(Skip) + ")";
+  return S;
+}
+
+ExecAction FaultInjector::onInstruction(const ExecEvent &E) {
+  if (Fired)
+    return ExecAction::Continue;
+
+  bool Matched = false;
+  switch (Plan.Trigger) {
+  case FaultTrigger::AtInstruction:
+    Matched = E.InstrCount >= Plan.TriggerInstr;
+    break;
+  case FaultTrigger::OnFunctionEntry:
+    // The first instruction (or terminator) of the entry block marks a
+    // fresh activation of the function.
+    Matched = E.InstIdx == 0 && E.BB == E.F->getEntry() &&
+              E.F->getName() == Plan.FunctionName;
+    break;
+  case FaultTrigger::OnIntrinsic:
+    Matched = E.I && E.I->Op == ir::Opcode::CallIntrinsic &&
+              E.I->Intr == Plan.Intr;
+    break;
+  }
+  if (!Matched)
+    return ExecAction::Continue;
+  if (Matches++ < Plan.Skip)
+    return ExecAction::Continue;
+
+  Fired = true;
+  FiredAt = E.InstrCount;
+  switch (Plan.Action) {
+  case FaultAction::Trap:
+    return ExecAction::InjectTrap;
+  case FaultAction::ExhaustBudget:
+    return ExecAction::InjectBudgetExhaustion;
+  case FaultAction::MemoryFault:
+    return ExecAction::InjectMemoryFault;
+  case FaultAction::FloodOutput:
+    return ExecAction::InjectOutputFlood;
+  }
+  return ExecAction::Continue;
+}

@@ -1,0 +1,112 @@
+//===- vm/FaultInjector.h - Deterministic fault injection -------*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic fault injection for the VM. A FaultPlan names a trigger
+/// (dynamic instruction count, function entry, or intrinsic call) and an
+/// action (trap, budget exhaustion, memory fault, output flood); a
+/// FaultInjector is an ExecObserver that watches execution and asks the
+/// interpreter to take the action when the trigger matches. Because the
+/// VM itself is deterministic, a plan reproduces the same failure —
+/// same backtrace, same instruction count — on every run, which is what
+/// lets the chaos tests assert exact failure records. Plans can also be
+/// derived from a seed via support/Rng.h so randomized campaigns replay
+/// bit-identically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_VM_FAULTINJECTOR_H
+#define BPFREE_VM_FAULTINJECTOR_H
+
+#include "ir/Opcodes.h"
+#include "vm/ExecObserver.h"
+
+#include <cstdint>
+#include <string>
+
+namespace bpfree {
+
+/// When the planned fault fires.
+enum class FaultTrigger {
+  AtInstruction,   ///< first event with InstrCount >= TriggerInstr
+  OnFunctionEntry, ///< Skip-th execution of FunctionName's entry block
+  OnIntrinsic,     ///< Skip-th call of intrinsic Intr
+};
+
+/// Which failure mode is manufactured (maps onto ExecAction).
+enum class FaultAction {
+  Trap,          ///< runtime trap, ErrorKind::Injected
+  ExhaustBudget, ///< instruction budget exhaustion
+  MemoryFault,   ///< out-of-bounds access trap, ErrorKind::Injected
+  FloodOutput,   ///< blow the print budget, RunStatus::OutputOverflow
+};
+
+/// A fully deterministic description of one fault to inject.
+struct FaultPlan {
+  FaultTrigger Trigger = FaultTrigger::AtInstruction;
+  FaultAction Action = FaultAction::Trap;
+  uint64_t TriggerInstr = 0;    ///< AtInstruction threshold
+  std::string FunctionName;     ///< OnFunctionEntry target
+  ir::Intrinsic Intr = ir::Intrinsic::PrintInt; ///< OnIntrinsic target
+  uint64_t Skip = 0;            ///< trigger matches to let pass first
+
+  static FaultPlan atInstruction(uint64_t InstrCount,
+                                 FaultAction Action = FaultAction::Trap);
+  static FaultPlan onFunctionEntry(std::string Name,
+                                   FaultAction Action = FaultAction::Trap,
+                                   uint64_t Skip = 0);
+  static FaultPlan onIntrinsic(ir::Intrinsic Intr,
+                               FaultAction Action = FaultAction::Trap,
+                               uint64_t Skip = 0);
+
+  /// Derives a plan from \p Seed: the trigger point is drawn uniformly
+  /// from [WindowLo, WindowHi) and the action from the four actions,
+  /// both through support/Rng.h, so equal seeds give equal plans and
+  /// therefore bit-identical failures.
+  static FaultPlan fromSeed(uint64_t Seed, uint64_t WindowLo,
+                            uint64_t WindowHi);
+
+  /// One-line human-readable description for logs and reports.
+  std::string describe() const;
+};
+
+/// \returns a stable name for \p Action ("trap", "exhaust-budget", ...).
+const char *faultActionName(FaultAction Action);
+
+/// Observer that carries out a FaultPlan. Attach to Interpreter::run (or
+/// through the workload driver's extra-observer hook); fires at most once.
+class FaultInjector : public ExecObserver {
+public:
+  explicit FaultInjector(FaultPlan Plan) : Plan(std::move(Plan)) {}
+
+  bool wantsInstructionEvents() const override { return true; }
+  ExecAction onInstruction(const ExecEvent &E) override;
+
+  const FaultPlan &plan() const { return Plan; }
+
+  /// True once the fault has been delivered.
+  bool fired() const { return Fired; }
+
+  /// Instruction count at which the fault was delivered (0 if not yet).
+  uint64_t firedAt() const { return FiredAt; }
+
+  /// Re-arms the injector so the same plan can drive another run.
+  void reset() {
+    Fired = false;
+    FiredAt = 0;
+    Matches = 0;
+  }
+
+private:
+  FaultPlan Plan;
+  uint64_t Matches = 0; ///< trigger matches seen so far (for Skip)
+  bool Fired = false;
+  uint64_t FiredAt = 0;
+};
+
+} // namespace bpfree
+
+#endif // BPFREE_VM_FAULTINJECTOR_H

@@ -9,6 +9,7 @@
 #include "support/Error.h"
 
 #include <cassert>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -114,18 +115,88 @@ private:
 
   // Faults ---------------------------------------------------------------
 
-  void trap(const std::string &Message) {
-    if (Result.Status == RunStatus::Ok) {
-      Result.Status = RunStatus::Trap;
-      Result.TrapMessage = Message;
+  /// Builds the structured TrapInfo from the live frame stack; called
+  /// exactly once, on the first fault of the run.
+  TrapInfo snapshotFault(ErrorKind Kind, const std::string &Message) const {
+    TrapInfo T;
+    T.Kind = Kind;
+    T.Message = Message;
+    T.InstrCount = Result.InstrCount;
+    for (auto It = Frames.rbegin(); It != Frames.rend(); ++It) {
+      TrapFrame TF;
+      TF.Function = It->F->getName();
+      TF.Block = It->Block->getName();
+      TF.BlockId = It->Block->getId();
+      // InstIdx is the *next* instruction; the faulting one, when inside
+      // the block, is the previous index. Terminators report size().
+      TF.InstIdx = It->InstIdx;
+      T.Backtrace.push_back(std::move(TF));
+    }
+    if (!T.Backtrace.empty()) {
+      T.Function = T.Backtrace.front().Function;
+      T.Block = T.Backtrace.front().Block;
+      T.BlockId = T.Backtrace.front().BlockId;
+      T.InstIdx = T.Backtrace.front().InstIdx;
+    }
+    return T;
+  }
+
+  /// Ends the run with \p Status unless it already failed (first fault
+  /// wins, so injected and organic faults never overwrite each other).
+  void fail(RunStatus Status, ErrorKind Kind, const std::string &Message) {
+    if (Result.Status != RunStatus::Ok)
+      return;
+    Result.Status = Status;
+    Result.TrapMessage = Message;
+    Result.Trap = snapshotFault(Kind, Message);
+  }
+
+  void trap(const std::string &Message, ErrorKind Kind = ErrorKind::Trap) {
+    fail(RunStatus::Trap, Kind, Message);
+  }
+
+  /// Applies a non-Continue observer action (fault injection).
+  void applyInjectedAction(ExecAction Action, const Frame &F) {
+    switch (Action) {
+    case ExecAction::Continue:
+      break;
+    case ExecAction::InjectTrap:
+      trap("injected trap in '" + F.F->getName() + "'",
+           ErrorKind::Injected);
+      break;
+    case ExecAction::InjectBudgetExhaustion:
+      // The budget check at the top of the main loop turns this into a
+      // regular BudgetExceeded failure on the next iteration.
+      Result.InstrCount = Limits.MaxInstructions;
+      break;
+    case ExecAction::InjectMemoryFault:
+      trap("injected memory fault: access out of bounds at address " +
+               std::to_string(Memory.size()),
+           ErrorKind::Injected);
+      break;
+    case ExecAction::InjectOutputFlood:
+      Result.Output.resize(Limits.MaxOutputBytes, '#');
+      Result.OutputTruncated = true;
+      fail(RunStatus::OutputOverflow, ErrorKind::Injected,
+           "injected output flood: print budget (" +
+               std::to_string(Limits.MaxOutputBytes) +
+               " bytes) exhausted in '" + F.F->getName() + "'");
+      break;
     }
   }
 
   // Helpers ----------------------------------------------------------
 
   void output(const std::string &S) {
-    if (Result.Output.size() + S.size() <= Limits.MaxOutputBytes)
+    if (Result.Output.size() + S.size() <= Limits.MaxOutputBytes) {
       Result.Output += S;
+      return;
+    }
+    Result.OutputTruncated = true;
+    if (Limits.TrapOnOutputOverflow)
+      fail(RunStatus::OutputOverflow, ErrorKind::OutputOverflow,
+           "print budget (" + std::to_string(Limits.MaxOutputBytes) +
+               " bytes) exhausted");
   }
 
   bool pushFrame(const Function *F, const std::vector<uint64_t> &Args,
@@ -139,6 +210,9 @@ private:
   const RunLimits &Limits;
   const Dataset &Data;
   const std::vector<ExecObserver *> &Observers;
+  /// Subset of Observers that asked for per-instruction callbacks;
+  /// empty for plain profiling runs, which therefore pay nothing extra.
+  std::vector<ExecObserver *> InstrObservers;
 
   std::vector<uint8_t> Memory;
   uint64_t Sp = 0;
@@ -474,9 +548,22 @@ RunResult Machine::run(const Function *Entry) {
     trap("global segment larger than VM memory");
     return Result;
   }
-  std::memcpy(Memory.data() + NullPageSize, Image.data(), Image.size());
+  if (!Image.empty())
+    std::memcpy(Memory.data() + NullPageSize, Image.data(), Image.size());
   HeapTop = (NullPageSize + Image.size() + 7u) & ~7ull;
   Sp = Memory.size();
+
+  for (ExecObserver *O : Observers)
+    if (O->wantsInstructionEvents())
+      InstrObservers.push_back(O);
+
+  // Watchdog bookkeeping: the clock is only read every WatchdogStride
+  // instructions, so deadline-free runs stay deterministic and cheap.
+  constexpr uint64_t WatchdogStride = 16384;
+  const bool HasDeadline = Limits.MaxMillis > 0;
+  const auto Deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(Limits.MaxMillis);
+  uint64_t NextWatchdogCheck = WatchdogStride;
 
   if (!pushFrame(Entry, {}, Reg()))
     return Result;
@@ -484,11 +571,41 @@ RunResult Machine::run(const Function *Entry) {
   while (!Frames.empty() && Result.Status == RunStatus::Ok) {
     Frame &F = Frames.back();
     if (Result.InstrCount >= Limits.MaxInstructions) {
-      Result.Status = RunStatus::BudgetExceeded;
+      fail(RunStatus::BudgetExceeded, ErrorKind::BudgetExceeded,
+           "instruction budget (" + std::to_string(Limits.MaxInstructions) +
+               ") exhausted in '" + F.F->getName() + "'");
       break;
     }
+    if (HasDeadline && Result.InstrCount >= NextWatchdogCheck) {
+      NextWatchdogCheck = Result.InstrCount + WatchdogStride;
+      if (std::chrono::steady_clock::now() >= Deadline) {
+        fail(RunStatus::Timeout, ErrorKind::Timeout,
+             "wall-clock limit (" + std::to_string(Limits.MaxMillis) +
+                 " ms) exceeded in '" + F.F->getName() + "'");
+        break;
+      }
+    }
     ++Result.InstrCount;
-    if (F.InstIdx < F.Block->instructions().size()) {
+    const bool AtTerminator = F.InstIdx >= F.Block->instructions().size();
+    if (!InstrObservers.empty()) {
+      ExecEvent E;
+      E.F = F.F;
+      E.BB = F.Block;
+      E.InstIdx = F.InstIdx;
+      E.I = AtTerminator ? nullptr : &F.Block->instructions()[F.InstIdx];
+      E.InstrCount = Result.InstrCount;
+      ExecAction Action = ExecAction::Continue;
+      for (ExecObserver *O : InstrObservers) {
+        Action = O->onInstruction(E);
+        if (Action != ExecAction::Continue)
+          break;
+      }
+      if (Action != ExecAction::Continue) {
+        applyInjectedAction(Action, F);
+        continue; // re-check status / budget at the top of the loop
+      }
+    }
+    if (!AtTerminator) {
       const Instruction &I = F.Block->instructions()[F.InstIdx++];
       // Calls push a frame; all other instructions stay in F.
       if (!execInstruction(F, I))
@@ -502,6 +619,38 @@ RunResult Machine::run(const Function *Entry) {
 
 } // namespace
 
+std::string TrapInfo::render() const {
+  std::string S = std::string(errorKindName(Kind)) + ": " + Message;
+  if (!Function.empty())
+    S += " at " + Function + ":" + Block + "[" + std::to_string(InstIdx) +
+         "]";
+  S += " (instr #" + std::to_string(InstrCount) + ")";
+  for (size_t I = 0; I < Backtrace.size(); ++I) {
+    const TrapFrame &F = Backtrace[I];
+    S += "\n  #" + std::to_string(I) + " " + F.Function + " " + F.Block +
+         "[" + std::to_string(F.InstIdx) + "]";
+  }
+  return S;
+}
+
+ErrorKind RunResult::errorKind() const {
+  if (Trap)
+    return Trap->Kind;
+  switch (Status) {
+  case RunStatus::Ok:
+    return ErrorKind::Unknown;
+  case RunStatus::Trap:
+    return ErrorKind::Trap;
+  case RunStatus::BudgetExceeded:
+    return ErrorKind::BudgetExceeded;
+  case RunStatus::Timeout:
+    return ErrorKind::Timeout;
+  case RunStatus::OutputOverflow:
+    return ErrorKind::OutputOverflow;
+  }
+  return ErrorKind::Unknown;
+}
+
 Interpreter::Interpreter(const Module &M, RunLimits Limits)
     : M(M), Limits(Limits) {}
 
@@ -513,6 +662,9 @@ RunResult Interpreter::run(const Dataset &Data,
     RunResult R;
     R.Status = RunStatus::Trap;
     R.TrapMessage = "entry function '" + EntryName + "' not found";
+    R.Trap = TrapInfo();
+    R.Trap->Kind = ErrorKind::InvalidArgument;
+    R.Trap->Message = R.TrapMessage;
     return R;
   }
   Machine Mach(M, Limits, Data, Observers);

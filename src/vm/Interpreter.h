@@ -26,10 +26,12 @@
 #define BPFREE_VM_INTERPRETER_H
 
 #include "ir/Module.h"
+#include "support/Error.h"
 #include "vm/Dataset.h"
 #include "vm/ExecObserver.h"
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -40,17 +42,50 @@ enum class RunStatus {
   Ok,             ///< main returned normally
   Trap,           ///< runtime error (bad address, div by zero, trap())
   BudgetExceeded, ///< instruction budget exhausted
+  Timeout,        ///< wall-clock watchdog (RunLimits::MaxMillis) fired
+  OutputOverflow, ///< print budget exceeded with overflow trapping on
+};
+
+/// One activation record of the trap backtrace, innermost first.
+struct TrapFrame {
+  std::string Function;
+  std::string Block;     ///< block name at the faulting point
+  unsigned BlockId = 0;  ///< dense block id within the function
+  size_t InstIdx = 0;    ///< next-instruction index within the block
+};
+
+/// Structured description of where and why a run failed, built from the
+/// interpreter's explicit frame stack at the moment of the fault. Cheap
+/// to produce (a handful of string copies on the failure path only) and
+/// rich enough for suite reports to print real backtraces.
+struct TrapInfo {
+  ErrorKind Kind = ErrorKind::Trap;
+  std::string Message;
+  std::string Function;  ///< innermost function, "" if no frame was live
+  std::string Block;     ///< innermost block name
+  unsigned BlockId = 0;
+  size_t InstIdx = 0;    ///< faulting instruction index in Block
+  uint64_t InstrCount = 0; ///< dynamic instruction count at the fault
+  std::vector<TrapFrame> Backtrace; ///< innermost first
+
+  /// Renders "kind: message at func:block[i] (#N)\n  #0 func block[i]..."
+  std::string render() const;
 };
 
 /// Outcome of one execution.
 struct RunResult {
   RunStatus Status = RunStatus::Ok;
-  std::string TrapMessage;  ///< set when Status == Trap
+  std::string TrapMessage;  ///< set when Status != Ok
   int64_t ExitValue = 0;    ///< main's return value (0 if void)
   uint64_t InstrCount = 0;  ///< instructions executed (terminators count)
   std::string Output;       ///< bytes written by the print intrinsics
+  bool OutputTruncated = false; ///< prints were dropped at MaxOutputBytes
+  std::optional<TrapInfo> Trap; ///< set when Status != Ok
 
   bool ok() const { return Status == RunStatus::Ok; }
+
+  /// Maps the failure to the error taxonomy; ErrorKind::Unknown when ok.
+  ErrorKind errorKind() const;
 };
 
 /// Tunable execution limits.
@@ -59,6 +94,13 @@ struct RunLimits {
   uint64_t MemoryBytes = 64u << 20;       ///< flat memory size
   size_t MaxCallDepth = 8192;             ///< frames
   size_t MaxOutputBytes = 4u << 20;       ///< print budget
+  /// Wall-clock watchdog in milliseconds; 0 disables it. Checked every
+  /// few thousand instructions, so overshoot is bounded and runs without
+  /// a deadline stay bit-for-bit deterministic.
+  uint64_t MaxMillis = 0;
+  /// When true, exceeding MaxOutputBytes ends the run with
+  /// RunStatus::OutputOverflow instead of silently dropping prints.
+  bool TrapOnOutputOverflow = false;
 };
 
 /// Executes IR modules. Construct once per module; run() may be invoked

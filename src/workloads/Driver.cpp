@@ -7,39 +7,127 @@
 #include "workloads/Driver.h"
 
 #include "frontend/Compiler.h"
-#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
 
 using namespace bpfree;
 
+std::string WorkloadFailure::render() const {
+  std::string S = "workload '" + Workload + "'";
+  if (!Dataset.empty())
+    S += " dataset '" + Dataset + "'";
+  S += " failed: [" + std::string(errorKindName(Kind)) + "] " + Message;
+  if (Trap)
+    S += "\n  " + Trap->render();
+  return S;
+}
+
 std::unique_ptr<WorkloadRun>
-bpfree::runWorkload(const Workload &W, size_t DatasetIndex,
-                    const HeuristicConfig &Config) {
-  if (DatasetIndex >= W.Datasets.size())
-    reportFatalError("workload '" + W.Name + "' has no dataset " +
-                     std::to_string(DatasetIndex));
+bpfree::runWorkloadDetailed(const Workload &W, size_t DatasetIndex,
+                            const HeuristicConfig &Config,
+                            const RunOptions &Opts,
+                            WorkloadFailure &Failure) {
+  Failure = WorkloadFailure();
+  Failure.Workload = W.Name;
+
+  if (DatasetIndex >= W.Datasets.size()) {
+    Failure.Kind = ErrorKind::InvalidArgument;
+    Failure.Message = "no dataset " + std::to_string(DatasetIndex) +
+                      " (have " + std::to_string(W.Datasets.size()) + ")";
+    return nullptr;
+  }
+  Failure.Dataset = W.Datasets[DatasetIndex].Name;
 
   auto Run = std::make_unique<WorkloadRun>();
   Run->W = &W;
   Run->DatasetIndex = DatasetIndex;
-  Run->M = minic::compileOrDie(W.Source);
+
+  Expected<std::unique_ptr<ir::Module>> M = minic::compile(W.Source);
+  if (!M) {
+    Diag D = M.takeError();
+    Failure.Kind = D.Kind;
+    Failure.Message = D.render();
+    return nullptr;
+  }
+  Run->M = std::move(*M);
   Run->Ctx = std::make_unique<PredictionContext>(*Run->M);
   Run->Profile = std::make_unique<EdgeProfile>(*Run->M);
 
-  Interpreter Interp(*Run->M);
-  Run->Result = Interp.run(W.Datasets[DatasetIndex], {Run->Profile.get()});
-  if (!Run->Result.ok())
-    reportFatalError("workload '" + W.Name + "' dataset '" +
-                     W.Datasets[DatasetIndex].Name +
-                     "' failed: " + Run->Result.TrapMessage);
+  std::vector<ExecObserver *> Observers{Run->Profile.get()};
+  Observers.insert(Observers.end(), Opts.ExtraObservers.begin(),
+                   Opts.ExtraObservers.end());
+
+  Interpreter Interp(*Run->M, Opts.Limits);
+  Run->Result = Interp.run(W.Datasets[DatasetIndex], Observers);
+  if (!Run->Result.ok()) {
+    Failure.Kind = Run->Result.errorKind();
+    Failure.Message = Run->Result.TrapMessage;
+    Failure.Trap = Run->Result.Trap;
+    return nullptr;
+  }
 
   Run->Stats = collectBranchStats(*Run->Ctx, *Run->Profile, Config);
   return Run;
 }
 
-std::vector<std::unique_ptr<WorkloadRun>>
-bpfree::runSuite(const HeuristicConfig &Config) {
-  std::vector<std::unique_ptr<WorkloadRun>> Runs;
-  for (const Workload &W : workloadSuite())
-    Runs.push_back(runWorkload(W, 0, Config));
-  return Runs;
+Expected<std::unique_ptr<WorkloadRun>>
+bpfree::runWorkload(const Workload &W, size_t DatasetIndex,
+                    const HeuristicConfig &Config, const RunOptions &Opts) {
+  WorkloadFailure Failure;
+  std::unique_ptr<WorkloadRun> Run =
+      runWorkloadDetailed(W, DatasetIndex, Config, Opts, Failure);
+  if (!Run)
+    return Diag(Failure.Kind, Failure.render());
+  return Run;
+}
+
+std::unique_ptr<WorkloadRun>
+bpfree::runWorkloadOrExit(const Workload &W, size_t DatasetIndex,
+                          const HeuristicConfig &Config,
+                          const RunOptions &Opts) {
+  Expected<std::unique_ptr<WorkloadRun>> Run =
+      runWorkload(W, DatasetIndex, Config, Opts);
+  if (!Run) {
+    std::fprintf(stderr, "bpfree: %s\n", Run.error().render().c_str());
+    std::exit(1);
+  }
+  return std::move(*Run);
+}
+
+const WorkloadFailure *
+SuiteReport::failureFor(const std::string &Workload) const {
+  for (const WorkloadFailure &F : Failures)
+    if (F.Workload == Workload)
+      return &F;
+  return nullptr;
+}
+
+std::string SuiteReport::renderFailures() const {
+  std::string S;
+  for (const WorkloadFailure &F : Failures)
+    S += F.render() + "\n";
+  return S;
+}
+
+SuiteReport bpfree::runSuite(const HeuristicConfig &Config,
+                             const SuiteOptions &Opts) {
+  SuiteReport Report;
+  for (const Workload &W : workloadSuite()) {
+    ++Report.Attempted;
+    if (Opts.Progress)
+      Opts.Progress(W);
+    RunOptions RO;
+    RO.Limits = Opts.Limits;
+    if (Opts.ExtraObservers)
+      RO.ExtraObservers = Opts.ExtraObservers(W);
+    WorkloadFailure Failure;
+    std::unique_ptr<WorkloadRun> Run =
+        runWorkloadDetailed(W, 0, Config, RO, Failure);
+    if (Run)
+      Report.Runs.push_back(std::move(Run));
+    else
+      Report.Failures.push_back(std::move(Failure));
+  }
+  return Report;
 }

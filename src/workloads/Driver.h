@@ -11,16 +11,25 @@
 /// go through this entry point, so the paper's tables are all computed
 /// from the same per-branch records.
 ///
+/// The driver is *recoverable*: a compile error, runtime trap, or limit
+/// exhaustion in one workload is returned as a structured failure (with
+/// a TrapInfo backtrace when the VM was involved) instead of aborting
+/// the process, and runSuite degrades gracefully — it keeps executing
+/// the remaining workloads and reports every failure in a SuiteReport.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef BPFREE_WORKLOADS_DRIVER_H
 #define BPFREE_WORKLOADS_DRIVER_H
 
 #include "predict/Evaluation.h"
+#include "support/Error.h"
 #include "vm/Interpreter.h"
 #include "workloads/Workloads.h"
 
+#include <functional>
 #include <memory>
+#include <optional>
 
 namespace bpfree {
 
@@ -38,18 +47,83 @@ struct WorkloadRun {
   const Dataset &dataset() const { return W->Datasets[DatasetIndex]; }
 };
 
-/// Compiles \p W, runs dataset \p DatasetIndex under an edge profiler,
-/// and collects per-branch statistics under \p Config. Aborts on
-/// compile errors or runtime traps (workload programs are known-good;
-/// failures indicate library bugs).
-std::unique_ptr<WorkloadRun> runWorkload(const Workload &W,
-                                         size_t DatasetIndex = 0,
-                                         const HeuristicConfig &Config = {});
+/// Structured record of one workload that failed to compile or run.
+struct WorkloadFailure {
+  std::string Workload;
+  std::string Dataset; ///< "" when the failure precedes dataset selection
+  ErrorKind Kind = ErrorKind::Unknown;
+  std::string Message;
+  std::optional<TrapInfo> Trap; ///< set when the VM reached the fault
 
-/// Runs the whole suite (reference datasets) and returns the runs in
-/// suite order. \p Config selects heuristic variants.
-std::vector<std::unique_ptr<WorkloadRun>>
-runSuite(const HeuristicConfig &Config = {});
+  /// Multi-line rendering: headline plus the TrapInfo backtrace if any.
+  std::string render() const;
+};
+
+/// Per-run knobs threaded through the driver into the VM.
+struct RunOptions {
+  RunLimits Limits;
+  /// Attached after the edge profiler; useful for trace collectors and
+  /// fault injectors. Not owned.
+  std::vector<ExecObserver *> ExtraObservers;
+};
+
+/// Compiles \p W, runs dataset \p DatasetIndex under an edge profiler,
+/// and collects per-branch statistics under \p Config. All recoverable
+/// failures (compile errors, traps, limit exhaustion, injected faults)
+/// come back as a Diag tagged with the error taxonomy; the process is
+/// never aborted for a bad workload.
+Expected<std::unique_ptr<WorkloadRun>>
+runWorkload(const Workload &W, size_t DatasetIndex = 0,
+            const HeuristicConfig &Config = {}, const RunOptions &Opts = {});
+
+/// Like runWorkload but reports failures through \p Failure (including
+/// the structured TrapInfo), returning null on failure. This is the
+/// primitive runSuite builds on.
+std::unique_ptr<WorkloadRun>
+runWorkloadDetailed(const Workload &W, size_t DatasetIndex,
+                    const HeuristicConfig &Config, const RunOptions &Opts,
+                    WorkloadFailure &Failure);
+
+/// Unwraps runWorkload for known-good workloads: on failure, prints the
+/// diagnostic to stderr and exits with status 1 (no abort, no core).
+/// For tests and bench binaries whose inputs must be healthy.
+std::unique_ptr<WorkloadRun>
+runWorkloadOrExit(const Workload &W, size_t DatasetIndex = 0,
+                  const HeuristicConfig &Config = {},
+                  const RunOptions &Opts = {});
+
+/// Suite-wide execution knobs.
+struct SuiteOptions {
+  RunLimits Limits;
+  /// Per-workload extra observers (e.g. a FaultInjector keyed by name);
+  /// called once per workload before it runs. May return {}.
+  std::function<std::vector<ExecObserver *>(const Workload &)>
+      ExtraObservers;
+  /// Invoked before each workload runs (progress reporting).
+  std::function<void(const Workload &)> Progress;
+};
+
+/// Outcome of a whole-suite run: the successful runs in suite order plus
+/// a failure record for every workload that did not complete.
+struct SuiteReport {
+  std::vector<std::unique_ptr<WorkloadRun>> Runs;
+  std::vector<WorkloadFailure> Failures;
+  size_t Attempted = 0;
+
+  bool allOk() const { return Failures.empty(); }
+
+  /// \returns the failure record for \p Workload, or nullptr.
+  const WorkloadFailure *failureFor(const std::string &Workload) const;
+
+  /// Multi-line per-workload failure summary ("" when all succeeded).
+  std::string renderFailures() const;
+};
+
+/// Runs the whole suite (reference datasets). Failures are isolated per
+/// workload: one bad program no longer kills the run — the remaining
+/// workloads still execute and the report carries the failure records.
+SuiteReport runSuite(const HeuristicConfig &Config = {},
+                     const SuiteOptions &Opts = {});
 
 } // namespace bpfree
 

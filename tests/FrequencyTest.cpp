@@ -95,7 +95,7 @@ TEST(FrequencyTest, CapPreventsDivergence) {
 
 TEST(FrequencyTest, PerfectOracleScoresHighest) {
   for (const char *Name : {"treesort", "grep", "circuit"}) {
-    auto Run = runWorkload(*findWorkload(Name), 0);
+    auto Run = runWorkloadOrExit(*findWorkload(Name), 0);
     WuLarusPredictor WL(*Run->Ctx,
                         HeuristicPriors::measured(Run->Stats));
 

@@ -107,7 +107,7 @@ TEST(SequenceCollector, PerfectNeverBreaksOnBiasedBranch) {
 }
 
 TEST(SequenceCollector, MultiplePredictorsInOnePass) {
-  auto Run = runWorkload(*findWorkload("eqn"), 0);
+  auto Run = runWorkloadOrExit(*findWorkload("eqn"), 0);
   PerfectPredictor Perfect(*Run->Profile);
   BallLarusPredictor BL(*Run->Ctx);
   LoopRandPredictor LR(*Run->Ctx);
@@ -142,7 +142,7 @@ TEST(SequenceCollector, MultiplePredictorsInOnePass) {
 TEST(SequenceCollector, MissRateMatchesEvaluation) {
   // The trace-based miss rate must equal the profile-based one: same
   // predictor, same execution.
-  auto Run = runWorkload(*findWorkload("grep"), 0);
+  auto Run = runWorkloadOrExit(*findWorkload("grep"), 0);
   BallLarusPredictor BL(*Run->Ctx);
   Ratio ProfileMiss = evaluatePredictor(BL, Run->Stats);
 

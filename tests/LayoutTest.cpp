@@ -65,7 +65,7 @@ TEST(LayoutTest, PredictedSuccessorFollowsWhenFree) {
 }
 
 TEST(LayoutTest, QualityAccountsEveryTransfer) {
-  auto Run = runWorkload(*findWorkload("grep"), 0);
+  auto Run = runWorkloadOrExit(*findWorkload("grep"), 0);
   PerfectPredictor Perfect(*Run->Profile);
   LayoutQuality Q =
       evaluateModuleLayout(*Run->M, Perfect, *Run->Profile);
@@ -79,7 +79,7 @@ TEST(LayoutTest, PerfectLayoutBeatsOriginalAndHeuristicIsClose) {
   // The headline consumer claim: prediction-guided layout recovers
   // most of profile-guided layout's fall-through improvements.
   for (const char *Name : {"treesort", "circuit", "hashwords"}) {
-    auto Run = runWorkload(*findWorkload(Name), 0);
+    auto Run = runWorkloadOrExit(*findWorkload(Name), 0);
     PerfectPredictor Perfect(*Run->Profile);
     BallLarusPredictor Heuristic(*Run->Ctx);
 

@@ -1,0 +1,203 @@
+//===- tests/LimitsTest.cpp - RunLimits edge enforcement ------------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Edge-exact enforcement of every RunLimits knob: the instruction
+/// budget at the boundary, call depth at N vs N+1, output truncation
+/// and overflow trapping, null-page / out-of-bounds memory traps with
+/// their structured TrapInfo, and the wall-clock watchdog.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+#include "ir/IRBuilder.h"
+#include "vm/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace bpfree;
+using namespace bpfree::ir;
+
+namespace {
+
+RunResult runSource(const std::string &Src, RunLimits Limits = RunLimits()) {
+  auto M = minic::compile(Src);
+  EXPECT_TRUE(M.hasValue()) << (M ? "" : M.error().render());
+  if (!M)
+    return RunResult();
+  Interpreter Interp(**M, Limits);
+  return Interp.run(Dataset());
+}
+
+const char *CountedLoop = R"MC(
+int main() {
+  int i = 0;
+  int s = 0;
+  while (i < 50) {
+    s = s + i;
+    i = i + 1;
+  }
+  return s;
+}
+)MC";
+
+TEST(InstructionBudget, ExactBoundary) {
+  // Reference run without meaningful limits measures the exact count.
+  RunResult Free = runSource(CountedLoop);
+  ASSERT_TRUE(Free.ok());
+  ASSERT_GT(Free.InstrCount, 0u);
+
+  // A budget of exactly the program length must succeed...
+  RunLimits AtLimit;
+  AtLimit.MaxInstructions = Free.InstrCount;
+  RunResult Exact = runSource(CountedLoop, AtLimit);
+  EXPECT_TRUE(Exact.ok()) << Exact.TrapMessage;
+  EXPECT_EQ(Exact.InstrCount, Free.InstrCount);
+
+  // ...and one instruction less must fail as BudgetExceeded, with the
+  // structured trap info naming where the budget ran out.
+  RunLimits OneShort;
+  OneShort.MaxInstructions = Free.InstrCount - 1;
+  RunResult Cut = runSource(CountedLoop, OneShort);
+  EXPECT_EQ(Cut.Status, RunStatus::BudgetExceeded);
+  EXPECT_EQ(Cut.errorKind(), ErrorKind::BudgetExceeded);
+  ASSERT_TRUE(Cut.Trap.has_value());
+  EXPECT_EQ(Cut.Trap->Kind, ErrorKind::BudgetExceeded);
+  EXPECT_EQ(Cut.Trap->Function, "main");
+  EXPECT_EQ(Cut.Trap->InstrCount, Free.InstrCount - 1);
+  EXPECT_FALSE(Cut.Trap->Backtrace.empty());
+}
+
+const char *Recurse20 = R"MC(
+int f(int n) {
+  if (n <= 1) {
+    return 1;
+  }
+  return 1 + f(n - 1);
+}
+int main() {
+  return f(20);
+}
+)MC";
+
+TEST(CallDepth, BoundaryAtNandNPlus1) {
+  // f(20) recursion peaks at 21 live frames: main plus f(20)..f(1).
+  RunLimits Enough;
+  Enough.MaxCallDepth = 21;
+  RunResult Ok = runSource(Recurse20, Enough);
+  EXPECT_TRUE(Ok.ok()) << Ok.TrapMessage;
+  EXPECT_EQ(Ok.ExitValue, 20);
+
+  RunLimits OneShort;
+  OneShort.MaxCallDepth = 20;
+  RunResult Cut = runSource(Recurse20, OneShort);
+  EXPECT_EQ(Cut.Status, RunStatus::Trap);
+  EXPECT_NE(Cut.TrapMessage.find("depth"), std::string::npos);
+  ASSERT_TRUE(Cut.Trap.has_value());
+  // The deepest pushed frame is f; the backtrace walks back to main.
+  EXPECT_EQ(Cut.Trap->Function, "f");
+  ASSERT_EQ(Cut.Trap->Backtrace.size(), 20u);
+  EXPECT_EQ(Cut.Trap->Backtrace.back().Function, "main");
+}
+
+const char *Print1000Bytes = R"MC(
+int main() {
+  int i = 0;
+  while (i < 100) {
+    print_int(1234567890);
+    i = i + 1;
+  }
+  return 0;
+}
+)MC";
+
+TEST(OutputBudget, TruncatesByDefault) {
+  RunLimits Limits;
+  Limits.MaxOutputBytes = 100;
+  RunResult R = runSource(Print1000Bytes, Limits);
+  // Default policy: the run completes, prints past the budget are
+  // dropped, and the truncation is flagged.
+  EXPECT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_TRUE(R.OutputTruncated);
+  EXPECT_LE(R.Output.size(), 100u);
+  EXPECT_EQ(R.Output.size(), 100u) << "10-byte prints fill exactly 100";
+}
+
+TEST(OutputBudget, OverflowTrapsWhenEnabled) {
+  RunLimits Limits;
+  Limits.MaxOutputBytes = 100;
+  Limits.TrapOnOutputOverflow = true;
+  RunResult R = runSource(Print1000Bytes, Limits);
+  EXPECT_EQ(R.Status, RunStatus::OutputOverflow);
+  EXPECT_EQ(R.errorKind(), ErrorKind::OutputOverflow);
+  ASSERT_TRUE(R.Trap.has_value());
+  EXPECT_EQ(R.Trap->Function, "main");
+  EXPECT_TRUE(R.OutputTruncated);
+}
+
+TEST(MemoryTraps, NullPageLoadHasTrapInfo) {
+  Module M;
+  Function *F = M.createFunction("main", 0);
+  IRBuilder Bld(F);
+  Bld.setInsertBlock(F->createBlock("entry"));
+  Bld.retValue(Bld.load(ZeroReg, 0, MemWidth::I64));
+  Interpreter Interp(M);
+  RunResult R = Interp.run(Dataset());
+  EXPECT_EQ(R.Status, RunStatus::Trap);
+  EXPECT_NE(R.TrapMessage.find("out of bounds"), std::string::npos);
+  ASSERT_TRUE(R.Trap.has_value());
+  EXPECT_EQ(R.Trap->Kind, ErrorKind::Trap);
+  EXPECT_EQ(R.Trap->Function, "main");
+  EXPECT_EQ(R.Trap->Block, "entry");
+  ASSERT_EQ(R.Trap->Backtrace.size(), 1u);
+}
+
+TEST(MemoryTraps, OutOfBoundsStoreHasTrapInfo) {
+  Module M;
+  Function *F = M.createFunction("main", 0);
+  IRBuilder Bld(F);
+  Bld.setInsertBlock(F->createBlock("entry"));
+  Reg Huge = Bld.loadImm(1ll << 60);
+  Bld.store(Bld.loadImm(7), Huge, 0, MemWidth::I64);
+  Bld.retValue(Bld.loadImm(0));
+  Interpreter Interp(M);
+  RunResult R = Interp.run(Dataset());
+  EXPECT_EQ(R.Status, RunStatus::Trap);
+  ASSERT_TRUE(R.Trap.has_value());
+  EXPECT_EQ(R.Trap->Function, "main");
+  EXPECT_EQ(R.Trap->InstrCount, R.InstrCount);
+}
+
+TEST(Watchdog, WallClockDeadlineFires) {
+  // An endless loop that the instruction budget would not stop for a
+  // long time; the watchdog has to end it.
+  const char *Endless = R"MC(
+int main() {
+  int i = 1;
+  while (i > 0) {
+    i = i + 1;
+  }
+  return 0;
+}
+)MC";
+  RunLimits Limits;
+  Limits.MaxMillis = 30;
+  RunResult R = runSource(Endless, Limits);
+  EXPECT_EQ(R.Status, RunStatus::Timeout);
+  EXPECT_EQ(R.errorKind(), ErrorKind::Timeout);
+  ASSERT_TRUE(R.Trap.has_value());
+  EXPECT_EQ(R.Trap->Kind, ErrorKind::Timeout);
+  EXPECT_EQ(R.Trap->Function, "main");
+}
+
+TEST(Watchdog, DisabledByDefault) {
+  RunResult R = runSource(CountedLoop);
+  EXPECT_TRUE(R.ok());
+  EXPECT_FALSE(R.Trap.has_value());
+  EXPECT_FALSE(R.OutputTruncated);
+}
+
+} // namespace

@@ -223,7 +223,7 @@ TEST(Evaluation, BigBranchesDetected) {
 }
 
 TEST(Evaluation, HeuristicIsolationConsistency) {
-  auto Run = runWorkload(*findWorkload("treesort"), 0);
+  auto Run = runWorkloadOrExit(*findWorkload("treesort"), 0);
   auto Isolation = computeHeuristicIsolation(Run->Stats);
   ASSERT_EQ(Isolation.size(), NumHeuristics);
   uint64_t NonLoop = 0;
@@ -242,7 +242,7 @@ TEST(Evaluation, HeuristicIsolationConsistency) {
 }
 
 TEST(Evaluation, CombinedSlotsPartitionNonLoopExecs) {
-  auto Run = runWorkload(*findWorkload("lisp"), 0);
+  auto Run = runWorkloadOrExit(*findWorkload("lisp"), 0);
   CombinedResult C = computeCombined(Run->Stats);
   uint64_t SlotSum = 0;
   for (const auto &Slot : C.Slots)
@@ -259,7 +259,7 @@ TEST(Evaluation, CombinedMatchesPredictorObject) {
   // computeCombined (mask-based) and BallLarusPredictor (direct) must
   // yield identical all-branch miss counts for the same order.
   for (const char *Name : {"treesort", "eqn", "circuit"}) {
-    auto Run = runWorkload(*findWorkload(Name), 0);
+    auto Run = runWorkloadOrExit(*findWorkload(Name), 0);
     CombinedResult C = computeCombined(Run->Stats);
     BallLarusPredictor BL(*Run->Ctx);
     Ratio Direct = evaluatePredictor(BL, Run->Stats);
@@ -271,7 +271,7 @@ TEST(Evaluation, CombinedMatchesPredictorObject) {
 TEST(Evaluation, PerfectIsOptimalAcrossPredictors) {
   // The paper's "perfect static predictor provides an upper bound on
   // the performance of any static predictor".
-  auto Run = runWorkload(*findWorkload("qsortbench"), 0);
+  auto Run = runWorkloadOrExit(*findWorkload("qsortbench"), 0);
   EdgeProfile &Profile = *Run->Profile;
   PerfectPredictor Perfect(Profile);
   Ratio PerfectMiss = evaluatePredictor(Perfect, Run->Stats);
@@ -319,7 +319,7 @@ TEST(Ordering, PaperOrderIsInTheEnumeration) {
 }
 
 TEST(Ordering, EvaluatorAgreesWithComputeCombined) {
-  auto Run = runWorkload(*findWorkload("hashwords"), 0);
+  auto Run = runWorkloadOrExit(*findWorkload("hashwords"), 0);
   OrderEvaluator Eval(Run->Stats);
   Rng R(11);
   const auto &Orders = allOrders();
@@ -364,7 +364,7 @@ TEST(Ordering, MaxTrialsCapsEnumeration) {
 TEST(Ordering, OrderChangesMissRateOnRealWorkload) {
   // On a workload with overlapping heuristics, different orders give
   // different miss rates (Graph 1's spread).
-  auto Run = runWorkload(*findWorkload("treesort"), 0);
+  auto Run = runWorkloadOrExit(*findWorkload("treesort"), 0);
   OrderEvaluator Eval(Run->Stats);
   std::vector<double> Rates = Eval.allMissRates();
   double MinRate = *std::min_element(Rates.begin(), Rates.end());

@@ -73,7 +73,7 @@ TEST(Priors, MeasuredFallsBackAndClamps) {
 }
 
 TEST(WuLarus, ProbabilityDrivesDirection) {
-  auto Run = runWorkload(*findWorkload("treesort"), 0);
+  auto Run = runWorkloadOrExit(*findWorkload("treesort"), 0);
   WuLarusPredictor WL(*Run->Ctx);
   for (const BranchStats &S : Run->Stats) {
     double P = WL.probability(*S.BB);
@@ -93,7 +93,7 @@ TEST(WuLarus, CompetitiveWithFirstMatchOnSuiteSamples) {
   // fixed priority order; require it to stay within a small margin on
   // a few diverse workloads and to beat Loop+Rand everywhere.
   for (const char *Name : {"treesort", "eqn", "circuit", "hashwords"}) {
-    auto Run = runWorkload(*findWorkload(Name), 0);
+    auto Run = runWorkloadOrExit(*findWorkload(Name), 0);
     BallLarusPredictor BL(*Run->Ctx);
     WuLarusPredictor WL(*Run->Ctx,
                         HeuristicPriors::measured(Run->Stats));
@@ -107,7 +107,7 @@ TEST(WuLarus, CompetitiveWithFirstMatchOnSuiteSamples) {
 }
 
 TEST(Calibration, OracleAndCoinScores) {
-  auto Run = runWorkload(*findWorkload("qsortbench"), 0);
+  auto Run = runWorkloadOrExit(*findWorkload("qsortbench"), 0);
   // Oracle: empirical per-branch probability. Brier = weighted
   // variance, strictly below the coin.
   CalibrationReport Oracle = calibrate(Run->Stats, [](const BranchStats &S) {
@@ -131,7 +131,7 @@ TEST(Calibration, OracleAndCoinScores) {
 
 TEST(Calibration, WuLarusBeatsCoin) {
   for (const char *Name : {"lisp", "circuit"}) {
-    auto Run = runWorkload(*findWorkload(Name), 0);
+    auto Run = runWorkloadOrExit(*findWorkload(Name), 0);
     HeuristicPriors Priors = HeuristicPriors::measured(Run->Stats);
     CalibrationReport WL = calibrate(Run->Stats, [&](const BranchStats &S) {
       return takenProbability(S, Priors);
