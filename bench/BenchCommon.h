@@ -20,8 +20,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace bpfree {
@@ -41,11 +43,16 @@ inline void banner(const std::string &Artifact, const std::string &Note) {
 /// succeed to fill their tables, so on any failure this prints the
 /// per-workload failure summary (with backtraces) and exits nonzero —
 /// partial results are reported, the process is never aborted.
+///
+/// The suite fans out across worker threads; each progress line is
+/// emitted by one fprintf call under the driver's callback mutex (no
+/// mid-line interleaving) and is tagged with the workload's registry
+/// index, since start order is not completion order.
 inline std::vector<std::unique_ptr<WorkloadRun>>
 runSuiteVerbose(const HeuristicConfig &Config = {}) {
   SuiteOptions Opts;
-  Opts.Progress = [](const Workload &W) {
-    std::fprintf(stderr, "  [suite] %s...\n", W.Name.c_str());
+  Opts.Progress = [](const Workload &W, size_t Index) {
+    std::fprintf(stderr, "  [suite #%02zu] %s...\n", Index, W.Name.c_str());
   };
   SuiteReport Report = runSuite(Config, Opts);
   if (!Report.allOk()) {
@@ -57,6 +64,48 @@ runSuiteVerbose(const HeuristicConfig &Config = {}) {
   }
   return std::move(Report.Runs);
 }
+
+/// Cache of compiled-and-profiled suite runs keyed by (workload name,
+/// dataset index). Profiling a workload is the expensive step — hundreds
+/// of millions of interpreted instructions — while deriving BranchStats
+/// for a new HeuristicConfig from the cached PredictionContext and
+/// EdgeProfile is orders of magnitude cheaper. Benches that sweep
+/// configs (ablations, order searches) profile once through runs() and
+/// call statsFor() per config instead of re-interpreting the suite.
+class SuiteCache {
+public:
+  /// Compiles and profiles the whole suite (reference datasets) on
+  /// first use; later calls return the cached runs. Exits nonzero on
+  /// any workload failure, like runSuiteVerbose.
+  const std::vector<std::unique_ptr<WorkloadRun>> &
+  runs(const HeuristicConfig &Config = {}) {
+    if (Runs.empty()) {
+      Runs = runSuiteVerbose(Config);
+      for (const auto &Run : Runs)
+        Index[{Run->W->Name, Run->DatasetIndex}] = Run.get();
+    }
+    return Runs;
+  }
+
+  /// \returns the cached run for (\p Workload, \p Dataset), or nullptr
+  /// when it isn't cached (runs() not called yet, or unknown key).
+  const WorkloadRun *find(const std::string &Workload,
+                          size_t Dataset = 0) const {
+    auto It = Index.find({Workload, Dataset});
+    return It == Index.end() ? nullptr : It->second;
+  }
+
+  /// Per-branch statistics for \p Run under \p Config, recomputed from
+  /// the cached profile without re-interpreting the workload.
+  std::vector<BranchStats> statsFor(const WorkloadRun &Run,
+                                    const HeuristicConfig &Config) const {
+    return collectBranchStats(*Run.Ctx, *Run.Profile, Config);
+  }
+
+private:
+  std::vector<std::unique_ptr<WorkloadRun>> Runs;
+  std::map<std::pair<std::string, size_t>, const WorkloadRun *> Index;
+};
 
 /// "26" / "3.1" style percentage of a [0,1] fraction.
 inline std::string pct(double Fraction) {

@@ -32,14 +32,11 @@ struct SuiteScore {
   RunningStat AllMiss, NonLoopMiss, Coverage;
 };
 
-SuiteScore
-scoreSuite(const std::vector<std::unique_ptr<WorkloadRun>> &Runs,
-           const HeuristicConfig &Config,
-           DefaultPolicy Policy = DefaultPolicy::Random) {
+SuiteScore scoreSuite(SuiteCache &Cache, const HeuristicConfig &Config,
+                      DefaultPolicy Policy = DefaultPolicy::Random) {
   SuiteScore Score;
-  for (const auto &Run : Runs) {
-    std::vector<BranchStats> Stats =
-        collectBranchStats(*Run->Ctx, *Run->Profile, Config);
+  for (const auto &Run : Cache.runs()) {
+    std::vector<BranchStats> Stats = Cache.statsFor(*Run, Config);
     // Apply the default policy by rewriting the per-branch random
     // direction (the CombinedResult default slot uses RandomDir).
     if (Policy != DefaultPolicy::Random)
@@ -57,10 +54,9 @@ scoreSuite(const std::vector<std::unique_ptr<WorkloadRun>> &Runs,
 /// Backwards-branch-only loop handling: loop branches predicted by the
 /// loop predictor only when the prediction is a backedge; everything
 /// else treated like a non-loop branch (heuristics + default).
-double backwardOnlyAllMiss(
-    const std::vector<std::unique_ptr<WorkloadRun>> &Runs) {
+double backwardOnlyAllMiss(SuiteCache &Cache) {
   RunningStat All;
-  for (const auto &Run : Runs) {
+  for (const auto &Run : Cache.runs()) {
     uint64_t Misses = 0, Total = 0;
     for (const BranchStats &S : Run->Stats) {
       uint64_t T = S.total();
@@ -97,10 +93,12 @@ int main() {
          "All numbers are suite-average miss rates under the paper "
          "order.");
 
-  auto Runs = runSuiteVerbose();
+  // One profiling pass feeds every variant below: each config only needs
+  // BranchStats recomputed from the cached profiles.
+  SuiteCache Cache;
 
   HeuristicConfig Paper;
-  SuiteScore Base = scoreSuite(Runs, Paper);
+  SuiteScore Base = scoreSuite(Cache, Paper);
 
   TablePrinter T({"Variant", "All-branch Miss%", "Non-loop Miss%",
                   "NL Coverage%"});
@@ -113,32 +111,32 @@ int main() {
 
   // Loop classification ablation.
   T.addRow({"backwards-branches-only loops",
-            pct(backwardOnlyAllMiss(Runs)), "-", "-"});
+            pct(backwardOnlyAllMiss(Cache)), "-", "-"});
 
   // Default policy.
   addScore("default = always taken",
-           scoreSuite(Runs, Paper, DefaultPolicy::Taken));
+           scoreSuite(Cache, Paper, DefaultPolicy::Taken));
   addScore("default = always fallthru",
-           scoreSuite(Runs, Paper, DefaultPolicy::Fallthru));
+           scoreSuite(Cache, Paper, DefaultPolicy::Fallthru));
 
   // Guard search depth (paper's "Generalizations" future work).
   for (unsigned Depth : {2u, 3u}) {
     HeuristicConfig C;
     C.GuardSearchDepth = Depth;
     addScore("guard depth = " + std::to_string(Depth),
-             scoreSuite(Runs, C));
+             scoreSuite(Cache, C));
   }
 
   // Pointer variants.
   {
     HeuristicConfig C;
     C.PointerGpFilter = false;
-    addScore("pointer: no GP filter", scoreSuite(Runs, C));
+    addScore("pointer: no GP filter", scoreSuite(Cache, C));
   }
   {
     HeuristicConfig C;
     C.PointerUseTypeInfo = true;
-    addScore("pointer: type-annotated", scoreSuite(Runs, C));
+    addScore("pointer: type-annotated", scoreSuite(Cache, C));
   }
   T.print(std::cout);
 

@@ -27,10 +27,10 @@ int main() {
          "Average non-loop miss rate per order (matmul300 excluded), "
          "sorted ascending.");
 
-  auto Runs = runSuiteVerbose();
+  SuiteCache Cache;
 
   std::vector<std::vector<double>> PerBench;
-  for (const auto &Run : Runs) {
+  for (const auto &Run : Cache.runs()) {
     if (Run->W->Name == "matmul300")
       continue;
     OrderEvaluator Eval(Run->Stats);

@@ -11,15 +11,29 @@
 /// "inexpensive to employ" claim with numbers: program-based
 /// prediction costs one pass of local analysis per function.
 ///
+/// Besides the microbenchmarks, `--phases[=PATH]` runs a whole-pipeline
+/// phase harness and writes machine-readable JSON (per-phase wall time,
+/// instructions/sec, suite totals) to PATH (default BENCH_PR2.json),
+/// including the pre-change baseline recorded in this repo so speedups
+/// are tracked in-tree. `--quick` is the single-repetition variant for
+/// CI.
+///
 //===----------------------------------------------------------------------===//
 
 #include "frontend/Compiler.h"
 #include "ipbc/SequenceAnalysis.h"
 #include "predict/Ordering.h"
+#include "support/ThreadPool.h"
 #include "vm/Interpreter.h"
 #include "workloads/Driver.h"
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
 
 using namespace bpfree;
 
@@ -152,6 +166,227 @@ void BM_AllOrdersSweep(benchmark::State &State) {
 }
 BENCHMARK(BM_AllOrdersSweep)->Unit(benchmark::kMillisecond);
 
+//===----------------------------------------------------------------------===//
+// --phases: whole-pipeline phase harness with JSON output
+//===----------------------------------------------------------------------===//
+
+/// Pre-change reference point for the suite-profiling phase, measured on
+/// the commit named below (serial interpreter without the decoded-
+/// instruction cache), best of 3 repetitions on the same machine class
+/// this harness targets. Instruction totals are deterministic, so a
+/// matching "instructions" value proves the two measurements executed
+/// the same work.
+struct Baseline {
+  const char *Commit = "6816159";
+  double SuiteProfileMs = 6687.1;
+  uint64_t Instructions = 952560424ull;
+};
+
+struct Phase {
+  std::string Name;
+  double WallMs = 0.0;
+  uint64_t Items = 0;        ///< workloads processed
+  uint64_t Instructions = 0; ///< 0 when the phase does not interpret
+};
+
+double msSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+/// Runs the full compile -> analyze -> profile -> stats -> order-sweep
+/// pipeline, timing each phase (best of \p Reps repetitions), and writes
+/// the JSON report to \p Path.
+int runPhases(const std::string &Path, bool Quick) {
+  const int Reps = Quick ? 1 : 3;
+  const std::vector<Workload> &Suite = workloadSuite();
+  std::vector<Phase> Phases;
+
+  // Times Body (which fills Items/Instructions) Reps times and records
+  // the best repetition. The counters are deterministic across reps.
+  // CoolDownSec sleeps before each repetition of a heavyweight phase:
+  // sustained interpreter load degrades the effective clock on shared
+  // hosts, so without a pause rep N pays for rep N-1's heat and only the
+  // first repetition measures the machine at its nominal speed.
+  auto timePhase = [&](const std::string &Name, int CoolDownSec,
+                       auto Body) {
+    Phase Best;
+    Best.Name = Name;
+    for (int R = 0; R < Reps; ++R) {
+      if (CoolDownSec > 0 && R > 0)
+        std::this_thread::sleep_for(std::chrono::seconds(CoolDownSec));
+      Phase Cur;
+      Cur.Name = Name;
+      auto T0 = std::chrono::steady_clock::now();
+      Body(Cur);
+      Cur.WallMs = msSince(T0);
+      if (R == 0 || Cur.WallMs < Best.WallMs)
+        Best = Cur;
+    }
+    std::fprintf(stderr, "  [phase] %-22s %10.1f ms\n", Best.Name.c_str(),
+                 Best.WallMs);
+    Phases.push_back(Best);
+  };
+
+  // The expensive phase: interpret every workload under an edge
+  // profiler. Measured once serially (the comparable configuration for
+  // the recorded baseline) and once with the default thread fan-out.
+  // These run FIRST, on a cold machine, because sustained interpreter
+  // load degrades the clock on shared hosts — the baseline was measured
+  // the same way, so cold-vs-cold is the fair comparison. The remaining
+  // phases are millisecond-scale and insensitive to ordering.
+  SuiteReport Serial;
+  auto profileSuite = [&](unsigned Jobs, Phase &P) {
+    SuiteOptions Opts;
+    Opts.Jobs = Jobs;
+    SuiteReport Report = runSuite({}, Opts);
+    if (!Report.allOk()) {
+      std::fprintf(stderr, "bpfree: suite failures:\n%s",
+                   Report.renderFailures().c_str());
+      std::exit(1);
+    }
+    for (const auto &Run : Report.Runs) {
+      P.Instructions += Run->Result.InstrCount;
+      ++P.Items;
+    }
+    return Report;
+  };
+  const int CoolDown = Quick ? 0 : 5;
+  timePhase("suite_profile_serial", CoolDown,
+            [&](Phase &P) { Serial = profileSuite(1, P); });
+  timePhase("suite_profile_parallel", CoolDown,
+            [&](Phase &P) { profileSuite(0, P); });
+
+  timePhase("compile", 0, [&](Phase &P) {
+    for (const Workload &W : Suite) {
+      auto M = minic::compile(W.Source);
+      if (!M) {
+        std::fprintf(stderr, "bpfree: %s failed to compile: %s\n",
+                     W.Name.c_str(), M.error().render().c_str());
+        std::exit(1);
+      }
+      benchmark::DoNotOptimize(*M);
+      ++P.Items;
+    }
+  });
+
+  std::vector<std::unique_ptr<ir::Module>> Modules;
+  for (const Workload &W : Suite)
+    Modules.push_back(minic::compileOrDie(W.Source));
+  timePhase("analyze", 0, [&](Phase &P) {
+    for (const auto &M : Modules) {
+      PredictionContext Ctx(*M);
+      benchmark::DoNotOptimize(&Ctx);
+      ++P.Items;
+    }
+  });
+
+  timePhase("stats", 0, [&](Phase &P) {
+    for (const auto &Run : Serial.Runs) {
+      std::vector<BranchStats> Stats =
+          collectBranchStats(*Run->Ctx, *Run->Profile, {});
+      benchmark::DoNotOptimize(Stats.data());
+      ++P.Items;
+    }
+  });
+
+  timePhase("order_sweep", 0, [&](Phase &P) {
+    for (const auto &Run : Serial.Runs) {
+      OrderEvaluator Eval(Run->Stats);
+      std::vector<double> Rates = Eval.allMissRates();
+      benchmark::DoNotOptimize(Rates.data());
+      ++P.Items;
+    }
+  });
+
+  const Baseline Base;
+  const Phase *SerialPhase = nullptr;
+  for (const Phase &P : Phases)
+    if (P.Name == "suite_profile_serial")
+      SerialPhase = &P;
+
+  std::FILE *Out = std::fopen(Path.c_str(), "w");
+  if (!Out) {
+    std::fprintf(stderr, "bpfree: cannot write %s\n", Path.c_str());
+    return 1;
+  }
+  std::fprintf(Out, "{\n");
+  std::fprintf(Out, "  \"bench\": \"bpfree pipeline phases\",\n");
+  std::fprintf(Out, "  \"mode\": \"%s\",\n", Quick ? "quick" : "full");
+  std::fprintf(Out, "  \"repetitions\": %d,\n", Reps);
+  std::fprintf(Out, "  \"jobs_default\": %u,\n",
+               ThreadPool::defaultConcurrency());
+  std::fprintf(Out, "  \"suite\": {\"workloads\": %llu},\n",
+               static_cast<unsigned long long>(Suite.size()));
+  std::fprintf(Out, "  \"phases\": [\n");
+  for (size_t I = 0; I < Phases.size(); ++I) {
+    const Phase &P = Phases[I];
+    std::fprintf(Out, "    {\"name\": \"%s\", \"wall_ms\": %.1f, "
+                      "\"items\": %llu",
+                 P.Name.c_str(), P.WallMs,
+                 static_cast<unsigned long long>(P.Items));
+    if (P.Instructions) {
+      std::fprintf(Out, ", \"instructions\": %llu, "
+                        "\"instr_per_sec\": %.0f",
+                   static_cast<unsigned long long>(P.Instructions),
+                   static_cast<double>(P.Instructions) /
+                       (P.WallMs / 1000.0));
+    }
+    std::fprintf(Out, "}%s\n", I + 1 == Phases.size() ? "" : ",");
+  }
+  std::fprintf(Out, "  ],\n");
+  std::fprintf(Out,
+               "  \"baseline\": {\"commit\": \"%s\", "
+               "\"suite_profile_serial_ms\": %.1f, "
+               "\"instructions\": %llu},\n",
+               Base.Commit, Base.SuiteProfileMs,
+               static_cast<unsigned long long>(Base.Instructions));
+  if (SerialPhase && SerialPhase->WallMs > 0.0) {
+    std::fprintf(Out, "  \"speedup_vs_baseline\": %.2f,\n",
+                 Base.SuiteProfileMs / SerialPhase->WallMs);
+    std::fprintf(Out, "  \"work_matches_baseline\": %s\n",
+                 SerialPhase->Instructions == Base.Instructions ? "true"
+                                                                : "false");
+  } else {
+    std::fprintf(Out, "  \"speedup_vs_baseline\": null\n");
+  }
+  std::fprintf(Out, "}\n");
+  std::fclose(Out);
+  std::fprintf(stderr, "  [phase] report written to %s\n", Path.c_str());
+  return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN with a --phases / --quick escape hatch in front: those
+// flags divert into the JSON phase harness instead of google-benchmark.
+int main(int argc, char **argv) {
+  std::string Path = "BENCH_PR2.json";
+  bool Phases = false, Quick = false;
+  std::vector<char *> Rest{argv[0]};
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--phases") {
+      Phases = true;
+    } else if (A.rfind("--phases=", 0) == 0) {
+      Phases = true;
+      Path = A.substr(9);
+    } else if (A == "--quick") {
+      Phases = true;
+      Quick = true;
+    } else {
+      Rest.push_back(argv[I]);
+    }
+  }
+  if (Phases)
+    return runPhases(Path, Quick);
+
+  int RestArgc = static_cast<int>(Rest.size());
+  benchmark::Initialize(&RestArgc, Rest.data());
+  if (benchmark::ReportUnrecognizedArguments(RestArgc, Rest.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

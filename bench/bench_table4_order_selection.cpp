@@ -29,11 +29,11 @@ int main() {
   banner("Table 4 + Graphs 2-3 — order selection over benchmark subsets",
          "Exhaustive half-size subset enumeration, matmul300 excluded.");
 
-  auto Runs = runSuiteVerbose();
+  SuiteCache Cache;
 
   std::vector<std::vector<double>> PerBench;
   size_t N = 0;
-  for (const auto &Run : Runs) {
+  for (const auto &Run : Cache.runs()) {
     if (Run->W->Name == "matmul300")
       continue;
     OrderEvaluator Eval(Run->Stats);

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Tier-1 CI for bpfree: build + full test suite, first plain, then under
-# AddressSanitizer + UBSan (BPFREE_SANITIZE=ON). Any failure is fatal.
+# Tier-1 CI for bpfree: build + full test suite, first plain (plus the
+# quick perf-phase report), then under AddressSanitizer + UBSan
+# (BPFREE_SANITIZE=ON), then the parallel-suite determinism tests under
+# ThreadSanitizer (BPFREE_SANITIZE=thread). Any failure is fatal.
 #
-# Usage: scripts/ci.sh [--plain-only|--sanitize-only]
+# Usage: scripts/ci.sh [--plain-only|--sanitize-only|--tsan-only]
 
 set -euo pipefail
 
@@ -21,19 +23,43 @@ run_tier1() {
   ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
 }
 
+run_plain() {
+  run_tier1 "${REPO_ROOT}/build"
+  echo "== bench_perf --quick: ${REPO_ROOT}/build"
+  "${REPO_ROOT}/build/bench/bench_perf" \
+    "--phases=${REPO_ROOT}/build/BENCH_CI.json" --quick
+}
+
+# TSan wants the threaded code paths, not the whole (serial-dominated)
+# test suite: build everything, run the parallel-suite determinism tests
+# that exercise runSuite's fan-out from multiple worker threads.
+run_tsan() {
+  local build_dir="${REPO_ROOT}/build-tsan"
+  echo "== configure: ${build_dir} (-DBPFREE_SANITIZE=thread)"
+  cmake -B "${build_dir}" -S "${REPO_ROOT}" -DBPFREE_SANITIZE=thread
+  echo "== build: ${build_dir}"
+  cmake --build "${build_dir}" -j "${JOBS}" --target parallel_suite_test
+  echo "== parallel_suite_test (TSan): ${build_dir}"
+  "${build_dir}/tests/parallel_suite_test"
+}
+
 case "${MODE}" in
   all)
-    run_tier1 "${REPO_ROOT}/build"
+    run_plain
     run_tier1 "${REPO_ROOT}/build-asan" -DBPFREE_SANITIZE=ON
+    run_tsan
     ;;
   --plain-only)
-    run_tier1 "${REPO_ROOT}/build"
+    run_plain
     ;;
   --sanitize-only)
     run_tier1 "${REPO_ROOT}/build-asan" -DBPFREE_SANITIZE=ON
     ;;
+  --tsan-only)
+    run_tsan
+    ;;
   *)
-    echo "usage: $0 [--plain-only|--sanitize-only]" >&2
+    echo "usage: $0 [--plain-only|--sanitize-only|--tsan-only]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,140 @@
+//===- support/ThreadPool.h - Minimal deterministic work pool ---*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size thread pool plus the parallelFor helper the suite
+/// driver fans out on. Determinism contract: the pool schedules *when*
+/// tasks run, never *what* they compute — callers index results by task
+/// id into preallocated slots, so the output of a parallel run is
+/// bit-identical to the serial one regardless of interleaving.
+///
+/// parallelFor(Jobs <= 1, ...) never spawns a thread; the serial path is
+/// a plain loop, which keeps single-core machines and determinism
+/// baselines free of threading overhead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_SUPPORT_THREADPOOL_H
+#define BPFREE_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace bpfree {
+
+/// Fixed-size pool of worker threads draining a FIFO task queue.
+class ThreadPool {
+public:
+  explicit ThreadPool(unsigned Threads) {
+    if (Threads == 0)
+      Threads = 1;
+    Workers.reserve(Threads);
+    for (unsigned I = 0; I < Threads; ++I)
+      Workers.emplace_back([this] { workerLoop(); });
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Stopping = true;
+    }
+    QueueCv.notify_all();
+    for (std::thread &W : Workers)
+      W.join();
+  }
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Enqueues \p Task; it runs on some worker thread. Tasks must not
+  /// call submit()/wait() on their own pool.
+  void submit(std::function<void()> Task) {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Queue.push(std::move(Task));
+      ++Outstanding;
+    }
+    QueueCv.notify_one();
+  }
+
+  /// Blocks until every submitted task has finished running.
+  void wait() {
+    std::unique_lock<std::mutex> Lock(Mu);
+    IdleCv.wait(Lock, [this] { return Outstanding == 0; });
+  }
+
+  /// hardware_concurrency with a floor of 1 (the standard may report 0).
+  static unsigned defaultConcurrency() {
+    unsigned N = std::thread::hardware_concurrency();
+    return N == 0 ? 1 : N;
+  }
+
+private:
+  void workerLoop() {
+    for (;;) {
+      std::function<void()> Task;
+      {
+        std::unique_lock<std::mutex> Lock(Mu);
+        QueueCv.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+        if (Queue.empty())
+          return; // Stopping and drained
+        Task = std::move(Queue.front());
+        Queue.pop();
+      }
+      Task();
+      {
+        std::lock_guard<std::mutex> Lock(Mu);
+        if (--Outstanding == 0)
+          IdleCv.notify_all();
+      }
+    }
+  }
+
+  std::mutex Mu;
+  std::condition_variable QueueCv;
+  std::condition_variable IdleCv;
+  std::queue<std::function<void()>> Queue;
+  size_t Outstanding = 0;
+  bool Stopping = false;
+  std::vector<std::thread> Workers;
+};
+
+/// Runs Body(0..N-1), using up to \p Jobs workers. Jobs <= 1 (or N <= 1)
+/// executes inline on the calling thread with no pool at all. Bodies for
+/// different indices run concurrently; each index runs exactly once.
+/// Returns after every index has completed (the join gives the caller a
+/// happens-before edge on everything the bodies wrote).
+inline void parallelFor(unsigned Jobs, size_t N,
+                        const std::function<void(size_t)> &Body) {
+  if (Jobs <= 1 || N <= 1) {
+    for (size_t I = 0; I < N; ++I)
+      Body(I);
+    return;
+  }
+  unsigned Threads = static_cast<unsigned>(
+      std::min<size_t>(Jobs, N));
+  ThreadPool Pool(Threads);
+  std::atomic<size_t> Next{0};
+  for (unsigned W = 0; W < Threads; ++W)
+    Pool.submit([&] {
+      for (size_t I = Next.fetch_add(1, std::memory_order_relaxed); I < N;
+           I = Next.fetch_add(1, std::memory_order_relaxed))
+        Body(I);
+    });
+  Pool.wait();
+}
+
+} // namespace bpfree
+
+#endif // BPFREE_SUPPORT_THREADPOOL_H

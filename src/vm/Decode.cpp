@@ -1,0 +1,240 @@
+//===- vm/Decode.cpp - Pre-decoded instruction cache ----------------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Decode.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace bpfree;
+using namespace bpfree::ir;
+
+namespace {
+
+/// Destinations are always virtual registers (the builder and verifier
+/// enforce this); the slot index is the raw id because frames carry a
+/// window for the dedicated registers too (see Machine::pushFrame).
+uint32_t dstSlot(Reg R) {
+  if (!R.isValid())
+    return NoSlot;
+  assert(R.Id >= FirstVirtualReg && "write to dedicated register");
+  return R.Id;
+}
+
+/// Register-flavour decoded opcode for a binary ir::Opcode.
+DOp regFlavour(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:  return DOp::Add;
+  case Opcode::Sub:  return DOp::Sub;
+  case Opcode::Mul:  return DOp::Mul;
+  case Opcode::Div:  return DOp::Div;
+  case Opcode::Rem:  return DOp::Rem;
+  case Opcode::And:  return DOp::And;
+  case Opcode::Or:   return DOp::Or;
+  case Opcode::Xor:  return DOp::Xor;
+  case Opcode::Shl:  return DOp::Shl;
+  case Opcode::Shr:  return DOp::Shr;
+  case Opcode::Slt:  return DOp::Slt;
+  case Opcode::Seq:  return DOp::Seq;
+  case Opcode::Sne:  return DOp::Sne;
+  case Opcode::FAdd: return DOp::FAdd;
+  case Opcode::FSub: return DOp::FSub;
+  case Opcode::FMul: return DOp::FMul;
+  case Opcode::FDiv: return DOp::FDiv;
+  default:
+    assert(false && "not a binary opcode");
+    return DOp::Add;
+  }
+}
+
+/// Immediate-flavour decoded opcode for a binary ir::Opcode.
+DOp immFlavour(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:  return DOp::AddI;
+  case Opcode::Sub:  return DOp::SubI;
+  case Opcode::Mul:  return DOp::MulI;
+  case Opcode::Div:  return DOp::DivI;
+  case Opcode::Rem:  return DOp::RemI;
+  case Opcode::And:  return DOp::AndI;
+  case Opcode::Or:   return DOp::OrI;
+  case Opcode::Xor:  return DOp::XorI;
+  case Opcode::Shl:  return DOp::ShlI;
+  case Opcode::Shr:  return DOp::ShrI;
+  case Opcode::Slt:  return DOp::SltI;
+  case Opcode::Seq:  return DOp::SeqI;
+  case Opcode::Sne:  return DOp::SneI;
+  case Opcode::FAdd: return DOp::FAddI;
+  case Opcode::FSub: return DOp::FSubI;
+  case Opcode::FMul: return DOp::FMulI;
+  case Opcode::FDiv: return DOp::FDivI;
+  default:
+    assert(false && "not a binary opcode");
+    return DOp::AddI;
+  }
+}
+
+DecodedInst decodeInst(const Instruction &I, const DecodedModule &DM,
+                       DecodedFunction &DF) {
+  DecodedInst D;
+  D.Src = &I;
+  D.Dst = dstSlot(I.Dst);
+  D.SrcA = I.SrcA.Id;
+  D.SrcB = I.SrcB.Id;
+  D.Imm = I.Imm;
+  D.Width = I.Width;
+  switch (I.Op) {
+  case Opcode::LoadImm:
+    D.Op = DOp::LoadImm;
+    break;
+  case Opcode::Move:
+    D.Op = DOp::Move;
+    break;
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Rem:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::Slt:
+  case Opcode::Seq:
+  case Opcode::Sne:
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+  case Opcode::FDiv:
+    D.Op = I.BIsImm ? immFlavour(I.Op) : regFlavour(I.Op);
+    break;
+  case Opcode::FNeg:
+    D.Op = DOp::FNeg;
+    break;
+  case Opcode::CvtIF:
+    D.Op = DOp::CvtIF;
+    break;
+  case Opcode::CvtFI:
+    D.Op = DOp::CvtFI;
+    break;
+  case Opcode::FCmpEq:
+    D.Op = DOp::FCmpEq;
+    break;
+  case Opcode::FCmpLt:
+    D.Op = DOp::FCmpLt;
+    break;
+  case Opcode::FCmpLe:
+    D.Op = DOp::FCmpLe;
+    break;
+  case Opcode::Load:
+    D.Op = I.Width == MemWidth::I8 ? DOp::LoadI8 : DOp::LoadI64;
+    break;
+  case Opcode::Store:
+    D.Op = I.Width == MemWidth::I8 ? DOp::StoreI8 : DOp::StoreI64;
+    break;
+  case Opcode::Call:
+    D.Op = DOp::Call;
+    D.Callee = DM.get(I.CalleeIndex);
+    assert(I.Args.size() == D.Callee->NumParams &&
+           "call argument count mismatch");
+    break;
+  case Opcode::CallIntrinsic:
+    D.Op = DOp::CallIntrinsic;
+    D.Intr = I.Intr;
+    break;
+  }
+  if (I.isCall()) {
+    D.ArgsOff = static_cast<uint32_t>(DF.ArgPool.size());
+    D.NumArgs = static_cast<uint32_t>(I.Args.size());
+    for (Reg R : I.Args)
+      DF.ArgPool.push_back(R.Id);
+  }
+  return D;
+}
+
+void decodeFunction(const Function &F, const DecodedModule &DM,
+                    DecodedFunction &DF, uint32_t FlatBase) {
+  DF.F = &F;
+  // The window covers raw register ids, so the dedicated registers
+  // (zero/SP/GP) get slots of their own and operand reads need no
+  // special-casing; hence the floor of FirstVirtualReg slots.
+  DF.NumRegSlots = std::max<uint32_t>(F.getNumRegs(), FirstVirtualReg);
+  DF.NumParams = F.getNumParams();
+  DF.FrameBytes = (static_cast<uint64_t>(F.getFrameSize()) + 7u) & ~7ull;
+  if (F.numBlocks() == 0)
+    return; // body-less function: never executable, Entry stays null
+  DF.Blocks.resize(F.numBlocks());
+
+  // Fill the instruction pool first (exact reservation keeps the block
+  // pointers stable), then wire up per-block views and successor links.
+  size_t TotalInsts = 0;
+  for (const auto &BB : F)
+    TotalInsts += BB->instructions().size();
+  DF.InstPool.reserve(TotalInsts);
+
+  std::vector<size_t> BlockStart(F.numBlocks(), 0);
+  for (const auto &BB : F) {
+    BlockStart[BB->getId()] = DF.InstPool.size();
+    for (const Instruction &I : BB->instructions())
+      DF.InstPool.push_back(decodeInst(I, DM, DF));
+  }
+
+  for (const auto &BB : F) {
+    DecodedBlock &DB = DF.Blocks[BB->getId()];
+    DB.BB = BB.get();
+    DB.Insts = DF.InstPool.data() + BlockStart[BB->getId()];
+    DB.NumInsts = static_cast<uint32_t>(BB->instructions().size());
+    DB.FlatIndex = FlatBase + BB->getId();
+
+    const Terminator &T = BB->terminator();
+    DB.Term.Kind = T.Kind;
+    DB.Term.BOp = T.BOp;
+    DB.Term.Lhs = T.Lhs.Id;
+    DB.Term.Rhs = T.Rhs.Id;
+    DB.Term.RetValue = T.RetValue.Id;
+    DB.Term.HasRetValue = T.HasRetValue;
+    switch (T.Kind) {
+    case TermKind::Jump:
+      assert(T.Taken && "jump without target");
+      DB.Term.Taken = &DF.Blocks[T.Taken->getId()];
+      break;
+    case TermKind::CondBranch:
+      assert(T.Taken && T.Fallthru && "branch without both successors");
+      DB.Term.Taken = &DF.Blocks[T.Taken->getId()];
+      DB.Term.Fallthru = &DF.Blocks[T.Fallthru->getId()];
+      break;
+    case TermKind::Return:
+      break;
+    }
+  }
+  DF.Entry = &DF.Blocks[F.getEntry()->getId()];
+}
+
+} // namespace
+
+const DecodedFunction *DecodedModule::find(const std::string &Name) const {
+  const Function *F = M->findFunction(Name);
+  return F ? get(F->getIndex()) : nullptr;
+}
+
+DecodedModule bpfree::decodeModule(const Module &M) {
+  DecodedModule DM;
+  DM.M = &M;
+  // Size the function table up front so Call decoding can take stable
+  // DecodedFunction pointers (and see callee arity) before every callee
+  // is itself decoded.
+  DM.Functions.resize(M.numFunctions());
+  for (uint32_t I = 0; I < M.numFunctions(); ++I) {
+    DM.Functions[I].F = M.getFunction(I);
+    DM.Functions[I].NumParams = M.getFunction(I)->getNumParams();
+  }
+  uint32_t FlatBase = 0;
+  for (uint32_t I = 0; I < M.numFunctions(); ++I) {
+    decodeFunction(*M.getFunction(I), DM, DM.Functions[I], FlatBase);
+    FlatBase += static_cast<uint32_t>(M.getFunction(I)->numBlocks());
+  }
+  return DM;
+}

@@ -1,0 +1,143 @@
+//===- vm/Decode.h - Pre-decoded instruction cache --------------*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interpreter's pre-decoded form of a module. The ir::Instruction
+/// encoding is optimized for analyses (flat fields, easy use/def
+/// queries); executing it directly makes the dispatch loop re-resolve
+/// operands on every dynamic instruction: the register-vs-immediate
+/// choice of SrcB, the memory width, the callee function index, and the
+/// branch-target block of every terminator. decodeModule() resolves all
+/// of that once per static instruction:
+///
+///  * register/immediate binary ops split into separate decoded opcodes,
+///  * loads/stores split by width,
+///  * call instructions carry the callee DecodedFunction pointer,
+///  * terminators carry DecodedBlock successor pointers,
+///  * destination registers are pre-validated to be virtual (the decoder
+///    asserts), so the machine writes frame slots unchecked.
+///
+/// A DecodedModule is immutable once built and holds only const pointers
+/// into the source module, so any number of concurrent Machine runs may
+/// share one cache — this is what keeps Interpreter reentrant and the
+/// parallel suite runner race-free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_VM_DECODE_H
+#define BPFREE_VM_DECODE_H
+
+#include "ir/Module.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace bpfree {
+
+struct DecodedBlock;
+struct DecodedFunction;
+
+/// Decoded opcodes. Binary ALU/FP ops come in a register flavour and an
+/// immediate flavour (suffix I) so the executed path has no BIsImm test;
+/// loads and stores are split by access width for the same reason.
+enum class DOp : uint8_t {
+  LoadImm,
+  Move,
+  // Integer ALU, register second operand.
+  Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr, Slt, Seq, Sne,
+  // Integer ALU, immediate second operand.
+  AddI, SubI, MulI, DivI, RemI, AndI, OrI, XorI, ShlI, ShrI, SltI, SeqI,
+  SneI,
+  // FP arithmetic (doubles bit-cast in registers).
+  FAdd, FSub, FMul, FDiv,
+  FAddI, FSubI, FMulI, FDivI,
+  FNeg, CvtIF, CvtFI,
+  // FP compares set the frame's FP condition flag.
+  FCmpEq, FCmpLt, FCmpLe,
+  // Memory, split by width.
+  LoadI8, LoadI64, StoreI8, StoreI64,
+  // Calls.
+  Call, CallIntrinsic,
+};
+
+/// Sentinel slot for "no destination register".
+constexpr uint32_t NoSlot = ~0u;
+
+/// One pre-decoded straight-line instruction. All operands are raw
+/// register ids: every frame's register window has slots for the
+/// dedicated registers too (zero/SP/GP are materialized at frame entry,
+/// where SP is constant), so reads and writes index the window directly
+/// with no special-casing.
+struct DecodedInst {
+  DOp Op = DOp::Move;
+  ir::MemWidth Width = ir::MemWidth::I64;
+  ir::Intrinsic Intr = ir::Intrinsic::PrintInt;
+  uint32_t Dst = NoSlot;  ///< frame slot (raw id; always virtual)
+  uint32_t SrcA = 0;      ///< raw register id
+  uint32_t SrcB = 0;      ///< raw register id (register flavours only)
+  uint32_t ArgsOff = 0;   ///< offset into DecodedFunction::ArgPool
+  uint32_t NumArgs = 0;
+  int64_t Imm = 0;
+  const DecodedFunction *Callee = nullptr; ///< Call only
+  const ir::Instruction *Src = nullptr;    ///< for observer events
+};
+
+/// Pre-decoded terminator with resolved successor pointers.
+struct DecodedTerm {
+  ir::TermKind Kind = ir::TermKind::Return;
+  ir::BranchOp BOp = ir::BranchOp::BEQ;
+  uint32_t Lhs = 0;      ///< raw register id
+  uint32_t Rhs = 0;      ///< raw register id
+  uint32_t RetValue = 0; ///< raw register id
+  bool HasRetValue = false;
+  const DecodedBlock *Taken = nullptr;
+  const DecodedBlock *Fallthru = nullptr;
+};
+
+/// One basic block: a dense instruction run plus its terminator.
+struct DecodedBlock {
+  const ir::BasicBlock *BB = nullptr; ///< source block (observers, traps)
+  const DecodedInst *Insts = nullptr; ///< into DecodedFunction::InstPool
+  uint32_t NumInsts = 0;
+  /// Module-wide dense block index (blocks of preceding functions +
+  /// block id) — the key of EdgeProfile's direct counter arrays.
+  uint32_t FlatIndex = 0;
+  DecodedTerm Term;
+};
+
+/// One function: its blocks (indexed by block id) and frame metadata the
+/// machine needs at call sites without touching the ir::Function.
+struct DecodedFunction {
+  const ir::Function *F = nullptr;
+  std::vector<DecodedInst> InstPool;  ///< all instructions, block order
+  std::vector<uint32_t> ArgPool;      ///< call argument registers
+  std::vector<DecodedBlock> Blocks;   ///< indexed by block id
+  const DecodedBlock *Entry = nullptr;
+  uint32_t NumRegSlots = 0; ///< window size: raw ids incl. dedicated regs
+  uint32_t NumParams = 0;
+  uint64_t FrameBytes = 0;  ///< frame size, pre-aligned to 8 bytes
+};
+
+/// The whole-module decode cache. Build once per module (Interpreter does
+/// this at construction), then share freely: everything is immutable.
+struct DecodedModule {
+  const ir::Module *M = nullptr;
+  std::vector<DecodedFunction> Functions; ///< indexed by function index
+
+  const DecodedFunction *get(uint32_t Index) const {
+    return &Functions[Index];
+  }
+  /// \returns the decoded function for \p Name, or nullptr.
+  const DecodedFunction *find(const std::string &Name) const;
+};
+
+/// Decodes \p M. The module must verify cleanly (see ir::verifyModule);
+/// structural errors are caught by assertions, as in the interpreter.
+DecodedModule decodeModule(const ir::Module &M);
+
+} // namespace bpfree
+
+#endif // BPFREE_VM_DECODE_H

@@ -18,20 +18,28 @@ bool ExecObserver::wantsInstructionEvents() const { return false; }
 ExecAction ExecObserver::onInstruction(const ExecEvent &) {
   return ExecAction::Continue;
 }
+EdgeProfile *ExecObserver::asEdgeProfile() { return nullptr; }
 
 EdgeProfile::EdgeProfile(const Module &M) : M(M) {
-  PerBlock.resize(M.numFunctions());
-  BlockEntries.resize(M.numFunctions());
-  for (size_t I = 0; I < M.numFunctions(); ++I) {
-    size_t NumBlocks = M.getFunction(static_cast<uint32_t>(I))->numBlocks();
-    PerBlock[I].resize(NumBlocks);
-    BlockEntries[I].assign(NumBlocks, 0);
+  // Flat layout keyed by the decoder's flat block index; must match
+  // DecodedBlock::FlatIndex (functions in index order, blocks by id).
+  FuncOffsets.resize(M.numFunctions());
+  uint32_t Off = 0;
+  for (uint32_t I = 0; I < M.numFunctions(); ++I) {
+    FuncOffsets[I] = Off;
+    Off += static_cast<uint32_t>(M.getFunction(I)->numBlocks());
   }
+  Flat.assign(Off, Counts());
+  Entries.assign(Off, 0);
+}
+
+size_t EdgeProfile::flatIndex(const BasicBlock &BB) const {
+  return FuncOffsets[BB.getParent()->getIndex()] + BB.getId();
 }
 
 void EdgeProfile::onCondBranch(const BasicBlock &BB, bool Taken,
                                uint64_t /*InstrCount*/) {
-  Counts &C = PerBlock[BB.getParent()->getIndex()][BB.getId()];
+  Counts &C = Flat[flatIndex(BB)];
   if (Taken)
     ++C.Taken;
   else
@@ -39,31 +47,29 @@ void EdgeProfile::onCondBranch(const BasicBlock &BB, bool Taken,
 }
 
 void EdgeProfile::onBlockEnter(const BasicBlock &BB) {
-  ++BlockEntries[BB.getParent()->getIndex()][BB.getId()];
+  ++Entries[flatIndex(BB)];
 }
 
 const EdgeProfile::Counts &EdgeProfile::get(const BasicBlock &BB) const {
-  return PerBlock[BB.getParent()->getIndex()][BB.getId()];
+  return Flat[flatIndex(BB)];
 }
 
 uint64_t EdgeProfile::getBlockCount(const BasicBlock &BB) const {
-  return BlockEntries[BB.getParent()->getIndex()][BB.getId()];
+  return Entries[flatIndex(BB)];
 }
 
 void EdgeProfile::merge(const EdgeProfile &Other) {
   assert(&M == &Other.M && "merging profiles of different modules");
-  for (size_t F = 0; F < PerBlock.size(); ++F)
-    for (size_t B = 0; B < PerBlock[F].size(); ++B) {
-      PerBlock[F][B].Taken += Other.PerBlock[F][B].Taken;
-      PerBlock[F][B].Fallthru += Other.PerBlock[F][B].Fallthru;
-      BlockEntries[F][B] += Other.BlockEntries[F][B];
-    }
+  for (size_t I = 0; I < Flat.size(); ++I) {
+    Flat[I].Taken += Other.Flat[I].Taken;
+    Flat[I].Fallthru += Other.Flat[I].Fallthru;
+    Entries[I] += Other.Entries[I];
+  }
 }
 
 uint64_t EdgeProfile::totalBranchExecutions() const {
   uint64_t Total = 0;
-  for (const auto &FunctionCounts : PerBlock)
-    for (const Counts &C : FunctionCounts)
-      Total += C.total();
+  for (const Counts &C : Flat)
+    Total += C.total();
   return Total;
 }

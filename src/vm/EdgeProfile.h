@@ -61,11 +61,26 @@ public:
 
   const ir::Module &getModule() const { return M; }
 
+  // Interpreter fast path -------------------------------------------
+  //
+  // Raw counter arrays indexed by flat block index: the sum of
+  // numBlocks() over all preceding functions, plus the block id. This is
+  // exactly the FlatIndex the decoder precomputes per DecodedBlock, so
+  // the specialized profiling loop increments counters with one indexed
+  // add and no virtual dispatch. Not part of the observer contract.
+
+  Counts *directCounts() { return Flat.data(); }
+  uint64_t *directEntries() { return Entries.data(); }
+  EdgeProfile *asEdgeProfile() override { return this; }
+
 private:
+  size_t flatIndex(const ir::BasicBlock &BB) const;
+
   const ir::Module &M;
-  /// Indexed [function index][block id].
-  std::vector<std::vector<Counts>> PerBlock;
-  std::vector<std::vector<uint64_t>> BlockEntries;
+  /// Flat block index of each function's block 0.
+  std::vector<uint32_t> FuncOffsets;
+  std::vector<Counts> Flat;      ///< branch counters, flat block index
+  std::vector<uint64_t> Entries; ///< block-entry counters, same index
 };
 
 } // namespace bpfree

@@ -26,6 +26,8 @@
 
 namespace bpfree {
 
+class EdgeProfile;
+
 namespace ir {
 class BasicBlock;
 class Function;
@@ -78,6 +80,12 @@ public:
   /// wantsInstructionEvents. Returning anything but Continue makes the
   /// VM take that failure action instead of executing the instruction.
   virtual ExecAction onInstruction(const ExecEvent &E);
+
+  /// Identity hook (RTTI-free): the interpreter uses it to recognize the
+  /// overwhelmingly common observer set — a single EdgeProfile — and
+  /// switch to a loop that bumps the profile's counters directly instead
+  /// of fanning out virtual calls per executed block.
+  virtual EdgeProfile *asEdgeProfile();
 };
 
 } // namespace bpfree

@@ -2,12 +2,35 @@
 //
 // Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
 //
+// The dispatch loop executes the pre-decoded module form (vm/Decode.h):
+// operand registers, immediates, access widths, callee functions, and
+// branch-target blocks are all resolved once at Interpreter construction,
+// so the per-instruction work is a single switch on the decoded opcode.
+//
+// Two further structural choices keep the loop tight:
+//
+//  * Every frame's register window has slots for the dedicated registers
+//    (zero/SP/GP) as well; they are materialized at frame entry, where SP
+//    is constant for the whole activation. Operand reads and writes are
+//    therefore single unchecked loads/stores off the window base.
+//  * The execution point (instruction pointer, block end, instruction
+//    count, window base) lives in locals; the frame is only synced on
+//    calls, returns, and cold paths. The budget and the wall-clock
+//    watchdog probe share one fused per-instruction limit compare.
+//
+// The loop is specialized on whether any observer asked for
+// per-instruction events; plain profiling runs take the variant with no
+// per-instruction observer fan-out at all.
+//
 //===----------------------------------------------------------------------===//
 
 #include "vm/Interpreter.h"
 
 #include "support/Error.h"
+#include "vm/Decode.h"
+#include "vm/EdgeProfile.h"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <cinttypes>
@@ -34,83 +57,43 @@ inline uint64_t fromDouble(double D) {
   return Bits;
 }
 
-/// One activation record.
+/// One activation record. Registers live in the machine's shared
+/// register stack at [RegBase, RegBase + DF->NumRegSlots) so that calls
+/// do not allocate.
 struct Frame {
-  const Function *F = nullptr;
-  const BasicBlock *Block = nullptr;
-  size_t InstIdx = 0;          ///< next instruction to execute
-  std::vector<uint64_t> Regs;  ///< virtual register file
-  uint64_t SavedSp = 0;        ///< SP to restore on return
-  Reg CallerDst;               ///< caller register receiving the result
-  bool FpFlag = false;         ///< FP condition flag
+  const DecodedFunction *DF = nullptr;
+  const DecodedBlock *DB = nullptr; ///< executing block
+  uint32_t InstIdx = 0;             ///< next instruction to execute
+  size_t RegBase = 0;               ///< base slot in the register stack
+  uint64_t SavedSp = 0;             ///< SP to restore on return
+  uint32_t CallerDst = NoSlot;      ///< caller slot receiving the result
+  bool FpFlag = false;              ///< FP condition flag
 };
 
 /// Execution engine for a single run; holds all mutable state so that
 /// Interpreter::run is reentrant.
 class Machine {
 public:
-  Machine(const Module &M, const RunLimits &Limits, const Dataset &Data,
-          const std::vector<ExecObserver *> &Observers)
-      : M(M), Limits(Limits), Data(Data), Observers(Observers) {}
+  Machine(const DecodedModule &DM, const RunLimits &Limits,
+          const Dataset &Data, const std::vector<ExecObserver *> &Observers)
+      : DM(DM), Limits(Limits), Data(Data), Observers(Observers) {}
 
-  RunResult run(const Function *Entry);
+  RunResult run(const DecodedFunction *Entry);
 
 private:
   // Register access ---------------------------------------------------
+  //
+  // Frames carry window slots for the dedicated registers too, so reads
+  // and writes are branch-free window indexing with raw register ids.
 
-  uint64_t readReg(const Frame &F, Reg R) const {
-    if (R == ZeroReg)
-      return 0;
-    if (R == SpReg)
-      return Sp;
-    if (R == GpReg)
-      return NullPageSize;
-    assert(R.Id >= FirstVirtualReg && R.Id < F.Regs.size() + FirstVirtualReg);
-    return F.Regs[R.Id - FirstVirtualReg];
+  uint64_t readOp(const Frame &F, uint32_t R) const {
+    return RegStack[F.RegBase + R];
   }
 
-  void writeReg(Frame &F, Reg R, uint64_t V) {
-    assert(R.isValid() && R.Id >= FirstVirtualReg && "write to dedicated reg");
-    assert(R.Id - FirstVirtualReg < F.Regs.size());
-    F.Regs[R.Id - FirstVirtualReg] = V;
-  }
-
-  // Memory access ------------------------------------------------------
-
-  bool checkAddr(uint64_t Addr, uint64_t Size) {
-    if (Addr < NullPageSize || Addr + Size > Memory.size() ||
-        Addr + Size < Addr) {
-      trap("memory access out of bounds at address " + std::to_string(Addr));
-      return false;
-    }
-    return true;
-  }
-
-  bool loadMem(uint64_t Addr, MemWidth W, uint64_t &Out) {
-    uint64_t Size = W == MemWidth::I8 ? 1 : 8;
-    if (!checkAddr(Addr, Size))
-      return false;
-    if (W == MemWidth::I8) {
-      // Sign-extend: MiniC chars behave like signed C chars.
-      Out = static_cast<uint64_t>(
-          static_cast<int64_t>(static_cast<int8_t>(Memory[Addr])));
-    } else {
-      uint64_t V;
-      std::memcpy(&V, Memory.data() + Addr, 8);
-      Out = V;
-    }
-    return true;
-  }
-
-  bool storeMem(uint64_t Addr, MemWidth W, uint64_t V) {
-    uint64_t Size = W == MemWidth::I8 ? 1 : 8;
-    if (!checkAddr(Addr, Size))
-      return false;
-    if (W == MemWidth::I8)
-      Memory[Addr] = static_cast<uint8_t>(V);
-    else
-      std::memcpy(Memory.data() + Addr, &V, 8);
-    return true;
+  /// Destinations were validated at decode time: \p Slot is always a
+  /// live virtual-register slot of F's window.
+  void writeSlot(const Frame &F, uint32_t Slot, uint64_t V) {
+    RegStack[F.RegBase + Slot] = V;
   }
 
   // Faults ---------------------------------------------------------------
@@ -124,9 +107,9 @@ private:
     T.InstrCount = Result.InstrCount;
     for (auto It = Frames.rbegin(); It != Frames.rend(); ++It) {
       TrapFrame TF;
-      TF.Function = It->F->getName();
-      TF.Block = It->Block->getName();
-      TF.BlockId = It->Block->getId();
+      TF.Function = It->DF->F->getName();
+      TF.Block = It->DB->BB->getName();
+      TF.BlockId = It->DB->BB->getId();
       // InstIdx is the *next* instruction; the faulting one, when inside
       // the block, is the previous index. Terminators report size().
       TF.InstIdx = It->InstIdx;
@@ -161,7 +144,7 @@ private:
     case ExecAction::Continue:
       break;
     case ExecAction::InjectTrap:
-      trap("injected trap in '" + F.F->getName() + "'",
+      trap("injected trap in '" + F.DF->F->getName() + "'",
            ErrorKind::Injected);
       break;
     case ExecAction::InjectBudgetExhaustion:
@@ -180,7 +163,7 @@ private:
       fail(RunStatus::OutputOverflow, ErrorKind::Injected,
            "injected output flood: print budget (" +
                std::to_string(Limits.MaxOutputBytes) +
-               " bytes) exhausted in '" + F.F->getName() + "'");
+               " bytes) exhausted in '" + F.DF->F->getName() + "'");
       break;
     }
   }
@@ -199,71 +182,97 @@ private:
                " bytes) exhausted");
   }
 
-  bool pushFrame(const Function *F, const std::vector<uint64_t> &Args,
-                 Reg CallerDst);
+  bool pushFrame(const DecodedFunction *DF, const uint32_t *ArgRegs,
+                 uint32_t NumArgs, uint32_t CallerDst);
   void popFrame(uint64_t RetValue, bool HasRetValue);
-  bool execInstruction(Frame &F, const Instruction &I);
-  void execTerminator(Frame &F);
-  bool execIntrinsic(Frame &F, const Instruction &I);
+  bool execIntrinsic(Frame &F, const DecodedInst &I);
+  template <bool HasInstrObs, bool DirectProfile> void execLoop();
 
-  const Module &M;
+  const DecodedModule &DM;
   const RunLimits &Limits;
   const Dataset &Data;
   const std::vector<ExecObserver *> &Observers;
   /// Subset of Observers that asked for per-instruction callbacks;
-  /// empty for plain profiling runs, which therefore pay nothing extra.
+  /// empty for plain profiling runs, which take the execLoop<false>
+  /// specialization and pay nothing per instruction.
   std::vector<ExecObserver *> InstrObservers;
+  /// Non-null when the only observer is an EdgeProfile: the loop bumps
+  /// these flat counter arrays (keyed by DecodedBlock::FlatIndex)
+  /// directly instead of making virtual observer calls per block.
+  EdgeProfile::Counts *DirectCounts = nullptr;
+  uint64_t *DirectEntries = nullptr;
 
   std::vector<uint8_t> Memory;
   uint64_t Sp = 0;
   uint64_t HeapTop = 0;
   std::vector<Frame> Frames;
+  /// Register windows of all live frames, innermost last; grows and
+  /// shrinks with the call stack so frames never allocate individually.
+  std::vector<uint64_t> RegStack;
   RunResult Result;
 };
 
-bool Machine::pushFrame(const Function *F, const std::vector<uint64_t> &Args,
-                        Reg CallerDst) {
-  assert(Args.size() == F->getNumParams() && "argument count mismatch");
+bool Machine::pushFrame(const DecodedFunction *DF, const uint32_t *ArgRegs,
+                        uint32_t NumArgs, uint32_t CallerDst) {
+  assert(NumArgs == DF->NumParams && "argument count mismatch");
   if (Frames.size() >= Limits.MaxCallDepth) {
-    trap("call depth limit exceeded in '" + F->getName() + "'");
+    trap("call depth limit exceeded in '" + DF->F->getName() + "'");
     return false;
   }
-  // Reserve the frame: SP moves down, 8-byte aligned.
-  uint64_t FrameBytes = (F->getFrameSize() + 7u) & ~7u;
-  if (Sp < HeapTop + FrameBytes) {
-    trap("stack overflow entering '" + F->getName() + "'");
+  // Reserve the frame: SP moves down, 8-byte aligned (pre-aligned at
+  // decode time).
+  if (Sp < HeapTop + DF->FrameBytes) {
+    trap("stack overflow entering '" + DF->F->getName() + "'");
     return false;
   }
-  Frames.emplace_back();
-  Frame &Fr = Frames.back();
-  Fr.F = F;
-  Fr.Block = F->getEntry();
+  const size_t RegBase = RegStack.size();
+  RegStack.resize(RegBase + DF->NumRegSlots, 0);
+  if (!Frames.empty()) {
+    // Argument registers are read from the caller's window, which the
+    // resize above left untouched (indices, not pointers); parameters
+    // land in the callee's first virtual registers.
+    const Frame &Caller = Frames.back();
+    for (uint32_t I = 0; I < NumArgs; ++I)
+      RegStack[RegBase + FirstVirtualReg + I] = readOp(Caller, ArgRegs[I]);
+  }
+  Frame Fr;
+  Fr.DF = DF;
+  Fr.DB = DF->Entry;
   Fr.InstIdx = 0;
+  Fr.RegBase = RegBase;
   Fr.SavedSp = Sp;
   Fr.CallerDst = CallerDst;
-  Fr.Regs.assign(F->getNumRegs() - FirstVirtualReg, 0);
-  Sp -= FrameBytes;
-  for (size_t I = 0; I < Args.size(); ++I)
-    Fr.Regs[I] = Args[I];
-  for (ExecObserver *O : Observers)
-    O->onBlockEnter(*Fr.Block);
+  Frames.push_back(Fr);
+  Sp -= DF->FrameBytes;
+  // Materialize the dedicated registers: within one activation SP is
+  // constant, so operand reads become plain window loads.
+  RegStack[RegBase + SpReg.Id] = Sp;
+  RegStack[RegBase + GpReg.Id] = NullPageSize;
+  if (DirectEntries)
+    ++DirectEntries[DF->Entry->FlatIndex];
+  else
+    for (ExecObserver *O : Observers)
+      O->onBlockEnter(*DF->Entry->BB);
   return true;
 }
 
 void Machine::popFrame(uint64_t RetValue, bool HasRetValue) {
-  Sp = Frames.back().SavedSp;
-  Reg Dst = Frames.back().CallerDst;
+  const Frame &F = Frames.back();
+  Sp = F.SavedSp;
+  const uint32_t Dst = F.CallerDst;
+  RegStack.resize(F.RegBase);
   Frames.pop_back();
-  if (!Frames.empty() && Dst.isValid() && HasRetValue)
-    writeReg(Frames.back(), Dst, RetValue);
+  if (!Frames.empty() && Dst != NoSlot && HasRetValue)
+    writeSlot(Frames.back(), Dst, RetValue);
   if (Frames.empty()) {
     Result.ExitValue = static_cast<int64_t>(RetValue);
   }
 }
 
-bool Machine::execIntrinsic(Frame &F, const Instruction &I) {
-  auto Arg = [&](size_t Idx) -> uint64_t {
-    return Idx < I.Args.size() ? readReg(F, I.Args[Idx]) : 0;
+bool Machine::execIntrinsic(Frame &F, const DecodedInst &I) {
+  const uint32_t *ArgRegs = F.DF->ArgPool.data() + I.ArgsOff;
+  auto Arg = [&](uint32_t Idx) -> uint64_t {
+    return Idx < I.NumArgs ? readOp(F, ArgRegs[Idx]) : 0;
   };
   uint64_t Ret = 0;
   switch (I.Intr) {
@@ -321,226 +330,433 @@ bool Machine::execIntrinsic(Frame &F, const Instruction &I) {
     Ret = Data.byte(static_cast<size_t>(Arg(0)));
     break;
   case Intrinsic::Trap:
-    trap("explicit trap() in '" + F.F->getName() + "'");
+    trap("explicit trap() in '" + F.DF->F->getName() + "'");
     return false;
   }
-  if (I.Dst.isValid())
-    writeReg(F, I.Dst, Ret);
+  if (I.Dst != NoSlot)
+    writeSlot(F, I.Dst, Ret);
   return true;
 }
 
-bool Machine::execInstruction(Frame &F, const Instruction &I) {
-  auto B = [&]() -> uint64_t {
-    return I.BIsImm ? static_cast<uint64_t>(I.Imm) : readReg(F, I.SrcB);
+/// The dispatch loop, specialized two ways decided once at run start:
+/// HasInstrObs hoists the per-instruction observer guard (plain runs pay
+/// nothing per instruction), and DirectProfile replaces the per-block
+/// virtual observer fan-out with direct increments of the sole
+/// EdgeProfile's flat counter arrays.
+template <bool HasInstrObs, bool DirectProfile> void Machine::execLoop() {
+  // Watchdog bookkeeping: the clock is only read every WatchdogStride
+  // instructions, so deadline-free runs stay deterministic and cheap.
+  constexpr uint64_t WatchdogStride = 16384;
+  const uint64_t MaxInstructions = Limits.MaxInstructions;
+  const bool HasDeadline = Limits.MaxMillis > 0;
+  const auto Deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(Limits.MaxMillis);
+  uint64_t NextWatchdogCheck = WatchdogStride;
+  // One fused compare per instruction covers both the budget and the
+  // watchdog probe: Limit is whichever comes first.
+  uint64_t Limit = HasDeadline ? std::min(MaxInstructions, NextWatchdogCheck)
+                               : MaxInstructions;
+
+  // The execution point lives in locals; Sync spills it back into the
+  // frame / result for cold paths (traps, calls, snapshots) and Reload
+  // re-derives it after the active frame changed. Regs is refreshed
+  // whenever RegStack may have reallocated (pushFrame).
+  uint64_t IC = Result.InstrCount;
+  Frame *F = &Frames.back();
+  const DecodedBlock *DB = F->DB;
+  const DecodedInst *BlockInsts = DB->Insts;
+  const DecodedInst *IP = BlockInsts + F->InstIdx;
+  const DecodedInst *End = BlockInsts + DB->NumInsts;
+  uint64_t *Regs = RegStack.data() + F->RegBase;
+  uint8_t *const Mem = Memory.data();
+  const uint64_t MemSize = Memory.size();
+
+  auto Sync = [&] {
+    F->DB = DB;
+    F->InstIdx = static_cast<uint32_t>(IP - BlockInsts);
+    Result.InstrCount = IC;
   };
-  switch (I.Op) {
-  case Opcode::LoadImm:
-    writeReg(F, I.Dst, static_cast<uint64_t>(I.Imm));
-    break;
-  case Opcode::Move:
-    writeReg(F, I.Dst, readReg(F, I.SrcA));
-    break;
-  case Opcode::Add:
-    writeReg(F, I.Dst, readReg(F, I.SrcA) + B());
-    break;
-  case Opcode::Sub:
-    writeReg(F, I.Dst, readReg(F, I.SrcA) - B());
-    break;
-  case Opcode::Mul:
-    writeReg(F, I.Dst, readReg(F, I.SrcA) * B());
-    break;
-  case Opcode::Div: {
-    int64_t Num = static_cast<int64_t>(readReg(F, I.SrcA));
-    int64_t Den = static_cast<int64_t>(B());
-    if (Den == 0) {
-      trap("integer division by zero in '" + F.F->getName() + "'");
-      return false;
+  auto Reload = [&] {
+    F = &Frames.back();
+    DB = F->DB;
+    BlockInsts = DB->Insts;
+    IP = BlockInsts + F->InstIdx;
+    End = BlockInsts + DB->NumInsts;
+    Regs = RegStack.data() + F->RegBase;
+  };
+  auto EnterBlock = [&](const DecodedBlock *NewDB) {
+    DB = NewDB;
+    BlockInsts = DB->Insts;
+    IP = BlockInsts;
+    End = BlockInsts + DB->NumInsts;
+  };
+
+  for (;;) {
+    if (IC >= Limit) [[unlikely]] {
+      Sync();
+      if (IC >= MaxInstructions) {
+        fail(RunStatus::BudgetExceeded, ErrorKind::BudgetExceeded,
+             "instruction budget (" + std::to_string(MaxInstructions) +
+                 ") exhausted in '" + F->DF->F->getName() + "'");
+        return;
+      }
+      NextWatchdogCheck = IC + WatchdogStride;
+      Limit = std::min(MaxInstructions, NextWatchdogCheck);
+      if (std::chrono::steady_clock::now() >= Deadline) {
+        fail(RunStatus::Timeout, ErrorKind::Timeout,
+             "wall-clock limit (" + std::to_string(Limits.MaxMillis) +
+                 " ms) exceeded in '" + F->DF->F->getName() + "'");
+        return;
+      }
     }
-    int64_t Q = (Num == std::numeric_limits<int64_t>::min() && Den == -1)
-                    ? Num
-                    : Num / Den;
-    writeReg(F, I.Dst, static_cast<uint64_t>(Q));
-    break;
-  }
-  case Opcode::Rem: {
-    int64_t Num = static_cast<int64_t>(readReg(F, I.SrcA));
-    int64_t Den = static_cast<int64_t>(B());
-    if (Den == 0) {
-      trap("integer remainder by zero in '" + F.F->getName() + "'");
-      return false;
+    ++IC;
+
+    if constexpr (HasInstrObs) {
+      ExecEvent E;
+      E.F = F->DF->F;
+      E.BB = DB->BB;
+      E.InstIdx = static_cast<size_t>(IP - BlockInsts);
+      E.I = IP == End ? nullptr : IP->Src;
+      E.InstrCount = IC;
+      ExecAction Action = ExecAction::Continue;
+      for (ExecObserver *O : InstrObservers) {
+        Action = O->onInstruction(E);
+        if (Action != ExecAction::Continue)
+          break;
+      }
+      if (Action != ExecAction::Continue) {
+        Sync();
+        applyInjectedAction(Action, *F);
+        if (Result.Status != RunStatus::Ok)
+          return;
+        IC = Result.InstrCount; // budget injection advances the count
+        continue;
+      }
     }
-    int64_t R = (Num == std::numeric_limits<int64_t>::min() && Den == -1)
-                    ? 0
-                    : Num % Den;
-    writeReg(F, I.Dst, static_cast<uint64_t>(R));
-    break;
+
+    if (IP != End) {
+      const DecodedInst &I = *IP++;
+      switch (I.Op) {
+      case DOp::LoadImm:
+        Regs[I.Dst] = static_cast<uint64_t>(I.Imm);
+        break;
+      case DOp::Move:
+        Regs[I.Dst] = Regs[I.SrcA];
+        break;
+      case DOp::Add:
+        Regs[I.Dst] = Regs[I.SrcA] + Regs[I.SrcB];
+        break;
+      case DOp::AddI:
+        Regs[I.Dst] = Regs[I.SrcA] + static_cast<uint64_t>(I.Imm);
+        break;
+      case DOp::Sub:
+        Regs[I.Dst] = Regs[I.SrcA] - Regs[I.SrcB];
+        break;
+      case DOp::SubI:
+        Regs[I.Dst] = Regs[I.SrcA] - static_cast<uint64_t>(I.Imm);
+        break;
+      case DOp::Mul:
+        Regs[I.Dst] = Regs[I.SrcA] * Regs[I.SrcB];
+        break;
+      case DOp::MulI:
+        Regs[I.Dst] = Regs[I.SrcA] * static_cast<uint64_t>(I.Imm);
+        break;
+      case DOp::Div:
+      case DOp::DivI: {
+        int64_t Num = static_cast<int64_t>(Regs[I.SrcA]);
+        int64_t Den = I.Op == DOp::DivI
+                          ? I.Imm
+                          : static_cast<int64_t>(Regs[I.SrcB]);
+        if (Den == 0) {
+          Sync();
+          trap("integer division by zero in '" + F->DF->F->getName() +
+               "'");
+          return;
+        }
+        Regs[I.Dst] = static_cast<uint64_t>(
+            Num == std::numeric_limits<int64_t>::min() && Den == -1
+                ? Num
+                : Num / Den);
+        break;
+      }
+      case DOp::Rem:
+      case DOp::RemI: {
+        int64_t Num = static_cast<int64_t>(Regs[I.SrcA]);
+        int64_t Den = I.Op == DOp::RemI
+                          ? I.Imm
+                          : static_cast<int64_t>(Regs[I.SrcB]);
+        if (Den == 0) {
+          Sync();
+          trap("integer remainder by zero in '" + F->DF->F->getName() +
+               "'");
+          return;
+        }
+        Regs[I.Dst] = static_cast<uint64_t>(
+            Num == std::numeric_limits<int64_t>::min() && Den == -1
+                ? 0
+                : Num % Den);
+        break;
+      }
+      case DOp::And:
+        Regs[I.Dst] = Regs[I.SrcA] & Regs[I.SrcB];
+        break;
+      case DOp::AndI:
+        Regs[I.Dst] = Regs[I.SrcA] & static_cast<uint64_t>(I.Imm);
+        break;
+      case DOp::Or:
+        Regs[I.Dst] = Regs[I.SrcA] | Regs[I.SrcB];
+        break;
+      case DOp::OrI:
+        Regs[I.Dst] = Regs[I.SrcA] | static_cast<uint64_t>(I.Imm);
+        break;
+      case DOp::Xor:
+        Regs[I.Dst] = Regs[I.SrcA] ^ Regs[I.SrcB];
+        break;
+      case DOp::XorI:
+        Regs[I.Dst] = Regs[I.SrcA] ^ static_cast<uint64_t>(I.Imm);
+        break;
+      case DOp::Shl:
+        Regs[I.Dst] = Regs[I.SrcA] << (Regs[I.SrcB] & 63);
+        break;
+      case DOp::ShlI:
+        Regs[I.Dst] = Regs[I.SrcA] << (static_cast<uint64_t>(I.Imm) & 63);
+        break;
+      case DOp::Shr:
+        Regs[I.Dst] = static_cast<uint64_t>(
+            static_cast<int64_t>(Regs[I.SrcA]) >> (Regs[I.SrcB] & 63));
+        break;
+      case DOp::ShrI:
+        Regs[I.Dst] = static_cast<uint64_t>(
+            static_cast<int64_t>(Regs[I.SrcA]) >>
+            (static_cast<uint64_t>(I.Imm) & 63));
+        break;
+      case DOp::Slt:
+        Regs[I.Dst] = static_cast<int64_t>(Regs[I.SrcA]) <
+                              static_cast<int64_t>(Regs[I.SrcB])
+                          ? 1
+                          : 0;
+        break;
+      case DOp::SltI:
+        Regs[I.Dst] = static_cast<int64_t>(Regs[I.SrcA]) < I.Imm ? 1 : 0;
+        break;
+      case DOp::Seq:
+        Regs[I.Dst] = Regs[I.SrcA] == Regs[I.SrcB] ? 1 : 0;
+        break;
+      case DOp::SeqI:
+        Regs[I.Dst] =
+            Regs[I.SrcA] == static_cast<uint64_t>(I.Imm) ? 1 : 0;
+        break;
+      case DOp::Sne:
+        Regs[I.Dst] = Regs[I.SrcA] != Regs[I.SrcB] ? 1 : 0;
+        break;
+      case DOp::SneI:
+        Regs[I.Dst] =
+            Regs[I.SrcA] != static_cast<uint64_t>(I.Imm) ? 1 : 0;
+        break;
+      case DOp::FAdd:
+        Regs[I.Dst] =
+            fromDouble(asDouble(Regs[I.SrcA]) + asDouble(Regs[I.SrcB]));
+        break;
+      case DOp::FAddI:
+        Regs[I.Dst] = fromDouble(asDouble(Regs[I.SrcA]) +
+                                 asDouble(static_cast<uint64_t>(I.Imm)));
+        break;
+      case DOp::FSub:
+        Regs[I.Dst] =
+            fromDouble(asDouble(Regs[I.SrcA]) - asDouble(Regs[I.SrcB]));
+        break;
+      case DOp::FSubI:
+        Regs[I.Dst] = fromDouble(asDouble(Regs[I.SrcA]) -
+                                 asDouble(static_cast<uint64_t>(I.Imm)));
+        break;
+      case DOp::FMul:
+        Regs[I.Dst] =
+            fromDouble(asDouble(Regs[I.SrcA]) * asDouble(Regs[I.SrcB]));
+        break;
+      case DOp::FMulI:
+        Regs[I.Dst] = fromDouble(asDouble(Regs[I.SrcA]) *
+                                 asDouble(static_cast<uint64_t>(I.Imm)));
+        break;
+      case DOp::FDiv:
+        // IEEE semantics: x/0 is inf/nan, no trap — matches the hardware
+        // the paper measured on.
+        Regs[I.Dst] =
+            fromDouble(asDouble(Regs[I.SrcA]) / asDouble(Regs[I.SrcB]));
+        break;
+      case DOp::FDivI:
+        Regs[I.Dst] = fromDouble(asDouble(Regs[I.SrcA]) /
+                                 asDouble(static_cast<uint64_t>(I.Imm)));
+        break;
+      case DOp::FNeg:
+        Regs[I.Dst] = fromDouble(-asDouble(Regs[I.SrcA]));
+        break;
+      case DOp::CvtIF:
+        Regs[I.Dst] = fromDouble(
+            static_cast<double>(static_cast<int64_t>(Regs[I.SrcA])));
+        break;
+      case DOp::CvtFI: {
+        double D = asDouble(Regs[I.SrcA]);
+        int64_t V;
+        if (D >= 9.2233720368547758e18)
+          V = std::numeric_limits<int64_t>::max();
+        else if (D <= -9.2233720368547758e18 || D != D)
+          V = std::numeric_limits<int64_t>::min();
+        else
+          V = static_cast<int64_t>(D);
+        Regs[I.Dst] = static_cast<uint64_t>(V);
+        break;
+      }
+      case DOp::FCmpEq:
+        F->FpFlag = asDouble(Regs[I.SrcA]) == asDouble(Regs[I.SrcB]);
+        break;
+      case DOp::FCmpLt:
+        F->FpFlag = asDouble(Regs[I.SrcA]) < asDouble(Regs[I.SrcB]);
+        break;
+      case DOp::FCmpLe:
+        F->FpFlag = asDouble(Regs[I.SrcA]) <= asDouble(Regs[I.SrcB]);
+        break;
+      case DOp::LoadI8: {
+        uint64_t Addr = Regs[I.SrcA] + static_cast<uint64_t>(I.Imm);
+        if (Addr < NullPageSize || Addr + 1 > MemSize) [[unlikely]] {
+          Sync();
+          trap("memory access out of bounds at address " +
+               std::to_string(Addr));
+          return;
+        }
+        // Sign-extend: MiniC chars behave like signed C chars.
+        Regs[I.Dst] = static_cast<uint64_t>(
+            static_cast<int64_t>(static_cast<int8_t>(Mem[Addr])));
+        break;
+      }
+      case DOp::LoadI64: {
+        uint64_t Addr = Regs[I.SrcA] + static_cast<uint64_t>(I.Imm);
+        if (Addr < NullPageSize || Addr + 8 > MemSize || Addr + 8 < Addr)
+            [[unlikely]] {
+          Sync();
+          trap("memory access out of bounds at address " +
+               std::to_string(Addr));
+          return;
+        }
+        uint64_t V;
+        std::memcpy(&V, Mem + Addr, 8);
+        Regs[I.Dst] = V;
+        break;
+      }
+      case DOp::StoreI8: {
+        uint64_t Addr = Regs[I.SrcA] + static_cast<uint64_t>(I.Imm);
+        if (Addr < NullPageSize || Addr + 1 > MemSize) [[unlikely]] {
+          Sync();
+          trap("memory access out of bounds at address " +
+               std::to_string(Addr));
+          return;
+        }
+        Mem[Addr] = static_cast<uint8_t>(Regs[I.SrcB]);
+        break;
+      }
+      case DOp::StoreI64: {
+        uint64_t Addr = Regs[I.SrcA] + static_cast<uint64_t>(I.Imm);
+        if (Addr < NullPageSize || Addr + 8 > MemSize || Addr + 8 < Addr)
+            [[unlikely]] {
+          Sync();
+          trap("memory access out of bounds at address " +
+               std::to_string(Addr));
+          return;
+        }
+        uint64_t V = Regs[I.SrcB];
+        std::memcpy(Mem + Addr, &V, 8);
+        break;
+      }
+      case DOp::Call: {
+        Sync(); // resumption point: the instruction after the call
+        if (!pushFrame(I.Callee, F->DF->ArgPool.data() + I.ArgsOff,
+                       I.NumArgs, I.Dst))
+          return;
+        Reload();
+        continue;
+      }
+      case DOp::CallIntrinsic: {
+        Sync(); // intrinsics can trap and need an exact backtrace
+        if (!execIntrinsic(*F, I))
+          return;
+        if (Result.Status != RunStatus::Ok)
+          return; // print budget exhausted with overflow trapping on
+        break;
+      }
+      }
+    } else {
+      const DecodedTerm &T = DB->Term;
+      switch (T.Kind) {
+      case TermKind::Jump:
+        EnterBlock(T.Taken);
+        if constexpr (DirectProfile)
+          ++DirectEntries[DB->FlatIndex];
+        else
+          for (ExecObserver *O : Observers)
+            O->onBlockEnter(*DB->BB);
+        continue;
+      case TermKind::CondBranch: {
+        bool Taken = false;
+        switch (T.BOp) {
+        case BranchOp::BEQ:
+          Taken = Regs[T.Lhs] == Regs[T.Rhs];
+          break;
+        case BranchOp::BNE:
+          Taken = Regs[T.Lhs] != Regs[T.Rhs];
+          break;
+        case BranchOp::BLEZ:
+          Taken = static_cast<int64_t>(Regs[T.Lhs]) <= 0;
+          break;
+        case BranchOp::BGTZ:
+          Taken = static_cast<int64_t>(Regs[T.Lhs]) > 0;
+          break;
+        case BranchOp::BLTZ:
+          Taken = static_cast<int64_t>(Regs[T.Lhs]) < 0;
+          break;
+        case BranchOp::BGEZ:
+          Taken = static_cast<int64_t>(Regs[T.Lhs]) >= 0;
+          break;
+        case BranchOp::BC1T:
+          Taken = F->FpFlag;
+          break;
+        case BranchOp::BC1F:
+          Taken = !F->FpFlag;
+          break;
+        }
+        if constexpr (DirectProfile) {
+          EdgeProfile::Counts &C = DirectCounts[DB->FlatIndex];
+          if (Taken)
+            ++C.Taken;
+          else
+            ++C.Fallthru;
+          EnterBlock(Taken ? T.Taken : T.Fallthru);
+          ++DirectEntries[DB->FlatIndex];
+        } else {
+          const ir::BasicBlock &BranchBlock = *DB->BB;
+          EnterBlock(Taken ? T.Taken : T.Fallthru);
+          for (ExecObserver *O : Observers)
+            O->onCondBranch(BranchBlock, Taken, IC);
+          for (ExecObserver *O : Observers)
+            O->onBlockEnter(*DB->BB);
+        }
+        continue;
+      }
+      case TermKind::Return: {
+        uint64_t V = T.HasRetValue ? Regs[T.RetValue] : 0;
+        popFrame(V, T.HasRetValue);
+        if (Frames.empty()) {
+          Result.InstrCount = IC;
+          return;
+        }
+        Reload();
+        continue;
+      }
+      }
+    }
   }
-  case Opcode::And:
-    writeReg(F, I.Dst, readReg(F, I.SrcA) & B());
-    break;
-  case Opcode::Or:
-    writeReg(F, I.Dst, readReg(F, I.SrcA) | B());
-    break;
-  case Opcode::Xor:
-    writeReg(F, I.Dst, readReg(F, I.SrcA) ^ B());
-    break;
-  case Opcode::Shl:
-    writeReg(F, I.Dst, readReg(F, I.SrcA) << (B() & 63));
-    break;
-  case Opcode::Shr:
-    writeReg(F, I.Dst,
-             static_cast<uint64_t>(static_cast<int64_t>(readReg(F, I.SrcA)) >>
-                                   (B() & 63)));
-    break;
-  case Opcode::Slt:
-    writeReg(F, I.Dst,
-             static_cast<int64_t>(readReg(F, I.SrcA)) <
-                     static_cast<int64_t>(B())
-                 ? 1
-                 : 0);
-    break;
-  case Opcode::Seq:
-    writeReg(F, I.Dst, readReg(F, I.SrcA) == B() ? 1 : 0);
-    break;
-  case Opcode::Sne:
-    writeReg(F, I.Dst, readReg(F, I.SrcA) != B() ? 1 : 0);
-    break;
-  case Opcode::FAdd:
-    writeReg(F, I.Dst,
-             fromDouble(asDouble(readReg(F, I.SrcA)) + asDouble(B())));
-    break;
-  case Opcode::FSub:
-    writeReg(F, I.Dst,
-             fromDouble(asDouble(readReg(F, I.SrcA)) - asDouble(B())));
-    break;
-  case Opcode::FMul:
-    writeReg(F, I.Dst,
-             fromDouble(asDouble(readReg(F, I.SrcA)) * asDouble(B())));
-    break;
-  case Opcode::FDiv:
-    // IEEE semantics: x/0 is inf/nan, no trap — matches the hardware the
-    // paper measured on.
-    writeReg(F, I.Dst,
-             fromDouble(asDouble(readReg(F, I.SrcA)) / asDouble(B())));
-    break;
-  case Opcode::FNeg:
-    writeReg(F, I.Dst, fromDouble(-asDouble(readReg(F, I.SrcA))));
-    break;
-  case Opcode::CvtIF:
-    writeReg(F, I.Dst,
-             fromDouble(static_cast<double>(
-                 static_cast<int64_t>(readReg(F, I.SrcA)))));
-    break;
-  case Opcode::CvtFI: {
-    double D = asDouble(readReg(F, I.SrcA));
-    int64_t V;
-    if (D >= 9.2233720368547758e18)
-      V = std::numeric_limits<int64_t>::max();
-    else if (D <= -9.2233720368547758e18 || D != D)
-      V = std::numeric_limits<int64_t>::min();
-    else
-      V = static_cast<int64_t>(D);
-    writeReg(F, I.Dst, static_cast<uint64_t>(V));
-    break;
-  }
-  case Opcode::FCmpEq:
-    F.FpFlag = asDouble(readReg(F, I.SrcA)) == asDouble(readReg(F, I.SrcB));
-    break;
-  case Opcode::FCmpLt:
-    F.FpFlag = asDouble(readReg(F, I.SrcA)) < asDouble(readReg(F, I.SrcB));
-    break;
-  case Opcode::FCmpLe:
-    F.FpFlag = asDouble(readReg(F, I.SrcA)) <= asDouble(readReg(F, I.SrcB));
-    break;
-  case Opcode::Load: {
-    uint64_t Addr = readReg(F, I.SrcA) + static_cast<uint64_t>(I.Imm);
-    uint64_t V;
-    if (!loadMem(Addr, I.Width, V))
-      return false;
-    writeReg(F, I.Dst, V);
-    break;
-  }
-  case Opcode::Store: {
-    uint64_t Addr = readReg(F, I.SrcA) + static_cast<uint64_t>(I.Imm);
-    if (!storeMem(Addr, I.Width, readReg(F, I.SrcB)))
-      return false;
-    break;
-  }
-  case Opcode::Call: {
-    const Function *Callee = M.getFunction(I.CalleeIndex);
-    std::vector<uint64_t> Args;
-    Args.reserve(I.Args.size());
-    for (Reg R : I.Args)
-      Args.push_back(readReg(F, R));
-    // pushFrame may reallocate Frames and invalidate F; the main loop
-    // re-fetches the active frame before every instruction.
-    return pushFrame(Callee, Args, I.Dst);
-  }
-  case Opcode::CallIntrinsic:
-    return execIntrinsic(F, I);
-  }
-  return true;
 }
 
-void Machine::execTerminator(Frame &F) {
-  const Terminator &T = F.Block->terminator();
-  switch (T.Kind) {
-  case TermKind::Jump:
-    F.Block = T.Taken;
-    F.InstIdx = 0;
-    for (ExecObserver *O : Observers)
-      O->onBlockEnter(*F.Block);
-    return;
-  case TermKind::CondBranch: {
-    bool Taken = false;
-    // Flag branches have no register operands; only read Lhs otherwise.
-    int64_t L = isFlagBranch(T.BOp)
-                    ? 0
-                    : static_cast<int64_t>(readReg(F, T.Lhs));
-    switch (T.BOp) {
-    case BranchOp::BEQ:
-      Taken = readReg(F, T.Lhs) == readReg(F, T.Rhs);
-      break;
-    case BranchOp::BNE:
-      Taken = readReg(F, T.Lhs) != readReg(F, T.Rhs);
-      break;
-    case BranchOp::BLEZ:
-      Taken = L <= 0;
-      break;
-    case BranchOp::BGTZ:
-      Taken = L > 0;
-      break;
-    case BranchOp::BLTZ:
-      Taken = L < 0;
-      break;
-    case BranchOp::BGEZ:
-      Taken = L >= 0;
-      break;
-    case BranchOp::BC1T:
-      Taken = F.FpFlag;
-      break;
-    case BranchOp::BC1F:
-      Taken = !F.FpFlag;
-      break;
-    }
-    const BasicBlock &BranchBlock = *F.Block;
-    F.Block = Taken ? T.Taken : T.Fallthru;
-    F.InstIdx = 0;
-    for (ExecObserver *O : Observers)
-      O->onCondBranch(BranchBlock, Taken, Result.InstrCount);
-    for (ExecObserver *O : Observers)
-      O->onBlockEnter(*F.Block);
-    return;
-  }
-  case TermKind::Return: {
-    uint64_t V = T.HasRetValue ? readReg(F, T.RetValue) : 0;
-    popFrame(V, T.HasRetValue);
-    return;
-  }
-  }
-}
-
-RunResult Machine::run(const Function *Entry) {
+RunResult Machine::run(const DecodedFunction *Entry) {
+  const Module &M = *DM.M;
   Memory.assign(Limits.MemoryBytes, 0);
   // Map the global image just past the null page; GP reads as its base.
   const std::vector<uint8_t> &Image = M.getGlobalImage();
@@ -556,64 +772,24 @@ RunResult Machine::run(const Function *Entry) {
   for (ExecObserver *O : Observers)
     if (O->wantsInstructionEvents())
       InstrObservers.push_back(O);
-
-  // Watchdog bookkeeping: the clock is only read every WatchdogStride
-  // instructions, so deadline-free runs stay deterministic and cheap.
-  constexpr uint64_t WatchdogStride = 16384;
-  const bool HasDeadline = Limits.MaxMillis > 0;
-  const auto Deadline = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(Limits.MaxMillis);
-  uint64_t NextWatchdogCheck = WatchdogStride;
-
-  if (!pushFrame(Entry, {}, Reg()))
-    return Result;
-
-  while (!Frames.empty() && Result.Status == RunStatus::Ok) {
-    Frame &F = Frames.back();
-    if (Result.InstrCount >= Limits.MaxInstructions) {
-      fail(RunStatus::BudgetExceeded, ErrorKind::BudgetExceeded,
-           "instruction budget (" + std::to_string(Limits.MaxInstructions) +
-               ") exhausted in '" + F.F->getName() + "'");
-      break;
-    }
-    if (HasDeadline && Result.InstrCount >= NextWatchdogCheck) {
-      NextWatchdogCheck = Result.InstrCount + WatchdogStride;
-      if (std::chrono::steady_clock::now() >= Deadline) {
-        fail(RunStatus::Timeout, ErrorKind::Timeout,
-             "wall-clock limit (" + std::to_string(Limits.MaxMillis) +
-                 " ms) exceeded in '" + F.F->getName() + "'");
-        break;
-      }
-    }
-    ++Result.InstrCount;
-    const bool AtTerminator = F.InstIdx >= F.Block->instructions().size();
-    if (!InstrObservers.empty()) {
-      ExecEvent E;
-      E.F = F.F;
-      E.BB = F.Block;
-      E.InstIdx = F.InstIdx;
-      E.I = AtTerminator ? nullptr : &F.Block->instructions()[F.InstIdx];
-      E.InstrCount = Result.InstrCount;
-      ExecAction Action = ExecAction::Continue;
-      for (ExecObserver *O : InstrObservers) {
-        Action = O->onInstruction(E);
-        if (Action != ExecAction::Continue)
-          break;
-      }
-      if (Action != ExecAction::Continue) {
-        applyInjectedAction(Action, F);
-        continue; // re-check status / budget at the top of the loop
-      }
-    }
-    if (!AtTerminator) {
-      const Instruction &I = F.Block->instructions()[F.InstIdx++];
-      // Calls push a frame; all other instructions stay in F.
-      if (!execInstruction(F, I))
-        continue; // either trapped or entered a callee
-    } else {
-      execTerminator(F);
+  if (InstrObservers.empty() && Observers.size() == 1) {
+    if (EdgeProfile *EP = Observers[0]->asEdgeProfile()) {
+      DirectCounts = EP->directCounts();
+      DirectEntries = EP->directEntries();
     }
   }
+
+  RegStack.reserve(4096);
+
+  if (!pushFrame(Entry, nullptr, 0, NoSlot))
+    return Result;
+
+  if (!InstrObservers.empty())
+    execLoop<true, false>();
+  else if (DirectEntries)
+    execLoop<false, true>();
+  else
+    execLoop<false, false>();
   return Result;
 }
 
@@ -652,12 +828,15 @@ ErrorKind RunResult::errorKind() const {
 }
 
 Interpreter::Interpreter(const Module &M, RunLimits Limits)
-    : M(M), Limits(Limits) {}
+    : M(M), Limits(Limits),
+      DM(std::make_unique<DecodedModule>(decodeModule(M))) {}
+
+Interpreter::~Interpreter() = default;
 
 RunResult Interpreter::run(const Dataset &Data,
                            const std::vector<ExecObserver *> &Observers,
                            const std::string &EntryName) {
-  const Function *Entry = M.findFunction(EntryName);
+  const DecodedFunction *Entry = DM->find(EntryName);
   if (!Entry) {
     RunResult R;
     R.Status = RunStatus::Trap;
@@ -667,6 +846,6 @@ RunResult Interpreter::run(const Dataset &Data,
     R.Trap->Message = R.TrapMessage;
     return R;
   }
-  Machine Mach(M, Limits, Data, Observers);
+  Machine Mach(*DM, Limits, Data, Observers);
   return Mach.run(Entry);
 }

@@ -31,6 +31,7 @@
 #include "vm/ExecObserver.h"
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -103,13 +104,23 @@ struct RunLimits {
   bool TrapOnOutputOverflow = false;
 };
 
-/// Executes IR modules. Construct once per module; run() may be invoked
-/// repeatedly with different datasets and observers.
+struct DecodedModule;
+
+/// Executes IR modules. Construct once per module; construction builds
+/// the pre-decoded instruction cache (see vm/Decode.h), so run() may be
+/// invoked repeatedly with different datasets and observers without
+/// re-resolving operands. The decoded cache is immutable, which makes
+/// run() reentrant: concurrent runs of the same Interpreter from
+/// different threads are safe as long as they don't share observers.
 class Interpreter {
 public:
   /// \p M must verify cleanly (see ir::verifyModule); the interpreter
   /// asserts rather than diagnoses structural errors.
   explicit Interpreter(const ir::Module &M, RunLimits Limits = RunLimits());
+  ~Interpreter();
+
+  Interpreter(Interpreter &&) = default;
+  Interpreter &operator=(Interpreter &&) = delete;
 
   /// Runs \p EntryName (default "main", no arguments) against \p Data,
   /// notifying each observer in \p Observers of dynamic events.
@@ -120,6 +131,7 @@ public:
 private:
   const ir::Module &M;
   RunLimits Limits;
+  std::unique_ptr<const DecodedModule> DM;
 };
 
 } // namespace bpfree

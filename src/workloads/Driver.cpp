@@ -7,9 +7,11 @@
 #include "workloads/Driver.h"
 
 #include "frontend/Compiler.h"
+#include "support/ThreadPool.h"
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 using namespace bpfree;
 
@@ -112,22 +114,48 @@ std::string SuiteReport::renderFailures() const {
 
 SuiteReport bpfree::runSuite(const HeuristicConfig &Config,
                              const SuiteOptions &Opts) {
-  SuiteReport Report;
-  for (const Workload &W : workloadSuite()) {
-    ++Report.Attempted;
-    if (Opts.Progress)
-      Opts.Progress(W);
+  const std::vector<Workload> &Suite = workloadSuite();
+  const size_t N = Suite.size();
+  const unsigned Jobs =
+      Opts.Jobs == 0 ? ThreadPool::defaultConcurrency() : Opts.Jobs;
+
+  // Each workload writes into its own slot, so no two threads ever touch
+  // the same state: runWorkloadDetailed builds a private module, context,
+  // profile, and Machine per call, and the user callbacks below are the
+  // only shared code — serialized under a mutex. Assembling the report
+  // from the slots in registry order afterwards makes the output
+  // bit-identical to the Jobs=1 loop no matter how the pool interleaves.
+  std::vector<std::unique_ptr<WorkloadRun>> Runs(N);
+  std::vector<std::optional<WorkloadFailure>> Failures(N);
+  std::mutex CallbackMu;
+
+  parallelFor(Jobs, N, [&](size_t I) {
+    const Workload &W = Suite[I];
     RunOptions RO;
     RO.Limits = Opts.Limits;
-    if (Opts.ExtraObservers)
-      RO.ExtraObservers = Opts.ExtraObservers(W);
+    if (Opts.Progress || Opts.ExtraObservers) {
+      std::lock_guard<std::mutex> Lock(CallbackMu);
+      if (Opts.Progress)
+        Opts.Progress(W, I);
+      if (Opts.ExtraObservers)
+        RO.ExtraObservers = Opts.ExtraObservers(W);
+    }
     WorkloadFailure Failure;
     std::unique_ptr<WorkloadRun> Run =
         runWorkloadDetailed(W, 0, Config, RO, Failure);
     if (Run)
-      Report.Runs.push_back(std::move(Run));
+      Runs[I] = std::move(Run);
     else
-      Report.Failures.push_back(std::move(Failure));
+      Failures[I] = std::move(Failure);
+  });
+
+  SuiteReport Report;
+  Report.Attempted = N;
+  for (size_t I = 0; I < N; ++I) {
+    if (Runs[I])
+      Report.Runs.push_back(std::move(Runs[I]));
+    else if (Failures[I])
+      Report.Failures.push_back(std::move(*Failures[I]));
   }
   return Report;
 }

@@ -95,12 +95,21 @@ runWorkloadOrExit(const Workload &W, size_t DatasetIndex = 0,
 /// Suite-wide execution knobs.
 struct SuiteOptions {
   RunLimits Limits;
+  /// Worker threads for the suite fan-out; 0 picks the hardware
+  /// concurrency, 1 forces the serial path. Each (workload, dataset)
+  /// pair runs in its own Machine with its own observers, so the report
+  /// is bit-identical to a serial run regardless of Jobs.
+  unsigned Jobs = 0;
   /// Per-workload extra observers (e.g. a FaultInjector keyed by name);
-  /// called once per workload before it runs. May return {}.
+  /// called once per workload before it runs (serialized under a mutex
+  /// when Jobs > 1). The returned observers are used only by that
+  /// workload's run, which may execute on a pool thread. May return {}.
   std::function<std::vector<ExecObserver *>(const Workload &)>
       ExtraObservers;
-  /// Invoked before each workload runs (progress reporting).
-  std::function<void(const Workload &)> Progress;
+  /// Invoked before each workload runs (progress reporting), with the
+  /// workload's index in the suite registry. Serialized under a mutex
+  /// when Jobs > 1; completion order across workloads is unspecified.
+  std::function<void(const Workload &, size_t Index)> Progress;
 };
 
 /// Outcome of a whole-suite run: the successful runs in suite order plus
@@ -122,6 +131,11 @@ struct SuiteReport {
 /// Runs the whole suite (reference datasets). Failures are isolated per
 /// workload: one bad program no longer kills the run — the remaining
 /// workloads still execute and the report carries the failure records.
+///
+/// Independent workloads run concurrently across SuiteOptions::Jobs
+/// threads; results are written into per-workload slots and assembled in
+/// registry order, so the report (runs, stats, profiles, failure
+/// records) is bit-identical to a Jobs=1 run.
 SuiteReport runSuite(const HeuristicConfig &Config = {},
                      const SuiteOptions &Opts = {});
 

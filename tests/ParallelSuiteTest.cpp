@@ -1,0 +1,192 @@
+//===- tests/ParallelSuiteTest.cpp - Parallel suite determinism -----------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel suite runner's contract is *bit-identical output*: a
+/// runSuite with Jobs=N must produce the same runs (instruction counts,
+/// exit values, output, edge profiles, branch statistics) and the same
+/// failure records as Jobs=1, in the same registry order, no matter how
+/// the pool interleaves — including when deterministic faults are
+/// injected mid-run.
+///
+//===----------------------------------------------------------------------===//
+
+#include "vm/FaultInjector.h"
+#include "workloads/Driver.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <vector>
+
+using namespace bpfree;
+
+namespace {
+
+/// Worker count for the "parallel" side of every comparison. Forced
+/// above the machine's core count on purpose: oversubscription maximizes
+/// interleaving, which is what the determinism guarantee must survive.
+constexpr unsigned TestJobs = 4;
+
+/// Both runs profile the same workload compiled independently, so the
+/// two modules have identical shape; walk them in lockstep and compare
+/// every block-entry and branch counter.
+void expectProfilesEqual(const WorkloadRun &A, const WorkloadRun &B) {
+  auto FA = A.M->begin(), FB = B.M->begin();
+  for (; FA != A.M->end() && FB != B.M->end(); ++FA, ++FB) {
+    auto BA = (*FA)->begin(), BB = (*FB)->begin();
+    for (; BA != (*FA)->end() && BB != (*FB)->end(); ++BA, ++BB) {
+      EXPECT_EQ(A.Profile->getBlockCount(**BA),
+                B.Profile->getBlockCount(**BB))
+          << A.W->Name << " " << (*FA)->getName() << " block "
+          << (*BA)->getId();
+      if (!(*BA)->isCondBranch())
+        continue;
+      const EdgeProfile::Counts &CA = A.Profile->get(**BA);
+      const EdgeProfile::Counts &CB = B.Profile->get(**BB);
+      EXPECT_EQ(CA.Taken, CB.Taken) << A.W->Name;
+      EXPECT_EQ(CA.Fallthru, CB.Fallthru) << A.W->Name;
+    }
+    EXPECT_EQ(BA == (*FA)->end(), BB == (*FB)->end());
+  }
+  EXPECT_EQ(FA == A.M->end(), FB == B.M->end());
+}
+
+void expectStatsEqual(const WorkloadRun &A, const WorkloadRun &B) {
+  ASSERT_EQ(A.Stats.size(), B.Stats.size()) << A.W->Name;
+  for (size_t I = 0; I < A.Stats.size(); ++I) {
+    const BranchStats &SA = A.Stats[I];
+    const BranchStats &SB = B.Stats[I];
+    EXPECT_EQ(SA.Taken, SB.Taken) << A.W->Name << " branch " << I;
+    EXPECT_EQ(SA.Fallthru, SB.Fallthru) << A.W->Name << " branch " << I;
+    EXPECT_EQ(SA.IsLoopBranch, SB.IsLoopBranch) << A.W->Name;
+    EXPECT_EQ(SA.LoopDir, SB.LoopDir) << A.W->Name;
+    EXPECT_EQ(SA.IsBackwardBranch, SB.IsBackwardBranch) << A.W->Name;
+    EXPECT_EQ(SA.AppliesMask, SB.AppliesMask) << A.W->Name;
+    EXPECT_EQ(SA.DirMask, SB.DirMask) << A.W->Name;
+    EXPECT_EQ(SA.RandomDir, SB.RandomDir) << A.W->Name;
+  }
+}
+
+void expectReportsEqual(const SuiteReport &Serial,
+                        const SuiteReport &Parallel) {
+  EXPECT_EQ(Serial.Attempted, Parallel.Attempted);
+  ASSERT_EQ(Serial.Runs.size(), Parallel.Runs.size());
+  ASSERT_EQ(Serial.Failures.size(), Parallel.Failures.size());
+
+  // Registry order is part of the contract: entry I of each list must be
+  // the same workload in both reports.
+  for (size_t I = 0; I < Serial.Runs.size(); ++I) {
+    const WorkloadRun &A = *Serial.Runs[I];
+    const WorkloadRun &B = *Parallel.Runs[I];
+    ASSERT_EQ(A.W->Name, B.W->Name) << "run order diverged at " << I;
+    EXPECT_EQ(A.DatasetIndex, B.DatasetIndex);
+    EXPECT_EQ(A.Result.InstrCount, B.Result.InstrCount) << A.W->Name;
+    EXPECT_EQ(A.Result.ExitValue, B.Result.ExitValue) << A.W->Name;
+    EXPECT_EQ(A.Result.Output, B.Result.Output) << A.W->Name;
+    expectProfilesEqual(A, B);
+    expectStatsEqual(A, B);
+  }
+
+  for (size_t I = 0; I < Serial.Failures.size(); ++I) {
+    const WorkloadFailure &A = Serial.Failures[I];
+    const WorkloadFailure &B = Parallel.Failures[I];
+    EXPECT_EQ(A.Workload, B.Workload) << "failure order diverged at " << I;
+    EXPECT_EQ(A.Dataset, B.Dataset) << A.Workload;
+    EXPECT_EQ(A.Kind, B.Kind) << A.Workload;
+    EXPECT_EQ(A.Message, B.Message) << A.Workload;
+    ASSERT_EQ(A.Trap.has_value(), B.Trap.has_value()) << A.Workload;
+    if (A.Trap) {
+      EXPECT_EQ(A.Trap->render(), B.Trap->render()) << A.Workload;
+    }
+  }
+}
+
+/// Fault-free suite: Jobs=4 must reproduce Jobs=1 bit for bit.
+TEST(ParallelSuite, BitIdenticalToSerial) {
+  SuiteOptions SerialOpts;
+  SerialOpts.Jobs = 1;
+  SuiteReport Serial = runSuite({}, SerialOpts);
+  ASSERT_TRUE(Serial.allOk()) << Serial.renderFailures();
+  ASSERT_GT(Serial.Runs.size(), 0u);
+
+  SuiteOptions ParallelOpts;
+  ParallelOpts.Jobs = TestJobs;
+  SuiteReport Parallel = runSuite({}, ParallelOpts);
+  ASSERT_TRUE(Parallel.allOk()) << Parallel.renderFailures();
+
+  expectReportsEqual(Serial, Parallel);
+}
+
+/// Seeded per-workload faults: the parallel run must record the exact
+/// same failures (kind, message, backtrace) in the same order, and the
+/// surviving workloads must stay bit-identical. Injectors are stateful,
+/// so each suite run gets a fresh set built from the same seeds.
+TEST(ParallelSuite, FaultedSuiteBitIdentical) {
+  auto runWithFaults = [](unsigned Jobs) {
+    std::map<std::string, std::unique_ptr<FaultInjector>> Injectors;
+    uint64_t Seed = 0x5EED;
+    for (const Workload &W : workloadSuite())
+      Injectors[W.Name] = std::make_unique<FaultInjector>(
+          FaultPlan::fromSeed(Seed++, 1000, 50000));
+
+    SuiteOptions Opts;
+    Opts.Jobs = Jobs;
+    Opts.ExtraObservers =
+        [&](const Workload &W) -> std::vector<ExecObserver *> {
+      return {Injectors.at(W.Name).get()};
+    };
+    return runSuite({}, Opts);
+  };
+
+  SuiteReport Serial = runWithFaults(1);
+  SuiteReport Parallel = runWithFaults(TestJobs);
+
+  // The seeded plans land inside most workloads' instruction streams, so
+  // this exercises the failure path for real.
+  EXPECT_FALSE(Serial.Failures.empty());
+  expectReportsEqual(Serial, Parallel);
+}
+
+/// The Progress callback must see every workload exactly once, tagged
+/// with its suite registry index, even when invoked from pool threads.
+TEST(ParallelSuite, ProgressIndicesMatchRegistry) {
+  const std::vector<Workload> &Suite = workloadSuite();
+
+  std::mutex Mu;
+  std::vector<std::pair<size_t, std::string>> Seen;
+  SuiteOptions Opts;
+  Opts.Jobs = TestJobs;
+  Opts.Progress = [&](const Workload &W, size_t Index) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Seen.emplace_back(Index, W.Name);
+  };
+
+  SuiteReport Report = runSuite({}, Opts);
+  ASSERT_TRUE(Report.allOk()) << Report.renderFailures();
+
+  ASSERT_EQ(Seen.size(), Suite.size());
+  std::set<size_t> Indices;
+  for (const auto &[Index, Name] : Seen) {
+    ASSERT_LT(Index, Suite.size());
+    EXPECT_EQ(Suite[Index].Name, Name);
+    EXPECT_TRUE(Indices.insert(Index).second)
+        << "index " << Index << " reported twice";
+  }
+}
+
+/// Jobs=0 (hardware concurrency) is the default; it must run the whole
+/// suite successfully whatever the machine's core count.
+TEST(ParallelSuite, DefaultJobsRunsSuite) {
+  SuiteReport Report = runSuite();
+  EXPECT_TRUE(Report.allOk()) << Report.renderFailures();
+  EXPECT_EQ(Report.Runs.size(), Report.Attempted);
+}
+
+} // namespace
