@@ -74,13 +74,15 @@ runSuiteVerbose(const HeuristicConfig &Config = {}) {
 /// call statsFor() per config instead of re-interpreting the suite.
 class SuiteCache {
 public:
-  /// Compiles and profiles the whole suite (reference datasets) on
-  /// first use; later calls return the cached runs. Exits nonzero on
-  /// any workload failure, like runSuiteVerbose.
-  const std::vector<std::unique_ptr<WorkloadRun>> &
-  runs(const HeuristicConfig &Config = {}) {
+  /// Compiles and profiles the whole suite (reference datasets, default
+  /// heuristic config) on first use; later calls return the cached runs.
+  /// The profile and trace are config-independent, so there is no Config
+  /// parameter — use statsFor() to evaluate a specific config against
+  /// the cached profiles. Exits nonzero on any workload failure, like
+  /// runSuiteVerbose.
+  const std::vector<std::unique_ptr<WorkloadRun>> &runs() {
     if (Runs.empty()) {
-      Runs = runSuiteVerbose(Config);
+      Runs = runSuiteVerbose();
       for (const auto &Run : Runs)
         Index[{Run->W->Name, Run->DatasetIndex}] = Run.get();
     }

@@ -23,6 +23,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -115,6 +116,12 @@ private:
 /// different indices run concurrently; each index runs exactly once.
 /// Returns after every index has completed (the join gives the caller a
 /// happens-before edge on everything the bodies wrote).
+///
+/// If a Body throws, the first exception is captured and rethrown on the
+/// calling thread after all workers drain — same observable behavior as
+/// the serial path (minus the indices that raced ahead), never
+/// std::terminate. Remaining indices are skipped once an exception is
+/// recorded.
 inline void parallelFor(unsigned Jobs, size_t N,
                         const std::function<void(size_t)> &Body) {
   if (Jobs <= 1 || N <= 1) {
@@ -126,13 +133,28 @@ inline void parallelFor(unsigned Jobs, size_t N,
       std::min<size_t>(Jobs, N));
   ThreadPool Pool(Threads);
   std::atomic<size_t> Next{0};
+  std::atomic<bool> Failed{false};
+  std::exception_ptr FirstError;
+  std::mutex ErrorMu;
   for (unsigned W = 0; W < Threads; ++W)
     Pool.submit([&] {
       for (size_t I = Next.fetch_add(1, std::memory_order_relaxed); I < N;
-           I = Next.fetch_add(1, std::memory_order_relaxed))
-        Body(I);
+           I = Next.fetch_add(1, std::memory_order_relaxed)) {
+        if (Failed.load(std::memory_order_relaxed))
+          return;
+        try {
+          Body(I);
+        } catch (...) {
+          std::lock_guard<std::mutex> Lock(ErrorMu);
+          if (!FirstError)
+            FirstError = std::current_exception();
+          Failed.store(true, std::memory_order_relaxed);
+        }
+      }
     });
   Pool.wait();
+  if (FirstError)
+    std::rethrow_exception(FirstError);
 }
 
 } // namespace bpfree

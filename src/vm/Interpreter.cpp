@@ -617,7 +617,9 @@ template <bool HasInstrObs, bool DirectProfile> void Machine::execLoop() {
         break;
       case DOp::LoadI8: {
         uint64_t Addr = Regs[I.SrcA] + static_cast<uint64_t>(I.Imm);
-        if (Addr < NullPageSize || Addr + 1 > MemSize) [[unlikely]] {
+        // Addr >= MemSize is the overflow-proof form of Addr + 1 > MemSize:
+        // Addr == UINT64_MAX must trap, not wrap past the check.
+        if (Addr < NullPageSize || Addr >= MemSize) [[unlikely]] {
           Sync();
           trap("memory access out of bounds at address " +
                std::to_string(Addr));
@@ -644,7 +646,7 @@ template <bool HasInstrObs, bool DirectProfile> void Machine::execLoop() {
       }
       case DOp::StoreI8: {
         uint64_t Addr = Regs[I.SrcA] + static_cast<uint64_t>(I.Imm);
-        if (Addr < NullPageSize || Addr + 1 > MemSize) [[unlikely]] {
+        if (Addr < NullPageSize || Addr >= MemSize) [[unlikely]] {
           Sync();
           trap("memory access out of bounds at address " +
                std::to_string(Addr));

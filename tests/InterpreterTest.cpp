@@ -286,6 +286,29 @@ TEST(VmMemory, OutOfBoundsTraps) {
   EXPECT_EQ(Interp.run(Dataset()).Status, RunStatus::Trap);
 }
 
+// Addr = base + imm wraps modulo 2^64, so UINT64_MAX is a reachable
+// byte address; the bounds check must trap rather than let Addr + 1
+// overflow to 0 and slip past the limit comparison.
+TEST(VmMemory, ByteAccessAtAddressMaxTraps) {
+  for (bool IsStore : {false, true}) {
+    Module M;
+    Function *F = M.createFunction("main", 0);
+    IRBuilder Bld(F);
+    Bld.setInsertBlock(F->createBlock("entry"));
+    Reg Max = Bld.loadImm(-1); // UINT64_MAX
+    if (IsStore) {
+      Bld.store(Bld.loadImm(1), Max, 0, MemWidth::I8);
+      Bld.retValue(Bld.loadImm(0));
+    } else {
+      Bld.retValue(Bld.load(Max, 0, MemWidth::I8));
+    }
+    Interpreter Interp(M);
+    RunResult R = Interp.run(Dataset());
+    EXPECT_EQ(R.Status, RunStatus::Trap) << (IsStore ? "store" : "load");
+    EXPECT_NE(R.TrapMessage.find("out of bounds"), std::string::npos);
+  }
+}
+
 TEST(VmMemory, GlobalImageVisible) {
   Module M;
   std::vector<uint8_t> Data = {'h', 'i', 0};

@@ -8,11 +8,14 @@
 #include "support/Rng.h"
 #include "support/Statistics.h"
 #include "support/TablePrinter.h"
+#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 
 using namespace bpfree;
 
@@ -185,6 +188,37 @@ TEST(TablePrinterTest, DoubleFormatting) {
 TEST(ErrorTest, DiagRendering) {
   EXPECT_EQ(Diag("boom").render(), "boom");
   EXPECT_EQ(Diag("boom", 3, 7).render(), "3:7: boom");
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  constexpr size_t N = 100;
+  std::vector<std::atomic<int>> Hits(N);
+  parallelFor(4, N, [&](size_t I) { ++Hits[I]; });
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << "index " << I;
+}
+
+// An exception thrown by a body must reach the caller, not
+// std::terminate the process — and identically in serial and parallel
+// mode.
+TEST(ThreadPoolTest, ParallelForRethrowsBodyException) {
+  for (unsigned Jobs : {1u, 4u}) {
+    bool Caught = false;
+    try {
+      parallelFor(Jobs, 16, [](size_t I) {
+        if (I == 7)
+          throw std::runtime_error("body failed");
+      });
+    } catch (const std::runtime_error &E) {
+      Caught = true;
+      EXPECT_STREQ(E.what(), "body failed");
+    }
+    EXPECT_TRUE(Caught) << "Jobs=" << Jobs;
+  }
 }
 
 TEST(ErrorTest, ExpectedValueAndError) {
