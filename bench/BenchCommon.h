@@ -104,9 +104,47 @@ public:
     return collectBranchStats(*Run.Ctx, *Run.Profile, Config);
   }
 
+  /// Compiles and trace-captures (\p Name, \p Dataset) on first use;
+  /// later calls return the cached run with its finalized
+  /// WorkloadRun::Trace. The run carries no edge profile: the trace sink
+  /// is the interpretation's only instrumentation (the cheapest capture
+  /// configuration), and the trace subsumes the profile for IPBC work —
+  /// perfectDirectionsFromTrace derives the Perfect predictor's
+  /// directions from the stream itself. This is the capture half of
+  /// capture-once/replay-many; every predictor evaluation afterwards is
+  /// a replay, not another run. Cached separately from runs() because
+  /// traces carry megabytes of packed events; drop one with
+  /// releaseTrace() once its workload is fully replayed. Exits nonzero
+  /// on failure, like runSuiteVerbose.
+  const WorkloadRun *traceRun(const std::string &Name, size_t Dataset = 0) {
+    auto It = TraceRuns.find({Name, Dataset});
+    if (It != TraceRuns.end())
+      return It->second.get();
+    const Workload *W = findWorkload(Name);
+    if (!W) {
+      std::fprintf(stderr, "bpfree: unknown workload '%s'\n", Name.c_str());
+      std::exit(1);
+    }
+    RunOptions RO;
+    RO.CaptureTrace = true;
+    RO.Profile = false;
+    std::unique_ptr<WorkloadRun> Run = runWorkloadOrExit(*W, Dataset, {}, RO);
+    const WorkloadRun *Raw = Run.get();
+    TraceRuns[{Name, Dataset}] = std::move(Run);
+    return Raw;
+  }
+
+  /// Frees the captured trace (and run) for (\p Name, \p Dataset), if
+  /// cached — bounds peak memory when iterating many workloads.
+  void releaseTrace(const std::string &Name, size_t Dataset = 0) {
+    TraceRuns.erase({Name, Dataset});
+  }
+
 private:
   std::vector<std::unique_ptr<WorkloadRun>> Runs;
   std::map<std::pair<std::string, size_t>, const WorkloadRun *> Index;
+  std::map<std::pair<std::string, size_t>, std::unique_ptr<WorkloadRun>>
+      TraceRuns;
 };
 
 /// "26" / "3.1" style percentage of a [0,1] fraction.

@@ -16,6 +16,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchCommon.h"
+#include "ipbc/TraceReplay.h"
 #include "support/Statistics.h"
 
 using namespace bpfree;
@@ -27,17 +28,28 @@ int main() {
          "recomputed per dataset.");
 
   TablePrinter T({"Program", "Dataset", "Heuristic Miss%", "Perfect Miss%",
-                  "Dyn branches"});
+                  "IPBC avg (H)", "Div len (H)", "Dyn branches"});
 
   RunningStat Spread;
   for (const Workload &W : workloadSuite()) {
     std::fprintf(stderr, "  [datasets] %s...\n", W.Name.c_str());
     double MinMiss = 1.0, MaxMiss = 0.0;
     for (size_t D = 0; D < W.Datasets.size(); ++D) {
-      auto Run = runWorkloadOrExit(W, D);
+      // Capture a branch trace alongside the profile (one
+      // interpretation), then replay the heuristic predictor against it
+      // for the per-dataset sequence statistics — dataset stability is
+      // about sequence lengths too, not just miss rates.
+      RunOptions RO;
+      RO.CaptureTrace = true;
+      auto Run = runWorkloadOrExit(W, D, {}, RO);
       CombinedResult C = computeCombined(Run->Stats);
+      BallLarusPredictor Heuristic(*Run->Ctx);
+      SequenceHistogram H = replayTrace(
+          *Run->Trace, predictorDirections(*Run->M, Heuristic));
       T.addRow({W.Name, W.Datasets[D].Name, pct(C.AllMiss.rate()),
                 pct(C.AllPerfectMiss.rate()),
+                TablePrinter::formatDouble(H.ipbcAverage(), 0),
+                TablePrinter::formatDouble(H.dividingLength(), 0),
                 std::to_string(C.AllMiss.Den)});
       MinMiss = std::min(MinMiss, C.AllMiss.rate());
       MaxMiss = std::max(MaxMiss, C.AllMiss.rate());

@@ -20,9 +20,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchCommon.h"
-#include "ipbc/SequenceAnalysis.h"
+#include "ipbc/TraceReplay.h"
 #include "support/Error.h"
-#include "vm/Interpreter.h"
 
 using namespace bpfree;
 using namespace bpfree::bench;
@@ -45,31 +44,31 @@ double curveAt(const std::vector<std::pair<uint64_t, double>> &Curve,
   return Last;
 }
 
-void analyzeWorkload(const Workload &W) {
+void analyzeWorkload(SuiteCache &Cache, const Workload &W) {
   std::fprintf(stderr, "  [ipbc] %s...\n", W.Name.c_str());
-  auto Run = runWorkloadOrExit(W, 0);
+  // One interpretation captures the packed branch trace (its only
+  // instrumentation); every predictor below is evaluated by replaying
+  // that trace, not by re-running the workload — capture-once/
+  // replay-many. Even the Perfect predictor needs no edge profile: its
+  // per-branch majority directions are derived from the trace itself.
+  const WorkloadRun *Run = Cache.traceRun(W.Name);
 
-  PerfectPredictor Perfect(*Run->Profile);
   BallLarusPredictor Heuristic(*Run->Ctx);
   LoopRandPredictor LoopRand(*Run->Ctx);
-  SequenceCollector Collector(
-      *Run->M, {&LoopRand, &Heuristic, &Perfect});
-  Interpreter Interp(*Run->M);
-  RunResult R = Interp.run(Run->dataset(), {&Collector});
-  if (!R.ok()) {
-    std::fprintf(stderr, "bpfree: trace run failed for %s:\n%s\n",
-                 W.Name.c_str(),
-                 R.Trap ? R.Trap->render().c_str() : R.TrapMessage.c_str());
-    std::exit(1);
-  }
-  Collector.finalize(R.InstrCount);
+  const char *Names[] = {"Loop+Rand", "Heuristic", "Perfect"};
+  std::vector<std::vector<uint8_t>> Dirs;
+  Dirs.push_back(predictorDirections(*Run->M, LoopRand));
+  Dirs.push_back(predictorDirections(*Run->M, Heuristic));
+  Dirs.push_back(perfectDirectionsFromTrace(*Run->Trace));
+  std::vector<SequenceHistogram> Hists =
+      replayTraceAll(*Run->Trace, std::move(Dirs));
 
-  std::cout << "== " << W.Name << " (" << R.InstrCount
+  std::cout << "== " << W.Name << " (" << Run->Result.InstrCount
             << " instructions) ==\n";
   TablePrinter Summary({"Predictor", "Miss%", "IPBC avg", "Dividing len"});
-  for (size_t P = 0; P < Collector.numPredictors(); ++P) {
-    const SequenceHistogram &H = Collector.histograms()[P];
-    Summary.addRow({Collector.predictor(P).name(), pct(H.missRate()),
+  for (size_t P = 0; P < Hists.size(); ++P) {
+    const SequenceHistogram &H = Hists[P];
+    Summary.addRow({Names[P], pct(H.missRate()),
                     TablePrinter::formatDouble(H.ipbcAverage(), 0),
                     TablePrinter::formatDouble(H.dividingLength(), 0)});
   }
@@ -80,7 +79,7 @@ void analyzeWorkload(const Workload &W) {
   TablePrinter Curve({"x", "Loop+Rand", "Heuristic", "Perfect"});
   std::vector<std::vector<std::pair<uint64_t, double>>> Curves;
   for (size_t P = 0; P < 3; ++P)
-    Curves.push_back(Collector.histograms()[P].instrCurve());
+    Curves.push_back(Hists[P].instrCurve());
   for (uint64_t X : SampleLengths) {
     Curve.addRow({std::to_string(X),
                   pct(curveAt(Curves[0], X)),
@@ -98,7 +97,7 @@ void analyzeWorkload(const Workload &W) {
     TablePrinter BCurve({"x", "Loop+Rand", "Heuristic", "Perfect"});
     std::vector<std::vector<std::pair<uint64_t, double>>> BCurves;
     for (size_t P = 0; P < 3; ++P)
-      BCurves.push_back(Collector.histograms()[P].breakCurve());
+      BCurves.push_back(Hists[P].breakCurve());
     for (uint64_t X : SampleLengths) {
       BCurve.addRow({std::to_string(X),
                      pct(curveAt(BCurves[0], X)),
@@ -106,7 +105,7 @@ void analyzeWorkload(const Workload &W) {
                      pct(curveAt(BCurves[2], X))});
     }
     BCurve.print(std::cout);
-    const SequenceHistogram &H = Collector.histograms()[2];
+    const SequenceHistogram &H = Hists[2];
     std::cout << "Perfect predictor: IPBC average "
               << TablePrinter::formatDouble(H.ipbcAverage(), 0)
               << " vs dividing length "
@@ -115,6 +114,9 @@ void analyzeWorkload(const Workload &W) {
                  "length when the break distribution is skewed.\n";
   }
   std::cout << "\n";
+  // Fully replayed; drop the packed events so peak memory stays one
+  // workload's trace, not the whole set's.
+  Cache.releaseTrace(W.Name);
 }
 
 } // namespace
@@ -129,13 +131,14 @@ int main() {
   const char *TraceSet[] = {"treesort", "lisp",      "qsortbench",
                             "basicinterp", "nbody",  "fpkernels",
                             "circuit"};
+  SuiteCache Cache;
   for (const char *Name : TraceSet) {
     const Workload *W = findWorkload(Name);
     if (!W) {
       std::fprintf(stderr, "bpfree: missing workload %s\n", Name);
       return 1;
     }
-    analyzeWorkload(*W);
+    analyzeWorkload(Cache, *W);
   }
 
   std::cout << "Paper reference shape: Heuristic sits between Loop+Rand "

@@ -6,6 +6,8 @@
 
 #include "ipbc/SequenceAnalysis.h"
 
+#include "vm/BranchTrace.h"
+
 #include <cassert>
 #include <cmath>
 
@@ -58,22 +60,18 @@ std::vector<std::pair<uint64_t, double>> SequenceHistogram::breakCurve() const {
 
 SequenceCollector::SequenceCollector(
     const Module &M, std::vector<const StaticPredictor *> Predictors)
-    : M(M), Predictors(std::move(Predictors)) {
+    : M(M), Predictors(std::move(Predictors)),
+      FuncOffsets(flatBlockOffsets(M)) {
   Hists.resize(this->Predictors.size());
   LastBreak.assign(this->Predictors.size(), 0);
-  DirCache.resize(this->Predictors.size());
-  for (auto &PerFunc : DirCache) {
-    PerFunc.resize(M.numFunctions());
-    for (size_t F = 0; F < M.numFunctions(); ++F)
-      PerFunc[F].assign(M.getFunction(static_cast<uint32_t>(F))->numBlocks(),
-                        0xFF);
-  }
+  DirCache.assign(this->Predictors.size() * FuncOffsets.back(), 0xFF);
 }
 
 uint8_t SequenceCollector::cachedDirection(size_t PredIdx,
                                            const BasicBlock &BB) {
-  uint8_t &Slot =
-      DirCache[PredIdx][BB.getParent()->getIndex()][BB.getId()];
+  uint8_t &Slot = DirCache[PredIdx * FuncOffsets.back() +
+                           FuncOffsets[BB.getParent()->getIndex()] +
+                           BB.getId()];
   if (Slot == 0xFF)
     Slot = static_cast<uint8_t>(Predictors[PredIdx]->predict(BB));
   return Slot;

@@ -45,10 +45,13 @@ struct SequenceHistogram {
   uint64_t TotalInstrs = 0;    ///< instructions in recorded sequences
   uint64_t BranchExecs = 0;    ///< all executed conditional branches
 
+  static size_t bucketFor(uint64_t Length) {
+    const size_t Bucket = static_cast<size_t>(Length / BucketWidth);
+    return Bucket >= NumBuckets ? NumBuckets - 1 : Bucket;
+  }
+
   void record(uint64_t Length) {
-    size_t Bucket = static_cast<size_t>(Length / BucketWidth);
-    if (Bucket >= NumBuckets)
-      Bucket = NumBuckets - 1;
+    const size_t Bucket = bucketFor(Length);
     ++NumSequences[Bucket];
     SumLengths[Bucket] += Length;
     TotalInstrs += Length;
@@ -105,16 +108,20 @@ public:
   size_t numPredictors() const { return Predictors.size(); }
 
 private:
-  /// Cached direction per (function, block), lazily resolved; 0xFF =
-  /// not yet computed.
+  /// Cached direction per block, lazily resolved; 0xFF = not yet
+  /// computed.
   uint8_t cachedDirection(size_t PredIdx, const ir::BasicBlock &BB);
 
   const ir::Module &M;
   std::vector<const StaticPredictor *> Predictors;
   std::vector<SequenceHistogram> Hists;
   std::vector<uint64_t> LastBreak; ///< instr count at previous break
-  /// [predictor][function] -> per-block directions.
-  std::vector<std::vector<std::vector<uint8_t>>> DirCache;
+  /// Flat block index of each function's block 0, plus a trailing total
+  /// (flatBlockOffsets) — the same dense layout as EdgeProfile's counter
+  /// arrays and the decoder's DecodedBlock::FlatIndex.
+  std::vector<uint32_t> FuncOffsets;
+  /// [predictor * numFlatBlocks + flat block index] -> direction.
+  std::vector<uint8_t> DirCache;
   bool Finalized = false;
 };
 

@@ -1,0 +1,247 @@
+//===- ipbc/TraceReplay.cpp - Trace-driven predictor evaluation -----------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ipbc/TraceReplay.h"
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+using namespace bpfree;
+using namespace bpfree::ir;
+
+std::vector<uint8_t> bpfree::predictorDirections(const Module &M,
+                                                 const StaticPredictor &P) {
+  const std::vector<uint32_t> Offsets = flatBlockOffsets(M);
+  std::vector<uint8_t> Dirs(Offsets.back(), 0xFF);
+  for (uint32_t F = 0; F < M.numFunctions(); ++F) {
+    const Function &Fn = *M.getFunction(F);
+    for (const auto &BB : Fn)
+      if (BB->isCondBranch())
+        Dirs[Offsets[F] + BB->getId()] =
+            static_cast<uint8_t>(P.predict(*BB));
+  }
+  return Dirs;
+}
+
+std::vector<uint8_t>
+bpfree::perfectDirectionsFromTrace(const BranchTrace &Trace) {
+  assert(Trace.finalized() && "deriving from an unfinalized trace");
+  assert(!Trace.overflowed() && "deriving from a truncated trace");
+  const Module &M = Trace.getModule();
+  const std::vector<uint32_t> Offsets = flatBlockOffsets(M);
+  // [2 * flat index + taken] execution counts, accumulated branchlessly.
+  std::vector<uint64_t> Counts(2 * static_cast<size_t>(Offsets.back()), 0);
+  uint64_t *C = Counts.data();
+  Trace.forEach([&](uint32_t Idx, bool Taken, uint64_t) {
+    ++C[2 * static_cast<size_t>(Idx) + (Taken ? 1 : 0)];
+  });
+  std::vector<uint8_t> Dirs(Offsets.back(), 0xFF);
+  for (uint32_t F = 0; F < M.numFunctions(); ++F) {
+    const Function &Fn = *M.getFunction(F);
+    for (const auto &BB : Fn)
+      if (BB->isCondBranch()) {
+        const size_t I = Offsets[F] + BB->getId();
+        // Majority with ties taken: exactly PerfectPredictor's rule, so
+        // a never-executed branch (0 >= 0) predicts taken there too.
+        Dirs[I] = static_cast<uint8_t>(
+            Counts[2 * I + 1] >= Counts[2 * I] ? DirTaken : DirFallthru);
+      }
+  }
+  return Dirs;
+}
+
+SequenceHistogram bpfree::replayTrace(const BranchTrace &Trace,
+                                      const std::vector<uint8_t> &Dirs) {
+  assert(Trace.finalized() && "replaying an unfinalized trace");
+  assert(!Trace.overflowed() && "replaying a truncated trace");
+  SequenceHistogram H;
+  const uint8_t *D = Dirs.data();
+  uint64_t IC = 0;
+  uint64_t LastBreak = 0;
+  Trace.forEach([&](uint32_t Idx, bool Taken, uint64_t Delta) {
+    IC += Delta;
+    ++H.BranchExecs;
+    const uint8_t Actual =
+        static_cast<uint8_t>(Taken ? DirTaken : DirFallthru);
+    if (D[Idx] != Actual) {
+      // A break in control: close the sequence ending at this branch.
+      H.record(IC - LastBreak);
+      ++H.Breaks;
+      LastBreak = IC;
+    }
+  });
+  // The trailing instructions after the last break form one final
+  // (unterminated) sequence — same closing rule as
+  // SequenceCollector::finalize, so histograms stay bit-identical.
+  if (Trace.totalInstrs() > LastBreak)
+    H.record(Trace.totalInstrs() - LastBreak);
+  return H;
+}
+
+std::vector<SequenceHistogram> bpfree::replayTraceFused(
+    const BranchTrace &Trace,
+    const std::vector<const std::vector<uint8_t> *> &Dirs) {
+  assert(Trace.finalized() && "replaying an unfinalized trace");
+  assert(!Trace.overflowed() && "replaying a truncated trace");
+  const size_t P = Dirs.size();
+  std::vector<SequenceHistogram> Hists(P);
+  if (P == 0)
+    return Hists;
+  const size_t Blocks = Dirs[0]->size();
+  std::vector<uint64_t> LastBreak(P, 0);
+  uint64_t IC = 0;
+  // Per-break bookkeeping is the hot path: a full panel averages ~5
+  // breaks per decoded event, so replay cost is breaks-bound. Three
+  // choices keep each break cheap: (1) Breaks and TotalInstrs are
+  // derivable after the pass — Breaks is the number of closed sequences,
+  // and the sequences partition [0, totalInstrs()) — so the loop skips
+  // those read-modify-writes entirely; (2) each predictor's buckets live
+  // in a (count, sum) interleaved scratch row, so closing a sequence
+  // touches one cache line instead of two (the split NumSequences /
+  // SumLengths arrays sit ~8 KiB apart); (3) the bucket clamp compiles
+  // to a cmov, not a branch.
+  std::vector<uint64_t> Scratch(P * 2 * SequenceHistogram::NumBuckets, 0);
+  uint64_t *S = Scratch.data();
+  uint64_t *LB = LastBreak.data();
+  auto Close = [&](size_t J) {
+    const uint64_t Length = IC - LB[J];
+    const size_t Bucket = SequenceHistogram::bucketFor(Length);
+    uint64_t *Slot =
+        S + J * 2 * SequenceHistogram::NumBuckets + 2 * Bucket;
+    ++Slot[0];
+    Slot[1] += Length;
+    LB[J] = IC;
+  };
+
+  if (P <= 32) {
+    // Fast path: condense the panel's predictions into one bit-row per
+    // block — bit J set iff predictor J predicts taken. Every event
+    // lands on a conditional-branch block, whose direction bytes are
+    // always DirTaken or DirFallthru, so a byte carries one bit of
+    // information and the whole panel fits a uint32_t. The mispredicting
+    // lanes of a taken branch are the clear bits (predicted fall-thru),
+    // of a not-taken branch the set bits — one 4-byte load and one AND
+    // per event, and correct predictions (the overwhelmingly common
+    // case) cost no per-predictor work at all.
+    std::vector<uint32_t> Rows(Blocks, 0);
+    for (size_t J = 0; J < P; ++J) {
+      assert(Dirs[J]->size() == Blocks &&
+             "direction arrays disagree on size");
+      const uint8_t *Src = Dirs[J]->data();
+      for (size_t I = 0; I < Blocks; ++I)
+        if (Src[I] == static_cast<uint8_t>(DirTaken))
+          Rows[I] |= 1u << J;
+    }
+    const uint32_t Valid =
+        P >= 32 ? ~0u : ((1u << P) - 1);
+    const uint32_t *R = Rows.data();
+    Trace.forEach([&](uint32_t Idx, bool Taken, uint64_t Delta) {
+      IC += Delta;
+      // Branchless select: taken flips every lane (mispredictors are the
+      // clear bits), not-taken flips none. Branch outcomes are data and
+      // essentially unpredictable, so a conditional here would eat a
+      // pipeline flush per event.
+      const uint32_t Flip = 0u - static_cast<uint32_t>(Taken);
+      uint32_t Mis = (R[Idx] ^ Flip) & Valid;
+      if (Mis == 0) [[likely]]
+        return;
+      do {
+        Close(static_cast<size_t>(std::countr_zero(Mis)));
+        Mis &= Mis - 1;
+      } while (Mis);
+    });
+  } else {
+    // Wide panels: plain interleaved byte matrix with a per-lane loop.
+    std::vector<uint8_t> Mat(Blocks * P);
+    for (size_t J = 0; J < P; ++J) {
+      assert(Dirs[J]->size() == Blocks &&
+             "direction arrays disagree on size");
+      const uint8_t *Src = Dirs[J]->data();
+      for (size_t I = 0; I < Blocks; ++I)
+        Mat[I * P + J] = Src[I];
+    }
+    const uint8_t *M = Mat.data();
+    Trace.forEach([&](uint32_t Idx, bool Taken, uint64_t Delta) {
+      IC += Delta;
+      const uint8_t Actual =
+          static_cast<uint8_t>(Taken ? DirTaken : DirFallthru);
+      const uint8_t *Row = M + static_cast<size_t>(Idx) * P;
+      for (size_t J = 0; J < P; ++J)
+        if (Row[J] != Actual)
+          Close(J);
+    });
+  }
+
+  for (size_t J = 0; J < P; ++J) {
+    SequenceHistogram &H = Hists[J];
+    // De-interleave the scratch row into the histogram's split arrays.
+    const uint64_t *Row = S + J * 2 * SequenceHistogram::NumBuckets;
+    for (size_t B = 0; B < SequenceHistogram::NumBuckets; ++B) {
+      H.NumSequences[B] = Row[2 * B];
+      H.SumLengths[B] = Row[2 * B + 1];
+    }
+    // Every decoded event is one executed conditional branch, for every
+    // predictor alike; every recorded sequence so far ended in a break.
+    H.BranchExecs = Trace.numEvents();
+    for (uint64_t N : H.NumSequences)
+      H.Breaks += N;
+    // Same trailing-sequence rule as SequenceCollector::finalize and
+    // replayTrace, so histograms stay bit-identical across all paths.
+    if (Trace.totalInstrs() > LastBreak[J]) {
+      const uint64_t Length = Trace.totalInstrs() - LastBreak[J];
+      const size_t Bucket = SequenceHistogram::bucketFor(Length);
+      ++H.NumSequences[Bucket];
+      H.SumLengths[Bucket] += Length;
+    }
+    // The closed sequences plus the trailing one partition the whole
+    // execution, so their lengths sum to the run's instruction count.
+    H.TotalInstrs = Trace.totalInstrs();
+  }
+  return Hists;
+}
+
+std::vector<SequenceHistogram> bpfree::replayTraceAll(
+    const BranchTrace &Trace,
+    const std::vector<const StaticPredictor *> &Predictors, unsigned Jobs) {
+  // Direction arrays touch the IR and the prediction analyses, which are
+  // shared and read-only but not uniformly cheap; resolve them up front
+  // so the parallel section is pure replay over private state.
+  std::vector<std::vector<uint8_t>> Dirs(Predictors.size());
+  for (size_t P = 0; P < Predictors.size(); ++P)
+    Dirs[P] = predictorDirections(Trace.getModule(), *Predictors[P]);
+  return replayTraceAll(Trace, std::move(Dirs), Jobs);
+}
+
+std::vector<SequenceHistogram>
+bpfree::replayTraceAll(const BranchTrace &Trace,
+                       std::vector<std::vector<uint8_t>> Dirs,
+                       unsigned Jobs) {
+  const size_t N = Dirs.size();
+  std::vector<SequenceHistogram> Hists(N);
+  if (N == 0)
+    return Hists;
+  if (Jobs == 0)
+    Jobs = ThreadPool::defaultConcurrency();
+  // Split the predictors into one contiguous group per worker; each
+  // group is replayed in a single fused pass. Group boundaries never
+  // change a histogram, only how the decode cost is shared.
+  const size_t Groups = std::max<size_t>(1, std::min<size_t>(Jobs, N));
+  parallelFor(static_cast<unsigned>(Groups), Groups, [&](size_t G) {
+    const size_t Begin = G * N / Groups;
+    const size_t End = (G + 1) * N / Groups;
+    std::vector<const std::vector<uint8_t> *> Slice;
+    Slice.reserve(End - Begin);
+    for (size_t P = Begin; P < End; ++P)
+      Slice.push_back(&Dirs[P]);
+    std::vector<SequenceHistogram> Part = replayTraceFused(Trace, Slice);
+    for (size_t P = Begin; P < End; ++P)
+      Hists[P] = std::move(Part[P - Begin]);
+  });
+  return Hists;
+}

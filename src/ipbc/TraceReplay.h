@@ -1,0 +1,90 @@
+//===- ipbc/TraceReplay.h - Trace-driven predictor evaluation ---*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The replay half of capture-once/replay-many: evaluate any number of
+/// static predictors against one captured BranchTrace. Static
+/// predictions never change during execution, so a predictor is fully
+/// described by a flat per-block direction array (the same dense flat
+/// block index EdgeProfile and the decoder use); replaying is then a
+/// tight loop over the packed event stream — compare direction, close a
+/// sequence on mismatch — with no interpretation, no virtual dispatch,
+/// and no IR access. Predictors fan out across the thread pool, so the
+/// marginal cost of one more predictor is one more replay pass (tens of
+/// nanoseconds per million branches of module), not another multi-second
+/// interpretation run.
+///
+/// Replayed histograms are bit-identical to the online SequenceCollector
+/// for the same predictor and execution; tests/TraceReplayTest.cpp
+/// enforces this differentially across the whole workload suite.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_IPBC_TRACEREPLAY_H
+#define BPFREE_IPBC_TRACEREPLAY_H
+
+#include "ipbc/SequenceAnalysis.h"
+#include "vm/BranchTrace.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace bpfree {
+
+/// Resolves \p P once per static branch into a flat array keyed by the
+/// module-wide dense block index: entry flatIndex(BB) holds the
+/// predicted Direction for every conditional-branch block, 0xFF
+/// elsewhere.
+std::vector<uint8_t> predictorDirections(const ir::Module &M,
+                                         const StaticPredictor &P);
+
+/// The perfect static predictor's directions derived from the trace
+/// itself: one decode pass accumulates per-branch taken/fall-thru
+/// counts, then the majority rule (ties predict taken, like
+/// PerfectPredictor over an EdgeProfile of the same execution) fixes
+/// each branch's direction. The trace records every executed
+/// conditional branch, so this is bit-identical to
+/// predictorDirections(M, PerfectPredictor(Profile)) for the profile of
+/// the captured run — which means IPBC replay needs no edge profile at
+/// all: one unprofiled capture interpretation carries the whole
+/// pipeline. The trace must be finalized and not overflowed.
+std::vector<uint8_t> perfectDirectionsFromTrace(const BranchTrace &Trace);
+
+/// Replays \p Trace against one direction array. The trace must be
+/// finalized and must not have overflowed its memory cap.
+SequenceHistogram replayTrace(const BranchTrace &Trace,
+                              const std::vector<uint8_t> &Dirs);
+
+/// Replays \p Trace against several direction arrays in ONE decode pass:
+/// directions are interleaved into a [block][predictor] matrix so each
+/// event costs one decode plus P byte compares instead of P full passes.
+/// Histograms are bit-identical to per-predictor replayTrace calls.
+std::vector<SequenceHistogram>
+replayTraceFused(const BranchTrace &Trace,
+                 const std::vector<const std::vector<uint8_t> *> &Dirs);
+
+/// Replays \p Trace against every predictor. A single worker (Jobs <= 1,
+/// or 0 on a single-core host) runs one fused pass over the stream; with
+/// more workers the predictors are split into contiguous groups, one
+/// fused pass per group, fanned out across the thread pool. Histograms
+/// are returned in predictor order and are identical for every Jobs
+/// value (0 picks the hardware concurrency).
+std::vector<SequenceHistogram>
+replayTraceAll(const BranchTrace &Trace,
+               const std::vector<const StaticPredictor *> &Predictors,
+               unsigned Jobs = 0);
+
+/// replayTraceAll over pre-resolved direction arrays (one per
+/// predictor, in result order). This is the entry point when a
+/// direction array does not come from a StaticPredictor instance —
+/// e.g. perfectDirectionsFromTrace on an unprofiled capture run.
+std::vector<SequenceHistogram>
+replayTraceAll(const BranchTrace &Trace,
+               std::vector<std::vector<uint8_t>> Dirs, unsigned Jobs = 0);
+
+} // namespace bpfree
+
+#endif // BPFREE_IPBC_TRACEREPLAY_H

@@ -92,6 +92,18 @@ BallLarusPredictor::responsibleHeuristic(const BasicBlock &BB) const {
   return std::nullopt;
 }
 
+Direction SingleHeuristicPredictor::predict(const BasicBlock &BB) const {
+  assert(BB.isCondBranch() && "predicting a non-branch");
+  const FunctionContext &FC = Ctx.get(BB);
+  if (std::optional<Direction> D = applyHeuristic(K, BB, FC, Config))
+    return *D;
+  return RandomPredictor::flip(BB, Seed);
+}
+
+std::string SingleHeuristicPredictor::name() const {
+  return std::string("H:") + heuristicName(K);
+}
+
 Direction LoopRandPredictor::predict(const BasicBlock &BB) const {
   assert(BB.isCondBranch() && "predicting a non-branch");
   const FunctionContext &FC = Ctx.get(BB);

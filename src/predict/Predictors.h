@@ -137,6 +137,27 @@ private:
   uint64_t DefaultSeed;
 };
 
+/// One heuristic in isolation: applies heuristic \p K where it fires and
+/// falls back to the deterministic per-branch coin everywhere else
+/// (including loop branches), so the predictor is total like the others.
+/// This is the Table 5 "each heuristic alone" configuration; the trace
+/// replay panel evaluates all seven against one captured trace.
+class SingleHeuristicPredictor : public StaticPredictor {
+public:
+  SingleHeuristicPredictor(const PredictionContext &Ctx, HeuristicKind K,
+                           HeuristicConfig Config = {}, uint64_t Seed = 0)
+      : Ctx(Ctx), K(K), Config(Config), Seed(Seed) {}
+
+  Direction predict(const ir::BasicBlock &BB) const override;
+  std::string name() const override;
+
+private:
+  const PredictionContext &Ctx;
+  HeuristicKind K;
+  HeuristicConfig Config;
+  uint64_t Seed;
+};
+
 /// Baseline of Section 6: the loop predictor on loop branches and a
 /// random (but static) prediction on non-loop branches — "Loop+Rand".
 class LoopRandPredictor : public StaticPredictor {

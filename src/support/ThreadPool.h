@@ -5,15 +5,26 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A small fixed-size thread pool plus the parallelFor helper the suite
-/// driver fans out on. Determinism contract: the pool schedules *when*
-/// tasks run, never *what* they compute — callers index results by task
-/// id into preallocated slots, so the output of a parallel run is
-/// bit-identical to the serial one regardless of interleaving.
+/// A small thread pool plus the parallelFor helper the suite driver and
+/// the trace-replay engine fan out on. Determinism contract: the pool
+/// schedules *when* tasks run, never *what* they compute — callers index
+/// results by task id into preallocated slots, so the output of a
+/// parallel run is bit-identical to the serial one regardless of
+/// interleaving.
 ///
 /// parallelFor(Jobs <= 1, ...) never spawns a thread; the serial path is
 /// a plain loop, which keeps single-core machines and determinism
 /// baselines free of threading overhead.
+///
+/// Parallel invocations share one process-wide pool (ThreadPool::shared)
+/// instead of constructing and joining a fresh pool per call: thread
+/// creation costs dominate short fan-outs (a 22-item suite sweep paid
+/// ~N thread spawns per parallelFor before this), so workers are spawned
+/// once, grown on demand, and reused. Each parallelFor tracks completion
+/// with its own latch, so concurrent calls from different threads don't
+/// observe each other's tasks. parallelFor must not be called from inside
+/// a pool task (no nesting): the inner call's tasks would wait behind the
+/// outer ones on the same workers and can deadlock a small pool.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -32,15 +43,15 @@
 
 namespace bpfree {
 
-/// Fixed-size pool of worker threads draining a FIFO task queue.
+/// Pool of worker threads draining a FIFO task queue. Grows on demand
+/// (ensure), never shrinks.
 class ThreadPool {
 public:
   explicit ThreadPool(unsigned Threads) {
     if (Threads == 0)
       Threads = 1;
-    Workers.reserve(Threads);
-    for (unsigned I = 0; I < Threads; ++I)
-      Workers.emplace_back([this] { workerLoop(); });
+    std::lock_guard<std::mutex> Lock(Mu);
+    spawnLocked(Threads);
   }
 
   ~ThreadPool() {
@@ -56,7 +67,18 @@ public:
   ThreadPool(const ThreadPool &) = delete;
   ThreadPool &operator=(const ThreadPool &) = delete;
 
-  unsigned size() const { return static_cast<unsigned>(Workers.size()); }
+  unsigned size() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return static_cast<unsigned>(Workers.size());
+  }
+
+  /// Grows the pool to at least \p Threads workers; no-op if already that
+  /// large. Safe to call concurrently with running tasks.
+  void ensure(unsigned Threads) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Threads > Workers.size())
+      spawnLocked(Threads - static_cast<unsigned>(Workers.size()));
+  }
 
   /// Enqueues \p Task; it runs on some worker thread. Tasks must not
   /// call submit()/wait() on their own pool.
@@ -69,7 +91,9 @@ public:
     QueueCv.notify_one();
   }
 
-  /// Blocks until every submitted task has finished running.
+  /// Blocks until every submitted task has finished running. On the
+  /// shared pool this includes tasks submitted by other callers; prefer
+  /// a caller-local latch (as parallelFor does) for scoped joins.
   void wait() {
     std::unique_lock<std::mutex> Lock(Mu);
     IdleCv.wait(Lock, [this] { return Outstanding == 0; });
@@ -81,7 +105,20 @@ public:
     return N == 0 ? 1 : N;
   }
 
+  /// The process-wide pool every parallelFor call reuses. Created on
+  /// first use with defaultConcurrency() workers; grow with ensure().
+  /// Joined at static destruction, after every parallelFor has drained.
+  static ThreadPool &shared() {
+    static ThreadPool Pool(defaultConcurrency());
+    return Pool;
+  }
+
 private:
+  void spawnLocked(unsigned Count) {
+    for (unsigned I = 0; I < Count; ++I)
+      Workers.emplace_back([this] { workerLoop(); });
+  }
+
   void workerLoop() {
     for (;;) {
       std::function<void()> Task;
@@ -102,7 +139,7 @@ private:
     }
   }
 
-  std::mutex Mu;
+  mutable std::mutex Mu;
   std::condition_variable QueueCv;
   std::condition_variable IdleCv;
   std::queue<std::function<void()>> Queue;
@@ -111,17 +148,18 @@ private:
   std::vector<std::thread> Workers;
 };
 
-/// Runs Body(0..N-1), using up to \p Jobs workers. Jobs <= 1 (or N <= 1)
-/// executes inline on the calling thread with no pool at all. Bodies for
-/// different indices run concurrently; each index runs exactly once.
-/// Returns after every index has completed (the join gives the caller a
-/// happens-before edge on everything the bodies wrote).
+/// Runs Body(0..N-1), using up to \p Jobs workers of the shared pool.
+/// Jobs <= 1 (or N <= 1) executes inline on the calling thread with no
+/// pool at all. Bodies for different indices run concurrently; each
+/// index runs exactly once. Returns after every index has completed (the
+/// join gives the caller a happens-before edge on everything the bodies
+/// wrote). Must not be called from inside a pool task (no nesting).
 ///
 /// If a Body throws, the first exception is captured and rethrown on the
-/// calling thread after all workers drain — same observable behavior as
-/// the serial path (minus the indices that raced ahead), never
-/// std::terminate. Remaining indices are skipped once an exception is
-/// recorded.
+/// calling thread after this call's tasks drain — same observable
+/// behavior as the serial path (minus the indices that raced ahead),
+/// never std::terminate. Remaining indices are skipped once an exception
+/// is recorded.
 inline void parallelFor(unsigned Jobs, size_t N,
                         const std::function<void(size_t)> &Body) {
   if (Jobs <= 1 || N <= 1) {
@@ -129,9 +167,16 @@ inline void parallelFor(unsigned Jobs, size_t N,
       Body(I);
     return;
   }
-  unsigned Threads = static_cast<unsigned>(
-      std::min<size_t>(Jobs, N));
-  ThreadPool Pool(Threads);
+  const unsigned Threads = static_cast<unsigned>(std::min<size_t>(Jobs, N));
+  ThreadPool &Pool = ThreadPool::shared();
+  Pool.ensure(Threads);
+
+  // Caller-local completion latch: the shared pool may be running tasks
+  // for other callers, so Pool.wait() would over-wait; count down only
+  // this call's tasks instead.
+  std::mutex LatchMu;
+  std::condition_variable LatchCv;
+  unsigned Remaining = Threads;
   std::atomic<size_t> Next{0};
   std::atomic<bool> Failed{false};
   std::exception_ptr FirstError;
@@ -141,7 +186,7 @@ inline void parallelFor(unsigned Jobs, size_t N,
       for (size_t I = Next.fetch_add(1, std::memory_order_relaxed); I < N;
            I = Next.fetch_add(1, std::memory_order_relaxed)) {
         if (Failed.load(std::memory_order_relaxed))
-          return;
+          break;
         try {
           Body(I);
         } catch (...) {
@@ -151,8 +196,17 @@ inline void parallelFor(unsigned Jobs, size_t N,
           Failed.store(true, std::memory_order_relaxed);
         }
       }
+      // Notify while holding the lock: the caller cannot pass its wait
+      // predicate (and destroy the latch) until we release, so the cv is
+      // guaranteed alive for the notify call.
+      std::lock_guard<std::mutex> Lock(LatchMu);
+      --Remaining;
+      LatchCv.notify_one();
     });
-  Pool.wait();
+  {
+    std::unique_lock<std::mutex> Lock(LatchMu);
+    LatchCv.wait(Lock, [&] { return Remaining == 0; });
+  }
   if (FirstError)
     std::rethrow_exception(FirstError);
 }

@@ -1,0 +1,55 @@
+//===- vm/BranchTrace.cpp - Packed branch-outcome traces ------------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/BranchTrace.h"
+
+using namespace bpfree;
+using namespace bpfree::ir;
+
+std::vector<uint32_t> bpfree::flatBlockOffsets(const Module &M) {
+  std::vector<uint32_t> Offsets(M.numFunctions() + 1);
+  uint32_t Off = 0;
+  for (uint32_t I = 0; I < M.numFunctions(); ++I) {
+    Offsets[I] = Off;
+    Off += static_cast<uint32_t>(M.getFunction(I)->numBlocks());
+  }
+  Offsets[M.numFunctions()] = Off;
+  return Offsets;
+}
+
+BranchTrace::BranchTrace(const Module &M, uint64_t MaxBytes)
+    : M(M), FuncOffsets(flatBlockOffsets(M)), MaxBytes(MaxBytes) {}
+
+void BranchTrace::onCondBranch(const BasicBlock &BB, bool Taken,
+                               uint64_t InstrCount) {
+  append(FuncOffsets[BB.getParent()->getIndex()] + BB.getId(), Taken,
+         InstrCount);
+}
+
+bool BranchTrace::grow() {
+  if (Overflowed || (Chunks.size() + 1) * ChunkWords * 4 > MaxBytes) {
+    Overflowed = true;
+    return false;
+  }
+  Chunks.push_back(std::make_unique<uint32_t[]>(ChunkWords));
+  Cur = Chunks.back().get();
+  End = Cur + ChunkWords;
+  return true;
+}
+
+void BranchTrace::appendEscape(uint32_t FlatIndex, bool Taken,
+                               uint64_t Delta) {
+  // Either the whole four-word record lands or none of it does: discount
+  // the words written before a mid-record overflow so the decoded stream
+  // only ever contains complete events.
+  const uint64_t Saved = storedWords();
+  pushWord((EscapeDelta << (IdxBits + 1)) | (Taken ? 1u : 0u));
+  pushWord(FlatIndex);
+  pushWord(static_cast<uint32_t>(Delta));
+  pushWord(static_cast<uint32_t>(Delta >> 32));
+  if (Overflowed)
+    RolledBack += storedWords() - Saved;
+}

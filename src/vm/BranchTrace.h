@@ -1,0 +1,208 @@
+//===- vm/BranchTrace.h - Packed branch-outcome traces ----------*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Capture-once/replay-many branch traces for the Section 6 (IPBC)
+/// experiments. A BranchTrace records every executed conditional branch
+/// as a packed (flat block index, taken, instruction delta) event; a
+/// replay engine (ipbc/TraceReplay.h) then evaluates any number of
+/// static predictors from the one captured stream, so adding a predictor
+/// adds a cheap replay pass instead of another interpretation run.
+///
+/// Encoding: events are appended to fixed-size chunks (256 KiB) of
+/// 32-bit words. The common event is one word —
+///
+///   bit  0        branch taken
+///   bits 1..15    flat block index of the branch block
+///   bits 16..31   instructions since the previous event (the branch
+///                 itself included)
+///
+/// — and events whose index or delta do not fit use a four-word escape
+/// (delta field all-ones, then raw 32-bit index and a raw 64-bit delta).
+/// Chunking keeps append O(1) without reallocation-copy spikes, and a
+/// byte cap bounds total memory: a trace that would exceed the cap stops
+/// recording and marks itself overflowed instead of exhausting the host.
+///
+/// The trace doubles as a plain ExecObserver (onCondBranch appends), so
+/// it can ride along any observer configuration — fault-injected runs,
+/// differential tests against the online SequenceCollector — while the
+/// interpreter's specialized loop bypasses the virtual call entirely via
+/// the asTraceSink identity hook when the observer set allows it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_VM_BRANCHTRACE_H
+#define BPFREE_VM_BRANCHTRACE_H
+
+#include "ir/Module.h"
+#include "vm/ExecObserver.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace bpfree {
+
+/// \returns the flat block offsets of \p M: entry F is the module-wide
+/// dense index of function F's block 0 (functions in index order, blocks
+/// by id — exactly DecodedBlock::FlatIndex), and the extra trailing
+/// entry is the total block count. Shared by EdgeProfile's counter
+/// arrays, the SequenceCollector's direction cache, and trace replay.
+std::vector<uint32_t> flatBlockOffsets(const ir::Module &M);
+
+/// A captured branch-outcome stream for one execution of one module.
+class BranchTrace : public ExecObserver {
+public:
+  /// 64Ki words = 256 KiB per chunk.
+  static constexpr size_t ChunkWords = 1u << 16;
+  /// Default memory cap; traces hitting it mark themselves overflowed.
+  static constexpr uint64_t DefaultMaxBytes = 1ull << 30;
+
+  explicit BranchTrace(const ir::Module &M,
+                       uint64_t MaxBytes = DefaultMaxBytes);
+
+  // Observer path (used when other observers — e.g. a FaultInjector —
+  // force the interpreter off the specialized loop).
+  void onCondBranch(const ir::BasicBlock &BB, bool Taken,
+                    uint64_t InstrCount) override;
+  BranchTrace *asTraceSink() override { return this; }
+
+  /// Appends one event. \p InstrCount is the running instruction count
+  /// at the branch, the branch itself included (monotone across calls).
+  /// Inline: this is the interpreter's per-branch fast path.
+  void append(uint32_t FlatIndex, bool Taken, uint64_t InstrCount) {
+    const uint64_t Delta = InstrCount - LastInstr;
+    LastInstr = InstrCount;
+    ++Events;
+    if (FlatIndex <= MaxCompactIdx && Delta < EscapeDelta) [[likely]] {
+      pushWord((static_cast<uint32_t>(Delta) << (IdxBits + 1)) |
+               (FlatIndex << 1) | (Taken ? 1u : 0u));
+      return;
+    }
+    appendEscape(FlatIndex, Taken, Delta);
+  }
+
+  /// Closes the trace with the run's total instruction count (the final
+  /// unbroken sequence's end); call once, after the run finishes.
+  void finalize(uint64_t TotalInstrCount) {
+    TotalInstrs_ = TotalInstrCount;
+    Finalized = true;
+  }
+
+  const ir::Module &getModule() const { return M; }
+  bool finalized() const { return Finalized; }
+  uint64_t totalInstrs() const { return TotalInstrs_; }
+  uint64_t numEvents() const { return Events; }
+  /// True when the byte cap was hit: the stored stream is truncated and
+  /// must not be replayed.
+  bool overflowed() const { return Overflowed; }
+  size_t numChunks() const { return Chunks.size(); }
+  /// Bytes of packed event storage currently held.
+  uint64_t bytes() const { return Chunks.size() * ChunkWords * 4; }
+
+  /// Decodes the stream in capture order, invoking
+  /// F(uint32_t FlatIndex, bool Taken, uint64_t Delta) per event.
+  /// Deltas reconstruct the exact instruction counts the branches were
+  /// captured at: IC_n = sum of the first n deltas. The inner loop walks
+  /// each chunk through a raw pointer — replay decodes tens of millions
+  /// of events, so per-word cursor bookkeeping would dominate it.
+  template <class Fn> void forEach(Fn &&F) const {
+    const uint64_t Total = storedWords();
+    uint64_t Done = 0; ///< words fully consumed so far
+    size_t C = 0;      ///< current chunk
+    uint64_t In = 0;   ///< next word within chunk C
+    while (Done < Total) {
+      const uint32_t *Base = Chunks[C].get();
+      const uint64_t Limit =
+          std::min<uint64_t>(ChunkWords, In + (Total - Done));
+      uint64_t I = In;
+      while (I < Limit) {
+        const uint32_t W = Base[I];
+        const bool Taken = (W & 1) != 0;
+        const uint32_t DeltaField = W >> (IdxBits + 1);
+        if (DeltaField != EscapeDelta) [[likely]] {
+          F((W >> 1) & MaxCompactIdx, Taken,
+            static_cast<uint64_t>(DeltaField));
+          ++I;
+          continue;
+        }
+        if (I + EscapeWords <= ChunkWords) {
+          F(Base[I + 1], Taken,
+            (static_cast<uint64_t>(Base[I + 3]) << 32) | Base[I + 2]);
+        } else {
+          // The escape's trailing words straddle into the next chunk;
+          // gather them word-at-a-time (escapes are rare, straddling
+          // ones rarer still).
+          uint32_t Ext[3];
+          size_t CC = C;
+          uint64_t J = I;
+          for (int K = 0; K < 3; ++K) {
+            if (++J == ChunkWords) {
+              J = 0;
+              ++CC;
+            }
+            Ext[K] = Chunks[CC][J];
+          }
+          F(Ext[0], Taken,
+            (static_cast<uint64_t>(Ext[2]) << 32) | Ext[1]);
+        }
+        I += EscapeWords;
+      }
+      Done += I - In;
+      // A straddling escape can leave I past ChunkWords; advance the
+      // chunk cursor accordingly.
+      C += I / ChunkWords;
+      In = I % ChunkWords;
+    }
+  }
+
+private:
+  static constexpr uint32_t IdxBits = 15;
+  static constexpr uint32_t MaxCompactIdx = (1u << IdxBits) - 1;
+  static constexpr uint32_t EscapeDelta = 0xFFFFu;
+  static constexpr uint64_t EscapeWords = 4;
+
+  void pushWord(uint32_t W) {
+    if (Cur == End) [[unlikely]] {
+      if (!grow())
+        return;
+    }
+    *Cur++ = W;
+  }
+
+  /// Words of complete records in the stream. Derived from the write
+  /// cursor rather than counted per append — this keeps one store off
+  /// the interpreter's per-branch fast path. RolledBack discounts the
+  /// leading words of an escape record whose tail hit the memory cap.
+  uint64_t storedWords() const {
+    if (Chunks.empty())
+      return 0;
+    return (Chunks.size() - 1) * ChunkWords +
+           static_cast<uint64_t>(Cur - Chunks.back().get()) - RolledBack;
+  }
+
+  /// Cold path: allocates the next chunk, or flags overflow at the cap.
+  bool grow();
+  void appendEscape(uint32_t FlatIndex, bool Taken, uint64_t Delta);
+
+  const ir::Module &M;
+  std::vector<uint32_t> FuncOffsets; ///< flatBlockOffsets(M)
+  std::vector<std::unique_ptr<uint32_t[]>> Chunks;
+  uint32_t *Cur = nullptr; ///< next free word in the last chunk
+  uint32_t *End = nullptr; ///< one past the last chunk's storage
+  uint64_t RolledBack = 0; ///< words excluded by escape rollback
+  uint64_t Events = 0;
+  uint64_t LastInstr = 0;
+  uint64_t TotalInstrs_ = 0;
+  uint64_t MaxBytes;
+  bool Overflowed = false;
+  bool Finalized = false;
+};
+
+} // namespace bpfree
+
+#endif // BPFREE_VM_BRANCHTRACE_H

@@ -6,6 +6,8 @@
 
 #include "vm/EdgeProfile.h"
 
+#include "vm/BranchTrace.h"
+
 #include <cassert>
 
 using namespace bpfree;
@@ -19,18 +21,14 @@ ExecAction ExecObserver::onInstruction(const ExecEvent &) {
   return ExecAction::Continue;
 }
 EdgeProfile *ExecObserver::asEdgeProfile() { return nullptr; }
+BranchTrace *ExecObserver::asTraceSink() { return nullptr; }
 
-EdgeProfile::EdgeProfile(const Module &M) : M(M) {
+EdgeProfile::EdgeProfile(const Module &M)
+    : M(M), FuncOffsets(flatBlockOffsets(M)) {
   // Flat layout keyed by the decoder's flat block index; must match
   // DecodedBlock::FlatIndex (functions in index order, blocks by id).
-  FuncOffsets.resize(M.numFunctions());
-  uint32_t Off = 0;
-  for (uint32_t I = 0; I < M.numFunctions(); ++I) {
-    FuncOffsets[I] = Off;
-    Off += static_cast<uint32_t>(M.getFunction(I)->numBlocks());
-  }
-  Flat.assign(Off, Counts());
-  Entries.assign(Off, 0);
+  Flat.assign(FuncOffsets.back(), Counts());
+  Entries.assign(FuncOffsets.back(), 0);
 }
 
 size_t EdgeProfile::flatIndex(const BasicBlock &BB) const {

@@ -77,7 +77,8 @@ private:
   size_t flatIndex(const ir::BasicBlock &BB) const;
 
   const ir::Module &M;
-  /// Flat block index of each function's block 0.
+  /// Flat block index of each function's block 0, plus a trailing total
+  /// (see flatBlockOffsets in vm/BranchTrace.h).
   std::vector<uint32_t> FuncOffsets;
   std::vector<Counts> Flat;      ///< branch counters, flat block index
   std::vector<uint64_t> Entries; ///< block-entry counters, same index

@@ -26,6 +26,7 @@
 
 namespace bpfree {
 
+class BranchTrace;
 class EdgeProfile;
 
 namespace ir {
@@ -86,6 +87,13 @@ public:
   /// switch to a loop that bumps the profile's counters directly instead
   /// of fanning out virtual calls per executed block.
   virtual EdgeProfile *asEdgeProfile();
+
+  /// Identity hook for branch-trace sinks, the trace-capture analog of
+  /// asEdgeProfile: when every observer of a run is an EdgeProfile or a
+  /// BranchTrace (at most one of each), the interpreter appends packed
+  /// branch events to the trace inline on its specialized loop instead
+  /// of making a virtual call per executed conditional branch.
+  virtual BranchTrace *asTraceSink();
 };
 
 } // namespace bpfree

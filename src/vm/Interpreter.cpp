@@ -27,6 +27,7 @@
 #include "vm/Interpreter.h"
 
 #include "support/Error.h"
+#include "vm/BranchTrace.h"
 #include "vm/Decode.h"
 #include "vm/EdgeProfile.h"
 
@@ -186,7 +187,8 @@ private:
                  uint32_t NumArgs, uint32_t CallerDst);
   void popFrame(uint64_t RetValue, bool HasRetValue);
   bool execIntrinsic(Frame &F, const DecodedInst &I);
-  template <bool HasInstrObs, bool DirectProfile> void execLoop();
+  template <bool HasInstrObs, bool DirectProfile, bool DirectTraceSink>
+  void execLoop();
 
   const DecodedModule &DM;
   const RunLimits &Limits;
@@ -196,11 +198,13 @@ private:
   /// empty for plain profiling runs, which take the execLoop<false>
   /// specialization and pay nothing per instruction.
   std::vector<ExecObserver *> InstrObservers;
-  /// Non-null when the only observer is an EdgeProfile: the loop bumps
-  /// these flat counter arrays (keyed by DecodedBlock::FlatIndex)
-  /// directly instead of making virtual observer calls per block.
+  /// Non-null when every observer is an EdgeProfile or a BranchTrace
+  /// (at most one of each): the loop bumps the profile's flat counter
+  /// arrays (keyed by DecodedBlock::FlatIndex) and appends packed trace
+  /// events directly instead of making virtual observer calls per block.
   EdgeProfile::Counts *DirectCounts = nullptr;
   uint64_t *DirectEntries = nullptr;
+  BranchTrace *DirectTrace = nullptr;
 
   std::vector<uint8_t> Memory;
   uint64_t Sp = 0;
@@ -338,12 +342,15 @@ bool Machine::execIntrinsic(Frame &F, const DecodedInst &I) {
   return true;
 }
 
-/// The dispatch loop, specialized two ways decided once at run start:
+/// The dispatch loop, specialized three ways decided once at run start:
 /// HasInstrObs hoists the per-instruction observer guard (plain runs pay
-/// nothing per instruction), and DirectProfile replaces the per-block
+/// nothing per instruction), DirectProfile replaces the per-block
 /// virtual observer fan-out with direct increments of the sole
-/// EdgeProfile's flat counter arrays.
-template <bool HasInstrObs, bool DirectProfile> void Machine::execLoop() {
+/// EdgeProfile's flat counter arrays, and DirectTraceSink appends packed
+/// branch events to the sole BranchTrace inline (capture runs stay on
+/// the fast path instead of paying a virtual call per branch).
+template <bool HasInstrObs, bool DirectProfile, bool DirectTraceSink>
+void Machine::execLoop() {
   // Watchdog bookkeeping: the clock is only read every WatchdogStride
   // instructions, so deadline-free runs stay deterministic and cheap.
   constexpr uint64_t WatchdogStride = 16384;
@@ -692,7 +699,7 @@ template <bool HasInstrObs, bool DirectProfile> void Machine::execLoop() {
         EnterBlock(T.Taken);
         if constexpr (DirectProfile)
           ++DirectEntries[DB->FlatIndex];
-        else
+        else if constexpr (!DirectTraceSink)
           for (ExecObserver *O : Observers)
             O->onBlockEnter(*DB->BB);
         continue;
@@ -724,6 +731,8 @@ template <bool HasInstrObs, bool DirectProfile> void Machine::execLoop() {
           Taken = !F->FpFlag;
           break;
         }
+        if constexpr (DirectTraceSink)
+          DirectTrace->append(DB->FlatIndex, Taken, IC);
         if constexpr (DirectProfile) {
           EdgeProfile::Counts &C = DirectCounts[DB->FlatIndex];
           if (Taken)
@@ -732,6 +741,8 @@ template <bool HasInstrObs, bool DirectProfile> void Machine::execLoop() {
             ++C.Fallthru;
           EnterBlock(Taken ? T.Taken : T.Fallthru);
           ++DirectEntries[DB->FlatIndex];
+        } else if constexpr (DirectTraceSink) {
+          EnterBlock(Taken ? T.Taken : T.Fallthru);
         } else {
           const ir::BasicBlock &BranchBlock = *DB->BB;
           EnterBlock(Taken ? T.Taken : T.Fallthru);
@@ -774,10 +785,31 @@ RunResult Machine::run(const DecodedFunction *Entry) {
   for (ExecObserver *O : Observers)
     if (O->wantsInstructionEvents())
       InstrObservers.push_back(O);
-  if (InstrObservers.empty() && Observers.size() == 1) {
-    if (EdgeProfile *EP = Observers[0]->asEdgeProfile()) {
-      DirectCounts = EP->directCounts();
-      DirectEntries = EP->directEntries();
+  if (InstrObservers.empty() && !Observers.empty() &&
+      Observers.size() <= 2) {
+    // The direct configurations: every observer is an EdgeProfile or a
+    // BranchTrace, at most one of each. Anything else falls back to the
+    // virtual fan-out.
+    EdgeProfile *EP = nullptr;
+    BranchTrace *BT = nullptr;
+    bool AllDirect = true;
+    for (ExecObserver *O : Observers) {
+      if (EdgeProfile *P = O->asEdgeProfile()) {
+        AllDirect = AllDirect && !EP;
+        EP = P;
+      } else if (BranchTrace *T = O->asTraceSink()) {
+        AllDirect = AllDirect && !BT;
+        BT = T;
+      } else {
+        AllDirect = false;
+      }
+    }
+    if (AllDirect) {
+      if (EP) {
+        DirectCounts = EP->directCounts();
+        DirectEntries = EP->directEntries();
+      }
+      DirectTrace = BT;
     }
   }
 
@@ -787,11 +819,15 @@ RunResult Machine::run(const DecodedFunction *Entry) {
     return Result;
 
   if (!InstrObservers.empty())
-    execLoop<true, false>();
+    execLoop<true, false, false>();
+  else if (DirectEntries && DirectTrace)
+    execLoop<false, true, true>();
   else if (DirectEntries)
-    execLoop<false, true>();
+    execLoop<false, true, false>();
+  else if (DirectTrace)
+    execLoop<false, false, true>();
   else
-    execLoop<false, false>();
+    execLoop<false, false, false>();
   return Result;
 }
 

@@ -9,6 +9,7 @@
 #include "frontend/Compiler.h"
 #include "support/ThreadPool.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
@@ -54,9 +55,16 @@ bpfree::runWorkloadDetailed(const Workload &W, size_t DatasetIndex,
   }
   Run->M = std::move(*M);
   Run->Ctx = std::make_unique<PredictionContext>(*Run->M);
-  Run->Profile = std::make_unique<EdgeProfile>(*Run->M);
 
-  std::vector<ExecObserver *> Observers{Run->Profile.get()};
+  std::vector<ExecObserver *> Observers;
+  if (Opts.Profile) {
+    Run->Profile = std::make_unique<EdgeProfile>(*Run->M);
+    Observers.push_back(Run->Profile.get());
+  }
+  if (Opts.CaptureTrace) {
+    Run->Trace = std::make_unique<BranchTrace>(*Run->M);
+    Observers.push_back(Run->Trace.get());
+  }
   Observers.insert(Observers.end(), Opts.ExtraObservers.begin(),
                    Opts.ExtraObservers.end());
 
@@ -68,8 +76,11 @@ bpfree::runWorkloadDetailed(const Workload &W, size_t DatasetIndex,
     Failure.Trap = Run->Result.Trap;
     return nullptr;
   }
+  if (Run->Trace)
+    Run->Trace->finalize(Run->Result.InstrCount);
 
-  Run->Stats = collectBranchStats(*Run->Ctx, *Run->Profile, Config);
+  if (Run->Profile)
+    Run->Stats = collectBranchStats(*Run->Ctx, *Run->Profile, Config);
   return Run;
 }
 
@@ -129,10 +140,31 @@ SuiteReport bpfree::runSuite(const HeuristicConfig &Config,
   std::vector<std::optional<WorkloadFailure>> Failures(N);
   std::mutex CallbackMu;
 
-  parallelFor(Jobs, N, [&](size_t I) {
+  // LPT (longest-processing-time-first): dispatch the most expensive
+  // workloads first, so the long poles overlap with everything else
+  // instead of starting last against an otherwise drained pool. Cost
+  // comes from the caller's hint (instruction counts from a cached run,
+  // typically) or, cold, from the static source size — a rough but
+  // monotone-enough proxy. Only the dispatch order changes; slots are
+  // still keyed by registry index, so the report is bit-identical.
+  std::vector<size_t> Order(N);
+  for (size_t I = 0; I < N; ++I)
+    Order[I] = I;
+  if (Jobs > 1 && N > 1) {
+    std::vector<uint64_t> Cost(N);
+    for (size_t I = 0; I < N; ++I)
+      Cost[I] = Opts.CostHint ? Opts.CostHint(Suite[I], I)
+                              : Suite[I].Source.size();
+    std::stable_sort(Order.begin(), Order.end(),
+                     [&](size_t A, size_t B) { return Cost[A] > Cost[B]; });
+  }
+
+  parallelFor(Jobs, N, [&](size_t K) {
+    const size_t I = Order[K];
     const Workload &W = Suite[I];
     RunOptions RO;
     RO.Limits = Opts.Limits;
+    RO.CaptureTrace = Opts.CaptureTrace;
     if (Opts.Progress || Opts.ExtraObservers) {
       std::lock_guard<std::mutex> Lock(CallbackMu);
       if (Opts.Progress)

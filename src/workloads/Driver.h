@@ -24,6 +24,7 @@
 
 #include "predict/Evaluation.h"
 #include "support/Error.h"
+#include "vm/BranchTrace.h"
 #include "vm/Interpreter.h"
 #include "workloads/Workloads.h"
 
@@ -41,6 +42,9 @@ struct WorkloadRun {
   std::unique_ptr<ir::Module> M;
   std::unique_ptr<PredictionContext> Ctx;
   std::unique_ptr<EdgeProfile> Profile;
+  /// Captured branch trace; non-null only when RunOptions::CaptureTrace
+  /// was set, finalized with the run's instruction count.
+  std::unique_ptr<BranchTrace> Trace;
   std::vector<BranchStats> Stats;
   RunResult Result;
 
@@ -62,8 +66,21 @@ struct WorkloadFailure {
 /// Per-run knobs threaded through the driver into the VM.
 struct RunOptions {
   RunLimits Limits;
-  /// Attached after the edge profiler; useful for trace collectors and
-  /// fault injectors. Not owned.
+  /// Attach a BranchTrace observer and hand it back in WorkloadRun::Trace,
+  /// finalized with the run's instruction count. With no other extra
+  /// observers the profile and the trace are both filled on the
+  /// interpreter's specialized direct path, so capture costs one
+  /// interpretation — the capture half of capture-once/replay-many.
+  bool CaptureTrace = false;
+  /// Attach the edge profiler and collect per-branch statistics. Off,
+  /// WorkloadRun::Profile stays null and Stats empty — the right mode
+  /// for pure trace capture, where the interpreter runs with the trace
+  /// sink as its only instrumentation and the perfect predictor's
+  /// directions are derived from the trace itself
+  /// (perfectDirectionsFromTrace).
+  bool Profile = true;
+  /// Attached after the edge profiler (and the trace, if capturing);
+  /// useful for trace collectors and fault injectors. Not owned.
   std::vector<ExecObserver *> ExtraObservers;
 };
 
@@ -108,8 +125,20 @@ struct SuiteOptions {
       ExtraObservers;
   /// Invoked before each workload runs (progress reporting), with the
   /// workload's index in the suite registry. Serialized under a mutex
-  /// when Jobs > 1; completion order across workloads is unspecified.
+  /// when Jobs > 1; start and completion order across workloads is
+  /// unspecified (and changes under cost-aware scheduling).
   std::function<void(const Workload &, size_t Index)> Progress;
+  /// Estimated cost of a workload (by registry index), in any consistent
+  /// unit — executed instruction counts from a previous run are ideal.
+  /// When Jobs > 1 the driver dispatches workloads in descending cost
+  /// order (LPT scheduling) so a heavyweight never starts last against an
+  /// otherwise drained pool; unset falls back to the static source size.
+  /// Never affects results, only dispatch order: the report is assembled
+  /// in registry order either way.
+  std::function<uint64_t(const Workload &, size_t Index)> CostHint;
+  /// Capture a branch trace for every workload (RunOptions::CaptureTrace
+  /// per run); traces come back on the runs in WorkloadRun::Trace.
+  bool CaptureTrace = false;
 };
 
 /// Outcome of a whole-suite run: the successful runs in suite order plus

@@ -14,11 +14,14 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "ipbc/TraceReplay.h"
+#include "support/ThreadPool.h"
 #include "vm/FaultInjector.h"
 #include "workloads/Driver.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -187,6 +190,77 @@ TEST(ParallelSuite, DefaultJobsRunsSuite) {
   SuiteReport Report = runSuite();
   EXPECT_TRUE(Report.allOk()) << Report.renderFailures();
   EXPECT_EQ(Report.Runs.size(), Report.Attempted);
+}
+
+/// LPT scheduling (a CostHint plus Jobs > 1) reorders only dispatch;
+/// the report must stay bit-identical to serial. The hint here is
+/// deliberately adversarial — it inverts the registry order — to make
+/// the permutation as different from identity as possible.
+TEST(ParallelSuite, CostHintReordersDispatchNotResults) {
+  SuiteOptions SerialOpts;
+  SerialOpts.Jobs = 1;
+  SuiteReport Serial = runSuite({}, SerialOpts);
+  ASSERT_TRUE(Serial.allOk()) << Serial.renderFailures();
+
+  const size_t N = workloadSuite().size();
+  SuiteOptions LptOpts;
+  LptOpts.Jobs = TestJobs;
+  LptOpts.CostHint = [N](const Workload &, size_t Index) -> uint64_t {
+    return N - Index; // highest "cost" first == reverse registry order
+  };
+  SuiteReport Lpt = runSuite({}, LptOpts);
+  ASSERT_TRUE(Lpt.allOk()) << Lpt.renderFailures();
+
+  expectReportsEqual(Serial, Lpt);
+}
+
+/// Trace replay fans predictors out over the same shared pool the suite
+/// uses; histograms must be identical at every worker count. (This test
+/// and the suite tests above are the TSan targets for the pool, so the
+/// replay engine's parallelism is exercised here rather than only in
+/// trace_replay_test.)
+TEST(ParallelSuite, ReplayJobsSweepOnSharedPool) {
+  RunOptions RO;
+  RO.CaptureTrace = true;
+  auto Run = runWorkloadOrExit(*findWorkload("treesort"), 0, {}, RO);
+  ASSERT_TRUE(Run->Trace && Run->Trace->finalized());
+
+  PerfectPredictor Perfect(*Run->Profile);
+  BallLarusPredictor Heuristic(*Run->Ctx);
+  LoopRandPredictor LoopRand(*Run->Ctx);
+  std::vector<const StaticPredictor *> Preds{&LoopRand, &Heuristic,
+                                             &Perfect};
+
+  std::vector<SequenceHistogram> J1 = replayTraceAll(*Run->Trace, Preds, 1);
+  for (unsigned Jobs : {2u, 4u, 8u}) {
+    std::vector<SequenceHistogram> JN =
+        replayTraceAll(*Run->Trace, Preds, Jobs);
+    ASSERT_EQ(J1.size(), JN.size());
+    for (size_t P = 0; P < J1.size(); ++P) {
+      EXPECT_EQ(J1[P].NumSequences, JN[P].NumSequences) << Jobs;
+      EXPECT_EQ(J1[P].SumLengths, JN[P].SumLengths) << Jobs;
+      EXPECT_EQ(J1[P].Breaks, JN[P].Breaks) << Jobs;
+      EXPECT_EQ(J1[P].TotalInstrs, JN[P].TotalInstrs) << Jobs;
+      EXPECT_EQ(J1[P].BranchExecs, JN[P].BranchExecs) << Jobs;
+    }
+  }
+}
+
+/// Back-to-back parallelFor calls reuse the shared pool (workers are
+/// spawned once, not per call); repeated fan-outs with varying widths
+/// must all complete and compute every index exactly once.
+TEST(ParallelSuite, SharedPoolSurvivesRepeatedFanOuts) {
+  for (unsigned Round = 0; Round < 50; ++Round) {
+    const unsigned Jobs = 1 + Round % 8;
+    const size_t N = 1 + Round % 13;
+    std::vector<std::atomic<unsigned>> Hits(N);
+    parallelFor(Jobs, N, [&](size_t I) {
+      Hits[I].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t I = 0; I < N; ++I)
+      EXPECT_EQ(Hits[I].load(), 1u) << "round " << Round << " index " << I;
+  }
+  EXPECT_GE(ThreadPool::shared().size(), 1u);
 }
 
 } // namespace

@@ -1,0 +1,368 @@
+//===- tests/TraceReplayTest.cpp - Trace capture/replay fidelity ----------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The capture-once/replay-many contract has two halves, both tested
+/// here. Encoding: the packed chunked stream must round-trip every event
+/// exactly — compact words, four-word escapes (large index, large
+/// delta), records straddling chunk boundaries, and truncation at the
+/// byte cap must never leave a partial record. Semantics: replaying a
+/// captured trace against a predictor's direction array must produce
+/// histograms bit-identical to the online SequenceCollector observing
+/// the same execution — for every predictor the paper's tables need,
+/// across the whole workload suite, on both the interpreter's
+/// specialized capture path and the virtual observer path (including
+/// fault-injected runs, which force the latter).
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+#include "ipbc/TraceReplay.h"
+#include "vm/FaultInjector.h"
+#include "vm/Interpreter.h"
+#include "workloads/Driver.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+#include <vector>
+
+using namespace bpfree;
+
+namespace {
+
+/// One decoded event, for stream comparisons.
+using Event = std::tuple<uint32_t, bool, uint64_t>;
+
+std::vector<Event> decodeAll(const BranchTrace &T) {
+  std::vector<Event> Events;
+  T.forEach([&](uint32_t Idx, bool Taken, uint64_t Delta) {
+    Events.emplace_back(Idx, Taken, Delta);
+  });
+  return Events;
+}
+
+/// Any module works for encoding tests: append() is driven directly with
+/// synthetic events, bypassing the observer hook.
+std::unique_ptr<ir::Module> anyModule() {
+  return minic::compileOrDie(findWorkload("treesort")->Source);
+}
+
+void expectHistogramsEqual(const SequenceHistogram &A,
+                           const SequenceHistogram &B,
+                           const std::string &What) {
+  EXPECT_EQ(A.NumSequences, B.NumSequences) << What;
+  EXPECT_EQ(A.SumLengths, B.SumLengths) << What;
+  EXPECT_EQ(A.Breaks, B.Breaks) << What;
+  EXPECT_EQ(A.TotalInstrs, B.TotalInstrs) << What;
+  EXPECT_EQ(A.BranchExecs, B.BranchExecs) << What;
+}
+
+/// The 13 predictors the paper's tables draw on: the three graph
+/// predictors, the naive trio, and each heuristic in isolation. Owns the
+/// instances; view() yields the pointer list replay and collector take.
+struct PredictorPanel {
+  PredictorPanel(const PredictionContext &Ctx, const EdgeProfile &Profile)
+      : Perfect(Profile), Heuristic(Ctx), LoopRand(Ctx) {
+    All = {&LoopRand, &Heuristic, &Perfect, &Taken, &Fallthru, &Random};
+    for (HeuristicKind K : paperOrder()) {
+      Singles.push_back(std::make_unique<SingleHeuristicPredictor>(Ctx, K));
+      All.push_back(Singles.back().get());
+    }
+  }
+
+  PerfectPredictor Perfect;
+  BallLarusPredictor Heuristic;
+  LoopRandPredictor LoopRand;
+  AlwaysTakenPredictor Taken;
+  AlwaysFallthruPredictor Fallthru;
+  RandomPredictor Random;
+  std::vector<std::unique_ptr<SingleHeuristicPredictor>> Singles;
+  std::vector<const StaticPredictor *> All;
+};
+
+//===----------------------------------------------------------------------===//
+// Encoding round-trips
+//===----------------------------------------------------------------------===//
+
+TEST(BranchTrace, CompactRoundTrip) {
+  auto M = anyModule();
+  BranchTrace T(*M);
+  // Small indices and deltas: every event must pack into one word.
+  std::vector<Event> Expected;
+  uint64_t IC = 0;
+  for (uint32_t I = 0; I < 1000; ++I) {
+    uint64_t Delta = (I * 7) % 0xFFFE + 1;
+    IC += Delta;
+    uint32_t Idx = I % 0x7FFF;
+    bool Taken = (I % 3) == 0;
+    T.append(Idx, Taken, IC);
+    Expected.emplace_back(Idx, Taken, Delta);
+  }
+  T.finalize(IC);
+  EXPECT_EQ(T.numEvents(), 1000u);
+  EXPECT_EQ(T.numChunks(), 1u);
+  EXPECT_FALSE(T.overflowed());
+  EXPECT_EQ(decodeAll(T), Expected);
+}
+
+TEST(BranchTrace, EscapeLargeIndexAndDelta) {
+  auto M = anyModule();
+  BranchTrace T(*M);
+  // Index above the 15-bit compact limit, delta at the escape threshold
+  // (0xFFFF is reserved as the escape marker), and a delta above 32 bits
+  // — all must survive the four-word escape exactly.
+  std::vector<Event> Expected = {
+      {0x8000u, true, 5},                   // index needs escape
+      {3u, false, 0xFFFFu},                 // delta at escape threshold
+      {0x7FFFu, true, 0xFFFEu},             // largest compact event
+      {0xFFFFFFu, false, (1ull << 40) + 9}, // both fields escape
+      {1u, true, 1},                        // compact after escapes
+  };
+  uint64_t IC = 0;
+  for (const auto &[Idx, Taken, Delta] : Expected) {
+    IC += Delta;
+    T.append(Idx, Taken, IC);
+  }
+  T.finalize(IC);
+  EXPECT_EQ(T.numEvents(), Expected.size());
+  EXPECT_FALSE(T.overflowed());
+  EXPECT_EQ(decodeAll(T), Expected);
+}
+
+TEST(BranchTrace, EscapeStraddlesChunkBoundary) {
+  auto M = anyModule();
+  BranchTrace T(*M);
+  // Fill to two words short of the first chunk, then append an escape:
+  // its four words must span both chunks and decode as one event.
+  std::vector<Event> Expected;
+  uint64_t IC = 0;
+  for (size_t I = 0; I < BranchTrace::ChunkWords - 2; ++I) {
+    IC += 1;
+    T.append(7, false, IC);
+    Expected.emplace_back(7u, false, 1);
+  }
+  IC += 1ull << 33;
+  T.append(0x123456u, true, IC);
+  Expected.emplace_back(0x123456u, true, 1ull << 33);
+  IC += 2;
+  T.append(9, true, IC);
+  Expected.emplace_back(9u, true, 2);
+  T.finalize(IC);
+  EXPECT_EQ(T.numChunks(), 2u);
+  EXPECT_FALSE(T.overflowed());
+  EXPECT_EQ(decodeAll(T), Expected);
+}
+
+TEST(BranchTrace, OverflowTruncatesAtCap) {
+  auto M = anyModule();
+  // Cap at exactly one chunk: events past ChunkWords are dropped, the
+  // trace flags itself, and the stored prefix still decodes cleanly.
+  BranchTrace T(*M, BranchTrace::ChunkWords * 4);
+  uint64_t IC = 0;
+  const size_t Appended = BranchTrace::ChunkWords + 1000;
+  for (size_t I = 0; I < Appended; ++I) {
+    IC += 1;
+    T.append(1, true, IC);
+  }
+  EXPECT_TRUE(T.overflowed());
+  EXPECT_EQ(T.numEvents(), Appended);
+  EXPECT_EQ(T.bytes(), BranchTrace::ChunkWords * 4);
+  EXPECT_EQ(decodeAll(T).size(), BranchTrace::ChunkWords);
+}
+
+TEST(BranchTrace, OverflowNeverSplitsEscapeRecord) {
+  auto M = anyModule();
+  BranchTrace T(*M, BranchTrace::ChunkWords * 4);
+  // Two words of room left when a four-word escape arrives: the whole
+  // record must be rolled back, not half-written.
+  uint64_t IC = 0;
+  for (size_t I = 0; I < BranchTrace::ChunkWords - 2; ++I) {
+    IC += 1;
+    T.append(1, true, IC);
+  }
+  IC += 1ull << 33;
+  T.append(0x99999u, false, IC);
+  EXPECT_TRUE(T.overflowed());
+  std::vector<Event> Decoded = decodeAll(T);
+  ASSERT_EQ(Decoded.size(), BranchTrace::ChunkWords - 2);
+  for (const auto &[Idx, Taken, Delta] : Decoded) {
+    EXPECT_EQ(Idx, 1u);
+    EXPECT_EQ(Delta, 1u);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Replay fidelity against the online collector
+//===----------------------------------------------------------------------===//
+
+/// For every suite workload: capture one trace on the interpreter's
+/// specialized direct path (profile + trace observers only) and one on
+/// the virtual observer path (riding next to the online collector), then
+/// check (a) both paths captured the identical event stream, and (b)
+/// replaying it reproduces the collector's histogram bit-for-bit for all
+/// 13 panel predictors.
+TEST(TraceReplay, DifferentialAcrossSuite) {
+  for (const Workload &W : workloadSuite()) {
+    SCOPED_TRACE(W.Name);
+    auto M = minic::compileOrDie(W.Source);
+    PredictionContext Ctx(*M);
+    EdgeProfile Profile(*M);
+    BranchTrace Direct(*M);
+
+    // Direct path: EdgeProfile + BranchTrace is the specialized combo.
+    Interpreter Interp(*M);
+    RunResult RA = Interp.run(W.Datasets[0], {&Profile, &Direct});
+    ASSERT_TRUE(RA.ok()) << RA.TrapMessage;
+    Direct.finalize(RA.InstrCount);
+
+    PredictorPanel Panel(Ctx, Profile);
+
+    // Virtual path: the collector forces the generic observer loop, so
+    // the ride-along trace exercises onCondBranch.
+    SequenceCollector Collector(*M, Panel.All);
+    BranchTrace Virtual(*M);
+    RunResult RB = Interp.run(W.Datasets[0], {&Collector, &Virtual});
+    ASSERT_TRUE(RB.ok()) << RB.TrapMessage;
+    ASSERT_EQ(RA.InstrCount, RB.InstrCount);
+    Collector.finalize(RB.InstrCount);
+    Virtual.finalize(RB.InstrCount);
+
+    EXPECT_EQ(Direct.numEvents(), Virtual.numEvents());
+    EXPECT_EQ(decodeAll(Direct), decodeAll(Virtual));
+
+    std::vector<SequenceHistogram> Replayed =
+        replayTraceAll(Direct, Panel.All);
+    ASSERT_EQ(Replayed.size(), Panel.All.size());
+    for (size_t P = 0; P < Panel.All.size(); ++P)
+      expectHistogramsEqual(Collector.histograms()[P], Replayed[P],
+                            W.Name + " / " + Panel.All[P]->name());
+  }
+}
+
+/// Replay fan-out must be Jobs-invariant: same histograms at 1, 2, and 4
+/// workers.
+TEST(TraceReplay, JobsSweepBitIdentical) {
+  RunOptions RO;
+  RO.CaptureTrace = true;
+  auto Run = runWorkloadOrExit(*findWorkload("treesort"), 0, {}, RO);
+  PredictorPanel Panel(*Run->Ctx, *Run->Profile);
+  std::vector<SequenceHistogram> J1 =
+      replayTraceAll(*Run->Trace, Panel.All, 1);
+  for (unsigned Jobs : {2u, 4u}) {
+    std::vector<SequenceHistogram> JN =
+        replayTraceAll(*Run->Trace, Panel.All, Jobs);
+    ASSERT_EQ(J1.size(), JN.size());
+    for (size_t P = 0; P < J1.size(); ++P)
+      expectHistogramsEqual(J1[P], JN[P],
+                            Panel.All[P]->name() + " @ Jobs=" +
+                                std::to_string(Jobs));
+  }
+}
+
+/// The trace subsumes the edge profile for IPBC work: the Perfect
+/// predictor's directions derived from the trace alone must be
+/// byte-identical to those derived from an EdgeProfile of the same
+/// execution — including never-executed branches, where both sides fall
+/// back to predict-taken (0 >= 0 under the majority-with-ties rule).
+TEST(TraceReplay, PerfectDirectionsMatchProfileDerived) {
+  for (const char *Name : {"treesort", "lisp", "circuit"}) {
+    SCOPED_TRACE(Name);
+    RunOptions RO;
+    RO.CaptureTrace = true;
+    auto Run = runWorkloadOrExit(*findWorkload(Name), 0, {}, RO);
+    PerfectPredictor Perfect(*Run->Profile);
+    EXPECT_EQ(perfectDirectionsFromTrace(*Run->Trace),
+              predictorDirections(*Run->M, Perfect));
+  }
+}
+
+/// RunOptions::Profile = false is the pure-capture configuration: no
+/// EdgeProfile, no BranchStats, same execution. The captured stream must
+/// match a profiled capture's exactly, and the direction-array replay
+/// overload (Perfect slot from the trace) must reproduce the
+/// predictor-based replay bit-for-bit.
+TEST(Driver, ProfileOffCapturesTraceOnly) {
+  const Workload &W = *findWorkload("treesort");
+  RunOptions Profiled;
+  Profiled.CaptureTrace = true;
+  auto Full = runWorkloadOrExit(W, 0, {}, Profiled);
+
+  RunOptions TraceOnly;
+  TraceOnly.CaptureTrace = true;
+  TraceOnly.Profile = false;
+  auto Bare = runWorkloadOrExit(W, 0, {}, TraceOnly);
+
+  EXPECT_EQ(Bare->Profile, nullptr);
+  EXPECT_TRUE(Bare->Stats.empty());
+  ASSERT_NE(Bare->Trace, nullptr);
+  EXPECT_TRUE(Bare->Trace->finalized());
+  EXPECT_EQ(Bare->Result.InstrCount, Full->Result.InstrCount);
+  EXPECT_EQ(decodeAll(*Bare->Trace), decodeAll(*Full->Trace));
+
+  PredictorPanel Panel(*Full->Ctx, *Full->Profile);
+  std::vector<SequenceHistogram> ViaPredictors =
+      replayTraceAll(*Full->Trace, Panel.All);
+  // Same panel order, but every direction array resolved without the
+  // profile — Perfect's from the trace itself.
+  std::vector<std::vector<uint8_t>> Dirs;
+  Dirs.push_back(predictorDirections(*Bare->M, LoopRandPredictor(*Bare->Ctx)));
+  Dirs.push_back(predictorDirections(*Bare->M, BallLarusPredictor(*Bare->Ctx)));
+  Dirs.push_back(perfectDirectionsFromTrace(*Bare->Trace));
+  Dirs.push_back(predictorDirections(*Bare->M, AlwaysTakenPredictor()));
+  Dirs.push_back(predictorDirections(*Bare->M, AlwaysFallthruPredictor()));
+  Dirs.push_back(predictorDirections(*Bare->M, RandomPredictor()));
+  for (HeuristicKind K : paperOrder())
+    Dirs.push_back(
+        predictorDirections(*Bare->M, SingleHeuristicPredictor(*Bare->Ctx, K)));
+  std::vector<SequenceHistogram> ViaDirs =
+      replayTraceAll(*Bare->Trace, std::move(Dirs));
+  ASSERT_EQ(ViaPredictors.size(), ViaDirs.size());
+  for (size_t P = 0; P < ViaDirs.size(); ++P)
+    expectHistogramsEqual(ViaPredictors[P], ViaDirs[P],
+                          Panel.All[P]->name() + " via direction arrays");
+}
+
+/// Fault-injected runs use the instruction-observer interpreter loop and
+/// end mid-execution; the trace captured alongside must still replay to
+/// the collector's histograms, whatever prefix the fault left.
+TEST(TraceReplay, FaultInjectedRunsStayBitIdentical) {
+  for (const char *Name : {"treesort", "circuit"}) {
+    for (uint64_t Seed : {1ull, 7ull, 42ull}) {
+      SCOPED_TRACE(std::string(Name) + " seed " + std::to_string(Seed));
+      const Workload &W = *findWorkload(Name);
+      auto M = minic::compileOrDie(W.Source);
+      PredictionContext Ctx(*M);
+      EdgeProfile Profile(*M);
+
+      BallLarusPredictor Heuristic(Ctx);
+      LoopRandPredictor LoopRand(Ctx);
+      RandomPredictor Random;
+      std::vector<const StaticPredictor *> Preds{&LoopRand, &Heuristic,
+                                                 &Random};
+      SequenceCollector Collector(*M, Preds);
+      BranchTrace Trace(*M);
+      FaultInjector Injector(FaultPlan::fromSeed(Seed, 10'000, 2'000'000));
+
+      Interpreter Interp(*M);
+      RunResult R =
+          Interp.run(W.Datasets[0], {&Collector, &Trace, &Injector});
+      // The run may trap, exhaust a budget, or survive, depending on the
+      // seeded action; the differential contract holds either way, over
+      // however many instructions actually executed.
+      Collector.finalize(R.InstrCount);
+      Trace.finalize(R.InstrCount);
+
+      std::vector<SequenceHistogram> Replayed = replayTraceAll(Trace, Preds);
+      for (size_t P = 0; P < Preds.size(); ++P)
+        expectHistogramsEqual(Collector.histograms()[P], Replayed[P],
+                              Preds[P]->name());
+    }
+  }
+}
+
+} // namespace
