@@ -14,11 +14,15 @@
 #ifndef BPFREE_BENCH_BENCHCOMMON_H
 #define BPFREE_BENCH_BENCHCOMMON_H
 
+#include "support/Manifest.h"
+#include "support/Metrics.h"
 #include "support/TablePrinter.h"
+#include "support/TimeTrace.h"
 #include "workloads/Driver.h"
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -28,6 +32,91 @@
 
 namespace bpfree {
 namespace bench {
+
+/// Per-binary observability wiring, shared by every bench main():
+/// recognizes `--metrics-json <path>` (write a run manifest on exit) and
+/// `--time-trace <path>` (write Chrome trace_event spans on exit),
+/// enabling the metrics/span registries when either is requested. The
+/// flags are consumed from argv so later argument parsing (including
+/// google-benchmark's) never sees them. Construct once at the top of
+/// main; the destructor writes the requested files.
+class MetricsSession {
+public:
+  MetricsSession(int &Argc, char **Argv, std::string Tool,
+                 std::string Config = "")
+      : Tool(std::move(Tool)), Config(std::move(Config)) {
+    int Out = 1;
+    for (int I = 1; I < Argc; ++I) {
+      std::string Arg = Argv[I];
+      std::string *Target = nullptr;
+      if (Arg == "--metrics-json" || Arg.rfind("--metrics-json=", 0) == 0)
+        Target = &MetricsPath;
+      else if (Arg == "--time-trace" || Arg.rfind("--time-trace=", 0) == 0)
+        Target = &TracePath;
+      if (!Target) {
+        Argv[Out++] = Argv[I];
+        continue;
+      }
+      if (size_t Eq = Arg.find('='); Eq != std::string::npos) {
+        *Target = Arg.substr(Eq + 1);
+      } else if (I + 1 < Argc) {
+        *Target = Argv[++I];
+      } else {
+        std::fprintf(stderr, "bpfree: %s requires a path argument\n",
+                     Arg.c_str());
+        std::exit(2);
+      }
+    }
+    Argc = Out;
+    Argv[Argc] = nullptr;
+    if (!MetricsPath.empty())
+      metrics::setEnabled(true);
+    if (!TracePath.empty())
+      timetrace::setEnabled(true);
+  }
+
+  ~MetricsSession() {
+    if (!MetricsPath.empty()) {
+      Manifest M = collectManifest(Tool, Config);
+      if (!writeManifest(M, MetricsPath))
+        std::fprintf(stderr, "bpfree: cannot write manifest to %s\n",
+                     MetricsPath.c_str());
+      else
+        std::fprintf(stderr, "bpfree: run manifest written to %s\n",
+                     MetricsPath.c_str());
+    }
+    if (!TracePath.empty() && !timetrace::write(TracePath))
+      std::fprintf(stderr, "bpfree: cannot write time trace to %s\n",
+                   TracePath.c_str());
+  }
+
+  MetricsSession(const MetricsSession &) = delete;
+  MetricsSession &operator=(const MetricsSession &) = delete;
+
+  bool metricsRequested() const { return !MetricsPath.empty(); }
+  const std::string &metricsPath() const { return MetricsPath; }
+
+  /// Overrides the config annotation after flag parsing (e.g. once a
+  /// bench knows whether it runs quick or full phases).
+  void setConfig(std::string C) { Config = std::move(C); }
+
+private:
+  std::string Tool;
+  std::string Config;
+  std::string MetricsPath;
+  std::string TracePath;
+};
+
+/// Unwraps an Expected for bench code whose inputs must be sound: on
+/// error, prints the diagnostic and exits nonzero (no abort, no core).
+template <typename T> T takeOrExit(Expected<T> E, const char *What) {
+  if (!E) {
+    std::fprintf(stderr, "bpfree: %s: %s\n", What,
+                 E.error().renderWithKind().c_str());
+    std::exit(1);
+  }
+  return E.takeValue();
+}
 
 /// Prints the standard banner naming the regenerated artifact.
 inline void banner(const std::string &Artifact, const std::string &Note) {

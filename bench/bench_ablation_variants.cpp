@@ -87,7 +87,10 @@ double backwardOnlyAllMiss(SuiteCache &Cache) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  bpfree::bench::MetricsSession Session(argc, argv, "bench_ablation_variants");
+  (void)argc;
+  (void)argv;
   banner("Ablations — natural loops, default policy, guard depth, "
          "pointer variants",
          "All numbers are suite-average miss rates under the paper "

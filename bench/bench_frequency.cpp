@@ -27,7 +27,10 @@
 using namespace bpfree;
 using namespace bpfree::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  bpfree::bench::MetricsSession Session(argc, argv, "bench_frequency");
+  (void)argc;
+  (void)argv;
   banner("Static program profiles from branch probabilities",
          "Wu-Larus MICRO 1994, part 2: block-frequency estimation.");
 

@@ -22,7 +22,10 @@
 using namespace bpfree;
 using namespace bpfree::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  bpfree::bench::MetricsSession Session(argc, argv, "bench_graph12_model");
+  (void)argc;
+  (void)argv;
   banner("Graph 12 — analytic sequence-length model",
          "f(m, s) = 1 - (1-m)^s for miss rates 2.5%..30% step 2.5%.");
 
@@ -65,8 +68,9 @@ int main() {
   for (const char *Name : {"treesort", "circuit"}) {
     const WorkloadRun *Run = Cache.traceRun(Name);
     BallLarusPredictor Heuristic(*Run->Ctx);
-    SequenceHistogram H =
-        replayTrace(*Run->Trace, predictorDirections(*Run->M, Heuristic));
+    SequenceHistogram H = takeOrExit(
+        replayTrace(*Run->Trace, predictorDirections(*Run->M, Heuristic)),
+        "trace replay");
     double M = H.missRate();
     std::cout << Name << " (measured miss rate " << pct(M) << "%):\n";
     TablePrinter MT({"s", "model f(m,s)", "measured"});

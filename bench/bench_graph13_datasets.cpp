@@ -22,7 +22,10 @@
 using namespace bpfree;
 using namespace bpfree::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  bpfree::bench::MetricsSession Session(argc, argv, "bench_graph13_datasets");
+  (void)argc;
+  (void)argv;
   banner("Graph 13 — miss rates across datasets",
          "Heuristic predictions are fixed per program; Perfect is "
          "recomputed per dataset.");
@@ -44,8 +47,10 @@ int main() {
       auto Run = runWorkloadOrExit(W, D, {}, RO);
       CombinedResult C = computeCombined(Run->Stats);
       BallLarusPredictor Heuristic(*Run->Ctx);
-      SequenceHistogram H = replayTrace(
-          *Run->Trace, predictorDirections(*Run->M, Heuristic));
+      SequenceHistogram H = takeOrExit(
+          replayTrace(*Run->Trace,
+                      predictorDirections(*Run->M, Heuristic)),
+          "trace replay");
       T.addRow({W.Name, W.Datasets[D].Name, pct(C.AllMiss.rate()),
                 pct(C.AllPerfectMiss.rate()),
                 TablePrinter::formatDouble(H.ipbcAverage(), 0),

@@ -22,7 +22,10 @@
 using namespace bpfree;
 using namespace bpfree::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  bpfree::bench::MetricsSession Session(argc, argv, "bench_graph1_orderings");
+  (void)argc;
+  (void)argv;
   banner("Graph 1 — miss rate of all 5040 heuristic orders",
          "Average non-loop miss rate per order (matmul300 excluded), "
          "sorted ascending.");

@@ -59,9 +59,10 @@ void analyzeWorkload(SuiteCache &Cache, const Workload &W) {
   std::vector<std::vector<uint8_t>> Dirs;
   Dirs.push_back(predictorDirections(*Run->M, LoopRand));
   Dirs.push_back(predictorDirections(*Run->M, Heuristic));
-  Dirs.push_back(perfectDirectionsFromTrace(*Run->Trace));
-  std::vector<SequenceHistogram> Hists =
-      replayTraceAll(*Run->Trace, std::move(Dirs));
+  Dirs.push_back(takeOrExit(perfectDirectionsFromTrace(*Run->Trace),
+                            "perfect directions"));
+  std::vector<SequenceHistogram> Hists = takeOrExit(
+      replayTraceAll(*Run->Trace, std::move(Dirs)), "trace replay");
 
   std::cout << "== " << W.Name << " (" << Run->Result.InstrCount
             << " instructions) ==\n";
@@ -121,7 +122,10 @@ void analyzeWorkload(SuiteCache &Cache, const Workload &W) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  bpfree::bench::MetricsSession Session(argc, argv, "bench_ipbc_graphs");
+  (void)argc;
+  (void)argv;
   banner("Graphs 4-11 — instructions per break in control",
          "Trace-based run-length distributions for Loop+Rand / "
          "Heuristic / Perfect on the branchy benchmarks.");

@@ -31,7 +31,10 @@
 using namespace bpfree;
 using namespace bpfree::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  bpfree::bench::MetricsSession Session(argc, argv, "bench_layout");
+  (void)argc;
+  (void)argv;
   banner("Code positioning with program-based predictions",
          "Dynamic fall-through rate per layout; higher is better.");
 

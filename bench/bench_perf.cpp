@@ -20,10 +20,13 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
 #include "frontend/Compiler.h"
 #include "ipbc/SequenceAnalysis.h"
 #include "ipbc/TraceReplay.h"
 #include "predict/Ordering.h"
+#include "support/Manifest.h"
+#include "support/Metrics.h"
 #include "support/ThreadPool.h"
 #include "vm/Interpreter.h"
 #include "workloads/Driver.h"
@@ -234,7 +237,8 @@ panelDirectionsFromTrace(const PredictionContext &Ctx,
   std::vector<std::vector<uint8_t>> Dirs;
   Dirs.push_back(predictorDirections(M, LoopRand));
   Dirs.push_back(predictorDirections(M, Heuristic));
-  Dirs.push_back(perfectDirectionsFromTrace(Trace));
+  Dirs.push_back(bench::takeOrExit(perfectDirectionsFromTrace(Trace),
+                                   "perfect directions"));
   Dirs.push_back(predictorDirections(M, Taken));
   Dirs.push_back(predictorDirections(M, Fallthru));
   Dirs.push_back(predictorDirections(M, Random));
@@ -274,8 +278,8 @@ void BM_ReplayTracePanel(benchmark::State &State) {
   auto Run = runWorkloadOrExit(benchWorkload(), 0, {}, RO);
   PredictorPanel Panel(*Run->Ctx, *Run->Profile);
   for (auto _ : State) {
-    std::vector<SequenceHistogram> Hists =
-        replayTraceAll(*Run->Trace, Panel.All);
+    std::vector<SequenceHistogram> Hists = bench::takeOrExit(
+        replayTraceAll(*Run->Trace, Panel.All), "panel replay");
     benchmark::DoNotOptimize(Hists.data());
   }
   State.SetItemsProcessed(static_cast<int64_t>(
@@ -460,8 +464,9 @@ int runPhases(const std::string &Path, bool Quick) {
         std::vector<std::vector<uint8_t>> Dirs =
             panelDirectionsFromTrace(*TRun->Ctx, *TRun->Trace);
         const size_t PanelSize = Dirs.size();
-        std::vector<SequenceHistogram> Hists =
-            replayTraceAll(*TRun->Trace, std::move(Dirs));
+        std::vector<SequenceHistogram> Hists = bench::takeOrExit(
+            replayTraceAll(*TRun->Trace, std::move(Dirs)),
+            "panel replay");
         benchmark::DoNotOptimize(Hists.data());
         Rpl.WallMs += msSince(T0);
         Rpl.Items += PanelSize;
@@ -652,16 +657,85 @@ int runPhases(const std::string &Path, bool Quick) {
   return 0;
 }
 
+//===----------------------------------------------------------------------===//
+// --check: manifest regression gate
+//===----------------------------------------------------------------------===//
+
+/// Diffs a candidate run manifest against a committed baseline manifest
+/// with tolerance bands (support/Manifest.h). The candidate comes from
+/// `--check-input <manifest.json>` when given (e.g. the manifest the CI
+/// phase run just wrote), otherwise a fresh quick phase run is measured
+/// on the spot. `--perturb <factor>` scales the candidate's timings
+/// before the diff — the injection hook proving the gate actually trips
+/// on a regression. Exit status is the gate: 0 passes, nonzero fails.
+int runCheck(const std::string &BaselinePath, const std::string &InputPath,
+             const std::string &PhasePath, bool Quick, double WallTol,
+             double InstrTol, double Perturb) {
+  Manifest Candidate;
+  if (!InputPath.empty()) {
+    Candidate = bench::takeOrExit(readManifest(InputPath),
+                                  "reading --check-input manifest");
+  } else {
+    metrics::setEnabled(true);
+    metrics::resetAll();
+    if (int RC = runPhases(PhasePath, Quick))
+      return RC;
+    Candidate = collectManifest("bench_perf", Quick ? "quick" : "full");
+  }
+  if (Perturb != 1.0) {
+    std::fprintf(stderr,
+                 "  [check] perturbing candidate timings by %.2fx\n",
+                 Perturb);
+    perturbManifestTimings(Candidate, Perturb);
+  }
+  Manifest Base = bench::takeOrExit(readManifest(BaselinePath),
+                                    "reading --check baseline manifest");
+  CheckTolerance Tol;
+  if (WallTol > 0.0)
+    Tol.WallSlowdown = WallTol;
+  if (InstrTol > 0.0)
+    Tol.InstrRatio = InstrTol;
+  CheckResult Result = checkManifests(Candidate, Base, Tol);
+  if (!Result.ok()) {
+    std::fprintf(stderr,
+                 "bpfree: regression check FAILED against %s "
+                 "(%zu failure%s):\n%s",
+                 BaselinePath.c_str(), Result.Failures.size(),
+                 Result.Failures.size() == 1 ? "" : "s",
+                 Result.render().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "bpfree: regression check passed against %s "
+               "(%zu workloads, wall tolerance %.2fx, instr band %.3f)\n",
+               BaselinePath.c_str(), Candidate.Workloads.size(),
+               Tol.WallSlowdown, Tol.InstrRatio);
+  return 0;
+}
+
 } // namespace
 
-// BENCHMARK_MAIN with a --phases / --quick escape hatch in front: those
-// flags divert into the JSON phase harness instead of google-benchmark.
+// BENCHMARK_MAIN with a --phases / --quick / --check escape hatch in
+// front: those flags divert into the JSON phase harness or the manifest
+// regression gate instead of google-benchmark. MetricsSession consumes
+// --metrics-json/--time-trace first, so every mode can emit a manifest.
 int main(int argc, char **argv) {
+  bench::MetricsSession Session(argc, argv, "bench_perf", "micro");
   std::string Path = "BENCH_PR3.json";
   bool Phases = false, Quick = false;
+  std::string CheckBaseline, CheckInput;
+  double WallTol = 0.0, InstrTol = 0.0, Perturb = 1.0;
   std::vector<char *> Rest{argv[0]};
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
+    auto nextArg = [&]() -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "bpfree: %s requires an argument\n",
+                     A.c_str());
+        std::exit(2);
+      }
+      return argv[++I];
+    };
     if (A == "--phases") {
       Phases = true;
     } else if (A.rfind("--phases=", 0) == 0) {
@@ -670,12 +744,38 @@ int main(int argc, char **argv) {
     } else if (A == "--quick") {
       Phases = true;
       Quick = true;
+    } else if (A == "--check") {
+      CheckBaseline = nextArg();
+    } else if (A == "--check-input") {
+      CheckInput = nextArg();
+    } else if (A == "--check-tolerance") {
+      WallTol = std::atof(nextArg());
+    } else if (A == "--check-instr-tolerance") {
+      InstrTol = std::atof(nextArg());
+    } else if (A == "--perturb") {
+      Perturb = std::atof(nextArg());
     } else {
       Rest.push_back(argv[I]);
     }
   }
-  if (Phases)
+  if (!CheckBaseline.empty()) {
+    // A fresh check run (no --check-input) measures the quick phase set
+    // unless --phases asked for the full one; its report goes to a
+    // separate default path so it never clobbers a real phase report.
+    Session.setConfig("check");
+    return runCheck(CheckBaseline, CheckInput,
+                    Phases ? Path : "BENCH_CHECK.json",
+                    Phases ? Quick : true, WallTol, InstrTol, Perturb);
+  }
+  if (Session.metricsRequested() && !Phases) {
+    // A manifest was requested without choosing a mode: run the quick
+    // phase harness, the mode whose manifest covers the whole suite.
+    Phases = Quick = true;
+  }
+  if (Phases) {
+    Session.setConfig(Quick ? "phases-quick" : "phases-full");
     return runPhases(Path, Quick);
+  }
 
   int RestArgc = static_cast<int>(Rest.size());
   benchmark::Initialize(&RestArgc, Rest.data());

@@ -26,7 +26,10 @@
 using namespace bpfree;
 using namespace bpfree::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  bpfree::bench::MetricsSession Session(argc, argv, "bench_probability");
+  (void)argc;
+  (void)argv;
   banner("Wu-Larus evidence combination (MICRO 1994 sequel)",
          "First-match priority vs Dempster-Shafer probabilities.");
 

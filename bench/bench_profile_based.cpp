@@ -28,7 +28,10 @@
 using namespace bpfree;
 using namespace bpfree::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  bpfree::bench::MetricsSession Session(argc, argv, "bench_profile_based");
+  (void)argc;
+  (void)argv;
   banner("Program-based vs profile-based prediction (Sections 1-2)",
          "Cross = perfect predictor trained on dataset 1, scored on "
          "dataset 0.");

@@ -21,7 +21,10 @@
 using namespace bpfree;
 using namespace bpfree::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  bpfree::bench::MetricsSession Session(argc, argv, "bench_table1_suite");
+  (void)argc;
+  (void)argv;
   banner("Table 1 — benchmark suite",
          "Workloads stand in for the paper's SPEC89 + misc programs; "
          "size columns are static IR statistics.");

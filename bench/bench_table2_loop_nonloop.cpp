@@ -24,7 +24,10 @@
 using namespace bpfree;
 using namespace bpfree::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  bpfree::bench::MetricsSession Session(argc, argv, "bench_table2_loop_nonloop");
+  (void)argc;
+  (void)argv;
   banner("Table 2 — loop vs non-loop branches",
          "Prd = loop predictor, Prf = perfect; %All = share of dynamic "
          "branches that are non-loop; Tgt/Rnd = naive strategies; "

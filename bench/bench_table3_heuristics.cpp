@@ -71,7 +71,10 @@ void printIsolationTable(
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  bpfree::bench::MetricsSession Session(argc, argv, "bench_table3_heuristics");
+  (void)argc;
+  (void)argv;
   banner("Table 3 — heuristics in isolation",
          "Per cell: coverage% then miss/perfect on covered non-loop "
          "branches. Blank = under 1% coverage (excluded from means).");

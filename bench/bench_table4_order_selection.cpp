@@ -25,7 +25,10 @@
 using namespace bpfree;
 using namespace bpfree::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  bpfree::bench::MetricsSession Session(argc, argv, "bench_table4_order_selection");
+  (void)argc;
+  (void)argv;
   banner("Table 4 + Graphs 2-3 — order selection over benchmark subsets",
          "Exhaustive half-size subset enumeration, matmul300 excluded.");
 

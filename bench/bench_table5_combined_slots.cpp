@@ -18,7 +18,10 @@
 using namespace bpfree;
 using namespace bpfree::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  bpfree::bench::MetricsSession Session(argc, argv, "bench_table5_combined_slots");
+  (void)argc;
+  (void)argv;
   banner("Table 5 — combined heuristic, per-slot attribution",
          "Order: Point > Call > Opcode > Return > Store > Loop > Guard; "
          "cells are coverage% miss/perfect; blank under 1% coverage.");

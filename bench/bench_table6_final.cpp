@@ -22,7 +22,10 @@
 using namespace bpfree;
 using namespace bpfree::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  bpfree::bench::MetricsSession Session(argc, argv, "bench_table6_final");
+  (void)argc;
+  (void)argv;
   banner("Tables 6-7 — final results of the combined predictor",
          "Heuristics = covered non-loop branches; +Default = all "
          "non-loop; All = loop + non-loop; Loop+Rand = baseline.");

@@ -26,8 +26,35 @@ run_tier1() {
 run_plain() {
   run_tier1 "${REPO_ROOT}/build"
   echo "== bench_perf --quick: ${REPO_ROOT}/build"
+  # Quick perf phases with the run manifest kept as a build artifact
+  # (build/MANIFEST_CI.json records per-workload timings, instruction
+  # counts, and the full metrics snapshot for this CI run).
   "${REPO_ROOT}/build/bench/bench_perf" \
-    "--phases=${REPO_ROOT}/build/BENCH_CI.json" --quick
+    "--phases=${REPO_ROOT}/build/BENCH_CI.json" --quick \
+    --metrics-json "${REPO_ROOT}/build/MANIFEST_CI.json"
+
+  # Regression gate: diff the fresh manifest against the committed
+  # baseline. Tolerances are generous — CI machines vary and the quick
+  # phases are short — so only gross regressions (several-fold slower,
+  # instruction-count drift, lost workloads, newly overflowed traces)
+  # fail the gate. Regenerate the baseline after intentional changes:
+  #   build/bench/bench_perf --quick --metrics-json BENCH_BASELINE.json
+  echo "== bench_perf --check: regression gate vs BENCH_BASELINE.json"
+  "${REPO_ROOT}/build/bench/bench_perf" \
+    --check "${REPO_ROOT}/BENCH_BASELINE.json" \
+    --check-input "${REPO_ROOT}/build/MANIFEST_CI.json" \
+    --check-tolerance 8.0 --check-instr-tolerance 1.5
+
+  # The gate must actually gate: a deterministic 2x timing perturbation
+  # of the same manifest has to fail the check.
+  echo "== bench_perf --check: negative leg (--perturb 2.0 must fail)"
+  if "${REPO_ROOT}/build/bench/bench_perf" \
+      --check "${REPO_ROOT}/build/MANIFEST_CI.json" \
+      --check-input "${REPO_ROOT}/build/MANIFEST_CI.json" \
+      --perturb 2.0 >/dev/null 2>&1; then
+    echo "error: perturbed manifest passed the regression check" >&2
+    exit 1
+  fi
 }
 
 # TSan wants the threaded code paths, not the whole (serial-dominated)

@@ -6,7 +6,9 @@
 
 #include "ipbc/TraceReplay.h"
 
+#include "support/Metrics.h"
 #include "support/ThreadPool.h"
+#include "support/TimeTrace.h"
 
 #include <algorithm>
 #include <bit>
@@ -29,10 +31,51 @@ std::vector<uint8_t> bpfree::predictorDirections(const Module &M,
   return Dirs;
 }
 
-std::vector<uint8_t>
+namespace {
+
+/// Counts a rejected replay request before returning the Diag, so run
+/// manifests surface how many replays were refused.
+Diag rejected(Diag D) {
+  static metrics::Counter &Rejected = metrics::counter("replay.rejected");
+  Rejected.add();
+  return D;
+}
+
+/// Diag for a direction array whose size does not match the trace's
+/// module (Blocks flat blocks).
+Diag dirSizeDiag(size_t Got, size_t Blocks) {
+  return rejected(
+      Diag(ErrorKind::InvalidArgument,
+           "direction array has " + std::to_string(Got) +
+               " entries but the trace's module has " +
+               std::to_string(Blocks) + " blocks"));
+}
+
+} // namespace
+
+std::optional<Diag>
+bpfree::validateTraceForReplay(const BranchTrace &Trace) {
+  if (!Trace.finalized())
+    return rejected(
+        Diag(ErrorKind::InvalidArgument,
+             "cannot replay an unfinalized trace: the trailing sequence "
+             "has no defined end (call finalize() after the run)"));
+  if (Trace.overflowed())
+    return rejected(Diag(
+        ErrorKind::InvalidArgument,
+        "cannot replay an overflowed trace: the stored stream is a "
+        "truncated prefix (" +
+            std::to_string(Trace.numEvents()) + " events stored, " +
+            std::to_string(Trace.droppedEvents()) +
+            " dropped past the byte cap); recapture with a larger "
+            "MaxBytes"));
+  return std::nullopt;
+}
+
+Expected<std::vector<uint8_t>>
 bpfree::perfectDirectionsFromTrace(const BranchTrace &Trace) {
-  assert(Trace.finalized() && "deriving from an unfinalized trace");
-  assert(!Trace.overflowed() && "deriving from a truncated trace");
+  if (std::optional<Diag> D = validateTraceForReplay(Trace))
+    return *std::move(D);
   const Module &M = Trace.getModule();
   const std::vector<uint32_t> Offsets = flatBlockOffsets(M);
   // [2 * flat index + taken] execution counts, accumulated branchlessly.
@@ -56,10 +99,14 @@ bpfree::perfectDirectionsFromTrace(const BranchTrace &Trace) {
   return Dirs;
 }
 
-SequenceHistogram bpfree::replayTrace(const BranchTrace &Trace,
-                                      const std::vector<uint8_t> &Dirs) {
-  assert(Trace.finalized() && "replaying an unfinalized trace");
-  assert(!Trace.overflowed() && "replaying a truncated trace");
+Expected<SequenceHistogram>
+bpfree::replayTrace(const BranchTrace &Trace,
+                    const std::vector<uint8_t> &Dirs) {
+  if (std::optional<Diag> D = validateTraceForReplay(Trace))
+    return *std::move(D);
+  const size_t Blocks = flatBlockOffsets(Trace.getModule()).back();
+  if (Dirs.size() != Blocks)
+    return dirSizeDiag(Dirs.size(), Blocks);
   SequenceHistogram H;
   const uint8_t *D = Dirs.data();
   uint64_t IC = 0;
@@ -81,18 +128,33 @@ SequenceHistogram bpfree::replayTrace(const BranchTrace &Trace,
   // SequenceCollector::finalize, so histograms stay bit-identical.
   if (Trace.totalInstrs() > LastBreak)
     H.record(Trace.totalInstrs() - LastBreak);
+  if (metrics::enabled()) {
+    static metrics::Counter &Passes = metrics::counter("replay.passes");
+    static metrics::Counter &Events = metrics::counter("replay.events");
+    static metrics::Counter &Breaks = metrics::counter("replay.breaks");
+    Passes.add();
+    Events.add(Trace.numEvents());
+    Breaks.add(H.Breaks);
+  }
   return H;
 }
 
-std::vector<SequenceHistogram> bpfree::replayTraceFused(
-    const BranchTrace &Trace,
-    const std::vector<const std::vector<uint8_t> *> &Dirs) {
-  assert(Trace.finalized() && "replaying an unfinalized trace");
-  assert(!Trace.overflowed() && "replaying a truncated trace");
+namespace {
+
+/// The fused replay kernel, shared by replayTraceFused (which validates
+/// its inputs) and replayTraceAll (which validates once, before the
+/// parallel fan-out). Preconditions: the trace is finalized and not
+/// overflowed, and every direction array has exactly as many entries as
+/// the trace's module has flat blocks.
+std::vector<SequenceHistogram>
+replayFusedUnchecked(const BranchTrace &Trace,
+                     const std::vector<const std::vector<uint8_t> *> &Dirs) {
   const size_t P = Dirs.size();
   std::vector<SequenceHistogram> Hists(P);
   if (P == 0)
     return Hists;
+  timetrace::Span ReplaySpan("replay.fused",
+                             std::to_string(P) + " predictors");
   const size_t Blocks = Dirs[0]->size();
   std::vector<uint64_t> LastBreak(P, 0);
   uint64_t IC = 0;
@@ -178,6 +240,7 @@ std::vector<SequenceHistogram> bpfree::replayTraceFused(
     });
   }
 
+  uint64_t TotalBreaks = 0;
   for (size_t J = 0; J < P; ++J) {
     SequenceHistogram &H = Hists[J];
     // De-interleave the scratch row into the histogram's split arrays.
@@ -191,6 +254,7 @@ std::vector<SequenceHistogram> bpfree::replayTraceFused(
     H.BranchExecs = Trace.numEvents();
     for (uint64_t N : H.NumSequences)
       H.Breaks += N;
+    TotalBreaks += H.Breaks;
     // Same trailing-sequence rule as SequenceCollector::finalize and
     // replayTrace, so histograms stay bit-identical across all paths.
     if (Trace.totalInstrs() > LastBreak[J]) {
@@ -203,12 +267,41 @@ std::vector<SequenceHistogram> bpfree::replayTraceFused(
     // execution, so their lengths sum to the run's instruction count.
     H.TotalInstrs = Trace.totalInstrs();
   }
+  if (metrics::enabled()) {
+    static metrics::Counter &Passes = metrics::counter("replay.passes");
+    static metrics::Counter &Events = metrics::counter("replay.events");
+    static metrics::Counter &Breaks = metrics::counter("replay.breaks");
+    static metrics::Counter &FusedRows =
+        metrics::counter("replay.fused_rows");
+    Passes.add();
+    Events.add(Trace.numEvents());
+    Breaks.add(TotalBreaks);
+    FusedRows.add(P);
+  }
   return Hists;
 }
 
-std::vector<SequenceHistogram> bpfree::replayTraceAll(
+} // namespace
+
+Expected<std::vector<SequenceHistogram>> bpfree::replayTraceFused(
+    const BranchTrace &Trace,
+    const std::vector<const std::vector<uint8_t> *> &Dirs) {
+  if (std::optional<Diag> D = validateTraceForReplay(Trace))
+    return *std::move(D);
+  const size_t Blocks = flatBlockOffsets(Trace.getModule()).back();
+  for (const std::vector<uint8_t> *D : Dirs)
+    if (D->size() != Blocks)
+      return dirSizeDiag(D->size(), Blocks);
+  return replayFusedUnchecked(Trace, Dirs);
+}
+
+Expected<std::vector<SequenceHistogram>> bpfree::replayTraceAll(
     const BranchTrace &Trace,
     const std::vector<const StaticPredictor *> &Predictors, unsigned Jobs) {
+  // Validate before resolving directions: a rejected trace should not
+  // pay for |Predictors| analysis passes first.
+  if (std::optional<Diag> D = validateTraceForReplay(Trace))
+    return *std::move(D);
   // Direction arrays touch the IR and the prediction analyses, which are
   // shared and read-only but not uniformly cheap; resolve them up front
   // so the parallel section is pure replay over private state.
@@ -218,14 +311,24 @@ std::vector<SequenceHistogram> bpfree::replayTraceAll(
   return replayTraceAll(Trace, std::move(Dirs), Jobs);
 }
 
-std::vector<SequenceHistogram>
+Expected<std::vector<SequenceHistogram>>
 bpfree::replayTraceAll(const BranchTrace &Trace,
                        std::vector<std::vector<uint8_t>> Dirs,
                        unsigned Jobs) {
+  // Validate once, before any fan-out: the parallel groups then run the
+  // unchecked kernel on a trace known to be sound.
+  if (std::optional<Diag> D = validateTraceForReplay(Trace))
+    return *std::move(D);
+  const size_t Blocks = flatBlockOffsets(Trace.getModule()).back();
+  for (const std::vector<uint8_t> &D : Dirs)
+    if (D.size() != Blocks)
+      return dirSizeDiag(D.size(), Blocks);
   const size_t N = Dirs.size();
   std::vector<SequenceHistogram> Hists(N);
   if (N == 0)
     return Hists;
+  timetrace::Span ReplaySpan("replay.all",
+                             std::to_string(N) + " predictors");
   if (Jobs == 0)
     Jobs = ThreadPool::defaultConcurrency();
   // Split the predictors into one contiguous group per worker; each
@@ -239,7 +342,7 @@ bpfree::replayTraceAll(const BranchTrace &Trace,
     Slice.reserve(End - Begin);
     for (size_t P = Begin; P < End; ++P)
       Slice.push_back(&Dirs[P]);
-    std::vector<SequenceHistogram> Part = replayTraceFused(Trace, Slice);
+    std::vector<SequenceHistogram> Part = replayFusedUnchecked(Trace, Slice);
     for (size_t P = Begin; P < End; ++P)
       Hists[P] = std::move(Part[P - Begin]);
   });

@@ -27,9 +27,11 @@
 #define BPFREE_IPBC_TRACEREPLAY_H
 
 #include "ipbc/SequenceAnalysis.h"
+#include "support/Error.h"
 #include "vm/BranchTrace.h"
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 namespace bpfree {
@@ -41,6 +43,19 @@ namespace bpfree {
 std::vector<uint8_t> predictorDirections(const ir::Module &M,
                                          const StaticPredictor &P);
 
+/// Checks that \p Trace is replayable: finalized (so the trailing
+/// sequence has a defined end) and not overflowed (so the stored stream
+/// is the complete execution, not a truncated prefix). \returns the
+/// structured rejection, or nullopt when the trace is sound.
+///
+/// Every replay entry point below runs this check at runtime — not via
+/// assert — because a truncated trace walked by the fused replay loop is
+/// undefined behavior in release builds, and capture overflow is a
+/// legitimate runtime condition (the byte cap exists precisely to be
+/// hit), not a programming error. Rejections are also counted under the
+/// "replay.rejected" metric so run manifests surface them.
+std::optional<Diag> validateTraceForReplay(const BranchTrace &Trace);
+
 /// The perfect static predictor's directions derived from the trace
 /// itself: one decode pass accumulates per-branch taken/fall-thru
 /// counts, then the majority rule (ties predict taken, like
@@ -50,19 +65,23 @@ std::vector<uint8_t> predictorDirections(const ir::Module &M,
 /// predictorDirections(M, PerfectPredictor(Profile)) for the profile of
 /// the captured run — which means IPBC replay needs no edge profile at
 /// all: one unprofiled capture interpretation carries the whole
-/// pipeline. The trace must be finalized and not overflowed.
-std::vector<uint8_t> perfectDirectionsFromTrace(const BranchTrace &Trace);
+/// pipeline. An unfinalized or overflowed trace yields a Diag.
+Expected<std::vector<uint8_t>>
+perfectDirectionsFromTrace(const BranchTrace &Trace);
 
-/// Replays \p Trace against one direction array. The trace must be
-/// finalized and must not have overflowed its memory cap.
-SequenceHistogram replayTrace(const BranchTrace &Trace,
-                              const std::vector<uint8_t> &Dirs);
+/// Replays \p Trace against one direction array. An unfinalized or
+/// overflowed trace, or a direction array sized for a different module,
+/// yields a Diag.
+Expected<SequenceHistogram> replayTrace(const BranchTrace &Trace,
+                                        const std::vector<uint8_t> &Dirs);
 
 /// Replays \p Trace against several direction arrays in ONE decode pass:
 /// directions are interleaved into a [block][predictor] matrix so each
 /// event costs one decode plus P byte compares instead of P full passes.
 /// Histograms are bit-identical to per-predictor replayTrace calls.
-std::vector<SequenceHistogram>
+/// Rejects unsound traces and mis-sized direction arrays like
+/// replayTrace.
+Expected<std::vector<SequenceHistogram>>
 replayTraceFused(const BranchTrace &Trace,
                  const std::vector<const std::vector<uint8_t> *> &Dirs);
 
@@ -71,8 +90,9 @@ replayTraceFused(const BranchTrace &Trace,
 /// more workers the predictors are split into contiguous groups, one
 /// fused pass per group, fanned out across the thread pool. Histograms
 /// are returned in predictor order and are identical for every Jobs
-/// value (0 picks the hardware concurrency).
-std::vector<SequenceHistogram>
+/// value (0 picks the hardware concurrency). The trace is validated
+/// once, before any fan-out.
+Expected<std::vector<SequenceHistogram>>
 replayTraceAll(const BranchTrace &Trace,
                const std::vector<const StaticPredictor *> &Predictors,
                unsigned Jobs = 0);
@@ -81,7 +101,7 @@ replayTraceAll(const BranchTrace &Trace,
 /// predictor, in result order). This is the entry point when a
 /// direction array does not come from a StaticPredictor instance —
 /// e.g. perfectDirectionsFromTrace on an unprofiled capture run.
-std::vector<SequenceHistogram>
+Expected<std::vector<SequenceHistogram>>
 replayTraceAll(const BranchTrace &Trace,
                std::vector<std::vector<uint8_t>> Dirs, unsigned Jobs = 0);
 

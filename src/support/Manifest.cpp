@@ -1,0 +1,528 @@
+//===- support/Manifest.cpp - Run manifests and regression checks ---------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Manifest.h"
+
+#include "support/ThreadPool.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+
+#if defined(_WIN32)
+#else
+#include <unistd.h>
+#endif
+
+using namespace bpfree;
+
+//===----------------------------------------------------------------------===//
+// Writing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *SchemaName = "bpfree-run-manifest-v1";
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Hex[8];
+        std::snprintf(Hex, sizeof(Hex), "\\u%04x", C);
+        Out += Hex;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+std::string platformName() {
+#if defined(__linux__)
+  return "linux";
+#elif defined(__APPLE__)
+  return "darwin";
+#elif defined(_WIN32)
+  return "windows";
+#else
+  return "unknown";
+#endif
+}
+
+std::string hostName() {
+#if defined(_WIN32)
+  return "";
+#else
+  char Buf[256] = {0};
+  if (gethostname(Buf, sizeof(Buf) - 1) != 0)
+    return "";
+  return Buf;
+#endif
+}
+
+} // namespace
+
+Manifest bpfree::collectManifest(const std::string &Tool,
+                                 const std::string &Config) {
+  Manifest M;
+  M.Tool = Tool;
+  M.Config = Config;
+  M.Host = hostName();
+  M.Platform = platformName();
+  M.HardwareConcurrency = ThreadPool::defaultConcurrency();
+  M.Workloads = metrics::runRecords();
+  M.Metrics = metrics::snapshot();
+  for (const metrics::RunRecord &R : M.Workloads)
+    M.TotalWallMs += R.WallMs;
+  return M;
+}
+
+bool bpfree::writeManifest(const Manifest &M, const std::string &Path) {
+  std::FILE *Out = std::fopen(Path.c_str(), "w");
+  if (!Out)
+    return false;
+  std::fprintf(Out, "{\n");
+  std::fprintf(Out, "  \"schema\": \"%s\",\n", SchemaName);
+  std::fprintf(Out, "  \"tool\": \"%s\",\n", jsonEscape(M.Tool).c_str());
+  std::fprintf(Out, "  \"config\": \"%s\",\n", jsonEscape(M.Config).c_str());
+  std::fprintf(Out,
+               "  \"host\": {\"hostname\": \"%s\", \"platform\": \"%s\", "
+               "\"hardware_concurrency\": %u},\n",
+               jsonEscape(M.Host).c_str(), jsonEscape(M.Platform).c_str(),
+               M.HardwareConcurrency);
+  std::fprintf(Out, "  \"total_wall_ms\": %.3f,\n", M.TotalWallMs);
+  std::fprintf(Out, "  \"workloads\": [\n");
+  for (size_t I = 0; I < M.Workloads.size(); ++I) {
+    const metrics::RunRecord &R = M.Workloads[I];
+    std::fprintf(
+        Out,
+        "    {\"name\": \"%s\", \"dataset\": \"%s\", \"ok\": %s, "
+        "\"error\": \"%s\", \"wall_ms\": %.3f, \"instructions\": %llu, "
+        "\"branch_execs\": %llu, \"trace_events\": %llu, "
+        "\"trace_dropped\": %llu, \"trace_overflowed\": %s, "
+        "\"cost_hint\": %llu, \"dispatch_order\": %d}%s\n",
+        jsonEscape(R.Workload).c_str(), jsonEscape(R.Dataset).c_str(),
+        R.Ok ? "true" : "false", jsonEscape(R.Error).c_str(), R.WallMs,
+        static_cast<unsigned long long>(R.Instructions),
+        static_cast<unsigned long long>(R.BranchExecs),
+        static_cast<unsigned long long>(R.TraceEvents),
+        static_cast<unsigned long long>(R.TraceDropped),
+        R.TraceOverflowed ? "true" : "false",
+        static_cast<unsigned long long>(R.CostHint), R.DispatchOrder,
+        I + 1 == M.Workloads.size() ? "" : ",");
+  }
+  std::fprintf(Out, "  ],\n");
+  std::fprintf(Out, "  \"metrics\": [\n");
+  for (size_t I = 0; I < M.Metrics.size(); ++I) {
+    const metrics::Sample &S = M.Metrics[I];
+    std::fprintf(Out,
+                 "    {\"name\": \"%s\", \"kind\": \"%s\", "
+                 "\"value\": %llu, \"count\": %llu}%s\n",
+                 jsonEscape(S.Name).c_str(), jsonEscape(S.Kind).c_str(),
+                 static_cast<unsigned long long>(S.Value),
+                 static_cast<unsigned long long>(S.Count),
+                 I + 1 == M.Metrics.size() ? "" : ",");
+  }
+  std::fprintf(Out, "  ]\n");
+  std::fprintf(Out, "}\n");
+  std::fclose(Out);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Reading: a minimal JSON parser for the subset writeManifest emits
+// (objects, arrays, strings with the escapes above, numbers, booleans,
+// null). Unknown keys are skipped so older readers tolerate newer
+// manifests.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct JValue {
+  enum Kind { Null, Bool, Number, String, Array, Object } K = Null;
+  bool B = false;
+  double Num = 0.0;
+  std::string Str;
+  std::vector<JValue> Arr;
+  std::vector<std::pair<std::string, JValue>> Obj;
+
+  const JValue *find(const std::string &Key) const {
+    for (const auto &[K2, V] : Obj)
+      if (K2 == Key)
+        return &V;
+    return nullptr;
+  }
+  std::string str(const std::string &Key) const {
+    const JValue *V = find(Key);
+    return V && V->K == String ? V->Str : "";
+  }
+  double num(const std::string &Key, double Default = 0.0) const {
+    const JValue *V = find(Key);
+    return V && V->K == Number ? V->Num : Default;
+  }
+  bool boolean(const std::string &Key) const {
+    const JValue *V = find(Key);
+    return V && V->K == Bool && V->B;
+  }
+};
+
+class JsonParser {
+public:
+  JsonParser(const char *Begin, const char *End) : P(Begin), E(End) {}
+
+  bool parse(JValue &Out) { return value(Out) && (ws(), P == E); }
+
+private:
+  const char *P;
+  const char *E;
+
+  void ws() {
+    while (P != E && std::isspace(static_cast<unsigned char>(*P)))
+      ++P;
+  }
+  bool lit(const char *S, size_t N) {
+    if (static_cast<size_t>(E - P) < N || std::strncmp(P, S, N) != 0)
+      return false;
+    P += N;
+    return true;
+  }
+
+  bool value(JValue &Out) {
+    ws();
+    if (P == E)
+      return false;
+    switch (*P) {
+    case '{':
+      return object(Out);
+    case '[':
+      return array(Out);
+    case '"':
+      Out.K = JValue::String;
+      return string(Out.Str);
+    case 't':
+      Out.K = JValue::Bool;
+      Out.B = true;
+      return lit("true", 4);
+    case 'f':
+      Out.K = JValue::Bool;
+      Out.B = false;
+      return lit("false", 5);
+    case 'n':
+      Out.K = JValue::Null;
+      return lit("null", 4);
+    default:
+      return number(Out);
+    }
+  }
+
+  bool object(JValue &Out) {
+    Out.K = JValue::Object;
+    ++P; // '{'
+    ws();
+    if (P != E && *P == '}') {
+      ++P;
+      return true;
+    }
+    for (;;) {
+      ws();
+      std::string Key;
+      if (P == E || *P != '"' || !string(Key))
+        return false;
+      ws();
+      if (P == E || *P != ':')
+        return false;
+      ++P;
+      JValue V;
+      if (!value(V))
+        return false;
+      Out.Obj.emplace_back(std::move(Key), std::move(V));
+      ws();
+      if (P == E)
+        return false;
+      if (*P == ',') {
+        ++P;
+        continue;
+      }
+      if (*P == '}') {
+        ++P;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool array(JValue &Out) {
+    Out.K = JValue::Array;
+    ++P; // '['
+    ws();
+    if (P != E && *P == ']') {
+      ++P;
+      return true;
+    }
+    for (;;) {
+      JValue V;
+      if (!value(V))
+        return false;
+      Out.Arr.push_back(std::move(V));
+      ws();
+      if (P == E)
+        return false;
+      if (*P == ',') {
+        ++P;
+        continue;
+      }
+      if (*P == ']') {
+        ++P;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool string(std::string &Out) {
+    ++P; // '"'
+    Out.clear();
+    while (P != E && *P != '"') {
+      if (*P == '\\') {
+        if (++P == E)
+          return false;
+        switch (*P) {
+        case '"':
+          Out += '"';
+          break;
+        case '\\':
+          Out += '\\';
+          break;
+        case '/':
+          Out += '/';
+          break;
+        case 'n':
+          Out += '\n';
+          break;
+        case 't':
+          Out += '\t';
+          break;
+        case 'r':
+          Out += '\r';
+          break;
+        case 'u': {
+          if (E - P < 5)
+            return false;
+          char Hex[5] = {P[1], P[2], P[3], P[4], 0};
+          Out += static_cast<char>(std::strtoul(Hex, nullptr, 16));
+          P += 4;
+          break;
+        }
+        default:
+          return false;
+        }
+        ++P;
+      } else {
+        Out += *P++;
+      }
+    }
+    if (P == E)
+      return false;
+    ++P; // closing '"'
+    return true;
+  }
+
+  bool number(JValue &Out) {
+    char *End = nullptr;
+    Out.K = JValue::Number;
+    Out.Num = std::strtod(P, &End);
+    if (End == P || End > E)
+      return false;
+    P = End;
+    return true;
+  }
+};
+
+uint64_t asU64(double D) {
+  return D <= 0 ? 0 : static_cast<uint64_t>(D + 0.5);
+}
+
+} // namespace
+
+Expected<Manifest> bpfree::readManifest(const std::string &Path) {
+  std::FILE *In = std::fopen(Path.c_str(), "rb");
+  if (!In)
+    return Diag(ErrorKind::InvalidArgument,
+                "cannot open manifest '" + Path + "'");
+  std::string Text;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), In)) > 0)
+    Text.append(Buf, N);
+  std::fclose(In);
+
+  JValue Root;
+  JsonParser Parser(Text.data(), Text.data() + Text.size());
+  if (!Parser.parse(Root) || Root.K != JValue::Object)
+    return Diag(ErrorKind::InvalidArgument,
+                "malformed manifest JSON in '" + Path + "'");
+  if (Root.str("schema") != SchemaName)
+    return Diag(ErrorKind::InvalidArgument,
+                "'" + Path + "' is not a " + SchemaName + " document");
+
+  Manifest M;
+  M.Tool = Root.str("tool");
+  M.Config = Root.str("config");
+  M.TotalWallMs = Root.num("total_wall_ms");
+  if (const JValue *Host = Root.find("host")) {
+    M.Host = Host->str("hostname");
+    M.Platform = Host->str("platform");
+    M.HardwareConcurrency =
+        static_cast<unsigned>(Host->num("hardware_concurrency"));
+  }
+  if (const JValue *Ws = Root.find("workloads")) {
+    if (Ws->K != JValue::Array)
+      return Diag(ErrorKind::InvalidArgument,
+                  "'workloads' is not an array in '" + Path + "'");
+    for (const JValue &W : Ws->Arr) {
+      metrics::RunRecord R;
+      R.Workload = W.str("name");
+      R.Dataset = W.str("dataset");
+      R.Ok = W.boolean("ok");
+      R.Error = W.str("error");
+      R.WallMs = W.num("wall_ms");
+      R.Instructions = asU64(W.num("instructions"));
+      R.BranchExecs = asU64(W.num("branch_execs"));
+      R.TraceEvents = asU64(W.num("trace_events"));
+      R.TraceDropped = asU64(W.num("trace_dropped"));
+      R.TraceOverflowed = W.boolean("trace_overflowed");
+      R.CostHint = asU64(W.num("cost_hint"));
+      R.DispatchOrder = static_cast<int>(W.num("dispatch_order", -1));
+      M.Workloads.push_back(std::move(R));
+    }
+  }
+  if (const JValue *Ms = Root.find("metrics")) {
+    if (Ms->K != JValue::Array)
+      return Diag(ErrorKind::InvalidArgument,
+                  "'metrics' is not an array in '" + Path + "'");
+    for (const JValue &S : Ms->Arr) {
+      metrics::Sample Smp;
+      Smp.Name = S.str("name");
+      Smp.Kind = S.str("kind");
+      Smp.Value = asU64(S.num("value"));
+      Smp.Count = asU64(S.num("count"));
+      M.Metrics.push_back(std::move(Smp));
+    }
+  }
+  return M;
+}
+
+//===----------------------------------------------------------------------===//
+// Checking
+//===----------------------------------------------------------------------===//
+
+std::string CheckResult::render() const {
+  std::string S;
+  for (const std::string &F : Failures)
+    S += F + "\n";
+  return S;
+}
+
+CheckResult bpfree::checkManifests(const Manifest &Candidate,
+                                   const Manifest &Baseline,
+                                   const CheckTolerance &Tol) {
+  CheckResult Res;
+  auto fail = [&](std::string Msg) { Res.Failures.push_back(std::move(Msg)); };
+
+  // A manifest may hold several records for the same (workload, dataset)
+  // — the perf phases run the suite more than once under different
+  // configurations. Collapse BOTH sides last-wins so like is compared
+  // with like; baseline and candidate are generated by the same flow, so
+  // the last record per key corresponds on both sides.
+  std::map<std::pair<std::string, std::string>, const metrics::RunRecord *>
+      ByKey, BaseByKey;
+  for (const metrics::RunRecord &R : Candidate.Workloads)
+    ByKey[{R.Workload, R.Dataset}] = &R;
+  for (const metrics::RunRecord &R : Baseline.Workloads)
+    BaseByKey[{R.Workload, R.Dataset}] = &R;
+
+  for (const metrics::RunRecord &B : Baseline.Workloads) {
+    if (BaseByKey[{B.Workload, B.Dataset}] != &B)
+      continue; // superseded by a later record for the same key
+    auto It = ByKey.find({B.Workload, B.Dataset});
+    if (It == ByKey.end()) {
+      if (Tol.RequireWorkloadCoverage)
+        fail("workload '" + B.Workload + "' (dataset '" + B.Dataset +
+             "') present in baseline but missing from candidate");
+      continue;
+    }
+    const metrics::RunRecord &C = *It->second;
+    const std::string Tag = "workload '" + B.Workload + "'";
+    if (B.Ok && !C.Ok)
+      fail(Tag + " succeeded in baseline but failed in candidate: " +
+           C.Error);
+    if (Tol.WallSlowdown > 1.0 && B.WallMs > 0.0 &&
+        C.WallMs > B.WallMs * Tol.WallSlowdown) {
+      char Buf[160];
+      std::snprintf(Buf, sizeof(Buf),
+                    "%s wall time regressed: %.2f ms vs baseline %.2f ms "
+                    "(band %.2fx, got %.2fx)",
+                    Tag.c_str(), C.WallMs, B.WallMs, Tol.WallSlowdown,
+                    C.WallMs / B.WallMs);
+      fail(Buf);
+    }
+    if (Tol.InstrRatio > 0.0 && B.Instructions > 0) {
+      const double Ratio = static_cast<double>(C.Instructions) /
+                           static_cast<double>(B.Instructions);
+      if (Ratio > Tol.InstrRatio || Ratio < 1.0 / Tol.InstrRatio) {
+        char Buf[200];
+        std::snprintf(
+            Buf, sizeof(Buf),
+            "%s instruction count drifted: %llu vs baseline %llu "
+            "(band %.2fx) — the executed work changed, not just its speed",
+            Tag.c_str(), static_cast<unsigned long long>(C.Instructions),
+            static_cast<unsigned long long>(B.Instructions),
+            Tol.InstrRatio);
+        fail(Buf);
+      }
+    }
+    if (!B.TraceOverflowed && C.TraceOverflowed)
+      fail(Tag + " trace overflowed its byte cap (baseline's did not)");
+  }
+
+  if (Tol.WallSlowdown > 1.0 && Baseline.TotalWallMs > 0.0 &&
+      Candidate.TotalWallMs > Baseline.TotalWallMs * Tol.WallSlowdown) {
+    char Buf[160];
+    std::snprintf(Buf, sizeof(Buf),
+                  "suite total wall time regressed: %.2f ms vs baseline "
+                  "%.2f ms (band %.2fx)",
+                  Candidate.TotalWallMs, Baseline.TotalWallMs,
+                  Tol.WallSlowdown);
+    fail(Buf);
+  }
+  return Res;
+}
+
+void bpfree::perturbManifestTimings(Manifest &M, double Factor) {
+  M.TotalWallMs *= Factor;
+  for (metrics::RunRecord &R : M.Workloads)
+    R.WallMs *= Factor;
+}

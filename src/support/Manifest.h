@@ -1,0 +1,102 @@
+//===- support/Manifest.h - Run manifests and regression checks -*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The run manifest: one JSON document per bench/suite invocation
+/// recording what ran (per-workload timings, instruction counts, trace
+/// statistics, LPT scheduling decisions), the full metrics snapshot, and
+/// enough host/config context to interpret the numbers later. Every
+/// bench binary emits one via `--metrics-json <path>`, and
+/// `bench_perf --check <baseline.json>` diffs a fresh manifest against a
+/// committed baseline with tolerance bands — the CI regression gate.
+///
+/// The check is asymmetric on purpose: getting *faster* than the
+/// baseline never fails, getting slower beyond the band does, and
+/// deterministic fields (workload coverage, instruction counts) use
+/// their own, tighter band. docs/observability.md documents the schema
+/// and how to read a failing check.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_SUPPORT_MANIFEST_H
+#define BPFREE_SUPPORT_MANIFEST_H
+
+#include "support/Error.h"
+#include "support/Metrics.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bpfree {
+
+/// In-memory form of the manifest document; field names mirror the JSON
+/// keys (see docs/observability.md for the schema).
+struct Manifest {
+  std::string Tool;    ///< emitting binary, e.g. "bench_perf"
+  std::string Config;  ///< free-form config summary, e.g. "quick"
+  std::string Host;    ///< hostname ("" when unavailable)
+  std::string Platform;///< "linux", "darwin", ... (compile-time)
+  unsigned HardwareConcurrency = 0;
+  double TotalWallMs = 0.0; ///< sum of per-workload wall times
+  std::vector<metrics::RunRecord> Workloads;
+  std::vector<metrics::Sample> Metrics;
+};
+
+/// Builds a manifest from the current metrics registry and run log.
+/// \p Tool and \p Config annotate the document; host fields are filled
+/// from the environment.
+Manifest collectManifest(const std::string &Tool,
+                         const std::string &Config = "");
+
+/// Serializes \p M to \p Path as JSON. \returns false when the file
+/// cannot be opened.
+bool writeManifest(const Manifest &M, const std::string &Path);
+
+/// Parses a manifest previously written by writeManifest. Unknown keys
+/// are ignored (forward compatibility); a malformed document or missing
+/// required structure yields a Diag of kind InvalidArgument.
+Expected<Manifest> readManifest(const std::string &Path);
+
+/// Tolerance bands for checkManifests. Ratios are candidate/baseline
+/// upper bounds; values <= 1.0 disable slack for that dimension.
+struct CheckTolerance {
+  /// A workload (or the suite total) may be up to this factor slower
+  /// than the baseline before the check fails. Faster never fails.
+  double WallSlowdown = 1.5;
+  /// Instruction counts must satisfy
+  ///   baseline/InstrRatio <= candidate <= baseline*InstrRatio.
+  /// They are deterministic for unchanged code, so the default band is
+  /// tight; widen it (or regenerate the baseline) when workloads change.
+  double InstrRatio = 1.01;
+  /// When true, every baseline workload must appear in the candidate.
+  bool RequireWorkloadCoverage = true;
+};
+
+/// Outcome of a manifest diff: empty Failures means the gate passes.
+struct CheckResult {
+  std::vector<std::string> Failures;
+  bool ok() const { return Failures.empty(); }
+  /// One failure per line, "" when ok.
+  std::string render() const;
+};
+
+/// Diffs \p Candidate against \p Baseline under \p Tol. Workloads are
+/// matched by (name, dataset); per-workload wall time, instruction
+/// count, and trace health (a candidate trace overflowing where the
+/// baseline's did not) are checked, plus the suite-total wall time.
+CheckResult checkManifests(const Manifest &Candidate,
+                           const Manifest &Baseline,
+                           const CheckTolerance &Tol = {});
+
+/// Scales every wall-time field of \p M by \p Factor — the injection
+/// hook the CI gate and tests use to prove a timing regression actually
+/// trips the check.
+void perturbManifestTimings(Manifest &M, double Factor);
+
+} // namespace bpfree
+
+#endif // BPFREE_SUPPORT_MANIFEST_H

@@ -1,0 +1,119 @@
+//===- support/Metrics.cpp - Process-wide metrics registry ----------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Metrics.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+
+using namespace bpfree;
+using namespace bpfree::metrics;
+
+namespace {
+
+std::atomic<bool> Enabled{false};
+
+/// The registry proper. Metrics are heap-allocated and never freed while
+/// the process lives, so references handed out by counter()/gauge()/
+/// timer() stay valid without further locking. One map per kind keeps
+/// the same name usable for at most one kind (first registration wins —
+/// reusing a counter name as a timer is a bug we surface by returning
+/// the original object's kind in snapshot()).
+struct Registry {
+  std::mutex Mu;
+  std::map<std::string, std::unique_ptr<Counter>> Counters;
+  std::map<std::string, std::unique_ptr<Gauge>> Gauges;
+  std::map<std::string, std::unique_ptr<Timer>> Timers;
+  std::vector<RunRecord> Runs;
+};
+
+Registry &registry() {
+  static Registry *R = new Registry(); // never destroyed: metrics may be
+                                       // touched during static teardown
+  return *R;
+}
+
+template <class T>
+T &intern(std::map<std::string, std::unique_ptr<T>> &Map,
+          const std::string &Name) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  std::unique_ptr<T> &Slot = Map[Name];
+  if (!Slot)
+    Slot = std::make_unique<T>();
+  return *Slot;
+}
+
+} // namespace
+
+bool bpfree::metrics::enabled() {
+  return Enabled.load(std::memory_order_relaxed);
+}
+
+void bpfree::metrics::setEnabled(bool On) {
+  Enabled.store(On, std::memory_order_relaxed);
+}
+
+Counter &bpfree::metrics::counter(const std::string &Name) {
+  return intern(registry().Counters, Name);
+}
+
+Gauge &bpfree::metrics::gauge(const std::string &Name) {
+  return intern(registry().Gauges, Name);
+}
+
+Timer &bpfree::metrics::timer(const std::string &Name) {
+  return intern(registry().Timers, Name);
+}
+
+std::vector<Sample> bpfree::metrics::snapshot() {
+  Registry &R = registry();
+  std::vector<Sample> Out;
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  for (const auto &[Name, C] : R.Counters)
+    Out.push_back({Name, "counter", C->value(), 0});
+  for (const auto &[Name, G] : R.Gauges)
+    Out.push_back({Name, "gauge", G->value(), 0});
+  for (const auto &[Name, T] : R.Timers)
+    Out.push_back({Name, "timer", T->nanos(), T->count()});
+  std::sort(Out.begin(), Out.end(),
+            [](const Sample &A, const Sample &B) { return A.Name < B.Name; });
+  return Out;
+}
+
+void bpfree::metrics::resetAll() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  for (auto &[Name, C] : R.Counters)
+    C->reset();
+  for (auto &[Name, G] : R.Gauges)
+    G->reset();
+  for (auto &[Name, T] : R.Timers)
+    T->reset();
+  R.Runs.clear();
+}
+
+void bpfree::metrics::recordRun(RunRecord Rec) {
+  if (!enabled())
+    return;
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  R.Runs.push_back(std::move(Rec));
+}
+
+std::vector<RunRecord> bpfree::metrics::runRecords() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  return R.Runs;
+}
+
+void bpfree::metrics::clearRunRecords() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  R.Runs.clear();
+}

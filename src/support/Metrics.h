@@ -1,0 +1,182 @@
+//===- support/Metrics.h - Process-wide metrics registry --------*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight process-wide registry of named counters, gauges, and
+/// timers — the observability layer every hot subsystem (interpreter,
+/// trace capture, replay, suite driver, thread pool) reports through.
+/// Design constraints, in order:
+///
+///   1. Near-zero cost when disabled. Collection is off by default;
+///      every mutation starts with one relaxed atomic-bool load and a
+///      perfectly-predicted branch. Instrumentation sites therefore sit
+///      at *aggregate* boundaries (per run, per chunk, per replay pass),
+///      never inside the interpreter's per-instruction loop.
+///   2. Thread-safe. Counters and timers are relaxed atomics; the
+///      name->metric registry is mutex-protected and append-only, so a
+///      reference returned by counter()/gauge()/timer() stays valid for
+///      the life of the process and can be cached in a function-local
+///      static at the instrumentation site.
+///   3. Machine-readable. snapshot() flattens the registry for the run
+///      manifest (support/Manifest.h); recordRun() accumulates one
+///      structured record per workload execution for the same purpose.
+///
+/// Naming convention: dotted lower-case paths, subsystem first —
+/// "vm.instructions", "trace.events_dropped", "replay.passes",
+/// "suite.workloads_ok", "pool.tasks". docs/observability.md lists the
+/// metrics each subsystem emits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_SUPPORT_METRICS_H
+#define BPFREE_SUPPORT_METRICS_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bpfree {
+namespace metrics {
+
+/// \returns true when metric collection is on (off by default).
+bool enabled();
+/// Turns collection on or off process-wide. Existing values are kept;
+/// use resetAll() for a clean slate.
+void setEnabled(bool On);
+
+/// Monotonically increasing event count.
+class Counter {
+public:
+  /// Adds \p N when collection is enabled; no-op otherwise.
+  void add(uint64_t N = 1) {
+    if (enabled())
+      V.fetch_add(N, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// Last-written value (e.g. a configuration knob: suite jobs, pool size).
+class Gauge {
+public:
+  void set(uint64_t N) {
+    if (enabled())
+      V.store(N, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// Accumulated wall time plus an interval count.
+class Timer {
+public:
+  void addNanos(uint64_t Ns) {
+    if (enabled()) {
+      Nanos.fetch_add(Ns, std::memory_order_relaxed);
+      Count.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  uint64_t nanos() const { return Nanos.load(std::memory_order_relaxed); }
+  uint64_t count() const { return Count.load(std::memory_order_relaxed); }
+  double millis() const { return static_cast<double>(nanos()) / 1e6; }
+  void reset() {
+    Nanos.store(0, std::memory_order_relaxed);
+    Count.store(0, std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<uint64_t> Nanos{0};
+  std::atomic<uint64_t> Count{0};
+};
+
+/// RAII interval feeding a Timer. Samples the clock only when collection
+/// is enabled at construction, so a disabled registry costs one branch.
+class ScopedTimer {
+public:
+  explicit ScopedTimer(Timer &T) : T(T), Active(enabled()) {
+    if (Active)
+      Start = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (Active)
+      T.addNanos(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - Start)
+              .count()));
+  }
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+private:
+  Timer &T;
+  bool Active;
+  std::chrono::steady_clock::time_point Start;
+};
+
+/// Interns \p Name and returns its counter. The reference is valid for
+/// the life of the process; cache it in a function-local static at hot
+/// call sites so the registry lookup happens once.
+Counter &counter(const std::string &Name);
+Gauge &gauge(const std::string &Name);
+Timer &timer(const std::string &Name);
+
+/// One registry entry flattened for reporting. Timers carry nanoseconds
+/// in Value and intervals in Count; counters and gauges leave Count 0.
+struct Sample {
+  std::string Name;
+  std::string Kind; ///< "counter", "gauge", or "timer"
+  uint64_t Value = 0;
+  uint64_t Count = 0;
+};
+
+/// \returns every registered metric, sorted by name.
+std::vector<Sample> snapshot();
+
+/// Zeroes every registered metric and clears the run records (the
+/// registry itself — the interned names — is never shrunk).
+void resetAll();
+
+/// Structured record of one workload execution, appended by the suite
+/// driver for every run — successes and failures alike — and embedded
+/// per-workload in the run manifest.
+struct RunRecord {
+  std::string Workload;
+  std::string Dataset;
+  bool Ok = false;
+  std::string Error;     ///< "[kind] message" when !Ok, "" otherwise
+  double WallMs = 0.0;   ///< compile + run + stats, one workload
+  uint64_t Instructions = 0;
+  uint64_t BranchExecs = 0;  ///< executed conditional branches (0 if
+                             ///< the run carried no profile)
+  uint64_t TraceEvents = 0;  ///< stored trace events (0 without capture)
+  uint64_t TraceDropped = 0; ///< events dropped at the trace byte cap
+  bool TraceOverflowed = false;
+  uint64_t CostHint = 0;     ///< LPT cost estimate used for dispatch
+  int DispatchOrder = -1;    ///< position in the LPT queue, -1 = serial
+};
+
+/// Appends \p R to the process-wide run log (thread-safe). Like the
+/// registry, this is gated on enabled(), so unobserved runs stay free.
+void recordRun(RunRecord R);
+
+/// \returns a copy of the run log, in record order.
+std::vector<RunRecord> runRecords();
+
+/// Clears the run log (resetAll() also does this).
+void clearRunRecords();
+
+} // namespace metrics
+} // namespace bpfree
+
+#endif // BPFREE_SUPPORT_METRICS_H

@@ -31,12 +31,16 @@
 #ifndef BPFREE_SUPPORT_THREADPOOL_H
 #define BPFREE_SUPPORT_THREADPOOL_H
 
+#include "support/Metrics.h"
+
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <new>
 #include <queue>
 #include <thread>
 #include <vector>
@@ -81,14 +85,34 @@ public:
   }
 
   /// Enqueues \p Task; it runs on some worker thread. Tasks must not
-  /// call submit()/wait() on their own pool.
+  /// call submit()/wait() on their own pool. Throws std::bad_alloc when
+  /// queue storage cannot be allocated (callers like parallelFor must
+  /// account for tasks that never made it in — see below).
   void submit(std::function<void()> Task) {
     {
+      // Test shim: a countdown of -1 is disabled; 0 fails this submit.
+      // Lets tests exercise the mid-dispatch allocation-failure path
+      // without an actual failing allocator.
+      int C = DebugFailSubmitCountdown.load(std::memory_order_relaxed);
+      if (C >= 0) [[unlikely]] {
+        if (C == 0) {
+          // One-shot: disarm before throwing so the process recovers.
+          DebugFailSubmitCountdown.store(-1, std::memory_order_relaxed);
+          throw std::bad_alloc();
+        }
+        DebugFailSubmitCountdown.store(C - 1, std::memory_order_relaxed);
+      }
       std::lock_guard<std::mutex> Lock(Mu);
       Queue.push(std::move(Task));
       ++Outstanding;
     }
     QueueCv.notify_one();
+  }
+
+  /// Makes the (countdown+1)-th subsequent submit() throw std::bad_alloc;
+  /// -1 disables the shim (the default). Testing hook only.
+  static void debugFailSubmitAfter(int Countdown) {
+    DebugFailSubmitCountdown.store(Countdown, std::memory_order_relaxed);
   }
 
   /// Blocks until every submitted task has finished running. On the
@@ -120,8 +144,17 @@ private:
   }
 
   void workerLoop() {
+    // Worker-level observability: tasks executed plus busy/idle wall
+    // time, accumulated per dequeue (tasks are coarse — a parallelFor
+    // worker drains many indices in one task — so two clock samples per
+    // task are noise). Clocks are sampled only while metrics collection
+    // is enabled; the disabled path costs one predictable branch.
     for (;;) {
       std::function<void()> Task;
+      const bool Observe = metrics::enabled();
+      std::chrono::steady_clock::time_point T0;
+      if (Observe)
+        T0 = std::chrono::steady_clock::now();
       {
         std::unique_lock<std::mutex> Lock(Mu);
         QueueCv.wait(Lock, [this] { return Stopping || !Queue.empty(); });
@@ -130,7 +163,24 @@ private:
         Task = std::move(Queue.front());
         Queue.pop();
       }
+      std::chrono::steady_clock::time_point T1;
+      if (Observe) {
+        T1 = std::chrono::steady_clock::now();
+        static metrics::Timer &Idle = metrics::timer("pool.idle");
+        Idle.addNanos(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(T1 - T0)
+                .count()));
+      }
       Task();
+      if (Observe) {
+        static metrics::Counter &Tasks = metrics::counter("pool.tasks");
+        static metrics::Timer &Busy = metrics::timer("pool.busy");
+        Tasks.add();
+        Busy.addNanos(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - T1)
+                .count()));
+      }
       {
         std::lock_guard<std::mutex> Lock(Mu);
         if (--Outstanding == 0)
@@ -138,6 +188,10 @@ private:
       }
     }
   }
+
+  /// See debugFailSubmitAfter. Inline so the header-only pool needs no
+  /// dedicated translation unit.
+  inline static std::atomic<int> DebugFailSubmitCountdown{-1};
 
   mutable std::mutex Mu;
   std::condition_variable QueueCv;
@@ -160,6 +214,15 @@ private:
 /// behavior as the serial path (minus the indices that raced ahead),
 /// never std::terminate. Remaining indices are skipped once an exception
 /// is recorded.
+///
+/// If submit() itself throws mid-dispatch (queue allocation failure),
+/// the tasks that never made it into the pool are subtracted from the
+/// completion latch before waiting — the old code initialized the latch
+/// to the full worker count and deadlocked in that case, since fewer
+/// workers than planned would ever decrement it. The workers that *were*
+/// submitted still drain every index through the shared Next counter, so
+/// the call completes all N bodies; if not even one task was submitted,
+/// the bodies run inline on the calling thread instead.
 inline void parallelFor(unsigned Jobs, size_t N,
                         const std::function<void(size_t)> &Body) {
   if (Jobs <= 1 || N <= 1) {
@@ -181,30 +244,53 @@ inline void parallelFor(unsigned Jobs, size_t N,
   std::atomic<bool> Failed{false};
   std::exception_ptr FirstError;
   std::mutex ErrorMu;
-  for (unsigned W = 0; W < Threads; ++W)
-    Pool.submit([&] {
-      for (size_t I = Next.fetch_add(1, std::memory_order_relaxed); I < N;
-           I = Next.fetch_add(1, std::memory_order_relaxed)) {
-        if (Failed.load(std::memory_order_relaxed))
-          break;
-        try {
-          Body(I);
-        } catch (...) {
-          std::lock_guard<std::mutex> Lock(ErrorMu);
-          if (!FirstError)
-            FirstError = std::current_exception();
-          Failed.store(true, std::memory_order_relaxed);
+  unsigned Submitted = 0;
+  try {
+    for (unsigned W = 0; W < Threads; ++W) {
+      Pool.submit([&] {
+        for (size_t I = Next.fetch_add(1, std::memory_order_relaxed); I < N;
+             I = Next.fetch_add(1, std::memory_order_relaxed)) {
+          if (Failed.load(std::memory_order_relaxed))
+            break;
+          try {
+            Body(I);
+          } catch (...) {
+            std::lock_guard<std::mutex> Lock(ErrorMu);
+            if (!FirstError)
+              FirstError = std::current_exception();
+            Failed.store(true, std::memory_order_relaxed);
+          }
         }
-      }
-      // Notify while holding the lock: the caller cannot pass its wait
-      // predicate (and destroy the latch) until we release, so the cv is
-      // guaranteed alive for the notify call.
-      std::lock_guard<std::mutex> Lock(LatchMu);
-      --Remaining;
-      LatchCv.notify_one();
-    });
+        // Notify while holding the lock: the caller cannot pass its wait
+        // predicate (and destroy the latch) until we release, so the cv
+        // is guaranteed alive for the notify call.
+        std::lock_guard<std::mutex> Lock(LatchMu);
+        --Remaining;
+        LatchCv.notify_one();
+      });
+      ++Submitted;
+    }
+  } catch (...) {
+    // Dispatch failure (e.g. bad_alloc pushing onto the queue). The
+    // exception is swallowed, not rethrown: the submitted workers still
+    // complete every index, so the caller's contract — all N bodies run
+    // exactly once — holds; degraded parallelism is not an error.
+    static metrics::Counter &DispatchFailures =
+        metrics::counter("pool.dispatch_failures");
+    DispatchFailures.add();
+  }
+  if (Submitted == 0) {
+    // Nothing made it into the pool: run the serial path. Body
+    // exceptions propagate directly, as in the Jobs <= 1 case.
+    for (size_t I = 0; I < N; ++I)
+      Body(I);
+    return;
+  }
   {
     std::unique_lock<std::mutex> Lock(LatchMu);
+    // Account for the tasks that never reached the queue — only the
+    // Submitted workers will ever decrement the latch.
+    Remaining -= Threads - Submitted;
     LatchCv.wait(Lock, [&] { return Remaining == 0; });
   }
   if (FirstError)

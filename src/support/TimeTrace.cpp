@@ -1,0 +1,153 @@
+//===- support/TimeTrace.cpp - Chrome trace_event scoped spans ------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TimeTrace.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+using namespace bpfree;
+using namespace bpfree::timetrace;
+
+namespace {
+
+std::atomic<bool> Enabled{false};
+
+struct Buffer {
+  std::mutex Mu;
+  std::vector<Event> Events;
+  std::chrono::steady_clock::time_point Epoch;
+  bool EpochSet = false;
+  uint64_t NextTid = 1;
+};
+
+Buffer &buffer() {
+  static Buffer *B = new Buffer(); // never destroyed (see Metrics.cpp)
+  return *B;
+}
+
+/// Small dense thread id: assigned on a thread's first completed span.
+uint64_t threadId() {
+  thread_local uint64_t Tid = 0;
+  if (Tid == 0) {
+    Buffer &B = buffer();
+    std::lock_guard<std::mutex> Lock(B.Mu);
+    Tid = B.NextTid++;
+  }
+  return Tid;
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string escape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Hex[8];
+        std::snprintf(Hex, sizeof(Hex), "\\u%04x", C);
+        Out += Hex;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+bool bpfree::timetrace::enabled() {
+  return Enabled.load(std::memory_order_relaxed);
+}
+
+void bpfree::timetrace::setEnabled(bool On) {
+  if (On) {
+    Buffer &B = buffer();
+    std::lock_guard<std::mutex> Lock(B.Mu);
+    if (!B.EpochSet) {
+      B.Epoch = std::chrono::steady_clock::now();
+      B.EpochSet = true;
+    }
+  }
+  Enabled.store(On, std::memory_order_relaxed);
+}
+
+Span::Span(std::string Name, std::string Detail)
+    : Name(std::move(Name)), Detail(std::move(Detail)), Active(enabled()) {
+  if (Active)
+    Start = std::chrono::steady_clock::now();
+}
+
+Span::~Span() {
+  if (!Active)
+    return;
+  const auto End = std::chrono::steady_clock::now();
+  Buffer &B = buffer();
+  Event E;
+  E.Name = std::move(Name);
+  E.Detail = std::move(Detail);
+  E.Tid = threadId();
+  std::lock_guard<std::mutex> Lock(B.Mu);
+  E.StartUs = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Start - B.Epoch)
+          .count());
+  E.DurUs = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(End - Start)
+          .count());
+  B.Events.push_back(std::move(E));
+}
+
+std::vector<Event> bpfree::timetrace::events() {
+  Buffer &B = buffer();
+  std::lock_guard<std::mutex> Lock(B.Mu);
+  return B.Events;
+}
+
+void bpfree::timetrace::clear() {
+  Buffer &B = buffer();
+  std::lock_guard<std::mutex> Lock(B.Mu);
+  B.Events.clear();
+}
+
+bool bpfree::timetrace::write(const std::string &Path) {
+  std::vector<Event> Evs = events();
+  std::FILE *Out = std::fopen(Path.c_str(), "w");
+  if (!Out)
+    return false;
+  std::fprintf(Out, "{\"traceEvents\": [\n");
+  for (size_t I = 0; I < Evs.size(); ++I) {
+    const Event &E = Evs[I];
+    std::fprintf(Out,
+                 "  {\"ph\": \"X\", \"pid\": 1, \"tid\": %llu, "
+                 "\"name\": \"%s\", \"ts\": %llu, \"dur\": %llu",
+                 static_cast<unsigned long long>(E.Tid),
+                 escape(E.Name).c_str(),
+                 static_cast<unsigned long long>(E.StartUs),
+                 static_cast<unsigned long long>(E.DurUs));
+    if (!E.Detail.empty())
+      std::fprintf(Out, ", \"args\": {\"detail\": \"%s\"}",
+                   escape(E.Detail).c_str());
+    std::fprintf(Out, "}%s\n", I + 1 == Evs.size() ? "" : ",");
+  }
+  std::fprintf(Out, "]}\n");
+  std::fclose(Out);
+  return true;
+}

@@ -1,0 +1,82 @@
+//===- support/TimeTrace.h - Chrome trace_event scoped spans ----*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scoped wall-clock spans emitting Chrome `trace_event` JSON — load the
+/// output into chrome://tracing or https://ui.perfetto.dev to see where
+/// a bench or suite run spends its time, per thread. Complements the
+/// metrics registry (support/Metrics.h): metrics answer "how much,
+/// total", spans answer "when, and on which worker".
+///
+/// Spans are coarse by design — one per workload run, per replay pass,
+/// per bench phase — so the mutex-guarded event buffer is never on a hot
+/// path. Collection is off by default; a disabled Span costs one relaxed
+/// atomic load at construction and nothing at destruction.
+///
+/// Span naming mirrors the metric convention (subsystem first):
+/// "suite.workload" with the workload name as detail, "replay.fused",
+/// "bench.phase". docs/observability.md lists the spans each subsystem
+/// emits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_SUPPORT_TIMETRACE_H
+#define BPFREE_SUPPORT_TIMETRACE_H
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bpfree {
+namespace timetrace {
+
+/// \returns true when span collection is on (off by default).
+bool enabled();
+void setEnabled(bool On);
+
+/// One completed span, microseconds relative to the process's first
+/// enable() call.
+struct Event {
+  std::string Name;
+  std::string Detail; ///< rendered as args.detail, "" omitted
+  uint64_t StartUs = 0;
+  uint64_t DurUs = 0;
+  uint64_t Tid = 0; ///< stable small id per OS thread
+};
+
+/// RAII span: records [construction, destruction) under \p Name when
+/// collection is enabled. \p Detail distinguishes instances of the same
+/// span kind (e.g. the workload name).
+class Span {
+public:
+  explicit Span(std::string Name, std::string Detail = "");
+  ~Span();
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+
+private:
+  std::string Name;
+  std::string Detail;
+  bool Active;
+  std::chrono::steady_clock::time_point Start;
+};
+
+/// \returns a copy of every completed span, in completion order.
+std::vector<Event> events();
+
+/// Discards all recorded spans.
+void clear();
+
+/// Writes the recorded spans to \p Path in Chrome trace_event JSON
+/// ({"traceEvents": [...]}); \returns false when the file cannot be
+/// opened.
+bool write(const std::string &Path);
+
+} // namespace timetrace
+} // namespace bpfree
+
+#endif // BPFREE_SUPPORT_TIMETRACE_H

@@ -6,6 +6,8 @@
 
 #include "vm/BranchTrace.h"
 
+#include "support/Metrics.h"
+
 using namespace bpfree;
 using namespace bpfree::ir;
 
@@ -31,12 +33,18 @@ void BranchTrace::onCondBranch(const BasicBlock &BB, bool Taken,
 
 bool BranchTrace::grow() {
   if (Overflowed || (Chunks.size() + 1) * ChunkWords * 4 > MaxBytes) {
+    if (!Overflowed) {
+      static metrics::Counter &Overflows = metrics::counter("trace.overflows");
+      Overflows.add();
+    }
     Overflowed = true;
     return false;
   }
   Chunks.push_back(std::make_unique<uint32_t[]>(ChunkWords));
   Cur = Chunks.back().get();
   End = Cur + ChunkWords;
+  static metrics::Counter &ChunkCount = metrics::counter("trace.chunks");
+  ChunkCount.add();
   return true;
 }
 
@@ -50,6 +58,10 @@ void BranchTrace::appendEscape(uint32_t FlatIndex, bool Taken,
   pushWord(FlatIndex);
   pushWord(static_cast<uint32_t>(Delta));
   pushWord(static_cast<uint32_t>(Delta >> 32));
-  if (Overflowed)
+  if (Overflowed) {
     RolledBack += storedWords() - Saved;
+    return;
+  }
+  static metrics::Counter &Escapes = metrics::counter("trace.escapes");
+  Escapes.add();
 }

@@ -25,6 +25,9 @@
 /// Chunking keeps append O(1) without reallocation-copy spikes, and a
 /// byte cap bounds total memory: a trace that would exceed the cap stops
 /// recording and marks itself overflowed instead of exhausting the host.
+/// Past the cap, numEvents() stays frozen at the stored prefix and the
+/// discarded tail is tallied by droppedEvents(), so the counters always
+/// describe the decodable stream.
 ///
 /// The trace doubles as a plain ExecObserver (onCondBranch appends), so
 /// it can ride along any observer configuration — fault-injected runs,
@@ -74,16 +77,32 @@ public:
   /// Appends one event. \p InstrCount is the running instruction count
   /// at the branch, the branch itself included (monotone across calls).
   /// Inline: this is the interpreter's per-branch fast path.
+  ///
+  /// Once the byte cap trips, events are counted as dropped instead:
+  /// Events and LastInstr freeze at the stored prefix, so numEvents()
+  /// always agrees with the decodable stream — consumers of the count
+  /// (bench trace stats, the metrics layer) never see phantom events
+  /// that pushWord silently discarded.
   void append(uint32_t FlatIndex, bool Taken, uint64_t InstrCount) {
+    if (Overflowed) [[unlikely]] {
+      ++Dropped;
+      return;
+    }
     const uint64_t Delta = InstrCount - LastInstr;
-    LastInstr = InstrCount;
-    ++Events;
     if (FlatIndex <= MaxCompactIdx && Delta < EscapeDelta) [[likely]] {
       pushWord((static_cast<uint32_t>(Delta) << (IdxBits + 1)) |
                (FlatIndex << 1) | (Taken ? 1u : 0u));
+    } else {
+      appendEscape(FlatIndex, Taken, Delta);
+    }
+    if (Overflowed) [[unlikely]] {
+      // This very event tripped the cap: its words were dropped (or the
+      // partial escape rolled back), so it was never stored.
+      ++Dropped;
       return;
     }
-    appendEscape(FlatIndex, Taken, Delta);
+    LastInstr = InstrCount;
+    ++Events;
   }
 
   /// Closes the trace with the run's total instruction count (the final
@@ -96,7 +115,13 @@ public:
   const ir::Module &getModule() const { return M; }
   bool finalized() const { return Finalized; }
   uint64_t totalInstrs() const { return TotalInstrs_; }
+  /// Complete events in the stored stream — always decodable by
+  /// forEach(), even after overflow (the truncated tail is counted by
+  /// droppedEvents() instead).
   uint64_t numEvents() const { return Events; }
+  /// Events discarded after the byte cap tripped; nonzero implies
+  /// overflowed().
+  uint64_t droppedEvents() const { return Dropped; }
   /// True when the byte cap was hit: the stored stream is truncated and
   /// must not be replayed.
   bool overflowed() const { return Overflowed; }
@@ -196,6 +221,7 @@ private:
   uint32_t *End = nullptr; ///< one past the last chunk's storage
   uint64_t RolledBack = 0; ///< words excluded by escape rollback
   uint64_t Events = 0;
+  uint64_t Dropped = 0; ///< events discarded after overflow
   uint64_t LastInstr = 0;
   uint64_t TotalInstrs_ = 0;
   uint64_t MaxBytes;

@@ -27,6 +27,8 @@
 #include "vm/Interpreter.h"
 
 #include "support/Error.h"
+#include "support/Metrics.h"
+#include "support/TimeTrace.h"
 #include "vm/BranchTrace.h"
 #include "vm/Decode.h"
 #include "vm/EdgeProfile.h"
@@ -866,8 +868,16 @@ ErrorKind RunResult::errorKind() const {
 }
 
 Interpreter::Interpreter(const Module &M, RunLimits Limits)
-    : M(M), Limits(Limits),
-      DM(std::make_unique<DecodedModule>(decodeModule(M))) {}
+    : M(M), Limits(Limits) {
+  // The decoded-instruction cache build is the one-time cost run() then
+  // amortizes; tracked so manifests can attribute setup vs. execution.
+  static metrics::Timer &DecodeTimer = metrics::timer("vm.decode");
+  metrics::ScopedTimer Time(DecodeTimer);
+  timetrace::Span DecodeSpan("vm.decode");
+  DM = std::make_unique<DecodedModule>(decodeModule(M));
+  static metrics::Counter &Builds = metrics::counter("vm.decode_builds");
+  Builds.add();
+}
 
 Interpreter::~Interpreter() = default;
 
@@ -884,6 +894,38 @@ RunResult Interpreter::run(const Dataset &Data,
     R.Trap->Message = R.TrapMessage;
     return R;
   }
+  // Run-level observability only: totals are read off RunResult and the
+  // attached trace sink after the run, so the dispatch loops (including
+  // the specialized ones) carry zero extra per-instruction work.
+  const bool Observe = metrics::enabled();
+  BranchTrace *Sink = nullptr;
+  uint64_t SinkEventsBefore = 0;
+  if (Observe) [[unlikely]] {
+    for (ExecObserver *O : Observers)
+      if (BranchTrace *T = O->asTraceSink()) {
+        Sink = T;
+        SinkEventsBefore = T->numEvents() + T->droppedEvents();
+        break;
+      }
+  }
   Machine Mach(*DM, Limits, Data, Observers);
-  return Mach.run(Entry);
+  RunResult R = Mach.run(Entry);
+  if (Observe) [[unlikely]] {
+    static metrics::Counter &Runs = metrics::counter("vm.runs");
+    static metrics::Counter &Instrs = metrics::counter("vm.instructions");
+    Runs.add();
+    Instrs.add(R.InstrCount);
+    if (!R.ok()) {
+      static metrics::Counter &Traps = metrics::counter("vm.traps");
+      Traps.add();
+    }
+    if (Sink) {
+      // Executed conditional branches, visible whenever a capture trace
+      // rode along (dropped events still represent executed branches).
+      static metrics::Counter &Branches = metrics::counter("vm.branches");
+      Branches.add(Sink->numEvents() + Sink->droppedEvents() -
+                   SinkEventsBefore);
+    }
+  }
+  return R;
 }

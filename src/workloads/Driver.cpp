@@ -7,9 +7,12 @@
 #include "workloads/Driver.h"
 
 #include "frontend/Compiler.h"
+#include "support/Metrics.h"
 #include "support/ThreadPool.h"
+#include "support/TimeTrace.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
@@ -26,6 +29,48 @@ std::string WorkloadFailure::render() const {
   return S;
 }
 
+namespace {
+
+/// Fills one metrics::RunRecord from whatever the driver produced —
+/// called for successes and failures alike, so the manifest's workload
+/// list covers every attempt. Gated inside recordRun(), so unobserved
+/// runs pay only the enabled() check made by the caller.
+void recordWorkloadRun(const Workload &W, size_t DatasetIndex,
+                       const RunOptions &Opts, bool Ok,
+                       const WorkloadRun *Run,
+                       const WorkloadFailure &Failure, double WallMs) {
+  metrics::RunRecord Rec;
+  Rec.Workload = W.Name;
+  Rec.Dataset = DatasetIndex < W.Datasets.size()
+                    ? W.Datasets[DatasetIndex].Name
+                    : "";
+  Rec.Ok = Ok;
+  if (!Ok)
+    Rec.Error =
+        "[" + std::string(errorKindName(Failure.Kind)) + "] " +
+        Failure.Message;
+  Rec.WallMs = WallMs;
+  Rec.CostHint = Opts.CostHint;
+  Rec.DispatchOrder = Opts.DispatchOrder;
+  if (Run) {
+    Rec.Instructions = Run->Result.InstrCount;
+    if (Run->Profile)
+      for (const BranchStats &S : Run->Stats)
+        Rec.BranchExecs += S.Taken + S.Fallthru;
+    if (Run->Trace) {
+      Rec.TraceEvents = Run->Trace->numEvents();
+      Rec.TraceDropped = Run->Trace->droppedEvents();
+      Rec.TraceOverflowed = Run->Trace->overflowed();
+      if (!Rec.BranchExecs)
+        Rec.BranchExecs =
+            Run->Trace->numEvents() + Run->Trace->droppedEvents();
+    }
+  }
+  metrics::recordRun(std::move(Rec));
+}
+
+} // namespace
+
 std::unique_ptr<WorkloadRun>
 bpfree::runWorkloadDetailed(const Workload &W, size_t DatasetIndex,
                             const HeuristicConfig &Config,
@@ -34,10 +79,37 @@ bpfree::runWorkloadDetailed(const Workload &W, size_t DatasetIndex,
   Failure = WorkloadFailure();
   Failure.Workload = W.Name;
 
+  // Per-workload observability: one span plus one RunRecord per attempt.
+  // Sampled once up front — the clock reads bracket compile+run+stats,
+  // the granularity manifests report at.
+  const bool Observe = metrics::enabled();
+  std::chrono::steady_clock::time_point T0;
+  if (Observe)
+    T0 = std::chrono::steady_clock::now();
+  timetrace::Span WorkloadSpan("suite.workload", W.Name);
+  auto finish = [&](bool Ok, const WorkloadRun *Run) {
+    if (!Observe)
+      return;
+    const double WallMs =
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+            std::chrono::steady_clock::now() - T0)
+            .count();
+    static metrics::Timer &WorkloadTimer =
+        metrics::timer("driver.workload");
+    WorkloadTimer.addNanos(static_cast<uint64_t>(WallMs * 1e6));
+    static metrics::Counter &OkRuns =
+        metrics::counter("driver.workloads_ok");
+    static metrics::Counter &FailedRuns =
+        metrics::counter("driver.workloads_failed");
+    (Ok ? OkRuns : FailedRuns).add();
+    recordWorkloadRun(W, DatasetIndex, Opts, Ok, Run, Failure, WallMs);
+  };
+
   if (DatasetIndex >= W.Datasets.size()) {
     Failure.Kind = ErrorKind::InvalidArgument;
     Failure.Message = "no dataset " + std::to_string(DatasetIndex) +
                       " (have " + std::to_string(W.Datasets.size()) + ")";
+    finish(false, nullptr);
     return nullptr;
   }
   Failure.Dataset = W.Datasets[DatasetIndex].Name;
@@ -51,6 +123,7 @@ bpfree::runWorkloadDetailed(const Workload &W, size_t DatasetIndex,
     Diag D = M.takeError();
     Failure.Kind = D.Kind;
     Failure.Message = D.render();
+    finish(false, nullptr);
     return nullptr;
   }
   Run->M = std::move(*M);
@@ -74,6 +147,9 @@ bpfree::runWorkloadDetailed(const Workload &W, size_t DatasetIndex,
     Failure.Kind = Run->Result.errorKind();
     Failure.Message = Run->Result.TrapMessage;
     Failure.Trap = Run->Result.Trap;
+    // The record keeps the partial results (instruction count at the
+    // fault, trace so far) while still counting as a failure.
+    finish(false, Run.get());
     return nullptr;
   }
   if (Run->Trace)
@@ -81,6 +157,7 @@ bpfree::runWorkloadDetailed(const Workload &W, size_t DatasetIndex,
 
   if (Run->Profile)
     Run->Stats = collectBranchStats(*Run->Ctx, *Run->Profile, Config);
+  finish(true, Run.get());
   return Run;
 }
 
@@ -150,8 +227,8 @@ SuiteReport bpfree::runSuite(const HeuristicConfig &Config,
   std::vector<size_t> Order(N);
   for (size_t I = 0; I < N; ++I)
     Order[I] = I;
+  std::vector<uint64_t> Cost(N, 0);
   if (Jobs > 1 && N > 1) {
-    std::vector<uint64_t> Cost(N);
     for (size_t I = 0; I < N; ++I)
       Cost[I] = Opts.CostHint ? Opts.CostHint(Suite[I], I)
                               : Suite[I].Source.size();
@@ -159,12 +236,26 @@ SuiteReport bpfree::runSuite(const HeuristicConfig &Config,
                      [&](size_t A, size_t B) { return Cost[A] > Cost[B]; });
   }
 
+  // Suite-level observability: configuration gauges plus one timer
+  // interval per suite run; the per-workload records carry the cost hint
+  // and queue position each dispatch used, so a manifest shows hinted
+  // vs. actual cost side by side.
+  metrics::gauge("suite.jobs").set(Jobs);
+  metrics::gauge("suite.workloads").set(N);
+  static metrics::Timer &SuiteTimer = metrics::timer("driver.suite");
+  metrics::ScopedTimer SuiteTime(SuiteTimer);
+  timetrace::Span SuiteSpan("suite.run",
+                            std::to_string(N) + " workloads, jobs=" +
+                                std::to_string(Jobs));
+
   parallelFor(Jobs, N, [&](size_t K) {
     const size_t I = Order[K];
     const Workload &W = Suite[I];
     RunOptions RO;
     RO.Limits = Opts.Limits;
     RO.CaptureTrace = Opts.CaptureTrace;
+    RO.CostHint = Cost[I];
+    RO.DispatchOrder = Jobs > 1 && N > 1 ? static_cast<int>(K) : -1;
     if (Opts.Progress || Opts.ExtraObservers) {
       std::lock_guard<std::mutex> Lock(CallbackMu);
       if (Opts.Progress)

@@ -82,6 +82,12 @@ struct RunOptions {
   /// Attached after the edge profiler (and the trace, if capturing);
   /// useful for trace collectors and fault injectors. Not owned.
   std::vector<ExecObserver *> ExtraObservers;
+  /// Observability pass-through: the LPT cost estimate this run was
+  /// scheduled with and its position in the dispatch queue (-1 when not
+  /// dispatched by runSuite). Copied verbatim into the run's
+  /// metrics::RunRecord so manifests can compare hinted vs. actual cost.
+  uint64_t CostHint = 0;
+  int DispatchOrder = -1;
 };
 
 /// Compiles \p W, runs dataset \p DatasetIndex under an edge profiler,

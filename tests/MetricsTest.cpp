@@ -1,0 +1,355 @@
+//===- tests/MetricsTest.cpp - Metrics, spans, and manifests --------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The observability layer: counter/gauge/timer semantics (including the
+/// disabled-by-default gating the ≤2% overhead budget depends on), run
+/// records, time-trace spans, manifest JSON round-trips, and the
+/// checkManifests regression gate — self-check passes, an injected 2x
+/// timing perturbation fails, instruction drift fails.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Manifest.h"
+#include "support/Metrics.h"
+#include "support/TimeTrace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <unistd.h>
+
+using namespace bpfree;
+
+namespace {
+
+/// Every test starts from a clean, enabled registry and leaves it
+/// disabled and clean: the registry is process-wide, so leakage between
+/// tests (and into other suites) would make counts unpredictable.
+class MetricsTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    metrics::setEnabled(true);
+    metrics::resetAll();
+    timetrace::setEnabled(true);
+    timetrace::clear();
+  }
+  void TearDown() override {
+    metrics::setEnabled(false);
+    metrics::resetAll();
+    timetrace::setEnabled(false);
+    timetrace::clear();
+  }
+};
+
+/// Temp-file path unique to this process; removed on destruction.
+class TempFile {
+public:
+  explicit TempFile(const std::string &Suffix)
+      : P(::testing::TempDir() + "bpfree_metrics_" +
+          std::to_string(::getpid()) + Suffix) {}
+  ~TempFile() { std::remove(P.c_str()); }
+  const std::string &path() const { return P; }
+
+private:
+  std::string P;
+};
+
+TEST_F(MetricsTest, CounterGaugeTimerBasics) {
+  metrics::Counter &C = metrics::counter("test.counter");
+  EXPECT_EQ(C.value(), 0u);
+  C.add();
+  C.add(41);
+  EXPECT_EQ(C.value(), 42u);
+
+  metrics::Gauge &G = metrics::gauge("test.gauge");
+  G.set(7);
+  G.set(3);
+  EXPECT_EQ(G.value(), 3u);
+
+  metrics::Timer &T = metrics::timer("test.timer");
+  T.addNanos(1000);
+  T.addNanos(500);
+  EXPECT_EQ(T.nanos(), 1500u);
+  EXPECT_EQ(T.count(), 2u);
+  {
+    metrics::ScopedTimer S(T);
+  }
+  EXPECT_EQ(T.count(), 3u);
+
+  // Interning: the same name yields the same object.
+  EXPECT_EQ(&metrics::counter("test.counter"), &C);
+  EXPECT_EQ(&metrics::gauge("test.gauge"), &G);
+  EXPECT_EQ(&metrics::timer("test.timer"), &T);
+}
+
+TEST_F(MetricsTest, DisabledMutationsAreNoOps) {
+  metrics::Counter &C = metrics::counter("test.gated");
+  metrics::Gauge &G = metrics::gauge("test.gated_gauge");
+  metrics::Timer &T = metrics::timer("test.gated_timer");
+  metrics::setEnabled(false);
+  C.add(100);
+  G.set(100);
+  T.addNanos(100);
+  {
+    metrics::ScopedTimer S(T);
+  }
+  metrics::RunRecord R;
+  R.Workload = "gated";
+  metrics::recordRun(R);
+  metrics::setEnabled(true);
+  EXPECT_EQ(C.value(), 0u);
+  EXPECT_EQ(G.value(), 0u);
+  EXPECT_EQ(T.nanos(), 0u);
+  EXPECT_EQ(T.count(), 0u);
+  EXPECT_TRUE(metrics::runRecords().empty());
+}
+
+TEST_F(MetricsTest, SnapshotAndResetAll) {
+  metrics::counter("test.snap_a").add(5);
+  metrics::gauge("test.snap_b").set(9);
+  metrics::timer("test.snap_c").addNanos(123);
+
+  bool SawA = false, SawB = false, SawC = false;
+  std::string Prev;
+  for (const metrics::Sample &S : metrics::snapshot()) {
+    EXPECT_LE(Prev, S.Name) << "snapshot not sorted";
+    Prev = S.Name;
+    if (S.Name == "test.snap_a") {
+      SawA = true;
+      EXPECT_EQ(S.Kind, "counter");
+      EXPECT_EQ(S.Value, 5u);
+    } else if (S.Name == "test.snap_b") {
+      SawB = true;
+      EXPECT_EQ(S.Kind, "gauge");
+      EXPECT_EQ(S.Value, 9u);
+    } else if (S.Name == "test.snap_c") {
+      SawC = true;
+      EXPECT_EQ(S.Kind, "timer");
+      EXPECT_EQ(S.Value, 123u);
+      EXPECT_EQ(S.Count, 1u);
+    }
+  }
+  EXPECT_TRUE(SawA && SawB && SawC);
+
+  metrics::resetAll();
+  EXPECT_EQ(metrics::counter("test.snap_a").value(), 0u);
+  EXPECT_EQ(metrics::gauge("test.snap_b").value(), 0u);
+  EXPECT_EQ(metrics::timer("test.snap_c").nanos(), 0u);
+}
+
+TEST_F(MetricsTest, RunRecordLog) {
+  metrics::RunRecord A;
+  A.Workload = "alpha";
+  A.Dataset = "d0";
+  A.Ok = true;
+  A.WallMs = 1.5;
+  A.Instructions = 1000;
+  metrics::recordRun(A);
+
+  metrics::RunRecord B;
+  B.Workload = "beta";
+  B.Ok = false;
+  B.Error = "[VmTrap] boom";
+  metrics::recordRun(B);
+
+  std::vector<metrics::RunRecord> Log = metrics::runRecords();
+  ASSERT_EQ(Log.size(), 2u);
+  EXPECT_EQ(Log[0].Workload, "alpha");
+  EXPECT_TRUE(Log[0].Ok);
+  EXPECT_EQ(Log[1].Workload, "beta");
+  EXPECT_EQ(Log[1].Error, "[VmTrap] boom");
+
+  metrics::clearRunRecords();
+  EXPECT_TRUE(metrics::runRecords().empty());
+}
+
+TEST_F(MetricsTest, TimeTraceSpansAndWrite) {
+  {
+    timetrace::Span Outer("test.outer", "detail-1");
+    timetrace::Span Inner("test.inner");
+  }
+  std::vector<timetrace::Event> Events = timetrace::events();
+  ASSERT_EQ(Events.size(), 2u);
+  // Completion order: inner destructs first.
+  EXPECT_EQ(Events[0].Name, "test.inner");
+  EXPECT_EQ(Events[1].Name, "test.outer");
+  EXPECT_EQ(Events[1].Detail, "detail-1");
+
+  TempFile F("_trace.json");
+  ASSERT_TRUE(timetrace::write(F.path()));
+  std::ifstream In(F.path());
+  std::string Json((std::istreambuf_iterator<char>(In)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(Json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Json.find("test.outer"), std::string::npos);
+  EXPECT_NE(Json.find("detail-1"), std::string::npos);
+}
+
+/// Builds a representative manifest without running any workloads.
+Manifest sampleManifest() {
+  metrics::counter("test.manifest_counter").add(17);
+  metrics::timer("test.manifest_timer").addNanos(2500);
+
+  metrics::RunRecord R;
+  R.Workload = "treesort";
+  R.Dataset = "default";
+  R.Ok = true;
+  R.WallMs = 12.25;
+  R.Instructions = 123456;
+  R.BranchExecs = 7890;
+  R.TraceEvents = 4321;
+  R.CostHint = 99;
+  R.DispatchOrder = 2;
+  metrics::recordRun(R);
+
+  metrics::RunRecord F;
+  F.Workload = "circuit";
+  F.Dataset = "default";
+  F.Ok = false;
+  F.Error = "[VmTrap] divide by zero \"quoted\"";
+  F.WallMs = 3.5;
+  F.TraceOverflowed = true;
+  F.TraceDropped = 12;
+  metrics::recordRun(F);
+
+  return collectManifest("metrics_test", "unit");
+}
+
+TEST_F(MetricsTest, ManifestRoundTrips) {
+  Manifest M = sampleManifest();
+  EXPECT_EQ(M.Tool, "metrics_test");
+  EXPECT_EQ(M.Config, "unit");
+  ASSERT_EQ(M.Workloads.size(), 2u);
+  EXPECT_DOUBLE_EQ(M.TotalWallMs, 12.25 + 3.5);
+
+  TempFile F("_manifest.json");
+  ASSERT_TRUE(writeManifest(M, F.path()));
+  Expected<Manifest> Read = readManifest(F.path());
+  ASSERT_TRUE(Read.hasValue()) << Read.error().renderWithKind();
+  const Manifest &R = *Read;
+
+  EXPECT_EQ(R.Tool, M.Tool);
+  EXPECT_EQ(R.Config, M.Config);
+  EXPECT_DOUBLE_EQ(R.TotalWallMs, M.TotalWallMs);
+  ASSERT_EQ(R.Workloads.size(), M.Workloads.size());
+  for (size_t I = 0; I < M.Workloads.size(); ++I) {
+    const metrics::RunRecord &A = M.Workloads[I];
+    const metrics::RunRecord &B = R.Workloads[I];
+    EXPECT_EQ(A.Workload, B.Workload);
+    EXPECT_EQ(A.Dataset, B.Dataset);
+    EXPECT_EQ(A.Ok, B.Ok);
+    EXPECT_EQ(A.Error, B.Error);
+    EXPECT_DOUBLE_EQ(A.WallMs, B.WallMs);
+    EXPECT_EQ(A.Instructions, B.Instructions);
+    EXPECT_EQ(A.BranchExecs, B.BranchExecs);
+    EXPECT_EQ(A.TraceEvents, B.TraceEvents);
+    EXPECT_EQ(A.TraceDropped, B.TraceDropped);
+    EXPECT_EQ(A.TraceOverflowed, B.TraceOverflowed);
+    EXPECT_EQ(A.CostHint, B.CostHint);
+    EXPECT_EQ(A.DispatchOrder, B.DispatchOrder);
+  }
+  ASSERT_EQ(R.Metrics.size(), M.Metrics.size());
+  for (size_t I = 0; I < M.Metrics.size(); ++I) {
+    EXPECT_EQ(M.Metrics[I].Name, R.Metrics[I].Name);
+    EXPECT_EQ(M.Metrics[I].Kind, R.Metrics[I].Kind);
+    EXPECT_EQ(M.Metrics[I].Value, R.Metrics[I].Value);
+    EXPECT_EQ(M.Metrics[I].Count, R.Metrics[I].Count);
+  }
+}
+
+TEST_F(MetricsTest, ReadManifestRejectsGarbage) {
+  TempFile F("_bad.json");
+  {
+    std::ofstream Out(F.path());
+    Out << "{\"schema\": \"bpfree-run-manifest-v1\", \"workloads\": 42}";
+  }
+  Expected<Manifest> R = readManifest(F.path());
+  EXPECT_FALSE(R.hasValue());
+
+  Expected<Manifest> Missing = readManifest(F.path() + ".does_not_exist");
+  EXPECT_FALSE(Missing.hasValue());
+}
+
+TEST_F(MetricsTest, CheckPassesAgainstItself) {
+  Manifest M = sampleManifest();
+  CheckResult R = checkManifests(M, M);
+  EXPECT_TRUE(R.ok()) << R.render();
+}
+
+TEST_F(MetricsTest, CheckFailsUnderTimingPerturbation) {
+  Manifest Baseline = sampleManifest();
+  Manifest Candidate = Baseline;
+  perturbManifestTimings(Candidate, 2.0);
+  EXPECT_DOUBLE_EQ(Candidate.TotalWallMs, Baseline.TotalWallMs * 2.0);
+
+  CheckTolerance Tol;
+  Tol.WallSlowdown = 1.5;
+  CheckResult R = checkManifests(Candidate, Baseline, Tol);
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.render().find("treesort"), std::string::npos) << R.render();
+
+  // Asymmetry: getting twice as fast never fails.
+  Manifest Fast = Baseline;
+  perturbManifestTimings(Fast, 0.5);
+  EXPECT_TRUE(checkManifests(Fast, Baseline, Tol).ok());
+}
+
+// Perf-phase manifests hold several records per (workload, dataset) —
+// the suite runs under more than one configuration, and a traced run is
+// slower than an untraced one. Both sides must collapse last-wins;
+// collapsing only the candidate compared a workload's early fast record
+// against its own later slow one and failed a manifest checked against
+// itself.
+TEST_F(MetricsTest, CheckCollapsesDuplicateRecordsOnBothSides) {
+  Manifest M = sampleManifest();
+  metrics::RunRecord Slow = M.Workloads[0]; // "treesort", 12.25 ms
+  Slow.WallMs = 100.0;                      // traced re-run, much slower
+  M.Workloads.push_back(Slow);
+  M.TotalWallMs += Slow.WallMs;
+
+  CheckResult Self = checkManifests(M, M);
+  EXPECT_TRUE(Self.ok()) << Self.render();
+
+  // The surviving (last) record is still checked: slow it down past the
+  // band and the gate trips.
+  Manifest Worse = M;
+  Worse.Workloads.back().WallMs = 300.0;
+  EXPECT_FALSE(checkManifests(Worse, M).ok());
+  // While a candidate that only improved the last record passes.
+  Manifest Better = M;
+  Better.Workloads.back().WallMs = 10.0;
+  EXPECT_TRUE(checkManifests(Better, M).ok());
+}
+
+TEST_F(MetricsTest, CheckFailsOnInstructionDriftAndRegression) {
+  Manifest Baseline = sampleManifest();
+
+  Manifest Drift = Baseline;
+  Drift.Workloads[0].Instructions =
+      static_cast<uint64_t>(Baseline.Workloads[0].Instructions * 1.10);
+  EXPECT_FALSE(checkManifests(Drift, Baseline).ok());
+
+  // A workload that was ok in the baseline but failed in the candidate.
+  Manifest Broke = Baseline;
+  Broke.Workloads[0].Ok = false;
+  Broke.Workloads[0].Error = "[VmTrap] new failure";
+  EXPECT_FALSE(checkManifests(Broke, Baseline).ok());
+
+  // A trace that newly overflowed.
+  Manifest Overflow = Baseline;
+  Overflow.Workloads[0].TraceOverflowed = true;
+  EXPECT_FALSE(checkManifests(Overflow, Baseline).ok());
+
+  // A baseline workload missing from the candidate.
+  Manifest Missing = Baseline;
+  Missing.Workloads.erase(Missing.Workloads.begin());
+  EXPECT_FALSE(checkManifests(Missing, Baseline).ok());
+}
+
+} // namespace

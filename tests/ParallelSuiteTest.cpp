@@ -15,6 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "ipbc/TraceReplay.h"
+#include "support/Metrics.h"
 #include "support/ThreadPool.h"
 #include "vm/FaultInjector.h"
 #include "workloads/Driver.h"
@@ -31,6 +32,17 @@
 using namespace bpfree;
 
 namespace {
+
+/// Unwrap a replay result inside a test: a rejection here is a test
+/// failure, not an expected condition.
+template <typename T> T take(Expected<T> E) {
+  if (!E) {
+    ADD_FAILURE() << "unexpected replay rejection: "
+                  << E.error().renderWithKind();
+    return T{};
+  }
+  return E.takeValue();
+}
 
 /// Worker count for the "parallel" side of every comparison. Forced
 /// above the machine's core count on purpose: oversubscription maximizes
@@ -231,10 +243,11 @@ TEST(ParallelSuite, ReplayJobsSweepOnSharedPool) {
   std::vector<const StaticPredictor *> Preds{&LoopRand, &Heuristic,
                                              &Perfect};
 
-  std::vector<SequenceHistogram> J1 = replayTraceAll(*Run->Trace, Preds, 1);
+  std::vector<SequenceHistogram> J1 =
+      take(replayTraceAll(*Run->Trace, Preds, 1));
   for (unsigned Jobs : {2u, 4u, 8u}) {
     std::vector<SequenceHistogram> JN =
-        replayTraceAll(*Run->Trace, Preds, Jobs);
+        take(replayTraceAll(*Run->Trace, Preds, Jobs));
     ASSERT_EQ(J1.size(), JN.size());
     for (size_t P = 0; P < J1.size(); ++P) {
       EXPECT_EQ(J1[P].NumSequences, JN[P].NumSequences) << Jobs;
@@ -244,6 +257,70 @@ TEST(ParallelSuite, ReplayJobsSweepOnSharedPool) {
       EXPECT_EQ(J1[P].BranchExecs, JN[P].BranchExecs) << Jobs;
     }
   }
+}
+
+/// Metrics are updated from pool worker threads (replay passes, pool
+/// task counters, per-workload run records); this test runs in the TSan
+/// leg, so it is the data-race check for the whole metrics layer. The
+/// counts themselves must also be exact: N workers hammering one
+/// counter via parallelFor lose nothing, and a suite run under metrics
+/// records every workload exactly once.
+TEST(ParallelSuite, MetricsConsistentUnderParallelFor) {
+  metrics::setEnabled(true);
+  metrics::resetAll();
+  metrics::clearRunRecords();
+
+  metrics::Counter &Hits = metrics::counter("test.parallel_hits");
+  constexpr size_t PerRound = 1000;
+  uint64_t Expected = 0;
+  for (unsigned Jobs : {1u, 2u, 4u, 8u}) {
+    parallelFor(Jobs, PerRound, [&](size_t) { Hits.add(); });
+    Expected += PerRound;
+    EXPECT_EQ(Hits.value(), Expected) << "Jobs=" << Jobs;
+  }
+
+  // Replay fan-out bumps replay.* counters from worker threads; the
+  // totals must match the serial run regardless of worker count.
+  RunOptions RO;
+  RO.CaptureTrace = true;
+  auto Run = runWorkloadOrExit(*findWorkload("treesort"), 0, {}, RO);
+  BallLarusPredictor Heuristic(*Run->Ctx);
+  LoopRandPredictor LoopRand(*Run->Ctx);
+  std::vector<const StaticPredictor *> Preds{&LoopRand, &Heuristic};
+
+  metrics::Counter &Passes = metrics::counter("replay.passes");
+  metrics::Counter &Events = metrics::counter("replay.events");
+  for (unsigned Jobs : {1u, 4u}) {
+    uint64_t P0 = Passes.value(), E0 = Events.value();
+    (void)take(replayTraceAll(*Run->Trace, Preds, Jobs));
+    uint64_t DP = Passes.value() - P0, DE = Events.value() - E0;
+    // Predictors are fused into between 1 pass (Jobs=1 runs one wide
+    // panel) and |Preds| passes (fully split across workers); every
+    // pass walks the whole trace once, whichever thread ran it.
+    EXPECT_GE(DP, 1u) << "Jobs=" << Jobs;
+    EXPECT_LE(DP, Preds.size()) << "Jobs=" << Jobs;
+    EXPECT_EQ(DE, DP * Run->Trace->numEvents()) << "Jobs=" << Jobs;
+  }
+
+  // A parallel suite run appends one RunRecord per attempted workload,
+  // from whichever thread ran it.
+  metrics::clearRunRecords();
+  SuiteOptions Opts;
+  Opts.Jobs = TestJobs;
+  SuiteReport Report = runSuite({}, Opts);
+  ASSERT_TRUE(Report.allOk()) << Report.renderFailures();
+  std::vector<metrics::RunRecord> Records = metrics::runRecords();
+  EXPECT_EQ(Records.size(), Report.Attempted);
+  std::set<std::string> Names;
+  for (const metrics::RunRecord &R : Records) {
+    EXPECT_TRUE(R.Ok) << R.Workload << ": " << R.Error;
+    Names.insert(R.Workload);
+  }
+  EXPECT_EQ(Names.size(), Records.size()) << "duplicate run records";
+
+  metrics::setEnabled(false);
+  metrics::resetAll();
+  metrics::clearRunRecords();
 }
 
 /// Back-to-back parallelFor calls reuse the shared pool (workers are

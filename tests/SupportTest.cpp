@@ -16,6 +16,7 @@
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 using namespace bpfree;
 
@@ -219,6 +220,74 @@ TEST(ThreadPoolTest, ParallelForRethrowsBodyException) {
     }
     EXPECT_TRUE(Caught) << "Jobs=" << Jobs;
   }
+}
+
+// A submit() failure mid-dispatch (queue allocation failure, simulated
+// by the debug shim) must not deadlock the completion latch: the old
+// code initialized the latch to the planned worker count and waited for
+// decrements that could never come. Every index must still run exactly
+// once — the workers that did get submitted drain the shared counter.
+TEST(ThreadPoolTest, ParallelForSurvivesSubmitFailureMidDispatch) {
+  constexpr size_t N = 64;
+  // Fail the second submit: one worker made it in, the rest did not.
+  for (int FailAfter : {1, 2}) {
+    std::vector<std::atomic<int>> Hits(N);
+    ThreadPool::debugFailSubmitAfter(FailAfter);
+    parallelFor(4, N, [&](size_t I) { ++Hits[I]; });
+    ThreadPool::debugFailSubmitAfter(-1);
+    for (size_t I = 0; I < N; ++I)
+      EXPECT_EQ(Hits[I].load(), 1) << "FailAfter=" << FailAfter
+                                   << " index " << I;
+  }
+}
+
+// When not even the first submit succeeds, parallelFor must fall back
+// to the serial loop on the calling thread — still running all N
+// bodies, and still propagating a body exception directly.
+TEST(ThreadPoolTest, ParallelForSerialFallbackWhenNoTaskSubmitted) {
+  constexpr size_t N = 32;
+  std::vector<std::atomic<int>> Hits(N);
+  std::thread::id Caller = std::this_thread::get_id();
+  ThreadPool::debugFailSubmitAfter(0);
+  parallelFor(4, N, [&](size_t I) {
+    EXPECT_EQ(std::this_thread::get_id(), Caller);
+    ++Hits[I];
+  });
+  ThreadPool::debugFailSubmitAfter(-1);
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << "index " << I;
+
+  ThreadPool::debugFailSubmitAfter(0);
+  bool Caught = false;
+  try {
+    parallelFor(4, 8, [](size_t I) {
+      if (I == 3)
+        throw std::runtime_error("body failed");
+    });
+  } catch (const std::runtime_error &E) {
+    Caught = true;
+    EXPECT_STREQ(E.what(), "body failed");
+  }
+  ThreadPool::debugFailSubmitAfter(-1);
+  EXPECT_TRUE(Caught);
+}
+
+// A body exception must still reach the caller when dispatch was also
+// degraded by a submit failure.
+TEST(ThreadPoolTest, ParallelForRethrowsBodyExceptionAfterSubmitFailure) {
+  ThreadPool::debugFailSubmitAfter(2);
+  bool Caught = false;
+  try {
+    parallelFor(4, 16, [](size_t I) {
+      if (I == 5)
+        throw std::runtime_error("body failed");
+    });
+  } catch (const std::runtime_error &E) {
+    Caught = true;
+    EXPECT_STREQ(E.what(), "body failed");
+  }
+  ThreadPool::debugFailSubmitAfter(-1);
+  EXPECT_TRUE(Caught);
 }
 
 TEST(ErrorTest, ExpectedValueAndError) {

@@ -38,6 +38,17 @@ namespace {
 /// One decoded event, for stream comparisons.
 using Event = std::tuple<uint32_t, bool, uint64_t>;
 
+/// Unwraps an Expected whose inputs the test constructed to be valid; a
+/// rejection is a test failure, reported with the diagnostic.
+template <typename T> T take(Expected<T> E) {
+  if (!E) {
+    ADD_FAILURE() << "unexpected replay rejection: "
+                  << E.error().renderWithKind();
+    return T{};
+  }
+  return E.takeValue();
+}
+
 std::vector<Event> decodeAll(const BranchTrace &T) {
   std::vector<Event> Events;
   T.forEach([&](uint32_t Idx, bool Taken, uint64_t Delta) {
@@ -170,9 +181,13 @@ TEST(BranchTrace, OverflowTruncatesAtCap) {
     T.append(1, true, IC);
   }
   EXPECT_TRUE(T.overflowed());
-  EXPECT_EQ(T.numEvents(), Appended);
+  // Counters freeze at the stored prefix: numEvents() describes the
+  // decodable stream, the truncated tail is tallied separately.
+  EXPECT_EQ(T.numEvents(), BranchTrace::ChunkWords);
+  EXPECT_EQ(T.droppedEvents(), Appended - BranchTrace::ChunkWords);
   EXPECT_EQ(T.bytes(), BranchTrace::ChunkWords * 4);
   EXPECT_EQ(decodeAll(T).size(), BranchTrace::ChunkWords);
+  EXPECT_EQ(decodeAll(T).size(), T.numEvents());
 }
 
 TEST(BranchTrace, OverflowNeverSplitsEscapeRecord) {
@@ -188,12 +203,95 @@ TEST(BranchTrace, OverflowNeverSplitsEscapeRecord) {
   IC += 1ull << 33;
   T.append(0x99999u, false, IC);
   EXPECT_TRUE(T.overflowed());
+  // The rolled-back escape is one dropped event, and the stored count
+  // excludes it — numEvents() and the decoded stream agree.
+  EXPECT_EQ(T.numEvents(), BranchTrace::ChunkWords - 2);
+  EXPECT_EQ(T.droppedEvents(), 1u);
   std::vector<Event> Decoded = decodeAll(T);
   ASSERT_EQ(Decoded.size(), BranchTrace::ChunkWords - 2);
   for (const auto &[Idx, Taken, Delta] : Decoded) {
     EXPECT_EQ(Idx, 1u);
     EXPECT_EQ(Delta, 1u);
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Runtime validation: unsound traces are rejected, not walked
+//===----------------------------------------------------------------------===//
+
+/// Replay guards are runtime checks, not asserts: these tests hold in
+/// release builds too, where an assert would compile out and the replay
+/// loop would walk a truncated or unterminated stream.
+TEST(TraceReplay, RejectsUnfinalizedTrace) {
+  auto M = anyModule();
+  BranchTrace T(*M);
+  T.append(1, true, 1);
+  // No finalize(): the trailing sequence has no defined end.
+  ASSERT_TRUE(validateTraceForReplay(T).has_value());
+  EXPECT_EQ(validateTraceForReplay(T)->Kind, ErrorKind::InvalidArgument);
+
+  Expected<std::vector<uint8_t>> Dirs = perfectDirectionsFromTrace(T);
+  ASSERT_FALSE(Dirs.hasValue());
+  EXPECT_EQ(Dirs.error().Kind, ErrorKind::InvalidArgument);
+
+  std::vector<uint8_t> Zeros(flatBlockOffsets(*M).back(), 0);
+  Expected<SequenceHistogram> H = replayTrace(T, Zeros);
+  ASSERT_FALSE(H.hasValue());
+  EXPECT_EQ(H.error().Kind, ErrorKind::InvalidArgument);
+
+  Expected<std::vector<SequenceHistogram>> Fused =
+      replayTraceFused(T, {&Zeros});
+  ASSERT_FALSE(Fused.hasValue());
+  EXPECT_EQ(Fused.error().Kind, ErrorKind::InvalidArgument);
+
+  std::vector<std::vector<uint8_t>> DirsVec{Zeros};
+  Expected<std::vector<SequenceHistogram>> All =
+      replayTraceAll(T, std::move(DirsVec));
+  ASSERT_FALSE(All.hasValue());
+  EXPECT_EQ(All.error().Kind, ErrorKind::InvalidArgument);
+}
+
+TEST(TraceReplay, RejectsOverflowedTrace) {
+  auto M = anyModule();
+  BranchTrace T(*M, BranchTrace::ChunkWords * 4);
+  uint64_t IC = 0;
+  for (size_t I = 0; I < BranchTrace::ChunkWords + 5; ++I) {
+    IC += 1;
+    T.append(1, true, IC);
+  }
+  T.finalize(IC);
+  ASSERT_TRUE(T.overflowed());
+  // Finalized but truncated: the stored stream is a prefix, so replay
+  // must refuse it — the diagnostic names the stored and dropped counts.
+  std::optional<Diag> D = validateTraceForReplay(T);
+  ASSERT_TRUE(D.has_value());
+  EXPECT_EQ(D->Kind, ErrorKind::InvalidArgument);
+  EXPECT_NE(D->Message.find("truncated"), std::string::npos);
+
+  Expected<std::vector<uint8_t>> Dirs = perfectDirectionsFromTrace(T);
+  ASSERT_FALSE(Dirs.hasValue());
+  EXPECT_EQ(Dirs.error().Kind, ErrorKind::InvalidArgument);
+
+  std::vector<uint8_t> Zeros(flatBlockOffsets(*M).back(), 0);
+  Expected<SequenceHistogram> H = replayTrace(T, Zeros);
+  ASSERT_FALSE(H.hasValue());
+  EXPECT_EQ(H.error().Kind, ErrorKind::InvalidArgument);
+}
+
+TEST(TraceReplay, RejectsMisSizedDirectionArray) {
+  auto M = anyModule();
+  BranchTrace T(*M);
+  T.append(1, true, 1);
+  T.finalize(1);
+  ASSERT_FALSE(validateTraceForReplay(T).has_value());
+  std::vector<uint8_t> Wrong(3, 0); // module has far more blocks
+  Expected<SequenceHistogram> H = replayTrace(T, Wrong);
+  ASSERT_FALSE(H.hasValue());
+  EXPECT_EQ(H.error().Kind, ErrorKind::InvalidArgument);
+  Expected<std::vector<SequenceHistogram>> Fused =
+      replayTraceFused(T, {&Wrong});
+  ASSERT_FALSE(Fused.hasValue());
+  EXPECT_EQ(Fused.error().Kind, ErrorKind::InvalidArgument);
 }
 
 //===----------------------------------------------------------------------===//
@@ -236,7 +334,7 @@ TEST(TraceReplay, DifferentialAcrossSuite) {
     EXPECT_EQ(decodeAll(Direct), decodeAll(Virtual));
 
     std::vector<SequenceHistogram> Replayed =
-        replayTraceAll(Direct, Panel.All);
+        take(replayTraceAll(Direct, Panel.All));
     ASSERT_EQ(Replayed.size(), Panel.All.size());
     for (size_t P = 0; P < Panel.All.size(); ++P)
       expectHistogramsEqual(Collector.histograms()[P], Replayed[P],
@@ -252,10 +350,10 @@ TEST(TraceReplay, JobsSweepBitIdentical) {
   auto Run = runWorkloadOrExit(*findWorkload("treesort"), 0, {}, RO);
   PredictorPanel Panel(*Run->Ctx, *Run->Profile);
   std::vector<SequenceHistogram> J1 =
-      replayTraceAll(*Run->Trace, Panel.All, 1);
+      take(replayTraceAll(*Run->Trace, Panel.All, 1));
   for (unsigned Jobs : {2u, 4u}) {
     std::vector<SequenceHistogram> JN =
-        replayTraceAll(*Run->Trace, Panel.All, Jobs);
+        take(replayTraceAll(*Run->Trace, Panel.All, Jobs));
     ASSERT_EQ(J1.size(), JN.size());
     for (size_t P = 0; P < J1.size(); ++P)
       expectHistogramsEqual(J1[P], JN[P],
@@ -276,7 +374,7 @@ TEST(TraceReplay, PerfectDirectionsMatchProfileDerived) {
     RO.CaptureTrace = true;
     auto Run = runWorkloadOrExit(*findWorkload(Name), 0, {}, RO);
     PerfectPredictor Perfect(*Run->Profile);
-    EXPECT_EQ(perfectDirectionsFromTrace(*Run->Trace),
+    EXPECT_EQ(take(perfectDirectionsFromTrace(*Run->Trace)),
               predictorDirections(*Run->M, Perfect));
   }
 }
@@ -306,13 +404,13 @@ TEST(Driver, ProfileOffCapturesTraceOnly) {
 
   PredictorPanel Panel(*Full->Ctx, *Full->Profile);
   std::vector<SequenceHistogram> ViaPredictors =
-      replayTraceAll(*Full->Trace, Panel.All);
+      take(replayTraceAll(*Full->Trace, Panel.All));
   // Same panel order, but every direction array resolved without the
   // profile — Perfect's from the trace itself.
   std::vector<std::vector<uint8_t>> Dirs;
   Dirs.push_back(predictorDirections(*Bare->M, LoopRandPredictor(*Bare->Ctx)));
   Dirs.push_back(predictorDirections(*Bare->M, BallLarusPredictor(*Bare->Ctx)));
-  Dirs.push_back(perfectDirectionsFromTrace(*Bare->Trace));
+  Dirs.push_back(take(perfectDirectionsFromTrace(*Bare->Trace)));
   Dirs.push_back(predictorDirections(*Bare->M, AlwaysTakenPredictor()));
   Dirs.push_back(predictorDirections(*Bare->M, AlwaysFallthruPredictor()));
   Dirs.push_back(predictorDirections(*Bare->M, RandomPredictor()));
@@ -320,7 +418,7 @@ TEST(Driver, ProfileOffCapturesTraceOnly) {
     Dirs.push_back(
         predictorDirections(*Bare->M, SingleHeuristicPredictor(*Bare->Ctx, K)));
   std::vector<SequenceHistogram> ViaDirs =
-      replayTraceAll(*Bare->Trace, std::move(Dirs));
+      take(replayTraceAll(*Bare->Trace, std::move(Dirs)));
   ASSERT_EQ(ViaPredictors.size(), ViaDirs.size());
   for (size_t P = 0; P < ViaDirs.size(); ++P)
     expectHistogramsEqual(ViaPredictors[P], ViaDirs[P],
@@ -357,7 +455,8 @@ TEST(TraceReplay, FaultInjectedRunsStayBitIdentical) {
       Collector.finalize(R.InstrCount);
       Trace.finalize(R.InstrCount);
 
-      std::vector<SequenceHistogram> Replayed = replayTraceAll(Trace, Preds);
+      std::vector<SequenceHistogram> Replayed =
+          take(replayTraceAll(Trace, Preds));
       for (size_t P = 0; P < Preds.size(); ++P)
         expectHistogramsEqual(Collector.histograms()[P], Replayed[P],
                               Preds[P]->name());
