@@ -14,6 +14,7 @@
 #ifndef BPFREE_BENCH_BENCHCOMMON_H
 #define BPFREE_BENCH_BENCHCOMMON_H
 
+#include "ipbc/Attribution.h"
 #include "support/Manifest.h"
 #include "support/Metrics.h"
 #include "support/TablePrinter.h"
@@ -117,6 +118,103 @@ template <typename T> T takeOrExit(Expected<T> E, const char *What) {
   }
   return E.takeValue();
 }
+
+// Forward declaration; defined below MetricsSession/takeOrExit.
+class SuiteCache;
+
+/// Per-binary provenance/attribution wiring, shared by the suite
+/// benches: recognizes `--explain[=N]` (print the per-heuristic
+/// attribution table and top-N misprediction hotspots for each
+/// explained workload; N defaults to 10) and `--explain-json FILE`
+/// (also write the bpfree-explain-v1 document; implies --explain).
+/// Both flags are consumed from argv, like MetricsSession's.
+///
+/// Suite benches explain several workloads in one process, so the
+/// JSON path is per-workload: the workload name is inserted before
+/// the extension (`out.json` -> `out.treesort.json`). Use the
+/// tools/bpfree_explain CLI for single-workload documents at an
+/// exact path.
+class ExplainSession {
+public:
+  ExplainSession(int &Argc, char **Argv) {
+    int Out = 1;
+    for (int I = 1; I < Argc; ++I) {
+      std::string Arg = Argv[I];
+      if (Arg == "--explain") {
+        Enabled = true;
+      } else if (Arg.rfind("--explain=", 0) == 0) {
+        Enabled = true;
+        TopN = std::strtoul(Arg.c_str() + std::strlen("--explain="),
+                            nullptr, 10);
+      } else if (Arg == "--explain-json" ||
+                 Arg.rfind("--explain-json=", 0) == 0) {
+        Enabled = true;
+        if (size_t Eq = Arg.find('='); Eq != std::string::npos) {
+          JsonPath = Arg.substr(Eq + 1);
+        } else if (I + 1 < Argc) {
+          JsonPath = Argv[++I];
+        } else {
+          std::fprintf(stderr,
+                       "bpfree: --explain-json requires a path argument\n");
+          std::exit(2);
+        }
+      } else {
+        Argv[Out++] = Argv[I];
+      }
+    }
+    Argc = Out;
+    Argv[Argc] = nullptr;
+  }
+
+  bool enabled() const { return Enabled; }
+
+  /// Explains \p Run, which must carry a captured trace: prints the
+  /// attribution report to stdout and writes the JSON document when
+  /// requested. No-op unless --explain/--explain-json was given.
+  void explainRun(const WorkloadRun &Run) {
+    if (!Enabled)
+      return;
+    ExplainOptions EO;
+    EO.Workload = Run.W->Name;
+    EO.Dataset = Run.dataset().Name;
+    ExplainReport R =
+        takeOrExit(explainTrace(*Run.Ctx, *Run.Trace, EO), "explain");
+    std::cout << renderExplainReport(R, TopN);
+    if (!JsonPath.empty()) {
+      const std::string Path = pathForWorkload(JsonPath, Run.W->Name);
+      if (!writeExplainJson(R, Path)) {
+        std::fprintf(stderr, "bpfree: cannot write explain JSON to %s\n",
+                     Path.c_str());
+        std::exit(1);
+      }
+      std::fprintf(stderr, "bpfree: explain JSON written to %s\n",
+                   Path.c_str());
+    }
+  }
+
+  /// Trace-captures (\p Name, \p Dataset) through \p Cache, explains
+  /// it, and releases the trace — for benches that otherwise run
+  /// profile-only and have no trace to reuse. Defined after SuiteCache.
+  inline void explainWorkload(SuiteCache &Cache, const std::string &Name,
+                              size_t Dataset = 0);
+
+private:
+  /// `report.json` + `treesort` -> `report.treesort.json`; a path with
+  /// no extension just gets `.treesort` appended.
+  static std::string pathForWorkload(const std::string &Path,
+                                     const std::string &Workload) {
+    const size_t Slash = Path.find_last_of('/');
+    const size_t Dot = Path.find_last_of('.');
+    if (Dot == std::string::npos ||
+        (Slash != std::string::npos && Dot < Slash))
+      return Path + "." + Workload;
+    return Path.substr(0, Dot) + "." + Workload + Path.substr(Dot);
+  }
+
+  bool Enabled = false;
+  size_t TopN = 10;
+  std::string JsonPath;
+};
 
 /// Prints the standard banner naming the regenerated artifact.
 inline void banner(const std::string &Artifact, const std::string &Note) {
@@ -235,6 +333,15 @@ private:
   std::map<std::pair<std::string, size_t>, std::unique_ptr<WorkloadRun>>
       TraceRuns;
 };
+
+inline void ExplainSession::explainWorkload(SuiteCache &Cache,
+                                            const std::string &Name,
+                                            size_t Dataset) {
+  if (!Enabled)
+    return;
+  explainRun(*Cache.traceRun(Name, Dataset));
+  Cache.releaseTrace(Name, Dataset);
+}
 
 /// "26" / "3.1" style percentage of a [0,1] fraction.
 inline std::string pct(double Fraction) {

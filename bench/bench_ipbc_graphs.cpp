@@ -44,7 +44,8 @@ double curveAt(const std::vector<std::pair<uint64_t, double>> &Curve,
   return Last;
 }
 
-void analyzeWorkload(SuiteCache &Cache, const Workload &W) {
+void analyzeWorkload(SuiteCache &Cache, ExplainSession &Explain,
+                     const Workload &W) {
   std::fprintf(stderr, "  [ipbc] %s...\n", W.Name.c_str());
   // One interpretation captures the packed branch trace (its only
   // instrumentation); every predictor below is evaluated by replaying
@@ -115,6 +116,9 @@ void analyzeWorkload(SuiteCache &Cache, const Workload &W) {
                  "length when the break distribution is skewed.\n";
   }
   std::cout << "\n";
+  // Under --explain, attribute this workload's mispredictions while the
+  // captured trace is still resident — no second interpretation needed.
+  Explain.explainRun(*Run);
   // Fully replayed; drop the packed events so peak memory stays one
   // workload's trace, not the whole set's.
   Cache.releaseTrace(W.Name);
@@ -124,6 +128,7 @@ void analyzeWorkload(SuiteCache &Cache, const Workload &W) {
 
 int main(int argc, char **argv) {
   bpfree::bench::MetricsSession Session(argc, argv, "bench_ipbc_graphs");
+  bpfree::bench::ExplainSession Explain(argc, argv);
   (void)argc;
   (void)argv;
   banner("Graphs 4-11 — instructions per break in control",
@@ -142,7 +147,7 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "bpfree: missing workload %s\n", Name);
       return 1;
     }
-    analyzeWorkload(Cache, *W);
+    analyzeWorkload(Cache, Explain, *W);
   }
 
   std::cout << "Paper reference shape: Heuristic sits between Loop+Rand "

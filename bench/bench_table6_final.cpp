@@ -24,6 +24,7 @@ using namespace bpfree::bench;
 
 int main(int argc, char **argv) {
   bpfree::bench::MetricsSession Session(argc, argv, "bench_table6_final");
+  bpfree::bench::ExplainSession Explain(argc, argv);
   (void)argc;
   (void)argv;
   banner("Tables 6-7 — final results of the combined predictor",
@@ -100,6 +101,17 @@ int main(int argc, char **argv) {
   addAccRows("all", AccAll);
   addAccRows("most", AccMost);
   S.print(std::cout);
+
+  // Under --explain, attribute each workload's mispredictions to the
+  // deciding heuristic. The table above is profile-based (no traces),
+  // so this captures a trace per workload, explaining and releasing
+  // one at a time to bound peak memory.
+  if (Explain.enabled()) {
+    std::cout << "\n";
+    SuiteCache TraceCache;
+    for (const auto &Run : Runs)
+      Explain.explainWorkload(TraceCache, Run->W->Name, Run->DatasetIndex);
+  }
 
   std::cout << "\nPaper reference (Table 7, all): non-loop heuristics "
                "~26%, +Default ~29/10, All ~20/8, Loop+Rand ~30/8, NL "

@@ -55,6 +55,17 @@ run_plain() {
     echo "error: perturbed manifest passed the regression check" >&2
     exit 1
   fi
+
+  # Attribution smoke + schema gate: explain one workload, keep the
+  # bpfree-explain-v1 document next to the run manifest, and re-read it
+  # through the validator (required keys, non-negative counts, bucket-sum
+  # conservation). docs/explain.md describes the document.
+  echo "== bpfree_explain: treesort attribution -> build/EXPLAIN_CI.json"
+  "${REPO_ROOT}/build/tools/bpfree_explain" --workload treesort \
+    --json "${REPO_ROOT}/build/EXPLAIN_CI.json"
+  echo "== bpfree_explain --validate: schema gate"
+  "${REPO_ROOT}/build/tools/bpfree_explain" \
+    --validate "${REPO_ROOT}/build/EXPLAIN_CI.json"
 }
 
 # TSan wants the threaded code paths, not the whole (serial-dominated)

@@ -869,6 +869,11 @@ private:
   /// Emits control flow transferring to \p TrueB when \p E is true.
   /// This is where the MIPS-style branch opcode selection happens.
   void genBranch(const Expr &E, BasicBlock *TrueB, BasicBlock *FalseB) {
+    // Every conditional branch lowered below carries the line of the
+    // condition (sub)expression that decided it; short-circuit operands
+    // re-stamp on recursion, so each emitted branch gets its own line.
+    Builder->setSrcLine(E.Line);
+
     // !e: swap targets.
     if (E.Kind == ExprKind::Unary && E.UOp == UnOp::Not)
       return genBranch(*E.Lhs, FalseB, TrueB);

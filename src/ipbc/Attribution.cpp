@@ -1,0 +1,329 @@
+//===- ipbc/Attribution.cpp - Misprediction attribution and explain -------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ipbc/Attribution.h"
+
+#include "support/Json.h"
+#include "support/TablePrinter.h"
+#include "vm/Decode.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+
+using namespace bpfree;
+
+namespace {
+
+const char *SchemaName = "bpfree-explain-v1";
+
+} // namespace
+
+Expected<ExplainReport> bpfree::explainTrace(const PredictionContext &Ctx,
+                                             const BranchTrace &Trace,
+                                             const ExplainOptions &Opts) {
+  const ir::Module &M = Trace.getModule();
+  if (&Ctx.getModule() != &M)
+    return Diag(ErrorKind::InvalidArgument,
+                "explainTrace: the prediction context analyzes a "
+                "different module than the trace captured");
+
+  // Static half of the join: predict every branch once with a sink
+  // attached. predictorDirections is the canonical whole-module walk,
+  // so provenance capture reuses it — the direction array falls out for
+  // free and feeds the replay below.
+  BallLarusPredictor P(Ctx, Opts.Order, Opts.Config, Opts.Default,
+                       Opts.DefaultSeed);
+  ProvenanceMap Prov(M);
+  P.setProvenanceSink(&Prov);
+  const std::vector<uint8_t> Dirs = predictorDirections(M, P);
+  P.setProvenanceSink(nullptr);
+
+  // Dynamic half: one per-site counting pass over the event stream.
+  Expected<std::vector<SiteCounts>> Counts = replaySiteCounts(Trace, Dirs);
+  if (!Counts)
+    return Counts.takeError();
+
+  ExplainReport R;
+  R.Workload = Opts.Workload;
+  R.Dataset = Opts.Dataset;
+  R.Predictor = P.name();
+  R.Order = orderToString(Opts.Order);
+  R.TotalInstrs = Trace.totalInstrs();
+  for (unsigned B = 0; B < NumAttrBuckets; ++B)
+    R.Buckets[B].Name = attrBucketName(B);
+
+  for (uint32_t Idx = 0; Idx < Counts->size(); ++Idx) {
+    const BranchProvenance *PR = Prov.get(Idx);
+    const SiteCounts &C = (*Counts)[Idx];
+    if (!PR) {
+      // Only conditional branches appear in the trace, and provenance
+      // covers every conditional branch of the module.
+      assert(C.execs() == 0 && "trace event on an unpredicted block");
+      continue;
+    }
+    BucketStats &B = R.Buckets[PR->Bucket];
+    ++B.StaticSites;
+    B.Execs += C.execs();
+    B.Mispredicts += C.Mispredicts;
+    R.BranchExecs += C.execs();
+    R.Mispredicts += C.Mispredicts;
+    if (C.Mispredicts > 0) {
+      HotspotEntry H;
+      H.FlatIndex = Idx;
+      H.Function = PR->BB->getParent()->getName();
+      H.Block = PR->BB->getName();
+      H.SrcLine = PR->SrcLine;
+      H.Bucket = attrBucketName(PR->Bucket);
+      H.Predicted = PR->Chosen;
+      H.Taken = C.Taken;
+      H.Fallthru = C.Fallthru;
+      H.Mispredicts = C.Mispredicts;
+      R.Hotspots.push_back(std::move(H));
+    }
+  }
+  std::sort(R.Hotspots.begin(), R.Hotspots.end(),
+            [](const HotspotEntry &A, const HotspotEntry &B) {
+              if (A.Mispredicts != B.Mispredicts)
+                return A.Mispredicts > B.Mispredicts;
+              return A.FlatIndex < B.FlatIndex;
+            });
+  return R;
+}
+
+std::string bpfree::renderExplainReport(const ExplainReport &R,
+                                        size_t TopN) {
+  std::string Out;
+  char Buf[256];
+  Out += "explain: " + (R.Workload.empty() ? "<trace>" : R.Workload);
+  if (!R.Dataset.empty())
+    Out += " / " + R.Dataset;
+  Out += "  predictor=" + R.Predictor;
+  if (!R.Order.empty())
+    Out += " (" + R.Order + ")";
+  std::snprintf(Buf, sizeof(Buf),
+                "\n  %llu instrs, %llu branch execs, %llu mispredicts "
+                "(%.2f%% miss)\n\n",
+                static_cast<unsigned long long>(R.TotalInstrs),
+                static_cast<unsigned long long>(R.BranchExecs),
+                static_cast<unsigned long long>(R.Mispredicts),
+                R.BranchExecs == 0
+                    ? 0.0
+                    : 100.0 * static_cast<double>(R.Mispredicts) /
+                          static_cast<double>(R.BranchExecs));
+  Out += Buf;
+
+  TablePrinter T(
+      {"Bucket", "Sites", "Execs", "Mispredicts", "Correct", "Share"});
+  for (unsigned B = 0; B < NumAttrBuckets; ++B) {
+    const BucketStats &S = R.Buckets[B];
+    char Correct[32], Share[32];
+    if (S.Execs == 0)
+      std::snprintf(Correct, sizeof(Correct), "-");
+    else
+      std::snprintf(Correct, sizeof(Correct), "%.1f%%",
+                    100.0 * S.correctRate());
+    std::snprintf(Share, sizeof(Share), "%.1f%%",
+                  100.0 * R.mispredictShare(B));
+    T.addRow({S.Name, std::to_string(S.StaticSites),
+              std::to_string(S.Execs), std::to_string(S.Mispredicts),
+              Correct, Share});
+  }
+  std::ostringstream TableOS;
+  T.print(TableOS);
+  Out += TableOS.str();
+
+  Out += "\ntop mispredicted branches:\n";
+  if (R.Hotspots.empty())
+    Out += "  (none — every executed branch was predicted correctly)\n";
+  const size_t N = std::min(TopN, R.Hotspots.size());
+  for (size_t I = 0; I < N; ++I) {
+    const HotspotEntry &H = R.Hotspots[I];
+    std::string Where = H.Function + ":" + H.Block;
+    if (H.SrcLine > 0)
+      Where += " (line " + std::to_string(H.SrcLine) + ")";
+    std::snprintf(
+        Buf, sizeof(Buf),
+        "  #%zu  %-40s %8llu miss  [%s, predicted %s; taken %llu, "
+        "fell thru %llu]\n",
+        I + 1, Where.c_str(),
+        static_cast<unsigned long long>(H.Mispredicts), H.Bucket.c_str(),
+        H.Predicted == DirTaken ? "taken" : "fallthru",
+        static_cast<unsigned long long>(H.Taken),
+        static_cast<unsigned long long>(H.Fallthru));
+    Out += Buf;
+  }
+  if (R.Hotspots.size() > N) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "  ... and %zu more mispredicted sites\n",
+                  R.Hotspots.size() - N);
+    Out += Buf;
+  }
+  return Out;
+}
+
+bool bpfree::writeExplainJson(const ExplainReport &R,
+                              const std::string &Path, size_t TopN) {
+  std::FILE *Out = std::fopen(Path.c_str(), "w");
+  if (!Out)
+    return false;
+  std::fprintf(Out, "{\n");
+  std::fprintf(Out, "  \"schema\": \"%s\",\n", SchemaName);
+  std::fprintf(Out, "  \"workload\": \"%s\",\n",
+               json::escape(R.Workload).c_str());
+  std::fprintf(Out, "  \"dataset\": \"%s\",\n",
+               json::escape(R.Dataset).c_str());
+  std::fprintf(Out, "  \"predictor\": \"%s\",\n",
+               json::escape(R.Predictor).c_str());
+  std::fprintf(Out, "  \"order\": \"%s\",\n", json::escape(R.Order).c_str());
+  std::fprintf(Out, "  \"total_instrs\": %llu,\n",
+               static_cast<unsigned long long>(R.TotalInstrs));
+  std::fprintf(Out, "  \"branch_execs\": %llu,\n",
+               static_cast<unsigned long long>(R.BranchExecs));
+  std::fprintf(Out, "  \"mispredicts\": %llu,\n",
+               static_cast<unsigned long long>(R.Mispredicts));
+  std::fprintf(Out, "  \"buckets\": [\n");
+  for (unsigned B = 0; B < NumAttrBuckets; ++B) {
+    const BucketStats &S = R.Buckets[B];
+    std::fprintf(Out,
+                 "    {\"name\": \"%s\", \"static_sites\": %llu, "
+                 "\"execs\": %llu, \"mispredicts\": %llu}%s\n",
+                 json::escape(S.Name).c_str(),
+                 static_cast<unsigned long long>(S.StaticSites),
+                 static_cast<unsigned long long>(S.Execs),
+                 static_cast<unsigned long long>(S.Mispredicts),
+                 B + 1 == NumAttrBuckets ? "" : ",");
+  }
+  std::fprintf(Out, "  ],\n");
+  const size_t N =
+      TopN == 0 ? R.Hotspots.size() : std::min(TopN, R.Hotspots.size());
+  std::fprintf(Out, "  \"hotspots\": [\n");
+  for (size_t I = 0; I < N; ++I) {
+    const HotspotEntry &H = R.Hotspots[I];
+    std::fprintf(
+        Out,
+        "    {\"flat_index\": %u, \"function\": \"%s\", "
+        "\"block\": \"%s\", \"line\": %d, \"bucket\": \"%s\", "
+        "\"predicted\": \"%s\", \"taken\": %llu, \"fallthru\": %llu, "
+        "\"mispredicts\": %llu}%s\n",
+        H.FlatIndex, json::escape(H.Function).c_str(),
+        json::escape(H.Block).c_str(), H.SrcLine,
+        json::escape(H.Bucket).c_str(),
+        H.Predicted == DirTaken ? "taken" : "fallthru",
+        static_cast<unsigned long long>(H.Taken),
+        static_cast<unsigned long long>(H.Fallthru),
+        static_cast<unsigned long long>(H.Mispredicts),
+        I + 1 == N ? "" : ",");
+  }
+  std::fprintf(Out, "  ]\n");
+  std::fprintf(Out, "}\n");
+  std::fclose(Out);
+  return true;
+}
+
+namespace {
+
+/// Validation helper: \p V must hold member \p Key as a non-negative
+/// number; writes it through \p Dst and reports the first violation.
+bool takeCount(const json::Value &V, const char *Key, uint64_t &Dst,
+               std::string &Err) {
+  const json::Value *F = V.find(Key);
+  if (!F || F->K != json::Value::Number) {
+    Err = std::string("missing numeric field '") + Key + "'";
+    return false;
+  }
+  if (F->Num < 0) {
+    Err = std::string("negative count in field '") + Key + "'";
+    return false;
+  }
+  Dst = json::asU64(F->Num);
+  return true;
+}
+
+} // namespace
+
+Expected<ExplainReport> bpfree::readExplainJson(const std::string &Path) {
+  Expected<json::Value> Parsed = json::parseFile(Path);
+  if (!Parsed)
+    return Parsed.takeError();
+  const json::Value &Root = *Parsed;
+  auto invalid = [&](const std::string &Why) {
+    return Diag(ErrorKind::InvalidArgument,
+                "'" + Path + "': " + Why);
+  };
+  if (Root.K != json::Value::Object)
+    return invalid("document is not a JSON object");
+  if (Root.str("schema") != SchemaName)
+    return invalid(std::string("not a ") + SchemaName + " document");
+  for (const char *Key : {"workload", "dataset", "predictor", "order"})
+    if (!Root.has(Key))
+      return invalid(std::string("missing field '") + Key + "'");
+
+  ExplainReport R;
+  R.Workload = Root.str("workload");
+  R.Dataset = Root.str("dataset");
+  R.Predictor = Root.str("predictor");
+  R.Order = Root.str("order");
+  std::string Err;
+  if (!takeCount(Root, "total_instrs", R.TotalInstrs, Err) ||
+      !takeCount(Root, "branch_execs", R.BranchExecs, Err) ||
+      !takeCount(Root, "mispredicts", R.Mispredicts, Err))
+    return invalid(Err);
+
+  const json::Value *Bs = Root.find("buckets");
+  if (!Bs || Bs->K != json::Value::Array)
+    return invalid("missing 'buckets' array");
+  if (Bs->Arr.size() != NumAttrBuckets)
+    return invalid("expected " + std::to_string(NumAttrBuckets) +
+                   " buckets, found " + std::to_string(Bs->Arr.size()));
+  uint64_t MispredictSum = 0;
+  for (unsigned B = 0; B < NumAttrBuckets; ++B) {
+    const json::Value &V = Bs->Arr[B];
+    BucketStats &S = R.Buckets[B];
+    S.Name = V.str("name");
+    if (S.Name != attrBucketName(B))
+      return invalid("bucket " + std::to_string(B) + " is named '" +
+                     S.Name + "', expected '" + attrBucketName(B) + "'");
+    if (!takeCount(V, "static_sites", S.StaticSites, Err) ||
+        !takeCount(V, "execs", S.Execs, Err) ||
+        !takeCount(V, "mispredicts", S.Mispredicts, Err))
+      return invalid("bucket '" + S.Name + "': " + Err);
+    if (S.Mispredicts > S.Execs)
+      return invalid("bucket '" + S.Name +
+                     "' has more mispredicts than executions");
+    MispredictSum += S.Mispredicts;
+  }
+  if (MispredictSum != R.Mispredicts)
+    return invalid(
+        "conservation violated: bucket mispredicts sum to " +
+        std::to_string(MispredictSum) + " but the report total is " +
+        std::to_string(R.Mispredicts));
+
+  const json::Value *Hs = Root.find("hotspots");
+  if (!Hs || Hs->K != json::Value::Array)
+    return invalid("missing 'hotspots' array");
+  for (const json::Value &V : Hs->Arr) {
+    HotspotEntry H;
+    uint64_t Flat = 0;
+    if (!takeCount(V, "flat_index", Flat, Err) ||
+        !takeCount(V, "taken", H.Taken, Err) ||
+        !takeCount(V, "fallthru", H.Fallthru, Err) ||
+        !takeCount(V, "mispredicts", H.Mispredicts, Err))
+      return invalid("hotspot: " + Err);
+    H.FlatIndex = static_cast<uint32_t>(Flat);
+    H.Function = V.str("function");
+    H.Block = V.str("block");
+    H.SrcLine = static_cast<int>(V.num("line"));
+    H.Bucket = V.str("bucket");
+    H.Predicted = V.str("predicted") == "fallthru" ? DirFallthru : DirTaken;
+    if (H.Mispredicts > H.Taken + H.Fallthru)
+      return invalid("hotspot " + std::to_string(H.FlatIndex) +
+                     " has more mispredicts than executions");
+    R.Hotspots.push_back(std::move(H));
+  }
+  return R;
+}

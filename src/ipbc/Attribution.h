@@ -1,0 +1,140 @@
+//===- ipbc/Attribution.h - Misprediction attribution and explain -*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The explain layer: joins static prediction provenance
+/// (predict/Provenance.h — which rule decided each branch) against a
+/// captured BranchTrace (vm/BranchTrace.h — what each branch actually
+/// did) to charge every executed branch and every misprediction to its
+/// deciding attribution bucket. The result answers the questions the
+/// aggregate metrics cannot:
+///
+///  * the dynamic analogue of the paper's Table 3 — per heuristic, how
+///    many branch executions it decided, how accurate it was, and what
+///    share of all mispredicts it is paying for;
+///  * a misprediction hotspot list — the few static branches driving
+///    most breaks in control, with source locations and per-site
+///    taken / not-taken counts;
+///  * a machine-readable bpfree-explain-v1 JSON document for tooling
+///    (tools/bpfree_explain.cpp, scripts/ci.sh's schema gate).
+///
+/// Conservation invariant, enforced by readExplainJson and the test
+/// suite: the per-bucket mispredicts sum to the report total, which
+/// equals the replay histogram's Breaks for the same trace and
+/// predictor — attribution never loses or double-counts a miss. This
+/// holds because every static branch lands in exactly one bucket (the
+/// default policy has its own — see DefaultBucket) and replaySiteCounts
+/// partitions the event stream by flat block index.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_IPBC_ATTRIBUTION_H
+#define BPFREE_IPBC_ATTRIBUTION_H
+
+#include "ipbc/TraceReplay.h"
+#include "predict/Predictors.h"
+#include "predict/Provenance.h"
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace bpfree {
+
+/// One attribution bucket's line in the dynamic Table 3.
+struct BucketStats {
+  std::string Name;         ///< attrBucketName — the JSON key
+  uint64_t StaticSites = 0; ///< static branches this bucket decided
+  uint64_t Execs = 0;       ///< dynamic executions of those branches
+  uint64_t Mispredicts = 0;
+
+  /// Fraction of this bucket's executions predicted correctly (1.0 for
+  /// an unexercised bucket, matching the paper's convention of leaving
+  /// inapplicable cells blank rather than charging them).
+  double correctRate() const {
+    return Execs == 0
+               ? 1.0
+               : static_cast<double>(Execs - Mispredicts) /
+                     static_cast<double>(Execs);
+  }
+};
+
+/// One entry of the misprediction hotspot list.
+struct HotspotEntry {
+  uint32_t FlatIndex = 0;
+  std::string Function;
+  std::string Block;
+  int SrcLine = 0;      ///< 0 when the IR carries no source lines
+  std::string Bucket;   ///< deciding bucket's name
+  Direction Predicted = DirTaken;
+  uint64_t Taken = 0;
+  uint64_t Fallthru = 0;
+  uint64_t Mispredicts = 0;
+};
+
+/// The joined attribution result for one (workload, trace, predictor).
+struct ExplainReport {
+  std::string Workload; ///< "" when not produced through the driver
+  std::string Dataset;
+  std::string Predictor; ///< StaticPredictor::name()
+  std::string Order;     ///< orderToString of the cascade, "" otherwise
+  uint64_t TotalInstrs = 0;
+  uint64_t BranchExecs = 0;
+  uint64_t Mispredicts = 0; ///< == sum of Buckets[*].Mispredicts
+  std::array<BucketStats, NumAttrBuckets> Buckets;
+  /// Every executed branch site charged at least one mispredict, sorted
+  /// by Mispredicts descending, flat index ascending on ties — the
+  /// full list; renderers truncate to their top-N.
+  std::vector<HotspotEntry> Hotspots;
+
+  /// Bucket \p B's share of all mispredicts (0 when there were none).
+  double mispredictShare(unsigned B) const {
+    return Mispredicts == 0
+               ? 0.0
+               : static_cast<double>(Buckets[B].Mispredicts) /
+                     static_cast<double>(Mispredicts);
+  }
+};
+
+/// Options for explainTrace.
+struct ExplainOptions {
+  HeuristicOrder Order = paperOrder();
+  HeuristicConfig Config = {};
+  DefaultPolicy Default = DefaultPolicy::Random;
+  uint64_t DefaultSeed = 0;
+  /// Workload/dataset labels copied into the report (informational).
+  std::string Workload;
+  std::string Dataset;
+};
+
+/// Runs the full attribution join for the combined (Ball-Larus)
+/// predictor over \p Trace: captures provenance for every static branch
+/// of the trace's module under \p Ctx, replays the trace into per-site
+/// counts, and charges each site's executions and mispredicts to its
+/// deciding bucket. \p Ctx must analyze the trace's module. Rejects
+/// unsound traces like every replay entry point.
+Expected<ExplainReport> explainTrace(const PredictionContext &Ctx,
+                                     const BranchTrace &Trace,
+                                     const ExplainOptions &Opts = {});
+
+/// Renders the human-readable report: the per-bucket accuracy table
+/// followed by the top \p TopN hotspots with source locations.
+std::string renderExplainReport(const ExplainReport &R, size_t TopN = 10);
+
+/// Writes \p R as a bpfree-explain-v1 JSON document (hotspots truncated
+/// to \p TopN, 0 = all). \returns false when the file cannot be opened.
+bool writeExplainJson(const ExplainReport &R, const std::string &Path,
+                      size_t TopN = 0);
+
+/// Reads and validates a bpfree-explain-v1 document: schema tag, the
+/// required keys, per-bucket and per-hotspot counts, and the
+/// conservation invariant (bucket mispredicts sum to the total). The
+/// lightweight schema check scripts/ci.sh runs on its build artifact.
+Expected<ExplainReport> readExplainJson(const std::string &Path);
+
+} // namespace bpfree
+
+#endif // BPFREE_IPBC_ATTRIBUTION_H

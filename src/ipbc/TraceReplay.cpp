@@ -139,6 +139,36 @@ bpfree::replayTrace(const BranchTrace &Trace,
   return H;
 }
 
+Expected<std::vector<SiteCounts>>
+bpfree::replaySiteCounts(const BranchTrace &Trace,
+                         const std::vector<uint8_t> &Dirs) {
+  if (std::optional<Diag> D = validateTraceForReplay(Trace))
+    return *std::move(D);
+  const size_t Blocks = flatBlockOffsets(Trace.getModule()).back();
+  if (Dirs.size() != Blocks)
+    return dirSizeDiag(Dirs.size(), Blocks);
+  std::vector<SiteCounts> Counts(Blocks);
+  SiteCounts *C = Counts.data();
+  const uint8_t *D = Dirs.data();
+  Trace.forEach([&](uint32_t Idx, bool Taken, uint64_t) {
+    SiteCounts &S = C[Idx];
+    if (Taken)
+      ++S.Taken;
+    else
+      ++S.Fallthru;
+    if (D[Idx] != static_cast<uint8_t>(Taken ? DirTaken : DirFallthru))
+      ++S.Mispredicts;
+  });
+  if (metrics::enabled()) {
+    static metrics::Counter &Passes =
+        metrics::counter("replay.site_passes");
+    static metrics::Counter &Events = metrics::counter("replay.events");
+    Passes.add();
+    Events.add(Trace.numEvents());
+  }
+  return Counts;
+}
+
 namespace {
 
 /// The fused replay kernel, shared by replayTraceFused (which validates

@@ -97,6 +97,28 @@ replayTraceAll(const BranchTrace &Trace,
                const std::vector<const StaticPredictor *> &Predictors,
                unsigned Jobs = 0);
 
+/// Per-branch-site dynamic counts from one replay pass: how often the
+/// site went each way, and how often the given predictor missed it.
+struct SiteCounts {
+  uint64_t Taken = 0;
+  uint64_t Fallthru = 0;
+  uint64_t Mispredicts = 0;
+
+  uint64_t execs() const { return Taken + Fallthru; }
+};
+
+/// Replays \p Trace against one direction array, counting outcomes per
+/// flat block index instead of sequencing them — the join key the
+/// attribution layer (ipbc/Attribution.h) charges mispredictions with.
+/// The result has one entry per flat block; sum of Mispredicts over all
+/// sites equals replayTrace's histogram Breaks for the same inputs, and
+/// sum of execs() equals its BranchExecs. A separate, deliberately
+/// simple decode pass: the fused bit-row fast path stays untouched, and
+/// per-site counting is only paid when a caller asks to explain a
+/// trace. Rejects unsound traces and mis-sized arrays like replayTrace.
+Expected<std::vector<SiteCounts>>
+replaySiteCounts(const BranchTrace &Trace, const std::vector<uint8_t> &Dirs);
+
 /// replayTraceAll over pre-resolved direction arrays (one per
 /// predictor, in result order). This is the entry point when a
 /// direction array does not come from a StaticPredictor instance —

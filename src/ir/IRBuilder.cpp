@@ -170,6 +170,7 @@ void IRBuilder::condBranch(BranchOp Op, Reg Lhs, Reg Rhs, BasicBlock *Taken,
   T.Rhs = Rhs;
   T.Taken = Taken;
   T.Fallthru = Fallthru;
+  T.SrcLine = SrcLine;
 }
 
 void IRBuilder::flagBranch(BranchOp Op, BasicBlock *Taken,
@@ -180,6 +181,7 @@ void IRBuilder::flagBranch(BranchOp Op, BasicBlock *Taken,
   T.BOp = Op;
   T.Taken = Taken;
   T.Fallthru = Fallthru;
+  T.SrcLine = SrcLine;
 }
 
 void IRBuilder::ret() { setTerm(TermKind::Return); }

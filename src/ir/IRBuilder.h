@@ -51,6 +51,11 @@ public:
   /// type-aware variant).
   void markPointerCompare();
 
+  /// Source line stamped onto conditional branches emitted from here on
+  /// (Terminator::SrcLine); 0 clears the annotation. The frontend sets
+  /// this from the condition expression before lowering each branch.
+  void setSrcLine(int Line) { SrcLine = Line; }
+
   // Integer ALU, register and immediate forms.
   Reg binop(Opcode Op, Reg A, Reg B);
   Reg binopImm(Opcode Op, Reg A, int64_t Imm);
@@ -92,6 +97,7 @@ private:
 
   Function *F;
   BasicBlock *Cur = nullptr;
+  int SrcLine = 0;
 };
 
 } // namespace ir

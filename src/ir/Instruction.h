@@ -118,6 +118,12 @@ struct Terminator {
   /// be improved by incorporating type information" available to a
   /// compiler; the type-aware Pointer heuristic variant consumes this.
   bool PointerCompare = false;
+  /// 1-based source line of the condition expression this branch was
+  /// compiled from, 0 for hand-built IR. Debug metadata only: never
+  /// printed, parsed, or consulted by any analysis — it exists so the
+  /// explain layer (predict/Provenance) can report hotspot branches by
+  /// source location instead of flat block index.
+  int SrcLine = 0;
 
   bool isCondBranch() const { return Kind == TermKind::CondBranch; }
 

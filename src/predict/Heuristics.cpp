@@ -33,6 +33,14 @@ const char *bpfree::heuristicName(HeuristicKind K) {
   reportFatalError("unknown heuristic kind");
 }
 
+std::optional<HeuristicKind>
+bpfree::heuristicFromName(const std::string &Name) {
+  for (HeuristicKind K : AllHeuristics)
+    if (Name == heuristicName(K))
+      return K;
+  return std::nullopt;
+}
+
 namespace {
 
 /// Maximum unconditional-jump chain length followed by the "passes

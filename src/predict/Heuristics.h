@@ -53,8 +53,17 @@ constexpr std::array<HeuristicKind, NumHeuristics> AllHeuristics = {
     HeuristicKind::Return, HeuristicKind::Guard, HeuristicKind::Store,
     HeuristicKind::Pointer};
 
-/// \returns the paper's name for \p K ("Opcode", "Point", ...).
+/// \returns the paper's Table 3 column name for \p K: "Opcode", "Loop",
+/// "Call", "Return", "Guard", "Store" — and "Point" (not "Pointer") for
+/// HeuristicKind::Pointer, the paper's abbreviation. These strings are a
+/// stable external interface: the explain layer keys its
+/// bpfree-explain-v1 JSON buckets by them, so renaming one is a schema
+/// change. heuristicFromName() inverts the mapping.
 const char *heuristicName(HeuristicKind K);
+
+/// Inverse of heuristicName: \returns the kind whose stable name is
+/// \p Name ("Point" for Pointer), or nullopt for an unknown string.
+std::optional<HeuristicKind> heuristicFromName(const std::string &Name);
 
 /// Knobs for the heuristic variants studied in the benches.
 struct HeuristicConfig {

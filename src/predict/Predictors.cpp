@@ -6,6 +6,8 @@
 
 #include "predict/Predictors.h"
 
+#include "predict/Provenance.h"
+
 #include <cassert>
 
 using namespace bpfree;
@@ -60,6 +62,8 @@ Direction RandomPredictor::predict(const BasicBlock &BB) const {
 Direction BallLarusPredictor::predict(const BasicBlock &BB) const {
   assert(BB.isCondBranch() && "predicting a non-branch");
   const FunctionContext &FC = Ctx.get(BB);
+  if (Sink) [[unlikely]]
+    return predictRecording(BB, FC);
 
   // Loop branches get the loop predictor (Section 3).
   if (FC.Loops.isLoopBranch(&BB))
@@ -81,6 +85,57 @@ Direction BallLarusPredictor::predict(const BasicBlock &BB) const {
   return DirTaken;
 }
 
+/// The sink-attached twin of predict(): the same decision procedure,
+/// but it narrates — which rule decided, who declined first, and what
+/// else would have applied. Kept as a separate function so the common
+/// sink-less path above stays a pure early-exit cascade.
+Direction
+BallLarusPredictor::predictRecording(const BasicBlock &BB,
+                                     const FunctionContext &FC) const {
+  BranchProvenance P;
+  P.BB = &BB;
+  if (BB.hasTerminator())
+    P.SrcLine = BB.terminator().SrcLine;
+  P.AppliesMask = applyAllHeuristics(BB, FC, Config).first;
+  P.IsLoopBranch = FC.Loops.isLoopBranch(&BB);
+
+  if (P.IsLoopBranch) {
+    P.Bucket = LoopBucket;
+    P.Chosen =
+        FC.Loops.predictLoopBranch(&BB) == 0 ? DirTaken : DirFallthru;
+    Sink->onPrediction(P);
+    return P.Chosen;
+  }
+
+  int Pos = 0;
+  for (HeuristicKind K : Order) {
+    if (std::optional<Direction> D = applyHeuristic(K, BB, FC, Config)) {
+      P.Bucket = static_cast<unsigned>(K);
+      P.Priority = Pos;
+      P.Chosen = *D;
+      Sink->onPrediction(P);
+      return P.Chosen;
+    }
+    P.DeclinedMask |= static_cast<uint8_t>(1u << static_cast<unsigned>(K));
+    ++Pos;
+  }
+
+  P.Bucket = DefaultBucket;
+  switch (Default) {
+  case DefaultPolicy::Random:
+    P.Chosen = RandomPredictor::flip(BB, DefaultSeed);
+    break;
+  case DefaultPolicy::Taken:
+    P.Chosen = DirTaken;
+    break;
+  case DefaultPolicy::Fallthru:
+    P.Chosen = DirFallthru;
+    break;
+  }
+  Sink->onPrediction(P);
+  return P.Chosen;
+}
+
 std::optional<HeuristicKind>
 BallLarusPredictor::responsibleHeuristic(const BasicBlock &BB) const {
   const FunctionContext &FC = Ctx.get(BB);
@@ -95,9 +150,27 @@ BallLarusPredictor::responsibleHeuristic(const BasicBlock &BB) const {
 Direction SingleHeuristicPredictor::predict(const BasicBlock &BB) const {
   assert(BB.isCondBranch() && "predicting a non-branch");
   const FunctionContext &FC = Ctx.get(BB);
-  if (std::optional<Direction> D = applyHeuristic(K, BB, FC, Config))
-    return *D;
-  return RandomPredictor::flip(BB, Seed);
+  std::optional<Direction> D = applyHeuristic(K, BB, FC, Config);
+  const Direction Chosen = D ? *D : RandomPredictor::flip(BB, Seed);
+  if (Sink) [[unlikely]] {
+    BranchProvenance P;
+    P.BB = &BB;
+    if (BB.hasTerminator())
+      P.SrcLine = BB.terminator().SrcLine;
+    P.IsLoopBranch = FC.Loops.isLoopBranch(&BB);
+    P.AppliesMask = applyAllHeuristics(BB, FC, Config).first;
+    if (D) {
+      P.Bucket = static_cast<unsigned>(K);
+      P.Priority = 0;
+    } else {
+      P.Bucket = DefaultBucket;
+      P.DeclinedMask =
+          static_cast<uint8_t>(1u << static_cast<unsigned>(K));
+    }
+    P.Chosen = Chosen;
+    Sink->onPrediction(P);
+  }
+  return Chosen;
 }
 
 std::string SingleHeuristicPredictor::name() const {

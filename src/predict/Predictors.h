@@ -34,6 +34,8 @@
 
 namespace bpfree {
 
+class ProvenanceSink;
+
 /// A heuristic priority order for the combined predictor.
 using HeuristicOrder = std::array<HeuristicKind, NumHeuristics>;
 
@@ -129,12 +131,24 @@ public:
   const HeuristicOrder &getOrder() const { return Order; }
   const HeuristicConfig &getConfig() const { return Config; }
 
+  /// Attaches \p S to receive a BranchProvenance record per predict()
+  /// call (null detaches). With no sink — the default — predict() takes
+  /// its original early-exit path, so unobserved prediction costs
+  /// nothing extra; with a sink it additionally evaluates every
+  /// heuristic for the record's AppliesMask. Decisions are identical
+  /// either way.
+  void setProvenanceSink(ProvenanceSink *S) { Sink = S; }
+
 private:
+  Direction predictRecording(const ir::BasicBlock &BB,
+                             const FunctionContext &FC) const;
+
   const PredictionContext &Ctx;
   HeuristicOrder Order;
   HeuristicConfig Config;
   DefaultPolicy Default;
   uint64_t DefaultSeed;
+  ProvenanceSink *Sink = nullptr;
 };
 
 /// One heuristic in isolation: applies heuristic \p K where it fires and
@@ -151,11 +165,17 @@ public:
   Direction predict(const ir::BasicBlock &BB) const override;
   std::string name() const override;
 
+  /// Same opt-in recording as BallLarusPredictor::setProvenanceSink:
+  /// the record's bucket is heuristic \p K where it fires and
+  /// DefaultBucket on the coin-flip fallback.
+  void setProvenanceSink(ProvenanceSink *S) { Sink = S; }
+
 private:
   const PredictionContext &Ctx;
   HeuristicKind K;
   HeuristicConfig Config;
   uint64_t Seed;
+  ProvenanceSink *Sink = nullptr;
 };
 
 /// Baseline of Section 6: the loop predictor on loop branches and a

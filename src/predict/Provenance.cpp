@@ -1,0 +1,39 @@
+//===- predict/Provenance.cpp - Per-branch prediction provenance ----------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "predict/Provenance.h"
+
+#include "vm/BranchTrace.h"
+
+#include <cassert>
+
+using namespace bpfree;
+
+const char *bpfree::attrBucketName(unsigned B) {
+  if (B < NumHeuristics)
+    return heuristicName(static_cast<HeuristicKind>(B));
+  if (B == LoopBucket)
+    return "LoopPred";
+  assert(B == DefaultBucket && "unknown attribution bucket");
+  return "Default";
+}
+
+ProvenanceSink::~ProvenanceSink() = default;
+
+ProvenanceMap::ProvenanceMap(const ir::Module &M)
+    : M(M), Offsets(flatBlockOffsets(M)), Records(Offsets.back()) {}
+
+void ProvenanceMap::onPrediction(const BranchProvenance &P) {
+  assert(P.BB && "provenance record without a block");
+  const ir::Function *F = P.BB->getParent();
+  assert(F->getParent() == &M && "record from a different module");
+  const uint32_t Flat = Offsets[F->getIndex()] + P.BB->getId();
+  assert(Flat < Records.size() && "flat index out of range");
+  if (!Records[Flat].BB)
+    ++NumRecorded;
+  Records[Flat] = P;
+  Records[Flat].FlatIndex = Flat;
+}

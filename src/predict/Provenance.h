@@ -1,0 +1,137 @@
+//===- predict/Provenance.h - Per-branch prediction provenance -*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "why" behind every static prediction. The combined predictor
+/// answers predict(BB) with a bare Direction; for debugging a heuristic
+/// ordering or reading a misprediction report, that is not enough — one
+/// needs to know *which* rule decided the branch (loop predictor, which
+/// heuristic at which priority, or the default policy), which
+/// higher-priority heuristics looked and declined, and where the branch
+/// lives in the source program.
+///
+/// A BranchProvenance records exactly that, captured at prediction time
+/// through an opt-in ProvenanceSink: predictors keep their fast path
+/// unchanged when no sink is attached (the common case — suite runs,
+/// replay panels, benches), and walk the slightly costlier
+/// record-everything path only while a sink is listening. Provenance is
+/// entirely static — it depends only on the module and the predictor
+/// configuration, never on an execution — so capturing it once per
+/// module is enough for any number of trace replays
+/// (ipbc/Attribution.h joins it against captured traces).
+///
+/// Attribution buckets: the 7 heuristics plus two pseudo-buckets, the
+/// loop predictor (LoopBucket) and the default policy (DefaultBucket).
+/// The default gets its own bucket deliberately: folding its sites into
+/// any heuristic would make per-heuristic mispredict shares sum to less
+/// than 100% on workloads where no heuristic applies to some branch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_PREDICT_PROVENANCE_H
+#define BPFREE_PREDICT_PROVENANCE_H
+
+#include "predict/Heuristics.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace bpfree {
+
+/// Attribution bucket indices: 0..NumHeuristics-1 are the HeuristicKind
+/// values themselves, then the two pseudo-buckets.
+constexpr unsigned LoopBucket = NumHeuristics;       ///< loop predictor
+constexpr unsigned DefaultBucket = NumHeuristics + 1; ///< default policy
+constexpr unsigned NumAttrBuckets = NumHeuristics + 2;
+
+/// \returns the stable name of attribution bucket \p B: the heuristic
+/// name ("Point", ...) for heuristic buckets, "LoopPred" and "Default"
+/// for the pseudo-buckets. Like heuristicName, these strings key the
+/// bpfree-explain-v1 JSON document and must not change.
+const char *attrBucketName(unsigned B);
+
+/// Why one conditional branch was predicted the way it was.
+struct BranchProvenance {
+  const ir::BasicBlock *BB = nullptr;
+  /// Module-wide dense block index (DecodedBlock::FlatIndex); filled by
+  /// the sink, which knows the module's flat offsets — predictors only
+  /// see one block at a time.
+  uint32_t FlatIndex = 0;
+  /// Terminator::SrcLine of the branch, 0 for hand-built IR.
+  int SrcLine = 0;
+  /// The branch is a loop branch (decided by the loop predictor when
+  /// the combined predictor made this prediction).
+  bool IsLoopBranch = false;
+  /// Deciding attribution bucket: a HeuristicKind value, LoopBucket, or
+  /// DefaultBucket.
+  unsigned Bucket = DefaultBucket;
+  /// Position of the deciding heuristic in the predictor's priority
+  /// order (0 = highest); -1 for the loop predictor, the default, and
+  /// single-heuristic predictors.
+  int Priority = -1;
+  /// Heuristics that were consulted before the decision and declined —
+  /// for the combined predictor, exactly the order positions above
+  /// Priority (bit = HeuristicKind). On the default path this is every
+  /// heuristic in the order.
+  uint8_t DeclinedMask = 0;
+  /// Every heuristic that applies to this branch regardless of order
+  /// (applyAllHeuristics), including lower-priority ones the cascade
+  /// never reached. DeclinedMask ∩ AppliesMask == ∅ by construction.
+  uint8_t AppliesMask = 0;
+  /// The direction the predictor chose — always identical to what
+  /// predict(BB) returns for the same configuration.
+  Direction Chosen = DirTaken;
+
+  /// The deciding heuristic; only meaningful when Bucket < NumHeuristics.
+  HeuristicKind deciding() const {
+    return static_cast<HeuristicKind>(Bucket);
+  }
+};
+
+/// Receiver of provenance records. Attach to a predictor with
+/// setProvenanceSink; every subsequent predict() call emits one record.
+/// Implementations need not be thread-safe — capture runs are
+/// single-threaded (predictorDirections walks blocks serially).
+class ProvenanceSink {
+public:
+  virtual ~ProvenanceSink();
+  virtual void onPrediction(const BranchProvenance &P) = 0;
+};
+
+/// The standard sink: stores the latest record per branch, keyed by the
+/// module-wide flat block index (which it computes — predictors leave
+/// FlatIndex 0). Re-predicting a branch overwrites its record, so the
+/// map always reflects the most recent capture pass.
+class ProvenanceMap : public ProvenanceSink {
+public:
+  explicit ProvenanceMap(const ir::Module &M);
+
+  void onPrediction(const BranchProvenance &P) override;
+
+  /// \returns the record for \p FlatIndex, or nullptr when the block was
+  /// never predicted (non-branch blocks, or capture did not run).
+  const BranchProvenance *get(uint32_t FlatIndex) const {
+    if (FlatIndex >= Records.size() || !Records[FlatIndex].BB)
+      return nullptr;
+    return &Records[FlatIndex];
+  }
+
+  /// Number of branches with a record.
+  size_t numRecords() const { return NumRecorded; }
+  /// Total flat-index slots (the module's block count).
+  size_t numSlots() const { return Records.size(); }
+  const ir::Module &getModule() const { return M; }
+
+private:
+  const ir::Module &M;
+  std::vector<uint32_t> Offsets; ///< flatBlockOffsets(M)
+  std::vector<BranchProvenance> Records; ///< by flat index; BB null = none
+  size_t NumRecorded = 0;
+};
+
+} // namespace bpfree
+
+#endif // BPFREE_PREDICT_PROVENANCE_H

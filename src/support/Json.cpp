@@ -1,0 +1,247 @@
+//===- support/Json.cpp - Minimal JSON reading and writing ----------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace bpfree;
+using json::Value;
+
+namespace {
+
+/// Recursive-descent parser over the document subset our writers emit.
+class Parser {
+public:
+  Parser(const char *Begin, const char *End) : P(Begin), E(End) {}
+
+  bool parse(Value &Out) { return value(Out) && (ws(), P == E); }
+
+private:
+  const char *P;
+  const char *E;
+
+  void ws() {
+    while (P != E && std::isspace(static_cast<unsigned char>(*P)))
+      ++P;
+  }
+  bool lit(const char *S, size_t N) {
+    if (static_cast<size_t>(E - P) < N || std::strncmp(P, S, N) != 0)
+      return false;
+    P += N;
+    return true;
+  }
+
+  bool value(Value &Out) {
+    ws();
+    if (P == E)
+      return false;
+    switch (*P) {
+    case '{':
+      return object(Out);
+    case '[':
+      return array(Out);
+    case '"':
+      Out.K = Value::String;
+      return string(Out.Str);
+    case 't':
+      Out.K = Value::Bool;
+      Out.B = true;
+      return lit("true", 4);
+    case 'f':
+      Out.K = Value::Bool;
+      Out.B = false;
+      return lit("false", 5);
+    case 'n':
+      Out.K = Value::Null;
+      return lit("null", 4);
+    default:
+      return number(Out);
+    }
+  }
+
+  bool object(Value &Out) {
+    Out.K = Value::Object;
+    ++P; // '{'
+    ws();
+    if (P != E && *P == '}') {
+      ++P;
+      return true;
+    }
+    for (;;) {
+      ws();
+      std::string Key;
+      if (P == E || *P != '"' || !string(Key))
+        return false;
+      ws();
+      if (P == E || *P != ':')
+        return false;
+      ++P;
+      Value V;
+      if (!value(V))
+        return false;
+      Out.Obj.emplace_back(std::move(Key), std::move(V));
+      ws();
+      if (P == E)
+        return false;
+      if (*P == ',') {
+        ++P;
+        continue;
+      }
+      if (*P == '}') {
+        ++P;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool array(Value &Out) {
+    Out.K = Value::Array;
+    ++P; // '['
+    ws();
+    if (P != E && *P == ']') {
+      ++P;
+      return true;
+    }
+    for (;;) {
+      Value V;
+      if (!value(V))
+        return false;
+      Out.Arr.push_back(std::move(V));
+      ws();
+      if (P == E)
+        return false;
+      if (*P == ',') {
+        ++P;
+        continue;
+      }
+      if (*P == ']') {
+        ++P;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool string(std::string &Out) {
+    ++P; // '"'
+    Out.clear();
+    while (P != E && *P != '"') {
+      if (*P == '\\') {
+        if (++P == E)
+          return false;
+        switch (*P) {
+        case '"':
+          Out += '"';
+          break;
+        case '\\':
+          Out += '\\';
+          break;
+        case '/':
+          Out += '/';
+          break;
+        case 'n':
+          Out += '\n';
+          break;
+        case 't':
+          Out += '\t';
+          break;
+        case 'r':
+          Out += '\r';
+          break;
+        case 'u': {
+          if (E - P < 5)
+            return false;
+          char Hex[5] = {P[1], P[2], P[3], P[4], 0};
+          Out += static_cast<char>(std::strtoul(Hex, nullptr, 16));
+          P += 4;
+          break;
+        }
+        default:
+          return false;
+        }
+        ++P;
+      } else {
+        Out += *P++;
+      }
+    }
+    if (P == E)
+      return false;
+    ++P; // closing '"'
+    return true;
+  }
+
+  bool number(Value &Out) {
+    char *End = nullptr;
+    Out.K = Value::Number;
+    Out.Num = std::strtod(P, &End);
+    if (End == P || End > E)
+      return false;
+    P = End;
+    return true;
+  }
+};
+
+} // namespace
+
+Expected<Value> json::parse(const std::string &Text, const std::string &What) {
+  Value Root;
+  Parser P(Text.data(), Text.data() + Text.size());
+  if (!P.parse(Root))
+    return Diag(ErrorKind::InvalidArgument, "malformed " + What);
+  return Root;
+}
+
+Expected<Value> json::parseFile(const std::string &Path) {
+  std::FILE *In = std::fopen(Path.c_str(), "rb");
+  if (!In)
+    return Diag(ErrorKind::InvalidArgument, "cannot open '" + Path + "'");
+  std::string Text;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), In)) > 0)
+    Text.append(Buf, N);
+  std::fclose(In);
+  return parse(Text, "JSON in '" + Path + "'");
+}
+
+std::string json::escape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Hex[8];
+        std::snprintf(Hex, sizeof(Hex), "\\u%04x", C);
+        Out += Hex;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+uint64_t json::asU64(double D) {
+  return D <= 0 ? 0 : static_cast<uint64_t>(D + 0.5);
+}

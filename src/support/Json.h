@@ -1,0 +1,90 @@
+//===- support/Json.h - Minimal JSON reading and writing --------*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The JSON subset every machine-readable document in the project uses
+/// (run manifests, explain reports): objects, arrays, strings with the
+/// usual escapes, numbers, booleans, and null. One tree type (Value),
+/// one recursive-descent parser, and the string escaper the writers
+/// share. Writers emit JSON by hand with fprintf — the documents are
+/// flat and the code reads better next to its schema — so this header
+/// deliberately offers no serializer, only the escape helper.
+///
+/// Readers built on parse() skip unknown keys (the accessors return
+/// defaults for missing members), so older binaries tolerate newer
+/// documents — the forward-compatibility rule the manifest check and
+/// the explain validator both rely on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_SUPPORT_JSON_H
+#define BPFREE_SUPPORT_JSON_H
+
+#include "support/Error.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bpfree {
+namespace json {
+
+/// One parsed JSON value. Object members keep document order.
+struct Value {
+  enum Kind { Null, Bool, Number, String, Array, Object } K = Null;
+  bool B = false;
+  double Num = 0.0;
+  std::string Str;
+  std::vector<Value> Arr;
+  std::vector<std::pair<std::string, Value>> Obj;
+
+  /// \returns the member named \p Key, or nullptr (objects only).
+  const Value *find(const std::string &Key) const {
+    for (const auto &[K2, V] : Obj)
+      if (K2 == Key)
+        return &V;
+    return nullptr;
+  }
+  /// String member \p Key, or "" when absent or not a string.
+  std::string str(const std::string &Key) const {
+    const Value *V = find(Key);
+    return V && V->K == String ? V->Str : "";
+  }
+  /// Numeric member \p Key, or \p Default when absent or not a number.
+  double num(const std::string &Key, double Default = 0.0) const {
+    const Value *V = find(Key);
+    return V && V->K == Number ? V->Num : Default;
+  }
+  /// Boolean member \p Key; false when absent or not a boolean.
+  bool boolean(const std::string &Key) const {
+    const Value *V = find(Key);
+    return V && V->K == Bool && V->B;
+  }
+  /// True when the object has a member named \p Key (any type).
+  bool has(const std::string &Key) const { return find(Key) != nullptr; }
+};
+
+/// Parses \p Text as one JSON document. A syntax error or trailing
+/// garbage yields a Diag of kind InvalidArgument mentioning \p What.
+Expected<Value> parse(const std::string &Text,
+                      const std::string &What = "JSON document");
+
+/// Reads and parses the file at \p Path. Open failures and malformed
+/// documents yield a Diag of kind InvalidArgument.
+Expected<Value> parseFile(const std::string &Path);
+
+/// Escapes \p S for embedding in a JSON string literal (quotes not
+/// included).
+std::string escape(const std::string &S);
+
+/// Non-negative integer from a parsed number (negatives clamp to 0,
+/// halves round) — the counters every schema in the project stores.
+uint64_t asU64(double D);
+
+} // namespace json
+} // namespace bpfree
+
+#endif // BPFREE_SUPPORT_JSON_H

@@ -6,13 +6,10 @@
 
 #include "support/Manifest.h"
 
+#include "support/Json.h"
 #include "support/ThreadPool.h"
 
-#include <cctype>
-#include <cmath>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <map>
 
 #if defined(_WIN32)
@@ -29,36 +26,6 @@ using namespace bpfree;
 namespace {
 
 const char *SchemaName = "bpfree-run-manifest-v1";
-
-std::string jsonEscape(const std::string &S) {
-  std::string Out;
-  Out.reserve(S.size());
-  for (char C : S) {
-    switch (C) {
-    case '"':
-      Out += "\\\"";
-      break;
-    case '\\':
-      Out += "\\\\";
-      break;
-    case '\n':
-      Out += "\\n";
-      break;
-    case '\t':
-      Out += "\\t";
-      break;
-    default:
-      if (static_cast<unsigned char>(C) < 0x20) {
-        char Hex[8];
-        std::snprintf(Hex, sizeof(Hex), "\\u%04x", C);
-        Out += Hex;
-      } else {
-        Out += C;
-      }
-    }
-  }
-  return Out;
-}
 
 std::string platformName() {
 #if defined(__linux__)
@@ -106,12 +73,12 @@ bool bpfree::writeManifest(const Manifest &M, const std::string &Path) {
     return false;
   std::fprintf(Out, "{\n");
   std::fprintf(Out, "  \"schema\": \"%s\",\n", SchemaName);
-  std::fprintf(Out, "  \"tool\": \"%s\",\n", jsonEscape(M.Tool).c_str());
-  std::fprintf(Out, "  \"config\": \"%s\",\n", jsonEscape(M.Config).c_str());
+  std::fprintf(Out, "  \"tool\": \"%s\",\n", json::escape(M.Tool).c_str());
+  std::fprintf(Out, "  \"config\": \"%s\",\n", json::escape(M.Config).c_str());
   std::fprintf(Out,
                "  \"host\": {\"hostname\": \"%s\", \"platform\": \"%s\", "
                "\"hardware_concurrency\": %u},\n",
-               jsonEscape(M.Host).c_str(), jsonEscape(M.Platform).c_str(),
+               json::escape(M.Host).c_str(), json::escape(M.Platform).c_str(),
                M.HardwareConcurrency);
   std::fprintf(Out, "  \"total_wall_ms\": %.3f,\n", M.TotalWallMs);
   std::fprintf(Out, "  \"workloads\": [\n");
@@ -123,15 +90,18 @@ bool bpfree::writeManifest(const Manifest &M, const std::string &Path) {
         "\"error\": \"%s\", \"wall_ms\": %.3f, \"instructions\": %llu, "
         "\"branch_execs\": %llu, \"trace_events\": %llu, "
         "\"trace_dropped\": %llu, \"trace_overflowed\": %s, "
-        "\"cost_hint\": %llu, \"dispatch_order\": %d}%s\n",
-        jsonEscape(R.Workload).c_str(), jsonEscape(R.Dataset).c_str(),
-        R.Ok ? "true" : "false", jsonEscape(R.Error).c_str(), R.WallMs,
+        "\"cost_hint\": %llu, \"dispatch_order\": %d, "
+        "\"mispredicts\": %llu, \"hotspot_branch\": %lld}%s\n",
+        json::escape(R.Workload).c_str(), json::escape(R.Dataset).c_str(),
+        R.Ok ? "true" : "false", json::escape(R.Error).c_str(), R.WallMs,
         static_cast<unsigned long long>(R.Instructions),
         static_cast<unsigned long long>(R.BranchExecs),
         static_cast<unsigned long long>(R.TraceEvents),
         static_cast<unsigned long long>(R.TraceDropped),
         R.TraceOverflowed ? "true" : "false",
         static_cast<unsigned long long>(R.CostHint), R.DispatchOrder,
+        static_cast<unsigned long long>(R.Mispredicts),
+        static_cast<long long>(R.HotspotBranch),
         I + 1 == M.Workloads.size() ? "" : ",");
   }
   std::fprintf(Out, "  ],\n");
@@ -141,7 +111,7 @@ bool bpfree::writeManifest(const Manifest &M, const std::string &Path) {
     std::fprintf(Out,
                  "    {\"name\": \"%s\", \"kind\": \"%s\", "
                  "\"value\": %llu, \"count\": %llu}%s\n",
-                 jsonEscape(S.Name).c_str(), jsonEscape(S.Kind).c_str(),
+                 json::escape(S.Name).c_str(), json::escape(S.Kind).c_str(),
                  static_cast<unsigned long long>(S.Value),
                  static_cast<unsigned long long>(S.Count),
                  I + 1 == M.Metrics.size() ? "" : ",");
@@ -153,235 +123,17 @@ bool bpfree::writeManifest(const Manifest &M, const std::string &Path) {
 }
 
 //===----------------------------------------------------------------------===//
-// Reading: a minimal JSON parser for the subset writeManifest emits
-// (objects, arrays, strings with the escapes above, numbers, booleans,
-// null). Unknown keys are skipped so older readers tolerate newer
-// manifests.
+// Reading. Built on support/Json; unknown keys are skipped so older
+// readers tolerate newer manifests, and the optional fields added after
+// v1 shipped (mispredicts, hotspot_branch) default when absent.
 //===----------------------------------------------------------------------===//
 
-namespace {
-
-struct JValue {
-  enum Kind { Null, Bool, Number, String, Array, Object } K = Null;
-  bool B = false;
-  double Num = 0.0;
-  std::string Str;
-  std::vector<JValue> Arr;
-  std::vector<std::pair<std::string, JValue>> Obj;
-
-  const JValue *find(const std::string &Key) const {
-    for (const auto &[K2, V] : Obj)
-      if (K2 == Key)
-        return &V;
-    return nullptr;
-  }
-  std::string str(const std::string &Key) const {
-    const JValue *V = find(Key);
-    return V && V->K == String ? V->Str : "";
-  }
-  double num(const std::string &Key, double Default = 0.0) const {
-    const JValue *V = find(Key);
-    return V && V->K == Number ? V->Num : Default;
-  }
-  bool boolean(const std::string &Key) const {
-    const JValue *V = find(Key);
-    return V && V->K == Bool && V->B;
-  }
-};
-
-class JsonParser {
-public:
-  JsonParser(const char *Begin, const char *End) : P(Begin), E(End) {}
-
-  bool parse(JValue &Out) { return value(Out) && (ws(), P == E); }
-
-private:
-  const char *P;
-  const char *E;
-
-  void ws() {
-    while (P != E && std::isspace(static_cast<unsigned char>(*P)))
-      ++P;
-  }
-  bool lit(const char *S, size_t N) {
-    if (static_cast<size_t>(E - P) < N || std::strncmp(P, S, N) != 0)
-      return false;
-    P += N;
-    return true;
-  }
-
-  bool value(JValue &Out) {
-    ws();
-    if (P == E)
-      return false;
-    switch (*P) {
-    case '{':
-      return object(Out);
-    case '[':
-      return array(Out);
-    case '"':
-      Out.K = JValue::String;
-      return string(Out.Str);
-    case 't':
-      Out.K = JValue::Bool;
-      Out.B = true;
-      return lit("true", 4);
-    case 'f':
-      Out.K = JValue::Bool;
-      Out.B = false;
-      return lit("false", 5);
-    case 'n':
-      Out.K = JValue::Null;
-      return lit("null", 4);
-    default:
-      return number(Out);
-    }
-  }
-
-  bool object(JValue &Out) {
-    Out.K = JValue::Object;
-    ++P; // '{'
-    ws();
-    if (P != E && *P == '}') {
-      ++P;
-      return true;
-    }
-    for (;;) {
-      ws();
-      std::string Key;
-      if (P == E || *P != '"' || !string(Key))
-        return false;
-      ws();
-      if (P == E || *P != ':')
-        return false;
-      ++P;
-      JValue V;
-      if (!value(V))
-        return false;
-      Out.Obj.emplace_back(std::move(Key), std::move(V));
-      ws();
-      if (P == E)
-        return false;
-      if (*P == ',') {
-        ++P;
-        continue;
-      }
-      if (*P == '}') {
-        ++P;
-        return true;
-      }
-      return false;
-    }
-  }
-
-  bool array(JValue &Out) {
-    Out.K = JValue::Array;
-    ++P; // '['
-    ws();
-    if (P != E && *P == ']') {
-      ++P;
-      return true;
-    }
-    for (;;) {
-      JValue V;
-      if (!value(V))
-        return false;
-      Out.Arr.push_back(std::move(V));
-      ws();
-      if (P == E)
-        return false;
-      if (*P == ',') {
-        ++P;
-        continue;
-      }
-      if (*P == ']') {
-        ++P;
-        return true;
-      }
-      return false;
-    }
-  }
-
-  bool string(std::string &Out) {
-    ++P; // '"'
-    Out.clear();
-    while (P != E && *P != '"') {
-      if (*P == '\\') {
-        if (++P == E)
-          return false;
-        switch (*P) {
-        case '"':
-          Out += '"';
-          break;
-        case '\\':
-          Out += '\\';
-          break;
-        case '/':
-          Out += '/';
-          break;
-        case 'n':
-          Out += '\n';
-          break;
-        case 't':
-          Out += '\t';
-          break;
-        case 'r':
-          Out += '\r';
-          break;
-        case 'u': {
-          if (E - P < 5)
-            return false;
-          char Hex[5] = {P[1], P[2], P[3], P[4], 0};
-          Out += static_cast<char>(std::strtoul(Hex, nullptr, 16));
-          P += 4;
-          break;
-        }
-        default:
-          return false;
-        }
-        ++P;
-      } else {
-        Out += *P++;
-      }
-    }
-    if (P == E)
-      return false;
-    ++P; // closing '"'
-    return true;
-  }
-
-  bool number(JValue &Out) {
-    char *End = nullptr;
-    Out.K = JValue::Number;
-    Out.Num = std::strtod(P, &End);
-    if (End == P || End > E)
-      return false;
-    P = End;
-    return true;
-  }
-};
-
-uint64_t asU64(double D) {
-  return D <= 0 ? 0 : static_cast<uint64_t>(D + 0.5);
-}
-
-} // namespace
-
 Expected<Manifest> bpfree::readManifest(const std::string &Path) {
-  std::FILE *In = std::fopen(Path.c_str(), "rb");
-  if (!In)
-    return Diag(ErrorKind::InvalidArgument,
-                "cannot open manifest '" + Path + "'");
-  std::string Text;
-  char Buf[4096];
-  size_t N;
-  while ((N = std::fread(Buf, 1, sizeof(Buf), In)) > 0)
-    Text.append(Buf, N);
-  std::fclose(In);
-
-  JValue Root;
-  JsonParser Parser(Text.data(), Text.data() + Text.size());
-  if (!Parser.parse(Root) || Root.K != JValue::Object)
+  Expected<json::Value> Parsed = json::parseFile(Path);
+  if (!Parsed)
+    return Parsed.takeError();
+  const json::Value &Root = *Parsed;
+  if (Root.K != json::Value::Object)
     return Diag(ErrorKind::InvalidArgument,
                 "malformed manifest JSON in '" + Path + "'");
   if (Root.str("schema") != SchemaName)
@@ -392,43 +144,45 @@ Expected<Manifest> bpfree::readManifest(const std::string &Path) {
   M.Tool = Root.str("tool");
   M.Config = Root.str("config");
   M.TotalWallMs = Root.num("total_wall_ms");
-  if (const JValue *Host = Root.find("host")) {
+  if (const json::Value *Host = Root.find("host")) {
     M.Host = Host->str("hostname");
     M.Platform = Host->str("platform");
     M.HardwareConcurrency =
         static_cast<unsigned>(Host->num("hardware_concurrency"));
   }
-  if (const JValue *Ws = Root.find("workloads")) {
-    if (Ws->K != JValue::Array)
+  if (const json::Value *Ws = Root.find("workloads")) {
+    if (Ws->K != json::Value::Array)
       return Diag(ErrorKind::InvalidArgument,
                   "'workloads' is not an array in '" + Path + "'");
-    for (const JValue &W : Ws->Arr) {
+    for (const json::Value &W : Ws->Arr) {
       metrics::RunRecord R;
       R.Workload = W.str("name");
       R.Dataset = W.str("dataset");
       R.Ok = W.boolean("ok");
       R.Error = W.str("error");
       R.WallMs = W.num("wall_ms");
-      R.Instructions = asU64(W.num("instructions"));
-      R.BranchExecs = asU64(W.num("branch_execs"));
-      R.TraceEvents = asU64(W.num("trace_events"));
-      R.TraceDropped = asU64(W.num("trace_dropped"));
+      R.Instructions = json::asU64(W.num("instructions"));
+      R.BranchExecs = json::asU64(W.num("branch_execs"));
+      R.TraceEvents = json::asU64(W.num("trace_events"));
+      R.TraceDropped = json::asU64(W.num("trace_dropped"));
       R.TraceOverflowed = W.boolean("trace_overflowed");
-      R.CostHint = asU64(W.num("cost_hint"));
+      R.CostHint = json::asU64(W.num("cost_hint"));
       R.DispatchOrder = static_cast<int>(W.num("dispatch_order", -1));
+      R.Mispredicts = json::asU64(W.num("mispredicts"));
+      R.HotspotBranch = static_cast<int64_t>(W.num("hotspot_branch", -1));
       M.Workloads.push_back(std::move(R));
     }
   }
-  if (const JValue *Ms = Root.find("metrics")) {
-    if (Ms->K != JValue::Array)
+  if (const json::Value *Ms = Root.find("metrics")) {
+    if (Ms->K != json::Value::Array)
       return Diag(ErrorKind::InvalidArgument,
                   "'metrics' is not an array in '" + Path + "'");
-    for (const JValue &S : Ms->Arr) {
+    for (const json::Value &S : Ms->Arr) {
       metrics::Sample Smp;
       Smp.Name = S.str("name");
       Smp.Kind = S.str("kind");
-      Smp.Value = asU64(S.num("value"));
-      Smp.Count = asU64(S.num("count"));
+      Smp.Value = json::asU64(S.num("value"));
+      Smp.Count = json::asU64(S.num("count"));
       M.Metrics.push_back(std::move(Smp));
     }
   }

@@ -164,6 +164,15 @@ struct RunRecord {
   bool TraceOverflowed = false;
   uint64_t CostHint = 0;     ///< LPT cost estimate used for dispatch
   int DispatchOrder = -1;    ///< position in the LPT queue, -1 = serial
+  /// Combined-predictor mispredicts over this run's executed branches
+  /// (0 when the run carried no profile). Computed from the per-branch
+  /// statistics with the paper-order heuristic cascade — the same
+  /// decision procedure the explain layer attributes (ipbc/Attribution).
+  uint64_t Mispredicts = 0;
+  /// Flat block index of the branch charged the most mispredicts, -1
+  /// when no branch executed. The manifest's pointer into the explain
+  /// report's hotspot table.
+  int64_t HotspotBranch = -1;
 };
 
 /// Appends \p R to the process-wide run log (thread-safe). Like the

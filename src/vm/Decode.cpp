@@ -6,6 +6,8 @@
 
 #include "vm/Decode.h"
 
+#include "vm/BranchTrace.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -237,4 +239,35 @@ DecodedModule bpfree::decodeModule(const Module &M) {
     FlatBase += static_cast<uint32_t>(M.getFunction(I)->numBlocks());
   }
   return DM;
+}
+
+std::string BranchSite::describe() const {
+  if (!valid())
+    return "<invalid site>";
+  std::string S = F->getName() + ":" + BB->getName();
+  if (SrcLine > 0)
+    S += " (line " + std::to_string(SrcLine) + ")";
+  return S;
+}
+
+BranchSite bpfree::siteForFlatIndex(const Module &M,
+                                    const std::vector<uint32_t> &Offsets,
+                                    uint32_t FlatIndex) {
+  BranchSite Site;
+  // Offsets holds one entry per function plus the total block count, so
+  // upper_bound lands one past the owning function.
+  if (Offsets.size() < 2 || FlatIndex >= Offsets.back())
+    return Site;
+  auto It = std::upper_bound(Offsets.begin(), Offsets.end(), FlatIndex);
+  const uint32_t FuncIdx =
+      static_cast<uint32_t>(It - Offsets.begin()) - 1;
+  Site.F = M.getFunction(FuncIdx);
+  Site.BB = Site.F->getBlock(FlatIndex - Offsets[FuncIdx]);
+  if (Site.BB->hasTerminator())
+    Site.SrcLine = Site.BB->terminator().SrcLine;
+  return Site;
+}
+
+BranchSite bpfree::siteForFlatIndex(const Module &M, uint32_t FlatIndex) {
+  return siteForFlatIndex(M, flatBlockOffsets(M), FlatIndex);
 }

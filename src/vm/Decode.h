@@ -138,6 +138,31 @@ struct DecodedModule {
 /// structural errors are caught by assertions, as in the interpreter.
 DecodedModule decodeModule(const ir::Module &M);
 
+/// A module-wide flat block index resolved back to its source site — the
+/// inverse of DecodedBlock::FlatIndex, for reports that must name a
+/// branch by function and source line rather than by dense index (the
+/// explain layer's hotspot table).
+struct BranchSite {
+  const ir::Function *F = nullptr;
+  const ir::BasicBlock *BB = nullptr;
+  /// Terminator::SrcLine of the block; 0 for hand-built IR or blocks
+  /// without a conditional branch.
+  int SrcLine = 0;
+
+  bool valid() const { return BB != nullptr; }
+  /// "func:block" or "func:block (line N)" — the hotspot-report label.
+  std::string describe() const;
+};
+
+/// Maps \p FlatIndex back to its (function, block, source line) in \p M.
+/// Out-of-range indices yield an invalid site. O(log #functions) via the
+/// flat block offsets; callers resolving many indices should hold the
+/// result of flatBlockOffsets(M) themselves and reuse the overload below.
+BranchSite siteForFlatIndex(const ir::Module &M, uint32_t FlatIndex);
+BranchSite siteForFlatIndex(const ir::Module &M,
+                            const std::vector<uint32_t> &Offsets,
+                            uint32_t FlatIndex);
+
 } // namespace bpfree
 
 #endif // BPFREE_VM_DECODE_H

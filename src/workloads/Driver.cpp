@@ -54,9 +54,37 @@ void recordWorkloadRun(const Workload &W, size_t DatasetIndex,
   Rec.DispatchOrder = Opts.DispatchOrder;
   if (Run) {
     Rec.Instructions = Run->Result.InstrCount;
-    if (Run->Profile)
-      for (const BranchStats &S : Run->Stats)
+    if (Run->Profile) {
+      // Replicate the combined predictor's decision per site from the
+      // collected stats (loop predictor, then the paper-order cascade,
+      // then the random default — BallLarusPredictor's exact procedure)
+      // to charge each site its mispredicts; the worst site's flat
+      // index becomes the manifest's hotspot pointer into the explain
+      // report. First site wins ties, and stats are in flat-index
+      // order, so the choice is deterministic.
+      const std::vector<uint32_t> Offsets = flatBlockOffsets(*Run->M);
+      uint64_t WorstMisses = 0;
+      for (const BranchStats &S : Run->Stats) {
         Rec.BranchExecs += S.Taken + S.Fallthru;
+        Direction D = S.RandomDir;
+        if (S.IsLoopBranch) {
+          D = S.LoopDir;
+        } else {
+          for (HeuristicKind K : paperOrder())
+            if (S.heuristicApplies(K)) {
+              D = S.heuristicDir(K);
+              break;
+            }
+        }
+        const uint64_t Misses = S.missesFor(D);
+        Rec.Mispredicts += Misses;
+        if (Misses > WorstMisses) {
+          WorstMisses = Misses;
+          Rec.HotspotBranch =
+              Offsets[S.BB->getParent()->getIndex()] + S.BB->getId();
+        }
+      }
+    }
     if (Run->Trace) {
       Rec.TraceEvents = Run->Trace->numEvents();
       Rec.TraceDropped = Run->Trace->droppedEvents();

@@ -17,6 +17,9 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <set>
+
 using namespace bpfree;
 using namespace bpfree::ir;
 
@@ -599,6 +602,33 @@ TEST(HeuristicNames, PaperSpellings) {
   EXPECT_STREQ(heuristicName(HeuristicKind::Pointer), "Point");
   EXPECT_STREQ(heuristicName(HeuristicKind::Opcode), "Opcode");
   EXPECT_STREQ(heuristicName(HeuristicKind::Guard), "Guard");
+}
+
+/// heuristicName is a stable external interface (JSON keys, table
+/// headers, reports): every kind must have a unique, non-empty name,
+/// pinned here so a rename breaks a test instead of silently breaking
+/// downstream document consumers — and heuristicFromName must invert it.
+TEST(HeuristicNames, UniqueStableAndRoundTrip) {
+  const std::map<HeuristicKind, std::string> Expected = {
+      {HeuristicKind::Opcode, "Opcode"}, {HeuristicKind::Loop, "Loop"},
+      {HeuristicKind::Call, "Call"},     {HeuristicKind::Return, "Return"},
+      {HeuristicKind::Guard, "Guard"},   {HeuristicKind::Store, "Store"},
+      {HeuristicKind::Pointer, "Point"}};
+  ASSERT_EQ(Expected.size(), AllHeuristics.size());
+  std::set<std::string> Seen;
+  for (HeuristicKind K : AllHeuristics) {
+    const std::string Name = heuristicName(K);
+    EXPECT_EQ(Name, Expected.at(K));
+    EXPECT_TRUE(Seen.insert(Name).second) << "duplicate name " << Name;
+    std::optional<HeuristicKind> Back = heuristicFromName(Name);
+    ASSERT_TRUE(Back.has_value()) << Name;
+    EXPECT_EQ(*Back, K);
+  }
+  // The trap the doc comment warns about: the paper's spelling is
+  // "Point", so the enum spelling must not resolve.
+  EXPECT_FALSE(heuristicFromName("Pointer").has_value());
+  EXPECT_FALSE(heuristicFromName("").has_value());
+  EXPECT_FALSE(heuristicFromName("point").has_value());
 }
 
 } // namespace

@@ -203,6 +203,8 @@ Manifest sampleManifest() {
   R.WallMs = 12.25;
   R.Instructions = 123456;
   R.BranchExecs = 7890;
+  R.Mispredicts = 1234;
+  R.HotspotBranch = 57;
   R.TraceEvents = 4321;
   R.CostHint = 99;
   R.DispatchOrder = 2;
@@ -248,6 +250,8 @@ TEST_F(MetricsTest, ManifestRoundTrips) {
     EXPECT_DOUBLE_EQ(A.WallMs, B.WallMs);
     EXPECT_EQ(A.Instructions, B.Instructions);
     EXPECT_EQ(A.BranchExecs, B.BranchExecs);
+    EXPECT_EQ(A.Mispredicts, B.Mispredicts);
+    EXPECT_EQ(A.HotspotBranch, B.HotspotBranch);
     EXPECT_EQ(A.TraceEvents, B.TraceEvents);
     EXPECT_EQ(A.TraceDropped, B.TraceDropped);
     EXPECT_EQ(A.TraceOverflowed, B.TraceOverflowed);
@@ -261,6 +265,27 @@ TEST_F(MetricsTest, ManifestRoundTrips) {
     EXPECT_EQ(M.Metrics[I].Value, R.Metrics[I].Value);
     EXPECT_EQ(M.Metrics[I].Count, R.Metrics[I].Count);
   }
+}
+
+/// Manifests written before the attribution fields existed carry no
+/// "mispredicts"/"hotspot_branch" keys; the reader must default them
+/// (0 / -1, i.e. "no hotspot") instead of rejecting the document.
+TEST_F(MetricsTest, ManifestWithoutAttributionFieldsReadsDefaults) {
+  TempFile F("_old_manifest.json");
+  {
+    std::ofstream Out(F.path());
+    Out << "{\"schema\": \"bpfree-run-manifest-v1\", \"tool\": \"t\",\n"
+           " \"config\": \"\", \"total_wall_ms\": 1.0,\n"
+           " \"workloads\": [{\"workload\": \"w\", \"dataset\": \"d\",\n"
+           "   \"ok\": true, \"wall_ms\": 1.0, \"instructions\": 10,\n"
+           "   \"branch_execs\": 5}],\n"
+           " \"metrics\": []}";
+  }
+  Expected<Manifest> Read = readManifest(F.path());
+  ASSERT_TRUE(Read.hasValue()) << Read.error().renderWithKind();
+  ASSERT_EQ(Read->Workloads.size(), 1u);
+  EXPECT_EQ(Read->Workloads[0].Mispredicts, 0u);
+  EXPECT_EQ(Read->Workloads[0].HotspotBranch, -1);
 }
 
 TEST_F(MetricsTest, ReadManifestRejectsGarbage) {

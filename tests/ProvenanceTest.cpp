@@ -1,0 +1,417 @@
+//===- tests/ProvenanceTest.cpp - Prediction provenance and explain -------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The explain layer's static half: provenance capture must cover every
+/// conditional branch, agree with predict() on the chosen direction,
+/// and name the same deciding rule as responsibleHeuristic — with the
+/// declined/applies masks consistent with re-running the heuristics by
+/// hand. Plus the document side: the bpfree-explain-v1 JSON round-trips
+/// losslessly, and the validator rejects tampered documents (wrong
+/// schema, negative counts, broken conservation). The default policy's
+/// own attribution bucket is pinned by a regression test on treesort, a
+/// workload where most branch executions fall through to the default —
+/// folding it into a heuristic bucket would break the 100% share
+/// invariant.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+#include "ipbc/Attribution.h"
+#include "ipbc/TraceReplay.h"
+#include "vm/Decode.h"
+#include "workloads/Driver.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+using namespace bpfree;
+
+namespace {
+
+/// Unwraps an Expected whose inputs the test constructed to be valid.
+template <typename T> T take(Expected<T> E) {
+  if (!E) {
+    ADD_FAILURE() << "unexpected rejection: " << E.error().renderWithKind();
+    return T{};
+  }
+  return E.takeValue();
+}
+
+/// Temp-file path unique to this process; removed on destruction.
+class TempFile {
+public:
+  explicit TempFile(const std::string &Suffix)
+      : P(::testing::TempDir() + "bpfree_provenance_" +
+          std::to_string(::getpid()) + Suffix) {}
+  ~TempFile() { std::remove(P.c_str()); }
+  const std::string &path() const { return P; }
+
+private:
+  std::string P;
+};
+
+/// Compiled module + context + captured provenance for one workload.
+struct Capture {
+  std::unique_ptr<ir::Module> M;
+  std::unique_ptr<PredictionContext> Ctx;
+  std::unique_ptr<BallLarusPredictor> P;
+  std::unique_ptr<ProvenanceMap> Prov;
+  std::vector<uint8_t> Dirs;
+
+  explicit Capture(const std::string &WorkloadName) {
+    M = minic::compileOrDie(findWorkload(WorkloadName)->Source);
+    Ctx = std::make_unique<PredictionContext>(*M);
+    P = std::make_unique<BallLarusPredictor>(*Ctx);
+    Prov = std::make_unique<ProvenanceMap>(*M);
+    P->setProvenanceSink(Prov.get());
+    Dirs = predictorDirections(*M, *P);
+    P->setProvenanceSink(nullptr);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Capture coverage and consistency with the fast path
+//===----------------------------------------------------------------------===//
+
+TEST(Provenance, CoversEveryCondBranchAndOnlyThose) {
+  for (const char *Name : {"treesort", "lisp", "circuit"}) {
+    SCOPED_TRACE(Name);
+    Capture C(Name);
+    const std::vector<uint32_t> Offsets = flatBlockOffsets(*C.M);
+    size_t CondBranches = 0;
+    for (const auto &F : *C.M) {
+      for (const auto &BB : *F) {
+        const uint32_t Flat = Offsets[F->getIndex()] + BB->getId();
+        const BranchProvenance *R = C.Prov->get(Flat);
+        if (BB->isCondBranch()) {
+          ++CondBranches;
+          ASSERT_NE(R, nullptr) << BB->getName();
+          EXPECT_EQ(R->BB, BB.get());
+          EXPECT_EQ(R->FlatIndex, Flat);
+        } else {
+          EXPECT_EQ(R, nullptr) << BB->getName();
+        }
+      }
+    }
+    EXPECT_EQ(C.Prov->numRecords(), CondBranches);
+    EXPECT_EQ(C.Prov->numSlots(), Offsets.back());
+  }
+}
+
+/// The recording path must make the identical decision as the sink-less
+/// fast path (Dirs came from the recording walk; predict() afterwards
+/// runs the fast path), and every record's deciding bucket must agree
+/// with responsibleHeuristic and with re-running the cascade by hand.
+TEST(Provenance, RecordsAgreeWithFastPathAndCascade) {
+  Capture C("treesort");
+  const HeuristicOrder Order = C.P->getOrder();
+  for (uint32_t Flat = 0; Flat < C.Prov->numSlots(); ++Flat) {
+    const BranchProvenance *R = C.Prov->get(Flat);
+    if (!R)
+      continue;
+    const ir::BasicBlock &BB = *R->BB;
+    SCOPED_TRACE(BB.getParent()->getName() + ":" + BB.getName());
+    // Chosen direction: identical to the direction array and to a
+    // fresh fast-path predict().
+    EXPECT_EQ(R->Chosen, C.Dirs[Flat] ? DirFallthru : DirTaken);
+    EXPECT_EQ(R->Chosen, C.P->predict(BB));
+
+    const FunctionContext &FC = C.Ctx->get(BB);
+    EXPECT_EQ(R->IsLoopBranch, FC.Loops.isLoopBranch(&BB));
+    // Masks never overlap: a declined heuristic by definition did not
+    // apply.
+    EXPECT_EQ(R->DeclinedMask & R->AppliesMask, 0u);
+    EXPECT_EQ(R->AppliesMask,
+              applyAllHeuristics(BB, FC, C.P->getConfig()).first);
+
+    if (R->IsLoopBranch) {
+      // The loop predictor decides before any heuristic is consulted.
+      EXPECT_EQ(R->Bucket, LoopBucket);
+      EXPECT_EQ(R->Priority, -1);
+      EXPECT_EQ(R->DeclinedMask, 0u);
+      continue;
+    }
+    std::optional<HeuristicKind> Responsible = C.P->responsibleHeuristic(BB);
+    if (R->Bucket < NumHeuristics) {
+      ASSERT_TRUE(Responsible.has_value());
+      EXPECT_EQ(*Responsible, R->deciding());
+      ASSERT_GE(R->Priority, 0);
+      ASSERT_LT(static_cast<unsigned>(R->Priority), NumHeuristics);
+      EXPECT_EQ(Order[R->Priority], R->deciding());
+      EXPECT_NE(R->AppliesMask &
+                    (1u << static_cast<unsigned>(R->deciding())),
+                0u);
+      // The declined set is exactly the higher-priority order prefix.
+      uint8_t Expected = 0;
+      for (int Pos = 0; Pos < R->Priority; ++Pos)
+        Expected |= 1u << static_cast<unsigned>(Order[Pos]);
+      EXPECT_EQ(R->DeclinedMask, Expected);
+    } else {
+      // Default bucket: the whole cascade declined, so nothing applies.
+      EXPECT_EQ(R->Bucket, DefaultBucket);
+      EXPECT_FALSE(Responsible.has_value());
+      EXPECT_EQ(R->Priority, -1);
+      EXPECT_EQ(R->AppliesMask, 0u);
+      uint8_t AllOrdered = 0;
+      for (HeuristicKind K : Order)
+        AllOrdered |= 1u << static_cast<unsigned>(K);
+      EXPECT_EQ(R->DeclinedMask, AllOrdered);
+    }
+  }
+}
+
+/// MiniC-compiled branches carry their source line into the provenance
+/// record (Terminator::SrcLine), and the flat index resolves back to the
+/// same site through siteForFlatIndex.
+TEST(Provenance, SrcLinesAndSiteRoundTrip) {
+  Capture C("treesort");
+  size_t WithLine = 0;
+  for (uint32_t Flat = 0; Flat < C.Prov->numSlots(); ++Flat) {
+    const BranchProvenance *R = C.Prov->get(Flat);
+    if (!R)
+      continue;
+    EXPECT_EQ(R->SrcLine, R->BB->terminator().SrcLine);
+    WithLine += R->SrcLine > 0 ? 1 : 0;
+    BranchSite Site = siteForFlatIndex(*C.M, Flat);
+    ASSERT_TRUE(Site.valid());
+    EXPECT_EQ(Site.BB, R->BB);
+    EXPECT_EQ(Site.F, R->BB->getParent());
+    EXPECT_EQ(Site.SrcLine, R->SrcLine);
+  }
+  // The frontend stamps every genBranch; a compiled workload's branches
+  // all have real line numbers.
+  EXPECT_EQ(WithLine, C.Prov->numRecords());
+  EXPECT_GT(WithLine, 0u);
+  // Out-of-range indices resolve to an invalid site, never a crash.
+  EXPECT_FALSE(
+      siteForFlatIndex(*C.M, static_cast<uint32_t>(C.Prov->numSlots()))
+          .valid());
+}
+
+/// SingleHeuristicPredictor provenance: bucket K where the heuristic
+/// fires, DefaultBucket (with K declined) on the coin-flip fallback.
+TEST(Provenance, SingleHeuristicBuckets) {
+  auto M = minic::compileOrDie(findWorkload("treesort")->Source);
+  PredictionContext Ctx(*M);
+  const std::vector<uint32_t> Offsets = flatBlockOffsets(*M);
+  for (HeuristicKind K : {HeuristicKind::Opcode, HeuristicKind::Pointer}) {
+    SCOPED_TRACE(heuristicName(K));
+    SingleHeuristicPredictor P(Ctx, K);
+    ProvenanceMap Prov(*M);
+    P.setProvenanceSink(&Prov);
+    std::vector<uint8_t> Dirs = predictorDirections(*M, P);
+    P.setProvenanceSink(nullptr);
+    for (uint32_t Flat = 0; Flat < Prov.numSlots(); ++Flat) {
+      const BranchProvenance *R = Prov.get(Flat);
+      if (!R)
+        continue;
+      EXPECT_EQ(R->Chosen, Dirs[Flat] ? DirFallthru : DirTaken);
+      const bool Applied =
+          (R->AppliesMask & (1u << static_cast<unsigned>(K))) != 0;
+      if (Applied) {
+        EXPECT_EQ(R->Bucket, static_cast<unsigned>(K));
+        EXPECT_EQ(R->DeclinedMask, 0u);
+      } else {
+        EXPECT_EQ(R->Bucket, DefaultBucket);
+        EXPECT_EQ(R->DeclinedMask, 1u << static_cast<unsigned>(K));
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The bpfree-explain-v1 document
+//===----------------------------------------------------------------------===//
+
+TEST(ExplainJson, WriteReadRoundTrip) {
+  RunOptions RO;
+  RO.CaptureTrace = true;
+  RO.Profile = false;
+  auto Run = runWorkloadOrExit(*findWorkload("treesort"), 0, {}, RO);
+  ExplainOptions EO;
+  EO.Workload = "treesort";
+  EO.Dataset = Run->dataset().Name;
+  ExplainReport R = take(explainTrace(*Run->Ctx, *Run->Trace, EO));
+
+  TempFile F("_explain.json");
+  ASSERT_TRUE(writeExplainJson(R, F.path()));
+  ExplainReport Read = take(readExplainJson(F.path()));
+
+  EXPECT_EQ(Read.Workload, R.Workload);
+  EXPECT_EQ(Read.Dataset, R.Dataset);
+  EXPECT_EQ(Read.Predictor, R.Predictor);
+  EXPECT_EQ(Read.Order, R.Order);
+  EXPECT_EQ(Read.TotalInstrs, R.TotalInstrs);
+  EXPECT_EQ(Read.BranchExecs, R.BranchExecs);
+  EXPECT_EQ(Read.Mispredicts, R.Mispredicts);
+  for (unsigned B = 0; B < NumAttrBuckets; ++B) {
+    EXPECT_EQ(Read.Buckets[B].Name, R.Buckets[B].Name);
+    EXPECT_EQ(Read.Buckets[B].StaticSites, R.Buckets[B].StaticSites);
+    EXPECT_EQ(Read.Buckets[B].Execs, R.Buckets[B].Execs);
+    EXPECT_EQ(Read.Buckets[B].Mispredicts, R.Buckets[B].Mispredicts);
+  }
+  ASSERT_EQ(Read.Hotspots.size(), R.Hotspots.size());
+  for (size_t I = 0; I < R.Hotspots.size(); ++I) {
+    const HotspotEntry &A = R.Hotspots[I];
+    const HotspotEntry &B = Read.Hotspots[I];
+    EXPECT_EQ(A.FlatIndex, B.FlatIndex);
+    EXPECT_EQ(A.Function, B.Function);
+    EXPECT_EQ(A.Block, B.Block);
+    EXPECT_EQ(A.SrcLine, B.SrcLine);
+    EXPECT_EQ(A.Bucket, B.Bucket);
+    EXPECT_EQ(A.Predicted, B.Predicted);
+    EXPECT_EQ(A.Taken, B.Taken);
+    EXPECT_EQ(A.Fallthru, B.Fallthru);
+    EXPECT_EQ(A.Mispredicts, B.Mispredicts);
+  }
+
+  // Truncated write: only the top hotspot survives, totals unchanged.
+  TempFile Top("_explain_top1.json");
+  ASSERT_TRUE(writeExplainJson(R, Top.path(), 1));
+  ExplainReport Trunc = take(readExplainJson(Top.path()));
+  ASSERT_EQ(Trunc.Hotspots.size(), std::min<size_t>(1, R.Hotspots.size()));
+  EXPECT_EQ(Trunc.Mispredicts, R.Mispredicts);
+}
+
+/// A minimal hand-built valid document, mutated one field at a time:
+/// each tampering must be rejected with a diagnostic naming the problem.
+TEST(ExplainJson, ValidationRejectsTamperedDocuments) {
+  auto docWith = [](const std::string &Schema, const std::string &Total,
+                    const std::string &OpcodeExecs,
+                    const std::string &OpcodeMiss,
+                    const std::string &HotTaken, bool WithOrder) {
+    std::string D = "{\n  \"schema\": \"" + Schema +
+                    "\",\n  \"workload\": \"w\", \"dataset\": \"d\",\n"
+                    "  \"predictor\": \"Heuristic\"";
+    if (WithOrder)
+      D += ", \"order\": \"Point>Call\"";
+    D += ",\n  \"total_instrs\": 100, \"branch_execs\": 10,\n"
+         "  \"mispredicts\": " +
+         Total + ",\n  \"buckets\": [\n";
+    for (unsigned B = 0; B < NumAttrBuckets; ++B) {
+      const bool IsOpcode = std::string(attrBucketName(B)) == "Opcode";
+      D += std::string("    {\"name\": \"") + attrBucketName(B) +
+           "\", \"static_sites\": " + (IsOpcode ? "1" : "0") +
+           ", \"execs\": " + (IsOpcode ? OpcodeExecs : "0") +
+           ", \"mispredicts\": " + (IsOpcode ? OpcodeMiss : "0") + "}" +
+           (B + 1 == NumAttrBuckets ? "\n" : ",\n");
+    }
+    D += "  ],\n  \"hotspots\": [\n"
+         "    {\"flat_index\": 5, \"function\": \"f\", \"block\": \"b\",\n"
+         "     \"line\": 3, \"bucket\": \"Opcode\", \"predicted\": "
+         "\"taken\",\n     \"taken\": " +
+         HotTaken + ", \"fallthru\": 7, \"mispredicts\": 3}\n  ]\n}\n";
+    return D;
+  };
+
+  TempFile F("_tampered.json");
+  auto validate = [&](const std::string &Doc) -> Expected<ExplainReport> {
+    std::ofstream Out(F.path());
+    Out << Doc;
+    Out.close();
+    return readExplainJson(F.path());
+  };
+
+  // The untampered baseline parses.
+  const std::string Valid =
+      docWith("bpfree-explain-v1", "3", "10", "3", "3", true);
+  EXPECT_TRUE(validate(Valid).hasValue());
+
+  struct Case {
+    const char *What;
+    std::string Doc;
+    const char *ErrNeedle;
+  } Cases[] = {
+      {"wrong schema tag",
+       docWith("bpfree-explain-v2", "3", "10", "3", "3", true),
+       "not a bpfree-explain-v1"},
+      {"negative count",
+       docWith("bpfree-explain-v1", "-3", "10", "3", "3", true),
+       "negative count"},
+      {"broken conservation (total != bucket sum)",
+       docWith("bpfree-explain-v1", "4", "10", "3", "3", true),
+       "conservation violated"},
+      {"bucket mispredicts exceed executions",
+       docWith("bpfree-explain-v1", "3", "2", "3", "3", true),
+       "more mispredicts than executions"},
+      {"missing required key",
+       docWith("bpfree-explain-v1", "3", "10", "3", "3", false),
+       "missing field 'order'"},
+      {"hotspot mispredicts exceed its executions",
+       docWith("bpfree-explain-v1", "3", "10", "3", "-5", true),
+       "negative count"},
+  };
+  for (const Case &C : Cases) {
+    SCOPED_TRACE(C.What);
+    Expected<ExplainReport> R = validate(C.Doc);
+    ASSERT_FALSE(R.hasValue());
+    EXPECT_EQ(R.error().Kind, ErrorKind::InvalidArgument);
+    EXPECT_NE(R.error().Message.find(C.ErrNeedle), std::string::npos)
+        << R.error().Message;
+  }
+
+  // Wrong bucket count and wrong bucket name, tampered structurally.
+  std::string EightBuckets = Valid;
+  const size_t Cut = EightBuckets.find("    {\"name\": \"Default\"");
+  ASSERT_NE(Cut, std::string::npos);
+  // Drop the final bucket line and the comma ending the previous one,
+  // keeping the previous line's newline so the array stays parseable.
+  const size_t PrevComma = EightBuckets.rfind(",\n", Cut);
+  ASSERT_NE(PrevComma, std::string::npos);
+  EightBuckets.erase(PrevComma,
+                     EightBuckets.find('\n', Cut) - PrevComma);
+  Expected<ExplainReport> Short = validate(EightBuckets);
+  ASSERT_FALSE(Short.hasValue());
+  EXPECT_NE(Short.error().Message.find("buckets"), std::string::npos);
+
+  std::string Renamed = Valid;
+  const size_t Pos = Renamed.find("\"LoopPred\"");
+  ASSERT_NE(Pos, std::string::npos);
+  Renamed.replace(Pos, 10, "\"LoopHack\"");
+  Expected<ExplainReport> Bad = validate(Renamed);
+  ASSERT_FALSE(Bad.hasValue());
+  EXPECT_NE(Bad.error().Message.find("named"), std::string::npos);
+}
+
+/// Satellite regression: the default policy is its own attribution
+/// bucket. treesort is the canonical workload where most dynamic
+/// branches fall to the default (no heuristic applies), so if the
+/// default's sites were folded into a heuristic bucket — or dropped —
+/// either the Default share would be zero here or the shares would no
+/// longer sum to 100%.
+TEST(Attribution, DefaultPolicyHasItsOwnBucket) {
+  RunOptions RO;
+  RO.CaptureTrace = true;
+  RO.Profile = false;
+  auto Run = runWorkloadOrExit(*findWorkload("treesort"), 0, {}, RO);
+  ExplainReport R = take(explainTrace(*Run->Ctx, *Run->Trace));
+
+  const BucketStats &Default = R.Buckets[DefaultBucket];
+  EXPECT_GT(Default.StaticSites, 0u);
+  EXPECT_GT(Default.Execs, 0u);
+  EXPECT_GT(Default.Mispredicts, 0u);
+  // treesort's dominant bucket is the default, by a wide margin.
+  EXPECT_GT(R.mispredictShare(DefaultBucket), 0.5);
+
+  double ShareSum = 0.0;
+  uint64_t MispredictSum = 0;
+  for (unsigned B = 0; B < NumAttrBuckets; ++B) {
+    ShareSum += R.mispredictShare(B);
+    MispredictSum += R.Buckets[B].Mispredicts;
+  }
+  EXPECT_EQ(MispredictSum, R.Mispredicts);
+  EXPECT_NEAR(ShareSum, 1.0, 1e-9);
+}
+
+} // namespace

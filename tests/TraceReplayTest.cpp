@@ -20,6 +20,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "frontend/Compiler.h"
+#include "ipbc/Attribution.h"
 #include "ipbc/TraceReplay.h"
 #include "vm/FaultInjector.h"
 #include "vm/Interpreter.h"
@@ -423,6 +424,113 @@ TEST(Driver, ProfileOffCapturesTraceOnly) {
   for (size_t P = 0; P < ViaDirs.size(); ++P)
     expectHistogramsEqual(ViaPredictors[P], ViaDirs[P],
                           Panel.All[P]->name() + " via direction arrays");
+}
+
+//===----------------------------------------------------------------------===//
+// Misprediction attribution (ipbc/Attribution.h) against replay
+//===----------------------------------------------------------------------===//
+
+/// The conservation invariant, on real workloads: charging every
+/// executed branch to its deciding attribution bucket must account for
+/// exactly the mispredicts the replay histogram counts as Breaks — no
+/// loss, no double counting — and the histogram side must not depend on
+/// the replay fan-out width.
+TEST(Attribution, ConservationMatchesReplayBreaks) {
+  for (const char *Name : {"treesort", "lisp", "circuit"}) {
+    SCOPED_TRACE(Name);
+    RunOptions RO;
+    RO.CaptureTrace = true;
+    RO.Profile = false;
+    auto Run = runWorkloadOrExit(*findWorkload(Name), 0, {}, RO);
+
+    ExplainReport R = take(explainTrace(*Run->Ctx, *Run->Trace));
+    uint64_t BucketMispredicts = 0;
+    uint64_t BucketExecs = 0;
+    for (const BucketStats &B : R.Buckets) {
+      BucketMispredicts += B.Mispredicts;
+      BucketExecs += B.Execs;
+    }
+    EXPECT_EQ(BucketMispredicts, R.Mispredicts);
+    EXPECT_EQ(BucketExecs, R.BranchExecs);
+
+    BallLarusPredictor Heuristic(*Run->Ctx);
+    std::vector<uint8_t> Dirs = predictorDirections(*Run->M, Heuristic);
+    for (unsigned Jobs : {1u, 2u, 4u}) {
+      std::vector<std::vector<uint8_t>> DirsVec{Dirs};
+      std::vector<SequenceHistogram> H =
+          take(replayTraceAll(*Run->Trace, std::move(DirsVec), Jobs));
+      ASSERT_EQ(H.size(), 1u);
+      EXPECT_EQ(H[0].Breaks, R.Mispredicts) << "Jobs=" << Jobs;
+      EXPECT_EQ(H[0].BranchExecs, R.BranchExecs) << "Jobs=" << Jobs;
+      EXPECT_EQ(H[0].TotalInstrs, R.TotalInstrs) << "Jobs=" << Jobs;
+    }
+  }
+}
+
+/// The hotspot list must agree with a brute-force recount straight off
+/// the packed event stream: per-site taken/fallthru/miss tallies, the
+/// identity of the worst site, and the sort order (miss count
+/// descending, flat index ascending on ties).
+TEST(Attribution, HotspotsMatchBruteForceRecount) {
+  RunOptions RO;
+  RO.CaptureTrace = true;
+  RO.Profile = false;
+  auto Run = runWorkloadOrExit(*findWorkload("treesort"), 0, {}, RO);
+
+  ExplainReport R = take(explainTrace(*Run->Ctx, *Run->Trace));
+  ASSERT_FALSE(R.Hotspots.empty());
+
+  BallLarusPredictor Heuristic(*Run->Ctx);
+  std::vector<uint8_t> Dirs = predictorDirections(*Run->M, Heuristic);
+  struct Tally {
+    uint64_t Taken = 0, Fallthru = 0, Miss = 0;
+  };
+  std::vector<Tally> Counts(Dirs.size());
+  Run->Trace->forEach([&](uint32_t Idx, bool Taken, uint64_t) {
+    ASSERT_LT(Idx, Counts.size());
+    Tally &T = Counts[Idx];
+    (Taken ? T.Taken : T.Fallthru) += 1;
+    // Direction encoding: DirTaken = 0, DirFallthru = 1.
+    const bool PredictedTaken = Dirs[Idx] == 0;
+    if (Taken != PredictedTaken)
+      T.Miss += 1;
+  });
+
+  // Every hotspot entry's counts must match the recount, and the list
+  // must contain exactly the sites with at least one miss.
+  uint64_t SitesWithMisses = 0;
+  for (const Tally &T : Counts)
+    SitesWithMisses += T.Miss > 0 ? 1 : 0;
+  EXPECT_EQ(R.Hotspots.size(), SitesWithMisses);
+  uint64_t PrevMiss = UINT64_MAX;
+  uint32_t PrevIdx = 0;
+  for (const HotspotEntry &H : R.Hotspots) {
+    ASSERT_LT(H.FlatIndex, Counts.size());
+    const Tally &T = Counts[H.FlatIndex];
+    EXPECT_EQ(H.Taken, T.Taken);
+    EXPECT_EQ(H.Fallthru, T.Fallthru);
+    EXPECT_EQ(H.Mispredicts, T.Miss);
+    EXPECT_EQ(H.Predicted, Dirs[H.FlatIndex] == 0 ? DirTaken : DirFallthru);
+    // Sort contract.
+    if (H.Mispredicts == PrevMiss)
+      EXPECT_GT(H.FlatIndex, PrevIdx);
+    else
+      EXPECT_LT(H.Mispredicts, PrevMiss);
+    PrevMiss = H.Mispredicts;
+    PrevIdx = H.FlatIndex;
+  }
+
+  // The top entry is the brute-force argmax (lowest index on ties).
+  uint32_t BestIdx = 0;
+  uint64_t BestMiss = 0;
+  for (uint32_t I = 0; I < Counts.size(); ++I) {
+    if (Counts[I].Miss > BestMiss) {
+      BestMiss = Counts[I].Miss;
+      BestIdx = I;
+    }
+  }
+  EXPECT_EQ(R.Hotspots.front().FlatIndex, BestIdx);
+  EXPECT_EQ(R.Hotspots.front().Mispredicts, BestMiss);
 }
 
 /// Fault-injected runs use the instruction-observer interpreter loop and

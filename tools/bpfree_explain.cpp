@@ -1,0 +1,134 @@
+//===- tools/bpfree_explain.cpp - Prediction provenance CLI ---------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs one suite workload, captures its branch trace, and explains the
+/// combined predictor over it: the dynamic per-heuristic accuracy table
+/// (the run-time analogue of the paper's Table 3), the misprediction
+/// hotspot list with source locations, and optionally the
+/// bpfree-explain-v1 JSON document.
+///
+///   $ bpfree_explain --workload treesort
+///   $ bpfree_explain --workload circuit --dataset 1 --top 20
+///   $ bpfree_explain --workload lisp --json lisp.explain.json
+///   $ bpfree_explain --validate lisp.explain.json
+///
+/// --validate re-reads a previously written document and runs the full
+/// schema check (required keys, non-negative counts, bucket-sum
+/// conservation) without executing anything — the CI gate.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ipbc/Attribution.h"
+#include "workloads/Driver.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+using namespace bpfree;
+
+namespace {
+
+int usage(const char *Prog) {
+  std::cerr << "usage: " << Prog
+            << " --workload NAME [--dataset I] [--top N] [--json FILE]\n"
+               "       "
+            << Prog << " --validate FILE\n\nworkloads:";
+  for (const Workload &W : workloadSuite())
+    std::cerr << " " << W.Name;
+  std::cerr << "\n";
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const char *WorkloadName = nullptr;
+  const char *JsonPath = nullptr;
+  const char *ValidatePath = nullptr;
+  size_t DatasetIdx = 0;
+  size_t TopN = 10;
+
+  for (int I = 1; I < argc; ++I) {
+    auto needValue = [&](const char *Flag) -> const char * {
+      if (I + 1 >= argc) {
+        std::cerr << Flag << " requires a value\n";
+        std::exit(2);
+      }
+      return argv[++I];
+    };
+    if (std::strcmp(argv[I], "--workload") == 0)
+      WorkloadName = needValue("--workload");
+    else if (std::strcmp(argv[I], "--dataset") == 0)
+      DatasetIdx = std::strtoul(needValue("--dataset"), nullptr, 10);
+    else if (std::strcmp(argv[I], "--top") == 0)
+      TopN = std::strtoul(needValue("--top"), nullptr, 10);
+    else if (std::strcmp(argv[I], "--json") == 0)
+      JsonPath = needValue("--json");
+    else if (std::strcmp(argv[I], "--validate") == 0)
+      ValidatePath = needValue("--validate");
+    else
+      return usage(argv[0]);
+  }
+
+  if (ValidatePath) {
+    Expected<ExplainReport> R = readExplainJson(ValidatePath);
+    if (!R) {
+      std::cerr << "validation failed: " << R.error().render() << "\n";
+      return 1;
+    }
+    std::cout << "ok: '" << ValidatePath << "' is a valid bpfree-explain-v1"
+              << " document (" << R->Mispredicts << " mispredicts across "
+              << R->Hotspots.size() << " hotspot entries)\n";
+    return 0;
+  }
+
+  if (!WorkloadName)
+    return usage(argv[0]);
+  const Workload *W = findWorkload(WorkloadName);
+  if (!W) {
+    std::cerr << "unknown workload '" << WorkloadName << "'\n";
+    return 2;
+  }
+  if (DatasetIdx >= W->Datasets.size()) {
+    std::cerr << "dataset index out of range (have " << W->Datasets.size()
+              << ")\n";
+    return 2;
+  }
+
+  // One capture interpretation, no edge profile: attribution joins the
+  // trace against statically captured provenance, so the profile would
+  // be dead weight.
+  RunOptions RO;
+  RO.CaptureTrace = true;
+  RO.Profile = false;
+  Expected<std::unique_ptr<WorkloadRun>> RunOrErr =
+      runWorkload(*W, DatasetIdx, {}, RO);
+  if (!RunOrErr) {
+    std::cerr << "run failed: " << RunOrErr.error().renderWithKind() << "\n";
+    return 1;
+  }
+  std::unique_ptr<WorkloadRun> Run = RunOrErr.takeValue();
+
+  ExplainOptions EO;
+  EO.Workload = W->Name;
+  EO.Dataset = Run->dataset().Name;
+  Expected<ExplainReport> R = explainTrace(*Run->Ctx, *Run->Trace, EO);
+  if (!R) {
+    std::cerr << "explain failed: " << R.error().render() << "\n";
+    return 1;
+  }
+  std::cout << renderExplainReport(*R, TopN);
+  if (JsonPath) {
+    if (!writeExplainJson(*R, JsonPath)) {
+      std::cerr << "cannot write '" << JsonPath << "'\n";
+      return 1;
+    }
+    std::cout << "\nwrote " << JsonPath << "\n";
+  }
+  return 0;
+}
