@@ -29,6 +29,7 @@
 #include "support/Metrics.h"
 #include "support/ThreadPool.h"
 #include "vm/Interpreter.h"
+#include "vm/TraceStore.h"
 #include "workloads/Driver.h"
 
 #include <benchmark/benchmark.h>
@@ -392,13 +393,14 @@ int runPhases(const std::string &Path, bool Quick) {
   uint64_t IpbcEvents = 0; ///< captured branch events across the set
   uint64_t IpbcBreaks = 0; ///< total breaks across all panel histograms
   {
-    Phase BestBase, BestObs, BestCap, BestRep;
+    Phase BestBase, BestObs, BestCap, BestRep, BestDisk;
     for (int R = 0; R < Reps; ++R) {
-      Phase Base, Obs, Cap, Rpl;
+      Phase Base, Obs, Cap, Rpl, Disk;
       Base.Name = "ipbc_interp_base";
       Obs.Name = "ipbc_observer";
       Cap.Name = "ipbc_trace";
       Rpl.Name = "ipbc_replay";
+      Disk.Name = "ipbc_replay_disk";
 
       // Un-instrumented interpretation of the trace set: the floor any
       // IPBC pipeline must pay at least once to execute the workloads.
@@ -464,6 +466,7 @@ int runPhases(const std::string &Path, bool Quick) {
         std::vector<std::vector<uint8_t>> Dirs =
             panelDirectionsFromTrace(*TRun->Ctx, *TRun->Trace);
         const size_t PanelSize = Dirs.size();
+        std::vector<std::vector<uint8_t>> DiskDirs = Dirs;
         std::vector<SequenceHistogram> Hists = bench::takeOrExit(
             replayTraceAll(*TRun->Trace, std::move(Dirs)),
             "panel replay");
@@ -486,6 +489,48 @@ int runPhases(const std::string &Path, bool Quick) {
               A.BranchExecs != B.BranchExecs)
             IpbcHistsMatch = false;
         }
+
+        // Disk replay: persist the capture, stream it back through the
+        // verified store, and replay the identical panel off disk. Only
+        // the replay pass is timed — persisting is capture-side cost —
+        // and the histograms MUST be bit-identical to the resident
+        // replay above: any divergence means the store or decoder broke,
+        // so it hard-fails the run rather than shipping a wrong number.
+        const std::string StorePath = Path + ".ipbc.trace";
+        if (std::optional<Diag> D =
+                writeTraceFile(*TRun->Trace, StorePath)) {
+          std::fprintf(stderr, "bpfree: persisting %s trace failed: %s\n",
+                       W.Name.c_str(), D->render().c_str());
+          std::exit(1);
+        }
+        TraceStoreReader Reader;
+        if (std::optional<Diag> D = Reader.open(StorePath)) {
+          std::fprintf(stderr, "bpfree: reopening %s trace failed: %s\n",
+                       W.Name.c_str(), D->render().c_str());
+          std::exit(1);
+        }
+        T0 = std::chrono::steady_clock::now();
+        std::vector<SequenceHistogram> DiskHists = bench::takeOrExit(
+            replayStoreAll(Reader, std::move(DiskDirs)),
+            "disk panel replay");
+        benchmark::DoNotOptimize(DiskHists.data());
+        Disk.WallMs += msSince(T0);
+        Disk.Items += PanelSize;
+        std::remove(StorePath.c_str());
+        for (size_t P = 0; P < Hists.size(); ++P) {
+          const SequenceHistogram &A = Hists[P];
+          const SequenceHistogram &B = DiskHists[P];
+          if (A.NumSequences != B.NumSequences ||
+              A.SumLengths != B.SumLengths || A.Breaks != B.Breaks ||
+              A.TotalInstrs != B.TotalInstrs ||
+              A.BranchExecs != B.BranchExecs) {
+            std::fprintf(stderr,
+                         "bpfree: disk replay of %s diverged from "
+                         "resident replay (predictor %zu)\n",
+                         W.Name.c_str(), P);
+            std::exit(1);
+          }
+        }
       }
       auto keepBest = [R](Phase &Best, Phase &Cur) {
         if (R == 0 || Cur.WallMs < Best.WallMs)
@@ -495,8 +540,9 @@ int runPhases(const std::string &Path, bool Quick) {
       keepBest(BestObs, Obs);
       keepBest(BestCap, Cap);
       keepBest(BestRep, Rpl);
+      keepBest(BestDisk, Disk);
     }
-    for (Phase *P : {&BestBase, &BestObs, &BestCap, &BestRep}) {
+    for (Phase *P : {&BestBase, &BestObs, &BestCap, &BestRep, &BestDisk}) {
       std::fprintf(stderr, "  [phase] %-22s %10.1f ms\n", P->Name.c_str(),
                    P->WallMs);
       Phases.push_back(*P);

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 CI for bpfree: build + full test suite, first plain (plus the
 # quick perf-phase report), then under AddressSanitizer + UBSan
-# (BPFREE_SANITIZE=ON), then the parallel-suite determinism tests under
-# ThreadSanitizer (BPFREE_SANITIZE=thread). Any failure is fatal.
+# (BPFREE_SANITIZE=ON) followed by the durable-trace chaos drills, then
+# the parallel-suite determinism tests under ThreadSanitizer
+# (BPFREE_SANITIZE=thread). Any failure is fatal.
 #
 # Usage: scripts/ci.sh [--plain-only|--sanitize-only|--tsan-only]
 
@@ -61,11 +62,94 @@ run_plain() {
   # through the validator (required keys, non-negative counts, bucket-sum
   # conservation). docs/explain.md describes the document.
   echo "== bpfree_explain: treesort attribution -> build/EXPLAIN_CI.json"
+  # Fail fast on a stale artifact: if the explain run dies after a
+  # previous CI pass, a leftover EXPLAIN_CI.json would let the validate
+  # step below pass vacuously — validating last run's document instead
+  # of this build's. Remove it first and insist the run regenerated it.
+  rm -f "${REPO_ROOT}/build/EXPLAIN_CI.json"
   "${REPO_ROOT}/build/tools/bpfree_explain" --workload treesort \
     --json "${REPO_ROOT}/build/EXPLAIN_CI.json"
+  if [ ! -s "${REPO_ROOT}/build/EXPLAIN_CI.json" ]; then
+    echo "error: bpfree_explain did not write EXPLAIN_CI.json;" \
+      "refusing to run the schema gate against a missing artifact" >&2
+    exit 1
+  fi
   echo "== bpfree_explain --validate: schema gate"
   "${REPO_ROOT}/build/tools/bpfree_explain" \
     --validate "${REPO_ROOT}/build/EXPLAIN_CI.json"
+}
+
+# Durable-trace chaos drills, run against the AddressSanitizer build so
+# every recovery path is also leak- and overflow-checked: capture a
+# store, damage it in targeted ways (byte flips, torn tails, injected
+# I/O faults), and assert the reader's verdict through bpfree_trace's
+# exit-code contract (0 complete, 3 recovered prefix, 1 rejected).
+run_chaos() {
+  local build_dir="$1"
+  local tr="${build_dir}/tools/bpfree_trace"
+  local work="${build_dir}/chaos"
+  rm -rf "${work}"
+  mkdir -p "${work}"
+
+  expect_rc() {
+    local want="$1"
+    shift
+    local rc=0
+    "$@" || rc=$?
+    if [ "${rc}" -ne "${want}" ]; then
+      echo "error: expected exit ${want}, got ${rc}: $*" >&2
+      exit 1
+    fi
+  }
+
+  echo "== chaos: spill capture + verify + parallel disk replay"
+  expect_rc 0 "${tr}" capture --workload treesort -o "${work}/good.trace" \
+    --spill
+  expect_rc 0 "${tr}" verify "${work}/good.trace" --workload treesort
+  expect_rc 0 "${tr}" replay "${work}/good.trace" --workload treesort \
+    --jobs 4
+
+  echo "== chaos: payload byte flip degrades to a recovered prefix"
+  cp "${work}/good.trace" "${work}/payload.trace"
+  expect_rc 0 "${tr}" corrupt "${work}/payload.trace" \
+    --corrupt-byte 100000:0x01
+  expect_rc 3 "${tr}" verify "${work}/payload.trace"
+  expect_rc 1 "${tr}" replay "${work}/payload.trace" --workload treesort
+
+  echo "== chaos: header byte flip rejects the file outright"
+  cp "${work}/good.trace" "${work}/header.trace"
+  expect_rc 0 "${tr}" corrupt "${work}/header.trace" --corrupt-byte 4
+  expect_rc 1 "${tr}" verify "${work}/header.trace"
+
+  echo "== chaos: torn tail recovers the chunk prefix"
+  cp "${work}/good.trace" "${work}/torn.trace"
+  expect_rc 0 "${tr}" corrupt "${work}/torn.trace" --truncate-to 300000
+  expect_rc 3 "${tr}" verify "${work}/torn.trace"
+
+  echo "== chaos: injected write failure fails capture, leaves no file"
+  expect_rc 1 "${tr}" capture --workload treesort -o "${work}/fail.trace" \
+    --fail-write-after 100000
+  if compgen -G "${work}/fail.trace*" > /dev/null; then
+    echo "error: failed capture left files behind:" "${work}"/fail.trace* >&2
+    exit 1
+  fi
+
+  echo "== chaos: injected truncate-at-close surfaces as recovery"
+  expect_rc 0 "${tr}" capture --workload treesort -o "${work}/close.trace" \
+    --truncate-at-close 300000
+  expect_rc 3 "${tr}" verify "${work}/close.trace"
+
+  echo "== chaos: seeded read-fault bit rot never verifies clean"
+  local rc=0
+  "${tr}" verify "${work}/good.trace" --flip-bits 4 --fault-seed 7 \
+    > /dev/null || rc=$?
+  if [ "${rc}" -eq 0 ]; then
+    echo "error: a bit-rotted store verified as complete" >&2
+    exit 1
+  fi
+
+  rm -rf "${work}"
+  echo "== chaos: all drills recovered as designed"
 }
 
 # TSan wants the threaded code paths, not the whole (serial-dominated)
@@ -85,6 +169,7 @@ case "${MODE}" in
   all)
     run_plain
     run_tier1 "${REPO_ROOT}/build-asan" -DBPFREE_SANITIZE=ON
+    run_chaos "${REPO_ROOT}/build-asan"
     run_tsan
     ;;
   --plain-only)
@@ -92,6 +177,7 @@ case "${MODE}" in
     ;;
   --sanitize-only)
     run_tier1 "${REPO_ROOT}/build-asan" -DBPFREE_SANITIZE=ON
+    run_chaos "${REPO_ROOT}/build-asan"
     ;;
   --tsan-only)
     run_tsan

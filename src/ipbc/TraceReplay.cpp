@@ -9,6 +9,7 @@
 #include "support/Metrics.h"
 #include "support/ThreadPool.h"
 #include "support/TimeTrace.h"
+#include "vm/TraceStore.h"
 
 #include <algorithm>
 #include <bit>
@@ -51,10 +52,102 @@ Diag dirSizeDiag(size_t Got, size_t Blocks) {
                std::to_string(Blocks) + " blocks"));
 }
 
+/// Event sources the replay kernels are generic over: numEvents(),
+/// totalInstrs(), and a single-pass forEach(F). The resident source is a
+/// thin view of a BranchTrace; the store source streams verified chunks
+/// off disk through an incremental decoder, recording (not throwing) the
+/// first stream failure so the kernel's caller can surface it after the
+/// pass.
+struct ResidentTraceSource {
+  const BranchTrace &T;
+  uint64_t numEvents() const { return T.numEvents(); }
+  uint64_t totalInstrs() const { return T.totalInstrs(); }
+  bool failed() const { return false; }
+  template <class Fn> void forEach(Fn &&F) { T.forEach(F); }
+};
+
+class StoreTraceSource {
+public:
+  explicit StoreTraceSource(const TraceStoreReader &R) : R(R) {}
+  std::optional<Diag> open() { return R.openStream(S); }
+  uint64_t numEvents() const { return R.numEvents(); }
+  uint64_t totalInstrs() const { return R.totalInstrs(); }
+  bool failed() const { return Err.has_value(); }
+  Diag takeError() { return *std::move(Err); }
+  template <class Fn> void forEach(Fn &&F) {
+    TraceDecoder D;
+    const uint32_t *W = nullptr;
+    for (;;) {
+      Expected<uint64_t> N = S.next(W);
+      if (!N) {
+        Err = N.takeError();
+        return;
+      }
+      if (*N == 0)
+        return;
+      D.feed(W, *N, F);
+    }
+  }
+
+private:
+  const TraceStoreReader &R;
+  TraceStream S;
+  std::optional<Diag> Err;
+};
+
+/// The majority rule over per-branch outcome counts (indexed
+/// [2 * flat index + taken]): ties predict taken, exactly
+/// PerfectPredictor's rule, so a never-executed branch (0 >= 0) predicts
+/// taken there too. Shared by the resident and streaming perfect-
+/// direction derivations so they cannot drift.
+std::vector<uint8_t> majorityDirections(const Module &M,
+                                        const std::vector<uint64_t> &Counts) {
+  const std::vector<uint32_t> Offsets = flatBlockOffsets(M);
+  std::vector<uint8_t> Dirs(Offsets.back(), 0xFF);
+  for (uint32_t F = 0; F < M.numFunctions(); ++F) {
+    const Function &Fn = *M.getFunction(F);
+    for (const auto &BB : Fn)
+      if (BB->isCondBranch()) {
+        const size_t I = Offsets[F] + BB->getId();
+        Dirs[I] = static_cast<uint8_t>(
+            Counts[2 * I + 1] >= Counts[2 * I] ? DirTaken : DirFallthru);
+      }
+  }
+  return Dirs;
+}
+
+/// One per-site counting pass, shared by the resident and streaming
+/// entry points. Preconditions already checked by the caller:
+/// Dirs.size() equals the trace's flat block count.
+template <class Source>
+std::vector<SiteCounts> siteCountsPass(Source &Src,
+                                       const std::vector<uint8_t> &Dirs) {
+  std::vector<SiteCounts> Counts(Dirs.size());
+  SiteCounts *C = Counts.data();
+  const uint8_t *D = Dirs.data();
+  Src.forEach([&](uint32_t Idx, bool Taken, uint64_t) {
+    SiteCounts &S = C[Idx];
+    if (Taken)
+      ++S.Taken;
+    else
+      ++S.Fallthru;
+    if (D[Idx] != static_cast<uint8_t>(Taken ? DirTaken : DirFallthru))
+      ++S.Mispredicts;
+  });
+  return Counts;
+}
+
 } // namespace
 
 std::optional<Diag>
 bpfree::validateTraceForReplay(const BranchTrace &Trace) {
+  if (Trace.spilling())
+    return rejected(Diag(
+        ErrorKind::InvalidArgument,
+        "cannot replay a spilled trace from memory: its chunks live in "
+        "the on-disk store at '" +
+            Trace.spillPath() +
+            "'; open it with TraceStoreReader and replay from the store"));
   if (!Trace.finalized())
     return rejected(
         Diag(ErrorKind::InvalidArgument,
@@ -77,26 +170,14 @@ bpfree::perfectDirectionsFromTrace(const BranchTrace &Trace) {
   if (std::optional<Diag> D = validateTraceForReplay(Trace))
     return *std::move(D);
   const Module &M = Trace.getModule();
-  const std::vector<uint32_t> Offsets = flatBlockOffsets(M);
   // [2 * flat index + taken] execution counts, accumulated branchlessly.
-  std::vector<uint64_t> Counts(2 * static_cast<size_t>(Offsets.back()), 0);
+  std::vector<uint64_t> Counts(
+      2 * static_cast<size_t>(flatBlockOffsets(M).back()), 0);
   uint64_t *C = Counts.data();
   Trace.forEach([&](uint32_t Idx, bool Taken, uint64_t) {
     ++C[2 * static_cast<size_t>(Idx) + (Taken ? 1 : 0)];
   });
-  std::vector<uint8_t> Dirs(Offsets.back(), 0xFF);
-  for (uint32_t F = 0; F < M.numFunctions(); ++F) {
-    const Function &Fn = *M.getFunction(F);
-    for (const auto &BB : Fn)
-      if (BB->isCondBranch()) {
-        const size_t I = Offsets[F] + BB->getId();
-        // Majority with ties taken: exactly PerfectPredictor's rule, so
-        // a never-executed branch (0 >= 0) predicts taken there too.
-        Dirs[I] = static_cast<uint8_t>(
-            Counts[2 * I + 1] >= Counts[2 * I] ? DirTaken : DirFallthru);
-      }
-  }
-  return Dirs;
+  return majorityDirections(M, Counts);
 }
 
 Expected<SequenceHistogram>
@@ -147,18 +228,8 @@ bpfree::replaySiteCounts(const BranchTrace &Trace,
   const size_t Blocks = flatBlockOffsets(Trace.getModule()).back();
   if (Dirs.size() != Blocks)
     return dirSizeDiag(Dirs.size(), Blocks);
-  std::vector<SiteCounts> Counts(Blocks);
-  SiteCounts *C = Counts.data();
-  const uint8_t *D = Dirs.data();
-  Trace.forEach([&](uint32_t Idx, bool Taken, uint64_t) {
-    SiteCounts &S = C[Idx];
-    if (Taken)
-      ++S.Taken;
-    else
-      ++S.Fallthru;
-    if (D[Idx] != static_cast<uint8_t>(Taken ? DirTaken : DirFallthru))
-      ++S.Mispredicts;
-  });
+  ResidentTraceSource Src{Trace};
+  std::vector<SiteCounts> Counts = siteCountsPass(Src, Dirs);
   if (metrics::enabled()) {
     static metrics::Counter &Passes =
         metrics::counter("replay.site_passes");
@@ -172,13 +243,18 @@ bpfree::replaySiteCounts(const BranchTrace &Trace,
 namespace {
 
 /// The fused replay kernel, shared by replayTraceFused (which validates
-/// its inputs) and replayTraceAll (which validates once, before the
-/// parallel fan-out). Preconditions: the trace is finalized and not
-/// overflowed, and every direction array has exactly as many entries as
-/// the trace's module has flat blocks.
+/// its inputs), replayTraceAll (which validates once, before the
+/// parallel fan-out), and the streaming replayStore* entry points.
+/// Generic over the event source (resident trace or disk stream); a
+/// streaming source that fails mid-pass records the Diag for the caller
+/// to check — the kernel's partial result is then discarded unread.
+/// Preconditions: the trace is finalized and not overflowed (or the
+/// store complete), and every direction array has exactly as many
+/// entries as the trace's module has flat blocks.
+template <class Source>
 std::vector<SequenceHistogram>
-replayFusedUnchecked(const BranchTrace &Trace,
-                     const std::vector<const std::vector<uint8_t> *> &Dirs) {
+replayFusedSource(Source &Src,
+                  const std::vector<const std::vector<uint8_t> *> &Dirs) {
   const size_t P = Dirs.size();
   std::vector<SequenceHistogram> Hists(P);
   if (P == 0)
@@ -233,7 +309,7 @@ replayFusedUnchecked(const BranchTrace &Trace,
     const uint32_t Valid =
         P >= 32 ? ~0u : ((1u << P) - 1);
     const uint32_t *R = Rows.data();
-    Trace.forEach([&](uint32_t Idx, bool Taken, uint64_t Delta) {
+    Src.forEach([&](uint32_t Idx, bool Taken, uint64_t Delta) {
       IC += Delta;
       // Branchless select: taken flips every lane (mispredictors are the
       // clear bits), not-taken flips none. Branch outcomes are data and
@@ -259,7 +335,7 @@ replayFusedUnchecked(const BranchTrace &Trace,
         Mat[I * P + J] = Src[I];
     }
     const uint8_t *M = Mat.data();
-    Trace.forEach([&](uint32_t Idx, bool Taken, uint64_t Delta) {
+    Src.forEach([&](uint32_t Idx, bool Taken, uint64_t Delta) {
       IC += Delta;
       const uint8_t Actual =
           static_cast<uint8_t>(Taken ? DirTaken : DirFallthru);
@@ -281,21 +357,21 @@ replayFusedUnchecked(const BranchTrace &Trace,
     }
     // Every decoded event is one executed conditional branch, for every
     // predictor alike; every recorded sequence so far ended in a break.
-    H.BranchExecs = Trace.numEvents();
+    H.BranchExecs = Src.numEvents();
     for (uint64_t N : H.NumSequences)
       H.Breaks += N;
     TotalBreaks += H.Breaks;
     // Same trailing-sequence rule as SequenceCollector::finalize and
     // replayTrace, so histograms stay bit-identical across all paths.
-    if (Trace.totalInstrs() > LastBreak[J]) {
-      const uint64_t Length = Trace.totalInstrs() - LastBreak[J];
+    if (Src.totalInstrs() > LastBreak[J]) {
+      const uint64_t Length = Src.totalInstrs() - LastBreak[J];
       const size_t Bucket = SequenceHistogram::bucketFor(Length);
       ++H.NumSequences[Bucket];
       H.SumLengths[Bucket] += Length;
     }
     // The closed sequences plus the trailing one partition the whole
     // execution, so their lengths sum to the run's instruction count.
-    H.TotalInstrs = Trace.totalInstrs();
+    H.TotalInstrs = Src.totalInstrs();
   }
   if (metrics::enabled()) {
     static metrics::Counter &Passes = metrics::counter("replay.passes");
@@ -304,11 +380,19 @@ replayFusedUnchecked(const BranchTrace &Trace,
     static metrics::Counter &FusedRows =
         metrics::counter("replay.fused_rows");
     Passes.add();
-    Events.add(Trace.numEvents());
+    Events.add(Src.numEvents());
     Breaks.add(TotalBreaks);
     FusedRows.add(P);
   }
   return Hists;
+}
+
+/// The resident-trace instantiation, for the existing call sites.
+std::vector<SequenceHistogram>
+replayFusedUnchecked(const BranchTrace &Trace,
+                     const std::vector<const std::vector<uint8_t> *> &Dirs) {
+  ResidentTraceSource Src{Trace};
+  return replayFusedSource(Src, Dirs);
 }
 
 } // namespace
@@ -377,4 +461,147 @@ bpfree::replayTraceAll(const BranchTrace &Trace,
       Hists[P] = std::move(Part[P - Begin]);
   });
   return Hists;
+}
+
+//===----------------------------------------------------------------------===//
+// Streaming replay from an on-disk trace store
+//===----------------------------------------------------------------------===//
+
+std::optional<Diag>
+bpfree::validateStoreForReplay(const TraceStoreReader &Store) {
+  const TraceStoreStats &S = Store.stats();
+  if (S.Recovered || !S.FooterValid)
+    return rejected(Diag(
+        ErrorKind::CorruptData,
+        "cannot replay damaged trace store '" + Store.path() + "': " +
+            (S.Detail.empty() ? std::string("store is incomplete")
+                              : S.Detail) +
+            "; the recovered prefix (" + std::to_string(S.RecoveredEvents) +
+            " events) has no defined trailing sequence"));
+  if (!Store.complete())
+    return rejected(Diag(
+        ErrorKind::InvalidArgument,
+        "cannot replay trace store '" + Store.path() +
+            "': the capture was not finalized before the store was "
+            "sealed"));
+  return std::nullopt;
+}
+
+Expected<std::vector<uint8_t>>
+bpfree::perfectDirectionsFromStore(const TraceStoreReader &Store,
+                                   const Module &M) {
+  if (std::optional<Diag> D = validateStoreForReplay(Store))
+    return *std::move(D);
+  if (std::optional<Diag> D = Store.requireModule(M))
+    return rejected(*std::move(D));
+  // [2 * flat index + taken] execution counts, accumulated branchlessly
+  // — the same pass as the resident derivation, fed off disk.
+  std::vector<uint64_t> Counts(
+      2 * static_cast<size_t>(flatBlockOffsets(M).back()), 0);
+  uint64_t *C = Counts.data();
+  StoreTraceSource Src(Store);
+  if (std::optional<Diag> D = Src.open())
+    return *std::move(D);
+  Src.forEach([&](uint32_t Idx, bool Taken, uint64_t) {
+    ++C[2 * static_cast<size_t>(Idx) + (Taken ? 1 : 0)];
+  });
+  if (Src.failed())
+    return Src.takeError();
+  return majorityDirections(M, Counts);
+}
+
+Expected<SequenceHistogram>
+bpfree::replayStore(const TraceStoreReader &Store,
+                    const std::vector<uint8_t> &Dirs) {
+  if (std::optional<Diag> D = validateStoreForReplay(Store))
+    return *std::move(D);
+  if (Dirs.size() != Store.numBlocks())
+    return dirSizeDiag(Dirs.size(), Store.numBlocks());
+  StoreTraceSource Src(Store);
+  if (std::optional<Diag> D = Src.open())
+    return *std::move(D);
+  // One fused pass with a single lane is bit-identical to the scalar
+  // replayTrace loop (tests enforce it transitively via the resident
+  // fused/scalar equivalence), so the streaming path needs no second
+  // scalar kernel.
+  const std::vector<const std::vector<uint8_t> *> Slice{&Dirs};
+  std::vector<SequenceHistogram> H = replayFusedSource(Src, Slice);
+  if (Src.failed())
+    return Src.takeError();
+  return std::move(H[0]);
+}
+
+Expected<std::vector<SequenceHistogram>>
+bpfree::replayStoreAll(const TraceStoreReader &Store,
+                       std::vector<std::vector<uint8_t>> Dirs,
+                       unsigned Jobs) {
+  if (std::optional<Diag> D = validateStoreForReplay(Store))
+    return *std::move(D);
+  const size_t Blocks = Store.numBlocks();
+  for (const std::vector<uint8_t> &D : Dirs)
+    if (D.size() != Blocks)
+      return dirSizeDiag(D.size(), Blocks);
+  const size_t N = Dirs.size();
+  std::vector<SequenceHistogram> Hists(N);
+  if (N == 0)
+    return Hists;
+  timetrace::Span ReplaySpan("replay.store_all",
+                             std::to_string(N) + " predictors");
+  if (Jobs == 0)
+    Jobs = ThreadPool::defaultConcurrency();
+  // The same contiguous-group split as the resident replayTraceAll —
+  // group boundaries never change a histogram — but each group walks the
+  // file through its own stream cursor, so workers share nothing except
+  // the immutable reader. I/O or checksum failures are collected per
+  // group and the first one wins; histograms from a failed run are never
+  // returned.
+  const size_t Groups = std::max<size_t>(1, std::min<size_t>(Jobs, N));
+  std::vector<std::optional<Diag>> Errs(Groups);
+  parallelFor(static_cast<unsigned>(Groups), Groups, [&](size_t G) {
+    const size_t Begin = G * N / Groups;
+    const size_t End = (G + 1) * N / Groups;
+    std::vector<const std::vector<uint8_t> *> Slice;
+    Slice.reserve(End - Begin);
+    for (size_t P = Begin; P < End; ++P)
+      Slice.push_back(&Dirs[P]);
+    StoreTraceSource Src(Store);
+    if (std::optional<Diag> D = Src.open()) {
+      Errs[G] = std::move(D);
+      return;
+    }
+    std::vector<SequenceHistogram> Part = replayFusedSource(Src, Slice);
+    if (Src.failed()) {
+      Errs[G] = Src.takeError();
+      return;
+    }
+    for (size_t P = Begin; P < End; ++P)
+      Hists[P] = std::move(Part[P - Begin]);
+  });
+  for (std::optional<Diag> &E : Errs)
+    if (E)
+      return *std::move(E);
+  return Hists;
+}
+
+Expected<std::vector<SiteCounts>>
+bpfree::replayStoreSiteCounts(const TraceStoreReader &Store,
+                              const std::vector<uint8_t> &Dirs) {
+  if (std::optional<Diag> D = validateStoreForReplay(Store))
+    return *std::move(D);
+  if (Dirs.size() != Store.numBlocks())
+    return dirSizeDiag(Dirs.size(), Store.numBlocks());
+  StoreTraceSource Src(Store);
+  if (std::optional<Diag> D = Src.open())
+    return *std::move(D);
+  std::vector<SiteCounts> Counts = siteCountsPass(Src, Dirs);
+  if (Src.failed())
+    return Src.takeError();
+  if (metrics::enabled()) {
+    static metrics::Counter &Passes =
+        metrics::counter("replay.site_passes");
+    static metrics::Counter &Events = metrics::counter("replay.events");
+    Passes.add();
+    Events.add(Store.numEvents());
+  }
+  return Counts;
 }

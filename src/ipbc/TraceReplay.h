@@ -36,6 +36,8 @@
 
 namespace bpfree {
 
+class TraceStoreReader;
+
 /// Resolves \p P once per static branch into a flat array keyed by the
 /// module-wide dense block index: entry flatIndex(BB) holds the
 /// predicted Direction for every conditional-branch block, 0xFF
@@ -126,6 +128,49 @@ replaySiteCounts(const BranchTrace &Trace, const std::vector<uint8_t> &Dirs);
 Expected<std::vector<SequenceHistogram>>
 replayTraceAll(const BranchTrace &Trace,
                std::vector<std::vector<uint8_t>> Dirs, unsigned Jobs = 0);
+
+//===----------------------------------------------------------------------===//
+// Streaming replay from an on-disk trace store (vm/TraceStore.h)
+//===----------------------------------------------------------------------===//
+//
+// The same kernels as the resident entry points, fed one verified chunk
+// at a time from a TraceStream instead of from resident memory — the
+// trace never needs to fit in RAM, and the histograms are bit-identical
+// to resident replay of the same capture (the file holds the same words
+// the chunks did). Each parallel replay group opens its own stream
+// cursor, so disk replay fans out exactly like resident replay.
+
+/// Checks that \p Store is replayable: complete (valid footer, no
+/// recovered damage) and finalized. A recovered prefix is refused — it
+/// has no defined trailing sequence, and silently replaying it would
+/// launder damaged data into results. Counted under "replay.rejected"
+/// like the resident validation.
+std::optional<Diag> validateStoreForReplay(const TraceStoreReader &Store);
+
+/// perfectDirectionsFromTrace for a store: one streaming decode pass
+/// accumulates per-branch outcome counts, then \p M (verified against
+/// the store's module hash) supplies the branch set for the majority
+/// rule. Bit-identical to the resident derivation for the same capture.
+Expected<std::vector<uint8_t>>
+perfectDirectionsFromStore(const TraceStoreReader &Store, const ir::Module &M);
+
+/// Replays \p Store against one direction array.
+Expected<SequenceHistogram> replayStore(const TraceStoreReader &Store,
+                                        const std::vector<uint8_t> &Dirs);
+
+/// replayTraceAll for a store: fused groups fan out across the pool,
+/// each group streaming the file through its own cursor. Histograms are
+/// in predictor order, identical for every Jobs value, and bit-identical
+/// to replayTraceAll on the resident trace the store was written from.
+Expected<std::vector<SequenceHistogram>>
+replayStoreAll(const TraceStoreReader &Store,
+               std::vector<std::vector<uint8_t>> Dirs, unsigned Jobs = 0);
+
+/// replaySiteCounts for a store: per-site outcome and misprediction
+/// counts from one streaming pass.
+Expected<std::vector<SiteCounts>>
+replayStoreSiteCounts(const TraceStoreReader &Store,
+                      const std::vector<uint8_t> &Dirs);
 
 } // namespace bpfree
 

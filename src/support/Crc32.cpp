@@ -1,0 +1,59 @@
+//===- support/Crc32.cpp - CRC32C checksums -------------------------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Crc32.h"
+
+#include <array>
+
+using namespace bpfree;
+
+namespace {
+
+/// Reflected CRC32C polynomial.
+constexpr uint32_t Poly = 0x82F63B78u;
+
+/// Slicing-by-4 tables: Tables[0] is the classic byte-at-a-time table,
+/// Tables[K][B] extends it so four input bytes fold in one step. Built
+/// at static-init time (64 KiB of arithmetic) instead of being embedded
+/// as a 4 KiB literal blob — cheaper to review and impossible to
+/// mistranscribe.
+struct CrcTables {
+  std::array<std::array<uint32_t, 256>, 4> T;
+
+  CrcTables() {
+    for (uint32_t B = 0; B < 256; ++B) {
+      uint32_t C = B;
+      for (int K = 0; K < 8; ++K)
+        C = (C >> 1) ^ ((C & 1) ? Poly : 0);
+      T[0][B] = C;
+    }
+    for (uint32_t B = 0; B < 256; ++B)
+      for (size_t K = 1; K < 4; ++K)
+        T[K][B] = (T[K - 1][B] >> 8) ^ T[0][T[K - 1][B] & 0xFF];
+  }
+};
+
+const CrcTables Tables;
+
+} // namespace
+
+uint32_t bpfree::crc32c(const void *Data, size_t Size, uint32_t Seed) {
+  const uint8_t *P = static_cast<const uint8_t *>(Data);
+  uint32_t C = ~Seed;
+  const auto &T = Tables.T;
+  while (Size >= 4) {
+    C ^= static_cast<uint32_t>(P[0]) | (static_cast<uint32_t>(P[1]) << 8) |
+         (static_cast<uint32_t>(P[2]) << 16) |
+         (static_cast<uint32_t>(P[3]) << 24);
+    C = T[3][C & 0xFF] ^ T[2][(C >> 8) & 0xFF] ^ T[1][(C >> 16) & 0xFF] ^
+        T[0][C >> 24];
+    P += 4;
+    Size -= 4;
+  }
+  while (Size--)
+    C = (C >> 8) ^ T[0][(C ^ *P++) & 0xFF];
+  return ~C;
+}

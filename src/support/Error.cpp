@@ -30,6 +30,8 @@ const char *bpfree::errorKindName(ErrorKind Kind) {
     return "invalid-argument";
   case ErrorKind::Internal:
     return "internal";
+  case ErrorKind::CorruptData:
+    return "corrupt-data";
   }
   return "unknown";
 }

@@ -38,6 +38,7 @@ enum class ErrorKind {
   Injected,        ///< manufactured by a FaultInjector (chaos testing)
   InvalidArgument, ///< bad API usage (unknown workload, dataset index...)
   Internal,        ///< invariant violation surfaced as a diagnostic
+  CorruptData,     ///< persisted data failed checksum / structure checks
 };
 
 /// \returns a stable lower-case name for \p Kind ("compile-error", ...).

@@ -24,8 +24,16 @@ public:
   bool parse(Value &Out) { return value(Out) && (ws(), P == E); }
 
 private:
+  /// Containers may nest at most this deep. Object and array parsing
+  /// recurse, so without a ceiling a hostile document ("[[[[..." a few
+  /// hundred thousand bytes long) overflows the stack before the parser
+  /// ever sees a syntax error; 256 is far beyond anything our writers
+  /// emit while keeping worst-case stack use a few hundred frames.
+  static constexpr int MaxDepth = 256;
+
   const char *P;
   const char *E;
+  int Depth = 0;
 
   void ws() {
     while (P != E && std::isspace(static_cast<unsigned char>(*P)))
@@ -44,9 +52,14 @@ private:
       return false;
     switch (*P) {
     case '{':
-      return object(Out);
-    case '[':
-      return array(Out);
+    case '[': {
+      if (Depth >= MaxDepth)
+        return false;
+      ++Depth;
+      const bool Ok = *P == '{' ? object(Out) : array(Out);
+      --Depth;
+      return Ok;
+    }
     case '"':
       Out.K = Value::String;
       return string(Out.Str);

@@ -7,6 +7,7 @@
 #include "vm/BranchTrace.h"
 
 #include "support/Metrics.h"
+#include "vm/TraceStore.h"
 
 using namespace bpfree;
 using namespace bpfree::ir;
@@ -25,6 +26,8 @@ std::vector<uint32_t> bpfree::flatBlockOffsets(const Module &M) {
 BranchTrace::BranchTrace(const Module &M, uint64_t MaxBytes)
     : M(M), FuncOffsets(flatBlockOffsets(M)), MaxBytes(MaxBytes) {}
 
+BranchTrace::~BranchTrace() = default;
+
 void BranchTrace::onCondBranch(const BasicBlock &BB, bool Taken,
                                uint64_t InstrCount) {
   append(FuncOffsets[BB.getParent()->getIndex()] + BB.getId(), Taken,
@@ -32,6 +35,31 @@ void BranchTrace::onCondBranch(const BasicBlock &BB, bool Taken,
 }
 
 bool BranchTrace::grow() {
+  if (Spill && !Chunks.empty()) {
+    // Spill mode: the just-filled chunk goes to disk and its buffer is
+    // reused, so exactly one chunk stays resident and the byte cap never
+    // comes into play — memory is flat for any stream length.
+    if (Overflowed)
+      return false; // an earlier storage failure already froze capture
+    if (std::optional<Diag> D =
+            Spill->appendChunk(Chunks.back().get(), ChunkWords)) {
+      // Storage failed mid-capture: freeze like a cap overflow (the
+      // on-disk stream is abandoned; closeSpill() reports the Diag).
+      SpillError = std::move(D);
+      Overflowed = true;
+      static metrics::Counter &SpillFailures =
+          metrics::counter("trace.spill_failures");
+      SpillFailures.add();
+      return false;
+    }
+    ++SpilledChunks;
+    SpilledWords += ChunkWords;
+    Cur = Chunks.back().get();
+    static metrics::Counter &Spilled =
+        metrics::counter("trace.spilled_chunks");
+    Spilled.add();
+    return true;
+  }
   if (Overflowed || (Chunks.size() + 1) * ChunkWords * 4 > MaxBytes) {
     if (!Overflowed) {
       static metrics::Counter &Overflows = metrics::counter("trace.overflows");
@@ -46,6 +74,47 @@ bool BranchTrace::grow() {
   static metrics::Counter &ChunkCount = metrics::counter("trace.chunks");
   ChunkCount.add();
   return true;
+}
+
+std::optional<Diag> BranchTrace::spillTo(const std::string &Path,
+                                         const IoFaultPlan *Faults) {
+  assert(Events == 0 && Chunks.empty() &&
+         "spillTo must be called before the first append");
+  assert(!Spill && "already spilling");
+  auto W = std::make_unique<TraceWriter>();
+  if (std::optional<Diag> D =
+          W->open(Path, moduleTraceHash(M), FuncOffsets.back(),
+                  Faults ? *Faults : IoFaultPlan{}))
+    return D;
+  Spill = std::move(W);
+  SpillPath = Path;
+  return std::nullopt;
+}
+
+std::optional<Diag> BranchTrace::closeSpill() {
+  assert(Spill && "not spilling");
+  assert(Finalized && "finalize() before closeSpill()");
+  std::unique_ptr<TraceWriter> W = std::move(Spill);
+  if (SpillError) {
+    W->discard();
+    return SpillError;
+  }
+  // Flush the partial tail chunk — complete records only; RolledBack is
+  // always zero here (rollback implies a storage failure, handled above).
+  const uint64_t Tail =
+      Chunks.empty()
+          ? 0
+          : static_cast<uint64_t>(Cur - Chunks.back().get()) - RolledBack;
+  if (Tail > 0)
+    if (std::optional<Diag> D = W->appendChunk(Chunks.back().get(), Tail)) {
+      SpillError = D;
+      return D;
+    }
+  if (std::optional<Diag> D = W->finish(Events, TotalInstrs_)) {
+    SpillError = D;
+    return D;
+  }
+  return std::nullopt;
 }
 
 void BranchTrace::appendEscape(uint32_t FlatIndex, bool Taken,

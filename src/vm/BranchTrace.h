@@ -27,7 +27,10 @@
 /// recording and marks itself overflowed instead of exhausting the host.
 /// Past the cap, numEvents() stays frozen at the stored prefix and the
 /// discarded tail is tallied by droppedEvents(), so the counters always
-/// describe the decodable stream.
+/// describe the decodable stream. Alternatively, spillTo() streams
+/// completed chunks into an on-disk bpfree-trace-v1 store
+/// (vm/TraceStore.h) as they fill, capturing arbitrarily long runs at a
+/// flat one-chunk memory ceiling with zero drops.
 ///
 /// The trace doubles as a plain ExecObserver (onCondBranch appends), so
 /// it can ride along any observer configuration — fault-injected runs,
@@ -41,14 +44,21 @@
 #define BPFREE_VM_BRANCHTRACE_H
 
 #include "ir/Module.h"
+#include "support/Error.h"
 #include "vm/ExecObserver.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
 namespace bpfree {
+
+class TraceWriter;
+struct IoFaultPlan;
 
 /// \returns the flat block offsets of \p M: entry F is the module-wide
 /// dense index of function F's block 0 (functions in index order, blocks
@@ -57,6 +67,67 @@ namespace bpfree {
 /// arrays, the SequenceCollector's direction cache, and trace replay.
 std::vector<uint32_t> flatBlockOffsets(const ir::Module &M);
 
+/// Incremental decoder for the packed event-word format. Feed it any
+/// run of consecutive stream words (a resident chunk, a frame read back
+/// from disk) and it invokes F(uint32_t FlatIndex, bool Taken,
+/// uint64_t Delta) for every complete event, carrying the trailing
+/// words of an escape record that straddles two feeds. BranchTrace's
+/// resident forEach and the trace store's streaming replay both decode
+/// through this class, so the two paths cannot drift.
+class TraceDecoder {
+public:
+  // The word format (see the file comment): one compact word per common
+  // event, a four-word escape when the index or delta overflows its
+  // field.
+  static constexpr uint32_t IdxBits = 15;
+  static constexpr uint32_t MaxCompactIdx = (1u << IdxBits) - 1;
+  static constexpr uint32_t EscapeDelta = 0xFFFFu;
+  static constexpr uint64_t EscapeWords = 4;
+
+  /// Decodes \p N words at \p W, continuing any escape record left
+  /// unfinished by the previous feed.
+  template <class Fn> void feed(const uint32_t *W, uint64_t N, Fn &&F) {
+    uint64_t I = 0;
+    if (PendingWords != 0) [[unlikely]] {
+      while (PendingWords < EscapeWords && I < N)
+        Pending[PendingWords++] = W[I++];
+      if (PendingWords < EscapeWords)
+        return;
+      F(Pending[1], (Pending[0] & 1) != 0,
+        (static_cast<uint64_t>(Pending[3]) << 32) | Pending[2]);
+      PendingWords = 0;
+    }
+    while (I < N) {
+      const uint32_t Head = W[I];
+      const bool Taken = (Head & 1) != 0;
+      const uint32_t DeltaField = Head >> (IdxBits + 1);
+      if (DeltaField != EscapeDelta) [[likely]] {
+        F((Head >> 1) & MaxCompactIdx, Taken,
+          static_cast<uint64_t>(DeltaField));
+        ++I;
+        continue;
+      }
+      if (I + EscapeWords <= N) {
+        F(W[I + 1], Taken,
+          (static_cast<uint64_t>(W[I + 3]) << 32) | W[I + 2]);
+        I += EscapeWords;
+        continue;
+      }
+      // The escape's tail lives in the next feed; stash the head words.
+      while (I < N)
+        Pending[PendingWords++] = W[I++];
+    }
+  }
+
+  /// True when the last feed ended inside an escape record — at end of
+  /// stream this means the stream was torn mid-record.
+  bool midRecord() const { return PendingWords != 0; }
+
+private:
+  uint32_t Pending[EscapeWords];
+  uint32_t PendingWords = 0;
+};
+
 /// A captured branch-outcome stream for one execution of one module.
 class BranchTrace : public ExecObserver {
 public:
@@ -64,9 +135,16 @@ public:
   static constexpr size_t ChunkWords = 1u << 16;
   /// Default memory cap; traces hitting it mark themselves overflowed.
   static constexpr uint64_t DefaultMaxBytes = 1ull << 30;
+  // The word format is defined once, on TraceDecoder; these aliases keep
+  // the encoder and every decoder on the same constants.
+  static constexpr uint32_t IdxBits = TraceDecoder::IdxBits;
+  static constexpr uint32_t MaxCompactIdx = TraceDecoder::MaxCompactIdx;
+  static constexpr uint32_t EscapeDelta = TraceDecoder::EscapeDelta;
+  static constexpr uint64_t EscapeWords = TraceDecoder::EscapeWords;
 
   explicit BranchTrace(const ir::Module &M,
                        uint64_t MaxBytes = DefaultMaxBytes);
+  ~BranchTrace(); // out-of-line: TraceWriter is incomplete here
 
   // Observer path (used when other observers — e.g. a FaultInjector —
   // force the interpreter off the specialized loop).
@@ -125,72 +203,62 @@ public:
   /// True when the byte cap was hit: the stored stream is truncated and
   /// must not be replayed.
   bool overflowed() const { return Overflowed; }
+  /// Chunks currently resident in memory (at most one while spilling).
   size_t numChunks() const { return Chunks.size(); }
-  /// Bytes of packed event storage currently held.
+  /// Raw storage of resident chunk \p C — the persistence layer writes
+  /// these words verbatim, so files are bit-identical to memory.
+  const uint32_t *chunkWords(size_t C) const { return Chunks[C].get(); }
+  /// Words of complete records in the stored stream.
+  uint64_t storedWordCount() const { return storedWords(); }
+  /// Bytes of packed event storage currently resident — the flat memory
+  /// ceiling a spilling capture holds regardless of stream length.
   uint64_t bytes() const { return Chunks.size() * ChunkWords * 4; }
 
   /// Decodes the stream in capture order, invoking
   /// F(uint32_t FlatIndex, bool Taken, uint64_t Delta) per event.
   /// Deltas reconstruct the exact instruction counts the branches were
-  /// captured at: IC_n = sum of the first n deltas. The inner loop walks
-  /// each chunk through a raw pointer — replay decodes tens of millions
-  /// of events, so per-word cursor bookkeeping would dominate it.
+  /// captured at: IC_n = sum of the first n deltas. Each chunk is fed to
+  /// the incremental decoder through a raw pointer — replay decodes tens
+  /// of millions of events, so per-word cursor bookkeeping would
+  /// dominate it — and the decoder carries escapes that straddle chunks.
+  /// Not available once chunks have been spilled to disk (the resident
+  /// window is then a suffix, not the stream); replay a spilled trace
+  /// from its store instead.
   template <class Fn> void forEach(Fn &&F) const {
-    const uint64_t Total = storedWords();
-    uint64_t Done = 0; ///< words fully consumed so far
-    size_t C = 0;      ///< current chunk
-    uint64_t In = 0;   ///< next word within chunk C
-    while (Done < Total) {
-      const uint32_t *Base = Chunks[C].get();
-      const uint64_t Limit =
-          std::min<uint64_t>(ChunkWords, In + (Total - Done));
-      uint64_t I = In;
-      while (I < Limit) {
-        const uint32_t W = Base[I];
-        const bool Taken = (W & 1) != 0;
-        const uint32_t DeltaField = W >> (IdxBits + 1);
-        if (DeltaField != EscapeDelta) [[likely]] {
-          F((W >> 1) & MaxCompactIdx, Taken,
-            static_cast<uint64_t>(DeltaField));
-          ++I;
-          continue;
-        }
-        if (I + EscapeWords <= ChunkWords) {
-          F(Base[I + 1], Taken,
-            (static_cast<uint64_t>(Base[I + 3]) << 32) | Base[I + 2]);
-        } else {
-          // The escape's trailing words straddle into the next chunk;
-          // gather them word-at-a-time (escapes are rare, straddling
-          // ones rarer still).
-          uint32_t Ext[3];
-          size_t CC = C;
-          uint64_t J = I;
-          for (int K = 0; K < 3; ++K) {
-            if (++J == ChunkWords) {
-              J = 0;
-              ++CC;
-            }
-            Ext[K] = Chunks[CC][J];
-          }
-          F(Ext[0], Taken,
-            (static_cast<uint64_t>(Ext[2]) << 32) | Ext[1]);
-        }
-        I += EscapeWords;
-      }
-      Done += I - In;
-      // A straddling escape can leave I past ChunkWords; advance the
-      // chunk cursor accordingly.
-      C += I / ChunkWords;
-      In = I % ChunkWords;
+    assert(SpilledChunks == 0 &&
+           "resident decode of a spilled trace; replay from its store");
+    uint64_t Remaining = storedWords();
+    TraceDecoder D;
+    for (size_t C = 0; Remaining > 0; ++C) {
+      const uint64_t N = std::min<uint64_t>(ChunkWords, Remaining);
+      D.feed(Chunks[C].get(), N, F);
+      Remaining -= N;
     }
   }
 
-private:
-  static constexpr uint32_t IdxBits = 15;
-  static constexpr uint32_t MaxCompactIdx = (1u << IdxBits) - 1;
-  static constexpr uint32_t EscapeDelta = 0xFFFFu;
-  static constexpr uint64_t EscapeWords = 4;
+  /// Streams every completed chunk to \p Path as a bpfree-trace-v1 file
+  /// (vm/TraceStore.h) instead of accumulating them: at most one chunk
+  /// stays resident, so capture memory is flat no matter how long the
+  /// run — the byte cap never trips and no event is ever dropped for
+  /// space. Call before the first append; after finalize(), closeSpill()
+  /// seals the file. A storage failure mid-capture marks the trace
+  /// overflowed (the on-disk stream is abandoned) and is reported by
+  /// closeSpill(). \p Faults arms deterministic I/O fault injection for
+  /// chaos tests.
+  std::optional<Diag> spillTo(const std::string &Path,
+                              const IoFaultPlan *Faults = nullptr);
+  /// True when this trace was told to spill (resident replay is then
+  /// unavailable; use the store).
+  bool spilling() const { return !SpillPath.empty(); }
+  const std::string &spillPath() const { return SpillPath; }
+  uint64_t spilledChunks() const { return SpilledChunks; }
+  /// Flushes the tail chunk, writes the footer, and atomically renames
+  /// the temp file onto spillPath(). Requires finalize(). \returns the
+  /// first storage failure (at which point no file exists at the final
+  /// path), or nullopt on success.
+  std::optional<Diag> closeSpill();
 
+private:
   void pushWord(uint32_t W) {
     if (Cur == End) [[unlikely]] {
       if (!grow())
@@ -205,8 +273,8 @@ private:
   /// leading words of an escape record whose tail hit the memory cap.
   uint64_t storedWords() const {
     if (Chunks.empty())
-      return 0;
-    return (Chunks.size() - 1) * ChunkWords +
+      return SpilledWords;
+    return SpilledWords + (Chunks.size() - 1) * ChunkWords +
            static_cast<uint64_t>(Cur - Chunks.back().get()) - RolledBack;
   }
 
@@ -227,6 +295,13 @@ private:
   uint64_t MaxBytes;
   bool Overflowed = false;
   bool Finalized = false;
+  // Spill state: with Spill set, grow() hands the just-filled chunk to
+  // the writer and reuses its buffer, so Chunks never exceeds one entry.
+  std::unique_ptr<TraceWriter> Spill;
+  std::string SpillPath;
+  std::optional<Diag> SpillError;
+  uint64_t SpilledChunks = 0;
+  uint64_t SpilledWords = 0;
 };
 
 } // namespace bpfree

@@ -53,6 +53,57 @@ FaultPlan FaultPlan::fromSeed(uint64_t Seed, uint64_t WindowLo,
   return P;
 }
 
+IoFaultPlan IoFaultPlan::failWriteAfter(uint64_t Bytes) {
+  IoFaultPlan P;
+  P.FailWriteAfterBytes = Bytes;
+  return P;
+}
+
+IoFaultPlan IoFaultPlan::flipBitsOnRead(uint32_t Bits, uint64_t Seed) {
+  IoFaultPlan P;
+  P.FlipBitsOnRead = Bits;
+  P.Seed = Seed;
+  return P;
+}
+
+IoFaultPlan IoFaultPlan::truncateAtClose(uint64_t Bytes) {
+  IoFaultPlan P;
+  P.TruncateAtClose = Bytes;
+  return P;
+}
+
+IoFaultPlan IoFaultPlan::fromSeed(uint64_t Seed, uint64_t FileBytesHint) {
+  assert(FileBytesHint > 0 && "empty byte window");
+  Rng R(Seed);
+  IoFaultPlan P;
+  P.Seed = Seed;
+  switch (R.below(3)) {
+  case 0:
+    P.FailWriteAfterBytes = 1 + R.below(FileBytesHint);
+    break;
+  case 1:
+    P.FlipBitsOnRead = 1 + static_cast<uint32_t>(R.below(8));
+    break;
+  default:
+    P.TruncateAtClose = 1 + R.below(FileBytesHint);
+    break;
+  }
+  return P;
+}
+
+std::string IoFaultPlan::describe() const {
+  if (FailWriteAfterBytes)
+    return "fail write after " + std::to_string(FailWriteAfterBytes) +
+           " bytes";
+  if (FlipBitsOnRead)
+    return "flip " + std::to_string(FlipBitsOnRead) +
+           " bits on read (seed " + std::to_string(Seed) + ")";
+  if (TruncateAtClose)
+    return "truncate to " + std::to_string(TruncateAtClose) +
+           " bytes at close";
+  return "no io fault";
+}
+
 const char *bpfree::faultActionName(FaultAction Action) {
   switch (Action) {
   case FaultAction::Trap:

@@ -76,6 +76,46 @@ struct FaultPlan {
 /// \returns a stable name for \p Action ("trap", "exhaust-budget", ...).
 const char *faultActionName(FaultAction Action);
 
+/// A fully deterministic description of storage-layer faults for the
+/// trace store (vm/TraceStore.h). Where FaultPlan manufactures VM
+/// failures, an IoFaultPlan manufactures the storage failures real trace
+/// pipelines hit — a full disk mid-write, bit rot under the reader, a
+/// torn tail from a crash at close — so ChaosTest and the ci.sh chaos
+/// leg can drive the recovery paths on demand. All triggers are byte- or
+/// seed-addressed, never time- or load-dependent, so a plan reproduces
+/// the same damage on every run.
+struct IoFaultPlan {
+  /// Fail the write that would carry the running byte count past this
+  /// offset (ENOSPC-style); 0 disarms.
+  uint64_t FailWriteAfterBytes = 0;
+  /// Flip this many bits at seed-drawn positions as data is read back
+  /// (bit rot); 0 disarms. Positions are drawn over the file size when
+  /// the reader opens, so equal seeds on equal files flip equal bits.
+  uint32_t FlipBitsOnRead = 0;
+  /// Truncate the finished file to this many bytes at close, after the
+  /// atomic rename (the crash-while-flushing torn tail); 0 disarms.
+  uint64_t TruncateAtClose = 0;
+  /// Seed for FlipBitsOnRead positions (support/Rng.h).
+  uint64_t Seed = 0;
+
+  static IoFaultPlan failWriteAfter(uint64_t Bytes);
+  static IoFaultPlan flipBitsOnRead(uint32_t Bits, uint64_t Seed);
+  static IoFaultPlan truncateAtClose(uint64_t Bytes);
+
+  /// Derives a plan from \p Seed alone: one of the three fault modes,
+  /// with its byte trigger drawn uniformly below \p FileBytesHint —
+  /// the randomized-campaign analogue of FaultPlan::fromSeed.
+  static IoFaultPlan fromSeed(uint64_t Seed, uint64_t FileBytesHint);
+
+  /// True when any fault is armed.
+  bool armed() const {
+    return FailWriteAfterBytes || FlipBitsOnRead || TruncateAtClose;
+  }
+
+  /// One-line human-readable description for logs and reports.
+  std::string describe() const;
+};
+
 /// Observer that carries out a FaultPlan. Attach to Interpreter::run (or
 /// through the workload driver's extra-observer hook); fires at most once.
 class FaultInjector : public ExecObserver {

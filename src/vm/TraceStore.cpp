@@ -1,0 +1,590 @@
+//===- vm/TraceStore.cpp - Durable on-disk branch traces ------------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/TraceStore.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "support/Crc32.h"
+#include "support/Metrics.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cstring>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+using namespace bpfree;
+using namespace bpfree::ir;
+
+namespace {
+
+// "BPFT", "FRAM", "FOOT" read as little-endian u32s.
+constexpr uint32_t Magic = 0x54465042u;
+constexpr uint32_t FormatVersion = 1;
+constexpr uint32_t FrameTag = 0x4D415246u;
+constexpr uint32_t FooterTag = 0x544F4F46u;
+
+constexpr size_t HeaderBytes = 28;
+constexpr size_t FrameHeaderBytes = 16;
+constexpr size_t FooterBytes = 44;
+
+// Byte-serialized little-endian accessors: the format is defined in
+// bytes, not in host struct layout, so files travel between machines.
+void put32(uint8_t *P, uint32_t V) {
+  P[0] = static_cast<uint8_t>(V);
+  P[1] = static_cast<uint8_t>(V >> 8);
+  P[2] = static_cast<uint8_t>(V >> 16);
+  P[3] = static_cast<uint8_t>(V >> 24);
+}
+void put64(uint8_t *P, uint64_t V) {
+  put32(P, static_cast<uint32_t>(V));
+  put32(P + 4, static_cast<uint32_t>(V >> 32));
+}
+uint32_t get32(const uint8_t *P) {
+  return static_cast<uint32_t>(P[0]) | (static_cast<uint32_t>(P[1]) << 8) |
+         (static_cast<uint32_t>(P[2]) << 16) |
+         (static_cast<uint32_t>(P[3]) << 24);
+}
+uint64_t get64(const uint8_t *P) {
+  return static_cast<uint64_t>(get32(P)) |
+         (static_cast<uint64_t>(get32(P + 4)) << 32);
+}
+
+metrics::Counter &corruptChunksCounter() {
+  static metrics::Counter &C = metrics::counter("trace.store.corrupt_chunks");
+  return C;
+}
+metrics::Counter &recoveredEventsCounter() {
+  static metrics::Counter &C =
+      metrics::counter("trace.store.recovered_events");
+  return C;
+}
+
+} // namespace
+
+uint64_t bpfree::moduleTraceHash(const Module &M) {
+  // FNV-1a over the structural facts that pin the flat block index map
+  // and the CFG shape replay depends on.
+  uint64_t H = 0xCBF29CE484222325ull;
+  auto Mix = [&H](uint64_t V) {
+    for (int I = 0; I < 8; ++I) {
+      H ^= (V >> (8 * I)) & 0xFF;
+      H *= 0x100000001B3ull;
+    }
+  };
+  auto MixStr = [&H](const std::string &S) {
+    for (unsigned char C : S) {
+      H ^= C;
+      H *= 0x100000001B3ull;
+    }
+  };
+  Mix(M.numFunctions());
+  for (uint32_t F = 0; F < M.numFunctions(); ++F) {
+    const Function &Fn = *M.getFunction(F);
+    MixStr(Fn.getName());
+    Mix(Fn.numBlocks());
+    for (const auto &BB : Fn) {
+      Mix(BB->getId());
+      Mix(BB->isCondBranch() ? 1 : 0);
+      const unsigned Succs = BB->numSuccessors();
+      Mix(Succs);
+      for (unsigned S = 0; S < Succs; ++S)
+        Mix(BB->getSuccessor(S)->getId());
+    }
+  }
+  return H;
+}
+
+//===----------------------------------------------------------------------===//
+// TraceWriter
+//===----------------------------------------------------------------------===//
+
+TraceWriter::~TraceWriter() { discard(); }
+
+std::optional<Diag> TraceWriter::fail(Diag D) {
+  if (!Err)
+    Err = std::move(D);
+  static metrics::Counter &Failures =
+      metrics::counter("trace.store.write_failures");
+  Failures.add();
+  return Err;
+}
+
+std::optional<Diag> TraceWriter::writeBytes(const void *Data, size_t N) {
+  if (Err)
+    return Err;
+  size_t Allowed = N;
+  bool Injected = false;
+  if (Faults.FailWriteAfterBytes &&
+      Written + N > Faults.FailWriteAfterBytes) {
+    // Simulate ENOSPC: part of this write lands, the rest does not.
+    Allowed = Faults.FailWriteAfterBytes > Written
+                  ? static_cast<size_t>(Faults.FailWriteAfterBytes - Written)
+                  : 0;
+    Injected = true;
+  }
+  if (Allowed &&
+      std::fwrite(Data, 1, Allowed, Out) != Allowed)
+    return fail(Diag(ErrorKind::Internal,
+                     "write failed on '" + TmpPath + "' after " +
+                         std::to_string(Written) + " bytes"));
+  Written += Allowed;
+  if (Injected)
+    return fail(Diag(ErrorKind::Injected,
+                     "injected io fault: write failed after " +
+                         std::to_string(Faults.FailWriteAfterBytes) +
+                         " bytes on '" + TmpPath + "'"));
+  return std::nullopt;
+}
+
+std::optional<Diag> TraceWriter::open(const std::string &Path,
+                                      uint64_t ModuleHash, uint32_t NumBlocks,
+                                      const IoFaultPlan &FaultsIn) {
+  assert(!Out && "writer already open");
+  FinalPath = Path;
+  TmpPath = Path + ".tmp";
+  Faults = FaultsIn;
+  Out = std::fopen(TmpPath.c_str(), "wb");
+  if (!Out)
+    return fail(Diag(ErrorKind::InvalidArgument,
+                     "cannot create '" + TmpPath + "'"));
+  uint8_t H[HeaderBytes];
+  put32(H, Magic);
+  put32(H + 4, FormatVersion);
+  put64(H + 8, ModuleHash);
+  put32(H + 16, NumBlocks);
+  put32(H + 20, 0); // flags, reserved
+  put32(H + 24, crc32c(H, 24));
+  return writeBytes(H, sizeof(H));
+}
+
+std::optional<Diag> TraceWriter::appendChunk(const uint32_t *Words,
+                                             uint64_t N) {
+  assert(Out && "writer not open");
+  assert(N >= 1 && N <= BranchTrace::ChunkWords && "bad frame length");
+  if (Err)
+    return Err;
+  uint8_t FH[FrameHeaderBytes];
+  put32(FH, FrameTag);
+  put32(FH + 4, static_cast<uint32_t>(N));
+  put32(FH + 8, crc32c(Words, N * 4));
+  put32(FH + 12, crc32c(FH, 12));
+  if (std::optional<Diag> D = writeBytes(FH, sizeof(FH)))
+    return D;
+  // Event words are already little-endian in memory on every supported
+  // host; a big-endian port would byte-swap here and in the reader.
+  if (std::optional<Diag> D = writeBytes(Words, N * 4))
+    return D;
+  ++ChunksWritten;
+  WordsWritten += N;
+  static metrics::Counter &Chunks =
+      metrics::counter("trace.store.chunks_written");
+  Chunks.add();
+  return std::nullopt;
+}
+
+std::optional<Diag> TraceWriter::finish(uint64_t NumEvents,
+                                        uint64_t TotalInstrs) {
+  assert(Out && "writer not open");
+  if (Err) {
+    discard();
+    return Err;
+  }
+  uint8_t F[FooterBytes];
+  put32(F, FooterTag);
+  put32(F + 4, 1); // finalized
+  put64(F + 8, NumEvents);
+  put64(F + 16, TotalInstrs);
+  put64(F + 24, WordsWritten);
+  put64(F + 32, ChunksWritten);
+  put32(F + 40, crc32c(F, 40));
+  if (std::optional<Diag> D = writeBytes(F, sizeof(F))) {
+    discard();
+    return D;
+  }
+  if (std::fflush(Out) != 0) {
+    Diag D(ErrorKind::Internal, "flush failed on '" + TmpPath + "'");
+    discard();
+    return fail(std::move(D));
+  }
+#ifndef _WIN32
+  // Durability before visibility: the rename must not outrun the data.
+  fsync(fileno(Out));
+  if (Faults.TruncateAtClose && Faults.TruncateAtClose < Written) {
+    // Injected torn tail: the file as a crash mid-flush would leave it.
+    if (ftruncate(fileno(Out), static_cast<off_t>(Faults.TruncateAtClose)) !=
+        0) {
+      Diag D(ErrorKind::Internal, "truncate failed on '" + TmpPath + "'");
+      discard();
+      return fail(std::move(D));
+    }
+  }
+#endif
+  std::fclose(Out);
+  Out = nullptr;
+  if (std::rename(TmpPath.c_str(), FinalPath.c_str()) != 0) {
+    std::remove(TmpPath.c_str());
+    return fail(Diag(ErrorKind::Internal, "cannot rename '" + TmpPath +
+                                              "' to '" + FinalPath + "'"));
+  }
+  static metrics::Counter &Files =
+      metrics::counter("trace.store.files_written");
+  static metrics::Counter &Bytes =
+      metrics::counter("trace.store.bytes_written");
+  Files.add();
+  Bytes.add(Written);
+  return std::nullopt;
+}
+
+void TraceWriter::discard() {
+  if (!Out)
+    return;
+  std::fclose(Out);
+  Out = nullptr;
+  std::remove(TmpPath.c_str());
+}
+
+std::optional<Diag> bpfree::writeTraceFile(const BranchTrace &Trace,
+                                           const std::string &Path,
+                                           const IoFaultPlan &Faults) {
+  if (!Trace.finalized())
+    return Diag(ErrorKind::InvalidArgument,
+                "cannot persist an unfinalized trace");
+  if (Trace.overflowed())
+    return Diag(ErrorKind::InvalidArgument,
+                "cannot persist an overflowed trace: the stored stream "
+                "is a truncated prefix");
+  if (Trace.spilling())
+    return Diag(ErrorKind::InvalidArgument,
+                "trace is spilling to '" + Trace.spillPath() +
+                    "'; closeSpill() already persists it");
+  TraceWriter W;
+  if (std::optional<Diag> D =
+          W.open(Path, moduleTraceHash(Trace.getModule()),
+                 static_cast<uint32_t>(
+                     flatBlockOffsets(Trace.getModule()).back()),
+                 Faults))
+    return D;
+  // Frames are the resident chunks verbatim — full chunks except the
+  // last — so the file's word stream is bit-identical to memory and to
+  // what a spilled capture of the same run would have written.
+  uint64_t Remaining = Trace.storedWordCount();
+  for (size_t C = 0; Remaining > 0; ++C) {
+    const uint64_t N = std::min<uint64_t>(BranchTrace::ChunkWords, Remaining);
+    if (std::optional<Diag> D = W.appendChunk(Trace.chunkWords(C), N))
+      return D;
+    Remaining -= N;
+  }
+  return W.finish(Trace.numEvents(), Trace.totalInstrs());
+}
+
+//===----------------------------------------------------------------------===//
+// TraceStoreReader
+//===----------------------------------------------------------------------===//
+
+bool TraceStoreReader::readBytes(std::FILE *F, uint64_t Pos, void *Dst,
+                                 size_t N) const {
+  if (std::fread(Dst, 1, N, F) != N)
+    return false;
+  if (!ReadFlips.empty()) {
+    // Apply the seeded bit-rot overlay for [Pos, Pos + N): the flips
+    // live at absolute file offsets, so every cursor over the file sees
+    // the same damage — exactly like rot on the medium itself.
+    auto It = std::lower_bound(
+        ReadFlips.begin(), ReadFlips.end(), Pos,
+        [](const std::pair<uint64_t, uint8_t> &A, uint64_t B) {
+          return A.first < B;
+        });
+    for (; It != ReadFlips.end() && It->first < Pos + N; ++It)
+      static_cast<uint8_t *>(Dst)[It->first - Pos] ^= It->second;
+  }
+  return true;
+}
+
+std::optional<Diag> TraceStoreReader::open(const std::string &PathIn,
+                                           const IoFaultPlan &Faults) {
+  assert(!Opened && "reader already open");
+  Path = PathIn;
+  static metrics::Counter &Opens = metrics::counter("trace.store.opens");
+  Opens.add();
+  std::FILE *In = std::fopen(Path.c_str(), "rb");
+  if (!In)
+    return Diag(ErrorKind::InvalidArgument, "cannot open '" + Path + "'");
+  std::fseek(In, 0, SEEK_END);
+  const uint64_t Size = static_cast<uint64_t>(std::ftell(In));
+  std::fseek(In, 0, SEEK_SET);
+
+  if (Faults.FlipBitsOnRead && Size > 0) {
+    Rng R(Faults.Seed);
+    for (uint32_t K = 0; K < Faults.FlipBitsOnRead; ++K)
+      ReadFlips.emplace_back(R.below(Size),
+                             static_cast<uint8_t>(1u << R.below(8)));
+    std::sort(ReadFlips.begin(), ReadFlips.end());
+  }
+
+  auto Close = [&](std::optional<Diag> D) {
+    std::fclose(In);
+    return D;
+  };
+
+  // Header: any damage here rejects the file — with the module hash and
+  // block count untrustworthy, a "recovered" prefix could replay against
+  // the wrong code.
+  uint8_t H[HeaderBytes];
+  if (Size < HeaderBytes || !readBytes(In, 0, H, sizeof(H)))
+    return Close(Diag(ErrorKind::CorruptData,
+                      "'" + Path + "': truncated header (" +
+                          std::to_string(Size) + " bytes)"));
+  if (crc32c(H, 24) != get32(H + 24))
+    return Close(Diag(ErrorKind::CorruptData,
+                      "'" + Path + "': header checksum mismatch"));
+  if (get32(H) != Magic)
+    return Close(Diag(ErrorKind::CorruptData,
+                      "'" + Path + "': not a bpfree-trace-v1 file"));
+  if (get32(H + 4) != FormatVersion)
+    return Close(Diag(ErrorKind::InvalidArgument,
+                      "'" + Path + "': unsupported trace format version " +
+                          std::to_string(get32(H + 4))));
+  ModuleHash = get64(H + 8);
+  NumBlocks = get32(H + 16);
+
+  // Scan the frame sequence, decoding as we verify so the recovered
+  // event count is backed by decoded bytes, not by trusting the footer.
+  std::vector<uint32_t> Payload(BranchTrace::ChunkWords);
+  TraceDecoder Decoder;
+  uint64_t Events = 0;
+  uint64_t LastIC = 0;
+  uint64_t Pos = HeaderBytes;
+  // After the first damaged frame the prefix is fixed, but keep walking
+  // frames whose headers still verify so stats can say how many intact
+  // chunks the damage stranded (DroppedChunks).
+  bool Damaged = false;
+  auto Damage = [&](std::string What, bool CountChunk) {
+    if (!Damaged) {
+      Stats.Recovered = true;
+      Stats.Detail = std::move(What);
+      Damaged = true;
+    }
+    if (CountChunk)
+      ++Stats.CorruptChunks;
+  };
+
+  while (true) {
+    const uint64_t Remaining = Size - Pos;
+    if (Remaining == 0) {
+      Damage("missing footer: file ends after chunk " +
+                 std::to_string(Stats.ValidChunks + Stats.CorruptChunks +
+                                Stats.DroppedChunks),
+             false);
+      break;
+    }
+    if (Remaining < FrameHeaderBytes) {
+      Damage("torn frame at offset " + std::to_string(Pos) + " (" +
+                 std::to_string(Remaining) + " trailing bytes)",
+             true);
+      break;
+    }
+    uint8_t FH[FrameHeaderBytes];
+    if (!readBytes(In, Pos, FH, 4))
+      return Close(Diag(ErrorKind::Internal,
+                        "'" + Path + "': read failed at offset " +
+                            std::to_string(Pos)));
+    const uint32_t Tag = get32(FH);
+
+    if (Tag == FooterTag) {
+      if (Remaining < FooterBytes) {
+        Damage("torn footer at offset " + std::to_string(Pos), false);
+        break;
+      }
+      uint8_t F[FooterBytes];
+      std::memcpy(F, FH, 4);
+      if (!readBytes(In, Pos + 4, F + 4, FooterBytes - 4))
+        return Close(Diag(ErrorKind::Internal,
+                          "'" + Path + "': read failed at offset " +
+                              std::to_string(Pos)));
+      if (crc32c(F, 40) != get32(F + 40)) {
+        Damage("footer checksum mismatch", false);
+        break;
+      }
+      if (Damaged)
+        break; // prefix already fixed; the footer describes a fuller file
+      const uint64_t FEvents = get64(F + 8);
+      const uint64_t FWords = get64(F + 24);
+      const uint64_t FChunks = get64(F + 32);
+      if (FEvents != Events || FWords != Stats.RecoveredWords ||
+          FChunks != Stats.ValidChunks || Decoder.midRecord()) {
+        Damage("footer disagrees with stream (footer: " +
+                   std::to_string(FEvents) + " events, " +
+                   std::to_string(FChunks) + " chunks; stream: " +
+                   std::to_string(Events) + " events, " +
+                   std::to_string(Stats.ValidChunks) + " chunks)",
+               false);
+        break;
+      }
+      if (Pos + FooterBytes != Size) {
+        Damage(std::to_string(Size - Pos - FooterBytes) +
+                   " trailing bytes after footer",
+               false);
+        break;
+      }
+      Stats.FooterValid = true;
+      Finalized = get32(F + 4) != 0;
+      TotalInstrs_ = get64(F + 16);
+      break;
+    }
+
+    if (Tag != FrameTag) {
+      Damage("unrecognized tag at offset " + std::to_string(Pos) +
+                 " (chunk " + std::to_string(Stats.ValidChunks) + ")",
+             true);
+      break;
+    }
+    if (!readBytes(In, Pos + 4, FH + 4, FrameHeaderBytes - 4))
+      return Close(Diag(ErrorKind::Internal,
+                        "'" + Path + "': read failed at offset " +
+                            std::to_string(Pos)));
+    if (crc32c(FH, 12) != get32(FH + 12)) {
+      // The frame extent itself is untrustworthy: no resync possible.
+      Damage("frame header checksum mismatch at offset " +
+                 std::to_string(Pos) + " (chunk " +
+                 std::to_string(Stats.ValidChunks) + ")",
+             true);
+      break;
+    }
+    const uint32_t Words = get32(FH + 4);
+    if (Words == 0 || Words > BranchTrace::ChunkWords) {
+      Damage("implausible frame length " + std::to_string(Words) +
+                 " at offset " + std::to_string(Pos),
+             true);
+      break;
+    }
+    if (Remaining < FrameHeaderBytes + static_cast<uint64_t>(Words) * 4) {
+      Damage("torn chunk payload at offset " + std::to_string(Pos) +
+                 " (chunk " + std::to_string(Stats.ValidChunks) + ")",
+             true);
+      break;
+    }
+    const uint64_t PayloadOff = Pos + FrameHeaderBytes;
+    if (!readBytes(In, PayloadOff, Payload.data(), Words * 4))
+      return Close(Diag(ErrorKind::Internal,
+                        "'" + Path + "': read failed at offset " +
+                            std::to_string(PayloadOff)));
+    Pos = PayloadOff + static_cast<uint64_t>(Words) * 4;
+    const uint32_t Crc = get32(FH + 8);
+    if (crc32c(Payload.data(), Words * 4) != Crc) {
+      // The header verified, so the extent is known: keep scanning to
+      // count what the damage strands.
+      Damage("chunk " + std::to_string(Stats.ValidChunks) +
+                 " payload checksum mismatch",
+             true);
+      continue;
+    }
+    if (Damaged) {
+      ++Stats.DroppedChunks;
+      continue;
+    }
+    Frames.push_back({PayloadOff, Words, Crc});
+    ++Stats.ValidChunks;
+    Stats.RecoveredWords += Words;
+    Decoder.feed(Payload.data(), Words, [&](uint32_t, bool, uint64_t Delta) {
+      ++Events;
+      LastIC += Delta;
+    });
+  }
+
+  std::fclose(In);
+  Stats.RecoveredEvents = Events;
+  if (!Stats.FooterValid)
+    TotalInstrs_ = LastIC; // best effort: up to the last decoded branch
+  if (Stats.Recovered) {
+    static metrics::Counter &RecoveredOpens =
+        metrics::counter("trace.store.recovered_opens");
+    RecoveredOpens.add();
+    corruptChunksCounter().add(Stats.CorruptChunks);
+    recoveredEventsCounter().add(Stats.RecoveredEvents);
+  }
+  Opened = true;
+  return std::nullopt;
+}
+
+std::optional<Diag> TraceStoreReader::requireModule(const Module &M) const {
+  assert(Opened && "reader not open");
+  const uint64_t Expect = moduleTraceHash(M);
+  const uint32_t Blocks =
+      static_cast<uint32_t>(flatBlockOffsets(M).back());
+  if (Expect != ModuleHash || Blocks != NumBlocks)
+    return Diag(ErrorKind::InvalidArgument,
+                "'" + Path + "' was captured from a different module "
+                "(store hash " +
+                    std::to_string(ModuleHash) + ", " +
+                    std::to_string(NumBlocks) + " blocks; module hash " +
+                    std::to_string(Expect) + ", " + std::to_string(Blocks) +
+                    " blocks)");
+  return std::nullopt;
+}
+
+std::optional<Diag> TraceStoreReader::openStream(TraceStream &S) const {
+  assert(Opened && "reader not open");
+  S = TraceStream();
+  S.In = std::fopen(Path.c_str(), "rb");
+  if (!S.In)
+    return Diag(ErrorKind::InvalidArgument,
+                "cannot reopen '" + Path + "' for streaming");
+  S.Owner = this;
+  S.Buf = std::make_unique<uint32_t[]>(BranchTrace::ChunkWords);
+  return std::nullopt;
+}
+
+//===----------------------------------------------------------------------===//
+// TraceStream
+//===----------------------------------------------------------------------===//
+
+TraceStream::~TraceStream() {
+  if (In)
+    std::fclose(In);
+}
+
+TraceStream &TraceStream::operator=(TraceStream &&O) noexcept {
+  if (this != &O) {
+    if (In)
+      std::fclose(In);
+    Owner = O.Owner;
+    In = O.In;
+    NextFrame = O.NextFrame;
+    Buf = std::move(O.Buf);
+    O.In = nullptr;
+    O.Owner = nullptr;
+    O.NextFrame = 0;
+  }
+  return *this;
+}
+
+Expected<uint64_t> TraceStream::next(const uint32_t *&Words) {
+  assert(Owner && In && "stream not open");
+  if (NextFrame == Owner->Frames.size())
+    return uint64_t(0);
+  const TraceStoreReader::Frame &F = Owner->Frames[NextFrame];
+  if (std::fseek(In, static_cast<long>(F.PayloadOffset), SEEK_SET) != 0 ||
+      !Owner->readBytes(In, F.PayloadOffset, Buf.get(), F.Words * 4))
+    return Diag(ErrorKind::Internal,
+                "'" + Owner->Path + "': read failed at offset " +
+                    std::to_string(F.PayloadOffset));
+  // Re-verify against the checksum captured at open: damage that arrives
+  // while a replay is underway is detected, not folded into histograms.
+  if (crc32c(Buf.get(), F.Words * 4) != F.PayloadCrc)
+    return Diag(ErrorKind::CorruptData,
+                "'" + Owner->Path + "': chunk " + std::to_string(NextFrame) +
+                    " payload checksum mismatch during streaming read");
+  ++NextFrame;
+  static metrics::Counter &ReadChunks =
+      metrics::counter("trace.store.chunks_read");
+  ReadChunks.add();
+  Words = Buf.get();
+  return static_cast<uint64_t>(F.Words);
+}

@@ -1,0 +1,229 @@
+//===- vm/TraceStore.h - Durable on-disk branch traces ----------*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The durable half of capture-once/replay-many: a checksummed,
+/// versioned on-disk container (`bpfree-trace-v1`) for BranchTrace's
+/// packed event words, built for the roadmap's out-of-core scale where
+/// traces outlive processes and travel between machines. Layout, all
+/// fields little-endian:
+///
+///   header   (28 B)  magic "BPFT" | version | module hash | flat block
+///                    count | flags | CRC32C of the preceding 24 B
+///   frame*   (16 B + payload)  tag "FRAM" | word count | payload
+///                    CRC32C | CRC32C of the preceding 12 B, then the
+///                    chunk's event words
+///   footer   (44 B)  tag "FOOT" | finalized | event count | total
+///                    instructions | total words | chunk count | CRC32C
+///                    of the preceding 40 B
+///
+/// Every structure is independently checksummed, so the reader can tell
+/// exactly where damage starts: a bad header rejects the file
+/// (ErrorKind::CorruptData — there is nothing trustworthy to recover),
+/// while a bad frame, torn tail, or bad footer degrades gracefully to
+/// the longest valid chunk prefix, with the damage described in a
+/// structured TraceStoreStats and counted under trace.store.* metrics.
+/// A module-hash mismatch is a usage error (ErrorKind::InvalidArgument),
+/// not corruption: the file is fine, it just belongs to different code.
+///
+/// The writer streams to `path + ".tmp"` and renames into place only
+/// after the footer is flushed, so a crashed or failed capture never
+/// leaves a partial file at the final path — readers either see nothing
+/// or a store whose tail was at least syntactically complete.
+/// Deterministic I/O faults (IoFaultPlan, vm/FaultInjector.h) can be
+/// armed on both ends to drive every recovery path from tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_VM_TRACESTORE_H
+#define BPFREE_VM_TRACESTORE_H
+
+#include "support/Error.h"
+#include "vm/BranchTrace.h"
+#include "vm/FaultInjector.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bpfree {
+
+/// \returns a structural fingerprint of \p M for trace/module pairing:
+/// function names and block counts, plus every block's id, branchiness,
+/// and successor list. Any CFG change that could re-map flat block
+/// indices changes the hash, so a store replayed against the wrong (or
+/// drifted) module is rejected instead of silently producing garbage
+/// histograms.
+uint64_t moduleTraceHash(const ir::Module &M);
+
+/// What the reader found when it opened and verified a store.
+struct TraceStoreStats {
+  uint64_t ValidChunks = 0;   ///< frames in the recovered prefix
+  uint64_t CorruptChunks = 0; ///< frames that failed CRC / framing checks
+  /// Frames that verified fine but sit beyond the first damage; the
+  /// prefix contract drops them (the stream is delta-encoded, so a gap
+  /// poisons everything after it).
+  uint64_t DroppedChunks = 0;
+  uint64_t RecoveredEvents = 0; ///< complete events in the valid prefix
+  uint64_t RecoveredWords = 0;  ///< words in the valid prefix
+  bool FooterValid = false;     ///< footer present, checksummed, consistent
+  bool Recovered = false;       ///< damage found; contents are a prefix
+  std::string Detail;           ///< one-line damage description ("" if none)
+};
+
+/// Streams completed chunks into a bpfree-trace-v1 file. Lifecycle:
+/// open() creates `path + ".tmp"` and writes the header; appendChunk()
+/// per chunk; finish() writes the footer, flushes, and atomically
+/// renames onto the final path. Destroying an unfinished writer (or
+/// calling discard()) removes the temp file, so failed captures leave
+/// nothing behind. Write failures are sticky: the first Diag is
+/// returned from every later call too.
+class TraceWriter {
+public:
+  TraceWriter() = default;
+  ~TraceWriter();
+  TraceWriter(const TraceWriter &) = delete;
+  TraceWriter &operator=(const TraceWriter &) = delete;
+
+  std::optional<Diag> open(const std::string &Path, uint64_t ModuleHash,
+                           uint32_t NumBlocks,
+                           const IoFaultPlan &Faults = {});
+  /// Appends one frame of \p N event words (1..BranchTrace::ChunkWords).
+  std::optional<Diag> appendChunk(const uint32_t *Words, uint64_t N);
+  /// Seals the store: footer, flush, fsync, rename. \p NumEvents and
+  /// \p TotalInstrs come from the finalized BranchTrace.
+  std::optional<Diag> finish(uint64_t NumEvents, uint64_t TotalInstrs);
+  /// Aborts: closes and removes the temp file (idempotent).
+  void discard();
+
+  bool isOpen() const { return Out != nullptr; }
+  uint64_t bytesWritten() const { return Written; }
+  uint64_t chunksWritten() const { return ChunksWritten; }
+  const std::string &path() const { return FinalPath; }
+
+private:
+  std::optional<Diag> writeBytes(const void *Data, size_t N);
+  std::optional<Diag> fail(Diag D);
+
+  std::FILE *Out = nullptr;
+  std::string FinalPath;
+  std::string TmpPath;
+  IoFaultPlan Faults;
+  uint64_t Written = 0;
+  uint64_t ChunksWritten = 0;
+  uint64_t WordsWritten = 0;
+  std::optional<Diag> Err; ///< sticky first failure
+};
+
+/// One-shot convenience: persist a finalized resident \p Trace to
+/// \p Path. The trace must be replayable (finalized, not overflowed,
+/// not spilled — a spilling trace already owns a writer).
+std::optional<Diag> writeTraceFile(const BranchTrace &Trace,
+                                   const std::string &Path,
+                                   const IoFaultPlan &Faults = {});
+
+class TraceStoreReader;
+
+/// A sequential cursor over a store's recovered chunk prefix. Each
+/// stream owns its file handle and a one-chunk buffer, so any number of
+/// replay workers can walk the same immutable TraceStoreReader
+/// concurrently. Payload checksums are re-verified on every read —
+/// bit rot between open and replay surfaces as a Diag, never as silent
+/// histogram corruption.
+class TraceStream {
+public:
+  TraceStream() = default;
+  ~TraceStream();
+  TraceStream(TraceStream &&O) noexcept { *this = std::move(O); }
+  TraceStream &operator=(TraceStream &&O) noexcept;
+  TraceStream(const TraceStream &) = delete;
+  TraceStream &operator=(const TraceStream &) = delete;
+
+  /// Reads and verifies the next chunk. \returns its word count with
+  /// \p Words pointing at the internal buffer (valid until the next
+  /// call), 0 at end of the prefix, or a Diag on I/O or checksum
+  /// failure.
+  Expected<uint64_t> next(const uint32_t *&Words);
+
+private:
+  friend class TraceStoreReader;
+  const TraceStoreReader *Owner = nullptr;
+  std::FILE *In = nullptr;
+  size_t NextFrame = 0;
+  std::unique_ptr<uint32_t[]> Buf;
+};
+
+/// Opens, verifies, and indexes a bpfree-trace-v1 file. open() walks
+/// the whole store once — every checksum checked, every event decoded —
+/// so anything the reader reports (event counts, totals, completeness)
+/// is backed by verified bytes, and replay streams can trust the frame
+/// index. Damage past the header degrades to the longest valid prefix;
+/// see stats().
+class TraceStoreReader {
+public:
+  TraceStoreReader() = default;
+  TraceStoreReader(TraceStoreReader &&) = default;
+  TraceStoreReader &operator=(TraceStoreReader &&) = default;
+
+  /// Verifies the store at \p Path. Diag(CorruptData) when the header is
+  /// damaged or the file is not a trace store; Diag(InvalidArgument) for
+  /// an unsupported version. Frame/footer damage is NOT an error — the
+  /// reader recovers the valid prefix and reports it via stats().
+  std::optional<Diag> open(const std::string &Path,
+                           const IoFaultPlan &Faults = {});
+
+  const TraceStoreStats &stats() const { return Stats; }
+  /// True when the store is the complete, finalized capture: valid
+  /// footer, no damage. Only complete stores may be replayed — a
+  /// recovered prefix has no defined trailing sequence.
+  bool complete() const {
+    return Opened && Stats.FooterValid && !Stats.Recovered && Finalized;
+  }
+  uint64_t numEvents() const { return Stats.RecoveredEvents; }
+  uint64_t totalInstrs() const { return TotalInstrs_; }
+  uint64_t moduleHash() const { return ModuleHash; }
+  uint32_t numBlocks() const { return NumBlocks; }
+  uint64_t numChunks() const { return Frames.size(); }
+  const std::string &path() const { return Path; }
+
+  /// Checks that \p M is the module this store was captured from.
+  /// \returns Diag(InvalidArgument) naming both hashes on mismatch.
+  std::optional<Diag> requireModule(const ir::Module &M) const;
+
+  /// Opens an independent read cursor over the recovered prefix.
+  std::optional<Diag> openStream(TraceStream &Out) const;
+
+private:
+  friend class TraceStream;
+  struct Frame {
+    uint64_t PayloadOffset; ///< absolute file offset of the event words
+    uint32_t Words;
+    uint32_t PayloadCrc;
+  };
+
+  /// Reads \p N bytes at the current position of \p F into \p Dst,
+  /// applying any armed read-fault bit flips for [\p Pos, Pos + N).
+  bool readBytes(std::FILE *F, uint64_t Pos, void *Dst, size_t N) const;
+
+  std::string Path;
+  std::vector<Frame> Frames;
+  TraceStoreStats Stats;
+  /// Seed-drawn (byte offset, XOR mask) read faults, sorted by offset.
+  std::vector<std::pair<uint64_t, uint8_t>> ReadFlips;
+  uint64_t ModuleHash = 0;
+  uint64_t TotalInstrs_ = 0;
+  uint32_t NumBlocks = 0;
+  bool Finalized = false;
+  bool Opened = false;
+};
+
+} // namespace bpfree
+
+#endif // BPFREE_VM_TRACESTORE_H

@@ -163,7 +163,20 @@ bpfree::runWorkloadDetailed(const Workload &W, size_t DatasetIndex,
     Observers.push_back(Run->Profile.get());
   }
   if (Opts.CaptureTrace) {
-    Run->Trace = std::make_unique<BranchTrace>(*Run->M);
+    Run->Trace = std::make_unique<BranchTrace>(
+        *Run->M, Opts.TraceMaxBytes ? Opts.TraceMaxBytes
+                                    : BranchTrace::DefaultMaxBytes);
+    if (!Opts.TraceSpillPath.empty()) {
+      // Opening the store is part of honoring the capture request: if the
+      // destination is unwritable the caller should know before paying
+      // for the interpretation, so this is a failure, not a warning.
+      if (std::optional<Diag> D = Run->Trace->spillTo(Opts.TraceSpillPath)) {
+        Failure.Kind = D->Kind;
+        Failure.Message = D->render();
+        finish(false, nullptr);
+        return nullptr;
+      }
+    }
     Observers.push_back(Run->Trace.get());
   }
   Observers.insert(Observers.end(), Opts.ExtraObservers.begin(),
@@ -180,8 +193,29 @@ bpfree::runWorkloadDetailed(const Workload &W, size_t DatasetIndex,
     finish(false, Run.get());
     return nullptr;
   }
-  if (Run->Trace)
+  if (Run->Trace) {
     Run->Trace->finalize(Run->Result.InstrCount);
+    if (Run->Trace->spilling()) {
+      if (std::optional<Diag> D = Run->Trace->closeSpill())
+        Run->Warnings.push_back("trace store '" + Opts.TraceSpillPath +
+                                "' was not sealed: " + D->render());
+      else
+        Run->TraceFile = Opts.TraceSpillPath;
+    }
+    if (Run->Trace->overflowed())
+      // The run itself is fine — the cap exists to be hit — but anything
+      // derived from this trace covers a truncated prefix, so say so
+      // where reports can see it, not only in the trace.overflows metric.
+      Run->Warnings.push_back(
+          "branch trace overflowed its " +
+          std::to_string(Opts.TraceMaxBytes ? Opts.TraceMaxBytes
+                                            : BranchTrace::DefaultMaxBytes) +
+          "-byte cap: " + std::to_string(Run->Trace->droppedEvents()) +
+          " events dropped after " +
+          std::to_string(Run->Trace->numEvents()) +
+          " stored; replay would cover a truncated prefix (raise "
+          "TraceMaxBytes or set TraceSpillPath)");
+  }
 
   if (Run->Profile)
     Run->Stats = collectBranchStats(*Run->Ctx, *Run->Profile, Config);
@@ -282,6 +316,7 @@ SuiteReport bpfree::runSuite(const HeuristicConfig &Config,
     RunOptions RO;
     RO.Limits = Opts.Limits;
     RO.CaptureTrace = Opts.CaptureTrace;
+    RO.TraceMaxBytes = Opts.TraceMaxBytes;
     RO.CostHint = Cost[I];
     RO.DispatchOrder = Jobs > 1 && N > 1 ? static_cast<int>(K) : -1;
     if (Opts.Progress || Opts.ExtraObservers) {
@@ -303,10 +338,21 @@ SuiteReport bpfree::runSuite(const HeuristicConfig &Config,
   SuiteReport Report;
   Report.Attempted = N;
   for (size_t I = 0; I < N; ++I) {
-    if (Runs[I])
+    if (Runs[I]) {
+      // Surface per-run warnings at the suite level too, in registry
+      // order (deterministic regardless of Jobs), and echo them to
+      // stderr so a capped capture is visible even when the caller never
+      // looks at the report.
+      for (const std::string &W : Runs[I]->Warnings) {
+        Report.Warnings.push_back("workload '" + Runs[I]->W->Name +
+                                  "': " + W);
+        std::fprintf(stderr, "bpfree: warning: %s\n",
+                     Report.Warnings.back().c_str());
+      }
       Report.Runs.push_back(std::move(Runs[I]));
-    else if (Failures[I])
+    } else if (Failures[I]) {
       Report.Failures.push_back(std::move(*Failures[I]));
+    }
   }
   return Report;
 }

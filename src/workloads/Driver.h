@@ -45,6 +45,15 @@ struct WorkloadRun {
   /// Captured branch trace; non-null only when RunOptions::CaptureTrace
   /// was set, finalized with the run's instruction count.
   std::unique_ptr<BranchTrace> Trace;
+  /// Final path of the sealed on-disk trace store, when
+  /// RunOptions::TraceSpillPath was set and the spill closed cleanly;
+  /// "" otherwise.
+  std::string TraceFile;
+  /// Human-readable conditions that did not fail the run but mean its
+  /// outputs need qualification — a trace that overflowed its byte cap,
+  /// a spill store that could not be sealed. Surfaced so capped or lost
+  /// captures are visible in reports, not just in metrics.
+  std::vector<std::string> Warnings;
   std::vector<BranchStats> Stats;
   RunResult Result;
 
@@ -79,6 +88,17 @@ struct RunOptions {
   /// directions are derived from the trace itself
   /// (perfectDirectionsFromTrace).
   bool Profile = true;
+  /// Byte cap for the captured trace; 0 uses BranchTrace::DefaultMaxBytes.
+  /// A capture that hits the cap completes the run but stores only a
+  /// truncated prefix — the driver reports it via WorkloadRun::Warnings.
+  uint64_t TraceMaxBytes = 0;
+  /// When non-empty (and CaptureTrace is set), stream completed chunks to
+  /// this bpfree-trace-v1 store during the run instead of accumulating
+  /// them in memory: flat memory for any stream length, with the sealed
+  /// store's path handed back in WorkloadRun::TraceFile. The resident
+  /// trace then holds only the tail chunk and must be replayed from the
+  /// store, not from memory.
+  std::string TraceSpillPath;
   /// Attached after the edge profiler (and the trace, if capturing);
   /// useful for trace collectors and fault injectors. Not owned.
   std::vector<ExecObserver *> ExtraObservers;
@@ -145,6 +165,10 @@ struct SuiteOptions {
   /// Capture a branch trace for every workload (RunOptions::CaptureTrace
   /// per run); traces come back on the runs in WorkloadRun::Trace.
   bool CaptureTrace = false;
+  /// Per-run trace byte cap (RunOptions::TraceMaxBytes); 0 uses
+  /// BranchTrace::DefaultMaxBytes. Overflows surface as warnings on the
+  /// runs and in SuiteReport::Warnings.
+  uint64_t TraceMaxBytes = 0;
 };
 
 /// Outcome of a whole-suite run: the successful runs in suite order plus
@@ -152,6 +176,11 @@ struct SuiteOptions {
 struct SuiteReport {
   std::vector<std::unique_ptr<WorkloadRun>> Runs;
   std::vector<WorkloadFailure> Failures;
+  /// Aggregated per-workload warnings ("workload 'x': ..."), in registry
+  /// order — non-fatal conditions like a trace hitting its byte cap.
+  /// runSuite also prints each to stderr so capped captures are visible
+  /// even when the caller never inspects the report.
+  std::vector<std::string> Warnings;
   size_t Attempted = 0;
 
   bool allOk() const { return Failures.empty(); }

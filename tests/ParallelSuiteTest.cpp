@@ -15,14 +15,17 @@
 //===----------------------------------------------------------------------===//
 
 #include "ipbc/TraceReplay.h"
+#include "predict/Heuristics.h"
 #include "support/Metrics.h"
 #include "support/ThreadPool.h"
 #include "vm/FaultInjector.h"
+#include "vm/TraceStore.h"
 #include "workloads/Driver.h"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -321,6 +324,92 @@ TEST(ParallelSuite, MetricsConsistentUnderParallelFor) {
   metrics::setEnabled(false);
   metrics::resetAll();
   metrics::clearRunRecords();
+}
+
+/// The durable-store half of capture-once/replay-many, across the whole
+/// suite: every workload's capture is persisted, reloaded, and replayed
+/// from disk at several worker counts, and the histograms must be
+/// bit-identical to resident replay. This runs in the TSan leg, so the
+/// per-group stream cursors (one FILE* per replay group) are also the
+/// data-race check for parallel disk replay.
+TEST(ParallelSuite, DiskReplayMatchesResidentAcrossSuite) {
+  SuiteOptions Opts;
+  Opts.Jobs = TestJobs;
+  Opts.CaptureTrace = true;
+  SuiteReport Report = runSuite({}, Opts);
+  ASSERT_TRUE(Report.allOk()) << Report.renderFailures();
+  EXPECT_TRUE(Report.Warnings.empty());
+
+  // One store at a time: write, replay, compare, delete — suite-wide
+  // coverage without suite-wide disk footprint.
+  const std::string Path = ::testing::TempDir() + "bpfree_suite_rt.trace";
+  for (const std::unique_ptr<WorkloadRun> &Run : Report.Runs) {
+    ASSERT_TRUE(Run->Trace && Run->Trace->finalized()) << Run->W->Name;
+    const BranchTrace &T = *Run->Trace;
+    std::remove(Path.c_str());
+    std::optional<Diag> D = writeTraceFile(T, Path);
+    ASSERT_FALSE(D.has_value()) << Run->W->Name << ": " << D->render();
+
+    TraceStoreReader Store;
+    D = Store.open(Path);
+    ASSERT_FALSE(D.has_value()) << Run->W->Name << ": " << D->render();
+    ASSERT_TRUE(Store.complete()) << Run->W->Name;
+    ASSERT_FALSE(Store.requireModule(*Run->M).has_value()) << Run->W->Name;
+    EXPECT_EQ(Store.numEvents(), T.numEvents()) << Run->W->Name;
+
+    const std::vector<uint8_t> Perfect =
+        take(perfectDirectionsFromTrace(T));
+    EXPECT_EQ(take(perfectDirectionsFromStore(Store, *Run->M)), Perfect)
+        << Run->W->Name;
+    std::vector<std::vector<uint8_t>> Panel{
+        Perfect, std::vector<uint8_t>(Perfect.size(), DirTaken)};
+    const std::vector<SequenceHistogram> Resident =
+        take(replayTraceAll(T, Panel, 1));
+    for (unsigned Jobs : {1u, TestJobs}) {
+      const std::vector<SequenceHistogram> Disk =
+          take(replayStoreAll(Store, Panel, Jobs));
+      ASSERT_EQ(Disk.size(), Resident.size()) << Run->W->Name;
+      for (size_t P = 0; P < Disk.size(); ++P) {
+        EXPECT_EQ(Disk[P].NumSequences, Resident[P].NumSequences)
+            << Run->W->Name << " predictor " << P << " Jobs " << Jobs;
+        EXPECT_EQ(Disk[P].SumLengths, Resident[P].SumLengths)
+            << Run->W->Name;
+        EXPECT_EQ(Disk[P].Breaks, Resident[P].Breaks) << Run->W->Name;
+        EXPECT_EQ(Disk[P].TotalInstrs, Resident[P].TotalInstrs)
+            << Run->W->Name;
+        EXPECT_EQ(Disk[P].BranchExecs, Resident[P].BranchExecs)
+            << Run->W->Name;
+      }
+    }
+  }
+  std::remove(Path.c_str());
+}
+
+/// A suite-wide byte cap that truncates every capture must surface as
+/// per-workload warnings on the report, in registry order — capped
+/// traces are a qualification on the results, not a silent condition.
+TEST(ParallelSuite, TraceOverflowSurfacesInSuiteWarnings) {
+  SuiteOptions Opts;
+  Opts.Jobs = TestJobs;
+  Opts.CaptureTrace = true;
+  Opts.TraceMaxBytes = BranchTrace::ChunkWords * 4; // one chunk
+  SuiteReport Report = runSuite({}, Opts);
+  ASSERT_TRUE(Report.allOk()) << Report.renderFailures();
+
+  ASSERT_FALSE(Report.Warnings.empty());
+  size_t WarnAt = 0;
+  for (const std::unique_ptr<WorkloadRun> &Run : Report.Runs) {
+    if (!Run->Trace->overflowed())
+      continue;
+    ASSERT_LT(WarnAt, Report.Warnings.size());
+    // Registry order: the next suite warning names this workload.
+    EXPECT_NE(Report.Warnings[WarnAt].find("'" + Run->W->Name + "'"),
+              std::string::npos)
+        << Report.Warnings[WarnAt];
+    EXPECT_NE(Report.Warnings[WarnAt].find("overflowed"), std::string::npos);
+    ++WarnAt;
+  }
+  EXPECT_EQ(WarnAt, Report.Warnings.size());
 }
 
 /// Back-to-back parallelFor calls reuse the shared pool (workers are

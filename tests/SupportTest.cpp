@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/Error.h"
+#include "support/Json.h"
 #include "support/Rng.h"
 #include "support/Statistics.h"
 #include "support/TablePrinter.h"
@@ -189,6 +190,50 @@ TEST(TablePrinterTest, DoubleFormatting) {
 TEST(ErrorTest, DiagRendering) {
   EXPECT_EQ(Diag("boom").render(), "boom");
   EXPECT_EQ(Diag("boom", 3, 7).render(), "3:7: boom");
+}
+
+//===----------------------------------------------------------------------===//
+// Json
+//===----------------------------------------------------------------------===//
+
+// Container parsing recurses, so a hostile document a few hundred
+// thousand brackets deep would overflow the stack without a depth
+// ceiling. It must come back as an ordinary parse error instead.
+TEST(JsonTest, DepthLimitRejectsPathologicalNesting) {
+  std::string Deep(10000, '[');
+  Deep.append(10000, ']');
+  Expected<json::Value> E = json::parse(Deep, "hostile array document");
+  ASSERT_FALSE(E.hasValue());
+  EXPECT_EQ(E.error().Kind, ErrorKind::InvalidArgument);
+
+  std::string Objects;
+  for (int I = 0; I < 10000; ++I)
+    Objects += "{\"k\":";
+  Objects += "0";
+  for (int I = 0; I < 10000; ++I)
+    Objects += "}";
+  Expected<json::Value> O = json::parse(Objects, "hostile object document");
+  ASSERT_FALSE(O.hasValue());
+  EXPECT_EQ(O.error().Kind, ErrorKind::InvalidArgument);
+}
+
+TEST(JsonTest, DepthLimitAllowsReasonableNesting) {
+  // Well inside the ceiling: 200 levels must still parse, and unwind to
+  // the innermost value.
+  constexpr int Depth = 200;
+  std::string Doc(Depth, '[');
+  Doc += "42";
+  Doc.append(Depth, ']');
+  Expected<json::Value> E = json::parse(Doc, "nested array document");
+  ASSERT_TRUE(E.hasValue());
+  const json::Value *V = &*E;
+  for (int I = 0; I < Depth; ++I) {
+    ASSERT_EQ(V->K, json::Value::Array);
+    ASSERT_EQ(V->Arr.size(), 1u);
+    V = &V->Arr[0];
+  }
+  EXPECT_EQ(V->K, json::Value::Number);
+  EXPECT_EQ(V->Num, 42.0);
 }
 
 //===----------------------------------------------------------------------===//

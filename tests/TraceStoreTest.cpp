@@ -1,0 +1,858 @@
+//===- tests/TraceStoreTest.cpp - Durable trace store robustness ----------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The durability contract of the bpfree-trace-v1 store, tested from
+/// both ends. Fidelity: a persisted capture must stream back the exact
+/// event sequence the resident trace held — compact words, escapes,
+/// records straddling chunk frames — and replaying it must produce
+/// histograms bit-identical to resident replay at every Jobs setting.
+/// Robustness: every way a file can be damaged (flipped header bytes,
+/// corrupt frame payloads, torn tails, bad footers, trailing garbage)
+/// must degrade to the exact recovered prefix the format guarantees,
+/// with the damage reported in TraceStoreStats, counted under
+/// trace.store.* metrics, and refused by replay. The fixtures here
+/// assert ground-truth chunk and event counts, not just "an error
+/// happened" — the store's layout is deterministic, so the tests know
+/// precisely where each byte lands.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+#include "ipbc/TraceReplay.h"
+#include "predict/Heuristics.h"
+#include "support/Crc32.h"
+#include "support/Metrics.h"
+#include "vm/FaultInjector.h"
+#include "vm/TraceStore.h"
+#include "workloads/Driver.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <unistd.h>
+#include <vector>
+
+using namespace bpfree;
+
+namespace {
+
+/// One decoded event, for stream comparisons.
+using Event = std::tuple<uint32_t, bool, uint64_t>;
+
+/// Unwraps an Expected whose inputs the test constructed to be valid; a
+/// rejection is a test failure, reported with the diagnostic.
+template <typename T> T take(Expected<T> E) {
+  if (!E) {
+    ADD_FAILURE() << "unexpected rejection: " << E.error().renderWithKind();
+    return T{};
+  }
+  return E.takeValue();
+}
+
+/// Any module works for encoding tests: append() is driven directly with
+/// synthetic events, bypassing the observer hook.
+std::unique_ptr<ir::Module> anyModule() {
+  return minic::compileOrDie(findWorkload("treesort")->Source);
+}
+
+/// A structurally different module, for module-hash mismatch tests.
+std::unique_ptr<ir::Module> otherModule() {
+  return minic::compileOrDie(findWorkload("lisp")->Source);
+}
+
+std::string tmpPath(const std::string &Name) {
+  return ::testing::TempDir() + "bpfree_store_" + Name;
+}
+
+bool fileExists(const std::string &Path) {
+  if (std::FILE *F = std::fopen(Path.c_str(), "rb")) {
+    std::fclose(F);
+    return true;
+  }
+  return false;
+}
+
+uint64_t fileSize(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return 0;
+  std::fseek(F, 0, SEEK_END);
+  const long N = std::ftell(F);
+  std::fclose(F);
+  return N < 0 ? 0 : static_cast<uint64_t>(N);
+}
+
+std::string readAll(const std::string &Path) {
+  std::string Out;
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return Out;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, N);
+  std::fclose(F);
+  return Out;
+}
+
+/// Read-modify-write of one byte: the corruption primitive.
+void xorByteAt(const std::string &Path, uint64_t Off, uint8_t Mask) {
+  std::FILE *F = std::fopen(Path.c_str(), "r+b");
+  ASSERT_NE(F, nullptr) << Path;
+  ASSERT_EQ(std::fseek(F, static_cast<long>(Off), SEEK_SET), 0);
+  int C = std::fgetc(F);
+  ASSERT_NE(C, EOF);
+  ASSERT_EQ(std::fseek(F, static_cast<long>(Off), SEEK_SET), 0);
+  std::fputc(static_cast<uint8_t>(C) ^ Mask, F);
+  std::fclose(F);
+}
+
+void truncateTo(const std::string &Path, uint64_t Bytes) {
+  ASSERT_EQ(::truncate(Path.c_str(), static_cast<off_t>(Bytes)), 0) << Path;
+}
+
+void appendBytes(const std::string &Path, const std::string &Data) {
+  std::FILE *F = std::fopen(Path.c_str(), "ab");
+  ASSERT_NE(F, nullptr) << Path;
+  std::fwrite(Data.data(), 1, Data.size(), F);
+  std::fclose(F);
+}
+
+/// Streams every event out of the store's recovered prefix through an
+/// independent cursor — the same decode loop replay uses.
+std::vector<Event> streamAll(const TraceStoreReader &R) {
+  TraceStream S;
+  std::optional<Diag> D = R.openStream(S);
+  EXPECT_FALSE(D.has_value()) << (D ? D->renderWithKind() : "");
+  std::vector<Event> Out;
+  TraceDecoder Dec;
+  const uint32_t *W = nullptr;
+  for (;;) {
+    Expected<uint64_t> N = S.next(W);
+    if (!N) {
+      ADD_FAILURE() << "stream failed: " << N.error().renderWithKind();
+      return Out;
+    }
+    if (*N == 0)
+      break;
+    Dec.feed(W, *N, [&](uint32_t Idx, bool Taken, uint64_t Delta) {
+      Out.emplace_back(Idx, Taken, Delta);
+    });
+  }
+  EXPECT_FALSE(Dec.midRecord());
+  return Out;
+}
+
+void expectHistogramsEqual(const SequenceHistogram &A,
+                           const SequenceHistogram &B,
+                           const std::string &What) {
+  EXPECT_EQ(A.NumSequences, B.NumSequences) << What;
+  EXPECT_EQ(A.SumLengths, B.SumLengths) << What;
+  EXPECT_EQ(A.Breaks, B.Breaks) << What;
+  EXPECT_EQ(A.TotalInstrs, B.TotalInstrs) << What;
+  EXPECT_EQ(A.BranchExecs, B.BranchExecs) << What;
+}
+
+//===----------------------------------------------------------------------===//
+// The two-chunk corruption fixture
+//===----------------------------------------------------------------------===//
+//
+// 70000 compact events (one word each) fill chunk 0 exactly and leave a
+// 4464-word chunk 1, so every structure's file offset is a compile-time
+// constant and each fixture can flip or tear a byte at a *named*
+// location, then assert the reader's verdict against ground truth.
+
+constexpr uint64_t kHeaderBytes = 28;
+constexpr uint64_t kFrameHeaderBytes = 16;
+constexpr uint64_t kFooterBytes = 44;
+constexpr uint64_t kFixtureEvents = 70000;
+constexpr uint64_t kChunk0Words = BranchTrace::ChunkWords;
+constexpr uint64_t kChunk1Words = kFixtureEvents - kChunk0Words;
+constexpr uint64_t kFrame0PayloadOff = kHeaderBytes + kFrameHeaderBytes;
+constexpr uint64_t kFrame1HeaderOff = kFrame0PayloadOff + kChunk0Words * 4;
+constexpr uint64_t kFrame1PayloadOff = kFrame1HeaderOff + kFrameHeaderBytes;
+constexpr uint64_t kFooterOff = kFrame1PayloadOff + kChunk1Words * 4;
+constexpr uint64_t kFileBytes = kFooterOff + kFooterBytes;
+/// The fixture's footer total-instruction count is deliberately offset
+/// from the last event's instruction count, so tests can tell whether
+/// totalInstrs() came from the footer or from the decoded-prefix
+/// fallback.
+constexpr uint64_t kFinalizeSlack = 12345;
+
+struct StoreFixture {
+  std::unique_ptr<ir::Module> M;
+  std::unique_ptr<BranchTrace> T;
+  std::vector<Event> Events;
+  uint64_t FinalIC = 0;
+  std::string Path;
+};
+
+StoreFixture writeTwoChunkFixture(const std::string &Name) {
+  StoreFixture F;
+  F.M = anyModule();
+  F.T = std::make_unique<BranchTrace>(*F.M);
+  uint64_t IC = 0;
+  for (uint64_t I = 0; I < kFixtureEvents; ++I) {
+    const uint64_t Delta = I % 7 + 1;
+    IC += Delta;
+    const uint32_t Idx = static_cast<uint32_t>(I % 97);
+    const bool Taken = (I & 1) != 0;
+    F.T->append(Idx, Taken, IC);
+    F.Events.emplace_back(Idx, Taken, Delta);
+  }
+  F.FinalIC = IC;
+  F.T->finalize(IC + kFinalizeSlack);
+  EXPECT_EQ(F.T->numEvents(), kFixtureEvents);
+  EXPECT_EQ(F.T->storedWordCount(), kFixtureEvents); // all compact
+  EXPECT_EQ(F.T->numChunks(), 2u);
+  F.Path = tmpPath(Name);
+  std::remove(F.Path.c_str());
+  std::optional<Diag> D = writeTraceFile(*F.T, F.Path);
+  EXPECT_FALSE(D.has_value()) << (D ? D->renderWithKind() : "");
+  EXPECT_EQ(fileSize(F.Path), kFileBytes);
+  return F;
+}
+
+//===----------------------------------------------------------------------===//
+// CRC32C
+//===----------------------------------------------------------------------===//
+
+TEST(Crc32Test, KnownAnswer) {
+  // The canonical CRC32C check value (iSCSI, RFC 3720 appendix B.4).
+  EXPECT_EQ(crc32c("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(crc32c("", 0), 0u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const char *Data = "the quick brown fox jumps over the lazy dog";
+  const size_t N = std::strlen(Data);
+  const uint32_t Whole = crc32c(Data, N);
+  for (size_t Split = 0; Split <= N; ++Split) {
+    const uint32_t Piecewise =
+        crc32c(Data + Split, N - Split, crc32c(Data, Split));
+    EXPECT_EQ(Piecewise, Whole) << "split at " << Split;
+  }
+  EXPECT_NE(crc32c("abc", 3), crc32c("abd", 3));
+}
+
+//===----------------------------------------------------------------------===//
+// Module fingerprinting
+//===----------------------------------------------------------------------===//
+
+TEST(TraceStoreTest, ModuleHashIsStructural) {
+  auto A = anyModule(), B = anyModule(), C = otherModule();
+  // Recompiling the same source gives the same structure, so the same
+  // hash; a different program hashes differently.
+  EXPECT_EQ(moduleTraceHash(*A), moduleTraceHash(*B));
+  EXPECT_NE(moduleTraceHash(*A), moduleTraceHash(*C));
+}
+
+//===----------------------------------------------------------------------===//
+// Writer lifecycle
+//===----------------------------------------------------------------------===//
+
+TEST(TraceStoreTest, WriterIsAtomicAndDiscardLeavesNothing) {
+  const std::string Path = tmpPath("atomic.trace");
+  std::remove(Path.c_str());
+  const uint32_t Words[4] = {2u << 16 | (5u << 1) | 1u, 3u << 16 | (6u << 1),
+                             4u << 16 | (7u << 1) | 1u, 5u << 16 | (8u << 1)};
+
+  {
+    // Mid-write, only the temp file exists: a reader can never observe a
+    // half-written store at the final path.
+    TraceWriter W;
+    ASSERT_FALSE(W.open(Path, 0xABCDu, 16).has_value());
+    EXPECT_TRUE(fileExists(Path + ".tmp"));
+    EXPECT_FALSE(fileExists(Path));
+    ASSERT_FALSE(W.appendChunk(Words, 4).has_value());
+    W.discard();
+    EXPECT_FALSE(fileExists(Path + ".tmp"));
+    EXPECT_FALSE(fileExists(Path));
+  }
+  {
+    // An abandoned writer (error path, early return) cleans up in its
+    // destructor.
+    TraceWriter W;
+    ASSERT_FALSE(W.open(Path, 0xABCDu, 16).has_value());
+    ASSERT_FALSE(W.appendChunk(Words, 4).has_value());
+  }
+  EXPECT_FALSE(fileExists(Path + ".tmp"));
+  EXPECT_FALSE(fileExists(Path));
+  {
+    // finish() renames into place and removes the temp file.
+    TraceWriter W;
+    ASSERT_FALSE(W.open(Path, 0xABCDu, 16).has_value());
+    ASSERT_FALSE(W.appendChunk(Words, 4).has_value());
+    ASSERT_FALSE(W.finish(4, 14).has_value());
+    EXPECT_EQ(W.chunksWritten(), 1u);
+  }
+  EXPECT_TRUE(fileExists(Path));
+  EXPECT_FALSE(fileExists(Path + ".tmp"));
+
+  TraceStoreReader R;
+  ASSERT_FALSE(R.open(Path).has_value());
+  EXPECT_TRUE(R.complete());
+  EXPECT_EQ(R.numEvents(), 4u);
+  EXPECT_EQ(R.totalInstrs(), 14u);
+  EXPECT_EQ(R.moduleHash(), 0xABCDu);
+  EXPECT_EQ(R.numBlocks(), 16u);
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Round-trips
+//===----------------------------------------------------------------------===//
+
+TEST(TraceStoreTest, TwoChunkRoundTripStreamsEveryEvent) {
+  StoreFixture F = writeTwoChunkFixture("roundtrip.trace");
+  TraceStoreReader R;
+  ASSERT_FALSE(R.open(F.Path).has_value());
+
+  EXPECT_TRUE(R.complete());
+  const TraceStoreStats &S = R.stats();
+  EXPECT_FALSE(S.Recovered);
+  EXPECT_TRUE(S.FooterValid);
+  EXPECT_EQ(S.Detail, "");
+  EXPECT_EQ(S.ValidChunks, 2u);
+  EXPECT_EQ(S.CorruptChunks, 0u);
+  EXPECT_EQ(S.DroppedChunks, 0u);
+  EXPECT_EQ(S.RecoveredEvents, kFixtureEvents);
+  EXPECT_EQ(S.RecoveredWords, kFixtureEvents);
+  EXPECT_EQ(R.numChunks(), 2u);
+  EXPECT_EQ(R.moduleHash(), moduleTraceHash(*F.M));
+  EXPECT_EQ(R.totalInstrs(), F.FinalIC + kFinalizeSlack);
+  EXPECT_FALSE(R.requireModule(*F.M).has_value());
+
+  EXPECT_EQ(streamAll(R), F.Events);
+  std::remove(F.Path.c_str());
+}
+
+TEST(TraceStoreTest, EscapeStraddlingFrameBoundarySurvivesDisk) {
+  auto M = anyModule();
+  BranchTrace T(*M);
+  std::vector<Event> Expected;
+  uint64_t IC = 0;
+  // Fill to two words short of the first chunk, then append an escape:
+  // its four words span two frames on disk and must decode as one event
+  // through the stream's carry.
+  for (size_t I = 0; I < BranchTrace::ChunkWords - 2; ++I) {
+    IC += 1;
+    T.append(7, false, IC);
+    Expected.emplace_back(7u, false, 1);
+  }
+  IC += (1ull << 36) + 3;
+  T.append(0x9000u, true, IC);
+  Expected.emplace_back(0x9000u, true, (1ull << 36) + 3);
+  for (size_t I = 0; I < 10; ++I) {
+    IC += 2;
+    T.append(11, I % 2 == 0, IC);
+    Expected.emplace_back(11u, I % 2 == 0, 2);
+  }
+  T.finalize(IC);
+  ASSERT_EQ(T.numChunks(), 2u);
+
+  const std::string Path = tmpPath("straddle.trace");
+  std::remove(Path.c_str());
+  ASSERT_FALSE(writeTraceFile(T, Path).has_value());
+  TraceStoreReader R;
+  ASSERT_FALSE(R.open(Path).has_value());
+  EXPECT_TRUE(R.complete());
+  EXPECT_EQ(R.numEvents(), Expected.size());
+  EXPECT_EQ(streamAll(R), Expected);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceStoreTest, SpillWritesTheIdenticalFileAtFlatMemory) {
+  auto M = anyModule();
+  const uint64_t NumEvents = 200000; // 3 full chunks + a tail
+  const std::string SpillPath = tmpPath("spill.trace");
+  const std::string ResidentPath = tmpPath("resident.trace");
+  std::remove(SpillPath.c_str());
+  std::remove(ResidentPath.c_str());
+
+  // The spilling capture gets a one-chunk byte cap: if spilling ever let
+  // a second chunk accumulate, the cap would trip and the zero-drop
+  // assertion below would fail.
+  BranchTrace S(*M, BranchTrace::ChunkWords * 4);
+  ASSERT_FALSE(S.spillTo(SpillPath).has_value());
+  BranchTrace Resident(*M);
+  uint64_t IC = 0;
+  for (uint64_t I = 0; I < NumEvents; ++I) {
+    const uint64_t Delta = I % 11 + 1;
+    IC += Delta;
+    const uint32_t Idx = static_cast<uint32_t>(I % 89);
+    S.append(Idx, (I & 1) != 0, IC);
+    Resident.append(Idx, (I & 1) != 0, IC);
+    EXPECT_LE(S.numChunks(), 1u); // flat memory ceiling
+  }
+  S.finalize(IC);
+  Resident.finalize(IC);
+  ASSERT_FALSE(S.closeSpill().has_value());
+  ASSERT_FALSE(writeTraceFile(Resident, ResidentPath).has_value());
+
+  EXPECT_FALSE(S.overflowed());
+  EXPECT_EQ(S.droppedEvents(), 0u);
+  EXPECT_EQ(S.numEvents(), NumEvents);
+  EXPECT_TRUE(S.spilling());
+  EXPECT_GE(S.spilledChunks(), 3u);
+
+  // The store a capture spilled as it ran is bit-identical to the store
+  // written from a fully resident twin: one format, one layout.
+  const std::string SpillBytes = readAll(SpillPath);
+  EXPECT_FALSE(SpillBytes.empty());
+  EXPECT_EQ(SpillBytes, readAll(ResidentPath));
+
+  // Resident replay of a spilled trace is refused — its chunks are on
+  // disk — and the diagnostic points at the store.
+  Expected<SequenceHistogram> E = replayTrace(S, std::vector<uint8_t>{});
+  ASSERT_FALSE(E.hasValue());
+  EXPECT_EQ(E.error().Kind, ErrorKind::InvalidArgument);
+  EXPECT_NE(E.error().Message.find(SpillPath), std::string::npos);
+
+  // The store replays, and matches resident replay of the twin exactly.
+  TraceStoreReader R;
+  ASSERT_FALSE(R.open(SpillPath).has_value());
+  EXPECT_TRUE(R.complete());
+  EXPECT_EQ(R.numEvents(), NumEvents);
+  const uint32_t NumBlocks = R.numBlocks();
+  std::vector<uint8_t> Dirs(NumBlocks, DirTaken);
+  expectHistogramsEqual(take(replayStore(R, Dirs)),
+                        take(replayTrace(Resident, Dirs)),
+                        "spilled store vs resident twin");
+
+  std::remove(SpillPath.c_str());
+  std::remove(ResidentPath.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Corruption fixtures: exact recovered-prefix ground truth
+//===----------------------------------------------------------------------===//
+
+TEST(TraceStoreTest, HeaderDamageRejectsTheFile) {
+  StoreFixture F = writeTwoChunkFixture("header.trace");
+  // Any flipped header byte (here: inside the module hash) breaks the
+  // header checksum; nothing in the file can be trusted, so the open
+  // itself fails.
+  xorByteAt(F.Path, 9, 0x40);
+  TraceStoreReader R;
+  std::optional<Diag> D = R.open(F.Path);
+  ASSERT_TRUE(D.has_value());
+  EXPECT_EQ(D->Kind, ErrorKind::CorruptData);
+  std::remove(F.Path.c_str());
+}
+
+TEST(TraceStoreTest, NonStoreFilesAreRejected) {
+  const std::string Path = tmpPath("notastore.trace");
+  std::remove(Path.c_str());
+  appendBytes(Path, "this is not a bpfree trace store, but it is 40B+\n");
+  {
+    TraceStoreReader R;
+    std::optional<Diag> D = R.open(Path);
+    ASSERT_TRUE(D.has_value());
+    EXPECT_EQ(D->Kind, ErrorKind::CorruptData);
+  }
+  truncateTo(Path, 10); // shorter than any header
+  {
+    TraceStoreReader R;
+    std::optional<Diag> D = R.open(Path);
+    ASSERT_TRUE(D.has_value());
+    EXPECT_EQ(D->Kind, ErrorKind::CorruptData);
+  }
+  {
+    TraceStoreReader R;
+    std::optional<Diag> D = R.open(tmpPath("does_not_exist.trace"));
+    ASSERT_TRUE(D.has_value());
+    EXPECT_EQ(D->Kind, ErrorKind::InvalidArgument);
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(TraceStoreTest, SecondChunkPayloadFlipRecoversFirstChunk) {
+  StoreFixture F = writeTwoChunkFixture("payload1.trace");
+  xorByteAt(F.Path, kFrame1PayloadOff + 100, 0x01);
+
+  metrics::setEnabled(true);
+  metrics::resetAll();
+  TraceStoreReader R;
+  ASSERT_FALSE(R.open(F.Path).has_value());
+
+  const TraceStoreStats &S = R.stats();
+  EXPECT_TRUE(S.Recovered);
+  EXPECT_FALSE(S.FooterValid);
+  EXPECT_FALSE(R.complete());
+  EXPECT_EQ(S.ValidChunks, 1u);
+  EXPECT_EQ(S.CorruptChunks, 1u);
+  EXPECT_EQ(S.DroppedChunks, 0u);
+  EXPECT_EQ(S.RecoveredEvents, kChunk0Words); // one event per word
+  EXPECT_NE(S.Detail.find("chunk 1"), std::string::npos) << S.Detail;
+
+  // The damage is tallied under trace.store.* so fleets of replays can
+  // alarm on it.
+  EXPECT_EQ(metrics::counter("trace.store.opens").value(), 1u);
+  EXPECT_EQ(metrics::counter("trace.store.recovered_opens").value(), 1u);
+  EXPECT_EQ(metrics::counter("trace.store.corrupt_chunks").value(), 1u);
+  EXPECT_EQ(metrics::counter("trace.store.recovered_events").value(),
+            kChunk0Words);
+  metrics::setEnabled(false);
+
+  // The recovered prefix is exactly the first chunk's events, and it
+  // still streams cleanly.
+  std::vector<Event> Prefix(F.Events.begin(),
+                            F.Events.begin() + kChunk0Words);
+  EXPECT_EQ(streamAll(R), Prefix);
+
+  // Replay refuses a recovered prefix: it has no defined trailing
+  // sequence, so histograms built from it would launder the damage.
+  std::optional<Diag> V = validateStoreForReplay(R);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->Kind, ErrorKind::CorruptData);
+  Expected<SequenceHistogram> E =
+      replayStore(R, std::vector<uint8_t>(R.numBlocks(), DirTaken));
+  ASSERT_FALSE(E.hasValue());
+  EXPECT_EQ(E.error().Kind, ErrorKind::CorruptData);
+  std::remove(F.Path.c_str());
+}
+
+TEST(TraceStoreTest, FirstChunkPayloadFlipStrandsLaterChunks) {
+  StoreFixture F = writeTwoChunkFixture("payload0.trace");
+  xorByteAt(F.Path, kFrame0PayloadOff + 40, 0x80);
+
+  TraceStoreReader R;
+  ASSERT_FALSE(R.open(F.Path).has_value());
+  const TraceStoreStats &S = R.stats();
+  EXPECT_TRUE(S.Recovered);
+  EXPECT_EQ(S.ValidChunks, 0u);
+  EXPECT_EQ(S.CorruptChunks, 1u);
+  // Chunk 1 verifies fine but sits beyond the damage: the delta-encoded
+  // stream is broken at the gap, so the prefix contract drops it.
+  EXPECT_EQ(S.DroppedChunks, 1u);
+  EXPECT_EQ(S.RecoveredEvents, 0u);
+  EXPECT_FALSE(S.FooterValid);
+  EXPECT_TRUE(streamAll(R).empty());
+  std::remove(F.Path.c_str());
+}
+
+TEST(TraceStoreTest, TornPayloadTailRecoversChunkPrefix) {
+  StoreFixture F = writeTwoChunkFixture("tornpayload.trace");
+  truncateTo(F.Path, kFrame1PayloadOff + 100); // mid chunk-1 payload
+
+  TraceStoreReader R;
+  ASSERT_FALSE(R.open(F.Path).has_value());
+  const TraceStoreStats &S = R.stats();
+  EXPECT_TRUE(S.Recovered);
+  EXPECT_EQ(S.ValidChunks, 1u);
+  EXPECT_EQ(S.CorruptChunks, 1u);
+  EXPECT_EQ(S.RecoveredEvents, kChunk0Words);
+  EXPECT_FALSE(S.FooterValid);
+  EXPECT_NE(S.Detail.find("torn chunk payload"), std::string::npos)
+      << S.Detail;
+  std::remove(F.Path.c_str());
+}
+
+TEST(TraceStoreTest, TornFrameHeaderRecoversChunkPrefix) {
+  StoreFixture F = writeTwoChunkFixture("tornheader.trace");
+  truncateTo(F.Path, kFrame1HeaderOff + 8); // mid chunk-1 frame header
+
+  TraceStoreReader R;
+  ASSERT_FALSE(R.open(F.Path).has_value());
+  const TraceStoreStats &S = R.stats();
+  EXPECT_TRUE(S.Recovered);
+  EXPECT_EQ(S.ValidChunks, 1u);
+  EXPECT_EQ(S.CorruptChunks, 1u);
+  EXPECT_EQ(S.RecoveredEvents, kChunk0Words);
+  EXPECT_NE(S.Detail.find("torn frame"), std::string::npos) << S.Detail;
+  std::remove(F.Path.c_str());
+}
+
+TEST(TraceStoreTest, MissingFooterRecoversAllChunksButNotCompleteness) {
+  StoreFixture F = writeTwoChunkFixture("nofooter.trace");
+  truncateTo(F.Path, kFooterOff); // file ends exactly where FOOT began
+
+  TraceStoreReader R;
+  ASSERT_FALSE(R.open(F.Path).has_value());
+  const TraceStoreStats &S = R.stats();
+  EXPECT_TRUE(S.Recovered);
+  EXPECT_FALSE(S.FooterValid);
+  EXPECT_FALSE(R.complete());
+  // Every chunk survived — only the seal is gone — so the whole stream
+  // is recovered, but without the footer nothing vouches that this is
+  // the *entire* capture, so replay must still refuse it.
+  EXPECT_EQ(S.ValidChunks, 2u);
+  EXPECT_EQ(S.CorruptChunks, 0u);
+  EXPECT_EQ(S.RecoveredEvents, kFixtureEvents);
+  EXPECT_NE(S.Detail.find("missing footer"), std::string::npos) << S.Detail;
+  // Without a footer the total-instruction count falls back to the last
+  // decoded branch, not the finalize() total the footer carried.
+  EXPECT_EQ(R.totalInstrs(), F.FinalIC);
+  EXPECT_TRUE(validateStoreForReplay(R).has_value());
+  std::remove(F.Path.c_str());
+}
+
+TEST(TraceStoreTest, FooterChecksumDamageRecoversAllChunks) {
+  StoreFixture F = writeTwoChunkFixture("footer.trace");
+  xorByteAt(F.Path, kFooterOff + 8, 0x04); // inside the event count
+
+  TraceStoreReader R;
+  ASSERT_FALSE(R.open(F.Path).has_value());
+  const TraceStoreStats &S = R.stats();
+  EXPECT_TRUE(S.Recovered);
+  EXPECT_FALSE(S.FooterValid);
+  EXPECT_EQ(S.ValidChunks, 2u);
+  EXPECT_EQ(S.CorruptChunks, 0u);
+  EXPECT_EQ(S.RecoveredEvents, kFixtureEvents);
+  EXPECT_NE(S.Detail.find("footer checksum mismatch"), std::string::npos)
+      << S.Detail;
+  std::remove(F.Path.c_str());
+}
+
+TEST(TraceStoreTest, TrailingGarbageAfterFooterIsDamage) {
+  StoreFixture F = writeTwoChunkFixture("trailing.trace");
+  appendBytes(F.Path, "junk appended by a confused process");
+
+  TraceStoreReader R;
+  ASSERT_FALSE(R.open(F.Path).has_value());
+  const TraceStoreStats &S = R.stats();
+  EXPECT_TRUE(S.Recovered);
+  EXPECT_FALSE(R.complete());
+  EXPECT_EQ(S.ValidChunks, 2u);
+  EXPECT_EQ(S.RecoveredEvents, kFixtureEvents);
+  EXPECT_NE(S.Detail.find("trailing bytes"), std::string::npos) << S.Detail;
+  std::remove(F.Path.c_str());
+}
+
+TEST(TraceStoreTest, WrongModuleIsUsageErrorNotCorruption) {
+  StoreFixture F = writeTwoChunkFixture("module.trace");
+  auto Other = otherModule();
+
+  TraceStoreReader R;
+  ASSERT_FALSE(R.open(F.Path).has_value());
+  // The file itself is pristine...
+  EXPECT_TRUE(R.complete());
+  EXPECT_FALSE(R.requireModule(*F.M).has_value());
+  // ...it just belongs to different code: InvalidArgument, not
+  // CorruptData, and the diagnostic names both fingerprints.
+  std::optional<Diag> D = R.requireModule(*Other);
+  ASSERT_TRUE(D.has_value());
+  EXPECT_EQ(D->Kind, ErrorKind::InvalidArgument);
+
+  Expected<std::vector<uint8_t>> Dirs = perfectDirectionsFromStore(R, *Other);
+  ASSERT_FALSE(Dirs.hasValue());
+  EXPECT_EQ(Dirs.error().Kind, ErrorKind::InvalidArgument);
+  std::remove(F.Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Injected I/O faults
+//===----------------------------------------------------------------------===//
+
+TEST(TraceStoreTest, InjectedWriteFailureLeavesNoFile) {
+  StoreFixture F = writeTwoChunkFixture("unused.trace");
+  std::remove(F.Path.c_str());
+  const std::string Path = tmpPath("enospc.trace");
+  std::remove(Path.c_str());
+
+  std::optional<Diag> D =
+      writeTraceFile(*F.T, Path, IoFaultPlan::failWriteAfter(1000));
+  ASSERT_TRUE(D.has_value());
+  EXPECT_EQ(D->Kind, ErrorKind::Injected);
+  // The failed write left nothing: no final file, no temp file.
+  EXPECT_FALSE(fileExists(Path));
+  EXPECT_FALSE(fileExists(Path + ".tmp"));
+}
+
+TEST(TraceStoreTest, InjectedWriteFailureAbandonsSpillCapture) {
+  auto M = anyModule();
+  const std::string Path = tmpPath("spillfail.trace");
+  std::remove(Path.c_str());
+
+  const IoFaultPlan Plan = IoFaultPlan::failWriteAfter(1000);
+  BranchTrace T(*M, BranchTrace::ChunkWords * 4);
+  ASSERT_FALSE(T.spillTo(Path, &Plan).has_value());
+  uint64_t IC = 0;
+  for (uint64_t I = 0; I < 200000; ++I) {
+    IC += 1;
+    T.append(static_cast<uint32_t>(I % 50), (I & 1) != 0, IC);
+  }
+  T.finalize(IC);
+  // The first chunk flush hit the injected fault: the on-disk stream is
+  // abandoned, the trace marks itself overflowed (its stored prefix is
+  // truncated), and closeSpill reports the original failure.
+  EXPECT_TRUE(T.overflowed());
+  EXPECT_GT(T.droppedEvents(), 0u);
+  std::optional<Diag> D = T.closeSpill();
+  ASSERT_TRUE(D.has_value());
+  EXPECT_EQ(D->Kind, ErrorKind::Injected);
+  EXPECT_FALSE(fileExists(Path));
+  EXPECT_FALSE(fileExists(Path + ".tmp"));
+}
+
+TEST(TraceStoreTest, InjectedTruncateAtCloseSurfacesAsRecovery) {
+  StoreFixture F = writeTwoChunkFixture("unused2.trace");
+  std::remove(F.Path.c_str());
+  const std::string Path = tmpPath("torncl.trace");
+  std::remove(Path.c_str());
+
+  // The crash-while-flushing fault: the rename lands but the tail is
+  // torn off. The writer itself reports success (the OS lied to it);
+  // the reader's checksums catch it.
+  ASSERT_FALSE(writeTraceFile(*F.T, Path,
+                              IoFaultPlan::truncateAtClose(
+                                  kFrame1PayloadOff + 100))
+                   .has_value());
+  TraceStoreReader R;
+  ASSERT_FALSE(R.open(Path).has_value());
+  EXPECT_TRUE(R.stats().Recovered);
+  EXPECT_EQ(R.stats().ValidChunks, 1u);
+  EXPECT_EQ(R.numEvents(), kChunk0Words);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceStoreTest, SeededBitRotNeverVerifiesClean) {
+  StoreFixture F = writeTwoChunkFixture("bitrot.trace");
+  for (uint64_t Seed = 1; Seed <= 6; ++Seed) {
+    TraceStoreReader R;
+    std::optional<Diag> D =
+        R.open(F.Path, IoFaultPlan::flipBitsOnRead(4, Seed));
+    // Wherever the seed lands the flips — header, frame, payload,
+    // footer — the store must either be rejected outright or downgraded
+    // from complete; rot never passes verification.
+    if (!D.has_value()) {
+      EXPECT_FALSE(R.complete()) << "seed " << Seed;
+    }
+  }
+  std::remove(F.Path.c_str());
+}
+
+TEST(IoFaultPlanTest, FromSeedIsArmedAndDeterministic) {
+  for (uint64_t Seed = 0; Seed < 16; ++Seed) {
+    const IoFaultPlan A = IoFaultPlan::fromSeed(Seed, 1u << 20);
+    const IoFaultPlan B = IoFaultPlan::fromSeed(Seed, 1u << 20);
+    EXPECT_TRUE(A.armed()) << "seed " << Seed;
+    EXPECT_EQ(A.describe(), B.describe()) << "seed " << Seed;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Replay equivalence on a real capture
+//===----------------------------------------------------------------------===//
+
+TEST(TraceStoreTest, RealCaptureReplaysBitIdenticallyFromDisk) {
+  const Workload *W = findWorkload("treesort");
+  ASSERT_NE(W, nullptr);
+  RunOptions RO;
+  RO.CaptureTrace = true;
+  RO.Profile = false;
+  auto Run = runWorkloadOrExit(*W, 0, {}, RO);
+  ASSERT_NE(Run->Trace, nullptr);
+  const BranchTrace &T = *Run->Trace;
+
+  const std::string Path = tmpPath("treesort.trace");
+  std::remove(Path.c_str());
+  ASSERT_FALSE(writeTraceFile(T, Path).has_value());
+  TraceStoreReader R;
+  ASSERT_FALSE(R.open(Path).has_value());
+  ASSERT_TRUE(R.complete());
+  ASSERT_FALSE(R.requireModule(*Run->M).has_value());
+  EXPECT_EQ(R.numEvents(), T.numEvents());
+  EXPECT_EQ(R.totalInstrs(), T.totalInstrs());
+
+  // The perfect predictor derived by streaming the store equals the one
+  // derived from the resident trace.
+  const std::vector<uint8_t> Perfect =
+      take(perfectDirectionsFromTrace(T));
+  EXPECT_EQ(take(perfectDirectionsFromStore(R, *Run->M)), Perfect);
+
+  // A three-way direction panel, replayed resident and from disk at
+  // every Jobs setting: bit-identical histograms throughout.
+  const uint32_t NumBlocks = R.numBlocks();
+  std::vector<std::vector<uint8_t>> Panel;
+  Panel.push_back(Perfect);
+  Panel.emplace_back(NumBlocks, DirTaken);
+  Panel.emplace_back(NumBlocks, DirFallthru);
+  const std::vector<SequenceHistogram> FromMemory =
+      take(replayTraceAll(T, Panel, 0));
+  ASSERT_EQ(FromMemory.size(), Panel.size());
+  for (unsigned Jobs : {0u, 1u, 2u, 4u, 8u}) {
+    const std::vector<SequenceHistogram> FromDisk =
+        take(replayStoreAll(R, Panel, Jobs));
+    ASSERT_EQ(FromDisk.size(), FromMemory.size());
+    for (size_t I = 0; I < FromDisk.size(); ++I)
+      expectHistogramsEqual(FromDisk[I], FromMemory[I],
+                            "panel " + std::to_string(I) + " at Jobs " +
+                                std::to_string(Jobs));
+  }
+  expectHistogramsEqual(take(replayStore(R, Perfect)),
+                        take(replayTrace(T, Perfect)), "single-lane");
+
+  // Per-site attribution counts match too.
+  const std::vector<SiteCounts> SiteMem =
+      take(replaySiteCounts(T, Panel[1]));
+  const std::vector<SiteCounts> SiteDisk =
+      take(replayStoreSiteCounts(R, Panel[1]));
+  ASSERT_EQ(SiteMem.size(), SiteDisk.size());
+  for (size_t I = 0; I < SiteMem.size(); ++I) {
+    EXPECT_EQ(SiteMem[I].Taken, SiteDisk[I].Taken) << "site " << I;
+    EXPECT_EQ(SiteMem[I].Fallthru, SiteDisk[I].Fallthru) << "site " << I;
+    EXPECT_EQ(SiteMem[I].Mispredicts, SiteDisk[I].Mispredicts)
+        << "site " << I;
+  }
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Driver integration: spill stores and overflow warnings
+//===----------------------------------------------------------------------===//
+
+TEST(TraceStoreTest, DriverSealsSpillStoreAndHandsBackThePath) {
+  const Workload *W = findWorkload("treesort");
+  ASSERT_NE(W, nullptr);
+  const std::string Path = tmpPath("driver_spill.trace");
+  std::remove(Path.c_str());
+
+  RunOptions RO;
+  RO.CaptureTrace = true;
+  RO.Profile = false;
+  RO.TraceSpillPath = Path;
+  auto Run = runWorkloadOrExit(*W, 0, {}, RO);
+  ASSERT_NE(Run->Trace, nullptr);
+  EXPECT_EQ(Run->TraceFile, Path);
+  EXPECT_TRUE(Run->Warnings.empty());
+  EXPECT_TRUE(Run->Trace->spilling());
+  EXPECT_FALSE(Run->Trace->overflowed());
+
+  TraceStoreReader R;
+  ASSERT_FALSE(R.open(Path).has_value());
+  EXPECT_TRUE(R.complete());
+  EXPECT_EQ(R.numEvents(), Run->Trace->numEvents());
+  ASSERT_FALSE(R.requireModule(*Run->M).has_value());
+  std::remove(Path.c_str());
+}
+
+TEST(TraceStoreTest, DriverWarnsWhenTheTraceOverflowsItsCap) {
+  const Workload *W = findWorkload("treesort");
+  ASSERT_NE(W, nullptr);
+  RunOptions RO;
+  RO.CaptureTrace = true;
+  RO.Profile = false;
+  // One chunk is far below treesort's ~44-chunk capture: the cap trips,
+  // the run still completes, and the driver says so.
+  RO.TraceMaxBytes = BranchTrace::ChunkWords * 4;
+  auto Run = runWorkloadOrExit(*W, 0, {}, RO);
+  ASSERT_NE(Run->Trace, nullptr);
+  EXPECT_TRUE(Run->Trace->overflowed());
+  EXPECT_GT(Run->Trace->droppedEvents(), 0u);
+  ASSERT_EQ(Run->Warnings.size(), 1u);
+  EXPECT_NE(Run->Warnings[0].find("overflowed"), std::string::npos)
+      << Run->Warnings[0];
+  EXPECT_EQ(Run->TraceFile, "");
+}
+
+} // namespace

@@ -1,0 +1,374 @@
+//===- tools/bpfree_trace.cpp - Durable trace store CLI -------------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line surface over the bpfree-trace-v1 store: capture a suite
+/// workload's branch trace to disk, inspect and verify a store, replay
+/// one against the perfect predictor, and deterministically damage one
+/// for recovery drills.
+///
+///   $ bpfree_trace capture --workload treesort -o treesort.trace
+///   $ bpfree_trace info treesort.trace
+///   $ bpfree_trace verify treesort.trace --workload treesort
+///   $ bpfree_trace replay treesort.trace --workload treesort
+///   $ bpfree_trace corrupt treesort.trace --corrupt-byte 64:0x01
+///
+/// verify's exit status is the CI contract: 0 for a complete store (and
+/// a matching module when --workload is given), 3 for a damaged store
+/// that degraded to a recovered prefix, 1 for a file the reader rejects
+/// outright, 2 for usage errors. corrupt exists so chaos scripts can
+/// flip exactly one byte (or shear the tail) and assert the reader's
+/// verdict instead of hoping dd got the offset right.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+#include "ipbc/TraceReplay.h"
+#include "vm/TraceStore.h"
+#include "workloads/Driver.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <unistd.h>
+
+using namespace bpfree;
+
+namespace {
+
+int usage(const char *Prog) {
+  std::cerr
+      << "usage: " << Prog
+      << " capture --workload NAME -o FILE [--dataset I] [--max-bytes N]\n"
+         "                        [--spill] [--fail-write-after N]\n"
+         "                        [--truncate-at-close N] [--fault-seed S]\n"
+         "       "
+      << Prog
+      << " info FILE\n"
+         "       "
+      << Prog
+      << " verify FILE [--workload NAME] [--flip-bits K] [--fault-seed S]\n"
+         "       "
+      << Prog
+      << " replay FILE --workload NAME [--dataset I] [--jobs N]\n"
+         "       "
+      << Prog << " corrupt FILE (--corrupt-byte OFF[:XOR] | --truncate-to N)\n";
+  return 2;
+}
+
+/// Compiles suite workload \p Name; exits with a diagnostic when the
+/// name is unknown or the (known-good) source fails to compile.
+std::unique_ptr<ir::Module> compileWorkloadOrExit(const char *Name) {
+  const Workload *W = findWorkload(Name);
+  if (!W) {
+    std::cerr << "unknown workload '" << Name << "'\n";
+    std::exit(2);
+  }
+  Expected<std::unique_ptr<ir::Module>> M = minic::compile(W->Source);
+  if (!M) {
+    std::cerr << "compile failed: " << M.error().render() << "\n";
+    std::exit(1);
+  }
+  return M.takeValue();
+}
+
+void printStats(const TraceStoreReader &R) {
+  const TraceStoreStats &S = R.stats();
+  std::printf("store:          %s\n", R.path().c_str());
+  std::printf("module hash:    %016" PRIx64 "\n", R.moduleHash());
+  std::printf("flat blocks:    %" PRIu32 "\n", R.numBlocks());
+  std::printf("chunks:         %" PRIu64 " valid, %" PRIu64
+              " corrupt, %" PRIu64 " dropped\n",
+              S.ValidChunks, S.CorruptChunks, S.DroppedChunks);
+  std::printf("events:         %" PRIu64 " (%" PRIu64 " words)\n",
+              S.RecoveredEvents, S.RecoveredWords);
+  std::printf("total instrs:   %" PRIu64 "\n", R.totalInstrs());
+  std::printf("footer:         %s\n", S.FooterValid ? "valid" : "missing");
+  std::printf("status:         %s\n",
+              R.complete() ? "complete"
+                           : (S.Recovered ? "recovered prefix"
+                                          : "incomplete"));
+  if (!S.Detail.empty())
+    std::printf("damage:         %s\n", S.Detail.c_str());
+}
+
+int runCapture(int argc, char **argv) {
+  const char *WorkloadName = nullptr;
+  const char *OutPath = nullptr;
+  size_t DatasetIdx = 0;
+  uint64_t MaxBytes = 0;
+  bool Spill = false;
+  IoFaultPlan Faults;
+  for (int I = 2; I < argc; ++I) {
+    auto needValue = [&](const char *Flag) -> const char * {
+      if (I + 1 >= argc) {
+        std::cerr << Flag << " requires a value\n";
+        std::exit(2);
+      }
+      return argv[++I];
+    };
+    if (std::strcmp(argv[I], "--workload") == 0)
+      WorkloadName = needValue("--workload");
+    else if (std::strcmp(argv[I], "-o") == 0)
+      OutPath = needValue("-o");
+    else if (std::strcmp(argv[I], "--dataset") == 0)
+      DatasetIdx = std::strtoul(needValue("--dataset"), nullptr, 10);
+    else if (std::strcmp(argv[I], "--max-bytes") == 0)
+      MaxBytes = std::strtoull(needValue("--max-bytes"), nullptr, 10);
+    else if (std::strcmp(argv[I], "--spill") == 0)
+      Spill = true;
+    else if (std::strcmp(argv[I], "--fail-write-after") == 0)
+      Faults.FailWriteAfterBytes =
+          std::strtoull(needValue("--fail-write-after"), nullptr, 10);
+    else if (std::strcmp(argv[I], "--truncate-at-close") == 0)
+      Faults.TruncateAtClose =
+          std::strtoull(needValue("--truncate-at-close"), nullptr, 10);
+    else if (std::strcmp(argv[I], "--fault-seed") == 0)
+      Faults.Seed = std::strtoull(needValue("--fault-seed"), nullptr, 10);
+    else
+      return usage(argv[0]);
+  }
+  if (!WorkloadName || !OutPath)
+    return usage(argv[0]);
+  const Workload *W = findWorkload(WorkloadName);
+  if (!W) {
+    std::cerr << "unknown workload '" << WorkloadName << "'\n";
+    return 2;
+  }
+
+  // One capture interpretation, no edge profile: the store carries
+  // everything replay needs (perfect directions included).
+  RunOptions RO;
+  RO.CaptureTrace = true;
+  RO.Profile = false;
+  RO.TraceMaxBytes = MaxBytes;
+  // Spill mode streams chunks to the store during the run (flat memory);
+  // otherwise the trace is captured resident and persisted afterwards,
+  // which is where the deterministic write faults can be armed.
+  if (Spill)
+    RO.TraceSpillPath = OutPath;
+  Expected<std::unique_ptr<WorkloadRun>> RunOrErr =
+      runWorkload(*W, DatasetIdx, {}, RO);
+  if (!RunOrErr) {
+    std::cerr << "run failed: " << RunOrErr.error().renderWithKind() << "\n";
+    return 1;
+  }
+  std::unique_ptr<WorkloadRun> Run = RunOrErr.takeValue();
+  for (const std::string &Warning : Run->Warnings)
+    std::cerr << "warning: " << Warning << "\n";
+  if (Spill) {
+    if (Run->TraceFile.empty()) {
+      std::cerr << "capture failed: the spill store was not sealed\n";
+      return 1;
+    }
+  } else if (std::optional<Diag> D =
+                 writeTraceFile(*Run->Trace, OutPath, Faults)) {
+    std::cerr << "write failed: " << D->renderWithKind() << "\n";
+    return 1;
+  }
+  std::printf("captured %" PRIu64 " events (%" PRIu64
+              " instrs) from '%s' into '%s'\n",
+              Run->Trace->numEvents(), Run->Trace->totalInstrs(),
+              W->Name.c_str(), OutPath);
+  return 0;
+}
+
+int runInfoOrVerify(int argc, char **argv, bool Verify) {
+  const char *Path = nullptr;
+  const char *WorkloadName = nullptr;
+  IoFaultPlan Faults;
+  for (int I = 2; I < argc; ++I) {
+    auto needValue = [&](const char *Flag) -> const char * {
+      if (I + 1 >= argc) {
+        std::cerr << Flag << " requires a value\n";
+        std::exit(2);
+      }
+      return argv[++I];
+    };
+    if (std::strcmp(argv[I], "--workload") == 0)
+      WorkloadName = needValue("--workload");
+    else if (std::strcmp(argv[I], "--flip-bits") == 0)
+      Faults.FlipBitsOnRead = static_cast<uint32_t>(
+          std::strtoul(needValue("--flip-bits"), nullptr, 10));
+    else if (std::strcmp(argv[I], "--fault-seed") == 0)
+      Faults.Seed = std::strtoull(needValue("--fault-seed"), nullptr, 10);
+    else if (argv[I][0] != '-' && !Path)
+      Path = argv[I];
+    else
+      return usage(argv[0]);
+  }
+  if (!Path)
+    return usage(argv[0]);
+
+  TraceStoreReader R;
+  if (std::optional<Diag> D = R.open(Path, Faults)) {
+    std::cerr << "open failed: " << D->renderWithKind() << "\n";
+    return 1;
+  }
+  printStats(R);
+  if (!Verify)
+    return 0;
+  if (WorkloadName) {
+    std::unique_ptr<ir::Module> M = compileWorkloadOrExit(WorkloadName);
+    if (std::optional<Diag> D = R.requireModule(*M)) {
+      std::cerr << "module check failed: " << D->renderWithKind() << "\n";
+      return 3;
+    }
+    std::printf("module:         matches workload '%s'\n", WorkloadName);
+  }
+  return R.complete() ? 0 : 3;
+}
+
+int runReplay(int argc, char **argv) {
+  const char *Path = nullptr;
+  const char *WorkloadName = nullptr;
+  unsigned Jobs = 0;
+  for (int I = 2; I < argc; ++I) {
+    auto needValue = [&](const char *Flag) -> const char * {
+      if (I + 1 >= argc) {
+        std::cerr << Flag << " requires a value\n";
+        std::exit(2);
+      }
+      return argv[++I];
+    };
+    if (std::strcmp(argv[I], "--workload") == 0)
+      WorkloadName = needValue("--workload");
+    else if (std::strcmp(argv[I], "--jobs") == 0)
+      Jobs = static_cast<unsigned>(
+          std::strtoul(needValue("--jobs"), nullptr, 10));
+    else if (std::strcmp(argv[I], "--dataset") == 0)
+      needValue("--dataset"); // accepted for symmetry; module is dataset-free
+    else if (argv[I][0] != '-' && !Path)
+      Path = argv[I];
+    else
+      return usage(argv[0]);
+  }
+  if (!Path || !WorkloadName)
+    return usage(argv[0]);
+
+  TraceStoreReader R;
+  if (std::optional<Diag> D = R.open(Path)) {
+    std::cerr << "open failed: " << D->renderWithKind() << "\n";
+    return 1;
+  }
+  std::unique_ptr<ir::Module> M = compileWorkloadOrExit(WorkloadName);
+  Expected<std::vector<uint8_t>> Dirs = perfectDirectionsFromStore(R, *M);
+  if (!Dirs) {
+    std::cerr << "replay rejected: " << Dirs.error().renderWithKind() << "\n";
+    return 1;
+  }
+  std::vector<std::vector<uint8_t>> Panel;
+  Panel.push_back(std::move(*Dirs));
+  Expected<std::vector<SequenceHistogram>> Hists =
+      replayStoreAll(R, std::move(Panel), Jobs);
+  if (!Hists) {
+    std::cerr << "replay failed: " << Hists.error().renderWithKind() << "\n";
+    return 1;
+  }
+  const SequenceHistogram &H = (*Hists)[0];
+  std::printf("replayed %" PRIu64 " events over %" PRIu64
+              " instrs: %" PRIu64 " breaks, mean sequence %.1f instrs\n",
+              H.BranchExecs, H.TotalInstrs, H.Breaks,
+              H.Breaks ? static_cast<double>(H.TotalInstrs) /
+                             static_cast<double>(H.Breaks + 1)
+                       : static_cast<double>(H.TotalInstrs));
+  return 0;
+}
+
+int runCorrupt(int argc, char **argv) {
+  const char *Path = nullptr;
+  const char *ByteSpec = nullptr;
+  uint64_t TruncateTo = UINT64_MAX;
+  for (int I = 2; I < argc; ++I) {
+    auto needValue = [&](const char *Flag) -> const char * {
+      if (I + 1 >= argc) {
+        std::cerr << Flag << " requires a value\n";
+        std::exit(2);
+      }
+      return argv[++I];
+    };
+    if (std::strcmp(argv[I], "--corrupt-byte") == 0)
+      ByteSpec = needValue("--corrupt-byte");
+    else if (std::strcmp(argv[I], "--truncate-to") == 0)
+      TruncateTo = std::strtoull(needValue("--truncate-to"), nullptr, 10);
+    else if (argv[I][0] != '-' && !Path)
+      Path = argv[I];
+    else
+      return usage(argv[0]);
+  }
+  if (!Path || (!ByteSpec && TruncateTo == UINT64_MAX))
+    return usage(argv[0]);
+
+  if (ByteSpec) {
+    // OFF[:XOR] — default mask 0xFF flips the whole byte; an explicit
+    // mask (e.g. 64:0x01) flips exactly the named bits.
+    char *End = nullptr;
+    const uint64_t Off = std::strtoull(ByteSpec, &End, 0);
+    uint8_t Mask = 0xFF;
+    if (End && *End == ':')
+      Mask = static_cast<uint8_t>(std::strtoul(End + 1, nullptr, 0));
+    if (Mask == 0) {
+      std::cerr << "--corrupt-byte: XOR mask 0 changes nothing\n";
+      return 2;
+    }
+    std::FILE *F = std::fopen(Path, "r+b");
+    if (!F) {
+      std::cerr << "cannot open '" << Path << "' for writing\n";
+      return 1;
+    }
+    unsigned char B;
+    if (std::fseek(F, static_cast<long>(Off), SEEK_SET) != 0 ||
+        std::fread(&B, 1, 1, F) != 1) {
+      std::cerr << "offset " << Off << " is past the end of '" << Path
+                << "'\n";
+      std::fclose(F);
+      return 1;
+    }
+    B = static_cast<unsigned char>(B ^ Mask);
+    if (std::fseek(F, static_cast<long>(Off), SEEK_SET) != 0 ||
+        std::fwrite(&B, 1, 1, F) != 1) {
+      std::cerr << "write failed at offset " << Off << "\n";
+      std::fclose(F);
+      return 1;
+    }
+    std::fclose(F);
+    std::printf("flipped byte %" PRIu64 " of '%s' with mask 0x%02X\n", Off,
+                Path, Mask);
+  }
+  if (TruncateTo != UINT64_MAX) {
+    std::FILE *F = std::fopen(Path, "r+b");
+    if (!F || ftruncate(fileno(F), static_cast<off_t>(TruncateTo)) != 0) {
+      std::cerr << "cannot truncate '" << Path << "'\n";
+      if (F)
+        std::fclose(F);
+      return 1;
+    }
+    std::fclose(F);
+    std::printf("truncated '%s' to %" PRIu64 " bytes\n", Path, TruncateTo);
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2)
+    return usage(argv[0]);
+  if (std::strcmp(argv[1], "capture") == 0)
+    return runCapture(argc, argv);
+  if (std::strcmp(argv[1], "info") == 0)
+    return runInfoOrVerify(argc, argv, /*Verify=*/false);
+  if (std::strcmp(argv[1], "verify") == 0)
+    return runInfoOrVerify(argc, argv, /*Verify=*/true);
+  if (std::strcmp(argv[1], "replay") == 0)
+    return runReplay(argc, argv);
+  if (std::strcmp(argv[1], "corrupt") == 0)
+    return runCorrupt(argc, argv);
+  return usage(argv[0]);
+}
