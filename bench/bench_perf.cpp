@@ -14,9 +14,10 @@
 /// Besides the microbenchmarks, `--phases[=PATH]` runs a whole-pipeline
 /// phase harness and writes machine-readable JSON (per-phase wall time,
 /// instructions/sec, suite totals, the observer-vs-replay IPBC pipeline
-/// comparison) to PATH (default BENCH_PR3.json), including the
-/// pre-change baseline recorded in this repo so speedups are tracked
-/// in-tree. `--quick` is the single-repetition variant for CI.
+/// comparison, and the dispatch/replay-kernel old-vs-new comparisons) to
+/// PATH (default BENCH_PR8.json), including the pre-change baseline
+/// recorded in this repo so speedups are tracked in-tree. `--quick` is
+/// the single-repetition variant for CI.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,7 +28,9 @@
 #include "predict/Ordering.h"
 #include "support/Manifest.h"
 #include "support/Metrics.h"
+#include "support/Simd.h"
 #include "support/ThreadPool.h"
+#include "vm/Decode.h"
 #include "vm/Interpreter.h"
 #include "vm/TraceStore.h"
 #include "workloads/Driver.h"
@@ -549,6 +552,189 @@ int runPhases(const std::string &Path, bool Quick) {
     }
   }
 
+  // Interpreter dispatch, old vs new, over the same trace set: each
+  // workload interpreted bare (no observers — the pure inner-loop
+  // configuration, where dispatch cost is the measurement) with the
+  // pre-change configuration (portable switch loop, no superinstruction
+  // fusion) and with the new default (computed-goto threaded loop +
+  // fusion). The two legs alternate order per workload inside each
+  // repetition, so clock drift on a shared host biases the ratio in
+  // neither direction; only the run loop is timed (decode happens
+  // before T0 on both legs). Instruction counts must agree exactly —
+  // that is the proof both legs executed identical work — and the knob
+  // is restored to the build default afterwards.
+  bool DispatchInstrsMatch = true;
+  {
+    Phase BestSw, BestTh;
+    for (int R = 0; R < Reps; ++R) {
+      Phase Sw, Th;
+      Sw.Name = "interp_switch_unfused";
+      Th.Name = "interp_threaded";
+      if (CoolDown > 0)
+        std::this_thread::sleep_for(std::chrono::seconds(CoolDown));
+      size_t WI = 0;
+      for (const char *Name : TraceSet) {
+        const Workload &W = *findWorkload(Name);
+        auto M = minic::compileOrDie(W.Source);
+        auto Leg = [&](DispatchMode Mode, bool Fuse, Phase &P) {
+          setDispatchMode(Mode);
+          DecodeOptions DO;
+          DO.EnableFusion = Fuse;
+          Interpreter Interp(*M, RunLimits(), DO);
+          auto T0 = std::chrono::steady_clock::now();
+          RunResult RR = Interp.run(W.Datasets[0]);
+          P.WallMs += msSince(T0);
+          if (!RR.ok()) {
+            std::fprintf(stderr, "bpfree: dispatch leg failed for %s\n",
+                         W.Name.c_str());
+            std::exit(1);
+          }
+          P.Instructions += RR.InstrCount;
+          ++P.Items;
+          return RR.InstrCount;
+        };
+        uint64_t A, B;
+        if (WI++ % 2 == 0) {
+          A = Leg(DispatchMode::Switch, false, Sw);
+          B = Leg(DispatchMode::Threaded, true, Th);
+        } else {
+          B = Leg(DispatchMode::Threaded, true, Th);
+          A = Leg(DispatchMode::Switch, false, Sw);
+        }
+        if (A != B)
+          DispatchInstrsMatch = false;
+      }
+      setDispatchMode(DispatchMode::Threaded);
+      if (R == 0 || Sw.WallMs < BestSw.WallMs)
+        BestSw = Sw;
+      if (R == 0 || Th.WallMs < BestTh.WallMs)
+        BestTh = Th;
+    }
+    for (Phase *P : {&BestSw, &BestTh}) {
+      std::fprintf(stderr, "  [phase] %-22s %10.1f ms\n", P->Name.c_str(),
+                   P->WallMs);
+      Phases.push_back(*P);
+    }
+  }
+
+  // Replay kernel, legacy vs widened, over the same captured traces.
+  // Two panel families probe the two regimes the kernel lives in:
+  //
+  //  * "cycled" — the full 13-predictor panel cycled out to 32, 64, and
+  //    128 lanes (lane J predicts like real predictor J mod 13). The
+  //    naive lanes (random, always-taken/fallthru) mispredict ~half the
+  //    events, so the panel is maximally break-dense and the shared
+  //    per-break bookkeeping dominates both kernels — the worst case
+  //    for any row format.
+  //  * "sweep" — 64 near-identical candidate predictors (the trace's
+  //    perfect directions, each lane perturbed at a J-dependent static
+  //    stride), the predictor-zoo shape the widened kernel exists for:
+  //    mostly-correct lanes, so throughput is bound by the per-event
+  //    row test the widening accelerates.
+  //
+  // 32 lanes is the head-to-head at the old u32-row kernel's ceiling;
+  // 64 and 128 lanes are panels the old bit-row kernel could not
+  // express and served through its byte-matrix fallback. Leg order
+  // alternates per panel inside each repetition; every lane is compared
+  // bit-for-bit across kernels.
+  bool ReplayRowsMatch = true;
+  uint64_t ReplayEvents = 0;
+  struct ReplayPanelCfg {
+    size_t Predictors;
+    bool Sweep;
+    const char *Tag;
+  };
+  constexpr ReplayPanelCfg ReplayPanels[] = {{32, false, "32"},
+                                             {64, false, "64"},
+                                             {128, false, "128"},
+                                             {64, true, "sweep64"}};
+  constexpr size_t NumReplayPanels = std::size(ReplayPanels);
+  Phase BestRk[2][NumReplayPanels]; ///< [narrow=0|wide=1][panel]
+  {
+    for (int R = 0; R < Reps; ++R) {
+      Phase Rk[2][NumReplayPanels];
+      for (size_t PI = 0; PI < NumReplayPanels; ++PI) {
+        Rk[0][PI].Name =
+            std::string("ipbc_replay_narrow") + ReplayPanels[PI].Tag;
+        Rk[1][PI].Name =
+            PI == 0 ? "ipbc_replay_wide"
+                    : std::string("ipbc_replay_wide") + ReplayPanels[PI].Tag;
+      }
+      if (CoolDown > 0)
+        std::this_thread::sleep_for(std::chrono::seconds(CoolDown));
+      size_t WI = 0;
+      for (const char *Name : TraceSet) {
+        const Workload &W = *findWorkload(Name);
+        RunOptions RO;
+        RO.CaptureTrace = true;
+        RO.Profile = false;
+        auto TRun = runWorkloadOrExit(W, 0, {}, RO); // capture untimed
+        if (R == 0)
+          ReplayEvents += TRun->Trace->numEvents();
+        std::vector<std::vector<uint8_t>> Dirs13 =
+            panelDirectionsFromTrace(*TRun->Ctx, *TRun->Trace);
+        // Sweep lanes: perfect directions (panel slot 2), lane J flipped
+        // at every (5 + 3*(J%11))-th branch block starting at block J.
+        std::vector<std::vector<uint8_t>> SweepDirs;
+        {
+          const std::vector<uint8_t> &Perfect = Dirs13[2];
+          const size_t SweepLanes = 64;
+          SweepDirs.assign(SweepLanes, Perfect);
+          for (size_t J = 0; J < SweepLanes; ++J)
+            for (size_t B = J; B < SweepDirs[J].size();
+                 B += 5 + 3 * (J % 11))
+              if (SweepDirs[J][B] != 0xFF)
+                SweepDirs[J][B] ^= 1;
+        }
+        ++WI;
+        for (size_t PI = 0; PI < NumReplayPanels; ++PI) {
+          std::vector<const std::vector<uint8_t> *> Panel;
+          for (size_t J = 0; J < ReplayPanels[PI].Predictors; ++J)
+            Panel.push_back(ReplayPanels[PI].Sweep
+                                ? &SweepDirs[J]
+                                : &Dirs13[J % Dirs13.size()]);
+          auto Leg = [&](ReplayKernel K, Phase &P) {
+            setReplayKernel(K);
+            auto T0 = std::chrono::steady_clock::now();
+            std::vector<SequenceHistogram> H = bench::takeOrExit(
+                replayTraceFused(*TRun->Trace, Panel), "kernel replay");
+            P.WallMs += msSince(T0);
+            P.Items += Panel.size();
+            return H;
+          };
+          std::vector<SequenceHistogram> Narrow, Wide;
+          if ((WI + PI) % 2 == 0) {
+            Narrow = Leg(ReplayKernel::Narrow32, Rk[0][PI]);
+            Wide = Leg(ReplayKernel::Wide, Rk[1][PI]);
+          } else {
+            Wide = Leg(ReplayKernel::Wide, Rk[1][PI]);
+            Narrow = Leg(ReplayKernel::Narrow32, Rk[0][PI]);
+          }
+          for (size_t J = 0; J < Wide.size(); ++J) {
+            const SequenceHistogram &A = Narrow[J];
+            const SequenceHistogram &B = Wide[J];
+            if (A.NumSequences != B.NumSequences ||
+                A.SumLengths != B.SumLengths || A.Breaks != B.Breaks ||
+                A.TotalInstrs != B.TotalInstrs ||
+                A.BranchExecs != B.BranchExecs)
+              ReplayRowsMatch = false;
+          }
+        }
+      }
+      setReplayKernel(ReplayKernel::Wide);
+      for (int K = 0; K < 2; ++K)
+        for (size_t PI = 0; PI < NumReplayPanels; ++PI)
+          if (R == 0 || Rk[K][PI].WallMs < BestRk[K][PI].WallMs)
+            BestRk[K][PI] = Rk[K][PI];
+    }
+    for (size_t PI = 0; PI < NumReplayPanels; ++PI)
+      for (int K = 0; K < 2; ++K) {
+        std::fprintf(stderr, "  [phase] %-22s %10.1f ms\n",
+                     BestRk[K][PI].Name.c_str(), BestRk[K][PI].WallMs);
+        Phases.push_back(BestRk[K][PI]);
+      }
+  }
+
   timePhase("compile", 0, [&](Phase &P) {
     for (const Workload &W : Suite) {
       auto M = minic::compile(W.Source);
@@ -685,6 +871,59 @@ int runPhases(const std::string &Path, bool Quick) {
                      (CapPhase->WallMs + RepPhase->WallMs),
                  MeasTrace > 0.0 ? MeasObs / MeasTrace : 0.0);
   }
+  const Phase *SwPhase = findPhase("interp_switch_unfused");
+  const Phase *ThPhase = findPhase("interp_threaded");
+  if (SwPhase && ThPhase && ThPhase->WallMs > 0.0) {
+    // Threaded-dispatch headline: same workloads, same instruction
+    // totals (instructions_match proves it), interleaved legs — the
+    // ratio is the interpreter-loop speedup of this PR's dispatch work.
+    std::fprintf(Out,
+                 "  \"interp_dispatch\": {\"workloads\": %llu, "
+                 "\"threaded_available\": %s, "
+                 "\"switch_unfused_ms\": %.1f, \"threaded_ms\": %.1f, "
+                 "\"instructions\": %llu, \"instructions_match\": %s, "
+                 "\"speedup\": %.2f},\n",
+                 static_cast<unsigned long long>(ThPhase->Items),
+                 threadedDispatchAvailable() ? "true" : "false",
+                 SwPhase->WallMs, ThPhase->WallMs,
+                 static_cast<unsigned long long>(ThPhase->Instructions),
+                 DispatchInstrsMatch ? "true" : "false",
+                 ThPhase->WallMs > 0.0 ? SwPhase->WallMs / ThPhase->WallMs
+                                       : 0.0);
+  }
+  if (BestRk[1][0].WallMs > 0.0) {
+    // Widened-kernel headline: per-panel-size legacy-vs-wide wall time
+    // on bit-identical histograms (rows_match). row_words is the row
+    // width the wide kernel selected; the legacy kernel serves 32 lanes
+    // from u32 rows and anything larger from its byte matrix.
+    std::fprintf(Out,
+                 "  \"replay_kernel\": {\"workloads\": %llu, "
+                 "\"branch_events\": %llu, \"rows_match\": %s, "
+                 "\"simd_path\": \"%s\", \"max_predictors\": %llu, "
+                 "\"panels\": [\n",
+                 static_cast<unsigned long long>(std::size(TraceSet)),
+                 static_cast<unsigned long long>(ReplayEvents),
+                 ReplayRowsMatch ? "true" : "false",
+                 simd::pathName(replaySimdPath()),
+                 static_cast<unsigned long long>(MaxReplayPredictors));
+    for (size_t PI = 0; PI < NumReplayPanels; ++PI) {
+      const size_t P = ReplayPanels[PI].Predictors;
+      std::fprintf(Out,
+                   "    {\"predictors\": %llu, \"panel\": \"%s\", "
+                   "\"row_words\": %llu, "
+                   "\"narrow_ms\": %.1f, \"wide_ms\": %.1f, "
+                   "\"speedup\": %.2f}%s\n",
+                   static_cast<unsigned long long>(P),
+                   ReplayPanels[PI].Sweep ? "sweep" : "cycled",
+                   static_cast<unsigned long long>(P <= 64 ? 1 : 2),
+                   BestRk[0][PI].WallMs, BestRk[1][PI].WallMs,
+                   BestRk[1][PI].WallMs > 0.0
+                       ? BestRk[0][PI].WallMs / BestRk[1][PI].WallMs
+                       : 0.0,
+                   PI + 1 == NumReplayPanels ? "" : ",");
+    }
+    std::fprintf(Out, "  ]},\n");
+  }
   if (SerialPhase && ParallelPhase && ParallelPhase->WallMs > 0.0)
     std::fprintf(Out, "  \"suite_parallel_speedup\": %.2f,\n",
                  SerialPhase->WallMs / ParallelPhase->WallMs);
@@ -767,7 +1006,7 @@ int runCheck(const std::string &BaselinePath, const std::string &InputPath,
 // --metrics-json/--time-trace first, so every mode can emit a manifest.
 int main(int argc, char **argv) {
   bench::MetricsSession Session(argc, argv, "bench_perf", "micro");
-  std::string Path = "BENCH_PR3.json";
+  std::string Path = "BENCH_PR8.json";
   bool Phases = false, Quick = false;
   std::string CheckBaseline, CheckInput;
   double WallTol = 0.0, InstrTol = 0.0, Perturb = 1.0;

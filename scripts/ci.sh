@@ -5,7 +5,13 @@
 # the parallel-suite determinism tests under ThreadSanitizer
 # (BPFREE_SANITIZE=thread). Any failure is fatal.
 #
-# Usage: scripts/ci.sh [--plain-only|--sanitize-only|--tsan-only]
+# A fallback leg (run_fallback) rebuilds with the portable dispatch loop
+# (-DBPFREE_THREADED_DISPATCH=OFF) and the scalar replay row tests
+# (-DBPFREE_SIMD=OFF) and runs the dispatch/replay differential suites,
+# so the configurations old compilers and non-x86 hosts get are built
+# and tested on every run, not just on that hardware.
+#
+# Usage: scripts/ci.sh [--plain-only|--sanitize-only|--tsan-only|--fallback-only]
 
 set -euo pipefail
 
@@ -152,6 +158,29 @@ run_chaos() {
   echo "== chaos: all drills recovered as designed"
 }
 
+# Portable-fallback leg: the switch dispatch loop and the scalar replay
+# row tests are what a compiler without computed goto or a host without
+# SSE2/AVX2/NEON gets, and the differential suites assert they produce
+# bit-identical runs and histograms. Building them on every CI run keeps
+# the fallbacks from rotting until someone boots old hardware. Only the
+# suites that exercise those paths run here — the full suite already ran
+# in run_plain with the default configuration.
+run_fallback() {
+  local build_dir="${REPO_ROOT}/build-fallback"
+  echo "== configure: ${build_dir} (-DBPFREE_THREADED_DISPATCH=OFF -DBPFREE_SIMD=OFF)"
+  cmake -B "${build_dir}" -S "${REPO_ROOT}" \
+    -DBPFREE_THREADED_DISPATCH=OFF -DBPFREE_SIMD=OFF
+  echo "== build: ${build_dir} (dispatch/replay differential suites)"
+  cmake --build "${build_dir}" -j "${JOBS}" \
+    --target dispatch_test trace_replay_test interpreter_test
+  echo "== dispatch_test (fallback): ${build_dir}"
+  "${build_dir}/tests/dispatch_test"
+  echo "== trace_replay_test (fallback): ${build_dir}"
+  "${build_dir}/tests/trace_replay_test"
+  echo "== interpreter_test (fallback): ${build_dir}"
+  "${build_dir}/tests/interpreter_test"
+}
+
 # TSan wants the threaded code paths, not the whole (serial-dominated)
 # test suite: build everything, run the parallel-suite determinism tests
 # that exercise runSuite's fan-out from multiple worker threads.
@@ -168,12 +197,16 @@ run_tsan() {
 case "${MODE}" in
   all)
     run_plain
+    run_fallback
     run_tier1 "${REPO_ROOT}/build-asan" -DBPFREE_SANITIZE=ON
     run_chaos "${REPO_ROOT}/build-asan"
     run_tsan
     ;;
   --plain-only)
     run_plain
+    ;;
+  --fallback-only)
+    run_fallback
     ;;
   --sanitize-only)
     run_tier1 "${REPO_ROOT}/build-asan" -DBPFREE_SANITIZE=ON
@@ -183,7 +216,7 @@ case "${MODE}" in
     run_tsan
     ;;
   *)
-    echo "usage: $0 [--plain-only|--sanitize-only|--tsan-only]" >&2
+    echo "usage: $0 [--plain-only|--sanitize-only|--tsan-only|--fallback-only]" >&2
     exit 2
     ;;
 esac

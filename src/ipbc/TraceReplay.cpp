@@ -7,11 +7,13 @@
 #include "ipbc/TraceReplay.h"
 
 #include "support/Metrics.h"
+#include "support/Simd.h"
 #include "support/ThreadPool.h"
 #include "support/TimeTrace.h"
 #include "vm/TraceStore.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cassert>
 
@@ -52,18 +54,46 @@ Diag dirSizeDiag(size_t Got, size_t Blocks) {
                std::to_string(Blocks) + " blocks"));
 }
 
+/// Diag for a predictor panel wider than the replay kernel's lane limit.
+/// Checked on the TOTAL panel size at every fused entry point, before
+/// any parallel group split, so acceptance never depends on Jobs.
+Diag panelSizeDiag(size_t Got) {
+  return rejected(
+      Diag(ErrorKind::InvalidArgument,
+           "replay panel has " + std::to_string(Got) +
+               " predictors but the replay kernel supports at most " +
+               std::to_string(MaxReplayPredictors) +
+               "; split the panel across multiple replay calls"));
+}
+
+/// Process-wide kernel-selection knob (see the header).
+std::atomic<ReplayKernel> GReplayKernel{ReplayKernel::Wide};
+
 /// Event sources the replay kernels are generic over: numEvents(),
-/// totalInstrs(), and a single-pass forEach(F). The resident source is a
-/// thin view of a BranchTrace; the store source streams verified chunks
-/// off disk through an incremental decoder, recording (not throwing) the
-/// first stream failure so the kernel's caller can surface it after the
-/// pass.
+/// totalInstrs(), a single-pass forEach(F) over decoded events, and a
+/// single-pass forEachWords(F) over raw packed stream words (runs of
+/// consecutive words; the widened kernel decodes inline because a
+/// compact word's low bits are directly its misprediction-table key).
+/// The resident source is a thin view of a BranchTrace; the store source
+/// streams verified chunks off disk, recording (not throwing) the first
+/// stream failure so the kernel's caller can surface it after the pass.
 struct ResidentTraceSource {
   const BranchTrace &T;
   uint64_t numEvents() const { return T.numEvents(); }
   uint64_t totalInstrs() const { return T.totalInstrs(); }
   bool failed() const { return false; }
   template <class Fn> void forEach(Fn &&F) { T.forEach(F); }
+  template <class Fn> void forEachWords(Fn &&F) {
+    assert(T.spilledChunks() == 0 &&
+           "resident decode of a spilled trace; replay from its store");
+    uint64_t Remaining = T.storedWordCount();
+    for (size_t C = 0; Remaining > 0; ++C) {
+      const uint64_t N =
+          std::min<uint64_t>(BranchTrace::ChunkWords, Remaining);
+      F(T.chunkWords(C), N);
+      Remaining -= N;
+    }
+  }
 };
 
 class StoreTraceSource {
@@ -76,6 +106,9 @@ public:
   Diag takeError() { return *std::move(Err); }
   template <class Fn> void forEach(Fn &&F) {
     TraceDecoder D;
+    forEachWords([&](const uint32_t *W, uint64_t N) { D.feed(W, N, F); });
+  }
+  template <class Fn> void forEachWords(Fn &&F) {
     const uint32_t *W = nullptr;
     for (;;) {
       Expected<uint64_t> N = S.next(W);
@@ -85,7 +118,7 @@ public:
       }
       if (*N == 0)
         return;
-      D.feed(W, *N, F);
+      F(W, *N);
     }
   }
 
@@ -138,6 +171,16 @@ std::vector<SiteCounts> siteCountsPass(Source &Src,
 }
 
 } // namespace
+
+void bpfree::setReplayKernel(ReplayKernel K) {
+  GReplayKernel.store(K, std::memory_order_relaxed);
+}
+
+ReplayKernel bpfree::replayKernel() {
+  return GReplayKernel.load(std::memory_order_relaxed);
+}
+
+int bpfree::replaySimdPath() { return simd::pathId(); }
 
 std::optional<Diag>
 bpfree::validateTraceForReplay(const BranchTrace &Trace) {
@@ -242,25 +285,16 @@ bpfree::replaySiteCounts(const BranchTrace &Trace,
 
 namespace {
 
-/// The fused replay kernel, shared by replayTraceFused (which validates
-/// its inputs), replayTraceAll (which validates once, before the
-/// parallel fan-out), and the streaming replayStore* entry points.
-/// Generic over the event source (resident trace or disk stream); a
-/// streaming source that fails mid-pass records the Diag for the caller
-/// to check — the kernel's partial result is then discarded unread.
-/// Preconditions: the trace is finalized and not overflowed (or the
-/// store complete), and every direction array has exactly as many
-/// entries as the trace's module has flat blocks.
+/// The legacy fused kernel (uint32_t bit-rows for panels of at most 32
+/// predictors, an interleaved byte matrix beyond), retained behind the
+/// ReplayKernel::Narrow32 knob as the differential-testing baseline for
+/// the widened kernel below. Fills \p Hists completely (buckets, derived
+/// totals, trailing sequence).
 template <class Source>
-std::vector<SequenceHistogram>
-replayFusedSource(Source &Src,
-                  const std::vector<const std::vector<uint8_t> *> &Dirs) {
+void replayNarrowSource(Source &Src,
+                        const std::vector<const std::vector<uint8_t> *> &Dirs,
+                        std::vector<SequenceHistogram> &Hists) {
   const size_t P = Dirs.size();
-  std::vector<SequenceHistogram> Hists(P);
-  if (P == 0)
-    return Hists;
-  timetrace::Span ReplaySpan("replay.fused",
-                             std::to_string(P) + " predictors");
   const size_t Blocks = Dirs[0]->size();
   std::vector<uint64_t> LastBreak(P, 0);
   uint64_t IC = 0;
@@ -346,7 +380,6 @@ replayFusedSource(Source &Src,
     });
   }
 
-  uint64_t TotalBreaks = 0;
   for (size_t J = 0; J < P; ++J) {
     SequenceHistogram &H = Hists[J];
     // De-interleave the scratch row into the histogram's split arrays.
@@ -360,7 +393,6 @@ replayFusedSource(Source &Src,
     H.BranchExecs = Src.numEvents();
     for (uint64_t N : H.NumSequences)
       H.Breaks += N;
-    TotalBreaks += H.Breaks;
     // Same trailing-sequence rule as SequenceCollector::finalize and
     // replayTrace, so histograms stay bit-identical across all paths.
     if (Src.totalInstrs() > LastBreak[J]) {
@@ -373,16 +405,245 @@ replayFusedSource(Source &Src,
     // execution, so their lengths sum to the run's instruction count.
     H.TotalInstrs = Src.totalInstrs();
   }
+}
+
+/// The widened fused kernel: the tentpole replacement for the legacy
+/// paths above. Three structural changes over the narrow kernel:
+///
+///  * Bit-rows are \p W 64-bit words (W = 1, 2, 4 — up to 256 lanes),
+///    so the panel ceiling the uint32_t row imposed is gone and wide
+///    panels never fall back to the byte matrix's per-lane loop.
+///  * Predictions are condensed into premasked per-outcome misprediction
+///    tables keyed exactly like the packed event words:
+///    MisTab[((Idx << 1) | Taken) * W ..] holds the lanes that mispredict
+///    outcome Taken at block Idx. A compact event's low 16 bits ARE that
+///    key, so the per-event work is one table load and one SIMD all-zero
+///    row test (support/Simd.h) — no field extraction, no flip/mask
+///    arithmetic, and no per-lane work when no lane missed (the
+///    overwhelmingly common case).
+///  * The kernel consumes raw stream words (Source::forEachWords) and
+///    decodes inline, carrying escape records across word runs exactly
+///    like TraceDecoder::feed — the callback-per-event indirection of
+///    forEach costs ~10% at these per-event costs.
+///
+/// \p Packed selects the scratch layout: one u64 per (lane, bucket) with
+/// the close count in the high half and the sum of in-bucket length
+/// remainders in the low half (SumLengths reconstructs after the pass as
+/// count * bucket_base + remainder_sum), halving the memory the break
+/// path touches. Remainders are at most BucketWidth - 1 = 9, so the low
+/// half cannot wrap while 9 * numEvents() fits 32 bits; the dispatcher
+/// falls back to the unpacked (count, sum) pairs beyond that. The last
+/// bucket is open-ended (lengths unbounded), so packed mode closes it
+/// into a separate per-lane (count, sum) tail instead.
+///
+/// Histograms are bit-identical to the narrow kernel and to scalar
+/// replayTrace; tests/TraceReplayTest.cpp enforces both differentially.
+template <size_t W, bool Packed, class Source>
+void replayWideSource(Source &Src,
+                      const std::vector<const std::vector<uint8_t> *> &Dirs,
+                      std::vector<SequenceHistogram> &Hists) {
+  const size_t P = Dirs.size();
+  const size_t Blocks = Dirs[0]->size();
+  constexpr size_t NumBuckets = SequenceHistogram::NumBuckets;
+  constexpr uint64_t BucketWidth = SequenceHistogram::BucketWidth;
+  assert(P <= W * 64 && "row width too narrow for the panel");
+
+  std::vector<uint64_t> MisTab(2 * Blocks * W, 0);
+  for (size_t J = 0; J < P; ++J) {
+    assert(Dirs[J]->size() == Blocks &&
+           "direction arrays disagree on size");
+    const uint8_t *D = Dirs[J]->data();
+    const size_t Word = J / 64;
+    const uint64_t Bit = 1ull << (J % 64);
+    for (size_t I = 0; I < Blocks; ++I) {
+      // A lane predicting taken misses fall-thru outcomes (key bit 0
+      // clear); any other byte at an executed branch block is a
+      // fall-thru prediction and misses taken outcomes. Only lanes < P
+      // are ever set, so the rows need no separate valid mask.
+      if (D[I] == static_cast<uint8_t>(DirTaken))
+        MisTab[(2 * I + 0) * W + Word] |= Bit;
+      else
+        MisTab[(2 * I + 1) * W + Word] |= Bit;
+    }
+  }
+  const uint64_t *MT = MisTab.data();
+
+  constexpr size_t SlotWords = Packed ? 1 : 2;
+  std::vector<uint64_t> Scratch(P * NumBuckets * SlotWords, 0);
+  std::vector<uint64_t> Tail(2 * P, 0); // packed open-ended bucket
+  std::vector<uint64_t> LastBreak(P, 0);
+  uint64_t IC = 0;
+  uint64_t *S = Scratch.data();
+  uint64_t *TL = Tail.data();
+  uint64_t *LB = LastBreak.data();
+
+  auto Close = [&](size_t J) {
+    const uint64_t Length = IC - LB[J];
+    LB[J] = IC;
+    const size_t Bucket = SequenceHistogram::bucketFor(Length);
+    if constexpr (Packed) {
+      if (Bucket == NumBuckets - 1) [[unlikely]] {
+        ++TL[2 * J];
+        TL[2 * J + 1] += Length;
+        return;
+      }
+      S[J * NumBuckets + Bucket] +=
+          (1ull << 32) | (Length - Bucket * BucketWidth);
+    } else {
+      uint64_t *Slot = S + (J * NumBuckets + Bucket) * 2;
+      ++Slot[0];
+      Slot[1] += Length;
+    }
+  };
+
+  auto Event = [&](uint64_t Key, uint64_t Delta) {
+    IC += Delta;
+    const uint64_t *Row = MT + Key * W;
+    if (simd::allZero<W>(Row)) [[likely]]
+      return;
+    for (size_t K = 0; K < W; ++K) {
+      uint64_t Mis = Row[K];
+      while (Mis) {
+        Close(K * 64 + static_cast<size_t>(std::countr_zero(Mis)));
+        Mis &= Mis - 1;
+      }
+    }
+  };
+
+  // Inline word decode with escape carry across word runs — the same
+  // state machine as TraceDecoder::feed, emitting table keys directly.
+  uint32_t Pending[TraceDecoder::EscapeWords];
+  uint32_t PendingWords = 0;
+  Src.forEachWords([&](const uint32_t *Wd, uint64_t N) {
+    constexpr uint32_t KeyMask = (1u << (TraceDecoder::IdxBits + 1)) - 1;
+    uint64_t I = 0;
+    if (PendingWords != 0) [[unlikely]] {
+      while (PendingWords < TraceDecoder::EscapeWords && I < N)
+        Pending[PendingWords++] = Wd[I++];
+      if (PendingWords < TraceDecoder::EscapeWords)
+        return;
+      Event((static_cast<uint64_t>(Pending[1]) << 1) | (Pending[0] & 1),
+            (static_cast<uint64_t>(Pending[3]) << 32) | Pending[2]);
+      PendingWords = 0;
+    }
+    while (I < N) {
+      const uint32_t Head = Wd[I];
+      const uint32_t DeltaField = Head >> (TraceDecoder::IdxBits + 1);
+      if (DeltaField != TraceDecoder::EscapeDelta) [[likely]] {
+        Event(Head & KeyMask, DeltaField);
+        ++I;
+        continue;
+      }
+      if (I + TraceDecoder::EscapeWords <= N) {
+        Event((static_cast<uint64_t>(Wd[I + 1]) << 1) | (Head & 1),
+              (static_cast<uint64_t>(Wd[I + 3]) << 32) | Wd[I + 2]);
+        I += TraceDecoder::EscapeWords;
+        continue;
+      }
+      // The escape's tail lives in the next word run; stash the head.
+      while (I < N)
+        Pending[PendingWords++] = Wd[I++];
+    }
+  });
+
+  for (size_t J = 0; J < P; ++J) {
+    SequenceHistogram &H = Hists[J];
+    if constexpr (Packed) {
+      const uint64_t *Row = S + J * NumBuckets;
+      for (size_t B = 0; B + 1 < NumBuckets; ++B) {
+        const uint64_t Count = Row[B] >> 32;
+        H.NumSequences[B] = Count;
+        H.SumLengths[B] =
+            Count * (B * BucketWidth) + (Row[B] & 0xFFFFFFFFull);
+      }
+      H.NumSequences[NumBuckets - 1] = TL[2 * J];
+      H.SumLengths[NumBuckets - 1] = TL[2 * J + 1];
+    } else {
+      const uint64_t *Row = S + J * NumBuckets * 2;
+      for (size_t B = 0; B < NumBuckets; ++B) {
+        H.NumSequences[B] = Row[2 * B];
+        H.SumLengths[B] = Row[2 * B + 1];
+      }
+    }
+    // Derived totals and the trailing sequence: identical rules to the
+    // narrow kernel (see the comments there).
+    H.BranchExecs = Src.numEvents();
+    for (uint64_t N : H.NumSequences)
+      H.Breaks += N;
+    if (Src.totalInstrs() > LB[J]) {
+      const uint64_t Length = Src.totalInstrs() - LB[J];
+      const size_t Bucket = SequenceHistogram::bucketFor(Length);
+      ++H.NumSequences[Bucket];
+      H.SumLengths[Bucket] += Length;
+    }
+    H.TotalInstrs = Src.totalInstrs();
+  }
+}
+
+/// Packed-scratch eligibility (see replayWideSource): per-bucket close
+/// counts and remainder sums both stay within their 32-bit halves as
+/// long as 9 * numEvents() does.
+template <size_t W, class Source>
+void replayWideSelect(Source &Src,
+                      const std::vector<const std::vector<uint8_t> *> &Dirs,
+                      std::vector<SequenceHistogram> &Hists) {
+  if (Src.numEvents() <= 0xFFFFFFFFull / (SequenceHistogram::BucketWidth - 1))
+    replayWideSource<W, true>(Src, Dirs, Hists);
+  else
+    replayWideSource<W, false>(Src, Dirs, Hists);
+}
+
+/// The fused replay kernel dispatcher, shared by replayTraceFused (which
+/// validates its inputs), replayTraceAll (which validates once, before
+/// the parallel fan-out), and the streaming replayStore* entry points.
+/// Generic over the event source (resident trace or disk stream); a
+/// streaming source that fails mid-pass records the Diag for the caller
+/// to check — the kernel's partial result is then discarded unread.
+/// Preconditions: the trace is finalized and not overflowed (or the
+/// store complete), every direction array has exactly as many entries as
+/// the trace's module has flat blocks, and the panel is within
+/// MaxReplayPredictors (entry points reject wider ones).
+template <class Source>
+std::vector<SequenceHistogram>
+replayFusedSource(Source &Src,
+                  const std::vector<const std::vector<uint8_t> *> &Dirs) {
+  const size_t P = Dirs.size();
+  std::vector<SequenceHistogram> Hists(P);
+  if (P == 0)
+    return Hists;
+  assert(P <= MaxReplayPredictors && "panel checked at the entry points");
+  timetrace::Span ReplaySpan("replay.fused",
+                             std::to_string(P) + " predictors");
+  const size_t RowWords = P <= 64 ? 1 : P <= 128 ? 2 : 4;
+  const bool Narrow = replayKernel() == ReplayKernel::Narrow32;
+  if (Narrow)
+    replayNarrowSource(Src, Dirs, Hists);
+  else if (RowWords == 1)
+    replayWideSelect<1>(Src, Dirs, Hists);
+  else if (RowWords == 2)
+    replayWideSelect<2>(Src, Dirs, Hists);
+  else
+    replayWideSelect<4>(Src, Dirs, Hists);
   if (metrics::enabled()) {
     static metrics::Counter &Passes = metrics::counter("replay.passes");
     static metrics::Counter &Events = metrics::counter("replay.events");
     static metrics::Counter &Breaks = metrics::counter("replay.breaks");
     static metrics::Counter &FusedRows =
         metrics::counter("replay.fused_rows");
+    static metrics::Gauge &RowWordsG = metrics::gauge("replay.row_words");
+    static metrics::Gauge &SimdPath = metrics::gauge("replay.simd_path");
+    uint64_t TotalBreaks = 0;
+    for (const SequenceHistogram &H : Hists)
+      TotalBreaks += H.Breaks;
     Passes.add();
     Events.add(Src.numEvents());
     Breaks.add(TotalBreaks);
     FusedRows.add(P);
+    // Row words of the last fused pass (0 = the legacy kernel ran) and
+    // the SIMD path its row test takes (0 scalar, 1 SSE2, 2 AVX2,
+    // 3 NEON).
+    RowWordsG.set(Narrow ? 0 : RowWords);
+    SimdPath.set(static_cast<uint64_t>(simd::pathId()));
   }
   return Hists;
 }
@@ -402,6 +663,8 @@ Expected<std::vector<SequenceHistogram>> bpfree::replayTraceFused(
     const std::vector<const std::vector<uint8_t> *> &Dirs) {
   if (std::optional<Diag> D = validateTraceForReplay(Trace))
     return *std::move(D);
+  if (Dirs.size() > MaxReplayPredictors)
+    return panelSizeDiag(Dirs.size());
   const size_t Blocks = flatBlockOffsets(Trace.getModule()).back();
   for (const std::vector<uint8_t> *D : Dirs)
     if (D->size() != Blocks)
@@ -412,10 +675,13 @@ Expected<std::vector<SequenceHistogram>> bpfree::replayTraceFused(
 Expected<std::vector<SequenceHistogram>> bpfree::replayTraceAll(
     const BranchTrace &Trace,
     const std::vector<const StaticPredictor *> &Predictors, unsigned Jobs) {
-  // Validate before resolving directions: a rejected trace should not
-  // pay for |Predictors| analysis passes first.
+  // Validate before resolving directions: a rejected trace (or an
+  // oversized panel) should not pay for |Predictors| analysis passes
+  // first.
   if (std::optional<Diag> D = validateTraceForReplay(Trace))
     return *std::move(D);
+  if (Predictors.size() > MaxReplayPredictors)
+    return panelSizeDiag(Predictors.size());
   // Direction arrays touch the IR and the prediction analyses, which are
   // shared and read-only but not uniformly cheap; resolve them up front
   // so the parallel section is pure replay over private state.
@@ -430,9 +696,13 @@ bpfree::replayTraceAll(const BranchTrace &Trace,
                        std::vector<std::vector<uint8_t>> Dirs,
                        unsigned Jobs) {
   // Validate once, before any fan-out: the parallel groups then run the
-  // unchecked kernel on a trace known to be sound.
+  // unchecked kernel on a trace known to be sound. The panel ceiling is
+  // on the TOTAL predictor count, before the group split, so acceptance
+  // never depends on Jobs.
   if (std::optional<Diag> D = validateTraceForReplay(Trace))
     return *std::move(D);
+  if (Dirs.size() > MaxReplayPredictors)
+    return panelSizeDiag(Dirs.size());
   const size_t Blocks = flatBlockOffsets(Trace.getModule()).back();
   for (const std::vector<uint8_t> &D : Dirs)
     if (D.size() != Blocks)
@@ -537,6 +807,10 @@ bpfree::replayStoreAll(const TraceStoreReader &Store,
                        unsigned Jobs) {
   if (std::optional<Diag> D = validateStoreForReplay(Store))
     return *std::move(D);
+  // Same TOTAL-panel ceiling as the resident replayTraceAll, before the
+  // group split.
+  if (Dirs.size() > MaxReplayPredictors)
+    return panelSizeDiag(Dirs.size());
   const size_t Blocks = Store.numBlocks();
   for (const std::vector<uint8_t> &D : Dirs)
     if (D.size() != Blocks)

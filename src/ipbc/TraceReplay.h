@@ -38,6 +38,36 @@ namespace bpfree {
 
 class TraceStoreReader;
 
+/// Largest predictor panel one replay call accepts, across every fused
+/// entry point (replayTraceFused, replayTraceAll, replayStoreAll). The
+/// widened bit-row kernel condenses the panel into rows of up to four
+/// 64-bit words (256 lanes); larger panels are rejected up front with a
+/// structured InvalidArgument Diag — counted under "replay.rejected" —
+/// rather than degrading to a slow fallback, so callers split oversized
+/// panels explicitly. The check is on the TOTAL panel size, before the
+/// parallel group split, so acceptance never depends on Jobs.
+inline constexpr size_t MaxReplayPredictors = 256;
+
+/// Process-wide replay-kernel selection knob, for differential tests and
+/// the benchmark's baseline legs. Wide (the default) is the widened
+/// bit-row kernel: predictions condensed into rows of 1/2/4 64-bit words
+/// sized to the panel, premasked per-outcome misprediction tables, and a
+/// SIMD row test (support/Simd.h). Narrow32 forces the legacy kernel —
+/// uint32_t bit-rows for panels of at most 32 predictors, an interleaved
+/// byte matrix beyond — whose histograms the wide kernel must reproduce
+/// bit-identically.
+enum class ReplayKernel { Wide, Narrow32 };
+void setReplayKernel(ReplayKernel K);
+ReplayKernel replayKernel();
+
+/// The simd::Path id the replay kernel's row test actually dispatches to
+/// in THIS build of the ipbc library. Out-of-line on purpose: the SIMD
+/// capability macros (BPFREE_SIMD / BPFREE_SIMD_TARGET_ATTR) are private
+/// compile definitions of the library, so simd::pathId() inlined into
+/// another translation unit reports that TU's baseline, not the
+/// kernel's. Reporting code (bench manifests, tools) must use this.
+int replaySimdPath();
+
 /// Resolves \p P once per static branch into a flat array keyed by the
 /// module-wide dense block index: entry flatIndex(BB) holds the
 /// predicted Direction for every conditional-branch block, 0xFF

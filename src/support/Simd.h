@@ -1,0 +1,149 @@
+//===- support/Simd.h - Portable SIMD shims for the replay kernel -*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one vector primitive the widened trace-replay kernel needs: an
+/// all-zero test over a row of W contiguous 64-bit words (W is 1, 2, or
+/// 4 — 64, 128, or 256 predictor lanes). The overwhelmingly common event
+/// mispredicts no lane, so this test is the kernel's per-event hot path;
+/// everything past it runs once per break and stays scalar.
+///
+/// Selection is layered so every build works everywhere:
+///
+///  * BPFREE_SIMD=0 (CMake option) pins the portable scalar fallback.
+///  * On x86-64, the 256-bit row test uses AVX2 through a per-function
+///    target attribute (BPFREE_SIMD_TARGET_ATTR, probed at configure
+///    time) with runtime CPU detection — no global -mavx2, so the rest
+///    of the build keeps baseline codegen and the binary still runs on
+///    pre-AVX2 hosts. The 128-bit test uses baseline SSE2.
+///  * On AArch64/ARM with NEON, both wide tests use 128-bit loads.
+///  * Anywhere else, scalar OR-reduction (which compilers vectorize
+///    respectably on their own).
+///
+/// pathId() reports which path the 256-bit test takes at runtime, for
+/// the "replay.simd_path" gauge: 0 scalar, 1 SSE2, 2 AVX2, 3 NEON.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_SUPPORT_SIMD_H
+#define BPFREE_SUPPORT_SIMD_H
+
+#include <cstddef>
+#include <cstdint>
+
+#ifndef BPFREE_SIMD
+#define BPFREE_SIMD 1
+#endif
+#ifndef BPFREE_SIMD_TARGET_ATTR
+#define BPFREE_SIMD_TARGET_ATTR 0
+#endif
+
+#if BPFREE_SIMD && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define BPFREE_SIMD_X86 1
+#include <emmintrin.h>
+#if BPFREE_SIMD_TARGET_ATTR
+#include <immintrin.h>
+#endif
+#elif BPFREE_SIMD && (defined(__ARM_NEON) || defined(__ARM_NEON__))
+#define BPFREE_SIMD_NEON 1
+#include <arm_neon.h>
+#else
+#define BPFREE_SIMD_SCALAR 1
+#endif
+
+namespace bpfree::simd {
+
+enum Path : int {
+  PathScalar = 0,
+  PathSse2 = 1,
+  PathAvx2 = 2,
+  PathNeon = 3,
+};
+
+namespace detail {
+
+#if defined(BPFREE_SIMD_X86) && BPFREE_SIMD_TARGET_ATTR
+inline bool haveAvx2() {
+  static const bool Have = __builtin_cpu_supports("avx2");
+  return Have;
+}
+
+__attribute__((target("avx2"))) inline bool allZero256(const uint64_t *P) {
+  const __m256i V =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i *>(P));
+  return _mm256_testz_si256(V, V) != 0;
+}
+#endif
+
+#if defined(BPFREE_SIMD_X86)
+inline bool allZero128(const uint64_t *P) {
+  const __m128i V = _mm_loadu_si128(reinterpret_cast<const __m128i *>(P));
+  // SSE2 baseline: byte-equality against zero, then the lane mask must
+  // be all-ones. (PTEST is SSE4.1; not worth a second dispatch tier.)
+  return _mm_movemask_epi8(_mm_cmpeq_epi8(V, _mm_setzero_si128())) ==
+         0xFFFF;
+}
+#elif defined(BPFREE_SIMD_NEON)
+inline bool allZero128(const uint64_t *P) {
+  const uint64x2_t V = vld1q_u64(P);
+  return (vgetq_lane_u64(V, 0) | vgetq_lane_u64(V, 1)) == 0;
+}
+#endif
+
+} // namespace detail
+
+/// The row-test path the widest (W=4) test takes on this host/build.
+inline int pathId() {
+#if defined(BPFREE_SIMD_X86) && BPFREE_SIMD_TARGET_ATTR
+  return detail::haveAvx2() ? PathAvx2 : PathSse2;
+#elif defined(BPFREE_SIMD_X86)
+  return PathSse2;
+#elif defined(BPFREE_SIMD_NEON)
+  return PathNeon;
+#else
+  return PathScalar;
+#endif
+}
+
+inline const char *pathName(int Id) {
+  switch (Id) {
+  case PathSse2: return "sse2";
+  case PathAvx2: return "avx2";
+  case PathNeon: return "neon";
+  default:       return "scalar";
+  }
+}
+
+/// True when all \p W contiguous 64-bit words at \p P are zero. W is a
+/// compile-time constant (the replay kernel is templated on it), so each
+/// width lowers to its own best sequence.
+template <size_t W> inline bool allZero(const uint64_t *P) {
+  static_assert(W == 1 || W == 2 || W == 4, "unsupported row width");
+  if constexpr (W == 1) {
+    return P[0] == 0;
+  } else if constexpr (W == 2) {
+#if defined(BPFREE_SIMD_X86) || defined(BPFREE_SIMD_NEON)
+    return detail::allZero128(P);
+#else
+    return (P[0] | P[1]) == 0;
+#endif
+  } else {
+#if defined(BPFREE_SIMD_X86) && BPFREE_SIMD_TARGET_ATTR
+    if (detail::haveAvx2())
+      return detail::allZero256(P);
+#endif
+#if defined(BPFREE_SIMD_X86) || defined(BPFREE_SIMD_NEON)
+    return detail::allZero128(P) && detail::allZero128(P + 2);
+#else
+    return (P[0] | P[1] | P[2] | P[3]) == 0;
+#endif
+  }
+}
+
+} // namespace bpfree::simd
+
+#endif // BPFREE_SUPPORT_SIMD_H

@@ -43,6 +43,18 @@ struct DecodedFunction;
 /// Decoded opcodes. Binary ALU/FP ops come in a register flavour and an
 /// immediate flavour (suffix I) so the executed path has no BIsImm test;
 /// loads and stores are split by access width for the same reason.
+///
+/// The opcodes past CallIntrinsic are superinstructions: decode-time
+/// rewrites of the hottest adjacent instruction pairs (and of a compare
+/// feeding the block's conditional branch), chosen from dynamic pair
+/// frequencies measured across the workload suite. A pair fusion
+/// rewrites only the FIRST instruction's opcode — the second stays
+/// intact in the pool, so a handler that must stop between the halves
+/// (budget/watchdog limit) leaves the instruction pointer at a plain
+/// instruction and resumption is bit-identical to unfused execution.
+/// defusedOp() maps each superinstruction back to its first half, which
+/// is how the per-instruction-observer loop executes a fused module one
+/// original instruction at a time.
 enum class DOp : uint8_t {
   LoadImm,
   Move,
@@ -61,7 +73,59 @@ enum class DOp : uint8_t {
   LoadI8, LoadI64, StoreI8, StoreI64,
   // Calls.
   Call, CallIntrinsic,
+  // Superinstructions: hottest adjacent pairs (first op names the
+  // rewritten slot, second op follows intact in the pool).
+  AddLoadI64, MulIAdd, AddIMulI, LoadImmAdd, AddMulI, MulAdd, LoadI64Slt,
+  AddIMul,
+  // Compare fused with the block's conditional branch. The compare must
+  // be the block's last instruction and the terminator must test its
+  // destination against zero; DecodedInst::Fuse is 1 when the branch
+  // takes on a FALSE compare (BEQ/BLEZ forms).
+  SltBr, SltIBr, SeqBr, SeqIBr, SneBr, SneIBr,
+  // FP compare fused with the block's flag branch (BC1T/BC1F). The
+  // handlers still set the frame's FP condition flag before branching,
+  // both for budget-bail resumption (the plain terminator re-reads it)
+  // and for any later flag branch; Fuse is 1 for the BC1F form.
+  FCmpEqBr, FCmpLtBr, FCmpLeBr,
+  // Terminator pseudo-ops. Every block's instruction run is followed by
+  // one pseudo-instruction at Insts[NumInsts] carrying the terminator
+  // kind, so the threaded loop dispatches terminators through the jump
+  // table with no per-instruction end-of-block test. The switch loop
+  // detects terminators via IP == End and never dispatches these. Keep
+  // TermReturn last: NumDOps below anchors the dispatch tables.
+  TermJump, TermCondBranch, TermReturn,
 };
+
+/// Number of decoded opcodes — sizes the threaded-dispatch jump table.
+/// Must track the last DOp enumerator.
+inline constexpr size_t NumDOps = static_cast<size_t>(DOp::TermReturn) + 1;
+
+/// The first half of a superinstruction (the opcode originally in its
+/// rewritten slot), or \p Op itself for plain opcodes. The observer-
+/// carrying dispatch loop executes fused modules through this mapping so
+/// per-instruction event streams stay identical to unfused execution.
+constexpr DOp defusedOp(DOp Op) {
+  switch (Op) {
+  case DOp::AddLoadI64: return DOp::Add;
+  case DOp::MulIAdd:    return DOp::MulI;
+  case DOp::AddIMulI:   return DOp::AddI;
+  case DOp::LoadImmAdd: return DOp::LoadImm;
+  case DOp::AddMulI:    return DOp::Add;
+  case DOp::MulAdd:     return DOp::Mul;
+  case DOp::LoadI64Slt: return DOp::LoadI64;
+  case DOp::AddIMul:    return DOp::AddI;
+  case DOp::SltBr:      return DOp::Slt;
+  case DOp::SltIBr:     return DOp::SltI;
+  case DOp::SeqBr:      return DOp::Seq;
+  case DOp::SeqIBr:     return DOp::SeqI;
+  case DOp::SneBr:      return DOp::Sne;
+  case DOp::SneIBr:     return DOp::SneI;
+  case DOp::FCmpEqBr:   return DOp::FCmpEq;
+  case DOp::FCmpLtBr:   return DOp::FCmpLt;
+  case DOp::FCmpLeBr:   return DOp::FCmpLe;
+  default:              return Op;
+  }
+}
 
 /// Sentinel slot for "no destination register".
 constexpr uint32_t NoSlot = ~0u;
@@ -75,6 +139,10 @@ struct DecodedInst {
   DOp Op = DOp::Move;
   ir::MemWidth Width = ir::MemWidth::I64;
   ir::Intrinsic Intr = ir::Intrinsic::PrintInt;
+  /// Superinstruction flag byte. For the fused compare+branch opcodes,
+  /// bit 0 set means the branch takes when the compare is FALSE (the
+  /// BEQ/BLEZ zero-test forms). Unused (0) for everything else.
+  uint8_t Fuse = 0;
   uint32_t Dst = NoSlot;  ///< frame slot (raw id; always virtual)
   uint32_t SrcA = 0;      ///< raw register id
   uint32_t SrcB = 0;      ///< raw register id (register flavours only)
@@ -134,9 +202,20 @@ struct DecodedModule {
   const DecodedFunction *find(const std::string &Name) const;
 };
 
+/// Knobs for decodeModule. The differential tests and the benchmark's
+/// baseline legs decode with fusion off to compare against the plain
+/// one-op-per-dispatch form.
+struct DecodeOptions {
+  /// Rewrite hot adjacent pairs (and compare+branch tails) into the
+  /// superinstruction opcodes. Semantics are identical either way; this
+  /// only changes how many dispatches the machine performs.
+  bool EnableFusion = true;
+};
+
 /// Decodes \p M. The module must verify cleanly (see ir::verifyModule);
 /// structural errors are caught by assertions, as in the interpreter.
 DecodedModule decodeModule(const ir::Module &M);
+DecodedModule decodeModule(const ir::Module &M, const DecodeOptions &Opts);
 
 /// A module-wide flat block index resolved back to its source site — the
 /// inverse of DecodedBlock::FlatIndex, for reports that must name a

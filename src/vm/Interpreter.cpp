@@ -22,6 +22,18 @@
 // per-instruction events; plain profiling runs take the variant with no
 // per-instruction observer fan-out at all.
 //
+// Two dispatch loops share one set of handler bodies (InterpOps.inc /
+// InterpTerm.inc): the portable switch loop, and — on compilers with the
+// labels-as-values extension, when BPFREE_THREADED_DISPATCH is on — a
+// computed-goto token-threaded loop whose per-handler indirect jumps let
+// the host BTB predict opcode transitions individually. Decode-time
+// superinstruction fusion (vm/Decode.cpp) additionally collapses the
+// hottest adjacent pairs and compare+branch tails into single dispatches;
+// both loops execute the fused opcodes, and the observer-carrying switch
+// loop executes them one original instruction at a time via defusedOp()
+// so event streams, instruction counts, and trap points are identical in
+// every configuration.
+//
 //===----------------------------------------------------------------------===//
 
 #include "vm/Interpreter.h"
@@ -34,12 +46,26 @@
 #include "vm/EdgeProfile.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <limits>
+
+// Computed-goto dispatch needs the GCC/Clang labels-as-values extension;
+// the CMake option BPFREE_THREADED_DISPATCH (default ON) gates it so the
+// portable switch loop can be forced for differential testing and for
+// compilers without the extension.
+#ifndef BPFREE_THREADED_DISPATCH
+#define BPFREE_THREADED_DISPATCH 1
+#endif
+#if BPFREE_THREADED_DISPATCH && (defined(__GNUC__) || defined(__clang__))
+#define BPFREE_HAVE_THREADED 1
+#else
+#define BPFREE_HAVE_THREADED 0
+#endif
 
 using namespace bpfree;
 using namespace bpfree::ir;
@@ -58,6 +84,33 @@ inline uint64_t fromDouble(double D) {
   uint64_t Bits;
   std::memcpy(&Bits, &D, sizeof(Bits));
   return Bits;
+}
+
+/// Evaluates a conditional-branch terminator's outcome. Shared by the
+/// terminator handler and the budget-bail resumption path of the fused
+/// compare+branch superinstructions (which re-derive the outcome from
+/// the compare's register result).
+inline bool branchTaken(const DecodedTerm &T, const uint64_t *Regs,
+                        bool FpFlag) {
+  switch (T.BOp) {
+  case BranchOp::BEQ:
+    return Regs[T.Lhs] == Regs[T.Rhs];
+  case BranchOp::BNE:
+    return Regs[T.Lhs] != Regs[T.Rhs];
+  case BranchOp::BLEZ:
+    return static_cast<int64_t>(Regs[T.Lhs]) <= 0;
+  case BranchOp::BGTZ:
+    return static_cast<int64_t>(Regs[T.Lhs]) > 0;
+  case BranchOp::BLTZ:
+    return static_cast<int64_t>(Regs[T.Lhs]) < 0;
+  case BranchOp::BGEZ:
+    return static_cast<int64_t>(Regs[T.Lhs]) >= 0;
+  case BranchOp::BC1T:
+    return FpFlag;
+  case BranchOp::BC1F:
+    return !FpFlag;
+  }
+  return false;
 }
 
 /// One activation record. Registers live in the machine's shared
@@ -191,6 +244,10 @@ private:
   bool execIntrinsic(Frame &F, const DecodedInst &I);
   template <bool HasInstrObs, bool DirectProfile, bool DirectTraceSink>
   void execLoop();
+#if BPFREE_HAVE_THREADED
+  template <bool DirectProfile, bool DirectTraceSink>
+  void execLoopThreaded();
+#endif
 
   const DecodedModule &DM;
   const RunLimits &Limits;
@@ -344,6 +401,40 @@ bool Machine::execIntrinsic(Frame &F, const DecodedInst &I) {
   return true;
 }
 
+// Takes the current block's conditional branch with outcome \p TakenExpr:
+// packed trace append, direct profile counts, or virtual observer
+// fan-out, exactly once per executed branch, then re-enters dispatch.
+// Shared by the CondBranch terminator (InterpTerm.inc) and the fused
+// compare+branch handlers (InterpOps.inc); expands inside the dispatch
+// loops, which provide DB, EnterBlock, IC, Observers, BPFREE_NEXT, and
+// the DirectProfile/DirectTraceSink template parameters.
+#define BPFREE_BRANCH(TakenExpr)                                           \
+  {                                                                        \
+    const bool Taken = (TakenExpr);                                        \
+    const DecodedTerm &BrT = DB->Term;                                     \
+    if constexpr (DirectTraceSink)                                         \
+      DirectTrace->append(DB->FlatIndex, Taken, IC);                       \
+    if constexpr (DirectProfile) {                                         \
+      EdgeProfile::Counts &C = DirectCounts[DB->FlatIndex];                \
+      if (Taken)                                                           \
+        ++C.Taken;                                                         \
+      else                                                                 \
+        ++C.Fallthru;                                                      \
+      EnterBlock(Taken ? BrT.Taken : BrT.Fallthru);                        \
+      ++DirectEntries[DB->FlatIndex];                                      \
+    } else if constexpr (DirectTraceSink) {                                \
+      EnterBlock(Taken ? BrT.Taken : BrT.Fallthru);                        \
+    } else {                                                               \
+      const ir::BasicBlock &BranchBlock = *DB->BB;                         \
+      EnterBlock(Taken ? BrT.Taken : BrT.Fallthru);                        \
+      for (ExecObserver *O : Observers)                                    \
+        O->onCondBranch(BranchBlock, Taken, IC);                           \
+      for (ExecObserver *O : Observers)                                    \
+        O->onBlockEnter(*DB->BB);                                          \
+    }                                                                      \
+    BPFREE_NEXT;                                                           \
+  }
+
 /// The dispatch loop, specialized three ways decided once at run start:
 /// HasInstrObs hoists the per-instruction observer guard (plain runs pay
 /// nothing per instruction), DirectProfile replaces the per-block
@@ -445,330 +536,192 @@ void Machine::execLoop() {
 
     if (IP != End) {
       const DecodedInst &I = *IP++;
-      switch (I.Op) {
-      case DOp::LoadImm:
-        Regs[I.Dst] = static_cast<uint64_t>(I.Imm);
+      // Under per-instruction observers, fused opcodes execute one
+      // original instruction at a time so event streams stay exact.
+      const DOp Op = HasInstrObs ? defusedOp(I.Op) : I.Op;
+      switch (Op) {
+// Switch-loop expansion of the shared handler bodies: plain case labels,
+// `break` advances (the for loop re-checks the limit), the fuse gate
+// bails to the loop top with IP at the intact second instruction.
+#define BPFREE_OP(N) case DOp::N: {
+#define BPFREE_OP2(A, B) case DOp::A: case DOp::B: {
+#define BPFREE_OP_END                                                      \
+  }                                                                        \
+  break;
+#define BPFREE_NEXT continue
+#define BPFREE_FUSE_GATE                                                   \
+  if (IC >= Limit) [[unlikely]]                                            \
+    break;                                                                 \
+  ++IC
+#include "vm/InterpOps.inc"
+#undef BPFREE_OP
+#undef BPFREE_OP2
+#undef BPFREE_OP_END
+#undef BPFREE_FUSE_GATE
+      case DOp::TermJump:
+      case DOp::TermCondBranch:
+      case DOp::TermReturn:
+        // Unreachable: the switch loop detects terminators via IP == End
+        // and never dispatches the pseudo-instruction at Insts[NumInsts].
+        assert(false && "terminator pseudo-op dispatched as instruction");
         break;
-      case DOp::Move:
-        Regs[I.Dst] = Regs[I.SrcA];
-        break;
-      case DOp::Add:
-        Regs[I.Dst] = Regs[I.SrcA] + Regs[I.SrcB];
-        break;
-      case DOp::AddI:
-        Regs[I.Dst] = Regs[I.SrcA] + static_cast<uint64_t>(I.Imm);
-        break;
-      case DOp::Sub:
-        Regs[I.Dst] = Regs[I.SrcA] - Regs[I.SrcB];
-        break;
-      case DOp::SubI:
-        Regs[I.Dst] = Regs[I.SrcA] - static_cast<uint64_t>(I.Imm);
-        break;
-      case DOp::Mul:
-        Regs[I.Dst] = Regs[I.SrcA] * Regs[I.SrcB];
-        break;
-      case DOp::MulI:
-        Regs[I.Dst] = Regs[I.SrcA] * static_cast<uint64_t>(I.Imm);
-        break;
-      case DOp::Div:
-      case DOp::DivI: {
-        int64_t Num = static_cast<int64_t>(Regs[I.SrcA]);
-        int64_t Den = I.Op == DOp::DivI
-                          ? I.Imm
-                          : static_cast<int64_t>(Regs[I.SrcB]);
-        if (Den == 0) {
-          Sync();
-          trap("integer division by zero in '" + F->DF->F->getName() +
-               "'");
-          return;
-        }
-        Regs[I.Dst] = static_cast<uint64_t>(
-            Num == std::numeric_limits<int64_t>::min() && Den == -1
-                ? Num
-                : Num / Den);
-        break;
-      }
-      case DOp::Rem:
-      case DOp::RemI: {
-        int64_t Num = static_cast<int64_t>(Regs[I.SrcA]);
-        int64_t Den = I.Op == DOp::RemI
-                          ? I.Imm
-                          : static_cast<int64_t>(Regs[I.SrcB]);
-        if (Den == 0) {
-          Sync();
-          trap("integer remainder by zero in '" + F->DF->F->getName() +
-               "'");
-          return;
-        }
-        Regs[I.Dst] = static_cast<uint64_t>(
-            Num == std::numeric_limits<int64_t>::min() && Den == -1
-                ? 0
-                : Num % Den);
-        break;
-      }
-      case DOp::And:
-        Regs[I.Dst] = Regs[I.SrcA] & Regs[I.SrcB];
-        break;
-      case DOp::AndI:
-        Regs[I.Dst] = Regs[I.SrcA] & static_cast<uint64_t>(I.Imm);
-        break;
-      case DOp::Or:
-        Regs[I.Dst] = Regs[I.SrcA] | Regs[I.SrcB];
-        break;
-      case DOp::OrI:
-        Regs[I.Dst] = Regs[I.SrcA] | static_cast<uint64_t>(I.Imm);
-        break;
-      case DOp::Xor:
-        Regs[I.Dst] = Regs[I.SrcA] ^ Regs[I.SrcB];
-        break;
-      case DOp::XorI:
-        Regs[I.Dst] = Regs[I.SrcA] ^ static_cast<uint64_t>(I.Imm);
-        break;
-      case DOp::Shl:
-        Regs[I.Dst] = Regs[I.SrcA] << (Regs[I.SrcB] & 63);
-        break;
-      case DOp::ShlI:
-        Regs[I.Dst] = Regs[I.SrcA] << (static_cast<uint64_t>(I.Imm) & 63);
-        break;
-      case DOp::Shr:
-        Regs[I.Dst] = static_cast<uint64_t>(
-            static_cast<int64_t>(Regs[I.SrcA]) >> (Regs[I.SrcB] & 63));
-        break;
-      case DOp::ShrI:
-        Regs[I.Dst] = static_cast<uint64_t>(
-            static_cast<int64_t>(Regs[I.SrcA]) >>
-            (static_cast<uint64_t>(I.Imm) & 63));
-        break;
-      case DOp::Slt:
-        Regs[I.Dst] = static_cast<int64_t>(Regs[I.SrcA]) <
-                              static_cast<int64_t>(Regs[I.SrcB])
-                          ? 1
-                          : 0;
-        break;
-      case DOp::SltI:
-        Regs[I.Dst] = static_cast<int64_t>(Regs[I.SrcA]) < I.Imm ? 1 : 0;
-        break;
-      case DOp::Seq:
-        Regs[I.Dst] = Regs[I.SrcA] == Regs[I.SrcB] ? 1 : 0;
-        break;
-      case DOp::SeqI:
-        Regs[I.Dst] =
-            Regs[I.SrcA] == static_cast<uint64_t>(I.Imm) ? 1 : 0;
-        break;
-      case DOp::Sne:
-        Regs[I.Dst] = Regs[I.SrcA] != Regs[I.SrcB] ? 1 : 0;
-        break;
-      case DOp::SneI:
-        Regs[I.Dst] =
-            Regs[I.SrcA] != static_cast<uint64_t>(I.Imm) ? 1 : 0;
-        break;
-      case DOp::FAdd:
-        Regs[I.Dst] =
-            fromDouble(asDouble(Regs[I.SrcA]) + asDouble(Regs[I.SrcB]));
-        break;
-      case DOp::FAddI:
-        Regs[I.Dst] = fromDouble(asDouble(Regs[I.SrcA]) +
-                                 asDouble(static_cast<uint64_t>(I.Imm)));
-        break;
-      case DOp::FSub:
-        Regs[I.Dst] =
-            fromDouble(asDouble(Regs[I.SrcA]) - asDouble(Regs[I.SrcB]));
-        break;
-      case DOp::FSubI:
-        Regs[I.Dst] = fromDouble(asDouble(Regs[I.SrcA]) -
-                                 asDouble(static_cast<uint64_t>(I.Imm)));
-        break;
-      case DOp::FMul:
-        Regs[I.Dst] =
-            fromDouble(asDouble(Regs[I.SrcA]) * asDouble(Regs[I.SrcB]));
-        break;
-      case DOp::FMulI:
-        Regs[I.Dst] = fromDouble(asDouble(Regs[I.SrcA]) *
-                                 asDouble(static_cast<uint64_t>(I.Imm)));
-        break;
-      case DOp::FDiv:
-        // IEEE semantics: x/0 is inf/nan, no trap — matches the hardware
-        // the paper measured on.
-        Regs[I.Dst] =
-            fromDouble(asDouble(Regs[I.SrcA]) / asDouble(Regs[I.SrcB]));
-        break;
-      case DOp::FDivI:
-        Regs[I.Dst] = fromDouble(asDouble(Regs[I.SrcA]) /
-                                 asDouble(static_cast<uint64_t>(I.Imm)));
-        break;
-      case DOp::FNeg:
-        Regs[I.Dst] = fromDouble(-asDouble(Regs[I.SrcA]));
-        break;
-      case DOp::CvtIF:
-        Regs[I.Dst] = fromDouble(
-            static_cast<double>(static_cast<int64_t>(Regs[I.SrcA])));
-        break;
-      case DOp::CvtFI: {
-        double D = asDouble(Regs[I.SrcA]);
-        int64_t V;
-        if (D >= 9.2233720368547758e18)
-          V = std::numeric_limits<int64_t>::max();
-        else if (D <= -9.2233720368547758e18 || D != D)
-          V = std::numeric_limits<int64_t>::min();
-        else
-          V = static_cast<int64_t>(D);
-        Regs[I.Dst] = static_cast<uint64_t>(V);
-        break;
-      }
-      case DOp::FCmpEq:
-        F->FpFlag = asDouble(Regs[I.SrcA]) == asDouble(Regs[I.SrcB]);
-        break;
-      case DOp::FCmpLt:
-        F->FpFlag = asDouble(Regs[I.SrcA]) < asDouble(Regs[I.SrcB]);
-        break;
-      case DOp::FCmpLe:
-        F->FpFlag = asDouble(Regs[I.SrcA]) <= asDouble(Regs[I.SrcB]);
-        break;
-      case DOp::LoadI8: {
-        uint64_t Addr = Regs[I.SrcA] + static_cast<uint64_t>(I.Imm);
-        // Addr >= MemSize is the overflow-proof form of Addr + 1 > MemSize:
-        // Addr == UINT64_MAX must trap, not wrap past the check.
-        if (Addr < NullPageSize || Addr >= MemSize) [[unlikely]] {
-          Sync();
-          trap("memory access out of bounds at address " +
-               std::to_string(Addr));
-          return;
-        }
-        // Sign-extend: MiniC chars behave like signed C chars.
-        Regs[I.Dst] = static_cast<uint64_t>(
-            static_cast<int64_t>(static_cast<int8_t>(Mem[Addr])));
-        break;
-      }
-      case DOp::LoadI64: {
-        uint64_t Addr = Regs[I.SrcA] + static_cast<uint64_t>(I.Imm);
-        if (Addr < NullPageSize || Addr + 8 > MemSize || Addr + 8 < Addr)
-            [[unlikely]] {
-          Sync();
-          trap("memory access out of bounds at address " +
-               std::to_string(Addr));
-          return;
-        }
-        uint64_t V;
-        std::memcpy(&V, Mem + Addr, 8);
-        Regs[I.Dst] = V;
-        break;
-      }
-      case DOp::StoreI8: {
-        uint64_t Addr = Regs[I.SrcA] + static_cast<uint64_t>(I.Imm);
-        if (Addr < NullPageSize || Addr >= MemSize) [[unlikely]] {
-          Sync();
-          trap("memory access out of bounds at address " +
-               std::to_string(Addr));
-          return;
-        }
-        Mem[Addr] = static_cast<uint8_t>(Regs[I.SrcB]);
-        break;
-      }
-      case DOp::StoreI64: {
-        uint64_t Addr = Regs[I.SrcA] + static_cast<uint64_t>(I.Imm);
-        if (Addr < NullPageSize || Addr + 8 > MemSize || Addr + 8 < Addr)
-            [[unlikely]] {
-          Sync();
-          trap("memory access out of bounds at address " +
-               std::to_string(Addr));
-          return;
-        }
-        uint64_t V = Regs[I.SrcB];
-        std::memcpy(Mem + Addr, &V, 8);
-        break;
-      }
-      case DOp::Call: {
-        Sync(); // resumption point: the instruction after the call
-        if (!pushFrame(I.Callee, F->DF->ArgPool.data() + I.ArgsOff,
-                       I.NumArgs, I.Dst))
-          return;
-        Reload();
-        continue;
-      }
-      case DOp::CallIntrinsic: {
-        Sync(); // intrinsics can trap and need an exact backtrace
-        if (!execIntrinsic(*F, I))
-          return;
-        if (Result.Status != RunStatus::Ok)
-          return; // print budget exhausted with overflow trapping on
-        break;
-      }
       }
     } else {
-      const DecodedTerm &T = DB->Term;
-      switch (T.Kind) {
-      case TermKind::Jump:
-        EnterBlock(T.Taken);
-        if constexpr (DirectProfile)
-          ++DirectEntries[DB->FlatIndex];
-        else if constexpr (!DirectTraceSink)
-          for (ExecObserver *O : Observers)
-            O->onBlockEnter(*DB->BB);
-        continue;
-      case TermKind::CondBranch: {
-        bool Taken = false;
-        switch (T.BOp) {
-        case BranchOp::BEQ:
-          Taken = Regs[T.Lhs] == Regs[T.Rhs];
-          break;
-        case BranchOp::BNE:
-          Taken = Regs[T.Lhs] != Regs[T.Rhs];
-          break;
-        case BranchOp::BLEZ:
-          Taken = static_cast<int64_t>(Regs[T.Lhs]) <= 0;
-          break;
-        case BranchOp::BGTZ:
-          Taken = static_cast<int64_t>(Regs[T.Lhs]) > 0;
-          break;
-        case BranchOp::BLTZ:
-          Taken = static_cast<int64_t>(Regs[T.Lhs]) < 0;
-          break;
-        case BranchOp::BGEZ:
-          Taken = static_cast<int64_t>(Regs[T.Lhs]) >= 0;
-          break;
-        case BranchOp::BC1T:
-          Taken = F->FpFlag;
-          break;
-        case BranchOp::BC1F:
-          Taken = !F->FpFlag;
-          break;
-        }
-        if constexpr (DirectTraceSink)
-          DirectTrace->append(DB->FlatIndex, Taken, IC);
-        if constexpr (DirectProfile) {
-          EdgeProfile::Counts &C = DirectCounts[DB->FlatIndex];
-          if (Taken)
-            ++C.Taken;
-          else
-            ++C.Fallthru;
-          EnterBlock(Taken ? T.Taken : T.Fallthru);
-          ++DirectEntries[DB->FlatIndex];
-        } else if constexpr (DirectTraceSink) {
-          EnterBlock(Taken ? T.Taken : T.Fallthru);
-        } else {
-          const ir::BasicBlock &BranchBlock = *DB->BB;
-          EnterBlock(Taken ? T.Taken : T.Fallthru);
-          for (ExecObserver *O : Observers)
-            O->onCondBranch(BranchBlock, Taken, IC);
-          for (ExecObserver *O : Observers)
-            O->onBlockEnter(*DB->BB);
-        }
-        continue;
+      switch (DB->Term.Kind) {
+#define BPFREE_TERM(K)                                                     \
+  case TermKind::K: {                                                      \
+    const DecodedTerm &T = DB->Term;
+#define BPFREE_TERM_END                                                    \
+  }                                                                        \
+  break;
+#include "vm/InterpTerm.inc"
+#undef BPFREE_TERM
+#undef BPFREE_TERM_END
       }
-      case TermKind::Return: {
-        uint64_t V = T.HasRetValue ? Regs[T.RetValue] : 0;
-        popFrame(V, T.HasRetValue);
-        if (Frames.empty()) {
-          Result.InstrCount = IC;
-          return;
-        }
-        Reload();
-        continue;
-      }
-      }
+#undef BPFREE_NEXT
     }
   }
 }
+
+#if BPFREE_HAVE_THREADED
+/// The computed-goto (token-threaded) dispatch loop. Each handler body
+/// ends with its own copy of the dispatch sequence — limit check,
+/// instruction count, indirect jump through the label table — so the
+/// host branch predictor learns opcode-to-opcode transition patterns
+/// per handler instead of funneling every prediction through a single
+/// switch branch. Handler bodies are shared with the switch loop
+/// (InterpOps.inc / InterpTerm.inc); control effects are bit-identical,
+/// including budget/watchdog timing and trap points. Runs with
+/// per-instruction observers always take the switch loop (they need the
+/// defused dispatch), so this is only specialized on the direct
+/// profile/trace configurations.
+template <bool DirectProfile, bool DirectTraceSink>
+void Machine::execLoopThreaded() {
+  constexpr uint64_t WatchdogStride = 16384;
+  const uint64_t MaxInstructions = Limits.MaxInstructions;
+  const bool HasDeadline = Limits.MaxMillis > 0;
+  const auto Deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(Limits.MaxMillis);
+  uint64_t NextWatchdogCheck = WatchdogStride;
+  uint64_t Limit = HasDeadline ? std::min(MaxInstructions, NextWatchdogCheck)
+                               : MaxInstructions;
+
+  // No End pointer here: the terminator pseudo-instruction at
+  // Insts[NumInsts] routes end-of-block through the jump table, so the
+  // dispatch sequence never compares IP against a block bound.
+  uint64_t IC = Result.InstrCount;
+  Frame *F = &Frames.back();
+  const DecodedBlock *DB = F->DB;
+  const DecodedInst *BlockInsts = DB->Insts;
+  const DecodedInst *IP = BlockInsts + F->InstIdx;
+  uint64_t *Regs = RegStack.data() + F->RegBase;
+  uint8_t *const Mem = Memory.data();
+  const uint64_t MemSize = Memory.size();
+
+  auto Sync = [&] {
+    F->DB = DB;
+    F->InstIdx = static_cast<uint32_t>(IP - BlockInsts);
+    Result.InstrCount = IC;
+  };
+  auto Reload = [&] {
+    F = &Frames.back();
+    DB = F->DB;
+    BlockInsts = DB->Insts;
+    IP = BlockInsts + F->InstIdx;
+    Regs = RegStack.data() + F->RegBase;
+  };
+  auto EnterBlock = [&](const DecodedBlock *NewDB) {
+    DB = NewDB;
+    BlockInsts = DB->Insts;
+    IP = BlockInsts;
+  };
+
+  // One label per DOp, in exact enum order; NumDOps anchors the count so
+  // a new opcode without a table entry fails to compile.
+  static const void *const JumpTable[NumDOps] = {
+      &&L_LoadImm, &&L_Move,
+      &&L_Add, &&L_Sub, &&L_Mul, &&L_Div, &&L_Rem, &&L_And, &&L_Or,
+      &&L_Xor, &&L_Shl, &&L_Shr, &&L_Slt, &&L_Seq, &&L_Sne,
+      &&L_AddI, &&L_SubI, &&L_MulI, &&L_DivI, &&L_RemI, &&L_AndI,
+      &&L_OrI, &&L_XorI, &&L_ShlI, &&L_ShrI, &&L_SltI, &&L_SeqI,
+      &&L_SneI,
+      &&L_FAdd, &&L_FSub, &&L_FMul, &&L_FDiv,
+      &&L_FAddI, &&L_FSubI, &&L_FMulI, &&L_FDivI,
+      &&L_FNeg, &&L_CvtIF, &&L_CvtFI,
+      &&L_FCmpEq, &&L_FCmpLt, &&L_FCmpLe,
+      &&L_LoadI8, &&L_LoadI64, &&L_StoreI8, &&L_StoreI64,
+      &&L_Call, &&L_CallIntrinsic,
+      &&L_AddLoadI64, &&L_MulIAdd, &&L_AddIMulI, &&L_LoadImmAdd,
+      &&L_AddMulI, &&L_MulAdd, &&L_LoadI64Slt, &&L_AddIMul,
+      &&L_SltBr, &&L_SltIBr, &&L_SeqBr, &&L_SeqIBr, &&L_SneBr,
+      &&L_SneIBr,
+      &&L_FCmpEqBr, &&L_FCmpLtBr, &&L_FCmpLeBr,
+      &&L_TermJump, &&L_TermCondBranch, &&L_TermReturn,
+  };
+
+// Threaded-loop expansion of the shared handler bodies: goto labels with
+// per-handler operand fetch, the dispatch sequence replicated inline at
+// every handler end, and the fuse gate bailing to the shared cold limit
+// block with IP at the intact second instruction. Terminators get labels
+// of their own (the pseudo-instruction's opcode routes to them), so the
+// dispatch sequence is just limit check, count, indirect jump.
+#define BPFREE_NEXT                                                        \
+  if (IC >= Limit) [[unlikely]]                                            \
+    goto CheckLimit_;                                                      \
+  ++IC;                                                                    \
+  goto *JumpTable[static_cast<size_t>(IP->Op)]
+#define BPFREE_OP(N)                                                       \
+  L_##N : {                                                                \
+    const DecodedInst &I = *IP++;
+#define BPFREE_OP2(A, B)                                                   \
+  L_##A : L_##B : {                                                        \
+    const DecodedInst &I = *IP++;
+#define BPFREE_OP_END                                                      \
+  }                                                                        \
+  BPFREE_NEXT;
+#define BPFREE_FUSE_GATE                                                   \
+  if (IC >= Limit) [[unlikely]]                                            \
+    goto CheckLimit_;                                                      \
+  ++IC
+#define BPFREE_TERM(K)                                                     \
+  L_Term##K : {                                                            \
+    const DecodedTerm &T = DB->Term;
+#define BPFREE_TERM_END }
+
+  BPFREE_NEXT; // enter the loop exactly as the switch loop's first pass
+
+#include "vm/InterpOps.inc"
+#include "vm/InterpTerm.inc"
+
+CheckLimit_:
+  Sync();
+  if (IC >= MaxInstructions) {
+    fail(RunStatus::BudgetExceeded, ErrorKind::BudgetExceeded,
+         "instruction budget (" + std::to_string(MaxInstructions) +
+             ") exhausted in '" + F->DF->F->getName() + "'");
+    return;
+  }
+  NextWatchdogCheck = IC + WatchdogStride;
+  Limit = std::min(MaxInstructions, NextWatchdogCheck);
+  // Only reachable with a deadline set: without one, Limit equals the
+  // budget, so the bail above already returned.
+  if (std::chrono::steady_clock::now() >= Deadline) {
+    fail(RunStatus::Timeout, ErrorKind::Timeout,
+         "wall-clock limit (" + std::to_string(Limits.MaxMillis) +
+             " ms) exceeded in '" + F->DF->F->getName() + "'");
+    return;
+  }
+  BPFREE_NEXT;
+
+#undef BPFREE_OP
+#undef BPFREE_OP2
+#undef BPFREE_OP_END
+#undef BPFREE_FUSE_GATE
+#undef BPFREE_TERM
+#undef BPFREE_TERM_END
+#undef BPFREE_NEXT
+}
+#endif // BPFREE_HAVE_THREADED
 
 RunResult Machine::run(const DecodedFunction *Entry) {
   const Module &M = *DM.M;
@@ -820,6 +773,21 @@ RunResult Machine::run(const DecodedFunction *Entry) {
   if (!pushFrame(Entry, nullptr, 0, NoSlot))
     return Result;
 
+#if BPFREE_HAVE_THREADED
+  // Per-instruction observers need the switch loop's defused dispatch;
+  // everything else takes the threaded loop unless the knob says switch.
+  if (InstrObservers.empty() && dispatchMode() == DispatchMode::Threaded) {
+    if (DirectEntries && DirectTrace)
+      execLoopThreaded<true, true>();
+    else if (DirectEntries)
+      execLoopThreaded<true, false>();
+    else if (DirectTrace)
+      execLoopThreaded<false, true>();
+    else
+      execLoopThreaded<false, false>();
+    return Result;
+  }
+#endif
   if (!InstrObservers.empty())
     execLoop<true, false, false>();
   else if (DirectEntries && DirectTrace)
@@ -833,7 +801,32 @@ RunResult Machine::run(const DecodedFunction *Entry) {
   return Result;
 }
 
+/// Process-wide dispatch-mode knob. Threaded when the build carries the
+/// computed-goto loop; the setter silently pins Switch otherwise so
+/// callers need no availability checks of their own.
+std::atomic<DispatchMode> GDispatchMode{
+#if BPFREE_HAVE_THREADED
+    DispatchMode::Threaded
+#else
+    DispatchMode::Switch
+#endif
+};
+
 } // namespace
+
+bool bpfree::threadedDispatchAvailable() {
+  return BPFREE_HAVE_THREADED != 0;
+}
+
+void bpfree::setDispatchMode(DispatchMode Mode) {
+  if (Mode == DispatchMode::Threaded && !threadedDispatchAvailable())
+    Mode = DispatchMode::Switch;
+  GDispatchMode.store(Mode, std::memory_order_relaxed);
+}
+
+DispatchMode bpfree::dispatchMode() {
+  return GDispatchMode.load(std::memory_order_relaxed);
+}
 
 std::string TrapInfo::render() const {
   std::string S = std::string(errorKindName(Kind)) + ": " + Message;
@@ -868,13 +861,17 @@ ErrorKind RunResult::errorKind() const {
 }
 
 Interpreter::Interpreter(const Module &M, RunLimits Limits)
+    : Interpreter(M, Limits, DecodeOptions()) {}
+
+Interpreter::Interpreter(const Module &M, RunLimits Limits,
+                         const DecodeOptions &DecOpts)
     : M(M), Limits(Limits) {
   // The decoded-instruction cache build is the one-time cost run() then
   // amortizes; tracked so manifests can attribute setup vs. execution.
   static metrics::Timer &DecodeTimer = metrics::timer("vm.decode");
   metrics::ScopedTimer Time(DecodeTimer);
   timetrace::Span DecodeSpan("vm.decode");
-  DM = std::make_unique<DecodedModule>(decodeModule(M));
+  DM = std::make_unique<DecodedModule>(decodeModule(M, DecOpts));
   static metrics::Counter &Builds = metrics::counter("vm.decode_builds");
   Builds.add();
 }

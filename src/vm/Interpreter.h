@@ -105,6 +105,31 @@ struct RunLimits {
 };
 
 struct DecodedModule;
+struct DecodeOptions;
+
+/// How the machine's inner loop dispatches decoded opcodes.
+enum class DispatchMode {
+  /// Computed-goto (token-threaded) loop: one indirect jump per handler,
+  /// so the host BTB predicts each opcode transition separately. Used
+  /// when available and the run carries no per-instruction observers.
+  Threaded,
+  /// Portable switch loop — the fallback on compilers without
+  /// labels-as-values and the only loop that can fan out
+  /// per-instruction observer events.
+  Switch,
+};
+
+/// True when this build carries the computed-goto loop (GCC/Clang with
+/// BPFREE_THREADED_DISPATCH on). When false, the mode knob is pinned to
+/// DispatchMode::Switch.
+bool threadedDispatchAvailable();
+
+/// Process-wide dispatch-mode knob, defaulting to Threaded when
+/// available. Exists for the differential tests and benchmark baselines;
+/// production callers never touch it. Setting Threaded without
+/// threadedDispatchAvailable() silently keeps Switch.
+void setDispatchMode(DispatchMode Mode);
+DispatchMode dispatchMode();
 
 /// Executes IR modules. Construct once per module; construction builds
 /// the pre-decoded instruction cache (see vm/Decode.h), so run() may be
@@ -117,6 +142,10 @@ public:
   /// \p M must verify cleanly (see ir::verifyModule); the interpreter
   /// asserts rather than diagnoses structural errors.
   explicit Interpreter(const ir::Module &M, RunLimits Limits = RunLimits());
+  /// As above with explicit decode knobs (the differential tests decode
+  /// with superinstruction fusion off).
+  Interpreter(const ir::Module &M, RunLimits Limits,
+              const DecodeOptions &DecOpts);
   ~Interpreter();
 
   Interpreter(Interpreter &&) = default;

@@ -1,0 +1,351 @@
+//===- tests/DispatchTest.cpp - Dispatch/fusion differential sweeps -------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The threaded (computed-goto) dispatch loop and decode-time
+/// superinstruction fusion are pure performance features: every
+/// observable of a run — exit value, status, trap message, instruction
+/// count, printed output, edge profile, captured branch trace — must be
+/// bit-identical across all four (dispatch x fusion) configurations.
+/// These tests enforce that differentially over the whole workload
+/// suite, over trap and budget-exhaustion paths (where the threaded
+/// loop's deferred limit check and terminator pseudo-ops must sync to
+/// the exact same instruction), and over fault-injected runs (which
+/// force the instruction-observer loop regardless of the knob).
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+#include "ir/IRBuilder.h"
+#include "support/Metrics.h"
+#include "vm/BranchTrace.h"
+#include "vm/Decode.h"
+#include "vm/EdgeProfile.h"
+#include "vm/FaultInjector.h"
+#include "vm/Interpreter.h"
+#include "workloads/Driver.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+using namespace bpfree;
+
+namespace {
+
+/// Forces a dispatch mode for one scope, restoring the build default
+/// (Threaded when available) on exit so test order never matters.
+struct DispatchGuard {
+  explicit DispatchGuard(DispatchMode M) { setDispatchMode(M); }
+  ~DispatchGuard() { setDispatchMode(DispatchMode::Threaded); }
+};
+
+using Event = std::tuple<uint32_t, bool, uint64_t>;
+
+std::vector<Event> decodeAll(const BranchTrace &T) {
+  std::vector<Event> Events;
+  T.forEach([&](uint32_t Idx, bool Taken, uint64_t Delta) {
+    Events.emplace_back(Idx, Taken, Delta);
+  });
+  return Events;
+}
+
+/// Everything a run observably produced, for cross-config comparison.
+struct RunSnapshot {
+  RunResult Result;
+  std::vector<Event> Trace;
+  uint64_t BranchExecs = 0;
+};
+
+/// Runs \p W once under the given dispatch mode and fusion setting, with
+/// the specialized profile + trace observer pair attached (the fast path
+/// both loops specialize on).
+RunSnapshot runConfig(const Workload &W, const ir::Module &M,
+                      DispatchMode Mode, bool Fuse) {
+  DispatchGuard G(Mode);
+  DecodeOptions Opts;
+  Opts.EnableFusion = Fuse;
+  Interpreter Interp(M, RunLimits(), Opts);
+  EdgeProfile Profile(M);
+  BranchTrace Trace(M);
+  RunSnapshot S;
+  S.Result = Interp.run(W.Datasets[0], {&Profile, &Trace});
+  Trace.finalize(S.Result.InstrCount);
+  S.Trace = decodeAll(Trace);
+  S.BranchExecs = Profile.totalBranchExecutions();
+  return S;
+}
+
+void expectSnapshotsEqual(const RunSnapshot &A, const RunSnapshot &B,
+                          const std::string &What) {
+  EXPECT_EQ(A.Result.Status, B.Result.Status) << What;
+  EXPECT_EQ(A.Result.ExitValue, B.Result.ExitValue) << What;
+  EXPECT_EQ(A.Result.InstrCount, B.Result.InstrCount) << What;
+  EXPECT_EQ(A.Result.Output, B.Result.Output) << What;
+  EXPECT_EQ(A.Result.TrapMessage, B.Result.TrapMessage) << What;
+  EXPECT_EQ(A.BranchExecs, B.BranchExecs) << What;
+  EXPECT_EQ(A.Trace, B.Trace) << What;
+}
+
+//===----------------------------------------------------------------------===//
+// Knob semantics
+//===----------------------------------------------------------------------===//
+
+TEST(Dispatch, KnobTracksAvailability) {
+  DispatchGuard G(DispatchMode::Switch);
+  EXPECT_EQ(dispatchMode(), DispatchMode::Switch);
+  setDispatchMode(DispatchMode::Threaded);
+  if (threadedDispatchAvailable())
+    EXPECT_EQ(dispatchMode(), DispatchMode::Threaded);
+  else
+    EXPECT_EQ(dispatchMode(), DispatchMode::Switch);
+}
+
+//===----------------------------------------------------------------------===//
+// Full-suite differential: 4 configurations, one observable contract
+//===----------------------------------------------------------------------===//
+
+/// For every suite workload: the switch + unfused configuration (the
+/// portable baseline both features layer on) fixes the reference
+/// observables; the other three configurations must reproduce them
+/// exactly, including the captured event stream byte-for-byte.
+TEST(Dispatch, DifferentialAcrossSuite) {
+  for (const Workload &W : workloadSuite()) {
+    SCOPED_TRACE(W.Name);
+    auto M = minic::compileOrDie(W.Source);
+    RunSnapshot Ref = runConfig(W, *M, DispatchMode::Switch, false);
+    ASSERT_TRUE(Ref.Result.ok()) << Ref.Result.TrapMessage;
+    expectSnapshotsEqual(Ref, runConfig(W, *M, DispatchMode::Switch, true),
+                         "switch+fused");
+    expectSnapshotsEqual(Ref,
+                         runConfig(W, *M, DispatchMode::Threaded, false),
+                         "threaded+unfused");
+    expectSnapshotsEqual(Ref, runConfig(W, *M, DispatchMode::Threaded, true),
+                         "threaded+fused");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Trap and budget paths
+//===----------------------------------------------------------------------===//
+
+/// A trapping run must surface the identical trap (status, message,
+/// instruction count) from every configuration — the threaded loop's
+/// terminator pseudo-ops and mid-pair fusion gates must sync the machine
+/// to the same faulting instruction the switch loop reports.
+TEST(Dispatch, TrapsIdenticalAcrossConfigs) {
+  using namespace bpfree::ir;
+  Module M;
+  Function *F = M.createFunction("main", 0);
+  IRBuilder Bld(F);
+  Bld.setInsertBlock(F->createBlock("entry"));
+  Reg A = Bld.loadImm(5);
+  Reg B = Bld.loadImm(7);
+  Reg Sum = Bld.add(A, B); // fusible prefix before the fault
+  Bld.retValue(Bld.load(Sum, 1ull << 61, MemWidth::I64));
+
+  RunResult Ref;
+  for (DispatchMode Mode : {DispatchMode::Switch, DispatchMode::Threaded}) {
+    for (bool Fuse : {false, true}) {
+      DispatchGuard G(Mode);
+      DecodeOptions Opts;
+      Opts.EnableFusion = Fuse;
+      Interpreter Interp(M, RunLimits(), Opts);
+      RunResult R = Interp.run(Dataset());
+      EXPECT_EQ(R.Status, RunStatus::Trap);
+      if (Mode == DispatchMode::Switch && !Fuse) {
+        Ref = R;
+        continue;
+      }
+      EXPECT_EQ(R.InstrCount, Ref.InstrCount);
+      EXPECT_EQ(R.TrapMessage, Ref.TrapMessage);
+    }
+  }
+}
+
+/// Deterministic budget exhaustion: MaxInstructions must stop every
+/// configuration at the same count with the same status, for budgets
+/// landing on every phase of a fused pair and of a block's terminator.
+TEST(Dispatch, BudgetStopsAtSameInstructionEverywhere) {
+  const Workload &W = *findWorkload("treesort");
+  auto M = minic::compileOrDie(W.Source);
+  for (uint64_t Budget : {1ull, 2ull, 3ull, 1000ull, 1001ull, 99'999ull}) {
+    SCOPED_TRACE("budget " + std::to_string(Budget));
+    RunLimits Limits;
+    Limits.MaxInstructions = Budget;
+    RunResult Ref;
+    for (DispatchMode Mode : {DispatchMode::Switch, DispatchMode::Threaded}) {
+      for (bool Fuse : {false, true}) {
+        DispatchGuard G(Mode);
+        DecodeOptions Opts;
+        Opts.EnableFusion = Fuse;
+        Interpreter Interp(*M, Limits, Opts);
+        RunResult R = Interp.run(W.Datasets[0]);
+        if (Mode == DispatchMode::Switch && !Fuse) {
+          Ref = R;
+          EXPECT_EQ(R.Status, RunStatus::BudgetExceeded);
+          continue;
+        }
+        EXPECT_EQ(R.Status, Ref.Status);
+        EXPECT_EQ(R.InstrCount, Ref.InstrCount);
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Fault-injected runs
+//===----------------------------------------------------------------------===//
+
+/// Per-instruction observers force the switch loop regardless of the
+/// knob, and fusion must be invisible to them (the observer walk reports
+/// defused opcodes). So a fault-injected run — whatever failure the seed
+/// lands on, wherever it lands — must produce identical results and an
+/// identical ride-along trace across all four configurations.
+TEST(Dispatch, FaultInjectedRunsIdenticalAcrossConfigs) {
+  for (const char *Name : {"treesort", "circuit"}) {
+    for (uint64_t Seed : {3ull, 11ull, 42ull}) {
+      SCOPED_TRACE(std::string(Name) + " seed " + std::to_string(Seed));
+      const Workload &W = *findWorkload(Name);
+      auto M = minic::compileOrDie(W.Source);
+      RunResult Ref;
+      std::vector<Event> RefTrace;
+      for (DispatchMode Mode :
+           {DispatchMode::Switch, DispatchMode::Threaded}) {
+        for (bool Fuse : {false, true}) {
+          DispatchGuard G(Mode);
+          DecodeOptions Opts;
+          Opts.EnableFusion = Fuse;
+          Interpreter Interp(*M, RunLimits(), Opts);
+          BranchTrace Trace(*M);
+          FaultInjector Injector(
+              FaultPlan::fromSeed(Seed, 10'000, 2'000'000));
+          RunResult R = Interp.run(W.Datasets[0], {&Trace, &Injector});
+          Trace.finalize(R.InstrCount);
+          std::vector<Event> Events = decodeAll(Trace);
+          if (Mode == DispatchMode::Switch && !Fuse) {
+            Ref = R;
+            RefTrace = std::move(Events);
+            continue;
+          }
+          EXPECT_EQ(R.Status, Ref.Status);
+          EXPECT_EQ(R.InstrCount, Ref.InstrCount);
+          EXPECT_EQ(R.TrapMessage, Ref.TrapMessage);
+          EXPECT_EQ(Events, RefTrace);
+        }
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// FP compare + flag-branch fusion
+//===----------------------------------------------------------------------===//
+
+/// An FP compare that ends its block feeding a BC1T/BC1F flag branch
+/// fuses into the FCmp*Br forms. The fused handler must still leave the
+/// frame's FP condition flag set (budget-bail resumption re-reads it via
+/// the plain terminator), so a budget sweep across the fusion gate has
+/// to stop at the same instruction with the same outcome everywhere.
+TEST(Dispatch, FpCompareBranchFusesAndMatches) {
+  using namespace bpfree::ir;
+  // A small FP loop: sums 0.25 until the sum exceeds a threshold read
+  // through both BC1T and BC1F forms, so taken and not-taken flag
+  // branches are exercised on every iteration.
+  Module M;
+  Function *F = M.createFunction("main", 0);
+  IRBuilder Bld(F);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Loop = F->createBlock("loop");
+  BasicBlock *Check = F->createBlock("check");
+  BasicBlock *Done = F->createBlock("done");
+  Bld.setInsertBlock(Entry);
+  Reg SumF = Bld.loadFImm(0.0);
+  Reg Step = Bld.loadFImm(0.25);
+  Reg Limit = Bld.loadFImm(100.0);
+  Bld.jump(Loop);
+  Bld.setInsertBlock(Loop);
+  Reg Next = Bld.fbinop(Opcode::FAdd, SumF, Step);
+  Bld.moveInto(SumF, Next);
+  Bld.fcmp(Opcode::FCmpLt, SumF, Limit); // BC1T form (Fuse = 0)
+  Bld.flagBranch(BranchOp::BC1T, Check, Done);
+  Bld.setInsertBlock(Check);
+  Bld.fcmp(Opcode::FCmpLe, Limit, SumF); // BC1F form (Fuse = 1)
+  Bld.flagBranch(BranchOp::BC1F, Loop, Done);
+  Bld.setInsertBlock(Done);
+  Bld.retValue(Bld.funop(Opcode::CvtFI, SumF));
+
+  // Decode-time rewrite happened: both trailing compares became the
+  // fused flag-branch forms.
+  DecodedModule DM = decodeModule(M);
+  size_t FpFused = 0;
+  for (const DecodedFunction &DF : DM.Functions)
+    for (const DecodedBlock &DB : DF.Blocks)
+      if (DB.NumInsts > 0) {
+        const DOp Op = DB.Insts[DB.NumInsts - 1].Op;
+        if (Op == DOp::FCmpEqBr || Op == DOp::FCmpLtBr ||
+            Op == DOp::FCmpLeBr)
+          ++FpFused;
+      }
+  EXPECT_EQ(FpFused, 2u);
+
+  // Differential over the four configurations, unlimited and with
+  // budgets chosen to land on the compare, the gate, and the branch.
+  for (uint64_t Budget : {0ull, 5ull, 6ull, 7ull, 8ull, 9ull, 10ull}) {
+    SCOPED_TRACE("budget " + std::to_string(Budget));
+    RunLimits Limits;
+    if (Budget)
+      Limits.MaxInstructions = Budget;
+    RunResult Ref;
+    for (DispatchMode Mode : {DispatchMode::Switch, DispatchMode::Threaded}) {
+      for (bool Fuse : {false, true}) {
+        DispatchGuard G(Mode);
+        DecodeOptions Opts;
+        Opts.EnableFusion = Fuse;
+        Interpreter Interp(M, Limits, Opts);
+        RunResult R = Interp.run(Dataset());
+        if (Mode == DispatchMode::Switch && !Fuse) {
+          Ref = R;
+          continue;
+        }
+        EXPECT_EQ(R.Status, Ref.Status);
+        EXPECT_EQ(R.ExitValue, Ref.ExitValue);
+        EXPECT_EQ(R.InstrCount, Ref.InstrCount);
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Fusion accounting
+//===----------------------------------------------------------------------===//
+
+/// The "interp.fused_pairs" counter bills decode-time fusion: a fused
+/// decode of a real workload must rewrite at least one pair, an unfused
+/// decode must rewrite none.
+TEST(Dispatch, FusedPairsMetricCountsRewrites) {
+  metrics::setEnabled(true);
+  metrics::Counter &Fused = metrics::counter("interp.fused_pairs");
+  const Workload &W = *findWorkload("treesort");
+  auto M = minic::compileOrDie(W.Source);
+
+  const uint64_t Before = Fused.value();
+  {
+    DecodeOptions Opts;
+    Opts.EnableFusion = false;
+    Interpreter Unfused(*M, RunLimits(), Opts);
+    EXPECT_EQ(Fused.value(), Before) << "unfused decode billed pairs";
+  }
+  {
+    Interpreter Default(*M); // fusion defaults on
+    EXPECT_GT(Fused.value(), Before) << "fused decode billed no pairs";
+  }
+  metrics::setEnabled(false);
+}
+
+} // namespace

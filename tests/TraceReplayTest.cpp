@@ -22,12 +22,15 @@
 #include "frontend/Compiler.h"
 #include "ipbc/Attribution.h"
 #include "ipbc/TraceReplay.h"
+#include "support/Metrics.h"
 #include "vm/FaultInjector.h"
 #include "vm/Interpreter.h"
+#include "vm/TraceStore.h"
 #include "workloads/Driver.h"
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <memory>
 #include <tuple>
 #include <vector>
@@ -531,6 +534,252 @@ TEST(Attribution, HotspotsMatchBruteForceRecount) {
   }
   EXPECT_EQ(R.Hotspots.front().FlatIndex, BestIdx);
   EXPECT_EQ(R.Hotspots.front().Mispredicts, BestMiss);
+}
+
+//===----------------------------------------------------------------------===//
+// Widened replay kernel: wide vs legacy differential, ceiling
+//===----------------------------------------------------------------------===//
+
+/// Forces a replay kernel for one scope, restoring the Wide default on
+/// exit so test order never matters.
+struct KernelGuard {
+  explicit KernelGuard(ReplayKernel K) { setReplayKernel(K); }
+  ~KernelGuard() { setReplayKernel(ReplayKernel::Wide); }
+};
+
+/// For every suite workload: one capture, then the full 13-predictor
+/// panel replayed under the wide kernel and under the legacy Narrow32
+/// kernel — histograms must be bit-identical. This is the differential
+/// that licenses keeping only the wide kernel on the default path.
+TEST(TraceReplay, WideVsNarrowAcrossSuite) {
+  for (const Workload &W : workloadSuite()) {
+    SCOPED_TRACE(W.Name);
+    RunOptions RO;
+    RO.CaptureTrace = true;
+    auto Run = runWorkloadOrExit(W, 0, {}, RO);
+    PredictorPanel Panel(*Run->Ctx, *Run->Profile);
+    std::vector<SequenceHistogram> Wide, Narrow;
+    {
+      KernelGuard G(ReplayKernel::Wide);
+      Wide = take(replayTraceAll(*Run->Trace, Panel.All, 1));
+    }
+    {
+      KernelGuard G(ReplayKernel::Narrow32);
+      Narrow = take(replayTraceAll(*Run->Trace, Panel.All, 1));
+    }
+    ASSERT_EQ(Wide.size(), Narrow.size());
+    for (size_t P = 0; P < Wide.size(); ++P)
+      expectHistogramsEqual(Wide[P], Narrow[P],
+                            W.Name + " / " + Panel.All[P]->name());
+  }
+}
+
+/// Synthetic panels spanning every row width the kernel selects (1, 2,
+/// and 4 words) and both sides of each width boundary: lane J is the
+/// perfect direction array with a J-dependent stride of branches
+/// flipped, so lanes are pairwise distinct and every lane index is
+/// load-bearing. Each panel must replay bit-identically under the wide
+/// and legacy kernels, and spot-checked lanes must match the
+/// single-predictor replayTrace ground truth.
+TEST(TraceReplay, WideKernelWidthSweep) {
+  RunOptions RO;
+  RO.CaptureTrace = true;
+  auto Run = runWorkloadOrExit(*findWorkload("treesort"), 0, {}, RO);
+  std::vector<uint8_t> Perfect =
+      take(perfectDirectionsFromTrace(*Run->Trace));
+
+  auto makePanel = [&](size_t P) {
+    std::vector<std::vector<uint8_t>> Dirs(P, Perfect);
+    for (size_t J = 0; J < P; ++J)
+      for (size_t B = J; B < Dirs[J].size(); B += 2 + J % 9)
+        if (Dirs[J][B] != 0xFF)
+          Dirs[J][B] ^= 1;
+    return Dirs;
+  };
+
+  // 33 crosses the old u32-row ceiling; 64/65 and 128/129 straddle the
+  // 1->2 and 2->4 word boundaries; 256 is the new ceiling itself.
+  for (size_t P : {33u, 64u, 65u, 128u, 129u, 256u}) {
+    SCOPED_TRACE("panel " + std::to_string(P));
+    std::vector<std::vector<uint8_t>> Dirs = makePanel(P);
+    std::vector<const std::vector<uint8_t> *> Ptrs;
+    for (const auto &D : Dirs)
+      Ptrs.push_back(&D);
+    std::vector<SequenceHistogram> Wide, Narrow;
+    {
+      KernelGuard G(ReplayKernel::Wide);
+      Wide = take(replayTraceFused(*Run->Trace, Ptrs));
+    }
+    {
+      KernelGuard G(ReplayKernel::Narrow32);
+      Narrow = take(replayTraceFused(*Run->Trace, Ptrs));
+    }
+    ASSERT_EQ(Wide.size(), P);
+    ASSERT_EQ(Narrow.size(), P);
+    for (size_t J = 0; J < P; ++J)
+      expectHistogramsEqual(Wide[J], Narrow[J],
+                            "lane " + std::to_string(J));
+    // First, last, and one mid-word lane against the unfused kernel.
+    for (size_t J : {size_t(0), P / 2, P - 1}) {
+      SequenceHistogram Single = take(replayTrace(*Run->Trace, Dirs[J]));
+      expectHistogramsEqual(Wide[J], Single,
+                            "lane " + std::to_string(J) + " vs single");
+    }
+  }
+}
+
+/// Fan-out above the old 32-predictor ceiling must stay Jobs-invariant:
+/// a 64-lane panel split across 1, 2, 4, and 7 workers (7 slices a
+/// 64-lane panel into unequal groups) yields identical histograms.
+TEST(TraceReplay, WidePanelJobsSweepBitIdentical) {
+  RunOptions RO;
+  RO.CaptureTrace = true;
+  auto Run = runWorkloadOrExit(*findWorkload("treesort"), 0, {}, RO);
+  std::vector<uint8_t> Perfect =
+      take(perfectDirectionsFromTrace(*Run->Trace));
+  std::vector<std::vector<uint8_t>> Dirs(64, Perfect);
+  for (size_t J = 0; J < Dirs.size(); ++J)
+    for (size_t B = J; B < Dirs[J].size(); B += 3 + J % 7)
+      if (Dirs[J][B] != 0xFF)
+        Dirs[J][B] ^= 1;
+
+  std::vector<std::vector<uint8_t>> D1 = Dirs;
+  std::vector<SequenceHistogram> J1 =
+      take(replayTraceAll(*Run->Trace, std::move(D1), 1));
+  for (unsigned Jobs : {2u, 4u, 7u}) {
+    std::vector<std::vector<uint8_t>> DN = Dirs;
+    std::vector<SequenceHistogram> JN =
+        take(replayTraceAll(*Run->Trace, std::move(DN), Jobs));
+    ASSERT_EQ(J1.size(), JN.size());
+    for (size_t P = 0; P < J1.size(); ++P)
+      expectHistogramsEqual(J1[P], JN[P],
+                            "lane " + std::to_string(P) + " @ Jobs=" +
+                                std::to_string(Jobs));
+  }
+}
+
+/// Store-backed replay must honor the kernel knob the same way: the
+/// streamed words are the resident words, so wide and narrow disk
+/// replays of a >32-lane panel are bit-identical to each other and to
+/// the resident wide replay.
+TEST(TraceReplay, StoreReplayWideVsNarrow) {
+  RunOptions RO;
+  RO.CaptureTrace = true;
+  auto Run = runWorkloadOrExit(*findWorkload("treesort"), 0, {}, RO);
+  std::vector<uint8_t> Perfect =
+      take(perfectDirectionsFromTrace(*Run->Trace));
+  std::vector<std::vector<uint8_t>> Dirs(48, Perfect);
+  for (size_t J = 0; J < Dirs.size(); ++J)
+    for (size_t B = J; B < Dirs[J].size(); B += 2 + J % 5)
+      if (Dirs[J][B] != 0xFF)
+        Dirs[J][B] ^= 1;
+
+  const std::string Path = ::testing::TempDir() + "bpfree_wide_replay";
+  ASSERT_FALSE(writeTraceFile(*Run->Trace, Path).has_value());
+  TraceStoreReader Reader;
+  ASSERT_FALSE(Reader.open(Path).has_value());
+
+  std::vector<std::vector<uint8_t>> DR = Dirs;
+  std::vector<SequenceHistogram> Resident =
+      take(replayTraceAll(*Run->Trace, std::move(DR), 1));
+  for (ReplayKernel K : {ReplayKernel::Wide, ReplayKernel::Narrow32}) {
+    KernelGuard G(K);
+    std::vector<std::vector<uint8_t>> DS = Dirs;
+    std::vector<SequenceHistogram> Disk =
+        take(replayStoreAll(Reader, std::move(DS), 1));
+    ASSERT_EQ(Disk.size(), Resident.size());
+    for (size_t P = 0; P < Disk.size(); ++P)
+      expectHistogramsEqual(
+          Resident[P], Disk[P],
+          std::string(K == ReplayKernel::Wide ? "wide" : "narrow") +
+              " disk lane " + std::to_string(P));
+  }
+  std::remove(Path.c_str());
+}
+
+/// The predictor ceiling is a structured contract, not an assert: a
+/// panel one past MaxReplayPredictors is rejected with InvalidArgument
+/// (counted under "replay.rejected") by every fused entry point, for
+/// every Jobs value — acceptance is decided on the TOTAL panel size
+/// before the group split — while a panel of exactly the ceiling
+/// replays correctly. 256 >= the issue's 128-predictor floor.
+TEST(TraceReplay, PanelCeilingRejectedStructurally) {
+  static_assert(MaxReplayPredictors >= 128,
+                "widened kernel must lift the panel ceiling to >=128");
+  auto M = anyModule();
+  BranchTrace T(*M);
+  uint64_t IC = 0;
+  for (uint32_t I = 0; I < 64; ++I) {
+    IC += 3;
+    T.append(I % 7, (I % 3) == 0, IC);
+  }
+  T.finalize(IC);
+
+  metrics::setEnabled(true);
+  metrics::Counter &Rejected = metrics::counter("replay.rejected");
+  const std::vector<uint8_t> Zeros(flatBlockOffsets(*M).back(), 0);
+
+  // One past the ceiling: every entry point refuses, and the diagnostic
+  // names the limit so callers know how to split.
+  const size_t Over = MaxReplayPredictors + 1;
+  {
+    std::vector<const std::vector<uint8_t> *> Ptrs(Over, &Zeros);
+    const uint64_t Before = Rejected.value();
+    Expected<std::vector<SequenceHistogram>> R = replayTraceFused(T, Ptrs);
+    ASSERT_FALSE(R.hasValue());
+    EXPECT_EQ(R.error().Kind, ErrorKind::InvalidArgument);
+    EXPECT_NE(R.error().Message.find("256"), std::string::npos);
+    EXPECT_GT(Rejected.value(), Before);
+  }
+  for (unsigned Jobs : {1u, 4u}) {
+    std::vector<std::vector<uint8_t>> Dirs(Over, Zeros);
+    Expected<std::vector<SequenceHistogram>> R =
+        replayTraceAll(T, std::move(Dirs), Jobs);
+    ASSERT_FALSE(R.hasValue());
+    EXPECT_EQ(R.error().Kind, ErrorKind::InvalidArgument) << Jobs;
+  }
+  {
+    AlwaysTakenPredictor Taken;
+    std::vector<const StaticPredictor *> Preds(Over, &Taken);
+    Expected<std::vector<SequenceHistogram>> R = replayTraceAll(T, Preds);
+    ASSERT_FALSE(R.hasValue());
+    EXPECT_EQ(R.error().Kind, ErrorKind::InvalidArgument);
+  }
+  metrics::setEnabled(false);
+
+  // Exactly the ceiling: accepted, and every lane's histogram matches
+  // the single-predictor ground truth for its direction array.
+  std::vector<std::vector<uint8_t>> Max(MaxReplayPredictors, Zeros);
+  for (size_t J = 0; J < Max.size(); ++J)
+    Max[J][J % Max[J].size()] ^= 1;
+  std::vector<const std::vector<uint8_t> *> Ptrs;
+  for (const auto &D : Max)
+    Ptrs.push_back(&D);
+  std::vector<SequenceHistogram> Hists = take(replayTraceFused(T, Ptrs));
+  ASSERT_EQ(Hists.size(), MaxReplayPredictors);
+  for (size_t J : {size_t(0), size_t(128), MaxReplayPredictors - 1}) {
+    SequenceHistogram Single = take(replayTrace(T, Max[J]));
+    expectHistogramsEqual(Hists[J], Single,
+                          "ceiling lane " + std::to_string(J));
+  }
+}
+
+/// The oversized-store rejection mirrors the resident one.
+TEST(TraceReplay, StorePanelCeilingRejected) {
+  RunOptions RO;
+  RO.CaptureTrace = true;
+  auto Run = runWorkloadOrExit(*findWorkload("treesort"), 0, {}, RO);
+  const std::string Path = ::testing::TempDir() + "bpfree_ceiling_store";
+  ASSERT_FALSE(writeTraceFile(*Run->Trace, Path).has_value());
+  TraceStoreReader Reader;
+  ASSERT_FALSE(Reader.open(Path).has_value());
+  std::vector<uint8_t> Zeros(flatBlockOffsets(*Run->M).back(), 0);
+  std::vector<std::vector<uint8_t>> Dirs(MaxReplayPredictors + 1, Zeros);
+  Expected<std::vector<SequenceHistogram>> R =
+      replayStoreAll(Reader, std::move(Dirs), 2);
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_EQ(R.error().Kind, ErrorKind::InvalidArgument);
+  std::remove(Path.c_str());
 }
 
 /// Fault-injected runs use the instruction-observer interpreter loop and
