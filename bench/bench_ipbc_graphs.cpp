@@ -20,7 +20,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchCommon.h"
+#include "ipbc/DynamicReplay.h"
 #include "ipbc/TraceReplay.h"
+#include "predict/DynamicPredictors.h"
 #include "support/Error.h"
 
 using namespace bpfree;
@@ -71,6 +73,19 @@ void analyzeWorkload(SuiteCache &Cache, ExplainSession &Explain,
   for (size_t P = 0; P < Hists.size(); ++P) {
     const SequenceHistogram &H = Hists[P];
     Summary.addRow({Names[P], pct(H.missRate()),
+                    TablePrinter::formatDouble(H.ipbcAverage(), 0),
+                    TablePrinter::formatDouble(H.dividingLength(), 0)});
+  }
+  // The dynamic zoo rides the same captured trace through the per-site
+  // event-stream replay — hardware-style predictors (bimodal, two-level,
+  // gshare, tournament) side by side with the paper's static ones, under
+  // identical Breaks accounting.
+  const std::vector<DynPredictorConfig> DynPanel = standardDynamicPanel();
+  std::vector<SequenceHistogram> DynHists = takeOrExit(
+      replayTraceDynamic(*Run->Trace, DynPanel), "dynamic replay");
+  for (size_t P = 0; P < DynHists.size(); ++P) {
+    const SequenceHistogram &H = DynHists[P];
+    Summary.addRow({DynPanel[P].name(), pct(H.missRate()),
                     TablePrinter::formatDouble(H.ipbcAverage(), 0),
                     TablePrinter::formatDouble(H.dividingLength(), 0)});
   }

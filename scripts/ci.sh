@@ -2,8 +2,8 @@
 # Tier-1 CI for bpfree: build + full test suite, first plain (plus the
 # quick perf-phase report), then under AddressSanitizer + UBSan
 # (BPFREE_SANITIZE=ON) followed by the durable-trace chaos drills, then
-# the parallel-suite determinism tests under ThreadSanitizer
-# (BPFREE_SANITIZE=thread). Any failure is fatal.
+# the parallel-suite and dynamic-replay determinism tests under
+# ThreadSanitizer (BPFREE_SANITIZE=thread). Any failure is fatal.
 #
 # A fallback leg (run_fallback) rebuilds with the portable dispatch loop
 # (-DBPFREE_THREADED_DISPATCH=OFF) and the scalar replay row tests
@@ -83,6 +83,20 @@ run_plain() {
   echo "== bpfree_explain --validate: schema gate"
   "${REPO_ROOT}/build/tools/bpfree_explain" \
     --validate "${REPO_ROOT}/build/EXPLAIN_CI.json"
+
+  # Dynamic-predictor smoke drill: capture a trace, replay it through the
+  # standard dynamic panel in parallel (docs/dynamic.md). The replay
+  # itself asserts nothing here — the differential and determinism
+  # guarantees live in dynamic_predictor_test — but the drill keeps the
+  # whole CLI path (capture -> store -> sharded panel replay) exercised
+  # end to end on every CI run.
+  echo "== bpfree_trace replay --dynamic panel: smoke drill"
+  rm -f "${REPO_ROOT}/build/DYNSMOKE.trace"
+  "${REPO_ROOT}/build/tools/bpfree_trace" capture --workload treesort \
+    -o "${REPO_ROOT}/build/DYNSMOKE.trace"
+  "${REPO_ROOT}/build/tools/bpfree_trace" replay \
+    "${REPO_ROOT}/build/DYNSMOKE.trace" --dynamic panel --jobs 4
+  rm -f "${REPO_ROOT}/build/DYNSMOKE.trace"
 }
 
 # Durable-trace chaos drills, run against the AddressSanitizer build so
@@ -183,15 +197,21 @@ run_fallback() {
 
 # TSan wants the threaded code paths, not the whole (serial-dominated)
 # test suite: build everything, run the parallel-suite determinism tests
-# that exercise runSuite's fan-out from multiple worker threads.
+# that exercise runSuite's fan-out from multiple worker threads, plus the
+# dynamic-replay suite — its sharded event-stream passes drive a shared
+# DynamicPredictor from several workers at once for the per-site shapes,
+# exactly the aliasing TSan exists to check.
 run_tsan() {
   local build_dir="${REPO_ROOT}/build-tsan"
   echo "== configure: ${build_dir} (-DBPFREE_SANITIZE=thread)"
   cmake -B "${build_dir}" -S "${REPO_ROOT}" -DBPFREE_SANITIZE=thread
   echo "== build: ${build_dir}"
-  cmake --build "${build_dir}" -j "${JOBS}" --target parallel_suite_test
+  cmake --build "${build_dir}" -j "${JOBS}" \
+    --target parallel_suite_test dynamic_predictor_test
   echo "== parallel_suite_test (TSan): ${build_dir}"
   "${build_dir}/tests/parallel_suite_test"
+  echo "== dynamic_predictor_test (TSan): ${build_dir}"
+  "${build_dir}/tests/dynamic_predictor_test"
 }
 
 case "${MODE}" in

@@ -79,6 +79,7 @@ Expected<ExplainReport> bpfree::explainTrace(const PredictionContext &Ctx,
       H.Block = PR->BB->getName();
       H.SrcLine = PR->SrcLine;
       H.Bucket = attrBucketName(PR->Bucket);
+      H.Priority = PR->Priority;
       H.Predicted = PR->Chosen;
       H.Taken = C.Taken;
       H.Fallthru = C.Fallthru;
@@ -208,11 +209,12 @@ bool bpfree::writeExplainJson(const ExplainReport &R,
         Out,
         "    {\"flat_index\": %u, \"function\": \"%s\", "
         "\"block\": \"%s\", \"line\": %d, \"bucket\": \"%s\", "
+        "\"priority\": %d, "
         "\"predicted\": \"%s\", \"taken\": %llu, \"fallthru\": %llu, "
         "\"mispredicts\": %llu}%s\n",
         H.FlatIndex, json::escape(H.Function).c_str(),
         json::escape(H.Block).c_str(), H.SrcLine,
-        json::escape(H.Bucket).c_str(),
+        json::escape(H.Bucket).c_str(), H.Priority,
         H.Predicted == DirTaken ? "taken" : "fallthru",
         static_cast<unsigned long long>(H.Taken),
         static_cast<unsigned long long>(H.Fallthru),
@@ -319,10 +321,37 @@ Expected<ExplainReport> bpfree::readExplainJson(const std::string &Path) {
     H.Block = V.str("block");
     H.SrcLine = static_cast<int>(V.num("line"));
     H.Bucket = V.str("bucket");
+    H.Priority = static_cast<int>(V.num("priority", -1.0));
     H.Predicted = V.str("predicted") == "fallthru" ? DirFallthru : DirTaken;
     if (H.Mispredicts > H.Taken + H.Fallthru)
       return invalid("hotspot " + std::to_string(H.FlatIndex) +
                      " has more mispredicts than executions");
+    // The (Bucket, Priority) pair must be a state the predictors can
+    // actually produce: a known bucket name; a priority that is either
+    // -1 (loop predictor, default policy, single-heuristic predictors)
+    // or a cascade position; and never a cascade position on the
+    // non-cascade buckets.
+    unsigned BucketIdx = NumAttrBuckets;
+    for (unsigned B = 0; B < NumAttrBuckets; ++B)
+      if (H.Bucket == attrBucketName(B)) {
+        BucketIdx = B;
+        break;
+      }
+    if (BucketIdx == NumAttrBuckets)
+      return invalid("hotspot " + std::to_string(H.FlatIndex) +
+                     " names unknown bucket '" + H.Bucket + "'");
+    if (H.Priority < -1 ||
+        H.Priority >= static_cast<int>(NumHeuristics))
+      return invalid("hotspot " + std::to_string(H.FlatIndex) +
+                     " has priority " + std::to_string(H.Priority) +
+                     " outside [-1, " + std::to_string(NumHeuristics) +
+                     ")");
+    if (BucketIdx >= NumHeuristics && H.Priority != -1)
+      return invalid("hotspot " + std::to_string(H.FlatIndex) +
+                     " pairs non-heuristic bucket '" + H.Bucket +
+                     "' with cascade priority " +
+                     std::to_string(H.Priority) +
+                     "; loop/default decisions must carry priority -1");
     R.Hotspots.push_back(std::move(H));
   }
   return R;

@@ -69,6 +69,10 @@ struct HotspotEntry {
   std::string Block;
   int SrcLine = 0;      ///< 0 when the IR carries no source lines
   std::string Bucket;   ///< deciding bucket's name
+  /// Cascade position of the deciding heuristic; -1 when the decision
+  /// did not come from the ordered cascade (loop predictor, default
+  /// policy, single-heuristic predictors) — see BranchProvenance.
+  int Priority = -1;
   Direction Predicted = DirTaken;
   uint64_t Taken = 0;
   uint64_t Fallthru = 0;

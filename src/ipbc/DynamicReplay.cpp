@@ -1,0 +1,589 @@
+//===- ipbc/DynamicReplay.cpp - Dynamic-predictor trace replay ------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Pipeline (see the header for the why):
+//
+//   1. Build pass (sequential, one decode of the packed stream): per-site
+//      outcome bitstreams in first-occurrence order, plus one snapshot
+//      per trace shard — the chunk index where the shard starts, how many
+//      words of that chunk belong to the previous shard's straddling
+//      escape record, the instruction count, and every site's occurrence
+//      count at that point. A shard owns the events whose HEAD word lies
+//      in its chunk range.
+//
+//   2. Site pass (parallel over site groups): per-site-decomposable panel
+//      members simulate each site's stream independently, emitting
+//      per-site misprediction bitstreams. Distinct sites touch disjoint
+//      predictor state, so one shared predictor object per member is
+//      driven from many threads without synchronization.
+//
+//   3. Shard pass (parallel over shards): re-decode each shard's events
+//      in trace order, look each event's misprediction bit up by (site,
+//      occurrence), and accumulate per-shard histogram partials — bucket
+//      arrays for sequences both of whose endpoints lie inside the
+//      shard, plus the first/last break instruction counts for the
+//      sequences that cross shard boundaries.
+//
+//   4. Merge (serial, in shard order): stitch partials into the exact
+//      histogram the sequential loop produces — the cross-shard sequence
+//      ending at a shard's first break is bucketed against the previous
+//      shard's last break, interior buckets add element-wise, and the
+//      trailing unbroken sequence closes against totalInstrs without
+//      counting a break, exactly like replayTrace.
+//
+//   Global-state members skip 2-4 and run one sequential pass each
+//   (parallel across members).
+//
+// Every count is a u64 add, the shard layout depends only on the trace,
+// and phases are barriers — so histograms are bit-identical across Jobs
+// values and for resident vs. disk-backed sources.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ipbc/DynamicReplay.h"
+
+#include "ipbc/TraceReplay.h"
+#include "support/Metrics.h"
+#include "support/ThreadPool.h"
+#include "support/TimeTrace.h"
+#include "vm/TraceStore.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace bpfree;
+
+namespace {
+
+/// Counts a rejected replay request before returning the Diag (same
+/// contract as the static entry points: run manifests surface refusals
+/// under "replay.rejected").
+Diag rejectedDyn(Diag D) {
+  static metrics::Counter &Rejected = metrics::counter("replay.rejected");
+  Rejected.add();
+  return D;
+}
+
+Diag dynPanelSizeDiag(size_t Got) {
+  return rejectedDyn(
+      Diag(ErrorKind::InvalidArgument,
+           "dynamic replay panel has " + std::to_string(Got) +
+               " predictors but replay supports at most " +
+               std::to_string(MaxReplayPredictors) +
+               "; split the panel across multiple replay calls"));
+}
+
+/// One branch site's outcome stream, bit-packed in occurrence order
+/// (bit k = the site's k-th execution was taken).
+struct SiteStream {
+  std::vector<uint64_t> Bits;
+  uint64_t Count = 0;
+};
+
+/// Where one trace shard starts. A shard owns the events whose packed
+/// HEAD word lies in chunks [ChunkBegin, next shard's ChunkBegin); the
+/// first SkipWords words of chunk ChunkBegin are the tail of an escape
+/// record headed in the previous shard and belong to it.
+struct ShardStart {
+  size_t ChunkBegin = 0;
+  uint32_t SkipWords = 0;
+  uint64_t StartInstr = 0;        ///< IC after the previous shard's events
+  std::vector<uint64_t> SiteOcc;  ///< per-site occurrence count at entry
+};
+
+/// The once-decoded per-site event-stream index of one trace.
+struct DynIndex {
+  uint32_t NumSites = 0;
+  uint64_t NumEvents = 0;
+  uint64_t TotalInstrs = 0;
+  size_t NumChunks = 0;
+  std::vector<SiteStream> Sites;
+  std::vector<ShardStart> Shards;
+};
+
+/// Deterministic shard layout: boundaries depend only on the chunk
+/// count, never on Jobs or the source kind.
+std::vector<size_t> shardChunkStarts(size_t NumChunks) {
+  const size_t S =
+      NumChunks == 0 ? 0 : std::min(MaxDynamicReplayShards, NumChunks);
+  std::vector<size_t> Starts(S);
+  for (size_t I = 0; I < S; ++I)
+    Starts[I] = I * NumChunks / S;
+  return Starts;
+}
+
+/// The build pass's inline stream decoder. TraceDecoder carries escape
+/// records across feeds internally, but the build pass must OBSERVE the
+/// carry — a shard snapshot at a chunk boundary needs to know how many
+/// words of the new chunk complete the previous chunk's record — so it
+/// mirrors TraceDecoder::feed with the pending state held here.
+class IndexBuilder {
+public:
+  IndexBuilder(DynIndex &Ix, const std::vector<size_t> &ShardStarts)
+      : Ix(Ix), Starts(ShardStarts) {}
+
+  void feedChunk(const uint32_t *W, uint64_t N) {
+    uint64_t I = 0;
+    if (PendingWords != 0) {
+      while (PendingWords < TraceDecoder::EscapeWords && I < N)
+        Pending[PendingWords++] = W[I++];
+      if (PendingWords < TraceDecoder::EscapeWords) {
+        ++Chunk;
+        return; // torn mid-record; validation rejects such traces
+      }
+      event(Pending[1], (Pending[0] & 1) != 0,
+            (static_cast<uint64_t>(Pending[3]) << 32) | Pending[2]);
+      PendingWords = 0;
+    }
+    // Snapshot AFTER completing a carried record: its head word is in
+    // the previous chunk, so the event belongs to the previous shard and
+    // the new shard starts I words in.
+    if (NextShard < Starts.size() && Starts[NextShard] == Chunk)
+      snapshot(I);
+    while (I < N) {
+      const uint32_t Head = W[I];
+      const bool Taken = (Head & 1) != 0;
+      const uint32_t DeltaField = Head >> (TraceDecoder::IdxBits + 1);
+      if (DeltaField != TraceDecoder::EscapeDelta) [[likely]] {
+        event((Head >> 1) & TraceDecoder::MaxCompactIdx, Taken,
+              static_cast<uint64_t>(DeltaField));
+        ++I;
+        continue;
+      }
+      if (I + TraceDecoder::EscapeWords <= N) {
+        event(W[I + 1], Taken,
+              (static_cast<uint64_t>(W[I + 3]) << 32) | W[I + 2]);
+        I += TraceDecoder::EscapeWords;
+        continue;
+      }
+      while (I < N)
+        Pending[PendingWords++] = W[I++];
+    }
+    ++Chunk;
+  }
+
+  /// Fixes NumSites/NumEvents and pads every snapshot's occurrence
+  /// vector to the final site count (sites first seen after a snapshot
+  /// had occurrence 0 there).
+  void finish() {
+    Ix.NumSites = static_cast<uint32_t>(Ix.Sites.size());
+    Ix.NumEvents = Events;
+    for (ShardStart &Sh : Ix.Shards)
+      Sh.SiteOcc.resize(Ix.NumSites, 0);
+  }
+
+private:
+  void event(uint32_t Idx, bool Taken, uint64_t Delta) {
+    IC += Delta;
+    ++Events;
+    if (Idx >= Ix.Sites.size())
+      Ix.Sites.resize(Idx + 1);
+    SiteStream &S = Ix.Sites[Idx];
+    if ((S.Count & 63) == 0)
+      S.Bits.push_back(0);
+    S.Bits.back() |= static_cast<uint64_t>(Taken) << (S.Count & 63);
+    ++S.Count;
+  }
+
+  void snapshot(uint64_t SkipWords) {
+    ShardStart Sh;
+    Sh.ChunkBegin = Chunk;
+    Sh.SkipWords = static_cast<uint32_t>(SkipWords);
+    Sh.StartInstr = IC;
+    Sh.SiteOcc.resize(Ix.Sites.size());
+    for (size_t S = 0; S < Ix.Sites.size(); ++S)
+      Sh.SiteOcc[S] = Ix.Sites[S].Count;
+    Ix.Shards.push_back(std::move(Sh));
+    ++NextShard;
+  }
+
+  DynIndex &Ix;
+  const std::vector<size_t> &Starts;
+  uint32_t Pending[TraceDecoder::EscapeWords];
+  uint32_t PendingWords = 0;
+  size_t Chunk = 0;
+  size_t NextShard = 0;
+  uint64_t IC = 0;
+  uint64_t Events = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Event sources
+//===----------------------------------------------------------------------===//
+//
+// What the pipeline needs from a trace source, resident or on disk:
+// metadata, a serial chunk walk (build pass), a shard-scoped word walk
+// (shard pass; called concurrently, so the store flavor opens its own
+// stream cursor per call), and a full decoded-event walk (global
+// members; also concurrent).
+
+struct ResidentDynSource {
+  const BranchTrace &T;
+
+  uint64_t totalInstrs() const { return T.totalInstrs(); }
+  size_t numChunks() const {
+    assert(T.spilledChunks() == 0 &&
+           "resident decode of a spilled trace; replay from its store");
+    return static_cast<size_t>((T.storedWordCount() + BranchTrace::ChunkWords -
+                                1) /
+                               BranchTrace::ChunkWords);
+  }
+  uint64_t chunkLen(size_t C) const {
+    return std::min<uint64_t>(BranchTrace::ChunkWords,
+                              T.storedWordCount() -
+                                  static_cast<uint64_t>(C) *
+                                      BranchTrace::ChunkWords);
+  }
+
+  template <class Fn> std::optional<Diag> forEachChunkSerial(Fn &&F) const {
+    const size_t N = numChunks();
+    for (size_t C = 0; C < N; ++C)
+      F(T.chunkWords(C), chunkLen(C));
+    return std::nullopt;
+  }
+
+  /// Feeds the words of shard [Begin, End) — skipping \p Skip carried
+  /// words of chunk Begin, appending \p Tail carried words of chunk End.
+  template <class Fn>
+  std::optional<Diag> walkShardWords(size_t Begin, size_t End, uint32_t Skip,
+                                     uint32_t Tail, Fn &&OnWords) const {
+    for (size_t C = Begin; C < End; ++C) {
+      const uint32_t *W = T.chunkWords(C);
+      const uint64_t N = chunkLen(C);
+      if (C == Begin)
+        OnWords(W + Skip, N - Skip);
+      else
+        OnWords(W, N);
+    }
+    if (Tail != 0)
+      OnWords(T.chunkWords(End), Tail);
+    return std::nullopt;
+  }
+
+  template <class Fn> std::optional<Diag> forEachEvent(Fn &&F) const {
+    T.forEach(F);
+    return std::nullopt;
+  }
+};
+
+struct StoreDynSource {
+  const TraceStoreReader &R;
+
+  uint64_t totalInstrs() const { return R.totalInstrs(); }
+  size_t numChunks() const { return static_cast<size_t>(R.numChunks()); }
+
+  template <class Fn> std::optional<Diag> forEachChunkSerial(Fn &&F) const {
+    TraceStream S;
+    if (std::optional<Diag> D = R.openStream(S))
+      return D;
+    const uint32_t *W = nullptr;
+    for (;;) {
+      Expected<uint64_t> N = S.next(W);
+      if (!N)
+        return N.takeError();
+      if (*N == 0)
+        return std::nullopt;
+      F(W, *N);
+    }
+  }
+
+  template <class Fn>
+  std::optional<Diag> walkShardWords(size_t Begin, size_t End, uint32_t Skip,
+                                     uint32_t Tail, Fn &&OnWords) const {
+    TraceStream S;
+    if (std::optional<Diag> D = R.openStream(S))
+      return D;
+    const uint32_t *W = nullptr;
+    for (size_t C = 0;; ++C) {
+      Expected<uint64_t> N = S.next(W);
+      if (!N)
+        return N.takeError();
+      if (*N == 0)
+        return std::nullopt;
+      if (C < Begin)
+        continue;
+      if (C < End) {
+        if (C == Begin)
+          OnWords(W + Skip, *N - Skip);
+        else
+          OnWords(W, *N);
+        continue;
+      }
+      if (Tail != 0)
+        OnWords(W, Tail);
+      return std::nullopt;
+    }
+  }
+
+  template <class Fn> std::optional<Diag> forEachEvent(Fn &&F) const {
+    TraceDecoder D;
+    return forEachChunkSerial(
+        [&](const uint32_t *W, uint64_t N) { D.feed(W, N, F); });
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Shard partials and the serial merge
+//===----------------------------------------------------------------------===//
+
+/// Histogram contribution of one shard for one panel member. Sequences
+/// wholly inside the shard land in the bucket arrays; the boundary
+/// sequences are carried as the first/last break positions and resolved
+/// by the serial merge.
+struct ShardPartial {
+  bool HasBreak = false;
+  uint64_t FirstBreak = 0;
+  uint64_t LastBreak = 0;
+  uint64_t Breaks = 0;
+  std::vector<uint64_t> NumSeq;
+  std::vector<uint64_t> SumLen;
+
+  void init() {
+    NumSeq.assign(SequenceHistogram::NumBuckets, 0);
+    SumLen.assign(SequenceHistogram::NumBuckets, 0);
+  }
+
+  void onBreak(uint64_t IC) {
+    if (HasBreak) {
+      const uint64_t Len = IC - LastBreak;
+      const size_t B = SequenceHistogram::bucketFor(Len);
+      ++NumSeq[B];
+      SumLen[B] += Len;
+    } else {
+      HasBreak = true;
+      FirstBreak = IC;
+    }
+    LastBreak = IC;
+    ++Breaks;
+  }
+};
+
+/// Stitches per-shard partials (in shard order) into the histogram the
+/// sequential replay loop produces for the same misprediction stream.
+SequenceHistogram mergePartials(const std::vector<const ShardPartial *> &Parts,
+                                uint64_t NumEvents, uint64_t TotalInstrs) {
+  SequenceHistogram H;
+  uint64_t LastBreak = 0;
+  for (const ShardPartial *P : Parts) {
+    if (!P->HasBreak)
+      continue;
+    const uint64_t Len = P->FirstBreak - LastBreak;
+    const size_t B = SequenceHistogram::bucketFor(Len);
+    ++H.NumSequences[B];
+    H.SumLengths[B] += Len;
+    for (size_t I = 0; I < SequenceHistogram::NumBuckets; ++I) {
+      H.NumSequences[I] += P->NumSeq[I];
+      H.SumLengths[I] += P->SumLen[I];
+    }
+    H.Breaks += P->Breaks;
+    LastBreak = P->LastBreak;
+  }
+  if (TotalInstrs > LastBreak) {
+    const uint64_t Len = TotalInstrs - LastBreak;
+    const size_t B = SequenceHistogram::bucketFor(Len);
+    ++H.NumSequences[B];
+    H.SumLengths[B] += Len;
+  }
+  // The recorded sequences partition [0, totalInstrs), same as the
+  // sequential loop's record() accumulation.
+  H.TotalInstrs = TotalInstrs;
+  H.BranchExecs = NumEvents;
+  return H;
+}
+
+//===----------------------------------------------------------------------===//
+// The pipeline
+//===----------------------------------------------------------------------===//
+
+template <class Source>
+Expected<std::vector<SequenceHistogram>>
+replayDynamicImpl(const Source &Src,
+                  const std::vector<DynPredictorConfig> &Panel,
+                  unsigned Jobs) {
+  if (Panel.size() > MaxReplayPredictors)
+    return dynPanelSizeDiag(Panel.size());
+  for (const DynPredictorConfig &C : Panel)
+    if (std::optional<Diag> D = validateDynConfig(C))
+      return rejectedDyn(*D);
+
+  std::vector<SequenceHistogram> Hists(Panel.size());
+  if (Panel.empty())
+    return Hists;
+
+  timetrace::Span ReplaySpan("replay.dynamic",
+                             std::to_string(Panel.size()) + " predictors");
+  const unsigned J = Jobs == 0 ? ThreadPool::defaultConcurrency() : Jobs;
+  const uint64_t TotalInstrs = Src.totalInstrs();
+
+  // ---- 1. Build pass: per-site streams + shard snapshots.
+  DynIndex Ix;
+  Ix.NumChunks = Src.numChunks();
+  Ix.TotalInstrs = TotalInstrs;
+  const std::vector<size_t> Starts = shardChunkStarts(Ix.NumChunks);
+  {
+    IndexBuilder B(Ix, Starts);
+    if (std::optional<Diag> D = Src.forEachChunkSerial(
+            [&](const uint32_t *W, uint64_t N) { B.feedChunk(W, N); }))
+      return rejectedDyn(*D);
+    B.finish();
+  }
+
+  std::vector<size_t> Decomp, Global;
+  for (size_t P = 0; P < Panel.size(); ++P)
+    (Panel[P].perSiteDecomposable() ? Decomp : Global).push_back(P);
+
+  if (Ix.NumEvents == 0) {
+    // No branches executed: every member sees one unbroken sequence.
+    for (SequenceHistogram &H : Hists)
+      if (TotalInstrs > 0)
+        H.record(TotalInstrs);
+    return Hists;
+  }
+
+  // ---- 2. Site pass: decomposable members' per-site miss bitstreams.
+  // Miss[D][Site] has the same word layout as the site's outcome stream.
+  std::vector<std::vector<std::vector<uint64_t>>> Miss(Decomp.size());
+  if (!Decomp.empty()) {
+    std::vector<DynamicPredictor> Preds;
+    Preds.reserve(Decomp.size());
+    for (size_t D : Decomp)
+      Preds.emplace_back(Panel[D], Ix.NumSites);
+    for (size_t DI = 0; DI < Decomp.size(); ++DI) {
+      Miss[DI].resize(Ix.NumSites);
+      for (uint32_t S = 0; S < Ix.NumSites; ++S)
+        Miss[DI][S].assign(Ix.Sites[S].Bits.size(), 0);
+    }
+    const size_t Groups = std::min<size_t>(Ix.NumSites, 64);
+    parallelFor(J, Groups, [&](size_t G) {
+      const uint32_t Lo = static_cast<uint32_t>(G * Ix.NumSites / Groups);
+      const uint32_t Hi =
+          static_cast<uint32_t>((G + 1) * Ix.NumSites / Groups);
+      for (uint32_t Site = Lo; Site < Hi; ++Site) {
+        const SiteStream &S = Ix.Sites[Site];
+        for (size_t DI = 0; DI < Decomp.size(); ++DI) {
+          // Shared predictor object, disjoint per-site state: safe by
+          // perSiteDecomposable()'s contract.
+          DynamicPredictor &P = Preds[DI];
+          std::vector<uint64_t> &Out = Miss[DI][Site];
+          for (uint64_t K = 0; K < S.Count; ++K) {
+            const bool Taken = (S.Bits[K >> 6] >> (K & 63)) & 1;
+            const bool Pred = P.predictAndUpdate(Site, Taken);
+            Out[K >> 6] |= static_cast<uint64_t>(Pred != Taken) << (K & 63);
+          }
+        }
+      }
+    });
+  }
+
+  // ---- 3. Shard pass: sequence the miss bits back into partials.
+  const size_t NumShards = Ix.Shards.size();
+  std::vector<ShardPartial> Partials(Decomp.size() * NumShards);
+  std::vector<std::optional<Diag>> ShardErrs(NumShards);
+  if (!Decomp.empty()) {
+    parallelFor(J, NumShards, [&](size_t ShIdx) {
+      const ShardStart &Sh = Ix.Shards[ShIdx];
+      const bool Last = ShIdx + 1 == NumShards;
+      const size_t End = Last ? Ix.NumChunks : Ix.Shards[ShIdx + 1].ChunkBegin;
+      const uint32_t Tail = Last ? 0 : Ix.Shards[ShIdx + 1].SkipWords;
+      std::vector<ShardPartial *> Parts(Decomp.size());
+      for (size_t DI = 0; DI < Decomp.size(); ++DI) {
+        Parts[DI] = &Partials[DI * NumShards + ShIdx];
+        Parts[DI]->init();
+      }
+      uint64_t IC = Sh.StartInstr;
+      std::vector<uint64_t> Occ = Sh.SiteOcc;
+      TraceDecoder D;
+      const auto OnEvent = [&](uint32_t Idx, bool, uint64_t Delta) {
+        IC += Delta;
+        const uint64_t K = Occ[Idx]++;
+        const size_t WordI = static_cast<size_t>(K >> 6);
+        const uint64_t Bit = 1ull << (K & 63);
+        for (size_t DI = 0; DI < Decomp.size(); ++DI)
+          if (Miss[DI][Idx][WordI] & Bit)
+            Parts[DI]->onBreak(IC);
+      };
+      ShardErrs[ShIdx] = Src.walkShardWords(
+          Sh.ChunkBegin, End, Sh.SkipWords, Tail,
+          [&](const uint32_t *W, uint64_t N) { D.feed(W, N, OnEvent); });
+    });
+    for (std::optional<Diag> &E : ShardErrs)
+      if (E)
+        return rejectedDyn(*std::move(E));
+    // ---- 4. Serial ordered merge.
+    for (size_t DI = 0; DI < Decomp.size(); ++DI) {
+      std::vector<const ShardPartial *> Parts(NumShards);
+      for (size_t ShIdx = 0; ShIdx < NumShards; ++ShIdx)
+        Parts[ShIdx] = &Partials[DI * NumShards + ShIdx];
+      Hists[Decomp[DI]] = mergePartials(Parts, Ix.NumEvents, TotalInstrs);
+    }
+  }
+
+  // ---- Global-state members: one sequential pass each, fanned out
+  // across the pool (each store pass streams through its own cursor).
+  std::vector<std::optional<Diag>> GlobalErrs(Global.size());
+  parallelFor(J, Global.size(), [&](size_t GI) {
+    DynamicPredictor P(Panel[Global[GI]], Ix.NumSites);
+    SequenceHistogram H;
+    uint64_t IC = 0;
+    uint64_t LastBreak = 0;
+    GlobalErrs[GI] = Src.forEachEvent(
+        [&](uint32_t Idx, bool Taken, uint64_t Delta) {
+          IC += Delta;
+          ++H.BranchExecs;
+          if (P.predictAndUpdate(Idx, Taken) != Taken) {
+            H.record(IC - LastBreak);
+            ++H.Breaks;
+            LastBreak = IC;
+          }
+        });
+    if (TotalInstrs > LastBreak)
+      H.record(TotalInstrs - LastBreak);
+    Hists[Global[GI]] = std::move(H);
+  });
+  for (std::optional<Diag> &E : GlobalErrs)
+    if (E)
+      return rejectedDyn(*std::move(E));
+
+  if (metrics::enabled()) {
+    static metrics::Counter &Passes = metrics::counter("replay.dynamic.passes");
+    static metrics::Counter &Events = metrics::counter("replay.dynamic.events");
+    static metrics::Counter &Breaks = metrics::counter("replay.dynamic.breaks");
+    static metrics::Counter &Preds =
+        metrics::counter("replay.dynamic.predictors");
+    static metrics::Counter &Shards = metrics::counter("replay.dynamic.shards");
+    Passes.add();
+    Events.add(Ix.NumEvents);
+    Preds.add(Panel.size());
+    Shards.add(NumShards);
+    uint64_t TotalBreaks = 0;
+    for (const SequenceHistogram &H : Hists)
+      TotalBreaks += H.Breaks;
+    Breaks.add(TotalBreaks);
+  }
+  return Hists;
+}
+
+} // namespace
+
+Expected<std::vector<SequenceHistogram>>
+bpfree::replayTraceDynamic(const BranchTrace &Trace,
+                           const std::vector<DynPredictorConfig> &Panel,
+                           unsigned Jobs) {
+  if (std::optional<Diag> D = validateTraceForReplay(Trace))
+    return *std::move(D);
+  ResidentDynSource Src{Trace};
+  return replayDynamicImpl(Src, Panel, Jobs);
+}
+
+Expected<std::vector<SequenceHistogram>>
+bpfree::replayStoreDynamic(const TraceStoreReader &Store,
+                           const std::vector<DynPredictorConfig> &Panel,
+                           unsigned Jobs) {
+  if (std::optional<Diag> D = validateStoreForReplay(Store))
+    return *std::move(D);
+  StoreDynSource Src{Store};
+  return replayDynamicImpl(Src, Panel, Jobs);
+}

@@ -1,0 +1,87 @@
+//===- ipbc/DynamicReplay.h - Dynamic-predictor trace replay ----*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The second replay mode: evaluating *stateful* predictors
+/// (predict/DynamicPredictors.h) against a captured trace. The fused
+/// bit-row engine (TraceReplay.h) condenses a static predictor into a
+/// per-block direction array and tests events independently; a dynamic
+/// predictor's answer depends on every prior event, so that engine
+/// structurally cannot express it. This mode decodes the packed stream
+/// ONCE into per-site event streams plus chunk-aligned shard snapshots,
+/// then exploits whatever structure each panel member has:
+///
+///  * Per-site-decomposable members (per-site bimodal, per-site-exact
+///    PAp) simulate each site's outcome stream independently — sites fan
+///    out across ThreadPool::shared() — producing per-site misprediction
+///    bitstreams. Sequencing those misses back into the paper's
+///    break-in-control histogram is then a data-parallel pass over trace
+///    shards (contiguous chunk ranges) with a serial, order-preserving
+///    merge of per-shard partials. The shard layout depends only on the
+///    trace (never on Jobs, and identically for resident and disk-backed
+///    sources), and the merge is pure u64 arithmetic, so histograms are
+///    bit-identical across Jobs values and sources.
+///
+///  * Global-state members (tabled bimodal, gshare, GAg/GAp/PAg/PAp,
+///    tournament) are inherently one sequential pass each; passes fan
+///    out across the pool, one stream cursor per member.
+///
+/// Histograms use the same Breaks/misprediction accounting as static
+/// replay (a dynamic mispredict is a break in control exactly like a
+/// static one), so dynamic panels report side-by-side with the static
+/// heuristics in every table. docs/dynamic.md walks the stream format
+/// and the determinism argument; replays are billed under the
+/// replay.dynamic.* metrics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_IPBC_DYNAMICREPLAY_H
+#define BPFREE_IPBC_DYNAMICREPLAY_H
+
+#include "ipbc/SequenceAnalysis.h"
+#include "predict/DynamicPredictors.h"
+#include "support/Error.h"
+#include "vm/BranchTrace.h"
+
+#include <vector>
+
+namespace bpfree {
+
+class TraceStoreReader;
+
+/// Upper bound on the trace shards the decomposable-member sequencing
+/// pass splits a trace into. Fixed (not derived from Jobs or core
+/// count) because the shard layout is part of the deterministic merge:
+/// shard boundaries are chunk indices i * numChunks / min(this,
+/// numChunks), identical for every Jobs value and for resident vs.
+/// disk-backed sources of the same capture.
+inline constexpr size_t MaxDynamicReplayShards = 32;
+
+/// Replays \p Trace against a panel of dynamic predictor configs, one
+/// SequenceHistogram per config in panel order — the same accounting as
+/// replayTraceAll, with each member's mispredictions as the breaks.
+/// Rejects unsound traces (validateTraceForReplay), panels wider than
+/// MaxReplayPredictors, and invalid configs (validateDynConfig), all
+/// counted under "replay.rejected". Jobs = 0 uses the hardware
+/// concurrency; results are bit-identical for every Jobs value.
+Expected<std::vector<SequenceHistogram>>
+replayTraceDynamic(const BranchTrace &Trace,
+                   const std::vector<DynPredictorConfig> &Panel,
+                   unsigned Jobs = 0);
+
+/// replayTraceDynamic for an on-disk store: every parallel worker opens
+/// its own stream cursor, and histograms are bit-identical to
+/// replayTraceDynamic on the resident trace the store was written from.
+/// Rejects incomplete stores (validateStoreForReplay) like the static
+/// streaming entry points.
+Expected<std::vector<SequenceHistogram>>
+replayStoreDynamic(const TraceStoreReader &Store,
+                   const std::vector<DynPredictorConfig> &Panel,
+                   unsigned Jobs = 0);
+
+} // namespace bpfree
+
+#endif // BPFREE_IPBC_DYNAMICREPLAY_H

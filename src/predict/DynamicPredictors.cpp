@@ -1,0 +1,458 @@
+//===- predict/DynamicPredictors.cpp - Dynamic branch predictors ----------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "predict/DynamicPredictors.h"
+
+#include <cassert>
+#include <cctype>
+
+using namespace bpfree;
+
+//===----------------------------------------------------------------------===//
+// Configuration
+//===----------------------------------------------------------------------===//
+
+bool DynPredictorConfig::perSiteDecomposable() const {
+  switch (Kind) {
+  case DynKind::Bimodal:
+    return Entries == 0;
+  case DynKind::TwoLevel:
+    return L1Entries == 0;
+  case DynKind::GShare:
+  case DynKind::Tournament:
+    return false;
+  }
+  return false;
+}
+
+std::string DynPredictorConfig::name() const {
+  const auto Num = [](uint32_t V) { return std::to_string(V); };
+  switch (Kind) {
+  case DynKind::Bimodal:
+    return Entries == 0 ? "bimodal[site]" : "bimodal[" + Num(Entries) + "]";
+  case DynKind::GShare: {
+    const uint32_t L2 = L2Entries ? L2Entries : (1u << HistoryBits);
+    if (L2 == (1u << HistoryBits))
+      return "gshare[" + Num(HistoryBits) + "]";
+    return "gshare[" + Num(HistoryBits) + "/" + Num(L2) + "]";
+  }
+  case DynKind::TwoLevel: {
+    const uint32_t L2 = L2Entries ? L2Entries : (1u << HistoryBits);
+    const bool SharedL2 = L2 == (1u << HistoryBits);
+    if (L1Entries == 0)
+      return "pap[site/" + Num(HistoryBits) + "]";
+    if (L1Entries == 1)
+      return SharedL2 ? "gag[" + Num(HistoryBits) + "]"
+                      : "gap[" + Num(HistoryBits) + "/" + Num(L2) + "]";
+    if (SharedL2)
+      return "pag[" + Num(L1Entries) + "/" + Num(HistoryBits) + "]";
+    return "pap[" + Num(L1Entries) + "/" + Num(HistoryBits) + "/" + Num(L2) +
+           "]";
+  }
+  case DynKind::Tournament:
+    return "tourn[" + Num(MetaEntries) + "]";
+  }
+  return "dyn[?]";
+}
+
+namespace {
+
+bool isPow2(uint32_t V) { return V != 0 && (V & (V - 1)) == 0; }
+
+Diag configDiag(const std::string &What) {
+  return Diag(ErrorKind::InvalidArgument, "dynamic predictor config: " + What);
+}
+
+/// Bounds shared by validateDynConfig: table ceilings keep a mistyped
+/// spec from allocating gigabytes, and the history width must leave room
+/// for the site bits above it in the 32-bit l2 index.
+constexpr uint32_t MaxTableEntries = 1u << 26;
+constexpr uint32_t MaxL1Entries = 1u << 20;
+constexpr uint32_t MaxHistoryBits = 20;
+constexpr uint32_t MaxPerSiteHistoryBits = 16;
+
+std::optional<Diag> validateTwoLevelFields(const DynPredictorConfig &C) {
+  if (C.HistoryBits < 1 || C.HistoryBits > MaxHistoryBits)
+    return configDiag("HistoryBits must be in [1, " +
+                      std::to_string(MaxHistoryBits) + "], got " +
+                      std::to_string(C.HistoryBits));
+  if (C.L1Entries != 0 && (!isPow2(C.L1Entries) || C.L1Entries > MaxL1Entries))
+    return configDiag("L1Entries must be 0 (per-site) or a power of two <= " +
+                      std::to_string(MaxL1Entries) + ", got " +
+                      std::to_string(C.L1Entries));
+  if (C.L1Entries == 0) {
+    // Per-site-exact PAp: one 1<<W counter row per site; the L2 table is
+    // derived, never configured.
+    if (C.HistoryBits > MaxPerSiteHistoryBits)
+      return configDiag("per-site two-level HistoryBits must be <= " +
+                        std::to_string(MaxPerSiteHistoryBits) + ", got " +
+                        std::to_string(C.HistoryBits));
+    if (C.L2Entries != 0)
+      return configDiag(
+          "per-site two-level derives its table; L2Entries must be 0");
+    return std::nullopt;
+  }
+  if (C.L2Entries != 0 &&
+      (!isPow2(C.L2Entries) || C.L2Entries > MaxTableEntries))
+    return configDiag("L2Entries must be 0 (1<<HistoryBits) or a power of "
+                      "two <= " +
+                      std::to_string(MaxTableEntries) + ", got " +
+                      std::to_string(C.L2Entries));
+  return std::nullopt;
+}
+
+std::optional<Diag> validateBimodalFields(const DynPredictorConfig &C) {
+  if (C.Entries != 0 && (!isPow2(C.Entries) || C.Entries > MaxTableEntries))
+    return configDiag("bimodal Entries must be 0 (per-site) or a power of "
+                      "two <= " +
+                      std::to_string(MaxTableEntries) + ", got " +
+                      std::to_string(C.Entries));
+  return std::nullopt;
+}
+
+} // namespace
+
+std::optional<Diag> bpfree::validateDynConfig(const DynPredictorConfig &C) {
+  switch (C.Kind) {
+  case DynKind::Bimodal:
+    return validateBimodalFields(C);
+  case DynKind::GShare:
+    if (C.L1Entries != 1)
+      return configDiag("gshare uses one global history; L1Entries must be 1");
+    return validateTwoLevelFields(C);
+  case DynKind::TwoLevel:
+    return validateTwoLevelFields(C);
+  case DynKind::Tournament: {
+    if (!isPow2(C.MetaEntries) || C.MetaEntries > MaxTableEntries)
+      return configDiag("tournament MetaEntries must be a power of two <= " +
+                        std::to_string(MaxTableEntries) + ", got " +
+                        std::to_string(C.MetaEntries));
+    if (std::optional<Diag> D = validateBimodalFields(C))
+      return D;
+    return validateTwoLevelFields(C);
+  }
+  }
+  return configDiag("unknown predictor kind");
+}
+
+//===----------------------------------------------------------------------===//
+// DynamicPredictor
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// SimpleScalar's bpred_dir_create counter init: entry i alternates
+/// weakly-not-taken (1) / weakly-taken (2) — the "flipflop" pattern.
+void flipFlopInit(std::vector<uint8_t> &Table, size_t N) {
+  Table.assign(N, 0);
+  uint8_t Flipflop = 1;
+  for (size_t I = 0; I < N; ++I) {
+    Table[I] = Flipflop;
+    Flipflop = static_cast<uint8_t>(3 - Flipflop);
+  }
+}
+
+void saturate(uint8_t &Counter, bool Taken) {
+  if (Taken) {
+    if (Counter < 3)
+      ++Counter;
+  } else if (Counter > 0) {
+    --Counter;
+  }
+}
+
+} // namespace
+
+DynamicPredictor::DynamicPredictor(const DynPredictorConfig &C,
+                                   uint32_t NumSites)
+    : Cfg(C), NumSites(NumSites) {
+  assert(!validateDynConfig(C) && "constructing from an invalid config");
+  reset();
+}
+
+void DynamicPredictor::reset() {
+  const bool NeedBimodal =
+      Cfg.Kind == DynKind::Bimodal || Cfg.Kind == DynKind::Tournament;
+  const bool NeedTwoLevel = Cfg.Kind != DynKind::Bimodal;
+  if (NeedBimodal) {
+    const uint32_t N = Cfg.Entries == 0 ? NumSites : Cfg.Entries;
+    BimMask = Cfg.Entries == 0 ? 0 : Cfg.Entries - 1;
+    flipFlopInit(BimCounters, N);
+  }
+  if (NeedTwoLevel) {
+    HistMask = (1u << Cfg.HistoryBits) - 1;
+    Xor = Cfg.Kind == DynKind::GShare;
+    PerSiteExact = Cfg.L1Entries == 0;
+    if (PerSiteExact) {
+      L1Mask = 0;
+      Hist.assign(NumSites, 0);
+      // One private 1<<W counter row per site; the row is selected by
+      // the site, the entry within it by the site's own history.
+      L2Mask = HistMask;
+      flipFlopInit(L2Counters,
+                   static_cast<size_t>(NumSites) << Cfg.HistoryBits);
+    } else {
+      L1Mask = Cfg.L1Entries - 1;
+      Hist.assign(Cfg.L1Entries, 0);
+      const uint32_t L2 =
+          Cfg.L2Entries ? Cfg.L2Entries : (1u << Cfg.HistoryBits);
+      L2Mask = L2 - 1;
+      flipFlopInit(L2Counters, L2);
+    }
+  }
+  if (Cfg.Kind == DynKind::Tournament) {
+    MetaMask = Cfg.MetaEntries - 1;
+    flipFlopInit(Meta, Cfg.MetaEntries);
+  }
+}
+
+bool DynamicPredictor::bimodalPredict(uint32_t Site) const {
+  // Entries == 0 is the per-site shape; the mask alone cannot tell it
+  // from a one-entry table (both mask to 0).
+  const uint32_t I = Cfg.Entries == 0 ? Site : (Site & BimMask);
+  return BimCounters[I] >= 2;
+}
+
+void DynamicPredictor::bimodalUpdate(uint32_t Site, bool Taken) {
+  const uint32_t I = Cfg.Entries == 0 ? Site : (Site & BimMask);
+  saturate(BimCounters[I], Taken);
+}
+
+size_t DynamicPredictor::l2Index(uint32_t Site) const {
+  if (PerSiteExact)
+    // Private row per site: the site selects the row, its history the
+    // entry — never masked against another site's row.
+    return (static_cast<size_t>(Site) << Cfg.HistoryBits) |
+           (Hist[Site] & HistMask);
+  const uint32_t H = Hist[Site & L1Mask] & HistMask;
+  // SimpleScalar bpred_dir_lookup: the history sits in the low bits with
+  // the address above it; gshare XORs the address into the history bits
+  // instead. Either way the table mask has the last word.
+  const uint32_t I =
+      Xor ? (((H ^ Site) & HistMask) | (Site << Cfg.HistoryBits))
+          : (H | (Site << Cfg.HistoryBits));
+  return I & L2Mask;
+}
+
+bool DynamicPredictor::twoLevelPredict(uint32_t Site) const {
+  return L2Counters[l2Index(Site)] >= 2;
+}
+
+void DynamicPredictor::twoLevelUpdate(uint32_t Site, bool Taken) {
+  // Counter first, history second — bpred_update order; the counter
+  // trained is the one the lookup consulted.
+  saturate(L2Counters[l2Index(Site)], Taken);
+  uint32_t &H = Hist[PerSiteExact ? Site : (Site & L1Mask)];
+  H = ((H << 1) | static_cast<uint32_t>(Taken)) & HistMask;
+}
+
+bool DynamicPredictor::predictAndUpdate(uint32_t Site, bool Taken) {
+  assert(Site < NumSites && "site index out of range");
+  switch (Cfg.Kind) {
+  case DynKind::Bimodal: {
+    const bool Pred = bimodalPredict(Site);
+    bimodalUpdate(Site, Taken);
+    return Pred;
+  }
+  case DynKind::TwoLevel:
+  case DynKind::GShare: {
+    const bool Pred = twoLevelPredict(Site);
+    twoLevelUpdate(Site, Taken);
+    return Pred;
+  }
+  case DynKind::Tournament: {
+    const bool BimPred = bimodalPredict(Site);
+    const bool TwoPred = twoLevelPredict(Site);
+    uint8_t &M = Meta[Site & MetaMask];
+    const bool Pred = M >= 2 ? TwoPred : BimPred;
+    // The chooser trains only on disagreement, toward whichever
+    // component was right; both components always train.
+    if (BimPred != TwoPred)
+      saturate(M, TwoPred == Taken);
+    bimodalUpdate(Site, Taken);
+    twoLevelUpdate(Site, Taken);
+    return Pred;
+  }
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Standard panel + spec parsing
+//===----------------------------------------------------------------------===//
+
+std::vector<DynPredictorConfig> bpfree::standardDynamicPanel() {
+  std::vector<DynPredictorConfig> Panel;
+  // Alias-free per-site bimodal: the per-site sharded replay path.
+  Panel.push_back({DynKind::Bimodal, /*Entries=*/0, 1, 12, 0, 4096});
+  // Tabled bimodal at SimpleScalar's default size.
+  Panel.push_back({DynKind::Bimodal, /*Entries=*/4096, 1, 12, 0, 4096});
+  // gshare with 12 bits of global history.
+  Panel.push_back({DynKind::GShare, 4096, /*L1=*/1, /*W=*/12, 0, 4096});
+  // GAg(12): one global register, shared 4K counter table.
+  Panel.push_back({DynKind::TwoLevel, 4096, /*L1=*/1, /*W=*/12, 0, 4096});
+  // PAg(1024, 10): per-address registers, shared table.
+  Panel.push_back({DynKind::TwoLevel, 4096, /*L1=*/1024, /*W=*/10, 0, 4096});
+  // Alias-free per-site-exact PAp with 4-bit local history.
+  Panel.push_back({DynKind::TwoLevel, 4096, /*L1=*/0, /*W=*/4, 0, 4096});
+  // Tournament: bimodal[4096] vs gag[12], 4K chooser.
+  Panel.push_back({DynKind::Tournament, 4096, /*L1=*/1, /*W=*/12, 0, 4096});
+  return Panel;
+}
+
+namespace {
+
+Diag specDiag(const std::string &Token, const std::string &What) {
+  return Diag(ErrorKind::InvalidArgument,
+              "dynamic spec token '" + Token + "': " + What);
+}
+
+/// Splits "a,b,c" argument lists; "site" parses as the sentinel 0 when
+/// \p SiteOk allows it. Returns false on a malformed number.
+bool parseArgs(const std::string &Args, bool SiteOk,
+               std::vector<uint32_t> &Out) {
+  size_t Pos = 0;
+  while (Pos <= Args.size()) {
+    const size_t Comma = Args.find(',', Pos);
+    const std::string Part =
+        Args.substr(Pos, Comma == std::string::npos ? Comma : Comma - Pos);
+    if (Part.empty())
+      return false;
+    if (SiteOk && Part == "site") {
+      Out.push_back(0);
+    } else {
+      uint64_t V = 0;
+      for (char Ch : Part) {
+        if (!std::isdigit(static_cast<unsigned char>(Ch)))
+          return false;
+        V = V * 10 + static_cast<uint64_t>(Ch - '0');
+        if (V > 0xFFFFFFFFu)
+          return false;
+      }
+      Out.push_back(static_cast<uint32_t>(V));
+    }
+    if (Comma == std::string::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  return true;
+}
+
+Expected<DynPredictorConfig> parseToken(const std::string &Token) {
+  const size_t Colon = Token.find(':');
+  const std::string Name = Token.substr(0, Colon);
+  std::vector<uint32_t> A;
+  if (Colon != std::string::npos &&
+      !parseArgs(Token.substr(Colon + 1), /*SiteOk=*/true, A))
+    return specDiag(Token, "malformed argument list");
+
+  DynPredictorConfig C;
+  if (Name == "bimodal") {
+    C.Kind = DynKind::Bimodal;
+    C.Entries = A.empty() ? 4096 : A[0];
+    if (A.size() > 1)
+      return specDiag(Token, "bimodal takes at most one argument");
+  } else if (Name == "gshare") {
+    C.Kind = DynKind::GShare;
+    C.L1Entries = 1;
+    C.HistoryBits = A.empty() ? 12 : A[0];
+    C.L2Entries = A.size() > 1 ? A[1] : 0;
+    if (A.size() > 2)
+      return specDiag(Token, "gshare takes at most two arguments");
+  } else if (Name == "gag") {
+    C.Kind = DynKind::TwoLevel;
+    C.L1Entries = 1;
+    if (A.size() != 1)
+      return specDiag(Token, "gag takes exactly one argument (W)");
+    C.HistoryBits = A[0];
+  } else if (Name == "gap") {
+    C.Kind = DynKind::TwoLevel;
+    C.L1Entries = 1;
+    if (A.size() != 2)
+      return specDiag(Token, "gap takes exactly two arguments (W,L2)");
+    C.HistoryBits = A[0];
+    C.L2Entries = A[1];
+  } else if (Name == "pag") {
+    C.Kind = DynKind::TwoLevel;
+    if (A.size() != 2)
+      return specDiag(Token, "pag takes exactly two arguments (L1,W)");
+    C.L1Entries = A[0];
+    C.HistoryBits = A[1];
+    C.L2Entries = 0;
+    if (C.L1Entries == 0)
+      return specDiag(Token, "pag L1 must be >= 1; use pap:site,W for the "
+                             "per-site shape");
+  } else if (Name == "pap") {
+    C.Kind = DynKind::TwoLevel;
+    if (A.size() == 2) {
+      // pap:site,W or pap:L1,W — per-site-exact when L1 is the site
+      // sentinel, otherwise a private-shaped table is still required.
+      C.L1Entries = A[0];
+      C.HistoryBits = A[1];
+      C.L2Entries = 0;
+      if (C.L1Entries != 0)
+        return specDiag(Token, "pap needs L2 (pap:L1,W,L2) unless per-site "
+                               "(pap:site,W)");
+    } else if (A.size() == 3) {
+      C.L1Entries = A[0];
+      C.HistoryBits = A[1];
+      C.L2Entries = A[2];
+    } else {
+      return specDiag(Token, "pap takes pap:site,W or pap:L1,W,L2");
+    }
+  } else if (Name == "2lev") {
+    C.Kind = DynKind::TwoLevel;
+    if (A.size() != 3)
+      return specDiag(Token, "2lev takes exactly three arguments (L1,W,L2)");
+    C.L1Entries = A[0];
+    C.HistoryBits = A[1];
+    C.L2Entries = A[2];
+  } else if (Name == "tournament" || Name == "tourn") {
+    C.Kind = DynKind::Tournament;
+    C.Entries = 4096;
+    C.L1Entries = 1;
+    C.HistoryBits = 12;
+    C.L2Entries = 0;
+    C.MetaEntries = A.empty() ? 4096 : A[0];
+    if (A.size() > 1)
+      return specDiag(Token, "tournament takes at most one argument");
+  } else {
+    return specDiag(Token, "unknown predictor name");
+  }
+
+  if (std::optional<Diag> D = validateDynConfig(C))
+    return specDiag(Token, D->Message);
+  return C;
+}
+
+} // namespace
+
+Expected<std::vector<DynPredictorConfig>>
+bpfree::parseDynamicSpec(const std::string &Spec) {
+  std::vector<DynPredictorConfig> Panel;
+  size_t Pos = 0;
+  while (Pos <= Spec.size()) {
+    const size_t Plus = Spec.find('+', Pos);
+    const std::string Token =
+        Spec.substr(Pos, Plus == std::string::npos ? Plus : Plus - Pos);
+    if (Token.empty())
+      return Diag(ErrorKind::InvalidArgument,
+                  "dynamic spec: empty predictor token in '" + Spec + "'");
+    if (Token == "panel") {
+      std::vector<DynPredictorConfig> Std = standardDynamicPanel();
+      Panel.insert(Panel.end(), Std.begin(), Std.end());
+    } else {
+      Expected<DynPredictorConfig> C = parseToken(Token);
+      if (!C)
+        return C.takeError();
+      Panel.push_back(C.takeValue());
+    }
+    if (Plus == std::string::npos)
+      break;
+    Pos = Plus + 1;
+  }
+  return Panel;
+}

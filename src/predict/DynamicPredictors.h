@@ -1,0 +1,184 @@
+//===- predict/DynamicPredictors.h - Dynamic branch predictors --*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dynamic baselines the static-heuristic literature measures
+/// against: 2-bit saturating bimodal counters (Smith), the two-level
+/// adaptive family GAg/GAp/PAg/PAp (Yeh & Patt), gshare (McFarling),
+/// and a combining/tournament predictor (McFarling). Unlike the static
+/// predictors (predict/Predictors.h), these are *stateful*: every
+/// executed branch both consults and trains the tables, so a dynamic
+/// predictor cannot be condensed into a per-block direction array and
+/// replayed by the fused bit-row kernel — it needs the sequential
+/// replay mode in ipbc/DynamicReplay.h.
+///
+/// Reference semantics follow SimpleScalar's bpred_* family so results
+/// are comparable with the literature:
+///
+///  * 2-bit counters predict taken at >= 2, saturate at [0, 3], and are
+///    initialized with SimpleScalar's flip-flop pattern — table entry i
+///    starts weakly-not-taken (1) when i is even, weakly-taken (2) when
+///    i is odd.
+///  * Two-level: L1Entries history shift registers of HistoryBits bits
+///    (initialized 0), selected by the low site bits; the second-level
+///    counter index is the history *concatenated under* the site
+///    (hist | site << HistoryBits), masked to the table size — so a
+///    2^HistoryBits table is the shared-table *Ag shape and a larger
+///    table gives each site (or site class) private rows, the *Ap
+///    shape. gshare XORs the history with the site in the low
+///    HistoryBits instead. History updates non-speculatively, after the
+///    counter, exactly like bpred_update.
+///  * Tournament: a 2-bit meta table (same init) chooses the two-level
+///    component at >= 2, the bimodal component below; both components
+///    always train, the meta trains only when they disagreed, toward
+///    whichever was right.
+///
+/// Branch "addresses" are the module-wide flat block indices the trace
+/// format already carries (vm/BranchTrace.h) — dense and collision-free,
+/// the moral equivalent of SimpleScalar's (baddr >> MD_BR_SHIFT).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_PREDICT_DYNAMICPREDICTORS_H
+#define BPFREE_PREDICT_DYNAMICPREDICTORS_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bpfree {
+
+/// The predictor families of the zoo.
+enum class DynKind : uint8_t {
+  Bimodal,    ///< per-site or tabled 2-bit saturating counters
+  TwoLevel,   ///< GAg / GAp / PAg / PAp by (L1Entries, L2Entries)
+  GShare,     ///< two-level with history XOR site indexing
+  Tournament, ///< meta-chosen bimodal + two-level combination
+};
+
+/// One dynamic predictor configuration. Field meaning varies by Kind;
+/// unused fields are ignored. All table sizes must be powers of two
+/// (validateDynConfig), matching SimpleScalar's masking index math.
+struct DynPredictorConfig {
+  DynKind Kind = DynKind::Bimodal;
+
+  /// Bimodal (and the tournament's bimodal component): counter-table
+  /// entries. 0 = one counter per site — the alias-free limit, and the
+  /// per-site-decomposable shape the sharded replay exploits.
+  uint32_t Entries = 4096;
+
+  /// Two-level family: first-level history registers. 1 = one global
+  /// register (GAg/GAp); a power of two > 1 = per-address registers
+  /// selected by the low site bits (PAg/PAp); 0 = one register AND one
+  /// private counter row per site — the alias-free PAp limit
+  /// (per-site-decomposable).
+  uint32_t L1Entries = 1;
+  /// History bits per register (the W of GAg(W) etc.).
+  uint32_t HistoryBits = 12;
+  /// Second-level counter entries; 0 = 1 << HistoryBits (the shared
+  /// *Ag table). Larger tables keep site bits above the history and
+  /// give the *Ap shapes.
+  uint32_t L2Entries = 0;
+
+  /// Tournament: meta-chooser entries.
+  uint32_t MetaEntries = 4096;
+
+  /// Compact display name, e.g. "bimodal[site]", "gshare[12]",
+  /// "gag[12]", "pag[1024/10]", "tourn[4096]". Keys the bench tables
+  /// and the manifest-facing reporting.
+  std::string name() const;
+
+  /// True when the predictor's state partitions by site — site A's
+  /// outcome stream can never perturb site B's predictions — so its
+  /// replay decomposes into independent per-site passes: Bimodal with
+  /// Entries == 0, and TwoLevel with L1Entries == 0.
+  bool perSiteDecomposable() const;
+};
+
+/// Checks \p C for structural soundness: power-of-two table sizes
+/// within sane ceilings, history widths the index math supports, and
+/// per-site-exact shapes narrow enough to allocate one row per site.
+/// \returns the violation, or nullopt when the config is usable.
+std::optional<Diag> validateDynConfig(const DynPredictorConfig &C);
+
+/// A dynamic predictor instance over \p NumSites branch sites. The one
+/// operation is the sequential step the replay loop and the tests
+/// share: predict the next outcome of \p Site, then train on what the
+/// branch actually did, returning the (pre-update) prediction.
+///
+/// Not thread-safe in general; for perSiteDecomposable() configs,
+/// concurrent calls for DIFFERENT sites touch disjoint state and are
+/// safe — that is precisely what the sharded replay relies on.
+class DynamicPredictor {
+public:
+  /// \p C must satisfy validateDynConfig. \p NumSites is the module's
+  /// flat block count (sites are flat block indices below it).
+  DynamicPredictor(const DynPredictorConfig &C, uint32_t NumSites);
+
+  const DynPredictorConfig &config() const { return Cfg; }
+
+  /// One sequential step: \returns the prediction for \p Site (true =
+  /// taken), then updates counters and history with \p Taken.
+  bool predictAndUpdate(uint32_t Site, bool Taken);
+
+  /// Restores the freshly-constructed table state.
+  void reset();
+
+private:
+  DynPredictorConfig Cfg;
+  uint32_t NumSites;
+  // Bimodal component (Bimodal and Tournament kinds).
+  std::vector<uint8_t> BimCounters;
+  uint32_t BimMask = 0; ///< table mask; per-site shape indexes by site
+  // Two-level component (TwoLevel, GShare, Tournament kinds).
+  std::vector<uint32_t> Hist;
+  std::vector<uint8_t> L2Counters;
+  uint32_t L1Mask = 0;
+  uint32_t HistMask = 0;
+  uint32_t L2Mask = 0;
+  bool PerSiteExact = false; ///< L1Entries == 0: private row per site
+  bool Xor = false;          ///< gshare indexing
+  // Tournament meta chooser.
+  std::vector<uint8_t> Meta;
+  uint32_t MetaMask = 0;
+
+  bool bimodalPredict(uint32_t Site) const;
+  void bimodalUpdate(uint32_t Site, bool Taken);
+  bool twoLevelPredict(uint32_t Site) const;
+  void twoLevelUpdate(uint32_t Site, bool Taken);
+  size_t l2Index(uint32_t Site) const;
+};
+
+/// The standard panel the benches and the `--dynamic panel` CLI mode
+/// evaluate: per-site and tabled bimodal, gshare, GAg and PAg two-level,
+/// a per-site-exact PAp, and the tournament — the baselines named by the
+/// dynamic-prediction surveys, covering both replay modes (the per-site
+/// sharded path and the sequential global-history path).
+std::vector<DynPredictorConfig> standardDynamicPanel();
+
+/// Parses a CLI panel spec: '+'-separated predictor tokens, each
+/// NAME[:ARGS] with integer (or "site") arguments —
+///
+///   bimodal[:ENTRIES|:site]      tabled (default 4096) or per-site
+///   gshare[:W[,L2]]              default W=12, L2 = 1<<W
+///   gag:W / gap:W,L2             global-history two-level
+///   pag:L1,W / pap:L1,W,L2       per-address two-level
+///   pap:site,W                   alias-free per-site-exact PAp
+///   2lev:L1,W,L2                 the generic Yeh-Patt shape
+///   tournament[:META]            bimodal[4096] + gag[12] combination
+///   panel                        the whole standardDynamicPanel()
+///
+/// e.g. "bimodal:site+gshare:14+tournament". Every parsed config is
+/// validated; the first malformed token or invalid config yields a Diag.
+Expected<std::vector<DynPredictorConfig>>
+parseDynamicSpec(const std::string &Spec);
+
+} // namespace bpfree
+
+#endif // BPFREE_PREDICT_DYNAMICPREDICTORS_H

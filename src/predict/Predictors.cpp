@@ -101,6 +101,7 @@ BallLarusPredictor::predictRecording(const BasicBlock &BB,
 
   if (P.IsLoopBranch) {
     P.Bucket = LoopBucket;
+    P.Priority = -1; // not decided by the ordered cascade
     P.Chosen =
         FC.Loops.predictLoopBranch(&BB) == 0 ? DirTaken : DirFallthru;
     Sink->onPrediction(P);
@@ -121,6 +122,7 @@ BallLarusPredictor::predictRecording(const BasicBlock &BB,
   }
 
   P.Bucket = DefaultBucket;
+  P.Priority = -1; // every heuristic declined; no cascade position
   switch (Default) {
   case DefaultPolicy::Random:
     P.Chosen = RandomPredictor::flip(BB, DefaultSeed);
@@ -161,9 +163,13 @@ Direction SingleHeuristicPredictor::predict(const BasicBlock &BB) const {
     P.AppliesMask = applyAllHeuristics(BB, FC, Config).first;
     if (D) {
       P.Bucket = static_cast<unsigned>(K);
-      P.Priority = 0;
+      // Priority stays -1: there is no cascade here, so "position 0"
+      // would be indistinguishable from the combined predictor's
+      // top-priority heuristic in attribution reports.
+      P.Priority = -1;
     } else {
       P.Bucket = DefaultBucket;
+      P.Priority = -1;
       P.DeclinedMask =
           static_cast<uint8_t>(1u << static_cast<unsigned>(K));
     }

@@ -61,6 +61,7 @@ Manifest bpfree::collectManifest(const std::string &Tool,
   M.Platform = platformName();
   M.HardwareConcurrency = ThreadPool::defaultConcurrency();
   M.Workloads = metrics::runRecords();
+  M.Phases = metrics::phaseRecords();
   M.Metrics = metrics::snapshot();
   for (const metrics::RunRecord &R : M.Workloads)
     M.TotalWallMs += R.WallMs;
@@ -103,6 +104,18 @@ bool bpfree::writeManifest(const Manifest &M, const std::string &Path) {
         static_cast<unsigned long long>(R.Mispredicts),
         static_cast<long long>(R.HotspotBranch),
         I + 1 == M.Workloads.size() ? "" : ",");
+  }
+  std::fprintf(Out, "  ],\n");
+  std::fprintf(Out, "  \"phases\": [\n");
+  for (size_t I = 0; I < M.Phases.size(); ++I) {
+    const metrics::PhaseRecord &P = M.Phases[I];
+    std::fprintf(Out,
+                 "    {\"name\": \"%s\", \"wall_ms\": %.3f, "
+                 "\"items\": %llu, \"instructions\": %llu}%s\n",
+                 json::escape(P.Name).c_str(), P.WallMs,
+                 static_cast<unsigned long long>(P.Items),
+                 static_cast<unsigned long long>(P.Instructions),
+                 I + 1 == M.Phases.size() ? "" : ",");
   }
   std::fprintf(Out, "  ],\n");
   std::fprintf(Out, "  \"metrics\": [\n");
@@ -171,6 +184,22 @@ Expected<Manifest> bpfree::readManifest(const std::string &Path) {
       R.Mispredicts = json::asU64(W.num("mispredicts"));
       R.HotspotBranch = static_cast<int64_t>(W.num("hotspot_branch", -1));
       M.Workloads.push_back(std::move(R));
+    }
+  }
+  // Added after v1 shipped; absent in older manifests (the coverage
+  // check then sees zero phases on that side, which is the honest state
+  // of such a baseline — regenerate it to adopt phase checking).
+  if (const json::Value *Ps = Root.find("phases")) {
+    if (Ps->K != json::Value::Array)
+      return Diag(ErrorKind::InvalidArgument,
+                  "'phases' is not an array in '" + Path + "'");
+    for (const json::Value &P : Ps->Arr) {
+      metrics::PhaseRecord R;
+      R.Name = P.str("name");
+      R.WallMs = P.num("wall_ms");
+      R.Items = json::asU64(P.num("items"));
+      R.Instructions = json::asU64(P.num("instructions"));
+      M.Phases.push_back(std::move(R));
     }
   }
   if (const json::Value *Ms = Root.find("metrics")) {
@@ -262,6 +291,44 @@ CheckResult bpfree::checkManifests(const Manifest &Candidate,
       fail(Tag + " trace overflowed its byte cap (baseline's did not)");
   }
 
+  // Phase coverage is two-sided and unconditional: a benchmark phase
+  // that exists on only one side means the binaries measure different
+  // things — a deleted/renamed phase must never pass the gate as a
+  // default-valued record, and a new phase needs a regenerated
+  // baseline before it is gated at all. Last-wins collapse by name,
+  // like the workload records.
+  std::map<std::string, const metrics::PhaseRecord *> PhaseByName,
+      BasePhaseByName;
+  for (const metrics::PhaseRecord &P : Candidate.Phases)
+    PhaseByName[P.Name] = &P;
+  for (const metrics::PhaseRecord &P : Baseline.Phases)
+    BasePhaseByName[P.Name] = &P;
+  for (const auto &[Name, B] : BasePhaseByName) {
+    auto It = PhaseByName.find(Name);
+    if (It == PhaseByName.end()) {
+      fail("phase '" + Name +
+           "' present in baseline but missing from candidate — deleted or "
+           "renamed phases must fail the gate, not default to zero");
+      continue;
+    }
+    const metrics::PhaseRecord &C = *It->second;
+    if (Tol.WallSlowdown > 1.0 && B->WallMs > 0.0 &&
+        C.WallMs > B->WallMs * Tol.WallSlowdown) {
+      char Buf[160];
+      std::snprintf(Buf, sizeof(Buf),
+                    "phase '%s' wall time regressed: %.2f ms vs baseline "
+                    "%.2f ms (band %.2fx, got %.2fx)",
+                    Name.c_str(), C.WallMs, B->WallMs, Tol.WallSlowdown,
+                    C.WallMs / B->WallMs);
+      fail(Buf);
+    }
+  }
+  for (const auto &[Name, C] : PhaseByName)
+    if (BasePhaseByName.find(Name) == BasePhaseByName.end())
+      fail("phase '" + Name +
+           "' present in candidate but missing from baseline — regenerate "
+           "the baseline to gate the new phase");
+
   if (Tol.WallSlowdown > 1.0 && Baseline.TotalWallMs > 0.0 &&
       Candidate.TotalWallMs > Baseline.TotalWallMs * Tol.WallSlowdown) {
     char Buf[160];
@@ -279,4 +346,6 @@ void bpfree::perturbManifestTimings(Manifest &M, double Factor) {
   M.TotalWallMs *= Factor;
   for (metrics::RunRecord &R : M.Workloads)
     R.WallMs *= Factor;
+  for (metrics::PhaseRecord &P : M.Phases)
+    P.WallMs *= Factor;
 }

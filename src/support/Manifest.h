@@ -43,6 +43,12 @@ struct Manifest {
   unsigned HardwareConcurrency = 0;
   double TotalWallMs = 0.0; ///< sum of per-workload wall times
   std::vector<metrics::RunRecord> Workloads;
+  /// Named benchmark phases (bench_perf's timed sections). Checked
+  /// structurally by checkManifests: a phase present on either side of
+  /// a diff but missing from the other is a hard failure, so a deleted
+  /// or renamed phase can never slip through the regression gate as a
+  /// default-valued record.
+  std::vector<metrics::PhaseRecord> Phases;
   std::vector<metrics::Sample> Metrics;
 };
 
@@ -88,6 +94,9 @@ struct CheckResult {
 /// matched by (name, dataset); per-workload wall time, instruction
 /// count, and trace health (a candidate trace overflowing where the
 /// baseline's did not) are checked, plus the suite-total wall time.
+/// Phases are matched by name with UNCONDITIONAL two-sided coverage: a
+/// phase missing from either side fails the check outright (naming the
+/// phase), and matched phases get the WallSlowdown band.
 CheckResult checkManifests(const Manifest &Candidate,
                            const Manifest &Baseline,
                            const CheckTolerance &Tol = {});

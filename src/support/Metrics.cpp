@@ -30,6 +30,7 @@ struct Registry {
   std::map<std::string, std::unique_ptr<Gauge>> Gauges;
   std::map<std::string, std::unique_ptr<Timer>> Timers;
   std::vector<RunRecord> Runs;
+  std::vector<PhaseRecord> Phases;
 };
 
 Registry &registry() {
@@ -96,6 +97,7 @@ void bpfree::metrics::resetAll() {
   for (auto &[Name, T] : R.Timers)
     T->reset();
   R.Runs.clear();
+  R.Phases.clear();
 }
 
 void bpfree::metrics::recordRun(RunRecord Rec) {
@@ -116,4 +118,24 @@ void bpfree::metrics::clearRunRecords() {
   Registry &R = registry();
   std::lock_guard<std::mutex> Lock(R.Mu);
   R.Runs.clear();
+}
+
+void bpfree::metrics::recordPhase(PhaseRecord Rec) {
+  if (!enabled())
+    return;
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  R.Phases.push_back(std::move(Rec));
+}
+
+std::vector<PhaseRecord> bpfree::metrics::phaseRecords() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  return R.Phases;
+}
+
+void bpfree::metrics::clearPhaseRecords() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  R.Phases.clear();
 }

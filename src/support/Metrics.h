@@ -185,6 +185,28 @@ std::vector<RunRecord> runRecords();
 /// Clears the run log (resetAll() also does this).
 void clearRunRecords();
 
+/// One named benchmark phase's best-rep timing, recorded by bench_perf
+/// and embedded in the run manifest so the --check regression gate can
+/// compare phase coverage and timings structurally — a phase missing
+/// from either side of a check is a hard failure, not a default-valued
+/// record.
+struct PhaseRecord {
+  std::string Name;
+  double WallMs = 0.0;
+  uint64_t Items = 0;        ///< phase-defined unit count (events, runs…)
+  uint64_t Instructions = 0; ///< interpreted instructions, 0 if untracked
+};
+
+/// Appends \p P to the process-wide phase log (thread-safe, gated on
+/// enabled() like the run log).
+void recordPhase(PhaseRecord P);
+
+/// \returns a copy of the phase log, in record order.
+std::vector<PhaseRecord> phaseRecords();
+
+/// Clears the phase log (resetAll() also does this).
+void clearPhaseRecords();
+
 } // namespace metrics
 } // namespace bpfree
 

@@ -1,0 +1,638 @@
+//===- tests/DynamicPredictorTest.cpp - Dynamic-predictor zoo -------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two layers of evidence for the dynamic-predictor replay mode. The
+/// predictor semantics (SimpleScalar bpred_* reference behavior —
+/// flip-flop counter init, saturation bounds, two-level index math,
+/// history aliasing, the tournament chooser's disagreement training) are
+/// checked against a hand-rolled oracle written with deliberately
+/// different machinery (sparse maps, modulo indexing, lazy counter
+/// init). The replay pipeline (per-site event-stream decomposition,
+/// trace sharding, the ordered partial merge) is checked against a naive
+/// sequential replay of the same trace, and its determinism contract —
+/// bit-identical histograms across Jobs values and resident-vs-disk
+/// sources — is asserted directly, including traces whose escape records
+/// straddle chunk (and therefore shard) boundaries.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+#include "ipbc/DynamicReplay.h"
+#include "ipbc/TraceReplay.h"
+#include "predict/DynamicPredictors.h"
+#include "support/Metrics.h"
+#include "vm/TraceStore.h"
+#include "workloads/Driver.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <vector>
+
+using namespace bpfree;
+
+namespace {
+
+std::unique_ptr<ir::Module> anyModule() {
+  return minic::compileOrDie(findWorkload("treesort")->Source);
+}
+
+std::string tmpPath(const std::string &Name) {
+  return ::testing::TempDir() + "bpfree_dyn_" + Name;
+}
+
+void expectHistogramsEqual(const SequenceHistogram &A,
+                           const SequenceHistogram &B,
+                           const std::string &What) {
+  EXPECT_EQ(A.NumSequences, B.NumSequences) << What;
+  EXPECT_EQ(A.SumLengths, B.SumLengths) << What;
+  EXPECT_EQ(A.Breaks, B.Breaks) << What;
+  EXPECT_EQ(A.TotalInstrs, B.TotalInstrs) << What;
+  EXPECT_EQ(A.BranchExecs, B.BranchExecs) << What;
+}
+
+//===----------------------------------------------------------------------===//
+// The oracle: same reference semantics, deliberately different code
+//===----------------------------------------------------------------------===//
+//
+// Sparse maps with lazily-materialized counters (the flip-flop init value
+// is computed from the index's parity on first touch), modulo indexing
+// instead of masks, plain ints instead of saturating bytes. If the real
+// predictor and this agree event-for-event on adversarial streams, the
+// table/index/update machinery in DynamicPredictors.cpp is doing what
+// the comments claim.
+
+int initCounter(uint64_t Index) { return Index % 2 == 0 ? 1 : 2; }
+
+struct SparseCounters {
+  std::map<uint64_t, int> C;
+  int &at(uint64_t I) { return C.try_emplace(I, initCounter(I)).first->second; }
+  bool predict(uint64_t I) { return at(I) >= 2; }
+  void update(uint64_t I, bool Taken) {
+    int &V = at(I);
+    V = Taken ? std::min(3, V + 1) : std::max(0, V - 1);
+  }
+};
+
+struct Oracle {
+  explicit Oracle(const DynPredictorConfig &C) : Cfg(C) {}
+
+  bool step(uint32_t Site, bool Taken) {
+    switch (Cfg.Kind) {
+    case DynKind::Bimodal: {
+      const bool P = Bim.predict(bimIndex(Site));
+      Bim.update(bimIndex(Site), Taken);
+      return P;
+    }
+    case DynKind::TwoLevel:
+    case DynKind::GShare: {
+      const bool P = Two.predict(l2Index(Site));
+      twoLevelUpdate(Site, Taken);
+      return P;
+    }
+    case DynKind::Tournament: {
+      const bool BimPred = Bim.predict(bimIndex(Site));
+      const bool TwoPred = Two.predict(l2Index(Site));
+      const bool Pred = Meta.predict(Site % Cfg.MetaEntries) ? TwoPred
+                                                            : BimPred;
+      if (BimPred != TwoPred)
+        Meta.update(Site % Cfg.MetaEntries, TwoPred == Taken);
+      Bim.update(bimIndex(Site), Taken);
+      twoLevelUpdate(Site, Taken);
+      return Pred;
+    }
+    }
+    return false;
+  }
+
+private:
+  uint64_t bimIndex(uint32_t Site) const {
+    return Cfg.Entries == 0 && Cfg.Kind == DynKind::Bimodal
+               ? Site
+               : Site % Cfg.Entries;
+  }
+
+  uint64_t l2Index(uint32_t Site) {
+    const uint32_t HistMask = (1u << Cfg.HistoryBits) - 1;
+    if (Cfg.L1Entries == 0)
+      return (static_cast<uint64_t>(Site) << Cfg.HistoryBits) |
+             (Hist[Site] & HistMask);
+    const uint32_t H = Hist[Site % Cfg.L1Entries] & HistMask;
+    const uint32_t L2 = Cfg.L2Entries ? Cfg.L2Entries : (1u << Cfg.HistoryBits);
+    // Same uint32 arithmetic as the implementation (the left shift may
+    // wrap for large sites), resolved by modulo instead of a mask.
+    const uint32_t I =
+        Cfg.Kind == DynKind::GShare
+            ? (((H ^ Site) & HistMask) | (Site << Cfg.HistoryBits))
+            : (H | (Site << Cfg.HistoryBits));
+    return I % L2;
+  }
+
+  void twoLevelUpdate(uint32_t Site, bool Taken) {
+    Two.update(l2Index(Site), Taken);
+    uint32_t &H =
+        Hist[Cfg.L1Entries == 0 ? Site : Site % Cfg.L1Entries];
+    H = ((H << 1) | static_cast<uint32_t>(Taken)) &
+        ((1u << Cfg.HistoryBits) - 1);
+  }
+
+  DynPredictorConfig Cfg;
+  SparseCounters Bim, Two, Meta;
+  std::map<uint32_t, uint32_t> Hist;
+};
+
+/// Deterministic pseudorandom stream: xorshift64, fixed seed.
+struct Rng {
+  uint64_t S = 0x9E3779B97F4A7C15ull;
+  uint64_t next() {
+    S ^= S << 13;
+    S ^= S >> 7;
+    S ^= S << 17;
+    return S;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Predictor semantics
+//===----------------------------------------------------------------------===//
+
+TEST(DynamicPredictor, BimodalSaturationBoundaries) {
+  DynPredictorConfig C;
+  C.Kind = DynKind::Bimodal;
+  C.Entries = 0; // per-site
+  DynamicPredictor P(C, 1);
+  // Site 0's counter starts weakly-not-taken (flip-flop entry 0 = 1):
+  // the first prediction is not-taken, then the takens walk it to the
+  // saturated top while predictions flip after one update.
+  EXPECT_FALSE(P.predictAndUpdate(0, true)); // 1 -> 2
+  EXPECT_TRUE(P.predictAndUpdate(0, true));  // 2 -> 3
+  EXPECT_TRUE(P.predictAndUpdate(0, true));  // 3 -> 3 (saturated)
+  EXPECT_TRUE(P.predictAndUpdate(0, true));  // still 3
+  // Walking back down: two not-takens before the prediction flips, and
+  // the bottom saturates at 0.
+  EXPECT_TRUE(P.predictAndUpdate(0, false));  // 3 -> 2
+  EXPECT_TRUE(P.predictAndUpdate(0, false));  // 2 -> 1
+  EXPECT_FALSE(P.predictAndUpdate(0, false)); // 1 -> 0
+  EXPECT_FALSE(P.predictAndUpdate(0, false)); // 0 -> 0 (saturated)
+  EXPECT_FALSE(P.predictAndUpdate(0, true));  // 0 -> 1: still not-taken
+}
+
+TEST(DynamicPredictor, FlipFlopInitialState) {
+  DynPredictorConfig C;
+  C.Kind = DynKind::Bimodal;
+  C.Entries = 4;
+  DynamicPredictor P(C, 8);
+  // First touch of each table entry sees the alternating weakly-not-
+  // taken / weakly-taken pattern; sites 4..7 wrap onto the same entries.
+  EXPECT_FALSE(P.predictAndUpdate(0, false));
+  EXPECT_TRUE(P.predictAndUpdate(1, true));
+  EXPECT_FALSE(P.predictAndUpdate(2, false));
+  EXPECT_TRUE(P.predictAndUpdate(3, true));
+}
+
+TEST(DynamicPredictor, TabledBimodalAliasesSitesPerSiteDoesNot) {
+  // A one-entry table is the aliasing limit: every site trains the same
+  // counter. The per-site shape keeps them independent.
+  DynPredictorConfig Tabled;
+  Tabled.Kind = DynKind::Bimodal;
+  Tabled.Entries = 1;
+  DynPredictorConfig PerSite;
+  PerSite.Kind = DynKind::Bimodal;
+  PerSite.Entries = 0;
+  DynamicPredictor T(Tabled, 16), S(PerSite, 16);
+  for (int I = 0; I < 3; ++I) {
+    T.predictAndUpdate(0, true);
+    S.predictAndUpdate(0, true);
+  }
+  // Site 8 never executed. Tabled: the shared counter is saturated taken.
+  // Per-site: entry 8 still holds its initial weakly-not-taken value.
+  EXPECT_TRUE(T.predictAndUpdate(8, true));
+  EXPECT_FALSE(S.predictAndUpdate(8, true));
+}
+
+TEST(DynamicPredictor, GAgLearnsAlternationBimodalCannot) {
+  // A strict T,N,T,N... pattern defeats any 2-bit counter but is a
+  // 1-deep history function: GAg(4) must become perfect after warmup.
+  DynPredictorConfig Gag;
+  Gag.Kind = DynKind::TwoLevel;
+  Gag.L1Entries = 1;
+  Gag.HistoryBits = 4;
+  Gag.L2Entries = 0;
+  DynPredictorConfig Bim;
+  Bim.Kind = DynKind::Bimodal;
+  Bim.Entries = 0;
+  DynamicPredictor G(Gag, 1), B(Bim, 1);
+  int GagHits = 0, BimHits = 0;
+  for (int I = 0; I < 200; ++I) {
+    const bool Taken = I % 2 == 0;
+    const bool GP = G.predictAndUpdate(0, Taken);
+    const bool BP = B.predictAndUpdate(0, Taken);
+    if (I >= 100) {
+      GagHits += GP == Taken;
+      BimHits += BP == Taken;
+    }
+  }
+  EXPECT_EQ(GagHits, 100);
+  EXPECT_LE(BimHits, 50);
+}
+
+TEST(DynamicPredictor, TournamentChooserConvergesToBetterComponent) {
+  // Same alternating stream: the two-level component learns it, the
+  // bimodal component cannot, so the chooser must migrate to the
+  // two-level side and the tournament must end up perfect too.
+  DynPredictorConfig C;
+  C.Kind = DynKind::Tournament;
+  C.Entries = 4096;
+  C.L1Entries = 1;
+  C.HistoryBits = 12;
+  C.MetaEntries = 4096;
+  DynamicPredictor P(C, 1);
+  int Hits = 0;
+  for (int I = 0; I < 4400; ++I) {
+    const bool Taken = I % 2 == 0;
+    const bool Pred = P.predictAndUpdate(0, Taken);
+    if (I >= 4300)
+      Hits += Pred == Taken;
+  }
+  EXPECT_EQ(Hits, 100);
+}
+
+TEST(DynamicPredictor, PerSitePapIsolatesSites) {
+  // Per-site-exact PAp: hammering site 0 must leave site 1's history and
+  // counters untouched — its prediction sequence matches a predictor
+  // that never saw site 0 at all.
+  DynPredictorConfig C;
+  C.Kind = DynKind::TwoLevel;
+  C.L1Entries = 0;
+  C.HistoryBits = 3;
+  C.L2Entries = 0;
+  DynamicPredictor Mixed(C, 2), Alone(C, 2);
+  Rng R;
+  for (int I = 0; I < 500; ++I) {
+    Mixed.predictAndUpdate(0, (R.next() & 1) != 0);
+    const bool Taken = I % 3 == 0;
+    EXPECT_EQ(Mixed.predictAndUpdate(1, Taken),
+              Alone.predictAndUpdate(1, Taken))
+        << "site 1 diverged at event " << I;
+  }
+}
+
+TEST(DynamicPredictor, DifferentialAgainstSparseOracle) {
+  // Every panel shape, plus deliberately tiny tables that force heavy
+  // aliasing, against the sparse-map oracle on a pseudorandom stream
+  // with per-site bias (pure noise would never exercise the learned
+  // paths).
+  std::vector<DynPredictorConfig> Configs = standardDynamicPanel();
+  {
+    DynPredictorConfig C;
+    C.Kind = DynKind::Bimodal;
+    C.Entries = 8;
+    Configs.push_back(C);
+    C.Entries = 1; // the mask-degenerate table (regression: != per-site)
+    Configs.push_back(C);
+    C.Kind = DynKind::GShare;
+    C.Entries = 4096;
+    C.L1Entries = 1;
+    C.HistoryBits = 3;
+    C.L2Entries = 8;
+    Configs.push_back(C);
+    C.Kind = DynKind::TwoLevel;
+    C.L1Entries = 2;
+    C.HistoryBits = 3;
+    C.L2Entries = 16;
+    Configs.push_back(C);
+    C.L1Entries = 0;
+    C.HistoryBits = 2;
+    C.L2Entries = 0;
+    Configs.push_back(C);
+    C.Kind = DynKind::Tournament;
+    C.Entries = 16;
+    C.L1Entries = 1;
+    C.HistoryBits = 4;
+    C.L2Entries = 0;
+    C.MetaEntries = 8;
+    Configs.push_back(C);
+  }
+  constexpr uint32_t NumSites = 50;
+  for (const DynPredictorConfig &C : Configs) {
+    ASSERT_FALSE(validateDynConfig(C)) << C.name();
+    DynamicPredictor P(C, NumSites);
+    Oracle O(C);
+    Rng R;
+    for (int I = 0; I < 20000; ++I) {
+      const uint32_t Site = static_cast<uint32_t>(R.next() % NumSites);
+      // Bias: low sites mostly taken, high sites mostly not, with noise.
+      const bool Taken = (R.next() % 100) < (Site < 25 ? 80u : 20u);
+      ASSERT_EQ(P.predictAndUpdate(Site, Taken), O.step(Site, Taken))
+          << C.name() << " diverged from the oracle at event " << I;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Config validation and spec parsing
+//===----------------------------------------------------------------------===//
+
+TEST(DynamicPredictor, ValidationRejectsUnusableShapes) {
+  DynPredictorConfig C;
+  C.Kind = DynKind::Bimodal;
+  C.Entries = 3; // not a power of two
+  EXPECT_TRUE(validateDynConfig(C).has_value());
+
+  C = {};
+  C.Kind = DynKind::TwoLevel;
+  C.HistoryBits = 0;
+  EXPECT_TRUE(validateDynConfig(C).has_value());
+  C.HistoryBits = 21; // above the index-math ceiling
+  EXPECT_TRUE(validateDynConfig(C).has_value());
+
+  C = {};
+  C.Kind = DynKind::TwoLevel;
+  C.L1Entries = 0; // per-site-exact
+  C.HistoryBits = 17; // 1<<17 counters per site: rejected
+  EXPECT_TRUE(validateDynConfig(C).has_value());
+  C.HistoryBits = 4;
+  C.L2Entries = 64; // per-site derives its table; must stay 0
+  EXPECT_TRUE(validateDynConfig(C).has_value());
+
+  C = {};
+  C.Kind = DynKind::GShare;
+  C.L1Entries = 4; // gshare history is global by definition
+  EXPECT_TRUE(validateDynConfig(C).has_value());
+
+  C = {};
+  C.Kind = DynKind::Tournament;
+  C.MetaEntries = 0;
+  EXPECT_TRUE(validateDynConfig(C).has_value());
+}
+
+TEST(DynamicPredictor, SpecParserRoundTrips) {
+  auto Panel = parseDynamicSpec("panel");
+  ASSERT_TRUE(Panel.hasValue());
+  const std::vector<DynPredictorConfig> Std = standardDynamicPanel();
+  ASSERT_EQ(Panel->size(), Std.size());
+  for (size_t I = 0; I < Std.size(); ++I)
+    EXPECT_EQ((*Panel)[I].name(), Std[I].name());
+
+  auto Mixed = parseDynamicSpec("bimodal:site+gshare:14+tournament:1024");
+  ASSERT_TRUE(Mixed.hasValue());
+  ASSERT_EQ(Mixed->size(), 3u);
+  EXPECT_EQ((*Mixed)[0].name(), "bimodal[site]");
+  EXPECT_TRUE((*Mixed)[0].perSiteDecomposable());
+  EXPECT_EQ((*Mixed)[1].name(), "gshare[14]");
+  EXPECT_EQ((*Mixed)[2].name(), "tourn[1024]");
+
+  auto Pap = parseDynamicSpec("pap:site,6");
+  ASSERT_TRUE(Pap.hasValue());
+  EXPECT_EQ((*Pap)[0].name(), "pap[site/6]");
+  EXPECT_TRUE((*Pap)[0].perSiteDecomposable());
+
+  auto TwoLev = parseDynamicSpec("2lev:4,3,64+pag:1024,10+gap:8,65536");
+  ASSERT_TRUE(TwoLev.hasValue());
+  EXPECT_EQ((*TwoLev)[0].name(), "pap[4/3/64]");
+  EXPECT_EQ((*TwoLev)[1].name(), "pag[1024/10]");
+  EXPECT_EQ((*TwoLev)[2].name(), "gap[8/65536]");
+}
+
+TEST(DynamicPredictor, SpecParserRejectsMalformedTokens) {
+  const char *Bad[] = {
+      "",              // empty spec
+      "bimodal+",      // trailing empty token
+      "bogus",         // unknown name
+      "bimodal:3",     // non-power-of-two table
+      "bimodal:4,4",   // too many arguments
+      "gshare:25",     // history above the ceiling
+      "gag",           // missing W
+      "gag:site",      // site sentinel where an integer is required: W=0
+      "pag:0,4",       // pag with L1=0 (use pap:site,W)
+      "pap:8,4",       // tabled pap needs an explicit L2
+      "2lev:4,3",      // 2lev needs all three
+      "tournament:12", // non-power-of-two chooser
+      "bimodal:9999999999999", // overflows uint32
+  };
+  for (const char *Spec : Bad)
+    EXPECT_FALSE(parseDynamicSpec(Spec).hasValue()) << "'" << Spec << "'";
+}
+
+//===----------------------------------------------------------------------===//
+// Replay: sequential-oracle equivalence, sharding, determinism
+//===----------------------------------------------------------------------===//
+
+/// Naive reference replay: decode the trace in order, drive one
+/// predictor sequentially with the scalar Breaks accounting replayTrace
+/// uses. The sharded pipeline must reproduce this exactly.
+SequenceHistogram naiveReplay(const BranchTrace &T,
+                              const DynPredictorConfig &C,
+                              uint32_t NumSites) {
+  DynamicPredictor P(C, NumSites);
+  SequenceHistogram H;
+  uint64_t IC = 0, LastBreak = 0;
+  T.forEach([&](uint32_t Idx, bool Taken, uint64_t Delta) {
+    IC += Delta;
+    ++H.BranchExecs;
+    if (P.predictAndUpdate(Idx, Taken) != Taken) {
+      H.record(IC - LastBreak);
+      ++H.Breaks;
+      LastBreak = IC;
+    }
+  });
+  if (T.totalInstrs() > LastBreak)
+    H.record(T.totalInstrs() - LastBreak);
+  return H;
+}
+
+/// Synthetic multi-chunk trace: ~3 chunks of events over \p NumSites
+/// sites with escape records (large deltas) planted so that one record
+/// straddles the first chunk boundary — the carry case the shard
+/// snapshots must attribute to the previous shard.
+std::unique_ptr<BranchTrace> straddlingTrace(const ir::Module &M,
+                                             uint32_t NumSites,
+                                             uint64_t &MaxSite) {
+  auto T = std::make_unique<BranchTrace>(M);
+  Rng R;
+  uint64_t IC = 0;
+  MaxSite = 0;
+  // 65534 compact words, then an escape record occupying words
+  // 65534..65537 — two words in chunk 0, two in chunk 1.
+  for (uint64_t I = 0; I < 65534; ++I) {
+    const uint32_t Site = static_cast<uint32_t>(R.next() % NumSites);
+    MaxSite = std::max<uint64_t>(MaxSite, Site);
+    IC += 1 + (R.next() % 50);
+    T->append(Site, (R.next() % 100) < (Site % 2 ? 75u : 30u), IC);
+  }
+  IC += 0x12345; // escape-sized delta
+  T->append(7, true, IC);
+  MaxSite = std::max<uint64_t>(MaxSite, 7);
+  // Another 1.5 chunks of compact events with occasional escapes.
+  for (uint64_t I = 0; I < 100000; ++I) {
+    const uint32_t Site = static_cast<uint32_t>(R.next() % NumSites);
+    MaxSite = std::max<uint64_t>(MaxSite, Site);
+    IC += I % 4000 == 0 ? 0x20000 : 1 + (R.next() % 50);
+    T->append(Site, (R.next() % 100) < (Site % 2 ? 75u : 30u), IC);
+  }
+  T->finalize(IC + 17); // trailing unbroken instructions
+  return T;
+}
+
+TEST(DynamicReplay, MatchesNaiveSequentialReplay) {
+  auto M = anyModule();
+  uint64_t MaxSite = 0;
+  auto T = straddlingTrace(*M, 40, MaxSite);
+  const std::vector<DynPredictorConfig> Panel = standardDynamicPanel();
+  auto Hists = replayTraceDynamic(*T, Panel, 4);
+  ASSERT_TRUE(Hists.hasValue()) << Hists.error().render();
+  ASSERT_EQ(Hists->size(), Panel.size());
+  const uint32_t NumSites = static_cast<uint32_t>(MaxSite + 1);
+  for (size_t P = 0; P < Panel.size(); ++P)
+    expectHistogramsEqual((*Hists)[P], naiveReplay(*T, Panel[P], NumSites),
+                          Panel[P].name() + " vs naive replay");
+}
+
+TEST(DynamicReplay, BitIdenticalAcrossJobs) {
+  auto M = anyModule();
+  uint64_t MaxSite = 0;
+  auto T = straddlingTrace(*M, 40, MaxSite);
+  const std::vector<DynPredictorConfig> Panel = standardDynamicPanel();
+  auto Ref = replayTraceDynamic(*T, Panel, 1);
+  ASSERT_TRUE(Ref.hasValue()) << Ref.error().render();
+  for (unsigned Jobs : {2u, 4u, 8u}) {
+    auto Got = replayTraceDynamic(*T, Panel, Jobs);
+    ASSERT_TRUE(Got.hasValue()) << Got.error().render();
+    for (size_t P = 0; P < Panel.size(); ++P)
+      expectHistogramsEqual((*Ref)[P], (*Got)[P],
+                            Panel[P].name() + " at jobs=" +
+                                std::to_string(Jobs));
+  }
+}
+
+TEST(DynamicReplay, ResidentAndStoreSourcesAgree) {
+  auto M = anyModule();
+  uint64_t MaxSite = 0;
+  auto T = straddlingTrace(*M, 40, MaxSite);
+  const std::string Path = tmpPath("roundtrip.trace");
+  std::remove(Path.c_str());
+  ASSERT_FALSE(writeTraceFile(*T, Path).has_value());
+  TraceStoreReader Reader;
+  ASSERT_FALSE(Reader.open(Path).has_value());
+
+  const std::vector<DynPredictorConfig> Panel = standardDynamicPanel();
+  auto Resident = replayTraceDynamic(*T, Panel, 4);
+  auto Disk = replayStoreDynamic(Reader, Panel, 4);
+  ASSERT_TRUE(Resident.hasValue()) << Resident.error().render();
+  ASSERT_TRUE(Disk.hasValue()) << Disk.error().render();
+  for (size_t P = 0; P < Panel.size(); ++P)
+    expectHistogramsEqual((*Resident)[P], (*Disk)[P],
+                          Panel[P].name() + " resident vs store");
+  std::remove(Path.c_str());
+}
+
+TEST(DynamicReplay, RealWorkloadTraceAcrossJobsAndSources) {
+  RunOptions RO;
+  RO.CaptureTrace = true;
+  RO.Profile = false;
+  auto Run = runWorkload(*findWorkload("treesort"), 0, {}, RO);
+  ASSERT_TRUE(Run.hasValue()) << Run.error().render();
+  const BranchTrace &T = *(*Run)->Trace;
+
+  const std::vector<DynPredictorConfig> Panel = standardDynamicPanel();
+  auto Ref = replayTraceDynamic(T, Panel, 1);
+  ASSERT_TRUE(Ref.hasValue()) << Ref.error().render();
+  // Sanity: the dynamic panel actually predicted (BranchExecs covers the
+  // trace, breaks strictly between 0 and the event count for the real
+  // predictors on a real workload).
+  for (size_t P = 0; P < Panel.size(); ++P) {
+    EXPECT_EQ((*Ref)[P].BranchExecs, T.numEvents()) << Panel[P].name();
+    EXPECT_GT((*Ref)[P].Breaks, 0u) << Panel[P].name();
+    EXPECT_LT((*Ref)[P].Breaks, T.numEvents()) << Panel[P].name();
+  }
+
+  auto Par = replayTraceDynamic(T, Panel, 8);
+  ASSERT_TRUE(Par.hasValue()) << Par.error().render();
+  for (size_t P = 0; P < Panel.size(); ++P)
+    expectHistogramsEqual((*Ref)[P], (*Par)[P],
+                          Panel[P].name() + " jobs 1 vs 8");
+
+  const std::string Path = tmpPath("treesort.trace");
+  std::remove(Path.c_str());
+  ASSERT_FALSE(writeTraceFile(T, Path).has_value());
+  TraceStoreReader Reader;
+  ASSERT_FALSE(Reader.open(Path).has_value());
+  auto Disk = replayStoreDynamic(Reader, Panel, 8);
+  ASSERT_TRUE(Disk.hasValue()) << Disk.error().render();
+  for (size_t P = 0; P < Panel.size(); ++P)
+    expectHistogramsEqual((*Ref)[P], (*Disk)[P],
+                          Panel[P].name() + " resident vs disk");
+  std::remove(Path.c_str());
+}
+
+TEST(DynamicReplay, EmptyTraceYieldsOneUnbrokenSequence) {
+  auto M = anyModule();
+  BranchTrace T(*M);
+  T.finalize(1000);
+  auto Hists = replayTraceDynamic(T, standardDynamicPanel());
+  ASSERT_TRUE(Hists.hasValue()) << Hists.error().render();
+  for (const SequenceHistogram &H : *Hists) {
+    EXPECT_EQ(H.TotalInstrs, 1000u);
+    EXPECT_EQ(H.Breaks, 0u);
+    EXPECT_EQ(H.BranchExecs, 0u);
+    uint64_t Seqs = 0;
+    for (uint64_t N : H.NumSequences)
+      Seqs += N;
+    EXPECT_EQ(Seqs, 1u);
+  }
+}
+
+TEST(DynamicReplay, RejectsUnusableRequests) {
+  auto M = anyModule();
+  BranchTrace Unfinalized(*M);
+  Unfinalized.append(0, true, 10);
+  EXPECT_FALSE(
+      replayTraceDynamic(Unfinalized, standardDynamicPanel()).hasValue());
+
+  BranchTrace T(*M);
+  T.append(0, true, 10);
+  T.finalize(20);
+  DynPredictorConfig BadCfg;
+  BadCfg.Kind = DynKind::Bimodal;
+  BadCfg.Entries = 3;
+  EXPECT_FALSE(replayTraceDynamic(T, {BadCfg}).hasValue());
+
+  std::vector<DynPredictorConfig> Oversized(MaxReplayPredictors + 1);
+  EXPECT_FALSE(replayTraceDynamic(T, Oversized).hasValue());
+
+  // An empty panel is not an error: nothing to replay, nothing returned.
+  auto Empty = replayTraceDynamic(T, {});
+  ASSERT_TRUE(Empty.hasValue());
+  EXPECT_TRUE(Empty->empty());
+}
+
+TEST(DynamicReplay, BillsReplayDynamicMetrics) {
+  metrics::setEnabled(true);
+  metrics::resetAll();
+  auto M = anyModule();
+  BranchTrace T(*M);
+  uint64_t IC = 0;
+  for (uint32_t I = 0; I < 100; ++I) {
+    IC += 5;
+    T.append(I % 3, I % 2 == 0, IC);
+  }
+  T.finalize(IC + 5);
+  auto Hists = replayTraceDynamic(T, standardDynamicPanel());
+  ASSERT_TRUE(Hists.hasValue());
+  EXPECT_EQ(metrics::counter("replay.dynamic.passes").value(), 1u);
+  EXPECT_EQ(metrics::counter("replay.dynamic.events").value(), 100u);
+  EXPECT_EQ(metrics::counter("replay.dynamic.predictors").value(),
+            standardDynamicPanel().size());
+  EXPECT_GT(metrics::counter("replay.dynamic.shards").value(), 0u);
+  EXPECT_GT(metrics::counter("replay.dynamic.breaks").value(), 0u);
+  metrics::setEnabled(false);
+  metrics::resetAll();
+}
+
+} // namespace

@@ -352,6 +352,102 @@ TEST_F(MetricsTest, CheckCollapsesDuplicateRecordsOnBothSides) {
   EXPECT_TRUE(checkManifests(Better, M).ok());
 }
 
+TEST_F(MetricsTest, PhaseRecordsRoundTripThroughManifest) {
+  metrics::recordPhase({"ipbc_replay", 42.5, 1000000, 987654});
+  metrics::recordPhase({"ipbc_replay_dynamic", 99.125, 7000000, 0});
+  Manifest M = sampleManifest();
+  ASSERT_EQ(M.Phases.size(), 2u);
+
+  TempFile F("_phase_manifest.json");
+  ASSERT_TRUE(writeManifest(M, F.path()));
+  Expected<Manifest> Read = readManifest(F.path());
+  ASSERT_TRUE(Read.hasValue()) << Read.error().renderWithKind();
+  ASSERT_EQ(Read->Phases.size(), 2u);
+  for (size_t I = 0; I < 2; ++I) {
+    EXPECT_EQ(Read->Phases[I].Name, M.Phases[I].Name);
+    EXPECT_DOUBLE_EQ(Read->Phases[I].WallMs, M.Phases[I].WallMs);
+    EXPECT_EQ(Read->Phases[I].Items, M.Phases[I].Items);
+    EXPECT_EQ(Read->Phases[I].Instructions, M.Phases[I].Instructions);
+  }
+
+  // Phase records are gated and cleared like the run log.
+  metrics::setEnabled(false);
+  metrics::recordPhase({"gated", 1.0, 1, 0});
+  metrics::setEnabled(true);
+  EXPECT_EQ(metrics::phaseRecords().size(), 2u);
+  metrics::clearPhaseRecords();
+  EXPECT_TRUE(metrics::phaseRecords().empty());
+}
+
+// The two-sided phase gate: a phase on only one side of the diff is a
+// hard failure regardless of tolerances — the old behavior silently
+// compared a deleted phase against a default-valued record and passed.
+TEST_F(MetricsTest, CheckFailsWhenPhaseMissingFromEitherSide) {
+  metrics::recordPhase({"ipbc_replay", 40.0, 100, 0});
+  metrics::recordPhase({"ipbc_replay_dynamic", 80.0, 700, 0});
+  Manifest Baseline = sampleManifest();
+
+  CheckResult Self = checkManifests(Baseline, Baseline);
+  EXPECT_TRUE(Self.ok()) << Self.render();
+
+  // Candidate dropped a phase the baseline gates.
+  Manifest Dropped = Baseline;
+  Dropped.Phases.pop_back();
+  CheckResult R1 = checkManifests(Dropped, Baseline);
+  EXPECT_FALSE(R1.ok());
+  EXPECT_NE(R1.render().find("ipbc_replay_dynamic"), std::string::npos)
+      << R1.render();
+  EXPECT_NE(R1.render().find("present in baseline but missing from candidate"),
+            std::string::npos)
+      << R1.render();
+
+  // Candidate grew a phase the baseline has never seen: also a hard
+  // failure — the baseline must be regenerated before the phase gates.
+  Manifest Grew = Baseline;
+  Grew.Phases.push_back({"brand_new_phase", 5.0, 1, 0});
+  CheckResult R2 = checkManifests(Grew, Baseline);
+  EXPECT_FALSE(R2.ok());
+  EXPECT_NE(R2.render().find("brand_new_phase"), std::string::npos)
+      << R2.render();
+  EXPECT_NE(R2.render().find("present in candidate but missing from baseline"),
+            std::string::npos)
+      << R2.render();
+
+  // And the coverage failure is unconditional: even a tolerance with
+  // slack disabled everywhere still reports the missing phase.
+  CheckTolerance Loose;
+  Loose.WallSlowdown = 0.0;
+  Loose.InstrRatio = 0.0;
+  Loose.RequireWorkloadCoverage = false;
+  EXPECT_FALSE(checkManifests(Dropped, Baseline, Loose).ok());
+  EXPECT_FALSE(checkManifests(Grew, Baseline, Loose).ok());
+}
+
+TEST_F(MetricsTest, CheckAppliesWallBandToMatchedPhases) {
+  metrics::recordPhase({"ipbc_replay_dynamic", 50.0, 700, 0});
+  Manifest Baseline = sampleManifest();
+
+  Manifest Slow = Baseline;
+  Slow.Phases[0].WallMs = 200.0; // 4x, past the default 1.5x band
+  CheckResult R = checkManifests(Slow, Baseline);
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.render().find("ipbc_replay_dynamic"), std::string::npos)
+      << R.render();
+  EXPECT_NE(R.render().find("wall time regressed"), std::string::npos)
+      << R.render();
+
+  // Faster never fails, and perturbManifestTimings scales phases too —
+  // the negative CI leg exercises exactly this path.
+  Manifest Fast = Baseline;
+  perturbManifestTimings(Fast, 0.25);
+  EXPECT_DOUBLE_EQ(Fast.Phases[0].WallMs, 12.5);
+  EXPECT_TRUE(checkManifests(Fast, Baseline).ok());
+  Manifest Perturbed = Baseline;
+  perturbManifestTimings(Perturbed, 2.0);
+  EXPECT_DOUBLE_EQ(Perturbed.Phases[0].WallMs, 100.0);
+  EXPECT_FALSE(checkManifests(Perturbed, Baseline).ok());
+}
+
 TEST_F(MetricsTest, CheckFailsOnInstructionDriftAndRegression) {
   Manifest Baseline = sampleManifest();
 

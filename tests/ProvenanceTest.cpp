@@ -226,6 +226,10 @@ TEST(Provenance, SingleHeuristicBuckets) {
         EXPECT_EQ(R->Bucket, DefaultBucket);
         EXPECT_EQ(R->DeclinedMask, 1u << static_cast<unsigned>(K));
       }
+      // A lone heuristic holds no cascade position — reporting priority
+      // 0 here (the old behavior) forged a "won the cascade at the top
+      // slot" claim the combined predictor never made.
+      EXPECT_EQ(R->Priority, -1);
     }
   }
 }
@@ -270,6 +274,7 @@ TEST(ExplainJson, WriteReadRoundTrip) {
     EXPECT_EQ(A.Block, B.Block);
     EXPECT_EQ(A.SrcLine, B.SrcLine);
     EXPECT_EQ(A.Bucket, B.Bucket);
+    EXPECT_EQ(A.Priority, B.Priority);
     EXPECT_EQ(A.Predicted, B.Predicted);
     EXPECT_EQ(A.Taken, B.Taken);
     EXPECT_EQ(A.Fallthru, B.Fallthru);
@@ -382,6 +387,53 @@ TEST(ExplainJson, ValidationRejectsTamperedDocuments) {
   Expected<ExplainReport> Bad = validate(Renamed);
   ASSERT_FALSE(Bad.hasValue());
   EXPECT_NE(Bad.error().Message.find("named"), std::string::npos);
+
+  // The (bucket, priority) pair on a hotspot must be a state the
+  // predictors can actually produce. The baseline doc omits "priority",
+  // which must read back as -1 (pre-priority documents stay valid).
+  {
+    Expected<ExplainReport> R = validate(Valid);
+    ASSERT_TRUE(R.hasValue());
+    ASSERT_EQ(R->Hotspots.size(), 1u);
+    EXPECT_EQ(R->Hotspots[0].Priority, -1);
+  }
+  auto withHotspotBucket = [&](const std::string &Repl) {
+    std::string D = Valid;
+    const std::string Needle = "\"bucket\": \"Opcode\"";
+    const size_t At = D.find(Needle);
+    EXPECT_NE(At, std::string::npos);
+    D.replace(At, Needle.size(), Repl);
+    return D;
+  };
+  // A cascade position on a heuristic bucket is a legal state.
+  EXPECT_TRUE(
+      validate(withHotspotBucket("\"bucket\": \"Opcode\", \"priority\": 2"))
+          .hasValue());
+  struct PriorityCase {
+    const char *What;
+    const char *Repl;
+    const char *ErrNeedle;
+  } PriorityCases[] = {
+      {"unknown bucket name", "\"bucket\": \"Bogus\"", "unknown bucket"},
+      {"priority past the cascade",
+       "\"bucket\": \"Opcode\", \"priority\": 99", "outside [-1"},
+      {"priority below the sentinel",
+       "\"bucket\": \"Opcode\", \"priority\": -2", "outside [-1"},
+      {"loop bucket claiming a cascade position",
+       "\"bucket\": \"LoopPred\", \"priority\": 3",
+       "must carry priority -1"},
+      {"default bucket claiming a cascade position",
+       "\"bucket\": \"Default\", \"priority\": 0",
+       "must carry priority -1"},
+  };
+  for (const PriorityCase &C : PriorityCases) {
+    SCOPED_TRACE(C.What);
+    Expected<ExplainReport> R = validate(withHotspotBucket(C.Repl));
+    ASSERT_FALSE(R.hasValue());
+    EXPECT_EQ(R.error().Kind, ErrorKind::InvalidArgument);
+    EXPECT_NE(R.error().Message.find(C.ErrNeedle), std::string::npos)
+        << R.error().Message;
+  }
 }
 
 /// Satellite regression: the default policy is its own attribution

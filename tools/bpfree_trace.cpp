@@ -14,6 +14,7 @@
 ///   $ bpfree_trace info treesort.trace
 ///   $ bpfree_trace verify treesort.trace --workload treesort
 ///   $ bpfree_trace replay treesort.trace --workload treesort
+///   $ bpfree_trace replay treesort.trace --dynamic panel
 ///   $ bpfree_trace corrupt treesort.trace --corrupt-byte 64:0x01
 ///
 /// verify's exit status is the CI contract: 0 for a complete store (and
@@ -26,7 +27,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "frontend/Compiler.h"
+#include "ipbc/DynamicReplay.h"
 #include "ipbc/TraceReplay.h"
+#include "predict/DynamicPredictors.h"
 #include "vm/TraceStore.h"
 #include "workloads/Driver.h"
 
@@ -57,6 +60,13 @@ int usage(const char *Prog) {
          "       "
       << Prog
       << " replay FILE --workload NAME [--dataset I] [--jobs N]\n"
+         "       "
+      << Prog
+      << " replay FILE --dynamic SPEC [--workload NAME] [--jobs N]\n"
+         "         SPEC: '+'-separated dynamic predictors, or 'panel' for\n"
+         "         the standard zoo — bimodal[:N|:site], gshare[:W[,L2]],\n"
+         "         gag:W, gap:W,L2, pag:L1,W, pap:L1,W,L2|pap:site,W,\n"
+         "         2lev:L1,W,L2, tournament[:META]\n"
          "       "
       << Prog << " corrupt FILE (--corrupt-byte OFF[:XOR] | --truncate-to N)\n";
   return 2;
@@ -228,6 +238,7 @@ int runInfoOrVerify(int argc, char **argv, bool Verify) {
 int runReplay(int argc, char **argv) {
   const char *Path = nullptr;
   const char *WorkloadName = nullptr;
+  std::string DynamicSpec;
   unsigned Jobs = 0;
   for (int I = 2; I < argc; ++I) {
     auto needValue = [&](const char *Flag) -> const char * {
@@ -239,6 +250,10 @@ int runReplay(int argc, char **argv) {
     };
     if (std::strcmp(argv[I], "--workload") == 0)
       WorkloadName = needValue("--workload");
+    else if (std::strcmp(argv[I], "--dynamic") == 0)
+      DynamicSpec = needValue("--dynamic");
+    else if (std::strncmp(argv[I], "--dynamic=", 10) == 0)
+      DynamicSpec = argv[I] + 10;
     else if (std::strcmp(argv[I], "--jobs") == 0)
       Jobs = static_cast<unsigned>(
           std::strtoul(needValue("--jobs"), nullptr, 10));
@@ -249,7 +264,11 @@ int runReplay(int argc, char **argv) {
     else
       return usage(argv[0]);
   }
-  if (!Path || !WorkloadName)
+  // The perfect-predictor replay needs the module for direction lookup;
+  // dynamic replay learns directions from the event stream itself, so
+  // --workload is optional there (when given it still gates on the
+  // store/module hash match).
+  if (!Path || (!WorkloadName && DynamicSpec.empty()))
     return usage(argv[0]);
 
   TraceStoreReader R;
@@ -257,6 +276,39 @@ int runReplay(int argc, char **argv) {
     std::cerr << "open failed: " << D->renderWithKind() << "\n";
     return 1;
   }
+
+  if (!DynamicSpec.empty()) {
+    if (WorkloadName) {
+      std::unique_ptr<ir::Module> M = compileWorkloadOrExit(WorkloadName);
+      if (std::optional<Diag> D = R.requireModule(*M)) {
+        std::cerr << "module check failed: " << D->renderWithKind() << "\n";
+        return 1;
+      }
+    }
+    Expected<std::vector<DynPredictorConfig>> Panel =
+        parseDynamicSpec(DynamicSpec);
+    if (!Panel) {
+      std::cerr << "bad --dynamic spec: " << Panel.error().renderWithKind()
+                << "\n";
+      return 2;
+    }
+    Expected<std::vector<SequenceHistogram>> Hists =
+        replayStoreDynamic(R, *Panel, Jobs);
+    if (!Hists) {
+      std::cerr << "replay rejected: " << Hists.error().renderWithKind()
+                << "\n";
+      return 1;
+    }
+    for (size_t P = 0; P < Hists->size(); ++P) {
+      const SequenceHistogram &H = (*Hists)[P];
+      std::printf("%-18s %12" PRIu64 " execs  %10" PRIu64
+                  " breaks  miss %6.2f%%  ipbc avg %.1f\n",
+                  (*Panel)[P].name().c_str(), H.BranchExecs, H.Breaks,
+                  100.0 * H.missRate(), H.ipbcAverage());
+    }
+    return 0;
+  }
+
   std::unique_ptr<ir::Module> M = compileWorkloadOrExit(WorkloadName);
   Expected<std::vector<uint8_t>> Dirs = perfectDirectionsFromStore(R, *M);
   if (!Dirs) {
