@@ -15,6 +15,7 @@
 #define BPFREE_BENCH_BENCHCOMMON_H
 
 #include "ipbc/Attribution.h"
+#include "ipbc/Characterize.h"
 #include "support/Manifest.h"
 #include "support/Metrics.h"
 #include "support/TablePrinter.h"
@@ -216,6 +217,97 @@ private:
   std::string JsonPath;
 };
 
+/// Per-binary predictability-observatory wiring, the characterization
+/// sibling of ExplainSession: recognizes `--characterize[=N]` (print
+/// the per-branch entropy/H2P report with the top-N hardest sites for
+/// each characterized workload; N defaults to 10) and
+/// `--characterize-json FILE` (also write the bpfree-char-v1 document;
+/// implies --characterize). Both flags are consumed from argv. JSON
+/// paths are per-workload like ExplainSession's; use tools/bpfree_char
+/// for single-workload documents at an exact path.
+class CharSession {
+public:
+  CharSession(int &Argc, char **Argv) {
+    int Out = 1;
+    for (int I = 1; I < Argc; ++I) {
+      std::string Arg = Argv[I];
+      if (Arg == "--characterize") {
+        Enabled = true;
+      } else if (Arg.rfind("--characterize=", 0) == 0) {
+        Enabled = true;
+        TopN = std::strtoul(Arg.c_str() + std::strlen("--characterize="),
+                            nullptr, 10);
+      } else if (Arg == "--characterize-json" ||
+                 Arg.rfind("--characterize-json=", 0) == 0) {
+        Enabled = true;
+        if (size_t Eq = Arg.find('='); Eq != std::string::npos) {
+          JsonPath = Arg.substr(Eq + 1);
+        } else if (I + 1 < Argc) {
+          JsonPath = Argv[++I];
+        } else {
+          std::fprintf(
+              stderr,
+              "bpfree: --characterize-json requires a path argument\n");
+          std::exit(2);
+        }
+      } else {
+        Argv[Out++] = Argv[I];
+      }
+    }
+    Argc = Out;
+    Argv[Argc] = nullptr;
+  }
+
+  bool enabled() const { return Enabled; }
+
+  /// Characterizes \p Run, which must carry a captured trace: prints
+  /// the predictability report to stdout and writes the JSON document
+  /// when requested. No-op unless --characterize[-json] was given.
+  void characterizeRun(const WorkloadRun &Run) {
+    if (!Enabled)
+      return;
+    CharOptions CO;
+    CO.Workload = Run.W->Name;
+    CO.Dataset = Run.dataset().Name;
+    CharReport R =
+        takeOrExit(characterizeTrace(*Run.Ctx, *Run.Trace, CO),
+                   "characterize");
+    std::cout << renderCharReport(R, TopN);
+    if (!JsonPath.empty()) {
+      const std::string Path = pathForWorkload(JsonPath, Run.W->Name);
+      if (!writeCharJson(R, Path)) {
+        std::fprintf(stderr, "bpfree: cannot write characterize JSON to %s\n",
+                     Path.c_str());
+        std::exit(1);
+      }
+      std::fprintf(stderr, "bpfree: characterize JSON written to %s\n",
+                   Path.c_str());
+    }
+  }
+
+  /// Trace-captures (\p Name, \p Dataset) through \p Cache,
+  /// characterizes it, and releases the trace. Defined after
+  /// SuiteCache.
+  inline void characterizeWorkload(SuiteCache &Cache,
+                                   const std::string &Name,
+                                   size_t Dataset = 0);
+
+private:
+  static std::string pathForWorkload(const std::string &Path,
+                                     const std::string &Workload) {
+    const size_t Slash = Path.find_last_of('/');
+    const size_t Dot = Path.find_last_of('.');
+    if (Dot == std::string::npos ||
+        (Slash != std::string::npos && Dot < Slash))
+      return Path + "." + Workload;
+    return Path.substr(0, Dot) + "." + Workload + Path.substr(Dot);
+  }
+
+  bool Enabled = false;
+  size_t TopN = 10;
+  std::string JsonPath;
+};
+
 /// Prints the standard banner naming the regenerated artifact.
 inline void banner(const std::string &Artifact, const std::string &Note) {
   std::cout << "=====================================================\n"
@@ -340,6 +432,15 @@ inline void ExplainSession::explainWorkload(SuiteCache &Cache,
   if (!Enabled)
     return;
   explainRun(*Cache.traceRun(Name, Dataset));
+  Cache.releaseTrace(Name, Dataset);
+}
+
+inline void CharSession::characterizeWorkload(SuiteCache &Cache,
+                                              const std::string &Name,
+                                              size_t Dataset) {
+  if (!Enabled)
+    return;
+  characterizeRun(*Cache.traceRun(Name, Dataset));
   Cache.releaseTrace(Name, Dataset);
 }
 

@@ -47,7 +47,7 @@ double curveAt(const std::vector<std::pair<uint64_t, double>> &Curve,
 }
 
 void analyzeWorkload(SuiteCache &Cache, ExplainSession &Explain,
-                     const Workload &W) {
+                     CharSession &Char, const Workload &W) {
   std::fprintf(stderr, "  [ipbc] %s...\n", W.Name.c_str());
   // One interpretation captures the packed branch trace (its only
   // instrumentation); every predictor below is evaluated by replaying
@@ -134,6 +134,9 @@ void analyzeWorkload(SuiteCache &Cache, ExplainSession &Explain,
   // Under --explain, attribute this workload's mispredictions while the
   // captured trace is still resident — no second interpretation needed.
   Explain.explainRun(*Run);
+  // Under --characterize, likewise the per-branch predictability
+  // profile and the predictor-by-class tables.
+  Char.characterizeRun(*Run);
   // Fully replayed; drop the packed events so peak memory stays one
   // workload's trace, not the whole set's.
   Cache.releaseTrace(W.Name);
@@ -144,6 +147,7 @@ void analyzeWorkload(SuiteCache &Cache, ExplainSession &Explain,
 int main(int argc, char **argv) {
   bpfree::bench::MetricsSession Session(argc, argv, "bench_ipbc_graphs");
   bpfree::bench::ExplainSession Explain(argc, argv);
+  bpfree::bench::CharSession Char(argc, argv);
   (void)argc;
   (void)argv;
   banner("Graphs 4-11 — instructions per break in control",
@@ -162,7 +166,7 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "bpfree: missing workload %s\n", Name);
       return 1;
     }
-    analyzeWorkload(Cache, Explain, *W);
+    analyzeWorkload(Cache, Explain, Char, *W);
   }
 
   std::cout << "Paper reference shape: Heuristic sits between Loop+Rand "

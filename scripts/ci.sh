@@ -84,6 +84,31 @@ run_plain() {
   "${REPO_ROOT}/build/tools/bpfree_explain" \
     --validate "${REPO_ROOT}/build/EXPLAIN_CI.json"
 
+  # Characterization smoke + schema gate: profile one regular and one
+  # adversarial workload, keep the bpfree-char-v1 documents next to the
+  # run manifest, and re-read both through the validator (class-count
+  # conservation, recomputed classes and residual entropies, H2P
+  # verdict). Same stale-artifact discipline as the explain gate above:
+  # remove first, insist the runs regenerated them.
+  echo "== bpfree_char: treesort + hashbits -> build/CHAR_CI.json"
+  rm -f "${REPO_ROOT}/build/CHAR_CI.json" \
+    "${REPO_ROOT}/build/CHAR_ADV_CI.json"
+  "${REPO_ROOT}/build/tools/bpfree_char" --workload treesort \
+    --json "${REPO_ROOT}/build/CHAR_CI.json"
+  "${REPO_ROOT}/build/tools/bpfree_char" --workload hashbits \
+    --json "${REPO_ROOT}/build/CHAR_ADV_CI.json"
+  if [ ! -s "${REPO_ROOT}/build/CHAR_CI.json" ] || \
+     [ ! -s "${REPO_ROOT}/build/CHAR_ADV_CI.json" ]; then
+    echo "error: bpfree_char did not write its CI documents;" \
+      "refusing to run the schema gate against missing artifacts" >&2
+    exit 1
+  fi
+  echo "== bpfree_char --validate: schema gate"
+  "${REPO_ROOT}/build/tools/bpfree_char" \
+    --validate "${REPO_ROOT}/build/CHAR_CI.json"
+  "${REPO_ROOT}/build/tools/bpfree_char" \
+    --validate "${REPO_ROOT}/build/CHAR_ADV_CI.json"
+
   # Dynamic-predictor smoke drill: capture a trace, replay it through the
   # standard dynamic panel in parallel (docs/dynamic.md). The replay
   # itself asserts nothing here — the differential and determinism
@@ -200,18 +225,22 @@ run_fallback() {
 # that exercise runSuite's fan-out from multiple worker threads, plus the
 # dynamic-replay suite — its sharded event-stream passes drive a shared
 # DynamicPredictor from several workers at once for the per-site shapes,
-# exactly the aliasing TSan exists to check.
+# exactly the aliasing TSan exists to check — plus the characterization
+# suite, whose sharded statistics pass and parallel site pass share the
+# event index across the same pool.
 run_tsan() {
   local build_dir="${REPO_ROOT}/build-tsan"
   echo "== configure: ${build_dir} (-DBPFREE_SANITIZE=thread)"
   cmake -B "${build_dir}" -S "${REPO_ROOT}" -DBPFREE_SANITIZE=thread
   echo "== build: ${build_dir}"
   cmake --build "${build_dir}" -j "${JOBS}" \
-    --target parallel_suite_test dynamic_predictor_test
+    --target parallel_suite_test dynamic_predictor_test characterize_test
   echo "== parallel_suite_test (TSan): ${build_dir}"
   "${build_dir}/tests/parallel_suite_test"
   echo "== dynamic_predictor_test (TSan): ${build_dir}"
   "${build_dir}/tests/dynamic_predictor_test"
+  echo "== characterize_test (TSan): ${build_dir}"
+  "${build_dir}/tests/characterize_test"
 }
 
 case "${MODE}" in

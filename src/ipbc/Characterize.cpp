@@ -1,0 +1,923 @@
+//===- ipbc/Characterize.cpp - Per-branch predictability observatory ------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Pipeline:
+//
+//   1. Build pass (sequential, one decode): the shared per-site
+//      event-stream index (ipbc/EventStreamIndex.h) — per-site outcome
+//      bitstreams plus chunk-aligned shard snapshots, the same artifact
+//      the dynamic replay mode builds.
+//
+//   2. Shard pass (parallel over shards): re-decode each shard's events
+//      in trace order and tally per-site executions, taken outcomes, and
+//      transitions (each event's predecessor outcome is looked up in the
+//      read-only bitstreams by (site, occurrence)). Per-shard integer
+//      partials merge serially in shard order, then the merged tallies
+//      are cross-checked against the build pass's streams — any
+//      disagreement means the decoder or the shard layout broke, and the
+//      pass refuses to report rather than ship wrong statistics.
+//
+//   3. Site pass (parallel over site groups): per-site doubles — run
+//      lengths, marginal entropy, conditional entropy at the fixed
+//      depths, the residual-entropy minimum — and the class assignment.
+//      Every double is computed from one site's integers in one fixed
+//      arithmetic order, so the parallel split cannot perturb a bit.
+//
+//   4. Join (serial): provenance capture (which rule predicted each
+//      site), then the predictor-by-class table — the combined
+//      Ball-Larus predictor and the perfect predictor via the per-site
+//      static replay, the standard dynamic panel via the per-site
+//      dynamic replay — with per-row conservation checks.
+//
+// Integer tallies merge in shard order and doubles are per-site, so
+// reports are bit-identical across Jobs values and for resident vs.
+// disk-backed sources — the same determinism contract as the other two
+// replay modes, tested in tests/CharacterizeTest.cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ipbc/Characterize.h"
+
+#include "ipbc/DynamicReplay.h"
+#include "ipbc/EventStreamIndex.h"
+#include "predict/Provenance.h"
+#include "support/Json.h"
+#include "support/Metrics.h"
+#include "support/TablePrinter.h"
+#include "support/ThreadPool.h"
+#include "support/TimeTrace.h"
+#include "vm/TraceStore.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+using namespace bpfree;
+using namespace bpfree::evstream;
+
+const char *bpfree::branchClassName(BranchClass C) {
+  switch (C) {
+  case BranchClass::Easy:
+    return "easy";
+  case BranchClass::Moderate:
+    return "moderate";
+  case BranchClass::Hard:
+    return "hard";
+  }
+  return "easy";
+}
+
+double bpfree::charPredictBits(uint64_t Execs, double Entropy,
+                               const double (&CondEntropy)[NumCharDepths]) {
+  double Min = Entropy;
+  for (unsigned I = 0; I < NumCharDepths; ++I) {
+    const uint64_t D = CharDepths[I];
+    if (Execs >= D + (CharMinContextSamples << D))
+      Min = std::min(Min, CondEntropy[I]);
+  }
+  return Min;
+}
+
+BranchClass bpfree::classifyBranch(uint64_t Execs, double PredictBits,
+                                   const CharThresholds &T) {
+  if (Execs < T.MinExecs)
+    return BranchClass::Easy;
+  if (PredictBits >= T.HardBits)
+    return BranchClass::Hard;
+  if (PredictBits >= T.ModerateBits)
+    return BranchClass::Moderate;
+  return BranchClass::Easy;
+}
+
+namespace {
+
+const char *SchemaName = "bpfree-char-v1";
+
+/// Counts a rejected characterization request before returning the Diag
+/// (same contract as the replay entry points: refusals surface under
+/// "replay.rejected" in run manifests).
+Diag rejectedChar(Diag D) {
+  static metrics::Counter &Rejected = metrics::counter("replay.rejected");
+  Rejected.add();
+  return D;
+}
+
+/// Shannon entropy (bits) of a binary outcome with \p Taken of \p Total.
+double entropyBits(uint64_t Taken, uint64_t Total) {
+  if (Total == 0 || Taken == 0 || Taken == Total)
+    return 0.0;
+  const double P = static_cast<double>(Taken) / static_cast<double>(Total);
+  const double Q = 1.0 - P;
+  return -(P * std::log2(P) + Q * std::log2(Q));
+}
+
+/// Empirical conditional entropy H(outcome | last \p Depth outcomes) of
+/// one site's stream, in bits. Events before the history fills (the
+/// first \p Depth) carry no full context and are excluded, exactly like
+/// the warm-up of a real history predictor.
+double condEntropyBits(const SiteStream &S, unsigned Depth) {
+  if (S.Count <= Depth)
+    return 0.0;
+  const size_t Ctxs = static_cast<size_t>(1) << Depth;
+  const uint32_t Mask = static_cast<uint32_t>(Ctxs - 1);
+  std::vector<uint64_t> Cnt(Ctxs * 2, 0);
+  uint32_t Ctx = 0;
+  for (uint64_t K = 0; K < S.Count; ++K) {
+    const bool Taken = S.taken(K);
+    if (K >= Depth)
+      ++Cnt[Ctx * 2 + (Taken ? 1 : 0)];
+    Ctx = ((Ctx << 1) | (Taken ? 1u : 0u)) & Mask;
+  }
+  const uint64_t N = S.Count - Depth;
+  double H = 0.0;
+  for (size_t C = 0; C < Ctxs; ++C) {
+    const uint64_t Tk = Cnt[C * 2 + 1];
+    const uint64_t Tot = Cnt[C * 2] + Tk;
+    if (Tot == 0)
+      continue;
+    H += (static_cast<double>(Tot) / static_cast<double>(N)) *
+         entropyBits(Tk, Tot);
+  }
+  return H;
+}
+
+//===----------------------------------------------------------------------===//
+// Join sources: the per-site predictor replays per trace flavor
+//===----------------------------------------------------------------------===//
+
+struct ResidentJoin {
+  const BranchTrace &T;
+
+  Expected<std::vector<uint8_t>> perfect() const {
+    return perfectDirectionsFromTrace(T);
+  }
+  Expected<std::vector<SiteCounts>>
+  counts(const std::vector<uint8_t> &Dirs) const {
+    return replaySiteCounts(T, Dirs);
+  }
+  Expected<std::vector<std::vector<SiteCounts>>>
+  dynSites(const std::vector<DynPredictorConfig> &Panel, unsigned Jobs) const {
+    return replayTraceDynamicSites(T, Panel, Jobs);
+  }
+};
+
+struct StoreJoin {
+  const TraceStoreReader &R;
+  const ir::Module &M;
+
+  Expected<std::vector<uint8_t>> perfect() const {
+    return perfectDirectionsFromStore(R, M);
+  }
+  Expected<std::vector<SiteCounts>>
+  counts(const std::vector<uint8_t> &Dirs) const {
+    return replayStoreSiteCounts(R, Dirs);
+  }
+  Expected<std::vector<std::vector<SiteCounts>>>
+  dynSites(const std::vector<DynPredictorConfig> &Panel, unsigned Jobs) const {
+    return replayStoreDynamicSites(R, Panel, Jobs);
+  }
+};
+
+/// Charges one predictor's per-site counts to the report's classes.
+/// \p BySite maps flat site index -> class (only executed sites are
+/// meaningful). \returns the row, or an Internal Diag when the counts
+/// do not partition the trace's branch executions.
+Expected<ClassPredictorRow>
+chargeRow(std::string Name, std::string Kind,
+          const std::vector<SiteCounts> &Counts,
+          const std::vector<const SiteCharacter *> &BySite,
+          uint64_t BranchExecs) {
+  ClassPredictorRow Row;
+  Row.Name = std::move(Name);
+  Row.Kind = std::move(Kind);
+  uint64_t ExecSum = 0;
+  for (size_t Idx = 0; Idx < Counts.size(); ++Idx) {
+    const SiteCounts &C = Counts[Idx];
+    if (C.execs() == 0)
+      continue;
+    const SiteCharacter *S = Idx < BySite.size() ? BySite[Idx] : nullptr;
+    if (!S)
+      return Diag(ErrorKind::Internal,
+                  "characterize: predictor '" + Row.Name +
+                      "' charged site " + std::to_string(Idx) +
+                      " that the statistics pass never saw");
+    ClassSlice &Slice = Row.Classes[static_cast<unsigned>(S->Class)];
+    ++Slice.Sites;
+    Slice.Execs += C.execs();
+    Slice.Mispredicts += C.Mispredicts;
+    Row.Mispredicts += C.Mispredicts;
+    ExecSum += C.execs();
+  }
+  if (ExecSum != BranchExecs)
+    return Diag(ErrorKind::Internal,
+                "characterize: predictor '" + Row.Name + "' saw " +
+                    std::to_string(ExecSum) +
+                    " branch executions but the trace has " +
+                    std::to_string(BranchExecs) +
+                    "; per-class conservation is unprovable");
+  return Row;
+}
+
+//===----------------------------------------------------------------------===//
+// The pipeline
+//===----------------------------------------------------------------------===//
+
+template <class Source, class Join>
+Expected<CharReport> characterizeImpl(const PredictionContext &Ctx,
+                                      const Source &Src, const Join &J,
+                                      const CharOptions &Opts) {
+  timetrace::Span CharSpan("replay.char",
+                           Opts.Workload.empty() ? "<trace>" : Opts.Workload);
+  const unsigned Jobs =
+      Opts.Jobs == 0 ? ThreadPool::defaultConcurrency() : Opts.Jobs;
+
+  // ---- 1. Build pass: the shared per-site index.
+  EventIndex Ix;
+  Ix.NumChunks = Src.numChunks();
+  Ix.TotalInstrs = Src.totalInstrs();
+  const std::vector<size_t> Starts =
+      shardChunkStarts(Ix.NumChunks, MaxDynamicReplayShards);
+  {
+    IndexBuilder B(Ix, Starts);
+    if (std::optional<Diag> D = Src.forEachChunkSerial(
+            [&](const uint32_t *W, uint64_t N) { B.feedChunk(W, N); }))
+      return rejectedChar(*std::move(D));
+    B.finish();
+  }
+
+  // ---- 2. Shard pass: per-site exec/taken/transition tallies, merged
+  // in shard order. Transitions need each event's predecessor outcome,
+  // which the shard finds in the read-only bitstreams by (site,
+  // occurrence) — the same lookup discipline as the dynamic replay's
+  // sequencing pass.
+  const size_t NumShards = Ix.Shards.size();
+  std::vector<std::vector<uint64_t>> ShExecs(NumShards), ShTaken(NumShards),
+      ShTrans(NumShards);
+  std::vector<std::optional<Diag>> ShardErrs(NumShards);
+  parallelFor(Jobs, NumShards, [&](size_t ShIdx) {
+    const ShardStart &Sh = Ix.Shards[ShIdx];
+    const bool Last = ShIdx + 1 == NumShards;
+    const size_t End = Last ? Ix.NumChunks : Ix.Shards[ShIdx + 1].ChunkBegin;
+    const uint32_t Tail = Last ? 0 : Ix.Shards[ShIdx + 1].SkipWords;
+    std::vector<uint64_t> &E = ShExecs[ShIdx];
+    std::vector<uint64_t> &T = ShTaken[ShIdx];
+    std::vector<uint64_t> &X = ShTrans[ShIdx];
+    E.assign(Ix.NumSites, 0);
+    T.assign(Ix.NumSites, 0);
+    X.assign(Ix.NumSites, 0);
+    std::vector<uint64_t> Occ = Sh.SiteOcc;
+    TraceDecoder D;
+    const auto OnEvent = [&](uint32_t Idx, bool Taken, uint64_t) {
+      const uint64_t K = Occ[Idx]++;
+      ++E[Idx];
+      T[Idx] += Taken ? 1 : 0;
+      if (K > 0 && Ix.Sites[Idx].taken(K - 1) != Taken)
+        ++X[Idx];
+    };
+    ShardErrs[ShIdx] = Src.walkShardWords(
+        Sh.ChunkBegin, End, Sh.SkipWords, Tail,
+        [&](const uint32_t *W, uint64_t N) { D.feed(W, N, OnEvent); });
+  });
+  for (std::optional<Diag> &E : ShardErrs)
+    if (E)
+      return rejectedChar(*std::move(E));
+
+  std::vector<uint64_t> Execs(Ix.NumSites, 0), Taken(Ix.NumSites, 0),
+      Trans(Ix.NumSites, 0);
+  for (size_t ShIdx = 0; ShIdx < NumShards; ++ShIdx)
+    for (uint32_t S = 0; S < Ix.NumSites; ++S) {
+      Execs[S] += ShExecs[ShIdx][S];
+      Taken[S] += ShTaken[ShIdx][S];
+      Trans[S] += ShTrans[ShIdx][S];
+    }
+
+  // Cross-check the merge against the build pass's streams: both walked
+  // the same words, so any disagreement is a broken decoder or shard
+  // layout — refuse rather than report wrong statistics.
+  for (uint32_t S = 0; S < Ix.NumSites; ++S) {
+    uint64_t Pop = 0;
+    for (uint64_t W : Ix.Sites[S].Bits)
+      Pop += static_cast<uint64_t>(std::popcount(W));
+    if (Execs[S] != Ix.Sites[S].Count || Taken[S] != Pop)
+      return Diag(ErrorKind::Internal,
+                  "characterize: shard merge disagrees with the build "
+                  "pass at site " +
+                      std::to_string(S));
+  }
+
+  // ---- 3. Site pass: per-site doubles and class assignments.
+  std::vector<SiteCharacter> ByFlat(Ix.NumSites);
+  if (Ix.NumSites > 0) {
+    const size_t Groups = std::min<size_t>(Ix.NumSites, 64);
+    parallelFor(Jobs, Groups, [&](size_t G) {
+      const uint32_t Lo = static_cast<uint32_t>(G * Ix.NumSites / Groups);
+      const uint32_t Hi =
+          static_cast<uint32_t>((G + 1) * Ix.NumSites / Groups);
+      for (uint32_t Site = Lo; Site < Hi; ++Site) {
+        const SiteStream &S = Ix.Sites[Site];
+        if (S.Count == 0)
+          continue;
+        SiteCharacter &C = ByFlat[Site];
+        C.FlatIndex = Site;
+        C.Execs = Execs[Site];
+        C.Taken = Taken[Site];
+        C.Transitions = Trans[Site];
+        uint64_t Run = 0, MaxRun = 0;
+        bool Prev = false;
+        for (uint64_t K = 0; K < S.Count; ++K) {
+          const bool T = S.taken(K);
+          if (K == 0 || T == Prev) {
+            ++Run;
+          } else {
+            MaxRun = std::max(MaxRun, Run);
+            Run = 1;
+          }
+          Prev = T;
+        }
+        C.MaxRun = std::max(MaxRun, Run);
+        C.Entropy = entropyBits(C.Taken, C.Execs);
+        for (unsigned I = 0; I < NumCharDepths; ++I)
+          C.CondEntropy[I] = condEntropyBits(S, CharDepths[I]);
+        C.PredictBits = charPredictBits(C.Execs, C.Entropy, C.CondEntropy);
+        C.Class = classifyBranch(C.Execs, C.PredictBits, Opts.Thresholds);
+      }
+    });
+  }
+
+  // ---- 4a. Provenance join: which rule predicted each site.
+  const ir::Module &M = Ctx.getModule();
+  BallLarusPredictor P(Ctx);
+  ProvenanceMap Prov(M);
+  P.setProvenanceSink(&Prov);
+  const std::vector<uint8_t> Dirs = predictorDirections(M, P);
+  P.setProvenanceSink(nullptr);
+
+  CharReport R;
+  R.Workload = Opts.Workload;
+  R.Dataset = Opts.Dataset;
+  R.TotalInstrs = Ix.TotalInstrs;
+  R.BranchExecs = Ix.NumEvents;
+  R.Shards = NumShards;
+  R.Thresholds = Opts.Thresholds;
+
+  std::vector<const SiteCharacter *> BySite(Ix.NumSites, nullptr);
+  for (uint32_t Site = 0; Site < Ix.NumSites; ++Site) {
+    SiteCharacter &C = ByFlat[Site];
+    if (C.Execs == 0)
+      continue;
+    if (const BranchProvenance *PR = Prov.get(Site)) {
+      C.Function = PR->BB->getParent()->getName();
+      C.Block = PR->BB->getName();
+      C.SrcLine = PR->SrcLine;
+      C.Bucket = attrBucketName(PR->Bucket);
+    } else {
+      // Only conditional branches appear in the trace, and provenance
+      // covers every conditional branch of the module.
+      assert(false && "trace event on an unpredicted block");
+    }
+    BySite[Site] = &C;
+    ++R.NumSites;
+    const unsigned Cls = static_cast<unsigned>(C.Class);
+    ++R.ClassSites[Cls];
+    R.ClassExecs[Cls] += C.Execs;
+  }
+
+  // ---- 4b. Predictor-by-class join: the dynamic Table-2 analogue.
+  {
+    Expected<std::vector<SiteCounts>> BL = J.counts(Dirs);
+    if (!BL)
+      return BL.takeError();
+    Expected<ClassPredictorRow> Row =
+        chargeRow(P.name(), "static", *BL, BySite, R.BranchExecs);
+    if (!Row)
+      return Row.takeError();
+    R.Predictors.push_back(*std::move(Row));
+  }
+  {
+    Expected<std::vector<uint8_t>> PerfDirs = J.perfect();
+    if (!PerfDirs)
+      return PerfDirs.takeError();
+    Expected<std::vector<SiteCounts>> Perf = J.counts(*PerfDirs);
+    if (!Perf)
+      return Perf.takeError();
+    Expected<ClassPredictorRow> Row =
+        chargeRow("Perfect", "perfect", *Perf, BySite, R.BranchExecs);
+    if (!Row)
+      return Row.takeError();
+    R.Predictors.push_back(*std::move(Row));
+  }
+  {
+    const std::vector<DynPredictorConfig> Panel = standardDynamicPanel();
+    Expected<std::vector<std::vector<SiteCounts>>> Dyn =
+        J.dynSites(Panel, Jobs);
+    if (!Dyn)
+      return Dyn.takeError();
+    for (size_t I = 0; I < Panel.size(); ++I) {
+      Expected<ClassPredictorRow> Row = chargeRow(
+          Panel[I].name(), "dynamic", (*Dyn)[I], BySite, R.BranchExecs);
+      if (!Row)
+        return Row.takeError();
+      R.Predictors.push_back(*std::move(Row));
+    }
+  }
+
+  R.Sites.reserve(R.NumSites);
+  for (const SiteCharacter &C : ByFlat)
+    if (C.Execs > 0)
+      R.Sites.push_back(C);
+  std::sort(R.Sites.begin(), R.Sites.end(),
+            [](const SiteCharacter &A, const SiteCharacter &B) {
+              if (A.Execs != B.Execs)
+                return A.Execs > B.Execs;
+              return A.FlatIndex < B.FlatIndex;
+            });
+
+  if (metrics::enabled()) {
+    static metrics::Counter &Passes = metrics::counter("replay.char.passes");
+    static metrics::Counter &Events = metrics::counter("replay.char.events");
+    static metrics::Counter &Sites = metrics::counter("replay.char.sites");
+    static metrics::Counter &H2P = metrics::counter("replay.char.h2p_sites");
+    static metrics::Counter &Shards = metrics::counter("replay.char.shards");
+    Passes.add();
+    Events.add(Ix.NumEvents);
+    Sites.add(R.NumSites);
+    H2P.add(R.ClassSites[static_cast<unsigned>(BranchClass::Hard)]);
+    Shards.add(NumShards);
+  }
+  return R;
+}
+
+} // namespace
+
+Expected<CharReport> bpfree::characterizeTrace(const PredictionContext &Ctx,
+                                               const BranchTrace &Trace,
+                                               const CharOptions &Opts) {
+  if (&Ctx.getModule() != &Trace.getModule())
+    return rejectedChar(
+        Diag(ErrorKind::InvalidArgument,
+             "characterizeTrace: the prediction context analyzes a "
+             "different module than the trace captured"));
+  if (std::optional<Diag> D = validateTraceForReplay(Trace))
+    return *std::move(D);
+  ResidentEventSource Src{Trace};
+  ResidentJoin J{Trace};
+  return characterizeImpl(Ctx, Src, J, Opts);
+}
+
+Expected<CharReport> bpfree::characterizeStore(const PredictionContext &Ctx,
+                                               const TraceStoreReader &Store,
+                                               const CharOptions &Opts) {
+  if (std::optional<Diag> D = validateStoreForReplay(Store))
+    return *std::move(D);
+  if (std::optional<Diag> D = Store.requireModule(Ctx.getModule()))
+    return rejectedChar(*std::move(D));
+  StoreEventSource Src{Store};
+  StoreJoin J{Store, Ctx.getModule()};
+  return characterizeImpl(Ctx, Src, J, Opts);
+}
+
+//===----------------------------------------------------------------------===//
+// Rendering
+//===----------------------------------------------------------------------===//
+
+std::string bpfree::renderCharReport(const CharReport &R, size_t TopN) {
+  std::string Out;
+  char Buf[256];
+  Out += "characterize: " + (R.Workload.empty() ? "<trace>" : R.Workload);
+  if (!R.Dataset.empty())
+    Out += " / " + R.Dataset;
+  std::snprintf(Buf, sizeof(Buf),
+                "\n  %llu instrs, %llu branch execs, %llu sites, "
+                "%zu shards\n",
+                static_cast<unsigned long long>(R.TotalInstrs),
+                static_cast<unsigned long long>(R.BranchExecs),
+                static_cast<unsigned long long>(R.NumSites),
+                static_cast<size_t>(R.Shards));
+  Out += Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "  hard share %.1f%% (threshold %.0f%%) -> %s\n\n",
+                100.0 * R.hardShare(), 100.0 * R.Thresholds.HardShare,
+                R.h2p() ? "H2P workload" : "regular workload");
+  Out += Buf;
+
+  TablePrinter Classes({"Class", "Sites", "Execs", "ExecShare"});
+  for (unsigned C = 0; C < NumBranchClasses; ++C) {
+    char Share[32];
+    std::snprintf(Share, sizeof(Share), "%.1f%%",
+                  R.BranchExecs == 0
+                      ? 0.0
+                      : 100.0 * static_cast<double>(R.ClassExecs[C]) /
+                            static_cast<double>(R.BranchExecs));
+    Classes.addRow({branchClassName(static_cast<BranchClass>(C)),
+                    std::to_string(R.ClassSites[C]),
+                    std::to_string(R.ClassExecs[C]), Share});
+  }
+  std::ostringstream ClassOS;
+  Classes.print(ClassOS);
+  Out += ClassOS.str();
+
+  Out += "\nmiss rate by class (the dynamic Table-2 analogue):\n";
+  TablePrinter Preds(
+      {"Predictor", "Kind", "EasyMiss", "ModMiss", "HardMiss", "Miss"});
+  for (const ClassPredictorRow &Row : R.Predictors) {
+    char Cells[3][32];
+    for (unsigned C = 0; C < NumBranchClasses; ++C) {
+      if (Row.Classes[C].Execs == 0)
+        std::snprintf(Cells[C], sizeof(Cells[C]), "-");
+      else
+        std::snprintf(Cells[C], sizeof(Cells[C]), "%.1f%%",
+                      100.0 * Row.missRate(C));
+    }
+    Preds.addRow({Row.Name, Row.Kind, Cells[0], Cells[1], Cells[2],
+                  std::to_string(Row.Mispredicts)});
+  }
+  std::ostringstream PredOS;
+  Preds.print(PredOS);
+  Out += PredOS.str();
+
+  // Hardest sites first: class descending, then residual entropy, then
+  // execution weight.
+  std::vector<const SiteCharacter *> Hardest;
+  Hardest.reserve(R.Sites.size());
+  for (const SiteCharacter &S : R.Sites)
+    Hardest.push_back(&S);
+  std::sort(Hardest.begin(), Hardest.end(),
+            [](const SiteCharacter *A, const SiteCharacter *B) {
+              if (A->Class != B->Class)
+                return static_cast<unsigned>(A->Class) >
+                       static_cast<unsigned>(B->Class);
+              if (A->PredictBits != B->PredictBits)
+                return A->PredictBits > B->PredictBits;
+              if (A->Execs != B->Execs)
+                return A->Execs > B->Execs;
+              return A->FlatIndex < B->FlatIndex;
+            });
+  Out += "\nhardest branches:\n";
+  if (Hardest.empty())
+    Out += "  (no executed branches)\n";
+  const size_t N = std::min(TopN, Hardest.size());
+  for (size_t I = 0; I < N; ++I) {
+    const SiteCharacter &S = *Hardest[I];
+    std::string Where = S.Function + ":" + S.Block;
+    if (S.SrcLine > 0)
+      Where += " (line " + std::to_string(S.SrcLine) + ")";
+    std::snprintf(
+        Buf, sizeof(Buf),
+        "  #%zu  %-40s %-8s %8llu execs  taken %4.1f%%  H %.2fb  "
+        "H|8 %.2fb  resid %.2fb  [%s]\n",
+        I + 1, Where.c_str(), branchClassName(S.Class),
+        static_cast<unsigned long long>(S.Execs), 100.0 * S.takenRate(),
+        S.Entropy, S.CondEntropy[NumCharDepths - 1], S.PredictBits,
+        S.Bucket.c_str());
+    Out += Buf;
+  }
+  if (Hardest.size() > N) {
+    std::snprintf(Buf, sizeof(Buf), "  ... and %zu more sites\n",
+                  Hardest.size() - N);
+    Out += Buf;
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// bpfree-char-v1 writer
+//===----------------------------------------------------------------------===//
+
+bool bpfree::writeCharJson(const CharReport &R, const std::string &Path,
+                           size_t TopN) {
+  std::FILE *Out = std::fopen(Path.c_str(), "w");
+  if (!Out)
+    return false;
+  std::fprintf(Out, "{\n");
+  std::fprintf(Out, "  \"schema\": \"%s\",\n", SchemaName);
+  std::fprintf(Out, "  \"workload\": \"%s\",\n",
+               json::escape(R.Workload).c_str());
+  std::fprintf(Out, "  \"dataset\": \"%s\",\n",
+               json::escape(R.Dataset).c_str());
+  std::fprintf(Out, "  \"total_instrs\": %llu,\n",
+               static_cast<unsigned long long>(R.TotalInstrs));
+  std::fprintf(Out, "  \"branch_execs\": %llu,\n",
+               static_cast<unsigned long long>(R.BranchExecs));
+  std::fprintf(Out, "  \"num_sites\": %llu,\n",
+               static_cast<unsigned long long>(R.NumSites));
+  std::fprintf(Out, "  \"shards\": %llu,\n",
+               static_cast<unsigned long long>(R.Shards));
+  std::fprintf(Out,
+               "  \"thresholds\": {\"min_execs\": %llu, "
+               "\"hard_bits\": %.17g, \"moderate_bits\": %.17g, "
+               "\"hard_share\": %.17g},\n",
+               static_cast<unsigned long long>(R.Thresholds.MinExecs),
+               R.Thresholds.HardBits, R.Thresholds.ModerateBits,
+               R.Thresholds.HardShare);
+  std::fprintf(Out, "  \"classes\": [\n");
+  for (unsigned C = 0; C < NumBranchClasses; ++C)
+    std::fprintf(Out,
+                 "    {\"name\": \"%s\", \"sites\": %llu, "
+                 "\"execs\": %llu}%s\n",
+                 branchClassName(static_cast<BranchClass>(C)),
+                 static_cast<unsigned long long>(R.ClassSites[C]),
+                 static_cast<unsigned long long>(R.ClassExecs[C]),
+                 C + 1 == NumBranchClasses ? "" : ",");
+  std::fprintf(Out, "  ],\n");
+  std::fprintf(Out, "  \"hard_share\": %.17g,\n", R.hardShare());
+  std::fprintf(Out, "  \"h2p\": %s,\n", R.h2p() ? "true" : "false");
+  const size_t N = TopN == 0 ? R.Sites.size() : std::min(TopN, R.Sites.size());
+  std::fprintf(Out, "  \"sites\": [\n");
+  for (size_t I = 0; I < N; ++I) {
+    const SiteCharacter &S = R.Sites[I];
+    std::fprintf(
+        Out,
+        "    {\"flat_index\": %u, \"function\": \"%s\", "
+        "\"block\": \"%s\", \"line\": %d, \"bucket\": \"%s\", "
+        "\"class\": \"%s\", \"execs\": %llu, \"taken\": %llu, "
+        "\"transitions\": %llu, \"max_run\": %llu, "
+        "\"entropy\": %.17g, \"cond_entropy\": [%.17g, %.17g, %.17g], "
+        "\"predict_bits\": %.17g}%s\n",
+        S.FlatIndex, json::escape(S.Function).c_str(),
+        json::escape(S.Block).c_str(), S.SrcLine,
+        json::escape(S.Bucket).c_str(), branchClassName(S.Class),
+        static_cast<unsigned long long>(S.Execs),
+        static_cast<unsigned long long>(S.Taken),
+        static_cast<unsigned long long>(S.Transitions),
+        static_cast<unsigned long long>(S.MaxRun), S.Entropy,
+        S.CondEntropy[0], S.CondEntropy[1], S.CondEntropy[2], S.PredictBits,
+        I + 1 == N ? "" : ",");
+  }
+  std::fprintf(Out, "  ],\n");
+  std::fprintf(Out, "  \"predictors\": [\n");
+  for (size_t I = 0; I < R.Predictors.size(); ++I) {
+    const ClassPredictorRow &Row = R.Predictors[I];
+    std::fprintf(Out,
+                 "    {\"name\": \"%s\", \"kind\": \"%s\", "
+                 "\"mispredicts\": %llu, \"classes\": [",
+                 json::escape(Row.Name).c_str(),
+                 json::escape(Row.Kind).c_str(),
+                 static_cast<unsigned long long>(Row.Mispredicts));
+    for (unsigned C = 0; C < NumBranchClasses; ++C)
+      std::fprintf(Out,
+                   "{\"name\": \"%s\", \"sites\": %llu, \"execs\": %llu, "
+                   "\"mispredicts\": %llu}%s",
+                   branchClassName(static_cast<BranchClass>(C)),
+                   static_cast<unsigned long long>(Row.Classes[C].Sites),
+                   static_cast<unsigned long long>(Row.Classes[C].Execs),
+                   static_cast<unsigned long long>(
+                       Row.Classes[C].Mispredicts),
+                   C + 1 == NumBranchClasses ? "" : ", ");
+    std::fprintf(Out, "]}%s\n",
+                 I + 1 == R.Predictors.size() ? "" : ",");
+  }
+  std::fprintf(Out, "  ]\n");
+  std::fprintf(Out, "}\n");
+  std::fclose(Out);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// bpfree-char-v1 reader / validator
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Validation helper: \p V must hold member \p Key as a non-negative
+/// number; writes it through \p Dst and reports the first violation.
+bool takeCount(const json::Value &V, const char *Key, uint64_t &Dst,
+               std::string &Err) {
+  const json::Value *F = V.find(Key);
+  if (!F || F->K != json::Value::Number) {
+    Err = std::string("missing numeric field '") + Key + "'";
+    return false;
+  }
+  if (F->Num < 0) {
+    Err = std::string("negative count in field '") + Key + "'";
+    return false;
+  }
+  Dst = json::asU64(F->Num);
+  return true;
+}
+
+/// Like takeCount but for the report's real-valued statistics (entropy,
+/// thresholds) — preserved exactly, required non-negative.
+bool takeReal(const json::Value &V, const char *Key, double &Dst,
+              std::string &Err) {
+  const json::Value *F = V.find(Key);
+  if (!F || F->K != json::Value::Number) {
+    Err = std::string("missing numeric field '") + Key + "'";
+    return false;
+  }
+  if (F->Num < 0) {
+    Err = std::string("negative value in field '") + Key + "'";
+    return false;
+  }
+  Dst = F->Num;
+  return true;
+}
+
+bool classFromName(const std::string &Name, BranchClass &C) {
+  for (unsigned I = 0; I < NumBranchClasses; ++I)
+    if (Name == branchClassName(static_cast<BranchClass>(I))) {
+      C = static_cast<BranchClass>(I);
+      return true;
+    }
+  return false;
+}
+
+} // namespace
+
+Expected<CharReport> bpfree::readCharJson(const std::string &Path) {
+  Expected<json::Value> Parsed = json::parseFile(Path);
+  if (!Parsed)
+    return Parsed.takeError();
+  const json::Value &Root = *Parsed;
+  auto invalid = [&](const std::string &Why) {
+    return Diag(ErrorKind::InvalidArgument, "'" + Path + "': " + Why);
+  };
+  if (Root.K != json::Value::Object)
+    return invalid("document is not a JSON object");
+  if (Root.str("schema") != SchemaName)
+    return invalid(std::string("not a ") + SchemaName + " document");
+  for (const char *Key : {"workload", "dataset"})
+    if (!Root.has(Key))
+      return invalid(std::string("missing field '") + Key + "'");
+
+  CharReport R;
+  R.Workload = Root.str("workload");
+  R.Dataset = Root.str("dataset");
+  std::string Err;
+  if (!takeCount(Root, "total_instrs", R.TotalInstrs, Err) ||
+      !takeCount(Root, "branch_execs", R.BranchExecs, Err) ||
+      !takeCount(Root, "num_sites", R.NumSites, Err) ||
+      !takeCount(Root, "shards", R.Shards, Err))
+    return invalid(Err);
+
+  const json::Value *Th = Root.find("thresholds");
+  if (!Th || Th->K != json::Value::Object)
+    return invalid("missing 'thresholds' object");
+  if (!takeCount(*Th, "min_execs", R.Thresholds.MinExecs, Err) ||
+      !takeReal(*Th, "hard_bits", R.Thresholds.HardBits, Err) ||
+      !takeReal(*Th, "moderate_bits", R.Thresholds.ModerateBits, Err) ||
+      !takeReal(*Th, "hard_share", R.Thresholds.HardShare, Err))
+    return invalid("thresholds: " + Err);
+
+  const json::Value *Cs = Root.find("classes");
+  if (!Cs || Cs->K != json::Value::Array)
+    return invalid("missing 'classes' array");
+  if (Cs->Arr.size() != NumBranchClasses)
+    return invalid("expected " + std::to_string(NumBranchClasses) +
+                   " classes, found " + std::to_string(Cs->Arr.size()));
+  uint64_t SiteSum = 0, ExecSum = 0;
+  for (unsigned C = 0; C < NumBranchClasses; ++C) {
+    const json::Value &V = Cs->Arr[C];
+    const char *Want = branchClassName(static_cast<BranchClass>(C));
+    if (V.str("name") != Want)
+      return invalid("class " + std::to_string(C) + " is named '" +
+                     V.str("name") + "', expected '" + Want + "'");
+    if (!takeCount(V, "sites", R.ClassSites[C], Err) ||
+        !takeCount(V, "execs", R.ClassExecs[C], Err))
+      return invalid(std::string("class '") + Want + "': " + Err);
+    SiteSum += R.ClassSites[C];
+    ExecSum += R.ClassExecs[C];
+  }
+  if (SiteSum != R.NumSites)
+    return invalid("conservation violated: class sites sum to " +
+                   std::to_string(SiteSum) + " but the report has " +
+                   std::to_string(R.NumSites) + " sites");
+  if (ExecSum != R.BranchExecs)
+    return invalid("conservation violated: class execs sum to " +
+                   std::to_string(ExecSum) +
+                   " but the trace has " + std::to_string(R.BranchExecs) +
+                   " branch executions");
+
+  double HardShare = 0.0;
+  if (!takeReal(Root, "hard_share", HardShare, Err))
+    return invalid(Err);
+  if (HardShare != R.hardShare())
+    return invalid("hard_share does not match the class exec totals");
+  const json::Value *H2P = Root.find("h2p");
+  if (!H2P || H2P->K != json::Value::Bool)
+    return invalid("missing boolean field 'h2p'");
+  if (H2P->B != R.h2p())
+    return invalid("h2p verdict does not match hard_share against the "
+                   "threshold");
+
+  const json::Value *Ss = Root.find("sites");
+  if (!Ss || Ss->K != json::Value::Array)
+    return invalid("missing 'sites' array");
+  if (Ss->Arr.size() > R.NumSites)
+    return invalid("more sites listed than num_sites");
+  for (const json::Value &V : Ss->Arr) {
+    SiteCharacter S;
+    uint64_t Flat = 0;
+    if (!takeCount(V, "flat_index", Flat, Err) ||
+        !takeCount(V, "execs", S.Execs, Err) ||
+        !takeCount(V, "taken", S.Taken, Err) ||
+        !takeCount(V, "transitions", S.Transitions, Err) ||
+        !takeCount(V, "max_run", S.MaxRun, Err) ||
+        !takeReal(V, "entropy", S.Entropy, Err) ||
+        !takeReal(V, "predict_bits", S.PredictBits, Err))
+      return invalid("site: " + Err);
+    S.FlatIndex = static_cast<uint32_t>(Flat);
+    S.Function = V.str("function");
+    S.Block = V.str("block");
+    S.SrcLine = static_cast<int>(V.num("line"));
+    S.Bucket = V.str("bucket");
+    const std::string Tag = "site " + std::to_string(S.FlatIndex);
+    if (S.Execs == 0)
+      return invalid(Tag + " has zero executions; only executed sites "
+                           "are characterized");
+    if (S.Taken > S.Execs)
+      return invalid(Tag + " has more taken outcomes than executions");
+    if (S.Transitions + 1 > S.Execs)
+      return invalid(Tag + " has more transitions than executions allow");
+    if (S.MaxRun == 0 || S.MaxRun > S.Execs)
+      return invalid(Tag + " has an impossible max run length");
+    const json::Value *CE = V.find("cond_entropy");
+    if (!CE || CE->K != json::Value::Array ||
+        CE->Arr.size() != NumCharDepths)
+      return invalid(Tag + " is missing the " +
+                     std::to_string(NumCharDepths) +
+                     "-depth 'cond_entropy' array");
+    for (unsigned I = 0; I < NumCharDepths; ++I) {
+      const json::Value &E = CE->Arr[I];
+      if (E.K != json::Value::Number || E.Num < 0)
+        return invalid(Tag + " has a non-numeric or negative "
+                             "conditional entropy");
+      S.CondEntropy[I] = E.Num;
+    }
+    if (S.Entropy > 1.0 + 1e-9)
+      return invalid(Tag + " claims more than one bit of binary entropy");
+    if (S.PredictBits != charPredictBits(S.Execs, S.Entropy, S.CondEntropy))
+      return invalid(Tag + "'s predict_bits is not the residual-entropy "
+                           "minimum of its own statistics");
+    if (!classFromName(V.str("class"), S.Class))
+      return invalid(Tag + " names unknown class '" + V.str("class") + "'");
+    if (S.Class != classifyBranch(S.Execs, S.PredictBits, R.Thresholds))
+      return invalid(Tag + "'s class does not follow from its residual "
+                           "entropy under the report's thresholds");
+    R.Sites.push_back(std::move(S));
+  }
+
+  const json::Value *Ps = Root.find("predictors");
+  if (!Ps || Ps->K != json::Value::Array)
+    return invalid("missing 'predictors' array");
+  for (const json::Value &V : Ps->Arr) {
+    ClassPredictorRow Row;
+    Row.Name = V.str("name");
+    Row.Kind = V.str("kind");
+    if (Row.Name.empty())
+      return invalid("predictor row without a name");
+    if (Row.Kind != "static" && Row.Kind != "perfect" &&
+        Row.Kind != "dynamic")
+      return invalid("predictor '" + Row.Name + "' has unknown kind '" +
+                     Row.Kind + "'");
+    if (!takeCount(V, "mispredicts", Row.Mispredicts, Err))
+      return invalid("predictor '" + Row.Name + "': " + Err);
+    const json::Value *RC = V.find("classes");
+    if (!RC || RC->K != json::Value::Array ||
+        RC->Arr.size() != NumBranchClasses)
+      return invalid("predictor '" + Row.Name + "' is missing its " +
+                     std::to_string(NumBranchClasses) +
+                     "-class breakdown");
+    uint64_t RowSites = 0, RowExecs = 0, RowMiss = 0;
+    for (unsigned C = 0; C < NumBranchClasses; ++C) {
+      const json::Value &CV = RC->Arr[C];
+      const char *Want = branchClassName(static_cast<BranchClass>(C));
+      if (CV.str("name") != Want)
+        return invalid("predictor '" + Row.Name + "' class " +
+                       std::to_string(C) + " is named '" + CV.str("name") +
+                       "', expected '" + Want + "'");
+      ClassSlice &Slice = Row.Classes[C];
+      if (!takeCount(CV, "sites", Slice.Sites, Err) ||
+          !takeCount(CV, "execs", Slice.Execs, Err) ||
+          !takeCount(CV, "mispredicts", Slice.Mispredicts, Err))
+        return invalid("predictor '" + Row.Name + "' class '" +
+                       std::string(Want) + "': " + Err);
+      if (Slice.Mispredicts > Slice.Execs)
+        return invalid("predictor '" + Row.Name + "' mispredicts class '" +
+                       std::string(Want) + "' more often than it executes");
+      RowSites += Slice.Sites;
+      RowExecs += Slice.Execs;
+      RowMiss += Slice.Mispredicts;
+    }
+    if (RowExecs != R.BranchExecs)
+      return invalid("conservation violated: predictor '" + Row.Name +
+                     "' class execs sum to " + std::to_string(RowExecs) +
+                     " but the trace has " + std::to_string(R.BranchExecs) +
+                     " branch executions");
+    if (RowSites != R.NumSites)
+      return invalid("conservation violated: predictor '" + Row.Name +
+                     "' class sites sum to " + std::to_string(RowSites) +
+                     " but the report has " + std::to_string(R.NumSites) +
+                     " sites");
+    if (RowMiss != Row.Mispredicts)
+      return invalid("predictor '" + Row.Name +
+                     "' class mispredicts do not sum to its total");
+    R.Predictors.push_back(std::move(Row));
+  }
+  return R;
+}

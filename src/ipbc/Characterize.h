@@ -1,0 +1,264 @@
+//===- ipbc/Characterize.h - Per-branch predictability observatory -*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The third replay mode: characterizing how *predictable* each branch
+/// site is, independent of any particular predictor. The paper's tables
+/// measure predictors; the modern literature ("Branch Prediction Is Not
+/// a Solved Problem", Lin & Tarsa; "Workload Characterization for Branch
+/// Predictability", Vikas, Gratz & Jiménez) measures branches — the
+/// hard-to-predict (H2P) tail is where every predictor's misses
+/// concentrate, and a per-branch information-theoretic profile tells us
+/// whether a miss is a heuristic's fault or the branch's.
+///
+/// One pass over a captured trace (resident or on-disk store, sharded by
+/// chunk across the ThreadPool with a deterministic shard-order merge,
+/// bit-identical at every Jobs value like the other two replay modes)
+/// computes per site:
+///
+///  * execution count, taken rate, and marginal direction entropy;
+///  * transition rate and a run-length summary (max/mean run) — the
+///    burstiness axis that separates phase-changing branches from
+///    coin-flip branches at equal entropy;
+///  * history-conditioned entropy at depths {1, 4, 8} — a 3-point
+///    approximation of the per-branch predictability curves of Lin &
+///    Tarsa: the residual entropy given the branch's own last d
+///    outcomes, i.e. how much a 2^d-context local predictor could still
+///    miss. Depth d only participates when the site executed enough to
+///    give each context a few samples (small-sample empirical entropy
+///    is biased toward zero and would misclassify rare random branches
+///    as easy);
+///  * an H2P class — hard / moderate / easy — from the minimum residual
+///    entropy over the marginal and the admitted depths, under
+///    configurable thresholds (CharThresholds).
+///
+/// The per-site classes are then joined against the provenance map
+/// (which rule predicted the branch) and against every predictor's
+/// per-site misses — the combined Ball-Larus predictor and the perfect
+/// static predictor via replaySiteCounts, the dynamic zoo via
+/// replayTraceDynamicSites — producing a dynamic Table-2 analogue over
+/// predictability classes: each predictor's misses charged to a branch
+/// class, not just a site. Conservation is structural and enforced by
+/// the validator: per-class site and exec totals sum to the trace
+/// totals, and every predictor row's per-class execs partition the
+/// trace's branch executions.
+///
+/// Reports round-trip through a validated bpfree-char-v1 JSON document
+/// (writeCharJson / readCharJson — tools/bpfree_char.cpp and
+/// scripts/ci.sh's schema gate), and passes are billed under the
+/// replay.char.* metrics. docs/characterize.md walks the statistics and
+/// the class semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_IPBC_CHARACTERIZE_H
+#define BPFREE_IPBC_CHARACTERIZE_H
+
+#include "ipbc/TraceReplay.h"
+#include "predict/Predictors.h"
+#include "support/Error.h"
+#include "vm/BranchTrace.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bpfree {
+
+class TraceStoreReader;
+
+/// History depths of the conditional-entropy curve. Fixed — they are
+/// part of the bpfree-char-v1 schema (the cond_entropy array) and of
+/// the classification rule, so two reports are always comparable.
+inline constexpr unsigned CharDepths[] = {1, 4, 8};
+inline constexpr unsigned NumCharDepths = 3;
+
+/// Minimum average samples per history context for a conditional-
+/// entropy depth to participate in classification: depth d is admitted
+/// for a site iff it executed at least d + (this << d) times. Empirical
+/// entropy over starved contexts is biased toward zero — without the
+/// floor, a 100-exec coin-flip branch would look perfectly predictable
+/// at depth 8 (256 contexts, zero or one sample each).
+inline constexpr uint64_t CharMinContextSamples = 4;
+
+/// The predictability classes, in ascending hardness. Array positions
+/// in reports and JSON documents follow this order.
+enum class BranchClass : uint8_t { Easy = 0, Moderate = 1, Hard = 2 };
+inline constexpr unsigned NumBranchClasses = 3;
+
+/// Stable class name ("easy" / "moderate" / "hard") — keys the
+/// bpfree-char-v1 document and must not change.
+const char *branchClassName(BranchClass C);
+
+/// The classification knobs. Defaults follow the H2P literature's
+/// shape: a branch is hard when no small amount of its own history
+/// explains its outcomes (residual entropy stays above HardBits), and a
+/// workload is H2P when the hard class carries a MAJORITY of its branch
+/// executions — share-based and strict, because search/sort workloads
+/// legitimately spend a third of their branches on data-dependent
+/// comparisons (treesort's BST descent, qsortbench's pivot compares)
+/// without being adversarial: on the reference suite the hard-class
+/// share tops out near 46% (lisp), while the adversarial workloads put
+/// 80%+ of their executions on hard sites.
+struct CharThresholds {
+  uint64_t MinExecs = 64;    ///< below this a site is Easy by fiat
+  double HardBits = 0.60;    ///< residual entropy >= this: Hard
+  double ModerateBits = 0.15; ///< residual entropy >= this: Moderate
+  double HardShare = 0.50;   ///< hard-class exec share for the H2P verdict
+};
+
+/// The residual (minimum) entropy classification uses: the smallest of
+/// the marginal entropy and the conditional entropies whose depth is
+/// admitted for \p Execs (see CharMinContextSamples). Exposed because
+/// the JSON validator recomputes it to detect tampered documents.
+double charPredictBits(uint64_t Execs, double Entropy,
+                       const double (&CondEntropy)[NumCharDepths]);
+
+/// The class of a site with \p Execs executions and residual entropy
+/// \p PredictBits under \p T. Pure — the validator recomputes it.
+BranchClass classifyBranch(uint64_t Execs, double PredictBits,
+                           const CharThresholds &T);
+
+/// One branch site's predictability profile, joined with its static
+/// provenance.
+struct SiteCharacter {
+  uint32_t FlatIndex = 0;
+  uint64_t Execs = 0;
+  uint64_t Taken = 0;
+  uint64_t Transitions = 0; ///< direction flips between consecutive execs
+  uint64_t MaxRun = 0;      ///< longest same-direction run
+  double Entropy = 0.0;     ///< marginal H(taken rate), bits
+  double CondEntropy[NumCharDepths] = {0.0, 0.0, 0.0};
+  double PredictBits = 0.0; ///< charPredictBits of the fields above
+  BranchClass Class = BranchClass::Easy;
+  // Provenance join (predict/Provenance.h).
+  std::string Function;
+  std::string Block;
+  int SrcLine = 0;     ///< 0 when the IR carries no source lines
+  std::string Bucket;  ///< deciding attribution bucket's name
+
+  double takenRate() const {
+    return Execs == 0 ? 0.0
+                      : static_cast<double>(Taken) /
+                            static_cast<double>(Execs);
+  }
+  double transitionRate() const {
+    return Execs < 2 ? 0.0
+                     : static_cast<double>(Transitions) /
+                           static_cast<double>(Execs - 1);
+  }
+  /// Mean same-direction run length (Execs when the site never flips).
+  double meanRun() const {
+    return Execs == 0 ? 0.0
+                      : static_cast<double>(Execs) /
+                            static_cast<double>(Transitions + 1);
+  }
+};
+
+/// One predictor's tally against one class.
+struct ClassSlice {
+  uint64_t Sites = 0;
+  uint64_t Execs = 0;
+  uint64_t Mispredicts = 0;
+};
+
+/// One row of the class-resolved predictor table: a predictor's misses
+/// charged to the three classes. Execs over the classes partition the
+/// trace's branch executions (conservation), so every predictor's rows
+/// are comparable.
+struct ClassPredictorRow {
+  std::string Name;        ///< predictor display name
+  std::string Kind;        ///< "static", "perfect", or "dynamic"
+  ClassSlice Classes[NumBranchClasses];
+  uint64_t Mispredicts = 0; ///< == sum of Classes[*].Mispredicts
+
+  double missRate(unsigned C) const {
+    return Classes[C].Execs == 0
+               ? 0.0
+               : static_cast<double>(Classes[C].Mispredicts) /
+                     static_cast<double>(Classes[C].Execs);
+  }
+};
+
+/// The characterization result for one (workload, trace).
+struct CharReport {
+  std::string Workload; ///< "" when not produced through the driver
+  std::string Dataset;
+  uint64_t TotalInstrs = 0;
+  uint64_t BranchExecs = 0; ///< trace event total
+  uint64_t NumSites = 0;    ///< sites with at least one execution
+  uint64_t Shards = 0;      ///< shards of the deterministic merge
+  CharThresholds Thresholds;
+  uint64_t ClassSites[NumBranchClasses] = {0, 0, 0};
+  uint64_t ClassExecs[NumBranchClasses] = {0, 0, 0};
+  /// Every executed site, sorted by Execs descending, flat index
+  /// ascending on ties; renderers and writers truncate to their top-N.
+  std::vector<SiteCharacter> Sites;
+  /// Combined Ball-Larus, perfect, then the standard dynamic panel.
+  std::vector<ClassPredictorRow> Predictors;
+
+  /// Hard-class share of all branch executions (0 when none).
+  double hardShare() const {
+    return BranchExecs == 0
+               ? 0.0
+               : static_cast<double>(
+                     ClassExecs[static_cast<unsigned>(BranchClass::Hard)]) /
+                     static_cast<double>(BranchExecs);
+  }
+  /// The workload-level H2P verdict.
+  bool h2p() const { return hardShare() >= Thresholds.HardShare; }
+};
+
+/// Options for characterizeTrace / characterizeStore.
+struct CharOptions {
+  CharThresholds Thresholds;
+  /// Parallelism of the sharded pass and the joins; 0 = hardware
+  /// concurrency. Results are bit-identical for every value.
+  unsigned Jobs = 0;
+  /// Workload/dataset labels copied into the report (informational).
+  std::string Workload;
+  std::string Dataset;
+};
+
+/// Runs the full characterization pass for \p Trace: the sharded
+/// statistics pass, the provenance join, and the predictor-by-class
+/// join (combined Ball-Larus under the default configuration, perfect,
+/// and the standard dynamic panel). \p Ctx must analyze the trace's
+/// module. Rejects unsound traces like every replay entry point;
+/// rejections are counted under "replay.rejected".
+Expected<CharReport> characterizeTrace(const PredictionContext &Ctx,
+                                       const BranchTrace &Trace,
+                                       const CharOptions &Opts = {});
+
+/// characterizeTrace for an on-disk store (verified against \p Ctx's
+/// module hash). Reports are bit-identical to characterizeTrace on the
+/// resident trace the store was written from.
+Expected<CharReport> characterizeStore(const PredictionContext &Ctx,
+                                       const TraceStoreReader &Store,
+                                       const CharOptions &Opts = {});
+
+/// Renders the human-readable report: the class summary, the
+/// predictor-by-class table, and the top \p TopN hardest sites.
+std::string renderCharReport(const CharReport &R, size_t TopN = 10);
+
+/// Writes \p R as a bpfree-char-v1 JSON document (sites truncated to
+/// \p TopN, 0 = all; class and predictor tables are never truncated, so
+/// conservation is checkable regardless). \returns false when the file
+/// cannot be opened.
+bool writeCharJson(const CharReport &R, const std::string &Path,
+                   size_t TopN = 0);
+
+/// Reads and validates a bpfree-char-v1 document: schema tag, required
+/// keys, class-count conservation (per-class site and exec totals sum
+/// to the trace totals; every predictor row's class execs partition the
+/// branch executions), and per-site consistency (classes and residual
+/// entropies recomputed from the stored statistics must match). The
+/// schema gate scripts/ci.sh runs on its build artifact.
+Expected<CharReport> readCharJson(const std::string &Path);
+
+} // namespace bpfree
+
+#endif // BPFREE_IPBC_CHARACTERIZE_H

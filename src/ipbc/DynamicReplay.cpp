@@ -6,13 +6,10 @@
 //
 // Pipeline (see the header for the why):
 //
-//   1. Build pass (sequential, one decode of the packed stream): per-site
-//      outcome bitstreams in first-occurrence order, plus one snapshot
-//      per trace shard — the chunk index where the shard starts, how many
-//      words of that chunk belong to the previous shard's straddling
-//      escape record, the instruction count, and every site's occurrence
-//      count at that point. A shard owns the events whose HEAD word lies
-//      in its chunk range.
+//   1. Build pass (sequential, one decode of the packed stream): the
+//      shared per-site event-stream index (ipbc/EventStreamIndex.h) —
+//      per-site outcome bitstreams in first-occurrence order, plus one
+//      snapshot per trace shard.
 //
 //   2. Site pass (parallel over site groups): per-site-decomposable panel
 //      members simulate each site's stream independently, emitting
@@ -45,6 +42,7 @@
 
 #include "ipbc/DynamicReplay.h"
 
+#include "ipbc/EventStreamIndex.h"
 #include "ipbc/TraceReplay.h"
 #include "support/Metrics.h"
 #include "support/ThreadPool.h"
@@ -55,6 +53,7 @@
 #include <cassert>
 
 using namespace bpfree;
+using namespace bpfree::evstream;
 
 namespace {
 
@@ -76,254 +75,28 @@ Diag dynPanelSizeDiag(size_t Got) {
                "; split the panel across multiple replay calls"));
 }
 
-/// One branch site's outcome stream, bit-packed in occurrence order
-/// (bit k = the site's k-th execution was taken).
-struct SiteStream {
-  std::vector<uint64_t> Bits;
-  uint64_t Count = 0;
-};
-
-/// Where one trace shard starts. A shard owns the events whose packed
-/// HEAD word lies in chunks [ChunkBegin, next shard's ChunkBegin); the
-/// first SkipWords words of chunk ChunkBegin are the tail of an escape
-/// record headed in the previous shard and belong to it.
-struct ShardStart {
-  size_t ChunkBegin = 0;
-  uint32_t SkipWords = 0;
-  uint64_t StartInstr = 0;        ///< IC after the previous shard's events
-  std::vector<uint64_t> SiteOcc;  ///< per-site occurrence count at entry
-};
-
-/// The once-decoded per-site event-stream index of one trace.
-struct DynIndex {
-  uint32_t NumSites = 0;
-  uint64_t NumEvents = 0;
-  uint64_t TotalInstrs = 0;
-  size_t NumChunks = 0;
-  std::vector<SiteStream> Sites;
-  std::vector<ShardStart> Shards;
-};
-
-/// Deterministic shard layout: boundaries depend only on the chunk
-/// count, never on Jobs or the source kind.
-std::vector<size_t> shardChunkStarts(size_t NumChunks) {
-  const size_t S =
-      NumChunks == 0 ? 0 : std::min(MaxDynamicReplayShards, NumChunks);
-  std::vector<size_t> Starts(S);
-  for (size_t I = 0; I < S; ++I)
-    Starts[I] = I * NumChunks / S;
-  return Starts;
+/// Validates the panel and builds the shared index; the common prefix
+/// of every dynamic entry point. \returns the first rejection, if any.
+template <class Source>
+std::optional<Diag> buildIndex(const Source &Src,
+                               const std::vector<DynPredictorConfig> &Panel,
+                               EventIndex &Ix) {
+  if (Panel.size() > MaxReplayPredictors)
+    return dynPanelSizeDiag(Panel.size());
+  for (const DynPredictorConfig &C : Panel)
+    if (std::optional<Diag> D = validateDynConfig(C))
+      return rejectedDyn(*D);
+  Ix.NumChunks = Src.numChunks();
+  Ix.TotalInstrs = Src.totalInstrs();
+  const std::vector<size_t> Starts =
+      shardChunkStarts(Ix.NumChunks, MaxDynamicReplayShards);
+  IndexBuilder B(Ix, Starts);
+  if (std::optional<Diag> D = Src.forEachChunkSerial(
+          [&](const uint32_t *W, uint64_t N) { B.feedChunk(W, N); }))
+    return rejectedDyn(*D);
+  B.finish();
+  return std::nullopt;
 }
-
-/// The build pass's inline stream decoder. TraceDecoder carries escape
-/// records across feeds internally, but the build pass must OBSERVE the
-/// carry — a shard snapshot at a chunk boundary needs to know how many
-/// words of the new chunk complete the previous chunk's record — so it
-/// mirrors TraceDecoder::feed with the pending state held here.
-class IndexBuilder {
-public:
-  IndexBuilder(DynIndex &Ix, const std::vector<size_t> &ShardStarts)
-      : Ix(Ix), Starts(ShardStarts) {}
-
-  void feedChunk(const uint32_t *W, uint64_t N) {
-    uint64_t I = 0;
-    if (PendingWords != 0) {
-      while (PendingWords < TraceDecoder::EscapeWords && I < N)
-        Pending[PendingWords++] = W[I++];
-      if (PendingWords < TraceDecoder::EscapeWords) {
-        ++Chunk;
-        return; // torn mid-record; validation rejects such traces
-      }
-      event(Pending[1], (Pending[0] & 1) != 0,
-            (static_cast<uint64_t>(Pending[3]) << 32) | Pending[2]);
-      PendingWords = 0;
-    }
-    // Snapshot AFTER completing a carried record: its head word is in
-    // the previous chunk, so the event belongs to the previous shard and
-    // the new shard starts I words in.
-    if (NextShard < Starts.size() && Starts[NextShard] == Chunk)
-      snapshot(I);
-    while (I < N) {
-      const uint32_t Head = W[I];
-      const bool Taken = (Head & 1) != 0;
-      const uint32_t DeltaField = Head >> (TraceDecoder::IdxBits + 1);
-      if (DeltaField != TraceDecoder::EscapeDelta) [[likely]] {
-        event((Head >> 1) & TraceDecoder::MaxCompactIdx, Taken,
-              static_cast<uint64_t>(DeltaField));
-        ++I;
-        continue;
-      }
-      if (I + TraceDecoder::EscapeWords <= N) {
-        event(W[I + 1], Taken,
-              (static_cast<uint64_t>(W[I + 3]) << 32) | W[I + 2]);
-        I += TraceDecoder::EscapeWords;
-        continue;
-      }
-      while (I < N)
-        Pending[PendingWords++] = W[I++];
-    }
-    ++Chunk;
-  }
-
-  /// Fixes NumSites/NumEvents and pads every snapshot's occurrence
-  /// vector to the final site count (sites first seen after a snapshot
-  /// had occurrence 0 there).
-  void finish() {
-    Ix.NumSites = static_cast<uint32_t>(Ix.Sites.size());
-    Ix.NumEvents = Events;
-    for (ShardStart &Sh : Ix.Shards)
-      Sh.SiteOcc.resize(Ix.NumSites, 0);
-  }
-
-private:
-  void event(uint32_t Idx, bool Taken, uint64_t Delta) {
-    IC += Delta;
-    ++Events;
-    if (Idx >= Ix.Sites.size())
-      Ix.Sites.resize(Idx + 1);
-    SiteStream &S = Ix.Sites[Idx];
-    if ((S.Count & 63) == 0)
-      S.Bits.push_back(0);
-    S.Bits.back() |= static_cast<uint64_t>(Taken) << (S.Count & 63);
-    ++S.Count;
-  }
-
-  void snapshot(uint64_t SkipWords) {
-    ShardStart Sh;
-    Sh.ChunkBegin = Chunk;
-    Sh.SkipWords = static_cast<uint32_t>(SkipWords);
-    Sh.StartInstr = IC;
-    Sh.SiteOcc.resize(Ix.Sites.size());
-    for (size_t S = 0; S < Ix.Sites.size(); ++S)
-      Sh.SiteOcc[S] = Ix.Sites[S].Count;
-    Ix.Shards.push_back(std::move(Sh));
-    ++NextShard;
-  }
-
-  DynIndex &Ix;
-  const std::vector<size_t> &Starts;
-  uint32_t Pending[TraceDecoder::EscapeWords];
-  uint32_t PendingWords = 0;
-  size_t Chunk = 0;
-  size_t NextShard = 0;
-  uint64_t IC = 0;
-  uint64_t Events = 0;
-};
-
-//===----------------------------------------------------------------------===//
-// Event sources
-//===----------------------------------------------------------------------===//
-//
-// What the pipeline needs from a trace source, resident or on disk:
-// metadata, a serial chunk walk (build pass), a shard-scoped word walk
-// (shard pass; called concurrently, so the store flavor opens its own
-// stream cursor per call), and a full decoded-event walk (global
-// members; also concurrent).
-
-struct ResidentDynSource {
-  const BranchTrace &T;
-
-  uint64_t totalInstrs() const { return T.totalInstrs(); }
-  size_t numChunks() const {
-    assert(T.spilledChunks() == 0 &&
-           "resident decode of a spilled trace; replay from its store");
-    return static_cast<size_t>((T.storedWordCount() + BranchTrace::ChunkWords -
-                                1) /
-                               BranchTrace::ChunkWords);
-  }
-  uint64_t chunkLen(size_t C) const {
-    return std::min<uint64_t>(BranchTrace::ChunkWords,
-                              T.storedWordCount() -
-                                  static_cast<uint64_t>(C) *
-                                      BranchTrace::ChunkWords);
-  }
-
-  template <class Fn> std::optional<Diag> forEachChunkSerial(Fn &&F) const {
-    const size_t N = numChunks();
-    for (size_t C = 0; C < N; ++C)
-      F(T.chunkWords(C), chunkLen(C));
-    return std::nullopt;
-  }
-
-  /// Feeds the words of shard [Begin, End) — skipping \p Skip carried
-  /// words of chunk Begin, appending \p Tail carried words of chunk End.
-  template <class Fn>
-  std::optional<Diag> walkShardWords(size_t Begin, size_t End, uint32_t Skip,
-                                     uint32_t Tail, Fn &&OnWords) const {
-    for (size_t C = Begin; C < End; ++C) {
-      const uint32_t *W = T.chunkWords(C);
-      const uint64_t N = chunkLen(C);
-      if (C == Begin)
-        OnWords(W + Skip, N - Skip);
-      else
-        OnWords(W, N);
-    }
-    if (Tail != 0)
-      OnWords(T.chunkWords(End), Tail);
-    return std::nullopt;
-  }
-
-  template <class Fn> std::optional<Diag> forEachEvent(Fn &&F) const {
-    T.forEach(F);
-    return std::nullopt;
-  }
-};
-
-struct StoreDynSource {
-  const TraceStoreReader &R;
-
-  uint64_t totalInstrs() const { return R.totalInstrs(); }
-  size_t numChunks() const { return static_cast<size_t>(R.numChunks()); }
-
-  template <class Fn> std::optional<Diag> forEachChunkSerial(Fn &&F) const {
-    TraceStream S;
-    if (std::optional<Diag> D = R.openStream(S))
-      return D;
-    const uint32_t *W = nullptr;
-    for (;;) {
-      Expected<uint64_t> N = S.next(W);
-      if (!N)
-        return N.takeError();
-      if (*N == 0)
-        return std::nullopt;
-      F(W, *N);
-    }
-  }
-
-  template <class Fn>
-  std::optional<Diag> walkShardWords(size_t Begin, size_t End, uint32_t Skip,
-                                     uint32_t Tail, Fn &&OnWords) const {
-    TraceStream S;
-    if (std::optional<Diag> D = R.openStream(S))
-      return D;
-    const uint32_t *W = nullptr;
-    for (size_t C = 0;; ++C) {
-      Expected<uint64_t> N = S.next(W);
-      if (!N)
-        return N.takeError();
-      if (*N == 0)
-        return std::nullopt;
-      if (C < Begin)
-        continue;
-      if (C < End) {
-        if (C == Begin)
-          OnWords(W + Skip, *N - Skip);
-        else
-          OnWords(W, *N);
-        continue;
-      }
-      if (Tail != 0)
-        OnWords(W, Tail);
-      return std::nullopt;
-    }
-  }
-
-  template <class Fn> std::optional<Diag> forEachEvent(Fn &&F) const {
-    TraceDecoder D;
-    return forEachChunkSerial(
-        [&](const uint32_t *W, uint64_t N) { D.feed(W, N, F); });
-  }
-};
 
 //===----------------------------------------------------------------------===//
 // Shard partials and the serial merge
@@ -395,7 +168,7 @@ SequenceHistogram mergePartials(const std::vector<const ShardPartial *> &Parts,
 }
 
 //===----------------------------------------------------------------------===//
-// The pipeline
+// The histogram pipeline
 //===----------------------------------------------------------------------===//
 
 template <class Source>
@@ -403,33 +176,19 @@ Expected<std::vector<SequenceHistogram>>
 replayDynamicImpl(const Source &Src,
                   const std::vector<DynPredictorConfig> &Panel,
                   unsigned Jobs) {
-  if (Panel.size() > MaxReplayPredictors)
-    return dynPanelSizeDiag(Panel.size());
-  for (const DynPredictorConfig &C : Panel)
-    if (std::optional<Diag> D = validateDynConfig(C))
-      return rejectedDyn(*D);
-
   std::vector<SequenceHistogram> Hists(Panel.size());
-  if (Panel.empty())
+  if (Panel.size() <= MaxReplayPredictors && Panel.empty())
     return Hists;
 
   timetrace::Span ReplaySpan("replay.dynamic",
                              std::to_string(Panel.size()) + " predictors");
   const unsigned J = Jobs == 0 ? ThreadPool::defaultConcurrency() : Jobs;
-  const uint64_t TotalInstrs = Src.totalInstrs();
 
   // ---- 1. Build pass: per-site streams + shard snapshots.
-  DynIndex Ix;
-  Ix.NumChunks = Src.numChunks();
-  Ix.TotalInstrs = TotalInstrs;
-  const std::vector<size_t> Starts = shardChunkStarts(Ix.NumChunks);
-  {
-    IndexBuilder B(Ix, Starts);
-    if (std::optional<Diag> D = Src.forEachChunkSerial(
-            [&](const uint32_t *W, uint64_t N) { B.feedChunk(W, N); }))
-      return rejectedDyn(*D);
-    B.finish();
-  }
+  EventIndex Ix;
+  if (std::optional<Diag> D = buildIndex(Src, Panel, Ix))
+    return *std::move(D);
+  const uint64_t TotalInstrs = Ix.TotalInstrs;
 
   std::vector<size_t> Decomp, Global;
   for (size_t P = 0; P < Panel.size(); ++P)
@@ -566,6 +325,97 @@ replayDynamicImpl(const Source &Src,
   return Hists;
 }
 
+//===----------------------------------------------------------------------===//
+// The per-site counting pipeline
+//===----------------------------------------------------------------------===//
+//
+// The join shape ipbc/Characterize.h consumes: SiteCounts per (member,
+// site) instead of one histogram per member. No sequencing is involved —
+// every count is a per-site sum — so decomposable members simulate their
+// site streams directly (sites fan out across the pool) and global
+// members run their usual sequential pass; both tallies are independent
+// of Jobs and of the source kind by construction.
+
+template <class Source>
+Expected<std::vector<std::vector<SiteCounts>>>
+replayDynamicSitesImpl(const Source &Src,
+                       const std::vector<DynPredictorConfig> &Panel,
+                       unsigned Jobs) {
+  std::vector<std::vector<SiteCounts>> Counts(Panel.size());
+  if (Panel.size() <= MaxReplayPredictors && Panel.empty())
+    return Counts;
+
+  timetrace::Span ReplaySpan("replay.dynamic.sites",
+                             std::to_string(Panel.size()) + " predictors");
+  const unsigned J = Jobs == 0 ? ThreadPool::defaultConcurrency() : Jobs;
+
+  EventIndex Ix;
+  if (std::optional<Diag> D = buildIndex(Src, Panel, Ix))
+    return *std::move(D);
+
+  for (std::vector<SiteCounts> &C : Counts)
+    C.assign(Ix.NumSites, SiteCounts());
+  if (Ix.NumEvents == 0)
+    return Counts;
+
+  std::vector<size_t> Decomp, Global;
+  for (size_t P = 0; P < Panel.size(); ++P)
+    (Panel[P].perSiteDecomposable() ? Decomp : Global).push_back(P);
+
+  // Decomposable members: simulate each site's stream and tally misses
+  // in place — no occurrence bookkeeping needed, counts are order-free.
+  if (!Decomp.empty()) {
+    std::vector<DynamicPredictor> Preds;
+    Preds.reserve(Decomp.size());
+    for (size_t D : Decomp)
+      Preds.emplace_back(Panel[D], Ix.NumSites);
+    const size_t Groups = std::min<size_t>(Ix.NumSites, 64);
+    parallelFor(J, Groups, [&](size_t G) {
+      const uint32_t Lo = static_cast<uint32_t>(G * Ix.NumSites / Groups);
+      const uint32_t Hi =
+          static_cast<uint32_t>((G + 1) * Ix.NumSites / Groups);
+      for (uint32_t Site = Lo; Site < Hi; ++Site) {
+        const SiteStream &S = Ix.Sites[Site];
+        for (size_t DI = 0; DI < Decomp.size(); ++DI) {
+          DynamicPredictor &P = Preds[DI];
+          SiteCounts &C = Counts[Decomp[DI]][Site];
+          for (uint64_t K = 0; K < S.Count; ++K) {
+            const bool Taken = S.taken(K);
+            if (Taken)
+              ++C.Taken;
+            else
+              ++C.Fallthru;
+            if (P.predictAndUpdate(Site, Taken) != Taken)
+              ++C.Mispredicts;
+          }
+        }
+      }
+    });
+  }
+
+  // Global members: the one sequential pass each member needs anyway,
+  // fanned out across the pool.
+  std::vector<std::optional<Diag>> GlobalErrs(Global.size());
+  parallelFor(J, Global.size(), [&](size_t GI) {
+    DynamicPredictor P(Panel[Global[GI]], Ix.NumSites);
+    std::vector<SiteCounts> &C = Counts[Global[GI]];
+    GlobalErrs[GI] = Src.forEachEvent(
+        [&](uint32_t Idx, bool Taken, uint64_t) {
+          SiteCounts &SC = C[Idx];
+          if (Taken)
+            ++SC.Taken;
+          else
+            ++SC.Fallthru;
+          if (P.predictAndUpdate(Idx, Taken) != Taken)
+            ++SC.Mispredicts;
+        });
+  });
+  for (std::optional<Diag> &E : GlobalErrs)
+    if (E)
+      return rejectedDyn(*std::move(E));
+  return Counts;
+}
+
 } // namespace
 
 Expected<std::vector<SequenceHistogram>>
@@ -574,7 +424,7 @@ bpfree::replayTraceDynamic(const BranchTrace &Trace,
                            unsigned Jobs) {
   if (std::optional<Diag> D = validateTraceForReplay(Trace))
     return *std::move(D);
-  ResidentDynSource Src{Trace};
+  ResidentEventSource Src{Trace};
   return replayDynamicImpl(Src, Panel, Jobs);
 }
 
@@ -584,6 +434,26 @@ bpfree::replayStoreDynamic(const TraceStoreReader &Store,
                            unsigned Jobs) {
   if (std::optional<Diag> D = validateStoreForReplay(Store))
     return *std::move(D);
-  StoreDynSource Src{Store};
+  StoreEventSource Src{Store};
   return replayDynamicImpl(Src, Panel, Jobs);
+}
+
+Expected<std::vector<std::vector<SiteCounts>>>
+bpfree::replayTraceDynamicSites(const BranchTrace &Trace,
+                                const std::vector<DynPredictorConfig> &Panel,
+                                unsigned Jobs) {
+  if (std::optional<Diag> D = validateTraceForReplay(Trace))
+    return *std::move(D);
+  ResidentEventSource Src{Trace};
+  return replayDynamicSitesImpl(Src, Panel, Jobs);
+}
+
+Expected<std::vector<std::vector<SiteCounts>>>
+bpfree::replayStoreDynamicSites(const TraceStoreReader &Store,
+                                const std::vector<DynPredictorConfig> &Panel,
+                                unsigned Jobs) {
+  if (std::optional<Diag> D = validateStoreForReplay(Store))
+    return *std::move(D);
+  StoreEventSource Src{Store};
+  return replayDynamicSitesImpl(Src, Panel, Jobs);
 }

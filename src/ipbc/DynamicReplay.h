@@ -42,6 +42,7 @@
 #define BPFREE_IPBC_DYNAMICREPLAY_H
 
 #include "ipbc/SequenceAnalysis.h"
+#include "ipbc/TraceReplay.h"
 #include "predict/DynamicPredictors.h"
 #include "support/Error.h"
 #include "vm/BranchTrace.h"
@@ -81,6 +82,28 @@ Expected<std::vector<SequenceHistogram>>
 replayStoreDynamic(const TraceStoreReader &Store,
                    const std::vector<DynPredictorConfig> &Panel,
                    unsigned Jobs = 0);
+
+/// The per-site view of a dynamic panel replay: one SiteCounts vector
+/// per panel member (in panel order), indexed by flat site index up to
+/// the highest site the trace executed — the join key the
+/// characterization layer (ipbc/Characterize.h) charges each member's
+/// misses to a branch class with. For every member, the sum of
+/// Mispredicts over sites equals the member's replayTraceDynamic
+/// histogram Breaks for the same trace, and the sum of execs() equals
+/// its BranchExecs. Same validation, rejection accounting, and
+/// Jobs-independence contract as replayTraceDynamic.
+Expected<std::vector<std::vector<SiteCounts>>>
+replayTraceDynamicSites(const BranchTrace &Trace,
+                        const std::vector<DynPredictorConfig> &Panel,
+                        unsigned Jobs = 0);
+
+/// replayTraceDynamicSites for an on-disk store; counts are
+/// bit-identical to the resident entry point on the trace the store was
+/// written from.
+Expected<std::vector<std::vector<SiteCounts>>>
+replayStoreDynamicSites(const TraceStoreReader &Store,
+                        const std::vector<DynPredictorConfig> &Panel,
+                        unsigned Jobs = 0);
 
 } // namespace bpfree
 

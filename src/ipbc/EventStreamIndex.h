@@ -1,0 +1,298 @@
+//===- ipbc/EventStreamIndex.h - Shared per-site event index ----*- C++ -*-===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-site event-stream index shared by the sharded replay passes
+/// (ipbc/DynamicReplay.cpp, ipbc/Characterize.cpp). Both passes need the
+/// same artifact from a captured trace: per-site outcome bitstreams in
+/// first-occurrence order, plus one snapshot per trace shard — the chunk
+/// index where the shard starts, how many words of that chunk belong to
+/// the previous shard's straddling escape record, the instruction count,
+/// and every site's occurrence count at that point. A shard owns the
+/// events whose packed HEAD word lies in its chunk range.
+///
+/// The shard layout depends only on the trace (chunk count and the
+/// caller's fixed shard ceiling), never on Jobs or on whether the source
+/// is resident or a disk store — that invariance is what makes both
+/// consumers' deterministic shard-order merges bit-identical across Jobs
+/// values and sources. Internal header: lives next to its two consumers,
+/// not in the public API.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPFREE_IPBC_EVENTSTREAMINDEX_H
+#define BPFREE_IPBC_EVENTSTREAMINDEX_H
+
+#include "support/Error.h"
+#include "vm/BranchTrace.h"
+#include "vm/TraceStore.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace bpfree {
+namespace evstream {
+
+/// One branch site's outcome stream, bit-packed in occurrence order
+/// (bit k = the site's k-th execution was taken).
+struct SiteStream {
+  std::vector<uint64_t> Bits;
+  uint64_t Count = 0;
+
+  /// The site's k-th outcome.
+  bool taken(uint64_t K) const { return (Bits[K >> 6] >> (K & 63)) & 1; }
+};
+
+/// Where one trace shard starts. A shard owns the events whose packed
+/// HEAD word lies in chunks [ChunkBegin, next shard's ChunkBegin); the
+/// first SkipWords words of chunk ChunkBegin are the tail of an escape
+/// record headed in the previous shard and belong to it.
+struct ShardStart {
+  size_t ChunkBegin = 0;
+  uint32_t SkipWords = 0;
+  uint64_t StartInstr = 0;        ///< IC after the previous shard's events
+  std::vector<uint64_t> SiteOcc;  ///< per-site occurrence count at entry
+};
+
+/// The once-decoded per-site event-stream index of one trace.
+struct EventIndex {
+  uint32_t NumSites = 0;
+  uint64_t NumEvents = 0;
+  uint64_t TotalInstrs = 0;
+  size_t NumChunks = 0;
+  std::vector<SiteStream> Sites;
+  std::vector<ShardStart> Shards;
+};
+
+/// Deterministic shard layout: boundaries depend only on the chunk
+/// count and the caller's fixed shard ceiling, never on Jobs or the
+/// source kind.
+inline std::vector<size_t> shardChunkStarts(size_t NumChunks,
+                                            size_t MaxShards) {
+  const size_t S = NumChunks == 0 ? 0 : std::min(MaxShards, NumChunks);
+  std::vector<size_t> Starts(S);
+  for (size_t I = 0; I < S; ++I)
+    Starts[I] = I * NumChunks / S;
+  return Starts;
+}
+
+/// The build pass's inline stream decoder. TraceDecoder carries escape
+/// records across feeds internally, but the build pass must OBSERVE the
+/// carry — a shard snapshot at a chunk boundary needs to know how many
+/// words of the new chunk complete the previous chunk's record — so it
+/// mirrors TraceDecoder::feed with the pending state held here.
+class IndexBuilder {
+public:
+  IndexBuilder(EventIndex &Ix, const std::vector<size_t> &ShardStarts)
+      : Ix(Ix), Starts(ShardStarts) {}
+
+  void feedChunk(const uint32_t *W, uint64_t N) {
+    uint64_t I = 0;
+    if (PendingWords != 0) {
+      while (PendingWords < TraceDecoder::EscapeWords && I < N)
+        Pending[PendingWords++] = W[I++];
+      if (PendingWords < TraceDecoder::EscapeWords) {
+        ++Chunk;
+        return; // torn mid-record; validation rejects such traces
+      }
+      event(Pending[1], (Pending[0] & 1) != 0,
+            (static_cast<uint64_t>(Pending[3]) << 32) | Pending[2]);
+      PendingWords = 0;
+    }
+    // Snapshot AFTER completing a carried record: its head word is in
+    // the previous chunk, so the event belongs to the previous shard and
+    // the new shard starts I words in.
+    if (NextShard < Starts.size() && Starts[NextShard] == Chunk)
+      snapshot(I);
+    while (I < N) {
+      const uint32_t Head = W[I];
+      const bool Taken = (Head & 1) != 0;
+      const uint32_t DeltaField = Head >> (TraceDecoder::IdxBits + 1);
+      if (DeltaField != TraceDecoder::EscapeDelta) [[likely]] {
+        event((Head >> 1) & TraceDecoder::MaxCompactIdx, Taken,
+              static_cast<uint64_t>(DeltaField));
+        ++I;
+        continue;
+      }
+      if (I + TraceDecoder::EscapeWords <= N) {
+        event(W[I + 1], Taken,
+              (static_cast<uint64_t>(W[I + 3]) << 32) | W[I + 2]);
+        I += TraceDecoder::EscapeWords;
+        continue;
+      }
+      while (I < N)
+        Pending[PendingWords++] = W[I++];
+    }
+    ++Chunk;
+  }
+
+  /// Fixes NumSites/NumEvents and pads every snapshot's occurrence
+  /// vector to the final site count (sites first seen after a snapshot
+  /// had occurrence 0 there).
+  void finish() {
+    Ix.NumSites = static_cast<uint32_t>(Ix.Sites.size());
+    Ix.NumEvents = Events;
+    for (ShardStart &Sh : Ix.Shards)
+      Sh.SiteOcc.resize(Ix.NumSites, 0);
+  }
+
+private:
+  void event(uint32_t Idx, bool Taken, uint64_t Delta) {
+    IC += Delta;
+    ++Events;
+    if (Idx >= Ix.Sites.size())
+      Ix.Sites.resize(Idx + 1);
+    SiteStream &S = Ix.Sites[Idx];
+    if ((S.Count & 63) == 0)
+      S.Bits.push_back(0);
+    S.Bits.back() |= static_cast<uint64_t>(Taken) << (S.Count & 63);
+    ++S.Count;
+  }
+
+  void snapshot(uint64_t SkipWords) {
+    ShardStart Sh;
+    Sh.ChunkBegin = Chunk;
+    Sh.SkipWords = static_cast<uint32_t>(SkipWords);
+    Sh.StartInstr = IC;
+    Sh.SiteOcc.resize(Ix.Sites.size());
+    for (size_t S = 0; S < Ix.Sites.size(); ++S)
+      Sh.SiteOcc[S] = Ix.Sites[S].Count;
+    Ix.Shards.push_back(std::move(Sh));
+    ++NextShard;
+  }
+
+  EventIndex &Ix;
+  const std::vector<size_t> &Starts;
+  uint32_t Pending[TraceDecoder::EscapeWords];
+  uint32_t PendingWords = 0;
+  size_t Chunk = 0;
+  size_t NextShard = 0;
+  uint64_t IC = 0;
+  uint64_t Events = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Event sources
+//===----------------------------------------------------------------------===//
+//
+// What the sharded passes need from a trace source, resident or on
+// disk: metadata, a serial chunk walk (build pass), a shard-scoped word
+// walk (shard pass; called concurrently, so the store flavor opens its
+// own stream cursor per call), and a full decoded-event walk (for
+// members that are inherently one sequential pass; also concurrent).
+
+struct ResidentEventSource {
+  const BranchTrace &T;
+
+  uint64_t totalInstrs() const { return T.totalInstrs(); }
+  size_t numChunks() const {
+    assert(T.spilledChunks() == 0 &&
+           "resident decode of a spilled trace; replay from its store");
+    return static_cast<size_t>((T.storedWordCount() + BranchTrace::ChunkWords -
+                                1) /
+                               BranchTrace::ChunkWords);
+  }
+  uint64_t chunkLen(size_t C) const {
+    return std::min<uint64_t>(BranchTrace::ChunkWords,
+                              T.storedWordCount() -
+                                  static_cast<uint64_t>(C) *
+                                      BranchTrace::ChunkWords);
+  }
+
+  template <class Fn> std::optional<Diag> forEachChunkSerial(Fn &&F) const {
+    const size_t N = numChunks();
+    for (size_t C = 0; C < N; ++C)
+      F(T.chunkWords(C), chunkLen(C));
+    return std::nullopt;
+  }
+
+  /// Feeds the words of shard [Begin, End) — skipping \p Skip carried
+  /// words of chunk Begin, appending \p Tail carried words of chunk End.
+  template <class Fn>
+  std::optional<Diag> walkShardWords(size_t Begin, size_t End, uint32_t Skip,
+                                     uint32_t Tail, Fn &&OnWords) const {
+    for (size_t C = Begin; C < End; ++C) {
+      const uint32_t *W = T.chunkWords(C);
+      const uint64_t N = chunkLen(C);
+      if (C == Begin)
+        OnWords(W + Skip, N - Skip);
+      else
+        OnWords(W, N);
+    }
+    if (Tail != 0)
+      OnWords(T.chunkWords(End), Tail);
+    return std::nullopt;
+  }
+
+  template <class Fn> std::optional<Diag> forEachEvent(Fn &&F) const {
+    T.forEach(F);
+    return std::nullopt;
+  }
+};
+
+struct StoreEventSource {
+  const TraceStoreReader &R;
+
+  uint64_t totalInstrs() const { return R.totalInstrs(); }
+  size_t numChunks() const { return static_cast<size_t>(R.numChunks()); }
+
+  template <class Fn> std::optional<Diag> forEachChunkSerial(Fn &&F) const {
+    TraceStream S;
+    if (std::optional<Diag> D = R.openStream(S))
+      return D;
+    const uint32_t *W = nullptr;
+    for (;;) {
+      Expected<uint64_t> N = S.next(W);
+      if (!N)
+        return N.takeError();
+      if (*N == 0)
+        return std::nullopt;
+      F(W, *N);
+    }
+  }
+
+  template <class Fn>
+  std::optional<Diag> walkShardWords(size_t Begin, size_t End, uint32_t Skip,
+                                     uint32_t Tail, Fn &&OnWords) const {
+    TraceStream S;
+    if (std::optional<Diag> D = R.openStream(S))
+      return D;
+    const uint32_t *W = nullptr;
+    for (size_t C = 0;; ++C) {
+      Expected<uint64_t> N = S.next(W);
+      if (!N)
+        return N.takeError();
+      if (*N == 0)
+        return std::nullopt;
+      if (C < Begin)
+        continue;
+      if (C < End) {
+        if (C == Begin)
+          OnWords(W + Skip, *N - Skip);
+        else
+          OnWords(W, *N);
+        continue;
+      }
+      if (Tail != 0)
+        OnWords(W, Tail);
+      return std::nullopt;
+    }
+  }
+
+  template <class Fn> std::optional<Diag> forEachEvent(Fn &&F) const {
+    TraceDecoder D;
+    return forEachChunkSerial(
+        [&](const uint32_t *W, uint64_t N) { D.feed(W, N, F); });
+  }
+};
+
+} // namespace evstream
+} // namespace bpfree
+
+#endif // BPFREE_IPBC_EVENTSTREAMINDEX_H

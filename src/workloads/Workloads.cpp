@@ -20,6 +20,7 @@ const std::vector<Workload> &bpfree::workloadSuite() {
     suite::addIntegerSuite(S);
     suite::addTextSuite(S);
     suite::addExtraSuite(S);
+    suite::addAdversarialSuite(S);
     suite::addFloatSuite(S);
     return S;
   }();
@@ -89,6 +90,15 @@ std::vector<uint8_t> suite::synthText(uint64_t Seed, size_t Bytes) {
   }
   if (!Out.empty())
     Out.back() = '\n';
+  return Out;
+}
+
+std::vector<uint8_t> suite::synthNoise(uint64_t Seed, size_t Bytes) {
+  Rng R(Seed * 0x94D049BB133111EBULL + 11);
+  std::vector<uint8_t> Out;
+  Out.reserve(Bytes);
+  for (size_t I = 0; I < Bytes; ++I)
+    Out.push_back(static_cast<uint8_t>(R.below(256)));
   return Out;
 }
 

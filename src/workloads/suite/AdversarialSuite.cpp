@@ -1,0 +1,304 @@
+//===- workloads/suite/AdversarialSuite.cpp - H2P frontier workloads ------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The adversarial frontier of the suite: workloads constructed so that
+/// the MAJORITY of their branch executions are data-dependent bit tests
+/// that no small amount of branch-local history explains — the
+/// hard-to-predict (H2P) regime of the modern predictability
+/// literature, and the stress case for the characterization layer
+/// (ipbc/Characterize.h). The paper's heuristics are expected to do
+/// poorly here and the per-class tables are expected to say WHY: the
+/// misses sit on hard-class sites where the perfect static predictor
+/// and the dynamic zoo miss almost as often.
+///
+///  * hashbits — branches on individual bits of a well-mixed hash
+///    stream; every test is an independent coin flip (or a 1/4 / 1/3
+///    skew chosen to stay above the hard-entropy threshold).
+///  * fsmdispatch — an input-driven state-machine interpreter whose
+///    dispatch ladder decodes uniform random opcodes: the classic
+///    interpreter-dispatch H2P pattern.
+///  * ptrchase — a pointer walk over a randomly linked graph where the
+///    walk direction and the side effects branch on payload bits of
+///    the node just reached.
+///
+/// Each also carries a few deliberately easy contrast branches (loop
+/// back-edges, never-null guards) so class tables show separation, not
+/// a single bucket.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Runtime.h"
+#include "workloads/suite/Suites.h"
+
+using namespace bpfree;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// hashbits — data-dependent hash-bit branch ladder
+//===----------------------------------------------------------------------===//
+
+const char *HashBitsSource = R"MC(
+/* Branches on individual bits of a mixed hash stream. rt_rand()'s
+   value bits come from the high half of a 64-bit LCG, so each tested
+   bit is an independent fair coin; the 2-bit and mod-3 tests give
+   taken rates of 1/4 and 1/3 (entropy 0.81 and 0.92 bits). */
+
+int c_lo = 0;
+int c_mid = 0;
+int c_pair = 0;
+int c_odd = 0;
+int c_mod = 0;
+int c_hit = 0;
+
+int score(int h) {
+  int s = 0;
+  if (h & 1) {
+    c_lo = c_lo + 1;
+    s = s + 1;
+  }
+  if ((h >> 3) & 1) {
+    c_mid = c_mid + 1;
+    s = s + 2;
+  }
+  if ((h >> 7) & 1) {
+    if ((h >> 11) & 1) {
+      c_pair = c_pair + 1;
+      s = s + 4;
+    } else {
+      s = s - 1;
+    }
+  }
+  if (((h >> 14) & 3) == 0) {
+    c_odd = c_odd + 1;
+    s = s + 8;
+  }
+  if ((h >> 17) % 3 == 0) {
+    c_mod = c_mod + 1;
+    s = s + 16;
+  }
+  return s;
+}
+
+int main() {
+  int n = arg(0);
+  int i;
+  int h;
+  int total = 0;
+  rt_srand(arg(1));
+  for (i = 0; i < n; i = i + 1) {
+    h = rt_rand();
+    total = total + score(h);
+    if ((h >> 20) & 1) {
+      c_hit = c_hit + 1;
+    }
+  }
+  print_str("hashbits n=");
+  print_int(n);
+  print_str(" total=");
+  print_int(total);
+  print_str(" hits=");
+  print_int(c_hit);
+  print_str(" mod=");
+  print_int(c_mod);
+  print_nl();
+  return 0;
+}
+)MC";
+
+//===----------------------------------------------------------------------===//
+// fsmdispatch — input-driven state-machine interpreter dispatch
+//===----------------------------------------------------------------------===//
+
+const char *FsmDispatchSource = R"MC(
+/* A four-opcode stack machine driven by random input bytes. The
+   dispatch ladder decodes a uniform 2-bit opcode — taken rates 1/4,
+   1/3, 1/2 down the ladder, all above the hard-entropy threshold —
+   and the handlers branch on data-dependent accumulator and state
+   bits. The stack-depth guards are the easy contrast: almost never
+   taken. */
+
+int stack[64];
+int sp = 0;
+int state = 0;
+int acc = 0;
+int pushes = 0;
+int folds = 0;
+int flips = 0;
+
+void step(int b) {
+  int op = b & 3;
+  if (op == 0) {
+    if (sp < 60) {
+      stack[sp] = b >> 2;
+      sp = sp + 1;
+      pushes = pushes + 1;
+    }
+    acc = acc + b;
+  } else if (op == 1) {
+    if (sp > 0) {
+      sp = sp - 1;
+      acc = acc + stack[sp];
+    }
+    if (acc & 1) {
+      acc = acc * 3 + 1;
+      folds = folds + 1;
+    } else {
+      acc = acc / 2;
+    }
+  } else if (op == 2) {
+    state = (state * 5 + (b >> 2)) & 15;
+    if (state & 1) {
+      flips = flips + 1;
+      acc = acc ^ state;
+    }
+  } else {
+    if ((acc ^ b) & 2) {
+      acc = acc - (b & 63);
+    } else {
+      acc = acc + (b & 63);
+    }
+  }
+}
+
+int main() {
+  int n = input_len();
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    step(input_byte(i));
+  }
+  print_str("fsmdispatch n=");
+  print_int(n);
+  print_str(" acc=");
+  print_int(acc);
+  print_str(" pushes=");
+  print_int(pushes);
+  print_str(" folds=");
+  print_int(folds);
+  print_str(" flips=");
+  print_int(flips);
+  print_nl();
+  return 0;
+}
+)MC";
+
+//===----------------------------------------------------------------------===//
+// ptrchase — payload-steered walk over a randomly linked graph
+//===----------------------------------------------------------------------===//
+
+const char *PtrChaseSource = R"MC(
+/* Nodes carry a random key and two successor pointers aimed at random
+   nodes. The walk picks its next edge from a key bit of the node just
+   reached, so the selector branch is unpredictable by construction;
+   the never-null guard is the easy contrast. */
+
+struct node {
+  int key;
+  struct node *a;
+  struct node *b;
+};
+
+struct node *nodes[4096];
+
+int main() {
+  int count = arg(0);
+  int steps = arg(1);
+  int i;
+  int k;
+  int sum = 0;
+  int hops = 0;
+  int twist = 0;
+  struct node *cur;
+  if (count > 4096) {
+    trap();
+  }
+  rt_srand(arg(2));
+  for (i = 0; i < count; i = i + 1) {
+    cur = (struct node *)malloc(sizeof(struct node));
+    if (cur == 0) {
+      trap();
+    }
+    cur->key = rt_rand();
+    cur->a = 0;
+    cur->b = 0;
+    nodes[i] = cur;
+  }
+  for (i = 0; i < count; i = i + 1) {
+    nodes[i]->a = nodes[rt_rand_range(count)];
+    nodes[i]->b = nodes[rt_rand_range(count)];
+  }
+  cur = nodes[0];
+  for (i = 0; i < steps; i = i + 1) {
+    if (cur == 0) {
+      trap();
+    }
+    k = cur->key;
+    /* Refresh the payload as the walk consumes it: a static functional
+       graph is eventually periodic, and a periodic walk is exactly
+       what history predictors learn. */
+    cur->key = rt_rand();
+    if (k & 1) {
+      cur = cur->a;
+    } else {
+      cur = cur->b;
+    }
+    if ((k >> 5) & 1) {
+      sum = sum + (k & 255);
+    }
+    if (((k >> 9) & 3) == 0) {
+      hops = hops + 1;
+    }
+    if ((k >> 13) & 1) {
+      twist = twist ^ k;
+    }
+  }
+  print_str("ptrchase count=");
+  print_int(count);
+  print_str(" sum=");
+  print_int(sum);
+  print_str(" hops=");
+  print_int(hops);
+  print_str(" twist=");
+  print_int(twist);
+  print_nl();
+  return 0;
+}
+)MC";
+
+} // namespace
+
+void suite::addAdversarialSuite(std::vector<Workload> &Out) {
+  Out.push_back({"hashbits",
+                 "Data-dependent hash-bit branch ladder (H2P frontier)",
+                 false,
+                 withRuntime(HashBitsSource),
+                 {
+                     Dataset("ref", {40000, 12345}),
+                     Dataset("small", {8000, 999}),
+                     Dataset("reseed", {40000, 77777}),
+                 }});
+  Out.push_back({"fsmdispatch",
+                 "Input-driven state-machine interpreter dispatch "
+                 "(H2P frontier)",
+                 false,
+                 withRuntime(FsmDispatchSource),
+                 {
+                     Dataset("ref", {}, synthNoise(50, 60000)),
+                     Dataset("small", {}, synthNoise(51, 12000)),
+                     Dataset("runs", {}, synthBytes(52, 60000)),
+                 }});
+  Out.push_back({"ptrchase",
+                 "Payload-steered walk over a randomly linked graph "
+                 "(H2P frontier)",
+                 false,
+                 withRuntime(PtrChaseSource),
+                 {
+                     Dataset("ref", {4096, 60000, 4242}),
+                     Dataset("small", {512, 12000, 11}),
+                     Dataset("dense", {128, 60000, 5150}),
+                 }});
+}

@@ -28,6 +28,7 @@ void addPointerSuite(std::vector<Workload> &Out);
 void addTextSuite(std::vector<Workload> &Out);
 void addExtraSuite(std::vector<Workload> &Out);
 void addFloatSuite(std::vector<Workload> &Out);
+void addAdversarialSuite(std::vector<Workload> &Out);
 
 /// Deterministic synthetic English-like text: lowercase words of mixed
 /// length separated by spaces and newlines, with occasional digits and
@@ -37,6 +38,12 @@ std::vector<uint8_t> synthText(uint64_t Seed, size_t Bytes);
 /// Deterministic pseudo-random bytes (full 0-255 range), for the
 /// compression workload's binary-ish datasets.
 std::vector<uint8_t> synthBytes(uint64_t Seed, size_t Bytes);
+
+/// Deterministic iid-uniform bytes: pure noise, no runs. The
+/// adversarial workloads' inputs — synthBytes' deliberate run
+/// structure is exactly what a history predictor learns, so H2P
+/// datasets need bytes with no local correlation at all.
+std::vector<uint8_t> synthNoise(uint64_t Seed, size_t Bytes);
 
 } // namespace suite
 } // namespace bpfree

@@ -1,0 +1,638 @@
+//===- tests/CharacterizeTest.cpp - Predictability observatory ------------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Evidence for the characterization pass (ipbc/Characterize.h) in four
+/// layers: known-entropy synthetic streams whose statistics have closed
+/// forms (all-taken, strict alternation, seeded coin flips), a naive
+/// sequential oracle differential on a multi-chunk trace with a
+/// shard-straddling escape record, the determinism contract (reports
+/// bit-identical — doubles included — across Jobs values and for
+/// resident vs. disk-backed sources), and class-count conservation on
+/// real workloads including the adversarial H2P frontier. The
+/// bpfree-char-v1 document is round-tripped and then tampered with in
+/// every dimension the validator claims to check.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+#include "ipbc/Characterize.h"
+#include "ipbc/DynamicReplay.h"
+#include "predict/Provenance.h"
+#include "support/Metrics.h"
+#include "support/Rng.h"
+#include "vm/TraceStore.h"
+#include "workloads/Driver.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+using namespace bpfree;
+
+namespace {
+
+std::unique_ptr<ir::Module> anyModule() {
+  return minic::compileOrDie(findWorkload("treesort")->Source);
+}
+
+std::string tmpPath(const std::string &Name) {
+  return ::testing::TempDir() + "bpfree_char_" + Name;
+}
+
+/// Flat indices of the module's conditional branches — the only sites a
+/// real trace can contain, and the only sites the provenance join can
+/// resolve. Synthetic traces must draw from this set.
+std::vector<uint32_t> branchSites(const PredictionContext &Ctx) {
+  BallLarusPredictor P(Ctx);
+  ProvenanceMap Prov(Ctx.getModule());
+  P.setProvenanceSink(&Prov);
+  predictorDirections(Ctx.getModule(), P);
+  P.setProvenanceSink(nullptr);
+  std::vector<uint32_t> Sites;
+  for (uint32_t I = 0; I < Prov.numSlots(); ++I)
+    if (Prov.get(I))
+      Sites.push_back(I);
+  return Sites;
+}
+
+const SiteCharacter *findSite(const CharReport &R, uint32_t Flat) {
+  for (const SiteCharacter &S : R.Sites)
+    if (S.FlatIndex == Flat)
+      return &S;
+  return nullptr;
+}
+
+void expectReportsIdentical(const CharReport &A, const CharReport &B,
+                            const std::string &What) {
+  EXPECT_EQ(A.TotalInstrs, B.TotalInstrs) << What;
+  EXPECT_EQ(A.BranchExecs, B.BranchExecs) << What;
+  EXPECT_EQ(A.NumSites, B.NumSites) << What;
+  EXPECT_EQ(A.Shards, B.Shards) << What;
+  for (unsigned C = 0; C < NumBranchClasses; ++C) {
+    EXPECT_EQ(A.ClassSites[C], B.ClassSites[C]) << What;
+    EXPECT_EQ(A.ClassExecs[C], B.ClassExecs[C]) << What;
+  }
+  ASSERT_EQ(A.Sites.size(), B.Sites.size()) << What;
+  for (size_t I = 0; I < A.Sites.size(); ++I) {
+    const SiteCharacter &X = A.Sites[I], &Y = B.Sites[I];
+    EXPECT_EQ(X.FlatIndex, Y.FlatIndex) << What;
+    EXPECT_EQ(X.Execs, Y.Execs) << What;
+    EXPECT_EQ(X.Taken, Y.Taken) << What;
+    EXPECT_EQ(X.Transitions, Y.Transitions) << What;
+    EXPECT_EQ(X.MaxRun, Y.MaxRun) << What;
+    // Bit-identical, not approximately equal: the doubles are part of
+    // the determinism contract.
+    EXPECT_EQ(X.Entropy, Y.Entropy) << What << " site " << X.FlatIndex;
+    for (unsigned D = 0; D < NumCharDepths; ++D)
+      EXPECT_EQ(X.CondEntropy[D], Y.CondEntropy[D])
+          << What << " site " << X.FlatIndex << " depth " << D;
+    EXPECT_EQ(X.PredictBits, Y.PredictBits) << What;
+    EXPECT_EQ(X.Class, Y.Class) << What;
+    EXPECT_EQ(X.Function, Y.Function) << What;
+    EXPECT_EQ(X.Block, Y.Block) << What;
+    EXPECT_EQ(X.Bucket, Y.Bucket) << What;
+  }
+  ASSERT_EQ(A.Predictors.size(), B.Predictors.size()) << What;
+  for (size_t I = 0; I < A.Predictors.size(); ++I) {
+    const ClassPredictorRow &X = A.Predictors[I], &Y = B.Predictors[I];
+    EXPECT_EQ(X.Name, Y.Name) << What;
+    EXPECT_EQ(X.Mispredicts, Y.Mispredicts) << What;
+    for (unsigned C = 0; C < NumBranchClasses; ++C) {
+      EXPECT_EQ(X.Classes[C].Sites, Y.Classes[C].Sites) << What;
+      EXPECT_EQ(X.Classes[C].Execs, Y.Classes[C].Execs) << What;
+      EXPECT_EQ(X.Classes[C].Mispredicts, Y.Classes[C].Mispredicts) << What;
+    }
+  }
+}
+
+void expectConservation(const CharReport &R, const std::string &What) {
+  uint64_t Sites = 0, Execs = 0;
+  for (unsigned C = 0; C < NumBranchClasses; ++C) {
+    Sites += R.ClassSites[C];
+    Execs += R.ClassExecs[C];
+  }
+  EXPECT_EQ(Sites, R.NumSites) << What;
+  EXPECT_EQ(Execs, R.BranchExecs) << What;
+  for (const ClassPredictorRow &Row : R.Predictors) {
+    uint64_t RowSites = 0, RowExecs = 0, RowMiss = 0;
+    for (unsigned C = 0; C < NumBranchClasses; ++C) {
+      RowSites += Row.Classes[C].Sites;
+      RowExecs += Row.Classes[C].Execs;
+      RowMiss += Row.Classes[C].Mispredicts;
+    }
+    EXPECT_EQ(RowSites, R.NumSites) << What << " " << Row.Name;
+    EXPECT_EQ(RowExecs, R.BranchExecs) << What << " " << Row.Name;
+    EXPECT_EQ(RowMiss, Row.Mispredicts) << What << " " << Row.Name;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Known-entropy streams
+//===----------------------------------------------------------------------===//
+
+TEST(Characterize, AllTakenSiteHasZeroEntropy) {
+  auto M = anyModule();
+  PredictionContext Ctx(*M);
+  const std::vector<uint32_t> Sites = branchSites(Ctx);
+  ASSERT_GE(Sites.size(), 3u);
+
+  BranchTrace T(*M);
+  uint64_t IC = 0;
+  for (int I = 0; I < 5000; ++I) {
+    IC += 3;
+    T.append(Sites[0], true, IC);
+  }
+  T.finalize(IC + 1);
+
+  auto R = characterizeTrace(Ctx, T);
+  ASSERT_TRUE(R.hasValue()) << R.error().render();
+  ASSERT_EQ(R->NumSites, 1u);
+  const SiteCharacter *S = findSite(*R, Sites[0]);
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->Execs, 5000u);
+  EXPECT_EQ(S->Taken, 5000u);
+  EXPECT_EQ(S->Transitions, 0u);
+  EXPECT_EQ(S->MaxRun, 5000u);
+  EXPECT_EQ(S->Entropy, 0.0);
+  for (unsigned D = 0; D < NumCharDepths; ++D)
+    EXPECT_EQ(S->CondEntropy[D], 0.0);
+  EXPECT_EQ(S->PredictBits, 0.0);
+  EXPECT_EQ(S->Class, BranchClass::Easy);
+  EXPECT_FALSE(S->Function.empty());
+  EXPECT_FALSE(S->Bucket.empty());
+}
+
+TEST(Characterize, AlternationIsEasyDespiteFullMarginalEntropy) {
+  auto M = anyModule();
+  PredictionContext Ctx(*M);
+  const std::vector<uint32_t> Sites = branchSites(Ctx);
+
+  BranchTrace T(*M);
+  uint64_t IC = 0;
+  for (int I = 0; I < 5000; ++I) {
+    IC += 2;
+    T.append(Sites[1], I % 2 == 0, IC);
+  }
+  T.finalize(IC + 1);
+
+  auto R = characterizeTrace(Ctx, T);
+  ASSERT_TRUE(R.hasValue()) << R.error().render();
+  const SiteCharacter *S = findSite(*R, Sites[1]);
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->Taken, 2500u);
+  EXPECT_EQ(S->Transitions, 4999u);
+  EXPECT_EQ(S->MaxRun, 1u);
+  // A strict alternation has a full bit of marginal entropy but ZERO
+  // bits left after one outcome of history — classification must see
+  // through the marginal.
+  EXPECT_NEAR(S->Entropy, 1.0, 1e-12);
+  EXPECT_EQ(S->CondEntropy[0], 0.0);
+  EXPECT_EQ(S->PredictBits, 0.0);
+  EXPECT_EQ(S->Class, BranchClass::Easy);
+}
+
+TEST(Characterize, SeededCoinFlipsAreHard) {
+  auto M = anyModule();
+  PredictionContext Ctx(*M);
+  const std::vector<uint32_t> Sites = branchSites(Ctx);
+
+  BranchTrace T(*M);
+  Rng R(0x9E3779B97F4A7C15ULL);
+  uint64_t IC = 0;
+  for (int I = 0; I < 20000; ++I) {
+    IC += 2;
+    T.append(Sites[2], R.next() & 1, IC);
+  }
+  T.finalize(IC + 1);
+
+  auto Rep = characterizeTrace(Ctx, T);
+  ASSERT_TRUE(Rep.hasValue()) << Rep.error().render();
+  const SiteCharacter *S = findSite(*Rep, Sites[2]);
+  ASSERT_NE(S, nullptr);
+  EXPECT_GT(S->Entropy, 0.99);
+  // No depth of the site's own history explains a coin: some sample
+  // noise at depth 8 (256 contexts over 20k events), but nowhere near
+  // the moderate threshold.
+  EXPECT_GT(S->PredictBits, 0.9);
+  EXPECT_EQ(S->Class, BranchClass::Hard);
+}
+
+TEST(Characterize, RareSitesAreEasyByFiat) {
+  auto M = anyModule();
+  PredictionContext Ctx(*M);
+  const std::vector<uint32_t> Sites = branchSites(Ctx);
+
+  // 20 random outcomes: far below MinExecs, so the class must be Easy
+  // no matter how random the stream looks.
+  BranchTrace T(*M);
+  Rng R(42);
+  uint64_t IC = 0;
+  for (int I = 0; I < 20; ++I) {
+    IC += 2;
+    T.append(Sites[0], R.next() & 1, IC);
+  }
+  T.finalize(IC + 1);
+
+  auto Rep = characterizeTrace(Ctx, T);
+  ASSERT_TRUE(Rep.hasValue()) << Rep.error().render();
+  const SiteCharacter *S = findSite(*Rep, Sites[0]);
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->Class, BranchClass::Easy);
+}
+
+//===----------------------------------------------------------------------===//
+// Sequential-oracle differential
+//===----------------------------------------------------------------------===//
+
+/// Synthetic multi-chunk trace over real branch sites, with an escape
+/// record straddling the first chunk boundary (the carry case the shard
+/// snapshots must attribute to the previous shard).
+std::unique_ptr<BranchTrace> straddlingTrace(const ir::Module &M,
+                                             const std::vector<uint32_t> &Sites) {
+  auto T = std::make_unique<BranchTrace>(M);
+  Rng R;
+  uint64_t IC = 0;
+  for (uint64_t I = 0; I < 65534; ++I) {
+    const uint32_t Site = Sites[R.next() % Sites.size()];
+    IC += 1 + (R.next() % 50);
+    T->append(Site, (R.next() % 100) < (Site % 2 ? 75u : 30u), IC);
+  }
+  IC += 0x12345; // escape-sized delta: words 65534..65537 straddle
+  T->append(Sites[0], true, IC);
+  for (uint64_t I = 0; I < 100000; ++I) {
+    const uint32_t Site = Sites[R.next() % Sites.size()];
+    IC += I % 4000 == 0 ? 0x20000 : 1 + (R.next() % 50);
+    T->append(Site, (R.next() % 100) < (Site % 2 ? 75u : 30u), IC);
+  }
+  T->finalize(IC + 17);
+  return T;
+}
+
+/// The oracle: one sequential decode into per-site outcome vectors,
+/// then textbook statistics over each vector — deliberately different
+/// machinery (std::map, bool vectors, a single linear walk) from the
+/// sharded pipeline.
+struct OracleStats {
+  uint64_t Execs = 0, Taken = 0, Transitions = 0, MaxRun = 0;
+  double Entropy = 0.0;
+  double CondEntropy[NumCharDepths] = {0.0, 0.0, 0.0};
+};
+
+std::map<uint32_t, OracleStats> oracleStats(const BranchTrace &T) {
+  std::map<uint32_t, std::vector<bool>> Streams;
+  T.forEach([&](uint32_t Idx, bool Taken, uint64_t) {
+    Streams[Idx].push_back(Taken);
+  });
+  auto H = [](double P) {
+    return P <= 0.0 || P >= 1.0
+               ? 0.0
+               : -(P * std::log2(P) + (1 - P) * std::log2(1 - P));
+  };
+  std::map<uint32_t, OracleStats> Out;
+  for (const auto &[Site, V] : Streams) {
+    OracleStats &S = Out[Site];
+    S.Execs = V.size();
+    uint64_t Run = 0;
+    for (size_t I = 0; I < V.size(); ++I) {
+      S.Taken += V[I] ? 1 : 0;
+      if (I > 0 && V[I] != V[I - 1]) {
+        ++S.Transitions;
+        S.MaxRun = std::max(S.MaxRun, Run);
+        Run = 1;
+      } else {
+        ++Run;
+      }
+    }
+    S.MaxRun = std::max(S.MaxRun, Run);
+    S.Entropy = H(static_cast<double>(S.Taken) / static_cast<double>(S.Execs));
+    for (unsigned DI = 0; DI < NumCharDepths; ++DI) {
+      const unsigned D = CharDepths[DI];
+      if (V.size() <= D)
+        continue;
+      std::map<uint32_t, std::pair<uint64_t, uint64_t>> Ctxs;
+      uint32_t C = 0;
+      const uint32_t Mask = (1u << D) - 1;
+      for (size_t I = 0; I < V.size(); ++I) {
+        if (I >= D) {
+          auto &[N, K] = Ctxs[C];
+          ++N;
+          K += V[I] ? 1 : 0;
+        }
+        C = ((C << 1) | (V[I] ? 1 : 0)) & Mask;
+      }
+      const double Total = static_cast<double>(V.size() - D);
+      for (const auto &[Ctx, NK] : Ctxs)
+        S.CondEntropy[DI] +=
+            (static_cast<double>(NK.first) / Total) *
+            H(static_cast<double>(NK.second) /
+              static_cast<double>(NK.first));
+    }
+  }
+  return Out;
+}
+
+TEST(Characterize, MatchesSequentialOracleOnStraddlingTrace) {
+  auto M = anyModule();
+  PredictionContext Ctx(*M);
+  const std::vector<uint32_t> Sites = branchSites(Ctx);
+  auto T = straddlingTrace(*M, Sites);
+
+  auto R = characterizeTrace(Ctx, *T, {{}, 4, "", ""});
+  ASSERT_TRUE(R.hasValue()) << R.error().render();
+  const std::map<uint32_t, OracleStats> Oracle = oracleStats(*T);
+  ASSERT_EQ(R->Sites.size(), Oracle.size());
+  EXPECT_EQ(R->BranchExecs, T->numEvents());
+  for (const SiteCharacter &S : R->Sites) {
+    auto It = Oracle.find(S.FlatIndex);
+    ASSERT_NE(It, Oracle.end()) << "site " << S.FlatIndex;
+    const OracleStats &O = It->second;
+    EXPECT_EQ(S.Execs, O.Execs) << "site " << S.FlatIndex;
+    EXPECT_EQ(S.Taken, O.Taken) << "site " << S.FlatIndex;
+    EXPECT_EQ(S.Transitions, O.Transitions) << "site " << S.FlatIndex;
+    EXPECT_EQ(S.MaxRun, O.MaxRun) << "site " << S.FlatIndex;
+    EXPECT_NEAR(S.Entropy, O.Entropy, 1e-9) << "site " << S.FlatIndex;
+    for (unsigned D = 0; D < NumCharDepths; ++D)
+      EXPECT_NEAR(S.CondEntropy[D], O.CondEntropy[D], 1e-9)
+          << "site " << S.FlatIndex << " depth " << CharDepths[D];
+  }
+  expectConservation(*R, "straddling trace");
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism: Jobs sweep and resident-vs-disk
+//===----------------------------------------------------------------------===//
+
+TEST(Characterize, BitIdenticalAcrossJobsAndSources) {
+  auto M = anyModule();
+  PredictionContext Ctx(*M);
+  const std::vector<uint32_t> Sites = branchSites(Ctx);
+  auto T = straddlingTrace(*M, Sites);
+
+  auto Ref = characterizeTrace(Ctx, *T, {{}, 1, "", ""});
+  ASSERT_TRUE(Ref.hasValue()) << Ref.error().render();
+  for (unsigned Jobs : {2u, 4u, 8u}) {
+    auto Got = characterizeTrace(Ctx, *T, {{}, Jobs, "", ""});
+    ASSERT_TRUE(Got.hasValue()) << Got.error().render();
+    expectReportsIdentical(*Ref, *Got, "jobs=" + std::to_string(Jobs));
+  }
+
+  const std::string Path = tmpPath("straddle.trace");
+  std::remove(Path.c_str());
+  ASSERT_FALSE(writeTraceFile(*T, Path).has_value());
+  TraceStoreReader Reader;
+  ASSERT_FALSE(Reader.open(Path).has_value());
+  auto Disk = characterizeStore(Ctx, Reader, {{}, 4, "", ""});
+  ASSERT_TRUE(Disk.hasValue()) << Disk.error().render();
+  expectReportsIdentical(*Ref, *Disk, "resident vs disk");
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Real workloads: conservation, cross-checks, the H2P frontier
+//===----------------------------------------------------------------------===//
+
+Expected<std::unique_ptr<WorkloadRun>> captureRun(const char *Name) {
+  RunOptions RO;
+  RO.CaptureTrace = true;
+  RO.Profile = false;
+  return runWorkload(*findWorkload(Name), 0, {}, RO);
+}
+
+TEST(Characterize, ConservationHoldsOnRealWorkloads) {
+  for (const char *Name : {"treesort", "hashbits", "fsmdispatch"}) {
+    auto Run = captureRun(Name);
+    ASSERT_TRUE(Run.hasValue()) << Name << ": " << Run.error().render();
+    CharOptions CO;
+    CO.Workload = Name;
+    auto R = characterizeTrace(*(*Run)->Ctx, *(*Run)->Trace, CO);
+    ASSERT_TRUE(R.hasValue()) << Name << ": " << R.error().render();
+    EXPECT_EQ(R->BranchExecs, (*Run)->Trace->numEvents()) << Name;
+    EXPECT_GT(R->NumSites, 5u) << Name;
+    expectConservation(*R, Name);
+  }
+}
+
+TEST(Characterize, DynamicRowsMatchHistogramBreaks) {
+  auto Run = captureRun("treesort");
+  ASSERT_TRUE(Run.hasValue()) << Run.error().render();
+  auto R = characterizeTrace(*(*Run)->Ctx, *(*Run)->Trace, {});
+  ASSERT_TRUE(R.hasValue()) << R.error().render();
+
+  const std::vector<DynPredictorConfig> Panel = standardDynamicPanel();
+  auto Hists = replayTraceDynamic(*(*Run)->Trace, Panel);
+  ASSERT_TRUE(Hists.hasValue()) << Hists.error().render();
+  // Rows are: combined static, perfect, then the panel in order. Each
+  // dynamic row's total misses must equal the member's histogram
+  // Breaks — the same trace, charged two independent ways.
+  ASSERT_EQ(R->Predictors.size(), 2 + Panel.size());
+  EXPECT_EQ(R->Predictors[0].Kind, "static");
+  EXPECT_EQ(R->Predictors[1].Kind, "perfect");
+  for (size_t P = 0; P < Panel.size(); ++P) {
+    EXPECT_EQ(R->Predictors[2 + P].Name, Panel[P].name());
+    EXPECT_EQ(R->Predictors[2 + P].Mispredicts, (*Hists)[P].Breaks)
+        << Panel[P].name();
+  }
+  // Perfect static never beats per-class conservation but always beats
+  // the combined heuristic in total.
+  EXPECT_LE(R->Predictors[1].Mispredicts, R->Predictors[0].Mispredicts);
+}
+
+TEST(Characterize, AdversarialWorkloadsAreH2PAndTreesortIsNot) {
+  std::map<std::string, bool> Verdicts;
+  for (const char *Name : {"treesort", "hashbits"}) {
+    auto Run = captureRun(Name);
+    ASSERT_TRUE(Run.hasValue()) << Name << ": " << Run.error().render();
+    auto R = characterizeTrace(*(*Run)->Ctx, *(*Run)->Trace, {});
+    ASSERT_TRUE(R.hasValue()) << Name << ": " << R.error().render();
+    Verdicts[Name] = R->h2p();
+  }
+  EXPECT_TRUE(Verdicts["hashbits"])
+      << "the adversarial hash-bit workload must classify as H2P";
+  EXPECT_FALSE(Verdicts["treesort"])
+      << "a regular search workload must not classify as H2P";
+}
+
+//===----------------------------------------------------------------------===//
+// Rejection, rendering, metrics
+//===----------------------------------------------------------------------===//
+
+TEST(Characterize, RejectsUnusableRequests) {
+  auto M = anyModule();
+  PredictionContext Ctx(*M);
+
+  BranchTrace Unfinalized(*M);
+  Unfinalized.append(0, true, 10);
+  EXPECT_FALSE(characterizeTrace(Ctx, Unfinalized).hasValue());
+
+  // A context over a different module than the trace captured.
+  auto M2 = anyModule();
+  PredictionContext Ctx2(*M2);
+  BranchTrace T(*M);
+  T.finalize(100);
+  EXPECT_FALSE(characterizeTrace(Ctx2, T).hasValue());
+}
+
+TEST(Characterize, EmptyTraceYieldsEmptyReport) {
+  auto M = anyModule();
+  PredictionContext Ctx(*M);
+  BranchTrace T(*M);
+  T.finalize(1000);
+  auto R = characterizeTrace(Ctx, T);
+  ASSERT_TRUE(R.hasValue()) << R.error().render();
+  EXPECT_EQ(R->NumSites, 0u);
+  EXPECT_EQ(R->BranchExecs, 0u);
+  EXPECT_FALSE(R->h2p());
+  expectConservation(*R, "empty trace");
+}
+
+TEST(Characterize, RendersHeadlineAndTables) {
+  auto Run = captureRun("treesort");
+  ASSERT_TRUE(Run.hasValue()) << Run.error().render();
+  CharOptions CO;
+  CO.Workload = "treesort";
+  auto R = characterizeTrace(*(*Run)->Ctx, *(*Run)->Trace, CO);
+  ASSERT_TRUE(R.hasValue()) << R.error().render();
+  const std::string Text = renderCharReport(*R, 5);
+  EXPECT_NE(Text.find("characterize: treesort"), std::string::npos);
+  EXPECT_NE(Text.find("hard share"), std::string::npos);
+  EXPECT_NE(Text.find("moderate"), std::string::npos);
+  EXPECT_NE(Text.find("Heuristic"), std::string::npos);
+  EXPECT_NE(Text.find("hardest branches"), std::string::npos);
+}
+
+TEST(Characterize, BillsReplayCharMetrics) {
+  metrics::setEnabled(true);
+  metrics::resetAll();
+  auto M = anyModule();
+  PredictionContext Ctx(*M);
+  const std::vector<uint32_t> Sites = branchSites(Ctx);
+  BranchTrace T(*M);
+  uint64_t IC = 0;
+  for (int I = 0; I < 100; ++I) {
+    IC += 5;
+    T.append(Sites[I % 3], I % 2 == 0, IC);
+  }
+  T.finalize(IC + 5);
+  auto R = characterizeTrace(Ctx, T);
+  ASSERT_TRUE(R.hasValue());
+  EXPECT_EQ(metrics::counter("replay.char.passes").value(), 1u);
+  EXPECT_EQ(metrics::counter("replay.char.events").value(), 100u);
+  EXPECT_EQ(metrics::counter("replay.char.sites").value(), 3u);
+  EXPECT_GT(metrics::counter("replay.char.shards").value(), 0u);
+  metrics::setEnabled(false);
+  metrics::resetAll();
+}
+
+//===----------------------------------------------------------------------===//
+// bpfree-char-v1 round-trip and tamper rejection
+//===----------------------------------------------------------------------===//
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path);
+  std::stringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+void spit(const std::string &Path, const std::string &Content) {
+  std::ofstream Out(Path);
+  Out << Content;
+}
+
+/// Writes a tampered copy of \p Doc with the first occurrence of \p From
+/// replaced by \p To, and expects the validator to reject it.
+void expectTamperRejected(const std::string &Doc, const std::string &From,
+                          const std::string &To, const std::string &What) {
+  const size_t Pos = Doc.find(From);
+  ASSERT_NE(Pos, std::string::npos) << What << ": anchor '" << From
+                                    << "' not found";
+  std::string Bad = Doc;
+  Bad.replace(Pos, From.size(), To);
+  const std::string Path = tmpPath("tampered.json");
+  spit(Path, Bad);
+  EXPECT_FALSE(readCharJson(Path).hasValue()) << What;
+  std::remove(Path.c_str());
+}
+
+TEST(Characterize, JsonRoundTripsAndRejectsTampering) {
+  auto Run = captureRun("treesort");
+  ASSERT_TRUE(Run.hasValue()) << Run.error().render();
+  CharOptions CO;
+  CO.Workload = "treesort";
+  CO.Dataset = "ref";
+  auto R = characterizeTrace(*(*Run)->Ctx, *(*Run)->Trace, CO);
+  ASSERT_TRUE(R.hasValue()) << R.error().render();
+
+  const std::string Path = tmpPath("treesort.char.json");
+  ASSERT_TRUE(writeCharJson(*R, Path));
+  auto Read = readCharJson(Path);
+  ASSERT_TRUE(Read.hasValue()) << Read.error().render();
+  EXPECT_EQ(Read->Workload, "treesort");
+  EXPECT_EQ(Read->Dataset, "ref");
+  expectReportsIdentical(*R, *Read, "json round trip");
+  EXPECT_EQ(Read->hardShare(), R->hardShare());
+  EXPECT_EQ(Read->h2p(), R->h2p());
+
+  const std::string Doc = slurp(Path);
+  expectTamperRejected(Doc, "bpfree-char-v1", "bpfree-char-v0",
+                       "wrong schema tag");
+  expectTamperRejected(
+      Doc, "\"branch_execs\": " + std::to_string(R->BranchExecs),
+      "\"branch_execs\": " + std::to_string(R->BranchExecs + 1),
+      "class execs no longer sum to the trace total");
+  expectTamperRejected(
+      Doc, "\"num_sites\": " + std::to_string(R->NumSites),
+      "\"num_sites\": " + std::to_string(R->NumSites + 1),
+      "class sites no longer sum to the site total");
+  expectTamperRejected(Doc, "\"h2p\": " + std::string(R->h2p() ? "true"
+                                                               : "false"),
+                       "\"h2p\": " + std::string(R->h2p() ? "false" : "true"),
+                       "flipped H2P verdict");
+  expectTamperRejected(Doc, "\"kind\": \"perfect\"", "\"kind\": \"oracle\"",
+                       "unknown predictor kind");
+  expectTamperRejected(Doc, "\"name\": \"moderate\"", "\"name\": \"medium\"",
+                       "renamed class");
+  // The first site's class is recomputable from its own statistics:
+  // flipping it must fail even though every sum still balances.
+  ASSERT_FALSE(R->Sites.empty());
+  const SiteCharacter &S0 = R->Sites.front();
+  const std::string ClassKey =
+      std::string("\"class\": \"") + branchClassName(S0.Class) + "\"";
+  const char *Other =
+      S0.Class == BranchClass::Hard ? "easy" : "hard";
+  expectTamperRejected(Doc, ClassKey,
+                       std::string("\"class\": \"") + Other + "\"",
+                       "site class contradicting its statistics");
+  std::remove(Path.c_str());
+}
+
+TEST(Characterize, JsonTopNTruncatesSitesOnly) {
+  auto Run = captureRun("treesort");
+  ASSERT_TRUE(Run.hasValue()) << Run.error().render();
+  auto R = characterizeTrace(*(*Run)->Ctx, *(*Run)->Trace, {});
+  ASSERT_TRUE(R.hasValue()) << R.error().render();
+  ASSERT_GT(R->Sites.size(), 3u);
+
+  const std::string Path = tmpPath("top3.char.json");
+  ASSERT_TRUE(writeCharJson(*R, Path, 3));
+  auto Read = readCharJson(Path);
+  // Truncation keeps the document valid: the class and predictor
+  // tables are written in full, so conservation still checks out.
+  ASSERT_TRUE(Read.hasValue()) << Read.error().render();
+  EXPECT_EQ(Read->Sites.size(), 3u);
+  EXPECT_EQ(Read->NumSites, R->NumSites);
+  expectConservation(*Read, "truncated document");
+  std::remove(Path.c_str());
+}
+
+} // namespace

@@ -61,6 +61,13 @@ const std::map<std::string, std::string> &goldenOutputs() {
       {"wordcount",
        "wordcount lines=6622 words=86995 digits=4341 max=96 long=6608 "
        "used=37 peak=32\n"},
+      {"hashbits",
+       "hashbits n=40000 total=386217 hits=19846 mod=13509\n"},
+      {"fsmdispatch",
+       "fsmdispatch n=60000 acc=-47358081817747775 pushes=14709 "
+       "folds=7557 flips=7503\n"},
+      {"ptrchase",
+       "ptrchase count=4096 sum=4343235 hops=14816 twist=269799477\n"},
       {"markgc",
        "markgc alloc=8476 collected=8416 gcs=18 steps=1129 chk=7513\n"},
       {"huffman",

@@ -1,0 +1,150 @@
+//===- tools/bpfree_char.cpp - Branch predictability observatory CLI ------===//
+//
+// Part of the bpfree project (Ball & Larus, PLDI 1993 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs one suite workload, captures its branch trace, and characterizes
+/// every branch site: entropy and history-conditioned entropy, H2P
+/// classification, and the predictor-by-class misprediction table — the
+/// dynamic Table-2 analogue over predictability classes instead of
+/// loop/non-loop buckets.
+///
+///   $ bpfree_char --workload treesort
+///   $ bpfree_char --workload hashbits --dataset 1 --top 20
+///   $ bpfree_char --workload fsmdispatch --json fsm.char.json
+///   $ bpfree_char --validate fsm.char.json
+///
+/// --hard-bits / --moderate-bits / --min-execs / --hard-share override
+/// the classification thresholds. --validate re-reads a previously
+/// written bpfree-char-v1 document and runs the full schema check
+/// (class-count conservation, per-site class consistency) without
+/// executing anything — the CI gate.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ipbc/Characterize.h"
+#include "workloads/Driver.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+using namespace bpfree;
+
+namespace {
+
+int usage(const char *Prog) {
+  std::cerr << "usage: " << Prog
+            << " --workload NAME [--dataset I] [--top N] [--json FILE]\n"
+               "       "
+            << Prog
+            << " [--min-execs N] [--hard-bits X] [--moderate-bits X]"
+               " [--hard-share X]\n       "
+            << Prog << " --validate FILE\n\nworkloads:";
+  for (const Workload &W : workloadSuite())
+    std::cerr << " " << W.Name;
+  std::cerr << "\n";
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const char *WorkloadName = nullptr;
+  const char *JsonPath = nullptr;
+  const char *ValidatePath = nullptr;
+  size_t DatasetIdx = 0;
+  size_t TopN = 10;
+  CharThresholds Thresholds;
+
+  for (int I = 1; I < argc; ++I) {
+    auto needValue = [&](const char *Flag) -> const char * {
+      if (I + 1 >= argc) {
+        std::cerr << Flag << " requires a value\n";
+        std::exit(2);
+      }
+      return argv[++I];
+    };
+    if (std::strcmp(argv[I], "--workload") == 0)
+      WorkloadName = needValue("--workload");
+    else if (std::strcmp(argv[I], "--dataset") == 0)
+      DatasetIdx = std::strtoul(needValue("--dataset"), nullptr, 10);
+    else if (std::strcmp(argv[I], "--top") == 0)
+      TopN = std::strtoul(needValue("--top"), nullptr, 10);
+    else if (std::strcmp(argv[I], "--json") == 0)
+      JsonPath = needValue("--json");
+    else if (std::strcmp(argv[I], "--validate") == 0)
+      ValidatePath = needValue("--validate");
+    else if (std::strcmp(argv[I], "--min-execs") == 0)
+      Thresholds.MinExecs = std::strtoull(needValue("--min-execs"), nullptr, 10);
+    else if (std::strcmp(argv[I], "--hard-bits") == 0)
+      Thresholds.HardBits = std::strtod(needValue("--hard-bits"), nullptr);
+    else if (std::strcmp(argv[I], "--moderate-bits") == 0)
+      Thresholds.ModerateBits =
+          std::strtod(needValue("--moderate-bits"), nullptr);
+    else if (std::strcmp(argv[I], "--hard-share") == 0)
+      Thresholds.HardShare = std::strtod(needValue("--hard-share"), nullptr);
+    else
+      return usage(argv[0]);
+  }
+
+  if (ValidatePath) {
+    Expected<CharReport> R = readCharJson(ValidatePath);
+    if (!R) {
+      std::cerr << "validation failed: " << R.error().render() << "\n";
+      return 1;
+    }
+    std::cout << "ok: '" << ValidatePath << "' is a valid bpfree-char-v1"
+              << " document (" << R->NumSites << " sites, hard share "
+              << 100.0 * R->hardShare() << "%, "
+              << (R->h2p() ? "H2P" : "regular") << ")\n";
+    return 0;
+  }
+
+  if (!WorkloadName)
+    return usage(argv[0]);
+  const Workload *W = findWorkload(WorkloadName);
+  if (!W) {
+    std::cerr << "unknown workload '" << WorkloadName << "'\n";
+    return 2;
+  }
+  if (DatasetIdx >= W->Datasets.size()) {
+    std::cerr << "dataset index out of range (have " << W->Datasets.size()
+              << ")\n";
+    return 2;
+  }
+
+  // One capture interpretation, no edge profile: characterization reads
+  // the trace, not the profile.
+  RunOptions RO;
+  RO.CaptureTrace = true;
+  RO.Profile = false;
+  Expected<std::unique_ptr<WorkloadRun>> RunOrErr =
+      runWorkload(*W, DatasetIdx, {}, RO);
+  if (!RunOrErr) {
+    std::cerr << "run failed: " << RunOrErr.error().renderWithKind() << "\n";
+    return 1;
+  }
+  std::unique_ptr<WorkloadRun> Run = RunOrErr.takeValue();
+
+  CharOptions CO;
+  CO.Thresholds = Thresholds;
+  CO.Workload = W->Name;
+  CO.Dataset = Run->dataset().Name;
+  Expected<CharReport> R = characterizeTrace(*Run->Ctx, *Run->Trace, CO);
+  if (!R) {
+    std::cerr << "characterize failed: " << R.error().render() << "\n";
+    return 1;
+  }
+  std::cout << renderCharReport(*R, TopN);
+  if (JsonPath) {
+    if (!writeCharJson(*R, JsonPath)) {
+      std::cerr << "cannot write '" << JsonPath << "'\n";
+      return 1;
+    }
+    std::cout << "\nwrote " << JsonPath << "\n";
+  }
+  return 0;
+}

@@ -23,6 +23,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "ipbc/Attribution.h"
+#include "ipbc/Characterize.h"
 #include "workloads/Driver.h"
 
 #include <cstdlib>
@@ -36,6 +37,7 @@ namespace {
 int usage(const char *Prog) {
   std::cerr << "usage: " << Prog
             << " --workload NAME [--dataset I] [--top N] [--json FILE]\n"
+               "       [--characterize[=N]] [--characterize-json FILE]\n"
                "       "
             << Prog << " --validate FILE\n\nworkloads:";
   for (const Workload &W : workloadSuite())
@@ -50,6 +52,9 @@ int main(int argc, char **argv) {
   const char *WorkloadName = nullptr;
   const char *JsonPath = nullptr;
   const char *ValidatePath = nullptr;
+  const char *CharJsonPath = nullptr;
+  bool Characterize = false;
+  size_t CharTopN = 10;
   size_t DatasetIdx = 0;
   size_t TopN = 10;
 
@@ -71,7 +76,15 @@ int main(int argc, char **argv) {
       JsonPath = needValue("--json");
     else if (std::strcmp(argv[I], "--validate") == 0)
       ValidatePath = needValue("--validate");
-    else
+    else if (std::strcmp(argv[I], "--characterize") == 0)
+      Characterize = true;
+    else if (std::strncmp(argv[I], "--characterize=", 15) == 0) {
+      Characterize = true;
+      CharTopN = std::strtoul(argv[I] + 15, nullptr, 10);
+    } else if (std::strcmp(argv[I], "--characterize-json") == 0) {
+      Characterize = true;
+      CharJsonPath = needValue("--characterize-json");
+    } else
       return usage(argv[0]);
   }
 
@@ -129,6 +142,27 @@ int main(int argc, char **argv) {
       return 1;
     }
     std::cout << "\nwrote " << JsonPath << "\n";
+  }
+
+  // Under --characterize, the same captured trace also feeds the
+  // predictability observatory — one capture, both reports.
+  if (Characterize) {
+    CharOptions CO;
+    CO.Workload = W->Name;
+    CO.Dataset = Run->dataset().Name;
+    Expected<CharReport> CR = characterizeTrace(*Run->Ctx, *Run->Trace, CO);
+    if (!CR) {
+      std::cerr << "characterize failed: " << CR.error().render() << "\n";
+      return 1;
+    }
+    std::cout << "\n" << renderCharReport(*CR, CharTopN);
+    if (CharJsonPath) {
+      if (!writeCharJson(*CR, CharJsonPath)) {
+        std::cerr << "cannot write '" << CharJsonPath << "'\n";
+        return 1;
+      }
+      std::cout << "\nwrote " << CharJsonPath << "\n";
+    }
   }
   return 0;
 }
